@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all test bench doc examples clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+doc:
+	dune build @doc
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/idct_explorer.exe
+	dune exec examples/crypto_explorer.exe
+	dune exec examples/coproc_explorer.exe
+	dune exec examples/video_explorer.exe
+	dune exec examples/rsa_demo.exe
+
+clean:
+	dune clean

@@ -1,0 +1,953 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation and prints paper-reported values next to measured ones.
+
+   Usage:
+     dune exec bench/main.exe            -- run every experiment + micro
+     dune exec bench/main.exe table1     -- one experiment
+     dune exec bench/main.exe fig6 fig9  -- several
+
+   Experiments: table1 fig3 fig6 fig7 fig8 fig9 fig10 fig12 fig13
+                casestudy ablation power micro *)
+
+open Ds_layer
+module D = Ds_rtl.Modmul_datapath
+module Design = Ds_rtl.Modmul_design
+module N = Ds_domains.Names
+module CL = Ds_domains.Crypto_layer
+
+let printf = Printf.printf
+let ok = function Ok v -> v | Error e -> failwith e
+
+let header title =
+  printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let opt_f = function Some v -> Printf.sprintf "%8.0f" v | None -> "       ?"
+let opt_f2 = function Some v -> Printf.sprintf "%6.2f" v | None -> "     ?"
+
+(* ------------------------------------------------------------------ *)
+(* E1: Table 1                                                          *)
+
+let table1 () =
+  header "E1 / Table 1: modular multiplier designs (area um2, latency ns, clock ns; EOL = slice width)";
+  printf "%-5s %-28s %6s | %-26s | %-26s\n" "dsgn" "configuration" "width" "paper (reconstructed)"
+    "measured";
+  let ratios = ref [] in
+  List.iter
+    (fun design_no ->
+      List.iter
+        (fun slice_width ->
+          let cfg = Design.design design_no ~slice_width in
+          let m = D.characterize cfg ~eol:slice_width in
+          let paper = Ds_paperdata.Paper_data.table1_cell ~design_no ~slice_width in
+          let p_area = Option.bind paper (fun c -> c.Ds_paperdata.Paper_data.area) in
+          let p_lat = Option.bind paper (fun c -> c.Ds_paperdata.Paper_data.latency) in
+          let p_clk = Option.bind paper (fun c -> c.Ds_paperdata.Paper_data.clock) in
+          (match p_area with
+          | Some a -> ratios := (m.D.char_area_um2 /. a) :: !ratios
+          | None -> ());
+          printf "#%d    %-28s %6d | %s %s %s | %8.0f %8.0f %6.2f\n" design_no
+            (Printf.sprintf "r%d %s %s" (D.radix cfg)
+               (Ds_rtl.Adder.name cfg.D.adder)
+               (match cfg.D.multiplier with
+               | None -> "and-row"
+               | Some mul -> Ds_rtl.Multiplier.name mul))
+            slice_width (opt_f p_area) (opt_f p_lat) (opt_f2 p_clk) m.D.char_area_um2
+            m.D.char_latency_ns m.D.char_clock_ns)
+        Design.slice_widths)
+    Design.design_numbers;
+  let n = List.length !ratios in
+  let log_sum = List.fold_left (fun acc r -> acc +. log r) 0.0 !ratios in
+  printf "\narea model vs paper: geometric-mean ratio %.2f over %d known cells\n"
+    (exp (log_sum /. float_of_int n))
+    n;
+  printf "shape checks: CSA clock flat (#2: %.2f -> %.2f), CLA clock grows (#1: %.2f -> %.2f)\n"
+    (D.clock_ns (Design.design 2 ~slice_width:8))
+    (D.clock_ns (Design.design 2 ~slice_width:128))
+    (D.clock_ns (Design.design 1 ~slice_width:8))
+    (D.clock_ns (Design.design 1 ~slice_width:128))
+
+(* ------------------------------------------------------------------ *)
+(* E5: Figs 2 & 3 (IDCT clusters and organisations)                     *)
+
+let fig3 () =
+  header "E5 / Figs 2-3: IDCT evaluation-space clusters and layer organisation";
+  let points =
+    Evaluation.of_cores ~x:N.m_latency_ns ~y:N.m_area_um2 Ds_domains.Idct_layer.cores
+  in
+  List.iter (fun p -> Format.printf "  %a@." Evaluation.pp_point p) points;
+  (match Cluster.suggest_split points with
+  | Some (a, b) ->
+    let names c = String.concat "," (List.map (fun p -> p.Evaluation.label) c) in
+    printf "clusters found: {%s} vs {%s}   (paper: {1,2,5} vs {3,4})\n" (names a) (names b);
+    printf "merge-gap ratio: %.2f (values >> 1 mean a clear two-cluster structure)\n"
+      (Cluster.silhouette_gap points)
+  | None -> printf "no split found\n");
+  printf "\nfirst-decision quality (Section 2.1's argument, quantified):\n";
+  printf "%-32s %-8s %5s %13s %12s\n" "organisation" "choice" "cores" "delay spread" "area spread";
+  List.iter
+    (fun r ->
+      printf "%-32s %-8s %5d %13.2f %12.2f\n" r.Ds_domains.Idct_layer.organisation
+        r.Ds_domains.Idct_layer.option_chosen r.Ds_domains.Idct_layer.candidates_left
+        r.Ds_domains.Idct_layer.delay_spread r.Ds_domains.Idct_layer.area_spread)
+    (Ds_domains.Idct_layer.first_decision_report ())
+
+(* ------------------------------------------------------------------ *)
+(* E2: Fig 6                                                            *)
+
+let fig6 () =
+  header "E2 / Fig 6: one 1024-bit modular multiplication, hardware vs software (us)";
+  printf "%-12s %10s %10s\n" "design" "paper" "measured";
+  List.iter
+    (fun (label, paper_us) ->
+      match Design.parse_label label with
+      | None -> ()
+      | Some (design_no, slice_width) ->
+        let cfg = Design.design design_no ~slice_width in
+        printf "%-12s %10.2f %10.2f\n" label paper_us (D.latency_ns cfg ~eol:1024 /. 1000.0))
+    Ds_paperdata.Paper_data.fig6_hardware_us;
+  List.iter
+    (fun (label, paper_us) ->
+      let routine =
+        List.find
+          (fun r -> String.equal (Ds_swmodel.Pentium.routine_name r) label)
+          Ds_swmodel.Pentium.all_routines
+      in
+      printf "%-12s %10.0f %10.0f\n" label paper_us
+        (Ds_swmodel.Pentium.modmul_time_us routine.Ds_swmodel.Pentium.variant
+           routine.Ds_swmodel.Pentium.language ~bits:1024))
+    Ds_paperdata.Paper_data.fig6_software_us;
+  let hw = D.latency_ns (Design.design 5 ~slice_width:16) ~eol:1024 /. 1000.0 in
+  let sw =
+    Ds_swmodel.Pentium.modmul_time_us Ds_swmodel.Mont_variants.Cios Ds_swmodel.Pentium.Assembler
+      ~bits:1024
+  in
+  printf "\nhardware/software gap: %.0fx (paper: ~400x between #5_16 and CIOS-ASM)\n" (sw /. hw)
+
+(* ------------------------------------------------------------------ *)
+(* E6: Figs 4, 5 & 7                                                    *)
+
+let fig7 () =
+  header "E6 / Figs 4-5-7: the cryptography CDO hierarchy";
+  Format.printf "%a@." Hierarchy.pp_tree CL.hierarchy;
+  printf "nodes: %d   depth: %d   leaves: %d\n" (Hierarchy.size CL.hierarchy)
+    (Hierarchy.depth CL.hierarchy)
+    (List.length (Hierarchy.leaf_paths CL.hierarchy));
+  let registry = Ds_domains.Populate.standard_registry ~eol:768 () in
+  let cores = Ds_reuse.Registry.all_cores registry in
+  printf "\nindexing of the %d-core registry under the hierarchy:\n" (List.length cores);
+  let index = Index.build CL.hierarchy cores in
+  List.iter
+    (fun path ->
+      let n = List.length (Index.at index path) in
+      if n > 0 then printf "  %-55s %3d cores\n" (String.concat "." path) n)
+    (Hierarchy.node_paths CL.hierarchy)
+
+(* ------------------------------------------------------------------ *)
+(* E7: Figs 8 & 11                                                      *)
+
+let fig8 () =
+  header "E7 / Figs 8 & 11: requirements and design issues of OMM / OMM-H / OMM-HM";
+  let show path =
+    match Hierarchy.find CL.hierarchy path with
+    | None -> ()
+    | Some cdo ->
+      printf "-- %s%s --\n" (String.concat "." path)
+        (match cdo.Cdo.abbrev with None -> "" | Some a -> " (" ^ a ^ ")");
+      List.iter (fun p -> Format.printf "  %a@." Property.pp p) (Cdo.all_properties cdo)
+  in
+  show CL.omm_path;
+  show CL.omm_hardware_path;
+  show CL.omm_hardware_montgomery_path;
+  show CL.omm_software_path
+
+(* ------------------------------------------------------------------ *)
+(* E3: Fig 9                                                            *)
+
+let fig9 () =
+  header "E3 / Fig 9: Brickell vs Montgomery evaluation space, 768-bit operands";
+  let widths = [ 8; 16; 32; 64; 128 ] in
+  let series design_no =
+    Design.evaluation_points ~eol:768 (List.map (fun w -> (design_no, w)) widths)
+  in
+  printf "%-8s %12s %12s\n" "label" "delay ns" "area um2";
+  let print_series s =
+    List.iter
+      (fun (label, ch) -> printf "%-8s %12.0f %12.0f\n" label ch.D.char_latency_ns ch.D.char_area_um2)
+      s
+  in
+  let montgomery = series 2 and brickell = series 8 in
+  print_series montgomery;
+  print_series brickell;
+  let alo, ahi = Ds_paperdata.Paper_data.fig9_area_band and dlo, dhi = Ds_paperdata.Paper_data.fig9_delay_band in
+  printf "\npaper bands: area %.0f..%.0f um2, delay %.0f..%.0f ns\n" alo ahi dlo dhi;
+  let dominated =
+    List.for_all2
+      (fun (_, m) (_, b) ->
+        m.D.char_area_um2 < b.D.char_area_um2 && m.D.char_latency_ns < b.D.char_latency_ns)
+      montgomery brickell
+  in
+  printf "Montgomery consistently superior on both axes at every width: %b (paper: yes)\n" dominated
+
+(* ------------------------------------------------------------------ *)
+(* E8: Fig 10                                                           *)
+
+let fig10 () =
+  header "E8 / Fig 10: Montgomery behavioral description and decomposition";
+  Format.printf "%a@." Ds_estimate.Behavior.pp Ds_estimate.Bd_library.montgomery;
+  printf "operator census (behavioral decomposition targets, DI7):\n";
+  List.iter
+    (fun (op, count) ->
+      printf "  %-4s x%d -> explored via the %s CDOs\n"
+        (Ds_estimate.Behavior.binop_name op)
+        count
+        (match op with
+        | Ds_estimate.Behavior.Add | Ds_estimate.Behavior.Sub -> "Arithmetic/Adder"
+        | Ds_estimate.Behavior.Mul -> "Arithmetic/Multiplier"
+        | Ds_estimate.Behavior.Div | Ds_estimate.Behavior.Mod | Ds_estimate.Behavior.Shift_left
+        | Ds_estimate.Behavior.Shift_right | Ds_estimate.Behavior.Lt | Ds_estimate.Behavior.Le
+        | Ds_estimate.Behavior.Gt | Ds_estimate.Behavior.Ge | Ds_estimate.Behavior.Eq ->
+          "operator"))
+    (Ds_estimate.Behavior.operators_in_loops Ds_estimate.Bd_library.montgomery);
+  printf "\nBehaviorDelayEstimator ranking of the Section 5.1.1 alternatives (n = 768):\n";
+  List.iter
+    (fun (bd, est) ->
+      printf "  %-26s MaxCombDelay %6.2f   total %10.0f\n" bd.Ds_estimate.Behavior.name
+        est.Ds_estimate.Delay_estimator.max_comb_delay est.Ds_estimate.Delay_estimator.total_delay)
+    (Ds_estimate.Delay_estimator.rank ~hints_for:Ds_estimate.Bd_library.estimator_hints
+       ~bindings:[ ("n", 768) ] Ds_estimate.Bd_library.all);
+  (* DI7 downward: open the adder operator CDO from the multiplier
+     context and explore it with the same machinery *)
+  let cores = Ds_reuse.Registry.all_cores (Ds_domains.Populate.standard_registry ~eol:768 ()) in
+  let s = ok (CL.navigate_to_omm (CL.session ~cores)) in
+  let s = ok (CL.apply_requirements s CL.coprocessor_requirements) in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+  let s = ok (Session.set_default s N.behavioral_description) in
+  (match CL.operator_subsession s ~operator:"adder" with
+  | Error e -> printf "sub-session failed: %s\n" e
+  | Ok sub ->
+    printf "\nDI7 sub-session on the loop's adders (%d candidate adder cores):\n"
+      (Session.candidate_count sub);
+    (match Session.preview_options sub ~issue:N.adder_architecture ~merit:N.m_latency_ns with
+    | Ok previews ->
+      List.iter
+        (fun pv ->
+          match pv.Session.outcome with
+          | `Explored (n, Some (lo, hi)) ->
+            printf "  %-18s %d cores, delay %5.2f..%5.2f ns\n" pv.Session.option_value n lo hi
+          | `Explored (n, None) -> printf "  %-18s %d cores\n" pv.Session.option_value n
+          | `Rejected reason -> printf "  %-18s rejected: %s\n" pv.Session.option_value reason)
+        previews
+    | Error e -> printf "  preview failed: %s\n" e);
+    let sub = ok (Session.set sub N.adder_architecture (Value.str "carry-save")) in
+    match CL.adopt_adder_choice s sub with
+    | Ok s' ->
+      printf "adopted back into the multiplier session: Adder Implementation = %s\n"
+        (Option.value ~default:"?"
+           (Option.map Value.to_string (Session.value_of s' N.adder_implementation)))
+    | Error e -> printf "adoption failed: %s\n" e)
+
+(* ------------------------------------------------------------------ *)
+(* E4: Fig 12                                                           *)
+
+let fig12 () =
+  header "E4 / Fig 12: 64-bit Montgomery multipliers with 64-bit slices";
+  printf "%-8s | %10s %10s | %10s %10s\n" "label" "paper-area" "paper-dly" "meas-area" "meas-dly";
+  List.iter
+    (fun (label, (p_area, p_delay)) ->
+      match Design.parse_label label with
+      | None -> ()
+      | Some (design_no, slice_width) ->
+        let ch = D.characterize (Design.design design_no ~slice_width) ~eol:64 in
+        printf "%-8s | %10.0f %10.0f | %10.0f %10.0f\n" label p_area p_delay ch.D.char_area_um2
+          ch.D.char_latency_ns)
+    Ds_paperdata.Paper_data.fig12_points;
+  (* shape assertions the paper's prose makes about this figure *)
+  let ch n = D.characterize (Design.design n ~slice_width:64) ~eol:64 in
+  printf "\nradix-4 designs faster than radix-2 (cycles halved): %b\n"
+    ((ch 4).D.char_latency_ns < (ch 2).D.char_latency_ns);
+  printf "mux-based (#5) smaller than array (#4): %b\n"
+    ((ch 5).D.char_area_um2 < (ch 4).D.char_area_um2);
+  printf "carry-save (#2) clock faster than CLA (#1): %b\n"
+    ((ch 2).D.char_clock_ns < (ch 1).D.char_clock_ns)
+
+(* ------------------------------------------------------------------ *)
+(* E9: Fig 13                                                           *)
+
+let fig13 () =
+  header "E9 / Fig 13: consistency constraints in action";
+  List.iter (fun cc -> Format.printf "%a@." Consistency.pp cc) CL.constraints;
+  let cores = Ds_reuse.Registry.all_cores (Ds_domains.Populate.standard_registry ~eol:768 ()) in
+  let s0 = ok (CL.navigate_to_omm (CL.session ~cores)) in
+  (* CC6 *)
+  let s6 = ok (CL.apply_requirements s0 CL.coprocessor_requirements) in
+  printf "CC6: %d -> %d candidates after the 8us latency requirement (software eliminated)\n"
+    (Session.candidate_count s0) (Session.candidate_count s6);
+  (* CC1 *)
+  let reqs_even_modulo =
+    List.map
+      (fun (name, v) ->
+        if String.equal name N.modulo_is_odd then (name, Value.str N.not_guaranteed) else (name, v))
+      CL.coprocessor_requirements
+  in
+  let s1 = ok (CL.apply_requirements s0 reqs_even_modulo) in
+  let s1 = ok (Session.set s1 N.implementation_style (Value.str N.hardware)) in
+  (match Session.set s1 N.algorithm (Value.str N.montgomery) with
+  | Error msg -> printf "CC1 fired: %s\n" msg
+  | Ok _ -> printf "CC1 FAILED to fire\n");
+  (* CC2 *)
+  let s2 = ok (Session.set s6 N.implementation_style (Value.str N.hardware)) in
+  let s2 = ok (Session.set s2 N.algorithm (Value.str N.montgomery)) in
+  let montgomery_survivors = Session.candidate_count s2 in
+  let s2 = ok (Session.set s2 N.radix (Value.int 4)) in
+  (match Session.value_of s2 N.latency_cycles with
+  | Some v ->
+    printf "CC2 derived %s = %s for radix 4, EOL 768 (2*EOL/R + 1)\n" N.latency_cycles
+      (Value.to_string v)
+  | None -> printf "CC2 FAILED\n");
+  (* CC3 *)
+  let s3 = ok (Session.set_default s2 N.behavioral_description) in
+  List.iter
+    (fun (tool, metrics) ->
+      List.iter (fun (metric, v) -> printf "CC3 estimator %s: %s = %.2f\n" tool metric v) metrics)
+    (Session.estimates s3);
+  (* CC4/CC5: elimination effect *)
+  printf "CC4+CC5: %d Montgomery cores survive of the 20 indexed under OMM-HM\n"
+    montgomery_survivors
+
+(* ------------------------------------------------------------------ *)
+(* E10: the case study end-to-end                                       *)
+
+let casestudy () =
+  header "E10 / Section 5: core selection for the coprocessor of [11]";
+  let cores = Ds_reuse.Registry.all_cores (Ds_domains.Populate.standard_registry ~eol:768 ()) in
+  let s = CL.session ~cores in
+  let step label s =
+    printf "%-46s candidates %3d" label (Session.candidate_count s);
+    (match Session.merit_range s ~merit:N.m_latency_ns with
+    | Some (lo, hi) -> printf "   latency %8.0f..%8.0f ns" lo hi
+    | None -> ());
+    printf "\n";
+    s
+  in
+  let s = step "start (all libraries)" s in
+  let s = step "focus OMM" (ok (CL.navigate_to_omm s)) in
+  let s =
+    step "requirements entered (CC6 prunes software)"
+      (ok (CL.apply_requirements s CL.coprocessor_requirements))
+  in
+  let s =
+    step "Implementation Style := hardware"
+      (ok (Session.set s N.implementation_style (Value.str N.hardware)))
+  in
+  let s =
+    step "Algorithm := Montgomery (CC4/CC5 prune)"
+      (ok (Session.set s N.algorithm (Value.str N.montgomery)))
+  in
+  let designs =
+    List.sort_uniq String.compare
+      (List.filter_map (fun (_, c) -> Ds_reuse.Core.property c N.p_design_no) (Session.candidates s))
+  in
+  printf "surviving design families: {%s}  (paper's region: {%s})\n"
+    (String.concat ", " designs)
+    (String.concat ", " (List.map string_of_int Ds_paperdata.Paper_data.case_study_surviving_designs));
+  let points = Evaluation.of_cores ~x:N.m_latency_ns ~y:N.m_area_um2 (Session.candidates s) in
+  printf "Pareto-optimal cores:\n";
+  List.iter (fun p -> Format.printf "  %a@." Evaluation.pp_point p) (Evaluation.pareto_front points);
+  (* branch comparison: what Brickell would have looked like *)
+  let s_before = step "(branch point: retract Algorithm)" (ok (Session.retract s N.algorithm)) in
+  let brickell_branch = ok (Session.set s_before N.algorithm (Value.str N.brickell)) in
+  printf "\nMontgomery branch vs Brickell branch:\n";
+  Format.printf "%a@."
+    Diff.pp
+    (Diff.compare ~merits:[ N.m_latency_ns; N.m_area_um2 ] s brickell_branch)
+
+(* ------------------------------------------------------------------ *)
+(* Coprocessor level (Section 6)                                        *)
+
+let coproc () =
+  header "Section 6: the modular-exponentiation coprocessor over the selected multipliers";
+  (* Top-down: the coprocessor's throughput target becomes each
+     multiplication's latency budget (CC7/CC8). *)
+  let cores = Ds_reuse.Registry.all_cores (Ds_domains.Populate.standard_registry ~eol:768 ()) in
+  let explore recoding =
+    let s = ok (CL.navigate_to_exponentiator (CL.session ~cores)) in
+    let s = ok (Session.set s N.effective_operand_length (Value.int 768)) in
+    let s = ok (Session.set s N.exponent_length (Value.int 768)) in
+    let s = ok (Session.set s N.operations_per_second (Value.real 100.0)) in
+    ok (Session.set s N.exponent_recoding (Value.str recoding))
+  in
+  List.iter
+    (fun recoding ->
+      let s = explore recoding in
+      let mults =
+        match Session.value_of s N.multiplications_per_operation with
+        | Some (Value.Int n) -> n
+        | _ -> 0
+      in
+      let budget =
+        match Option.bind (Session.value_of s N.multiplication_budget) Value.as_real with
+        | Some b -> b
+        | None -> nan
+      in
+      printf "recoding %-9s -> %4d mults/op, budget %.2f us per multiplication (CC7/CC8)\n"
+        recoding mults budget)
+    [ "binary"; "window-2"; "window-4"; "sliding-4" ];
+  (* Bottom-up: characterise the coprocessor over the case study's
+     surviving multiplier cores. *)
+  printf "\n%-10s %-10s %10s %10s %12s %12s\n" "multiplier" "recoding" "mults" "us/op" "ops/s"
+    "area um2";
+  List.iter
+    (fun (design_no, slice_width) ->
+      List.iter
+        (fun recoding ->
+          let cfg =
+            {
+              Ds_rtl.Modexp_datapath.multiplier = Design.design design_no ~slice_width;
+              recoding;
+              bus_width = 32;
+            }
+          in
+          let ch = Ds_rtl.Modexp_datapath.characterize cfg ~eol:768 ~exp_bits:768 in
+          printf "#%d_%-7d %-10s %10d %10.1f %12.0f %12.0f\n" design_no slice_width
+            (Ds_rtl.Modexp_datapath.recoding_name recoding)
+            ch.Ds_rtl.Modexp_datapath.multiplications ch.Ds_rtl.Modexp_datapath.coproc_latency_us
+            ch.Ds_rtl.Modexp_datapath.ops_per_second ch.Ds_rtl.Modexp_datapath.coproc_area_um2)
+        Ds_rtl.Modexp_datapath.[ Binary; Window 4; Sliding_window 4 ])
+    [ (2, 64); (5, 64) ];
+  let t r =
+    (Ds_rtl.Modexp_datapath.characterize
+       {
+         Ds_rtl.Modexp_datapath.multiplier = Design.design 5 ~slice_width:64;
+         recoding = r;
+         bus_width = 32;
+       }
+       ~eol:768 ~exp_bits:768)
+      .Ds_rtl.Modexp_datapath.ops_per_second
+  in
+  printf
+    "\nwindow-4 buys ~%.0f%% throughput for its table area; the sliding form gets\n\
+     ~%.0f%% with half the table (odd powers only).\n"
+    (100.0 *. ((t (Ds_rtl.Modexp_datapath.Window 4) /. t Ds_rtl.Modexp_datapath.Binary) -. 1.0))
+    (100.0
+    *. ((t (Ds_rtl.Modexp_datapath.Sliding_window 4) /. t Ds_rtl.Modexp_datapath.Binary) -. 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+
+let ablation () =
+  header "Ablation A: generalization-first vs abstraction-first (IDCT)";
+  List.iter
+    (fun r ->
+      printf "%-32s -> %d cores, delay spread %.2f\n" r.Ds_domains.Idct_layer.organisation
+        r.Ds_domains.Idct_layer.candidates_left r.Ds_domains.Idct_layer.delay_spread)
+    (Ds_domains.Idct_layer.first_decision_report ());
+
+  header "Ablation B: with vs without the dominance-elimination constraints (CC4/CC5)";
+  let cores = Ds_reuse.Registry.all_cores (Ds_domains.Populate.standard_registry ~eol:768 ()) in
+  let explore constraints =
+    let s = Session.create ~hierarchy:CL.hierarchy ~constraints ~cores () in
+    let s = ok (CL.navigate_to_omm s) in
+    let s = ok (CL.apply_requirements s CL.coprocessor_requirements) in
+    let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+    ok (Session.set s N.algorithm (Value.str N.montgomery))
+  in
+  let with_cc = explore CL.constraints in
+  let without_cc = explore [ CL.cc1; CL.cc2; CL.cc3; CL.cc6 ] in
+  let points s = Evaluation.of_cores ~x:N.m_latency_ns ~y:N.m_area_um2 (Session.candidates s) in
+  printf "with CC4/CC5:    %2d candidates, Pareto front %d\n" (Session.candidate_count with_cc)
+    (List.length (Evaluation.pareto_front (points with_cc)));
+  printf "without CC4/CC5: %2d candidates, Pareto front %d\n" (Session.candidate_count without_cc)
+    (List.length (Evaluation.pareto_front (points without_cc)));
+  (* What the elimination costs and buys: CC4/CC5 encode the designer
+     judgment that at large EOL the carry-propagating and array-
+     multiplier families are not worth exploring.  That judgment trades
+     part of the area-optimal end of the front for a 3x smaller space;
+     the performance-optimal end must survive intact. *)
+  let front_without = Evaluation.pareto_front (points without_cc) in
+  let front_with = Evaluation.pareto_front (points with_cc) in
+  let min_delay pts =
+    List.fold_left (fun acc p -> Float.min acc p.Evaluation.x) infinity pts
+  in
+  printf "front shrinks %d -> %d; fastest core retained: %b (%.0f ns vs %.0f ns)\n"
+    (List.length front_without) (List.length front_with)
+    (min_delay (points with_cc) <= min_delay (points without_cc) +. 1e-9)
+    (min_delay (points with_cc)) (min_delay (points without_cc));
+  printf "the dropped front points are area-optimal CLA designs the paper's CC4 judges\n";
+  printf "inferior on loop performance -- the price of aggressive pruning.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Organize extension                                                   *)
+
+let organize () =
+  header "Extension: deriving layer organisations from the population (co-existing hierarchies)";
+  let all = Ds_reuse.Registry.all_cores (Ds_domains.Populate.standard_registry ~eol:768 ()) in
+  let modmul =
+    List.filter
+      (fun (_, c) -> Ds_reuse.Core.property c N.modular_operator = Some "multiplier")
+      all
+  in
+  printf "issue impact over the %d modular-multiplier cores (latency axis):\n" (List.length modmul);
+  List.iter
+    (fun imp ->
+      printf "  %-26s separation %7.2f  options {%s}\n" imp.Organize.issue imp.Organize.separation
+        (String.concat ", " (List.map fst imp.Organize.option_counts)))
+    (Organize.rank_issues modmul
+       ~issues:
+         [
+           N.implementation_style; N.algorithm; N.adder_implementation;
+           N.multiplier_implementation; N.slice_width; N.scanning_variant;
+           N.programmable_platform;
+         ]
+       ~x:N.m_latency_ns ~y:N.m_latency_ns);
+  printf "\nderived hierarchy for the IDCT population (Section 2, automated):\n";
+  (match
+     Organize.derive_hierarchy ~name:"IDCT-derived" Ds_domains.Idct_layer.cores
+       ~issues:
+         [ Ds_domains.Idct_layer.algorithm_issue; Ds_domains.Idct_layer.technology_issue ]
+       ~x:N.m_latency_ns ~y:N.m_area_um2
+   with
+  | Ok h ->
+    Format.printf "%a@." Hierarchy.pp_tree h;
+    printf "first-decision guidance (expected spread, smaller = better):\n";
+    printf "  derived:            %.2f\n"
+      (Organize.guidance_quality h Ds_domains.Idct_layer.cores ~merit:N.m_latency_ns);
+    printf "  abstraction-first:  %.2f\n"
+      (Organize.guidance_quality Ds_domains.Idct_layer.abstraction_first
+         Ds_domains.Idct_layer.cores ~merit:N.m_latency_ns)
+  | Error e -> printf "derivation failed: %s\n" e);
+  let hw = List.filter (fun (_, c) -> Ds_reuse.Core.property c N.implementation_style = Some N.hardware) all in
+  printf "\nco-existing hierarchies over the %d hardware cores:\n" (List.length hw);
+  List.iter
+    (fun (label, x, y) ->
+      match
+        Organize.derive_hierarchy ~name:"HW" hw
+          ~issues:[ N.algorithm; N.adder_implementation; N.multiplier_implementation; N.slice_width ]
+          ~x ~y
+      with
+      | Ok h -> (
+        match Cdo.generalized_issue (Hierarchy.root h) with
+        | Some issue ->
+          printf "  %-18s -> first issue: %s (%d nodes)\n" label issue.Property.name
+            (Hierarchy.size h)
+        | None -> ())
+      | Error e -> printf "  %-18s -> %s\n" label e)
+    [
+      ("performance-first", N.m_latency_ns, N.m_latency_ns);
+      ("area-first", N.m_area_um2, N.m_area_um2);
+      ("energy-first", N.m_energy_nj, N.m_energy_nj);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Power extension                                                      *)
+
+let power () =
+  header "Extension: power as a third figure of merit (the paper's work-in-progress)";
+  printf "%-8s %10s %10s %12s\n" "design" "clk ns" "power mW" "energy nJ/op";
+  List.iter
+    (fun n ->
+      let cfg = Design.design n ~slice_width:64 in
+      let p = D.power cfg ~eol:768 in
+      printf "#%d_64    %10.2f %10.1f %12.1f\n" n (D.clock_ns cfg) p.Ds_tech.Power.dynamic_mw
+        p.Ds_tech.Power.energy_per_op_nj)
+    Design.design_numbers;
+  printf "\nobservations: carry-save redundancy toggles more gates (higher activity);\n";
+  printf "radix-4 halves the cycle count so energy per operation drops despite more area.\n";
+  let e n = (D.power (Design.design n ~slice_width:64) ~eol:768).Ds_tech.Power.energy_per_op_nj in
+  printf "energy(#4, r4) < energy(#2, r2): %b\n" (e 4 < e 2);
+  (* the three-merit view: a core can be off both 2-D fronts yet
+     3-D Pareto-optimal once energy counts *)
+  let cores =
+    Ds_reuse.Library.make_exn ~name:"tmp"
+      (List.concat_map
+         (fun n ->
+           List.filter_map
+             (fun w ->
+               if 768 mod w = 0 then
+                 Some (Ds_domains.Populate.hardware_core ~design_no:n ~slice_width:w ~eol:768 ())
+               else None)
+             Design.slice_widths)
+         Design.design_numbers)
+  in
+  let tagged = List.map (fun c -> (c.Ds_reuse.Core.id, c)) cores.Ds_reuse.Library.cores in
+  let front3 =
+    Multi_objective.pareto_front
+      (Multi_objective.of_cores ~merits:[ N.m_latency_ns; N.m_area_um2; N.m_energy_nj ] tagged)
+  in
+  let front2 =
+    Evaluation.pareto_front (Evaluation.of_cores ~x:N.m_latency_ns ~y:N.m_area_um2 tagged)
+  in
+  printf "\n3-D Pareto front (latency, area, energy): %d cores of %d (2-D front: %d)\n"
+    (List.length front3) (List.length tagged) (List.length front2);
+  (match Multi_objective.nearest_to_ideal front3 with
+  | Some p -> Format.printf "balanced recommendation: %a@." Multi_objective.pp_point p
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Software platforms                                                   *)
+
+let platforms () =
+  header "Extension: the programmable-platform axis (768-bit exponentiation, ms)";
+  let module P = Ds_swmodel.Platform in
+  let module MV = Ds_swmodel.Mont_variants in
+  printf "%-14s %10s %10s %16s\n" "platform" "C" "ASM" "ASM+sqr-aware";
+  List.iter
+    (fun platform ->
+      let t ?squaring_aware lang =
+        P.modexp_time_ms ?squaring_aware platform MV.Cios lang ~bits:768
+      in
+      printf "%-14s %10.0f %10.0f %16.0f\n" platform.P.name (t Ds_swmodel.Pentium.C)
+        (t Ds_swmodel.Pentium.Assembler)
+        (t ~squaring_aware:true Ds_swmodel.Pentium.Assembler))
+    P.all;
+  printf
+    "\nthe DSP's single-cycle MAC compensates its narrower digits; dedicated\n\
+     squaring buys a further ~15%% on every platform.  None comes within two\n\
+     orders of magnitude of the hardware family -- Fig 6's gap is structural.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Estimator calibration                                                *)
+
+let estimator () =
+  header "Extension: does the early estimator agree with the detailed characterisation?";
+  (* CC3's justification: the algorithm-level rank should predict the
+     RTL-level outcome.  Compare BehaviorDelayEstimator's ranking of the
+     algorithm alternatives with the characterised clock/latency of the
+     corresponding best designs. *)
+  let ranked =
+    Ds_estimate.Delay_estimator.rank ~hints_for:Ds_estimate.Bd_library.estimator_hints
+      ~bindings:[ ("n", 768) ] Ds_estimate.Bd_library.all
+  in
+  printf "%-26s %14s | %18s\n" "alternative" "estimator rank" "best RTL latency ns";
+  let best_latency algorithm =
+    (* the best characterised core of that algorithm at 768 bits *)
+    List.filter_map
+      (fun design_no ->
+        let cfg = Design.design design_no ~slice_width:64 in
+        if cfg.D.algorithm = algorithm then
+          Some (D.latency_ns cfg ~eol:768)
+        else None)
+      Design.design_numbers
+    |> List.fold_left Float.min infinity
+  in
+  List.iter
+    (fun (bd, est) ->
+      let rtl =
+        match bd.Ds_estimate.Behavior.name with
+        | "montgomery-modmul" -> Printf.sprintf "%.0f" (best_latency D.Montgomery)
+        | "brickell-modmul" -> Printf.sprintf "%.0f" (best_latency D.Brickell)
+        | _ -> "(not built: the paper rejected it before RTL)"
+      in
+      printf "%-26s %14.2f | %18s\n" bd.Ds_estimate.Behavior.name
+        est.Ds_estimate.Delay_estimator.max_comb_delay rtl)
+    ranked;
+  let est_ratio =
+    match ranked with
+    | (_, a) :: (_, b) :: _ ->
+      b.Ds_estimate.Delay_estimator.max_comb_delay /. a.Ds_estimate.Delay_estimator.max_comb_delay
+    | _ -> nan
+  in
+  let rtl_ratio = best_latency D.Brickell /. best_latency D.Montgomery in
+  printf
+    "\nBrickell/Montgomery ratio: estimator %.2f vs RTL %.2f — same ordering, same\n\
+     ballpark, which is all CC3 promises (\"values ... used to compare alternative\n\
+     solutions\", not absolute numbers).\n"
+    est_ratio rtl_ratio
+
+(* ------------------------------------------------------------------ *)
+(* Radix sweep extension                                                *)
+
+let radix_sweep () =
+  header "Extension: the full Radix design issue (DI3) swept to radix 16";
+  printf "%-8s %10s %10s %8s %12s %12s\n" "radix" "area um2" "clk ns" "cycles" "latency ns"
+    "energy nJ";
+  let base = Design.design 2 ~slice_width:64 in
+  List.iter
+    (fun radix_bits ->
+      let cfg =
+        if radix_bits = 1 then base
+        else
+          {
+            base with
+            D.radix_bits;
+            multiplier = Some Ds_rtl.Multiplier.Mux_select;
+          }
+      in
+      let ch = D.characterize cfg ~eol:768 in
+      printf "%-8d %10.0f %10.2f %8d %12.0f %12.1f\n" (D.radix cfg) ch.D.char_area_um2
+        ch.D.char_clock_ns ch.D.char_cycles ch.D.char_latency_ns
+        ch.D.char_power.Ds_tech.Power.energy_per_op_nj)
+    [ 1; 2; 3; 4 ];
+  printf
+    "\nhigher radices halve the cycles again while the mux trees deepen the clock\n\
+     and the precomputed-multiple storage grows exponentially; the paper's designs\n\
+     stop at radix 4.\n";
+  (* the knee quantified: area-delay product *)
+  let adp radix_bits =
+    let cfg =
+      if radix_bits = 1 then base
+      else { base with D.radix_bits; multiplier = Some Ds_rtl.Multiplier.Mux_select }
+    in
+    let ch = D.characterize cfg ~eol:768 in
+    ch.D.char_area_um2 *. ch.D.char_latency_ns
+  in
+  let best =
+    List.fold_left
+      (fun (bi, bv) i -> if adp i < bv then (i, adp i) else (bi, bv))
+      (1, adp 1) [ 2; 3; 4 ]
+  in
+  printf "best area-delay product at radix %d\n" (1 lsl fst best)
+
+(* ------------------------------------------------------------------ *)
+(* The video layer (second domain)                                      *)
+
+let mpeg () =
+  header "Second domain: the MPEG-2 IDCT subsystem layer (intro's 'IDCT blocks, MPEG decoders')";
+  let module V = Ds_domains.Video_layer in
+  Format.printf "%a@." Hierarchy.pp_tree V.hierarchy;
+  let s = V.session () in
+  printf "population: %d generated cores (merits from the ds_media models)\n"
+    (Session.candidate_count s);
+  let s =
+    List.fold_left (fun s (n, v) -> ok (Session.set s n v)) s V.mpeg2_main_level_requirements
+  in
+  printf "MPEG-2 main level (720x576@25, 4:2:0 -> 243,000 blocks/s; 8 exact bits):\n";
+  printf "  %d cores survive CCV1 (block rate) and CCV2 (precision)\n"
+    (Session.candidate_count s);
+  (match Session.preview_options s ~issue:V.di_structure ~merit:V.m_blocks_per_second with
+  | Ok previews ->
+    List.iter
+      (fun pv ->
+        match pv.Session.outcome with
+        | `Explored (n, Some (lo, hi)) ->
+          printf "  structure %-11s -> %2d cores, %8.2e..%8.2e blocks/s\n" pv.Session.option_value
+            n lo hi
+        | `Explored (n, None) -> printf "  structure %-11s -> %2d cores\n" pv.Session.option_value n
+        | `Rejected reason -> printf "  structure %-11s rejected: %s\n" pv.Session.option_value reason)
+      previews
+  | Error e -> printf "  preview failed: %s\n" e);
+  let s = ok (Session.set s V.di_structure (Value.str "row-column")) in
+  (* minimise area subject to the requirements already enforced *)
+  let best =
+    List.fold_left
+      (fun best (qid, core) ->
+        let area = Option.value ~default:infinity (Ds_reuse.Core.merit core Ds_domains.Names.m_area_um2) in
+        match best with
+        | Some (_, best_area) when best_area <= area -> best
+        | _ -> Some (qid, area))
+      None (Session.candidates s)
+  in
+  (match best with
+  | Some (qid, area) -> printf "smallest compliant core: %s (%.0f um2)\n" qid area
+  | None -> printf "no compliant core\n");
+  printf "the layer framework carried over unchanged: only the domain definition is new.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Technology sweep (DI6 explored)                                      *)
+
+let techsweep () =
+  header "Extension: the Fabrication Technology issue (DI6) swept across process generations";
+  let sweep budget_us =
+    printf "latency budget %.1f us:\n" budget_us;
+    printf "%-8s | %10s %10s %10s | %s\n" "process" "cands" "min ns" "max ns"
+      "surviving design families";
+    List.iter
+      (fun technology ->
+        let registry = Ds_domains.Populate.standard_registry ~technology ~eol:768 () in
+        let s = CL.session ~cores:(Ds_reuse.Registry.all_cores registry) in
+        let s = ok (CL.navigate_to_omm s) in
+        let reqs =
+          List.map
+            (fun (name, v) ->
+              if String.equal name N.latency_single_operation then (name, Value.real budget_us)
+              else (name, v))
+            CL.coprocessor_requirements
+        in
+        let s = ok (CL.apply_requirements s reqs) in
+        let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+        let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+        let families =
+          List.sort_uniq String.compare
+            (List.filter_map
+               (fun (_, c) -> Ds_reuse.Core.property c N.p_design_no)
+               (Session.candidates s))
+        in
+        match Session.merit_range s ~merit:N.m_latency_ns with
+        | Some (lo, hi) ->
+          printf "%-8s | %10d %10.0f %10.0f | {%s}\n" technology.Ds_tech.Process.name
+            (Session.candidate_count s) lo hi
+            (String.concat ", " families)
+        | None ->
+          printf "%-8s | %10d %10s %10s | none meet the budget\n"
+            technology.Ds_tech.Process.name (Session.candidate_count s) "-" "-")
+      Ds_tech.Process.all;
+    printf "\n"
+  in
+  sweep 8.0;
+  sweep 2.5;
+  printf
+    "the same layer and requirements against libraries in four processes: the paper's\n\
+     8 us budget is comfortable everywhere, but a 2.5 us target is only reachable by\n\
+     migrating to finer technologies -- DI6 becomes the binding decision.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Scalability study                                                    *)
+
+let scale () =
+  header "Extension: scalability of the layer (the paper's 'easily scalable' claim, measured)";
+  printf "%8s %8s | %12s %12s %12s %12s\n" "cores" "leaves" "index ms" "decide ms" "preview ms"
+    "report ms";
+  List.iter
+    (fun n_cores ->
+      let spec = { Ds_domains.Synthetic.default_spec with Ds_domains.Synthetic.cores = n_cores } in
+      let time f =
+        let t0 = Sys.time () in
+        let v = f () in
+        (v, (Sys.time () -. t0) *. 1000.0)
+      in
+      let s, t_index = time (fun () -> Ds_domains.Synthetic.session spec) in
+      let s1, t_decide =
+        time (fun () ->
+            match Session.set s "L1" (Value.str "l1-o0") with Ok s -> s | Error e -> failwith e)
+      in
+      let _, t_preview =
+        time (fun () -> ok (Session.preview_options s1 ~issue:"L2" ~merit:"delay"))
+      in
+      let _, t_report = time (fun () -> Report.render ~merits:[ "delay" ] s1) in
+      let leaves =
+        List.length (Hierarchy.leaf_paths (Session.hierarchy s))
+      in
+      printf "%8d %8d | %12.1f %12.1f %12.1f %12.1f\n" n_cores leaves t_index t_decide t_preview
+        t_report)
+    [ 1_000; 5_000; 20_000 ];
+  printf "\n(depth 3, branching 3, 2 plain issues per node; times are CPU ms)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let registry = Ds_domains.Populate.standard_registry ~eol:768 () in
+  let cores = Ds_reuse.Registry.all_cores registry in
+  let g = Ds_bignum.Prng.create 42 in
+  let m768 =
+    let m = Ds_bignum.Prng.nat_bits g 768 in
+    if Ds_bignum.Nat.is_even m then Ds_bignum.Nat.succ m else m
+  in
+  let a768 = Ds_bignum.Prng.nat_below g m768 and b768 = Ds_bignum.Prng.nat_below g m768 in
+  let redc = Ds_bignum.Modmul.Redc.make m768 in
+  let m64 =
+    let m = Ds_bignum.Prng.nat_bits g 64 in
+    if Ds_bignum.Nat.is_even m then Ds_bignum.Nat.succ m else m
+  in
+  let a64 = Ds_bignum.Prng.nat_below g m64 and b64 = Ds_bignum.Prng.nat_below g m64 in
+  let sim_cfg = Design.design 2 ~slice_width:16 in
+  let base_session = lazy (ok (CL.navigate_to_omm (CL.session ~cores))) in
+  let tests =
+    [
+      Test.make ~name:"table1-characterization"
+        (Staged.stage (fun () -> ignore (Design.table1 ())));
+      Test.make ~name:"fig6-sw-count-CIOS-1024"
+        (Staged.stage (fun () ->
+             ignore (Ds_swmodel.Mont_variants.count_only Ds_swmodel.Mont_variants.Cios ~bits:1024)));
+      Test.make ~name:"fig9-evaluation-points"
+        (Staged.stage (fun () ->
+             ignore
+               (Design.evaluation_points ~eol:768
+                  (List.concat_map
+                     (fun n -> List.map (fun w -> (n, w)) [ 8; 16; 32; 64; 128 ])
+                     [ 2; 8 ]))));
+      Test.make ~name:"fig12-pareto"
+        (Staged.stage (fun () ->
+             let points =
+               List.map
+                 (fun (label, ch) ->
+                   Evaluation.point ~label ~x:ch.D.char_latency_ns ~y:ch.D.char_area_um2)
+                 (Design.evaluation_points ~eol:64
+                    (List.map (fun n -> (n, 64)) [ 1; 2; 3; 4; 5; 6 ]))
+             in
+             ignore (Evaluation.pareto_front points)));
+      Test.make ~name:"fig3-idct-clustering"
+        (Staged.stage (fun () ->
+             ignore
+               (Cluster.suggest_split
+                  (Evaluation.of_cores ~x:N.m_latency_ns ~y:N.m_area_um2
+                     Ds_domains.Idct_layer.cores))));
+      Test.make ~name:"fig13-session-propagation"
+        (Staged.stage (fun () ->
+             let s = Lazy.force base_session in
+             let s = ok (CL.apply_requirements s CL.coprocessor_requirements) in
+             let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+             ignore (Session.set s N.algorithm (Value.str N.montgomery))));
+      Test.make ~name:"casestudy-index-build"
+        (Staged.stage (fun () -> ignore (Index.build CL.hierarchy cores)));
+      Test.make ~name:"bignum-redc-modmul-768"
+        (Staged.stage (fun () -> ignore (Ds_bignum.Modmul.Redc.mul redc a768 b768)));
+      Test.make ~name:"rtl-sim-montgomery-64b"
+        (Staged.stage (fun () -> ignore (D.simulate sim_cfg ~eol:64 ~a:a64 ~b:b64 ~modulus:m64)));
+      Test.make ~name:"fig10-delay-estimator"
+        (Staged.stage (fun () ->
+             ignore
+               (Ds_estimate.Delay_estimator.rank
+                  ~hints_for:Ds_estimate.Bd_library.estimator_hints ~bindings:[ ("n", 768) ]
+                  Ds_estimate.Bd_library.all)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"dse" tests in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some [ t ] ->
+        if t > 1.0e6 then printf "%-34s %10.3f ms/run\n" name (t /. 1.0e6)
+        else if t > 1.0e3 then printf "%-34s %10.3f us/run\n" name (t /. 1.0e3)
+        else printf "%-34s %10.1f ns/run\n" name t
+      | Some _ | None -> printf "%-34s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig3", fig3);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("casestudy", casestudy);
+    ("coproc", coproc);
+    ("ablation", ablation);
+    ("organize", organize);
+    ("power", power);
+    ("radix", radix_sweep);
+    ("scale", scale);
+    ("techsweep", techsweep);
+    ("mpeg", mpeg);
+    ("estimator", estimator);
+    ("platforms", platforms);
+    ("micro", micro);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | [ _ ] -> List.iter (fun (_, run) -> run ()) experiments
+  | _ :: picks ->
+    List.iter
+      (fun pick ->
+        match List.assoc_opt pick experiments with
+        | Some run -> run ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" pick
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+      picks

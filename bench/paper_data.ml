@@ -1,0 +1,120 @@
+(* Values reported in the paper, for side-by-side printing.
+
+   The source text of the paper available to this reproduction is an
+   OCR'd copy whose Table 1 is partially garbled (columns of different
+   designs are interleaved).  Cells below were reconstructed by reading
+   the column groups against the text's cross-references (e.g. the CC2
+   relation 2*EOL/R + 1 ties latency to clock; Fig 12's point labels tie
+   design numbers to w=64 areas).  Unreadable or ambiguous cells are
+   [None]; EXPERIMENTS.md documents the reconstruction rules.  All
+   hardware numbers are for the 0.35u standard-cell library; latency and
+   clock in ns, area in um2 (Table 1 is characterised at EOL = slice
+   width). *)
+
+type cell = { area : float option; latency : float option; clock : float option }
+
+let c a l k = { area = Some a; latency = Some l; clock = Some k }
+let partial ?area ?latency ?clock () = { area; latency; clock }
+
+(* design -> (slice width -> cell) *)
+let table1 : (int * (int * cell) list) list =
+  [
+    ( 1,
+      [
+        (8, c 5436. 25. 2.73);
+        (16, c 8872. 62. 3.64);
+        (32, c 17420. 138. 4.17);
+        (64, c 34491. 351. 5.40);
+        (128, c 63897. 844. 6.54);
+      ] );
+    ( 2,
+      [
+        (8, c 6307. 27. 2.37);
+        (16, c 12477. 45. 2.33);
+        (32, c 21554. 92. 2.55);
+        (64, c 37299. 175. 2.60);
+        (128, c 77905. 388. 2.96);
+      ] );
+    ( 3,
+      [
+        (8, c 7433. 38. 4.21);
+        (16, c 12265. 45. 4.93);
+        (32, c 23987. 106. 6.18);
+        (64, c 47533. 262. 7.91);
+        (128, c 96106. 661. 10.16);
+      ] );
+    ( 4,
+      [
+        (8, c 9912. 37. 3.33);
+        (16, c 16969. 41. 3.72);
+        (32, c 34142. 78. 4.10);
+        (64, c 67106. 166. 4.60);
+        (128, c 122439. 372. 5.63);
+      ] );
+    ( 5,
+      [
+        (8, c 9075. 38. 3.39);
+        (16, c 14359. 38. 3.39);
+        (32, c 24398. 67. 3.52);
+        (64, c 46604. 138. 3.81);
+        (128, c 85735. 295. 4.53);
+      ] );
+    ( 6,
+      [
+        (8, c 8013. 35. 3.84);
+        (16, c 11939. 40. 4.43);
+        (32, c 18983. 86. 5.07);
+        (64, c 34391. 201. 6.08);
+        (128, partial ~latency:499. ~clock:7.67 ());
+      ] );
+    ( 7,
+      [
+        (8, c 7326. 71. 3.93);
+        (16, c 12300. 113. 4.33);
+        (32, c 23370. 217. 5.16);
+        (64, partial ~area:37829. ~latency:472. ~clock:6.37 ());
+        (128, partial ~latency:1031. ~clock:7.47 ());
+      ] );
+    ( 8,
+      [
+        (8, c 10433. 72. 3.78);
+        (16, c 16927. 120. 4.30);
+        (32, c 26303. 195. 4.42);
+        (64, c 49296. 313. 4.17);
+        (128, partial ~area:69751. ());
+      ] );
+  ]
+
+let table1_cell ~design_no ~slice_width =
+  Option.bind (List.assoc_opt design_no table1) (List.assoc_opt slice_width)
+
+(* Fig 6: execution delay of one 1024-bit modular multiplication, us.
+   The figure lists two CIHS-ASM values; following the surrounding text
+   of [12] we read them as the CIOS and CIHS assembler routines. *)
+let fig6_hardware_us = [ ("#5_16", 1.96); ("#2_128", 1.96); ("#8_64", 4.32) ]
+let fig6_software_us =
+  [ ("CIOS-ASM", 799.0); ("CIHS-ASM", 1037.0); ("CIOS-C", 5706.0); ("CIHS-C", 7268.0) ]
+
+(* Fig 9 (768-bit operands): the claim to reproduce is qualitative —
+   Montgomery (#2) beats Brickell (#8) on both axes at every slicing,
+   with areas spanning roughly 0.4-1.1 Mum2 and delays 1600-3600 ns. *)
+let fig9_area_band = (4.0e5, 1.1e6)
+let fig9_delay_band = (1600.0, 3600.0)
+
+(* Fig 12 (EOL 64, 64-bit slices): reported point coordinates, read off
+   the plot (area um2, delay ns). *)
+let fig12_points =
+  [
+    ("#1_64", (34491.0, 351.0));
+    ("#2_64", (37299.0, 175.0));
+    ("#3_64", (47533.0, 262.0));
+    ("#4_64", (67106.0, 166.0));
+    ("#5_64", (46604.0, 138.0));
+    ("#6_64", (34391.0, 201.0));
+  ]
+
+(* The case study's outcome (Section 5): with the [11] requirements the
+   exploration must (a) eliminate software on the 8us budget, (b) land
+   on Montgomery, and (c) keep only carry-save / mux-based families
+   (designs #2 and #5). *)
+let case_study_surviving_designs = [ 2; 5 ]

@@ -1,0 +1,616 @@
+(* dse: command-line front end to the design space layer.
+
+   Commands:
+     dse tree        [--layer crypto|idct|idct-abs]
+     dse properties  NODE            (node path "a.b.c" or abbreviation)
+     dse constraints
+     dse cores       [--eol N] [--library NAME]
+     dse explore     [--eol N] [--latency US] [--set "Name=value"]...
+     dse export      [--eol N] DIR
+     dse check       FILE            (validate a reuse-library file)
+
+   Examples:
+     dse explore --set "Implementation Style=hardware" --set "Algorithm=Montgomery"
+     dse properties OMM-H
+     dse export /tmp/libs *)
+
+open Cmdliner
+open Ds_layer
+module CL = Ds_domains.Crypto_layer
+module N = Ds_domains.Names
+
+let printf = Printf.printf
+
+(* ----- shared arguments ------------------------------------------------ *)
+
+let eol_arg =
+  Arg.(value & opt int 768 & info [ "eol" ] ~docv:"BITS" ~doc:"Effective operand length.")
+
+let layer_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("crypto", `Crypto); ("idct", `Idct); ("idct-abs", `Idct_abs); ("video", `Video);
+           ])
+        `Crypto
+    & info [ "layer" ] ~docv:"LAYER"
+        ~doc:"Which design space layer: crypto, idct, idct-abs or video.")
+
+let hierarchy_of = function
+  | `Crypto -> CL.hierarchy
+  | `Idct -> Ds_domains.Idct_layer.generalization_first
+  | `Idct_abs -> Ds_domains.Idct_layer.abstraction_first
+  | `Video -> Ds_domains.Video_layer.hierarchy
+
+(* ----- tree ------------------------------------------------------------ *)
+
+let tree_cmd =
+  let run layer =
+    Format.printf "%a@." Hierarchy.pp_tree (hierarchy_of layer);
+    0
+  in
+  Cmd.v (Cmd.info "tree" ~doc:"Print the CDO generalization hierarchy.")
+    Term.(const run $ layer_arg)
+
+(* ----- properties ------------------------------------------------------ *)
+
+let properties_cmd =
+  let node =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NODE"
+           ~doc:"Node path (dot-separated) or abbreviation (e.g. OMM-H).")
+  in
+  let run layer node_name =
+    let hierarchy = hierarchy_of layer in
+    let resolved =
+      match Hierarchy.find_by_abbrev hierarchy node_name with
+      | Some (path, cdo) -> Some (path, cdo)
+      | None -> (
+        let path = String.split_on_char '.' node_name in
+        match Hierarchy.find hierarchy path with
+        | Some cdo -> Some (path, cdo)
+        | None -> None)
+    in
+    match resolved with
+    | None ->
+      Printf.eprintf "unknown node %S\n" node_name;
+      1
+    | Some (path, _) ->
+      printf "properties visible at %s (own and inherited):\n" (String.concat "." path);
+      List.iter
+        (fun (defined_at, prop) ->
+          Format.printf "  [%s] %a@." (String.concat "." defined_at) Property.pp prop)
+        (Hierarchy.visible_properties hierarchy path);
+      0
+  in
+  Cmd.v
+    (Cmd.info "properties" ~doc:"List the properties visible at a CDO (Fig 8 / Fig 11 view).")
+    Term.(const run $ layer_arg $ node)
+
+(* ----- constraints ------------------------------------------------------ *)
+
+let constraints_cmd =
+  let run () =
+    List.iter (fun cc -> Format.printf "%a@." Consistency.pp cc) CL.constraints;
+    0
+  in
+  Cmd.v (Cmd.info "constraints" ~doc:"Print the consistency constraints (Fig 13).")
+    Term.(const run $ const ())
+
+(* ----- cores ------------------------------------------------------------ *)
+
+let cores_cmd =
+  let library =
+    Arg.(value & opt (some string) None & info [ "library" ] ~docv:"NAME"
+           ~doc:"Restrict to one library (hw-lib, sw-lib, arith-lib).")
+  in
+  let run eol library =
+    let registry = Ds_domains.Populate.standard_registry ~eol () in
+    let libs =
+      match library with
+      | None -> Ds_reuse.Registry.libraries registry
+      | Some name -> (
+        match Ds_reuse.Registry.library registry ~name with
+        | Some lib -> [ lib ]
+        | None ->
+          Printf.eprintf "unknown library %S\n" name;
+          exit 1)
+    in
+    List.iter
+      (fun lib ->
+        printf "== %s (%d cores) ==\n" lib.Ds_reuse.Library.name (Ds_reuse.Library.size lib);
+        List.iter
+          (fun core -> Format.printf "  %a@." Ds_reuse.Core.pp core)
+          lib.Ds_reuse.Library.cores)
+      libs;
+    0
+  in
+  Cmd.v (Cmd.info "cores" ~doc:"List the generated reuse-library cores.")
+    Term.(const run $ eol_arg $ library)
+
+(* ----- explore ---------------------------------------------------------- *)
+
+let explore_cmd =
+  let latency =
+    Arg.(value & opt float 8.0 & info [ "latency" ] ~docv:"US"
+           ~doc:"Latency requirement in microseconds.")
+  in
+  let sets =
+    Arg.(value & opt_all string [] & info [ "set"; "s" ] ~docv:"NAME=VALUE"
+           ~doc:"Decide a design issue (repeatable, applied in order).")
+  in
+  let report =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write a markdown exploration report.")
+  in
+  let run eol latency sets report =
+    let registry = Ds_domains.Populate.standard_registry ~eol () in
+    let session = CL.session ~cores:(Ds_reuse.Registry.all_cores registry) in
+    let show label session =
+      printf "%-50s candidates %3d" label (Session.candidate_count session);
+      (match Session.merit_range session ~merit:N.m_latency_ns with
+      | Some (lo, hi) -> printf "  latency %9.0f..%9.0f ns" lo hi
+      | None -> ());
+      printf "\n"
+    in
+    let reqs =
+      List.map
+        (fun (name, v) ->
+          if String.equal name N.effective_operand_length then (name, Value.int eol)
+          else if String.equal name N.latency_single_operation then (name, Value.real latency)
+          else (name, v))
+        CL.coprocessor_requirements
+    in
+    let parse_set spec =
+      match String.index_opt spec '=' with
+      | None -> Error (Printf.sprintf "expected NAME=VALUE, got %S" spec)
+      | Some i ->
+        let name = String.sub spec 0 i in
+        let raw = String.sub spec (i + 1) (String.length spec - i - 1) in
+        let v =
+          match int_of_string_opt raw with
+          | Some n -> Value.int n
+          | None -> (
+            match float_of_string_opt raw with
+            | Some f -> Value.real f
+            | None -> Value.str raw)
+        in
+        Ok (name, v)
+    in
+    let ( >>= ) r f = Result.bind r f in
+    let result =
+      CL.navigate_to_omm session
+      >>= fun s ->
+      show "focused on OMM" s;
+      CL.apply_requirements s reqs
+      >>= fun s ->
+      show "requirements entered" s;
+      List.fold_left
+        (fun acc spec ->
+          acc
+          >>= fun s ->
+          parse_set spec
+          >>= fun (name, v) ->
+          Session.set s name v
+          >>= fun s ->
+          show (Printf.sprintf "%s := %s" name (Value.to_string v)) s;
+          Ok s)
+        (Ok s) sets
+    in
+    match result with
+    | Error msg ->
+      Printf.eprintf "exploration stopped: %s\n" msg;
+      1
+    | Ok s -> (
+      printf "\nremaining candidates:\n";
+      List.iter (fun (qid, _) -> printf "  %s\n" qid) (Session.candidates s);
+      printf "\ntrace:\n";
+      Format.printf "%a@." Session.pp_trace s;
+      match report with
+      | None -> 0
+      | Some path -> (
+        match
+          Report.save s ~path
+            ~title:"Modular multiplier exploration"
+            ~merits:[ N.m_latency_ns; N.m_area_um2 ]
+            ~pareto:(N.m_latency_ns, N.m_area_um2)
+        with
+        | Ok () ->
+          printf "report written to %s\n" path;
+          0
+        | Error msg ->
+          Printf.eprintf "report failed: %s\n" msg;
+          1))
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Run a scripted exploration of the cryptography layer.")
+    Term.(const run $ eol_arg $ latency $ sets $ report)
+
+(* ----- preview ----------------------------------------------------------- *)
+
+let preview_cmd =
+  let issue =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ISSUE"
+           ~doc:"Design issue to preview (e.g. \"Algorithm\").")
+  in
+  let sets =
+    Arg.(value & opt_all string [] & info [ "set"; "s" ] ~docv:"NAME=VALUE"
+           ~doc:"Decisions to apply before previewing (repeatable).")
+  in
+  let merit =
+    Arg.(value & opt string Ds_domains.Names.m_latency_ns & info [ "merit" ] ~docv:"MERIT"
+           ~doc:"Figure of merit for the per-option ranges.")
+  in
+  let run eol issue sets merit =
+    let registry = Ds_domains.Populate.standard_registry ~eol () in
+    let session = CL.session ~cores:(Ds_reuse.Registry.all_cores registry) in
+    let ( >>= ) r f = Result.bind r f in
+    let apply_one s spec =
+      match String.index_opt spec '=' with
+      | None -> Error (Printf.sprintf "expected NAME=VALUE, got %S" spec)
+      | Some i ->
+        let name = String.sub spec 0 i in
+        let raw = String.sub spec (i + 1) (String.length spec - i - 1) in
+        let v =
+          match int_of_string_opt raw with
+          | Some n -> Value.int n
+          | None -> (
+            match float_of_string_opt raw with
+            | Some f -> Value.real f
+            | None -> Value.str raw)
+        in
+        Session.set s name v
+    in
+    let result =
+      CL.navigate_to_omm session
+      >>= fun s ->
+      CL.apply_requirements s CL.coprocessor_requirements
+      >>= fun s ->
+      List.fold_left (fun acc spec -> acc >>= fun s -> apply_one s spec) (Ok s) sets
+      >>= fun s -> Session.preview_options s ~issue ~merit
+    in
+    match result with
+    | Error msg ->
+      Printf.eprintf "preview failed: %s\n" msg;
+      1
+    | Ok previews ->
+      printf "what each option of %S would leave (%s):\n" issue merit;
+      List.iter
+        (fun pv ->
+          match pv.Session.outcome with
+          | `Explored (n, Some (lo, hi)) ->
+            printf "  %-16s %3d candidates, %s %.0f..%.0f\n" pv.Session.option_value n merit lo hi
+          | `Explored (n, None) -> printf "  %-16s %3d candidates (no %s data)\n" pv.Session.option_value n merit
+          | `Rejected reason -> printf "  %-16s rejected: %s\n" pv.Session.option_value reason)
+        previews;
+      0
+  in
+  Cmd.v
+    (Cmd.info "preview" ~doc:"Show what each option of a design issue would leave (what-if).")
+    Term.(const run $ eol_arg $ issue $ sets $ merit)
+
+(* ----- export / check --------------------------------------------------- *)
+
+let export_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let run eol dir =
+    let registry = Ds_domains.Populate.standard_registry ~eol () in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.fold_left
+      (fun status lib ->
+        let path = Filename.concat dir (lib.Ds_reuse.Library.name ^ ".reuselib") in
+        match Ds_reuse.Library.save lib ~path with
+        | Ok () ->
+          printf "wrote %s (%d cores)\n" path (Ds_reuse.Library.size lib);
+          status
+        | Error msg ->
+          Printf.eprintf "failed to write %s: %s\n" path msg;
+          1)
+      0
+      (Ds_reuse.Registry.libraries registry)
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Write the generated reuse libraries to text files.")
+    Term.(const run $ eol_arg $ dir)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run file =
+    match Ds_reuse.Library.load ~path:file with
+    | Ok lib ->
+      printf "%s: OK (%s, %d cores)\n" file lib.Ds_reuse.Library.name (Ds_reuse.Library.size lib);
+      0
+    | Error msg ->
+      Printf.eprintf "%s: INVALID (%s)\n" file msg;
+      1
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Validate a reuse-library text file.")
+    Term.(const run $ file)
+
+(* ----- document ---------------------------------------------------------- *)
+
+let document_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of stdout.")
+  in
+  let run layer out =
+    let hierarchy = hierarchy_of layer in
+    let constraints =
+      match layer with
+      | `Crypto -> CL.constraints
+      | `Video -> Ds_domains.Video_layer.constraints
+      | `Idct | `Idct_abs -> []
+    in
+    let title =
+      match layer with
+      | `Crypto -> "Design Space Layer for Cryptography Applications"
+      | `Idct -> "IDCT Design Space Layer (generalization-first)"
+      | `Idct_abs -> "IDCT Design Space Layer (abstraction-first)"
+      | `Video -> "Design Space Layer for the MPEG IDCT Subsystem"
+    in
+    match out with
+    | None ->
+      print_string (Document.render ~title ~constraints hierarchy);
+      0
+    | Some path -> (
+      match Document.save ~title ~constraints hierarchy ~path with
+      | Ok () ->
+        printf "wrote %s\n" path;
+        0
+      | Error msg ->
+        Printf.eprintf "failed: %s\n" msg;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "document" ~doc:"Emit the layer's self-documentation as markdown.")
+    Term.(const run $ layer_arg $ out)
+
+(* ----- netlist ----------------------------------------------------------- *)
+
+let netlist_cmd =
+  let label =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LABEL"
+           ~doc:"Design label from Table 1, e.g. \"#2_64\".")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of stdout.")
+  in
+  let run eol label out =
+    match Ds_rtl.Modmul_design.parse_label label with
+    | None ->
+      Printf.eprintf "bad design label %S (expected e.g. \"#2_64\")\n" label;
+      1
+    | Some (design_no, slice_width) -> (
+      let cfg = Ds_rtl.Modmul_design.design design_no ~slice_width in
+      match out with
+      | None -> (
+        match Ds_rtl.Netlist.to_structure cfg ~eol with
+        | Ok text ->
+          print_string text;
+          0
+        | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          1)
+      | Some path -> (
+        match Ds_rtl.Netlist.save cfg ~eol ~path with
+        | Ok () ->
+          printf "wrote %s\n" path;
+          0
+        | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          1))
+  in
+  Cmd.v
+    (Cmd.info "netlist" ~doc:"Emit the structural view of a Table 1 design.")
+    Term.(const run $ eol_arg $ label $ out)
+
+(* ----- coproc ------------------------------------------------------------ *)
+
+let coproc_cmd =
+  let ops =
+    Arg.(value & opt float 100.0 & info [ "ops" ] ~docv:"N"
+           ~doc:"Target exponentiations per second.")
+  in
+  let recoding =
+    Arg.(value & opt string "binary" & info [ "recoding" ] ~docv:"R"
+           ~doc:"Exponent recoding: binary, window-2 or window-4.")
+  in
+  let run eol ops recoding =
+    let registry = Ds_domains.Populate.standard_registry ~eol () in
+    let cores = Ds_reuse.Registry.all_cores registry in
+    let ( >>= ) r f = Result.bind r f in
+    let result =
+      CL.navigate_to_exponentiator (CL.session ~cores)
+      >>= fun s ->
+      Session.set s N.effective_operand_length (Value.int eol)
+      >>= fun s ->
+      Session.set s N.exponent_length (Value.int eol)
+      >>= fun s ->
+      Session.set s N.operations_per_second (Value.real ops)
+      >>= fun s ->
+      Session.set s N.exponent_recoding (Value.str recoding)
+      >>= fun s ->
+      (match
+         ( Session.value_of s N.multiplications_per_operation,
+           Session.value_of s N.multiplication_budget )
+       with
+      | Some m, Some b ->
+        printf "CC7: %s multiplications per exponentiation\n" (Value.to_string m);
+        printf "CC8: %s us latency budget per multiplication\n" (Value.to_string b)
+      | _ -> ());
+      CL.multiplier_requirements_from_exponentiator s
+      >>= fun reqs ->
+      CL.navigate_to_omm (CL.session ~cores)
+      >>= fun m ->
+      CL.apply_requirements m reqs
+      >>= fun m ->
+      Session.set m N.implementation_style (Value.str N.hardware)
+      >>= fun m -> Session.set m N.algorithm (Value.str N.montgomery)
+    in
+    match result with
+    | Error msg ->
+      Printf.eprintf "failed: %s\n" msg;
+      1
+    | Ok m ->
+      printf "multiplier candidates under the derived budget:\n";
+      List.iter
+        (fun (qid, core) ->
+          printf "  %-18s %8.1f ns\n" qid
+            (Option.value ~default:nan (Ds_reuse.Core.merit core N.m_latency_ns)))
+        (Session.candidates m);
+      0
+  in
+  Cmd.v
+    (Cmd.info "coproc" ~doc:"Explore the exponentiation coprocessor and derive the multiplier budget.")
+    Term.(const run $ eol_arg $ ops $ recoding)
+
+(* ----- lint -------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run layer =
+    let hierarchy = hierarchy_of layer in
+    let constraints =
+      match layer with
+      | `Crypto -> CL.constraints
+      | `Video -> Ds_domains.Video_layer.constraints
+      | `Idct | `Idct_abs -> []
+    in
+    let findings = Lint.check ~constraints hierarchy in
+    if findings = [] then begin
+      printf "no findings\n";
+      0
+    end
+    else begin
+      List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
+      if Lint.is_clean ~constraints hierarchy then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Check the layer definition for dangling references and smells.")
+    Term.(const run $ layer_arg)
+
+(* ----- shell ------------------------------------------------------------- *)
+
+let shell_cmd =
+  let run eol =
+    let registry = Ds_domains.Populate.standard_registry ~eol () in
+    let session = ref (CL.session ~cores:(Ds_reuse.Registry.all_cores registry)) in
+    let parse_value raw =
+      match int_of_string_opt raw with
+      | Some n -> Value.int n
+      | None -> (
+        match float_of_string_opt raw with Some f -> Value.real f | None -> Value.str raw)
+    in
+    let apply label = function
+      | Ok s ->
+        session := s;
+        printf "%s -> focus %s, %d candidates\n" label
+          (String.concat "." (Session.focus s))
+          (Session.candidate_count s)
+      | Error msg -> printf "error: %s\n" msg
+    in
+    let help () =
+      print_string
+        "commands:\n\
+        \  set NAME=VALUE    bind a requirement or decide an issue\n\
+        \  default NAME      bind a property to its declared default\n\
+        \  retract NAME      undo a decision (dependents re-assessed)\n\
+        \  preview ISSUE     what each option would leave\n\
+        \  issues            unbound design issues at the focus\n\
+        \  candidates        surviving cores\n\
+        \  ranges            figure-of-merit ranges\n\
+        \  trace             the session log\n\
+        \  script            the replayable decision script\n\
+        \  report FILE       write a markdown exploration report\n\
+        \  quit              leave\n"
+    in
+    printf "design space layer shell (eol %d, %d cores); 'help' lists commands\n" eol
+      (Session.candidate_count !session);
+    let running = ref true in
+    while !running do
+      printf "dse> %!";
+      match In_channel.input_line stdin with
+      | None -> running := false
+      | Some line -> (
+        let line = String.trim line in
+        match String.index_opt line ' ' with
+        | _ when String.equal line "" -> ()
+        | _ when String.equal line "quit" || String.equal line "exit" -> running := false
+        | _ when String.equal line "help" -> help ()
+        | _ when String.equal line "issues" ->
+          List.iter
+            (fun (prop, eligible) ->
+              printf "  %-28s %s%s\n" prop.Property.name
+                (Domain.describe prop.Property.domain)
+                (if eligible then "" else "  [blocked by constraint ordering]"))
+            (Session.open_issues !session)
+        | _ when String.equal line "candidates" ->
+          List.iter (fun (qid, _) -> printf "  %s\n" qid) (Session.candidates !session)
+        | _ when String.equal line "ranges" ->
+          List.iter
+            (fun merit ->
+              match Session.merit_range !session ~merit with
+              | Some (lo, hi) -> printf "  %-12s %10.1f .. %10.1f\n" merit lo hi
+              | None -> ())
+            [ N.m_latency_ns; N.m_area_um2; N.m_power_mw; N.m_energy_nj ]
+        | _ when String.equal line "trace" -> Format.printf "%a@." Session.pp_trace !session
+        | _ when String.equal line "script" ->
+          List.iter
+            (fun (name, v) -> printf "  set %s=%s\n" name (Value.to_string v))
+            (Session.script !session)
+        | None -> printf "unknown command %S; try 'help'\n" line
+        | Some i -> (
+          let cmd = String.sub line 0 i in
+          let arg = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          match cmd with
+          | "set" -> (
+            match String.index_opt arg '=' with
+            | None -> printf "usage: set NAME=VALUE\n"
+            | Some j ->
+              let name = String.sub arg 0 j in
+              let raw = String.sub arg (j + 1) (String.length arg - j - 1) in
+              apply ("set " ^ name) (Session.set !session name (parse_value raw)))
+          | "default" -> apply ("default " ^ arg) (Session.set_default !session arg)
+          | "retract" -> apply ("retract " ^ arg) (Session.retract !session arg)
+          | "preview" -> (
+            match Session.preview_options !session ~issue:arg ~merit:N.m_latency_ns with
+            | Error msg -> printf "error: %s\n" msg
+            | Ok previews ->
+              List.iter
+                (fun pv ->
+                  match pv.Session.outcome with
+                  | `Explored (n, Some (lo, hi)) ->
+                    printf "  %-16s %3d candidates, latency %.0f..%.0f ns\n"
+                      pv.Session.option_value n lo hi
+                  | `Explored (n, None) -> printf "  %-16s %3d candidates\n" pv.Session.option_value n
+                  | `Rejected reason -> printf "  %-16s rejected: %s\n" pv.Session.option_value reason)
+                previews)
+          | "report" -> (
+            match
+              Report.save !session ~path:arg ~merits:[ N.m_latency_ns; N.m_area_um2 ]
+                ~pareto:(N.m_latency_ns, N.m_area_um2)
+            with
+            | Ok () -> printf "wrote %s\n" arg
+            | Error msg -> printf "error: %s\n" msg)
+          | _ -> printf "unknown command %S; try 'help'\n" cmd))
+    done;
+    0
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"Interactive exploration (reads commands from stdin).")
+    Term.(const run $ eol_arg)
+
+(* ----- main ------------------------------------------------------------- *)
+
+let () =
+  let doc = "early design space exploration for core-based designs (DATE 1999 reproduction)" in
+  let info = Cmd.info "dse" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            tree_cmd; properties_cmd; constraints_cmd; cores_cmd; explore_cmd; preview_cmd;
+            coproc_cmd; document_cmd; netlist_cmd; lint_cmd; shell_cmd; export_cmd; check_cmd;
+          ]))

@@ -1,0 +1,115 @@
+(* Top-down exploration: from the coprocessor to its critical block.
+
+   Section 6 of the paper: "this exploration could have been part of the
+   design space exploration performed for the main architectural
+   component, i.e., the modular exponentiation coprocessor.  The exact
+   same behavioral/structural decomposition mechanisms ... would have
+   supported the transition between the conceptual design of the main
+   architectural component and the conceptual design of its critical
+   blocks."
+
+   This example runs that transition: explore the exponentiator CDO
+   (throughput target, exponent recoding), let CC7/CC8 derive the
+   per-multiplication latency budget, hand the derived requirements to a
+   fresh multiplier session, finish the selection there, and finally
+   characterise the assembled coprocessor to confirm the top-level
+   target is met.
+
+   Run with: dune exec examples/coproc_explorer.exe *)
+
+open Ds_layer
+module CL = Ds_domains.Crypto_layer
+module N = Ds_domains.Names
+module ME = Ds_rtl.Modexp_datapath
+
+let printf = Printf.printf
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  let registry = Ds_domains.Populate.standard_registry ~eol:768 () in
+  let cores = Ds_reuse.Registry.all_cores registry in
+
+  (* --- Level 1: the coprocessor (OME) ------------------------------- *)
+  printf "== level 1: the modular-exponentiation coprocessor (OME) ==\n";
+  let s = ok (CL.navigate_to_exponentiator (CL.session ~cores)) in
+  let s = ok (Session.set s N.effective_operand_length (Value.int 768)) in
+  let s = ok (Session.set s N.exponent_length (Value.int 768)) in
+  let s = ok (Session.set s N.operations_per_second (Value.real 100.0)) in
+  printf "requirements: 768-bit operands and exponents, >= 100 exponentiations/s\n";
+
+  (* Compare the recoding options before deciding. *)
+  List.iter
+    (fun recoding ->
+      match Session.set s N.exponent_recoding (Value.str recoding) with
+      | Error e -> printf "  %-10s rejected: %s\n" recoding e
+      | Ok s' ->
+        let get name = Option.map Value.to_string (Session.value_of s' name) in
+        printf "  %-10s -> %s multiplications/op, budget %s us each\n" recoding
+          (Option.value ~default:"?" (get N.multiplications_per_operation))
+          (Option.value ~default:"?" (get N.multiplication_budget)))
+    [ "binary"; "window-2"; "window-4" ];
+
+  let s = ok (Session.set s N.exponent_recoding (Value.str "binary")) in
+  printf "decided: binary recoding (no table storage)\n";
+
+  (* --- The decomposition hand-off ----------------------------------- *)
+  let reqs = ok (CL.multiplier_requirements_from_exponentiator s) in
+  printf "\n== behavioral decomposition: derived requirements for the multiplier ==\n";
+  List.iter (fun (name, v) -> printf "  %-28s = %s\n" name (Value.to_string v)) reqs;
+
+  (* --- Level 2: the multiplier (OMM) -------------------------------- *)
+  printf "\n== level 2: the modular multiplier (OMM) under the derived budget ==\n";
+  let m = ok (CL.navigate_to_omm (CL.session ~cores)) in
+  let m = ok (CL.apply_requirements m reqs) in
+  printf "candidates after requirements: %d (software eliminated by the budget)\n"
+    (Session.candidate_count m);
+  let m = ok (Session.set m N.implementation_style (Value.str N.hardware)) in
+  let m = ok (Session.set m N.algorithm (Value.str N.montgomery)) in
+  let best_label, best_core =
+    match
+      List.sort
+        (fun (_, a) (_, b) ->
+          Float.compare
+            (Option.value ~default:infinity (Ds_reuse.Core.merit a N.m_latency_ns))
+            (Option.value ~default:infinity (Ds_reuse.Core.merit b N.m_latency_ns)))
+        (Session.candidates m)
+    with
+    | best :: _ -> best
+    | [] -> failwith "no candidates"
+  in
+  printf "selected core: %s (%.2f us per multiplication)\n" best_label
+    (Option.value ~default:nan (Ds_reuse.Core.merit best_core N.m_latency_ns) /. 1000.0);
+
+  (* --- Close the loop: assemble and verify the coprocessor ---------- *)
+  printf "\n== assembled coprocessor characterisation ==\n";
+  let design_no = int_of_string (Option.get (Ds_reuse.Core.property best_core N.p_design_no)) in
+  let slice_width = int_of_string (Option.get (Ds_reuse.Core.property best_core N.slice_width)) in
+  let coproc =
+    {
+      ME.multiplier = Ds_rtl.Modmul_design.design design_no ~slice_width;
+      recoding = ME.Binary;
+      bus_width = 32;
+    }
+  in
+  let ch = ME.characterize coproc ~eol:768 ~exp_bits:768 in
+  printf "latency %.1f us/exponentiation -> %.0f operations/s (target was 100)\n"
+    ch.ME.coproc_latency_us ch.ME.ops_per_second;
+  printf "area %.0f um2 (%.0f gate equivalents)\n" ch.ME.coproc_area_um2 ch.ME.gates;
+  printf "target met: %b\n" (ch.ME.ops_per_second >= 100.0);
+
+  (* And functionally: run a real (small) exponentiation through the
+     assembled datapath. *)
+  let g = Ds_bignum.Prng.create 7 in
+  let m64 =
+    let m = Ds_bignum.Prng.nat_bits g 64 in
+    if Ds_bignum.Nat.is_even m then Ds_bignum.Nat.succ m else m
+  in
+  let base = Ds_bignum.Prng.nat_below g m64 in
+  let exponent = Ds_bignum.Prng.nat_bits g 24 in
+  let small_coproc = { coproc with ME.multiplier = Ds_rtl.Modmul_design.design design_no ~slice_width:16 } in
+  (match ME.simulate small_coproc ~eol:64 ~base ~exponent ~modulus:m64 with
+  | Ok (value, mults) ->
+    printf "\nfunctional check (64-bit scale): %d multiplications, result %s\n" mults
+      (if Ds_bignum.Nat.equal value (Ds_bignum.Nat.mod_pow base exponent m64) then "correct"
+       else "WRONG");
+  | Error e -> printf "simulation failed: %s\n" e)

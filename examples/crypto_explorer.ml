@@ -1,0 +1,115 @@
+(* The paper's Section 5 case study, end to end.
+
+   A modular-multiplication core must be selected for the modular
+   exponentiation coprocessor of Royo et al. [11]: 768-bit operands,
+   one multiplication in at most 8 microseconds, modulo guaranteed odd.
+   The cryptography design space layer walks the generalization
+   hierarchy, fires CC1-CC6, and leaves the Montgomery carry-save /
+   mux-multiplier family — the same region the paper reaches.
+
+   Run with: dune exec examples/crypto_explorer.exe *)
+
+open Ds_layer
+module CL = Ds_domains.Crypto_layer
+module N = Ds_domains.Names
+
+let printf = Printf.printf
+let ok = function Ok v -> v | Error e -> failwith e
+
+let show session step =
+  printf "\n-- %s --\n" step;
+  printf "focus: %s   candidates: %d\n"
+    (String.concat "." (Session.focus session))
+    (Session.candidate_count session);
+  List.iter
+    (fun merit ->
+      match Session.merit_range session ~merit with
+      | Some (lo, hi) -> printf "  %-12s %10.1f .. %10.1f\n" merit lo hi
+      | None -> ())
+    [ N.m_latency_ns; N.m_area_um2 ]
+
+let () =
+  printf "== the cryptography design space layer (Figs 5 and 7) ==\n";
+  Format.printf "%a@." Hierarchy.pp_tree CL.hierarchy;
+
+  printf "== consistency constraints (Fig 13) ==\n";
+  List.iter (fun cc -> Format.printf "%a@." Consistency.pp cc) CL.constraints;
+
+  let registry = Ds_domains.Populate.standard_registry ~eol:768 () in
+  let cores = Ds_reuse.Registry.all_cores registry in
+  printf "reuse libraries: %s (%d cores total)\n"
+    (String.concat ", "
+       (List.map (fun l -> l.Ds_reuse.Library.name) (Ds_reuse.Registry.libraries registry)))
+    (List.length cores);
+
+  let s = CL.session ~cores in
+  let s = ok (CL.navigate_to_omm s) in
+  show s "focused on Operator-Modular-Multiplier (OMM)";
+
+  (* Fig 8: enter the requirement values from the coprocessor spec. *)
+  printf "\nentering requirements (Fig 8):\n";
+  List.iter
+    (fun (name, v) -> printf "  %-28s = %s\n" name (Value.to_string v))
+    CL.coprocessor_requirements;
+  let s = ok (CL.apply_requirements s CL.coprocessor_requirements) in
+  show s "after requirements: CC6 eliminated every software routine";
+
+  (* Before deciding, preview what each option of DI1 would leave — the
+     layer's trade-off guidance. *)
+  printf "\npreviewing Implementation Style (what-if):\n";
+  (match Session.preview_options s ~issue:N.implementation_style ~merit:N.m_latency_ns with
+  | Error e -> printf "  preview failed: %s\n" e
+  | Ok previews ->
+    List.iter
+      (fun pv ->
+        match pv.Session.outcome with
+        | `Explored (n, Some (lo, hi)) ->
+          printf "  %-10s -> %2d candidates, latency %.0f..%.0f ns\n" pv.Session.option_value n
+            lo hi
+        | `Explored (n, None) ->
+          printf "  %-10s -> %2d candidates (no data: the budget removed them all)\n"
+            pv.Session.option_value n
+        | `Rejected reason -> printf "  %-10s -> rejected: %s\n" pv.Session.option_value reason)
+      previews);
+
+  (* DI1: the latency budget forces hardware. *)
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  show s "after Implementation Style := hardware (descends to OMM-H)";
+
+  (* DI2: Montgomery is allowed because the modulo is guaranteed odd
+     (CC1); CC4 and CC5 then eliminate the inferior adder/multiplier
+     combinations. *)
+  let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+  show s "after Algorithm := Montgomery (descends to OMM-HM; CC4/CC5 fire)";
+
+  printf "\nsurviving cores (Montgomery, carry-save, mux-based only):\n";
+  List.iter
+    (fun (qid, core) ->
+      printf "  %-18s design #%s  latency %8.1f ns  area %9.0f um2\n" qid
+        (Option.value ~default:"?" (Ds_reuse.Core.property core N.p_design_no))
+        (Option.value ~default:nan (Ds_reuse.Core.merit core N.m_latency_ns))
+        (Option.value ~default:nan (Ds_reuse.Core.merit core N.m_area_um2)))
+    (Session.candidates s);
+
+  (* CC2 derives the cycle count once the radix is fixed. *)
+  let s = ok (Session.set_default s N.radix) in
+  (match Session.value_of s N.latency_cycles with
+  | Some v -> printf "\nCC2 derived: %s = %s cycles (2*EOL/R + 1)\n" N.latency_cycles (Value.to_string v)
+  | None -> ());
+
+  (* CC3's estimator context is live once a behavioral description is
+     selected: useful when no core fits. *)
+  let s = ok (Session.set_default s N.behavioral_description) in
+  List.iter
+    (fun (tool, metrics) ->
+      printf "%s:\n" tool;
+      List.iter (fun (metric, v) -> printf "  %-14s %.2f\n" metric v) metrics)
+    (Session.estimates s);
+
+  (* Pick the Pareto-best core by latency. *)
+  let points = Evaluation.of_cores ~x:N.m_latency_ns ~y:N.m_area_um2 (Session.candidates s) in
+  printf "\nPareto front (latency vs area):\n";
+  List.iter (fun p -> Format.printf "  %a@." Evaluation.pp_point p) (Evaluation.pareto_front points);
+
+  printf "\n== full session trace ==\n";
+  Format.printf "%a@." Session.pp_trace s

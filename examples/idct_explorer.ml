@@ -1,0 +1,61 @@
+(* Section 2's IDCT illustration: why design space layers should be
+   organised by generalization/specialization rather than strictly by
+   abstraction level.
+
+   Five IDCT cores populate two alternative layers over the same design
+   space.  Clustering the evaluation space recovers Fig 3's groups
+   {1,2,5} / {3,4}; exploring both layers shows that the organisation
+   whose first issue separates those clusters gives the designer
+   coherent guidance, while the abstraction-first one does not.
+
+   Run with: dune exec examples/idct_explorer.exe *)
+
+open Ds_layer
+module Idct = Ds_domains.Idct_layer
+module N = Ds_domains.Names
+
+let printf = Printf.printf
+
+let () =
+  printf "== the five IDCT cores (Fig 2) ==\n";
+  List.iter
+    (fun (_, core) ->
+      printf "  %-6s algorithm=%-9s technology=%-6s delay=%5.0fns area=%6.0fum2\n"
+        core.Ds_reuse.Core.name
+        (Option.value ~default:"?" (Ds_reuse.Core.property core Idct.algorithm_issue))
+        (Option.value ~default:"?" (Ds_reuse.Core.property core Idct.technology_issue))
+        (Option.value ~default:nan (Ds_reuse.Core.merit core N.m_latency_ns))
+        (Option.value ~default:nan (Ds_reuse.Core.merit core N.m_area_um2)))
+    Idct.cores;
+
+  (* Fig 3(b): the evaluation space splits into two natural clusters. *)
+  let points = Evaluation.of_cores ~x:N.m_latency_ns ~y:N.m_area_um2 Idct.cores in
+  (match Cluster.suggest_split points with
+  | Some (a, b) ->
+    let names c = String.concat ", " (List.map (fun p -> p.Evaluation.label) c) in
+    printf "\nevaluation-space clusters (Fig 3b): {%s} vs {%s}\n" (names a) (names b);
+    printf "cluster separation strength (merge-gap ratio): %.2f\n"
+      (Cluster.silhouette_gap points)
+  | None -> ());
+
+  (* The two layer organisations. *)
+  printf "\n== generalization-first organisation (Fig 3) ==\n";
+  Format.printf "%a@." Hierarchy.pp_tree Idct.generalization_first;
+  printf "== abstraction-first organisation (Fig 2a) ==\n";
+  Format.printf "%a@." Hierarchy.pp_tree Idct.abstraction_first;
+
+  (* Quantify Section 2.1's argument: make the first decision toward
+     the fastest core in both layers and compare how informative the
+     surviving family is. *)
+  printf "== first-decision quality ==\n";
+  printf "%-32s %-8s %5s %14s %14s\n" "organisation" "choice" "cores" "delay spread" "area spread";
+  List.iter
+    (fun r ->
+      printf "%-32s %-8s %5d %14.2f %14.2f\n" r.Idct.organisation r.Idct.option_chosen
+        r.Idct.candidates_left r.Idct.delay_spread r.Idct.area_spread)
+    (Idct.first_decision_report ());
+  printf
+    "\nThe generalization-first layer's first decision lands in one cluster\n\
+     (tight ranges); the abstraction-first layer keeps designs from both\n\
+     clusters (designs 1 and 4 implement the same algorithm in different\n\
+     technologies), so its ranges say almost nothing -- Section 2.1's point.\n"

@@ -1,0 +1,114 @@
+(* Quickstart: build a design space layer from scratch.
+
+   We model a tiny "Adder" class of design objects (the paper's running
+   micro-example in Section 2): a generalized design issue splits the
+   space by logic style, a reuse library contributes four cores, and an
+   exploration session prunes the space while reporting merit ranges.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ds_layer
+
+let printf = Printf.printf
+
+(* 1. Declare the properties: one requirement, one generalized design
+   issue, one plain design issue. *)
+
+let width_req =
+  Property.requirement ~name:"Width" ~domain:(Domain.Int_range { lo = Some 1; hi = None })
+    ~unit_:"bits" ~doc:"operand width the application needs" ()
+
+let logic_style =
+  Property.design_issue ~generalized:true ~name:"Logic Style"
+    ~domain:(Domain.enum [ "ripple-carry"; "carry-look-ahead" ])
+    ~doc:"the dominant speed/area trade-off for adders" ()
+
+let layout_style =
+  Property.design_issue ~name:"Layout Style"
+    ~domain:(Domain.enum [ "standard-cell"; "gate-array" ])
+    ()
+
+(* 2. Organise them into a CDO hierarchy: the generalized issue's
+   options become specializations. *)
+
+let hierarchy =
+  Hierarchy.create_exn
+    (Cdo.node_exn ~name:"Adder" ~abbrev:"ADD" ~doc:"all feasible adder implementations"
+       [ width_req ]
+       ~issue:logic_style
+       ~children:
+         [
+           ("ripple-carry", Cdo.leaf_exn ~name:"ripple-carry" [ layout_style ]);
+           ("carry-look-ahead", Cdo.leaf_exn ~name:"carry-look-ahead" [ layout_style ]);
+         ])
+
+(* 3. Populate a reuse library.  Each core binds the design issues that
+   apply to it and carries figures of merit. *)
+
+let core name style layout delay area =
+  Ds_reuse.Core.make_exn ~id:name ~name ~provider:"quickstart-vendor"
+    ~kind:Ds_reuse.Core.Hard_core
+    ~properties:[ ("Logic Style", style); ("Layout Style", layout) ]
+    ~merits:[ ("delay-ns", delay); ("area-um2", area) ]
+    ()
+
+let library =
+  Ds_reuse.Library.make_exn ~name:"adder-lib"
+    [
+      core "rc-sc" "ripple-carry" "standard-cell" 12.0 400.0;
+      core "rc-ga" "ripple-carry" "gate-array" 15.0 520.0;
+      core "cla-sc" "carry-look-ahead" "standard-cell" 4.5 980.0;
+      core "cla-ga" "carry-look-ahead" "gate-array" 5.6 1300.0;
+    ]
+
+(* 4. Explore. *)
+
+let show_state label session =
+  printf "%s\n" label;
+  printf "  focus:      %s\n" (String.concat "." (Session.focus session));
+  printf "  candidates: %d\n" (Session.candidate_count session);
+  List.iter
+    (fun merit ->
+      match Session.merit_range session ~merit with
+      | Some (lo, hi) -> printf "  %-10s %.1f .. %.1f\n" merit lo hi
+      | None -> ())
+    [ "delay-ns"; "area-um2" ]
+
+let () =
+  let registry = Ds_reuse.Registry.register_exn Ds_reuse.Registry.empty library in
+  let session =
+    Session.create ~hierarchy ~cores:(Ds_reuse.Registry.all_cores registry) ()
+  in
+  printf "== the adder design space layer ==\n";
+  Format.printf "%a@." Hierarchy.pp_tree hierarchy;
+
+  show_state "-- before any decision --" session;
+
+  (* Enter the requirement from the spec. *)
+  let session =
+    match Session.set session "Width" (Value.int 32) with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+
+  (* Decide the generalized issue: the focus descends and the space is
+     pruned to the chosen family. *)
+  let session =
+    match Session.set session "Logic Style" (Value.str "carry-look-ahead") with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  show_state "-- after choosing carry-look-ahead --" session;
+
+  (* Decide the remaining issue; a single core survives. *)
+  let session =
+    match Session.set session "Layout Style" (Value.str "standard-cell") with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  show_state "-- after choosing standard-cell --" session;
+  List.iter (fun (qid, _) -> printf "  selected: %s\n" qid) (Session.candidates session);
+
+  (* The session documents itself. *)
+  printf "\n== session trace ==\n";
+  Format.printf "%a@." Session.pp_trace session

@@ -1,0 +1,94 @@
+(* The second domain end to end: selecting a 2-D IDCT core for an
+   MPEG-2 decoder.
+
+   The paper's introduction motivates the layer with "IDCT blocks,
+   MPEG II encoders/decoders"; this example runs that scenario on the
+   video layer: MPEG-2 main-level requirements (block rate, IEEE
+   1180-style precision), the structure split (row-column vs direct),
+   per-option previews, a concrete selection — and then the selected
+   configuration actually decodes a block, with its conformance report.
+
+   Run with: dune exec examples/video_explorer.exe *)
+
+open Ds_layer
+module V = Ds_domains.Video_layer
+module N = Ds_domains.Names
+
+let printf = Printf.printf
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  printf "== the 2-D IDCT subsystem layer ==\n";
+  Format.printf "%a@." Hierarchy.pp_tree V.hierarchy;
+
+  let s = V.session () in
+  printf "population: %d cores (all merits derived from the ds_media models)\n\n"
+    (Session.candidate_count s);
+
+  printf "MPEG-2 main level requirements:\n";
+  List.iter
+    (fun (name, v) -> printf "  %-12s = %s\n" name (Value.to_string v))
+    V.mpeg2_main_level_requirements;
+  let s =
+    List.fold_left (fun s (n, v) -> ok (Session.set s n v)) s V.mpeg2_main_level_requirements
+  in
+  printf "surviving the block-rate and precision constraints: %d cores\n\n"
+    (Session.candidate_count s);
+
+  printf "previewing the Transform Structure split:\n";
+  (match Session.preview_options s ~issue:V.di_structure ~merit:V.m_blocks_per_second with
+  | Ok previews ->
+    List.iter
+      (fun pv ->
+        match pv.Session.outcome with
+        | `Explored (n, Some (lo, hi)) ->
+          printf "  %-11s -> %2d cores, %.2e..%.2e blocks/s\n" pv.Session.option_value n lo hi
+        | `Explored (n, None) -> printf "  %-11s -> %2d cores\n" pv.Session.option_value n
+        | `Rejected reason -> printf "  %-11s rejected: %s\n" pv.Session.option_value reason)
+      previews
+  | Error e -> printf "  %s\n" e);
+
+  let s = ok (Session.set s V.di_structure (Value.str "row-column")) in
+  let s = ok (Session.set s V.di_algorithm (Value.str "lee")) in
+  let s = ok (Session.set s V.di_parallelism (Value.str "1")) in
+  let s = ok (Session.set s V.di_fraction_bits (Value.str "16")) in
+  printf "\ndecided: row-column / lee / one MAC / 16 fraction bits\n";
+  (match Session.candidates s with
+  | [ (qid, core) ] ->
+    printf "selected core: %s (%.0f blocks/s, area %.0f um2)\n" qid
+      (Option.value ~default:nan (Ds_reuse.Core.merit core V.m_blocks_per_second))
+      (Option.value ~default:nan (Ds_reuse.Core.merit core N.m_area_um2))
+  | cores -> printf "(%d candidates left)\n" (List.length cores));
+
+  (* The estimator context gives the achieved precision for the width. *)
+  List.iter
+    (fun (tool, metrics) ->
+      List.iter (fun (m, v) -> printf "%s: %s = %.0f\n" tool m v) metrics)
+    (Session.estimates s);
+
+  (* Run the selected fixed-point configuration on a real block. *)
+  printf "\n== functional check of the selected configuration ==\n";
+  let block =
+    Array.init 8 (fun i ->
+        Array.init 8 (fun j -> float_of_int (((i * 31) + (j * 17) + 7) mod 201 - 100)))
+  in
+  let coeffs = Ds_media.Idct_fast.dct_2d block in
+  let rounded = Array.map (Array.map Float.round) coeffs in
+  let reference = Ds_media.Idct_fast.idct_2d rounded in
+  let decoded = Ds_media.Conformance.fixed_point_idct ~frac_bits:16 rounded in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v -> worst := Float.max !worst (Float.abs (v -. reference.(i).(j))))
+        row)
+    decoded;
+  printf "decoded an 8x8 block: worst pixel error %.4f against the reference\n" !worst;
+
+  let verdict = Ds_media.Conformance.test ~trials:200 (Ds_media.Conformance.fixed_point_idct ~frac_bits:16) in
+  printf "IEEE 1180-style conformance at 16 fraction bits: %s\n"
+    (if verdict.Ds_media.Conformance.compliant then "PASS" else "FAIL");
+  List.iter (fun f -> printf "  %s\n" f) verdict.Ds_media.Conformance.failures;
+  match Ds_media.Conformance.minimal_compliant_fraction_bits ~trials:200 () with
+  | Some fb -> printf "minimal compliant width: %d fraction bits\n" fb
+  | None -> printf "no compliant width found\n"

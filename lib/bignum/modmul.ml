@@ -1,0 +1,130 @@
+let paper_pencil a b m = Nat.rem (Nat.mul a b) m
+
+let check_operands name a b m =
+  if Nat.compare a m >= 0 || Nat.compare b m >= 0 then
+    invalid_arg (name ^ ": operands must be below the modulus")
+
+let brickell a b m =
+  if Nat.is_zero m then raise Division_by_zero;
+  check_operands "Modmul.brickell" a b m;
+  (* MSB-first: R := 2R + a_i * B, then reduce.  After the doubling step
+     R < 2m and after adding B it is < 3m, so at most two conditional
+     subtractions restore R < m. *)
+  let nbits = Nat.num_bits a in
+  let reduce r = match Nat.sub_opt r m with Some r' -> r' | None -> r in
+  let rec go r i =
+    if i < 0 then r
+    else begin
+      let r = Nat.shift_left r 1 in
+      let r = if Nat.bit a i then Nat.add r b else r in
+      go (reduce (reduce r)) (i - 1)
+    end
+  in
+  go Nat.zero (nbits - 1)
+
+let montgomery_digit_serial ~radix_bits a b m iters =
+  if Nat.is_zero m then raise Division_by_zero;
+  if Nat.is_even m then invalid_arg "Modmul.montgomery_digit_serial: even modulus";
+  if radix_bits < 1 || radix_bits > 16 then
+    invalid_arg "Modmul.montgomery_digit_serial: radix_bits out of range";
+  check_operands "Modmul.montgomery_digit_serial" a b m;
+  let radix = 1 lsl radix_bits in
+  let radix_mask = radix - 1 in
+  (* q_i = (R + a_i*B) * (-M^-1) mod radix keeps R + a_i*B + q_i*M
+     divisible by the radix. *)
+  let m0 = (Nat.limbs m).(0) land radix_mask in
+  let minus_m_inv =
+    let rec inv x i =
+      (* Newton iteration for the inverse modulo a power of two; the
+         number of correct low bits doubles per step. *)
+      if 1 lsl i >= radix then x land radix_mask
+      else inv ((x * (2 - (m0 * x))) land radix_mask) (2 * i)
+    in
+    let m_inv = inv 1 1 in
+    (radix - m_inv) land radix_mask
+  in
+  let digit_of n i =
+    let lo = i * radix_bits in
+    let rec go acc k = if k < 0 then acc else go ((acc lsl 1) lor (if Nat.bit n (lo + k) then 1 else 0)) (k - 1) in
+    go 0 (radix_bits - 1)
+  in
+  let low_digit n = (if Nat.is_zero n then 0 else (Nat.limbs n).(0)) land radix_mask in
+  let b0 = low_digit b in
+  let rec go r i =
+    if i >= iters then begin
+      match Nat.sub_opt r m with Some r' -> r' | None -> r
+    end
+    else begin
+      let ai = digit_of a i in
+      let q = (((low_digit r) + (ai * b0)) * minus_m_inv) land radix_mask in
+      let r = Nat.add r (Nat.add (Nat.mul_int b ai) (Nat.mul_int m q)) in
+      go (Nat.shift_right r radix_bits) (i + 1)
+    end
+  in
+  go Nat.zero 0
+
+let montgomery_bit_serial a b m n = montgomery_digit_serial ~radix_bits:1 a b m n
+
+module Redc = struct
+  type ctx = {
+    modulus : Nat.t;
+    num_words : int;
+    minus_m_inv : int; (* -m^-1 mod Nat.base *)
+    r2 : Nat.t; (* r^2 mod m, for to_mont *)
+  }
+
+  let modulus ctx = ctx.modulus
+  let num_words ctx = ctx.num_words
+
+  let make m =
+    if Nat.is_even m || Nat.compare m (Nat.of_int 3) < 0 then
+      invalid_arg "Modmul.Redc.make: modulus must be odd and >= 3";
+    let k = Nat.num_limbs m in
+    let m0 = (Nat.limbs m).(0) in
+    let rec inv x i =
+      if i >= Nat.limb_bits then x land (Nat.base - 1)
+      else inv ((x * (2 - (m0 * x))) land (Nat.base - 1)) (2 * i)
+    in
+    let m_inv = inv 1 1 in
+    let minus_m_inv = (Nat.base - m_inv) land (Nat.base - 1) in
+    let r = Nat.shift_left Nat.one (k * Nat.limb_bits) in
+    let r2 = Nat.rem (Nat.mul r r) m in
+    { modulus = m; num_words = k; minus_m_inv; r2 }
+
+  (* REDC(t) = t * r^-1 mod m for t < m * r, word-serial. *)
+  let redc ctx t =
+    let k = ctx.num_words in
+    let rec go t i =
+      if i >= k then t
+      else begin
+        let t0 = if Nat.is_zero t then 0 else (Nat.limbs t).(0) in
+        let q = (t0 * ctx.minus_m_inv) land (Nat.base - 1) in
+        let t = Nat.shift_right (Nat.add t (Nat.mul_int ctx.modulus q)) Nat.limb_bits in
+        go t (i + 1)
+      end
+    in
+    let t = go t 0 in
+    match Nat.sub_opt t ctx.modulus with Some t' -> t' | None -> t
+
+  let mul ctx a b = redc ctx (Nat.mul a b)
+  let to_mont ctx x = mul ctx x ctx.r2
+  let of_mont ctx x = redc ctx x
+
+  let pow ctx b e =
+    let b = Nat.rem b ctx.modulus in
+    let bm = to_mont ctx b in
+    let onem = to_mont ctx Nat.one in
+    let nbits = Nat.num_bits e in
+    let rec go acc sq i =
+      if i >= nbits then acc
+      else begin
+        let acc = if Nat.bit e i then mul ctx acc sq else acc in
+        go acc (mul ctx sq sq) (i + 1)
+      end
+    in
+    of_mont ctx (go onem bm 0)
+end
+
+let mont_mod_pow b e m =
+  if Nat.is_odd m && Nat.compare m (Nat.of_int 3) >= 0 then Redc.pow (Redc.make m) b e
+  else Nat.mod_pow b e m

@@ -1,0 +1,72 @@
+(** Modular multiplication algorithms of the paper's Section 5.1.1.
+
+    Three algorithm families are modelled:
+
+    - {e paper and pencil}: full product followed by one [mod M]
+      reduction (the inferior baseline the paper eliminates);
+    - {e Brickell}: most-significant-digit-first interleaved
+      multiplication with a reduction at every partial product — works
+      for any modulus;
+    - {e Montgomery}: least-significant-digit-first with quotient digits
+      chosen so the running sum stays divisible by the radix — requires
+      an odd modulus and computes [A*B*r^-n mod M].
+
+    The bit- and digit-serial variants mirror the hardware datapaths of
+    {!module:Ds_rtl} one-to-one and are the functional reference the RTL
+    simulation is validated against.  The word-level REDC variants are
+    the fast path used by {!Rsa} and {!Prime}. *)
+
+val paper_pencil : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** [paper_pencil a b m] is [(a * b) mod m].
+    @raise Division_by_zero when [m] is zero. *)
+
+val brickell : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** [brickell a b m] is [(a * b) mod m] computed MSB-first with a
+    reduction per partial product (Brickell 1982).  Requires
+    [a < m] and [b < m].  @raise Invalid_argument otherwise. *)
+
+val montgomery_bit_serial : Nat.t -> Nat.t -> Nat.t -> int -> Nat.t
+(** [montgomery_bit_serial a b m n] is [a * b * 2^-n mod m] for odd [m],
+    processing one bit of [a] per iteration — the radix-2 hardware
+    recurrence (Fig 10, lines 3-4).  Requires [a, b < m] and [m] odd.
+    @raise Invalid_argument otherwise. *)
+
+val montgomery_digit_serial : radix_bits:int -> Nat.t -> Nat.t -> Nat.t -> int -> Nat.t
+(** [montgomery_digit_serial ~radix_bits a b m iters] processes
+    [radix_bits] bits of [a] per iteration ([iters] iterations), i.e.
+    radix [2^radix_bits]; returns [a * b * 2^-(radix_bits*iters) mod m].
+    This is the generalised recurrence behind the paper's "Radix" design
+    issue (DI3).  Requires odd [m], [a, b < m].
+    @raise Invalid_argument otherwise. *)
+
+(** Word-level Montgomery (REDC) over {!Nat.base}-sized digits. *)
+module Redc : sig
+  type ctx
+  (** Precomputed parameters for a fixed odd modulus. *)
+
+  val make : Nat.t -> ctx
+  (** @raise Invalid_argument when the modulus is even or < 3. *)
+
+  val modulus : ctx -> Nat.t
+
+  val num_words : ctx -> int
+  (** Number of {!Nat.base} digits of the modulus (the [k] of
+      [r = base^k]). *)
+
+  val to_mont : ctx -> Nat.t -> Nat.t
+  (** Map into the Montgomery domain: [x * r mod m]. *)
+
+  val of_mont : ctx -> Nat.t -> Nat.t
+  (** Map out of the Montgomery domain: [x * r^-1 mod m]. *)
+
+  val mul : ctx -> Nat.t -> Nat.t -> Nat.t
+  (** Montgomery product of two domain values. *)
+
+  val pow : ctx -> Nat.t -> Nat.t -> Nat.t
+  (** [pow ctx b e] is [b^e mod m] (plain-domain operands and result);
+      the modular-exponentiation kernel of the paper's coprocessor. *)
+end
+
+val mont_mod_pow : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** [mont_mod_pow b e m] is [b^e mod m] via {!Redc} when [m] is odd and
+    via {!Nat.mod_pow} otherwise. *)

@@ -1,0 +1,489 @@
+(* Little-endian limbs in base 2^26, no trailing zero limb.  Base 2^26
+   keeps limb products below 2^52, leaving ten bits of headroom for
+   carry accumulation in the multiplication and division inner loops. *)
+
+type t = int array
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+let zero : t = [||]
+let is_zero n = Array.length n = 0
+
+(* Trim trailing zero limbs (the only normalisation step needed). *)
+let normalize (a : int array) : t =
+  let rec top i = if i >= 0 && a.(i) = 0 then top (i - 1) else i in
+  let hi = top (Array.length a - 1) in
+  if hi < 0 then zero
+  else if hi = Array.length a - 1 then a
+  else Array.sub a 0 (hi + 1)
+
+let check_invariant (n : t) =
+  let len = Array.length n in
+  (len = 0 || n.(len - 1) <> 0)
+  && Array.for_all (fun limb -> limb >= 0 && limb < base) n
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative"
+  else begin
+    let rec limbs acc n = if n = 0 then acc else limbs ((n land limb_mask) :: acc) (n lsr limb_bits) in
+    normalize (Array.of_list (List.rev (limbs [] n)))
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int_opt n =
+  (* max_int has 62 bits: safe when at most two full limbs plus a small
+     third one. *)
+  let len = Array.length n in
+  if len = 0 then Some 0
+  else if len * limb_bits <= 62 then begin
+    let rec go i acc = if i < 0 then acc else go (i - 1) ((acc lsl limb_bits) lor n.(i)) in
+    Some (go (len - 1) 0)
+  end
+  else begin
+    let bits = ref 0 in
+    let top = n.(len - 1) in
+    let t = ref top in
+    while !t > 0 do incr bits; t := !t lsr 1 done;
+    if (len - 1) * limb_bits + !bits <= 62 then begin
+      let rec go i acc = if i < 0 then acc else go (i - 1) ((acc lsl limb_bits) lor n.(i)) in
+      Some (go (len - 1) 0)
+    end
+    else None
+  end
+
+let to_int_exn n =
+  match to_int_opt n with
+  | Some i -> i
+  | None -> failwith "Nat.to_int_exn: value too large"
+
+let of_limbs a =
+  Array.iter
+    (fun limb -> if limb < 0 || limb >= base then invalid_arg "Nat.of_limbs: limb out of range")
+    a;
+  normalize (Array.copy a)
+
+let limbs n = Array.copy n
+let num_limbs n = Array.length n
+
+let bits_of_limb limb =
+  let rec go acc limb = if limb = 0 then acc else go (acc + 1) (limb lsr 1) in
+  go 0 limb
+
+let num_bits n =
+  let len = Array.length n in
+  if len = 0 then 0 else ((len - 1) * limb_bits) + bits_of_limb n.(len - 1)
+
+let bit n i =
+  let word = i / limb_bits and off = i mod limb_bits in
+  word < Array.length n && (n.(word) lsr off) land 1 = 1
+
+let is_one n = Array.length n = 1 && n.(0) = 1
+let is_even n = Array.length n = 0 || n.(0) land 1 = 0
+let is_odd n = not (is_even n)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = Stdlib.max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 2 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  r.(lr - 1) <- !carry;
+  normalize r
+
+let add_int a n = add a (of_int n)
+let succ a = add_int a 1
+
+let sub_opt a b =
+  if compare a b < 0 then None
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make la 0 in
+    let borrow = ref 0 in
+    for i = 0 to la - 1 do
+      let db = if i < lb then b.(i) else 0 in
+      let d = a.(i) - db - !borrow in
+      if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+      else begin r.(i) <- d; borrow := 0 end
+    done;
+    assert (!borrow = 0);
+    Some (normalize r)
+  end
+
+let sub a b =
+  match sub_opt a b with
+  | Some d -> d
+  | None -> invalid_arg "Nat.sub: negative result"
+
+let mul_int a m =
+  if m < 0 || m >= base then invalid_arg "Nat.mul_int: multiplier out of range"
+  else if m = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * m) + !carry in
+      r.(i) <- p land limb_mask;
+      carry := p lsr limb_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+
+let mul_schoolbook a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let carry = ref 0 in
+    let ai = a.(i) in
+    for j = 0 to lb - 1 do
+      let p = r.(i + j) + (ai * b.(j)) + !carry in
+      r.(i + j) <- p land limb_mask;
+      carry := p lsr limb_bits
+    done;
+    (* Propagate the final carry; it can ripple at most a few limbs. *)
+    let k = ref (i + lb) in
+    while !carry <> 0 do
+      let p = r.(!k) + !carry in
+      r.(!k) <- p land limb_mask;
+      carry := p lsr limb_bits;
+      incr k
+    done
+  done;
+  normalize r
+
+let karatsuba_threshold = 32
+
+let split_at a k =
+  let la = Array.length a in
+  if la <= k then (normalize (Array.copy a), zero)
+  else (normalize (Array.sub a 0 k), normalize (Array.sub a k (la - k)))
+
+let shift_limbs a k =
+  if is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + k) 0 in
+    Array.blit a 0 r k la;
+    r
+  end
+
+let rec mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else if la = 1 then mul_int b a.(0)
+  else if lb = 1 then mul_int a b.(0)
+  else if Stdlib.min la lb < karatsuba_threshold then mul_schoolbook a b
+  else begin
+    (* Karatsuba: a = a1*B^k + a0, b = b1*B^k + b0 ->
+       a*b = z2*B^2k + (z1 - z2 - z0)*B^k + z0 with
+       z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)*(b0+b1). *)
+    let k = (Stdlib.max la lb + 1) / 2 in
+    let a0, a1 = split_at a k and b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = mul (add a0 a1) (add b0 b1) in
+    let mid = sub (sub z1 z2) z0 in
+    add (add (shift_limbs z2 (2 * k)) (shift_limbs mid k)) z0
+  end
+
+let sqr a = mul a a
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Nat.shift_left: negative shift"
+  else if is_zero a || k = 0 then a
+  else begin
+    let words = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + words + 1) 0 in
+    if bits = 0 then Array.blit a 0 r words la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bits) lor !carry in
+        r.(i + words) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      r.(la + words) <- !carry
+    end;
+    normalize r
+  end
+
+let shift_right a k =
+  if k < 0 then invalid_arg "Nat.shift_right: negative shift"
+  else if is_zero a || k = 0 then a
+  else begin
+    let words = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    if words >= la then zero
+    else begin
+      let lr = la - words in
+      let r = Array.make lr 0 in
+      if bits = 0 then Array.blit a words r 0 lr
+      else begin
+        for i = 0 to lr - 1 do
+          let lo = a.(i + words) lsr bits in
+          let hi = if i + words + 1 < la then (a.(i + words + 1) lsl (limb_bits - bits)) land limb_mask else 0 in
+          r.(i) <- lo lor hi
+        done
+      end;
+      normalize r
+    end
+  end
+
+let bitwise op a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = Stdlib.max la lb in
+  let r =
+    Array.init lr (fun i ->
+        let da = if i < la then a.(i) else 0 in
+        let db = if i < lb then b.(i) else 0 in
+        op da db)
+  in
+  normalize r
+
+let logand a b = bitwise ( land ) a b
+let logor a b = bitwise ( lor ) a b
+let logxor a b = bitwise ( lxor ) a b
+
+let divmod_int a d =
+  if d <= 0 || d >= base then invalid_arg "Nat.divmod_int: divisor out of range"
+  else begin
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (normalize q, !r)
+  end
+
+(* Knuth algorithm D (TAOCP vol 2, 4.3.1), specialised to base 2^26. *)
+let divmod_knuth u v =
+  let n = Array.length v in
+  assert (n >= 2);
+  (* D1: normalise so the top limb of v has its high bit set. *)
+  let shift = limb_bits - bits_of_limb v.(n - 1) in
+  let u = shift_left u shift and v = shift_left v shift in
+  let m = Array.length u - n in
+  if m < 0 then (zero, shift_right u shift)
+  else begin
+    (* Working copy of u with one extra top limb. *)
+    let w = Array.make (Array.length u + 1) 0 in
+    Array.blit u 0 w 0 (Array.length u);
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) and vsecond = v.(n - 2) in
+    for j = m downto 0 do
+      (* D3: estimate the quotient limb. *)
+      let num = (w.(j + n) lsl limb_bits) lor w.(j + n - 1) in
+      let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+      let continue = ref true in
+      while !continue do
+        if !qhat >= base || !qhat * vsecond > (!rhat lsl limb_bits) lor w.(j + n - 2) then begin
+          decr qhat;
+          rhat := !rhat + vtop;
+          if !rhat >= base then continue := false
+        end
+        else continue := false
+      done;
+      (* D4: multiply and subtract. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let d = w.(i + j) - (p land limb_mask) - !borrow in
+        if d < 0 then begin w.(i + j) <- d + base; borrow := 1 end
+        else begin w.(i + j) <- d; borrow := 0 end
+      done;
+      let d = w.(j + n) - !carry - !borrow in
+      (* D5/D6: if we subtracted too much, add v back once. *)
+      if d < 0 then begin
+        w.(j + n) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = w.(i + j) + v.(i) + !carry in
+          w.(i + j) <- s land limb_mask;
+          carry := s lsr limb_bits
+        done;
+        w.(j + n) <- (w.(j + n) + !carry) land limb_mask
+      end
+      else w.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub w 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero
+  else if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_int a b.(0) in
+    (q, of_int r)
+  end
+  else divmod_knuth a b
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow a k =
+  if k < 0 then invalid_arg "Nat.pow: negative exponent"
+  else begin
+    let rec go acc base k =
+      if k = 0 then acc
+      else begin
+        let acc = if k land 1 = 1 then mul acc base else acc in
+        go acc (sqr base) (k lsr 1)
+      end
+    in
+    go one a k
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* Extended Euclid over signed pairs (sign, magnitude) to avoid a signed
+   bignum type: returns x with a*x = gcd (mod m). *)
+let mod_inv a m =
+  if is_zero m then raise Division_by_zero
+  else begin
+    let a = rem a m in
+    (* Invariants: r = a*x (mod m), r' = a*x' (mod m), with x tracked as
+       (negative?, magnitude). *)
+    let rec go r r' x x' =
+      if is_zero r' then (r, x)
+      else begin
+        let q, rest = divmod r r' in
+        let neg, v = x and neg', v' = x' in
+        let qv' = mul q v' in
+        (* x - q*x' with signs *)
+        let nx =
+          if neg = neg' then begin
+            if compare v qv' >= 0 then (neg, sub v qv') else (not neg, sub qv' v)
+          end
+          else (neg, add v qv')
+        in
+        go r' rest x' nx
+      end
+    in
+    let g, (neg, v) = go (rem a m) m (false, one) (true, zero) in
+    if not (is_one g) then None
+    else begin
+      let v = rem v m in
+      Some (if neg && not (is_zero v) then sub m v else v)
+    end
+  end
+
+let mod_pow b e m =
+  if is_zero m then raise Division_by_zero
+  else if is_one m then zero
+  else begin
+    let b = rem b m in
+    let nbits = num_bits e in
+    let rec go acc b i =
+      if i >= nbits then acc
+      else begin
+        let acc = if bit e i then rem (mul acc b) m else acc in
+        go acc (rem (sqr b) m) (i + 1)
+      end
+    in
+    go one b 0
+  end
+
+let of_string s =
+  let digits_of body radix valid value =
+    let acc = ref zero in
+    String.iter
+      (fun c ->
+        if c = '_' then ()
+        else if valid c then acc := add_int (mul_int !acc radix) (value c)
+        else invalid_arg "Nat.of_string: invalid digit")
+      body;
+    !acc
+  in
+  if String.length s = 0 then invalid_arg "Nat.of_string: empty"
+  else if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then begin
+    let body = String.sub s 2 (String.length s - 2) in
+    let valid c =
+      (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+    in
+    let value c =
+      if c <= '9' then Char.code c - Char.code '0'
+      else if c <= 'F' then Char.code c - Char.code 'A' + 10
+      else Char.code c - Char.code 'a' + 10
+    in
+    digits_of body 16 valid value
+  end
+  else begin
+    let valid c = c >= '0' && c <= '9' in
+    let value c = Char.code c - Char.code '0' in
+    digits_of s 10 valid value
+  end
+
+let to_string n =
+  if is_zero n then "0"
+  else begin
+    (* Peel seven decimal digits at a time: 10^7 < 2^26. *)
+    let chunk = 10_000_000 in
+    let buf = Buffer.create 32 in
+    let rec go n acc =
+      if is_zero n then acc
+      else begin
+        let q, r = divmod_int n chunk in
+        go q (r :: acc)
+      end
+    in
+    match go n [] with
+    | [] -> "0"
+    | first :: rest ->
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%07d" c)) rest;
+      Buffer.contents buf
+  end
+
+let to_hex n =
+  if is_zero n then "0"
+  else begin
+    let nibbles = (num_bits n + 3) / 4 in
+    let buf = Buffer.create nibbles in
+    for i = nibbles - 1 downto 0 do
+      let v =
+        (if bit n ((4 * i) + 3) then 8 else 0)
+        + (if bit n ((4 * i) + 2) then 4 else 0)
+        + (if bit n ((4 * i) + 1) then 2 else 0)
+        + if bit n (4 * i) then 1 else 0
+      in
+      Buffer.add_char buf "0123456789abcdef".[v]
+    done;
+    Buffer.contents buf
+  end
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)

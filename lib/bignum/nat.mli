@@ -1,0 +1,134 @@
+(** Arbitrary-precision natural numbers.
+
+    The design space layer's cryptography case study manipulates integers
+    with values up to 2^1000 and beyond (modular exponentiation operands,
+    RSA moduli).  No third-party bignum package is assumed: this module is
+    a self-contained implementation over arrays of 26-bit limbs, which is
+    the substrate for {!Modmul}, {!Prime} and {!Rsa}.
+
+    Values are immutable.  All functions allocate fresh results; no
+    function mutates its arguments. *)
+
+type t
+(** A natural number.  The representation invariant (no trailing zero
+    limbs, every limb within [0, 2^26)) is maintained by every function
+    in this interface and checked by {!check_invariant}. *)
+
+val limb_bits : int
+(** Number of bits per limb (26). *)
+
+val base : int
+(** [base = 2 ^ limb_bits]. *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int n] is the natural number [n].  @raise Invalid_argument if
+    [n < 0]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in an OCaml [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit in an OCaml [int]. *)
+
+val of_limbs : int array -> t
+(** [of_limbs a] builds a value from little-endian limbs.  Limbs must lie
+    within [0, base); trailing zeros are trimmed.
+    @raise Invalid_argument on an out-of-range limb. *)
+
+val limbs : t -> int array
+(** Little-endian limbs (a fresh copy; empty for zero). *)
+
+val num_limbs : t -> int
+val num_bits : t -> int
+(** [num_bits n] is the position of the highest set bit plus one, and 0
+    for zero. *)
+
+val bit : t -> int -> bool
+(** [bit n i] is the [i]-th binary digit of [n] (little-endian). *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+val is_odd : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val add : t -> t -> t
+val add_int : t -> int -> t
+val succ : t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b].  @raise Invalid_argument when [b > a]. *)
+
+val sub_opt : t -> t -> t option
+(** [sub_opt a b] is [Some (a - b)] when [b <= a] and [None] otherwise. *)
+
+val mul : t -> t -> t
+(** Product.  Uses schoolbook multiplication below {!karatsuba_threshold}
+    limbs and Karatsuba above. *)
+
+val mul_int : t -> int -> t
+(** [mul_int a m] with [0 <= m < base]. *)
+
+val karatsuba_threshold : int
+
+val sqr : t -> t
+
+val shift_left : t -> int -> t
+(** [shift_left a k] is [a * 2^k]. *)
+
+val shift_right : t -> int -> t
+(** [shift_right a k] is [a / 2^k]. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r] and [0 <= r < b]
+    (Knuth algorithm D).  @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val divmod_int : t -> int -> t * int
+(** Division by a single limb in [1, base). *)
+
+val pow : t -> int -> t
+(** [pow a k] is [a^k] by binary exponentiation.  @raise Invalid_argument
+    if [k < 0]. *)
+
+val gcd : t -> t -> t
+
+val mod_inv : t -> t -> t option
+(** [mod_inv a m] is [Some x] with [a*x = 1 (mod m)] when
+    [gcd a m = 1], and [None] otherwise.  @raise Division_by_zero when
+    [m] is zero. *)
+
+val mod_pow : t -> t -> t -> t
+(** [mod_pow b e m] is [b^e mod m] by square-and-multiply with full
+    reductions.  @raise Division_by_zero when [m] is zero. *)
+
+val of_string : string -> t
+(** Parses a decimal string, or hexadecimal with a ["0x"] prefix.
+    Underscores are ignored.  @raise Invalid_argument on malformed
+    input. *)
+
+val to_string : t -> string
+(** Decimal rendering. *)
+
+val to_hex : t -> string
+(** Lowercase hexadecimal rendering, no prefix, no leading zeros. *)
+
+val pp : Format.formatter -> t -> unit
+(** Decimal, for use with [%a]. *)
+
+val check_invariant : t -> bool
+(** Exposed for the test suite: representation invariant holds. *)

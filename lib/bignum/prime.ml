@@ -1,0 +1,73 @@
+let small_primes =
+  let sieve = Array.make 1000 true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  for i = 2 to 999 do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j < 1000 do
+        sieve.(!j) <- false;
+        j := !j + i
+      done
+    end
+  done;
+  List.filter (fun i -> sieve.(i)) (List.init 1000 Fun.id)
+
+let divisible_by_small n =
+  List.exists
+    (fun p ->
+      let np = Nat.of_int p in
+      Nat.compare n np > 0 && snd (Nat.divmod_int n p) = 0)
+    small_primes
+
+let miller_rabin_round ctx n n_minus_1 d s a =
+  (* a^d, then square s times looking for a non-trivial root of 1. *)
+  let x = Modmul.Redc.pow ctx a d in
+  if Nat.is_one x || Nat.equal x n_minus_1 then true
+  else begin
+    let rec squares x i =
+      if i >= s - 1 then false
+      else begin
+        let x = Nat.rem (Nat.sqr x) n in
+        if Nat.equal x n_minus_1 then true else squares x (i + 1)
+      end
+    in
+    squares x 0
+  end
+
+let is_probable_prime ?(rounds = 24) g n =
+  if Nat.compare n Nat.two < 0 then false
+  else if Nat.equal n Nat.two then true
+  else if Nat.is_even n then false
+  else if List.exists (fun p -> Nat.equal n (Nat.of_int p)) small_primes then true
+  else if divisible_by_small n then false
+  else begin
+    let n_minus_1 = Nat.sub n Nat.one in
+    (* n-1 = d * 2^s with d odd *)
+    let rec split d s = if Nat.is_even d then split (Nat.shift_right d 1) (s + 1) else (d, s) in
+    let d, s = split n_minus_1 0 in
+    let ctx = Modmul.Redc.make n in
+    let rec rounds_loop i =
+      if i >= rounds then true
+      else begin
+        let a = Nat.add Nat.two (Prng.nat_below g (Nat.sub n (Nat.of_int 3))) in
+        if miller_rabin_round ctx n n_minus_1 d s a then rounds_loop (i + 1) else false
+      end
+    in
+    rounds_loop 0
+  end
+
+let next_probable_prime g n =
+  let start = if Nat.compare n Nat.two <= 0 then Nat.two else if Nat.is_even n then Nat.succ n else n in
+  let rec go n = if is_probable_prime g n then n else go (Nat.add n Nat.two) in
+  if Nat.equal start Nat.two then Nat.two else go start
+
+let random_prime g ~bits =
+  if bits < 2 then invalid_arg "Prime.random_prime: need at least 2 bits";
+  let rec go () =
+    let candidate = Prng.nat_bits g bits in
+    (* Force odd. *)
+    let candidate = if Nat.is_even candidate then Nat.succ candidate else candidate in
+    if Nat.num_bits candidate = bits && is_probable_prime g candidate then candidate else go ()
+  in
+  go ()

@@ -1,0 +1,22 @@
+(** Probabilistic primality and prime generation.
+
+    Cryptography workloads need primes: the paper's modular
+    exponentiation coprocessor assumes a prime (hence odd) modulus
+    (Req4 "Modulo is Odd = Guaranteed"), and the RSA example needs key
+    generation. *)
+
+val is_probable_prime : ?rounds:int -> Prng.t -> Nat.t -> bool
+(** Miller-Rabin with [rounds] random witnesses (default 24), preceded by
+    trial division by small primes.  Composites are accepted with
+    probability at most [4^-rounds]. *)
+
+val next_probable_prime : Prng.t -> Nat.t -> Nat.t
+(** Smallest probable prime [>= n]. *)
+
+val random_prime : Prng.t -> bits:int -> Nat.t
+(** Uniform-ish probable prime of exactly [bits] bits ([bits >= 2]).
+    @raise Invalid_argument when [bits < 2]. *)
+
+val small_primes : int list
+(** The primes below 1000, used for trial division (exposed for
+    tests). *)

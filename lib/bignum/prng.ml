@@ -1,0 +1,62 @@
+(* splitmix64 (Steele, Lea, Flood 2014): tiny state, excellent
+   statistical quality for simulation purposes, trivially seedable. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+let next_int64 g =
+  g.state <- Int64.add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits30 g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 34)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive"
+  else if bound <= 1 lsl 30 then begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let limit = (1 lsl 30) / bound * bound in
+    let rec draw () =
+      let v = bits30 g in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end
+  else begin
+    let v = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+    v mod bound
+  end
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+let float g = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) /. 9007199254740992.0
+
+let nat_bits g n =
+  if n < 0 then invalid_arg "Prng.nat_bits: negative size"
+  else if n = 0 then Nat.zero
+  else begin
+    let limbs = ((n - 1) / Nat.limb_bits) + 1 in
+    let a = Array.init limbs (fun _ -> int g Nat.base) in
+    (* Force the value to exactly n bits. *)
+    let top_bit = (n - 1) mod Nat.limb_bits in
+    a.(limbs - 1) <- (a.(limbs - 1) land ((1 lsl (top_bit + 1)) - 1)) lor (1 lsl top_bit);
+    Nat.of_limbs a
+  end
+
+let nat_below g bound =
+  if Nat.is_zero bound then invalid_arg "Prng.nat_below: zero bound"
+  else begin
+    let n = Nat.num_bits bound in
+    let limbs = ((n - 1) / Nat.limb_bits) + 1 in
+    let mask_bits = n mod Nat.limb_bits in
+    let rec draw () =
+      let a = Array.init limbs (fun _ -> int g Nat.base) in
+      if mask_bits > 0 then a.(limbs - 1) <- a.(limbs - 1) land ((1 lsl mask_bits) - 1);
+      let v = Nat.of_limbs a in
+      if Nat.compare v bound < 0 then v else draw ()
+    in
+    draw ()
+  end

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic piece of the reproduction (workload generation,
+    Miller-Rabin witnesses, property-test inputs that need bignums) draws
+    from this generator so that runs are reproducible from an explicit
+    seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from any integer seed. *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [0, bound).  @raise Invalid_argument when
+    [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val nat_bits : t -> int -> Nat.t
+(** [nat_bits g n] is a uniform natural of exactly [n] bits (top bit
+    set) for [n >= 1], and zero for [n = 0]. *)
+
+val nat_below : t -> Nat.t -> Nat.t
+(** [nat_below g bound] is uniform in [0, bound) by rejection.
+    @raise Invalid_argument when [bound] is zero. *)

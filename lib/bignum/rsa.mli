@@ -1,0 +1,46 @@
+(** Textbook RSA over {!Nat}, the paper's driving application.
+
+    The case study of Section 5 selects a modular-multiplier core for a
+    modular-exponentiation coprocessor used in "digital signature and
+    public key encryption" [10].  This module provides that application
+    layer so examples and integration tests can run the selected
+    configuration end-to-end. *)
+
+type key = {
+  modulus : Nat.t;  (** n = p * q *)
+  public_exponent : Nat.t;  (** e *)
+  private_exponent : Nat.t;  (** d = e^-1 mod lcm(p-1, q-1) *)
+  prime_p : Nat.t;
+  prime_q : Nat.t;
+}
+
+val generate : Prng.t -> bits:int -> key
+(** [generate g ~bits] builds a key whose modulus has [bits] bits
+    (two [bits/2]-bit primes).  Public exponent 65537 (or the smallest
+    coprime alternative).  @raise Invalid_argument when [bits < 16]. *)
+
+val encrypt : key -> Nat.t -> Nat.t
+(** [encrypt k m] is [m^e mod n].  @raise Invalid_argument when
+    [m >= n]. *)
+
+val decrypt : key -> Nat.t -> Nat.t
+(** [decrypt k c] is [c^d mod n]. *)
+
+val decrypt_crt : key -> Nat.t -> Nat.t
+(** Chinese-remainder decryption: two half-size exponentiations modulo
+    [p] and [q] recombined with Garner's formula — the ~4x speedup a
+    modular-exponentiation coprocessor exploits when it holds the
+    factors.  Equal to {!decrypt} on every input. *)
+
+val sign : key -> Nat.t -> Nat.t
+(** [sign k m] is [m^d mod n] (textbook signature). *)
+
+val verify : key -> message:Nat.t -> signature:Nat.t -> bool
+(** [verify k ~message ~signature] checks [signature^e = message
+    (mod n)]. *)
+
+val modexp_operation_count : key -> bits:int -> int
+(** Number of modular multiplications a square-and-multiply
+    exponentiation with a [bits]-bit exponent performs on average
+    (~1.5 per exponent bit); used by the benchmark harness to scale
+    multiplication delays up to full exponentiations. *)

@@ -1,0 +1,101 @@
+type t = {
+  name : string;
+  abbrev : string option;
+  doc : string;
+  properties : Property.t list;
+  specialization : specialization option;
+}
+
+and specialization = { issue : Property.t; children : (string * t) list }
+
+let duplicate_name properties =
+  let rec go seen = function
+    | [] -> None
+    | p :: rest ->
+      if List.mem p.Property.name seen then Some p.Property.name
+      else go (p.Property.name :: seen) rest
+  in
+  go [] properties
+
+let check_own_properties name properties =
+  match duplicate_name properties with
+  | Some dup -> Error (Printf.sprintf "duplicate property %S in CDO %S" dup name)
+  | None ->
+    if List.exists Property.is_generalized properties then
+      Error
+        (Printf.sprintf
+           "CDO %S lists a generalized issue among its plain properties; pass it as ~issue" name)
+    else Ok ()
+
+let leaf ~name ?abbrev ?(doc = "") properties =
+  if String.equal name "" then Error "CDO name must not be empty"
+  else begin
+    match check_own_properties name properties with
+    | Error _ as e -> e
+    | Ok () -> Ok { name; abbrev; doc; properties; specialization = None }
+  end
+
+let node ~name ?abbrev ?(doc = "") properties ~issue ~children =
+  if String.equal name "" then Error "CDO name must not be empty"
+  else if not (Property.is_generalized issue) then
+    Error (Printf.sprintf "issue %S of CDO %S is not a generalized design issue"
+             issue.Property.name name)
+  else begin
+    match Domain.options issue.Property.domain with
+    | None ->
+      Error (Printf.sprintf "generalized issue %S must have an enumerated domain"
+               issue.Property.name)
+    | Some opts -> (
+      let child_keys = List.map fst children in
+      let sorted_opts = List.sort String.compare opts in
+      let sorted_keys = List.sort String.compare child_keys in
+      if sorted_opts <> sorted_keys then
+        Error
+          (Printf.sprintf "children of CDO %S do not match the options of %S ({%s} vs {%s})" name
+             issue.Property.name
+             (String.concat ", " child_keys)
+             (String.concat ", " opts))
+      else begin
+        let child_names = List.map (fun (_, c) -> c.name) children in
+        if List.length (List.sort_uniq String.compare child_names) <> List.length child_names
+        then Error (Printf.sprintf "duplicate child CDO names under %S" name)
+        else begin
+          match check_own_properties name properties with
+          | Error _ as e -> e
+          | Ok () ->
+            if List.exists (fun p -> String.equal p.Property.name issue.Property.name) properties
+            then
+              Error (Printf.sprintf "issue %S duplicates a property of CDO %S"
+                       issue.Property.name name)
+            else Ok { name; abbrev; doc; properties; specialization = Some { issue; children } }
+        end
+      end)
+  end
+
+let leaf_exn ~name ?abbrev ?doc properties =
+  match leaf ~name ?abbrev ?doc properties with
+  | Ok cdo -> cdo
+  | Error msg -> invalid_arg ("Cdo.leaf_exn: " ^ msg)
+
+let node_exn ~name ?abbrev ?doc properties ~issue ~children =
+  match node ~name ?abbrev ?doc properties ~issue ~children with
+  | Ok cdo -> cdo
+  | Error msg -> invalid_arg ("Cdo.node_exn: " ^ msg)
+
+let is_leaf cdo = cdo.specialization = None
+
+let all_properties cdo =
+  match cdo.specialization with
+  | None -> cdo.properties
+  | Some { issue; _ } -> cdo.properties @ [ issue ]
+
+let property cdo name =
+  List.find_opt (fun p -> String.equal p.Property.name name) (all_properties cdo)
+
+let child_for_option cdo opt =
+  match cdo.specialization with
+  | None -> None
+  | Some { children; _ } -> List.assoc_opt opt children
+
+let generalized_issue cdo =
+  match cdo.specialization with None -> None | Some { issue; _ } -> Some issue

@@ -1,0 +1,64 @@
+(** Classes of design objects (CDOs).
+
+    A CDO implicitly defines the design space of all feasible
+    implementations of a behaviour (Section 2): it carries properties
+    (requirements, design issues, behavioral descriptions) and {e at
+    most one generalized design issue}.  Each option of the generalized
+    issue defines a child CDO — a specialization whose design space
+    region is strictly contained in its parent's.  CDOs with no
+    generalized issue are the leaves of the hierarchy (Section 4). *)
+
+type t = private {
+  name : string;  (** node name, unique among siblings, e.g. "Multiplier" *)
+  abbrev : string option;  (** the paper's short names: "OMM", "OMM-HM" *)
+  doc : string;
+  properties : Property.t list;  (** own (non-generalized) properties *)
+  specialization : specialization option;
+}
+
+and specialization = private {
+  issue : Property.t;  (** the node's single generalized design issue *)
+  children : (string * t) list;  (** option -> child CDO, in option order *)
+}
+
+val leaf :
+  name:string -> ?abbrev:string -> ?doc:string -> Property.t list -> (t, string) result
+(** A leaf CDO.  Rejects duplicate property names and any generalized
+    issue among the properties (a generalized issue must come with its
+    children — use {!node}). *)
+
+val node :
+  name:string ->
+  ?abbrev:string ->
+  ?doc:string ->
+  Property.t list ->
+  issue:Property.t ->
+  children:(string * t) list ->
+  (t, string) result
+(** An internal CDO.  [issue] must be a generalized design issue with an
+    enumerated domain whose options are exactly the keys of [children]
+    (in any order); child names must be distinct. *)
+
+val leaf_exn : name:string -> ?abbrev:string -> ?doc:string -> Property.t list -> t
+val node_exn :
+  name:string ->
+  ?abbrev:string ->
+  ?doc:string ->
+  Property.t list ->
+  issue:Property.t ->
+  children:(string * t) list ->
+  t
+
+val is_leaf : t -> bool
+
+val all_properties : t -> Property.t list
+(** Own properties plus the generalized issue (when present). *)
+
+val property : t -> string -> Property.t option
+(** Lookup in {!all_properties}. *)
+
+val child_for_option : t -> string -> t option
+(** The specialization selected by an option of the generalized
+    issue. *)
+
+val generalized_issue : t -> Property.t option

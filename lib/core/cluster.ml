@@ -1,0 +1,75 @@
+open Evaluation
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let separation ca cb =
+  List.fold_left
+    (fun acc a -> List.fold_left (fun acc b -> Float.min acc (distance a b)) acc cb)
+    infinity ca
+
+(* Single-linkage agglomeration over index sets; returns the cluster
+   index lists at k clusters together with every merge distance (in
+   merge order). *)
+let agglomerate_indices normalized k =
+  let n = Array.length normalized in
+  let clusters = ref (List.init n (fun i -> [ i ])) in
+  let merges = ref [] in
+  let cluster_dist ca cb =
+    List.fold_left
+      (fun acc i ->
+        List.fold_left
+          (fun acc j -> Float.min acc (distance normalized.(i) normalized.(j)))
+          acc cb)
+      infinity ca
+  in
+  while List.length !clusters > k do
+    (* Find the closest pair. *)
+    let best = ref None in
+    List.iteri
+      (fun i ci ->
+        List.iteri
+          (fun j cj ->
+            if j > i then begin
+              let d = cluster_dist ci cj in
+              match !best with
+              | Some (_, _, bd) when bd <= d -> ()
+              | _ -> best := Some (ci, cj, d)
+            end)
+          !clusters)
+      !clusters;
+    match !best with
+    | None -> ()
+    | Some (ci, cj, d) ->
+      merges := d :: !merges;
+      clusters := (ci @ cj) :: List.filter (fun c -> c != ci && c != cj) !clusters
+  done;
+  (!clusters, List.rev !merges)
+
+let agglomerative ~k points =
+  if k < 1 then invalid_arg "Cluster.agglomerative: k must be >= 1";
+  let arr = Array.of_list points in
+  let normalized = Array.of_list (normalize points) in
+  if Array.length arr <= k then List.map (fun p -> [ p ]) points
+  else begin
+    let clusters, _ = agglomerate_indices normalized k in
+    clusters
+    |> List.map (fun idxs -> List.map (fun i -> arr.(i)) (List.sort Stdlib.compare idxs))
+    |> List.sort (fun a b -> Stdlib.compare (List.length b) (List.length a))
+  end
+
+let suggest_split points =
+  match agglomerative ~k:2 points with
+  | [ a; b ] -> Some (a, b)
+  | _ -> None
+
+let silhouette_gap points =
+  let arr = Array.of_list (normalize points) in
+  if Array.length arr < 3 then 0.0
+  else begin
+    let _, merges = agglomerate_indices arr 1 in
+    match List.rev merges with
+    | last :: prev :: _ -> if prev <= 0.0 then infinity else last /. prev
+    | [ _ ] | [] -> 0.0
+  end

@@ -1,0 +1,32 @@
+(** Evaluation-space clustering.
+
+    Section 2.2's argument: the generalization hierarchy should be
+    organised so that the first design issues presented to the designer
+    separate the clusters that are far apart in the evaluation space
+    (the IDCT clusters [{1,2,5}] and [{3,4}] of Fig 3).  This module
+    provides the clustering that lets a layer author {e derive} such an
+    organisation from characterised designs: single-linkage
+    agglomerative clustering over normalised merit points, plus a
+    helper that proposes the most natural two-way split. *)
+
+val agglomerative : k:int -> Evaluation.point list -> Evaluation.point list list
+(** Single-linkage agglomerative clustering down to [k] clusters over
+    the normalised point cloud.  Fewer than [k] points yield singleton
+    clusters.  Clusters are returned largest first; points keep their
+    original (un-normalised) coordinates.
+    @raise Invalid_argument when [k < 1]. *)
+
+val suggest_split : Evaluation.point list -> (Evaluation.point list * Evaluation.point list) option
+(** The 2-cluster partition, or [None] when there are fewer than two
+    points. *)
+
+val separation : Evaluation.point list -> Evaluation.point list -> float
+(** Single-linkage distance between two clusters: the minimum Euclidean
+    distance over cross-cluster point pairs, on the coordinates as
+    given.  [infinity] when either cluster is empty. *)
+
+val silhouette_gap : Evaluation.point list -> float
+(** How strongly the cloud splits in two: the ratio between the final
+    merge distance and the previous one (>= 1); large values mean a
+    clear two-cluster structure, values near 1 mean none.  0 when fewer
+    than 3 points. *)

@@ -1,0 +1,85 @@
+type binding_diff = { name : string; left : Value.t option; right : Value.t option }
+
+type merit_diff = {
+  merit : string;
+  left_range : (float * float) option;
+  right_range : (float * float) option;
+}
+
+type t = {
+  focus_left : string list;
+  focus_right : string list;
+  binding_diffs : binding_diff list;
+  only_left : string list;
+  only_right : string list;
+  shared : int;
+  merit_diffs : merit_diff list;
+}
+
+let compare ?(merits = []) left right =
+  let names session =
+    List.map (fun b -> b.Session.prop.Property.name) (Session.bindings session)
+  in
+  let all_names = List.sort_uniq String.compare (names left @ names right) in
+  let binding_diffs =
+    List.filter_map
+      (fun name ->
+        let l = Session.value_of left name and r = Session.value_of right name in
+        let same =
+          match (l, r) with
+          | Some a, Some b -> Value.equal a b
+          | None, None -> true
+          | Some _, None | None, Some _ -> false
+        in
+        if same then None else Some { name; left = l; right = r })
+      all_names
+  in
+  let ids session = List.map fst (Session.candidates session) in
+  let left_ids = ids left and right_ids = ids right in
+  let only_left = List.filter (fun id -> not (List.mem id right_ids)) left_ids in
+  let only_right = List.filter (fun id -> not (List.mem id left_ids)) right_ids in
+  let shared = List.length (List.filter (fun id -> List.mem id right_ids) left_ids) in
+  let merit_diffs =
+    List.map
+      (fun merit ->
+        {
+          merit;
+          left_range = Session.merit_range left ~merit;
+          right_range = Session.merit_range right ~merit;
+        })
+      merits
+  in
+  {
+    focus_left = Session.focus left;
+    focus_right = Session.focus right;
+    binding_diffs;
+    only_left;
+    only_right;
+    shared;
+    merit_diffs;
+  }
+
+let pp_value fmt = function
+  | Some v -> Value.pp fmt v
+  | None -> Format.pp_print_string fmt "(unbound)"
+
+let pp_range fmt = function
+  | Some (lo, hi) -> Format.fprintf fmt "%.4g..%.4g" lo hi
+  | None -> Format.pp_print_string fmt "(none)"
+
+let pp fmt d =
+  Format.fprintf fmt "left focus:  %s@." (String.concat "." d.focus_left);
+  Format.fprintf fmt "right focus: %s@." (String.concat "." d.focus_right);
+  if d.binding_diffs = [] then Format.fprintf fmt "bindings: identical@."
+  else
+    List.iter
+      (fun bd ->
+        Format.fprintf fmt "  %-28s %a | %a@." bd.name pp_value bd.left pp_value bd.right)
+      d.binding_diffs;
+  Format.fprintf fmt "candidates: %d shared, %d only left, %d only right@." d.shared
+    (List.length d.only_left) (List.length d.only_right);
+  List.iter
+    (fun md ->
+      Format.fprintf fmt "  %-14s %a | %a@." md.merit pp_range md.left_range pp_range
+        md.right_range)
+    d.merit_diffs

@@ -1,0 +1,38 @@
+(** Comparing exploration branches.
+
+    Sessions are immutable, so a designer naturally holds several
+    branches of the same exploration (Montgomery vs Brickell, hardware
+    vs software...).  This module reports what distinguishes two
+    branches rooted in the same hierarchy and population: which
+    properties are bound differently, which cores only one branch
+    keeps, and how the figure-of-merit ranges moved — the raw material
+    of a trade-off discussion. *)
+
+type binding_diff = {
+  name : string;
+  left : Value.t option;  (** [None] = unbound in that branch *)
+  right : Value.t option;
+}
+
+type merit_diff = {
+  merit : string;
+  left_range : (float * float) option;
+  right_range : (float * float) option;
+}
+
+type t = {
+  focus_left : string list;
+  focus_right : string list;
+  binding_diffs : binding_diff list;  (** only the properties that differ *)
+  only_left : string list;  (** qualified core ids kept only by the left *)
+  only_right : string list;
+  shared : int;  (** candidates both branches keep *)
+  merit_diffs : merit_diff list;
+}
+
+val compare : ?merits:string list -> Session.t -> Session.t -> t
+(** [merits] selects the ranges to tabulate (default none). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering ("left"/"right" follow the argument
+    order). *)

@@ -1,0 +1,65 @@
+let render_property buf prop =
+  let p = (prop : Property.t) in
+  Buffer.add_string buf
+    (Printf.sprintf "- **%s**%s — %s\n" p.Property.name
+       (match p.Property.unit_ with None -> "" | Some u -> Printf.sprintf " [%s]" u)
+       (Property.kind_name p.Property.kind));
+  Buffer.add_string buf
+    (Printf.sprintf "  - SetOfValues = %s\n" (Domain.describe p.Property.domain));
+  (match p.Property.default with
+  | Some d -> Buffer.add_string buf (Printf.sprintf "  - Default = %s\n" (Value.to_string d))
+  | None -> ());
+  if not (String.equal p.Property.doc "") then
+    Buffer.add_string buf (Printf.sprintf "  - %s\n" p.Property.doc)
+
+let render_cdo buf depth path (cdo : Cdo.t) =
+  let hashes = String.make (Stdlib.min 6 (depth + 2)) '#' in
+  Buffer.add_string buf
+    (Printf.sprintf "\n%s %s%s\n\n" hashes
+       (String.concat " . " path)
+       (match cdo.Cdo.abbrev with None -> "" | Some a -> Printf.sprintf " (%s)" a));
+  if not (String.equal cdo.Cdo.doc "") then Buffer.add_string buf (cdo.Cdo.doc ^ "\n\n");
+  (match cdo.Cdo.properties with
+  | [] -> ()
+  | properties -> List.iter (render_property buf) properties);
+  match cdo.Cdo.specialization with
+  | None -> Buffer.add_string buf "\nLeaf class: no further specialization.\n"
+  | Some spec ->
+    render_property buf spec.Cdo.issue;
+    Buffer.add_string buf
+      (Printf.sprintf "  - specializations: %s\n"
+         (String.concat ", " (List.map fst spec.Cdo.children)))
+
+let render ?(title = "Design Space Layer") ?(constraints = []) hierarchy =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf "%d classes of design objects, depth %d, %d leaves.\n"
+       (Hierarchy.size hierarchy) (Hierarchy.depth hierarchy)
+       (List.length (Hierarchy.leaf_paths hierarchy)));
+  List.iter
+    (fun path ->
+      match Hierarchy.find hierarchy path with
+      | Some cdo -> render_cdo buf (List.length path - 1) path cdo
+      | None -> ())
+    (Hierarchy.node_paths hierarchy);
+  if constraints <> [] then begin
+    Buffer.add_string buf "\n## Consistency constraints\n\n";
+    List.iter
+      (fun cc ->
+        Buffer.add_string buf (Format.asprintf "```\n%a```\n\n" Consistency.pp cc))
+      constraints
+  end;
+  Buffer.contents buf
+
+let pp ?title ?constraints fmt hierarchy =
+  Format.pp_print_string fmt (render ?title ?constraints hierarchy)
+
+let save ?title ?constraints hierarchy ~path =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (render ?title ?constraints hierarchy));
+    Ok ()
+  with Sys_error msg -> Error msg

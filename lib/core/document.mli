@@ -1,0 +1,24 @@
+(** Self-documentation of a design space layer.
+
+    "The layer is self-documented and highly compartmentalized into
+    hierarchies of classes of design objects" (abstract).  Everything a
+    layer author declares — CDOs with their documentation strings,
+    properties with kinds, domains, units and defaults, generalized
+    issues with their specializations, consistency constraints with
+    their comments — carries enough metadata to regenerate a complete
+    specification document.  This module does exactly that, producing a
+    markdown document with one section per CDO in preorder plus the
+    constraint catalogue. *)
+
+val render : ?title:string -> ?constraints:Consistency.t list -> Hierarchy.t -> string
+(** The full specification as markdown. *)
+
+val pp :
+  ?title:string -> ?constraints:Consistency.t list -> Format.formatter -> Hierarchy.t -> unit
+
+val save :
+  ?title:string ->
+  ?constraints:Consistency.t list ->
+  Hierarchy.t ->
+  path:string ->
+  (unit, string) result

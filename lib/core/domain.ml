@@ -1,0 +1,60 @@
+type t =
+  | Enum of string list
+  | Int_pred of { description : string; member : int -> bool }
+  | Int_range of { lo : int option; hi : int option }
+  | Real_range of { lo : float option; hi : float option }
+  | Flag_dom
+
+let enum opts =
+  if opts = [] then invalid_arg "Domain.enum: empty option list";
+  let sorted = List.sort_uniq String.compare opts in
+  if List.length sorted <> List.length opts then invalid_arg "Domain.enum: duplicate options";
+  Enum opts
+
+let powers_of_two =
+  Int_pred
+    {
+      description = "{2^i | i in Z+}";
+      member = (fun v -> v >= 1 && v land (v - 1) = 0);
+    }
+
+let divisors_of name ctx =
+  Int_pred
+    {
+      description = Printf.sprintf "{i in Z+ | %s mod i = 0}" name;
+      member = (fun v -> v >= 1 && ctx () mod v = 0);
+    }
+
+let non_negative_real = Real_range { lo = Some 0.0; hi = None }
+
+let contains dom v =
+  match (dom, v) with
+  | Enum opts, Value.Str s -> List.exists (String.equal s) opts
+  | Int_pred { member; _ }, Value.Int i -> member i
+  | Int_range { lo; hi }, Value.Int i ->
+    (match lo with None -> true | Some l -> i >= l)
+    && (match hi with None -> true | Some h -> i <= h)
+  | Real_range { lo; hi }, (Value.Real _ | Value.Int _) ->
+    let r = Option.get (Value.as_real v) in
+    (match lo with None -> true | Some l -> r >= l)
+    && (match hi with None -> true | Some h -> r <= h)
+  | Flag_dom, Value.Flag _ -> true
+  | (Enum _ | Int_pred _ | Int_range _ | Real_range _ | Flag_dom), _ -> false
+
+let describe = function
+  | Enum opts -> "{" ^ String.concat ", " opts ^ "}"
+  | Int_pred { description; _ } -> description
+  | Int_range { lo; hi } ->
+    Printf.sprintf "[%s .. %s]"
+      (match lo with None -> "-inf" | Some l -> string_of_int l)
+      (match hi with None -> "+inf" | Some h -> string_of_int h)
+  | Real_range { lo = Some 0.0; hi = None } -> "R+"
+  | Real_range { lo; hi } ->
+    Printf.sprintf "[%s .. %s]"
+      (match lo with None -> "-inf" | Some l -> Printf.sprintf "%g" l)
+      (match hi with None -> "+inf" | Some h -> Printf.sprintf "%g" h)
+  | Flag_dom -> "{true, false}"
+
+let options = function
+  | Enum opts -> Some opts
+  | Int_pred _ | Int_range _ | Real_range _ | Flag_dom -> None

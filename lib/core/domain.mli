@@ -1,0 +1,43 @@
+(** Value domains — the paper's [SetOfValues] annotations.
+
+    Fig 8 shows the kinds needed: finite enumerations
+    ([{2's compl., Signed, ...}]), symbolically-described integer sets
+    ([{2^i | i in Z+}], [{i | EOL/i = 0}]), non-negative reals
+    ([R+]), and flags ([{Guaranteed, notGuaranteed}] is an enumeration
+    too).  Predicate-based integer sets carry a description string so a
+    domain remains self-documenting when printed. *)
+
+type t =
+  | Enum of string list  (** finite option set, e.g. design-issue options *)
+  | Int_pred of { description : string; member : int -> bool }
+  | Int_range of { lo : int option; hi : int option }
+  | Real_range of { lo : float option; hi : float option }
+  | Flag_dom
+
+val enum : string list -> t
+(** @raise Invalid_argument on an empty or duplicated option list. *)
+
+val powers_of_two : t
+(** [{2^i | i >= 0}]. *)
+
+val divisors_of : string -> (unit -> int) -> t
+(** [divisors_of name ctx]: the set [{i | i divides ctx ()}] described
+    relative to a named quantity — the paper's "Number of Slices"
+    domain [{i | EOL/i = 0}].  The context function supplies the current
+    value of the named quantity (e.g. the EOL requirement) at check
+    time. *)
+
+val non_negative_real : t
+(** [R+]. *)
+
+val contains : t -> Value.t -> bool
+(** Domain membership, with the value kinds fixed per domain: [Enum]
+    contains [Str]s, integer domains contain [Int]s, [Real_range]
+    contains [Real]s and [Int]s, [Flag_dom] contains [Flag]s. *)
+
+val describe : t -> string
+(** The [SetOfValues={...}] rendering used in the Fig 8/Fig 11
+    reproductions. *)
+
+val options : t -> string list option
+(** The finite option list when the domain is an enumeration. *)

@@ -1,0 +1,40 @@
+module Core = Ds_reuse.Core
+
+type point = { label : string; x : float; y : float }
+
+let point ~label ~x ~y = { label; x; y }
+
+let of_cores ~x ~y cores =
+  List.filter_map
+    (fun (_, core) ->
+      match (Core.merit core x, Core.merit core y) with
+      | Some vx, Some vy -> Some { label = core.Core.name; x = vx; y = vy }
+      | None, _ | _, None -> None)
+    cores
+
+let dominates a b = a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y)
+
+let pareto_front points =
+  points
+  |> List.filter (fun p -> not (List.exists (fun q -> dominates q p) points))
+  |> List.sort (fun a b ->
+         match Float.compare a.x b.x with 0 -> Float.compare a.y b.y | c -> c)
+
+let dominated points = List.filter (fun p -> List.exists (fun q -> dominates q p) points) points
+
+let range = function
+  | [] -> None
+  | v :: rest ->
+    Some (List.fold_left (fun (lo, hi) x -> (Float.min lo x, Float.max hi x)) (v, v) rest)
+
+let merit_range cores ~merit = range (List.filter_map (fun (_, core) -> Core.merit core merit) cores)
+
+let normalize points =
+  let xs = List.map (fun p -> p.x) points and ys = List.map (fun p -> p.y) points in
+  match (range xs, range ys) with
+  | None, _ | _, None -> []
+  | Some (xlo, xhi), Some (ylo, yhi) ->
+    let scale lo hi v = if hi -. lo <= 0.0 then 0.0 else (v -. lo) /. (hi -. lo) in
+    List.map (fun p -> { p with x = scale xlo xhi p.x; y = scale ylo yhi p.y }) points
+
+let pp_point fmt p = Format.fprintf fmt "%s (%.4g, %.4g)" p.label p.x p.y

@@ -1,0 +1,38 @@
+(** The evaluation space (Figs 2(c), 3(b), 9, 12): design points plotted
+    by figures of merit, with the dominance and range queries the layer
+    offers during pruning.
+
+    Both axes are minimised (delay, area, power, cost...). *)
+
+type point = { label : string; x : float; y : float }
+
+val point : label:string -> x:float -> y:float -> point
+
+val of_cores :
+  x:string -> y:string -> (string * Ds_reuse.Core.t) list -> point list
+(** Project cores onto two merit axes; cores missing either merit are
+    skipped.  Labels are core names. *)
+
+val dominates : point -> point -> bool
+(** [dominates a b]: a is no worse on both axes and strictly better on
+    at least one. *)
+
+val pareto_front : point list -> point list
+(** Non-dominated subset, in ascending [x] order. *)
+
+val dominated : point list -> point list
+(** The complement of the front, original order. *)
+
+val range : float list -> (float * float) option
+(** (min, max); [None] on the empty list. *)
+
+val merit_range : (string * Ds_reuse.Core.t) list -> merit:string -> (float * float) option
+(** The range summary the layer shows the designer after each pruning
+    step ("critical information on the set of reusable designs that do
+    comply ... including ranges of performance"). *)
+
+val normalize : point list -> point list
+(** Rescale both axes to [0, 1] (used before clustering); a degenerate
+    axis maps to 0. *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,131 @@
+type t = { root : Cdo.t; paths : (string list * Cdo.t) list (* preorder cache *) }
+
+let collect_paths root =
+  let rec go path cdo acc =
+    let path = path @ [ cdo.Cdo.name ] in
+    let acc = (path, cdo) :: acc in
+    match cdo.Cdo.specialization with
+    | None -> acc
+    | Some spec ->
+      List.fold_left (fun acc (_, child) -> go path child acc) acc spec.Cdo.children
+  in
+  List.rev (go [] root [])
+
+let validate root paths =
+  (* Unique abbreviations. *)
+  let abbrevs = List.filter_map (fun (_, cdo) -> cdo.Cdo.abbrev) paths in
+  let dup_abbrev =
+    let sorted = List.sort String.compare abbrevs in
+    let rec dup = function
+      | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+      | [ _ ] | [] -> None
+    in
+    dup sorted
+  in
+  match dup_abbrev with
+  | Some a -> Error (Printf.sprintf "abbreviation %S used by several CDOs" a)
+  | None ->
+    (* No property shadowing along any path. *)
+    let rec check_path seen cdo =
+      let names = List.map (fun p -> p.Property.name) (Cdo.all_properties cdo) in
+      match List.find_opt (fun n -> List.mem n seen) names with
+      | Some n ->
+        Error (Printf.sprintf "property %S of CDO %S shadows an ancestor property" n cdo.Cdo.name)
+      | None -> (
+        let seen = names @ seen in
+        match cdo.Cdo.specialization with
+        | None -> Ok ()
+        | Some spec ->
+          List.fold_left
+            (fun acc (_, child) -> match acc with Error _ -> acc | Ok () -> check_path seen child)
+            (Ok ()) spec.Cdo.children)
+    in
+    check_path [] root
+
+let create root =
+  let paths = collect_paths root in
+  match validate root paths with Error _ as e -> e | Ok () -> Ok { root; paths }
+
+let create_exn root =
+  match create root with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Hierarchy.create_exn: " ^ msg)
+
+let root t = t.root
+
+let find t path =
+  if path = [] then None
+  else List.find_opt (fun (p, _) -> p = path) t.paths |> Option.map snd
+
+let find_by_abbrev t abbrev =
+  List.find_opt (fun (_, cdo) -> cdo.Cdo.abbrev = Some abbrev) t.paths
+
+let parent_path path =
+  match path with
+  | [] | [ _ ] -> None
+  | _ -> Some (List.filteri (fun i _ -> i < List.length path - 1) path)
+
+let node_paths t = List.map fst t.paths
+let leaf_paths t = List.filter_map (fun (p, cdo) -> if Cdo.is_leaf cdo then Some p else None) t.paths
+
+let ancestors_of t path =
+  (* All prefixes of path, shortest first, with their CDOs. *)
+  let rec prefixes acc cur = function
+    | [] -> List.rev acc
+    | seg :: rest ->
+      let cur = cur @ [ seg ] in
+      prefixes ((cur, find t cur) :: acc) cur rest
+  in
+  prefixes [] [] path
+
+let visible_properties t path =
+  match find t path with
+  | None -> []
+  | Some _ ->
+    List.concat_map
+      (fun (prefix, cdo) ->
+        match cdo with
+        | None -> []
+        | Some cdo -> List.map (fun p -> (prefix, p)) (Cdo.all_properties cdo))
+      (ancestors_of t path)
+
+let find_property t path name =
+  List.find_opt (fun (_, p) -> String.equal p.Property.name name) (visible_properties t path)
+
+let depth t = List.fold_left (fun acc (p, _) -> Stdlib.max acc (List.length p)) 0 t.paths
+let size t = List.length t.paths
+
+let ref_matches t pref ~path ~property =
+  Propref.matches pref ~path ~property
+  || String.equal pref.Propref.property property
+     &&
+     (match pref.Propref.pattern with
+     | [ Propref.Name n ] -> (
+       match find t path with Some cdo -> cdo.Cdo.abbrev = Some n | None -> false)
+     | [] | Propref.Star :: _ | Propref.Name _ :: _ -> false)
+
+let nodes_matching t pref =
+  List.filter
+    (fun (path, cdo) ->
+      Propref.matches_path pref path
+      ||
+      match pref.Propref.pattern with
+      | [ Propref.Name n ] -> cdo.Cdo.abbrev = Some n
+      | [] | Propref.Star :: _ | Propref.Name _ :: _ -> false)
+    t.paths
+
+let pp_tree fmt t =
+  let rec go indent cdo =
+    let pad = String.make (2 * indent) ' ' in
+    Format.fprintf fmt "%s%s%s@." pad cdo.Cdo.name
+      (match cdo.Cdo.abbrev with None -> "" | Some a -> " (" ^ a ^ ")");
+    match cdo.Cdo.specialization with
+    | None -> ()
+    | Some spec ->
+      Format.fprintf fmt "%s  <%s>@." pad spec.Cdo.issue.Property.name;
+      List.iter (fun (opt, child) ->
+          Format.fprintf fmt "%s  [%s]@." pad opt;
+          go (indent + 2) child)
+        spec.Cdo.children
+  in
+  go 0 t.root

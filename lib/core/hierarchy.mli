@@ -1,0 +1,60 @@
+(** The generalization/specialization hierarchy (Figs 3, 5, 7).
+
+    A hierarchy is a validated tree of CDOs.  Nodes are addressed by
+    {e paths}: lists of node names from the root (e.g.
+    [["Operator"; "Modular"; "Multiplier"; "Hardware"]]).  Property
+    inheritance follows the specialization chain: at a node, the visible
+    properties are its own plus all of its ancestors' (the paper's
+    "because of the inheritance hierarchy ... the properties may be part
+    of the CDO in question or of any of its ancestor classes"). *)
+
+type t
+
+val create : Cdo.t -> (t, string) result
+(** Validates global invariants: abbreviations unique across the tree,
+    and no property name shadowed along any root-to-leaf path. *)
+
+val create_exn : Cdo.t -> t
+val root : t -> Cdo.t
+
+val find : t -> string list -> Cdo.t option
+(** Node lookup by path ([[root-name; ...]]).  The empty path is no
+    node. *)
+
+val find_by_abbrev : t -> string -> (string list * Cdo.t) option
+(** Locate a node by its short name (e.g. "OMM-HM"). *)
+
+val parent_path : string list -> string list option
+(** [None] for the root path. *)
+
+val node_paths : t -> string list list
+(** Every node path, preorder. *)
+
+val leaf_paths : t -> string list list
+
+val visible_properties : t -> string list -> (string list * Property.t) list
+(** Properties visible at a node, each tagged with the path of the CDO
+    that defines it, ancestors first.  Empty for an unknown path. *)
+
+val find_property : t -> string list -> string -> (string list * Property.t) option
+(** Resolve a property name at a node through inheritance. *)
+
+val depth : t -> int
+(** Longest root-to-leaf path length. *)
+
+val size : t -> int
+(** Number of CDOs. *)
+
+val ref_matches : t -> Propref.t -> path:string list -> property:string -> bool
+(** Does a property reference address the given (node, property)?
+    Besides the pattern match on the path, a single-segment pattern
+    equal to the node's abbreviation also matches (the paper writes
+    [ModuloIsOdd@OMM]). *)
+
+val nodes_matching : t -> Propref.t -> (string list * Cdo.t) list
+(** All nodes whose path (or abbreviation) matches the reference's
+    pattern. *)
+
+val pp_tree : Format.formatter -> t -> unit
+(** Indented tree rendering with generalized issues — the Fig 5/7
+    reproduction. *)

@@ -1,0 +1,62 @@
+module Core = Ds_reuse.Core
+
+type entry = { qid : string; core : Core.t; path : string list }
+
+type t = { entries : entry list; orphans : (string * Core.t) list }
+
+(* Descend from the root as far as the core's property values allow:
+   at each generalized issue, follow the child for the core's declared
+   option; stop when the issue is undeclared or the option unknown. *)
+let classify hierarchy core =
+  let rec go path cdo =
+    match cdo.Cdo.specialization with
+    | None -> Some (path @ [ cdo.Cdo.name ])
+    | Some spec -> (
+      let issue_name = spec.Cdo.issue.Property.name in
+      match Core.property core issue_name with
+      | None -> Some (path @ [ cdo.Cdo.name ])
+      | Some option_value -> (
+        match Cdo.child_for_option cdo option_value with
+        | Some child -> go (path @ [ cdo.Cdo.name ]) child
+        | None ->
+          (* Declared an option the hierarchy does not model: the core
+             falls outside the design space at the root, inside it
+             otherwise. *)
+          if path = [] then None else Some (path @ [ cdo.Cdo.name ])))
+  in
+  go [] (Hierarchy.root hierarchy)
+
+let build hierarchy cores =
+  let entries, orphans =
+    List.fold_left
+      (fun (entries, orphans) (qid, core) ->
+        match classify hierarchy core with
+        | Some path -> ({ qid; core; path } :: entries, orphans)
+        | None -> (entries, (qid, core) :: orphans))
+      ([], []) cores
+  in
+  { entries = List.rev entries; orphans = List.rev orphans }
+
+let path_of t ~qualified_id =
+  List.find_opt (fun e -> String.equal e.qid qualified_id) t.entries
+  |> Option.map (fun e -> e.path)
+
+let is_prefix prefix path =
+  let rec go = function
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | p :: ps, q :: qs -> String.equal p q && go (ps, qs)
+  in
+  go (prefix, path)
+
+let under t path =
+  List.filter_map
+    (fun e -> if is_prefix path e.path then Some (e.qid, e.core) else None)
+    t.entries
+
+let at t path =
+  List.filter_map (fun e -> if e.path = path then Some (e.qid, e.core) else None) t.entries
+
+let count_under t path = List.length (under t path)
+let all t = List.map (fun e -> (e.qid, e.core)) t.entries
+let unindexed t = t.orphans

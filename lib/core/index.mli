@@ -1,0 +1,34 @@
+(** Indexing of reusable cores under the CDO hierarchy.
+
+    Cores residing in reuse libraries are "points" of the design space;
+    the hierarchy is "a basic schema for classifying and indexing
+    families of cores" (Section 4).  A core is indexed under the deepest
+    CDO whose chain of generalized-issue options matches the core's
+    property bindings: a hardware Montgomery multiplier lands on the
+    OMM-HM leaf, a software routine on the Software subtree, and a core
+    that does not declare some issue stays at the last node it
+    matched. *)
+
+type t
+
+val build : Hierarchy.t -> (string * Ds_reuse.Core.t) list -> t
+(** [build hierarchy cores] indexes qualified-id/core pairs (typically
+    {!Ds_reuse.Registry.all_cores}). *)
+
+val path_of : t -> qualified_id:string -> string list option
+(** The node a core is indexed under. *)
+
+val under : t -> string list -> (string * Ds_reuse.Core.t) list
+(** All cores indexed at or below the given node path, in insertion
+    order. *)
+
+val at : t -> string list -> (string * Ds_reuse.Core.t) list
+(** Cores indexed exactly at the node. *)
+
+val count_under : t -> string list -> int
+val all : t -> (string * Ds_reuse.Core.t) list
+
+val unindexed : t -> (string * Ds_reuse.Core.t) list
+(** Cores whose root-level generalized option did not match any child —
+    they fall outside the modelled design space (e.g. a DSP core in a
+    multiplier layer).  Not returned by {!under}. *)

@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  hierarchy : Hierarchy.t;
+  constraints : Consistency.t list;
+  registry : Ds_reuse.Registry.t;
+}
+
+let make ~name ~hierarchy ?(constraints = []) ~registry () =
+  if String.equal name "" then Error "layer name must not be empty"
+  else begin
+    let findings = Lint.check ~constraints hierarchy in
+    match List.find_opt (fun f -> f.Lint.severity = Lint.Error) findings with
+    | Some f -> Error (Format.asprintf "%a" Lint.pp_finding f)
+    | None -> Ok { name; hierarchy; constraints; registry }
+  end
+
+let make_exn ~name ~hierarchy ?constraints ~registry () =
+  match make ~name ~hierarchy ?constraints ~registry () with
+  | Ok layer -> layer
+  | Error msg -> invalid_arg ("Layer.make_exn: " ^ msg)
+
+let explore layer =
+  Session.create ~hierarchy:layer.hierarchy ~constraints:layer.constraints
+    ~cores:(Ds_reuse.Registry.all_cores layer.registry)
+    ()
+
+let warnings layer = Lint.check ~constraints:layer.constraints layer.hierarchy
+
+let document layer =
+  Document.render ~title:layer.name ~constraints:layer.constraints layer.hierarchy
+
+let core_count layer = Ds_reuse.Registry.size layer.registry
+
+let pp_summary fmt layer =
+  Format.fprintf fmt "%s: %d CDOs (depth %d), %d constraints, %d cores in %d libraries"
+    layer.name (Hierarchy.size layer.hierarchy) (Hierarchy.depth layer.hierarchy)
+    (List.length layer.constraints) (core_count layer)
+    (List.length (Ds_reuse.Registry.libraries layer.registry))

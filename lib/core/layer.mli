@@ -1,0 +1,48 @@
+(** The front door: a design space layer as a single validated value.
+
+    A layer bundles what Fig 1 shows — the hierarchy of CDOs, the
+    consistency constraints, and the reuse libraries it indexes — and
+    checks their mutual consistency once, at construction (via
+    {!Lint}).  Everything else hangs off it: sessions, documentation,
+    reports.
+
+    The finer-grained modules ({!Hierarchy}, {!Session}, ...) remain the
+    API for layer {e authors}; this module is the convenient surface for
+    layer {e users}. *)
+
+type t = private {
+  name : string;
+  hierarchy : Hierarchy.t;
+  constraints : Consistency.t list;
+  registry : Ds_reuse.Registry.t;
+}
+
+val make :
+  name:string ->
+  hierarchy:Hierarchy.t ->
+  ?constraints:Consistency.t list ->
+  registry:Ds_reuse.Registry.t ->
+  unit ->
+  (t, string) result
+(** Validates with {!Lint.check}; construction fails on any
+    error-severity finding (the message carries the first finding). *)
+
+val make_exn :
+  name:string ->
+  hierarchy:Hierarchy.t ->
+  ?constraints:Consistency.t list ->
+  registry:Ds_reuse.Registry.t ->
+  unit ->
+  t
+
+val explore : t -> Session.t
+(** A fresh session over the layer's whole population. *)
+
+val warnings : t -> Lint.finding list
+(** Non-fatal lint findings recorded at construction time. *)
+
+val document : t -> string
+(** {!Document.render} with the layer's name and constraints. *)
+
+val core_count : t -> int
+val pp_summary : Format.formatter -> t -> unit

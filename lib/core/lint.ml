@@ -1,0 +1,136 @@
+type severity = Warning | Error
+
+type finding = { severity : severity; subject : string; message : string }
+
+let finding severity subject message = { severity; subject; message }
+
+(* Does the reference address at least one (node, visible property)
+   pair?  Mirrors the runtime rule: a reference applies at any focus
+   whose ancestor-or-self matches the pattern, so the property may be
+   visible at the matching node itself or anywhere below it (the paper
+   writes [Algorithm@OMM] for an issue defined in OMM's hardware
+   specialization). *)
+let ref_resolves hierarchy pref =
+  let matching = Hierarchy.nodes_matching hierarchy pref in
+  let is_prefix prefix path =
+    let rec go = function
+      | [], _ -> true
+      | _ :: _, [] -> false
+      | p :: ps, q :: qs -> String.equal p q && go (ps, qs)
+    in
+    go (prefix, path)
+  in
+  List.exists
+    (fun (matched_path, _) ->
+      List.exists
+        (fun path ->
+          is_prefix matched_path path
+          && Hierarchy.find_property hierarchy path pref.Propref.property <> None)
+        (Hierarchy.node_paths hierarchy))
+    matching
+
+let property_exists_somewhere hierarchy name =
+  List.exists
+    (fun path ->
+      match Hierarchy.find hierarchy path with
+      | Some cdo -> Cdo.property cdo name <> None
+      | None -> false)
+    (Hierarchy.node_paths hierarchy)
+
+let check_constraints hierarchy constraints =
+  let dangling =
+    List.concat_map
+      (fun cc ->
+        List.filter_map
+          (fun pref ->
+            if ref_resolves hierarchy pref then None
+            else if
+              (* a pattern that hits a node but names a property defined
+                 nowhere is a hard error; a dependent metric that exists
+                 nowhere at all is only a warning (handled below) *)
+              Hierarchy.nodes_matching hierarchy pref = []
+            then
+              Some
+                (finding Error cc.Consistency.name
+                   (Printf.sprintf "reference %s matches no hierarchy node" (Propref.to_string pref)))
+            else if property_exists_somewhere hierarchy pref.Propref.property then
+              Some
+                (finding Error cc.Consistency.name
+                   (Printf.sprintf "property of %s is not visible at any matching node"
+                      (Propref.to_string pref)))
+            else if List.memq pref cc.Consistency.indep then
+              Some
+                (finding Error cc.Consistency.name
+                   (Printf.sprintf "independent reference %s names an unknown property"
+                      (Propref.to_string pref)))
+            else
+              Some
+                (finding Warning cc.Consistency.name
+                   (Printf.sprintf
+                      "dependent %s names a property that exists nowhere (pure metric?)"
+                      (Propref.to_string pref))))
+          (cc.Consistency.indep @ cc.Consistency.dep))
+      constraints
+  in
+  let duplicates =
+    let names = List.map (fun cc -> cc.Consistency.name) constraints in
+    let sorted = List.sort String.compare names in
+    let rec dups = function
+      | a :: (b :: _ as rest) -> if String.equal a b then a :: dups rest else dups rest
+      | [ _ ] | [] -> []
+    in
+    List.map
+      (fun name -> finding Error name "duplicate constraint name")
+      (List.sort_uniq String.compare (dups sorted))
+  in
+  dangling @ duplicates
+
+let check_nodes hierarchy =
+  List.concat_map
+    (fun path ->
+      match Hierarchy.find hierarchy path with
+      | None -> []
+      | Some cdo ->
+        let subject = String.concat "." path in
+        let undocumented =
+          List.filter_map
+            (fun p ->
+              if
+                Property.is_design_issue p
+                && String.equal p.Property.doc ""
+                && p.Property.default = None
+              then
+                Some
+                  (finding Warning subject
+                     (Printf.sprintf "design issue %S has neither doc nor default"
+                        p.Property.name))
+              else None)
+            (Cdo.all_properties cdo)
+        in
+        let degenerate =
+          match Cdo.generalized_issue cdo with
+          | Some issue -> (
+            match Domain.options issue.Property.domain with
+            | Some [ _ ] ->
+              [
+                finding Warning subject
+                  (Printf.sprintf "generalized issue %S has a single option" issue.Property.name);
+              ]
+            | Some _ | None -> [])
+          | None -> []
+        in
+        undocumented @ degenerate)
+    (Hierarchy.node_paths hierarchy)
+
+let check ?(constraints = []) hierarchy =
+  let findings = check_constraints hierarchy constraints @ check_nodes hierarchy in
+  let errors, warnings = List.partition (fun f -> f.severity = Error) findings in
+  errors @ warnings
+
+let is_clean ?constraints hierarchy =
+  not (List.exists (fun f -> f.severity = Error) (check ?constraints hierarchy))
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s [%s] %s"
+    (match f.severity with Warning -> "warning" | Error -> "error")
+    f.subject f.message

@@ -1,0 +1,36 @@
+(** Static checks for layer definitions.
+
+    The layer's property references are resolved by pattern matching
+    ([Radix@*.Hardware.Montgomery]); a typo in a pattern or a property
+    name does not fail loudly — the constraint simply never becomes
+    ready and never fires.  This linter catches that class of mistake
+    when a layer is assembled, along with other definition-level
+    smells. *)
+
+type severity = Warning | Error
+
+type finding = {
+  severity : severity;
+  subject : string;  (** e.g. "CC2" or a node path *)
+  message : string;
+}
+
+val check : ?constraints:Consistency.t list -> Hierarchy.t -> finding list
+(** All findings, errors first.  Checks performed:
+
+    - {b dangling reference} (error): a constraint reference whose
+      pattern matches no hierarchy node, or whose property is not
+      visible at any matching node;
+    - {b duplicate constraint names} (error);
+    - {b unreachable estimator/derive target} (warning): a dependent
+      property that exists nowhere in the hierarchy (derivations to it
+      can never bind — legitimate for pure metrics, hence a warning);
+    - {b undocumented design issue} (warning): a design issue with no
+      doc string and no default — self-documentation gap;
+    - {b single-option generalized issue} (warning): a specialization
+      that cannot discriminate. *)
+
+val is_clean : ?constraints:Consistency.t list -> Hierarchy.t -> bool
+(** No errors (warnings allowed). *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,73 @@
+module Core = Ds_reuse.Core
+
+type point = { label : string; coords : float array }
+
+let point ~label coords =
+  if Array.length coords = 0 then invalid_arg "Multi_objective.point: no coordinates";
+  { label; coords }
+
+let of_cores ~merits cores =
+  if merits = [] then invalid_arg "Multi_objective.of_cores: no merits";
+  List.filter_map
+    (fun (_, core) ->
+      let values = List.map (fun merit -> Core.merit core merit) merits in
+      if List.for_all Option.is_some values then
+        Some { label = core.Core.name; coords = Array.of_list (List.map Option.get values) }
+      else None)
+    cores
+
+let dominates a b =
+  let n = Array.length a.coords in
+  if Array.length b.coords <> n then invalid_arg "Multi_objective.dominates: dimension mismatch";
+  let no_worse = ref true and strictly = ref false in
+  for i = 0 to n - 1 do
+    if a.coords.(i) > b.coords.(i) then no_worse := false;
+    if a.coords.(i) < b.coords.(i) then strictly := true
+  done;
+  !no_worse && !strictly
+
+let pareto_front points =
+  List.filter (fun p -> not (List.exists (fun q -> dominates q p) points)) points
+
+let dominated_count points = List.length points - List.length (pareto_front points)
+
+let ideal = function
+  | [] -> None
+  | first :: rest ->
+    let acc = Array.copy first.coords in
+    List.iter
+      (fun p -> Array.iteri (fun i v -> if v < acc.(i) then acc.(i) <- v) p.coords)
+      rest;
+    Some acc
+
+let nearest_to_ideal points =
+  match (points, ideal points) with
+  | [], _ | _, None -> None
+  | _ :: _, Some ideal_coords ->
+    let n = Array.length ideal_coords in
+    (* normalise each axis to [0,1] before measuring distance *)
+    let maxs = Array.copy ideal_coords in
+    List.iter
+      (fun p -> Array.iteri (fun i v -> if v > maxs.(i) then maxs.(i) <- v) p.coords)
+      points;
+    let dist p =
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        let span = maxs.(i) -. ideal_coords.(i) in
+        let d = if span <= 0.0 then 0.0 else (p.coords.(i) -. ideal_coords.(i)) /. span in
+        acc := !acc +. (d *. d)
+      done;
+      !acc
+    in
+    let front = pareto_front points in
+    List.fold_left
+      (fun best p ->
+        match best with
+        | None -> Some p
+        | Some q -> if dist p < dist q then Some p else best)
+      None front
+
+let pp_point fmt p =
+  Format.fprintf fmt "%s (%s)" p.label
+    (String.concat ", "
+       (Array.to_list (Array.map (fun v -> Printf.sprintf "%.4g" v) p.coords)))

@@ -1,0 +1,38 @@
+(** Multi-objective evaluation spaces.
+
+    The paper's evaluation spaces are two-dimensional (area vs delay);
+    its closing section announces power as a further figure of merit.
+    Once three or more merits matter, the pairwise pictures of
+    {!Evaluation} stop telling the whole story — a core can be
+    off both 2-D fronts yet Pareto-optimal in 3-D.  This module provides
+    dominance and front computation over any number of minimised
+    axes. *)
+
+type point = { label : string; coords : float array }
+
+val point : label:string -> float array -> point
+(** @raise Invalid_argument on an empty coordinate array. *)
+
+val of_cores : merits:string list -> (string * Ds_reuse.Core.t) list -> point list
+(** Project cores onto the given merit axes; cores missing any merit are
+    skipped.  @raise Invalid_argument when [merits] is empty. *)
+
+val dominates : point -> point -> bool
+(** No worse on every axis, strictly better on at least one.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val pareto_front : point list -> point list
+(** Non-dominated subset, in input order.  All points must share a
+    dimension. *)
+
+val dominated_count : point list -> int
+
+val ideal : point list -> float array option
+(** Coordinate-wise minimum — the (usually infeasible) ideal point. *)
+
+val nearest_to_ideal : point list -> point option
+(** The front point closest (Euclidean, axes normalised to [0,1]) to
+    the ideal — a reasonable single recommendation when the designer
+    has no axis preference. *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,171 @@
+module Core = Ds_reuse.Core
+
+type issue_impact = {
+  issue : string;
+  option_counts : (string * int) list;
+  separation : float;
+}
+
+(* Project cores declaring the issue onto normalised merit points,
+   grouped by option.  Figures of merit routinely span orders of
+   magnitude (Fig 6's hardware/software gap is ~400x), so strictly
+   positive axes are log-scaled before normalisation: the separation
+   score then reflects ratios, which is how designers read such
+   spaces. *)
+let grouped_points cores ~issue ~x ~y =
+  let tagged =
+    List.filter_map
+      (fun (_, core) ->
+        match (Core.property core issue, Core.merit core x, Core.merit core y) with
+        | Some opt, Some vx, Some vy ->
+          Some (opt, Evaluation.point ~label:core.Core.name ~x:vx ~y:vy)
+        | _ -> None)
+      cores
+  in
+  let log_scale axis values =
+    if List.for_all (fun v -> v > 0.0) values then List.map log10 values
+    else begin
+      ignore axis;
+      values
+    end
+  in
+  let xs = log_scale `X (List.map (fun (_, p) -> p.Evaluation.x) tagged) in
+  let ys = log_scale `Y (List.map (fun (_, p) -> p.Evaluation.y) tagged) in
+  let tagged =
+    List.map2
+      (fun (opt, p) (x', y') -> (opt, { p with Evaluation.x = x'; Evaluation.y = y' }))
+      tagged (List.combine xs ys)
+  in
+  let normalized = Evaluation.normalize (List.map snd tagged) in
+  let tagged = List.map2 (fun (opt, _) p -> (opt, p)) tagged normalized in
+  let options = List.sort_uniq String.compare (List.map fst tagged) in
+  List.map
+    (fun opt -> (opt, List.filter_map (fun (o, p) -> if String.equal o opt then Some p else None) tagged))
+    options
+
+let centroid points =
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun acc p -> acc +. p.Evaluation.x) 0.0 points in
+  let sy = List.fold_left (fun acc p -> acc +. p.Evaluation.y) 0.0 points in
+  (sx /. n, sy /. n)
+
+let sq_dist (cx, cy) p =
+  let dx = p.Evaluation.x -. cx and dy = p.Evaluation.y -. cy in
+  (dx *. dx) +. (dy *. dy)
+
+let impact cores ~issue ~x ~y =
+  let groups = grouped_points cores ~issue ~x ~y in
+  let option_counts =
+    groups
+    |> List.map (fun (opt, pts) -> (opt, List.length pts))
+    |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
+  in
+  let populated = List.filter (fun (_, pts) -> pts <> []) groups in
+  if List.length populated < 2 then { issue; option_counts; separation = 0.0 }
+  else begin
+    let all_points = List.concat_map snd populated in
+    let total = float_of_int (List.length all_points) in
+    let grand = centroid all_points in
+    (* Fisher ratio: weighted between-group variance over pooled
+       within-group variance. *)
+    let between =
+      List.fold_left
+        (fun acc (_, pts) ->
+          let w = float_of_int (List.length pts) in
+          let c = centroid pts in
+          acc +. (w *. sq_dist grand (Evaluation.point ~label:"" ~x:(fst c) ~y:(snd c))))
+        0.0 populated
+      /. total
+    in
+    let within =
+      List.fold_left
+        (fun acc (_, pts) ->
+          let c = centroid pts in
+          acc +. List.fold_left (fun acc p -> acc +. sq_dist c p) 0.0 pts)
+        0.0 populated
+      /. total
+    in
+    let separation = if within <= 1e-12 then between /. 1e-12 else between /. within in
+    { issue; option_counts; separation }
+  end
+
+let rank_issues cores ~issues ~x ~y =
+  issues
+  |> List.map (fun issue -> impact cores ~issue ~x ~y)
+  |> List.sort (fun a b -> Float.compare b.separation a.separation)
+
+let derive_hierarchy ~name ?(max_depth = 4) ?(min_leaf_cores = 2) cores ~issues ~x ~y =
+  if cores = [] then Error "empty core population"
+  else begin
+    (* Distinguish sibling CDOs that would otherwise collide on names by
+       qualifying with the branch path. *)
+    let rec build node_name branch_cores remaining depth =
+      let splittable =
+        rank_issues branch_cores ~issues:remaining ~x ~y
+        |> List.filter (fun imp ->
+               imp.separation > 0.0 && List.length imp.option_counts >= 2)
+      in
+      match splittable with
+      | _ when depth >= max_depth || List.length branch_cores < min_leaf_cores ->
+        Cdo.leaf_exn ~name:node_name []
+      | [] -> Cdo.leaf_exn ~name:node_name []
+      | best :: _ ->
+        let options = List.map fst best.option_counts in
+        let issue =
+          Property.design_issue ~generalized:true ~name:best.issue
+            ~domain:(Domain.enum options)
+            ~doc:(Printf.sprintf "derived: separation %.2f" best.separation)
+            ()
+        in
+        let remaining = List.filter (fun i -> not (String.equal i best.issue)) remaining in
+        let children =
+          List.map
+            (fun opt ->
+              let sub =
+                List.filter
+                  (fun (_, core) ->
+                    match Core.property core best.issue with
+                    | Some v -> String.equal v opt
+                    | None -> false)
+                  branch_cores
+              in
+              (opt, build opt sub remaining (depth + 1)))
+            options
+        in
+        Cdo.node_exn ~name:node_name [] ~issue ~children
+    in
+    let root = build name cores issues 0 in
+    if Cdo.is_leaf root then Error "no issue discriminates the population"
+    else Hierarchy.create root
+  end
+
+let guidance_quality hierarchy cores ~merit =
+  let root = Hierarchy.root hierarchy in
+  match Cdo.generalized_issue root with
+  | None -> nan
+  | Some issue ->
+    let issue_name = issue.Property.name in
+    let by_option =
+      List.filter_map
+        (fun (opt, _) ->
+          let family =
+            List.filter_map
+              (fun (_, core) ->
+                match (Core.property core issue_name, Core.merit core merit) with
+                | Some v, Some m when String.equal v opt -> Some m
+                | _ -> None)
+              cores
+          in
+          match Evaluation.range family with
+          | Some (lo, hi) when lo > 0.0 -> Some (List.length family, (hi -. lo) /. lo)
+          | Some _ | None -> None)
+        (match Domain.options issue.Property.domain with
+        | Some opts -> List.map (fun o -> (o, ())) opts
+        | None -> [])
+    in
+    let total = List.fold_left (fun acc (n, _) -> acc + n) 0 by_option in
+    if total = 0 then nan
+    else
+      List.fold_left
+        (fun acc (n, spread) -> acc +. (float_of_int n /. float_of_int total *. spread))
+        0.0 by_option

@@ -1,0 +1,68 @@
+(** Deriving layer organisations from a characterised core population.
+
+    The paper closes with two open points: the generalization hierarchy
+    should be built so that the issues with the greatest impact on the
+    figures of merit come first (Section 2.2), and different trade-off
+    interests may warrant {e co-existing specialization hierarchies}
+    (Section 6, "work in progress").  This module mechanises both:
+
+    - {!impact} scores how strongly a design issue's options separate
+      the cores in a chosen two-merit evaluation space (a Fisher-style
+      between/within variance ratio on the normalised point cloud);
+    - {!rank_issues} orders candidate issues by that score — the
+      recommended generalization order for those merits;
+    - {!derive_hierarchy} builds a complete {!Hierarchy.t} from the
+      ranked issues, so a layer author can generate one hierarchy per
+      trade-off of interest (performance-first, area-first, ...) over
+      the same population;
+    - {!guidance_quality} measures an organisation the way Section 2.1
+      argues: the expected merit spread a designer faces after the first
+      decision (smaller is better guidance). *)
+
+type issue_impact = {
+  issue : string;
+  option_counts : (string * int) list;
+      (** cores declaring each option, descending *)
+  separation : float;
+      (** between-group variance / within-group variance of the
+          normalised (x, y) merit points; higher = stronger
+          discriminator; 0 when the issue does not split the
+          population *)
+}
+
+val impact :
+  (string * Ds_reuse.Core.t) list -> issue:string -> x:string -> y:string -> issue_impact
+(** Cores that do not declare the issue or lack either merit are
+    ignored. *)
+
+val rank_issues :
+  (string * Ds_reuse.Core.t) list ->
+  issues:string list ->
+  x:string ->
+  y:string ->
+  issue_impact list
+(** Strongest discriminator first. *)
+
+val derive_hierarchy :
+  name:string ->
+  ?max_depth:int ->
+  ?min_leaf_cores:int ->
+  (string * Ds_reuse.Core.t) list ->
+  issues:string list ->
+  x:string ->
+  y:string ->
+  (Hierarchy.t, string) result
+(** Build a generalization hierarchy: at each node, the remaining issue
+    with the highest impact {e on that node's cores} becomes the
+    generalized issue (options = the values present there); recursion
+    stops at [max_depth] (default 4), when fewer than [min_leaf_cores]
+    cores remain (default 2), or when no issue splits the branch.
+    Errors when the population is empty or nothing discriminates. *)
+
+val guidance_quality :
+  Hierarchy.t -> (string * Ds_reuse.Core.t) list -> merit:string -> float
+(** Expected relative spread ((max-min)/min) of [merit] over the family
+    selected by the root's generalized issue, weighted by family size;
+    [nan] when the root has no generalized issue or no data.  Smaller
+    values mean the first decision is more informative (Section 2.1's
+    criterion). *)

@@ -1,0 +1,59 @@
+type kind =
+  | Requirement
+  | Design_issue of { generalized : bool }
+  | Behavioral_description
+  | Behavioral_decomposition
+
+let kind_name = function
+  | Requirement -> "Requirement"
+  | Design_issue { generalized = true } -> "Generalized Design Issue"
+  | Design_issue { generalized = false } -> "Design Issue"
+  | Behavioral_description -> "Behavioral Description"
+  | Behavioral_decomposition -> "Behavioral Decomposition"
+
+type t = {
+  name : string;
+  kind : kind;
+  domain : Domain.t;
+  unit_ : string option;
+  default : Value.t option;
+  doc : string;
+}
+
+let make ~name ~kind ~domain ?unit_ ?default ?(doc = "") () =
+  if String.equal name "" then Error "property name must not be empty"
+  else begin
+    match default with
+    | Some v when not (Domain.contains domain v) ->
+      Error (Printf.sprintf "default %s outside domain %s of %s" (Value.to_string v)
+               (Domain.describe domain) name)
+    | Some _ | None -> Ok { name; kind; domain; unit_; default; doc }
+  end
+
+let make_exn ~name ~kind ~domain ?unit_ ?default ?doc () =
+  match make ~name ~kind ~domain ?unit_ ?default ?doc () with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Property.make_exn: " ^ msg)
+
+let requirement ~name ~domain ?unit_ ?default ?doc () =
+  make_exn ~name ~kind:Requirement ~domain ?unit_ ?default ?doc ()
+
+let design_issue ?(generalized = false) ~name ~domain ?default ?doc () =
+  make_exn ~name ~kind:(Design_issue { generalized }) ~domain ?default ?doc ()
+
+let is_generalized p = match p.kind with Design_issue { generalized } -> generalized | _ -> false
+
+let is_design_issue p =
+  match p.kind with
+  | Design_issue _ | Behavioral_decomposition -> true
+  | Requirement | Behavioral_description -> false
+
+let is_requirement p = p.kind = Requirement
+let accepts p v = Domain.contains p.domain v
+
+let pp fmt p =
+  Format.fprintf fmt "%s%s  Type: %s  SetOfValues=%s%s%s" p.name
+    (match p.unit_ with None -> "" | Some u -> Printf.sprintf " [%s]" u)
+    (kind_name p.kind) (Domain.describe p.domain)
+    (match p.default with None -> "" | Some d -> "  Default: " ^ Value.to_string d)
+    (if String.equal p.doc "" then "" else "  -- " ^ p.doc)

@@ -1,0 +1,79 @@
+(** Properties — the finest-grain modelling construct of the layer
+    (Section 4).
+
+    The paper classifies properties into behavioral/structural
+    descriptions, design requirements and design decisions (design
+    issues); generalized design issues are the subset of issues that
+    partition the design space and create specializations.  A property
+    here is metadata: name, classification, value domain, optional
+    default and unit, plus its documentation string — the layer is meant
+    to be self-documenting. *)
+
+type kind =
+  | Requirement
+      (** a problem given or target the designer enters from the spec
+          (Fig 8's Req1..Req5) *)
+  | Design_issue of { generalized : bool }
+      (** an area of design decision; generalized issues partition the
+          space and spawn child CDOs (DI1, DI2 in the case study) *)
+  | Behavioral_description
+      (** reference to an algorithm-level description (Fig 10) *)
+  | Behavioral_decomposition
+      (** the "select a BD for every operator used by this BD" issue
+          (DI7) *)
+
+val kind_name : kind -> string
+
+type t = private {
+  name : string;  (** e.g. "EffectiveOperandLength", "Algorithm" *)
+  kind : kind;
+  domain : Domain.t;
+  unit_ : string option;  (** e.g. "bits", "usec" *)
+  default : Value.t option;
+  doc : string;
+}
+
+val make :
+  name:string ->
+  kind:kind ->
+  domain:Domain.t ->
+  ?unit_:string ->
+  ?default:Value.t ->
+  ?doc:string ->
+  unit ->
+  (t, string) result
+(** Rejects an empty name and a default outside the domain. *)
+
+val make_exn :
+  name:string ->
+  kind:kind ->
+  domain:Domain.t ->
+  ?unit_:string ->
+  ?default:Value.t ->
+  ?doc:string ->
+  unit ->
+  t
+
+val requirement :
+  name:string -> domain:Domain.t -> ?unit_:string -> ?default:Value.t -> ?doc:string -> unit -> t
+(** Convenience for {!make_exn} with [kind = Requirement]. *)
+
+val design_issue :
+  ?generalized:bool ->
+  name:string ->
+  domain:Domain.t ->
+  ?default:Value.t ->
+  ?doc:string ->
+  unit ->
+  t
+(** Convenience for design issues (default: not generalized). *)
+
+val is_generalized : t -> bool
+val is_design_issue : t -> bool
+val is_requirement : t -> bool
+
+val accepts : t -> Value.t -> bool
+(** Domain membership of a candidate value. *)
+
+val pp : Format.formatter -> t -> unit
+(** The Fig 8 / Fig 11 style: name, type, SetOfValues, default, unit. *)

@@ -1,0 +1,48 @@
+type segment = Name of string | Star
+
+type t = { property : string; pattern : segment list }
+
+let make ~property ~pattern =
+  if String.equal property "" then Error "empty property name"
+  else if pattern = [] then Error "empty node pattern"
+  else if
+    List.exists (function Name "" -> true | Name _ | Star -> false) pattern
+  then Error "empty pattern segment"
+  else Ok { property; pattern }
+
+let parse s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "missing '@' in property reference %S" s)
+  | Some i ->
+    let property = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let pattern =
+      List.map (fun seg -> if String.equal seg "*" then Star else Name seg)
+        (String.split_on_char '.' rest)
+    in
+    make ~property ~pattern
+
+let parse_exn s =
+  match parse s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Propref.parse_exn: " ^ msg)
+
+let to_string t =
+  t.property ^ "@"
+  ^ String.concat "." (List.map (function Name n -> n | Star -> "*") t.pattern)
+
+(* Glob matching with Star matching any (possibly empty) sequence. *)
+let rec match_segments pattern path =
+  match (pattern, path) with
+  | [], [] -> true
+  | [], _ :: _ -> false
+  | Star :: rest, _ ->
+    (* Star absorbs zero or more leading path segments. *)
+    match_segments rest path
+    || (match path with [] -> false | _ :: tail -> match_segments pattern tail)
+  | Name n :: rest, p :: tail -> String.equal n p && match_segments rest tail
+  | Name _ :: _, [] -> false
+
+let matches_path t path = match_segments t.pattern path
+let matches t ~path ~property = String.equal t.property property && matches_path t path
+let pp fmt t = Format.pp_print_string fmt (to_string t)

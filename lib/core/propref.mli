@@ -1,0 +1,38 @@
+(** Property references — the paper's [property@node-pattern] addressing
+    used throughout the consistency constraints (Fig 13):
+
+    {v
+    EOL@Operator
+    Radix@*.Hardware.Montgomery
+    A=Algorithm@*.Modular.Multiplier.Hardware
+    BD=BehavioralDescription@OMM-HM
+    v}
+
+    A reference names a property and a pattern over hierarchy node
+    paths.  The ["*"] segment is a wildcard matching {e any} (possibly
+    empty) sequence of ancestors, so [*.Hardware.Montgomery] addresses
+    every node whose path ends in [Hardware.Montgomery]. *)
+
+type segment = Name of string | Star
+
+type t = private { property : string; pattern : segment list }
+
+val make : property:string -> pattern:segment list -> (t, string) result
+(** Rejects an empty property name and an empty pattern. *)
+
+val parse : string -> (t, string) result
+(** ["Radix@*.Hardware.Montgomery"] -> reference.  A reference without
+    ["@"] is an error; segments are split on ["."]. *)
+
+val parse_exn : string -> t
+val to_string : t -> string
+
+val matches_path : t -> string list -> bool
+(** Does the node-path (root first, e.g.
+    [["Operator"; "Modular"; "Multiplier"; "Hardware"]]) match the
+    pattern? *)
+
+val matches : t -> path:string list -> property:string -> bool
+(** Path match and property-name match together. *)
+
+val pp : Format.formatter -> t -> unit

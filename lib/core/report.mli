@@ -1,0 +1,26 @@
+(** Exploration reports.
+
+    A session already keeps its own trail (bindings with their sources,
+    the event log).  This module renders that trail as a markdown report
+    a designer can attach to a design review: the requirement values
+    entered, every decision with the pruning it caused, derived values
+    with the constraint that produced them, the surviving candidates
+    with their figures of merit, and (when two merit axes are given) the
+    Pareto front among them. *)
+
+val render :
+  ?title:string ->
+  ?merits:string list ->
+  ?pareto:string * string ->
+  Session.t ->
+  string
+(** [merits] selects which figure-of-merit ranges to tabulate (default:
+    none); [pareto] adds a front section over two of them. *)
+
+val save :
+  ?title:string ->
+  ?merits:string list ->
+  ?pareto:string * string ->
+  Session.t ->
+  path:string ->
+  (unit, string) result

@@ -1,0 +1,418 @@
+module Core = Ds_reuse.Core
+
+type source = Designer | Default_value | Derived of string
+
+type binding = {
+  defined_at : string list;
+  prop : Property.t;
+  value : Value.t;
+  source : source;
+}
+
+type event =
+  | Requirement_entered of { name : string; value : Value.t }
+  | Decision_made of { name : string; value : Value.t }
+  | Focus_descended of {
+      path : string list;
+      candidates_before : int;
+      candidates_after : int;
+    }
+  | Binding_derived of { name : string; value : Value.t; by : string }
+  | Binding_retracted of { name : string; invalidated : string list }
+  | Note of string
+
+type t = {
+  hierarchy : Hierarchy.t;
+  constraints : Consistency.t list;
+  index : Index.t;
+  focus : string list;
+  bindings : binding list;
+  events : event list; (* newest first *)
+}
+
+let create ~hierarchy ?(constraints = []) ~cores () =
+  {
+    hierarchy;
+    constraints;
+    index = Index.build hierarchy cores;
+    focus = [ (Hierarchy.root hierarchy).Cdo.name ];
+    bindings = [];
+    events = [];
+  }
+
+let hierarchy t = t.hierarchy
+let focus t = t.focus
+
+let focus_cdo t =
+  match Hierarchy.find t.hierarchy t.focus with
+  | Some cdo -> cdo
+  | None -> assert false (* focus is maintained as a valid path *)
+
+let bindings t = t.bindings
+let binding t name = List.find_opt (fun b -> String.equal b.prop.Property.name name) t.bindings
+let value_of t name = Option.map (fun b -> b.value) (binding t name)
+let events t = List.rev t.events
+
+let ancestor_paths t =
+  let rec prefixes acc cur = function
+    | [] -> List.rev acc
+    | seg :: rest ->
+      let cur = cur @ [ seg ] in
+      prefixes (cur :: acc) cur rest
+  in
+  prefixes [] [] t.focus
+
+(* A property reference applies in this session when its pattern
+   addresses the focus node or one of its ancestors (by path or by
+   abbreviation). *)
+let ref_applies t pref =
+  List.exists
+    (fun path -> Hierarchy.ref_matches t.hierarchy pref ~path ~property:pref.Propref.property)
+    (ancestor_paths t)
+
+let env t =
+  {
+    Consistency.value =
+      (fun pref -> if ref_applies t pref then value_of t pref.Propref.property else None);
+    Consistency.value_of = (fun name -> value_of t name);
+    Consistency.focus = t.focus;
+  }
+
+let bound_fn t pref = ref_applies t pref && value_of t pref.Propref.property <> None
+
+(* Constraints whose dependent set includes this property at the current
+   focus. *)
+let governing t name =
+  List.filter
+    (fun cc ->
+      List.exists
+        (fun pref -> String.equal pref.Propref.property name && ref_applies t pref)
+        cc.Consistency.dep)
+    t.constraints
+
+(* Inconsistent-options constraints with every referenced property bound
+   are "active" and must hold. *)
+let active_violations t =
+  let bound = bound_fn t in
+  List.filter_map
+    (fun cc ->
+      match cc.Consistency.relation with
+      | Consistency.Inconsistent _ ->
+        if List.for_all bound cc.Consistency.indep && List.for_all bound cc.Consistency.dep then
+          Consistency.check cc (env t)
+        else None
+      | Consistency.Derive _ | Consistency.Estimator_context _ | Consistency.Eliminate _ -> None)
+    t.constraints
+
+let violations = active_violations
+
+(* Run Derive constraints to a fixpoint, adding derived bindings for
+   properties that are visible and unbound. *)
+let derive_fixpoint t =
+  let rec step t budget =
+    if budget = 0 then t
+    else begin
+      let added = ref false in
+      let t' =
+        List.fold_left
+          (fun t cc ->
+            match cc.Consistency.relation with
+            | Consistency.Derive { compute } when Consistency.ready cc ~bound:(bound_fn t) ->
+              List.fold_left
+                (fun t (name, value) ->
+                  match binding t name with
+                  | Some _ -> t
+                  | None -> (
+                    match Hierarchy.find_property t.hierarchy t.focus name with
+                    | None -> t
+                    | Some (defined_at, prop) ->
+                      if Property.accepts prop value then begin
+                        added := true;
+                        {
+                          t with
+                          bindings =
+                            { defined_at; prop; value; source = Derived cc.Consistency.name }
+                            :: t.bindings;
+                          events =
+                            Binding_derived { name; value; by = cc.Consistency.name } :: t.events;
+                        }
+                      end
+                      else t))
+                t (compute (env t))
+            | Consistency.Derive _ | Consistency.Inconsistent _ | Consistency.Estimator_context _
+            | Consistency.Eliminate _ ->
+              t)
+          t t.constraints
+      in
+      if !added then step t' (budget - 1) else t'
+    end
+  in
+  step t (List.length t.constraints + 8)
+
+(* Candidate cores: under the focus, complying with every bound design
+   issue, surviving the elimination constraints. *)
+let candidates t =
+  let issue_bindings = List.filter (fun b -> Property.is_design_issue b.prop) t.bindings in
+  let complies (_, core) =
+    List.for_all
+      (fun b ->
+        (not (Property.is_design_issue b.prop))
+        || Core.matches_property core ~key:b.prop.Property.name ~value:(Value.to_string b.value))
+      issue_bindings
+  in
+  let eliminated core =
+    List.exists
+      (fun cc ->
+        match cc.Consistency.relation with
+        | Consistency.Eliminate { inferior } ->
+          Consistency.ready cc ~bound:(bound_fn t) && inferior (env t) core
+        | Consistency.Inconsistent _ | Consistency.Derive _ | Consistency.Estimator_context _ ->
+          false)
+      t.constraints
+  in
+  Index.under t.index t.focus
+  |> List.filter complies
+  |> List.filter (fun (_, core) -> not (eliminated core))
+
+let population t = Index.all t.index
+
+let candidate_count t = List.length (candidates t)
+let merit_range t ~merit = Evaluation.merit_range (candidates t) ~merit
+
+let eligible t name =
+  List.for_all (fun cc -> Consistency.ready cc ~bound:(bound_fn t)) (governing t name)
+
+let open_issues t =
+  Hierarchy.visible_properties t.hierarchy t.focus
+  |> List.filter_map (fun (_, prop) ->
+         if Property.is_design_issue prop && binding t prop.Property.name = None then
+           Some (prop, eligible t prop.Property.name)
+         else None)
+
+let set_with_source t name value source =
+  match Hierarchy.find_property t.hierarchy t.focus name with
+  | None -> Error (Printf.sprintf "property %S is not visible at %s" name (String.concat "." t.focus))
+  | Some (defined_at, prop) ->
+    if binding t name <> None then Error (Printf.sprintf "property %S is already bound" name)
+    else if not (Property.accepts prop value) then
+      Error
+        (Printf.sprintf "value %s outside the domain %s of %S" (Value.to_string value)
+           (Domain.describe prop.Property.domain) name)
+    else if Property.is_design_issue prop && not (eligible t name) then begin
+      let blocking =
+        governing t name
+        |> List.filter (fun cc -> not (Consistency.ready cc ~bound:(bound_fn t)))
+        |> List.map (fun cc -> cc.Consistency.name)
+      in
+      Error
+        (Printf.sprintf "issue %S cannot be addressed yet: independent set of %s unbound" name
+           (String.concat ", " blocking))
+    end
+    else begin
+      let event =
+        if Property.is_requirement prop then Requirement_entered { name; value }
+        else Decision_made { name; value }
+      in
+      let t' =
+        {
+          t with
+          bindings = { defined_at; prop; value; source } :: t.bindings;
+          events = event :: t.events;
+        }
+      in
+      match active_violations t' with
+      | { Consistency.message; _ } :: _ -> Error message
+      | [] -> (
+        (* Generalized issue of the focus node: descend. *)
+        let focus_issue =
+          match Cdo.generalized_issue (focus_cdo t') with
+          | Some issue when String.equal issue.Property.name name -> Some issue
+          | Some _ | None -> None
+        in
+        match focus_issue with
+        | None -> Ok (derive_fixpoint t')
+        | Some _ -> (
+          match Value.as_str value with
+          | None -> Error "generalized issue options are strings"
+          | Some opt -> (
+            match Cdo.child_for_option (focus_cdo t') opt with
+            | None -> Error (Printf.sprintf "no specialization for option %S" opt)
+            | Some child ->
+              let before = candidate_count t' in
+              let t'' = { t' with focus = t'.focus @ [ child.Cdo.name ] } in
+              let after = candidate_count t'' in
+              let t'' =
+                {
+                  t'' with
+                  events =
+                    Focus_descended
+                      { path = t''.focus; candidates_before = before; candidates_after = after }
+                    :: t''.events;
+                }
+              in
+              Ok (derive_fixpoint t''))))
+    end
+
+let set t name value = set_with_source t name value Designer
+let annotate t note = { t with events = Note note :: t.events }
+
+type option_preview = {
+  option_value : string;
+  outcome : [ `Explored of int * (float * float) option | `Rejected of string ];
+}
+
+let preview_options t ~issue ~merit =
+  match Hierarchy.find_property t.hierarchy t.focus issue with
+  | None ->
+    Error (Printf.sprintf "property %S is not visible at %s" issue (String.concat "." t.focus))
+  | Some (_, prop) -> (
+    if not (Property.is_design_issue prop) then
+      Error (Printf.sprintf "%S is not a design issue" issue)
+    else if binding t issue <> None then Error (Printf.sprintf "%S is already bound" issue)
+    else begin
+      match Domain.options prop.Property.domain with
+      | None -> Error (Printf.sprintf "%S is not an enumerated issue" issue)
+      | Some options ->
+        Ok
+          (List.map
+             (fun option_value ->
+               match set t issue (Value.Str option_value) with
+               | Ok t' ->
+                 {
+                   option_value;
+                   outcome = `Explored (candidate_count t', merit_range t' ~merit);
+                 }
+               | Error reason -> { option_value; outcome = `Rejected reason })
+             options)
+    end)
+
+let set_default t name =
+  match Hierarchy.find_property t.hierarchy t.focus name with
+  | None -> Error (Printf.sprintf "property %S is not visible at %s" name (String.concat "." t.focus))
+  | Some (_, prop) -> (
+    match prop.Property.default with
+    | None -> Error (Printf.sprintf "property %S declares no default" name)
+    | Some v -> set_with_source t name v Default_value)
+
+(* Retract: drop the binding, recompute every derived binding from the
+   survivors, and pop the focus when a generalized decision goes away. *)
+let retract t name =
+  match binding t name with
+  | None -> Error (Printf.sprintf "property %S is not bound" name)
+  | Some b -> (
+    match b.source with
+    | Derived by ->
+      Error (Printf.sprintf "%S was derived by %s; retract one of its inputs instead" name by)
+    | Designer | Default_value ->
+      (* New focus: if the retracted property is the generalized issue of
+         a node on the focus path, cut the path at that node. *)
+      let new_focus =
+        let rec walk acc = function
+          | [] -> List.rev acc
+          | seg :: rest -> (
+            let path = List.rev (seg :: acc) in
+            match Hierarchy.find t.hierarchy path with
+            | None -> List.rev acc @ (seg :: rest)
+            | Some cdo -> (
+              match Cdo.generalized_issue cdo with
+              | Some issue when String.equal issue.Property.name name -> path
+              | Some _ | None -> walk (seg :: acc) rest))
+        in
+        walk [] t.focus
+      in
+      let still_visible prop_name =
+        Hierarchy.find_property t.hierarchy new_focus prop_name <> None
+      in
+      let survivors, dropped =
+        List.partition
+          (fun b' ->
+            (not (String.equal b'.prop.Property.name name))
+            && (match b'.source with Derived _ -> false | Designer | Default_value -> true)
+            && still_visible b'.prop.Property.name)
+          t.bindings
+      in
+      let invalidated =
+        List.filter_map
+          (fun b' ->
+            if String.equal b'.prop.Property.name name then None
+            else Some b'.prop.Property.name)
+          dropped
+      in
+      let t' =
+        {
+          t with
+          focus = new_focus;
+          bindings = survivors;
+          events = Binding_retracted { name; invalidated } :: t.events;
+        }
+      in
+      Ok (derive_fixpoint t'))
+
+let estimates t =
+  List.filter_map
+    (fun cc ->
+      match cc.Consistency.relation with
+      | Consistency.Estimator_context { tool; estimate } ->
+        if Consistency.ready cc ~bound:(bound_fn t) then Some (tool, estimate (env t)) else None
+      | Consistency.Inconsistent _ | Consistency.Derive _ | Consistency.Eliminate _ -> None)
+    t.constraints
+
+let script t =
+  (* Walk the event log: set events append; a retraction removes the
+     latest entry for its property and every entry whose binding it
+     invalidated (decisions that lived below a popped focus). *)
+  let remove_last name entries =
+    let rec go = function
+      | [] -> []
+      | (n, _) :: rest when String.equal n name -> rest
+      | kept :: rest -> kept :: go rest
+    in
+    List.rev (go (List.rev entries))
+  in
+  List.fold_left
+    (fun entries event ->
+      match event with
+      | Requirement_entered { name; value } | Decision_made { name; value } ->
+        entries @ [ (name, value) ]
+      | Binding_retracted { name; invalidated } ->
+        List.fold_left (fun acc n -> remove_last n acc) entries (name :: invalidated)
+      | Focus_descended _ | Binding_derived _ | Note _ -> entries)
+    [] (events t)
+
+let replay t entries =
+  List.fold_left
+    (fun acc (name, value) -> Result.bind acc (fun s -> set s name value))
+    (Ok t) entries
+
+let pp_source fmt = function
+  | Designer -> Format.pp_print_string fmt "designer"
+  | Default_value -> Format.pp_print_string fmt "default"
+  | Derived cc -> Format.fprintf fmt "derived by %s" cc
+
+let pp_trace fmt t =
+  Format.fprintf fmt "focus: %s@." (String.concat "." t.focus);
+  Format.fprintf fmt "bindings:@.";
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "  %s = %s (%a)@." b.prop.Property.name (Value.to_string b.value)
+        pp_source b.source)
+    (List.rev t.bindings);
+  Format.fprintf fmt "events:@.";
+  List.iter
+    (fun event ->
+      match event with
+      | Requirement_entered { name; value } ->
+        Format.fprintf fmt "  requirement %s := %s@." name (Value.to_string value)
+      | Decision_made { name; value } ->
+        Format.fprintf fmt "  decision %s := %s@." name (Value.to_string value)
+      | Focus_descended { path; candidates_before; candidates_after } ->
+        Format.fprintf fmt "  focus -> %s (candidates %d -> %d)@." (String.concat "." path)
+          candidates_before candidates_after
+      | Binding_derived { name; value; by } ->
+        Format.fprintf fmt "  derived %s := %s (by %s)@." name (Value.to_string value) by
+      | Binding_retracted { name; invalidated } ->
+        Format.fprintf fmt "  retracted %s%s@." name
+          (if invalidated = [] then ""
+           else " (invalidated: " ^ String.concat ", " invalidated ^ ")")
+      | Note s -> Format.fprintf fmt "  note: %s@." s)
+    (events t)

@@ -1,0 +1,141 @@
+(** An exploration session: the designer-facing workflow of the design
+    space layer.
+
+    A session walks one hierarchy with one population of indexed cores.
+    The designer enters requirement values from the system spec (Fig 8),
+    then addresses design issues one by one.  Each decision prunes the
+    space: deciding the focus node's {e generalized} issue descends the
+    focus into the chosen specialization (Fig 3's traversal), and every
+    decision narrows the set of complying cores, whose figure-of-merit
+    ranges can be queried at any time.  Consistency constraints are
+    enforced throughout: they impose the partial order in which issues
+    may be addressed, reject inconsistent option combinations, derive
+    implied values, eliminate inferior cores, and invalidate dependent
+    bindings when an independent one is retracted.
+
+    Sessions are immutable values: every operation returns a new
+    session, so exploration branches can be compared side by side (the
+    trade-off exploration the paper emphasises). *)
+
+type source = Designer | Default_value | Derived of string
+
+type binding = private {
+  defined_at : string list;  (** node path defining the property *)
+  prop : Property.t;
+  value : Value.t;
+  source : source;
+}
+
+type event =
+  | Requirement_entered of { name : string; value : Value.t }
+  | Decision_made of { name : string; value : Value.t }
+  | Focus_descended of {
+      path : string list;
+      candidates_before : int;
+      candidates_after : int;
+    }
+  | Binding_derived of { name : string; value : Value.t; by : string }
+  | Binding_retracted of { name : string; invalidated : string list }
+  | Note of string
+
+type t
+
+val create :
+  hierarchy:Hierarchy.t ->
+  ?constraints:Consistency.t list ->
+  cores:(string * Ds_reuse.Core.t) list ->
+  unit ->
+  t
+(** A fresh session focused at the hierarchy root with the given core
+    population (typically {!Ds_reuse.Registry.all_cores}). *)
+
+val hierarchy : t -> Hierarchy.t
+val focus : t -> string list
+val focus_cdo : t -> Cdo.t
+val bindings : t -> binding list
+val binding : t -> string -> binding option
+val value_of : t -> string -> Value.t option
+val events : t -> event list
+(** Oldest first — the session's self-documentation trail. *)
+
+val env : t -> Consistency.env
+(** The constraint-evaluation view of the current bindings. *)
+
+val set : t -> string -> Value.t -> (t, string) result
+(** Bind a requirement or decide a design issue.  Errors when: the
+    property is not visible at the focus, already bound, the value is
+    outside its domain, a governing constraint's independent set is not
+    yet addressed (partial order; requirements are exempt), or the
+    binding would violate an inconsistent-options constraint.  Deciding
+    the focus node's generalized issue descends the focus.  Implied
+    values are then derived to a fixpoint. *)
+
+val set_default : t -> string -> (t, string) result
+(** Bind a property to its declared default. *)
+
+val annotate : t -> string -> t
+(** Append a free-form note to the exploration trail (shows up in
+    {!pp_trace} and in reports). *)
+
+val retract : t -> string -> (t, string) result
+(** Remove a designer-made binding.  Derived bindings are re-assessed
+    from scratch (the paper's "when the independent set is modified, the
+    dependent set needs to be re-assessed"); retracting a generalized
+    decision pops the focus back and drops every binding that is no
+    longer visible. *)
+
+val population : t -> (string * Ds_reuse.Core.t) list
+(** Every core indexed in the hierarchy, regardless of the current
+    focus and decisions (the session's full design space). *)
+
+val candidates : t -> (string * Ds_reuse.Core.t) list
+(** Cores indexed at or below the focus that comply with every bound
+    design issue and survive the elimination constraints. *)
+
+val candidate_count : t -> int
+
+val merit_range : t -> merit:string -> (float * float) option
+(** Range of a figure of merit over the current candidates. *)
+
+(** The outcome of tentatively choosing one option of a design issue. *)
+type option_preview = {
+  option_value : string;
+  outcome : [ `Explored of int * (float * float) option | `Rejected of string ];
+      (** [`Explored (candidates, merit range)] for a consistent choice,
+          [`Rejected reason] when a constraint forbids it *)
+}
+
+val preview_options : t -> issue:string -> merit:string -> (option_preview list, string) result
+(** Try every option of an enumerated design issue without committing
+    and report the family each would leave — the paper's trade-off
+    guidance ("consider the performance ranges ... for each such
+    alternatives") made explicit.  Errors when the issue is not visible,
+    already bound, or not enumerated. *)
+
+val open_issues : t -> (Property.t * bool) list
+(** Unbound design issues visible at the focus, paired with their
+    eligibility (true = every governing constraint's independent set is
+    addressed, so the issue may be decided now). *)
+
+val violations : t -> Consistency.violation list
+(** Inconsistent-options constraints violated by the current bindings
+    (can only be non-empty after retractions re-expose a conflict). *)
+
+val estimates : t -> (string * (string * float) list) list
+(** Estimator-context constraints whose independent sets are bound:
+    [(tool name, metric values)] — the paper's "estimation replaces
+    retrieval" path (CC3). *)
+
+val script : t -> (string * Value.t) list
+(** The designer-made bindings in the order they were entered —
+    a replayable script of the exploration (derived bindings are
+    omitted; they re-derive on replay). *)
+
+val replay : t -> (string * Value.t) list -> (t, string) result
+(** Apply a script with {!set}, stopping at the first error.
+    [replay fresh (script s)] reproduces [s]'s focus, bindings and
+    candidates when [fresh] shares the hierarchy, constraints and core
+    population. *)
+
+val pp_trace : Format.formatter -> t -> unit
+(** Human-readable session log. *)

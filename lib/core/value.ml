@@ -1,0 +1,31 @@
+type t = Str of string | Int of int | Real of float | Flag of bool
+
+let str s = Str s
+let int i = Int i
+let real r = Real r
+let flag b = Flag b
+
+let equal a b =
+  match (a, b) with
+  | Str x, Str y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Real x, Real y -> Float.equal x y
+  | Flag x, Flag y -> Bool.equal x y
+  | (Str _ | Int _ | Real _ | Flag _), _ -> false
+
+let to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Real r -> Printf.sprintf "%g" r
+  | Flag b -> string_of_bool b
+
+let as_str = function Str s -> Some s | Int _ | Real _ | Flag _ -> None
+let as_int = function Int i -> Some i | Str _ | Real _ | Flag _ -> None
+
+let as_real = function
+  | Real r -> Some r
+  | Int i -> Some (float_of_int i)
+  | Str _ | Flag _ -> None
+
+let as_flag = function Flag b -> Some b | Str _ | Int _ | Real _ -> None
+let pp fmt v = Format.pp_print_string fmt (to_string v)

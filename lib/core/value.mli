@@ -1,0 +1,28 @@
+(** Property values.
+
+    A design issue binds to one of its options (usually a string such as
+    ["hardware"] or ["Montgomery"]); a requirement binds to the value the
+    specification dictates (an integer operand length, a real latency
+    bound, a flag).  One small sum type covers all of them. *)
+
+type t = Str of string | Int of int | Real of float | Flag of bool
+
+val str : string -> t
+val int : int -> t
+val real : float -> t
+val flag : bool -> t
+
+val equal : t -> t -> bool
+(** Structural equality; [Int] and [Real] never compare equal (domains
+    fix the numeric kind). *)
+
+val to_string : t -> string
+(** Human/serialisation form: ["hardware"], ["768"], ["8."], ["true"]. *)
+
+val as_str : t -> string option
+val as_int : t -> int option
+val as_real : t -> float option
+(** [as_real] also accepts [Int] values (widening). *)
+
+val as_flag : t -> bool option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,555 @@
+open Ds_layer
+module N = Names
+
+(* ---------------------------------------------------------------- *)
+(* Properties                                                         *)
+
+let req1_eol =
+  Property.requirement ~name:N.effective_operand_length
+    ~domain:(Domain.Int_range { lo = Some 8; hi = None })
+    ~unit_:"bits" ~doc:"operand/modulo length required by the application" ()
+
+let req2_operand_coding =
+  Property.requirement ~name:N.operand_coding
+    ~domain:(Domain.enum [ N.twos_complement; N.signed_magnitude; N.unsigned; N.redundant ])
+    ~doc:"number representation of the input operands" ()
+
+let req3_result_coding =
+  Property.requirement ~name:N.result_coding
+    ~domain:(Domain.enum [ N.twos_complement; N.signed_magnitude; N.unsigned; N.redundant ])
+    ~doc:"number representation accepted for the result" ()
+
+let req4_modulo_odd =
+  Property.requirement ~name:N.modulo_is_odd
+    ~domain:(Domain.enum [ N.guaranteed; N.not_guaranteed ])
+    ~doc:"is the modulo known to be odd (prime moduli are)" ()
+
+let req5_latency =
+  Property.requirement ~name:N.latency_single_operation ~domain:Domain.non_negative_real
+    ~unit_:"usec" ~doc:"worst acceptable delay of one modular multiplication" ()
+
+let di1_implementation_style =
+  Property.design_issue ~generalized:true ~name:N.implementation_style
+    ~domain:(Domain.enum [ N.hardware; N.software ])
+    ~doc:"hardware and software designs offer radically different performance ranges" ()
+
+let di2_algorithm =
+  Property.design_issue ~generalized:true ~name:N.algorithm
+    ~domain:(Domain.enum [ N.montgomery; N.brickell ])
+    ~default:(Value.str N.montgomery)
+    ~doc:"Montgomery is consistently superior but requires an odd modulo" ()
+
+let di3_radix =
+  Property.design_issue ~name:N.radix ~domain:Domain.powers_of_two ~default:(Value.int 2)
+    ~doc:"bits of the operand retired per iteration trade area for cycles" ()
+
+let di4_number_of_slices =
+  Property.design_issue ~name:N.number_of_slices
+    ~domain:(Domain.Int_range { lo = Some 1; hi = None })
+    ~default:(Value.int 1)
+    ~doc:"datapath decomposition into slices compatible with the clock target" ()
+
+let di_slice_width =
+  Property.design_issue ~name:N.slice_width
+    ~domain:(Domain.Int_range { lo = Some 1; hi = None })
+    ~doc:"bits per slice; EOL = slices x width" ()
+
+let di5_layout_style =
+  Property.design_issue ~name:N.layout_style
+    ~domain:(Domain.enum (List.map (fun l -> l.Ds_tech.Layout.name) Ds_tech.Layout.all))
+    ~doc:"one of the 'meanings' of the generalized hardware option" ()
+
+let di6_fabrication_technology =
+  Property.design_issue ~name:N.fabrication_technology
+    ~domain:(Domain.enum (List.map (fun p -> p.Ds_tech.Process.name) Ds_tech.Process.all))
+    ~doc:"the other 'meaning' of the generalized hardware option" ()
+
+let di7_behavioral_decomposition =
+  Property.make_exn ~name:N.behavioral_decomposition ~kind:Property.Behavioral_decomposition
+    ~domain:(Domain.enum [ "select"; "use-default" ])
+    ~default:(Value.str "use-default")
+    ~doc:"choose a behavioral description for every operator used by the loop body (DI7)" ()
+
+let di_adder_implementation =
+  Property.design_issue ~name:N.adder_implementation
+    ~domain:(Domain.enum (List.map Ds_rtl.Adder.name Ds_rtl.Adder.all))
+    ~doc:"implementation of the additions in the loop (via behavioral decomposition)" ()
+
+let di_multiplier_implementation =
+  Property.design_issue ~name:N.multiplier_implementation
+    ~domain:
+      (Domain.enum (N.and_row :: List.map Ds_rtl.Multiplier.name Ds_rtl.Multiplier.all))
+    ~doc:"implementation of the digit multiplications in the loop" ()
+
+let latency_cycles =
+  Property.make_exn ~name:N.latency_cycles ~kind:Property.Requirement
+    ~domain:(Domain.Int_range { lo = Some 1; hi = None })
+    ~unit_:"cycles" ~doc:"derived by CC2 from the radix and the EOL" ()
+
+let bd_montgomery =
+  Property.make_exn ~name:N.behavioral_description ~kind:Property.Behavioral_description
+    ~domain:(Domain.enum [ "montgomery-modmul" ])
+    ~default:(Value.str "montgomery-modmul") ~doc:"Fig 10" ()
+
+let bd_brickell =
+  Property.make_exn ~name:N.behavioral_description ~kind:Property.Behavioral_description
+    ~domain:(Domain.enum [ "brickell-modmul" ])
+    ~default:(Value.str "brickell-modmul") ()
+
+let di_platform =
+  (* The paper (Section 2): the software class is further discriminated
+     by a generalized "programmable platform" issue whose options spawn
+     specializations of their own. *)
+  Property.design_issue ~generalized:true ~name:N.programmable_platform
+    ~domain:(Domain.enum (List.map (fun p -> p.Ds_swmodel.Platform.name) Ds_swmodel.Platform.all))
+    ~doc:"the generalized-hardware counterpart for the software family" ()
+
+let di_language =
+  Property.design_issue ~name:N.implementation_language
+    ~domain:(Domain.enum [ N.lang_c; N.lang_asm ])
+    ~doc:"compiled C vs hand-optimised assembler routines" ()
+
+let di_variant =
+  Property.design_issue ~name:N.scanning_variant
+    ~domain:
+      (Domain.enum (List.map Ds_swmodel.Mont_variants.variant_name Ds_swmodel.Mont_variants.all_variants))
+    ~doc:"operand/product scanning organisation of the word-level loops" ()
+
+(* Exponentiator (the coprocessor component of [10], Section 6). *)
+
+let req_exponent_length =
+  Property.requirement ~name:N.exponent_length
+    ~domain:(Domain.Int_range { lo = Some 1; hi = None })
+    ~unit_:"bits" ~doc:"length of the exponent the coprocessor must handle" ()
+
+let req_ops_per_second =
+  Property.requirement ~name:N.operations_per_second ~domain:Domain.non_negative_real
+    ~unit_:"1/s" ~doc:"exponentiations per second the application needs" ()
+
+let recoding_options =
+  List.map Ds_rtl.Modexp_datapath.recoding_name
+    Ds_rtl.Modexp_datapath.[ Binary; Window 2; Window 4; Sliding_window 4 ]
+
+let di_exponent_recoding =
+  Property.design_issue ~name:N.exponent_recoding ~domain:(Domain.enum recoding_options)
+    ~default:(Value.str N.recoding_binary)
+    ~doc:"square-and-multiply vs m-ary windows: multiplications vs table storage" ()
+
+let mults_per_operation =
+  Property.make_exn ~name:N.multiplications_per_operation ~kind:Property.Requirement
+    ~domain:(Domain.Int_range { lo = Some 1; hi = None })
+    ~doc:"derived by CC7 from the exponent length and the recoding" ()
+
+let multiplication_budget =
+  Property.make_exn ~name:N.multiplication_budget ~kind:Property.Requirement
+    ~domain:Domain.non_negative_real ~unit_:"usec"
+    ~doc:"derived by CC8: the latency each multiplication may spend to meet the throughput" ()
+
+(* ---------------------------------------------------------------- *)
+(* Hierarchy (Figs 5 and 7)                                           *)
+
+let leaf = Cdo.leaf_exn
+let node = Cdo.node_exn
+
+let adder_cdo =
+  let issue =
+    Property.design_issue ~generalized:true ~name:N.adder_architecture
+      ~domain:(Domain.enum (List.map Ds_rtl.Adder.name Ds_rtl.Adder.all))
+      ~doc:"adder families differ in depth/width scaling" ()
+  in
+  node ~name:"adder" ~abbrev:"ADD" [] ~issue
+    ~children:
+      (List.map
+         (fun arch -> (Ds_rtl.Adder.name arch, leaf ~name:(Ds_rtl.Adder.name arch) []))
+         Ds_rtl.Adder.all)
+
+let multiplier_cdo = leaf ~name:"multiplier" ~abbrev:"MUL" []
+
+let arithmetic_cdo =
+  let issue =
+    Property.design_issue ~generalized:true ~name:N.arithmetic_operator
+      ~domain:(Domain.enum [ "adder"; "multiplier" ])
+      ~doc:"which arithmetic operator class is being designed" ()
+  in
+  node ~name:"arithmetic" [] ~issue ~children:[ ("adder", adder_cdo); ("multiplier", multiplier_cdo) ]
+
+let logic_arithmetic_cdo =
+  let issue =
+    Property.design_issue ~generalized:true ~name:N.operator_kind
+      ~domain:(Domain.enum [ "logic"; "arithmetic" ])
+      ~doc:"functional split of the logic/arithmetic family (Fig 5, level 2)" ()
+  in
+  node ~name:"logic-arithmetic" [] ~issue
+    ~children:[ ("logic", leaf ~name:"logic" []); ("arithmetic", arithmetic_cdo) ]
+
+let omm_hm = leaf ~name:N.montgomery ~abbrev:"OMM-HM" ~doc:"Fig 10's behavioral description" [ bd_montgomery ]
+let omm_hb = leaf ~name:N.brickell ~abbrev:"OMM-HB" [ bd_brickell ]
+
+let omm_hardware =
+  node ~name:N.hardware ~abbrev:"OMM-H"
+    ~doc:"six design issues discriminate the hardware family (Fig 11)"
+    [
+      di3_radix;
+      di4_number_of_slices;
+      di_slice_width;
+      di5_layout_style;
+      di6_fabrication_technology;
+      di7_behavioral_decomposition;
+      di_adder_implementation;
+      di_multiplier_implementation;
+      latency_cycles;
+    ]
+    ~issue:di2_algorithm
+    ~children:[ (N.montgomery, omm_hm); (N.brickell, omm_hb) ]
+
+let omm_software =
+  node ~name:N.software ~abbrev:"OMM-S"
+    ~doc:"software routines and processor cores are the reusable designs"
+    [ di_language; di_variant ]
+    ~issue:di_platform
+    ~children:
+      (List.map
+         (fun p ->
+           let name = p.Ds_swmodel.Platform.name in
+           ( name,
+             leaf ~name
+               ~doc:
+                 (Printf.sprintf "%s at %.0f MHz, %d-bit digits in assembler" name
+                    p.Ds_swmodel.Platform.clock_mhz p.Ds_swmodel.Platform.word_bits_asm)
+               [] ))
+         Ds_swmodel.Platform.all)
+
+let omm =
+  node ~name:"multiplier" ~abbrev:"OMM"
+    ~doc:"Operator - Modular - Multiplier: the case study's focus"
+    [ req2_operand_coding; req3_result_coding; req4_modulo_odd; req5_latency ]
+    ~issue:di1_implementation_style
+    ~children:[ (N.hardware, omm_hardware); (N.software, omm_software) ]
+
+let exponentiator =
+  leaf ~name:"exponentiator" ~abbrev:"OME"
+    ~doc:"the coprocessor's main architectural component [10]"
+    [
+      req_exponent_length;
+      req_ops_per_second;
+      di_exponent_recoding;
+      mults_per_operation;
+      multiplication_budget;
+    ]
+
+let modular_cdo =
+  let issue =
+    Property.design_issue ~generalized:true ~name:N.modular_operator
+      ~domain:(Domain.enum [ "exponentiator"; "multiplier" ])
+      ~doc:"the coprocessor itself or its critical block (Section 5.1.6)" ()
+  in
+  (* The operand length is shared by the coprocessor and its critical
+     block, so it lives at the common ancestor. *)
+  node ~name:"modular" [ req1_eol ] ~issue
+    ~children:[ ("exponentiator", exponentiator); ("multiplier", omm) ]
+
+let root =
+  let issue =
+    Property.design_issue ~generalized:true ~name:N.operator_family
+      ~domain:(Domain.enum [ "logic-arithmetic"; "modular" ])
+      ~doc:"functional split of the operator design space (Fig 5, level 1)" ()
+  in
+  node ~name:"Operator" ~abbrev:"OP" [] ~issue
+    ~children:[ ("logic-arithmetic", logic_arithmetic_cdo); ("modular", modular_cdo) ]
+
+let hierarchy = Hierarchy.create_exn root
+
+let omm_path = [ "Operator"; "modular"; "multiplier" ]
+let omm_hardware_path = omm_path @ [ N.hardware ]
+let omm_hardware_montgomery_path = omm_hardware_path @ [ N.montgomery ]
+let omm_software_path = omm_path @ [ N.software ]
+
+(* ---------------------------------------------------------------- *)
+(* Consistency constraints (Fig 13 and Section 5.2 prose)             *)
+
+let r = Propref.parse_exn
+
+let cc1 =
+  Consistency.make_exn ~name:"CC1" ~doc:"Montgomery Algorithm requires odd modulo"
+    ~indep:[ r (N.modulo_is_odd ^ "@OMM") ]
+    ~dep:[ r (N.algorithm ^ "@OMM") ]
+    (Consistency.Inconsistent
+       {
+         violated =
+           (fun env ->
+             match
+               (env.Consistency.value_of N.modulo_is_odd, env.Consistency.value_of N.algorithm)
+             with
+             | Some (Value.Str odd), Some (Value.Str alg) ->
+               String.equal odd N.not_guaranteed && String.equal alg N.montgomery
+             | _ -> false);
+       })
+
+let cc2 =
+  Consistency.make_exn ~name:"CC2" ~doc:"The greater the Radix, the smaller the latency in cycles"
+    ~indep:[ r (N.radix ^ "@*.hardware.Montgomery"); r (N.effective_operand_length ^ "@OMM") ]
+    ~dep:[ r (N.latency_cycles ^ "@OMM-H") ]
+    (Consistency.Derive
+       {
+         compute =
+           (fun env ->
+             match
+               ( env.Consistency.value_of N.radix,
+                 env.Consistency.value_of N.effective_operand_length )
+             with
+             | Some (Value.Int radix), Some (Value.Int eol) when radix > 0 ->
+               [ (N.latency_cycles, Value.int ((2 * eol / radix) + 1)) ]
+             | _ -> []);
+       })
+
+let cc3 =
+  Consistency.make_exn ~name:"CC3" ~doc:"Behavioral Decomposition impacts delay"
+    ~indep:
+      [ r (N.behavioral_description ^ "@*.hardware"); r (N.effective_operand_length ^ "@OMM") ]
+    ~dep:[ r "MaxCombDelay@OMM-H" ]
+    (Consistency.Estimator_context
+       {
+         tool = "BehaviorDelayEstimator";
+         estimate =
+           (fun env ->
+             let eol =
+               match env.Consistency.value_of N.effective_operand_length with
+               | Some (Value.Int n) -> n
+               | _ -> 768
+             in
+             match env.Consistency.value_of N.behavioral_description with
+             | Some (Value.Str bd_name) -> (
+               match Ds_estimate.Bd_library.by_name bd_name with
+               | None -> []
+               | Some bd ->
+                 let est =
+                   Ds_estimate.Delay_estimator.estimate
+                     ~hints:(Ds_estimate.Bd_library.estimator_hints bd)
+                     ~bindings:[ ("n", eol) ] bd
+                 in
+                 [
+                   ("MaxCombDelay", est.Ds_estimate.Delay_estimator.max_comb_delay);
+                   ("TotalDelay", est.Ds_estimate.Delay_estimator.total_delay);
+                 ])
+             | _ -> []);
+       })
+
+let core_is_montgomery core =
+  match Ds_reuse.Core.property core N.algorithm with
+  | Some alg -> String.equal alg N.montgomery
+  | None -> false
+
+let cc4 =
+  Consistency.make_exn ~name:"CC4"
+    ~doc:"Inferior solutions eliminated: Montgomery at EOL >= 32 requires Carry-Save adders"
+    ~indep:
+      [ r (N.effective_operand_length ^ "@OMM"); r (N.algorithm ^ "@*.modular.multiplier.hardware") ]
+    ~dep:[ r (N.behavioral_description ^ "@OMM-HM") ]
+    (Consistency.Eliminate
+       {
+         inferior =
+           (fun env core ->
+             match
+               ( env.Consistency.value_of N.effective_operand_length,
+                 env.Consistency.value_of N.algorithm )
+             with
+             | Some (Value.Int eol), Some (Value.Str alg)
+               when eol >= 32 && String.equal alg N.montgomery && core_is_montgomery core -> (
+               match Ds_reuse.Core.property core N.adder_implementation with
+               | Some adder -> not (String.equal adder (Ds_rtl.Adder.name Ds_rtl.Adder.Carry_save))
+               | None -> false)
+             | _ -> false);
+       })
+
+let cc5 =
+  Consistency.make_exn ~name:"CC5"
+    ~doc:"Mux-based multipliers enforced for the Montgomery loop (any EOL)"
+    ~indep:[ r (N.algorithm ^ "@*.modular.multiplier.hardware") ]
+    ~dep:[ r (N.behavioral_description ^ "@OMM-HM") ]
+    (Consistency.Eliminate
+       {
+         inferior =
+           (fun env core ->
+             match env.Consistency.value_of N.algorithm with
+             | Some (Value.Str alg) when String.equal alg N.montgomery && core_is_montgomery core
+               -> (
+               match Ds_reuse.Core.property core N.multiplier_implementation with
+               | Some m ->
+                 not
+                   (String.equal m (Ds_rtl.Multiplier.name Ds_rtl.Multiplier.Mux_select)
+                   || String.equal m N.and_row)
+               | None -> false)
+             | _ -> false);
+       })
+
+let cc6 =
+  Consistency.make_exn ~name:"CC6"
+    ~doc:"Cores unable to meet the latency requirement at the required EOL are eliminated"
+    ~indep:
+      [ r (N.latency_single_operation ^ "@OMM"); r (N.effective_operand_length ^ "@OMM") ]
+    ~dep:[ r (N.implementation_style ^ "@OMM") ]
+    (Consistency.Eliminate
+       {
+         inferior =
+           (fun env core ->
+             match
+               ( env.Consistency.value_of N.latency_single_operation,
+                 env.Consistency.value_of N.effective_operand_length )
+             with
+             | Some bound, Some (Value.Int eol) -> (
+               match (Value.as_real bound, Ds_reuse.Core.merit core N.m_latency_ns) with
+               | Some bound_us, Some latency_ns -> (
+                 (* Only applicable when the core was characterised at
+                    the required operand length. *)
+                 match Ds_reuse.Core.merit core N.m_eol with
+                 | Some core_eol when int_of_float core_eol = eol ->
+                   latency_ns > bound_us *. 1000.0
+                 | Some _ -> true (* characterised for a different EOL *)
+                 | None -> false)
+               | _ -> false)
+             | _ -> false);
+       })
+
+let cc7 =
+  Consistency.make_exn ~name:"CC7"
+    ~doc:"Multiplications per exponentiation follow from the exponent length and the recoding"
+    ~indep:[ r (N.exponent_length ^ "@OME"); r (N.exponent_recoding ^ "@OME") ]
+    ~dep:[ r (N.multiplications_per_operation ^ "@OME") ]
+    (Consistency.Derive
+       {
+         compute =
+           (fun env ->
+             match
+               ( env.Consistency.value_of N.exponent_length,
+                 env.Consistency.value_of N.exponent_recoding )
+             with
+             | Some (Value.Int exp_bits), Some (Value.Str recoding_str) -> (
+               match Ds_rtl.Modexp_datapath.recoding_of_name recoding_str with
+               | Some recoding ->
+                 [
+                   ( N.multiplications_per_operation,
+                     Value.int (Ds_rtl.Modexp_datapath.multiplications_for recoding ~exp_bits) );
+                 ]
+               | None -> [])
+             | _ -> []);
+       })
+
+let cc8 =
+  Consistency.make_exn ~name:"CC8"
+    ~doc:
+      "Behavioral decomposition: the throughput target divided over the multiplications gives \
+       each multiplication's latency budget"
+    ~indep:
+      [
+        r (N.operations_per_second ^ "@OME");
+        r (N.multiplications_per_operation ^ "@OME");
+      ]
+    ~dep:[ r (N.multiplication_budget ^ "@OME") ]
+    (Consistency.Derive
+       {
+         compute =
+           (fun env ->
+             match
+               ( env.Consistency.value_of N.operations_per_second,
+                 env.Consistency.value_of N.multiplications_per_operation )
+             with
+             | Some ops, Some (Value.Int mults) -> (
+               match Value.as_real ops with
+               | Some ops when ops > 0.0 && mults > 0 ->
+                 [
+                   ( N.multiplication_budget,
+                     Value.real (1.0e6 /. (ops *. float_of_int mults)) );
+                 ]
+               | Some _ | None -> [])
+             | _ -> []);
+       })
+
+let constraints = [ cc1; cc2; cc3; cc4; cc5; cc6; cc7; cc8 ]
+
+let session ~cores = Session.create ~hierarchy ~constraints ~cores ()
+
+let navigate_to_omm s =
+  match Session.set s N.operator_family (Value.str "modular") with
+  | Error _ as e -> e
+  | Ok s -> Session.set s N.modular_operator (Value.str "multiplier")
+
+let navigate_to_exponentiator s =
+  match Session.set s N.operator_family (Value.str "modular") with
+  | Error _ as e -> e
+  | Ok s -> Session.set s N.modular_operator (Value.str "exponentiator")
+
+(* Behavioral decomposition (Section 5.1.6 / Section 6): the conceptual
+   design of the coprocessor hands its critical block a requirement set
+   derived from its own: the shared EOL and the per-multiplication
+   latency budget implied by the throughput target. *)
+let multiplier_requirements_from_exponentiator s =
+  match (Session.value_of s N.effective_operand_length, Session.value_of s N.multiplication_budget)
+  with
+  | Some eol, Some budget ->
+    Ok
+      [
+        (N.effective_operand_length, eol);
+        (N.operand_coding, Value.str N.twos_complement);
+        (N.result_coding, Value.str N.redundant);
+        (N.modulo_is_odd, Value.str N.guaranteed);
+        (N.latency_single_operation, budget);
+      ]
+  | None, _ -> Error "exponentiator session has no operand length bound"
+  | _, None -> Error "multiplication budget not derived yet (bind throughput and recoding first)"
+
+let coprocessor_requirements =
+  [
+    (N.effective_operand_length, Value.int 768);
+    (N.operand_coding, Value.str N.twos_complement);
+    (N.result_coding, Value.str N.redundant);
+    (N.modulo_is_odd, Value.str N.guaranteed);
+    (N.latency_single_operation, Value.real 8.0);
+  ]
+
+let apply_requirements session reqs =
+  List.fold_left
+    (fun acc (name, value) ->
+      match acc with Error _ as e -> e | Ok s -> Session.set s name value)
+    (Ok session) reqs
+
+(* DI7: the loop body's operators are themselves CDOs.  The census of
+   the selected behavioral description tells which operator classes are
+   in play; the sub-session explores one of them. *)
+let operator_subsession s ~operator =
+  match Session.value_of s N.behavioral_description with
+  | None -> Error "select a Behavioral Description first (DI7 decomposes it)"
+  | Some bd_value -> (
+    let bd_name = Value.to_string bd_value in
+    match Ds_estimate.Bd_library.by_name bd_name with
+    | None -> Error (Printf.sprintf "unknown behavioral description %s" bd_name)
+    | Some bd ->
+      let census = Ds_estimate.Behavior.operators_in_loops bd in
+      let uses op = List.mem_assoc op census in
+      let wanted =
+        match operator with
+        | "adder" -> if uses Ds_estimate.Behavior.Add then Ok "adder" else Error "no additions"
+        | "multiplier" ->
+          if uses Ds_estimate.Behavior.Mul then Ok "multiplier" else Error "no multiplications"
+        | other -> Error (Printf.sprintf "unknown operator class %S" other)
+      in
+      Result.bind wanted (fun operator ->
+          (* a fresh session over the full population, walked down the
+             functional levels to the operator class *)
+          let sub = Session.create ~hierarchy ~constraints ~cores:(Session.population s) () in
+          Result.bind (Session.set sub N.operator_family (Value.str "logic-arithmetic"))
+            (fun sub ->
+              Result.bind (Session.set sub N.operator_kind (Value.str "arithmetic")) (fun sub ->
+                  Session.set sub N.arithmetic_operator (Value.str operator)))))
+
+let adopt_adder_choice multiplier_session sub =
+  (* the sub-exploration decides the generalized Adder Architecture by
+     descending into it: read the decision back *)
+  match Session.value_of sub N.adder_architecture with
+  | None -> Error "the sub-session has not decided the adder architecture"
+  | Some arch -> Session.set multiplier_session N.adder_implementation arch
+
+let layer ?(eol = 768) () =
+  Layer.make_exn ~name:"Design Space Layer for Cryptography Applications" ~hierarchy
+    ~constraints
+    ~registry:(Populate.standard_registry ~eol ())
+    ()

@@ -1,0 +1,118 @@
+(** The design space layer for cryptography applications — the paper's
+    Section 5 case study, assembled from the {!Ds_layer} modelling
+    framework.
+
+    The hierarchy reproduces Figs 5 and 7:
+
+    {v
+    Operator
+    ├─ logic-arithmetic
+    │   ├─ logic
+    │   └─ arithmetic
+    │       ├─ adder           (specialized by adder architecture)
+    │       └─ multiplier
+    └─ modular
+        ├─ exponentiator
+        └─ multiplier          (OMM; Req1-5, DI1)
+            ├─ hardware        (OMM-H; DI2-DI7)
+            │   ├─ Montgomery  (OMM-HM)
+            │   └─ Brickell    (OMM-HB)
+            └─ software        (OMM-S; platform/language/variant)
+    v}
+
+    and the constraints reproduce Fig 13 (CC1-CC4) plus the two the
+    paper describes in prose: the mux-multiplier companion of CC4 and
+    the latency-budget pruning that drives the hardware/software
+    choice. *)
+
+val hierarchy : Ds_layer.Hierarchy.t
+
+val omm_path : string list
+(** The "Operator - Modular - Multiplier" node. *)
+
+val omm_hardware_path : string list
+val omm_hardware_montgomery_path : string list
+val omm_software_path : string list
+
+val cc1 : Ds_layer.Consistency.t
+(** Montgomery requires an odd modulo (inconsistent options). *)
+
+val cc2 : Ds_layer.Consistency.t
+(** Latency in cycles derives from radix and EOL:
+    [L = 2*EOL/R + 1]. *)
+
+val cc3 : Ds_layer.Consistency.t
+(** Estimator context: [BehaviorDelayEstimator] ranks the behavioral
+    descriptions by maximum combinational delay once a hardware BD is
+    selected. *)
+
+val cc4 : Ds_layer.Consistency.t
+(** Montgomery at EOL >= 32: non-carry-save adders are inferior and
+    their cores are eliminated. *)
+
+val cc5 : Ds_layer.Consistency.t
+(** Montgomery loop multipliers must be mux-based for radix > 2 (the
+    prose companion of CC4). *)
+
+val cc6 : Ds_layer.Consistency.t
+(** Cores that cannot meet the latency requirement at the specified EOL
+    are eliminated. *)
+
+val cc7 : Ds_layer.Consistency.t
+(** Coprocessor level: multiplications per exponentiation derive from
+    the exponent length and the recoding. *)
+
+val cc8 : Ds_layer.Consistency.t
+(** Coprocessor level: the per-multiplication latency budget derives
+    from the throughput target and CC7's count — the layer's behavioral
+    decomposition in action (Section 6). *)
+
+val constraints : Ds_layer.Consistency.t list
+(** CC1..CC8 in order. *)
+
+val session : cores:(string * Ds_reuse.Core.t) list -> Ds_layer.Session.t
+(** A fresh exploration session over this layer. *)
+
+val navigate_to_omm : Ds_layer.Session.t -> (Ds_layer.Session.t, string) result
+(** Descend the functional levels of the hierarchy (operator family =
+    modular, modular operator = multiplier) so the OMM requirements
+    become visible. *)
+
+val navigate_to_exponentiator : Ds_layer.Session.t -> (Ds_layer.Session.t, string) result
+(** Descend to the coprocessor component (OME) instead. *)
+
+val multiplier_requirements_from_exponentiator :
+  Ds_layer.Session.t -> ((string * Ds_layer.Value.t) list, string) result
+(** Behavioral decomposition (Section 6): turn an explored exponentiator
+    session into the requirement values of a fresh multiplier session —
+    the shared operand length plus the per-multiplication latency budget
+    CC8 derived from the throughput target. *)
+
+val coprocessor_requirements : (string * Ds_layer.Value.t) list
+(** The values of Fig 8, from the modular-exponentiation coprocessor
+    spec of Royo et al. [11]: EOL 768, 2's-complement operands,
+    redundant result coding, modulo guaranteed odd, latency <= 8 usec. *)
+
+val apply_requirements :
+  Ds_layer.Session.t -> (string * Ds_layer.Value.t) list -> (Ds_layer.Session.t, string) result
+(** Enter requirement values in order; stops at the first error. *)
+
+val operator_subsession :
+  Ds_layer.Session.t -> operator:string -> (Ds_layer.Session.t, string) result
+(** Behavioral decomposition downward (DI7, Fig 10's "Operator CDOs"):
+    from a multiplier session whose behavioral description is selected,
+    open a fresh session focused on the named operator class
+    ("adder" or "multiplier") of the logic-arithmetic subtree, over the
+    same core population.  Errors when the operator is not one used by
+    the selected behavioral description's loop body. *)
+
+val adopt_adder_choice :
+  Ds_layer.Session.t -> Ds_layer.Session.t -> (Ds_layer.Session.t, string) result
+(** Carry an adder sub-exploration's architecture decision back into
+    the multiplier session as its "Adder Implementation" issue (the
+    return leg of DI7).  Errors when the sub-session has not decided
+    the adder architecture. *)
+
+val layer : ?eol:int -> unit -> Ds_layer.Layer.t
+(** The whole cryptography layer as one validated value: hierarchy,
+    CC1-CC8 and the standard registry (default EOL 768). *)

@@ -1,0 +1,136 @@
+open Ds_layer
+module Core = Ds_reuse.Core
+module N = Names
+
+let algorithm_issue = "IDCT Algorithm"
+let technology_issue = N.fabrication_technology
+
+(* The five cores of Fig 2: {1, 2, 5} are 0.35u implementations (fast,
+   small), {3, 4} are 0.7u (slow, large); 1 and 4 share the Chen
+   algorithm.  Their figures of merit are derived from the ds_media
+   substrate (verified IDCT algorithms with literature operation
+   counts priced through the ds_tech process models), so the Fig 2(c)
+   cluster structure emerges from the models rather than from
+   hand-written numbers. *)
+let core_data =
+  [
+    (* name, algorithm, technology *)
+    ("idct1", Ds_media.Idct_catalog.chen, Ds_tech.Process.p035_g10);
+    ("idct2", Ds_media.Idct_catalog.lee, Ds_tech.Process.p035_g10);
+    ("idct3", Ds_media.Idct_catalog.lee, Ds_tech.Process.p070);
+    ("idct4", Ds_media.Idct_catalog.chen, Ds_tech.Process.p070);
+    ("idct5", Ds_media.Idct_catalog.loeffler, Ds_tech.Process.p035_g10);
+  ]
+
+let make_core (name, entry, process) =
+  let delay, area = Ds_media.Idct_catalog.core_merits entry ~process in
+  Core.make_exn ~id:name ~name ~provider:"idct-vendor" ~kind:Core.Hard_core
+    ~properties:
+      [
+        (algorithm_issue, entry.Ds_media.Idct_catalog.name);
+        (technology_issue, process.Ds_tech.Process.name);
+        (N.implementation_style, N.hardware);
+      ]
+    ~merits:
+      [
+        (N.m_latency_ns, delay);
+        (N.m_area_um2, area);
+        ("mults-per-point", float_of_int entry.Ds_media.Idct_catalog.mults);
+      ]
+    ~doc:entry.Ds_media.Idct_catalog.reference ()
+
+let library = Ds_reuse.Library.make_exn ~name:"idct-lib" (List.map make_core core_data)
+
+let cores =
+  Ds_reuse.Registry.all_cores (Ds_reuse.Registry.register_exn Ds_reuse.Registry.empty library)
+
+let word_size_req =
+  Property.requirement ~name:"Word Size" ~domain:(Domain.Int_range { lo = Some 1; hi = None })
+    ~unit_:"bits" ()
+
+let precision_req =
+  Property.requirement ~name:"Precision" ~domain:(Domain.Int_range { lo = Some 1; hi = None })
+    ~unit_:"bits" ()
+
+let algorithms = [ "chen"; "lee"; "loeffler" ]
+let technologies = [ "0.35u"; "0.7u" ]
+
+(* Organisation of Fig 3: technology (the issue that separates the
+   evaluation-space clusters) is the generalized issue; the algorithm
+   remains a plain issue inside each family. *)
+let generalization_first =
+  let algorithm_di = Property.design_issue ~name:algorithm_issue ~domain:(Domain.enum algorithms) () in
+  let tech_child tech = Cdo.leaf_exn ~name:tech [ algorithm_di ] in
+  let issue =
+    Property.design_issue ~generalized:true ~name:technology_issue
+      ~domain:(Domain.enum technologies)
+      ~doc:"separates the clusters {1,2,5} and {3,4} of the evaluation space" ()
+  in
+  Hierarchy.create_exn
+    (Cdo.node_exn ~name:"IDCT" ~abbrev:"IDCT"
+       [ word_size_req; precision_req ]
+       ~issue
+       ~children:(List.map (fun tech -> (tech, tech_child tech)) technologies))
+
+(* Organisation of Fig 2(a): the algorithm-level issue comes first, as a
+   strictly abstraction-ordered layer would have it. *)
+let abstraction_first =
+  let tech_di = Property.design_issue ~name:technology_issue ~domain:(Domain.enum technologies) () in
+  let algo_child algorithm = Cdo.leaf_exn ~name:algorithm [ tech_di ] in
+  let issue =
+    Property.design_issue ~generalized:true ~name:algorithm_issue
+      ~domain:(Domain.enum algorithms)
+      ~doc:"the algorithm-level view: uninformative about merit ranges" ()
+  in
+  Hierarchy.create_exn
+    (Cdo.node_exn ~name:"IDCT" ~abbrev:"IDCT-ABS"
+       [ word_size_req; precision_req ]
+       ~issue
+       ~children:(List.map (fun algorithm -> (algorithm, algo_child algorithm)) algorithms))
+
+let session_generalization () = Session.create ~hierarchy:generalization_first ~cores ()
+let session_abstraction () = Session.create ~hierarchy:abstraction_first ~cores ()
+
+type first_decision_quality = {
+  organisation : string;
+  option_chosen : string;
+  candidates_left : int;
+  delay_spread : float;
+  area_spread : float;
+}
+
+let fastest_core =
+  let compare_delay (_, a) (_, b) =
+    Float.compare
+      (Option.value ~default:infinity (Core.merit a N.m_latency_ns))
+      (Option.value ~default:infinity (Core.merit b N.m_latency_ns))
+  in
+  match List.sort compare_delay cores with
+  | best :: _ -> snd best
+  | [] -> assert false
+
+let spread = function
+  | Some (lo, hi) when lo > 0.0 -> (hi -. lo) /. lo
+  | Some _ | None -> nan
+
+let first_decision_report () =
+  let report organisation session issue =
+    (* Decide the first generalized issue toward the fastest design. *)
+    let option_chosen =
+      match Core.property fastest_core issue with Some v -> v | None -> assert false
+    in
+    match Session.set session issue (Value.str option_chosen) with
+    | Error msg -> failwith msg
+    | Ok s ->
+      {
+        organisation;
+        option_chosen;
+        candidates_left = Session.candidate_count s;
+        delay_spread = spread (Session.merit_range s ~merit:N.m_latency_ns);
+        area_spread = spread (Session.merit_range s ~merit:N.m_area_um2);
+      }
+  in
+  [
+    report "generalization-first (Fig 3)" (session_generalization ()) technology_issue;
+    report "abstraction-first (Fig 2a)" (session_abstraction ()) algorithm_issue;
+  ]

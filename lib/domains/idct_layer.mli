@@ -1,0 +1,52 @@
+(** The IDCT illustration of Section 2 (Figs 2, 3 and 4).
+
+    Five IDCT cores populate a small layer.  Two alternative layer
+    organisations over the {e same} cores let us quantify Section 2.1's
+    argument:
+
+    - {!abstraction_first} discriminates by the algorithm design issue
+      first (the "strictly based on abstraction" organisation of
+      Fig 2(a)) — designs 1 and 4 share an algorithm yet sit far apart
+      in the evaluation space, so the first decision barely narrows the
+      merit ranges;
+    - {!generalization_first} discriminates by fabrication technology
+      first (the generalization/specialization organisation of Fig 3),
+      whose options separate the evaluation-space clusters {1,2,5} and
+      {3,4}.
+
+    The cores' merits are synthetic but arranged exactly as in Fig 2(c):
+    designs 1, 2 and 5 form the low-area/low-delay cluster, 3 and 4 the
+    high one, with 1 and 4 implementing the same algorithm in different
+    technologies. *)
+
+val cores : (string * Ds_reuse.Core.t) list
+(** The five IDCT cores with qualified ids ("idct-lib/idct1"...). *)
+
+val library : Ds_reuse.Library.t
+
+val generalization_first : Ds_layer.Hierarchy.t
+val abstraction_first : Ds_layer.Hierarchy.t
+
+val algorithm_issue : string
+(** "IDCT Algorithm" — options "chen", "lee", "loeffler". *)
+
+val technology_issue : string
+(** "Fabrication Technology" — options "0.35u", "0.7u". *)
+
+val session_generalization : unit -> Ds_layer.Session.t
+val session_abstraction : unit -> Ds_layer.Session.t
+
+type first_decision_quality = {
+  organisation : string;
+  option_chosen : string;
+  candidates_left : int;
+  delay_spread : float;  (** (max-min)/min of delay over the survivors *)
+  area_spread : float;
+}
+
+val first_decision_report : unit -> first_decision_quality list
+(** For each organisation, take the first generalized decision toward
+    the fastest core and report how informative the surviving family's
+    merit ranges are — the quantitative form of Section 2.1's argument
+    (small spreads = coherent guidance; large spreads = "uninformative
+    regions in the evaluation space"). *)

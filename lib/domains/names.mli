@@ -1,0 +1,86 @@
+(** Canonical property, option and merit names shared by the domain
+    layers, the core generators and the benchmarks.
+
+    Cores are matched against design-issue bindings by exact string
+    comparison, so every name lives here exactly once. *)
+
+(** {1 Requirements (Fig 8)} *)
+
+val effective_operand_length : string (* Req1 *)
+val operand_coding : string (* Req2 *)
+val result_coding : string (* Req3 *)
+val modulo_is_odd : string (* Req4 *)
+val latency_single_operation : string (* Req5, usec *)
+
+val guaranteed : string
+val not_guaranteed : string
+val twos_complement : string
+val signed_magnitude : string
+val unsigned : string
+val redundant : string
+
+(** {1 Design issues (Fig 8, Fig 11)} *)
+
+val implementation_style : string (* DI1, generalized *)
+val hardware : string
+val software : string
+
+val algorithm : string (* DI2, generalized *)
+val montgomery : string
+val brickell : string
+
+val radix : string (* DI3 *)
+val number_of_slices : string (* DI4 *)
+val slice_width : string
+val layout_style : string (* DI5 *)
+val fabrication_technology : string (* DI6 *)
+val behavioral_decomposition : string (* DI7 *)
+val behavioral_description : string
+
+val adder_implementation : string
+val multiplier_implementation : string
+val and_row : string
+
+val programmable_platform : string
+val pentium_60 : string
+val embedded_risc : string
+val embedded_dsp : string
+val implementation_language : string
+val lang_c : string
+val lang_asm : string
+val scanning_variant : string
+
+val latency_cycles : string
+(** the CC2-derived metric property *)
+
+(** {1 Exponentiator (the coprocessor component, Section 6)} *)
+
+val exponent_length : string
+val operations_per_second : string
+val exponent_recoding : string
+val recoding_binary : string
+val multiplications_per_operation : string
+val multiplication_budget : string
+(** derived: the per-multiplication latency budget (usec) implied by
+    the coprocessor's throughput target *)
+
+val operator_family : string
+val operator_kind : string
+val arithmetic_operator : string
+val modular_operator : string
+val adder_architecture : string
+
+(** {1 Merits (figures of merit carried by cores)} *)
+
+val m_area_um2 : string
+val m_latency_ns : string
+val m_clock_ns : string
+val m_cycles : string
+val m_power_mw : string
+val m_energy_nj : string
+val m_eol : string
+(** The operand length a core's merits were characterised at. *)
+
+(** {1 Other core property keys} *)
+
+val p_design_no : string

@@ -1,0 +1,169 @@
+module Core = Ds_reuse.Core
+module Library = Ds_reuse.Library
+module Registry = Ds_reuse.Registry
+module D = Ds_rtl.Modmul_datapath
+module N = Names
+
+let base_modmul_properties =
+  [
+    (N.operator_family, "modular");
+    (N.modular_operator, "multiplier");
+  ]
+
+let hardware_core ?technology ?layout ~design_no ~slice_width ~eol () =
+  let cfg = Ds_rtl.Modmul_design.design ?technology ?layout design_no ~slice_width in
+  let char = D.characterize cfg ~eol in
+  let name = Ds_rtl.Modmul_design.label design_no ~slice_width in
+  let algorithm =
+    match cfg.D.algorithm with D.Montgomery -> N.montgomery | D.Brickell -> N.brickell
+  in
+  let multiplier =
+    match cfg.D.multiplier with
+    | None -> N.and_row
+    | Some arch -> Ds_rtl.Multiplier.name arch
+  in
+  let structure_summary =
+    Printf.sprintf "%s: %d slices x %d bits, %d component instances; regenerate with Ds_rtl.Netlist"
+      (Ds_rtl.Netlist.entity_name cfg) (D.num_slices cfg ~eol) slice_width
+      (Ds_rtl.Netlist.instance_count cfg ~eol)
+  in
+  let behavioral_view =
+    match cfg.D.algorithm with
+    | D.Montgomery -> "montgomery-modmul"
+    | D.Brickell -> "brickell-modmul"
+  in
+  Core.make_exn ~id:name ~name ~provider:"lsi-g10-synthesis" ~kind:Core.Hard_core
+    ~views:[ ("algorithm", behavioral_view); ("structure", structure_summary) ]
+    ~properties:
+      (base_modmul_properties
+      @ [
+          (N.implementation_style, N.hardware);
+          (N.algorithm, algorithm);
+          (N.radix, string_of_int (D.radix cfg));
+          (N.slice_width, string_of_int slice_width);
+          (N.number_of_slices, string_of_int (D.num_slices cfg ~eol));
+          (N.layout_style, cfg.D.layout.Ds_tech.Layout.name);
+          (N.fabrication_technology, cfg.D.technology.Ds_tech.Process.name);
+          (N.adder_implementation, Ds_rtl.Adder.name cfg.D.adder);
+          (N.multiplier_implementation, multiplier);
+          (N.p_design_no, string_of_int design_no);
+        ])
+    ~merits:
+      [
+        (N.m_area_um2, char.D.char_area_um2);
+        (N.m_latency_ns, char.D.char_latency_ns);
+        (N.m_clock_ns, char.D.char_clock_ns);
+        (N.m_cycles, float_of_int char.D.char_cycles);
+        (N.m_power_mw, char.D.char_power.Ds_tech.Power.dynamic_mw);
+        (N.m_energy_nj, char.D.char_power.Ds_tech.Power.energy_per_op_nj);
+        (N.m_eol, float_of_int eol);
+      ]
+    ~doc:(Printf.sprintf "Table 1 design #%d with %d-bit slices" design_no slice_width)
+    ()
+
+let hardware_modmul_library ?technology ?layout ~eol () =
+  let cores =
+    List.concat_map
+      (fun design_no ->
+        List.filter_map
+          (fun slice_width ->
+            if eol mod slice_width = 0 then
+              Some (hardware_core ?technology ?layout ~design_no ~slice_width ~eol ())
+            else None)
+          Ds_rtl.Modmul_design.slice_widths)
+      Ds_rtl.Modmul_design.design_numbers
+  in
+  Library.make_exn ~name:"hw-lib" cores
+
+let software_core ?(platform = Ds_swmodel.Platform.pentium_60) routine ~eol =
+  let open Ds_swmodel in
+  let time_us =
+    Platform.modmul_time_us platform routine.Pentium.variant routine.Pentium.language ~bits:eol
+  in
+  let name =
+    if String.equal platform.Platform.name Platform.pentium_60.Platform.name then
+      Pentium.routine_name routine
+    else Printf.sprintf "%s@%s" (Pentium.routine_name routine) platform.Platform.name
+  in
+  Core.make_exn ~id:name ~name ~provider:"koc-acar-kaliski" ~kind:Core.Software_routine
+    ~properties:
+      (base_modmul_properties
+      @ [
+          (N.implementation_style, N.software);
+          (N.algorithm, N.montgomery);
+          (N.programmable_platform, platform.Platform.name);
+          (N.implementation_language, Pentium.language_name routine.Pentium.language);
+          (N.scanning_variant, Mont_variants.variant_name routine.Pentium.variant);
+        ])
+    ~merits:[ (N.m_latency_ns, time_us *. 1000.0); (N.m_eol, float_of_int eol) ]
+    ~doc:(Printf.sprintf "Montgomery %s in %s on %s"
+            (Mont_variants.variant_name routine.Pentium.variant)
+            (Pentium.language_name routine.Pentium.language)
+            platform.Platform.name)
+    ()
+
+let software_modmul_library ~eol () =
+  Library.make_exn ~name:"sw-lib"
+    (List.concat_map
+       (fun platform ->
+         List.map
+           (fun routine -> software_core ~platform routine ~eol)
+           Ds_swmodel.Pentium.all_routines)
+       Ds_swmodel.Platform.all)
+
+let arithmetic_library ?(technology = Ds_tech.Process.p035_g10) () =
+  let widths = [ 8; 16; 32; 64 ] in
+  let adder_core arch width =
+    let component = Ds_rtl.Adder.component arch ~width in
+    let gates = (component :> Ds_rtl.Component.t).Ds_rtl.Component.gates in
+    let depth = (component :> Ds_rtl.Component.t).Ds_rtl.Component.depth in
+    Core.make_exn
+      ~id:(Printf.sprintf "add-%s-%d" (Ds_rtl.Adder.name arch) width)
+      ~name:(Printf.sprintf "%s adder %d" (Ds_rtl.Adder.name arch) width)
+      ~provider:"in-house" ~kind:Core.Soft_core
+      ~properties:
+        [
+          (N.operator_family, "logic-arithmetic");
+          (N.operator_kind, "arithmetic");
+          (N.arithmetic_operator, "adder");
+          (N.adder_architecture, Ds_rtl.Adder.name arch);
+          ("width", string_of_int width);
+        ]
+      ~merits:
+        [
+          (N.m_area_um2, Ds_tech.Process.area_um2 technology ~gates);
+          (N.m_latency_ns, Ds_tech.Process.gate_delay_ns technology ~levels:depth);
+        ]
+      ()
+  in
+  let multiplier_core arch width =
+    let component = Ds_rtl.Multiplier.component arch ~width ~digit_bits:2 in
+    let gates = (component :> Ds_rtl.Component.t).Ds_rtl.Component.gates in
+    let depth = (component :> Ds_rtl.Component.t).Ds_rtl.Component.depth in
+    Core.make_exn
+      ~id:(Printf.sprintf "mul-%s-%d" (Ds_rtl.Multiplier.name arch) width)
+      ~name:(Printf.sprintf "%s multiplier %d" (Ds_rtl.Multiplier.name arch) width)
+      ~provider:"in-house" ~kind:Core.Soft_core
+      ~properties:
+        [
+          (N.operator_family, "logic-arithmetic");
+          (N.operator_kind, "arithmetic");
+          (N.arithmetic_operator, "multiplier");
+          ("width", string_of_int width);
+        ]
+      ~merits:
+        [
+          (N.m_area_um2, Ds_tech.Process.area_um2 technology ~gates);
+          (N.m_latency_ns, Ds_tech.Process.gate_delay_ns technology ~levels:depth);
+        ]
+      ()
+  in
+  Library.make_exn ~name:"arith-lib"
+    (List.concat_map (fun arch -> List.map (adder_core arch) widths) Ds_rtl.Adder.all
+    @ List.concat_map (fun arch -> List.map (multiplier_core arch) widths) Ds_rtl.Multiplier.all)
+
+let standard_registry ?technology ~eol () =
+  let registry = Registry.empty in
+  let registry = Registry.register_exn registry (hardware_modmul_library ?technology ~eol ()) in
+  let registry = Registry.register_exn registry (software_modmul_library ~eol ()) in
+  Registry.register_exn registry (arithmetic_library ?technology ())

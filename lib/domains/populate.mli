@@ -1,0 +1,45 @@
+(** Reuse-library population.
+
+    The paper's experiment synthesised its own cores (Synopsys DC + LSI
+    0.35u tools for hardware, Koc-Acar-Kaliski routines for software)
+    and indexed them through the layer.  These generators do the same
+    against our {!Ds_rtl} and {!Ds_swmodel} substrates: every generated
+    core carries the property bindings that let {!Ds_layer.Index} place
+    it in the {!Crypto_layer} hierarchy, plus figures of merit
+    characterised at a stated operand length. *)
+
+val hardware_modmul_library :
+  ?technology:Ds_tech.Process.t -> ?layout:Ds_tech.Layout.t -> eol:int -> unit ->
+  Ds_reuse.Library.t
+(** The 40 hard cores of Table 1 (designs #1..#8 at slice widths 8, 16,
+    32, 64, 128 that divide [eol]), characterised at [eol].
+    Library name ["hw-lib"]. *)
+
+val software_modmul_library : eol:int -> unit -> Ds_reuse.Library.t
+(** Thirty software routines: the five scanning variants in C and
+    assembler on each of the three programmable platforms (Pentium 60,
+    embedded RISC, embedded DSP), timed at [eol].  Library name
+    ["sw-lib"]. *)
+
+val arithmetic_library : ?technology:Ds_tech.Process.t -> unit -> Ds_reuse.Library.t
+(** Adder and multiplier building-block cores for the logic-arithmetic
+    subtree (used by behavioral decomposition).  Library name
+    ["arith-lib"]. *)
+
+val standard_registry :
+  ?technology:Ds_tech.Process.t -> eol:int -> unit -> Ds_reuse.Registry.t
+(** The three libraries of Fig 1 registered together. *)
+
+val hardware_core :
+  ?technology:Ds_tech.Process.t ->
+  ?layout:Ds_tech.Layout.t ->
+  design_no:int ->
+  slice_width:int ->
+  eol:int ->
+  unit ->
+  Ds_reuse.Core.t
+(** One Table 1 core (exposed for tests and benches). *)
+
+val software_core :
+  ?platform:Ds_swmodel.Platform.t -> Ds_swmodel.Pentium.routine -> eol:int -> Ds_reuse.Core.t
+(** One software routine core (default platform: Pentium 60). *)

@@ -1,0 +1,37 @@
+(** Synthetic design space layers for scalability studies.
+
+    The paper claims the layer organisation "is thus easily scalable";
+    this generator produces layers of controllable size so the claim can
+    be measured: a complete generalization hierarchy of given depth and
+    branching, a configurable number of plain design issues per node,
+    and a core population with deterministic pseudo-random property
+    bindings and figures of merit. *)
+
+type spec = {
+  depth : int;  (** levels of generalized issues (>= 1) *)
+  branching : int;  (** options per generalized issue (>= 2) *)
+  plain_issues : int;  (** non-generalized issues per internal node *)
+  options_per_issue : int;  (** options of each plain issue (>= 2) *)
+  cores : int;  (** population size *)
+  seed : int;
+}
+
+val default_spec : spec
+(** depth 3, branching 3, 2 plain issues x 4 options, 1000 cores,
+    seed 7. *)
+
+val hierarchy : spec -> Ds_layer.Hierarchy.t
+(** The synthetic hierarchy ([branching^depth] leaves).
+    @raise Invalid_argument on a malformed spec. *)
+
+val cores : spec -> (string * Ds_reuse.Core.t) list
+(** Cores with uniformly-drawn option bindings for every issue and two
+    merits ("delay", "cost") correlated with the chosen options, so
+    pruning and ranges behave like a real population. *)
+
+val session : spec -> Ds_layer.Session.t
+(** Hierarchy + cores assembled into a session. *)
+
+val random_walk : spec -> steps:int -> Ds_layer.Session.t
+(** Descend [steps] generalized decisions (always the first option) —
+    the hot pruning path, for benchmarks. *)

@@ -1,0 +1,254 @@
+open Ds_layer
+module Core = Ds_reuse.Core
+module Catalog = Ds_media.Idct_catalog
+
+let req_block_rate = "Block Rate"
+let req_precision = "Precision"
+let di_structure = "Transform Structure"
+let di_algorithm = "IDCT Algorithm"
+let di_parallelism = "MAC Parallelism"
+let di_fraction_bits = "Fraction Bits"
+let m_blocks_per_second = "blocks-per-second"
+let m_precision_bits = "precision-bits"
+let m_ieee1180 = "ieee1180-compliant"
+
+let structure_row_column = "row-column"
+let structure_direct = "direct"
+
+let parallelism_options = [ 1; 2; 4; 8 ]
+let fraction_options = [ 12; 16; 20 ]
+
+(* ---------------------------------------------------------------- *)
+(* Performance / precision models                                     *)
+
+(* One MAC retires one multiplication per cycle; additions ride in the
+   accumulate. *)
+let blocks_per_second ~structure ~mults_1d ~parallelism ~clock_ns =
+  let mults_per_block =
+    if String.equal structure structure_direct then 64 * 64
+    else 16 * mults_1d (* 8 rows + 8 columns *)
+  in
+  let cycles = ((mults_per_block + parallelism - 1) / parallelism) + 8 (* pipeline fill *) in
+  1.0e9 /. (clock_ns *. float_of_int cycles)
+
+let mac_clock_ns process = Ds_tech.Process.gate_delay_ns process ~levels:14.0
+
+(* The fixed-point measurements are the expensive part; memoise per
+   fraction width. *)
+let precision_cache : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let precision_bits ~frac_bits =
+  match Hashtbl.find_opt precision_cache frac_bits with
+  | Some v -> v
+  | None ->
+    let v = Ds_media.Idct_fixed.achieved_precision_bits ~frac_bits in
+    Hashtbl.add precision_cache frac_bits v;
+    v
+
+let conformance_cache : (int, bool) Hashtbl.t = Hashtbl.create 8
+
+(* IEEE 1180-style compliance of the row-column fixed-point datapath at
+   this width (200-block series per range; deterministic). *)
+let ieee1180_compliant ~frac_bits =
+  match Hashtbl.find_opt conformance_cache frac_bits with
+  | Some v -> v
+  | None ->
+    let v =
+      (Ds_media.Conformance.test ~trials:200
+         (Ds_media.Conformance.fixed_point_idct ~frac_bits))
+        .Ds_media.Conformance.compliant
+    in
+    Hashtbl.add conformance_cache frac_bits v;
+    v
+
+(* ---------------------------------------------------------------- *)
+(* Core generation                                                    *)
+
+let make_core ~structure ~entry ~parallelism ~frac_bits ~process =
+  let mults_1d = entry.Catalog.mults in
+  let clock_ns = mac_clock_ns process in
+  let throughput = blocks_per_second ~structure ~mults_1d ~parallelism ~clock_ns in
+  (* parallel MACs replicate the multiplier; the coefficient ROM and
+     transpose buffer are shared *)
+  let mac_gates = 600.0 +. (float_of_int frac_bits *. 14.0) in
+  let gates = (float_of_int parallelism *. mac_gates) +. 2200.0 in
+  let area = Ds_tech.Process.area_um2 process ~gates in
+  let name =
+    Printf.sprintf "%s-%s-p%d-f%d"
+      (if String.equal structure structure_direct then "direct" else entry.Catalog.name)
+      process.Ds_tech.Process.name parallelism frac_bits
+  in
+  Core.make_exn ~id:name ~name ~provider:"video-ip" ~kind:Core.Hard_core
+    ~properties:
+      ([
+         (di_structure, structure);
+         (di_parallelism, string_of_int parallelism);
+         (di_fraction_bits, string_of_int frac_bits);
+         (Names.fabrication_technology, process.Ds_tech.Process.name);
+       ]
+      @ if String.equal structure structure_direct then [] else [ (di_algorithm, entry.Catalog.name) ])
+    ~merits:
+      [
+        (m_blocks_per_second, throughput);
+        (m_precision_bits, float_of_int (precision_bits ~frac_bits));
+        (m_ieee1180, if ieee1180_compliant ~frac_bits then 1.0 else 0.0);
+        (Names.m_area_um2, area);
+        (Names.m_clock_ns, clock_ns);
+      ]
+    ~views:[ ("algorithm", entry.Catalog.reference) ]
+    ()
+
+let library =
+  let process = Ds_tech.Process.p035_g10 in
+  let row_column =
+    List.concat_map
+      (fun entry ->
+        List.concat_map
+          (fun parallelism ->
+            List.map
+              (fun frac_bits ->
+                make_core ~structure:structure_row_column ~entry ~parallelism ~frac_bits
+                  ~process)
+              fraction_options)
+          parallelism_options)
+      [ Catalog.chen; Catalog.lee; Catalog.loeffler ]
+  in
+  let direct =
+    List.map
+      (fun parallelism ->
+        make_core ~structure:structure_direct ~entry:Catalog.naive ~parallelism ~frac_bits:16
+          ~process)
+      parallelism_options
+  in
+  Ds_reuse.Library.make_exn ~name:"video-lib" (row_column @ direct)
+
+let cores =
+  Ds_reuse.Registry.all_cores (Ds_reuse.Registry.register_exn Ds_reuse.Registry.empty library)
+
+(* ---------------------------------------------------------------- *)
+(* Hierarchy                                                          *)
+
+let hierarchy =
+  let algorithm_di =
+    Property.design_issue ~name:di_algorithm
+      ~domain:(Domain.enum [ "chen"; "lee"; "loeffler" ])
+      ~doc:"the 1-D kernel of the row-column organisation" ()
+  in
+  let parallelism_di =
+    Property.design_issue ~name:di_parallelism
+      ~domain:(Domain.enum (List.map string_of_int parallelism_options))
+      ~doc:"MAC units working one block in parallel" ()
+  in
+  let fraction_di =
+    Property.design_issue ~name:di_fraction_bits
+      ~domain:(Domain.enum (List.map string_of_int fraction_options))
+      ~doc:"datapath fraction bits; sets the achievable precision" ()
+  in
+  let tech_di =
+    Property.design_issue ~name:Names.fabrication_technology
+      ~domain:(Domain.enum (List.map (fun p -> p.Ds_tech.Process.name) Ds_tech.Process.all))
+      ~doc:"fabrication technology of the macro" ()
+  in
+  let issue =
+    Property.design_issue ~generalized:true ~name:di_structure
+      ~domain:(Domain.enum [ structure_row_column; structure_direct ])
+      ~doc:
+        "row-column needs ~16x fewer multiplications per block than the direct 2-D form: a \
+         coarse partition of the space" ()
+  in
+  Hierarchy.create_exn
+    (Cdo.node_exn ~name:"IDCT-2D" ~abbrev:"I2D"
+       ~doc:"the 2-D inverse DCT subsystem of an MPEG decoder"
+       [
+         Property.requirement ~name:req_block_rate ~domain:Domain.non_negative_real
+           ~unit_:"blocks/s" ~doc:"8x8 blocks the decoder must transform per second" ();
+         Property.requirement ~name:req_precision
+           ~domain:(Domain.Int_range { lo = Some 1; hi = Some 24 })
+           ~unit_:"bits" ~doc:"result bits that must be exact (IEEE 1180-style)" ();
+       ]
+       ~issue
+       ~children:
+         [
+           ( structure_row_column,
+             Cdo.leaf_exn ~name:structure_row_column
+               [ algorithm_di; parallelism_di; fraction_di; tech_di ] );
+           ( structure_direct,
+             Cdo.leaf_exn ~name:structure_direct
+               [
+                 Property.design_issue ~name:di_parallelism
+                   ~domain:(Domain.enum (List.map string_of_int parallelism_options))
+                   ~doc:"MAC units working one block in parallel" ();
+                 Property.design_issue ~name:di_fraction_bits
+                   ~domain:(Domain.enum (List.map string_of_int fraction_options))
+                   ~doc:"datapath fraction bits" ();
+               ] );
+         ])
+
+(* ---------------------------------------------------------------- *)
+(* Constraints                                                        *)
+
+let r = Propref.parse_exn
+
+let ccv1 =
+  Consistency.make_exn ~name:"CCV1"
+    ~doc:"Cores below the required block rate are eliminated"
+    ~indep:[ r (req_block_rate ^ "@I2D") ]
+    ~dep:[ r (di_structure ^ "@I2D") ]
+    (Consistency.Eliminate
+       {
+         inferior =
+           (fun env core ->
+             match
+               ( Option.bind (env.Consistency.value_of req_block_rate) Value.as_real,
+                 Core.merit core m_blocks_per_second )
+             with
+             | Some need, Some have -> have < need
+             | _ -> false);
+       })
+
+let ccv2 =
+  Consistency.make_exn ~name:"CCV2"
+    ~doc:"Cores whose fixed-point precision misses the requirement are eliminated"
+    ~indep:[ r (req_precision ^ "@I2D") ]
+    ~dep:[ r (di_fraction_bits ^ "@*.row-column") ]
+    (Consistency.Eliminate
+       {
+         inferior =
+           (fun env core ->
+             match
+               (env.Consistency.value_of req_precision, Core.merit core m_precision_bits)
+             with
+             | Some (Value.Int need), Some have -> have < float_of_int need
+             | _ -> false);
+       })
+
+let ccv3 =
+  Consistency.make_exn ~name:"CCV3"
+    ~doc:"The fraction width implies the achieved precision (measured, Idct_fixed)"
+    ~indep:[ r (di_fraction_bits ^ "@*.row-column") ]
+    ~dep:[ r ("Achieved Precision" ^ "@I2D") ]
+    (Consistency.Estimator_context
+       {
+         tool = "FixedPointPrecisionAnalyzer";
+         estimate =
+           (fun env ->
+             match env.Consistency.value_of di_fraction_bits with
+             | Some (Value.Str raw) -> (
+               match int_of_string_opt raw with
+               | Some frac_bits ->
+                 [ ("AchievedPrecisionBits", float_of_int (precision_bits ~frac_bits)) ]
+               | None -> [])
+             | _ -> []);
+       })
+
+let constraints = [ ccv1; ccv2; ccv3 ]
+
+let session () = Session.create ~hierarchy ~constraints ~cores ()
+
+let mpeg2_main_level_requirements =
+  (* 720 x 576 luma at 25 fps, 4:2:0 chroma: x1.5 samples -> /64 per
+     block *)
+  [
+    (req_block_rate, Value.real (720.0 *. 576.0 *. 1.5 /. 64.0 *. 25.0));
+    (req_precision, Value.int 8);
+  ]

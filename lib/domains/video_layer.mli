@@ -1,0 +1,56 @@
+(** A second complete design space layer: the 2-D IDCT subsystem of an
+    MPEG video decoder.
+
+    The paper's introduction motivates the layer with exactly this kind
+    of component ("IDCT blocks [3], MPEG II encoders/decoders [4]").
+    Where the cryptography layer exercises the hardware/software split,
+    this layer exercises the {e throughput/precision} requirement pair:
+
+    - Req "Block Rate" (8x8 blocks per second the decoder must sustain)
+      eliminates cores through a consistency constraint, exactly like
+      the crypto layer's latency budget;
+    - Req "Precision" (result bits that must be exact, IEEE 1180-style)
+      eliminates cores whose fixed-point datapaths are too narrow, with
+      the precision figures measured by {!Ds_media.Idct_fixed};
+    - the generalized issue "Transform Structure" separates the
+      row-column organisation from the direct 2-D form (two orders of
+      magnitude apart in multiplications per block: the Fig 3-style
+      coarse split);
+    - plain issues: "IDCT Algorithm" (the {!Ds_media.Idct_catalog}
+      entries), "MAC Parallelism" and "Fraction Bits".
+
+    All cores are generated from the media catalogue and the fixed-point
+    precision measurements — no hand-written merits. *)
+
+val hierarchy : Ds_layer.Hierarchy.t
+val constraints : Ds_layer.Consistency.t list
+
+val req_block_rate : string (* "Block Rate" [blocks/s] *)
+val req_precision : string (* "Precision" [bits] *)
+val di_structure : string (* "Transform Structure": row-column | direct *)
+val di_algorithm : string (* "IDCT Algorithm" *)
+val di_parallelism : string (* "MAC Parallelism": 1 | 2 | 4 | 8 *)
+val di_fraction_bits : string (* "Fraction Bits": 12 | 16 | 20 *)
+
+val m_blocks_per_second : string
+val m_precision_bits : string
+
+val m_ieee1180 : string
+(** 1.0 when the core's fixed-point datapath passes the IEEE 1180-style
+    conformance test of {!Ds_media.Conformance}, 0.0 otherwise. *)
+
+val library : Ds_reuse.Library.t
+(** The generated IDCT-subsystem cores ("video-lib"). *)
+
+val cores : (string * Ds_reuse.Core.t) list
+
+val session : unit -> Ds_layer.Session.t
+
+val mpeg2_main_level_requirements : (string * Ds_layer.Value.t) list
+(** 720x576 at 25 fps, 4:2:0 (243,000 blocks/s), 8 exact bits. *)
+
+val blocks_per_second :
+  structure:string -> mults_1d:int -> parallelism:int -> clock_ns:float -> float
+(** The throughput model (exposed for tests): row-column runs 16
+    one-dimensional passes per block; direct needs 64 multiplications
+    per sample. *)

@@ -1,0 +1,37 @@
+type weights = (Behavior.binop * float) list
+
+let default_weights =
+  Behavior.
+    [
+      (Add, 6.0);
+      (Sub, 6.5);
+      (Mul, 30.0);
+      (Div, 45.0);
+      (Mod, 45.0);
+      (Shift_left, 0.2);
+      (Shift_right, 0.2);
+      (Lt, 3.5);
+      (Le, 3.5);
+      (Gt, 3.5);
+      (Ge, 3.5);
+      (Eq, 3.0);
+    ]
+
+type estimate = { gates : float; area_um2 : float }
+
+let estimate ?(weights = default_weights) ~process ~width bd =
+  if width <= 0 then invalid_arg "Area_estimator.estimate: width must be positive";
+  let gates =
+    List.fold_left
+      (fun acc (op, count) ->
+        let per_bit = Option.value ~default:6.0 (List.assoc_opt op weights) in
+        acc +. (per_bit *. float_of_int width *. float_of_int count))
+      0.0
+      (Behavior.operator_census bd)
+  in
+  { gates; area_um2 = Ds_tech.Process.area_um2 process ~gates }
+
+let rank ?weights ~process ~width bds =
+  bds
+  |> List.map (fun bd -> (bd, estimate ?weights ~process ~width bd))
+  |> List.sort (fun (_, a) (_, b) -> Float.compare a.gates b.gates)

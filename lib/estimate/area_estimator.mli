@@ -1,0 +1,27 @@
+(** Companion area estimator: ranks behavioral descriptions by the
+    silicon the operators they instantiate would need, assuming each
+    static operator instance becomes a hardware unit of the given
+    width.  Like {!Delay_estimator}, the output is a rank, not a
+    prediction. *)
+
+type weights = (Behavior.binop * float) list
+(** Gate equivalents per bit of operand width for one operator
+    instance. *)
+
+val default_weights : weights
+(** Adders ~6 GE/bit, comparators ~3.5, multipliers ~30 (array),
+    dividers ~45, shifts ~0 (wiring). *)
+
+type estimate = {
+  gates : float;  (** total gate equivalents *)
+  area_um2 : float;  (** through the given process *)
+}
+
+val estimate :
+  ?weights:weights -> process:Ds_tech.Process.t -> width:int -> Behavior.t -> estimate
+(** @raise Invalid_argument when [width <= 0]. *)
+
+val rank :
+  ?weights:weights -> process:Ds_tech.Process.t -> width:int -> Behavior.t list ->
+  (Behavior.t * estimate) list
+(** Smallest first. *)

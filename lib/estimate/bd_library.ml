@@ -1,0 +1,146 @@
+open Behavior
+
+(* Fig 10 of the paper.  Variable names follow the paper: R is the
+   accumulator, Q the quotient digit, r the radix, n the operand
+   length in radix-r digits; MINV stands for the precomputed
+   (r - M0)^-1 of line 4. *)
+let montgomery =
+  make_exn ~name:"montgomery-modmul"
+    ~inputs:[ "A"; "B"; "M"; "r"; "r2"; "MINV" ]
+    ~outputs:[ "R" ]
+    ~params:[ ("n", 768) ]
+    [
+      Assign ("R", Const 0);
+      Assign ("Q", Const 0);
+      Assign ("B", Bin (Mul, Var "r2", Var "B"));
+      For
+        {
+          var = "i";
+          from_ = Const 1;
+          to_ = Bin (Add, Param "n", Const 1);
+          body =
+            [
+              Assign
+                ( "R",
+                  Bin
+                    ( Div,
+                      Bin
+                        ( Add,
+                          Bin (Mul, Index ("A", Var "i"), Var "B"),
+                          Bin (Add, Var "R", Bin (Mul, Var "Q", Var "M")) ),
+                      Var "r" ) );
+              Assign ("Q", Bin (Mod, Bin (Mul, Index ("R", Const 0), Var "MINV"), Var "r"));
+            ];
+        };
+      If
+        {
+          cond = Bin (Gt, Var "R", Var "M");
+          then_ = [ Assign ("R", Bin (Sub, Var "R", Var "M")) ];
+          else_ = [];
+        };
+    ]
+
+(* Brickell's MSB-first interleaved multiplication: a doubling, a
+   conditional addend, and up to two reduction steps per iteration. *)
+let brickell =
+  make_exn ~name:"brickell-modmul"
+    ~inputs:[ "A"; "B"; "M" ]
+    ~outputs:[ "R" ]
+    ~params:[ ("n", 768) ]
+    [
+      Assign ("R", Const 0);
+      For
+        {
+          var = "i";
+          from_ = Const 1;
+          to_ = Param "n";
+          body =
+            [
+              Assign
+                ( "R",
+                  Bin
+                    (Add, Bin (Shift_left, Var "R", Const 1), Bin (Mul, Index ("A", Var "i"), Var "B"))
+                );
+              If
+                {
+                  cond = Bin (Ge, Var "R", Var "M");
+                  then_ = [ Assign ("R", Bin (Sub, Var "R", Var "M")) ];
+                  else_ = [];
+                };
+              If
+                {
+                  cond = Bin (Ge, Var "R", Var "M");
+                  then_ = [ Assign ("R", Bin (Sub, Var "R", Var "M")) ];
+                  else_ = [];
+                };
+            ];
+        };
+    ]
+
+(* Full product followed by a single (expensive) reduction. *)
+let paper_pencil =
+  make_exn ~name:"paper-and-pencil-modmul"
+    ~inputs:[ "A"; "B"; "M" ]
+    ~outputs:[ "R" ]
+    ~params:[ ("n", 768) ]
+    [
+      Assign ("P", Const 0);
+      For
+        {
+          var = "i";
+          from_ = Const 1;
+          to_ = Param "n";
+          body =
+            [
+              Assign
+                ( "P",
+                  Bin
+                    ( Add,
+                      Bin (Shift_left, Var "P", Const 1),
+                      Bin (Mul, Index ("A", Var "i"), Var "B") ) );
+            ];
+        };
+      Assign ("R", Bin (Mod, Var "P", Var "M"));
+    ]
+
+(* The exponentiation loop of the coprocessor: square always, multiply
+   when the exponent bit is set (1.5 multiplications per bit on
+   average). *)
+let modexp_square_multiply =
+  make_exn ~name:"modexp-square-multiply"
+    ~inputs:[ "X"; "E"; "M" ]
+    ~outputs:[ "Y" ]
+    ~params:[ ("n", 768) ]
+    [
+      Assign ("Y", Const 1);
+      For
+        {
+          var = "i";
+          from_ = Const 1;
+          to_ = Param "n";
+          body =
+            [
+              Assign ("Y", Bin (Mod, Bin (Mul, Var "Y", Var "Y"), Var "M"));
+              If
+                {
+                  cond = Bin (Eq, Index ("E", Var "i"), Const 1);
+                  then_ = [ Assign ("Y", Bin (Mod, Bin (Mul, Var "Y", Var "X"), Var "M")) ];
+                  else_ = [];
+                };
+            ];
+        };
+    ]
+
+let all = [ montgomery; brickell; paper_pencil ]
+
+let by_name name =
+  List.find_opt
+    (fun bd -> String.equal bd.Behavior.name name)
+    (modexp_square_multiply :: all)
+
+let estimator_hints bd =
+  if bd == montgomery then
+    { Delay_estimator.cheap_divisors = [ "r" ]; Delay_estimator.var_widths = [] }
+  else if bd == paper_pencil then
+    { Delay_estimator.cheap_divisors = []; Delay_estimator.var_widths = [ ("P", 2.0) ] }
+  else Delay_estimator.no_hints

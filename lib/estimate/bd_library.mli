@@ -1,0 +1,33 @@
+(** The behavioral descriptions used by the cryptography case study.
+
+    [montgomery] is a faithful transcription of the paper's Fig 10:
+
+    {v
+    1: R := 0; Q0 := 0; B := r2*B
+    2: FOR i=1 TO n+1
+    3:   R := (Ai*B + R + Qi*M) div r;
+    4:   Qi := (R0*(r-M0)^-1) mod r;
+    5: IF (R > M) THEN
+    6:   R := R - M;
+    v}
+
+    [brickell] and [paper_pencil] are the two alternatives of
+    Section 5.1.1; [modexp_square_multiply] is the exponentiation loop
+    of the coprocessor around any of them. *)
+
+val montgomery : Behavior.t
+val brickell : Behavior.t
+val paper_pencil : Behavior.t
+val modexp_square_multiply : Behavior.t
+
+val all : Behavior.t list
+(** The three modular-multiplication alternatives (not the
+    exponentiator). *)
+
+val by_name : string -> Behavior.t option
+
+val estimator_hints : Behavior.t -> Delay_estimator.hints
+(** Algorithm-level facts the delay estimator needs: the Montgomery
+    radix divisions are shifts ([cheap_divisors = ["r"]]), and the
+    paper-and-pencil product register [P] is twice the operand width.
+    Unknown descriptions get no hints. *)

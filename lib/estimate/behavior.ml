@@ -1,0 +1,262 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shift_left
+  | Shift_right
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+
+type expr =
+  | Var of string
+  | Const of int
+  | Param of string
+  | Bin of binop * expr * expr
+  | Select of expr * expr * expr
+  | Index of string * expr
+
+type stmt =
+  | Assign of string * expr
+  | Assign_index of string * expr * expr
+  | For of { var : string; from_ : expr; to_ : expr; body : stmt list }
+  | If of { cond : expr; then_ : stmt list; else_ : stmt list }
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : string list;
+  params : (string * int) list;
+  body : stmt list;
+}
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Shift_left -> "<<"
+  | Shift_right -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+
+module Sset = Set.Make (String)
+
+let rec expr_vars = function
+  | Var v -> Sset.singleton v
+  | Const _ | Param _ -> Sset.empty
+  | Bin (_, a, b) -> Sset.union (expr_vars a) (expr_vars b)
+  | Select (c, a, b) -> Sset.union (expr_vars c) (Sset.union (expr_vars a) (expr_vars b))
+  | Index (v, e) -> Sset.add v (expr_vars e)
+
+let rec expr_params = function
+  | Var _ | Const _ -> Sset.empty
+  | Param p -> Sset.singleton p
+  | Bin (_, a, b) -> Sset.union (expr_params a) (expr_params b)
+  | Select (c, a, b) -> Sset.union (expr_params c) (Sset.union (expr_params a) (expr_params b))
+  | Index (_, e) -> expr_params e
+
+(* Validation: simple forward definedness check.  Returns the set of
+   variables defined after the statement list. *)
+let validate bd =
+  let rec check_stmts defined stmts =
+    List.fold_left
+      (fun acc stmt ->
+        match acc with
+        | Error _ as e -> e
+        | Ok defined -> check_stmt defined stmt)
+      (Ok defined) stmts
+  and check_stmt defined = function
+    | Assign (v, e) ->
+      let unknown = Sset.diff (expr_vars e) defined in
+      if Sset.is_empty unknown then Ok (Sset.add v defined)
+      else Error (Printf.sprintf "undefined variable %s in %s" (Sset.choose unknown) bd.name)
+    | Assign_index (v, i, e) ->
+      let unknown = Sset.diff (Sset.union (expr_vars i) (expr_vars e)) defined in
+      if Sset.is_empty unknown then Ok (Sset.add v defined)
+      else Error (Printf.sprintf "undefined variable %s in %s" (Sset.choose unknown) bd.name)
+    | For { var; from_; to_; body } ->
+      let unknown = Sset.diff (Sset.union (expr_vars from_) (expr_vars to_)) defined in
+      if not (Sset.is_empty unknown) then
+        Error (Printf.sprintf "undefined variable %s in loop bounds of %s" (Sset.choose unknown) bd.name)
+      else begin
+        (* Loop bodies may have loop-carried uses; check the body with
+           its own definitions visible (two-pass fixpoint in one step:
+           collect all assigned names first). *)
+        let rec assigned stmts =
+          List.fold_left
+            (fun acc s ->
+              match s with
+              | Assign (v, _) | Assign_index (v, _, _) -> Sset.add v acc
+              | For { var; body; _ } -> Sset.union (Sset.add var (assigned body)) acc
+              | If { then_; else_; _ } -> Sset.union (assigned then_) (Sset.union (assigned else_) acc))
+            Sset.empty stmts
+        in
+        let defined' = Sset.union (Sset.add var defined) (assigned body) in
+        match check_stmts defined' body with
+        | Error _ as e -> e
+        | Ok _ -> Ok defined'
+      end
+    | If { cond; then_; else_ } -> (
+      let unknown = Sset.diff (expr_vars cond) defined in
+      if not (Sset.is_empty unknown) then
+        Error (Printf.sprintf "undefined variable %s in condition of %s" (Sset.choose unknown) bd.name)
+      else begin
+        match check_stmts defined then_ with
+        | Error _ as e -> e
+        | Ok d1 -> (
+          match check_stmts defined else_ with
+          | Error _ as e -> e
+          | Ok d2 -> Ok (Sset.union d1 d2))
+      end)
+  in
+  match check_stmts (Sset.of_list bd.inputs) bd.body with
+  | Error _ as e -> e
+  | Ok defined ->
+    let missing = List.filter (fun o -> not (Sset.mem o defined)) bd.outputs in
+    if missing <> [] then
+      Error (Printf.sprintf "output %s never assigned in %s" (List.hd missing) bd.name)
+    else Ok ()
+
+let rec stmt_params = function
+  | Assign (_, e) -> expr_params e
+  | Assign_index (_, i, e) -> Sset.union (expr_params i) (expr_params e)
+  | For { from_; to_; body; _ } ->
+    Sset.union
+      (Sset.union (expr_params from_) (expr_params to_))
+      (List.fold_left (fun acc s -> Sset.union acc (stmt_params s)) Sset.empty body)
+  | If { cond; then_; else_ } ->
+    Sset.union (expr_params cond)
+      (List.fold_left (fun acc s -> Sset.union acc (stmt_params s)) Sset.empty (then_ @ else_))
+
+let free_params bd =
+  Sset.elements (List.fold_left (fun acc s -> Sset.union acc (stmt_params s)) Sset.empty bd.body)
+
+let make ~name ~inputs ~outputs ?(params = []) body =
+  let bd = { name; inputs; outputs; params; body } in
+  match validate bd with
+  | Error _ as e -> e
+  | Ok () ->
+    let unbound =
+      List.filter (fun p -> not (List.mem_assoc p params)) (free_params bd)
+    in
+    if unbound <> [] then
+      Error (Printf.sprintf "parameter %s has no default in %s" (List.hd unbound) name)
+    else Ok bd
+
+let make_exn ~name ~inputs ~outputs ?params body =
+  match make ~name ~inputs ~outputs ?params body with
+  | Ok bd -> bd
+  | Error msg -> invalid_arg ("Behavior.make_exn: " ^ msg)
+
+(* Pretty-printing in the paper's numbered-line style. *)
+let rec pp_expr fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Const c -> Format.pp_print_int fmt c
+  | Param p -> Format.pp_print_string fmt p
+  | Bin (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Select (c, a, b) -> Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Index (v, e) -> Format.fprintf fmt "%s[%a]" v pp_expr e
+
+let pp fmt bd =
+  let line = ref 0 in
+  let emit indent s =
+    incr line;
+    Format.fprintf fmt "%2d: %s%s@." !line (String.make (2 * indent) ' ') s
+  in
+  let str_of pp_f v = Format.asprintf "%a" pp_f v in
+  let rec pp_stmt indent = function
+    | Assign (v, e) -> emit indent (Printf.sprintf "%s := %s;" v (str_of pp_expr e))
+    | Assign_index (v, i, e) ->
+      emit indent (Printf.sprintf "%s[%s] := %s;" v (str_of pp_expr i) (str_of pp_expr e))
+    | For { var; from_; to_; body } ->
+      emit indent
+        (Printf.sprintf "FOR %s := %s TO %s" var (str_of pp_expr from_) (str_of pp_expr to_));
+      List.iter (pp_stmt (indent + 1)) body
+    | If { cond; then_; else_ } ->
+      emit indent (Printf.sprintf "IF %s THEN" (str_of pp_expr cond));
+      List.iter (pp_stmt (indent + 1)) then_;
+      if else_ <> [] then begin
+        emit indent "ELSE";
+        List.iter (pp_stmt (indent + 1)) else_
+      end
+  in
+  Format.fprintf fmt "-- %s(%s) -> %s@." bd.name (String.concat ", " bd.inputs)
+    (String.concat ", " bd.outputs);
+  List.iter (pp_stmt 0) bd.body
+
+let to_string bd = Format.asprintf "%a" pp bd
+
+let census_of_stmts ~loops_only stmts =
+  let counts = Hashtbl.create 13 in
+  let bump op = Hashtbl.replace counts op (1 + Option.value ~default:0 (Hashtbl.find_opt counts op)) in
+  let rec walk_expr = function
+    | Var _ | Const _ | Param _ -> ()
+    | Bin (op, a, b) ->
+      bump op;
+      walk_expr a;
+      walk_expr b
+    | Select (c, a, b) ->
+      walk_expr c;
+      walk_expr a;
+      walk_expr b
+    | Index (_, e) -> walk_expr e
+  in
+  let rec walk_stmt in_loop = function
+    | Assign (_, e) -> if in_loop || not loops_only then walk_expr e
+    | Assign_index (_, i, e) ->
+      if in_loop || not loops_only then begin
+        walk_expr i;
+        walk_expr e
+      end
+    | For { body; _ } -> List.iter (walk_stmt true) body
+    | If { cond; then_; else_ } ->
+      if in_loop || not loops_only then walk_expr cond;
+      List.iter (walk_stmt in_loop) (then_ @ else_)
+  in
+  List.iter (walk_stmt false) stmts;
+  Hashtbl.fold (fun op n acc -> (op, n) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
+
+let operator_census bd = census_of_stmts ~loops_only:false bd.body
+let operators_in_loops bd = census_of_stmts ~loops_only:true bd.body
+
+let rec eval_const params = function
+  | Const c -> Some c
+  | Param p -> List.assoc_opt p params
+  | Var _ | Index _ -> None
+  | Bin (op, a, b) -> (
+    match (eval_const params a, eval_const params b) with
+    | Some x, Some y -> (
+      match op with
+      | Add -> Some (x + y)
+      | Sub -> Some (x - y)
+      | Mul -> Some (x * y)
+      | Div -> if y = 0 then None else Some (x / y)
+      | Mod -> if y = 0 then None else Some (x mod y)
+      | Shift_left -> Some (x lsl y)
+      | Shift_right -> Some (x lsr y)
+      | Lt | Le | Gt | Ge | Eq -> None)
+    | _ -> None)
+  | Select _ -> None
+
+let loop_trip_count bd bindings =
+  let params = bindings @ bd.params in
+  let rec stmts_count mult stmts = List.fold_left (fun acc s -> acc + stmt_count mult s) 0 stmts
+  and stmt_count mult = function
+    | Assign _ | Assign_index _ -> mult
+    | If { then_; else_; _ } -> max (stmts_count mult then_) (stmts_count mult else_)
+    | For { from_; to_; body; _ } -> (
+      match (eval_const params from_, eval_const params to_) with
+      | Some lo, Some hi -> stmts_count (mult * Stdlib.max 0 (hi - lo + 1)) body
+      | _ -> invalid_arg (Printf.sprintf "Behavior.loop_trip_count: unbound bounds in %s" bd.name))
+  in
+  stmts_count 1 bd.body

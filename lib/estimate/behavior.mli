@@ -1,0 +1,98 @@
+(** Algorithm-level behavioral descriptions.
+
+    The design space layer attaches a behavioral description (BD) to
+    CDOs (the paper's Fig 10 shows the Montgomery multiplication BD) and
+    uses it for three things, all supported here:
+
+    - documentation: pretty-printing in the paper's numbered-line style;
+    - {e behavioral decomposition} (DI7): the operators appearing in a
+      BD are themselves CDOs whose implementations must be chosen —
+      {!operator_census} enumerates them;
+    - {e early estimation} (CC3): {!Delay_estimator} ranks alternative
+      BDs by critical path when no characterised core exists.
+
+    The IR is a small structured language: expressions over named
+    variables, assignments, counted loops and conditionals. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shift_left
+  | Shift_right
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+
+type expr =
+  | Var of string
+  | Const of int
+  | Param of string  (** symbolic problem size, e.g. "n" or "EOL" *)
+  | Bin of binop * expr * expr
+  | Select of expr * expr * expr  (** if-then-else expression *)
+  | Index of string * expr  (** subscripted variable, e.g. [A_i] *)
+
+type stmt =
+  | Assign of string * expr
+  | Assign_index of string * expr * expr  (** x[e1] := e2 *)
+  | For of { var : string; from_ : expr; to_ : expr; body : stmt list }
+  | If of { cond : expr; then_ : stmt list; else_ : stmt list }
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : string list;
+  params : (string * int) list;  (** default bindings for symbolic params *)
+  body : stmt list;
+}
+
+val binop_name : binop -> string
+(** Surface syntax: "+", "-", "*", "div", "mod", "<<", ">>", "<", ... *)
+
+val make :
+  name:string ->
+  inputs:string list ->
+  outputs:string list ->
+  ?params:(string * int) list ->
+  stmt list ->
+  (t, string) result
+(** Builds and validates a description: every variable read must be an
+    input, a loop variable, or previously assigned; every output must be
+    assigned somewhere; params must cover the symbolic names used. *)
+
+val make_exn :
+  name:string ->
+  inputs:string list ->
+  outputs:string list ->
+  ?params:(string * int) list ->
+  stmt list ->
+  t
+(** @raise Invalid_argument when {!make} reports an error. *)
+
+val pp : Format.formatter -> t -> unit
+(** The paper's numbered-line rendering (compare Fig 10). *)
+
+val to_string : t -> string
+
+val operator_census : t -> (binop * int) list
+(** Static instance counts of each operator appearing in the
+    description, most frequent first — the basis of behavioral
+    decomposition (DI7's [OPERATORS(BD@...)]). *)
+
+val operators_in_loops : t -> (binop * int) list
+(** Like {!operator_census} but restricted to loop bodies: these are the
+    performance-critical operators the paper's CC4 targets (the
+    additions "in the loop"). *)
+
+val free_params : t -> string list
+(** Symbolic parameters referenced by the description. *)
+
+val loop_trip_count : t -> (string * int) list -> int
+(** Total number of innermost-statement executions given parameter
+    bindings; used by the delay estimator.  Unbound parameters fall back
+    to the description's defaults.
+    @raise Invalid_argument if a parameter remains unbound. *)

@@ -1,0 +1,113 @@
+type value = Int of int | Arr of int array
+
+exception Eval_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Eval_error msg)) fmt
+
+let run ?(digit_base = 2) (bd : Behavior.t) ~params ~inputs =
+  let env : (string, value) Hashtbl.t = Hashtbl.create 17 in
+  let param name =
+    match List.assoc_opt name params with
+    | Some v -> v
+    | None -> (
+      match List.assoc_opt name bd.Behavior.params with
+      | Some v -> v
+      | None -> fail "unbound parameter %s" name)
+  in
+  let lookup name =
+    match Hashtbl.find_opt env name with
+    | Some v -> v
+    | None -> fail "unbound variable %s" name
+  in
+  let scalar name =
+    match lookup name with
+    | Int v -> v
+    | Arr _ -> fail "variable %s is an array where a scalar is expected" name
+  in
+  let rec eval (e : Behavior.expr) =
+    match e with
+    | Behavior.Var v -> scalar v
+    | Behavior.Const c -> c
+    | Behavior.Param p -> param p
+    | Behavior.Bin (op, a, b) -> (
+      let x = eval a and y = eval b in
+      match op with
+      | Behavior.Add -> x + y
+      | Behavior.Sub ->
+        if y > x then fail "negative intermediate (%d - %d)" x y else x - y
+      | Behavior.Mul -> x * y
+      | Behavior.Div -> if y = 0 then fail "division by zero" else x / y
+      | Behavior.Mod -> if y = 0 then fail "modulo by zero" else x mod y
+      | Behavior.Shift_left -> x lsl y
+      | Behavior.Shift_right -> x lsr y
+      | Behavior.Lt -> if x < y then 1 else 0
+      | Behavior.Le -> if x <= y then 1 else 0
+      | Behavior.Gt -> if x > y then 1 else 0
+      | Behavior.Ge -> if x >= y then 1 else 0
+      | Behavior.Eq -> if x = y then 1 else 0)
+    | Behavior.Select (c, a, b) -> if eval c <> 0 then eval a else eval b
+    | Behavior.Index (v, e) -> (
+      let i = eval e in
+      if i < 0 then fail "negative index %d into %s" i v
+      else begin
+        match lookup v with
+        | Arr a -> if i < Array.length a then a.(i) else 0
+        | Int x ->
+          (* digit extraction from a scalar: the R[0] idiom *)
+          let rec shift x k = if k = 0 then x else shift (x / digit_base) (k - 1) in
+          shift x i mod digit_base
+      end)
+  in
+  let rec exec_stmts stmts = List.iter exec stmts
+  and exec (stmt : Behavior.stmt) =
+    match stmt with
+    | Behavior.Assign (v, e) -> Hashtbl.replace env v (Int (eval e))
+    | Behavior.Assign_index (v, idx, e) ->
+      let i = eval idx in
+      if i < 0 then fail "negative index %d into %s" i v
+      else begin
+        let current =
+          match Hashtbl.find_opt env v with
+          | Some (Arr a) -> a
+          | Some (Int _) -> fail "variable %s is a scalar, not an array" v
+          | None -> [||]
+        in
+        let arr =
+          if i < Array.length current then current
+          else begin
+            let grown = Array.make (i + 1) 0 in
+            Array.blit current 0 grown 0 (Array.length current);
+            grown
+          end
+        in
+        arr.(i) <- eval e;
+        Hashtbl.replace env v (Arr arr)
+      end
+    | Behavior.For { var; from_; to_; body } ->
+      let lo = eval from_ and hi = eval to_ in
+      for i = lo to hi do
+        Hashtbl.replace env var (Int i);
+        exec_stmts body
+      done
+    | Behavior.If { cond; then_; else_ } ->
+      if eval cond <> 0 then exec_stmts then_ else exec_stmts else_
+  in
+  try
+    List.iter
+      (fun name ->
+        match List.assoc_opt name inputs with
+        | Some v -> Hashtbl.replace env name v
+        | None -> fail "missing input %s" name)
+      bd.Behavior.inputs;
+    exec_stmts bd.Behavior.body;
+    Ok (List.map (fun name -> (name, lookup name)) bd.Behavior.outputs)
+  with Eval_error msg -> Error msg
+
+let run_int ?digit_base bd ~params ~inputs ~output =
+  match run ?digit_base bd ~params ~inputs with
+  | Error _ as e -> (match e with Error msg -> Error msg | Ok _ -> assert false)
+  | Ok outputs -> (
+    match List.assoc_opt output outputs with
+    | Some (Int v) -> Ok v
+    | Some (Arr _) -> Error (Printf.sprintf "output %s is an array" output)
+    | None -> Error (Printf.sprintf "unknown output %s" output))

@@ -1,0 +1,42 @@
+(** Execution of behavioral descriptions.
+
+    A behavioral description is not just documentation: the paper treats
+    it as the defining artifact of a CDO's function.  This interpreter
+    runs the IR over integers, which lets the test suite confirm that a
+    BD in the library computes the function the substrate implements
+    (e.g. that an executable Montgomery description agrees with
+    {!Ds_bignum.Modmul} on small operands).
+
+    Semantics:
+    - values are non-negative integers or integer arrays;
+    - comparisons yield 1/0; [If]/[Select] test for non-zero;
+    - subscripting an array reads the element (out-of-range reads give
+      0, matching the "digits beyond the operand are zero" convention);
+    - subscripting a {e scalar} extracts a digit: [X[i]] is
+      [(X / digit_base^i) mod digit_base] — the [R[0]] idiom of Fig 10
+      line 4 ([digit_base] defaults to 2);
+    - loop bounds are evaluated at loop entry; [FOR] is inclusive and
+      runs zero times when the upper bound is below the lower. *)
+
+type value = Int of int | Arr of int array
+
+val run :
+  ?digit_base:int ->
+  Behavior.t ->
+  params:(string * int) list ->
+  inputs:(string * value) list ->
+  ((string * value) list, string) result
+(** Execute the description; returns the outputs (in declaration
+    order).  Errors on: a missing input, an unbound parameter in a loop
+    bound, division/modulo by zero, a negative intermediate (the IR is
+    a natural-number language), or assigning an array where a scalar is
+    expected (and vice versa). *)
+
+val run_int :
+  ?digit_base:int ->
+  Behavior.t ->
+  params:(string * int) list ->
+  inputs:(string * value) list ->
+  output:string ->
+  (int, string) result
+(** Convenience: one scalar output by name. *)

@@ -1,0 +1,123 @@
+type weights = (Behavior.binop * float) list
+
+let default_weights =
+  Behavior.
+    [
+      (Add, 1.0);
+      (Sub, 1.1);
+      (Mul, 4.0);
+      (Div, 12.0);
+      (Mod, 12.0);
+      (Shift_left, 0.1);
+      (Shift_right, 0.1);
+      (Lt, 0.8);
+      (Le, 0.8);
+      (Gt, 0.8);
+      (Ge, 0.8);
+      (Eq, 0.8);
+    ]
+
+let op_weight weights op = Option.value ~default:1.0 (List.assoc_opt op weights)
+
+type hints = { cheap_divisors : string list; var_widths : (string * float) list }
+
+let no_hints = { cheap_divisors = []; var_widths = [] }
+
+type estimate = { max_comb_delay : float; total_delay : float; trip_count : int }
+
+module Smap = Map.Make (String)
+
+let is_power_of_two n = n >= 1 && n land (n - 1) = 0
+
+let estimate ?(weights = default_weights) ?(hints = no_hints) ?(bindings = []) (bd : Behavior.t) =
+  let width_of v = Option.value ~default:1.0 (List.assoc_opt v hints.var_widths) in
+  let cheap_divisor (e : Behavior.expr) =
+    match e with
+    | Behavior.Const c -> is_power_of_two c
+    | Behavior.Var v | Behavior.Param v -> List.mem v hints.cheap_divisors
+    | Behavior.Bin _ | Behavior.Select _ | Behavior.Index _ -> false
+  in
+  (* expr -> (completion depth, width multiplier of the subtree) *)
+  let rec expr_depth env e =
+    match (e : Behavior.expr) with
+    | Behavior.Var v -> (Option.value ~default:0.0 (Smap.find_opt v env), width_of v)
+    | Behavior.Const _ | Behavior.Param _ -> (0.0, 1.0)
+    | Behavior.Bin (op, a, b) ->
+      let da, wa = expr_depth env a and db, wb = expr_depth env b in
+      let width = Float.max wa wb in
+      let cost =
+        match op with
+        | Behavior.Div | Behavior.Mod ->
+          if cheap_divisor b then 0.1 else op_weight weights op *. width
+        | Behavior.Add | Behavior.Sub | Behavior.Lt | Behavior.Le | Behavior.Gt | Behavior.Ge
+        | Behavior.Eq ->
+          (* carry/borrow-propagating: proportional to operand width *)
+          op_weight weights op *. width
+        | Behavior.Mul -> op_weight weights op *. width
+        | Behavior.Shift_left | Behavior.Shift_right -> op_weight weights op
+      in
+      (cost +. Float.max da db, width)
+    | Behavior.Select (c, a, b) ->
+      let dc, wc = expr_depth env c and da, wa = expr_depth env a and db, wb = expr_depth env b in
+      (0.3 +. Float.max dc (Float.max da db), Float.max wc (Float.max wa wb))
+    | Behavior.Index (v, i) ->
+      (* A subscript extracts one digit, so the subtree is unit-width;
+         a constant (low-digit) access waits only for the least-
+         significant end of the producing carry chain, not the full
+         result (the Montgomery q-digit trick, Fig 10 line 4). *)
+      let di, _ = expr_depth env i in
+      let dv = Option.value ~default:0.0 (Smap.find_opt v env) in
+      let depth =
+        match i with
+        | Behavior.Const _ -> Float.min dv 1.0
+        | Behavior.Var _ | Behavior.Param _ | Behavior.Bin _ | Behavior.Select _
+        | Behavior.Index _ ->
+          Float.max dv di
+      in
+      (depth, 1.0)
+  in
+  let depth_only env e = fst (expr_depth env e) in
+  (* Walk statements accumulating per-variable completion depths; the
+     result is (env, deepest chain seen). *)
+  let rec walk env deepest stmts =
+    List.fold_left
+      (fun (env, deepest) stmt ->
+        match (stmt : Behavior.stmt) with
+        | Behavior.Assign (v, e) ->
+          let d = depth_only env e in
+          (Smap.add v d env, Float.max deepest d)
+        | Behavior.Assign_index (v, i, e) ->
+          let d = Float.max (depth_only env i) (depth_only env e) in
+          (Smap.add v d env, Float.max deepest d)
+        | Behavior.If { cond; then_; else_ } ->
+          let dc = depth_only env cond in
+          (* Branch statements start after the condition resolves. *)
+          let env_c = Smap.map (fun d -> Float.max d dc) env in
+          let env_t, d_t = walk env_c deepest then_ in
+          let env_e, d_e = walk env_c deepest else_ in
+          let merged = Smap.union (fun _ a b -> Some (Float.max a b)) env_t env_e in
+          (merged, Float.max dc (Float.max d_t d_e))
+        | Behavior.For { body; _ } ->
+          (* The iteration critical path: evaluate the body once with
+             fresh (zero-depth) loop-carried inputs.  The loop multiplies
+             time, not combinational depth. *)
+          let _, d_body = walk Smap.empty 0.0 body in
+          (env, Float.max deepest d_body))
+      (env, deepest) stmts
+  in
+  let _, max_comb_delay = walk Smap.empty 0.0 bd.Behavior.body in
+  let trip_count = Behavior.loop_trip_count bd bindings in
+  {
+    max_comb_delay;
+    total_delay = max_comb_delay *. float_of_int (Stdlib.max 1 trip_count);
+    trip_count;
+  }
+
+let rank ?weights ?hints_for ?bindings bds =
+  let hints bd = match hints_for with None -> no_hints | Some f -> f bd in
+  bds
+  |> List.map (fun bd -> (bd, estimate ?weights ~hints:(hints bd) ?bindings bd))
+  |> List.sort (fun (_, a) (_, b) ->
+         match Float.compare a.max_comb_delay b.max_comb_delay with
+         | 0 -> Float.compare a.total_delay b.total_delay
+         | c -> c)

@@ -1,0 +1,76 @@
+(** [BehaviorDelayEstimator] — the early estimation tool whose
+    utilisation context is defined by the paper's CC3:
+
+    {v
+    Indep_Set = { B = BehavioralDecomposition@*.Hardware }
+    Dep_Set   = { MaxCombDelay_R@Operator }
+    Relation  : MaxCombDelay_R = BehaviorDelayEstimator(B)
+    v}
+
+    Given an algorithm-level behavioral description, the estimator
+    computes the {e maximum combinational delay} of one iteration (the
+    longest dependence chain through the loop body, weighted by operator
+    delay) and a whole-operation figure (iteration critical path times
+    trip count).  Its purpose is {e ranking} alternative behavioral
+    descriptions when no characterised core exists — absolute accuracy
+    is explicitly not the goal (Section 5.2).
+
+    Two hint mechanisms make the ranking meaningful at the algorithm
+    level:
+
+    - {e cheap divisors}: a division or modulo whose divisor is a
+      power-of-two constant or a named radix variable is wiring, not
+      arithmetic (Fig 10's [div r] / [mod r]);
+    - {e variable widths}: relative operand-width multipliers; a
+      carry-propagating operation is charged proportionally to the
+      widest variable it touches (the paper-and-pencil algorithm is
+      "usually not used because of the size of the partial products and
+      the carry ripple length" — its product register is twice as wide). *)
+
+type weights = (Behavior.binop * float) list
+(** Relative delay per operator instance, in abstract operator-delay
+    units (1.0 = one addition of unit width). *)
+
+val default_weights : weights
+(** Addition 1.0; subtraction 1.1; comparison 0.8; shifts 0.1 (wiring);
+    multiplication 4.0; division/modulo 12.0. *)
+
+val op_weight : weights -> Behavior.binop -> float
+(** Weight lookup; unknown operators cost 1.0. *)
+
+type hints = {
+  cheap_divisors : string list;
+      (** divisor variable names that denote the radix *)
+  var_widths : (string * float) list;
+      (** relative width multipliers; unlisted variables have width 1 *)
+}
+
+val no_hints : hints
+
+type estimate = {
+  max_comb_delay : float;
+      (** longest dependence chain of one innermost iteration, in
+          operator-delay units — the CC3 [MaxCombDelay_R] rank value *)
+  total_delay : float;
+      (** [max_comb_delay] scaled by the executed-statement count; a
+          whole-operation relative figure *)
+  trip_count : int;
+}
+
+val estimate :
+  ?weights:weights -> ?hints:hints -> ?bindings:(string * int) list -> Behavior.t -> estimate
+(** Critical-path analysis: within each statement list, the depth of a
+    variable is the completion time of its last assignment; an
+    expression finishes after its deepest operand plus its own operator
+    weights on the path.  Loop bodies are charged once per trip.
+    @raise Invalid_argument if a symbolic bound has no binding. *)
+
+val rank :
+  ?weights:weights ->
+  ?hints_for:(Behavior.t -> hints) ->
+  ?bindings:(string * int) list ->
+  Behavior.t list ->
+  (Behavior.t * estimate) list
+(** Alternatives ordered best (smallest iteration critical path, ties by
+    total delay) first — the value the layer presents when estimation
+    replaces retrieval. *)

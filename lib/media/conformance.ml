@@ -1,0 +1,117 @@
+type range = { lo : int; hi : int }
+
+let standard_ranges =
+  [
+    { lo = -256; hi = 255 };
+    { lo = -255; hi = 256 };
+    { lo = -5; hi = 5 };
+    { lo = -300; hi = 300 };
+    { lo = -300; hi = 300 };
+  ]
+
+type stats = {
+  range : range;
+  trials : int;
+  peak_error : float;
+  worst_coeff_mse : float;
+  overall_mse : float;
+  worst_coeff_mean : float;
+  overall_mean : float;
+}
+
+let next_state s = (s * 0x2545F4914F6CDD1D) + 0x13198A2E03707345
+
+let measure ?(trials = 1000) ?(seed = 1180) range impl =
+  let state = ref (next_state (seed + range.lo + (31 * range.hi))) in
+  let draw () =
+    state := next_state !state;
+    range.lo + ((!state lsr 13) mod (range.hi - range.lo + 1) + (range.hi - range.lo + 1))
+               mod (range.hi - range.lo + 1)
+  in
+  let n = 8 in
+  let err_sum = Array.make_matrix n n 0.0 in
+  let err_sq_sum = Array.make_matrix n n 0.0 in
+  let peak = ref 0.0 in
+  for _ = 1 to trials do
+    (* A pixel block in the range, forward transformed and rounded to
+       integer coefficients, as a conformance stream would carry. *)
+    let block =
+      Array.init n (fun _ -> Array.init n (fun _ -> float_of_int (draw ())))
+    in
+    let coeffs = Idct_fast.dct_2d block in
+    let rounded = Array.map (Array.map Float.round) coeffs in
+    let reference = Idct_fast.idct_2d rounded in
+    let got = impl rounded in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        (* the standard compares integer pixel outputs *)
+        let e = Float.round got.(i).(j) -. Float.round reference.(i).(j) in
+        peak := Float.max !peak (Float.abs e);
+        err_sum.(i).(j) <- err_sum.(i).(j) +. e;
+        err_sq_sum.(i).(j) <- err_sq_sum.(i).(j) +. (e *. e)
+      done
+    done
+  done;
+  let t = float_of_int trials in
+  let worst_coeff_mse = ref 0.0 and mse_total = ref 0.0 in
+  let worst_coeff_mean = ref 0.0 and mean_total = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let mse = err_sq_sum.(i).(j) /. t in
+      let mean = err_sum.(i).(j) /. t in
+      worst_coeff_mse := Float.max !worst_coeff_mse mse;
+      worst_coeff_mean := Float.max !worst_coeff_mean (Float.abs mean);
+      mse_total := !mse_total +. mse;
+      mean_total := !mean_total +. mean
+    done
+  done;
+  {
+    range;
+    trials;
+    peak_error = !peak;
+    worst_coeff_mse = !worst_coeff_mse;
+    overall_mse = !mse_total /. 64.0;
+    worst_coeff_mean = !worst_coeff_mean;
+    overall_mean = Float.abs (!mean_total /. 64.0);
+  }
+
+type verdict = { stats : stats list; compliant : bool; failures : string list }
+
+let thresholds =
+  [
+    ("peak error <= 1", fun s -> s.peak_error <= 1.0);
+    ("per-coefficient MSE <= 0.06", fun s -> s.worst_coeff_mse <= 0.06);
+    ("overall MSE <= 0.02", fun s -> s.overall_mse <= 0.02);
+    ("per-coefficient mean <= 0.015", fun s -> s.worst_coeff_mean <= 0.015);
+    ("overall mean <= 0.0015", fun s -> s.overall_mean <= 0.0015);
+  ]
+
+let test ?trials impl =
+  let stats = List.map (fun range -> measure ?trials range impl) standard_ranges in
+  let failures =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (label, check) ->
+            if check s then None
+            else
+              Some (Printf.sprintf "range [%d,%d]: %s violated" s.range.lo s.range.hi label))
+          thresholds)
+      stats
+  in
+  { stats; compliant = failures = []; failures }
+
+let fixed_point_idct ~frac_bits block =
+  let rows = Array.map (fun row -> Idct_fixed.idct ~frac_bits row) block in
+  let transpose m =
+    Array.init (Array.length m.(0)) (fun j -> Array.init (Array.length m) (fun i -> m.(i).(j)))
+  in
+  transpose (Array.map (fun col -> Idct_fixed.idct ~frac_bits col) (transpose rows))
+
+let minimal_compliant_fraction_bits ?trials () =
+  let rec search frac_bits =
+    if frac_bits > 24 then None
+    else if (test ?trials (fixed_point_idct ~frac_bits)).compliant then Some frac_bits
+    else search (frac_bits + 1)
+  in
+  search 8

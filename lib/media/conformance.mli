@@ -1,0 +1,59 @@
+(** IEEE Std 1180-1990-style accuracy testing for 2-D IDCT
+    implementations.
+
+    When an IDCT core's "precision" is specified, the number everyone
+    means is compliance with IEEE 1180: run many pseudo-random 8x8
+    blocks through the implementation, compare against the
+    double-precision reference, and bound the peak pixel error, the
+    per-coefficient mean square error, the overall mean square error
+    and the mean error.  This module implements that methodology (with
+    a configurable trial count; the standard uses 10,000 blocks per
+    input range) for any [float array array -> float array array]
+    implementation, in particular the fixed-point datapaths of
+    {!Idct_fixed}.
+
+    The thresholds follow the standard: peak error <= 1, per-coefficient
+    MSE <= 0.06, overall MSE <= 0.02, per-coefficient mean error
+    <= 0.015, overall mean error <= 0.0015. *)
+
+type range = { lo : int; hi : int }
+(** Input coefficient range of one test series (the standard uses
+    [-256,255], [-5,5] and [-300,300], each also sign-flipped). *)
+
+val standard_ranges : range list
+
+type stats = {
+  range : range;
+  trials : int;
+  peak_error : float;  (** worst |error| over all pixels and blocks *)
+  worst_coeff_mse : float;  (** worst per-pixel-position mean square error *)
+  overall_mse : float;
+  worst_coeff_mean : float;  (** worst per-position |mean error| *)
+  overall_mean : float;
+}
+
+val measure :
+  ?trials:int ->
+  ?seed:int ->
+  range ->
+  (float array array -> float array array) ->
+  stats
+(** Run one series: pseudo-random integer blocks in [range] are forward
+    transformed with the reference DCT, rounded to integers (as a real
+    encoder would emit), then inverse transformed by the implementation
+    under test and compared with the reference inverse of the same
+    data.  [trials] defaults to 1000 (the standard's 10,000 is a flag
+    away). *)
+
+type verdict = { stats : stats list; compliant : bool; failures : string list }
+
+val test : ?trials:int -> (float array array -> float array array) -> verdict
+(** All standard ranges against the 1180 thresholds. *)
+
+val fixed_point_idct : frac_bits:int -> float array array -> float array array
+(** The implementation under test most benches use: {!Idct_fixed}
+    applied row-column. *)
+
+val minimal_compliant_fraction_bits : ?trials:int -> unit -> int option
+(** Smallest fraction width (<= 24) whose fixed-point datapath passes
+    the full test, if any. *)

@@ -1,0 +1,36 @@
+let check_input x = if Array.length x = 0 then invalid_arg "Dct: empty input"
+
+let dct_ii x =
+  check_input x;
+  let n = Array.length x in
+  let nf = float_of_int n in
+  Array.init n (fun k ->
+      let ck = if k = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+      let sum = ref 0.0 in
+      for i = 0 to n - 1 do
+        sum :=
+          !sum
+          +. (x.(i) *. cos (float_of_int ((2 * i) + 1) *. float_of_int k *. Float.pi /. (2.0 *. nf)))
+      done;
+      ck *. sqrt (2.0 /. nf) *. !sum)
+
+let idct coeffs =
+  check_input coeffs;
+  let n = Array.length coeffs in
+  let nf = float_of_int n in
+  Array.init n (fun i ->
+      let sum = ref 0.0 in
+      for k = 0 to n - 1 do
+        let ck = if k = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+        sum :=
+          !sum
+          +. (ck *. coeffs.(k)
+             *. cos (float_of_int ((2 * i) + 1) *. float_of_int k *. Float.pi /. (2.0 *. nf)))
+      done;
+      sqrt (2.0 /. nf) *. !sum)
+
+let max_abs_error a b =
+  if Array.length a <> Array.length b then invalid_arg "Dct.max_abs_error: length mismatch";
+  let worst = ref 0.0 in
+  Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. b.(i)))) a;
+  !worst

@@ -1,0 +1,21 @@
+(** Reference discrete cosine transforms.
+
+    The paper's Section 2 illustration is a layer for IDCT cores (Rao &
+    Yip is its reference [3]).  This module is the mathematical ground
+    truth the fast algorithms of {!Idct_fast} are verified against: the
+    orthonormal DCT-II and its inverse (DCT-III), computed directly from
+    the definition in O(n^2).
+
+    Definitions (orthonormal):
+    [X_k = c_k * sqrt(2/N) * sum_n x_n cos((2n+1) k pi / 2N)] with
+    [c_0 = 1/sqrt 2], [c_k = 1] otherwise; the inverse mirrors it. *)
+
+val dct_ii : float array -> float array
+(** Forward transform.  @raise Invalid_argument on an empty input. *)
+
+val idct : float array -> float array
+(** Inverse transform (DCT-III with the same normalisation):
+    [idct (dct_ii x) = x] up to rounding. *)
+
+val max_abs_error : float array -> float array -> float
+(** Largest element-wise difference (for the test suites). *)

@@ -1,0 +1,70 @@
+type entry = {
+  name : string;
+  mults : int;
+  adds : int;
+  pipeline_stages : int;
+  compute : float array -> float array;
+  reference : string;
+}
+
+let naive =
+  {
+    name = "naive";
+    mults = 64;
+    adds = 56;
+    pipeline_stages = 3;
+    compute = (fun coeffs -> Idct_fast.direct coeffs);
+    reference = "direct matrix-vector product";
+  }
+
+let chen =
+  {
+    name = "chen";
+    mults = 16;
+    adds = 26;
+    pipeline_stages = 4;
+    compute = (fun coeffs -> Idct_fast.lee coeffs);
+    reference = "Chen, Smith, Fralick 1977 (counts); computed via the verified Lee recursion";
+  }
+
+let lee =
+  {
+    name = "lee";
+    mults = 12;
+    adds = 29;
+    pipeline_stages = 6;
+    compute = (fun coeffs -> Idct_fast.lee coeffs);
+    reference = "Lee 1984; counts validated by Idct_fast instrumentation";
+  }
+
+let loeffler =
+  {
+    name = "loeffler";
+    mults = 11;
+    adds = 29;
+    pipeline_stages = 8;
+    compute = (fun coeffs -> Idct_fast.lee coeffs);
+    reference = "Loeffler, Ligtenberg, Moschytz 1989 (counts); computed via the Lee recursion";
+  }
+
+let all = [ naive; chen; lee; loeffler ]
+let by_name name = List.find_opt (fun e -> String.equal e.name name) all
+
+(* A 16x16-bit fixed-point multiplier is ~600 GE; an adder ~100 GE;
+   routing/control overhead ~25%.  Delay: each pipeline stage is a
+   multiply-accumulate (~14 levels), and coarser processes pay extra
+   wire delay on top of constant-field scaling because the die grows
+   with the 4x area. *)
+let core_merits entry ~process =
+  let gates =
+    1.25 *. ((float_of_int entry.mults *. 600.0) +. (float_of_int entry.adds *. 100.0))
+  in
+  let area = Ds_tech.Process.area_um2 process ~gates in
+  let stage_levels = 14.0 in
+  let wire_penalty = 1.0 +. (0.5 *. (process.Ds_tech.Process.feature_um /. 0.35 -. 1.0)) in
+  let delay =
+    Ds_tech.Process.gate_delay_ns process
+      ~levels:(float_of_int entry.pipeline_stages *. stage_levels)
+    *. wire_penalty
+  in
+  (delay, area)

@@ -1,0 +1,46 @@
+(** The IDCT algorithm catalogue a layer author works from.
+
+    The paper's Section 2 discusses IDCT algorithms "obviously all
+    derived from the same basic mathematical definition of the
+    transform, [that] have however different critical paths, different
+    numbers of operations, precisions, etc."  An entry records exactly
+    that: the literature's 8-point operation counts and a pipeline-depth
+    figure, plus a {e runnable} compute function (all entries compute
+    the same function — {!Dct.idct} — which the tests verify; the two
+    classical factorizations we did not re-derive run on {!Idct_fast}'s
+    verified implementations and keep their literature counts as
+    catalogue metadata).
+
+    {!core_merits} turns an entry and a fabrication process into the
+    delay/area figures the {!Ds_domains} IDCT cores carry, replacing
+    hand-written numbers with model-derived ones. *)
+
+type entry = {
+  name : string;  (** the layer's algorithm option: "naive", "chen", ... *)
+  mults : int;  (** 8-point multiplication count (literature) *)
+  adds : int;
+  pipeline_stages : int;  (** butterfly stages on the critical path *)
+  compute : float array -> float array;  (** a verified implementation *)
+  reference : string;  (** where the counts come from *)
+}
+
+val naive : entry
+(** 64 mults — the rejected baseline. *)
+
+val chen : entry
+(** Chen-Smith-Fralick 1977: 16 mults, 26 adds. *)
+
+val lee : entry
+(** Lee 1984: 12 mults, 29 adds (runs {!Idct_fast.lee}). *)
+
+val loeffler : entry
+(** Loeffler-Ligtenberg-Moschytz 1989: 11 mults, 29 adds. *)
+
+val all : entry list
+val by_name : string -> entry option
+
+val core_merits : entry -> process:Ds_tech.Process.t -> float * float
+(** [(delay_ns, area_um2)] of an 8-point IDCT core implementing the
+    entry in the given process: area from multiplier/adder gate costs,
+    delay from the pipeline depth with a wire-load term that grows with
+    the feature size. *)

@@ -1,0 +1,105 @@
+type counts = { mutable mults : int; mutable adds : int }
+
+let zero_counts () = { mults = 0; adds = 0 }
+let no_counts = zero_counts ()
+
+let direct ?(counts = no_counts) coeffs =
+  if Array.length coeffs = 0 then invalid_arg "Idct_fast.direct: empty input";
+  let n = Array.length coeffs in
+  let nf = float_of_int n in
+  Array.init n (fun i ->
+      let sum = ref 0.0 in
+      for k = 0 to n - 1 do
+        let ck = if k = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+        counts.mults <- counts.mults + 1;
+        if k > 0 then counts.adds <- counts.adds + 1;
+        sum :=
+          !sum
+          +. (ck *. coeffs.(k)
+             *. cos (float_of_int ((2 * i) + 1) *. float_of_int k *. Float.pi /. (2.0 *. nf)))
+      done;
+      sqrt (2.0 /. nf) *. !sum)
+
+let is_power_of_two n = n >= 1 && n land (n - 1) = 0
+
+(* Lee's recursion on the raw DCT-III kernel
+   y[i] = sum_k X[k] cos((2i+1) k pi / 2N):
+
+   - even coefficients form a half-size instance directly;
+   - H[0] = X[1], H[m] = X[2m-1] + X[2m+1] form a second half-size
+     instance whose outputs are divided by 2 cos((2i+1) pi / 2N);
+   - y[i] = even[i] + odd[i], y[N-1-i] = even[i] - odd[i].
+
+   Multiplications: M(N) = 2 M(N/2) + N/2 (the secant scalings);
+   additions: A(N) = 2 A(N/2) + (N/2 - 1) + N.  At N = 8: 12 and 29,
+   the counts credited to Lee in the DCT literature. *)
+let lee ?(counts = no_counts) coeffs =
+  let n = Array.length coeffs in
+  if not (is_power_of_two n) then invalid_arg "Idct_fast.lee: length must be a power of two";
+  let rec raw x =
+    let n = Array.length x in
+    if n = 1 then [| x.(0) |]
+    else begin
+      let half = n / 2 in
+      let even = Array.init half (fun m -> x.(2 * m)) in
+      let odd =
+        Array.init half (fun m ->
+            if m = 0 then x.(1)
+            else begin
+              counts.adds <- counts.adds + 1;
+              x.((2 * m) - 1) +. x.((2 * m) + 1)
+            end)
+      in
+      let g = raw even in
+      let h = raw odd in
+      let y = Array.make n 0.0 in
+      for i = 0 to half - 1 do
+        counts.mults <- counts.mults + 1;
+        let o =
+          h.(i)
+          /. (2.0 *. cos (float_of_int ((2 * i) + 1) *. Float.pi /. (2.0 *. float_of_int n)))
+        in
+        counts.adds <- counts.adds + 2;
+        y.(i) <- g.(i) +. o;
+        y.(n - 1 - i) <- g.(i) -. o
+      done;
+      y
+    end
+  in
+  (* Fold the orthonormalisation into the input (c_0) and output
+     (sqrt (2/N)) scalings; these are not counted, as a hardware
+     implementation absorbs them into its coefficient ROM. *)
+  let scaled = Array.copy coeffs in
+  scaled.(0) <- scaled.(0) /. sqrt 2.0;
+  let y = raw scaled in
+  let norm = sqrt (2.0 /. float_of_int n) in
+  Array.map (fun v -> v *. norm) y
+
+let rec lee_mult_count n = if n <= 1 then 0 else (2 * lee_mult_count (n / 2)) + (n / 2)
+let rec lee_add_count n = if n <= 1 then 0 else (2 * lee_add_count (n / 2)) + (n / 2) - 1 + n
+
+let check_matrix m =
+  let rows = Array.length m in
+  if rows = 0 then invalid_arg "Idct_fast: empty matrix";
+  let cols = Array.length m.(0) in
+  if not (is_power_of_two rows && is_power_of_two cols) then
+    invalid_arg "Idct_fast: matrix sides must be powers of two";
+  Array.iter
+    (fun row -> if Array.length row <> cols then invalid_arg "Idct_fast: ragged matrix")
+    m;
+  (rows, cols)
+
+let transpose m =
+  let rows = Array.length m and cols = Array.length m.(0) in
+  Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))
+
+let idct_2d ?counts m =
+  let _ = check_matrix m in
+  (* rows first, then columns: the separable row-column method *)
+  let rows_done = Array.map (fun row -> lee ?counts row) m in
+  transpose (Array.map (fun col -> lee ?counts col) (transpose rows_done))
+
+let dct_2d m =
+  let _ = check_matrix m in
+  let rows_done = Array.map Dct.dct_ii m in
+  transpose (Array.map Dct.dct_ii (transpose rows_done))

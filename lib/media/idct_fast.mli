@@ -1,0 +1,42 @@
+(** Fast inverse-DCT algorithms with operation counting.
+
+    Two functionally-verified implementations of the inverse transform:
+
+    - {!direct}: the O(n^2) matrix-vector product (the "naive"
+      alternative a layer author would catalogue to reject);
+    - {!lee}: Lee's 1984 recursive decomposition for power-of-two sizes
+      — the classical fast IDCT whose 8-point instance costs 12 raw
+      multiplications and 29 additions, the counts quoted in the
+      literature the paper cites.
+
+    Both compute exactly {!Dct.idct} (up to rounding) and can be run
+    with an instrumentation record that counts the multiplications and
+    additions the algorithm performs on its data path (final
+    orthonormalisation scaling excluded, as hardware folds it into
+    coefficient ROMs). *)
+
+type counts = { mutable mults : int; mutable adds : int }
+
+val zero_counts : unit -> counts
+
+val direct : ?counts:counts -> float array -> float array
+(** @raise Invalid_argument on an empty input. *)
+
+val lee : ?counts:counts -> float array -> float array
+(** @raise Invalid_argument when the length is not a power of two. *)
+
+val lee_mult_count : int -> int
+(** Closed form [N/2 * log2 N] of {!lee}'s multiplication count. *)
+
+val lee_add_count : int -> int
+(** Closed form of {!lee}'s addition count (29 at N = 8). *)
+
+val idct_2d : ?counts:counts -> float array array -> float array array
+(** Two-dimensional inverse transform by the row-column method (the
+    form MPEG blocks use: 8x8 = 16 one-dimensional transforms through
+    {!lee}).  Rows must be equal-length powers of two.
+    @raise Invalid_argument otherwise. *)
+
+val dct_2d : float array array -> float array array
+(** Forward 2-D transform (reference, via {!Dct.dct_ii}); inverse of
+    {!idct_2d}. *)

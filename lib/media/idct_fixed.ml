@@ -1,0 +1,75 @@
+let is_power_of_two n = n >= 1 && n land (n - 1) = 0
+
+let idct ~frac_bits coeffs =
+  if frac_bits < 1 || frac_bits > 30 then invalid_arg "Idct_fixed.idct: frac_bits outside 1..30";
+  let n = Array.length coeffs in
+  if not (is_power_of_two n) then invalid_arg "Idct_fixed.idct: length must be a power of two";
+  let scale = float_of_int (1 lsl frac_bits) in
+  let quantize v = int_of_float (Float.round (v *. scale)) in
+  (* Round-to-nearest fixed-point product of a datapath value and a
+     quantised real constant. *)
+  let mul_const value c =
+    let c_fix = quantize c in
+    let p = value * c_fix in
+    (p + (1 lsl (frac_bits - 1))) asr frac_bits
+  in
+  let rec raw x =
+    let n = Array.length x in
+    if n = 1 then [| x.(0) |]
+    else begin
+      let half = n / 2 in
+      let even = Array.init half (fun m -> x.(2 * m)) in
+      let odd =
+        Array.init half (fun m -> if m = 0 then x.(1) else x.((2 * m) - 1) + x.((2 * m) + 1))
+      in
+      let g = raw even in
+      let h = raw odd in
+      let y = Array.make n 0 in
+      for i = 0 to half - 1 do
+        let secant =
+          1.0 /. (2.0 *. cos (float_of_int ((2 * i) + 1) *. Float.pi /. (2.0 *. float_of_int n)))
+        in
+        let o = mul_const h.(i) secant in
+        y.(i) <- g.(i) + o;
+        y.(n - 1 - i) <- g.(i) - o
+      done;
+      y
+    end
+  in
+  let fixed = Array.map quantize coeffs in
+  fixed.(0) <- mul_const fixed.(0) (1.0 /. sqrt 2.0);
+  let y = raw fixed in
+  let norm = sqrt (2.0 /. float_of_int n) in
+  Array.map (fun v -> mul_const v norm |> fun v -> float_of_int v /. scale) y
+
+(* Small deterministic generator, independent of ds_bignum to keep the
+   media substrate self-contained. *)
+let next_state s = (s * 0x2545F4914F6CDD1D) + 0x13198A2E03707345
+
+let max_error ~frac_bits ?(n = 8) ?(trials = 200) ?(amplitude = 256.0) ?(seed = 1) () =
+  let state = ref (next_state seed) in
+  let uniform () =
+    state := next_state !state;
+    let v = float_of_int ((!state lsr 11) land 0xFFFFF) /. float_of_int 0xFFFFF in
+    ((2.0 *. v) -. 1.0) *. amplitude
+  in
+  let worst = ref 0.0 in
+  for _ = 1 to trials do
+    let coeffs = Array.init n (fun _ -> uniform ()) in
+    let exact = Dct.idct coeffs in
+    let approx = idct ~frac_bits coeffs in
+    worst := Float.max !worst (Dct.max_abs_error exact approx)
+  done;
+  !worst
+
+let achieved_precision_bits ~frac_bits =
+  let err = max_error ~frac_bits () in
+  if err <= 0.0 then 30 else int_of_float (Float.floor (-.log err /. log 2.0))
+
+let required_frac_bits ~precision_bits =
+  let rec search frac_bits =
+    if frac_bits > 24 then None
+    else if achieved_precision_bits ~frac_bits >= precision_bits then Some frac_bits
+    else search (frac_bits + 1)
+  in
+  search 2

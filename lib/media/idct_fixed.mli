@@ -1,0 +1,32 @@
+(** Fixed-point inverse DCT and its precision analysis.
+
+    The paper's IDCT class carries "word size" and "precision"
+    requirements (Section 2.2).  A hardware IDCT computes in fixed
+    point; the achievable precision is set by the fraction bits carried
+    through the datapath.  This module implements Lee's recursion over
+    scaled integers with round-to-nearest at every multiplication, and
+    measures the accuracy a given word width achieves on a random
+    corpus (the methodology of IEEE Std 1180-style conformance
+    testing). *)
+
+val idct : frac_bits:int -> float array -> float array
+(** Lee's recursion computed with [frac_bits] fraction bits.  Input
+    coefficients are quantised on entry; the result is returned in
+    floating point.  @raise Invalid_argument when the length is not a
+    power of two or [frac_bits] is outside 1..30. *)
+
+val max_error :
+  frac_bits:int -> ?n:int -> ?trials:int -> ?amplitude:float -> ?seed:int -> unit -> float
+(** Worst absolute element error against the reference {!Dct.idct} over
+    [trials] random coefficient vectors of length [n] (default 8) with
+    entries uniform in [-amplitude, amplitude] (default 256, the video
+    range).  Deterministic for a fixed [seed]. *)
+
+val achieved_precision_bits : frac_bits:int -> int
+(** [floor (-log2 (max_error ...))] with the defaults: how many result
+    bits the implementation gets right — the value a layer author would
+    store as a core's precision merit. *)
+
+val required_frac_bits : precision_bits:int -> int option
+(** Smallest [frac_bits <= 24] achieving the requested precision, if
+    any — the inverse lookup a "Precision" requirement needs. *)

@@ -1,0 +1,178 @@
+type kind = Hard_core | Soft_core | Software_routine
+
+let kind_name = function
+  | Hard_core -> "hard-core"
+  | Soft_core -> "soft-core"
+  | Software_routine -> "software-routine"
+
+let all_kinds = [ Hard_core; Soft_core; Software_routine ]
+let kind_of_name n = List.find_opt (fun k -> String.equal (kind_name k) n) all_kinds
+
+type t = {
+  id : string;
+  name : string;
+  provider : string;
+  kind : kind;
+  properties : (string * string) list;
+  merits : (string * float) list;
+  views : (string * string) list;
+  doc : string;
+}
+
+let sorted_unique what kvs =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) kvs in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) -> if String.equal a b then Some a else dup rest
+    | [ _ ] | [] -> None
+  in
+  match dup sorted with
+  | Some key -> Error (Printf.sprintf "duplicate %s key %S" what key)
+  | None -> Ok sorted
+
+let make ~id ~name ~provider ~kind ~properties ~merits ?(views = []) ?(doc = "") () =
+  if String.equal id "" then Error "core id must not be empty"
+  else begin
+    match sorted_unique "property" properties with
+    | Error _ as e -> e
+    | Ok properties -> (
+      match sorted_unique "merit" merits with
+      | Error _ as e -> e
+      | Ok merits -> (
+        match sorted_unique "view" views with
+        | Error _ as e -> e
+        | Ok views -> Ok { id; name; provider; kind; properties; merits; views; doc }))
+  end
+
+let make_exn ~id ~name ~provider ~kind ~properties ~merits ?views ?doc () =
+  match make ~id ~name ~provider ~kind ~properties ~merits ?views ?doc () with
+  | Ok core -> core
+  | Error msg -> invalid_arg ("Core.make_exn: " ^ msg)
+
+let property core key = List.assoc_opt key core.properties
+let merit core key = List.assoc_opt key core.merits
+let view core key = List.assoc_opt key core.views
+let view_names core = List.map fst core.views
+
+let matches_property core ~key ~value =
+  match property core key with None -> true | Some v -> String.equal v value
+
+(* Line format:
+   id \t name \t provider \t kind \t p1=v1;p2=v2 \t m1=f1;m2=f2 \t doc
+   [\t v1=d1;v2=d2]
+   The trailing views field is optional so older files still parse. *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '\t' -> "\\t"
+         | '\n' -> "\\n"
+         | '\\' -> "\\\\"
+         | ';' -> "\\;"
+         | '=' -> "\\="
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let rec go i =
+    if i >= String.length s then Buffer.contents buf
+    else if s.[i] = '\\' && i + 1 < String.length s then begin
+      (match s.[i + 1] with
+      | 't' -> Buffer.add_char buf '\t'
+      | 'n' -> Buffer.add_char buf '\n'
+      | c -> Buffer.add_char buf c);
+      go (i + 2)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let to_line core =
+  let kvs pairs render =
+    String.concat ";" (List.map (fun (key, v) -> escape key ^ "=" ^ render v) pairs)
+  in
+  String.concat "\t"
+    ([
+       escape core.id;
+       escape core.name;
+       escape core.provider;
+       kind_name core.kind;
+       kvs core.properties escape;
+       kvs core.merits (fun f -> Printf.sprintf "%.17g" f);
+       escape core.doc;
+     ]
+    @ if core.views = [] then [] else [ kvs core.views escape ])
+
+(* Split on unescaped separators. *)
+let split_unescaped sep s =
+  let parts = ref [] and buf = Buffer.create 16 in
+  let rec go i =
+    if i >= String.length s then parts := Buffer.contents buf :: !parts
+    else if s.[i] = '\\' && i + 1 < String.length s then begin
+      Buffer.add_char buf s.[i];
+      Buffer.add_char buf s.[i + 1];
+      go (i + 2)
+    end
+    else if s.[i] = sep then begin
+      parts := Buffer.contents buf :: !parts;
+      Buffer.clear buf;
+      go (i + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  List.rev !parts
+
+let parse_kvs field parse_value =
+  if String.equal field "" then Ok []
+  else begin
+    let entries = split_unescaped ';' field in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | entry :: rest -> (
+        match split_unescaped '=' entry with
+        | [ key; v ] -> (
+          match parse_value v with
+          | Some v -> go ((unescape key, v) :: acc) rest
+          | None -> Error (Printf.sprintf "bad value in %S" entry))
+        | _ -> Error (Printf.sprintf "bad key=value entry %S" entry))
+    in
+    go [] entries
+  end
+
+let of_line line =
+  let build id name provider kind props merits doc views_field =
+    match kind_of_name kind with
+    | None -> Error (Printf.sprintf "unknown core kind %S" kind)
+    | Some kind -> (
+      match parse_kvs props (fun v -> Some (unescape v)) with
+      | Error _ as e -> e
+      | Ok properties -> (
+        match parse_kvs merits float_of_string_opt with
+        | Error _ as e -> e
+        | Ok merits -> (
+          match parse_kvs views_field (fun v -> Some (unescape v)) with
+          | Error _ as e -> e
+          | Ok views ->
+            make ~id:(unescape id) ~name:(unescape name) ~provider:(unescape provider) ~kind
+              ~properties ~merits ~views ~doc:(unescape doc) ())))
+  in
+  match String.split_on_char '\t' line with
+  | [ id; name; provider; kind; props; merits; doc ] ->
+    build id name provider kind props merits doc ""
+  | [ id; name; provider; kind; props; merits; doc; views_field ] ->
+    build id name provider kind props merits doc views_field
+  | _ -> Error "expected 7 or 8 tab-separated fields"
+
+let pp fmt core =
+  Format.fprintf fmt "%s (%s, %s) [%s] {%s}" core.name core.provider (kind_name core.kind)
+    (String.concat "; " (List.map (fun (k, v) -> k ^ "=" ^ v) core.properties))
+    (String.concat "; " (List.map (fun (k, v) -> Printf.sprintf "%s=%.3g" k v) core.merits))

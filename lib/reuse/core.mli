@@ -1,0 +1,80 @@
+(** A reusable design — the paper's "core": a macro-cell, soft macro or
+    software routine living in a reuse library.
+
+    In the design space layer's terms a core is a {e point} of the
+    design space: it binds a concrete option to each design issue that
+    applies to it ({!properties}) and exhibits concrete figures of merit
+    ({!merits}).  The layer never looks inside a core; it indexes and
+    filters cores through these two maps, which is what makes the layer
+    connectable to any number of third-party libraries (Fig 1). *)
+
+type kind = Hard_core | Soft_core | Software_routine
+
+val kind_name : kind -> string
+(** "hard-core" | "soft-core" | "software-routine". *)
+
+val kind_of_name : string -> kind option
+
+type t = private {
+  id : string;  (** unique within a registry, e.g. "hw-lib/#2_64" *)
+  name : string;  (** human name, e.g. "#2_64" *)
+  provider : string;  (** the IP provider that owns the detailed data *)
+  kind : kind;
+  properties : (string * string) list;
+      (** design-issue bindings, e.g. [("implementation-style",
+          "hardware"); ("algorithm", "Montgomery")] — sorted by key *)
+  merits : (string * float) list;
+      (** figures of merit, e.g. [("area-um2", 40231.)] — sorted by key *)
+  views : (string * string) list;
+      (** the detailed design data at its abstraction levels (the
+          paper's Fig 2(b) partitioning): view name ("algorithm",
+          "structure", ...) to document — sorted by key *)
+  doc : string;
+}
+
+val make :
+  id:string ->
+  name:string ->
+  provider:string ->
+  kind:kind ->
+  properties:(string * string) list ->
+  merits:(string * float) list ->
+  ?views:(string * string) list ->
+  ?doc:string ->
+  unit ->
+  (t, string) result
+(** Rejects an empty id and duplicate property, merit or view keys. *)
+
+val make_exn :
+  id:string ->
+  name:string ->
+  provider:string ->
+  kind:kind ->
+  properties:(string * string) list ->
+  merits:(string * float) list ->
+  ?views:(string * string) list ->
+  ?doc:string ->
+  unit ->
+  t
+
+val property : t -> string -> string option
+val merit : t -> string -> float option
+
+val view : t -> string -> string option
+(** The detailed design data of one abstraction level. *)
+
+val view_names : t -> string list
+
+val matches_property : t -> key:string -> value:string -> bool
+(** True when the core binds [key] to [value]; a core that does not
+    declare [key] at all also matches (it is not discriminated by that
+    issue — the paper's cores only carry the issues that apply to
+    them). *)
+
+val to_line : t -> string
+(** One-line serialisation (tab-separated, stable ordering). *)
+
+val of_line : string -> (t, string) result
+(** Inverse of {!to_line}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t = { name : string; cores : Core.t list }
+
+let duplicate_id cores =
+  let seen = Hashtbl.create 16 in
+  List.find_map
+    (fun core ->
+      let id = core.Core.id in
+      if Hashtbl.mem seen id then Some id
+      else begin
+        Hashtbl.add seen id ();
+        None
+      end)
+    cores
+
+let make ~name cores =
+  if String.equal name "" then Error "library name must not be empty"
+  else begin
+    match duplicate_id cores with
+    | Some id -> Error (Printf.sprintf "duplicate core id %S" id)
+    | None -> Ok { name; cores }
+  end
+
+let make_exn ~name cores =
+  match make ~name cores with
+  | Ok lib -> lib
+  | Error msg -> invalid_arg ("Library.make_exn: " ^ msg)
+
+let add lib core =
+  if List.exists (fun c -> String.equal c.Core.id core.Core.id) lib.cores then
+    Error (Printf.sprintf "core id %S already present" core.Core.id)
+  else Ok { lib with cores = lib.cores @ [ core ] }
+
+let find lib ~id = List.find_opt (fun c -> String.equal c.Core.id id) lib.cores
+let filter lib pred = List.filter pred lib.cores
+let size lib = List.length lib.cores
+
+let to_text lib =
+  String.concat "\n"
+    (Printf.sprintf "reuse-library\t%s\t%d" lib.name (size lib)
+    :: List.map Core.to_line lib.cores)
+  ^ "\n"
+
+let of_text text =
+  match String.split_on_char '\n' (String.trim text) with
+  | [] -> Error "empty library text"
+  | header :: lines -> (
+    match String.split_on_char '\t' header with
+    | [ "reuse-library"; name; count ] -> (
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | "" :: rest -> parse acc rest
+        | line :: rest -> (
+          match Core.of_line line with
+          | Ok core -> parse (core :: acc) rest
+          | Error msg -> Error (Printf.sprintf "bad core line: %s" msg))
+      in
+      match parse [] lines with
+      | Error _ as e -> e
+      | Ok cores -> (
+        match int_of_string_opt count with
+        | Some n when n <> List.length cores ->
+          Error (Printf.sprintf "header says %d cores, found %d" n (List.length cores))
+        | _ -> make ~name cores))
+    | _ -> Error "bad library header")
+
+let save lib ~path =
+  try
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_text lib));
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load ~path =
+  try
+    let ic = open_in path in
+    let content =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_text content
+  with Sys_error msg -> Error msg

@@ -1,0 +1,21 @@
+(** A reuse library: a named collection of cores, typically owned by one
+    IP provider (the "Library A/B/C" boxes of the paper's Fig 1). *)
+
+type t = private { name : string; cores : Core.t list }
+
+val make : name:string -> Core.t list -> (t, string) result
+(** Rejects an empty name and duplicate core ids. *)
+
+val make_exn : name:string -> Core.t list -> t
+val add : t -> Core.t -> (t, string) result
+val find : t -> id:string -> Core.t option
+val filter : t -> (Core.t -> bool) -> Core.t list
+val size : t -> int
+
+val to_text : t -> string
+(** Text serialisation: a header line followed by one line per core. *)
+
+val of_text : string -> (t, string) result
+
+val save : t -> path:string -> (unit, string) result
+val load : path:string -> (t, string) result

@@ -1,0 +1,31 @@
+type t = { libs : Library.t list }
+
+let empty = { libs = [] }
+
+let register t lib =
+  if List.exists (fun l -> String.equal l.Library.name lib.Library.name) t.libs then
+    Error (Printf.sprintf "library %S already registered" lib.Library.name)
+  else Ok { libs = t.libs @ [ lib ] }
+
+let register_exn t lib =
+  match register t lib with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Registry.register_exn: " ^ msg)
+
+let libraries t = t.libs
+let library t ~name = List.find_opt (fun l -> String.equal l.Library.name name) t.libs
+
+let qualified lib core = lib.Library.name ^ "/" ^ core.Core.id
+
+let all_cores t =
+  List.concat_map (fun lib -> List.map (fun core -> (qualified lib core, core)) lib.Library.cores) t.libs
+
+let find_core t ~qualified_id =
+  match String.index_opt qualified_id '/' with
+  | None -> None
+  | Some i ->
+    let lib_name = String.sub qualified_id 0 i in
+    let id = String.sub qualified_id (i + 1) (String.length qualified_id - i - 1) in
+    Option.bind (library t ~name:lib_name) (fun lib -> Library.find lib ~id)
+
+let size t = List.fold_left (fun acc lib -> acc + Library.size lib) 0 t.libs

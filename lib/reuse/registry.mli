@@ -1,0 +1,25 @@
+(** A registry of reuse libraries — the design space layer connects to
+    "any number of reuse libraries" (Fig 1) through one of these.
+
+    Core ids are qualified as ["library-name/core-id"] when looked up
+    through a registry, so independently-maintained provider libraries
+    cannot collide. *)
+
+type t
+
+val empty : t
+val register : t -> Library.t -> (t, string) result
+(** Rejects a second library with the same name. *)
+
+val register_exn : t -> Library.t -> t
+val libraries : t -> Library.t list
+val library : t -> name:string -> Library.t option
+
+val all_cores : t -> (string * Core.t) list
+(** Every core with its qualified id, library registration order. *)
+
+val find_core : t -> qualified_id:string -> Core.t option
+(** ["lib/core-id"] lookup. *)
+
+val size : t -> int
+(** Total cores across libraries. *)

@@ -1,0 +1,61 @@
+module Nat = Ds_bignum.Nat
+
+type arch = Ripple_carry | Carry_lookahead | Carry_save
+
+let name = function
+  | Ripple_carry -> "ripple-carry"
+  | Carry_lookahead -> "carry-look-ahead"
+  | Carry_save -> "carry-save"
+
+let all = [ Ripple_carry; Carry_lookahead; Carry_save ]
+let of_name n = List.find_opt (fun a -> String.equal (name a) n) all
+let is_redundant = function Carry_save -> true | Ripple_carry | Carry_lookahead -> false
+
+let log2_ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  go 0 1
+
+(* Broadcast/fanout penalty: wide operands mean long wires and heavy
+   fanout on the carry tree; Table 1's CLA clocks grow faster than a pure
+   log law, and its CSA clocks creep up slightly.  One shared linear +
+   log term models both. *)
+let fanout_levels width = (0.09 *. float_of_int width) +. (0.35 *. float_of_int (log2_ceil width))
+
+let cla_gates_per_bit = 11.0
+
+let component arch ~width =
+  if width <= 0 then invalid_arg "Adder.component: width must be positive";
+  let w = float_of_int width in
+  match arch with
+  | Ripple_carry ->
+    Component.primitive "ripple-carry"
+      ~gates:(6.0 *. w)
+      ~depth:(1.6 +. (Gates.full_adder_carry_depth *. w))
+  | Carry_lookahead ->
+    (* Group-4 lookahead tree: propagate/generate, up-sweep, down-sweep,
+       final sum XOR, plus the width-dependent fanout term. *)
+    let stages = float_of_int ((log2_ceil width + 1) / 2) in
+    Component.primitive "carry-look-ahead"
+      ~gates:(cla_gates_per_bit *. w)
+      ~depth:(2.0 +. (3.5 *. stages) +. fanout_levels width)
+  | Carry_save ->
+    Component.primitive "carry-save-row" ~gates:(6.0 *. w) ~depth:3.2
+
+let compressor_4_2 ~width =
+  let row = component Carry_save ~width in
+  Component.rename "4:2-compressor" (Component.seq "4:2" [ row; row ])
+
+let resolution ~width = Component.rename "csa-resolution" (component Carry_lookahead ~width)
+
+type redundant = { sum : Nat.t; carry : Nat.t }
+
+let redundant_zero = { sum = Nat.zero; carry = Nat.zero }
+let redundant_of_nat n = { sum = n; carry = Nat.zero }
+let resolve r = Nat.add r.sum r.carry
+
+let csa_step r x =
+  (* Exact 3:2 compression: sum' = s ^ c ^ x, carry' = majority << 1. *)
+  let s = r.sum and c = r.carry in
+  let sum = Nat.logxor (Nat.logxor s c) x in
+  let maj = Nat.logor (Nat.logor (Nat.logand s c) (Nat.logand s x)) (Nat.logand c x) in
+  { sum; carry = Nat.shift_left maj 1 }

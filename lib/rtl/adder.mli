@@ -1,0 +1,56 @@
+(** Adder architectures — the "Carry-Look-Ahead vs Carry-Save" axis of
+    the paper's Table 1 and of consistency constraint CC4.
+
+    Three architectures are modelled:
+    - {e ripple-carry}: minimal area, depth linear in width;
+    - {e carry-lookahead} (CLA): tree lookahead, depth logarithmic in
+      width plus a broadcast/fanout term that grows slowly with width —
+      this is what makes the CLA designs' clock stretch from ~2.7 ns at
+      8 bits to ~6.5 ns at 128 bits in Table 1;
+    - {e carry-save} (CSA): redundant (sum, carry) output, depth
+      independent of width — the flat-clock designs of Table 1.
+
+    Functional semantics are given over {!Ds_bignum.Nat} values; the
+    carry-save form is an explicit redundant pair. *)
+
+type arch = Ripple_carry | Carry_lookahead | Carry_save
+
+val name : arch -> string
+(** Option string used in the design space layer ("ripple-carry",
+    "carry-look-ahead", "carry-save"). *)
+
+val of_name : string -> arch option
+val all : arch list
+
+val is_redundant : arch -> bool
+(** True for carry-save: results need a final resolution step. *)
+
+val cla_gates_per_bit : float
+(** Gate equivalents per bit of a carry-lookahead adder (propagate/
+    generate cells, tree nodes and sum XORs amortised). *)
+
+val component : arch -> width:int -> Component.t
+(** One addition stage of the given width.  For carry-save this is a
+    single 3:2 compressor row.  @raise Invalid_argument when
+    [width <= 0]. *)
+
+val compressor_4_2 : width:int -> Component.t
+(** Two chained carry-save rows reducing four operands to two; the
+    accumulation core of redundant Montgomery datapaths. *)
+
+val resolution : width:int -> Component.t
+(** Final carry-propagate resolution of a redundant pair (a CLA of the
+    given width); used once at the end of an operation. *)
+
+(** Redundant value: the pair sums to the represented value. *)
+type redundant = { sum : Ds_bignum.Nat.t; carry : Ds_bignum.Nat.t }
+
+val redundant_zero : redundant
+val redundant_of_nat : Ds_bignum.Nat.t -> redundant
+val resolve : redundant -> Ds_bignum.Nat.t
+
+val csa_step : redundant -> Ds_bignum.Nat.t -> redundant
+(** One carry-save row: absorb one more operand without propagating
+    carries (value-preserving: [resolve (csa_step r x) = resolve r + x]).
+    The bit-level 3:2 compression is modelled exactly
+    ([sum' = s XOR c XOR x], [carry' = majority <<1]). *)

@@ -1,0 +1,37 @@
+type t = { name : string; gates : float; depth : float }
+
+let primitive name ~gates ~depth =
+  if gates < 0.0 || depth < 0.0 then invalid_arg "Component.primitive: negative size";
+  { name; gates; depth }
+
+let nothing = { name = "nothing"; gates = 0.0; depth = 0.0 }
+
+let seq name parts =
+  {
+    name;
+    gates = List.fold_left (fun acc c -> acc +. c.gates) 0.0 parts;
+    depth = List.fold_left (fun acc c -> acc +. c.depth) 0.0 parts;
+  }
+
+let par name parts =
+  {
+    name;
+    gates = List.fold_left (fun acc c -> acc +. c.gates) 0.0 parts;
+    depth = List.fold_left (fun acc c -> Float.max acc c.depth) 0.0 parts;
+  }
+
+let replicate n c =
+  if n < 0 then invalid_arg "Component.replicate: negative count";
+  { c with gates = c.gates *. float_of_int n }
+
+let chain n c =
+  if n < 0 then invalid_arg "Component.chain: negative count";
+  { c with gates = c.gates *. float_of_int n; depth = c.depth *. float_of_int n }
+
+let rename name c = { c with name }
+
+let scale_gates f c =
+  if f < 0.0 then invalid_arg "Component.scale_gates: negative factor";
+  { c with gates = c.gates *. f }
+
+let pp fmt c = Format.fprintf fmt "%s: %.1f GE, depth %.1f" c.name c.gates c.depth

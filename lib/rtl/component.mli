@@ -1,0 +1,38 @@
+(** A tiny structural-composition algebra for area/delay estimation.
+
+    A component is summarised by its gate-equivalent count and its
+    combinational depth in gate-equivalent logic levels.  Datapaths are
+    assembled with series ({!seq}) and parallel ({!par}) composition;
+    the resulting pair (gates, depth) is what {!Ds_tech.Process} turns
+    into square microns and nanoseconds.  This abstraction level —
+    structure without bit-accurate netlists — is exactly what the
+    paper's early-estimation context (CC3) calls for. *)
+
+type t = private { name : string; gates : float; depth : float }
+
+val primitive : string -> gates:float -> depth:float -> t
+(** @raise Invalid_argument on negative gates or depth. *)
+
+val seq : string -> t list -> t
+(** Series composition: gates add, depths add.  The empty list is the
+    identity (zero gates, zero depth). *)
+
+val par : string -> t list -> t
+(** Parallel composition: gates add, depth is the maximum. *)
+
+val replicate : int -> t -> t
+(** [replicate n c]: [n] parallel copies ([n >= 0]). *)
+
+val chain : int -> t -> t
+(** [chain n c]: [n] series copies ([n >= 0]). *)
+
+val rename : string -> t -> t
+
+val scale_gates : float -> t -> t
+(** Multiply the gate count (e.g. wiring overhead factors); depth is
+    unchanged.  @raise Invalid_argument on a negative factor. *)
+
+val nothing : t
+(** The empty component. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+let p = Component.primitive
+
+let inverter = p "inv" ~gates:0.7 ~depth:0.6
+let nand2 = p "nand2" ~gates:1.0 ~depth:1.0
+let and2 = p "and2" ~gates:1.3 ~depth:1.3
+let or2 = p "or2" ~gates:1.3 ~depth:1.3
+let xor2 = p "xor2" ~gates:2.3 ~depth:1.6
+let mux2 = p "mux2" ~gates:2.2 ~depth:1.5
+let mux4 = p "mux4" ~gates:5.0 ~depth:2.2
+let half_adder = p "half_adder" ~gates:3.0 ~depth:1.6
+let full_adder = p "full_adder" ~gates:6.0 ~depth:3.2
+let full_adder_carry_depth = 2.0
+let flip_flop = p "dff" ~gates:5.5 ~depth:0.0
+let register_overhead_levels = 2.5

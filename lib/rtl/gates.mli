@@ -1,0 +1,21 @@
+(** Primitive cells, in gate equivalents (1 GE = one 2-input NAND) and
+    logic levels (1 level = one NAND2 delay).  The constants are
+    standard-cell library folklore; only their ratios matter because the
+    absolute scale is carried by {!Ds_tech.Process}. *)
+
+val inverter : Component.t
+val nand2 : Component.t
+val and2 : Component.t
+val or2 : Component.t
+val xor2 : Component.t
+val mux2 : Component.t
+val mux4 : Component.t
+val half_adder : Component.t
+val full_adder : Component.t
+(** Depth of [full_adder] is the sum path (two XOR levels); the carry
+    path is shallower and exposed as {!full_adder_carry_depth}. *)
+
+val full_adder_carry_depth : float
+val flip_flop : Component.t
+val register_overhead_levels : float
+(** Clock-to-q plus setup, charged once per clocked path. *)

@@ -1,0 +1,215 @@
+module Nat = Ds_bignum.Nat
+module D = Modmul_datapath
+
+type recoding = Binary | Window of int | Sliding_window of int
+
+let recoding_name = function
+  | Binary -> "binary"
+  | Window w -> Printf.sprintf "window-%d" w
+  | Sliding_window w -> Printf.sprintf "sliding-%d" w
+
+let recoding_of_name name =
+  if String.equal name "binary" then Some Binary
+  else begin
+    match String.split_on_char '-' name with
+    | [ "window"; w ] -> Option.map (fun w -> Window w) (int_of_string_opt w)
+    | [ "sliding"; w ] -> Option.map (fun w -> Sliding_window w) (int_of_string_opt w)
+    | _ -> None
+  end
+
+type config = { multiplier : D.config; recoding : recoding; bus_width : int }
+
+let validate cfg =
+  match D.validate cfg.multiplier with
+  | Error _ as e -> e
+  | Ok () -> (
+    if cfg.bus_width <= 0 then Error "bus width must be positive"
+    else begin
+      match cfg.recoding with
+      | Binary -> Ok ()
+      | Window w | Sliding_window w ->
+        if w >= 2 && w <= 8 then Ok () else Error "window width must be within 2..8"
+    end)
+
+let table_entries_for = function
+  | Binary -> 0
+  | Window w -> (1 lsl w) - 2
+  | Sliding_window w -> 1 lsl (w - 1) (* odd powers g^1, g^3, ..., g^(2^w - 1) *)
+let table_entries cfg = table_entries_for cfg.recoding
+
+let multiplications_for recoding ~exp_bits =
+  match recoding with
+  | Binary -> exp_bits + (exp_bits / 2)
+  | Window w ->
+    (* one squaring per bit, one table multiply per window, and the
+       products that fill the table (g^2 .. g^(2^w - 1)) *)
+    exp_bits + ((exp_bits + w - 1) / w) + table_entries_for recoding
+  | Sliding_window w ->
+    (* squarings per bit; on average a window of w bits plus ~1 zero of
+       skip per window, so fewer table multiplies than the fixed form;
+       the table costs one squaring (g^2) plus one multiply per odd
+       power *)
+    exp_bits + (exp_bits / (w + 1)) + table_entries_for recoding
+
+let multiplications cfg ~exp_bits = multiplications_for cfg.recoding ~exp_bits
+
+let io_cycles cfg ~eol =
+  (* base, exponent and modulus in; result out: 4 x eol bits over the
+     bus, plus a handshake per operand *)
+  (4 * (((eol - 1) / cfg.bus_width) + 1)) + 8
+
+let cycles cfg ~eol ~exp_bits =
+  let per_mult = D.cycles cfg.multiplier ~eol in
+  (multiplications cfg ~exp_bits * per_mult) + io_cycles cfg ~eol
+
+let latency_us cfg ~eol ~exp_bits =
+  float_of_int (cycles cfg ~eol ~exp_bits) *. D.clock_ns cfg.multiplier /. 1000.0
+
+let operations_per_second cfg ~eol ~exp_bits = 1.0e6 /. latency_us cfg ~eol ~exp_bits
+
+let gate_count cfg ~eol =
+  let multiplier = D.gate_count cfg.multiplier ~eol in
+  (* controller FSM + exponent shift register + result register *)
+  let controller = 250.0 +. (5.5 *. float_of_int eol *. 2.0) in
+  (* the window table stores full-width precomputed powers *)
+  let table = 5.5 *. float_of_int (table_entries cfg * eol) in
+  multiplier +. controller +. table
+
+let area_um2 cfg ~eol =
+  Ds_tech.Process.area_um2 cfg.multiplier.D.technology ~gates:(gate_count cfg ~eol)
+  *. cfg.multiplier.D.layout.Ds_tech.Layout.area_factor
+
+type characterization = {
+  cfg : config;
+  eol : int;
+  exp_bits : int;
+  gates : float;
+  coproc_area_um2 : float;
+  multiplications : int;
+  coproc_cycles : int;
+  coproc_latency_us : float;
+  ops_per_second : float;
+}
+
+let characterize cfg ~eol ~exp_bits =
+  {
+    cfg;
+    eol;
+    exp_bits;
+    gates = gate_count cfg ~eol;
+    coproc_area_um2 = area_um2 cfg ~eol;
+    multiplications = multiplications cfg ~exp_bits;
+    coproc_cycles = cycles cfg ~eol ~exp_bits;
+    coproc_latency_us = latency_us cfg ~eol ~exp_bits;
+    ops_per_second = operations_per_second cfg ~eol ~exp_bits;
+  }
+
+let pp_characterization fmt c =
+  Format.fprintf fmt
+    "modexp %s bus%d over [%a]: %d mults, %.1f us/op, %.0f ops/s, %.0f um2"
+    (recoding_name c.cfg.recoding) c.cfg.bus_width D.pp_characterization
+    (D.characterize c.cfg.multiplier ~eol:c.eol)
+    c.multiplications c.coproc_latency_us c.ops_per_second c.coproc_area_um2
+
+(* ------------------------------------------------------------------ *)
+(* Simulation: drive the real exponentiation through the multiplier's
+   slice-level simulation.                                              *)
+
+let simulate cfg ~eol ~base ~exponent ~modulus =
+  match validate cfg with
+  | Error e -> Error e
+  | Ok () ->
+    if Nat.compare base modulus >= 0 then Error "base must be below the modulus"
+    else begin
+      let count = ref 0 in
+      let mul a b =
+        match D.modmul cfg.multiplier ~eol ~a ~b ~modulus with
+        | Ok v ->
+          incr count;
+          v
+        | Error e -> failwith e
+      in
+      try
+        let result =
+          match cfg.recoding with
+          | Binary ->
+            let nbits = Nat.num_bits exponent in
+            let rec go acc sq i =
+              if i >= nbits then acc
+              else begin
+                let acc = if Nat.bit exponent i then mul acc sq else acc in
+                go acc (mul sq sq) (i + 1)
+              end
+            in
+            go Nat.one base 0
+          | Sliding_window w ->
+            (* Left-to-right sliding windows: tabulate odd powers only;
+               runs of zeros cost squarings alone. *)
+            let table = Array.make (1 lsl w) Nat.one in
+            table.(1) <- base;
+            let g2 = mul base base in
+            let rec fill k =
+              if k < 1 lsl w then begin
+                table.(k) <- mul table.(k - 2) g2;
+                fill (k + 2)
+              end
+            in
+            fill 3;
+            let nbits = Nat.num_bits exponent in
+            let rec scan acc i =
+              if i < 0 then acc
+              else if not (Nat.bit exponent i) then scan (mul acc acc) (i - 1)
+              else begin
+                (* longest window [j..i] with bit j set, length <= w *)
+                let j_min = Stdlib.max 0 (i - w + 1) in
+                let rec find_j j = if Nat.bit exponent j then j else find_j (j + 1) in
+                let j = find_j j_min in
+                let len = i - j + 1 in
+                let value =
+                  let rec build acc k =
+                    if k < j then acc
+                    else build ((acc lsl 1) lor (if Nat.bit exponent k then 1 else 0)) (k - 1)
+                  in
+                  build 0 i
+                in
+                let rec square acc k = if k = 0 then acc else square (mul acc acc) (k - 1) in
+                let acc = square acc len in
+                scan (mul acc table.(value)) (j - 1)
+              end
+            in
+            scan Nat.one (nbits - 1)
+          | Window w ->
+            (* Left-to-right fixed windows over the exponent bits. *)
+            let table = Array.make (1 lsl w) Nat.one in
+            table.(1) <- base;
+            for i = 2 to (1 lsl w) - 1 do
+              table.(i) <- mul table.(i - 1) base
+            done;
+            let nbits = Nat.num_bits exponent in
+            let nwindows = ((nbits + w - 1) / w) in
+            let window_value j =
+              (* bits [j*w, (j+1)*w) of the exponent, MSB windows first *)
+              let rec go acc k =
+                if k < 0 then acc
+                else
+                  go ((acc lsl 1) lor (if Nat.bit exponent ((j * w) + k) then 1 else 0)) (k - 1)
+              in
+              go 0 (w - 1)
+            in
+            let rec go acc j =
+              if j < 0 then acc
+              else begin
+                let acc = ref acc in
+                for _ = 1 to w do
+                  acc := mul !acc !acc
+                done;
+                let v = window_value j in
+                let acc = if v = 0 then !acc else mul !acc table.(v) in
+                go acc (j - 1)
+              end
+            in
+            go Nat.one (nwindows - 1)
+        in
+        Ok (result, !count)
+      with Failure e -> Error e
+    end

@@ -1,0 +1,99 @@
+(** The modular-exponentiation coprocessor — the paper's {e main
+    architectural component} (Royo et al. [10], Section 6: "this
+    exploration could have been part of the design space exploration
+    performed for the main architectural component, i.e., the modular
+    exponentiation coprocessor").
+
+    A coprocessor wraps a modular-multiplier datapath with an
+    exponentiation controller, operand/exponent registers and a bus
+    interface.  Its own design issues sit above the multiplier's:
+
+    - {e exponent recoding}: plain binary square-and-multiply
+      (~1.5 multiplications per exponent bit) versus fixed-window m-ary
+      recoding (one multiplication per window plus a precomputed table
+      — fewer multiplications, more storage);
+    - {e bus width}: how many cycles loading the three operands and
+      unloading the result costs.
+
+    Characterisation composes the multiplier's characterisation;
+    simulation drives every modular multiplication through the
+    cycle-level {!Modmul_datapath} simulation. *)
+
+type recoding =
+  | Binary
+  | Window of int  (** fixed windows of the given width (>= 2) *)
+  | Sliding_window of int
+      (** sliding windows: only odd powers are tabulated (half the
+          storage of the fixed window) and runs of zeros cost squarings
+          only *)
+
+val recoding_name : recoding -> string
+(** "binary" | "window-2" | "sliding-4" ... *)
+
+val recoding_of_name : string -> recoding option
+
+type config = {
+  multiplier : Modmul_datapath.config;
+  recoding : recoding;
+  bus_width : int;  (** bits transferred per bus cycle *)
+}
+
+val validate : config -> (unit, string) result
+(** The multiplier must validate; window widths within 2..8; bus width
+    positive. *)
+
+val multiplications_for : recoding -> exp_bits:int -> int
+(** Recoding-only multiplication count (no datapath needed); used by the
+    layer's derivation constraints. *)
+
+val table_entries_for : recoding -> int
+
+val multiplications : config -> exp_bits:int -> int
+(** Modular multiplications for one exponentiation: binary needs
+    [exp_bits] squarings plus ~[exp_bits/2] multiplies; window-w needs
+    [exp_bits] squarings plus [exp_bits/w] multiplies plus the
+    [2^w - 2] table-filling products. *)
+
+val table_entries : config -> int
+(** Precomputed operand powers the recoding stores (0 for binary). *)
+
+val io_cycles : config -> eol:int -> int
+(** Bus cycles to load base, exponent and modulus and unload the
+    result. *)
+
+val cycles : config -> eol:int -> exp_bits:int -> int
+val latency_us : config -> eol:int -> exp_bits:int -> float
+val operations_per_second : config -> eol:int -> exp_bits:int -> float
+
+val gate_count : config -> eol:int -> float
+(** Multiplier gates plus controller, exponent register and the
+    recoding table storage. *)
+
+val area_um2 : config -> eol:int -> float
+
+type characterization = {
+  cfg : config;
+  eol : int;
+  exp_bits : int;
+  gates : float;
+  coproc_area_um2 : float;
+  multiplications : int;
+  coproc_cycles : int;
+  coproc_latency_us : float;
+  ops_per_second : float;
+}
+
+val characterize : config -> eol:int -> exp_bits:int -> characterization
+val pp_characterization : Format.formatter -> characterization -> unit
+
+val simulate :
+  config ->
+  eol:int ->
+  base:Ds_bignum.Nat.t ->
+  exponent:Ds_bignum.Nat.t ->
+  modulus:Ds_bignum.Nat.t ->
+  (Ds_bignum.Nat.t * int, string) result
+(** Run a full exponentiation, each modular multiplication through the
+    slice-level multiplier simulation; returns the result and the
+    number of multiplications executed.  Restrictions as in
+    {!Modmul_datapath.simulate}. *)

@@ -1,0 +1,418 @@
+module Nat = Ds_bignum.Nat
+module Modmul = Ds_bignum.Modmul
+module Process = Ds_tech.Process
+module Layout = Ds_tech.Layout
+module Power = Ds_tech.Power
+
+type algorithm = Montgomery | Brickell
+
+let algorithm_name = function Montgomery -> "Montgomery" | Brickell -> "Brickell"
+
+let algorithm_of_name = function
+  | "Montgomery" -> Some Montgomery
+  | "Brickell" -> Some Brickell
+  | _ -> None
+
+type config = {
+  algorithm : algorithm;
+  radix_bits : int;
+  adder : Adder.arch;
+  multiplier : Multiplier.arch option;
+  slice_width : int;
+  technology : Process.t;
+  layout : Layout.t;
+}
+
+let radix cfg = 1 lsl cfg.radix_bits
+
+let validate cfg =
+  if cfg.slice_width <= 0 then Error "slice width must be positive"
+  else if cfg.radix_bits < 1 || cfg.radix_bits > 4 then Error "radix must be between 2 and 16"
+  else if cfg.radix_bits > 1 && cfg.multiplier = None then
+    Error "a digit multiplier is required for radix > 2"
+  else if cfg.radix_bits = 1 && cfg.multiplier <> None then
+    Error "radix 2 uses AND gates, not a digit multiplier"
+  else if cfg.algorithm = Brickell && cfg.radix_bits <> 1 then
+    Error "the Brickell designs are radix-2 only"
+  else Ok ()
+
+let num_slices cfg ~eol =
+  if eol <= 0 then invalid_arg "Modmul_datapath.num_slices: eol must be positive";
+  ((eol - 1) / cfg.slice_width) + 1
+
+let iterations cfg ~eol =
+  match cfg.algorithm with
+  | Montgomery ->
+    (* one iteration per radix digit of the operand plus one: equals the
+       paper's CC2 relation 2*EOL/R + 1 at the radices its designs use
+       (2 and 4), and generalises it to higher radices where 2*EOL/R
+       stops counting the digits *)
+    ((eol + cfg.radix_bits - 1) / cfg.radix_bits) + 1
+  | Brickell -> eol + 2
+
+let uses_mux cfg = cfg.multiplier = Some Multiplier.Mux_select
+
+let cycles cfg ~eol =
+  iterations cfg ~eol + (num_slices cfg ~eol - 1) + if uses_mux cfg then 2 else 0
+
+let log2f w = log (float_of_int w) /. log 2.0
+
+(* Broadcast of the a_i / q_i digits across a w-bit slice: buffer tree
+   depth grows with log of the width. *)
+let broadcast_levels w = 0.5 *. log2f w
+
+(* Quotient-digit logic.  Redundant accumulators must resolve the low
+   radix_bits exactly before the table lookup, costing a short ripple. *)
+let q_logic_depth cfg =
+  match cfg.adder with
+  | Adder.Carry_save -> 1.6 +. (2.0 *. float_of_int cfg.radix_bits) +. 1.3
+  | Adder.Carry_lookahead | Adder.Ripple_carry -> 1.5
+
+let q_logic_gates cfg = 20.0 +. (10.0 *. float_of_int cfg.radix_bits)
+
+let digit_mult_depth cfg =
+  if cfg.radix_bits = 1 then 1.3 (* plain AND row *)
+  else begin
+    match cfg.multiplier with
+    | Some arch ->
+      let c = Multiplier.component arch ~width:cfg.slice_width ~digit_bits:cfg.radix_bits in
+      (c :> Component.t).Component.depth
+    | None -> 1.3
+  end
+
+let digit_mult_gates cfg =
+  let w = float_of_int cfg.slice_width in
+  if cfg.radix_bits = 1 then 2.0 *. 1.3 *. w
+  else begin
+    match cfg.multiplier with
+    | Some arch ->
+      let c = Multiplier.component arch ~width:cfg.slice_width ~digit_bits:cfg.radix_bits in
+      let fixed = Multiplier.fixed_overhead arch ~width:cfg.slice_width ~digit_bits:cfg.radix_bits in
+      (2.0 *. (c :> Component.t).Component.gates) +. (2.0 *. (fixed :> Component.t).Component.gates)
+    | None -> 2.0 *. 1.3 *. w
+  end
+
+let accumulator cfg =
+  let w = cfg.slice_width in
+  match cfg.adder with
+  | Adder.Carry_save -> Adder.compressor_4_2 ~width:w
+  | Adder.Carry_lookahead ->
+    Component.seq "csa+cla" [ Adder.component Adder.Carry_save ~width:w; Adder.component Adder.Carry_lookahead ~width:w ]
+  | Adder.Ripple_carry ->
+    Component.seq "csa+ripple" [ Adder.component Adder.Carry_save ~width:w; Adder.component Adder.Ripple_carry ~width:w ]
+
+(* Brickell: the MSB-first recurrence computes 2R + a_i*B and the two
+   subtraction candidates (-M, -2M) in parallel, then selects on the
+   borrow/sign estimate. *)
+let brickell_reduce_depth cfg =
+  let w = cfg.slice_width in
+  match cfg.adder with
+  | Adder.Carry_save ->
+    (* 3 parallel compressor trees + sign estimation + select. *)
+    9.6 +. (2.0 +. (1.0 *. log2f w)) +. 1.5
+  | Adder.Carry_lookahead ->
+    let cla = Adder.component Adder.Carry_lookahead ~width:w in
+    3.2 +. (cla :> Component.t).Component.depth +. 3.0
+  | Adder.Ripple_carry ->
+    let rc = Adder.component Adder.Ripple_carry ~width:w in
+    3.2 +. (rc :> Component.t).Component.depth +. 3.0
+
+let brickell_reduce_gates cfg =
+  let w = float_of_int cfg.slice_width in
+  match cfg.adder with
+  | Adder.Carry_save -> (3.0 *. 12.0 *. w) +. (2.0 *. w) +. (2.2 *. w)
+  | Adder.Carry_lookahead -> (6.0 *. w) +. (Adder.cla_gates_per_bit *. w) +. (12.0 *. w) +. (2.2 *. w)
+  | Adder.Ripple_carry -> (6.0 *. w) +. (6.0 *. w) +. (12.0 *. w) +. (2.2 *. w)
+
+let register_gates cfg =
+  let w = float_of_int cfg.slice_width in
+  let ff = 5.5 in
+  (* A, B, M segments plus the accumulator (doubled when redundant). *)
+  let r_regs = if Adder.is_redundant cfg.adder then 2.0 *. w else w in
+  ff *. ((3.0 *. w) +. r_regs)
+
+let slice_component cfg =
+  let w = cfg.slice_width in
+  let depth =
+    match cfg.algorithm with
+    | Montgomery ->
+      q_logic_depth cfg +. digit_mult_depth cfg
+      +. (accumulator cfg :> Component.t).Component.depth
+      +. broadcast_levels w
+    | Brickell -> 1.3 +. brickell_reduce_depth cfg +. broadcast_levels w
+  in
+  let gates =
+    match cfg.algorithm with
+    | Montgomery ->
+      q_logic_gates cfg +. digit_mult_gates cfg
+      +. (accumulator cfg :> Component.t).Component.gates
+      +. register_gates cfg
+    | Brickell -> (1.3 *. float_of_int w) +. brickell_reduce_gates cfg +. register_gates cfg
+  in
+  Component.primitive
+    (Printf.sprintf "%s-slice-w%d" (algorithm_name cfg.algorithm) w)
+    ~gates ~depth
+
+let control_component cfg ~eol =
+  let iter_bits = log2f (iterations cfg ~eol + 1) in
+  let fsm = 120.0 +. (15.0 *. iter_bits) in
+  (* Redundant designs carry one carry-propagate resolution adder used
+     at the end of the operation, and every design a final conditional
+     subtractor (shared, one slice wide). *)
+  let resolution =
+    if Adder.is_redundant cfg.adder then
+      (Adder.resolution ~width:cfg.slice_width :> Component.t).Component.gates
+    else 0.0
+  in
+  let final_subtract = 6.0 *. float_of_int cfg.slice_width in
+  Component.primitive "control" ~gates:(fsm +. resolution +. final_subtract) ~depth:0.0
+
+let clock_ns cfg =
+  let depth = (slice_component cfg :> Component.t).Component.depth +. Gates.register_overhead_levels in
+  Process.gate_delay_ns cfg.technology ~levels:depth *. cfg.layout.Layout.delay_factor
+
+let gate_count cfg ~eol =
+  let k = float_of_int (num_slices cfg ~eol) in
+  let slice = (slice_component cfg :> Component.t).Component.gates in
+  let control = (control_component cfg ~eol :> Component.t).Component.gates in
+  (* Inter-slice pipeline registers for the systolic organisation. *)
+  let pipe = if k > 1.0 then (k -. 1.0) *. 5.5 *. float_of_int (cfg.radix_bits + 2) else 0.0 in
+  (k *. slice) +. control +. pipe
+
+let area_um2 cfg ~eol =
+  Process.area_um2 cfg.technology ~gates:(gate_count cfg ~eol) *. cfg.layout.Layout.area_factor
+
+let latency_ns cfg ~eol = float_of_int (cycles cfg ~eol) *. clock_ns cfg
+
+let power cfg ~eol =
+  let activity = Power.default_activity ~adder_is_carry_save:(Adder.is_redundant cfg.adder) in
+  Power.estimate cfg.technology ~gates:(gate_count cfg ~eol) ~clock_ns:(clock_ns cfg) ~activity
+    ~cycles_per_op:(cycles cfg ~eol)
+
+type characterization = {
+  cfg : config;
+  eol : int;
+  gates : float;
+  char_area_um2 : float;
+  char_clock_ns : float;
+  char_cycles : int;
+  char_latency_ns : float;
+  char_power : Power.estimate;
+}
+
+let characterize cfg ~eol =
+  {
+    cfg;
+    eol;
+    gates = gate_count cfg ~eol;
+    char_area_um2 = area_um2 cfg ~eol;
+    char_clock_ns = clock_ns cfg;
+    char_cycles = cycles cfg ~eol;
+    char_latency_ns = latency_ns cfg ~eol;
+    char_power = power cfg ~eol;
+  }
+
+let pp_characterization fmt c =
+  Format.fprintf fmt "%s r%d %s%s w%d: area %.0f um2, clk %.2f ns, %d cycles, latency %.1f ns"
+    (algorithm_name c.cfg.algorithm) (radix c.cfg) (Adder.name c.cfg.adder)
+    (match c.cfg.multiplier with None -> "" | Some m -> "/" ^ Multiplier.name m)
+    c.cfg.slice_width c.char_area_um2 c.char_clock_ns c.char_cycles c.char_latency_ns
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-accurate slice-level simulation                                *)
+
+type sim_result = { value : Nat.t; cycles_executed : int; residue_shift : int }
+
+type fault = { at_iteration : int; slice : int; bit : int }
+
+let flip_bit segs fault =
+  segs.(fault.slice) <-
+    Nat.logxor segs.(fault.slice) (Nat.shift_left Nat.one fault.bit)
+
+let segment n ~width ~index =
+  Nat.logand (Nat.shift_right n (index * width)) (Nat.sub (Nat.shift_left Nat.one width) Nat.one)
+
+let segments n ~width ~count = Array.init count (fun index -> segment n ~width ~index)
+
+let assemble segs ~width =
+  let acc = ref Nat.zero in
+  for j = Array.length segs - 1 downto 0 do
+    acc := Nat.add (Nat.shift_left !acc width) segs.(j)
+  done;
+  !acc
+
+(* One Montgomery iteration over per-slice segments with explicit
+   bounded inter-slice carries: this is the hardware dataflow (each
+   slice sees only its own registers, the broadcast digits and a few
+   carry wires from its neighbour). *)
+let montgomery_sim ?fault cfg ~eol ~a ~b ~modulus =
+  let w = cfg.slice_width in
+  let k = num_slices cfg ~eol in
+  let rb = cfg.radix_bits in
+  let r = radix cfg in
+  let rmask = r - 1 in
+  let iters = iterations cfg ~eol in
+  let b_segs = segments b ~width:w ~count:k in
+  let m_segs = segments modulus ~width:w ~count:k in
+  let r_segs = Array.make k Nat.zero in
+  let r_top = ref 0 in
+  (* -m^-1 mod radix, from the low limb of the modulus. *)
+  let m0 = (Nat.limbs modulus).(0) land rmask in
+  let minus_m_inv =
+    let rec inv x i =
+      if 1 lsl i >= r then x land rmask else inv ((x * (2 - (m0 * x))) land rmask) (2 * i)
+    in
+    (r - inv 1 1) land rmask
+  in
+  let low_bits n = if Nat.is_zero n then 0 else (Nat.limbs n).(0) land rmask in
+  let seg_mask = Nat.sub (Nat.shift_left Nat.one w) Nat.one in
+  let b0 = low_bits b_segs.(0) in
+  for i = 0 to iters - 1 do
+    (match fault with
+    | Some f when f.at_iteration = i -> flip_bit r_segs f
+    | Some _ | None -> ());
+    let ai =
+      let rec digit acc j =
+        if j < 0 then acc
+        else digit ((acc lsl 1) lor (if Nat.bit a ((i * rb) + j) then 1 else 0)) (j - 1)
+      in
+      digit 0 (rb - 1)
+    in
+    let q = ((low_bits r_segs.(0) + (ai * b0)) * minus_m_inv) land rmask in
+    (* Pass 1: per-slice add with an integer carry to the neighbour. *)
+    let t = Array.make k Nat.zero in
+    let carry = ref 0 in
+    for j = 0 to k - 1 do
+      let sum =
+        Nat.add
+          (Nat.add r_segs.(j) (Nat.of_int !carry))
+          (Nat.add (Nat.mul_int b_segs.(j) ai) (Nat.mul_int m_segs.(j) q))
+      in
+      t.(j) <- Nat.logand sum seg_mask;
+      carry := Nat.to_int_exn (Nat.shift_right sum w)
+    done;
+    let top = !r_top + !carry in
+    (* Pass 2: shift right by the radix, borrowing low bits downward. *)
+    for j = 0 to k - 1 do
+      let incoming = if j = k - 1 then top land rmask else low_bits t.(j + 1) in
+      r_segs.(j) <-
+        Nat.logor (Nat.shift_right t.(j) rb)
+          (Nat.shift_left (Nat.of_int incoming) (w - rb))
+    done;
+    r_top := top lsr rb
+  done;
+  let value = Nat.add (Nat.shift_left (Nat.of_int !r_top) (k * w)) (assemble r_segs ~width:w) in
+  let value = match Nat.sub_opt value modulus with Some v -> v | None -> value in
+  { value; cycles_executed = cycles cfg ~eol; residue_shift = rb * iters }
+
+(* Brickell: R := 2R + a_i*B, then subtract 0, M or 2M, chosen by the
+   borrow flags of the two candidate subtractions (the hardware's sign
+   bits).  Segment-wise with explicit carries/borrows. *)
+let brickell_sim ?fault cfg ~eol ~a ~b ~modulus =
+  let w = cfg.slice_width in
+  let k = num_slices cfg ~eol in
+  let b_segs = segments b ~width:w ~count:k in
+  let m_segs = segments modulus ~width:w ~count:k in
+  let m2 = Nat.shift_left modulus 1 in
+  let m2_segs = segments m2 ~width:w ~count:k in
+  (* 2M can spill one bit past the eol-bit segment window. *)
+  let m2_top = Nat.to_int_exn (Nat.shift_right m2 (k * w)) in
+  let seg_mask = Nat.sub (Nat.shift_left Nat.one w) Nat.one in
+  let r_segs = ref (Array.make k Nat.zero) in
+  let r_top = ref 0 in
+  (* Subtract candidate segments from (segs, top); None if it borrows. *)
+  let subtract segs top cand cand_top =
+    let out = Array.make k Nat.zero in
+    let borrow = ref 0 in
+    for j = 0 to k - 1 do
+      let lhs = segs.(j) in
+      let rhs = Nat.add cand.(j) (Nat.of_int !borrow) in
+      match Nat.sub_opt lhs rhs with
+      | Some d ->
+        out.(j) <- d;
+        borrow := 0
+      | None ->
+        out.(j) <- Nat.logand (Nat.sub (Nat.add lhs (Nat.shift_left Nat.one w)) rhs) seg_mask;
+        borrow := 1
+    done;
+    let top' = top - !borrow - cand_top in
+    if top' < 0 then None else Some (out, top')
+  in
+  let total_bits = Nat.num_bits a in
+  for i = total_bits - 1 downto 0 do
+    (match fault with
+    | Some f when f.at_iteration = total_bits - 1 - i -> flip_bit !r_segs f
+    | Some _ | None -> ());
+    (* Double, then add a_i * B, with inter-slice carries. *)
+    let t = Array.make k Nat.zero in
+    let carry = ref 0 in
+    let ai = if Nat.bit a i then 1 else 0 in
+    for j = 0 to k - 1 do
+      let sum =
+        Nat.add
+          (Nat.add (Nat.shift_left !r_segs.(j) 1) (Nat.of_int !carry))
+          (Nat.mul_int b_segs.(j) ai)
+      in
+      t.(j) <- Nat.logand sum seg_mask;
+      carry := Nat.to_int_exn (Nat.shift_right sum w)
+    done;
+    let top = (!r_top lsl 1) + !carry in
+    (* Reduce: R' < 3M, so subtracting 2M or M (or nothing) restores
+       R' < M. *)
+    let segs', top' =
+      match subtract t top m2_segs m2_top with
+      | Some (s, tp) -> (s, tp)
+      | None -> (
+        match subtract t top m_segs 0 with Some (s, tp) -> (s, tp) | None -> (t, top))
+    in
+    r_segs := segs';
+    r_top := top'
+  done;
+  let value = Nat.add (Nat.shift_left (Nat.of_int !r_top) (k * w)) (assemble !r_segs ~width:w) in
+  { value; cycles_executed = cycles cfg ~eol; residue_shift = 0 }
+
+let simulate ?fault cfg ~eol ~a ~b ~modulus =
+  match validate cfg with
+  | Error e -> Error e
+  | Ok () ->
+    if eol <= 0 || eol mod cfg.slice_width <> 0 then
+      Error "eol must be a positive multiple of the slice width"
+    else if Nat.is_zero modulus then Error "modulus must be non-zero"
+    else if Nat.num_bits modulus > eol then Error "modulus does not fit in eol bits"
+    else if Nat.compare a modulus >= 0 || Nat.compare b modulus >= 0 then
+      Error "operands must be below the modulus"
+    else begin
+      let fault_ok =
+        match fault with
+        | None -> true
+        | Some f ->
+          f.slice >= 0
+          && f.slice < num_slices cfg ~eol
+          && f.bit >= 0
+          && f.bit < cfg.slice_width
+          && f.at_iteration >= 0
+      in
+      if not fault_ok then Error "fault location out of range"
+      else begin
+        match cfg.algorithm with
+        | Montgomery ->
+          if Nat.is_even modulus then Error "Montgomery requires an odd modulus"
+          else Ok (montgomery_sim ?fault cfg ~eol ~a ~b ~modulus)
+        | Brickell -> Ok (brickell_sim ?fault cfg ~eol ~a ~b ~modulus)
+      end
+    end
+
+let modmul cfg ~eol ~a ~b ~modulus =
+  match cfg.algorithm with
+  | Brickell -> (
+    match simulate cfg ~eol ~a ~b ~modulus with
+    | Error e -> Error e
+    | Ok res -> Ok res.value)
+  | Montgomery -> (
+    (* Pre-scale one operand by 2^(rb*iters) so the Montgomery factor
+       cancels (the paper's Fig 10 line 1 pre-processing). *)
+    let shift = cfg.radix_bits * iterations cfg ~eol in
+    let b' = Nat.rem (Nat.shift_left b shift) modulus in
+    match simulate cfg ~eol ~a ~b:b' ~modulus with
+    | Error e -> Error e
+    | Ok res -> Ok res.value)

@@ -1,0 +1,124 @@
+(** Sliced modular-multiplier datapaths — the hardware designs of the
+    paper's Table 1.
+
+    A datapath is configured by the same axes the design space layer
+    exposes as design issues: algorithm (DI2), radix (DI3), slice width
+    and number of slices (DI4), adder and multiplier implementations
+    (DI7 via behavioral decomposition), layout style (DI5) and
+    fabrication technology (DI6).
+
+    Two things are produced from a configuration:
+    - a {e characterization} (area, clock, cycle count, latency, power)
+      derived from the structural component model — this regenerates
+      Table 1 and the evaluation-space figures;
+    - a {e cycle-accurate functional simulation} of the sliced
+      recurrence, validated against the {!Ds_bignum.Modmul} reference —
+      this is the evidence that the characterized designs compute
+      modular multiplication correctly. *)
+
+type algorithm = Montgomery | Brickell
+
+val algorithm_name : algorithm -> string
+(** "Montgomery" | "Brickell" — the paper's DI2 option strings. *)
+
+val algorithm_of_name : string -> algorithm option
+
+type config = {
+  algorithm : algorithm;
+  radix_bits : int;  (** 1 = radix 2, 2 = radix 4 (the paper's DI3) *)
+  adder : Adder.arch;
+  multiplier : Multiplier.arch option;
+      (** digit multiplier; required when [radix_bits > 1] *)
+  slice_width : int;  (** bits per slice (the paper's DI4 companion) *)
+  technology : Ds_tech.Process.t;
+  layout : Ds_tech.Layout.t;
+}
+
+val radix : config -> int
+(** [2 ^ radix_bits]. *)
+
+val validate : config -> (unit, string) result
+(** Structural sanity: positive slice width, radix in the supported
+    range, a multiplier present iff the radix needs one, Brickell
+    restricted to radix 2 (the paper's designs #7/#8). *)
+
+val num_slices : config -> eol:int -> int
+(** [ceil (eol / slice_width)]. *)
+
+val iterations : config -> eol:int -> int
+(** Loop iterations for an [eol]-bit operation.  For Montgomery this is
+    the paper's CC2 relation [2*EOL/R + 1]; for Brickell, [EOL + 2]
+    (one per operand bit plus final correction). *)
+
+val cycles : config -> eol:int -> int
+(** Total cycles including systolic pipeline fill across slices and any
+    fixed per-operation overhead (e.g. the mux-multiplier precompute). *)
+
+val slice_component : config -> Component.t
+val control_component : config -> eol:int -> Component.t
+
+val clock_ns : config -> float
+(** Clock period: slice critical path plus register overhead, scaled by
+    technology and layout style. *)
+
+val gate_count : config -> eol:int -> float
+val area_um2 : config -> eol:int -> float
+val latency_ns : config -> eol:int -> float
+val power : config -> eol:int -> Ds_tech.Power.estimate
+
+type characterization = {
+  cfg : config;
+  eol : int;
+  gates : float;
+  char_area_um2 : float;
+  char_clock_ns : float;
+  char_cycles : int;
+  char_latency_ns : float;
+  char_power : Ds_tech.Power.estimate;
+}
+
+val characterize : config -> eol:int -> characterization
+val pp_characterization : Format.formatter -> characterization -> unit
+
+(** {1 Cycle-accurate functional simulation} *)
+
+type sim_result = {
+  value : Ds_bignum.Nat.t;
+      (** raw datapath output: for Montgomery, [a*b*2^-(radix_bits*iters)
+          mod m]; for Brickell, [a*b mod m] *)
+  cycles_executed : int;  (** equals [cycles cfg ~eol] *)
+  residue_shift : int;
+      (** the Montgomery domain exponent (0 for Brickell): the value
+          satisfies [value * 2^residue_shift = a*b (mod m)] *)
+}
+
+(** A single-bit upset injected into the running accumulator, for
+    fault-sensitivity studies: at the start of [at_iteration], bit
+    [bit] of slice [slice]'s accumulator segment is flipped. *)
+type fault = { at_iteration : int; slice : int; bit : int }
+
+val simulate :
+  ?fault:fault ->
+  config ->
+  eol:int ->
+  a:Ds_bignum.Nat.t ->
+  b:Ds_bignum.Nat.t ->
+  modulus:Ds_bignum.Nat.t ->
+  (sim_result, string) result
+(** Slice-level simulation: operands are split into per-slice segments,
+    each cycle updates every slice with explicit bounded inter-slice
+    carries, mirroring the hardware recurrence.  Errors on invalid
+    configurations, on [eol] not covering the operands, or (Montgomery)
+    on an even modulus.  An out-of-range [fault] is an error. *)
+
+val modmul :
+  config ->
+  eol:int ->
+  a:Ds_bignum.Nat.t ->
+  b:Ds_bignum.Nat.t ->
+  modulus:Ds_bignum.Nat.t ->
+  (Ds_bignum.Nat.t, string) result
+(** Full modular multiplication through the simulated datapath,
+    including the Montgomery pre-scaling of one operand so the plain
+    product [a*b mod m] comes out (the paper's Fig 10 pre/post
+    processing). *)

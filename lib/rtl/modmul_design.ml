@@ -1,0 +1,60 @@
+module D = Modmul_datapath
+
+let design_numbers = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let slice_widths = [ 8; 16; 32; 64; 128 ]
+
+let design ?(technology = Ds_tech.Process.p035_g10) ?(layout = Ds_tech.Layout.standard_cell) n
+    ~slice_width =
+  let base algorithm radix_bits adder multiplier =
+    {
+      D.algorithm;
+      radix_bits;
+      adder;
+      multiplier;
+      slice_width;
+      technology;
+      layout;
+    }
+  in
+  match n with
+  | 1 -> base D.Montgomery 1 Adder.Carry_lookahead None
+  | 2 -> base D.Montgomery 1 Adder.Carry_save None
+  | 3 -> base D.Montgomery 2 Adder.Carry_lookahead (Some Multiplier.Array_mult)
+  | 4 -> base D.Montgomery 2 Adder.Carry_save (Some Multiplier.Array_mult)
+  | 5 -> base D.Montgomery 2 Adder.Carry_save (Some Multiplier.Mux_select)
+  | 6 -> base D.Montgomery 2 Adder.Carry_lookahead (Some Multiplier.Mux_select)
+  | 7 -> base D.Brickell 1 Adder.Carry_lookahead None
+  | 8 -> base D.Brickell 1 Adder.Carry_save None
+  | _ -> invalid_arg (Printf.sprintf "Modmul_design.design: unknown design #%d" n)
+
+let label n ~slice_width = Printf.sprintf "#%d_%d" n slice_width
+
+let parse_label s =
+  match String.split_on_char '_' s with
+  | [ head; width ] when String.length head >= 2 && head.[0] = '#' -> (
+    match
+      ( int_of_string_opt (String.sub head 1 (String.length head - 1)),
+        int_of_string_opt width )
+    with
+    | Some n, Some w when List.mem n design_numbers && w > 0 -> Some (n, w)
+    | _ -> None)
+  | _ -> None
+
+type row = { design_no : int; slice_width : int; characterization : D.characterization }
+
+let table1 ?technology () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun slice_width ->
+          let cfg = design ?technology n ~slice_width in
+          { design_no = n; slice_width; characterization = D.characterize cfg ~eol:slice_width })
+        slice_widths)
+    design_numbers
+
+let evaluation_points ?technology ~eol pairs =
+  List.map
+    (fun (n, slice_width) ->
+      let cfg = design ?technology n ~slice_width in
+      (label n ~slice_width, D.characterize cfg ~eol))
+    pairs

@@ -1,0 +1,51 @@
+(** The eight named modular-multiplier designs of the paper's Table 1,
+    and the table generator itself.
+
+    | # | Radix | Algorithm  | Adder | Multiplier |
+    |---|-------|------------|-------|------------|
+    | 1 | 2     | Montgomery | CLA   | (AND row)  |
+    | 2 | 2     | Montgomery | CSA   | (AND row)  |
+    | 3 | 4     | Montgomery | CLA   | array MUL  |
+    | 4 | 4     | Montgomery | CSA   | array MUL  |
+    | 5 | 4     | Montgomery | CSA   | MUX        |
+    | 6 | 4     | Montgomery | CLA   | MUX        |
+    | 7 | 2     | Brickell   | CLA   | (AND row)  |
+    | 8 | 2     | Brickell   | CSA   | (AND row)  |
+
+    All use the 0.35u standard-cell technology unless overridden. *)
+
+val design : ?technology:Ds_tech.Process.t -> ?layout:Ds_tech.Layout.t -> int ->
+  slice_width:int -> Modmul_datapath.config
+(** [design n ~slice_width] is design #n of Table 1 ([1 <= n <= 8]).
+    @raise Invalid_argument on an unknown design number. *)
+
+val design_numbers : int list
+(** [1; ...; 8]. *)
+
+val slice_widths : int list
+(** The widths characterised by Table 1: 8, 16, 32, 64, 128. *)
+
+val label : int -> slice_width:int -> string
+(** The paper's naming scheme, e.g. ["#2_64"]. *)
+
+val parse_label : string -> (int * int) option
+(** Inverse of {!label}: ["#2_64"] -> [Some (2, 64)]. *)
+
+type row = {
+  design_no : int;
+  slice_width : int;
+  characterization : Modmul_datapath.characterization;
+}
+
+val table1 : ?technology:Ds_tech.Process.t -> unit -> row list
+(** Every design at every slice width, characterised at
+    [eol = slice_width] exactly as the paper's Table 1. *)
+
+val evaluation_points :
+  ?technology:Ds_tech.Process.t ->
+  eol:int ->
+  (int * int) list ->
+  (string * Modmul_datapath.characterization) list
+(** [evaluation_points ~eol pairs] characterises the given
+    (design, slice width) pairs at a fixed [eol] — the work behind the
+    paper's Figs 9 and 12. *)

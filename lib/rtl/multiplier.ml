@@ -1,0 +1,45 @@
+module Nat = Ds_bignum.Nat
+
+type arch = Array_mult | Booth | Mux_select
+
+let name = function Array_mult -> "array" | Booth -> "booth" | Mux_select -> "mux-based"
+let all = [ Array_mult; Booth; Mux_select ]
+let of_name n = List.find_opt (fun a -> String.equal (name a) n) all
+
+let component arch ~width ~digit_bits =
+  if width <= 0 then invalid_arg "Multiplier.component: width must be positive";
+  if digit_bits < 1 then invalid_arg "Multiplier.component: digit_bits must be >= 1";
+  let w = float_of_int width and db = float_of_int digit_bits in
+  match arch with
+  | Array_mult ->
+    (* db AND rows, (db-1) carry-save compression rows, and the wiring
+       to route the shifted partial products. *)
+    Component.primitive "array-mult"
+      ~gates:(6.0 *. w *. db)
+      ~depth:(1.3 +. (3.2 *. (db -. 1.0)))
+  | Booth ->
+    (* Recoder, selector mux, sign handling. *)
+    Component.primitive "booth-mult" ~gates:((5.2 *. w) +. 14.0) ~depth:4.0
+  | Mux_select ->
+    (* A 2^db:1 multiplexer per bit selecting a precomputed multiple;
+       the tree grows with the number of selectable multiples. *)
+    let multiples = float_of_int ((1 lsl digit_bits) - 2) in
+    Component.primitive "mux-mult"
+      ~gates:(5.0 *. w *. (multiples /. 2.0))
+      ~depth:(2.2 +. (0.8 *. (db -. 2.0)))
+
+let fixed_overhead arch ~width ~digit_bits =
+  if width <= 0 then invalid_arg "Multiplier.fixed_overhead: width must be positive";
+  if digit_bits < 1 then invalid_arg "Multiplier.fixed_overhead: digit_bits must be >= 1";
+  let w = float_of_int width in
+  match arch with
+  | Array_mult | Booth -> Component.nothing
+  | Mux_select ->
+    (* Registers for the precomputed non-trivial multiples (3B, 5B, ...)
+       and the adder that fills them once at operation start. *)
+    let multiples = float_of_int (Stdlib.max 1 (((1 lsl digit_bits) - 2) / 2)) in
+    Component.primitive "mux-precompute" ~gates:((5.5 *. w *. multiples) +. 30.0) ~depth:0.0
+
+let semantics b ~digit =
+  if digit < 0 then invalid_arg "Multiplier.semantics: negative digit";
+  Nat.mul_int b digit

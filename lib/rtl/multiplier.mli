@@ -1,0 +1,35 @@
+(** Digit-by-vector multiplier architectures — the "MUL vs MUX" axis of
+    Table 1 (used by the radix-4 designs to form [a_i * B] and
+    [q_i * M] with 2-bit digits).
+
+    - {e array}: AND partial-product rows compressed by carry-save rows;
+      general, deeper, more gates per bit;
+    - {e Booth}: radix-4 Booth recoding; similar depth, slightly fewer
+      gates at wide operands;
+    - {e mux-based}: the operand's small multiples (0, B, 2B, 3B) are
+      precomputed once per operation and a 4:1 multiplexer selects per
+      cycle — shallow and cheap per bit, with a fixed precompute
+      overhead.  CC4's companion constraint in the paper forces this
+      choice for the Montgomery loop. *)
+
+type arch = Array_mult | Booth | Mux_select
+
+val name : arch -> string
+(** "array", "booth", "mux-based". *)
+
+val of_name : string -> arch option
+val all : arch list
+
+val component : arch -> width:int -> digit_bits:int -> Component.t
+(** Logic producing [digit * operand] each cycle for a [width]-bit
+    operand and a [digit_bits]-bit digit.
+    @raise Invalid_argument when [width <= 0] or [digit_bits < 1]. *)
+
+val fixed_overhead : arch -> width:int -> digit_bits:int -> Component.t
+(** Per-operation fixed logic charged once (e.g. the precomputed
+    odd-multiple registers and adder of the mux-based scheme); zero for
+    the others.  @raise Invalid_argument on non-positive sizes. *)
+
+val semantics : Ds_bignum.Nat.t -> digit:int -> Ds_bignum.Nat.t
+(** [semantics b ~digit] is the value every architecture produces:
+    [digit * b].  @raise Invalid_argument when [digit < 0]. *)

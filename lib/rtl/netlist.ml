@@ -1,0 +1,154 @@
+module D = Modmul_datapath
+
+let entity_name (cfg : D.config) =
+  Printf.sprintf "modmul_%s_r%d_%s_w%d"
+    (String.lowercase_ascii (D.algorithm_name cfg.D.algorithm))
+    (D.radix cfg)
+    (match cfg.D.adder with
+    | Adder.Carry_save -> "csa"
+    | Adder.Carry_lookahead -> "cla"
+    | Adder.Ripple_carry -> "rca")
+    cfg.D.slice_width
+
+(* Per-slice instances: operand registers (A/B/M), the accumulator
+   register bank, quotient logic, the digit multiplier pair and the
+   accumulation network; shared blocks: controller, resolution adder
+   (redundant forms), final subtractor. *)
+let per_slice_instances (cfg : D.config) =
+  let accumulation =
+    match cfg.D.adder with
+    | Adder.Carry_save -> [ ("u_compress", "compressor_4_2") ]
+    | Adder.Carry_lookahead -> [ ("u_csa_row", "carry_save_row"); ("u_cpa", "carry_lookahead_adder") ]
+    | Adder.Ripple_carry -> [ ("u_csa_row", "carry_save_row"); ("u_cpa", "ripple_carry_adder") ]
+  in
+  let multipliers =
+    if cfg.D.radix_bits = 1 then [ ("u_ppg_a", "and_row"); ("u_ppg_q", "and_row") ]
+    else begin
+      let kind =
+        match cfg.D.multiplier with
+        | Some Multiplier.Array_mult -> "array_digit_multiplier"
+        | Some Multiplier.Booth -> "booth_digit_multiplier"
+        | Some Multiplier.Mux_select -> "mux_digit_multiplier"
+        | None -> "and_row"
+      in
+      [ ("u_mult_a", kind); ("u_mult_q", kind) ]
+    end
+  in
+  let brickell_extra =
+    match cfg.D.algorithm with
+    | D.Brickell -> [ ("u_reduce", "parallel_subtract_select") ]
+    | D.Montgomery -> [ ("u_qlogic", "quotient_digit_logic") ]
+  in
+  [ ("u_reg_a", "register_bank"); ("u_reg_b", "register_bank"); ("u_reg_m", "register_bank");
+    ("u_reg_acc", if Adder.is_redundant cfg.D.adder then "redundant_register_bank" else "register_bank");
+  ]
+  @ multipliers @ accumulation @ brickell_extra
+
+let shared_instances (cfg : D.config) =
+  ("u_control", "modmul_controller")
+  :: ("u_final_sub", "conditional_subtractor")
+  :: (if Adder.is_redundant cfg.D.adder then [ ("u_resolve", "resolution_adder") ] else [])
+
+let instance_count cfg ~eol =
+  (D.num_slices cfg ~eol * List.length (per_slice_instances cfg))
+  + List.length (shared_instances cfg)
+
+let to_structure cfg ~eol =
+  match D.validate cfg with
+  | Error e -> Error e
+  | Ok () ->
+    if eol <= 0 || eol mod cfg.D.slice_width <> 0 then
+      Error "eol must be a positive multiple of the slice width"
+    else begin
+      let k = D.num_slices cfg ~eol in
+      let w = cfg.D.slice_width in
+      let name = entity_name cfg in
+      let buf = Buffer.create 4096 in
+      let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      add "-- structural view (documentation grade, not synthesisable RTL)\n";
+      add "-- generated from the ds_rtl component model\n";
+      add "-- %s: %s, radix %d, %s accumulation, %d slices x %d bits, EOL %d\n\n" name
+        (D.algorithm_name cfg.D.algorithm) (D.radix cfg) (Adder.name cfg.D.adder) k w eol;
+      add "entity %s is\n" name;
+      add "  generic (EOL : natural := %d; SLICE_WIDTH : natural := %d; RADIX : natural := %d);\n"
+        eol w (D.radix cfg);
+      add "  port (\n";
+      add "    clk, reset, start : in  bit;\n";
+      add "    a_digit           : in  bit_vector(%d downto 0);\n" (cfg.D.radix_bits - 1);
+      add "    b_load, m_load    : in  bit_vector(SLICE_WIDTH - 1 downto 0);\n";
+      add "    result            : out bit_vector(SLICE_WIDTH - 1 downto 0);\n";
+      add "    done              : out bit);\n";
+      add "end %s;\n\n" name;
+      add "architecture structure of %s is\n" name;
+      add "begin\n";
+      List.iteri
+        (fun slice_index _ ->
+          add "\n  -- slice %d: bits %d downto %d\n" slice_index
+            (((slice_index + 1) * w) - 1)
+            (slice_index * w);
+          List.iter
+            (fun (label, component) ->
+              add "  %s_s%d : %s generic map (WIDTH => %d);\n" label slice_index component w)
+            (per_slice_instances cfg))
+        (List.init k Fun.id);
+      add "\n  -- shared blocks\n";
+      List.iter
+        (fun (label, component) ->
+          add "  %s : %s generic map (WIDTH => %d, ITERATIONS => %d);\n" label component w
+            (D.iterations cfg ~eol))
+        (shared_instances cfg);
+      add "end structure;\n";
+      Ok (Buffer.contents buf)
+    end
+
+let save cfg ~eol ~path =
+  match to_structure cfg ~eol with
+  | Error _ as e -> e
+  | Ok text -> (
+    try
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Ok ()
+    with Sys_error msg -> Error msg)
+
+let coprocessor_structure (cfg : Modexp_datapath.config) ~eol =
+  match Modexp_datapath.validate cfg with
+  | Error e -> Error e
+  | Ok () -> (
+    match to_structure cfg.Modexp_datapath.multiplier ~eol with
+    | Error e -> Error e
+    | Ok multiplier_text ->
+      let mult_entity = entity_name cfg.Modexp_datapath.multiplier in
+      let name =
+        Printf.sprintf "modexp_%s_%s"
+          (Modexp_datapath.recoding_name cfg.Modexp_datapath.recoding)
+          mult_entity
+      in
+      let buf = Buffer.create 2048 in
+      let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      add "-- structural view (documentation grade, not synthesisable RTL)\n";
+      add "-- %s: exponentiation coprocessor, %s recoding, %d-bit bus\n\n" name
+        (Modexp_datapath.recoding_name cfg.Modexp_datapath.recoding)
+        cfg.Modexp_datapath.bus_width;
+      add "entity %s is\n" name;
+      add "  generic (EOL : natural := %d; BUS_WIDTH : natural := %d);\n" eol
+        cfg.Modexp_datapath.bus_width;
+      add "  port (clk, reset, start : in bit;\n";
+      add "        bus_in  : in  bit_vector(BUS_WIDTH - 1 downto 0);\n";
+      add "        bus_out : out bit_vector(BUS_WIDTH - 1 downto 0);\n";
+      add "        done    : out bit);\n";
+      add "end %s;\n\n" name;
+      add "architecture structure of %s is\n" name;
+      add "begin\n";
+      add "  u_multiplier : %s generic map (EOL => %d);\n" mult_entity eol;
+      add "  u_exponent   : shift_register generic map (WIDTH => EOL);\n";
+      add "  u_sequencer  : modexp_controller generic map (MULTIPLICATIONS => %d);\n"
+        (Modexp_datapath.multiplications cfg ~exp_bits:eol);
+      (match Modexp_datapath.table_entries cfg with
+      | 0 -> ()
+      | entries -> add "  u_table      : power_table generic map (ENTRIES => %d, WIDTH => EOL);\n" entries);
+      add "  u_bus        : bus_interface generic map (WIDTH => BUS_WIDTH, IO_CYCLES => %d);\n"
+        (Modexp_datapath.io_cycles cfg ~eol);
+      add "end structure;\n\n";
+      add "-- the multiplier component:\n%s" multiplier_text;
+      Ok (Buffer.contents buf))

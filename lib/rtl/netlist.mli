@@ -1,0 +1,34 @@
+(** Structural-view emission for modular-multiplier datapaths.
+
+    The paper's property taxonomy includes "behavioral and structural
+    descriptions, used to define the structure or intended behavior of
+    design objects at various levels of design abstraction (for example,
+    an RTL behavioral description, written in VHDL or Verilog)".  This
+    module produces the structural view for a configured datapath: a
+    VHDL-flavoured skeleton with the entity interface, the per-slice
+    component instances (registers, quotient logic, digit multipliers,
+    accumulation network) and the controller, all sized from the same
+    component model the characterisation uses.
+
+    The emitted text is documentation-grade structure — instance
+    hierarchy, generics and port shapes — not synthesisable RTL; every
+    file says so in its header. *)
+
+val entity_name : Modmul_datapath.config -> string
+(** e.g. ["modmul_montgomery_r2_csa_w64"]. *)
+
+val to_structure : Modmul_datapath.config -> eol:int -> (string, string) result
+(** The structural view.  Errors when the configuration does not
+    validate or [eol] is not a positive multiple of the slice width. *)
+
+val instance_count : Modmul_datapath.config -> eol:int -> int
+(** Number of component instances the structural view declares
+    (slices x per-slice instances + shared blocks); exposed so tests can
+    tie the text to the model. *)
+
+val save : Modmul_datapath.config -> eol:int -> path:string -> (unit, string) result
+
+val coprocessor_structure : Modexp_datapath.config -> eol:int -> (string, string) result
+(** Structural view of a whole exponentiation coprocessor: the
+    multiplier as a component instance plus the exponent controller,
+    recoding table storage and bus interface. *)

@@ -1,0 +1,456 @@
+module Nat = Ds_bignum.Nat
+
+type variant = Sos | Cios | Fios | Fips | Cihs
+
+let variant_name = function
+  | Sos -> "SOS"
+  | Cios -> "CIOS"
+  | Fios -> "FIOS"
+  | Fips -> "FIPS"
+  | Cihs -> "CIHS"
+
+let all_variants = [ Sos; Cios; Fios; Fips; Cihs ]
+let variant_of_name n = List.find_opt (fun v -> String.equal (variant_name v) n) all_variants
+
+type counts = {
+  mutable muls : int;
+  mutable adds : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable inner_steps : int;
+}
+
+let zero_counts () = { muls = 0; adds = 0; loads = 0; stores = 0; inner_steps = 0 }
+let total_ops c = c.muls + c.adds + c.loads + c.stores
+
+let word_bits = 32
+
+let check_word_bits wb =
+  if wb < 8 || wb > 32 then invalid_arg "Mont_variants: word_bits must be within 8..32"
+
+let mask64_of wb = Int64.sub (Int64.shift_left 1L wb) 1L
+
+let words_for_bits ?(word_bits = word_bits) bits =
+  check_word_bits word_bits;
+  ((Stdlib.max 1 bits - 1) / word_bits) + 1
+
+type operand = int array
+
+let operand_of_nat ?(word_bits = word_bits) n ~words =
+  check_word_bits word_bits;
+  if Nat.num_bits n > words * word_bits then
+    invalid_arg "Mont_variants.operand_of_nat: value too large";
+  Array.init words (fun i ->
+      let piece =
+        Nat.logand
+          (Nat.shift_right n (i * word_bits))
+          (Nat.sub (Nat.shift_left Nat.one word_bits) Nat.one)
+      in
+      Nat.to_int_exn piece)
+
+let nat_of_operand ?(word_bits = word_bits) op =
+  check_word_bits word_bits;
+  let acc = ref Nat.zero in
+  for i = Array.length op - 1 downto 0 do
+    acc := Nat.add (Nat.shift_left !acc word_bits) (Nat.of_int op.(i))
+  done;
+  !acc
+
+let n_prime ?(word_bits = word_bits) ~modulus () =
+  check_word_bits word_bits;
+  if Array.length modulus = 0 || modulus.(0) land 1 = 0 then
+    invalid_arg "Mont_variants.n_prime: modulus must be odd";
+  (* Newton iteration for n0^-1 mod 2^wb, then negate. *)
+  let mask = mask64_of word_bits in
+  let n0 = Int64.of_int modulus.(0) in
+  let rec inv x i =
+    if i >= word_bits then x
+    else begin
+      let x' = Int64.logand (Int64.mul x (Int64.sub 2L (Int64.mul n0 x))) mask in
+      inv x' (2 * i)
+    end
+  in
+  let m_inv = inv 1L 1 in
+  Int64.to_int (Int64.logand (Int64.sub (Int64.add mask 1L) m_inv) mask)
+
+(* --- counted single-precision primitives ------------------------------- *)
+
+(* (carry, sum) of x*y + u + v, all inputs below 2^wb; the double word
+   fits in an Int64 exactly. *)
+let mul_add_add wb k x y u v =
+  k.muls <- k.muls + 1;
+  k.adds <- k.adds + 2;
+  let t =
+    Int64.add
+      (Int64.add (Int64.mul (Int64.of_int x) (Int64.of_int y)) (Int64.of_int u))
+      (Int64.of_int v)
+  in
+  (Int64.to_int (Int64.shift_right_logical t wb), Int64.to_int (Int64.logand t (mask64_of wb)))
+
+(* (carry, sum) of u + v. *)
+let add2 wb k u v =
+  k.adds <- k.adds + 1;
+  let t = u + v in
+  (t lsr wb, t land ((1 lsl wb) - 1))
+
+let mul_low wb k x y =
+  k.muls <- k.muls + 1;
+  Int64.to_int (Int64.logand (Int64.mul (Int64.of_int x) (Int64.of_int y)) (mask64_of wb))
+
+let load k x =
+  k.loads <- k.loads + 1;
+  x
+
+let store k arr i v =
+  k.stores <- k.stores + 1;
+  arr.(i) <- v
+
+(* Ripple an add of [c] into [t] starting at index [i]. *)
+let add_at wb k t i c =
+  let carry = ref c and j = ref i in
+  while !carry <> 0 && !j < Array.length t do
+    let cr, s = add2 wb k (load k t.(!j)) !carry in
+    store k t !j s;
+    carry := cr;
+    incr j
+  done
+
+(* Final step shared by all variants: u (s+1 words) minus n if u >= n. *)
+let final_subtract wb k u modulus =
+  let s = Array.length modulus in
+  (* Top-down comparison of the s-word body against the modulus. *)
+  let rec body_ge i =
+    if i < 0 then true
+    else begin
+      let ui = load k u.(i) and ni = load k modulus.(i) in
+      if ui > ni then true else if ui < ni then false else body_ge (i - 1)
+    end
+  in
+  let top = if Array.length u > s then u.(s) else 0 in
+  let needs = top > 0 || body_ge (s - 1) in
+  if needs then begin
+    let borrow = ref 0 in
+    for i = 0 to s - 1 do
+      let d = load k u.(i) - load k modulus.(i) - !borrow in
+      k.adds <- k.adds + 1;
+      if d < 0 then begin
+        store k u i (d + (1 lsl wb));
+        borrow := 1
+      end
+      else begin
+        store k u i d;
+        borrow := 0
+      end
+    done;
+    if Array.length u > s then u.(s) <- top - !borrow
+  end;
+  Array.sub u 0 s
+
+let check_operands a b modulus =
+  let s = Array.length modulus in
+  if Array.length a <> s || Array.length b <> s then
+    invalid_arg "Mont_variants: operand word counts must match the modulus";
+  if s = 0 || modulus.(0) land 1 = 0 then invalid_arg "Mont_variants: modulus must be odd"
+
+(* --- SOS: multiply fully, then reduce ---------------------------------- *)
+
+let sos wb k ~a ~b ~modulus =
+  let s = Array.length modulus in
+  let np = n_prime ~word_bits:wb ~modulus () in
+  let t = Array.make ((2 * s) + 1) 0 in
+  for i = 0 to s - 1 do
+    let c = ref 0 in
+    let bi = load k b.(i) in
+    for j = 0 to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k (load k a.(j)) bi (load k t.(i + j)) !c in
+      store k t (i + j) sum;
+      c := carry
+    done;
+    store k t (i + s) !c
+  done;
+  for i = 0 to s - 1 do
+    let c = ref 0 in
+    let m = mul_low wb k (load k t.(i)) np in
+    for j = 0 to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k m (load k modulus.(j)) (load k t.(i + j)) !c in
+      store k t (i + j) sum;
+      c := carry
+    done;
+    add_at wb k t (i + s) !c
+  done;
+  let u = Array.sub t s (s + 1) in
+  final_subtract wb k u modulus
+
+(* --- CIOS: interleave one reduction step per outer word ---------------- *)
+
+let cios wb k ~a ~b ~modulus =
+  let s = Array.length modulus in
+  let np = n_prime ~word_bits:wb ~modulus () in
+  let t = Array.make (s + 2) 0 in
+  for i = 0 to s - 1 do
+    let bi = load k b.(i) in
+    let c = ref 0 in
+    for j = 0 to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k (load k a.(j)) bi (load k t.(j)) !c in
+      store k t j sum;
+      c := carry
+    done;
+    let carry, sum = add2 wb k (load k t.(s)) !c in
+    store k t s sum;
+    store k t (s + 1) carry;
+    let m = mul_low wb k (load k t.(0)) np in
+    let carry0, _ = mul_add_add wb k m (load k modulus.(0)) (load k t.(0)) 0 in
+    let c = ref carry0 in
+    for j = 1 to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k m (load k modulus.(j)) (load k t.(j)) !c in
+      store k t (j - 1) sum;
+      c := carry
+    done;
+    let carry, sum = add2 wb k (load k t.(s)) !c in
+    store k t (s - 1) sum;
+    let _, sum2 = add2 wb k (load k t.(s + 1)) carry in
+    store k t s sum2;
+    store k t (s + 1) 0
+  done;
+  final_subtract wb k (Array.sub t 0 (s + 1)) modulus
+
+(* --- FIOS: fuse the multiplication and reduction inner loops ----------- *)
+
+let fios wb k ~a ~b ~modulus =
+  let s = Array.length modulus in
+  let np = n_prime ~word_bits:wb ~modulus () in
+  let t = Array.make (s + 2) 0 in
+  for i = 0 to s - 1 do
+    let bi = load k b.(i) in
+    let carry, sum = mul_add_add wb k (load k a.(0)) bi (load k t.(0)) 0 in
+    add_at wb k t 1 carry;
+    let m = mul_low wb k sum np in
+    let carry, sum0 = mul_add_add wb k m (load k modulus.(0)) sum 0 in
+    assert (sum0 = 0);
+    let c = ref carry in
+    for j = 1 to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k (load k a.(j)) bi (load k t.(j)) !c in
+      add_at wb k t (j + 1) carry;
+      let carry2, sum2 = mul_add_add wb k m (load k modulus.(j)) sum 0 in
+      store k t (j - 1) sum2;
+      c := carry2
+    done;
+    let carry, sum = add2 wb k (load k t.(s)) !c in
+    store k t (s - 1) sum;
+    store k t s (load k t.(s + 1) + carry);
+    store k t (s + 1) 0
+  done;
+  final_subtract wb k (Array.sub t 0 (s + 1)) modulus
+
+(* --- FIPS: product scanning with a three-word accumulator -------------- *)
+
+let fips wb k ~a ~b ~modulus =
+  let s = Array.length modulus in
+  let np = n_prime ~word_bits:wb ~modulus () in
+  let m = Array.make s 0 in
+  let u = Array.make (s + 1) 0 in
+  (* Three-word accumulator. *)
+  let t0 = ref 0 and t1 = ref 0 and t2 = ref 0 in
+  let acc x y =
+    let carry, sum = mul_add_add wb k x y !t0 0 in
+    t0 := sum;
+    let carry1, sum1 = add2 wb k !t1 carry in
+    t1 := sum1;
+    let _, sum2 = add2 wb k !t2 carry1 in
+    t2 := sum2
+  in
+  let shift () =
+    t0 := !t1;
+    t1 := !t2;
+    t2 := 0
+  in
+  for i = 0 to s - 1 do
+    for j = 0 to i - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      acc (load k a.(j)) (load k b.(i - j));
+      acc (load k m.(j)) (load k modulus.(i - j))
+    done;
+    acc (load k a.(i)) (load k b.(0));
+    let mi = mul_low wb k !t0 np in
+    store k m i mi;
+    acc mi (load k modulus.(0));
+    assert (!t0 = 0);
+    shift ()
+  done;
+  for i = s to (2 * s) - 1 do
+    for j = i - s + 1 to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      acc (load k a.(j)) (load k b.(i - j));
+      acc (load k m.(j)) (load k modulus.(i - j))
+    done;
+    store k u (i - s) !t0;
+    shift ()
+  done;
+  u.(s) <- !t0;
+  final_subtract wb k u modulus
+
+(* --- CIHS: hybrid scanning --------------------------------------------
+   Reconstructed from Koc-Acar-Kaliski's description: the lower triangle
+   of the product is formed first by operand scanning; the reduction
+   loop then interleaves each m_i*n addition with the remaining (upper
+   triangle) partial products of the multiplication.  The extra
+   re-scanning of the intermediate words is what makes CIHS heavier in
+   memory traffic than CIOS, which is the behaviour the timings in the
+   paper's Fig 6 reflect. *)
+
+let cihs wb k ~a ~b ~modulus =
+  let s = Array.length modulus in
+  let np = n_prime ~word_bits:wb ~modulus () in
+  let t = Array.make ((2 * s) + 1) 0 in
+  (* Phase 1: partial products with i + j < s (lower triangle). *)
+  for i = 0 to s - 1 do
+    let bi = load k b.(i) in
+    let c = ref 0 in
+    for j = 0 to s - 1 - i do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k (load k a.(j)) bi (load k t.(i + j)) !c in
+      store k t (i + j) sum;
+      c := carry
+    done;
+    add_at wb k t s !c
+  done;
+  (* Phase 2: one reduction step per word, interleaved with the upper
+     triangle column of the multiplication. *)
+  for i = 0 to s - 1 do
+    let bi = load k b.(i) in
+    let c = ref 0 in
+    for j = s - i to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k (load k a.(j)) bi (load k t.(i + j)) !c in
+      store k t (i + j) sum;
+      c := carry
+    done;
+    add_at wb k t (i + s) !c;
+    let m = mul_low wb k (load k t.(i)) np in
+    let c = ref 0 in
+    for j = 0 to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k m (load k modulus.(j)) (load k t.(i + j)) !c in
+      store k t (i + j) sum;
+      c := carry
+    done;
+    add_at wb k t (i + s) !c;
+    (* The published CIHS keeps the running value right-aligned with an
+       explicit word shift after every reduction step; our offset
+       indexing makes the shift implicit, so the shift's memory traffic
+       is charged here to stay faithful to the algorithm that was
+       measured. *)
+    for j = 0 to s - 1 do
+      store k t (i + j) (load k t.(i + j))
+    done
+  done;
+  let u = Array.sub t s (s + 1) in
+  final_subtract wb k u modulus
+
+(* --- dedicated squaring: cross products once, doubled by a shift ---- *)
+
+let monsqr ?(word_bits = word_bits) k ~a ~modulus =
+  check_word_bits word_bits;
+  check_operands a a modulus;
+  let wb = word_bits in
+  let s = Array.length modulus in
+  let np = n_prime ~word_bits:wb ~modulus () in
+  let t = Array.make ((2 * s) + 1) 0 in
+  (* cross products a_i * a_j for i < j *)
+  for i = 0 to s - 1 do
+    let ai = load k a.(i) in
+    let c = ref 0 in
+    for j = i + 1 to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k ai (load k a.(j)) (load k t.(i + j)) !c in
+      store k t (i + j) sum;
+      c := carry
+    done;
+    if i < s - 1 then add_at wb k t (i + s) !c
+  done;
+  (* double the cross-product sum: one shift pass over 2s words *)
+  let carry = ref 0 in
+  for idx = 0 to (2 * s) - 1 do
+    let v = (load k t.(idx) lsl 1) lor !carry in
+    store k t idx (v land ((1 lsl wb) - 1));
+    carry := v lsr wb;
+    k.adds <- k.adds + 1
+  done;
+  t.(2 * s) <- !carry;
+  (* the diagonal a_i^2 *)
+  for i = 0 to s - 1 do
+    k.inner_steps <- k.inner_steps + 1;
+    let ai = load k a.(i) in
+    let carry, sum = mul_add_add wb k ai ai (load k t.(2 * i)) 0 in
+    store k t (2 * i) sum;
+    add_at wb k t ((2 * i) + 1) carry
+  done;
+  (* reduction phase, exactly as SOS *)
+  for i = 0 to s - 1 do
+    let c = ref 0 in
+    let m = mul_low wb k (load k t.(i)) np in
+    for j = 0 to s - 1 do
+      k.inner_steps <- k.inner_steps + 1;
+      let carry, sum = mul_add_add wb k m (load k modulus.(j)) (load k t.(i + j)) !c in
+      store k t (i + j) sum;
+      c := carry
+    done;
+    add_at wb k t (i + s) !c
+  done;
+  let u = Array.sub t s (s + 1) in
+  final_subtract wb k u modulus
+
+let monpro ?(word_bits = word_bits) variant k ~a ~b ~modulus =
+  check_word_bits word_bits;
+  check_operands a b modulus;
+  let wb = word_bits in
+  match variant with
+  | Sos -> sos wb k ~a ~b ~modulus
+  | Cios -> cios wb k ~a ~b ~modulus
+  | Fios -> fios wb k ~a ~b ~modulus
+  | Fips -> fips wb k ~a ~b ~modulus
+  | Cihs -> cihs wb k ~a ~b ~modulus
+
+let reference ?(word_bits = word_bits) ~a ~b ~modulus () =
+  let s = Array.length modulus in
+  let an = nat_of_operand ~word_bits a
+  and bn = nat_of_operand ~word_bits b
+  and mn = nat_of_operand ~word_bits modulus in
+  let shift = word_bits * s in
+  (* a*b*2^-32s mod n = a*b * inverse(2^32s) mod n *)
+  let r = Nat.shift_left Nat.one shift in
+  match Nat.mod_inv r mn with
+  | None -> invalid_arg "Mont_variants.reference: modulus must be odd"
+  | Some rinv -> operand_of_nat ~word_bits (Nat.rem (Nat.mul (Nat.mul an bn) rinv) mn) ~words:s
+
+let count_only ?(word_bits = word_bits) variant ~bits =
+  check_word_bits word_bits;
+  let s = words_for_bits ~word_bits bits in
+  let mask = (1 lsl word_bits) - 1 in
+  (* A dense odd modulus and dense operands: every loop runs its full
+     length, which is the normal case for cryptographic operands. *)
+  let modulus = Array.init s (fun i -> if i = 0 then mask - 18 else mask) in
+  let a = Array.init s (fun i -> (0xDEADBEE + (i * 0x12345)) land mask) in
+  let b = Array.init s (fun i -> (0x5A5A5A5 + (i * 0x54321)) land mask) in
+  (* Ensure operands are below the modulus: clear their top bit. *)
+  a.(s - 1) <- mask lsr 1;
+  b.(s - 1) <- mask lsr 1;
+  let k = zero_counts () in
+  let _ = monpro ~word_bits variant k ~a ~b ~modulus in
+  k
+
+let count_only_sqr ?(word_bits = word_bits) ~bits () =
+  check_word_bits word_bits;
+  let s = words_for_bits ~word_bits bits in
+  let mask = (1 lsl word_bits) - 1 in
+  let modulus = Array.init s (fun i -> if i = 0 then mask - 18 else mask) in
+  let a = Array.init s (fun i -> (0xBEEF01 + (i * 0x3571)) land mask) in
+  a.(s - 1) <- mask lsr 1;
+  let k = zero_counts () in
+  let _ = monsqr ~word_bits k ~a ~modulus in
+  k

@@ -1,0 +1,89 @@
+(** Word-level Montgomery multiplication variants.
+
+    The paper's software data points (Fig 6) come from Koc, Acar and
+    Kaliski, "Analyzing and Comparing Montgomery Multiplication
+    Algorithms" (IEEE Micro 16(3), 1996): C and hand-optimised assembler
+    implementations of five operand/product-scanning variants running on
+    a Pentium 60.  This module implements the five variants over 32-bit
+    words with {e exact instrumentation}: every single-precision
+    multiply, add, load and store the algorithm performs is counted.
+    The counts feed the {!Pentium} cost model, and the computed values
+    are property-tested against the {!Ds_bignum} reference.
+
+    All variants compute MonPro(a, b) = [a * b * 2^-(32*s) mod n] for an
+    odd s-word modulus [n], with [a, b < n]. *)
+
+type variant =
+  | Sos  (** Separated Operand Scanning *)
+  | Cios  (** Coarsely Integrated Operand Scanning *)
+  | Fios  (** Finely Integrated Operand Scanning *)
+  | Fips  (** Finely Integrated Product Scanning *)
+  | Cihs  (** Coarsely Integrated Hybrid Scanning *)
+
+val variant_name : variant -> string
+(** "SOS" | "CIOS" | "FIOS" | "FIPS" | "CIHS". *)
+
+val variant_of_name : string -> variant option
+val all_variants : variant list
+
+(** Instrumentation counters, in single-precision (32-bit) operations. *)
+type counts = {
+  mutable muls : int;  (** 32x32 -> 64 multiplications *)
+  mutable adds : int;  (** additions incl. carry handling *)
+  mutable loads : int;  (** word reads from operand/result arrays *)
+  mutable stores : int;  (** word writes *)
+  mutable inner_steps : int;  (** inner-loop iterations executed *)
+}
+
+val zero_counts : unit -> counts
+val total_ops : counts -> int
+
+val word_bits : int
+(** Default word size: 32 (the assembler implementations).  Every
+    function below accepts any [?word_bits] within 8..32 — e.g. 16 for
+    the C implementations of the era (portable C had no 64-bit product
+    type, the single biggest reason the paper's C timings trail the
+    assembler ones) or 24 for DSP datapaths. *)
+
+val words_for_bits : ?word_bits:int -> int -> int
+(** Number of words covering the given operand size. *)
+
+(** Operands in word form. *)
+type operand = int array
+(** Little-endian words (each within [0, 2^word_bits)). *)
+
+val operand_of_nat : ?word_bits:int -> Ds_bignum.Nat.t -> words:int -> operand
+(** @raise Invalid_argument when the value does not fit. *)
+
+val nat_of_operand : ?word_bits:int -> operand -> Ds_bignum.Nat.t
+
+val n_prime : ?word_bits:int -> modulus:operand -> unit -> int
+(** [-n^-1 mod 2^word_bits] for an odd modulus (the [n'0] every variant
+    needs).  @raise Invalid_argument when the modulus is even. *)
+
+val monpro :
+  ?word_bits:int -> variant -> counts -> a:operand -> b:operand -> modulus:operand -> operand
+(** Runs the chosen variant, updating [counts].  All three operands
+    must have the same word count [s]; the result is an [s]-word
+    operand below the modulus.
+    @raise Invalid_argument on mismatched lengths or an even modulus. *)
+
+val reference : ?word_bits:int -> a:operand -> b:operand -> modulus:operand -> unit -> operand
+(** The ground truth [a*b*2^-(word_bits*s) mod n] computed via
+    {!Ds_bignum}. *)
+
+val monsqr : ?word_bits:int -> counts -> a:operand -> modulus:operand -> operand
+(** Dedicated Montgomery squaring (SOS organisation): the cross
+    products [a_i * a_j, i < j] are computed once and doubled by a
+    shift, so the multiplication phase costs [s*(s+1)/2] single-precision
+    products instead of [s^2] — the classic optimisation for
+    exponentiation, which is squaring-dominated.  Identical result to
+    [monpro Sos ~a ~b:a]. *)
+
+val count_only_sqr : ?word_bits:int -> bits:int -> unit -> counts
+(** Operation counts of one squaring at the given operand size. *)
+
+val count_only : ?word_bits:int -> variant -> bits:int -> counts
+(** Operation counts for a [bits]-bit multiplication without executing
+    on data (runs the variant on a synthetic worst-case-dense input);
+    used by the timing model and benchmarks. *)

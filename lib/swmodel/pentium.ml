@@ -1,0 +1,75 @@
+type language = C | Assembler
+
+let language_name = function C -> "C" | Assembler -> "ASM"
+
+type cost_model = {
+  cycles_mul : float;
+  cycles_add : float;
+  cycles_load : float;
+  cycles_store : float;
+  cycles_loop : float;
+  cycles_call : float;
+}
+
+(* Pentium (P5) latencies: MUL r32 is 10 cycles and not pairable; ALU
+   ops are 1 cycle and mostly pair in the U/V pipes; aligned memory ops
+   are 1 cycle with a high cache-hit rate on these small working sets. *)
+let asm_model =
+  {
+    cycles_mul = 10.0;
+    cycles_add = 1.5;
+    cycles_load = 2.5;
+    cycles_store = 2.5;
+    cycles_loop = 2.0;
+    cycles_call = 50.0;
+  }
+
+(* Early-90s C: array index recomputation on every access, carries
+   materialised through memory, little scheduling. *)
+let c_model =
+  {
+    cycles_mul = 11.0;
+    cycles_add = 3.0;
+    cycles_load = 4.0;
+    cycles_store = 4.0;
+    cycles_loop = 6.0;
+    cycles_call = 120.0;
+  }
+
+let model_of = function C -> c_model | Assembler -> asm_model
+
+(* Portable C of the era had no 64-bit product type, so the C versions
+   ran on 16-bit digits (twice the words, four times the
+   multiplications) — see Koc et al.'s implementation notes. *)
+let word_bits_of = function C -> 16 | Assembler -> 32
+
+let clock_mhz = 60.0
+
+let cycles_of_counts m (k : Mont_variants.counts) =
+  (m.cycles_mul *. float_of_int k.Mont_variants.muls)
+  +. (m.cycles_add *. float_of_int k.Mont_variants.adds)
+  +. (m.cycles_load *. float_of_int k.Mont_variants.loads)
+  +. (m.cycles_store *. float_of_int k.Mont_variants.stores)
+  +. (m.cycles_loop *. float_of_int k.Mont_variants.inner_steps)
+  +. m.cycles_call
+
+let time_us lang k = cycles_of_counts (model_of lang) k /. clock_mhz
+
+let modmul_time_us variant lang ~bits =
+  time_us lang (Mont_variants.count_only ~word_bits:(word_bits_of lang) variant ~bits)
+
+let modexp_time_ms variant lang ~bits =
+  (* square-and-multiply: ~1.5 modular multiplications per exponent
+     bit *)
+  let mults = float_of_int bits *. 1.5 in
+  modmul_time_us variant lang ~bits *. mults /. 1000.0
+
+type routine = { variant : Mont_variants.variant; language : language }
+
+let routine_name r =
+  Printf.sprintf "%s-%s" (Mont_variants.variant_name r.variant) (language_name r.language)
+
+let all_routines =
+  List.concat_map
+    (fun variant -> [ { variant; language = Assembler }; { variant; language = C } ])
+    Mont_variants.all_variants

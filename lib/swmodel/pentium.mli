@@ -1,0 +1,57 @@
+(** Pentium-60 execution-time model.
+
+    The paper's software data points were measured on a 60 MHz Pentium
+    (Koc-Acar-Kaliski's testbed): C versions compiled with an early-90s
+    compiler, and hand-optimised assembler versions.  We price the
+    instrumented operation counts of {!Mont_variants} with per-class
+    cycle costs:
+
+    - the assembler model uses the documented Pentium latencies (MUL ~10
+      cycles, single-cycle ALU ops, mostly-paired memory ops) plus small
+      loop overhead;
+    - the C model charges extra cycles per operation for array index
+      arithmetic, carry materialisation and poorer scheduling — the
+      ~5-7x penalty visible in the paper's Fig 6.
+
+    Only ratios and orders of magnitude matter; both models are
+    documented constants, not measurements. *)
+
+type language = C | Assembler
+
+val language_name : language -> string
+(** "C" | "ASM". *)
+
+type cost_model = {
+  cycles_mul : float;
+  cycles_add : float;
+  cycles_load : float;
+  cycles_store : float;
+  cycles_loop : float;  (** per inner-loop step: increment/compare/branch *)
+  cycles_call : float;  (** fixed per-call overhead *)
+}
+
+val asm_model : cost_model
+val c_model : cost_model
+val model_of : language -> cost_model
+
+val clock_mhz : float
+(** 60. *)
+
+val cycles_of_counts : cost_model -> Mont_variants.counts -> float
+val time_us : language -> Mont_variants.counts -> float
+
+val modmul_time_us : Mont_variants.variant -> language -> bits:int -> float
+(** One modular multiplication of the given operand size. *)
+
+val modexp_time_ms : Mont_variants.variant -> language -> bits:int -> float
+(** A full modular exponentiation (~1.5 multiplications per exponent
+    bit), the paper's coprocessor workload. *)
+
+(** A software routine as it would be indexed in the reuse library. *)
+type routine = { variant : Mont_variants.variant; language : language }
+
+val routine_name : routine -> string
+(** e.g. "CIOS-ASM". *)
+
+val all_routines : routine list
+(** All ten variant/language combinations. *)

@@ -1,0 +1,107 @@
+type t = {
+  name : string;
+  clock_mhz : float;
+  word_bits_asm : int;
+  word_bits_c : int;
+  asm_model : Pentium.cost_model;
+  c_model : Pentium.cost_model;
+}
+
+let pentium_60 =
+  {
+    name = "pentium-60";
+    clock_mhz = Pentium.clock_mhz;
+    word_bits_asm = 32;
+    word_bits_c = 16;
+    asm_model = Pentium.asm_model;
+    c_model = Pentium.c_model;
+  }
+
+(* ARM7TDMI-class: 32x32 MUL is multi-cycle (2-5, early-terminating;
+   we charge the dense-operand worst case), loads 3 cycles, stores 2,
+   ALU single-cycle; the C penalty is milder than on x86 because the
+   regular register file helps the compiler. *)
+let embedded_risc =
+  {
+    name = "embedded-risc";
+    clock_mhz = 40.0;
+    word_bits_asm = 32;
+    word_bits_c = 16;
+    asm_model =
+      {
+        Pentium.cycles_mul = 5.0;
+        cycles_add = 1.0;
+        cycles_load = 3.0;
+        cycles_store = 2.0;
+        cycles_loop = 3.0;
+        cycles_call = 40.0;
+      };
+    c_model =
+      {
+        Pentium.cycles_mul = 6.0;
+        cycles_add = 2.0;
+        cycles_load = 4.0;
+        cycles_store = 3.0;
+        cycles_loop = 6.0;
+        cycles_call = 80.0;
+      };
+  }
+
+(* 56k-class DSP: single-cycle 24x24 MAC pipelines the multiply and the
+   accumulate, dual data moves per cycle — but the digits are 24 bits,
+   so a given operand needs more of them, and C compilers for DSPs of
+   the era were poor. *)
+let embedded_dsp =
+  {
+    name = "embedded-dsp";
+    clock_mhz = 66.0;
+    word_bits_asm = 24;
+    word_bits_c = 24;
+    asm_model =
+      {
+        Pentium.cycles_mul = 1.0;
+        cycles_add = 1.0;
+        cycles_load = 0.5;
+        cycles_store = 0.5;
+        cycles_loop = 1.0;
+        cycles_call = 30.0;
+      };
+    c_model =
+      {
+        Pentium.cycles_mul = 3.0;
+        cycles_add = 3.0;
+        cycles_load = 3.0;
+        cycles_store = 3.0;
+        cycles_loop = 10.0;
+        cycles_call = 100.0;
+      };
+  }
+
+let all = [ pentium_60; embedded_risc; embedded_dsp ]
+let by_name name = List.find_opt (fun p -> String.equal p.name name) all
+
+let modmul_time_us platform variant lang ~bits =
+  let model, word_bits =
+    match (lang : Pentium.language) with
+    | Pentium.Assembler -> (platform.asm_model, platform.word_bits_asm)
+    | Pentium.C -> (platform.c_model, platform.word_bits_c)
+  in
+  let counts = Mont_variants.count_only ~word_bits variant ~bits in
+  Pentium.cycles_of_counts model counts /. platform.clock_mhz
+
+let modexp_time_ms ?(squaring_aware = false) platform variant lang ~bits =
+  if not squaring_aware then
+    modmul_time_us platform variant lang ~bits *. (float_of_int bits *. 1.5) /. 1000.0
+  else begin
+    let model, word_bits =
+      match (lang : Pentium.language) with
+      | Pentium.Assembler -> (platform.asm_model, platform.word_bits_asm)
+      | Pentium.C -> (platform.c_model, platform.word_bits_c)
+    in
+    let sqr_us =
+      Pentium.cycles_of_counts model (Mont_variants.count_only_sqr ~word_bits ~bits ())
+      /. platform.clock_mhz
+    in
+    let mul_us = modmul_time_us platform variant lang ~bits in
+    ((float_of_int bits *. sqr_us) +. (float_of_int bits /. 2.0 *. mul_us)) /. 1000.0
+  end

@@ -1,0 +1,51 @@
+(** Programmable-platform models.
+
+    Section 2 of the paper: "The design issue to be used for further
+    discriminating the 'software' generalized class would be
+    'programmable platform', with options such as 'embedded RISC
+    processor' and 'embedded digital signal processor'.  These platforms
+    would be then further discriminated."
+
+    Each platform is a per-operation-class cycle-cost model plus a clock
+    rate and the word size its multiplier datapath supports.  Three
+    mid-90s platforms are modelled:
+
+    - {!pentium_60}: the paper's workstation reference (out-of-order-free
+      P5, slow MUL, fast ALU);
+    - {!embedded_risc}: an ARM7TDMI-class core at 40 MHz — multi-cycle
+      early-terminating multiplier, single-cycle ALU, slower memory;
+    - {!embedded_dsp}: a 56k-class DSP at 66 MHz — single-cycle MAC but
+      a 24-bit datapath (smaller digits, more of them) and weaker
+      general-purpose addressing.
+
+    The assembler/C distinction of {!Pentium} generalises: on every
+    platform the C compiler of the era pays per-operation overhead and,
+    on the 32-bit machines, halves the digit size (no 64-bit product
+    type). *)
+
+type t = {
+  name : string;  (** option string in the layer, e.g. "pentium-60" *)
+  clock_mhz : float;
+  word_bits_asm : int;  (** digit size reachable in assembler (16 or 32) *)
+  word_bits_c : int;  (** digit size portable C can use *)
+  asm_model : Pentium.cost_model;
+  c_model : Pentium.cost_model;
+}
+
+val pentium_60 : t
+val embedded_risc : t
+val embedded_dsp : t
+val all : t list
+val by_name : string -> t option
+
+val modmul_time_us : t -> Mont_variants.variant -> Pentium.language -> bits:int -> float
+(** One modular multiplication of the given operand size on the
+    platform. *)
+
+val modexp_time_ms :
+  ?squaring_aware:bool -> t -> Mont_variants.variant -> Pentium.language -> bits:int -> float
+(** A full exponentiation (~1.5 multiplications per exponent bit).
+    With [~squaring_aware:true] the squarings (one per bit) run the
+    dedicated {!Mont_variants.monsqr} routine instead of the general
+    multiplication — the standard software optimisation, worth ~15-20%
+    end to end. *)

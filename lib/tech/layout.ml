@@ -1,0 +1,16 @@
+type style = Standard_cell | Gate_array | Full_custom | Fpga
+
+type t = { style : style; name : string; area_factor : float; delay_factor : float }
+
+let standard_cell = { style = Standard_cell; name = "standard-cell"; area_factor = 1.0; delay_factor = 1.0 }
+let gate_array = { style = Gate_array; name = "gate-array"; area_factor = 1.35; delay_factor = 1.2 }
+let full_custom = { style = Full_custom; name = "full-custom"; area_factor = 0.6; delay_factor = 0.75 }
+let fpga = { style = Fpga; name = "fpga"; area_factor = 8.0; delay_factor = 3.0 }
+let all = [ standard_cell; gate_array; full_custom; fpga ]
+let by_name name = List.find_opt (fun l -> String.equal l.name name) all
+
+let of_style = function
+  | Standard_cell -> standard_cell
+  | Gate_array -> gate_array
+  | Full_custom -> full_custom
+  | Fpga -> fpga

@@ -1,0 +1,25 @@
+(** Layout-style models.
+
+    The paper's "Layout Style" design issue (DI5) offers standard-cell,
+    gate-array and further options.  Relative to a standard-cell
+    implementation in the same process, other styles trade area and
+    speed by roughly constant factors, which is all that early design
+    space exploration needs. *)
+
+type style = Standard_cell | Gate_array | Full_custom | Fpga
+
+type t = {
+  style : style;
+  name : string;  (** option string used in the layer, e.g. "standard-cell" *)
+  area_factor : float;  (** multiplier on standard-cell area *)
+  delay_factor : float;  (** multiplier on standard-cell delay *)
+}
+
+val standard_cell : t
+val gate_array : t
+val full_custom : t
+val fpga : t
+
+val all : t list
+val by_name : string -> t option
+val of_style : style -> t

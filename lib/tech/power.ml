@@ -1,0 +1,15 @@
+type estimate = { dynamic_mw : float; energy_per_op_nj : float }
+
+let estimate (p : Process.t) ~gates ~clock_ns ~activity ~cycles_per_op =
+  if clock_ns <= 0.0 then invalid_arg "Power.estimate: clock must be positive";
+  if gates < 0.0 then invalid_arg "Power.estimate: negative gate count";
+  if activity < 0.0 || activity > 1.0 then invalid_arg "Power.estimate: activity out of [0,1]";
+  let f_ghz = 1.0 /. clock_ns in
+  (* pJ * GHz = mW *)
+  let dynamic_mw = activity *. gates *. f_ghz *. p.Process.pj_per_gate_switch in
+  let energy_per_op_nj =
+    activity *. gates *. p.Process.pj_per_gate_switch *. float_of_int cycles_per_op /. 1000.0
+  in
+  { dynamic_mw; energy_per_op_nj }
+
+let default_activity ~adder_is_carry_save = if adder_is_carry_save then 0.30 else 0.18

@@ -1,0 +1,35 @@
+(** First-order dynamic-power model (the paper's "work in progress"
+    extension: incorporating power consumption as a figure of merit).
+
+    Dynamic power is modelled as
+    [P = activity * gates * f_clk * e_switch], with the switching energy
+    taken from the process model.  This is deliberately coarse — the
+    design space layer only needs power {e ranges} that order the
+    alternatives correctly (carry-save redundancy toggles more nets than
+    a quiet carry-lookahead tree; higher radix means fewer, busier
+    cycles). *)
+
+type estimate = {
+  dynamic_mw : float;  (** average dynamic power in milliwatts *)
+  energy_per_op_nj : float;  (** energy for one complete operation *)
+}
+
+val estimate :
+  Process.t ->
+  gates:float ->
+  clock_ns:float ->
+  activity:float ->
+  cycles_per_op:int ->
+  estimate
+(** [estimate p ~gates ~clock_ns ~activity ~cycles_per_op] computes the
+    average power of a block of [gates] gate equivalents clocked with
+    period [clock_ns], where [activity] is the average fraction of gates
+    switching per cycle (typically 0.1-0.4), and the energy of one
+    operation that takes [cycles_per_op] cycles.
+    @raise Invalid_argument when [clock_ns <= 0.], [gates < 0.] or
+    [activity] is outside [0, 1]. *)
+
+val default_activity : adder_is_carry_save:bool -> float
+(** Switching-activity heuristic: redundant carry-save accumulation
+    keeps more nets toggling (0.30) than carry-propagate datapaths
+    (0.18). *)

@@ -1,0 +1,44 @@
+type t = {
+  name : string;
+  feature_um : float;
+  ns_per_level : float;
+  um2_per_gate : float;
+  volt : float;
+  pj_per_gate_switch : float;
+}
+
+(* Calibration anchor: the paper's Table 1 was produced with the LSI
+   0.35u G10 standard-cell library.  A radix-2 carry-save Montgomery
+   slice (design #2) clocks at ~2.4 ns there; its logic depth in our
+   component model is ~16 levels, giving ~0.15 ns per NAND2-equivalent
+   level (a realistic loaded NAND2 delay for a 0.35u process).  A
+   2-input NAND in G10-class libraries occupies ~10 um^2. *)
+let p035_g10 =
+  {
+    name = "0.35u";
+    feature_um = 0.35;
+    ns_per_level = 0.15;
+    um2_per_gate = 10.0;
+    volt = 3.3;
+    pj_per_gate_switch = 0.012;
+  }
+
+let scale base ~feature_um ~name =
+  if feature_um <= 0.0 then invalid_arg "Process.scale: feature size must be positive";
+  let ratio = feature_um /. base.feature_um in
+  {
+    name;
+    feature_um;
+    ns_per_level = base.ns_per_level *. ratio;
+    um2_per_gate = base.um2_per_gate *. ratio *. ratio;
+    volt = base.volt *. ratio;
+    pj_per_gate_switch = base.pj_per_gate_switch *. (ratio ** 3.0);
+  }
+
+let p070 = scale p035_g10 ~feature_um:0.7 ~name:"0.7u"
+let p050 = scale p035_g10 ~feature_um:0.5 ~name:"0.5u"
+let p025 = scale p035_g10 ~feature_um:0.25 ~name:"0.25u"
+let all = [ p070; p050; p035_g10; p025 ]
+let by_name name = List.find_opt (fun p -> String.equal p.name name) all
+let gate_delay_ns p ~levels = p.ns_per_level *. levels
+let area_um2 p ~gates = p.um2_per_gate *. gates

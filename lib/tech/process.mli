@@ -1,0 +1,51 @@
+(** Fabrication-technology models.
+
+    The paper's "Fabrication Technology" design issue (DI6) offers
+    options such as 0.7u and 0.35u; the Table 1 characterisation used the
+    LSI 0.35u G10 standard-cell library.  A process here is a small
+    first-order model: one delay constant (nanoseconds per
+    gate-equivalent logic level) and one area constant (square microns
+    per gate equivalent), plus supply voltage and a switching-energy
+    constant for the power extension.
+
+    The constants for [p035_g10] are calibrated once against Table 1 of
+    the paper; the other processes follow constant-field scaling
+    (delay proportional to feature size, area to its square). *)
+
+type t = {
+  name : string;  (** e.g. "0.35u" — the option string used in the layer *)
+  feature_um : float;  (** drawn feature size in microns *)
+  ns_per_level : float;  (** delay of one gate-equivalent logic level *)
+  um2_per_gate : float;  (** area of one gate equivalent (2-input NAND) *)
+  volt : float;  (** nominal supply *)
+  pj_per_gate_switch : float;  (** switching energy per gate per event *)
+}
+
+val p070 : t
+(** 0.7 micron process (the paper's older-library example). *)
+
+val p050 : t
+(** 0.5 micron process. *)
+
+val p035_g10 : t
+(** 0.35 micron process, calibrated to the paper's LSI G10 numbers. *)
+
+val p025 : t
+(** 0.25 micron projection, for the power/extension studies. *)
+
+val all : t list
+(** Every built-in process, coarsest first. *)
+
+val by_name : string -> t option
+(** Look a process up by its option string (e.g. ["0.35u"]). *)
+
+val scale : t -> feature_um:float -> name:string -> t
+(** [scale base ~feature_um ~name] derives a process from [base] by
+    constant-field scaling.  @raise Invalid_argument when [feature_um]
+    is not positive. *)
+
+val gate_delay_ns : t -> levels:float -> float
+(** Delay of a combinational path of the given logic depth. *)
+
+val area_um2 : t -> gates:float -> float
+(** Silicon area of the given number of gate equivalents. *)

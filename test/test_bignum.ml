@@ -1,0 +1,429 @@
+(* Tests for the ds_bignum substrate: Nat arithmetic, modular
+   multiplication algorithms, PRNG, primality, RSA. *)
+
+open Ds_bignum
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let n_of_s = Nat.of_string
+let n_of_i = Nat.of_int
+
+(* -------------------------------------------------------------------- *)
+(* Nat unit tests                                                        *)
+
+let test_zero_one () =
+  Alcotest.(check bool) "zero is zero" true (Nat.is_zero Nat.zero);
+  Alcotest.(check bool) "one is one" true (Nat.is_one Nat.one);
+  Alcotest.(check bool) "one not zero" false (Nat.is_zero Nat.one);
+  Alcotest.(check int) "bits of zero" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "bits of one" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "limbs of zero" 0 (Nat.num_limbs Nat.zero)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun i -> Alcotest.(check int) (string_of_int i) i (Nat.to_int_exn (n_of_i i)))
+    [ 0; 1; 2; 25; 67_108_863; 67_108_864; 1_000_000_007; max_int ]
+
+let test_of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative") (fun () ->
+      ignore (n_of_i (-1)))
+
+let test_string_roundtrip () =
+  let cases =
+    [ "0"; "1"; "10"; "67108864"; "123456789012345678901234567890";
+      "340282366920938463463374607431768211456" (* 2^128 *) ]
+  in
+  List.iter (fun s -> Alcotest.(check string) s s (Nat.to_string (n_of_s s))) cases
+
+let test_hex () =
+  Alcotest.(check string) "255" "ff" (Nat.to_hex (n_of_i 255));
+  Alcotest.(check string) "0" "0" (Nat.to_hex Nat.zero);
+  Alcotest.check nat "hex parse" (n_of_i 255) (n_of_s "0xff");
+  Alcotest.check nat "hex parse caps" (n_of_i 48879) (n_of_s "0xBEEF");
+  Alcotest.check nat "underscores" (n_of_i 1_000_000) (n_of_s "1_000_000")
+
+let test_add_sub_small () =
+  Alcotest.check nat "1+1" Nat.two (Nat.add Nat.one Nat.one);
+  Alcotest.check nat "carry" (n_of_s "134217728") (Nat.add (n_of_i 67108864) (n_of_i 67108864));
+  Alcotest.check nat "sub" (n_of_i 5) (Nat.sub (n_of_i 12) (n_of_i 7));
+  Alcotest.(check (option nat)) "sub_opt underflow" None (Nat.sub_opt (n_of_i 3) (n_of_i 4));
+  Alcotest.check_raises "sub underflow" (Invalid_argument "Nat.sub: negative result") (fun () ->
+      ignore (Nat.sub (n_of_i 3) (n_of_i 4)))
+
+let test_mul_known () =
+  Alcotest.check nat "3*4" (n_of_i 12) (Nat.mul (n_of_i 3) (n_of_i 4));
+  Alcotest.check nat "0*x" Nat.zero (Nat.mul Nat.zero (n_of_s "123456789123456789"));
+  (* (2^128)^2 = 2^256 *)
+  let p128 = Nat.pow Nat.two 128 in
+  Alcotest.check nat "2^128 squared" (Nat.pow Nat.two 256) (Nat.mul p128 p128);
+  Alcotest.check nat "factorial check" (n_of_s "2432902008176640000")
+    (List.fold_left (fun acc i -> Nat.mul acc (n_of_i i)) Nat.one (List.init 20 (fun i -> i + 1)))
+
+let test_shift () =
+  Alcotest.check nat "shl 3" (n_of_i 40) (Nat.shift_left (n_of_i 5) 3);
+  Alcotest.check nat "shr 3" (n_of_i 5) (Nat.shift_right (n_of_i 40) 3);
+  Alcotest.check nat "shr past end" Nat.zero (Nat.shift_right (n_of_i 40) 100);
+  Alcotest.check nat "shl big" (Nat.pow Nat.two 100) (Nat.shift_left Nat.one 100)
+
+let test_divmod_known () =
+  let q, r = Nat.divmod (n_of_i 17) (n_of_i 5) in
+  Alcotest.check nat "17/5" (n_of_i 3) q;
+  Alcotest.check nat "17%5" (n_of_i 2) r;
+  let big = n_of_s "123456789012345678901234567890123456789" in
+  let d = n_of_s "987654321987654321" in
+  let q, r = Nat.divmod big d in
+  Alcotest.check nat "recompose" big (Nat.add (Nat.mul q d) r);
+  Alcotest.(check bool) "r < d" true (Nat.compare r d < 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod Nat.one Nat.zero))
+
+let test_pow () =
+  Alcotest.check nat "2^10" (n_of_i 1024) (Nat.pow Nat.two 10);
+  Alcotest.check nat "x^0" Nat.one (Nat.pow (n_of_i 12345) 0);
+  Alcotest.check nat "0^0" Nat.one (Nat.pow Nat.zero 0);
+  Alcotest.check nat "0^5" Nat.zero (Nat.pow Nat.zero 5);
+  Alcotest.check nat "3^40" (n_of_s "12157665459056928801") (Nat.pow (n_of_i 3) 40)
+
+let test_gcd () =
+  Alcotest.check nat "gcd 12 18" (n_of_i 6) (Nat.gcd (n_of_i 12) (n_of_i 18));
+  Alcotest.check nat "gcd with 0" (n_of_i 7) (Nat.gcd (n_of_i 7) Nat.zero);
+  Alcotest.check nat "gcd coprime" Nat.one (Nat.gcd (n_of_i 35) (n_of_i 64))
+
+let test_mod_inv () =
+  (match Nat.mod_inv (n_of_i 3) (n_of_i 7) with
+  | Some x -> Alcotest.check nat "3^-1 mod 7" (n_of_i 5) x
+  | None -> Alcotest.fail "expected invertible");
+  Alcotest.(check (option nat)) "non-invertible" None (Nat.mod_inv (n_of_i 6) (n_of_i 9))
+
+let test_mod_pow_known () =
+  Alcotest.check nat "2^10 mod 1000" (n_of_i 24) (Nat.mod_pow Nat.two (n_of_i 10) (n_of_i 1000));
+  (* Fermat: 2^(p-1) = 1 mod p for prime p *)
+  let p = n_of_s "1000000007" in
+  Alcotest.check nat "fermat" Nat.one (Nat.mod_pow Nat.two (Nat.sub p Nat.one) p)
+
+let test_num_bits () =
+  Alcotest.(check int) "bits 255" 8 (Nat.num_bits (n_of_i 255));
+  Alcotest.(check int) "bits 256" 9 (Nat.num_bits (n_of_i 256));
+  Alcotest.(check int) "bits 2^100" 101 (Nat.num_bits (Nat.pow Nat.two 100))
+
+let test_bit () =
+  let n = n_of_i 0b1011 in
+  Alcotest.(check (list bool)) "bits of 11" [ true; true; false; true; false ]
+    (List.init 5 (Nat.bit n))
+
+let test_of_limbs_validation () =
+  Alcotest.check_raises "limb too large" (Invalid_argument "Nat.of_limbs: limb out of range")
+    (fun () -> ignore (Nat.of_limbs [| Nat.base |]));
+  Alcotest.check nat "trailing zeros trimmed" (n_of_i 5) (Nat.of_limbs [| 5; 0; 0 |])
+
+(* -------------------------------------------------------------------- *)
+(* Nat property tests                                                    *)
+
+let gen_nat =
+  (* Random naturals with geometric size distribution up to ~40 limbs. *)
+  let open QCheck2.Gen in
+  let* nlimbs = int_range 0 40 in
+  let* limbs = list_repeat nlimbs (int_range 0 (Nat.base - 1)) in
+  return (Nat.of_limbs (Array.of_list limbs))
+
+let arb_nat = QCheck2.Gen.map (fun n -> n) gen_nat
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+
+let nat_props =
+  [
+    prop "invariant holds" arb_nat Nat.check_invariant;
+    prop "add commutative" (QCheck2.Gen.pair gen_nat gen_nat) (fun (a, b) ->
+        Nat.equal (Nat.add a b) (Nat.add b a));
+    prop "add associative" (QCheck2.Gen.triple gen_nat gen_nat gen_nat) (fun (a, b, c) ->
+        Nat.equal (Nat.add (Nat.add a b) c) (Nat.add a (Nat.add b c)));
+    prop "add/sub cancel" (QCheck2.Gen.pair gen_nat gen_nat) (fun (a, b) ->
+        Nat.equal (Nat.sub (Nat.add a b) b) a);
+    prop "mul commutative" (QCheck2.Gen.pair gen_nat gen_nat) (fun (a, b) ->
+        Nat.equal (Nat.mul a b) (Nat.mul b a));
+    prop "mul associative" (QCheck2.Gen.triple gen_nat gen_nat gen_nat) (fun (a, b, c) ->
+        Nat.equal (Nat.mul (Nat.mul a b) c) (Nat.mul a (Nat.mul b c)));
+    prop "distributivity" (QCheck2.Gen.triple gen_nat gen_nat gen_nat) (fun (a, b, c) ->
+        Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)));
+    prop "mul matches schoolbook via small pieces" (QCheck2.Gen.pair gen_nat gen_nat)
+      (fun (a, b) ->
+        (* (a*b) / b = a when b <> 0 *)
+        Nat.is_zero b || Nat.equal (Nat.div (Nat.mul a b) b) a);
+    prop "divmod recomposition" (QCheck2.Gen.pair gen_nat gen_nat) (fun (a, b) ->
+        Nat.is_zero b
+        ||
+        let q, r = Nat.divmod a b in
+        Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0);
+    prop "shift_left mul by pow2" (QCheck2.Gen.pair gen_nat (QCheck2.Gen.int_range 0 120))
+      (fun (a, k) -> Nat.equal (Nat.shift_left a k) (Nat.mul a (Nat.pow Nat.two k)));
+    prop "shift_right div by pow2" (QCheck2.Gen.pair gen_nat (QCheck2.Gen.int_range 0 120))
+      (fun (a, k) -> Nat.equal (Nat.shift_right a k) (Nat.div a (Nat.pow Nat.two k)));
+    prop "string roundtrip" gen_nat (fun a -> Nat.equal a (Nat.of_string (Nat.to_string a)));
+    prop "hex roundtrip" gen_nat (fun a ->
+        Nat.equal a (Nat.of_string ("0x" ^ Nat.to_hex a)));
+    prop "compare total order antisym" (QCheck2.Gen.pair gen_nat gen_nat) (fun (a, b) ->
+        Nat.compare a b = -Nat.compare b a);
+    prop "sqr = mul self" gen_nat (fun a -> Nat.equal (Nat.sqr a) (Nat.mul a a));
+    prop "num_bits matches 2^k bounds" gen_nat (fun a ->
+        Nat.is_zero a
+        ||
+        let b = Nat.num_bits a in
+        Nat.compare a (Nat.pow Nat.two b) < 0 && Nat.compare a (Nat.pow Nat.two (b - 1)) >= 0);
+  ]
+
+(* -------------------------------------------------------------------- *)
+(* Modular multiplication                                                *)
+
+let gen_modmul_big =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 1_000_000 in
+  let* bits = int_range 64 768 in
+  let g = Prng.create seed in
+  let m = Prng.nat_bits g bits in
+  let m = if Nat.is_even m then Nat.succ m else m in
+  let m = if Nat.compare m (Nat.of_int 3) < 0 then Nat.of_int 5 else m in
+  let a = Prng.nat_below g m in
+  let b = Prng.nat_below g m in
+  return (a, b, m)
+
+let modmul_props =
+  [
+    prop "brickell = paper_pencil" gen_modmul_big (fun (a, b, m) ->
+        Nat.equal (Modmul.brickell a b m) (Modmul.paper_pencil a b m));
+    prop "bit-serial montgomery" gen_modmul_big (fun (a, b, m) ->
+        (* result * 2^n = a*b (mod m) *)
+        let n = Nat.num_bits m in
+        let r = Modmul.montgomery_bit_serial a b m n in
+        Nat.equal (Nat.rem (Nat.mul r (Nat.pow Nat.two n)) m) (Nat.rem (Nat.mul a b) m)
+        && Nat.compare r m < 0);
+    prop "digit-serial radix-4 montgomery" gen_modmul_big (fun (a, b, m) ->
+        let n = Nat.num_bits m in
+        let iters = ((n + 1) / 2) + 1 in
+        let r = Modmul.montgomery_digit_serial ~radix_bits:2 a b m iters in
+        Nat.equal
+          (Nat.rem (Nat.mul r (Nat.pow Nat.two (2 * iters))) m)
+          (Nat.rem (Nat.mul a b) m)
+        && Nat.compare r m < 0);
+    prop "digit-serial radix-16 montgomery" gen_modmul_big (fun (a, b, m) ->
+        let n = Nat.num_bits m in
+        let iters = ((n + 3) / 4) + 1 in
+        let r = Modmul.montgomery_digit_serial ~radix_bits:4 a b m iters in
+        Nat.equal
+          (Nat.rem (Nat.mul r (Nat.pow Nat.two (4 * iters))) m)
+          (Nat.rem (Nat.mul a b) m));
+    prop "redc mul" gen_modmul_big (fun (a, b, m) ->
+        let ctx = Modmul.Redc.make m in
+        let am = Modmul.Redc.to_mont ctx a and bm = Modmul.Redc.to_mont ctx b in
+        let r = Modmul.Redc.of_mont ctx (Modmul.Redc.mul ctx am bm) in
+        Nat.equal r (Nat.rem (Nat.mul a b) m));
+    prop "redc pow matches mod_pow" gen_modmul_big (fun (a, e, m) ->
+        let ctx = Modmul.Redc.make m in
+        Nat.equal (Modmul.Redc.pow ctx a e) (Nat.mod_pow a e m));
+    prop "mont_mod_pow matches mod_pow" gen_modmul_big (fun (a, e, m) ->
+        Nat.equal (Modmul.mont_mod_pow a e m) (Nat.mod_pow a e m));
+  ]
+
+let test_modmul_rejects_even () =
+  Alcotest.check_raises "even modulus"
+    (Invalid_argument "Modmul.montgomery_digit_serial: even modulus") (fun () ->
+      ignore (Modmul.montgomery_bit_serial Nat.one Nat.one (n_of_i 8) 4))
+
+let test_modmul_known () =
+  (* 7 * 11 mod 13 = 12 *)
+  Alcotest.check nat "brickell small" (n_of_i 12) (Modmul.brickell (n_of_i 7) (n_of_i 11) (n_of_i 13));
+  Alcotest.check nat "paper pencil small" (n_of_i 12)
+    (Modmul.paper_pencil (n_of_i 7) (n_of_i 11) (n_of_i 13))
+
+(* -------------------------------------------------------------------- *)
+(* Prng                                                                  *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_copy () =
+  let a = Prng.create 7 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_int_bounds () =
+  let g = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_nat_bits () =
+  let g = Prng.create 3 in
+  List.iter
+    (fun bits ->
+      let n = Prng.nat_bits g bits in
+      Alcotest.(check int) (Printf.sprintf "%d bits" bits) bits (Nat.num_bits n))
+    [ 1; 2; 26; 27; 100; 768; 1024 ]
+
+let test_prng_nat_below () =
+  let g = Prng.create 4 in
+  let bound = n_of_s "123456789012345" in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "below bound" true (Nat.compare (Prng.nat_below g bound) bound < 0)
+  done
+
+let test_prng_uniformish () =
+  (* crude chi-square-ish check: each of 8 buckets gets 8-17% of draws *)
+  let g = Prng.create 99 in
+  let buckets = Array.make 8 0 in
+  let draws = 8000 in
+  for _ = 1 to draws do
+    let v = Prng.int g 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d reasonable (%d)" i c)
+        true
+        (c > draws / 13 && c < draws / 6))
+    buckets
+
+(* -------------------------------------------------------------------- *)
+(* Prime                                                                 *)
+
+let test_small_primes () =
+  let g = Prng.create 5 in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (Printf.sprintf "%d prime" p) true
+        (Prime.is_probable_prime g (n_of_i p)))
+    [ 2; 3; 5; 7; 11; 13; 97; 997; 7919 ];
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d composite" c)
+        false
+        (Prime.is_probable_prime g (n_of_i c)))
+    [ 0; 1; 4; 6; 9; 15; 91; 561; 1105; 6601 (* Carmichael numbers included *) ]
+
+let test_known_big_prime () =
+  let g = Prng.create 6 in
+  (* 2^127 - 1 is a Mersenne prime; 2^128 + 1 is composite. *)
+  let m127 = Nat.sub (Nat.pow Nat.two 127) Nat.one in
+  Alcotest.(check bool) "2^127-1 prime" true (Prime.is_probable_prime g m127);
+  let f7ish = Nat.add (Nat.pow Nat.two 128) Nat.one in
+  Alcotest.(check bool) "2^128+1 composite" false (Prime.is_probable_prime g f7ish)
+
+let test_random_prime () =
+  let g = Prng.create 7 in
+  List.iter
+    (fun bits ->
+      let p = Prime.random_prime g ~bits in
+      Alcotest.(check int) "size" bits (Nat.num_bits p);
+      Alcotest.(check bool) "probable prime" true (Prime.is_probable_prime g p))
+    [ 8; 16; 64; 128 ]
+
+let test_next_probable_prime () =
+  let g = Prng.create 8 in
+  Alcotest.check nat "after 90" (n_of_i 97) (Prime.next_probable_prime g (n_of_i 90));
+  Alcotest.check nat "at prime" (n_of_i 97) (Prime.next_probable_prime g (n_of_i 97));
+  Alcotest.check nat "from 0" Nat.two (Prime.next_probable_prime g Nat.zero)
+
+(* -------------------------------------------------------------------- *)
+(* RSA                                                                   *)
+
+let test_rsa_roundtrip () =
+  let g = Prng.create 2024 in
+  let key = Rsa.generate g ~bits:256 in
+  Alcotest.(check bool) "modulus size" true (Nat.num_bits key.Rsa.modulus >= 255);
+  let msg = Prng.nat_below g key.Rsa.modulus in
+  let c = Rsa.encrypt key msg in
+  Alcotest.check nat "decrypt (encrypt m) = m" msg (Rsa.decrypt key c);
+  let s = Rsa.sign key msg in
+  Alcotest.(check bool) "verify good sig" true (Rsa.verify key ~message:msg ~signature:s);
+  Alcotest.(check bool) "reject bad sig" false
+    (Rsa.verify key ~message:msg ~signature:(Nat.rem (Nat.succ s) key.Rsa.modulus))
+
+let test_rsa_key_consistency () =
+  let g = Prng.create 11 in
+  let key = Rsa.generate g ~bits:128 in
+  Alcotest.check nat "n = p*q" key.Rsa.modulus (Nat.mul key.Rsa.prime_p key.Rsa.prime_q);
+  Alcotest.(check bool) "p prime" true (Prime.is_probable_prime g key.Rsa.prime_p);
+  Alcotest.(check bool) "q prime" true (Prime.is_probable_prime g key.Rsa.prime_q);
+  (* e*d = 1 mod lambda *)
+  let p1 = Nat.sub key.Rsa.prime_p Nat.one and q1 = Nat.sub key.Rsa.prime_q Nat.one in
+  let lambda = Nat.div (Nat.mul p1 q1) (Nat.gcd p1 q1) in
+  Alcotest.check nat "e*d = 1 (mod lambda)" Nat.one
+    (Nat.rem (Nat.mul key.Rsa.public_exponent key.Rsa.private_exponent) lambda)
+
+let test_rsa_range_check () =
+  let g = Prng.create 12 in
+  let key = Rsa.generate g ~bits:64 in
+  Alcotest.check_raises "oversized message" (Invalid_argument "Rsa.encrypt: message out of range")
+    (fun () -> ignore (Rsa.encrypt key key.Rsa.modulus))
+
+let rsa_props =
+  [
+    prop "rsa roundtrip (random keys)" (QCheck2.Gen.int_range 0 50) (fun seed ->
+        let g = Prng.create (1000 + seed) in
+        let key = Rsa.generate g ~bits:96 in
+        let msg = Prng.nat_below g key.Rsa.modulus in
+        Nat.equal msg (Rsa.decrypt key (Rsa.encrypt key msg)));
+    prop "CRT decryption equals plain decryption" (QCheck2.Gen.int_range 0 50) (fun seed ->
+        let g = Prng.create (2000 + seed) in
+        let key = Rsa.generate g ~bits:96 in
+        let c = Prng.nat_below g key.Rsa.modulus in
+        Nat.equal (Rsa.decrypt key c) (Rsa.decrypt_crt key c));
+  ]
+
+let () =
+  Alcotest.run "ds_bignum"
+    [
+      ( "nat-unit",
+        [
+          Alcotest.test_case "zero/one" `Quick test_zero_one;
+          Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+          Alcotest.test_case "of_int negative" `Quick test_of_int_negative;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "hex" `Quick test_hex;
+          Alcotest.test_case "add/sub small" `Quick test_add_sub_small;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "shift" `Quick test_shift;
+          Alcotest.test_case "divmod known" `Quick test_divmod_known;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "mod_inv" `Quick test_mod_inv;
+          Alcotest.test_case "mod_pow known" `Quick test_mod_pow_known;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "bit" `Quick test_bit;
+          Alcotest.test_case "of_limbs validation" `Quick test_of_limbs_validation;
+        ] );
+      ("nat-props", nat_props);
+      ( "modmul",
+        Alcotest.test_case "rejects even modulus" `Quick test_modmul_rejects_even
+        :: Alcotest.test_case "known small cases" `Quick test_modmul_known
+        :: modmul_props );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "nat_bits exact size" `Quick test_prng_nat_bits;
+          Alcotest.test_case "nat_below" `Quick test_prng_nat_below;
+          Alcotest.test_case "roughly uniform" `Quick test_prng_uniformish;
+        ] );
+      ( "prime",
+        [
+          Alcotest.test_case "small primes/composites" `Quick test_small_primes;
+          Alcotest.test_case "known big prime" `Quick test_known_big_prime;
+          Alcotest.test_case "random primes" `Quick test_random_prime;
+          Alcotest.test_case "next probable prime" `Quick test_next_probable_prime;
+        ] );
+      ( "rsa",
+        Alcotest.test_case "roundtrip" `Quick test_rsa_roundtrip
+        :: Alcotest.test_case "key consistency" `Quick test_rsa_key_consistency
+        :: Alcotest.test_case "range check" `Quick test_rsa_range_check
+        :: rsa_props );
+    ]

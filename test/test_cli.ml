@@ -1,0 +1,105 @@
+(* Smoke tests for the dse command-line tool: every command runs, exits
+   zero, and prints its key content.  The executable path is provided
+   by the dune rule (dse.exe is a declared dependency copied next to
+   the test binary's cwd). *)
+
+let dse = "./dse.exe"
+
+let run_capture args =
+  let out = Filename.temp_file "dse_out" ".txt" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" dse args (Filename.quote out) in
+  let code = Sys.command cmd in
+  let content = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, content)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.equal (String.sub haystack i nl) needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_cmd ?(expect_code = 0) args fragments () =
+  let code, out = run_capture args in
+  Alcotest.(check int) (args ^ " exit code") expect_code code;
+  List.iter
+    (fun fragment ->
+      if not (contains out fragment) then
+        Alcotest.failf "%s: output missing %S\n---\n%s" args fragment out)
+    fragments
+
+let test_shell () =
+  (* drive the interactive shell through a pipe *)
+  let script = Filename.temp_file "dse_shell" ".txt" in
+  Out_channel.with_open_text script (fun oc ->
+      output_string oc
+        "set Operator Family=modular\n\
+         set Modular Operator=multiplier\n\
+         set Effective Operand Length=768\n\
+         set Latency Single Operation=8\n\
+         issues\n\
+         quit\n");
+  let out = Filename.temp_file "dse_out" ".txt" in
+  let code =
+    Sys.command (Printf.sprintf "%s shell < %s > %s 2>&1" dse (Filename.quote script) (Filename.quote out))
+  in
+  let content = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove script;
+  Sys.remove out;
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "budget pruned" true (contains content "40 candidates");
+  Alcotest.(check bool) "issues listed" true (contains content "Implementation Style")
+
+let test_export_check_roundtrip () =
+  let dir = Filename.temp_file "dse_libs" "" in
+  Sys.remove dir;
+  let code, out = run_capture (Printf.sprintf "export --eol 96 %s" (Filename.quote dir)) in
+  Alcotest.(check int) "export exit" 0 code;
+  Alcotest.(check bool) "wrote hw" true (contains out "hw-lib.reuselib");
+  let code, out = run_capture (Printf.sprintf "check %s/hw-lib.reuselib" dir) in
+  Alcotest.(check int) "check exit" 0 code;
+  Alcotest.(check bool) "valid" true (contains out "OK");
+  (* a corrupted file fails cleanly *)
+  let bad = Filename.concat dir "bad.reuselib" in
+  Out_channel.with_open_text bad (fun oc -> output_string oc "garbage\n");
+  let code, _ = run_capture (Printf.sprintf "check %s" (Filename.quote bad)) in
+  Alcotest.(check int) "corrupt rejected" 1 code;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "dse-cli"
+    [
+      ( "commands",
+        [
+          Alcotest.test_case "tree" `Quick
+            (check_cmd "tree" [ "Operator"; "<Implementation Style>"; "[Montgomery]" ]);
+          Alcotest.test_case "properties by abbrev" `Quick
+            (check_cmd "properties OMM-H" [ "Radix"; "Fabrication Technology" ]);
+          Alcotest.test_case "constraints" `Quick
+            (check_cmd "constraints" [ "CC1"; "CC8"; "inconsistent-options" ]);
+          Alcotest.test_case "explore" `Quick
+            (check_cmd
+               "explore --set \"Implementation Style=hardware\" --set \"Algorithm=Montgomery\" \
+                --set \"Radix=2\""
+               [ "hw-lib/#2_64"; "derived Latency Cycles := 769" ]);
+          Alcotest.test_case "explore bad decision fails" `Quick
+            (check_cmd ~expect_code:1 "explore --set \"Algorithm=Quantum\"" []);
+          Alcotest.test_case "preview" `Quick
+            (check_cmd "preview Algorithm --set \"Implementation Style=hardware\""
+               [ "Montgomery"; "Brickell" ]);
+          Alcotest.test_case "coproc" `Quick
+            (check_cmd "coproc --ops 150" [ "CC7:"; "CC8:"; "multiplier candidates" ]);
+          Alcotest.test_case "lint" `Quick (check_cmd "lint" [ "MaxCombDelay" ]);
+          Alcotest.test_case "document" `Quick
+            (check_cmd "document" [ "# Design Space Layer"; "## Consistency constraints" ]);
+          Alcotest.test_case "netlist" `Quick
+            (check_cmd "netlist \"#2_64\" --eol 128"
+               [ "entity modmul_montgomery_r2_csa_w64"; "end structure;" ]);
+          Alcotest.test_case "netlist bad label" `Quick
+            (check_cmd ~expect_code:1 "netlist nonsense" []);
+          Alcotest.test_case "cores filtered" `Quick
+            (check_cmd "cores --library sw-lib --eol 96" [ "CIOS-ASM"; "embedded-dsp" ]);
+          Alcotest.test_case "shell" `Quick test_shell;
+          Alcotest.test_case "export/check" `Quick test_export_check_roundtrip;
+        ] );
+    ]

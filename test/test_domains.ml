@@ -1,0 +1,764 @@
+(* Tests for ds_domains: the cryptography layer (hierarchy shape,
+   constraints CC1-CC6, the complete Section 5 exploration), the core
+   generators, and the IDCT layer of Section 2. *)
+
+open Ds_layer
+module CL = Ds_domains.Crypto_layer
+module N = Ds_domains.Names
+module Populate = Ds_domains.Populate
+module Idct = Ds_domains.Idct_layer
+module Core = Ds_reuse.Core
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+let value_t = Alcotest.testable Value.pp Value.equal
+
+let registry768 = lazy (Populate.standard_registry ~eol:768 ())
+let cores768 = lazy (Ds_reuse.Registry.all_cores (Lazy.force registry768))
+
+(* -------------------------------------------------------------------- *)
+(* Hierarchy shape (Figs 5 & 7)                                          *)
+
+let test_hierarchy_shape () =
+  let h = CL.hierarchy in
+  Alcotest.(check bool) "OMM exists" true (Hierarchy.find h CL.omm_path <> None);
+  Alcotest.(check bool) "OMM-H" true (Hierarchy.find h CL.omm_hardware_path <> None);
+  Alcotest.(check bool) "OMM-HM" true (Hierarchy.find h CL.omm_hardware_montgomery_path <> None);
+  Alcotest.(check bool) "OMM-S" true (Hierarchy.find h CL.omm_software_path <> None);
+  (* the paper's abbreviations resolve *)
+  List.iter
+    (fun abbrev ->
+      Alcotest.(check bool) abbrev true (Hierarchy.find_by_abbrev h abbrev <> None))
+    [ "OMM"; "OMM-H"; "OMM-HM"; "OMM-HB"; "OMM-S"; "ADD" ];
+  (* leaves include the adder architectures and the algorithm leaves *)
+  Alcotest.(check bool) "reasonable size" true (Hierarchy.size h >= 12);
+  (* OMM-HM is a leaf: no generalized issue below it *)
+  match Hierarchy.find h CL.omm_hardware_montgomery_path with
+  | Some cdo -> Alcotest.(check bool) "leaf" true (Cdo.is_leaf cdo)
+  | None -> Alcotest.fail "missing"
+
+let test_requirement_visibility () =
+  let h = CL.hierarchy in
+  (* Req1..Req5 are visible at OMM and below, not at the root *)
+  Alcotest.(check bool) "EOL at OMM" true
+    (Hierarchy.find_property h CL.omm_path N.effective_operand_length <> None);
+  Alcotest.(check bool) "EOL inherited at OMM-HM" true
+    (Hierarchy.find_property h CL.omm_hardware_montgomery_path N.effective_operand_length <> None);
+  Alcotest.(check bool) "EOL not at root" true
+    (Hierarchy.find_property h [ "Operator" ] N.effective_operand_length = None);
+  (* DI2-DI7 live at OMM-H *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true
+        (Hierarchy.find_property h CL.omm_hardware_path name <> None))
+    [
+      N.radix; N.number_of_slices; N.slice_width; N.layout_style; N.fabrication_technology;
+      N.behavioral_decomposition; N.adder_implementation; N.multiplier_implementation;
+    ]
+
+(* -------------------------------------------------------------------- *)
+(* Core generation                                                       *)
+
+let test_hardware_library () =
+  let lib = Populate.hardware_modmul_library ~eol:768 () in
+  Alcotest.(check int) "40 cores" 40 (Ds_reuse.Library.size lib);
+  match Ds_reuse.Library.find lib ~id:"#2_64" with
+  | None -> Alcotest.fail "missing #2_64"
+  | Some core ->
+    Alcotest.(check (option string)) "algorithm" (Some N.montgomery) (Core.property core N.algorithm);
+    Alcotest.(check (option string)) "adder" (Some "carry-save")
+      (Core.property core N.adder_implementation);
+    Alcotest.(check (option string)) "slices" (Some "12") (Core.property core N.number_of_slices);
+    Alcotest.(check bool) "has area" true (Core.merit core N.m_area_um2 <> None);
+    Alcotest.(check bool) "has latency" true (Core.merit core N.m_latency_ns <> None);
+    Alcotest.(check (option (float 0.1))) "eol" (Some 768.0) (Core.merit core N.m_eol);
+    (* the detailed-data views of Fig 2(b) *)
+    Alcotest.(check (option string)) "algorithm view" (Some "montgomery-modmul")
+      (Core.view core "algorithm");
+    Alcotest.(check bool) "structure view present" true (Core.view core "structure" <> None)
+
+let test_hardware_library_respects_divisibility () =
+  (* at eol=96, widths 64 and 128 do not divide: 8 designs x 3 widths *)
+  let lib = Populate.hardware_modmul_library ~eol:96 () in
+  Alcotest.(check int) "24 cores" 24 (Ds_reuse.Library.size lib)
+
+let test_software_library () =
+  let lib = Populate.software_modmul_library ~eol:1024 () in
+  (* five variants x two languages x three platforms *)
+  Alcotest.(check int) "30 routines" 30 (Ds_reuse.Library.size lib);
+  match Ds_reuse.Library.find lib ~id:"CIOS-ASM" with
+  | None -> Alcotest.fail "missing CIOS-ASM"
+  | Some core ->
+    Alcotest.(check (option string)) "style" (Some N.software)
+      (Core.property core N.implementation_style);
+    (match Core.merit core N.m_latency_ns with
+    | Some ns -> Alcotest.(check bool) "~800us" true (ns > 4.0e5 && ns < 1.3e6)
+    | None -> Alcotest.fail "no latency")
+
+let test_registry_composition () =
+  let reg = Lazy.force registry768 in
+  Alcotest.(check int) "three libraries" 3 (List.length (Ds_reuse.Registry.libraries reg));
+  Alcotest.(check int) "94 cores" 94 (Ds_reuse.Registry.size reg)
+
+let test_layer_bundle () =
+  let layer = CL.layer () in
+  Alcotest.(check int) "94 cores" 94 (Ds_layer.Layer.core_count layer);
+  let s = Ds_layer.Layer.explore layer in
+  Alcotest.(check int) "indexed" 94 (Session.candidate_count s);
+  (* only the documented pure-metric warnings remain *)
+  List.iter
+    (fun f -> Alcotest.(check bool) "warning only" true (f.Lint.severity = Lint.Warning))
+    (Ds_layer.Layer.warnings layer)
+
+let test_index_placement () =
+  let s = CL.session ~cores:(Lazy.force cores768) in
+  (* all modular-multiplier cores are under OMM; arithmetic ones are not *)
+  Alcotest.(check int) "everything indexed" 94 (Session.candidate_count s)
+
+(* -------------------------------------------------------------------- *)
+(* The full Section 5 exploration                                        *)
+
+let explore_to_requirements () =
+  let s = CL.session ~cores:(Lazy.force cores768) in
+  let s = ok (CL.navigate_to_omm s) in
+  ok (CL.apply_requirements s CL.coprocessor_requirements)
+
+let test_case_study_requirement_pruning () =
+  let s = CL.session ~cores:(Lazy.force cores768) in
+  let s = ok (CL.navigate_to_omm s) in
+  Alcotest.(check int) "70 modmul cores" 70 (Session.candidate_count s);
+  let s = ok (CL.apply_requirements s CL.coprocessor_requirements) in
+  (* CC6: the 8us budget eliminates every software routine (Fig 6's
+     gap), leaving the 40 hardware cores *)
+  Alcotest.(check int) "software eliminated" 40 (Session.candidate_count s);
+  List.iter
+    (fun (_, core) ->
+      Alcotest.(check (option string)) "all hardware" (Some N.hardware)
+        (Core.property core N.implementation_style))
+    (Session.candidates s)
+
+let test_case_study_hardware_montgomery () =
+  let s = explore_to_requirements () in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  Alcotest.(check (list string)) "focus OMM-H" CL.omm_hardware_path (Session.focus s);
+  let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+  Alcotest.(check (list string)) "focus OMM-HM" CL.omm_hardware_montgomery_path (Session.focus s);
+  (* CC4 (carry-save only) and CC5 (mux only) leave designs #2 and #5 *)
+  let designs =
+    List.sort_uniq String.compare
+      (List.filter_map (fun (_, c) -> Core.property c N.p_design_no) (Session.candidates s))
+  in
+  Alcotest.(check (list string)) "surviving designs" [ "2"; "5" ] designs;
+  Alcotest.(check int) "ten cores" 10 (Session.candidate_count s)
+
+let test_case_study_cc1_blocks_montgomery () =
+  (* With the modulo not guaranteed odd, the Montgomery decision is
+     rejected by CC1. *)
+  let s = CL.session ~cores:(Lazy.force cores768) in
+  let s = ok (CL.navigate_to_omm s) in
+  let reqs =
+    List.map
+      (fun (name, v) ->
+        if String.equal name N.modulo_is_odd then (name, Value.str N.not_guaranteed) else (name, v))
+      CL.coprocessor_requirements
+  in
+  let s = ok (CL.apply_requirements s reqs) in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  (match Session.set s N.algorithm (Value.str N.montgomery) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "CC1 should reject Montgomery");
+  (* Brickell remains available ("the designer has no other choice") *)
+  let s = ok (Session.set s N.algorithm (Value.str N.brickell)) in
+  let designs =
+    List.sort_uniq String.compare
+      (List.filter_map (fun (_, c) -> Core.property c N.p_design_no) (Session.candidates s))
+  in
+  Alcotest.(check (list string)) "Brickell designs" [ "7"; "8" ] designs
+
+let test_case_study_cc2_derivation () =
+  let s = explore_to_requirements () in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+  Alcotest.(check (option value_t)) "not yet" None (Session.value_of s N.latency_cycles);
+  let s = ok (Session.set s N.radix (Value.int 4)) in
+  (* 2*768/4 + 1 *)
+  Alcotest.(check (option value_t)) "derived" (Some (Value.int 385))
+    (Session.value_of s N.latency_cycles)
+
+let test_case_study_cc2_reassessment () =
+  let s = explore_to_requirements () in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+  let s = ok (Session.set s N.radix (Value.int 4)) in
+  let s = ok (Session.retract s N.radix) in
+  Alcotest.(check (option value_t)) "invalidated" None (Session.value_of s N.latency_cycles);
+  let s = ok (Session.set s N.radix (Value.int 2)) in
+  Alcotest.(check (option value_t)) "re-derived" (Some (Value.int 769))
+    (Session.value_of s N.latency_cycles)
+
+let test_case_study_cc3_estimator () =
+  let s = explore_to_requirements () in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+  let s = ok (Session.set_default s N.behavioral_description) in
+  match List.assoc_opt "BehaviorDelayEstimator" (Session.estimates s) with
+  | None -> Alcotest.fail "estimator context not active"
+  | Some metrics ->
+    (match List.assoc_opt "MaxCombDelay" metrics with
+    | Some v -> Alcotest.(check bool) "positive rank" true (v > 0.0)
+    | None -> Alcotest.fail "no MaxCombDelay")
+
+let test_case_study_merit_ranges_narrow () =
+  (* each decision narrows (or keeps) the latency range: the paper's
+     "critical information ... ranges of performance" *)
+  let spread s =
+    match Session.merit_range s ~merit:N.m_latency_ns with
+    | Some (lo, hi) -> hi -. lo
+    | None -> 0.0
+  in
+  let s0 = CL.session ~cores:(Lazy.force cores768) in
+  let s1 = ok (CL.navigate_to_omm s0) in
+  let s2 = ok (CL.apply_requirements s1 CL.coprocessor_requirements) in
+  let s3 = ok (Session.set s2 N.implementation_style (Value.str N.hardware)) in
+  let s4 = ok (Session.set s3 N.algorithm (Value.str N.montgomery)) in
+  Alcotest.(check bool) "monotone narrowing" true
+    (spread s2 <= spread s1 && spread s3 <= spread s2 && spread s4 <= spread s3);
+  Alcotest.(check bool) "strict at requirements" true (spread s2 < spread s1)
+
+let test_case_study_final_choice_meets_budget () =
+  let s = explore_to_requirements () in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+  match Session.merit_range s ~merit:N.m_latency_ns with
+  | None -> Alcotest.fail "no candidates"
+  | Some (lo, hi) ->
+    Alcotest.(check bool) "all meet 8us" true (hi <= 8000.0);
+    Alcotest.(check bool) "well under" true (lo < 3000.0)
+
+let test_open_issues_listing () =
+  let s = explore_to_requirements () in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  let names = List.map (fun (p, _) -> p.Property.name) (Session.open_issues s) in
+  List.iter
+    (fun expected -> Alcotest.(check bool) expected true (List.mem expected names))
+    [ N.algorithm; N.radix; N.layout_style; N.fabrication_technology ]
+
+let test_software_branch () =
+  (* with a relaxed latency budget, the software family stays alive *)
+  let s = CL.session ~cores:(Lazy.force cores768) in
+  let s = ok (CL.navigate_to_omm s) in
+  let relaxed =
+    List.map
+      (fun (name, v) ->
+        if String.equal name N.latency_single_operation then (name, Value.real 1.0e6)
+        else (name, v))
+      CL.coprocessor_requirements
+  in
+  let s = ok (CL.apply_requirements s relaxed) in
+  Alcotest.(check int) "nothing eliminated" 70 (Session.candidate_count s);
+  let s = ok (Session.set s N.implementation_style (Value.str N.software)) in
+  Alcotest.(check int) "thirty routines" 30 (Session.candidate_count s);
+  (* the platform issue is generalized: deciding it descends the focus *)
+  let s = ok (Session.set s N.programmable_platform (Value.str N.pentium_60)) in
+  Alcotest.(check (list string)) "descended into the platform"
+    (CL.omm_software_path @ [ N.pentium_60 ])
+    (Session.focus s);
+  Alcotest.(check int) "ten on the pentium" 10 (Session.candidate_count s);
+  let s = ok (Session.set s N.implementation_language (Value.str N.lang_asm)) in
+  Alcotest.(check int) "five asm" 5 (Session.candidate_count s);
+  let s = ok (Session.set s N.scanning_variant (Value.str "CIOS")) in
+  Alcotest.(check int) "one" 1 (Session.candidate_count s)
+
+let test_pareto_of_montgomery_family () =
+  let s = explore_to_requirements () in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+  let points = Evaluation.of_cores ~x:N.m_latency_ns ~y:N.m_area_um2 (Session.candidates s) in
+  let front = Evaluation.pareto_front points in
+  Alcotest.(check bool) "non-trivial front" true
+    (List.length front >= 1 && List.length front < List.length points)
+
+(* -------------------------------------------------------------------- *)
+(* DI7: operator sub-sessions                                            *)
+
+let test_operator_subsession () =
+  let s = explore_to_requirements () in
+  let s = ok (Session.set s N.implementation_style (Value.str N.hardware)) in
+  (* DI7 needs a behavioral description first *)
+  Alcotest.(check bool) "needs a BD" true
+    (Result.is_error (CL.operator_subsession s ~operator:"adder"));
+  let s = ok (Session.set s N.algorithm (Value.str N.montgomery)) in
+  let s = ok (Session.set_default s N.behavioral_description) in
+  (* the Montgomery loop uses additions and multiplications *)
+  let adder_sub = ok (CL.operator_subsession s ~operator:"adder") in
+  Alcotest.(check (list string)) "focused on the adder class"
+    [ "Operator"; "logic-arithmetic"; "arithmetic"; "adder" ]
+    (Session.focus adder_sub);
+  Alcotest.(check int) "adder cores visible" 12 (Session.candidate_count adder_sub);
+  let mult_sub = ok (CL.operator_subsession s ~operator:"multiplier") in
+  Alcotest.(check int) "multiplier cores visible" 12 (Session.candidate_count mult_sub);
+  Alcotest.(check bool) "unknown operator" true
+    (Result.is_error (CL.operator_subsession s ~operator:"divider"));
+  (* explore the adder class and carry the decision back *)
+  let adder_sub = ok (Session.set adder_sub N.adder_architecture (Value.str "carry-save")) in
+  Alcotest.(check int) "carry-save adder cores" 4 (Session.candidate_count adder_sub);
+  Alcotest.(check bool) "not yet adopted" true
+    (Session.value_of s N.adder_implementation = None);
+  let s = ok (CL.adopt_adder_choice s adder_sub) in
+  Alcotest.(check (option value_t)) "adopted" (Some (Value.str "carry-save"))
+    (Session.value_of s N.adder_implementation);
+  (* adopting requires a decided sub-session *)
+  let fresh_sub = ok (CL.operator_subsession s ~operator:"multiplier") in
+  Alcotest.(check bool) "undecided sub rejected" true
+    (Result.is_error (CL.adopt_adder_choice s fresh_sub))
+
+(* -------------------------------------------------------------------- *)
+(* Coprocessor level (Section 6: behavioral decomposition)               *)
+
+let explore_exponentiator recoding =
+  let s = CL.session ~cores:(Lazy.force cores768) in
+  let s = ok (CL.navigate_to_exponentiator s) in
+  let s = ok (Session.set s N.effective_operand_length (Value.int 768)) in
+  let s = ok (Session.set s N.exponent_length (Value.int 768)) in
+  let s = ok (Session.set s N.operations_per_second (Value.real 100.0)) in
+  ok (Session.set s N.exponent_recoding (Value.str recoding))
+
+let test_coproc_cc7_cc8 () =
+  let s = explore_exponentiator "binary" in
+  (* CC7: 768 + 384 = 1152 multiplications *)
+  Alcotest.(check (option value_t)) "CC7 mults" (Some (Value.int 1152))
+    (Session.value_of s N.multiplications_per_operation);
+  (* CC8: 1e6 / (100 * 1152) us per multiplication *)
+  (match Session.value_of s N.multiplication_budget with
+  | Some v -> (
+    match Value.as_real v with
+    | Some budget -> Alcotest.(check (float 0.01)) "CC8 budget" 8.68 budget
+    | None -> Alcotest.fail "budget not real")
+  | None -> Alcotest.fail "CC8 did not derive");
+  (* window-4 needs fewer multiplications, so each may take longer *)
+  let s4 = explore_exponentiator "window-4" in
+  Alcotest.(check (option value_t)) "window-4 mults" (Some (Value.int (768 + 192 + 14)))
+    (Session.value_of s4 N.multiplications_per_operation);
+  match
+    (Session.value_of s N.multiplication_budget, Session.value_of s4 N.multiplication_budget)
+  with
+  | Some b, Some b4 ->
+    Alcotest.(check bool) "window relaxes the budget" true
+      (Option.get (Value.as_real b4) > Option.get (Value.as_real b))
+  | _ -> Alcotest.fail "budgets missing"
+
+let test_coproc_decomposition_handoff () =
+  (* Explore the coprocessor, hand the derived requirements to a fresh
+     multiplier session, and complete the selection. *)
+  let s = explore_exponentiator "binary" in
+  let reqs = ok (CL.multiplier_requirements_from_exponentiator s) in
+  let m = CL.session ~cores:(Lazy.force cores768) in
+  let m = ok (CL.navigate_to_omm m) in
+  let m = ok (CL.apply_requirements m reqs) in
+  (* the 8.68us budget still eliminates all software *)
+  Alcotest.(check int) "software eliminated" 40 (Session.candidate_count m);
+  let m = ok (Session.set m N.implementation_style (Value.str N.hardware)) in
+  let m = ok (Session.set m N.algorithm (Value.str N.montgomery)) in
+  Alcotest.(check int) "montgomery family" 10 (Session.candidate_count m)
+
+let test_coproc_handoff_requires_derivation () =
+  let s = CL.session ~cores:(Lazy.force cores768) in
+  let s = ok (CL.navigate_to_exponentiator s) in
+  Alcotest.(check bool) "no budget yet" true
+    (Result.is_error (CL.multiplier_requirements_from_exponentiator s))
+
+let test_coproc_characterization_consistency () =
+  (* The coprocessor model built on the selected multiplier meets the
+     throughput target the layer started from. *)
+  let mult_cfg = Ds_rtl.Modmul_design.design 5 ~slice_width:64 in
+  let cfg =
+    {
+      Ds_rtl.Modexp_datapath.multiplier = mult_cfg;
+      recoding = Ds_rtl.Modexp_datapath.Binary;
+      bus_width = 32;
+    }
+  in
+  let ch = Ds_rtl.Modexp_datapath.characterize cfg ~eol:768 ~exp_bits:768 in
+  Alcotest.(check bool) "meets 100 ops/s" true (ch.Ds_rtl.Modexp_datapath.ops_per_second > 100.0)
+
+(* -------------------------------------------------------------------- *)
+(* Fig 9 / Fig 12 shapes through the domain layer                        *)
+
+let test_fig9_shape () =
+  (* Montgomery (#2) dominates Brickell (#8) at 768 bits at every
+     width. *)
+  let pairs = List.map (fun w -> (2, w)) [ 8; 16; 32; 64; 128 ] in
+  let pairs8 = List.map (fun w -> (8, w)) [ 8; 16; 32; 64; 128 ] in
+  let ev = Ds_rtl.Modmul_design.evaluation_points ~eol:768 in
+  List.iter2
+    (fun (_, m) (_, b) ->
+      Alcotest.(check bool) "area" true
+        (m.Ds_rtl.Modmul_datapath.char_area_um2 < b.Ds_rtl.Modmul_datapath.char_area_um2);
+      Alcotest.(check bool) "latency" true
+        (m.Ds_rtl.Modmul_datapath.char_latency_ns < b.Ds_rtl.Modmul_datapath.char_latency_ns))
+    (ev pairs) (ev pairs8)
+
+let test_fig12_shape () =
+  (* 64-bit Montgomery, 64-bit slices: radix-4 designs are faster;
+     mux-based beats array on area. *)
+  let ch n = Ds_rtl.Modmul_datapath.characterize (Ds_rtl.Modmul_design.design n ~slice_width:64) ~eol:64 in
+  let c2 = ch 2 and c4 = ch 4 and c5 = ch 5 in
+  Alcotest.(check bool) "r4 faster than r2" true
+    (c4.Ds_rtl.Modmul_datapath.char_latency_ns < c2.Ds_rtl.Modmul_datapath.char_latency_ns);
+  Alcotest.(check bool) "mux smaller than array" true
+    (c5.Ds_rtl.Modmul_datapath.char_area_um2 < c4.Ds_rtl.Modmul_datapath.char_area_um2)
+
+(* -------------------------------------------------------------------- *)
+(* Organize: deriving hierarchies from the population                    *)
+
+let test_organize_ranks_modmul_issues () =
+  (* Over the full modular-multiplier population, implementation style
+     must dominate (hardware vs software are orders of magnitude apart),
+     and the algorithm must out-discriminate the slice width. *)
+  let cores =
+    List.filter
+      (fun (_, c) -> Core.property c N.modular_operator = Some "multiplier")
+      (Lazy.force cores768)
+  in
+  let ranked =
+    Organize.rank_issues cores
+      ~issues:[ N.implementation_style; N.algorithm; N.slice_width; N.adder_implementation ]
+      ~x:N.m_latency_ns ~y:N.m_latency_ns
+  in
+  (match ranked with
+  | first :: _ ->
+    Alcotest.(check string) "style first" N.implementation_style first.Organize.issue;
+    Alcotest.(check bool) "strong separation" true (first.Organize.separation > 3.0)
+  | [] -> Alcotest.fail "no ranking");
+  let sep name =
+    (List.find (fun i -> String.equal i.Organize.issue name) ranked).Organize.separation
+  in
+  Alcotest.(check bool) "algorithm beats slice width" true (sep N.algorithm > sep N.slice_width)
+
+let test_organize_idct_derivation () =
+  (* Section 2's argument, automated: over the five IDCT cores the
+     derived hierarchy must put the technology issue first. *)
+  match
+    Organize.derive_hierarchy ~name:"IDCT-derived" Idct.cores
+      ~issues:[ Idct.algorithm_issue; Idct.technology_issue ]
+      ~x:N.m_latency_ns ~y:N.m_area_um2
+  with
+  | Error e -> Alcotest.fail e
+  | Ok derived -> (
+    match Cdo.generalized_issue (Hierarchy.root derived) with
+    | Some issue ->
+      Alcotest.(check string) "technology first" Idct.technology_issue issue.Property.name;
+      (* and it must guide at least as well as the hand-built layer,
+         and strictly better than the abstraction-first one *)
+      let q h = Organize.guidance_quality h Idct.cores ~merit:N.m_latency_ns in
+      Alcotest.(check bool) "beats abstraction-first" true
+        (q derived < q Idct.abstraction_first);
+      Alcotest.(check (float 1e-6)) "matches the hand-built layer"
+        (q Idct.generalization_first) (q derived)
+    | None -> Alcotest.fail "derived hierarchy has no root issue")
+
+let test_organize_coexisting_hierarchies () =
+  (* The work-in-progress feature: one hierarchy per trade-off.  An
+     area-first organisation of the hardware Montgomery family need not
+     equal the delay-first one, but both must be valid and complete. *)
+  let cores =
+    List.filter
+      (fun (_, c) -> Core.property c N.implementation_style = Some N.hardware)
+      (Lazy.force cores768)
+  in
+  let issues = [ N.algorithm; N.adder_implementation; N.multiplier_implementation; N.slice_width ] in
+  let derive x y = Organize.derive_hierarchy ~name:"HW" cores ~issues ~x ~y in
+  match (derive N.m_latency_ns N.m_latency_ns, derive N.m_area_um2 N.m_area_um2) with
+  | Ok perf, Ok area ->
+    Alcotest.(check bool) "both non-trivial" true
+      (Hierarchy.size perf > 1 && Hierarchy.size area > 1);
+    (* every core is indexed in both *)
+    let covered h =
+      let idx = Index.build h cores in
+      List.length (Index.under idx [ "HW" ]) + List.length (Index.unindexed idx)
+    in
+    Alcotest.(check int) "perf covers all" (List.length cores) (covered perf);
+    Alcotest.(check int) "area covers all" (List.length cores) (covered area)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let organize_props =
+  let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:30 ~name gen f) in
+  [
+    prop "derived hierarchies over synthetic populations are valid and complete"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 50 300))
+      (fun (seed, n_cores) ->
+        let spec =
+          {
+            Ds_domains.Synthetic.default_spec with
+            Ds_domains.Synthetic.seed;
+            cores = n_cores;
+            depth = 2;
+          }
+        in
+        let cores = Ds_domains.Synthetic.cores spec in
+        let issues = [ "L1"; "L2"; "P1-0"; "P1-1"; "P2-0"; "P2-1" ] in
+        match
+          Organize.derive_hierarchy ~name:"SYN" cores ~issues ~x:"delay" ~y:"cost"
+        with
+        | Error _ -> true (* a degenerate draw may not discriminate *)
+        | Ok h ->
+          (* structurally valid (create validated) and complete: every
+             core lands somewhere in the tree *)
+          let idx = Index.build h cores in
+          Lint.is_clean h
+          && List.length (Index.under idx [ "SYN" ]) + List.length (Index.unindexed idx)
+             = List.length cores);
+  ]
+
+let test_organize_edge_cases () =
+  Alcotest.(check bool) "empty population" true
+    (Result.is_error
+       (Organize.derive_hierarchy ~name:"X" [] ~issues:[ "A" ] ~x:"m" ~y:"m"));
+  (* population where no issue discriminates *)
+  let uniform =
+    [
+      ("l/a", Core.make_exn ~id:"a" ~name:"a" ~provider:"p" ~kind:Core.Hard_core
+          ~properties:[ ("I", "same") ] ~merits:[ ("m", 1.0) ] ());
+      ("l/b", Core.make_exn ~id:"b" ~name:"b" ~provider:"p" ~kind:Core.Hard_core
+          ~properties:[ ("I", "same") ] ~merits:[ ("m", 2.0) ] ());
+    ]
+  in
+  Alcotest.(check bool) "nothing discriminates" true
+    (Result.is_error (Organize.derive_hierarchy ~name:"X" uniform ~issues:[ "I" ] ~x:"m" ~y:"m"));
+  let imp = Organize.impact uniform ~issue:"I" ~x:"m" ~y:"m" in
+  Alcotest.(check (float 1e-9)) "zero separation" 0.0 imp.Organize.separation
+
+(* -------------------------------------------------------------------- *)
+(* The video (MPEG IDCT subsystem) layer                                 *)
+
+module V = Ds_domains.Video_layer
+
+let test_video_layer_shape () =
+  Alcotest.(check bool) "lints clean" true
+    (Lint.is_clean ~constraints:V.constraints V.hierarchy);
+  Alcotest.(check int) "forty cores" 40 (List.length V.cores);
+  (* every core indexed *)
+  let s = V.session () in
+  Alcotest.(check int) "all indexed" 40 (Session.candidate_count s)
+
+let test_video_mpeg2_selection () =
+  let s = V.session () in
+  let s =
+    List.fold_left
+      (fun s (n, v) -> ok (Session.set s n v))
+      s V.mpeg2_main_level_requirements
+  in
+  (* the 12-bit-fraction cores (3 exact bits) and the slow direct cores
+     fall to CCV1/CCV2 *)
+  Alcotest.(check int) "requirements eliminate" 26 (Session.candidate_count s);
+  List.iter
+    (fun (_, core) ->
+      Alcotest.(check bool) "precision met" true
+        (Option.value ~default:0.0 (Core.merit core V.m_precision_bits) >= 8.0);
+      Alcotest.(check bool) "rate met" true
+        (Option.value ~default:0.0 (Core.merit core V.m_blocks_per_second) >= 243_000.0))
+    (Session.candidates s);
+  (* structure split: the generalized issue descends and prunes *)
+  let rc = ok (Session.set s V.di_structure (Value.str "row-column")) in
+  Alcotest.(check int) "row-column family" 24 (Session.candidate_count rc);
+  let s2 = V.session () in
+  let s2 =
+    List.fold_left (fun s (n, v) -> ok (Session.set s n v)) s2 V.mpeg2_main_level_requirements
+  in
+  let direct = ok (Session.set s2 V.di_structure (Value.str "direct")) in
+  Alcotest.(check bool) "only highly parallel direct cores survive" true
+    (Session.candidate_count direct >= 1 && Session.candidate_count direct <= 3);
+  (* finish the selection *)
+  let rc = ok (Session.set rc V.di_algorithm (Value.str "loeffler")) in
+  let rc = ok (Session.set rc V.di_parallelism (Value.str "1")) in
+  Alcotest.(check int) "two widths left" 2 (Session.candidate_count rc)
+
+let test_video_precision_estimator () =
+  let s = V.session () in
+  let s = ok (Session.set s V.req_precision (Value.int 8)) in
+  let s = ok (Session.set s V.req_block_rate (Value.real 1000.0)) in
+  let s = ok (Session.set s V.di_structure (Value.str "row-column")) in
+  Alcotest.(check int) "no estimator before the width is chosen" 0
+    (List.length (Session.estimates s));
+  let s = ok (Session.set s V.di_fraction_bits (Value.str "16")) in
+  match Session.estimates s with
+  | [ ("FixedPointPrecisionAnalyzer", [ ("AchievedPrecisionBits", v) ]) ] ->
+    Alcotest.(check (float 0.01)) "measured precision" 8.0 v
+  | _ -> Alcotest.fail "estimator context missing"
+
+let test_video_conformance_merit () =
+  (* 1180 compliance and the measured precision agree at our widths *)
+  List.iter
+    (fun (_, core) ->
+      let compliant = Option.value ~default:0.0 (Core.merit core V.m_ieee1180) = 1.0 in
+      let precision = Option.value ~default:0.0 (Core.merit core V.m_precision_bits) in
+      match Core.property core V.di_fraction_bits with
+      | Some "12" ->
+        Alcotest.(check bool) "12-bit not compliant" false compliant
+      | Some ("16" | "20") ->
+        Alcotest.(check bool) "wide widths compliant" true compliant;
+        Alcotest.(check bool) "and precise" true (precision >= 8.0)
+      | _ -> ())
+    V.cores
+
+let test_video_throughput_model () =
+  (* direct needs ~16x the multiplications of a lee row-column block *)
+  let rc = V.blocks_per_second ~structure:"row-column" ~mults_1d:12 ~parallelism:1 ~clock_ns:2.0 in
+  let direct = V.blocks_per_second ~structure:"direct" ~mults_1d:12 ~parallelism:1 ~clock_ns:2.0 in
+  Alcotest.(check bool) "direct far slower" true (rc /. direct > 15.0);
+  (* parallelism scales nearly linearly at these sizes *)
+  let p4 = V.blocks_per_second ~structure:"row-column" ~mults_1d:12 ~parallelism:4 ~clock_ns:2.0 in
+  Alcotest.(check bool) "parallel speedup" true (p4 /. rc > 3.0)
+
+(* -------------------------------------------------------------------- *)
+(* Synthetic layers (scalability substrate)                              *)
+
+let test_synthetic_construction () =
+  let spec = Ds_domains.Synthetic.default_spec in
+  let h = Ds_domains.Synthetic.hierarchy spec in
+  (* complete tree: 1 + 3 + 9 + 27 nodes, 27 leaves *)
+  Alcotest.(check int) "nodes" 40 (Hierarchy.size h);
+  Alcotest.(check int) "leaves" 27 (List.length (Hierarchy.leaf_paths h));
+  Alcotest.(check bool) "lints clean" true (Lint.is_clean h);
+  let cores = Ds_domains.Synthetic.cores spec in
+  Alcotest.(check int) "population" 1000 (List.length cores);
+  (* deterministic: same seed, same population *)
+  let cores' = Ds_domains.Synthetic.cores spec in
+  Alcotest.(check bool) "deterministic" true
+    (List.for_all2
+       (fun (a, ca) (b, cb) -> String.equal a b && ca.Core.merits = cb.Core.merits)
+       cores cores')
+
+let test_synthetic_pruning () =
+  let spec = { Ds_domains.Synthetic.default_spec with Ds_domains.Synthetic.cores = 2000 } in
+  let s = Ds_domains.Synthetic.session spec in
+  Alcotest.(check int) "all indexed" 2000 (Session.candidate_count s);
+  let s1 = ok (Session.set s "L1" (Value.str "l1-o0")) in
+  let after_one = Session.candidate_count s1 in
+  (* roughly a third survives a 3-way split *)
+  Alcotest.(check bool) "one decision prunes to ~1/3" true
+    (after_one > 450 && after_one < 900);
+  let s3 = Ds_domains.Synthetic.random_walk spec ~steps:3 in
+  let after_three = Session.candidate_count s3 in
+  Alcotest.(check bool) "three decisions prune to ~1/27" true
+    (after_three > 20 && after_three < 180);
+  Alcotest.(check bool) "ranges still available" true
+    (Session.merit_range s3 ~merit:"delay" <> None)
+
+let test_synthetic_validation () =
+  Alcotest.check_raises "bad depth" (Invalid_argument "Synthetic: depth must be >= 1") (fun () ->
+      ignore
+        (Ds_domains.Synthetic.hierarchy
+           { Ds_domains.Synthetic.default_spec with Ds_domains.Synthetic.depth = 0 }))
+
+(* -------------------------------------------------------------------- *)
+(* IDCT layer (Section 2)                                                *)
+
+let test_idct_clusters () =
+  let points = Evaluation.of_cores ~x:N.m_latency_ns ~y:N.m_area_um2 Idct.cores in
+  match Cluster.suggest_split points with
+  | None -> Alcotest.fail "expected split"
+  | Some (a, b) ->
+    let labels c = List.sort String.compare (List.map (fun p -> p.Evaluation.label) c) in
+    Alcotest.(check (list string)) "cluster {1,2,5}" [ "idct1"; "idct2"; "idct5" ] (labels a);
+    Alcotest.(check (list string)) "cluster {3,4}" [ "idct3"; "idct4" ] (labels b)
+
+let test_idct_ablation () =
+  match Idct.first_decision_report () with
+  | [ generalization; abstraction ] ->
+    Alcotest.(check bool) "generalization tighter on delay" true
+      (generalization.Idct.delay_spread < abstraction.Idct.delay_spread);
+    Alcotest.(check bool) "generalization tighter on area" true
+      (generalization.Idct.area_spread < abstraction.Idct.area_spread);
+    (* the uninformative organisation mixes the two clusters: designs 1
+       and 4 (same algorithm, different technology) end up together *)
+    Alcotest.(check bool) "abstraction spread large" true (abstraction.Idct.delay_spread > 1.0)
+  | _ -> Alcotest.fail "expected two reports"
+
+let test_idct_sessions () =
+  let s = Idct.session_generalization () in
+  Alcotest.(check int) "five cores" 5 (Session.candidate_count s);
+  let s = ok (Session.set s Idct.technology_issue (Value.str "0.35u")) in
+  Alcotest.(check int) "three fast" 3 (Session.candidate_count s);
+  let s = ok (Session.set s Idct.algorithm_issue (Value.str "chen")) in
+  Alcotest.(check int) "one" 1 (Session.candidate_count s)
+
+let () =
+  Alcotest.run "ds_domains"
+    [
+      ( "hierarchy",
+        [
+          Alcotest.test_case "shape" `Quick test_hierarchy_shape;
+          Alcotest.test_case "requirement visibility" `Quick test_requirement_visibility;
+        ] );
+      ( "populate",
+        [
+          Alcotest.test_case "hardware library" `Quick test_hardware_library;
+          Alcotest.test_case "width divisibility" `Quick test_hardware_library_respects_divisibility;
+          Alcotest.test_case "software library" `Quick test_software_library;
+          Alcotest.test_case "registry" `Quick test_registry_composition;
+          Alcotest.test_case "index placement" `Quick test_index_placement;
+          Alcotest.test_case "layer bundle" `Quick test_layer_bundle;
+        ] );
+      ( "case-study",
+        [
+          Alcotest.test_case "requirement pruning (Fig 6 gap)" `Quick
+            test_case_study_requirement_pruning;
+          Alcotest.test_case "hardware+Montgomery (CC4/CC5)" `Quick
+            test_case_study_hardware_montgomery;
+          Alcotest.test_case "CC1 blocks Montgomery" `Quick test_case_study_cc1_blocks_montgomery;
+          Alcotest.test_case "CC2 derivation" `Quick test_case_study_cc2_derivation;
+          Alcotest.test_case "CC2 re-assessment" `Quick test_case_study_cc2_reassessment;
+          Alcotest.test_case "CC3 estimator" `Quick test_case_study_cc3_estimator;
+          Alcotest.test_case "ranges narrow monotonically" `Quick
+            test_case_study_merit_ranges_narrow;
+          Alcotest.test_case "final family meets budget" `Quick
+            test_case_study_final_choice_meets_budget;
+          Alcotest.test_case "open issues" `Quick test_open_issues_listing;
+          Alcotest.test_case "software branch" `Quick test_software_branch;
+          Alcotest.test_case "pareto front" `Quick test_pareto_of_montgomery_family;
+        ] );
+      ( "decomposition",
+        [ Alcotest.test_case "operator sub-session (DI7)" `Quick test_operator_subsession ] );
+      ( "coprocessor",
+        [
+          Alcotest.test_case "CC7/CC8 derivations" `Quick test_coproc_cc7_cc8;
+          Alcotest.test_case "decomposition hand-off" `Quick test_coproc_decomposition_handoff;
+          Alcotest.test_case "hand-off needs derivation" `Quick
+            test_coproc_handoff_requires_derivation;
+          Alcotest.test_case "characterization consistency" `Quick
+            test_coproc_characterization_consistency;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "Fig 9 shape" `Quick test_fig9_shape;
+          Alcotest.test_case "Fig 12 shape" `Quick test_fig12_shape;
+        ] );
+      ( "organize",
+        [
+          Alcotest.test_case "ranks modmul issues" `Quick test_organize_ranks_modmul_issues;
+          Alcotest.test_case "derives the IDCT layer" `Quick test_organize_idct_derivation;
+          Alcotest.test_case "co-existing hierarchies" `Quick test_organize_coexisting_hierarchies;
+          Alcotest.test_case "edge cases" `Quick test_organize_edge_cases;
+        ]
+        @ organize_props );
+      ( "video-layer",
+        [
+          Alcotest.test_case "shape" `Quick test_video_layer_shape;
+          Alcotest.test_case "MPEG-2 selection" `Quick test_video_mpeg2_selection;
+          Alcotest.test_case "precision estimator" `Quick test_video_precision_estimator;
+          Alcotest.test_case "1180 merit consistency" `Quick test_video_conformance_merit;
+          Alcotest.test_case "throughput model" `Quick test_video_throughput_model;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "construction" `Quick test_synthetic_construction;
+          Alcotest.test_case "pruning at 2000 cores" `Quick test_synthetic_pruning;
+          Alcotest.test_case "validation" `Quick test_synthetic_validation;
+        ] );
+      ( "idct",
+        [
+          Alcotest.test_case "clusters" `Quick test_idct_clusters;
+          Alcotest.test_case "ablation" `Quick test_idct_ablation;
+          Alcotest.test_case "sessions" `Quick test_idct_sessions;
+        ] );
+    ]

@@ -1,0 +1,440 @@
+(* Tests for ds_estimate: behavioral IR validation, census, trip counts,
+   delay and area estimators, and the BD library. *)
+
+open Ds_estimate
+open Behavior
+
+let check_ok name = function
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "%s: unexpected error %s" name msg
+
+let check_err name = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error _ -> ()
+
+(* -------------------------------------------------------------------- *)
+(* Construction / validation                                             *)
+
+let test_make_valid () =
+  check_ok "simple"
+    (make ~name:"t" ~inputs:[ "a"; "b" ] ~outputs:[ "r" ]
+       [ Assign ("r", Bin (Add, Var "a", Var "b")) ])
+
+let test_make_undefined_var () =
+  check_err "undefined"
+    (make ~name:"t" ~inputs:[ "a" ] ~outputs:[ "r" ] [ Assign ("r", Var "nope") ])
+
+let test_make_unassigned_output () =
+  check_err "missing output"
+    (make ~name:"t" ~inputs:[ "a" ] ~outputs:[ "r" ] [ Assign ("x", Var "a") ])
+
+let test_make_unbound_param () =
+  check_err "unbound param"
+    (make ~name:"t" ~inputs:[ "a" ] ~outputs:[ "r" ]
+       [
+         For
+           {
+             var = "i";
+             from_ = Const 1;
+             to_ = Param "n";
+             body = [ Assign ("r", Var "a") ];
+           };
+       ])
+
+let test_loop_carried_ok () =
+  (* R used and assigned inside the loop after being initialised. *)
+  check_ok "loop carried"
+    (make ~name:"t" ~inputs:[ "a" ] ~outputs:[ "r" ] ~params:[ ("n", 4) ]
+       [
+         Assign ("r", Const 0);
+         For
+           {
+             var = "i";
+             from_ = Const 1;
+             to_ = Param "n";
+             body = [ Assign ("r", Bin (Add, Var "r", Var "a")) ];
+           };
+       ])
+
+let test_if_branch_defs () =
+  (* a variable defined in only one branch is still visible after
+     (may-define semantics, like the paper's pseudocode) *)
+  check_ok "if branches"
+    (make ~name:"t" ~inputs:[ "a" ] ~outputs:[ "r" ]
+       [
+         If
+           {
+             cond = Bin (Gt, Var "a", Const 0);
+             then_ = [ Assign ("r", Const 1) ];
+             else_ = [ Assign ("r", Const 2) ];
+           };
+       ])
+
+(* -------------------------------------------------------------------- *)
+(* Census and trip counts                                                *)
+
+let test_census_montgomery () =
+  let census = operator_census Bd_library.montgomery in
+  let count op = Option.value ~default:0 (List.assoc_opt op census) in
+  (* Fig 10: line 1 has one *, line 3 has two * (plus adds and a div),
+     line 4 one * and one mod; line 5 a comparison; line 6 a sub. *)
+  Alcotest.(check int) "muls" 4 (count Mul);
+  Alcotest.(check int) "divs" 1 (count Div);
+  Alcotest.(check int) "mods" 1 (count Mod);
+  Alcotest.(check bool) "adds present" true (count Add >= 2);
+  Alcotest.(check int) "subs" 1 (count Sub)
+
+let test_census_loops_only () =
+  let all = operator_census Bd_library.montgomery in
+  let loops = operators_in_loops Bd_library.montgomery in
+  let count census op = Option.value ~default:0 (List.assoc_opt op census) in
+  (* the pre-processing multiply (line 1) is outside the loop *)
+  Alcotest.(check int) "loop muls" 3 (count loops Mul);
+  Alcotest.(check bool) "loop ops fewer" true (count loops Mul < count all Mul)
+
+let test_trip_count () =
+  Alcotest.(check int) "montgomery n=768"
+    (* 2 statements per iteration * 769 iterations + 4 straight-line *)
+    ((2 * 769) + 4)
+    (loop_trip_count Bd_library.montgomery [ ("n", 768) ]);
+  Alcotest.(check bool) "default params used" true
+    (loop_trip_count Bd_library.montgomery [] > 0)
+
+let test_free_params () =
+  Alcotest.(check (list string)) "montgomery params" [ "n" ] (free_params Bd_library.montgomery)
+
+let string_contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.equal (String.sub haystack i nl) needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_pp_contains_lines () =
+  let text = to_string Bd_library.montgomery in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" fragment) true
+        (string_contains text fragment))
+    [ "FOR"; "IF"; "R :="; "div"; "mod" ]
+
+(* -------------------------------------------------------------------- *)
+(* Delay estimator                                                       *)
+
+let test_delay_simple_chain () =
+  let bd =
+    make_exn ~name:"chain" ~inputs:[ "a"; "b" ] ~outputs:[ "r" ]
+      [
+        Assign ("x", Bin (Add, Var "a", Var "b"));
+        Assign ("y", Bin (Add, Var "x", Var "b"));
+        Assign ("r", Bin (Mul, Var "y", Var "a"));
+      ]
+  in
+  let est = Delay_estimator.estimate bd in
+  (* 1.0 + 1.0 + 4.0 *)
+  Alcotest.(check (float 1e-9)) "critical path" 6.0 est.Delay_estimator.max_comb_delay
+
+let test_delay_parallel_vs_serial () =
+  let serial =
+    make_exn ~name:"serial" ~inputs:[ "a" ] ~outputs:[ "r" ]
+      [
+        Assign ("x", Bin (Add, Var "a", Var "a"));
+        Assign ("r", Bin (Add, Var "x", Var "x"));
+      ]
+  in
+  let parallel =
+    make_exn ~name:"parallel" ~inputs:[ "a" ] ~outputs:[ "r" ]
+      [
+        Assign ("x", Bin (Add, Var "a", Var "a"));
+        Assign ("y", Bin (Add, Var "a", Var "a"));
+        Assign ("r", Bin (Add, Var "x", Var "y"));
+      ]
+  in
+  let d bd = (Delay_estimator.estimate bd).Delay_estimator.max_comb_delay in
+  Alcotest.(check (float 1e-9)) "serial depth 2" 2.0 (d serial);
+  Alcotest.(check (float 1e-9)) "parallel depth 2" 2.0 (d parallel)
+
+let test_rank_modmul_alternatives () =
+  (* The estimator's purpose (Section 5.1.1's comparison): rank the
+     three modular-multiplication BDs by iteration critical path.
+     Montgomery's radix divisions are shifts and its quotient digit
+     needs no full comparison; Brickell pays two compare/subtract steps
+     per iteration; paper-and-pencil rides on double-width values and a
+     full final reduction. *)
+  let ranked =
+    Delay_estimator.rank ~hints_for:Bd_library.estimator_hints ~bindings:[ ("n", 768) ]
+      Bd_library.all
+  in
+  let names = List.map (fun (bd, _) -> bd.Behavior.name) ranked in
+  Alcotest.(check (list string)) "order"
+    [ "montgomery-modmul"; "brickell-modmul"; "paper-and-pencil-modmul" ]
+    names;
+  (* the rank values are strictly separated *)
+  let cps = List.map (fun (_, e) -> e.Delay_estimator.max_comb_delay) ranked in
+  Alcotest.(check bool) "strictly increasing" true
+    (match cps with [ a; b; c ] -> a < b && b < c | _ -> false)
+
+let test_estimate_respects_weights () =
+  let bd =
+    make_exn ~name:"w" ~inputs:[ "a" ] ~outputs:[ "r" ] [ Assign ("r", Bin (Mul, Var "a", Var "a")) ]
+  in
+  let est = Delay_estimator.estimate ~weights:[ (Mul, 100.0) ] bd in
+  Alcotest.(check (float 1e-9)) "custom weight" 100.0 est.Delay_estimator.max_comb_delay
+
+(* -------------------------------------------------------------------- *)
+(* Area estimator                                                        *)
+
+let test_area_ranks () =
+  let ranked =
+    Area_estimator.rank ~process:Ds_tech.Process.p035_g10 ~width:64 Bd_library.all
+  in
+  Alcotest.(check int) "three" 3 (List.length ranked);
+  List.iter
+    (fun (_, est) -> Alcotest.(check bool) "positive" true (est.Area_estimator.gates > 0.0))
+    ranked;
+  (* ascending *)
+  let gates = List.map (fun (_, e) -> e.Area_estimator.gates) ranked in
+  Alcotest.(check (list (float 1e-9))) "sorted" (List.sort Float.compare gates) gates
+
+let test_area_width_scales () =
+  let e w = Area_estimator.estimate ~process:Ds_tech.Process.p035_g10 ~width:w Bd_library.montgomery in
+  Alcotest.(check (float 1e-6)) "linear in width" (2.0 *. (e 32).Area_estimator.gates)
+    (e 64).Area_estimator.gates;
+  Alcotest.check_raises "bad width" (Invalid_argument "Area_estimator.estimate: width must be positive")
+    (fun () -> ignore (e 0))
+
+(* -------------------------------------------------------------------- *)
+(* BD library                                                            *)
+
+let test_bd_library_lookup () =
+  List.iter
+    (fun bd ->
+      match Bd_library.by_name bd.Behavior.name with
+      | Some found -> Alcotest.(check string) "found" bd.Behavior.name found.Behavior.name
+      | None -> Alcotest.failf "missing %s" bd.Behavior.name)
+    (Bd_library.modexp_square_multiply :: Bd_library.all);
+  Alcotest.(check bool) "unknown" true (Bd_library.by_name "nope" = None)
+
+(* -------------------------------------------------------------------- *)
+(* Behavior evaluation                                                   *)
+
+let eval_ok = function Ok v -> v | Error e -> Alcotest.failf "eval failed: %s" e
+
+let test_eval_simple () =
+  let bd =
+    make_exn ~name:"sum" ~inputs:[ "a"; "b" ] ~outputs:[ "r" ]
+      [ Assign ("r", Bin (Add, Bin (Mul, Var "a", Var "a"), Var "b")) ]
+  in
+  Alcotest.(check int) "a*a+b" 13
+    (eval_ok
+       (Behavior_eval.run_int bd ~params:[]
+          ~inputs:[ ("a", Behavior_eval.Int 3); ("b", Behavior_eval.Int 4) ]
+          ~output:"r"))
+
+let test_eval_loop_and_arrays () =
+  (* sum of an array via a counted loop *)
+  let bd =
+    make_exn ~name:"arraysum" ~inputs:[ "xs" ] ~outputs:[ "s" ] ~params:[ ("n", 4) ]
+      [
+        Assign ("s", Const 0);
+        For
+          {
+            var = "i";
+            from_ = Const 0;
+            to_ = Bin (Sub, Param "n", Const 1);
+            body = [ Assign ("s", Bin (Add, Var "s", Index ("xs", Var "i"))) ];
+          };
+      ]
+  in
+  Alcotest.(check int) "sum" 10
+    (eval_ok
+       (Behavior_eval.run_int bd ~params:[ ("n", 4) ]
+          ~inputs:[ ("xs", Behavior_eval.Arr [| 1; 2; 3; 4 |]) ]
+          ~output:"s"));
+  (* out-of-range digits read as zero *)
+  Alcotest.(check int) "padded" 3
+    (eval_ok
+       (Behavior_eval.run_int bd ~params:[ ("n", 10) ]
+          ~inputs:[ ("xs", Behavior_eval.Arr [| 1; 2 |]) ]
+          ~output:"s"))
+
+let test_eval_scalar_digit_extraction () =
+  (* the R[0] idiom: digit 0 of 13 base 2 is 1; digit 1 is 0 *)
+  let bd =
+    make_exn ~name:"digits" ~inputs:[ "x" ] ~outputs:[ "d0"; "d1" ]
+      [
+        Assign ("d0", Index ("x", Const 0));
+        Assign ("d1", Index ("x", Const 1));
+      ]
+  in
+  let outputs =
+    eval_ok (Behavior_eval.run bd ~params:[] ~inputs:[ ("x", Behavior_eval.Int 13) ])
+  in
+  Alcotest.(check bool) "bits of 13" true
+    (outputs = [ ("d0", Behavior_eval.Int 1); ("d1", Behavior_eval.Int 0) ]);
+  let outputs4 =
+    eval_ok
+      (Behavior_eval.run ~digit_base:4 bd ~params:[] ~inputs:[ ("x", Behavior_eval.Int 13) ])
+  in
+  Alcotest.(check bool) "base-4 digits of 13" true
+    (outputs4 = [ ("d0", Behavior_eval.Int 1); ("d1", Behavior_eval.Int 3) ])
+
+let test_eval_errors () =
+  let div = make_exn ~name:"d" ~inputs:[ "a" ] ~outputs:[ "r" ] [ Assign ("r", Bin (Div, Const 1, Var "a")) ] in
+  Alcotest.(check bool) "div by zero" true
+    (Result.is_error (Behavior_eval.run_int div ~params:[] ~inputs:[ ("a", Behavior_eval.Int 0) ] ~output:"r"));
+  Alcotest.(check bool) "missing input" true
+    (Result.is_error (Behavior_eval.run_int div ~params:[] ~inputs:[] ~output:"r"));
+  let neg = make_exn ~name:"n" ~inputs:[ "a" ] ~outputs:[ "r" ] [ Assign ("r", Bin (Sub, Const 1, Var "a")) ] in
+  Alcotest.(check bool) "negative intermediate" true
+    (Result.is_error (Behavior_eval.run_int neg ~params:[] ~inputs:[ ("a", Behavior_eval.Int 5) ] ~output:"r"))
+
+(* An executable Montgomery BD with the quotient digit computed before
+   the division (Fig 10's recurrence with the pipeline skew undone), so
+   it can be validated against the ds_bignum substrate. *)
+let montgomery_exec =
+  make_exn ~name:"montgomery-exec"
+    ~inputs:[ "A"; "B"; "M"; "r"; "MINV" ]
+    ~outputs:[ "R" ]
+    ~params:[ ("n", 16) ]
+    [
+      Assign ("R", Const 0);
+      For
+        {
+          var = "i";
+          from_ = Const 0;
+          to_ = Bin (Sub, Param "n", Const 1);
+          body =
+            [
+              Assign
+                ( "Q",
+                  Bin
+                    ( Mod,
+                      Bin
+                        ( Mul,
+                          Bin
+                            ( Add,
+                              Index ("R", Const 0),
+                              Bin (Mul, Index ("A", Var "i"), Index ("B", Const 0)) ),
+                          Var "MINV" ),
+                      Var "r" ) );
+              Assign
+                ( "R",
+                  Bin
+                    ( Div,
+                      Bin
+                        ( Add,
+                          Bin (Mul, Index ("A", Var "i"), Var "B"),
+                          Bin (Add, Var "R", Bin (Mul, Var "Q", Var "M")) ),
+                      Var "r" ) );
+            ];
+        };
+      If
+        {
+          cond = Bin (Ge, Var "R", Var "M");
+          then_ = [ Assign ("R", Bin (Sub, Var "R", Var "M")) ];
+          else_ = [];
+        };
+    ]
+
+let eval_props =
+  let module Nat = Ds_bignum.Nat in
+  let module Prng = Ds_bignum.Prng in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"executable Montgomery BD = Modmul reference"
+         QCheck2.Gen.(int_range 0 100_000)
+         (fun seed ->
+           let g = Prng.create seed in
+           let bits = 12 + Prng.int g 6 in
+           let m = Prng.nat_bits g bits in
+           let m = if Nat.is_even m then Nat.succ m else m in
+           let a = Prng.nat_below g m and b = Prng.nat_below g m in
+           let n = Nat.num_bits m in
+           let digits v = Array.init n (fun i -> if Nat.bit v i then 1 else 0) in
+           let m_int = Nat.to_int_exn m in
+           (* -m^-1 mod 2 for odd m is 1 *)
+           let result =
+             Behavior_eval.run_int montgomery_exec ~params:[ ("n", n) ]
+               ~inputs:
+                 [
+                   ("A", Behavior_eval.Arr (digits a));
+                   ("B", Behavior_eval.Int (Nat.to_int_exn b));
+                   ("M", Behavior_eval.Int m_int);
+                   ("r", Behavior_eval.Int 2);
+                   ("MINV", Behavior_eval.Int 1);
+                 ]
+               ~output:"R"
+           in
+           match result with
+           | Error e -> QCheck2.Test.fail_reportf "eval failed: %s" e
+           | Ok got ->
+             let expected = Ds_bignum.Modmul.montgomery_bit_serial a b m n in
+             got = Nat.to_int_exn expected));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"library Brickell BD = Modmul reference"
+         QCheck2.Gen.(int_range 0 100_000)
+         (fun seed ->
+           let g = Prng.create seed in
+           let bits = 10 + Prng.int g 8 in
+           let m = Prng.nat_bits g bits in
+           let m = if Nat.compare m Nat.two < 0 then Nat.of_int 3 else m in
+           let a = Prng.nat_below g m and b = Prng.nat_below g m in
+           let n = Nat.num_bits m in
+           (* the library BD scans A[1..n] most-significant first *)
+           let digits_msb_first =
+             Array.init (n + 1) (fun i -> if i = 0 then 0 else if Nat.bit a (n - i) then 1 else 0)
+           in
+           let result =
+             Behavior_eval.run_int Bd_library.brickell ~params:[ ("n", n) ]
+               ~inputs:
+                 [
+                   ("A", Behavior_eval.Arr digits_msb_first);
+                   ("B", Behavior_eval.Int (Nat.to_int_exn b));
+                   ("M", Behavior_eval.Int (Nat.to_int_exn m));
+                 ]
+               ~output:"R"
+           in
+           match result with
+           | Error e -> QCheck2.Test.fail_reportf "eval failed: %s" e
+           | Ok got -> got = Nat.to_int_exn (Ds_bignum.Modmul.brickell a b m)));
+  ]
+
+let () =
+  Alcotest.run "ds_estimate"
+    [
+      ( "behavior-validate",
+        [
+          Alcotest.test_case "valid" `Quick test_make_valid;
+          Alcotest.test_case "undefined var" `Quick test_make_undefined_var;
+          Alcotest.test_case "unassigned output" `Quick test_make_unassigned_output;
+          Alcotest.test_case "unbound param" `Quick test_make_unbound_param;
+          Alcotest.test_case "loop-carried" `Quick test_loop_carried_ok;
+          Alcotest.test_case "if branches" `Quick test_if_branch_defs;
+        ] );
+      ( "behavior-analysis",
+        [
+          Alcotest.test_case "census montgomery" `Quick test_census_montgomery;
+          Alcotest.test_case "census loops only" `Quick test_census_loops_only;
+          Alcotest.test_case "trip count" `Quick test_trip_count;
+          Alcotest.test_case "free params" `Quick test_free_params;
+          Alcotest.test_case "pretty print" `Quick test_pp_contains_lines;
+        ] );
+      ( "delay-estimator",
+        [
+          Alcotest.test_case "simple chain" `Quick test_delay_simple_chain;
+          Alcotest.test_case "parallel vs serial" `Quick test_delay_parallel_vs_serial;
+          Alcotest.test_case "ranks modmul BDs" `Quick test_rank_modmul_alternatives;
+          Alcotest.test_case "custom weights" `Quick test_estimate_respects_weights;
+        ] );
+      ( "area-estimator",
+        [
+          Alcotest.test_case "ranking" `Quick test_area_ranks;
+          Alcotest.test_case "width scaling" `Quick test_area_width_scales;
+        ] );
+      ("bd-library", [ Alcotest.test_case "lookup" `Quick test_bd_library_lookup ]);
+      ( "behavior-eval",
+        Alcotest.test_case "simple expression" `Quick test_eval_simple
+        :: Alcotest.test_case "loops and arrays" `Quick test_eval_loop_and_arrays
+        :: Alcotest.test_case "scalar digit extraction" `Quick test_eval_scalar_digit_extraction
+        :: Alcotest.test_case "errors" `Quick test_eval_errors
+        :: eval_props );
+    ]

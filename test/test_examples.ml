@@ -1,0 +1,48 @@
+(* Smoke tests: every example program runs to completion with exit code
+   0 and prints its headline result.  The executables are copied next to
+   the test binary by dune rules. *)
+
+let run_capture exe =
+  let out = Filename.temp_file "example_out" ".txt" in
+  let code = Sys.command (Printf.sprintf "./%s > %s 2>&1" exe (Filename.quote out)) in
+  let content = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, content)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.equal (String.sub haystack i nl) needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check exe fragments () =
+  let code, out = run_capture exe in
+  Alcotest.(check int) (exe ^ " exit code") 0 code;
+  List.iter
+    (fun fragment ->
+      if not (contains out fragment) then
+        Alcotest.failf "%s: output missing %S" exe fragment)
+    fragments
+
+let () =
+  Alcotest.run "examples"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "quickstart" `Quick
+            (check "quickstart.exe" [ "selected: adder-lib/cla-sc"; "session trace" ]);
+          Alcotest.test_case "idct_explorer" `Quick
+            (check "idct_explorer.exe"
+               [ "{idct1, idct2, idct5}"; "first-decision quality" ]);
+          Alcotest.test_case "crypto_explorer" `Quick
+            (check "crypto_explorer.exe"
+               [ "CC2 derived"; "Pareto front"; "surviving cores" ]);
+          Alcotest.test_case "coproc_explorer" `Quick
+            (check "coproc_explorer.exe" [ "target met: true"; "result correct" ]);
+          Alcotest.test_case "video_explorer" `Quick
+            (check "video_explorer.exe"
+               [ "IEEE 1180-style conformance at 16 fraction bits: PASS" ]);
+          Alcotest.test_case "rsa_demo" `Slow
+            (check "rsa_demo.exe"
+               [ "matches the bignum reference: true"; "decrypts back to the message: true" ]);
+        ] );
+    ]

@@ -1,0 +1,318 @@
+(* Tests for ds_media: DCT ground truth, the fast IDCT algorithms, and
+   the algorithm catalogue's merit derivation. *)
+
+open Ds_media
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:150 ~name gen f)
+
+let gen_signal =
+  let open QCheck2.Gen in
+  let* n = oneofl [ 1; 2; 4; 8; 16; 32 ] in
+  list_repeat n (float_range (-100.0) 100.0) >|= Array.of_list
+
+(* -------------------------------------------------------------------- *)
+(* Reference transform                                                   *)
+
+let test_dct_constant () =
+  (* DCT of a constant signal concentrates everything in X0. *)
+  let x = Array.make 8 3.0 in
+  let coeffs = Dct.dct_ii x in
+  Alcotest.(check (float 1e-9)) "dc term" (3.0 *. sqrt 8.0) coeffs.(0);
+  for k = 1 to 7 do
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "ac %d" k) 0.0 coeffs.(k)
+  done
+
+let test_dct_known_delta () =
+  (* delta at n=0: X_k = c_k sqrt(2/N) cos(k pi / 2N) *)
+  let x = Array.make 4 0.0 in
+  x.(0) <- 1.0;
+  let coeffs = Dct.dct_ii x in
+  Alcotest.(check (float 1e-9)) "X0" (1.0 /. 2.0) coeffs.(0);
+  Alcotest.(check (float 1e-9)) "X1" (sqrt 0.5 *. cos (Float.pi /. 8.0)) coeffs.(1)
+
+let test_dct_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dct: empty input") (fun () ->
+      ignore (Dct.dct_ii [||]))
+
+let dct_props =
+  [
+    prop "idct inverts dct_ii" gen_signal (fun x ->
+        Dct.max_abs_error x (Dct.idct (Dct.dct_ii x)) < 1e-9);
+    prop "dct is linear" (QCheck2.Gen.pair gen_signal (QCheck2.Gen.float_range (-3.0) 3.0))
+      (fun (x, s) ->
+        let scaled = Array.map (fun v -> s *. v) x in
+        Dct.max_abs_error (Dct.dct_ii scaled) (Array.map (fun v -> s *. v) (Dct.dct_ii x)) < 1e-8);
+    prop "orthonormal: energy preserved (Parseval)" gen_signal (fun x ->
+        let energy v = Array.fold_left (fun acc e -> acc +. (e *. e)) 0.0 v in
+        Float.abs (energy x -. energy (Dct.dct_ii x)) < 1e-6 *. (1.0 +. energy x));
+  ]
+
+(* -------------------------------------------------------------------- *)
+(* Fast algorithms                                                       *)
+
+let idct_props =
+  [
+    prop "direct matches the reference" gen_signal (fun x ->
+        Dct.max_abs_error (Idct_fast.direct x) (Dct.idct x) < 1e-9);
+    prop "lee matches the reference" gen_signal (fun x ->
+        Dct.max_abs_error (Idct_fast.lee x) (Dct.idct x) < 1e-8);
+    prop "lee inverts dct_ii" gen_signal (fun x ->
+        Dct.max_abs_error x (Idct_fast.lee (Dct.dct_ii x)) < 1e-8);
+  ]
+
+let test_lee_counts () =
+  List.iter
+    (fun n ->
+      let counts = Idct_fast.zero_counts () in
+      let _ = Idct_fast.lee ~counts (Array.make n 1.0) in
+      Alcotest.(check int) (Printf.sprintf "mults n=%d" n) (Idct_fast.lee_mult_count n)
+        counts.Idct_fast.mults;
+      Alcotest.(check int) (Printf.sprintf "adds n=%d" n) (Idct_fast.lee_add_count n)
+        counts.Idct_fast.adds)
+    [ 1; 2; 4; 8; 16; 32 ];
+  (* the literature's 8-point figures *)
+  Alcotest.(check int) "Lee 8-point mults" 12 (Idct_fast.lee_mult_count 8);
+  Alcotest.(check int) "Lee 8-point adds" 29 (Idct_fast.lee_add_count 8)
+
+let test_direct_counts () =
+  let counts = Idct_fast.zero_counts () in
+  let _ = Idct_fast.direct ~counts (Array.make 8 1.0) in
+  Alcotest.(check int) "direct 8-point mults" 64 counts.Idct_fast.mults
+
+let test_lee_rejects_non_power () =
+  Alcotest.check_raises "n=6" (Invalid_argument "Idct_fast.lee: length must be a power of two")
+    (fun () -> ignore (Idct_fast.lee (Array.make 6 0.0)))
+
+(* -------------------------------------------------------------------- *)
+(* 2-D transform                                                         *)
+
+let gen_block =
+  let open QCheck2.Gen in
+  let* n = oneofl [ 2; 4; 8 ] in
+  let* rows = list_repeat n (list_repeat n (float_range (-50.0) 50.0)) in
+  return (Array.of_list (List.map Array.of_list rows))
+
+let matrix_err a b =
+  let worst = ref 0.0 in
+  Array.iteri (fun i row -> worst := Float.max !worst (Dct.max_abs_error row b.(i))) a;
+  !worst
+
+let test_2d_roundtrip_known () =
+  (* a flat 8x8 block transforms to a single DC coefficient *)
+  let block = Array.make_matrix 8 8 2.0 in
+  let coeffs = Idct_fast.dct_2d block in
+  Alcotest.(check (float 1e-9)) "dc" 16.0 coeffs.(0).(0);
+  Alcotest.(check (float 1e-9)) "ac zero" 0.0 coeffs.(3).(5);
+  let back = Idct_fast.idct_2d coeffs in
+  Alcotest.(check bool) "roundtrip" true (matrix_err block back < 1e-9)
+
+let test_2d_counts () =
+  (* 8x8 row-column: 16 one-dimensional Lee transforms *)
+  let counts = Idct_fast.zero_counts () in
+  let _ = Idct_fast.idct_2d ~counts (Array.make_matrix 8 8 1.0) in
+  Alcotest.(check int) "mults" (16 * Idct_fast.lee_mult_count 8) counts.Idct_fast.mults;
+  Alcotest.(check int) "adds" (16 * Idct_fast.lee_add_count 8) counts.Idct_fast.adds
+
+let test_2d_validation () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Idct_fast: ragged matrix") (fun () ->
+      ignore (Idct_fast.idct_2d [| [| 1.0; 2.0 |]; [| 3.0 |] |]));
+  Alcotest.check_raises "non power" (Invalid_argument "Idct_fast: matrix sides must be powers of two")
+    (fun () -> ignore (Idct_fast.idct_2d (Array.make_matrix 3 3 0.0)))
+
+let props_2d =
+  [
+    prop "2d roundtrip" gen_block (fun block ->
+        matrix_err block (Idct_fast.idct_2d (Idct_fast.dct_2d block)) < 1e-8);
+    prop "2d separability matches direct row-column reference" gen_block (fun block ->
+        (* the inverse is the reference idct applied row-column-wise *)
+        let transpose m =
+          Array.init (Array.length m.(0)) (fun j ->
+              Array.init (Array.length m) (fun i -> m.(i).(j)))
+        in
+        let reference =
+          transpose (Array.map Dct.idct (transpose (Array.map Dct.idct block)))
+        in
+        matrix_err (Idct_fast.idct_2d block) reference < 1e-8);
+  ]
+
+(* -------------------------------------------------------------------- *)
+(* Fixed-point precision                                                 *)
+
+let test_fixed_matches_reference_at_high_precision () =
+  let coeffs = [| 100.0; -42.5; 17.0; 3.25; -88.0; 0.5; 12.0; -7.75 |] in
+  let exact = Dct.idct coeffs in
+  let approx = Idct_fixed.idct ~frac_bits:24 coeffs in
+  Alcotest.(check bool) "close at 24 frac bits" true (Dct.max_abs_error exact approx < 1e-4)
+
+let test_fixed_error_decreases () =
+  let errs = List.map (fun fb -> Idct_fixed.max_error ~frac_bits:fb ()) [ 6; 10; 14; 18 ] in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "monotone improvement" true (decreasing errs);
+  (* roughly a factor 2^4 per 4 extra bits *)
+  (match errs with
+  | a :: b :: _ -> Alcotest.(check bool) "geometric-ish" true (a /. b > 4.0)
+  | _ -> Alcotest.fail "shape")
+
+let test_fixed_required_bits () =
+  (match Idct_fixed.required_frac_bits ~precision_bits:8 with
+  | Some fb ->
+    Alcotest.(check bool) "plausible width" true (fb >= 12 && fb <= 20);
+    Alcotest.(check bool) "achieves it" true
+      (Idct_fixed.achieved_precision_bits ~frac_bits:fb >= 8);
+    Alcotest.(check bool) "minimal" true
+      (Idct_fixed.achieved_precision_bits ~frac_bits:(fb - 1) < 8)
+  | None -> Alcotest.fail "no width found");
+  Alcotest.(check (option int)) "unreachable precision" None
+    (Idct_fixed.required_frac_bits ~precision_bits:28)
+
+let test_fixed_deterministic () =
+  Alcotest.(check (float 0.0)) "same seed same corpus"
+    (Idct_fixed.max_error ~frac_bits:12 ~seed:5 ())
+    (Idct_fixed.max_error ~frac_bits:12 ~seed:5 ())
+
+let test_fixed_validation () =
+  Alcotest.check_raises "bad frac" (Invalid_argument "Idct_fixed.idct: frac_bits outside 1..30")
+    (fun () -> ignore (Idct_fixed.idct ~frac_bits:0 [| 1.0 |]));
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Idct_fixed.idct: length must be a power of two") (fun () ->
+      ignore (Idct_fixed.idct ~frac_bits:12 (Array.make 5 0.0)))
+
+(* -------------------------------------------------------------------- *)
+(* IEEE 1180-style conformance                                           *)
+
+let test_conformance_reference_is_compliant () =
+  (* the double-precision row-column inverse passes trivially *)
+  let v = Conformance.test ~trials:200 Idct_fast.idct_2d in
+  Alcotest.(check bool) "reference compliant" true v.Conformance.compliant;
+  Alcotest.(check int) "five ranges" 5 (List.length v.Conformance.stats);
+  List.iter
+    (fun s -> Alcotest.(check (float 1e-9)) "zero peak" 0.0 s.Conformance.peak_error)
+    v.Conformance.stats
+
+let test_conformance_narrow_fails_wide_passes () =
+  let verdict fb = Conformance.test ~trials:200 (Conformance.fixed_point_idct ~frac_bits:fb) in
+  Alcotest.(check bool) "8 bits fails" false (verdict 8).Conformance.compliant;
+  Alcotest.(check bool) "has failure messages" true ((verdict 8).Conformance.failures <> []);
+  Alcotest.(check bool) "16 bits passes" true (verdict 16).Conformance.compliant
+
+let test_conformance_minimal_width () =
+  match Conformance.minimal_compliant_fraction_bits ~trials:200 () with
+  | Some fb ->
+    Alcotest.(check bool) "plausible minimal width" true (fb >= 12 && fb <= 16);
+    Alcotest.(check bool) "one less fails" false
+      (Conformance.test ~trials:200 (Conformance.fixed_point_idct ~frac_bits:(fb - 1)))
+        .Conformance.compliant
+  | None -> Alcotest.fail "no compliant width found"
+
+let test_conformance_deterministic () =
+  let s1 = Conformance.measure ~trials:40 { Conformance.lo = -5; hi = 5 } Idct_fast.idct_2d in
+  let s2 = Conformance.measure ~trials:40 { Conformance.lo = -5; hi = 5 } Idct_fast.idct_2d in
+  Alcotest.(check (float 0.0)) "same stats" s1.Conformance.overall_mse s2.Conformance.overall_mse
+
+(* -------------------------------------------------------------------- *)
+(* Catalogue                                                             *)
+
+let test_catalog_entries () =
+  Alcotest.(check int) "four entries" 4 (List.length Idct_catalog.all);
+  List.iter
+    (fun e ->
+      (* entries hold closures, so compare by name *)
+      match Idct_catalog.by_name e.Idct_catalog.name with
+      | Some found ->
+        Alcotest.(check string) (e.Idct_catalog.name ^ " lookup") e.Idct_catalog.name
+          found.Idct_catalog.name
+      | None -> Alcotest.failf "missing %s" e.Idct_catalog.name)
+    Idct_catalog.all;
+  (* literature ordering: naive > chen > lee > loeffler in mults *)
+  let m name = (Option.get (Idct_catalog.by_name name)).Idct_catalog.mults in
+  Alcotest.(check bool) "mult ordering" true
+    (m "naive" > m "chen" && m "chen" > m "lee" && m "lee" > m "loeffler")
+
+let test_catalog_entries_all_compute_idct () =
+  (* every catalogue entry is functionally an inverse DCT *)
+  let x = [| 12.0; -4.0; 7.5; 0.25; -9.0; 3.0; 3.0; -1.0 |] in
+  let coeffs = Dct.dct_ii x in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (e.Idct_catalog.name ^ " computes idct")
+        true
+        (Dct.max_abs_error (e.Idct_catalog.compute coeffs) x < 1e-8))
+    Idct_catalog.all
+
+let test_catalog_merits_shape () =
+  let d035 e = fst (Idct_catalog.core_merits e ~process:Ds_tech.Process.p035_g10) in
+  let a035 e = snd (Idct_catalog.core_merits e ~process:Ds_tech.Process.p035_g10) in
+  let d070 e = fst (Idct_catalog.core_merits e ~process:Ds_tech.Process.p070) in
+  let a070 e = snd (Idct_catalog.core_merits e ~process:Ds_tech.Process.p070) in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (e.Idct_catalog.name ^ " 0.7u slower") true (d070 e > 2.0 *. d035 e);
+      Alcotest.(check (float 1e-6)) (e.Idct_catalog.name ^ " 0.7u 4x area") (4.0 *. a035 e)
+        (a070 e))
+    Idct_catalog.all;
+  (* fewer multipliers = less area; deeper pipelines = more delay *)
+  Alcotest.(check bool) "loeffler smallest" true
+    (a035 Idct_catalog.loeffler < a035 Idct_catalog.lee
+    && a035 Idct_catalog.lee < a035 Idct_catalog.chen
+    && a035 Idct_catalog.chen < a035 Idct_catalog.naive);
+  Alcotest.(check bool) "chen shallow hence fast" true
+    (d035 Idct_catalog.chen < d035 Idct_catalog.lee)
+
+let test_catalog_drives_layer_clusters () =
+  (* the end-to-end claim: the derived merits reproduce Fig 3's clusters *)
+  let points =
+    Ds_layer.Evaluation.of_cores ~x:"latency-ns" ~y:"area-um2" Ds_domains.Idct_layer.cores
+  in
+  match Ds_layer.Cluster.suggest_split points with
+  | None -> Alcotest.fail "no split"
+  | Some (a, b) ->
+    let labels c = List.sort String.compare (List.map (fun p -> p.Ds_layer.Evaluation.label) c) in
+    Alcotest.(check (list string)) "{1,2,5}" [ "idct1"; "idct2"; "idct5" ] (labels a);
+    Alcotest.(check (list string)) "{3,4}" [ "idct3"; "idct4" ] (labels b)
+
+let () =
+  Alcotest.run "ds_media"
+    [
+      ( "dct-reference",
+        Alcotest.test_case "constant signal" `Quick test_dct_constant
+        :: Alcotest.test_case "delta" `Quick test_dct_known_delta
+        :: Alcotest.test_case "rejects empty" `Quick test_dct_rejects_empty
+        :: dct_props );
+      ( "fast-idct",
+        Alcotest.test_case "lee counts match closed forms" `Quick test_lee_counts
+        :: Alcotest.test_case "direct counts" `Quick test_direct_counts
+        :: Alcotest.test_case "lee rejects non-powers" `Quick test_lee_rejects_non_power
+        :: idct_props );
+      ( "idct-2d",
+        Alcotest.test_case "known block" `Quick test_2d_roundtrip_known
+        :: Alcotest.test_case "operation counts" `Quick test_2d_counts
+        :: Alcotest.test_case "validation" `Quick test_2d_validation
+        :: props_2d );
+      ( "fixed-point",
+        [
+          Alcotest.test_case "matches reference" `Quick test_fixed_matches_reference_at_high_precision;
+          Alcotest.test_case "error decreases with width" `Quick test_fixed_error_decreases;
+          Alcotest.test_case "required bits lookup" `Quick test_fixed_required_bits;
+          Alcotest.test_case "deterministic corpus" `Quick test_fixed_deterministic;
+          Alcotest.test_case "validation" `Quick test_fixed_validation;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "reference compliant" `Quick test_conformance_reference_is_compliant;
+          Alcotest.test_case "narrow fails, wide passes" `Slow
+            test_conformance_narrow_fails_wide_passes;
+          Alcotest.test_case "minimal width" `Slow test_conformance_minimal_width;
+          Alcotest.test_case "deterministic" `Quick test_conformance_deterministic;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "entries" `Quick test_catalog_entries;
+          Alcotest.test_case "all compute the idct" `Quick test_catalog_entries_all_compute_idct;
+          Alcotest.test_case "merit shapes" `Quick test_catalog_merits_shape;
+          Alcotest.test_case "drives the layer clusters" `Quick test_catalog_drives_layer_clusters;
+        ] );
+    ]

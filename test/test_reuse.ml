@@ -1,0 +1,216 @@
+(* Tests for ds_reuse: core records, serialisation roundtrips, library
+   and registry operations. *)
+
+open Ds_reuse
+
+let sample_core ?(id = "c1") () =
+  Core.make_exn ~id ~name:"#2_64" ~provider:"acme" ~kind:Core.Hard_core
+    ~properties:[ ("Algorithm", "Montgomery"); ("Radix", "2") ]
+    ~merits:[ ("area-um2", 40231.0); ("latency-ns", 176.4) ]
+    ~doc:"a test core" ()
+
+let test_core_accessors () =
+  let c = sample_core () in
+  Alcotest.(check (option string)) "property" (Some "Montgomery") (Core.property c "Algorithm");
+  Alcotest.(check (option string)) "missing property" None (Core.property c "Width");
+  Alcotest.(check (option (float 1e-9))) "merit" (Some 40231.0) (Core.merit c "area-um2");
+  Alcotest.(check (option (float 1e-9))) "missing merit" None (Core.merit c "power")
+
+let test_core_matches_property () =
+  let c = sample_core () in
+  Alcotest.(check bool) "matches bound" true (Core.matches_property c ~key:"Radix" ~value:"2");
+  Alcotest.(check bool) "mismatch" false (Core.matches_property c ~key:"Radix" ~value:"4");
+  (* undeclared issues do not discriminate *)
+  Alcotest.(check bool) "undeclared matches" true (Core.matches_property c ~key:"Width" ~value:"8")
+
+let test_core_validation () =
+  let bad_props =
+    Core.make ~id:"x" ~name:"x" ~provider:"p" ~kind:Core.Soft_core
+      ~properties:[ ("a", "1"); ("a", "2") ]
+      ~merits:[] ()
+  in
+  Alcotest.(check bool) "duplicate property" true (Result.is_error bad_props);
+  let empty_id =
+    Core.make ~id:"" ~name:"x" ~provider:"p" ~kind:Core.Soft_core ~properties:[] ~merits:[] ()
+  in
+  Alcotest.(check bool) "empty id" true (Result.is_error empty_id)
+
+let test_core_line_roundtrip () =
+  let c = sample_core () in
+  match Core.of_line (Core.to_line c) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok c' ->
+    Alcotest.(check string) "id" c.Core.id c'.Core.id;
+    Alcotest.(check bool) "properties" true (c.Core.properties = c'.Core.properties);
+    Alcotest.(check bool) "merits" true (c.Core.merits = c'.Core.merits);
+    Alcotest.(check string) "doc" c.Core.doc c'.Core.doc
+
+let test_core_line_escaping () =
+  let c =
+    Core.make_exn ~id:"weird\tid" ~name:"a=b;c" ~provider:"p\\q" ~kind:Core.Software_routine
+      ~properties:[ ("k=ey", "v;alue") ]
+      ~merits:[] ~doc:"line\nbreak" ()
+  in
+  match Core.of_line (Core.to_line c) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok c' ->
+    Alcotest.(check string) "id" c.Core.id c'.Core.id;
+    Alcotest.(check string) "name" c.Core.name c'.Core.name;
+    Alcotest.(check bool) "properties" true (c.Core.properties = c'.Core.properties);
+    Alcotest.(check string) "doc" c.Core.doc c'.Core.doc
+
+let test_core_of_line_errors () =
+  Alcotest.(check bool) "garbage" true (Result.is_error (Core.of_line "garbage"));
+  Alcotest.(check bool) "bad kind" true
+    (Result.is_error (Core.of_line "id\tname\tprov\tbogus-kind\t\t\t"))
+
+let test_core_views () =
+  let c =
+    Core.make_exn ~id:"v1" ~name:"v1" ~provider:"p" ~kind:Core.Hard_core ~properties:[]
+      ~merits:[]
+      ~views:[ ("algorithm", "montgomery-modmul"); ("structure", "entity ... end;") ]
+      ()
+  in
+  Alcotest.(check (option string)) "view" (Some "montgomery-modmul") (Core.view c "algorithm");
+  Alcotest.(check (option string)) "missing view" None (Core.view c "layout");
+  Alcotest.(check (list string)) "names" [ "algorithm"; "structure" ] (Core.view_names c);
+  (* serialisation roundtrip with views *)
+  (match Core.of_line (Core.to_line c) with
+  | Ok c' -> Alcotest.(check bool) "views roundtrip" true (c.Core.views = c'.Core.views)
+  | Error e -> Alcotest.fail e);
+  (* the 7-field (view-less) format still parses *)
+  let old = sample_core () in
+  Alcotest.(check bool) "no views column when empty" true
+    (List.length (String.split_on_char '\t' (Core.to_line old)) = 7);
+  Alcotest.(check bool) "duplicate views rejected" true
+    (Result.is_error
+       (Core.make ~id:"x" ~name:"x" ~provider:"p" ~kind:Core.Soft_core ~properties:[] ~merits:[]
+          ~views:[ ("a", "1"); ("a", "2") ]
+          ()))
+
+let test_kind_names () =
+  List.iter
+    (fun k -> Alcotest.(check bool) (Core.kind_name k) true (Core.kind_of_name (Core.kind_name k) = Some k))
+    [ Core.Hard_core; Core.Soft_core; Core.Software_routine ]
+
+(* ------------------------------------------------------------------ *)
+
+let test_library_basics () =
+  let lib = Library.make_exn ~name:"L" [ sample_core () ] in
+  Alcotest.(check int) "size" 1 (Library.size lib);
+  Alcotest.(check bool) "find" true (Library.find lib ~id:"c1" <> None);
+  Alcotest.(check bool) "find missing" true (Library.find lib ~id:"zz" = None);
+  match Library.add lib (sample_core ~id:"c2" ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok lib2 ->
+    Alcotest.(check int) "size 2" 2 (Library.size lib2);
+    Alcotest.(check bool) "duplicate id rejected" true (Result.is_error (Library.add lib2 (sample_core ())))
+
+let test_library_duplicate_ids () =
+  Alcotest.(check bool) "dup rejected" true
+    (Result.is_error (Library.make ~name:"L" [ sample_core (); sample_core () ]))
+
+let test_library_text_roundtrip () =
+  let lib = Library.make_exn ~name:"L" [ sample_core (); sample_core ~id:"c2" () ] in
+  match Library.of_text (Library.to_text lib) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok lib' ->
+    Alcotest.(check string) "name" lib.Library.name lib'.Library.name;
+    Alcotest.(check int) "size" (Library.size lib) (Library.size lib')
+
+let test_library_save_load () =
+  let lib = Library.make_exn ~name:"disk" [ sample_core () ] in
+  let path = Filename.temp_file "ds_reuse" ".lib" in
+  (match Library.save lib ~path with Ok () -> () | Error msg -> Alcotest.fail msg);
+  (match Library.load ~path with
+  | Ok lib' -> Alcotest.(check int) "reloaded" 1 (Library.size lib')
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_library_corrupt_header () =
+  Alcotest.(check bool) "bad header" true (Result.is_error (Library.of_text "nonsense\n"));
+  Alcotest.(check bool) "count mismatch" true
+    (Result.is_error (Library.of_text "reuse-library\tL\t5\n"))
+
+(* ------------------------------------------------------------------ *)
+
+let test_registry () =
+  let lib_a = Library.make_exn ~name:"A" [ sample_core () ] in
+  let lib_b = Library.make_exn ~name:"B" [ sample_core (); sample_core ~id:"c2" () ] in
+  let reg = Registry.register_exn (Registry.register_exn Registry.empty lib_a) lib_b in
+  Alcotest.(check int) "size" 3 (Registry.size reg);
+  Alcotest.(check int) "libraries" 2 (List.length (Registry.libraries reg));
+  Alcotest.(check bool) "qualified lookup" true (Registry.find_core reg ~qualified_id:"B/c2" <> None);
+  Alcotest.(check bool) "wrong lib" true (Registry.find_core reg ~qualified_id:"A/c2" = None);
+  Alcotest.(check bool) "no slash" true (Registry.find_core reg ~qualified_id:"c2" = None);
+  (* same core id in two libraries is fine: qualification disambiguates *)
+  let qids = List.map fst (Registry.all_cores reg) in
+  Alcotest.(check (list string)) "qualified ids" [ "A/c1"; "B/c1"; "B/c2" ] qids;
+  Alcotest.(check bool) "duplicate library name" true
+    (Result.is_error (Registry.register reg (Library.make_exn ~name:"A" [])))
+
+(* ------------------------------------------------------------------ *)
+(* Parser fuzzing: hostile input must fail cleanly, never raise         *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let gen_garbage =
+  QCheck2.Gen.(
+    let short = string_size ~gen:printable (int_range 0 60) in
+    oneof
+      [
+        short;
+        string_size (int_range 0 60);
+        map (String.concat "\t") (list_size (int_range 0 10) short);
+        map (String.concat "\n") (list_size (int_range 0 10) short);
+      ])
+
+let fuzz_props =
+  [
+    prop "Core.of_line never raises" gen_garbage (fun s ->
+        match Core.of_line s with Ok _ | Error _ -> true);
+    prop "Library.of_text never raises" gen_garbage (fun s ->
+        match Library.of_text s with Ok _ | Error _ -> true);
+    prop "core line roundtrip on printable payloads"
+      QCheck2.Gen.(triple string_printable string_printable string_printable)
+      (fun (id, name, doc) ->
+        let id = if String.equal id "" then "x" else id in
+        match
+          Core.make ~id ~name ~provider:"p" ~kind:Core.Soft_core
+            ~properties:[ ("k", name) ] ~merits:[ ("m", 1.5) ] ~doc ()
+        with
+        | Error _ -> true (* construction may reject, that's fine *)
+        | Ok core -> (
+          match Core.of_line (Core.to_line core) with
+          | Ok core' ->
+            String.equal core.Core.id core'.Core.id
+            && String.equal core.Core.doc core'.Core.doc
+            && core.Core.properties = core'.Core.properties
+          | Error _ -> false));
+  ]
+
+let () =
+  Alcotest.run "ds_reuse"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "accessors" `Quick test_core_accessors;
+          Alcotest.test_case "matches_property" `Quick test_core_matches_property;
+          Alcotest.test_case "validation" `Quick test_core_validation;
+          Alcotest.test_case "line roundtrip" `Quick test_core_line_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_core_line_escaping;
+          Alcotest.test_case "of_line errors" `Quick test_core_of_line_errors;
+          Alcotest.test_case "views" `Quick test_core_views;
+          Alcotest.test_case "kind names" `Quick test_kind_names;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "basics" `Quick test_library_basics;
+          Alcotest.test_case "duplicate ids" `Quick test_library_duplicate_ids;
+          Alcotest.test_case "text roundtrip" `Quick test_library_text_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_library_save_load;
+          Alcotest.test_case "corrupt input" `Quick test_library_corrupt_header;
+        ] );
+      ("registry", [ Alcotest.test_case "operations" `Quick test_registry ]);
+      ("fuzz", fuzz_props);
+    ]

@@ -1,0 +1,760 @@
+(* Tests for ds_rtl: component algebra, adders/multipliers, and the
+   sliced modular-multiplier datapaths (functional correctness against
+   the ds_bignum reference plus characterization-shape invariants). *)
+
+open Ds_rtl
+module Nat = Ds_bignum.Nat
+module Modmul = Ds_bignum.Modmul
+module Prng = Ds_bignum.Prng
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+
+(* -------------------------------------------------------------------- *)
+(* Component algebra                                                     *)
+
+let gates (c : Component.t) = (c :> Component.t).Component.gates
+let depth (c : Component.t) = (c :> Component.t).Component.depth
+
+let test_component_seq_par () =
+  let a = Component.primitive "a" ~gates:10.0 ~depth:2.0 in
+  let b = Component.primitive "b" ~gates:5.0 ~depth:3.0 in
+  let s = Component.seq "s" [ a; b ] in
+  Alcotest.(check (float 1e-9)) "seq gates" 15.0 (gates s);
+  Alcotest.(check (float 1e-9)) "seq depth" 5.0 (depth s);
+  let p = Component.par "p" [ a; b ] in
+  Alcotest.(check (float 1e-9)) "par gates" 15.0 (gates p);
+  Alcotest.(check (float 1e-9)) "par depth" 3.0 (depth p)
+
+let test_component_replicate_chain () =
+  let a = Component.primitive "a" ~gates:4.0 ~depth:1.5 in
+  let r = Component.replicate 3 a in
+  Alcotest.(check (float 1e-9)) "replicate gates" 12.0 (gates r);
+  Alcotest.(check (float 1e-9)) "replicate depth" 1.5 (depth r);
+  let c = Component.chain 3 a in
+  Alcotest.(check (float 1e-9)) "chain gates" 12.0 (gates c);
+  Alcotest.(check (float 1e-9)) "chain depth" 4.5 (depth c)
+
+let test_component_validation () =
+  Alcotest.check_raises "negative gates" (Invalid_argument "Component.primitive: negative size")
+    (fun () -> ignore (Component.primitive "bad" ~gates:(-1.0) ~depth:0.0));
+  Alcotest.check_raises "negative replicate"
+    (Invalid_argument "Component.replicate: negative count") (fun () ->
+      ignore (Component.replicate (-1) Component.nothing))
+
+(* -------------------------------------------------------------------- *)
+(* Adder architectures                                                   *)
+
+let test_adder_depth_shapes () =
+  let d arch w = depth (Adder.component arch ~width:w) in
+  (* carry-save depth is width-independent *)
+  Alcotest.(check (float 1e-9)) "csa flat" (d Adder.Carry_save 8) (d Adder.Carry_save 128);
+  (* ripple grows linearly *)
+  Alcotest.(check bool) "ripple grows" true (d Adder.Ripple_carry 64 > 2.0 *. d Adder.Ripple_carry 16);
+  (* CLA grows but sub-linearly *)
+  Alcotest.(check bool) "cla grows" true (d Adder.Carry_lookahead 128 > d Adder.Carry_lookahead 8);
+  Alcotest.(check bool) "cla sublinear" true
+    (d Adder.Carry_lookahead 128 < 4.0 *. d Adder.Carry_lookahead 8);
+  (* CSA is the shallowest at every width *)
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "csa shallowest" true
+        (d Adder.Carry_save w <= d Adder.Carry_lookahead w
+        && d Adder.Carry_save w <= d Adder.Ripple_carry w))
+    [ 8; 16; 32; 64; 128 ]
+
+let test_adder_names () =
+  List.iter
+    (fun a -> Alcotest.(check bool) (Adder.name a) true (Adder.of_name (Adder.name a) = Some a))
+    Adder.all;
+  Alcotest.(check bool) "unknown" true (Adder.of_name "nonsense" = None)
+
+let test_adder_redundant () =
+  Alcotest.(check bool) "csa redundant" true (Adder.is_redundant Adder.Carry_save);
+  Alcotest.(check bool) "cla not" false (Adder.is_redundant Adder.Carry_lookahead)
+
+let gen_small_nat =
+  QCheck2.Gen.map (fun (seed, bits) ->
+      let g = Prng.create seed in
+      Prng.nat_bits g bits)
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 200))
+
+let adder_props =
+  [
+    prop "csa_step preserves value" (QCheck2.Gen.triple gen_small_nat gen_small_nat gen_small_nat)
+      (fun (a, b, c) ->
+        let r = Adder.csa_step (Adder.csa_step (Adder.redundant_of_nat a) b) c in
+        Nat.equal (Adder.resolve r) (Nat.add (Nat.add a b) c));
+    prop "csa_step chain of many operands" (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 20) gen_small_nat)
+      (fun xs ->
+        let r = List.fold_left Adder.csa_step Adder.redundant_zero xs in
+        Nat.equal (Adder.resolve r) (List.fold_left Nat.add Nat.zero xs));
+  ]
+
+(* -------------------------------------------------------------------- *)
+(* Multiplier architectures                                              *)
+
+let test_multiplier_semantics () =
+  let b = Nat.of_string "123456789" in
+  List.iter
+    (fun digit ->
+      Alcotest.check nat
+        (Printf.sprintf "digit %d" digit)
+        (Nat.mul b (Nat.of_int digit))
+        (Multiplier.semantics b ~digit))
+    [ 0; 1; 2; 3 ]
+
+let test_multiplier_shapes () =
+  let mul_c a w = Multiplier.component a ~width:w ~digit_bits:2 in
+  (* mux is shallower than array *)
+  Alcotest.(check bool) "mux shallower" true
+    (depth (mul_c Multiplier.Mux_select 64) < depth (mul_c Multiplier.Array_mult 64));
+  (* mux has per-bit advantage but fixed overhead: crossover exists *)
+  let total a w = gates (mul_c a w) +. gates (Multiplier.fixed_overhead a ~width:w ~digit_bits:2) in
+  Alcotest.(check bool) "mux heavier at w8" true
+    (total Multiplier.Mux_select 8 > total Multiplier.Array_mult 8);
+  Alcotest.(check bool) "mux lighter at w64" true
+    (total Multiplier.Mux_select 64 < total Multiplier.Array_mult 64)
+
+let test_multiplier_names () =
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (Multiplier.name a) true
+        (Multiplier.of_name (Multiplier.name a) = Some a))
+    Multiplier.all
+
+(* -------------------------------------------------------------------- *)
+(* Datapath validation                                                   *)
+
+let d = Modmul_design.design
+
+let test_validate () =
+  let ok cfg = Alcotest.(check bool) "valid" true (Modmul_datapath.validate cfg = Ok ()) in
+  List.iter (fun n -> ok (d n ~slice_width:32)) Modmul_design.design_numbers;
+  let bad cfg =
+    Alcotest.(check bool) "invalid" true
+      (match Modmul_datapath.validate cfg with Error _ -> true | Ok () -> false)
+  in
+  bad { (d 1 ~slice_width:32) with Modmul_datapath.slice_width = 0 };
+  bad { (d 1 ~slice_width:32) with Modmul_datapath.radix_bits = 0 };
+  (* radix 4 without a multiplier *)
+  bad { (d 1 ~slice_width:32) with Modmul_datapath.radix_bits = 2 };
+  (* radix 2 with a multiplier *)
+  bad { (d 1 ~slice_width:32) with Modmul_datapath.multiplier = Some Multiplier.Array_mult };
+  (* Brickell radix 4 *)
+  bad
+    {
+      (d 3 ~slice_width:32) with
+      Modmul_datapath.algorithm = Modmul_datapath.Brickell;
+    }
+
+let test_labels () =
+  Alcotest.(check string) "label" "#2_64" (Modmul_design.label 2 ~slice_width:64);
+  Alcotest.(check (option (pair int int))) "parse" (Some (2, 64)) (Modmul_design.parse_label "#2_64");
+  Alcotest.(check (option (pair int int))) "parse bad" None (Modmul_design.parse_label "2_64");
+  Alcotest.(check (option (pair int int))) "parse bad design" None (Modmul_design.parse_label "#9_64")
+
+let test_design_numbers () =
+  Alcotest.check_raises "unknown design" (Invalid_argument "Modmul_design.design: unknown design #9")
+    (fun () -> ignore (d 9 ~slice_width:8));
+  Alcotest.(check int) "table1 size"
+    (List.length Modmul_design.design_numbers * List.length Modmul_design.slice_widths)
+    (List.length (Modmul_design.table1 ()))
+
+(* -------------------------------------------------------------------- *)
+(* Datapath simulation correctness                                       *)
+
+let gen_sim_case =
+  (* eol in {32, 64, 128}, slice width dividing it, random odd modulus *)
+  let open QCheck2.Gen in
+  let* seed = int_range 0 1_000_000 in
+  let* eol = oneofl [ 32; 64; 128 ] in
+  let* slice_width = oneofl [ 8; 16; 32 ] in
+  let g = Prng.create seed in
+  let m = Prng.nat_bits g eol in
+  let m = if Nat.is_even m then Nat.succ m else m in
+  let a = Prng.nat_below g m in
+  let b = Prng.nat_below g m in
+  return (eol, slice_width, a, b, m)
+
+let montgomery_sim_correct design_no (eol, slice_width, a, b, m) =
+  let cfg = d design_no ~slice_width in
+  match Modmul_datapath.simulate cfg ~eol ~a ~b ~modulus:m with
+  | Error e -> QCheck2.Test.fail_reportf "simulate failed: %s" e
+  | Ok res ->
+    let expected =
+      Modmul.montgomery_digit_serial
+        ~radix_bits:cfg.Modmul_datapath.radix_bits a b m
+        (Modmul_datapath.iterations cfg ~eol)
+    in
+    Nat.equal res.Modmul_datapath.value expected
+    && res.Modmul_datapath.residue_shift
+       = cfg.Modmul_datapath.radix_bits * Modmul_datapath.iterations cfg ~eol
+
+let brickell_sim_correct design_no (eol, slice_width, a, b, m) =
+  let cfg = d design_no ~slice_width in
+  match Modmul_datapath.simulate cfg ~eol ~a ~b ~modulus:m with
+  | Error e -> QCheck2.Test.fail_reportf "simulate failed: %s" e
+  | Ok res -> Nat.equal res.Modmul_datapath.value (Nat.rem (Nat.mul a b) m)
+
+let sim_props =
+  [
+    prop "sim #1 (Montgomery r2 CLA) = reference" gen_sim_case (montgomery_sim_correct 1);
+    prop "sim #2 (Montgomery r2 CSA) = reference" gen_sim_case (montgomery_sim_correct 2);
+    prop "sim #4 (Montgomery r4 CSA/MUL) = reference" gen_sim_case (montgomery_sim_correct 4);
+    prop "sim #5 (Montgomery r4 CSA/MUX) = reference" gen_sim_case (montgomery_sim_correct 5);
+    prop "sim #7 (Brickell CLA) = a*b mod m" gen_sim_case (brickell_sim_correct 7);
+    prop "sim #8 (Brickell CSA) = a*b mod m" gen_sim_case (brickell_sim_correct 8);
+    prop "modmul wrapper returns plain product (all designs)"
+      (QCheck2.Gen.pair (QCheck2.Gen.oneofl Modmul_design.design_numbers) gen_sim_case)
+      (fun (n, (eol, slice_width, a, b, m)) ->
+        let cfg = d n ~slice_width in
+        match Modmul_datapath.modmul cfg ~eol ~a ~b ~modulus:m with
+        | Error e -> QCheck2.Test.fail_reportf "modmul failed: %s" e
+        | Ok v -> Nat.equal v (Nat.rem (Nat.mul a b) m));
+  ]
+
+let test_simulate_errors () =
+  let cfg = d 2 ~slice_width:16 in
+  let err r = match r with Error _ -> true | Ok _ -> false in
+  let m = Nat.of_string "1000003" in
+  Alcotest.(check bool) "eol not multiple" true
+    (err (Modmul_datapath.simulate cfg ~eol:30 ~a:Nat.one ~b:Nat.one ~modulus:m));
+  Alcotest.(check bool) "even modulus" true
+    (err (Modmul_datapath.simulate cfg ~eol:32 ~a:Nat.one ~b:Nat.one ~modulus:(Nat.of_int 1000000)));
+  Alcotest.(check bool) "operand too big" true
+    (err (Modmul_datapath.simulate cfg ~eol:32 ~a:m ~b:Nat.one ~modulus:m));
+  Alcotest.(check bool) "modulus too wide" true
+    (err (Modmul_datapath.simulate cfg ~eol:16 ~a:Nat.one ~b:Nat.one ~modulus:m))
+
+(* -------------------------------------------------------------------- *)
+(* Characterization shape invariants (the Table 1 / Fig 9 / Fig 12 facts) *)
+
+let char_of n w = (Modmul_design.design n ~slice_width:w |> fun cfg -> Modmul_datapath.characterize cfg ~eol:w)
+
+let test_csa_clock_flat () =
+  let c8 = (char_of 2 8).Modmul_datapath.char_clock_ns in
+  let c128 = (char_of 2 128).Modmul_datapath.char_clock_ns in
+  Alcotest.(check bool) "csa clock nearly flat" true (c128 /. c8 < 1.35)
+
+let test_cla_clock_grows () =
+  let c8 = (char_of 1 8).Modmul_datapath.char_clock_ns in
+  let c128 = (char_of 1 128).Modmul_datapath.char_clock_ns in
+  Alcotest.(check bool) "cla clock grows ~2x" true (c128 /. c8 > 1.7)
+
+let test_radix4_halves_cycles () =
+  List.iter
+    (fun w ->
+      let c2 = (char_of 2 w).Modmul_datapath.char_cycles in
+      let c4 = (char_of 4 w).Modmul_datapath.char_cycles in
+      Alcotest.(check bool)
+        (Printf.sprintf "cycles halve at w%d" w)
+        true
+        (abs ((2 * c4) - c2) <= 4))
+    [ 8; 32; 128 ]
+
+let test_montgomery_beats_brickell () =
+  (* Fig 9's consistent superiority: same adder, radix-2, every width. *)
+  List.iter
+    (fun w ->
+      let m = char_of 2 w and b = char_of 8 w in
+      Alcotest.(check bool) (Printf.sprintf "area w%d" w) true
+        (m.Modmul_datapath.char_area_um2 < b.Modmul_datapath.char_area_um2);
+      Alcotest.(check bool) (Printf.sprintf "latency w%d" w) true
+        (m.Modmul_datapath.char_latency_ns < b.Modmul_datapath.char_latency_ns))
+    Modmul_design.slice_widths
+
+let test_area_grows_with_width () =
+  List.iter
+    (fun n ->
+      let a8 = (char_of n 8).Modmul_datapath.char_area_um2 in
+      let a128 = (char_of n 128).Modmul_datapath.char_area_um2 in
+      Alcotest.(check bool) (Printf.sprintf "#%d" n) true (a128 > 8.0 *. a8))
+    Modmul_design.design_numbers
+
+let test_layout_and_technology_factors () =
+  let base = d 2 ~slice_width:32 in
+  let ga = { base with Modmul_datapath.layout = Ds_tech.Layout.gate_array } in
+  Alcotest.(check bool) "gate-array bigger" true
+    (Modmul_datapath.area_um2 ga ~eol:32 > Modmul_datapath.area_um2 base ~eol:32);
+  Alcotest.(check bool) "gate-array slower" true
+    (Modmul_datapath.clock_ns ga > Modmul_datapath.clock_ns base);
+  let old = d 2 ~slice_width:32 ~technology:Ds_tech.Process.p070 in
+  Alcotest.(check bool) "0.7u slower" true
+    (Modmul_datapath.clock_ns old > 1.5 *. Modmul_datapath.clock_ns base);
+  Alcotest.(check bool) "0.7u bigger" true
+    (Modmul_datapath.area_um2 old ~eol:32 > 2.0 *. Modmul_datapath.area_um2 base ~eol:32)
+
+let test_slicing_latency_model () =
+  (* At fixed eol, smaller slices mean more slices, same iteration count,
+     lower clock only if the slice is narrower: latency is clock-bound. *)
+  let cfg w = d 2 ~slice_width:w in
+  let l w = Modmul_datapath.latency_ns (cfg w) ~eol:1024 in
+  (* sliced CSA designs pay the systolic fill: w=8 has 128 slices *)
+  Alcotest.(check bool) "more slices, more fill cycles" true
+    (Modmul_datapath.cycles (cfg 8) ~eol:1024 > Modmul_datapath.cycles (cfg 128) ~eol:1024);
+  (* but the latency difference stays modest because clock is flat *)
+  Alcotest.(check bool) "latency same ballpark" true (l 8 /. l 128 < 1.5)
+
+let test_power_positive () =
+  List.iter
+    (fun n ->
+      let p = Modmul_datapath.power (d n ~slice_width:32) ~eol:64 in
+      Alcotest.(check bool) (Printf.sprintf "#%d power > 0" n) true
+        (p.Ds_tech.Power.dynamic_mw > 0.0 && p.Ds_tech.Power.energy_per_op_nj > 0.0))
+    Modmul_design.design_numbers
+
+let test_fig6_scale () =
+  (* Fig 6: hardware executes a 1024-bit modular multiplication in a few
+     microseconds. *)
+  let lat n w = Modmul_datapath.latency_ns (d n ~slice_width:w) ~eol:1024 /. 1000.0 in
+  let l5_16 = lat 5 16 and l2_128 = lat 2 128 and l8_64 = lat 8 64 in
+  Alcotest.(check bool) "#5_16 ~2us" true (l5_16 > 1.0 && l5_16 < 3.0);
+  Alcotest.(check bool) "#2_128 ~2-3us" true (l2_128 > 1.0 && l2_128 < 4.0);
+  Alcotest.(check bool) "#8_64 ~4us" true (l8_64 > 3.0 && l8_64 < 6.0);
+  Alcotest.(check bool) "Brickell slowest of the three" true (l8_64 > l5_16 && l8_64 > l2_128)
+
+(* -------------------------------------------------------------------- *)
+(* Modexp coprocessor                                                    *)
+
+let modexp_cfg ?(recoding = Modexp_datapath.Binary) ?(design_no = 2) ?(slice_width = 16) () =
+  {
+    Modexp_datapath.multiplier = d design_no ~slice_width;
+    recoding;
+    bus_width = 32;
+  }
+
+let test_modexp_validate () =
+  Alcotest.(check bool) "binary ok" true (Modexp_datapath.validate (modexp_cfg ()) = Ok ());
+  Alcotest.(check bool) "window ok" true
+    (Modexp_datapath.validate (modexp_cfg ~recoding:(Modexp_datapath.Window 4) ()) = Ok ());
+  let bad w = Modexp_datapath.validate (modexp_cfg ~recoding:(Modexp_datapath.Window w) ()) in
+  Alcotest.(check bool) "window 1 rejected" true (Result.is_error (bad 1));
+  Alcotest.(check bool) "window 9 rejected" true (Result.is_error (bad 9));
+  Alcotest.(check bool) "bad bus" true
+    (Result.is_error
+       (Modexp_datapath.validate { (modexp_cfg ()) with Modexp_datapath.bus_width = 0 }))
+
+let test_modexp_recoding_names () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Modexp_datapath.recoding_name r)
+        true
+        (Modexp_datapath.recoding_of_name (Modexp_datapath.recoding_name r) = Some r))
+    [
+      Modexp_datapath.Binary; Modexp_datapath.Window 2; Modexp_datapath.Window 4;
+      Modexp_datapath.Sliding_window 4;
+    ];
+  Alcotest.(check bool) "unknown" true (Modexp_datapath.recoding_of_name "m-ary" = None)
+
+let test_modexp_multiplication_counts () =
+  let binary = modexp_cfg () in
+  let window4 = modexp_cfg ~recoding:(Modexp_datapath.Window 4) () in
+  Alcotest.(check int) "binary 1.5n" 1152 (Modexp_datapath.multiplications binary ~exp_bits:768);
+  (* 768 squarings + 192 window multiplies + 14 table products *)
+  Alcotest.(check int) "window-4" (768 + 192 + 14)
+    (Modexp_datapath.multiplications window4 ~exp_bits:768);
+  Alcotest.(check bool) "window beats binary" true
+    (Modexp_datapath.multiplications window4 ~exp_bits:768
+    < Modexp_datapath.multiplications binary ~exp_bits:768);
+  Alcotest.(check int) "table entries" 14 (Modexp_datapath.table_entries window4);
+  Alcotest.(check int) "binary no table" 0 (Modexp_datapath.table_entries binary);
+  (* the sliding form halves the table and needs fewer multiplies *)
+  let sliding4 = modexp_cfg ~recoding:(Modexp_datapath.Sliding_window 4) () in
+  Alcotest.(check int) "sliding table" 8 (Modexp_datapath.table_entries sliding4);
+  Alcotest.(check bool) "sliding beats fixed" true
+    (Modexp_datapath.multiplications sliding4 ~exp_bits:768
+    < Modexp_datapath.multiplications window4 ~exp_bits:768)
+
+let test_modexp_characterization_shape () =
+  let binary = Modexp_datapath.characterize (modexp_cfg ()) ~eol:768 ~exp_bits:768 in
+  let window = Modexp_datapath.characterize (modexp_cfg ~recoding:(Modexp_datapath.Window 4) ())
+      ~eol:768 ~exp_bits:768
+  in
+  Alcotest.(check bool) "window faster" true
+    (window.Modexp_datapath.coproc_latency_us < binary.Modexp_datapath.coproc_latency_us);
+  Alcotest.(check bool) "window larger" true
+    (window.Modexp_datapath.coproc_area_um2 > binary.Modexp_datapath.coproc_area_um2);
+  Alcotest.(check bool) "throughput consistent" true
+    (Float.abs
+       ((1.0e6 /. binary.Modexp_datapath.coproc_latency_us)
+       -. binary.Modexp_datapath.ops_per_second)
+    < 1.0)
+
+let gen_modexp_case =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 100_000 in
+  let* recoding =
+    oneofl
+      [
+        Modexp_datapath.Binary; Modexp_datapath.Window 2; Modexp_datapath.Window 3;
+        Modexp_datapath.Sliding_window 3; Modexp_datapath.Sliding_window 4;
+      ]
+  in
+  let* design_no = oneofl [ 1; 2; 4; 5 ] in
+  let g = Prng.create seed in
+  let m = Prng.nat_bits g 64 in
+  let m = if Nat.is_even m then Nat.succ m else m in
+  let base = Prng.nat_below g m in
+  let exponent = Prng.nat_bits g (1 + Prng.int g 40) in
+  return (recoding, design_no, base, exponent, m)
+
+let modexp_props =
+  [
+    prop "coprocessor simulation = mod_pow" gen_modexp_case
+      (fun (recoding, design_no, base, exponent, m) ->
+        let cfg = modexp_cfg ~recoding ~design_no ~slice_width:16 () in
+        match Modexp_datapath.simulate cfg ~eol:64 ~base ~exponent ~modulus:m with
+        | Error e -> QCheck2.Test.fail_reportf "simulate failed: %s" e
+        | Ok (value, _) -> Nat.equal value (Nat.mod_pow base exponent m));
+    prop "executed multiplications within the worst-case bound" gen_modexp_case
+      (fun (recoding, design_no, base, exponent, m) ->
+        let cfg = modexp_cfg ~recoding ~design_no ~slice_width:16 () in
+        match Modexp_datapath.simulate cfg ~eol:64 ~base ~exponent ~modulus:m with
+        | Error e -> QCheck2.Test.fail_reportf "simulate failed: %s" e
+        | Ok (_, executed) ->
+          (* worst case: one squaring and one multiply per exponent bit
+             (window rounding adds at most one extra window of
+             squarings), plus the table fill *)
+          let nbits = Nat.num_bits exponent in
+          let window =
+            match recoding with
+            | Modexp_datapath.Binary -> 1
+            | Modexp_datapath.Window w | Modexp_datapath.Sliding_window w -> w
+          in
+          executed <= (2 * nbits) + window + Modexp_datapath.table_entries cfg
+          && executed >= nbits);
+  ]
+
+(* -------------------------------------------------------------------- *)
+(* Higher-radix datapaths (the DI3 sweep)                                *)
+
+let radix8_cfg =
+  {
+    (d 5 ~slice_width:16) with
+    Modmul_datapath.radix_bits = 3;
+  }
+
+let test_radix8_sim () =
+  let g = Prng.create 99 in
+  for _ = 1 to 20 do
+    let m = Prng.nat_bits g 64 in
+    let m = if Nat.is_even m then Nat.succ m else m in
+    let a = Prng.nat_below g m and b = Prng.nat_below g m in
+    match Modmul_datapath.modmul radix8_cfg ~eol:64 ~a ~b ~modulus:m with
+    | Error e -> Alcotest.fail e
+    | Ok v -> Alcotest.check nat "radix-8 product" (Nat.rem (Nat.mul a b) m) v
+  done
+
+let test_radix_scaling_shape () =
+  (* each radix doubling roughly halves the cycle count *)
+  let cfg rb =
+    if rb = 1 then d 2 ~slice_width:64
+    else
+      {
+        (d 2 ~slice_width:64) with
+        Modmul_datapath.radix_bits = rb;
+        multiplier = Some Multiplier.Mux_select;
+      }
+  in
+  let cy rb = Modmul_datapath.cycles (cfg rb) ~eol:768 in
+  Alcotest.(check bool) "radix 4 ~ half of radix 2" true (abs ((2 * cy 2) - cy 1) <= 40);
+  Alcotest.(check bool) "radix 16 ~ half of radix 4" true (abs ((2 * cy 4) - cy 2) <= 40);
+  (* but area grows superlinearly with the radix *)
+  let area rb = Modmul_datapath.area_um2 (cfg rb) ~eol:768 in
+  Alcotest.(check bool) "area grows" true (area 4 > 1.5 *. area 2 && area 2 > 1.2 *. area 1)
+
+(* -------------------------------------------------------------------- *)
+(* Fault sensitivity of the slice simulation                             *)
+
+let test_fault_sensitivity () =
+  (* If a slice's state did not matter, flipping its bits would not
+     change the result — so high sensitivity is evidence that the
+     segmented simulation genuinely exercises every slice. *)
+  let cfg = d 2 ~slice_width:16 in
+  let g = Prng.create 4242 in
+  let m = Prng.nat_bits g 64 in
+  let m = if Nat.is_even m then Nat.succ m else m in
+  let a = Prng.nat_below g m and b = Prng.nat_below g m in
+  let clean =
+    match Modmul_datapath.simulate cfg ~eol:64 ~a ~b ~modulus:m with
+    | Ok r -> r.Modmul_datapath.value
+    | Error e -> Alcotest.fail e
+  in
+  let iters = Modmul_datapath.iterations cfg ~eol:64 in
+  let changed = ref 0 and trials = 100 in
+  for _ = 1 to trials do
+    let fault =
+      {
+        Modmul_datapath.at_iteration = Prng.int g iters;
+        slice = Prng.int g 4;
+        bit = Prng.int g 16;
+      }
+    in
+    match Modmul_datapath.simulate ~fault cfg ~eol:64 ~a ~b ~modulus:m with
+    | Ok r -> if not (Nat.equal r.Modmul_datapath.value clean) then incr changed
+    | Error e -> Alcotest.fail e
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "sensitivity %d/%d" !changed trials)
+    true
+    (!changed >= 85);
+  (* a late high-bit fault always survives to the output *)
+  let late =
+    {
+      Modmul_datapath.at_iteration = iters - 1;
+      slice = 3;
+      bit = 9;
+    }
+  in
+  (match Modmul_datapath.simulate ~fault:late cfg ~eol:64 ~a ~b ~modulus:m with
+  | Ok r -> Alcotest.(check bool) "late fault detected" false (Nat.equal r.Modmul_datapath.value clean)
+  | Error e -> Alcotest.fail e);
+  (* out-of-range faults are rejected *)
+  let bad = { Modmul_datapath.at_iteration = 0; slice = 9; bit = 0 } in
+  Alcotest.(check bool) "bad fault rejected" true
+    (Result.is_error (Modmul_datapath.simulate ~fault:bad cfg ~eol:64 ~a ~b ~modulus:m))
+
+let test_fault_sensitivity_brickell () =
+  let cfg = d 8 ~slice_width:16 in
+  let g = Prng.create 777 in
+  let m = Prng.nat_bits g 64 in
+  let m = if Nat.compare m Nat.two < 0 then Nat.of_int 3 else m in
+  let a = Prng.nat_below g m and b = Prng.nat_below g m in
+  let clean =
+    match Modmul_datapath.simulate cfg ~eol:64 ~a ~b ~modulus:m with
+    | Ok r -> r.Modmul_datapath.value
+    | Error e -> Alcotest.fail e
+  in
+  let changed = ref 0 and trials = 50 in
+  for _ = 1 to trials do
+    let fault =
+      {
+        Modmul_datapath.at_iteration = Prng.int g (Stdlib.max 1 (Nat.num_bits a));
+        slice = Prng.int g 4;
+        bit = Prng.int g 16;
+      }
+    in
+    match Modmul_datapath.simulate ~fault cfg ~eol:64 ~a ~b ~modulus:m with
+    | Ok r -> if not (Nat.equal r.Modmul_datapath.value clean) then incr changed
+    | Error e -> Alcotest.fail e
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "brickell sensitivity %d/%d" !changed trials)
+    true
+    (!changed >= 40)
+
+(* -------------------------------------------------------------------- *)
+(* Paper-data reconstruction consistency                                 *)
+
+let test_paper_reconstruction_cc2 () =
+  (* The reconstruction rationale: each Montgomery row's latency/clock
+     pair implies a cycle count near the paper's own CC2 relation
+     2*EOL/R + 1.  The smallest widths carry a few fixed overhead
+     cycles (load/unload), so the tolerance is loose at w=8 and tight
+     from w=32 up. *)
+  List.iter
+    (fun (design_no, cells) ->
+      let cfg0 = d design_no ~slice_width:8 in
+      let radix = Modmul_datapath.radix cfg0 in
+      let is_montgomery = cfg0.Modmul_datapath.algorithm = Modmul_datapath.Montgomery in
+      List.iter
+        (fun (slice_width, cell) ->
+          match (cell.Ds_paperdata.Paper_data.latency, cell.Ds_paperdata.Paper_data.clock) with
+          | Some latency, Some clock when is_montgomery ->
+            let cycles = float_of_int ((2 * slice_width / radix) + 1) in
+            let implied = cycles *. clock in
+            let rel = Float.abs (implied -. latency) /. latency in
+            (* radix-4 rows below 32 bits carry per-operation overhead
+               (table precompute, load/unload) that dwarfs the 5-9 loop
+               cycles; skip those, as EXPERIMENTS.md notes *)
+            if radix = 2 || slice_width >= 32 then begin
+              let tolerance = if slice_width >= 32 then 0.16 else 0.35 in
+              Alcotest.(check bool)
+                (Printf.sprintf "#%d w%d: %.0f ~ %.0f" design_no slice_width implied latency)
+                true (rel < tolerance)
+            end
+          | _ -> ())
+        cells)
+    Ds_paperdata.Paper_data.table1
+
+let test_paper_fig12_matches_table1 () =
+  (* Fig 12's point coordinates must agree with the Table 1 cells for
+     the same designs at w=64. *)
+  List.iter
+    (fun (label, (area, delay)) ->
+      match Modmul_design.parse_label label with
+      | None -> Alcotest.failf "bad label %s" label
+      | Some (design_no, slice_width) -> (
+        match Ds_paperdata.Paper_data.table1_cell ~design_no ~slice_width with
+        | None -> ()
+        | Some cell ->
+          (match cell.Ds_paperdata.Paper_data.area with
+          | Some a -> Alcotest.(check (float 1.0)) (label ^ " area") a area
+          | None -> ());
+          (match cell.Ds_paperdata.Paper_data.latency with
+          | Some l -> Alcotest.(check (float 1.0)) (label ^ " delay") l delay
+          | None -> ())))
+    Ds_paperdata.Paper_data.fig12_points
+
+(* -------------------------------------------------------------------- *)
+(* Netlist emission                                                      *)
+
+let netlist_contains text needle =
+  let nl = String.length needle and hl = String.length text in
+  let rec go i = i + nl <= hl && (String.equal (String.sub text i nl) needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_netlist_structure () =
+  let cfg = d 2 ~slice_width:32 in
+  match Netlist.to_structure cfg ~eol:128 with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    List.iter
+      (fun fragment ->
+        Alcotest.(check bool) fragment true (netlist_contains text fragment))
+      [
+        "entity modmul_montgomery_r2_csa_w32 is";
+        "4 slices x 32 bits";
+        "u_compress_s3";
+        "u_qlogic_s0";
+        "redundant_register_bank";
+        "u_resolve : resolution_adder";
+        "ITERATIONS => 129";
+        "end structure;";
+      ];
+    (* instance count ties text to model: count occurrences of " : " lines *)
+    let lines = String.split_on_char '\n' text in
+    let instances =
+      List.length (List.filter (fun l -> netlist_contains l "generic map") lines)
+    in
+    Alcotest.(check int) "instance count" (Netlist.instance_count cfg ~eol:128) instances
+
+let test_netlist_variants () =
+  (* CLA designs get a carry-propagate adder and no resolver; Brickell
+     gets the parallel subtract/select. *)
+  (match Netlist.to_structure (d 1 ~slice_width:16) ~eol:32 with
+  | Ok text ->
+    Alcotest.(check bool) "cla adder" true (netlist_contains text "carry_lookahead_adder");
+    Alcotest.(check bool) "no resolver" false (netlist_contains text "resolution_adder")
+  | Error e -> Alcotest.fail e);
+  (match Netlist.to_structure (d 8 ~slice_width:16) ~eol:32 with
+  | Ok text ->
+    Alcotest.(check bool) "brickell reduce" true (netlist_contains text "parallel_subtract_select")
+  | Error e -> Alcotest.fail e);
+  match Netlist.to_structure (d 5 ~slice_width:16) ~eol:32 with
+  | Ok text ->
+    Alcotest.(check bool) "mux multiplier" true (netlist_contains text "mux_digit_multiplier")
+  | Error e -> Alcotest.fail e
+
+let test_netlist_errors () =
+  Alcotest.(check bool) "bad eol" true
+    (Result.is_error (Netlist.to_structure (d 2 ~slice_width:32) ~eol:100));
+  let invalid = { (d 1 ~slice_width:32) with Modmul_datapath.radix_bits = 0 } in
+  Alcotest.(check bool) "invalid config" true (Result.is_error (Netlist.to_structure invalid ~eol:64))
+
+let test_netlist_coprocessor () =
+  let cfg =
+    {
+      Modexp_datapath.multiplier = d 5 ~slice_width:32;
+      recoding = Modexp_datapath.Window 4;
+      bus_width = 32;
+    }
+  in
+  match Netlist.coprocessor_structure cfg ~eol:64 with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    List.iter
+      (fun fragment ->
+        Alcotest.(check bool) fragment true (netlist_contains text fragment))
+      [
+        "entity modexp_window-4_modmul_montgomery_r4_csa_w32";
+        "u_multiplier : modmul_montgomery_r4_csa_w32";
+        "u_table      : power_table generic map (ENTRIES => 14";
+        "u_sequencer";
+        "-- the multiplier component:";
+      ];
+    (* binary recoding has no table *)
+    let binary = { cfg with Modexp_datapath.recoding = Modexp_datapath.Binary } in
+    match Netlist.coprocessor_structure binary ~eol:64 with
+    | Error e -> Alcotest.fail e
+    | Ok text2 -> Alcotest.(check bool) "no table" false (netlist_contains text2 "power_table")
+
+let test_netlist_save () =
+  let path = Filename.temp_file "ds_rtl" ".vhd" in
+  (match Netlist.save (d 2 ~slice_width:32) ~eol:64 ~path with
+  | Ok () -> Alcotest.(check bool) "written" true (Sys.file_exists path)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let () =
+  Alcotest.run "ds_rtl"
+    [
+      ( "component",
+        [
+          Alcotest.test_case "seq/par" `Quick test_component_seq_par;
+          Alcotest.test_case "replicate/chain" `Quick test_component_replicate_chain;
+          Alcotest.test_case "validation" `Quick test_component_validation;
+        ] );
+      ( "adder",
+        Alcotest.test_case "depth shapes" `Quick test_adder_depth_shapes
+        :: Alcotest.test_case "names" `Quick test_adder_names
+        :: Alcotest.test_case "redundancy" `Quick test_adder_redundant
+        :: adder_props );
+      ( "multiplier",
+        [
+          Alcotest.test_case "semantics" `Quick test_multiplier_semantics;
+          Alcotest.test_case "mux/array shapes" `Quick test_multiplier_shapes;
+          Alcotest.test_case "names" `Quick test_multiplier_names;
+        ] );
+      ( "datapath-config",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "design numbers" `Quick test_design_numbers;
+        ] );
+      ("datapath-sim", Alcotest.test_case "error cases" `Quick test_simulate_errors :: sim_props);
+      ( "higher-radix",
+        [
+          Alcotest.test_case "radix-8 simulation" `Quick test_radix8_sim;
+          Alcotest.test_case "scaling shape" `Quick test_radix_scaling_shape;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "montgomery sensitivity" `Quick test_fault_sensitivity;
+          Alcotest.test_case "brickell sensitivity" `Quick test_fault_sensitivity_brickell;
+        ] );
+      ( "paper-data",
+        [
+          Alcotest.test_case "CC2 consistency of the reconstruction" `Quick
+            test_paper_reconstruction_cc2;
+          Alcotest.test_case "Fig 12 agrees with Table 1" `Quick test_paper_fig12_matches_table1;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "structure" `Quick test_netlist_structure;
+          Alcotest.test_case "variants" `Quick test_netlist_variants;
+          Alcotest.test_case "errors" `Quick test_netlist_errors;
+          Alcotest.test_case "coprocessor view" `Quick test_netlist_coprocessor;
+          Alcotest.test_case "save" `Quick test_netlist_save;
+        ] );
+      ( "modexp-coprocessor",
+        Alcotest.test_case "validate" `Quick test_modexp_validate
+        :: Alcotest.test_case "recoding names" `Quick test_modexp_recoding_names
+        :: Alcotest.test_case "multiplication counts" `Quick test_modexp_multiplication_counts
+        :: Alcotest.test_case "characterization shape" `Quick test_modexp_characterization_shape
+        :: modexp_props );
+      ( "characterization-shape",
+        [
+          Alcotest.test_case "CSA clock flat" `Quick test_csa_clock_flat;
+          Alcotest.test_case "CLA clock grows" `Quick test_cla_clock_grows;
+          Alcotest.test_case "radix 4 halves cycles" `Quick test_radix4_halves_cycles;
+          Alcotest.test_case "Montgomery beats Brickell" `Quick test_montgomery_beats_brickell;
+          Alcotest.test_case "area grows with width" `Quick test_area_grows_with_width;
+          Alcotest.test_case "layout/technology factors" `Quick test_layout_and_technology_factors;
+          Alcotest.test_case "slicing latency model" `Quick test_slicing_latency_model;
+          Alcotest.test_case "power positive" `Quick test_power_positive;
+          Alcotest.test_case "Fig 6 hardware scale" `Quick test_fig6_scale;
+        ] );
+    ]

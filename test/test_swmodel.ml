@@ -1,0 +1,236 @@
+(* Tests for ds_swmodel: correctness of the five Montgomery variants
+   against the bignum reference (both word sizes), instrumentation
+   sanity, and the Pentium timing model's calibration facts. *)
+
+open Ds_swmodel
+module Nat = Ds_bignum.Nat
+module Prng = Ds_bignum.Prng
+module MV = Mont_variants
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:60 ~name gen f)
+
+let gen_case =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 1_000_000 in
+  let* bits = oneofl [ 64; 96; 128; 256; 512 ] in
+  let g = Prng.create seed in
+  let m = Prng.nat_bits g bits in
+  let m = if Nat.is_even m then Nat.succ m else m in
+  let a = Prng.nat_below g m in
+  let b = Prng.nat_below g m in
+  return (bits, a, b, m)
+
+let variant_correct ?word_bits variant (bits, a, b, m) =
+  let s = MV.words_for_bits ?word_bits bits in
+  let ao = MV.operand_of_nat ?word_bits a ~words:s in
+  let bo = MV.operand_of_nat ?word_bits b ~words:s in
+  let mo = MV.operand_of_nat ?word_bits m ~words:s in
+  let k = MV.zero_counts () in
+  let got = MV.monpro ?word_bits variant k ~a:ao ~b:bo ~modulus:mo in
+  let expect = MV.reference ?word_bits ~a:ao ~b:bo ~modulus:mo () in
+  got = expect
+
+let correctness_props =
+  List.concat_map
+    (fun variant ->
+      [
+        prop (MV.variant_name variant ^ " 32-bit words") gen_case (variant_correct variant);
+        prop (MV.variant_name variant ^ " 16-bit words") gen_case
+          (variant_correct ~word_bits:16 variant);
+      ])
+    MV.all_variants
+
+let test_operand_roundtrip () =
+  let n = Nat.of_string "123456789012345678901234567890" in
+  let op = MV.operand_of_nat n ~words:4 in
+  Alcotest.(check bool) "roundtrip" true (Nat.equal n (MV.nat_of_operand op));
+  Alcotest.check_raises "too large" (Invalid_argument "Mont_variants.operand_of_nat: value too large")
+    (fun () -> ignore (MV.operand_of_nat n ~words:2))
+
+let test_n_prime () =
+  (* n * n' = -1 mod 2^32 *)
+  let modulus = MV.operand_of_nat (Nat.of_string "1000000007") ~words:1 in
+  let np = MV.n_prime ~modulus () in
+  let prod = Int64.mul (Int64.of_int 1000000007) (Int64.of_int np) in
+  Alcotest.(check int64) "n*n' = -1 (mod 2^32)" 0xFFFFFFFFL (Int64.logand prod 0xFFFFFFFFL)
+
+let test_n_prime_rejects_even () =
+  Alcotest.check_raises "even" (Invalid_argument "Mont_variants.n_prime: modulus must be odd")
+    (fun () -> ignore (MV.n_prime ~modulus:[| 4 |] ()))
+
+let test_monpro_rejects_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Mont_variants: operand word counts must match the modulus") (fun () ->
+      ignore (MV.monpro MV.Cios (MV.zero_counts ()) ~a:[| 1 |] ~b:[| 1; 0 |] ~modulus:[| 5 |]))
+
+let test_word_bits_validation () =
+  Alcotest.check_raises "bad word size"
+    (Invalid_argument "Mont_variants: word_bits must be within 8..32") (fun () ->
+      ignore (MV.words_for_bits ~word_bits:7 128));
+  (* DSP-style 24-bit digits are legal and correct *)
+  Alcotest.(check int) "24-bit words" 11 (MV.words_for_bits ~word_bits:24 256)
+
+(* -------------------------------------------------------------------- *)
+(* Instrumentation shapes                                                *)
+
+let test_mul_counts_quadratic () =
+  (* Every variant performs 2s^2 + s single-precision multiplications. *)
+  List.iter
+    (fun variant ->
+      let k = MV.count_only variant ~bits:512 in
+      let s = MV.words_for_bits 512 in
+      Alcotest.(check int)
+        (MV.variant_name variant ^ " muls")
+        ((2 * s * s) + s)
+        k.MV.muls)
+    MV.all_variants
+
+let test_counts_grow_quadratically () =
+  let k1 = MV.count_only MV.Cios ~bits:512 in
+  let k2 = MV.count_only MV.Cios ~bits:1024 in
+  let ratio = float_of_int (MV.total_ops k2) /. float_of_int (MV.total_ops k1) in
+  Alcotest.(check bool) "~4x ops for 2x bits" true (ratio > 3.4 && ratio < 4.6)
+
+let test_cihs_heavier_than_cios () =
+  let cios = MV.count_only MV.Cios ~bits:1024 in
+  let cihs = MV.count_only MV.Cihs ~bits:1024 in
+  Alcotest.(check bool) "more memory traffic" true
+    (cihs.MV.loads + cihs.MV.stores > cios.MV.loads + cios.MV.stores)
+
+let test_fips_fewest_stores () =
+  (* Product scanning writes each result word once. *)
+  let fips = MV.count_only MV.Fips ~bits:512 in
+  List.iter
+    (fun variant ->
+      if variant <> MV.Fips then begin
+        let k = MV.count_only variant ~bits:512 in
+        Alcotest.(check bool)
+          (MV.variant_name variant ^ " stores more than FIPS")
+          true (k.MV.stores > fips.MV.stores)
+      end)
+    MV.all_variants
+
+(* -------------------------------------------------------------------- *)
+(* Dedicated squaring                                                    *)
+
+let sqr_props =
+  [
+    prop "monsqr = monpro a a (32-bit)" gen_case (fun (bits, a, _, m) ->
+        let s = MV.words_for_bits bits in
+        let ao = MV.operand_of_nat a ~words:s in
+        let mo = MV.operand_of_nat m ~words:s in
+        let k1 = MV.zero_counts () and k2 = MV.zero_counts () in
+        MV.monsqr k1 ~a:ao ~modulus:mo = MV.monpro MV.Sos k2 ~a:ao ~b:ao ~modulus:mo);
+    prop "monsqr = monpro a a (16-bit)" gen_case (fun (bits, a, _, m) ->
+        let word_bits = 16 in
+        let s = MV.words_for_bits ~word_bits bits in
+        let ao = MV.operand_of_nat ~word_bits a ~words:s in
+        let mo = MV.operand_of_nat ~word_bits m ~words:s in
+        let k1 = MV.zero_counts () and k2 = MV.zero_counts () in
+        MV.monsqr ~word_bits k1 ~a:ao ~modulus:mo
+        = MV.monpro ~word_bits MV.Sos k2 ~a:ao ~b:ao ~modulus:mo);
+  ]
+
+let test_sqr_saves_multiplications () =
+  let s = MV.words_for_bits 1024 in
+  let sqr = MV.count_only_sqr ~bits:1024 () in
+  let mul = MV.count_only MV.Sos ~bits:1024 in
+  (* squaring: s(s+1)/2 product-phase muls + s^2 + s reduction muls *)
+  Alcotest.(check int) "squaring muls" ((s * (s + 1) / 2) + (s * s) + s) sqr.MV.muls;
+  Alcotest.(check bool) "about 25% fewer multiplies" true
+    (float_of_int sqr.MV.muls /. float_of_int mul.MV.muls < 0.8);
+  (* and the end-to-end exponentiation benefits *)
+  let plain =
+    Platform.modexp_time_ms Platform.pentium_60 MV.Cios Pentium.Assembler ~bits:1024
+  in
+  let aware =
+    Platform.modexp_time_ms ~squaring_aware:true Platform.pentium_60 MV.Cios Pentium.Assembler
+      ~bits:1024
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "squaring-aware faster (%.0f vs %.0f ms)" aware plain)
+    true
+    (aware < plain && aware > 0.75 *. plain)
+
+(* -------------------------------------------------------------------- *)
+(* Pentium timing model                                                  *)
+
+let test_fig6_software_scale () =
+  (* The paper's Fig 6 software points at 1024 bits: CIOS ASM 799us,
+     CIHS ASM 1037us, CIOS C 5706us, CIHS C 7268us.  The model must land
+     in the same bands. *)
+  let t v l = Pentium.modmul_time_us v l ~bits:1024 in
+  let cios_asm = t MV.Cios Pentium.Assembler in
+  let cihs_asm = t MV.Cihs Pentium.Assembler in
+  let cios_c = t MV.Cios Pentium.C in
+  let cihs_c = t MV.Cihs Pentium.C in
+  Alcotest.(check bool) "CIOS ASM ~800us" true (cios_asm > 500.0 && cios_asm < 1200.0);
+  Alcotest.(check bool) "CIHS ASM slower than CIOS ASM" true (cihs_asm > cios_asm);
+  Alcotest.(check bool) "CIOS C ~5.7ms" true (cios_c > 3500.0 && cios_c < 8000.0);
+  Alcotest.(check bool) "CIHS C slower than CIOS C" true (cihs_c > cios_c);
+  Alcotest.(check bool) "C/ASM ratio 4-9x" true
+    (cios_c /. cios_asm > 4.0 && cios_c /. cios_asm < 9.0)
+
+let test_asm_faster_than_c_everywhere () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun bits ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s @%d" (MV.variant_name variant) bits)
+            true
+            (Pentium.modmul_time_us variant Pentium.Assembler ~bits
+            < Pentium.modmul_time_us variant Pentium.C ~bits))
+        [ 256; 512; 1024 ])
+    MV.all_variants
+
+let test_modexp_scale () =
+  (* A full 1024-bit exponentiation in ASM: ~1.5 * 1024 multiplications
+     of ~0.8ms each -> on the order of a second. *)
+  let ms = Pentium.modexp_time_ms MV.Cios Pentium.Assembler ~bits:1024 in
+  Alcotest.(check bool) "~1s" true (ms > 400.0 && ms < 3000.0)
+
+let test_routine_names () =
+  Alcotest.(check int) "ten routines" 10 (List.length Pentium.all_routines);
+  let names = List.map Pentium.routine_name Pentium.all_routines in
+  Alcotest.(check int) "unique" 10 (List.length (List.sort_uniq String.compare names));
+  Alcotest.(check bool) "format" true (List.mem "CIOS-ASM" names && List.mem "CIHS-C" names)
+
+let test_variant_names () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (MV.variant_name v) true (MV.variant_of_name (MV.variant_name v) = Some v))
+    MV.all_variants;
+  Alcotest.(check bool) "unknown" true (MV.variant_of_name "XYZ" = None)
+
+let () =
+  Alcotest.run "ds_swmodel"
+    [
+      ("variant-correctness", correctness_props);
+      ( "operands",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_operand_roundtrip;
+          Alcotest.test_case "n_prime" `Quick test_n_prime;
+          Alcotest.test_case "n_prime even" `Quick test_n_prime_rejects_even;
+          Alcotest.test_case "length mismatch" `Quick test_monpro_rejects_mismatch;
+          Alcotest.test_case "word size validation" `Quick test_word_bits_validation;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "2s^2+s multiplications" `Quick test_mul_counts_quadratic;
+          Alcotest.test_case "quadratic growth" `Quick test_counts_grow_quadratically;
+          Alcotest.test_case "CIHS heavier than CIOS" `Quick test_cihs_heavier_than_cios;
+          Alcotest.test_case "FIPS fewest stores" `Quick test_fips_fewest_stores;
+        ] );
+      ( "squaring",
+        Alcotest.test_case "saves multiplications" `Quick test_sqr_saves_multiplications
+        :: sqr_props );
+      ( "pentium-model",
+        [
+          Alcotest.test_case "Fig 6 software bands" `Quick test_fig6_software_scale;
+          Alcotest.test_case "ASM < C everywhere" `Quick test_asm_faster_than_c_everywhere;
+          Alcotest.test_case "modexp scale" `Quick test_modexp_scale;
+          Alcotest.test_case "routine catalog" `Quick test_routine_names;
+          Alcotest.test_case "variant names" `Quick test_variant_names;
+        ] );
+    ]

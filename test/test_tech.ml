@@ -1,0 +1,115 @@
+(* Tests for ds_tech: process scaling laws, layout-style factors, and
+   the dynamic-power model. *)
+
+open Ds_tech
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+
+let test_process_catalog () =
+  Alcotest.(check int) "four processes" 4 (List.length Process.all);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p.Process.name ^ " found") true (Process.by_name p.Process.name = Some p))
+    Process.all;
+  Alcotest.(check bool) "unknown" true (Process.by_name "0.13u" = None)
+
+let test_process_scaling () =
+  (* constant-field scaling: delay ~ feature, area ~ feature^2 *)
+  let p35 = Process.p035_g10 and p70 = Process.p070 in
+  Alcotest.(check (float 1e-9)) "delay doubles" (2.0 *. p35.Process.ns_per_level)
+    p70.Process.ns_per_level;
+  Alcotest.(check (float 1e-6)) "area quadruples" (4.0 *. p35.Process.um2_per_gate)
+    p70.Process.um2_per_gate;
+  Alcotest.(check bool) "voltage scales" true (p70.Process.volt > p35.Process.volt);
+  Alcotest.check_raises "bad feature" (Invalid_argument "Process.scale: feature size must be positive")
+    (fun () -> ignore (Process.scale p35 ~feature_um:0.0 ~name:"x"))
+
+let test_process_helpers () =
+  let p = Process.p035_g10 in
+  Alcotest.(check (float 1e-9)) "delay" (10.0 *. p.Process.ns_per_level)
+    (Process.gate_delay_ns p ~levels:10.0);
+  Alcotest.(check (float 1e-9)) "area" (100.0 *. p.Process.um2_per_gate)
+    (Process.area_um2 p ~gates:100.0)
+
+let test_layout_factors () =
+  Alcotest.(check (float 1e-9)) "std cell neutral area" 1.0 Layout.standard_cell.Layout.area_factor;
+  Alcotest.(check (float 1e-9)) "std cell neutral delay" 1.0 Layout.standard_cell.Layout.delay_factor;
+  Alcotest.(check bool) "gate array larger+slower" true
+    (Layout.gate_array.Layout.area_factor > 1.0 && Layout.gate_array.Layout.delay_factor > 1.0);
+  Alcotest.(check bool) "full custom smaller+faster" true
+    (Layout.full_custom.Layout.area_factor < 1.0 && Layout.full_custom.Layout.delay_factor < 1.0);
+  Alcotest.(check bool) "fpga worst" true
+    (Layout.fpga.Layout.area_factor > Layout.gate_array.Layout.area_factor);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l.Layout.name ^ " by_name") true (Layout.by_name l.Layout.name = Some l);
+      Alcotest.(check bool) (l.Layout.name ^ " of_style") true (Layout.of_style l.Layout.style = l))
+    Layout.all
+
+let test_power_model () =
+  let p = Process.p035_g10 in
+  let e = Power.estimate p ~gates:1000.0 ~clock_ns:2.5 ~activity:0.3 ~cycles_per_op:100 in
+  Alcotest.(check bool) "positive" true (e.Power.dynamic_mw > 0.0 && e.Power.energy_per_op_nj > 0.0);
+  (* power scales linearly with gates and activity, inversely with period *)
+  let e2 = Power.estimate p ~gates:2000.0 ~clock_ns:2.5 ~activity:0.3 ~cycles_per_op:100 in
+  Alcotest.(check (float 1e-9)) "linear in gates" (2.0 *. e.Power.dynamic_mw) e2.Power.dynamic_mw;
+  let e3 = Power.estimate p ~gates:1000.0 ~clock_ns:5.0 ~activity:0.3 ~cycles_per_op:100 in
+  Alcotest.(check (float 1e-9)) "halves with slower clock" (e.Power.dynamic_mw /. 2.0)
+    e3.Power.dynamic_mw;
+  (* energy per op is clock-independent (same work, slower) *)
+  Alcotest.(check (float 1e-12)) "energy clock-independent" e.Power.energy_per_op_nj
+    e3.Power.energy_per_op_nj
+
+let test_power_validation () =
+  let p = Process.p035_g10 in
+  Alcotest.check_raises "bad clock" (Invalid_argument "Power.estimate: clock must be positive")
+    (fun () -> ignore (Power.estimate p ~gates:1.0 ~clock_ns:0.0 ~activity:0.1 ~cycles_per_op:1));
+  Alcotest.check_raises "bad activity" (Invalid_argument "Power.estimate: activity out of [0,1]")
+    (fun () -> ignore (Power.estimate p ~gates:1.0 ~clock_ns:1.0 ~activity:1.5 ~cycles_per_op:1));
+  Alcotest.check_raises "bad gates" (Invalid_argument "Power.estimate: negative gate count")
+    (fun () -> ignore (Power.estimate p ~gates:(-1.0) ~clock_ns:1.0 ~activity:0.1 ~cycles_per_op:1))
+
+let test_activity_heuristic () =
+  Alcotest.(check bool) "csa busier" true
+    (Power.default_activity ~adder_is_carry_save:true
+    > Power.default_activity ~adder_is_carry_save:false)
+
+let tech_props =
+  [
+    prop "scaling is monotone in feature size"
+      QCheck2.Gen.(pair (float_range 0.1 2.0) (float_range 0.1 2.0))
+      (fun (f1, f2) ->
+        let p1 = Process.scale Process.p035_g10 ~feature_um:f1 ~name:"a" in
+        let p2 = Process.scale Process.p035_g10 ~feature_um:f2 ~name:"b" in
+        f1 <= f2
+        = (p1.Process.ns_per_level <= p2.Process.ns_per_level
+          && p1.Process.um2_per_gate <= p2.Process.um2_per_gate));
+    prop "power linear in activity"
+      QCheck2.Gen.(float_range 0.01 0.5)
+      (fun activity ->
+        let p = Process.p035_g10 in
+        let base = Power.estimate p ~gates:500.0 ~clock_ns:2.0 ~activity ~cycles_per_op:10 in
+        let doubled =
+          Power.estimate p ~gates:500.0 ~clock_ns:2.0 ~activity:(2.0 *. activity) ~cycles_per_op:10
+        in
+        Float.abs (doubled.Power.dynamic_mw -. (2.0 *. base.Power.dynamic_mw)) < 1e-9);
+  ]
+
+let () =
+  Alcotest.run "ds_tech"
+    [
+      ( "process",
+        [
+          Alcotest.test_case "catalog" `Quick test_process_catalog;
+          Alcotest.test_case "scaling laws" `Quick test_process_scaling;
+          Alcotest.test_case "helpers" `Quick test_process_helpers;
+        ] );
+      ("layout", [ Alcotest.test_case "factors" `Quick test_layout_factors ]);
+      ( "power",
+        [
+          Alcotest.test_case "model" `Quick test_power_model;
+          Alcotest.test_case "validation" `Quick test_power_validation;
+          Alcotest.test_case "activity heuristic" `Quick test_activity_heuristic;
+        ] );
+      ("properties", tech_props);
+    ]
