@@ -1,12 +1,19 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench doc examples clean
+.PHONY: all test check bench doc examples clean
 
 all:
 	dune build @all
 
 test:
 	dune runtest --force
+
+# Full gate: build, tests, docs, examples.  What CI runs.
+check:
+	dune build
+	dune runtest --force
+	dune build @doc
+	$(MAKE) examples
 
 bench:
 	dune exec bench/main.exe

@@ -131,6 +131,21 @@ let cores_cmd =
 
 (* ----- explore ---------------------------------------------------------- *)
 
+(* Print per-constraint health when anything is non-healthy (silent for
+   a fault-free run, keeping its output identical to the unguarded
+   tool). *)
+let print_health session =
+  match List.filter (fun (_, s) -> s <> Guard.Healthy) (Session.health session) with
+  | [] -> ()
+  | faulty ->
+    printf "\nconstraint health:\n";
+    List.iter
+      (fun (name, status) ->
+        match status with
+        | Guard.Quarantined { reason; _ } -> printf "  %-6s quarantined: %s\n" name reason
+        | status -> printf "  %-6s %s\n" name (Guard.status_label status))
+      faulty
+
 let explore_cmd =
   let latency =
     Arg.(value & opt float 8.0 & info [ "latency" ] ~docv:"US"
@@ -144,9 +159,31 @@ let explore_cmd =
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
            ~doc:"Write a markdown exploration report.")
   in
-  let run eol latency sets report =
+  let injects =
+    Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"CC=MODE"
+           ~doc:"Fault-inject a constraint before exploring (MODE is raise, nan or diverge; \
+                 repeatable) to exercise guarded evaluation.")
+  in
+  let run eol latency sets report injects =
+    match Faultsim.parse_plan injects with
+    | Error msg ->
+      Printf.eprintf "bad --inject: %s\n" msg;
+      1
+    | Ok plan ->
+    let known name = List.exists (fun cc -> String.equal cc.Consistency.name name) CL.constraints in
+    (match List.find_opt (fun (name, _) -> not (known name)) plan with
+    | Some (name, _) ->
+      Printf.eprintf "bad --inject: no constraint named %S (see `dse constraints`)\n" name;
+      exit 1
+    | None -> ());
+    let constraints =
+      if plan = [] then CL.constraints else Faultsim.wrap_plan ~plan CL.constraints
+    in
     let registry = Ds_domains.Populate.standard_registry ~eol () in
-    let session = CL.session ~cores:(Ds_reuse.Registry.all_cores registry) in
+    let session =
+      Session.create ~hierarchy:CL.hierarchy ~constraints
+        ~cores:(Ds_reuse.Registry.all_cores registry) ()
+    in
     let show label session =
       printf "%-50s candidates %3d" label (Session.candidate_count session);
       (match Session.merit_range session ~merit:N.m_latency_ns with
@@ -205,6 +242,7 @@ let explore_cmd =
     | Ok s -> (
       printf "\nremaining candidates:\n";
       List.iter (fun (qid, _) -> printf "  %s\n" qid) (Session.candidates s);
+      print_health s;
       printf "\ntrace:\n";
       Format.printf "%a@." Session.pp_trace s;
       match report with
@@ -225,7 +263,7 @@ let explore_cmd =
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Run a scripted exploration of the cryptography layer.")
-    Term.(const run $ eol_arg $ latency $ sets $ report)
+    Term.(const run $ eol_arg $ latency $ sets $ report $ injects)
 
 (* ----- preview ----------------------------------------------------------- *)
 
@@ -522,6 +560,7 @@ let shell_cmd =
         \  candidates        surviving cores\n\
         \  ranges            figure-of-merit ranges\n\
         \  trace             the session log\n\
+        \  health            per-constraint health and guard diagnostics\n\
         \  script            the replayable decision script\n\
         \  report FILE       write a markdown exploration report\n\
         \  quit              leave\n"
@@ -556,6 +595,17 @@ let shell_cmd =
               | None -> ())
             [ N.m_latency_ns; N.m_area_um2; N.m_power_mw; N.m_energy_nj ]
         | _ when String.equal line "trace" -> Format.printf "%a@." Session.pp_trace !session
+        | _ when String.equal line "health" ->
+          List.iter
+            (fun (name, status) ->
+              printf "  %-6s %s%s\n" name (Guard.status_label status)
+                (match status with
+                | Guard.Quarantined { reason; _ } -> ": " ^ reason
+                | Guard.Healthy | Guard.Degraded -> ""))
+            (Session.health !session);
+          List.iter
+            (fun d -> printf "  # %s\n" (Guard.describe_diag d))
+            (Session.diagnostics !session)
         | _ when String.equal line "script" ->
           List.iter
             (fun (name, v) -> printf "  set %s=%s\n" name (Value.to_string v))
@@ -607,10 +657,18 @@ let shell_cmd =
 let () =
   let doc = "early design space exploration for core-based designs (DATE 1999 reproduction)" in
   let info = Cmd.info "dse" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            tree_cmd; properties_cmd; constraints_cmd; cores_cmd; explore_cmd; preview_cmd;
-            coproc_cmd; document_cmd; netlist_cmd; lint_cmd; shell_cmd; export_cmd; check_cmd;
-          ]))
+  (* [~catch:false] so an escaped exception (malformed input, a layer
+     that fails to construct) becomes one error line and a non-zero exit
+     instead of cmdliner's backtrace dump. *)
+  match
+    Cmd.eval'~catch:false
+      (Cmd.group info
+         [
+           tree_cmd; properties_cmd; constraints_cmd; cores_cmd; explore_cmd; preview_cmd;
+           coproc_cmd; document_cmd; netlist_cmd; lint_cmd; shell_cmd; export_cmd; check_cmd;
+         ])
+  with
+  | code -> exit code
+  | exception e ->
+    Printf.eprintf "dse: fatal error: %s\n" (Printexc.to_string e);
+    exit 125

@@ -30,6 +30,11 @@ let make_exn ~name ?doc ~indep ~dep relation =
 
 let ready cc ~bound = List.for_all bound cc.indep
 
+let dep_properties cc =
+  List.sort_uniq String.compare (List.map (fun r -> r.Propref.property) cc.dep)
+
+let empty_env = { value = (fun _ -> None); value_of = (fun _ -> None); focus = [] }
+
 let governs cc ~property =
   List.exists (fun r -> String.equal r.Propref.property property) cc.dep
 

@@ -65,6 +65,14 @@ val ready : t -> bound:(Propref.t -> bool) -> bool
 val governs : t -> property:string -> bool
 (** Is the property in the dependent set (by name)? *)
 
+val dep_properties : t -> string list
+(** The dependent properties by name, deduplicated and sorted (what a
+    [Derive] computes, an [Estimator_context] measures). *)
+
+val empty_env : env
+(** An environment with no bindings and an empty focus — what a closure
+    sees before any designer input (used by lint probes and tests). *)
+
 val relation_kind : t -> string
 (** "inconsistent-options" | "derive" | "estimator" | "eliminate". *)
 

@@ -27,7 +27,27 @@ let range = function
   | v :: rest ->
     Some (List.fold_left (fun (lo, hi) x -> (Float.min lo x, Float.max hi x)) (v, v) rest)
 
-let merit_range cores ~merit = range (List.filter_map (fun (_, core) -> Core.merit core merit) cores)
+type merit_summary = {
+  merit_range : (float * float) option;
+  skipped_non_finite : int;
+  missing : int;
+}
+
+(* NaN propagates through Float.min/Float.max and would poison the whole
+   range; non-finite merits are counted out instead of folded in. *)
+let merit_summary cores ~merit =
+  let values, skipped_non_finite, missing =
+    List.fold_left
+      (fun (values, skipped, missing) (_, core) ->
+        match Core.merit core merit with
+        | None -> (values, skipped, missing + 1)
+        | Some v when not (Float.is_finite v) -> (values, skipped + 1, missing)
+        | Some v -> (v :: values, skipped, missing))
+      ([], 0, 0) cores
+  in
+  { merit_range = range (List.rev values); skipped_non_finite; missing }
+
+let merit_range cores ~merit = (merit_summary cores ~merit).merit_range
 
 let normalize points =
   let xs = List.map (fun p -> p.x) points and ys = List.map (fun p -> p.y) points in

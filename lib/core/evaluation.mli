@@ -29,7 +29,18 @@ val range : float list -> (float * float) option
 val merit_range : (string * Ds_reuse.Core.t) list -> merit:string -> (float * float) option
 (** The range summary the layer shows the designer after each pruning
     step ("critical information on the set of reusable designs that do
-    comply ... including ranges of performance"). *)
+    comply ... including ranges of performance").  Cores whose merit is
+    NaN or infinite are skipped — they would otherwise poison the whole
+    range through [Float.min]/[Float.max]. *)
+
+type merit_summary = {
+  merit_range : (float * float) option;  (** over the finite values only *)
+  skipped_non_finite : int;  (** cores whose merit was NaN or infinite *)
+  missing : int;  (** cores that do not carry the merit at all *)
+}
+
+val merit_summary : (string * Ds_reuse.Core.t) list -> merit:string -> merit_summary
+(** {!merit_range} plus the census of what was left out of it. *)
 
 val normalize : point list -> point list
 (** Rescale both axes to [0, 1] (used before clustering); a degenerate

@@ -1,0 +1,107 @@
+module Prng = Ds_bignum.Prng
+
+type mode = Raise | Return_nan | Diverge
+
+let mode_name = function Raise -> "raise" | Return_nan -> "nan" | Diverge -> "diverge"
+
+let mode_of_name = function
+  | "raise" -> Some Raise
+  | "nan" -> Some Return_nan
+  | "diverge" -> Some Diverge
+  | _ -> None
+
+exception Injected of string
+exception Runaway_divergence of string
+
+(* Far above any Guard budget: the cap only fires when a wrapped closure
+   is somehow invoked outside Guard.run, turning a hang into a test
+   failure. *)
+let divergence_cap = 10_000_000
+
+let diverge name =
+  let i = ref 0 in
+  while true do
+    Guard.tick ();
+    incr i;
+    if !i >= divergence_cap then raise (Runaway_divergence name)
+  done;
+  assert false
+
+let wrap ?(seed = 0) ?(probability = 1.0) ~mode cc =
+  let name = cc.Consistency.name in
+  let fire =
+    if probability >= 1.0 then fun () -> true
+    else begin
+      let g = Prng.create (seed lxor Hashtbl.hash name) in
+      fun () -> Prng.float g < probability
+    end
+  in
+  (* Predicates have no numeric result; NaN injection degrades to a
+     raise there so every mode still produces a fault. *)
+  let inject_predicate orig =
+    if fire () then
+      match mode with Raise | Return_nan -> raise (Injected name) | Diverge -> diverge name
+    else orig ()
+  in
+  let with_deps fallback f =
+    match Consistency.dep_properties cc with [] -> [ fallback ] | deps -> List.map f deps
+  in
+  let inject_values orig =
+    if fire () then
+      match mode with
+      | Raise -> raise (Injected name)
+      | Return_nan -> with_deps ("injected", Value.real Float.nan) (fun p -> (p, Value.real Float.nan))
+      | Diverge -> diverge name
+    else orig ()
+  in
+  let inject_metrics orig =
+    if fire () then
+      match mode with
+      | Raise -> raise (Injected name)
+      | Return_nan -> with_deps ("injected", Float.nan) (fun p -> (p, Float.nan))
+      | Diverge -> diverge name
+    else orig ()
+  in
+  let relation =
+    match cc.Consistency.relation with
+    | Consistency.Inconsistent { violated } ->
+      Consistency.Inconsistent
+        { violated = (fun env -> inject_predicate (fun () -> violated env)) }
+    | Consistency.Eliminate { inferior } ->
+      Consistency.Eliminate
+        { inferior = (fun env core -> inject_predicate (fun () -> inferior env core)) }
+    | Consistency.Derive { compute } ->
+      Consistency.Derive { compute = (fun env -> inject_values (fun () -> compute env)) }
+    | Consistency.Estimator_context { tool; estimate } ->
+      Consistency.Estimator_context
+        { tool; estimate = (fun env -> inject_metrics (fun () -> estimate env)) }
+  in
+  Consistency.make_exn ~name ~doc:cc.Consistency.doc ~indep:cc.Consistency.indep
+    ~dep:cc.Consistency.dep relation
+
+let wrap_plan ?seed ?probability ~plan constraints =
+  List.map
+    (fun cc ->
+      match List.assoc_opt cc.Consistency.name plan with
+      | Some mode -> wrap ?seed ?probability ~mode cc
+      | None -> cc)
+    constraints
+
+let parse_spec spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Printf.sprintf "expected CC=MODE, got %S" spec)
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    let raw = String.sub spec (i + 1) (String.length spec - i - 1) in
+    if String.equal name "" then Error (Printf.sprintf "empty constraint name in %S" spec)
+    else
+      match mode_of_name raw with
+      | Some mode -> Ok (name, mode)
+      | None -> Error (Printf.sprintf "unknown fault mode %S (raise, nan or diverge)" raw))
+
+let parse_plan specs =
+  List.fold_left
+    (fun acc spec ->
+      Result.bind acc (fun plan -> Result.map (fun entry -> entry :: plan) (parse_spec spec)))
+    (Ok []) specs
+  |> Result.map List.rev

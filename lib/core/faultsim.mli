@@ -1,0 +1,61 @@
+(** Deterministic fault injection for consistency constraints.
+
+    The robustness counterpart of {!Guard}: wrappers that make any CC
+    misbehave on demand so the guarded-evaluation path can be exercised
+    end to end — in the test suite and from the [dse] CLI
+    ([--inject "CC2=raise"]).
+
+    Three failure modes cover the guard's fault taxonomy:
+
+    - [Raise]: the closure raises {!Injected} instead of computing;
+    - [Return_nan]: value-producing relations ([Derive],
+      [Estimator_context]) return NaN for every dependent property;
+      predicate relations ([Inconsistent], [Eliminate]) have no numeric
+      result, so this mode raises for them too;
+    - [Diverge]: the closure spins, calling {!Guard.tick} each
+      iteration, until the enclosing {!Guard.run} budget aborts it.
+      Outside any guard a hard iteration cap raises
+      {!Runaway_divergence} so an unguarded call site hangs a test
+      instead of the machine.
+
+    Injection is optionally flaky: with [~probability < 1.0] each
+    invocation draws from a splitmix64 PRNG seeded from [seed] and the
+    constraint name, so a given seed reproduces the exact same fault
+    sequence — flaky estimators you can re-run. *)
+
+type mode = Raise | Return_nan | Diverge
+
+val mode_name : mode -> string
+(** ["raise"] | ["nan"] | ["diverge"]. *)
+
+val mode_of_name : string -> mode option
+
+exception Injected of string
+(** Raised by [Raise]-mode (and predicate [Return_nan]-mode) wrappers;
+    the payload is the constraint name. *)
+
+exception Runaway_divergence of string
+(** A [Diverge] wrapper ran unguarded into its hard iteration cap. *)
+
+val wrap : ?seed:int -> ?probability:float -> mode:mode -> Consistency.t -> Consistency.t
+(** The same constraint (name, doc, property sets) with its relation
+    closure replaced by a faulting wrapper around the original.
+    [probability] defaults to [1.0] (fault on every invocation); when
+    lower, non-faulting invocations fall through to the original
+    closure. *)
+
+val wrap_plan :
+  ?seed:int ->
+  ?probability:float ->
+  plan:(string * mode) list ->
+  Consistency.t list ->
+  Consistency.t list
+(** Wrap the constraints named in [plan] (order preserved, unnamed
+    constraints untouched).  Unknown names are ignored — the plan may
+    target a layer that lacks some CCs. *)
+
+val parse_spec : string -> (string * mode, string) result
+(** Parse a CLI spec ["CC2=raise"] into a plan entry. *)
+
+val parse_plan : string list -> ((string * mode) list, string) result
+(** [parse_spec] over a list, stopping at the first malformed spec. *)

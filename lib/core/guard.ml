@@ -1,0 +1,141 @@
+type fault =
+  | Raised of string
+  | Non_finite of string
+  | Budget_exhausted of int
+  | Diverged of string
+
+let describe_fault = function
+  | Raised exn -> "raised: " ^ exn
+  | Non_finite what -> "non-finite value: " ^ what
+  | Budget_exhausted budget -> Printf.sprintf "evaluation budget exhausted (%d steps)" budget
+  | Diverged what -> "diverged: " ^ what
+
+let default_budget = 100_000
+
+exception Out_of_fuel
+
+(* Stack of fuel counters: the innermost [run] owns the head.  Nested
+   runs (a guarded closure calling back into guarded library code) each
+   burn their own budget. *)
+let fuel : int ref list ref = ref []
+
+let tick () =
+  match !fuel with
+  | [] -> ()
+  | r :: _ ->
+    decr r;
+    if !r <= 0 then raise Out_of_fuel
+
+let run ?(budget = default_budget) f =
+  let r = ref budget in
+  fuel := r :: !fuel;
+  let pop () = match !fuel with _ :: rest -> fuel := rest | [] -> () in
+  match f () with
+  | v ->
+    pop ();
+    Ok v
+  | exception e ->
+    pop ();
+    (match e with
+    | Out_of_fuel -> Error (Budget_exhausted budget)
+    | Out_of_memory -> raise e
+    | e -> Error (Raised (Printexc.to_string e)))
+
+let is_finite v = Float.is_finite v
+
+let finite_metrics metrics =
+  match List.find_opt (fun (_, v) -> not (is_finite v)) metrics with
+  | Some (name, v) -> Error (Non_finite (Printf.sprintf "%s = %h" name v))
+  | None -> Ok metrics
+
+let finite_values values =
+  let bad (_, value) = match value with Value.Real v -> not (is_finite v) | _ -> false in
+  match List.find_opt bad values with
+  | Some (name, value) -> Error (Non_finite (Printf.sprintf "%s = %s" name (Value.to_string value)))
+  | None -> Ok values
+
+type status =
+  | Healthy
+  | Degraded
+  | Quarantined of { reason : string; at_event : int }
+
+let status_label = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Quarantined _ -> "quarantined"
+
+type diag = {
+  cc : string;
+  op : string;
+  fault : fault;
+  quarantines : bool;
+  seq : int;
+}
+
+let describe_diag d =
+  Printf.sprintf "%s %s during %s: %s" d.cc
+    (if d.quarantines then "quarantined" else "faulted")
+    d.op (describe_fault d.fault)
+
+type entry = { mutable status : status; mutable strikes : int }
+
+type registry = {
+  states : (string, entry) Hashtbl.t;
+  mutable order : string list; (* first-fault order, newest first *)
+  mutable trail : diag list; (* newest first *)
+  mutable next_seq : int;
+}
+
+let registry () = { states = Hashtbl.create 8; order = []; trail = []; next_seq = 0 }
+
+let strikes_to_quarantine = 3
+
+let entry_of reg cc =
+  match Hashtbl.find_opt reg.states cc with
+  | Some e -> e
+  | None ->
+    let e = { status = Healthy; strikes = 0 } in
+    Hashtbl.add reg.states cc e;
+    reg.order <- cc :: reg.order;
+    e
+
+let push reg diag =
+  reg.trail <- diag :: reg.trail;
+  reg.next_seq <- reg.next_seq + 1;
+  diag
+
+let record reg ~cc ~op fault =
+  let e = entry_of reg cc in
+  let seq = reg.next_seq in
+  let quarantines =
+    match e.status with
+    | Quarantined _ -> false
+    | Healthy | Degraded -> (
+      e.strikes <- e.strikes + 1;
+      match fault with
+      | Budget_exhausted _ | Diverged _ -> true
+      | Raised _ | Non_finite _ -> e.strikes >= strikes_to_quarantine)
+  in
+  if quarantines then e.status <- Quarantined { reason = describe_fault fault; at_event = seq }
+  else if e.status = Healthy then e.status <- Degraded;
+  push reg { cc; op; fault; quarantines; seq }
+
+let force_quarantine reg ~cc ~op fault =
+  let e = entry_of reg cc in
+  match e.status with
+  | Quarantined _ -> None
+  | Healthy | Degraded ->
+    let seq = reg.next_seq in
+    e.status <- Quarantined { reason = describe_fault fault; at_event = seq };
+    Some (push reg { cc; op; fault; quarantines = true; seq })
+
+let status_of reg cc =
+  match Hashtbl.find_opt reg.states cc with Some e -> e.status | None -> Healthy
+
+let quarantined reg cc =
+  match status_of reg cc with Quarantined _ -> true | Healthy | Degraded -> false
+
+let diags reg = List.rev reg.trail
+
+let faulty reg =
+  List.rev_map (fun cc -> (cc, (Hashtbl.find reg.states cc).status)) reg.order

@@ -1,0 +1,118 @@
+(** Guarded evaluation of consistency-constraint closures.
+
+    The four relation kinds of {!Consistency} are arbitrary layer-author
+    closures.  Executed bare, one exception, one NaN or one runaway loop
+    in a formula crashes whatever session operation happened to evaluate
+    it.  This module is the containment layer: every closure invocation
+    goes through {!run}, which converts exceptions into {!fault} values,
+    and the produced numbers are vetted with {!finite_metrics} /
+    {!finite_values} so non-finite results are rejected before they
+    poison bindings or merit ranges.
+
+    {2 Step budget}
+
+    [run] also enforces a per-evaluation step budget.  Steps are
+    cooperative: library code that loops (and the divergence wrappers of
+    {!Faultsim}) calls {!tick} once per iteration; when the enclosing
+    [run] runs out of fuel the evaluation is aborted with
+    [Budget_exhausted].  Closures that never tick are unaffected — the
+    budget can only stop code that participates, which keeps the guard
+    deterministic and free of signals or threads.
+
+    {2 Health registry}
+
+    A {!registry} accumulates the faults of one session lineage (it is
+    created by [Session.create] and shared by every session derived from
+    it — a faulty closure is faulty on every exploration branch, so
+    quarantine is deliberately monotone across branches).  Each
+    constraint is [Healthy] until its first fault, [Degraded] while
+    faults stay under {!strikes_to_quarantine}, and [Quarantined] from
+    then on; budget exhaustion (divergence) quarantines immediately.
+    Quarantined constraints are skipped by the session with conservative
+    semantics — see the "Failure model" section of DESIGN.md. *)
+
+type fault =
+  | Raised of string  (** the closure raised; payload is [Printexc.to_string] *)
+  | Non_finite of string
+      (** a produced value was NaN or infinite; payload names it *)
+  | Budget_exhausted of int
+      (** the cooperative step budget ran out; payload is the budget *)
+  | Diverged of string
+      (** non-convergence detected by the caller (e.g. a derive fixpoint
+          that keeps producing new bindings past its round budget) *)
+
+val describe_fault : fault -> string
+(** One-line human rendering, e.g. ["raised: Division_by_zero"]. *)
+
+val default_budget : int
+(** Steps allowed per {!run} when [?budget] is omitted. *)
+
+val tick : unit -> unit
+(** Consume one step of the innermost enclosing {!run}.  A no-op outside
+    any [run]. *)
+
+val run : ?budget:int -> (unit -> 'a) -> ('a, fault) result
+(** Evaluate the thunk under a fresh step budget, converting any raised
+    exception (including [Stack_overflow], excluding [Out_of_memory])
+    into a [fault].  Nested [run]s each get their own budget. *)
+
+val is_finite : float -> bool
+
+val finite_metrics : (string * float) list -> ((string * float) list, fault) result
+(** All metric values finite, or the [Non_finite] fault naming the first
+    offender. *)
+
+val finite_values : (string * Value.t) list -> ((string * Value.t) list, fault) result
+(** Like {!finite_metrics} for derived bindings: [Real] values must be
+    finite ([Str]/[Int]/[Flag] always pass). *)
+
+(** Per-constraint health, the session-facing view. *)
+type status =
+  | Healthy
+  | Degraded  (** faulted, still evaluated (faults < {!strikes_to_quarantine}) *)
+  | Quarantined of { reason : string; at_event : int }
+      (** excluded from evaluation; [at_event] is the diagnostic
+          sequence number at which quarantine happened *)
+
+val status_label : status -> string
+(** ["healthy"] | ["degraded"] | ["quarantined"]. *)
+
+(** One recorded fault. *)
+type diag = {
+  cc : string;  (** constraint name *)
+  op : string;  (** session operation that was evaluating it *)
+  fault : fault;
+  quarantines : bool;  (** this fault pushed the constraint into quarantine *)
+  seq : int;  (** position in the registry's trail, from 0 *)
+}
+
+val describe_diag : diag -> string
+
+type registry
+(** Mutable fault trail and per-constraint status for one session
+    lineage. *)
+
+val registry : unit -> registry
+
+val strikes_to_quarantine : int
+(** Number of [Raised]/[Non_finite] faults that quarantines a
+    constraint (budget exhaustion quarantines on the first). *)
+
+val record : registry -> cc:string -> op:string -> fault -> diag
+(** Append a fault and update the constraint's status per the policy
+    above.  Returns the recorded diagnostic. *)
+
+val force_quarantine : registry -> cc:string -> op:string -> fault -> diag option
+(** Quarantine unconditionally, whatever the strike count (used for
+    derive non-convergence, where the offending constraint must stop
+    being evaluated at once).  [None] when the constraint is already
+    quarantined. *)
+
+val status_of : registry -> string -> status
+val quarantined : registry -> string -> bool
+
+val diags : registry -> diag list
+(** Every recorded diagnostic, oldest first. *)
+
+val faulty : registry -> (string * status) list
+(** Constraints that are not [Healthy], in first-fault order. *)

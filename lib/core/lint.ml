@@ -37,6 +37,31 @@ let property_exists_somewhere hierarchy name =
       | None -> false)
     (Hierarchy.node_paths hierarchy)
 
+(* Probe the value-producing closures with an empty environment: a
+   formula that yields non-finite values before any input is bound is
+   broken unconditionally, and one that spins past the step budget will
+   spin in sessions too.  Raising is tolerated — sessions only evaluate
+   a closure once its independent set is bound, and closures may assume
+   that. *)
+let probe_findings cc =
+  let assess what = function
+    | Stdlib.Error ((Guard.Budget_exhausted _ | Guard.Non_finite _) as fault) ->
+      [
+        finding Warning cc.Consistency.name
+          (Printf.sprintf "%s probed with no inputs: %s" what (Guard.describe_fault fault));
+      ]
+    | Stdlib.Error (Guard.Raised _ | Guard.Diverged _) | Stdlib.Ok _ -> []
+  in
+  match cc.Consistency.relation with
+  | Consistency.Derive { compute } ->
+    assess "derive formula"
+      (Result.bind (Guard.run (fun () -> compute Consistency.empty_env)) Guard.finite_values)
+  | Consistency.Estimator_context { tool; estimate } ->
+    assess
+      (Printf.sprintf "estimator %s" tool)
+      (Result.bind (Guard.run (fun () -> estimate Consistency.empty_env)) Guard.finite_metrics)
+  | Consistency.Inconsistent _ | Consistency.Eliminate _ -> []
+
 let check_constraints hierarchy constraints =
   let dangling =
     List.concat_map
@@ -83,7 +108,7 @@ let check_constraints hierarchy constraints =
       (fun name -> finding Error name "duplicate constraint name")
       (List.sort_uniq String.compare (dups sorted))
   in
-  dangling @ duplicates
+  dangling @ duplicates @ List.concat_map probe_findings constraints
 
 let check_nodes hierarchy =
   List.concat_map

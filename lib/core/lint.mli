@@ -28,7 +28,11 @@ val check : ?constraints:Consistency.t list -> Hierarchy.t -> finding list
     - {b undocumented design issue} (warning): a design issue with no
       doc string and no default — self-documentation gap;
     - {b single-option generalized issue} (warning): a specialization
-      that cannot discriminate. *)
+      that cannot discriminate;
+    - {b faulty formula probe} (warning): a derive/estimator closure
+      that, evaluated under {!Guard.run} with an empty environment,
+      produces non-finite values or exhausts the step budget (raising is
+      tolerated: closures may assume their independent set is bound). *)
 
 val is_clean : ?constraints:Consistency.t list -> Hierarchy.t -> bool
 (** No errors (warnings allowed). *)

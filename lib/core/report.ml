@@ -33,7 +33,11 @@ let render ?(title = "Exploration report") ?(merits = []) ?pareto session =
         add "1. retracted **%s**%s\n" name
           (if invalidated = [] then ""
            else Printf.sprintf " (invalidated: %s)" (String.concat ", " invalidated))
-      | Session.Note s -> add "1. note: %s\n" s)
+      | Session.Note s -> add "1. note: %s\n" s
+      | Session.Constraint_faulted { name; op; detail } ->
+        add "1. constraint **%s** faulted during %s: %s\n" name op detail
+      | Session.Constraint_quarantined { name; op; reason } ->
+        add "1. constraint **%s** quarantined during %s: %s\n" name op reason)
     (Session.events session);
 
   let candidates = Session.candidates session in
@@ -57,9 +61,17 @@ let render ?(title = "Exploration report") ?(merits = []) ?pareto session =
     add "\n### Ranges\n\n";
     List.iter
       (fun m ->
-        match Session.merit_range session ~merit:m with
-        | Some (lo, hi) -> add "- %s: %.4g .. %.4g\n" m lo hi
-        | None -> ())
+        let summary = Session.merit_summary session ~merit:m in
+        let skipped =
+          if summary.Evaluation.skipped_non_finite = 0 then ""
+          else
+            Printf.sprintf " (%d core%s with non-finite values skipped)"
+              summary.Evaluation.skipped_non_finite
+              (if summary.Evaluation.skipped_non_finite = 1 then "" else "s")
+        in
+        match summary.Evaluation.merit_range with
+        | Some (lo, hi) -> add "- %s: %.4g .. %.4g%s\n" m lo hi skipped
+        | None -> if skipped <> "" then add "- %s: no finite values%s\n" m skipped)
       merits);
 
   (match pareto with
@@ -79,6 +91,28 @@ let render ?(title = "Exploration report") ?(merits = []) ?pareto session =
       (fun (tool, metrics) ->
         List.iter (fun (m, v) -> add "- %s: %s = %.4g\n" tool m v) metrics)
       estimates);
+
+  (* absent from fault-free reports, so those stay byte-identical *)
+  (match List.filter (fun (_, s) -> s <> Guard.Healthy) (Session.health session) with
+  | [] -> ()
+  | faulty ->
+    add "\n## Constraint health\n\n";
+    add "Faulty constraints are excluded conservatively: the candidate set may be\n";
+    add "wider than a fully consistent layer would allow.\n\n";
+    List.iter
+      (fun (name, status) ->
+        match status with
+        | Guard.Quarantined { reason; at_event } ->
+          add "- **%s**: quarantined (%s; diagnostic #%d)\n" name reason at_event
+        | Guard.Degraded -> add "- **%s**: degraded (still evaluated)\n" name
+        | Guard.Healthy -> ())
+      faulty;
+    match Session.diagnostics session with
+    | [] -> ()
+    | diags ->
+      add "\n%d fault%s recorded; first: %s\n" (List.length diags)
+        (if List.length diags = 1 then "" else "s")
+        (Guard.describe_diag (List.hd diags)));
   Buffer.contents buf
 
 let save ?title ?merits ?pareto session ~path =

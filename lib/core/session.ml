@@ -20,6 +20,8 @@ type event =
   | Binding_derived of { name : string; value : Value.t; by : string }
   | Binding_retracted of { name : string; invalidated : string list }
   | Note of string
+  | Constraint_faulted of { name : string; op : string; detail : string }
+  | Constraint_quarantined of { name : string; op : string; reason : string }
 
 type t = {
   hierarchy : Hierarchy.t;
@@ -28,6 +30,10 @@ type t = {
   focus : string list;
   bindings : binding list;
   events : event list; (* newest first *)
+  guard : Guard.registry;
+      (* shared by every session derived from this one: a faulty closure
+         is faulty on every exploration branch, so quarantine carries
+         across branches (and is monotone) *)
 }
 
 let create ~hierarchy ?(constraints = []) ~cores () =
@@ -38,6 +44,7 @@ let create ~hierarchy ?(constraints = []) ~cores () =
     focus = [ (Hierarchy.root hierarchy).Cdo.name ];
     bindings = [];
     events = [];
+    guard = Guard.registry ();
   }
 
 let hierarchy t = t.hierarchy
@@ -51,7 +58,28 @@ let focus_cdo t =
 let bindings t = t.bindings
 let binding t name = List.find_opt (fun b -> String.equal b.prop.Property.name name) t.bindings
 let value_of t name = Option.map (fun b -> b.value) (binding t name)
-let events t = List.rev t.events
+
+(* Guard diagnostics are recorded in the shared registry (queries like
+   [candidates] evaluate closures too but return no new session); they
+   are rendered into the event trail on the fly, after the session's own
+   events. *)
+let diag_event (d : Guard.diag) =
+  let detail = Guard.describe_fault d.Guard.fault in
+  if d.Guard.quarantines then
+    Constraint_quarantined { name = d.Guard.cc; op = d.Guard.op; reason = detail }
+  else Constraint_faulted { name = d.Guard.cc; op = d.Guard.op; detail }
+
+let events t = List.rev t.events @ List.map diag_event (Guard.diags t.guard)
+
+let health t =
+  List.map (fun cc -> (cc.Consistency.name, Guard.status_of t.guard cc.Consistency.name)) t.constraints
+
+let diagnostics t = Guard.diags t.guard
+
+let quarantined_cc t cc = Guard.quarantined t.guard cc.Consistency.name
+
+let record_fault t cc ~op fault =
+  ignore (Guard.record t.guard ~cc:cc.Consistency.name ~op fault)
 
 let ancestor_paths t =
   let rec prefixes acc cur = function
@@ -91,15 +119,25 @@ let governing t name =
     t.constraints
 
 (* Inconsistent-options constraints with every referenced property bound
-   are "active" and must hold. *)
+   are "active" and must hold.  A quarantined predicate is skipped: the
+   designer keeps working with a sound-but-wider space and the registry
+   carries the warning (conservative: warn instead of reject). *)
 let active_violations t =
   let bound = bound_fn t in
   List.filter_map
     (fun cc ->
       match cc.Consistency.relation with
       | Consistency.Inconsistent _ ->
-        if List.for_all bound cc.Consistency.indep && List.for_all bound cc.Consistency.dep then
-          Consistency.check cc (env t)
+        if
+          (not (quarantined_cc t cc))
+          && List.for_all bound cc.Consistency.indep
+          && List.for_all bound cc.Consistency.dep
+        then
+          match Guard.run (fun () -> Consistency.check cc (env t)) with
+          | Ok violation -> violation
+          | Error fault ->
+            record_fault t cc ~op:"check" fault;
+            None
         else None
       | Consistency.Derive _ | Consistency.Estimator_context _ | Consistency.Eliminate _ -> None)
     t.constraints
@@ -107,17 +145,27 @@ let active_violations t =
 let violations = active_violations
 
 (* Run Derive constraints to a fixpoint, adding derived bindings for
-   properties that are visible and unbound. *)
+   properties that are visible and unbound.  Each compute closure runs
+   guarded: a fault (exception, non-finite derived value, exhausted step
+   budget) drops that constraint's contribution for this round and is
+   recorded in the registry.  A fixpoint that still produces new
+   bindings when the round budget runs out is not truncated silently:
+   the constraints that fed the final round are quarantined with a
+   divergence diagnostic. *)
 let derive_fixpoint t =
   let rec step t budget =
-    if budget = 0 then t
-    else begin
-      let added = ref false in
-      let t' =
-        List.fold_left
-          (fun t cc ->
-            match cc.Consistency.relation with
-            | Consistency.Derive { compute } when Consistency.ready cc ~bound:(bound_fn t) ->
+    let added_by = ref [] in
+    let t' =
+      List.fold_left
+        (fun t cc ->
+          match cc.Consistency.relation with
+          | Consistency.Derive { compute }
+            when (not (quarantined_cc t cc)) && Consistency.ready cc ~bound:(bound_fn t) -> (
+            match Result.bind (Guard.run (fun () -> compute (env t))) Guard.finite_values with
+            | Error fault ->
+              record_fault t cc ~op:"derive" fault;
+              t
+            | Ok values ->
               List.fold_left
                 (fun t (name, value) ->
                   match binding t name with
@@ -127,7 +175,7 @@ let derive_fixpoint t =
                     | None -> t
                     | Some (defined_at, prop) ->
                       if Property.accepts prop value then begin
-                        added := true;
+                        added_by := cc.Consistency.name :: !added_by;
                         {
                           t with
                           bindings =
@@ -138,14 +186,24 @@ let derive_fixpoint t =
                         }
                       end
                       else t))
-                t (compute (env t))
-            | Consistency.Derive _ | Consistency.Inconsistent _ | Consistency.Estimator_context _
-            | Consistency.Eliminate _ ->
-              t)
-          t t.constraints
-      in
-      if !added then step t' (budget - 1) else t'
+                t values)
+          | Consistency.Derive _ | Consistency.Inconsistent _ | Consistency.Estimator_context _
+          | Consistency.Eliminate _ ->
+            t)
+        t t.constraints
+    in
+    if !added_by = [] then t'
+    else if budget = 0 then begin
+      List.iter
+        (fun name ->
+          ignore
+            (Guard.force_quarantine t'.guard ~cc:name ~op:"derive"
+               (Guard.Diverged
+                  "derive fixpoint exhausted its round budget (non-convergence or oscillation)")))
+        (List.sort_uniq String.compare !added_by);
+      t'
     end
+    else step t' (budget - 1)
   in
   step t (List.length t.constraints + 8)
 
@@ -160,12 +218,20 @@ let candidates t =
         || Core.matches_property core ~key:b.prop.Property.name ~value:(Value.to_string b.value))
       issue_bindings
   in
+  (* A faulting or quarantined elimination predicate never discards a
+     core: the space may only stay the same or widen. *)
   let eliminated core =
     List.exists
       (fun cc ->
         match cc.Consistency.relation with
         | Consistency.Eliminate { inferior } ->
-          Consistency.ready cc ~bound:(bound_fn t) && inferior (env t) core
+          (not (quarantined_cc t cc))
+          && Consistency.ready cc ~bound:(bound_fn t)
+          && (match Guard.run (fun () -> inferior (env t) core) with
+             | Ok inferior -> inferior
+             | Error fault ->
+               record_fault t cc ~op:"eliminate" fault;
+               false)
         | Consistency.Inconsistent _ | Consistency.Derive _ | Consistency.Estimator_context _ ->
           false)
       t.constraints
@@ -178,6 +244,7 @@ let population t = Index.all t.index
 
 let candidate_count t = List.length (candidates t)
 let merit_range t ~merit = Evaluation.merit_range (candidates t) ~merit
+let merit_summary t ~merit = Evaluation.merit_summary (candidates t) ~merit
 
 let eligible t name =
   List.for_all (fun cc -> Consistency.ready cc ~bound:(bound_fn t)) (governing t name)
@@ -353,7 +420,13 @@ let estimates t =
     (fun cc ->
       match cc.Consistency.relation with
       | Consistency.Estimator_context { tool; estimate } ->
-        if Consistency.ready cc ~bound:(bound_fn t) then Some (tool, estimate (env t)) else None
+        if (not (quarantined_cc t cc)) && Consistency.ready cc ~bound:(bound_fn t) then
+          match Result.bind (Guard.run (fun () -> estimate (env t))) Guard.finite_metrics with
+          | Ok metrics -> Some (tool, metrics)
+          | Error fault ->
+            record_fault t cc ~op:"estimate" fault;
+            None
+        else None
       | Consistency.Inconsistent _ | Consistency.Derive _ | Consistency.Eliminate _ -> None)
     t.constraints
 
@@ -376,7 +449,9 @@ let script t =
         entries @ [ (name, value) ]
       | Binding_retracted { name; invalidated } ->
         List.fold_left (fun acc n -> remove_last n acc) entries (name :: invalidated)
-      | Focus_descended _ | Binding_derived _ | Note _ -> entries)
+      | Focus_descended _ | Binding_derived _ | Note _ | Constraint_faulted _
+      | Constraint_quarantined _ ->
+        entries)
     [] (events t)
 
 let replay t entries =
@@ -414,5 +489,23 @@ let pp_trace fmt t =
         Format.fprintf fmt "  retracted %s%s@." name
           (if invalidated = [] then ""
            else " (invalidated: " ^ String.concat ", " invalidated ^ ")")
-      | Note s -> Format.fprintf fmt "  note: %s@." s)
-    (events t)
+      | Note s -> Format.fprintf fmt "  note: %s@." s
+      | Constraint_faulted { name; op; detail } ->
+        Format.fprintf fmt "  constraint %s faulted during %s: %s@." name op detail
+      | Constraint_quarantined { name; op; reason } ->
+        Format.fprintf fmt "  constraint %s quarantined during %s: %s@." name op reason)
+    (events t);
+  (* only non-healthy constraints are listed, so a fault-free trace is
+     byte-identical to the unguarded one *)
+  match List.filter (fun (_, s) -> s <> Guard.Healthy) (health t) with
+  | [] -> ()
+  | faulty ->
+    Format.fprintf fmt "constraint health:@.";
+    List.iter
+      (fun (name, status) ->
+        match status with
+        | Guard.Quarantined { reason; at_event } ->
+          Format.fprintf fmt "  %s: quarantined (%s; diagnostic #%d)@." name reason at_event
+        | Guard.Degraded -> Format.fprintf fmt "  %s: degraded@." name
+        | Guard.Healthy -> ())
+      faulty

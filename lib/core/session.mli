@@ -15,7 +15,21 @@
 
     Sessions are immutable values: every operation returns a new
     session, so exploration branches can be compared side by side (the
-    trade-off exploration the paper emphasises). *)
+    trade-off exploration the paper emphasises).
+
+    {2 Guarded constraint evaluation}
+
+    Constraint closures are layer-author code and may misbehave; every
+    invocation runs under {!Guard.run}, so no session operation raises
+    because of a faulty CC and non-finite derived/estimated values are
+    rejected.  Faults accumulate per constraint in a health registry
+    shared by every session derived from the same {!create} (quarantine
+    is monotone across exploration branches: a faulty closure is faulty
+    on all of them).  A quarantined CC is excluded with conservative
+    semantics: [Eliminate] keeps all cores, [Inconsistent] warns (via
+    the diagnostics) instead of rejecting, [Derive]/[Estimator_context]
+    are skipped — the designer keeps working with a sound-but-wider
+    space.  Fault-free sessions behave exactly as before guarding. *)
 
 type source = Designer | Default_value | Derived of string
 
@@ -37,6 +51,12 @@ type event =
   | Binding_derived of { name : string; value : Value.t; by : string }
   | Binding_retracted of { name : string; invalidated : string list }
   | Note of string
+  | Constraint_faulted of { name : string; op : string; detail : string }
+      (** a constraint closure misbehaved during [op] ("check",
+          "derive", "estimate" or "eliminate") but is still evaluated *)
+  | Constraint_quarantined of { name : string; op : string; reason : string }
+      (** the fault pushed the constraint into quarantine; it is
+          excluded from evaluation from here on *)
 
 type t
 
@@ -56,7 +76,18 @@ val bindings : t -> binding list
 val binding : t -> string -> binding option
 val value_of : t -> string -> Value.t option
 val events : t -> event list
-(** Oldest first — the session's self-documentation trail. *)
+(** Oldest first — the session's self-documentation trail.  Guard
+    diagnostics ([Constraint_faulted] / [Constraint_quarantined]) are
+    appended after the session's own events, in fault order, because
+    they may also be recorded by read-only queries ({!candidates},
+    {!estimates}) that return no new session. *)
+
+val health : t -> (string * Guard.status) list
+(** Per-constraint health, one entry per constraint in declaration
+    order.  All [Healthy] unless a closure has faulted. *)
+
+val diagnostics : t -> Guard.diag list
+(** Every guard fault recorded by this session lineage, oldest first. *)
 
 val env : t -> Consistency.env
 (** The constraint-evaluation view of the current bindings. *)
@@ -95,7 +126,12 @@ val candidates : t -> (string * Ds_reuse.Core.t) list
 val candidate_count : t -> int
 
 val merit_range : t -> merit:string -> (float * float) option
-(** Range of a figure of merit over the current candidates. *)
+(** Range of a figure of merit over the current candidates (non-finite
+    merit values are skipped, see {!Evaluation.merit_range}). *)
+
+val merit_summary : t -> merit:string -> Evaluation.merit_summary
+(** The range plus how many candidates were skipped (non-finite merit)
+    or carry no such merit. *)
 
 (** The outcome of tentatively choosing one option of a design issue. *)
 type option_preview = {

@@ -84,6 +84,15 @@ let () =
                [ "hw-lib/#2_64"; "derived Latency Cycles := 769" ]);
           Alcotest.test_case "explore bad decision fails" `Quick
             (check_cmd ~expect_code:1 "explore --set \"Algorithm=Quantum\"" []);
+          Alcotest.test_case "explore with injected fault" `Quick
+            (check_cmd
+               "explore --inject \"CC6=raise\" --set \"Implementation Style=hardware\" --set \
+                \"Algorithm=Montgomery\" --set \"Radix=2\""
+               [ "constraint health:"; "CC6: quarantined" ]);
+          Alcotest.test_case "explore bad inject spec" `Quick
+            (check_cmd ~expect_code:1 "explore --inject \"CC6=bogus\"" [ "unknown fault mode" ]);
+          Alcotest.test_case "explore inject unknown constraint" `Quick
+            (check_cmd ~expect_code:1 "explore --inject \"NOPE=raise\"" [ "no constraint named" ]);
           Alcotest.test_case "preview" `Quick
             (check_cmd "preview Algorithm --set \"Implementation Style=hardware\""
                [ "Montgomery"; "Brickell" ]);

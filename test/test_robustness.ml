@@ -1,0 +1,350 @@
+(* End-to-end robustness of guarded constraint evaluation: a full
+   exploration session under injected faults (raise, NaN, divergence, in
+   every relation kind) must never raise, must quarantine the faulty CCs
+   with diagnostics visible in events/pp_trace/report/health, and may
+   only widen the candidate set (conservative semantics).  A fault-free
+   session must carry no trace of the guard. *)
+
+open Ds_layer
+module CL = Ds_domains.Crypto_layer
+module N = Ds_domains.Names
+module Core = Ds_reuse.Core
+
+let cores () = Ds_reuse.Registry.all_cores (Ds_domains.Populate.standard_registry ~eol:768 ())
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.equal (String.sub haystack i nl) needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* The case-study walk: down to the modular multiplier, requirements in,
+   hardware Montgomery at radix 2, then the slicing decisions (which
+   keep the derive constraints firing) and the default behavioral
+   description (which arms the estimator context CC3). *)
+let drive session =
+  let ( >>= ) = Result.bind in
+  CL.navigate_to_omm session
+  >>= fun s ->
+  CL.apply_requirements s CL.coprocessor_requirements
+  >>= fun s ->
+  Session.set s N.implementation_style (Value.str N.hardware)
+  >>= fun s ->
+  Session.set s N.algorithm (Value.str N.montgomery)
+  >>= fun s ->
+  Session.set s N.radix (Value.int 2)
+  >>= fun s ->
+  Session.set_default s N.behavioral_description
+  >>= fun s ->
+  Session.set s N.number_of_slices (Value.int 6) >>= fun s -> Session.set s N.slice_width (Value.int 128)
+
+(* Read-only queries also evaluate closures; repeating them accumulates
+   the strikes that push a flaky constraint into quarantine. *)
+let exercise s =
+  for _ = 1 to 3 do
+    ignore (Session.candidates s);
+    ignore (Session.estimates s);
+    ignore (Session.merit_range s ~merit:N.m_latency_ns);
+    ignore (Session.violations s)
+  done
+
+let drive_exn session =
+  match drive session with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "exploration stopped: %s" msg
+
+let baseline_candidates =
+  lazy (Session.candidate_count (drive_exn (CL.session ~cores:(cores ()))))
+
+let injected_session plan =
+  let constraints = Faultsim.wrap_plan ~plan CL.constraints in
+  Session.create ~hierarchy:CL.hierarchy ~constraints ~cores:(cores ()) ()
+
+(* -------------------------------------------------------------------- *)
+(* Injection across every relation kind x every fault mode               *)
+
+let test_injection cc mode () =
+  let s = drive_exn (injected_session [ (cc, mode) ]) in
+  exercise s;
+  (match List.assoc cc (Session.health s) with
+  | Guard.Quarantined _ -> ()
+  | status ->
+    Alcotest.failf "%s under %s: expected quarantine, got %s" cc (Faultsim.mode_name mode)
+      (Guard.status_label status));
+  Alcotest.(check bool)
+    "quarantine event in the trail" true
+    (List.exists
+       (function
+         | Session.Constraint_quarantined { name; _ } -> String.equal name cc
+         | _ -> false)
+       (Session.events s));
+  let trace = Format.asprintf "%a" Session.pp_trace s in
+  Alcotest.(check bool) "pp_trace names the CC" true (contains trace cc);
+  Alcotest.(check bool) "pp_trace shows quarantine" true (contains trace "quarantined");
+  let report = Report.render ~merits:[ N.m_latency_ns ] s in
+  Alcotest.(check bool) "report has a health section" true (contains report "## Constraint health");
+  (* conservative semantics: the space never shrinks below the
+     fault-free one *)
+  Alcotest.(check bool) "candidates only widen" true
+    (Session.candidate_count s >= Lazy.force baseline_candidates)
+
+let injection_cases =
+  (* one constraint per relation kind: CC1 inconsistent-options, CC2
+     derive, CC3 estimator context, CC6 eliminate *)
+  List.concat_map
+    (fun cc ->
+      List.map
+        (fun mode ->
+          Alcotest.test_case
+            (Printf.sprintf "%s under %s" cc (Faultsim.mode_name mode))
+            `Quick (test_injection cc mode))
+        [ Faultsim.Raise; Faultsim.Return_nan; Faultsim.Diverge ])
+    [ "CC1"; "CC2"; "CC3"; "CC6" ]
+
+(* -------------------------------------------------------------------- *)
+(* Fault-free sessions carry no trace of the guard                       *)
+
+let test_fault_free () =
+  let s = drive_exn (CL.session ~cores:(cores ())) in
+  exercise s;
+  Alcotest.(check bool) "all healthy" true
+    (List.for_all (fun (_, status) -> status = Guard.Healthy) (Session.health s));
+  Alcotest.(check int) "no diagnostics" 0 (List.length (Session.diagnostics s));
+  Alcotest.(check bool) "no fault events" true
+    (List.for_all
+       (function
+         | Session.Constraint_faulted _ | Session.Constraint_quarantined _ -> false
+         | _ -> true)
+       (Session.events s));
+  let trace = Format.asprintf "%a" Session.pp_trace s in
+  Alcotest.(check bool) "no health section in trace" false (contains trace "constraint health");
+  let report = Report.render ~merits:[ N.m_latency_ns ] s in
+  Alcotest.(check bool) "no health section in report" false (contains report "Constraint health")
+
+(* -------------------------------------------------------------------- *)
+(* Quarantine carries across branches; previews never poison candidates  *)
+
+let test_quarantine_shared_across_branches () =
+  let s = drive_exn (injected_session [ ("CC6", Faultsim.Raise) ]) in
+  ignore (Session.candidates s);
+  (* a branch taken before the fault still sees the quarantine: the
+     registry belongs to the lineage, not the branch *)
+  match Session.retract s N.radix with
+  | Error msg -> Alcotest.failf "retract failed: %s" msg
+  | Ok branch ->
+    (match List.assoc "CC6" (Session.health branch) with
+    | Guard.Quarantined _ -> ()
+    | status -> Alcotest.failf "branch lost the quarantine: %s" (Guard.status_label status))
+
+let test_preview_under_injection () =
+  let s = injected_session [ ("CC1", Faultsim.Raise) ] in
+  let ( >>= ) = Result.bind in
+  match
+    CL.navigate_to_omm s
+    >>= fun s ->
+    CL.apply_requirements s CL.coprocessor_requirements
+    >>= fun s -> Session.preview_options s ~issue:N.implementation_style ~merit:N.m_latency_ns
+  with
+  | Error msg -> Alcotest.failf "preview failed: %s" msg
+  | Ok previews ->
+    Alcotest.(check int) "both options explored" 2
+      (List.length
+         (List.filter (fun p -> match p.Session.outcome with `Explored _ -> true | _ -> false) previews))
+
+(* -------------------------------------------------------------------- *)
+(* Derive fixpoint non-convergence                                       *)
+
+let chain_length = 14
+let chain_name i = Printf.sprintf "C%d" i
+
+let chain_session () =
+  let props =
+    List.init (chain_length + 1) (fun i ->
+        Property.make_exn ~name:(chain_name i) ~kind:Property.Requirement
+          ~domain:Domain.non_negative_real ())
+  in
+  let root = Cdo.leaf_exn ~name:"chain" props in
+  let hierarchy = Hierarchy.create_exn root in
+  (* every round derives exactly one further link: the fixpoint can
+     never settle within its round budget *)
+  let cc =
+    Consistency.make_exn ~name:"CC-chain" ~doc:"derives the next link forever"
+      ~indep:[ Propref.parse_exn (chain_name 0 ^ "@chain") ]
+      ~dep:[ Propref.parse_exn (chain_name 1 ^ "@chain") ]
+      (Consistency.Derive
+         {
+           compute =
+             (fun env ->
+               let rec highest i =
+                 if i = 0 then 0
+                 else
+                   match env.Consistency.value_of (chain_name i) with
+                   | Some _ -> i
+                   | None -> highest (i - 1)
+               in
+               let i = highest chain_length in
+               if i >= chain_length then [] else [ (chain_name (i + 1), Value.real 1.0) ]);
+         })
+  in
+  Session.create ~hierarchy ~constraints:[ cc ] ~cores:[] ()
+
+let test_derive_non_convergence () =
+  match Session.set (chain_session ()) (chain_name 0) (Value.real 1.0) with
+  | Error msg -> Alcotest.failf "set failed: %s" msg
+  | Ok s ->
+    (match List.assoc "CC-chain" (Session.health s) with
+    | Guard.Quarantined { reason; _ } ->
+      Alcotest.(check bool) "reason mentions the budget" true (contains reason "budget")
+    | status -> Alcotest.failf "expected quarantine, got %s" (Guard.status_label status));
+    Alcotest.(check bool) "diagnosed in the event trail" true
+      (List.exists
+         (function
+           | Session.Constraint_quarantined { name; _ } -> String.equal name "CC-chain"
+           | _ -> false)
+         (Session.events s));
+    (* the rounds that did run kept their bindings: truncation is
+       diagnosed, not silent *)
+    Alcotest.(check bool) "partial chain derived" true (Session.value_of s (chain_name 5) <> None);
+    Alcotest.(check bool) "tail underived" true
+      (Session.value_of s (chain_name chain_length) = None)
+
+(* -------------------------------------------------------------------- *)
+(* Flaky injection is reproducible from its seed                         *)
+
+let test_flaky_determinism () =
+  let run () =
+    let constraints =
+      List.map
+        (fun cc ->
+          if String.equal cc.Consistency.name "CC6" then
+            Faultsim.wrap ~seed:42 ~probability:0.5 ~mode:Faultsim.Raise cc
+          else cc)
+        CL.constraints
+    in
+    let s =
+      drive_exn (Session.create ~hierarchy:CL.hierarchy ~constraints ~cores:(cores ()) ())
+    in
+    exercise s;
+    List.map Guard.describe_diag (Session.diagnostics s)
+  in
+  let first = run () and second = run () in
+  Alcotest.(check (list string)) "same fault sequence" first second;
+  Alcotest.(check bool) "flakiness actually fired" true (first <> [])
+
+(* -------------------------------------------------------------------- *)
+(* Guard unit behavior                                                   *)
+
+let test_guard_run () =
+  (match Guard.run (fun () -> 41 + 1) with
+  | Ok v -> Alcotest.(check int) "value through" 42 v
+  | Error f -> Alcotest.failf "unexpected fault: %s" (Guard.describe_fault f));
+  (match Guard.run (fun () -> raise Exit) with
+  | Error (Guard.Raised _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "exception not converted");
+  (match
+     Guard.run ~budget:100 (fun () ->
+         while true do
+           Guard.tick ()
+         done)
+   with
+  | Error (Guard.Budget_exhausted 100) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "budget not enforced");
+  (* ticking outside any run is a no-op *)
+  Guard.tick ();
+  (match Guard.finite_values [ ("a", Value.real 1.0); ("b", Value.real Float.nan) ] with
+  | Error (Guard.Non_finite _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "NaN value accepted");
+  match Guard.finite_metrics [ ("m", Float.infinity) ] with
+  | Error (Guard.Non_finite _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "infinite metric accepted"
+
+let test_guard_strikes () =
+  let reg = Guard.registry () in
+  let record () = ignore (Guard.record reg ~cc:"X" ~op:"check" (Guard.Raised "boom")) in
+  record ();
+  Alcotest.(check string) "degraded after one" "degraded" (Guard.status_label (Guard.status_of reg "X"));
+  record ();
+  record ();
+  Alcotest.(check bool) "quarantined at three" true (Guard.quarantined reg "X");
+  ignore (Guard.record reg ~cc:"Y" ~op:"derive" (Guard.Budget_exhausted 7));
+  Alcotest.(check bool) "divergence quarantines at once" true (Guard.quarantined reg "Y");
+  Alcotest.(check int) "trail keeps every fault" 4 (List.length (Guard.diags reg))
+
+(* -------------------------------------------------------------------- *)
+(* Evaluation: NaN merits are skipped, and counted                       *)
+
+let mk_core id merits =
+  ( id,
+    Core.make_exn ~id ~name:id ~provider:"test" ~kind:Core.Hard_core ~properties:[] ~merits () )
+
+let test_merit_summary () =
+  let cores =
+    [
+      mk_core "a" [ ("lat", 100.0) ];
+      mk_core "b" [ ("lat", Float.nan) ];
+      mk_core "c" [ ("lat", 300.0) ];
+      mk_core "d" [ ("other", 1.0) ];
+      mk_core "e" [ ("lat", Float.infinity) ];
+    ]
+  in
+  let s = Evaluation.merit_summary cores ~merit:"lat" in
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "finite range" (Some (100.0, 300.0))
+    s.Evaluation.merit_range;
+  Alcotest.(check int) "non-finite skipped" 2 s.Evaluation.skipped_non_finite;
+  Alcotest.(check int) "missing counted" 1 s.Evaluation.missing;
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "merit_range agrees"
+    (Some (100.0, 300.0))
+    (Evaluation.merit_range cores ~merit:"lat")
+
+(* -------------------------------------------------------------------- *)
+(* Lint probes surface unconditionally-broken formulas                   *)
+
+let test_lint_probe () =
+  let prop =
+    Property.make_exn ~name:"M" ~kind:Property.Requirement ~domain:Domain.non_negative_real ()
+  in
+  let hierarchy = Hierarchy.create_exn (Cdo.leaf_exn ~name:"n" [ prop ]) in
+  let nan_cc =
+    Consistency.make_exn ~name:"CC-nan" ~indep:[ Propref.parse_exn "M@n" ]
+      ~dep:[ Propref.parse_exn "M@n" ]
+      (Consistency.Derive { compute = (fun _ -> [ ("M", Value.real Float.nan) ]) })
+  in
+  let findings = Lint.check ~constraints:[ nan_cc ] hierarchy in
+  Alcotest.(check bool) "probe warning emitted" true
+    (List.exists
+       (fun f ->
+         f.Lint.severity = Lint.Warning
+         && String.equal f.Lint.subject "CC-nan"
+         && contains f.Lint.message "probed with no inputs")
+       findings);
+  (* the stock layer's closures pass the probe: no new findings *)
+  Alcotest.(check bool) "stock layer unaffected" true
+    (List.for_all
+       (fun f -> not (contains f.Lint.message "probed with no inputs"))
+       (Lint.check ~constraints:CL.constraints CL.hierarchy));
+  (* Layer.warnings is the same surface *)
+  let layer = CL.layer ~eol:768 () in
+  Alcotest.(check bool) "layer warnings clean" true
+    (List.for_all (fun f -> not (contains f.Lint.message "probed")) (Layer.warnings layer))
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ("injection", injection_cases);
+      ( "degradation",
+        [
+          Alcotest.test_case "fault-free leaves no trace" `Quick test_fault_free;
+          Alcotest.test_case "quarantine shared across branches" `Quick
+            test_quarantine_shared_across_branches;
+          Alcotest.test_case "preview under injection" `Quick test_preview_under_injection;
+          Alcotest.test_case "derive non-convergence" `Quick test_derive_non_convergence;
+          Alcotest.test_case "flaky injection deterministic" `Quick test_flaky_determinism;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "run/tick/finite" `Quick test_guard_run;
+          Alcotest.test_case "strike policy" `Quick test_guard_strikes;
+        ] );
+      ( "evaluation",
+        [ Alcotest.test_case "merit summary skips NaN" `Quick test_merit_summary ] );
+      ("lint", [ Alcotest.test_case "probe findings" `Quick test_lint_probe ]);
+    ]
