@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test check bench doc examples clean
+.PHONY: all test check bench bench-json doc examples clean
 
 all:
 	dune build @all
@@ -8,15 +8,20 @@ all:
 test:
 	dune runtest --force
 
-# Full gate: build, tests, docs, examples.  What CI runs.
+# Full gate: build, tests, docs, examples, bench smoke.  What CI runs.
 check:
 	dune build
 	dune runtest --force
 	dune build @doc
 	$(MAKE) examples
+	dune exec bench/main.exe -- micro --json --smoke
 
 bench:
 	dune exec bench/main.exe
+
+# The incremental-pruning baseline at full population sizes (slow).
+bench-json:
+	dune exec bench/main.exe -- micro --json
 
 doc:
 	dune build @doc

@@ -5,6 +5,9 @@
      dune exec bench/main.exe            -- run every experiment + micro
      dune exec bench/main.exe table1     -- one experiment
      dune exec bench/main.exe fig6 fig9  -- several
+     dune exec bench/main.exe micro --json [--smoke]
+                                         -- incremental-pruning baseline
+                                            -> BENCH_PR2.json
 
    Experiments: table1 fig3 fig6 fig7 fig8 fig9 fig10 fig12 fig13
                 casestudy ablation power micro *)
@@ -823,6 +826,171 @@ let scale () =
   printf "\n(depth 3, branching 3, 2 plain issues per node; times are CPU ms)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Incremental-pruning baseline (BENCH_PR2.json)                        *)
+
+(* Measures the interactive unit the paper cares about: after a single
+   binding change, re-query the candidate family and its merit ranges.
+   The naive path (use_cache:false) re-runs every elimination closure
+   against every core; the cached path re-runs only the constraint the
+   change re-opened and reads the rest from the compliance table. *)
+
+module Syn = Ds_domains.Synthetic
+
+let bench_eliminate_ccs = 10
+
+let bench_spec n = { Syn.default_spec with Syn.cores = n; Syn.eliminate_ccs = bench_eliminate_ccs }
+
+let bench_budget i = 450.0 +. (60.0 *. float_of_int i)
+
+let bind_budgets s =
+  let rec go s i =
+    if i >= bench_eliminate_ccs then s
+    else begin
+      match Session.set s (Syn.budget_name i) (Value.real (bench_budget i)) with
+      | Ok s -> go s (i + 1)
+      | Error e -> failwith ("bench: binding " ^ Syn.budget_name i ^ ": " ^ e)
+    end
+  in
+  go s 0
+
+(* One interactive step: the designer revises budget B0, and the layer
+   re-reports the candidate count and both merit ranges. *)
+let render s =
+  ignore (Session.candidate_count s);
+  ignore (Session.merit_summary s ~merit:"delay");
+  ignore (Session.merit_summary s ~merit:"cost")
+
+let requery s value =
+  let s = ok (Session.retract s (Syn.budget_name 0)) in
+  let s = ok (Session.set s (Syn.budget_name 0) (Value.real value)) in
+  render s;
+  s
+
+let time_ms f =
+  let t0 = Sys.time () in
+  f ();
+  (Sys.time () -. t0) *. 1000.0
+
+let requery_loop s reps =
+  (* alternate the revised bound so every step is a real change *)
+  let s = ref s in
+  for rep = 1 to reps do
+    let delta = if rep mod 2 = 0 then 25.0 else -25.0 in
+    s := requery !s (bench_budget 0 +. delta)
+  done
+
+let micro_json ?(smoke = false) () =
+  header
+    (if smoke then "Incremental-pruning bench (smoke) -> BENCH_PR2.json"
+     else "Incremental-pruning bench -> BENCH_PR2.json");
+  let sizes = if smoke then [ 100; 500 ] else [ 100; 1_000; 10_000 ] in
+  let reps_for n = Stdlib.max 5 (if smoke then 20_000 / n else 100_000 / n) in
+  let rows =
+    List.map
+      (fun n ->
+        let reps = reps_for n in
+        let cached = bind_budgets (Syn.session (bench_spec n)) in
+        let naive = bind_budgets (Syn.session ~use_cache:false (bench_spec n)) in
+        (* the two paths must prune identically *)
+        let ids s = List.map fst (Session.candidates s) in
+        let equivalent = ids cached = ids naive in
+        (* warm both once so the measured loop is steady-state *)
+        render cached;
+        render naive;
+        let naive_ms = time_ms (fun () -> requery_loop naive reps) /. float_of_int reps in
+        let cached_ms = time_ms (fun () -> requery_loop cached reps) /. float_of_int reps in
+        (* single uncached candidate query vs a warm cached one *)
+        let naive_query_ms =
+          time_ms (fun () ->
+              for _ = 1 to reps do
+                ignore (Session.candidates_naive naive)
+              done)
+          /. float_of_int reps
+        in
+        let warm_query_ms =
+          time_ms (fun () ->
+              for _ = 1 to reps do
+                ignore (Session.candidates cached)
+              done)
+          /. float_of_int reps
+        in
+        let points = Evaluation.of_cores ~x:"delay" ~y:"cost" (Session.population cached) in
+        let pareto_reps = Stdlib.max reps 20 in
+        let pareto_ms =
+          time_ms (fun () ->
+              for _ = 1 to pareto_reps do
+                ignore (Evaluation.pareto_front points)
+              done)
+          /. float_of_int pareto_reps
+        in
+        let front = List.length (Evaluation.pareto_front points) in
+        let stats = Session.cache_stats cached in
+        printf
+          "%8d cores | requery naive %8.3f ms  cached %8.3f ms  speedup %6.2fx | hit rate %.3f%s\n"
+          n naive_ms cached_ms (naive_ms /. cached_ms) (Compliance.hit_rate stats)
+          (if equivalent then "" else "  [MISMATCH]");
+        ( n,
+          naive_ms,
+          cached_ms,
+          naive_query_ms,
+          warm_query_ms,
+          (List.length points, front, pareto_ms),
+          stats,
+          equivalent ))
+      sizes
+  in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"incremental-candidate-pruning\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"config\": { \"eliminate_ccs\": %d, \"depth\": %d, \"branching\": %d },\n"
+    bench_eliminate_ccs Syn.default_spec.Syn.depth Syn.default_spec.Syn.branching;
+  add "  \"sizes\": [\n";
+  List.iteri
+    (fun i
+         ( n,
+           naive_ms,
+           cached_ms,
+           naive_query_ms,
+           warm_query_ms,
+           (points, front, pareto_ms),
+           stats,
+           eq ) ->
+      add "    {\n";
+      add "      \"cores\": %d,\n" n;
+      add "      \"equivalent_to_naive\": %b,\n" eq;
+      add "      \"requery_after_binding_change\": {\n";
+      add "        \"naive_ms\": %.4f, \"cached_ms\": %.4f, \"speedup\": %.2f\n" naive_ms cached_ms
+        (naive_ms /. cached_ms);
+      add "      },\n";
+      add "      \"single_candidate_query\": { \"naive_ms\": %.4f, \"warm_cached_ms\": %.4f },\n"
+        naive_query_ms warm_query_ms;
+      add "      \"pareto\": { \"points\": %d, \"front\": %d, \"ms\": %.4f },\n" points front
+        pareto_ms;
+      add "      \"cache\": { \"verdict_hits\": %d, \"verdict_misses\": %d, \"hit_rate\": %.4f,\n"
+        stats.Compliance.verdict_hits stats.Compliance.verdict_misses (Compliance.hit_rate stats);
+      add "                 \"survivor_hits\": %d, \"survivor_misses\": %d, \"generations\": %d }\n"
+        stats.Compliance.survivor_hits stats.Compliance.survivor_misses
+        stats.Compliance.generations;
+      add "    }%s\n" (if i < List.length rows - 1 then "," else ""))
+    rows;
+  add "  ],\n";
+  let headline =
+    match List.rev rows with
+    | (n, naive_ms, cached_ms, _, _, _, _, _) :: _ -> (n, naive_ms /. cached_ms)
+    | [] -> (0, 0.0)
+  in
+  add "  \"headline\": { \"cores\": %d, \"requery_speedup\": %.2f }\n" (fst headline)
+    (snd headline);
+  add "}\n";
+  let oc = open_out "BENCH_PR2.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  printf "\nwrote BENCH_PR2.json (headline: %.2fx requery speedup at %d cores)\n" (snd headline)
+    (fst headline)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
 
 let micro () =
@@ -940,6 +1108,10 @@ let experiments =
 
 let () =
   match Array.to_list Sys.argv with
+  (* [micro --json [--smoke]]: the incremental-pruning baseline, written
+     to BENCH_PR2.json (--smoke: small sizes, for CI) *)
+  | _ :: "micro" :: rest when List.mem "--json" rest ->
+    micro_json ~smoke:(List.mem "--smoke" rest) ()
   | [] | [ _ ] -> List.iter (fun (_, run) -> run ()) experiments
   | _ :: picks ->
     List.iter

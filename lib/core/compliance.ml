@@ -1,0 +1,148 @@
+(* One verdict slot per constraint.  The stamp is the (generation,
+   focus) pair the stored verdicts were computed under; a store with a
+   different stamp clears the slot first, so each constraint holds at
+   most one generation's verdicts (latest wins — interactive queries
+   revisit the current state, not past ones).
+
+   Verdicts live in a byte array indexed by interned core id (0 =
+   unknown, 1 = inferior, 2 = kept): the hot path of a warm query is
+   one array read per (constraint, core), with the single string-hash
+   probe per core paid once in {!core_id}, not per constraint. *)
+type slot = {
+  mutable gen : int;
+  mutable focus : string;
+  mutable verdicts : Bytes.t; (* interned core id -> verdict byte *)
+}
+
+type t = {
+  slots : (string, slot) Hashtbl.t; (* constraint name -> verdicts *)
+  survivors : (string, (string * Ds_reuse.Core.t) list) Hashtbl.t;
+      (* full state signature -> candidate list *)
+  ids : (string, int) Hashtbl.t; (* core qualified-id -> dense id *)
+  mutable next_id : int;
+  next_gen : int ref;
+  mutable verdict_hits : int;
+  mutable verdict_misses : int;
+  mutable survivor_hits : int;
+  mutable survivor_misses : int;
+}
+
+(* The survivor table is keyed by full state signatures, which an
+   unbounded exploration could mint without limit; past this many
+   distinct states the table restarts (verdict slots, the expensive part
+   of a recompute, are unaffected). *)
+let max_survivor_entries = 128
+
+let create () =
+  {
+    slots = Hashtbl.create 16;
+    survivors = Hashtbl.create 32;
+    ids = Hashtbl.create 256;
+    next_id = 0;
+    next_gen = ref 0;
+    verdict_hits = 0;
+    verdict_misses = 0;
+    survivor_hits = 0;
+    survivor_misses = 0;
+  }
+
+let fresh_generation t =
+  incr t.next_gen;
+  !(t.next_gen)
+
+let core_id t qid =
+  match Hashtbl.find_opt t.ids qid with
+  | Some id -> id
+  | None ->
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.add t.ids qid id;
+    id
+
+module Slot = struct
+  type nonrec t = { cache : t; slot : slot }
+
+  let unknown = '\000'
+  let inferior = '\001'
+  let kept = '\002'
+
+  let find s ~id =
+    let v = s.slot.verdicts in
+    let b = if id < Bytes.length v then Bytes.unsafe_get v id else unknown in
+    if b = unknown then begin
+      s.cache.verdict_misses <- s.cache.verdict_misses + 1;
+      None
+    end
+    else begin
+      s.cache.verdict_hits <- s.cache.verdict_hits + 1;
+      Some (b = inferior)
+    end
+
+  let store s ~id verdict =
+    let v = s.slot.verdicts in
+    let v =
+      if id < Bytes.length v then v
+      else begin
+        (* amortized doubling, sized to the session's interned cores *)
+        let cap = max (2 * Bytes.length v) (max 64 s.cache.next_id) in
+        let v' = Bytes.make cap unknown in
+        Bytes.blit v 0 v' 0 (Bytes.length v);
+        s.slot.verdicts <- v';
+        v'
+      end
+    in
+    Bytes.unsafe_set v id (if verdict then inferior else kept)
+end
+
+let slot t ~cc ~gen ~focus =
+  let s =
+    match Hashtbl.find_opt t.slots cc with
+    | Some s ->
+      if s.gen <> gen || not (String.equal s.focus focus) then begin
+        (* the old stamp's verdicts are unreachable under
+           latest-generation-wins; drop them now *)
+        Bytes.fill s.verdicts 0 (Bytes.length s.verdicts) Slot.unknown;
+        s.gen <- gen;
+        s.focus <- focus
+      end;
+      s
+    | None ->
+      let s = { gen; focus; verdicts = Bytes.empty } in
+      Hashtbl.add t.slots cc s;
+      s
+  in
+  { Slot.cache = t; slot = s }
+
+let find_survivors t ~key =
+  match Hashtbl.find_opt t.survivors key with
+  | Some _ as r ->
+    t.survivor_hits <- t.survivor_hits + 1;
+    r
+  | None ->
+    t.survivor_misses <- t.survivor_misses + 1;
+    None
+
+let store_survivors t ~key cores =
+  if Hashtbl.length t.survivors >= max_survivor_entries then Hashtbl.reset t.survivors;
+  Hashtbl.replace t.survivors key cores
+
+type stats = {
+  verdict_hits : int;
+  verdict_misses : int;
+  survivor_hits : int;
+  survivor_misses : int;
+  generations : int;
+}
+
+let stats (t : t) =
+  {
+    verdict_hits = t.verdict_hits;
+    verdict_misses = t.verdict_misses;
+    survivor_hits = t.survivor_hits;
+    survivor_misses = t.survivor_misses;
+    generations = !(t.next_gen);
+  }
+
+let hit_rate s =
+  let lookups = s.verdict_hits + s.verdict_misses in
+  if lookups = 0 then 0. else float_of_int s.verdict_hits /. float_of_int lookups

@@ -1,0 +1,89 @@
+(** Memoized per-core constraint verdicts — the incremental-pruning
+    cache behind {!Session.candidates}.
+
+    The paper's re-assessment rule ("when the independent set is
+    modified, the dependent set needs to be re-assessed") already names
+    exactly which constraints a binding change can affect: those whose
+    declared independent/dependent sets mention the changed property.
+    This table exploits that: every elimination verdict ([Eliminate]
+    closure applied to one core) is memoized under a {e generation}
+    number, and a binding change allocates a fresh generation only for
+    the constraints it re-opens, so verdicts of untouched constraints
+    survive across decisions, retractions and exploration branches.
+
+    Correctness contract: a constraint closure must only read properties
+    it declares in its independent or dependent set.  (This is the same
+    contract {!Consistency} documents for the partial order; a closure
+    that reads undeclared properties can observe a binding change that
+    never bumps its generation.)  The equivalence test suite checks the
+    cached path against the naive recompute for all shipped case
+    studies.
+
+    Generations are drawn from one shared counter, never reused: two
+    exploration branches that each rebind the same property get distinct
+    generations, so their verdicts cannot collide in the table.
+
+    Interaction with {!Guard} quarantine is conservative by
+    construction: the session skips quarantined constraints {e before}
+    consulting the table (their cached verdicts become unreachable), and
+    the survivor-set key includes the quarantine state, so a set
+    computed before a quarantine transition is never served after it.
+    Faulted evaluations are never cached — a faulting closure re-runs
+    (and re-strikes) on every query, exactly as on the naive path.
+
+    One table serves a whole session lineage (created by
+    [Session.create], shared by every derived session), like the guard
+    registry.  Memory is bounded: each constraint keeps verdicts for a
+    single (generation, focus) stamp — a store under a newer stamp
+    drops the older verdicts — and the survivor-set table is capped. *)
+
+type t
+
+val create : unit -> t
+
+val fresh_generation : t -> int
+(** A generation number never handed out before (> 0; every constraint
+    starts at generation 0). *)
+
+val core_id : t -> string -> int
+(** Dense id interned for a core's qualified id — the index verdict
+    slots are addressed by.  Ids are stable for the lifetime of the
+    table, so a query pays one string-hash probe per core and a plain
+    array read per constraint after that. *)
+
+(** One constraint's verdict table, resolved (and restamped) once per
+    query so the per-core cost is an array read by interned id. *)
+module Slot : sig
+  type t
+
+  val find : t -> id:int -> bool option
+  (** The memoized verdict on core [id] (from {!core_id}), if any. *)
+
+  val store : t -> id:int -> bool -> unit
+  (** Memoize a successful evaluation (faults must not be stored). *)
+end
+
+val slot : t -> cc:string -> gen:int -> focus:string -> Slot.t
+(** The verdict table of constraint [cc] stamped (generation, focus).
+    A stamp different from the stored one drops the constraint's
+    previous verdicts first (latest-generation-wins: interactive
+    exploration revisits the current state, not past ones). *)
+
+val find_survivors : t -> key:string -> (string * Ds_reuse.Core.t) list option
+(** The cached candidate list for a full session state signature. *)
+
+val store_survivors : t -> key:string -> (string * Ds_reuse.Core.t) list -> unit
+
+(** Cache effectiveness counters (reported by the bench baseline). *)
+type stats = {
+  verdict_hits : int;
+  verdict_misses : int;  (** includes first-ever evaluations *)
+  survivor_hits : int;
+  survivor_misses : int;
+  generations : int;  (** fresh generations allocated (invalidations) *)
+}
+
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** Verdict-level hits / lookups, 0. when no lookups happened. *)

@@ -14,11 +14,43 @@ let of_cores ~x ~y cores =
 
 let dominates a b = a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y)
 
+let by_xy a b = match Float.compare a.x b.x with 0 -> Float.compare a.y b.y | c -> c
+
+(* Sort-and-sweep, O(n log n).  After sorting by (x asc, y asc), walk
+   the x-groups left to right carrying the minimum y seen in strictly
+   earlier groups: a point is dominated exactly when that minimum is <=
+   its y (an earlier-x, no-worse-y point) or a same-x point has strictly
+   smaller y (the group's head).  Exact duplicates never dominate each
+   other, so a whole group tied at its minimum survives — same
+   semantics as the quadratic pairwise filter this replaces.  A point
+   with a NaN coordinate neither dominates nor is dominated (every
+   comparison is false), so NaN points bypass the sweep and always
+   reach the front. *)
 let pareto_front points =
-  points
-  |> List.filter (fun p -> not (List.exists (fun q -> dominates q p) points))
-  |> List.sort (fun a b ->
-         match Float.compare a.x b.x with 0 -> Float.compare a.y b.y | c -> c)
+  let nan_points, finite =
+    List.partition (fun p -> Float.is_nan p.x || Float.is_nan p.y) points
+  in
+  let sorted = List.stable_sort by_xy finite in
+  let rec sweep best_y acc = function
+    | [] -> acc
+    | p :: _ as pts ->
+      let rec split group = function
+        | q :: tl when Float.compare q.x p.x = 0 -> split (q :: group) tl
+        | tl -> (List.rev group, tl)
+      in
+      let same_x, rest = split [] pts in
+      let y0 = p.y in
+      (* [same_x] is y-ascending, so [p] holds the group's minimum *)
+      let earlier_dominates y = match best_y with Some b -> b <= y | None -> false in
+      let acc =
+        List.fold_left
+          (fun acc q -> if earlier_dominates q.y || q.y > y0 then acc else q :: acc)
+          acc same_x
+      in
+      let best_y = Some (match best_y with Some b -> Float.min b y0 | None -> y0) in
+      sweep best_y acc rest
+  in
+  List.sort by_xy (nan_points @ List.rev (sweep None [] sorted))
 
 let dominated points = List.filter (fun p -> List.exists (fun q -> dominates q p) points) points
 

@@ -18,7 +18,10 @@ val dominates : point -> point -> bool
     at least one. *)
 
 val pareto_front : point list -> point list
-(** Non-dominated subset, in ascending [x] order. *)
+(** Non-dominated subset, in ascending [x] order (ties broken by [y]).
+    Sort-and-sweep, O(n log n).  Exact duplicates do not dominate each
+    other, so both survive; points with a NaN coordinate are never
+    dominated and always appear on the front. *)
 
 val dominated : point list -> point list
 (** The complement of the front, original order. *)

@@ -136,6 +136,7 @@ let quarantined reg cc =
   match status_of reg cc with Quarantined _ -> true | Healthy | Degraded -> false
 
 let diags reg = List.rev reg.trail
+let diag_count reg = reg.next_seq
 
 let faulty reg =
   List.rev_map (fun cc -> (cc, (Hashtbl.find reg.states cc).status)) reg.order

@@ -114,5 +114,9 @@ val quarantined : registry -> string -> bool
 val diags : registry -> diag list
 (** Every recorded diagnostic, oldest first. *)
 
+val diag_count : registry -> int
+(** [List.length (diags reg)] without building the list (the common
+    fault-free case is a cheap [0]). *)
+
 val faulty : registry -> (string * status) list
 (** Constraints that are not [Healthy], in first-fault order. *)

@@ -1,8 +1,31 @@
 module Core = Ds_reuse.Core
 
-type entry = { qid : string; core : Core.t; path : string list }
+(* The index is a trie over hierarchy node paths.  Classification is
+   unchanged (each core descends the generalized-issue chain as far as
+   its property values allow); what changed is the query side: [under],
+   [at] and [count_under] used to scan the full entry list with a
+   path-prefix test per entry, which made every candidate query O(n) in
+   the library size.  The trie resolves a node in O(depth) and each
+   frozen node carries its subtree's entries (precomputed once at
+   build), so [under] is O(depth + matches) and [count_under] is
+   O(depth). *)
 
-type t = { entries : entry list; orphans : (string * Core.t) list }
+type entry = { qid : string; core : Core.t; seq : int }
+
+type node = {
+  here : (string * Core.t) list;  (* indexed exactly at this node, insertion order *)
+  children : (string, node) Hashtbl.t;
+  subtree : (string * Core.t) list;  (* at or below, insertion order *)
+  count : int;  (* List.length subtree *)
+}
+
+type t = {
+  root : node option;  (* None for an empty population *)
+  root_name : string;
+  orphans : (string * Core.t) list;
+  all : (string * Core.t) list;  (* every indexed entry, insertion order *)
+  paths : (string, string list) Hashtbl.t;  (* qualified id -> node path *)
+}
 
 (* Descend from the root as far as the core's property values allow:
    at each generalized issue, follow the child for the core's declared
@@ -26,37 +49,114 @@ let classify hierarchy core =
   in
   go [] (Hierarchy.root hierarchy)
 
+(* Build-time trie: mutable, frozen into [node] once every core is
+   placed. *)
+type builder = {
+  mutable here_rev : entry list;
+  kids : (string, builder) Hashtbl.t;
+}
+
+let fresh_builder () = { here_rev = []; kids = Hashtbl.create 4 }
+
+let rec insert builder entry = function
+  | [] -> builder.here_rev <- entry :: builder.here_rev
+  | seg :: rest ->
+    let child =
+      match Hashtbl.find_opt builder.kids seg with
+      | Some child -> child
+      | None ->
+        let child = fresh_builder () in
+        Hashtbl.add builder.kids seg child;
+        child
+    in
+    insert child entry rest
+
+(* Returns the frozen node plus its subtree's entries (unsorted); the
+   per-node [subtree] list is re-sorted by insertion number so query
+   results keep the registry order the old linear scan produced. *)
+let rec freeze builder =
+  let children = Hashtbl.create (Hashtbl.length builder.kids) in
+  let below =
+    Hashtbl.fold
+      (fun seg child acc ->
+        let child_node, child_entries = freeze child in
+        Hashtbl.add children seg child_node;
+        List.rev_append child_entries acc)
+      builder.kids []
+  in
+  let entries = List.rev_append builder.here_rev below in
+  let in_order = List.sort (fun a b -> compare a.seq b.seq) entries in
+  let strip es = List.map (fun e -> (e.qid, e.core)) es in
+  let node =
+    {
+      here = strip (List.rev builder.here_rev);
+      children;
+      subtree = strip in_order;
+      count = List.length in_order;
+    }
+  in
+  (node, entries)
+
 let build hierarchy cores =
-  let entries, orphans =
+  let root_name = (Hierarchy.root hierarchy).Cdo.name in
+  let builder = fresh_builder () in
+  let paths = Hashtbl.create (List.length cores) in
+  let seq = ref 0 in
+  let entries_rev, orphans_rev =
     List.fold_left
       (fun (entries, orphans) (qid, core) ->
         match classify hierarchy core with
-        | Some path -> ({ qid; core; path } :: entries, orphans)
+        | Some path ->
+          let entry = { qid; core; seq = !seq } in
+          incr seq;
+          (* path always starts at the root node; store the suffix below
+             the root in the trie *)
+          (match path with
+          | r :: rest when String.equal r root_name -> insert builder entry rest
+          | other -> insert builder entry other);
+          if not (Hashtbl.mem paths qid) then Hashtbl.add paths qid path;
+          ((qid, core) :: entries, orphans)
         | None -> (entries, (qid, core) :: orphans))
       ([], []) cores
   in
-  { entries = List.rev entries; orphans = List.rev orphans }
+  let root, _ = freeze builder in
+  {
+    root = Some root;
+    root_name;
+    orphans = List.rev orphans_rev;
+    all = List.rev entries_rev;
+    paths;
+  }
 
-let path_of t ~qualified_id =
-  List.find_opt (fun e -> String.equal e.qid qualified_id) t.entries
-  |> Option.map (fun e -> e.path)
+let path_of t ~qualified_id = Hashtbl.find_opt t.paths qualified_id
 
-let is_prefix prefix path =
-  let rec go = function
-    | [], _ -> true
-    | _ :: _, [] -> false
-    | p :: ps, q :: qs -> String.equal p q && go (ps, qs)
-  in
-  go (prefix, path)
+let resolve t path =
+  match (t.root, path) with
+  | None, _ -> None
+  | Some root, [] -> Some root
+  | Some root, first :: rest ->
+    if not (String.equal first t.root_name) then None
+    else begin
+      let rec walk node = function
+        | [] -> Some node
+        | seg :: rest -> (
+          match Hashtbl.find_opt node.children seg with
+          | Some child -> walk child rest
+          | None -> None)
+      in
+      walk root rest
+    end
 
 let under t path =
-  List.filter_map
-    (fun e -> if is_prefix path e.path then Some (e.qid, e.core) else None)
-    t.entries
+  (* [] matched every entry under the old prefix test; keep that. *)
+  if path = [] then t.all
+  else match resolve t path with Some node -> node.subtree | None -> []
 
-let at t path =
-  List.filter_map (fun e -> if e.path = path then Some (e.qid, e.core) else None) t.entries
+let at t path = match resolve t path with Some node when path <> [] -> node.here | _ -> []
 
-let count_under t path = List.length (under t path)
-let all t = List.map (fun e -> (e.qid, e.core)) t.entries
+let count_under t path =
+  if path = [] then List.length t.all
+  else match resolve t path with Some node -> node.count | None -> 0
+
+let all t = t.all
 let unindexed t = t.orphans

@@ -61,7 +61,9 @@ let render ?(title = "Exploration report") ?(merits = []) ?pareto session =
     add "\n### Ranges\n\n";
     List.iter
       (fun m ->
-        let summary = Session.merit_summary session ~merit:m in
+        (* over the [candidates] computed once above — one pruning pass
+           serves the table, every range and the pareto section *)
+        let summary = Evaluation.merit_summary candidates ~merit:m in
         let skipped =
           if summary.Evaluation.skipped_non_finite = 0 then ""
           else

@@ -23,28 +23,58 @@ type event =
   | Constraint_faulted of { name : string; op : string; detail : string }
   | Constraint_quarantined of { name : string; op : string; reason : string }
 
+(* Events are pushed newest-first (O(1)) but always read oldest-first.
+   Each push allocates a fresh memo cell, so the rendered list is
+   computed once per session value and never shared stale across
+   exploration branches. *)
+module Trail = struct
+  type 'e t = { rev : 'e list; memo : 'e list option ref }
+
+  let empty () = { rev = []; memo = ref (Some []) }
+  let push trail e = { rev = e :: trail.rev; memo = ref None }
+
+  let render trail =
+    match !(trail.memo) with
+    | Some es -> es
+    | None ->
+      let es = List.rev trail.rev in
+      trail.memo := Some es;
+      es
+end
+
 type t = {
   hierarchy : Hierarchy.t;
   constraints : Consistency.t list;
   index : Index.t;
   focus : string list;
   bindings : binding list;
-  events : event list; (* newest first *)
+  trail : event Trail.t;
   guard : Guard.registry;
       (* shared by every session derived from this one: a faulty closure
          is faulty on every exploration branch, so quarantine carries
          across branches (and is monotone) *)
+  cache : Compliance.t;
+      (* shared like [guard]; per-branch generations keep entries
+         disjoint where branches diverge *)
+  use_cache : bool;
+  gens : (string * int) list;
+      (* constraint name -> verdict generation on this branch; absent =
+         0.  Bumped (to a globally fresh number) when a binding of a
+         property the constraint declares changes. *)
 }
 
-let create ~hierarchy ?(constraints = []) ~cores () =
+let create ~hierarchy ?(constraints = []) ?(use_cache = true) ~cores () =
   {
     hierarchy;
     constraints;
     index = Index.build hierarchy cores;
     focus = [ (Hierarchy.root hierarchy).Cdo.name ];
     bindings = [];
-    events = [];
+    trail = Trail.empty ();
     guard = Guard.registry ();
+    cache = Compliance.create ();
+    use_cache;
+    gens = [];
   }
 
 let hierarchy t = t.hierarchy
@@ -69,7 +99,10 @@ let diag_event (d : Guard.diag) =
     Constraint_quarantined { name = d.Guard.cc; op = d.Guard.op; reason = detail }
   else Constraint_faulted { name = d.Guard.cc; op = d.Guard.op; detail }
 
-let events t = List.rev t.events @ List.map diag_event (Guard.diags t.guard)
+let events t =
+  let own = Trail.render t.trail in
+  if Guard.diag_count t.guard = 0 then own
+  else own @ List.map diag_event (Guard.diags t.guard)
 
 let health t =
   List.map (fun cc -> (cc.Consistency.name, Guard.status_of t.guard cc.Consistency.name)) t.constraints
@@ -80,6 +113,37 @@ let quarantined_cc t cc = Guard.quarantined t.guard cc.Consistency.name
 
 let record_fault t cc ~op fault =
   ignore (Guard.record t.guard ~cc:cc.Consistency.name ~op fault)
+
+(* {2 Verdict generations}
+
+   Each constraint carries a per-branch generation number; memoized
+   elimination verdicts are only valid at the generation they were
+   computed under.  A binding change re-opens exactly the constraints
+   whose declared independent or dependent set mentions the property
+   (the paper's re-assessment rule), by moving them to a globally fresh
+   generation. *)
+
+let generation_of t cc_name =
+  match List.assoc_opt cc_name t.gens with Some g -> g | None -> 0
+
+let cc_mentions cc name =
+  let refs_name = List.exists (fun p -> String.equal p.Propref.property name) in
+  refs_name cc.Consistency.indep || refs_name cc.Consistency.dep
+
+let bump_generations t name =
+  if not t.use_cache then t
+  else begin
+    let gens =
+      List.fold_left
+        (fun gens cc ->
+          if cc_mentions cc name then
+            (cc.Consistency.name, Compliance.fresh_generation t.cache)
+            :: List.remove_assoc cc.Consistency.name gens
+          else gens)
+        t.gens t.constraints
+    in
+    { t with gens }
+  end
 
 let ancestor_paths t =
   let rec prefixes acc cur = function
@@ -176,14 +240,17 @@ let derive_fixpoint t =
                     | Some (defined_at, prop) ->
                       if Property.accepts prop value then begin
                         added_by := cc.Consistency.name :: !added_by;
-                        {
-                          t with
-                          bindings =
-                            { defined_at; prop; value; source = Derived cc.Consistency.name }
-                            :: t.bindings;
-                          events =
-                            Binding_derived { name; value; by = cc.Consistency.name } :: t.events;
-                        }
+                        bump_generations
+                          {
+                            t with
+                            bindings =
+                              { defined_at; prop; value; source = Derived cc.Consistency.name }
+                              :: t.bindings;
+                            trail =
+                              Trail.push t.trail
+                                (Binding_derived { name; value; by = cc.Consistency.name });
+                          }
+                          name
                       end
                       else t))
                 t values)
@@ -209,15 +276,19 @@ let derive_fixpoint t =
 
 (* Candidate cores: under the focus, complying with every bound design
    issue, surviving the elimination constraints. *)
-let candidates t =
+let issue_filter t =
   let issue_bindings = List.filter (fun b -> Property.is_design_issue b.prop) t.bindings in
-  let complies (_, core) =
+  fun (_, core) ->
     List.for_all
       (fun b ->
-        (not (Property.is_design_issue b.prop))
-        || Core.matches_property core ~key:b.prop.Property.name ~value:(Value.to_string b.value))
+        Core.matches_property core ~key:b.prop.Property.name ~value:(Value.to_string b.value))
       issue_bindings
-  in
+
+(* The reference pruning path: every elimination closure re-runs against
+   every core on every query.  Kept verbatim behind [use_cache:false] as
+   the oracle for the equivalence suite and the bench baseline. *)
+let candidates_naive t =
+  let complies = issue_filter t in
   (* A faulting or quarantined elimination predicate never discards a
      core: the space may only stay the same or widen. *)
   let eliminated core =
@@ -240,6 +311,127 @@ let candidates t =
   |> List.filter complies
   |> List.filter (fun (_, core) -> not (eliminated core))
 
+let focus_key t = String.concat "." t.focus
+
+let value_signature = function
+  (* kind-tagged so e.g. [Str "8."] and [Real 8.] cannot collide *)
+  | Value.Str s -> "s" ^ s
+  | Value.Int i -> "i" ^ string_of_int i
+  | Value.Real f -> "r" ^ string_of_float f
+  | Value.Flag b -> if b then "f1" else "f0"
+
+(* Everything the candidate set depends on: the focus, the design-issue
+   bindings (compliance filter), and per elimination constraint its
+   verdict generation (covers binding changes to declared properties)
+   and quarantine flag (quarantine is monotone, so a pre-quarantine
+   signature can never recur and serve a stale set). *)
+let state_signature t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (focus_key t);
+  t.bindings
+  |> List.filter (fun b -> Property.is_design_issue b.prop)
+  |> List.sort (fun a b -> String.compare a.prop.Property.name b.prop.Property.name)
+  |> List.iter (fun b ->
+         Buffer.add_char buf '|';
+         Buffer.add_string buf b.prop.Property.name;
+         Buffer.add_char buf '=';
+         Buffer.add_string buf (value_signature b.value));
+  List.iter
+    (fun cc ->
+      match cc.Consistency.relation with
+      | Consistency.Eliminate _ ->
+        Buffer.add_char buf '|';
+        Buffer.add_string buf cc.Consistency.name;
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (string_of_int (generation_of t cc.Consistency.name));
+        if quarantined_cc t cc then Buffer.add_char buf 'q'
+      | Consistency.Inconsistent _ | Consistency.Derive _ | Consistency.Estimator_context _ -> ())
+    t.constraints;
+  Buffer.contents buf
+
+(* As [candidates_naive], with each (constraint, core) verdict memoized
+   under the constraint's current generation.  Readiness is hoisted (it
+   depends only on bindings and focus, both fixed within a query).
+   Quarantine flags are snapshot per query and refreshed whenever the
+   guard registry records anything new — quarantine can only change
+   when a fault is recorded, so one integer compare per core replaces a
+   registry probe per (constraint, core) while a constraint quarantined
+   by a cache miss mid-query still stops evaluating immediately, exactly
+   as on the naive path.  A quarantined constraint's memoized verdicts
+   are skipped, never served.  Faulted evaluations are never stored. *)
+let candidates_memo t =
+  let fkey = focus_key t in
+  let environment = env t in
+  let bound = bound_fn t in
+  let elims =
+    List.filter_map
+      (fun cc ->
+        match cc.Consistency.relation with
+        | Consistency.Eliminate { inferior } when Consistency.ready cc ~bound ->
+          let slot =
+            Compliance.slot t.cache ~cc:cc.Consistency.name
+              ~gen:(generation_of t cc.Consistency.name)
+              ~focus:fkey
+          in
+          Some (cc, slot, inferior, ref (quarantined_cc t cc))
+        | Consistency.Eliminate _ | Consistency.Inconsistent _ | Consistency.Derive _
+        | Consistency.Estimator_context _ ->
+          None)
+      t.constraints
+  in
+  let diag_mark = ref (Guard.diag_count t.guard) in
+  let refresh_quarantine () =
+    let now = Guard.diag_count t.guard in
+    if now <> !diag_mark then begin
+      diag_mark := now;
+      List.iter (fun (cc, _, _, q) -> q := quarantined_cc t cc) elims
+    end
+  in
+  let eliminated (qid, core) =
+    refresh_quarantine ();
+    let id = Compliance.core_id t.cache qid in
+    List.exists
+      (fun (cc, slot, inferior, quarantined) ->
+        (not !quarantined)
+        &&
+        match Compliance.Slot.find slot ~id with
+        | Some verdict -> verdict
+        | None -> (
+          match Guard.run (fun () -> inferior environment core) with
+          | Ok verdict ->
+            Compliance.Slot.store slot ~id verdict;
+            verdict
+          | Error fault ->
+            record_fault t cc ~op:"eliminate" fault;
+            false))
+      elims
+  in
+  let pool = Index.under t.index t.focus in
+  let pool =
+    (* every binding is checked by [issue_filter], but an all-requirement
+       binding set (common while entering the spec) filters nothing *)
+    if List.exists (fun b -> Property.is_design_issue b.prop) t.bindings then
+      List.filter (issue_filter t) pool
+    else pool
+  in
+  List.filter (fun entry -> not (eliminated entry)) pool
+
+let candidates t =
+  if not t.use_cache then candidates_naive t
+  else begin
+    let key = state_signature t in
+    match Compliance.find_survivors t.cache ~key with
+    | Some survivors -> survivors
+    | None ->
+      let survivors = candidates_memo t in
+      (* quarantine may have advanced while computing, but it is
+         monotone: the pre-computation key can never recur, so storing
+         under it is safe (the entry just goes dead) *)
+      Compliance.store_survivors t.cache ~key survivors;
+      survivors
+  end
+
+let cache_stats t = Compliance.stats t.cache
 let population t = Index.all t.index
 
 let candidate_count t = List.length (candidates t)
@@ -281,11 +473,13 @@ let set_with_source t name value source =
         else Decision_made { name; value }
       in
       let t' =
-        {
-          t with
-          bindings = { defined_at; prop; value; source } :: t.bindings;
-          events = event :: t.events;
-        }
+        bump_generations
+          {
+            t with
+            bindings = { defined_at; prop; value; source } :: t.bindings;
+            trail = Trail.push t.trail event;
+          }
+          name
       in
       match active_violations t' with
       | { Consistency.message; _ } :: _ -> Error message
@@ -311,17 +505,17 @@ let set_with_source t name value source =
               let t'' =
                 {
                   t'' with
-                  events =
-                    Focus_descended
-                      { path = t''.focus; candidates_before = before; candidates_after = after }
-                    :: t''.events;
+                  trail =
+                    Trail.push t''.trail
+                      (Focus_descended
+                         { path = t''.focus; candidates_before = before; candidates_after = after });
                 }
               in
               Ok (derive_fixpoint t''))))
     end
 
 let set t name value = set_with_source t name value Designer
-let annotate t note = { t with events = Note note :: t.events }
+let annotate t note = { t with trail = Trail.push t.trail (Note note) }
 
 type option_preview = {
   option_value : string;
@@ -410,9 +604,11 @@ let retract t name =
           t with
           focus = new_focus;
           bindings = survivors;
-          events = Binding_retracted { name; invalidated } :: t.events;
+          trail = Trail.push t.trail (Binding_retracted { name; invalidated });
         }
       in
+      (* every dropped binding re-opens the constraints that mention it *)
+      let t' = List.fold_left bump_generations t' (name :: invalidated) in
       Ok (derive_fixpoint t'))
 
 let estimates t =

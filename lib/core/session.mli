@@ -63,11 +63,20 @@ type t
 val create :
   hierarchy:Hierarchy.t ->
   ?constraints:Consistency.t list ->
+  ?use_cache:bool ->
   cores:(string * Ds_reuse.Core.t) list ->
   unit ->
   t
 (** A fresh session focused at the hierarchy root with the given core
-    population (typically {!Ds_reuse.Registry.all_cores}). *)
+    population (typically {!Ds_reuse.Registry.all_cores}).
+
+    [use_cache] (default [true]) enables the incremental pruning cache:
+    elimination verdicts and survivor sets are memoized in a
+    {!Compliance} table shared by the session lineage, and invalidated
+    per constraint when a binding of a property it declares changes (see
+    the "Performance model" section of DESIGN.md).  [~use_cache:false]
+    recomputes everything from scratch on every query — the reference
+    path the equivalence suite checks the cache against. *)
 
 val hierarchy : t -> Hierarchy.t
 val focus : t -> string list
@@ -121,9 +130,22 @@ val population : t -> (string * Ds_reuse.Core.t) list
 
 val candidates : t -> (string * Ds_reuse.Core.t) list
 (** Cores indexed at or below the focus that comply with every bound
-    design issue and survive the elimination constraints. *)
+    design issue and survive the elimination constraints.  Served from
+    the compliance cache when enabled; a faulting elimination closure
+    still re-runs (and accumulates strikes) on every query, and
+    quarantined constraints are skipped before the cache is consulted. *)
+
+val candidates_naive : t -> (string * Ds_reuse.Core.t) list
+(** The uncached reference computation, regardless of [use_cache]: every
+    ready elimination closure runs against every core under the focus.
+    The equivalence suite and the bench baseline compare {!candidates}
+    against this. *)
 
 val candidate_count : t -> int
+
+val cache_stats : t -> Compliance.stats
+(** Hit/miss counters of the lineage's compliance cache (all zero when
+    [use_cache] is false and nothing was ever cached). *)
 
 val merit_range : t -> merit:string -> (float * float) option
 (** Range of a figure of merit over the current candidates (non-finite

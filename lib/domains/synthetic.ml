@@ -8,17 +8,27 @@ type spec = {
   options_per_issue : int;
   cores : int;
   seed : int;
+  eliminate_ccs : int;
 }
 
 let default_spec =
-  { depth = 3; branching = 3; plain_issues = 2; options_per_issue = 4; cores = 1000; seed = 7 }
+  {
+    depth = 3;
+    branching = 3;
+    plain_issues = 2;
+    options_per_issue = 4;
+    cores = 1000;
+    seed = 7;
+    eliminate_ccs = 0;
+  }
 
 let validate spec =
   if spec.depth < 1 then invalid_arg "Synthetic: depth must be >= 1";
   if spec.branching < 2 then invalid_arg "Synthetic: branching must be >= 2";
   if spec.plain_issues < 0 then invalid_arg "Synthetic: negative plain_issues";
   if spec.options_per_issue < 2 then invalid_arg "Synthetic: options_per_issue must be >= 2";
-  if spec.cores < 0 then invalid_arg "Synthetic: negative core count"
+  if spec.cores < 0 then invalid_arg "Synthetic: negative core count";
+  if spec.eliminate_ccs < 0 then invalid_arg "Synthetic: negative eliminate_ccs"
 
 let level_issue_name level = Printf.sprintf "L%d" level
 let level_option level choice = Printf.sprintf "l%d-o%d" level choice
@@ -32,6 +42,16 @@ let plain_properties spec level =
         ~domain:(Domain.enum (List.init spec.options_per_issue plain_option))
         ~doc:"synthetic plain issue" ())
 
+let budget_name i = Printf.sprintf "B%d" i
+
+(* Root-level latency/cost budget requirements, one per elimination
+   constraint, so the bench can rebind a single budget and measure how
+   much of the pruning work is repeated. *)
+let budget_properties spec =
+  List.init spec.eliminate_ccs (fun i ->
+      Property.requirement ~name:(budget_name i) ~domain:Domain.non_negative_real
+        ~doc:"synthetic score budget" ())
+
 let hierarchy spec =
   validate spec;
   let rec build level name =
@@ -42,13 +62,49 @@ let hierarchy spec =
         Property.design_issue ~generalized:true ~name:(level_issue_name level)
           ~domain:(Domain.enum options) ~doc:"synthetic generalized issue" ()
       in
-      Cdo.node_exn ~name
-        (plain_properties spec level)
-        ~issue
+      let plain = plain_properties spec level in
+      let props = if level = 1 then budget_properties spec @ plain else plain in
+      Cdo.node_exn ~name props ~issue
         ~children:(List.map (fun opt -> (opt, build (level + 1) opt)) options)
     end
   in
   Hierarchy.create_exn (build 1 "Root")
+
+(* The score a budget is checked against: an 8-term damped series over
+   the core's two merits — the cost shape of a small analytical model
+   evaluated per core, which is what a realistic elimination formula
+   (crypto CC6, video CC-V4) does. *)
+let score ~weight ~delay ~cost =
+  let acc = ref 0.0 in
+  for k = 1 to 8 do
+    let fk = float_of_int k in
+    acc := !acc +. (((delay *. weight) +. (cost /. fk)) *. exp (-.fk /. 4.0))
+  done;
+  !acc
+
+let constraints spec =
+  validate spec;
+  List.init spec.eliminate_ccs (fun i ->
+      let budget = budget_name i in
+      let weight = 1.0 +. (0.25 *. float_of_int i) in
+      Consistency.make_exn
+        ~name:(Printf.sprintf "EL%d" i)
+        ~doc:"synthetic elimination: the core's merit score must stay within the budget"
+        ~indep:[ Propref.parse_exn (budget ^ "@Root") ]
+        ~dep:[ Propref.parse_exn (level_issue_name 1 ^ "@Root") ]
+        (Consistency.Eliminate
+           {
+             inferior =
+               (fun env core ->
+                 match env.Consistency.value_of budget with
+                 | Some (Value.Real bound) -> (
+                   match
+                     (Ds_reuse.Core.merit core "delay", Ds_reuse.Core.merit core "cost")
+                   with
+                   | Some delay, Some cost -> score ~weight ~delay ~cost > bound
+                   | None, _ | _, None -> false)
+                 | Some _ | None -> false);
+           }))
 
 let cores spec =
   validate spec;
@@ -87,7 +143,9 @@ let cores spec =
       in
       ("syn/" ^ core.Ds_reuse.Core.id, core))
 
-let session spec = Session.create ~hierarchy:(hierarchy spec) ~cores:(cores spec) ()
+let session ?use_cache spec =
+  Session.create ~hierarchy:(hierarchy spec) ~constraints:(constraints spec) ?use_cache
+    ~cores:(cores spec) ()
 
 let random_walk spec ~steps =
   validate spec;

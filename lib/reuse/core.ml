@@ -8,6 +8,56 @@ let kind_name = function
 let all_kinds = [ Hard_core; Soft_core; Software_routine ]
 let kind_of_name n = List.find_opt (fun k -> String.equal (kind_name k) n) all_kinds
 
+(* Property and merit keys are drawn from a small shared vocabulary (the
+   layer's design issues and figures of merit), while cores number in
+   the thousands.  Interning every key once into a dense integer id lets
+   each core carry its key/value pairs as parallel arrays sorted by key
+   id; a lookup is then one hash probe on the (short) key string plus a
+   binary search over a handful of ints, instead of walking an assoc
+   list of string comparisons per core per query. *)
+module Key = struct
+  let table : (string, int) Hashtbl.t = Hashtbl.create 256
+  let next = ref 0
+
+  let intern key =
+    match Hashtbl.find_opt table key with
+    | Some id -> id
+    | None ->
+      let id = !next in
+      incr next;
+      Hashtbl.add table key id;
+      id
+
+  (* Read-only probe: a key never interned by any core cannot be present
+     in any lookup table, so unknown queries stay out of the table. *)
+  let find = Hashtbl.find_opt table
+end
+
+module Lookup = struct
+  type 'a t = { keys : int array; vals : 'a array }
+
+  (* [kvs] comes from {!sorted_unique}: sorted by key string, no
+     duplicates.  Re-sorted here by interned id, the order binary search
+     needs. *)
+  let of_assoc kvs =
+    let arr = Array.of_list (List.map (fun (k, v) -> (Key.intern k, v)) kvs) in
+    Array.sort (fun (a, _) (b, _) -> compare (a : int) b) arr;
+    { keys = Array.map fst arr; vals = Array.map snd arr }
+
+  let find t id =
+    let rec go lo hi =
+      if lo >= hi then None
+      else begin
+        let mid = (lo + hi) / 2 in
+        let k = Array.unsafe_get t.keys mid in
+        if k = id then Some (Array.unsafe_get t.vals mid)
+        else if k < id then go (mid + 1) hi
+        else go lo mid
+      end
+    in
+    go 0 (Array.length t.keys)
+end
+
 type t = {
   id : string;
   name : string;
@@ -17,6 +67,8 @@ type t = {
   merits : (string * float) list;
   views : (string * string) list;
   doc : string;
+  prop_lookup : string Lookup.t;
+  merit_lookup : float Lookup.t;
 }
 
 let sorted_unique what kvs =
@@ -40,7 +92,20 @@ let make ~id ~name ~provider ~kind ~properties ~merits ?(views = []) ?(doc = "")
       | Ok merits -> (
         match sorted_unique "view" views with
         | Error _ as e -> e
-        | Ok views -> Ok { id; name; provider; kind; properties; merits; views; doc }))
+        | Ok views ->
+          Ok
+            {
+              id;
+              name;
+              provider;
+              kind;
+              properties;
+              merits;
+              views;
+              doc;
+              prop_lookup = Lookup.of_assoc properties;
+              merit_lookup = Lookup.of_assoc merits;
+            }))
   end
 
 let make_exn ~id ~name ~provider ~kind ~properties ~merits ?views ?doc () =
@@ -48,8 +113,11 @@ let make_exn ~id ~name ~provider ~kind ~properties ~merits ?views ?doc () =
   | Ok core -> core
   | Error msg -> invalid_arg ("Core.make_exn: " ^ msg)
 
-let property core key = List.assoc_opt key core.properties
-let merit core key = List.assoc_opt key core.merits
+let property core key =
+  match Key.find key with None -> None | Some id -> Lookup.find core.prop_lookup id
+
+let merit core key =
+  match Key.find key with None -> None | Some id -> Lookup.find core.merit_lookup id
 let view core key = List.assoc_opt key core.views
 let view_names core = List.map fst core.views
 

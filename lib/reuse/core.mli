@@ -15,6 +15,16 @@ val kind_name : kind -> string
 
 val kind_of_name : string -> kind option
 
+(** Interned-key lookup tables: keys are interned into dense integer ids
+    shared across all cores, and each core keeps its pairs as parallel
+    arrays sorted by key id, so {!property}/{!merit} cost one hash probe
+    on the key plus a binary search instead of an assoc-list walk.
+    Abstract: built by {!make}, queried only through {!property} and
+    {!merit}. *)
+module Lookup : sig
+  type 'a t
+end
+
 type t = private {
   id : string;  (** unique within a registry, e.g. "hw-lib/#2_64" *)
   name : string;  (** human name, e.g. "#2_64" *)
@@ -30,6 +40,8 @@ type t = private {
           paper's Fig 2(b) partitioning): view name ("algorithm",
           "structure", ...) to document — sorted by key *)
   doc : string;
+  prop_lookup : string Lookup.t;  (** fast-path index over [properties] *)
+  merit_lookup : float Lookup.t;  (** fast-path index over [merits] *)
 }
 
 val make :

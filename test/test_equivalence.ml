@@ -1,0 +1,259 @@
+(* Cached == naive: the memoized candidate path of PR 2 must be
+   observationally identical to the naive recompute — on every step of
+   the shipped case-study walks, across retraction and branching, on the
+   synthetic layer, and under injected faults with quarantine in play.
+   Two comparisons are used throughout: a cached session against its own
+   [candidates_naive] (same state, both paths), and a twin session
+   created with [~use_cache:false] driven in lockstep. *)
+
+open Ds_layer
+module CL = Ds_domains.Crypto_layer
+module N = Ds_domains.Names
+module VL = Ds_domains.Video_layer
+module IL = Ds_domains.Idct_layer
+module Syn = Ds_domains.Synthetic
+
+let crypto_cores () =
+  Ds_reuse.Registry.all_cores (Ds_domains.Populate.standard_registry ~eol:768 ())
+
+let ids s = List.map fst (Session.candidates s)
+
+let check_self ctx s =
+  Alcotest.(check (list string))
+    (ctx ^ ": cached = naive")
+    (List.map fst (Session.candidates_naive s))
+    (ids s)
+
+(* Apply the same step to a cached and a naive twin; candidate sets must
+   agree after every step, queried twice (cold, then warm). *)
+let lockstep ~name steps (cached0, naive0) =
+  let step (cached, naive) (label, f) =
+    let ctx = Printf.sprintf "%s/%s" name label in
+    let apply s =
+      match f s with Ok s -> s | Error msg -> Alcotest.failf "%s: %s" ctx msg
+    in
+    let cached = apply cached and naive = apply naive in
+    for _ = 1 to 2 do
+      Alcotest.(check (list string)) (ctx ^ ": twins agree") (ids naive) (ids cached)
+    done;
+    check_self ctx cached;
+    (cached, naive)
+  in
+  List.fold_left step (cached0, naive0) steps
+
+(* -------------------------------------------------------------------- *)
+(* Crypto case study: the full coprocessor walk, then invalidation        *)
+
+let crypto_steps =
+  [
+    ("navigate", CL.navigate_to_omm);
+    ("requirements", fun s -> CL.apply_requirements s CL.coprocessor_requirements);
+    ("style", fun s -> Session.set s N.implementation_style (Value.str N.hardware));
+    ("algorithm", fun s -> Session.set s N.algorithm (Value.str N.montgomery));
+    ("radix", fun s -> Session.set s N.radix (Value.int 2));
+    ("behavioral", fun s -> Session.set_default s N.behavioral_description);
+    ("slices", fun s -> Session.set s N.number_of_slices (Value.int 6));
+    ("slice width", fun s -> Session.set s N.slice_width (Value.int 128));
+    ("retract radix", fun s -> Session.retract s N.radix);
+    ("rebind radix", fun s -> Session.set s N.radix (Value.int 4));
+  ]
+
+let test_crypto_walk () =
+  let cores = crypto_cores () in
+  let cached = CL.session ~cores in
+  let naive =
+    Session.create ~use_cache:false ~hierarchy:CL.hierarchy ~constraints:CL.constraints ~cores ()
+  in
+  let cached, _ = lockstep ~name:"crypto" crypto_steps (cached, naive) in
+  (* the walk re-queried every state twice: the cache must actually have
+     been exercised, not silently bypassed *)
+  let stats = Session.cache_stats cached in
+  Alcotest.(check bool) "verdicts were served from cache" true (stats.Compliance.verdict_hits > 0);
+  Alcotest.(check bool) "retraction allocated generations" true (stats.Compliance.generations > 0)
+
+let test_naive_flag_bypasses () =
+  let naive =
+    Session.create ~use_cache:false ~hierarchy:CL.hierarchy ~constraints:CL.constraints
+      ~cores:(crypto_cores ()) ()
+  in
+  ignore (Session.candidates naive);
+  ignore (Session.candidates naive);
+  let stats = Session.cache_stats naive in
+  Alcotest.(check int) "no verdict lookups" 0
+    (stats.Compliance.verdict_hits + stats.Compliance.verdict_misses);
+  Alcotest.(check int) "no survivor lookups" 0
+    (stats.Compliance.survivor_hits + stats.Compliance.survivor_misses)
+
+(* Branches taken from one lineage share the compliance table;
+   interleaved queries on both branches must not cross-contaminate. *)
+let test_crypto_branches () =
+  let ok = function Ok s -> s | Error msg -> Alcotest.failf "step failed: %s" msg in
+  let base =
+    List.fold_left (fun s (_, f) -> ok (f s)) (CL.session ~cores:(crypto_cores ()))
+      [ List.nth crypto_steps 0; List.nth crypto_steps 1 ]
+  in
+  let a = ok (Session.set base N.implementation_style (Value.str N.hardware)) in
+  let b = ok (Session.set base N.implementation_style (Value.str N.software)) in
+  for round = 1 to 3 do
+    let ctx side = Printf.sprintf "branch %s round %d" side round in
+    check_self (ctx "hw") a;
+    check_self (ctx "sw") b;
+    check_self (ctx "base") base
+  done
+
+(* -------------------------------------------------------------------- *)
+(* Video and IDCT case studies                                            *)
+
+let test_video_walk () =
+  let requirement_steps =
+    List.map
+      (fun (name, v) -> ("req " ^ name, fun s -> Session.set s name v))
+      VL.mpeg2_main_level_requirements
+  in
+  let steps =
+    requirement_steps
+    @ [
+        ("structure", fun s -> Session.set s VL.di_structure (Value.str "row-column"));
+        ("algorithm", fun s -> Session.set s VL.di_algorithm (Value.str "chen"));
+        ("parallelism", fun s -> Session.set s VL.di_parallelism (Value.str "4"));
+        ("fraction bits", fun s -> Session.set s VL.di_fraction_bits (Value.str "16"));
+        ("retract parallelism", fun s -> Session.retract s VL.di_parallelism);
+        ("rebind parallelism", fun s -> Session.set s VL.di_parallelism (Value.str "8"));
+      ]
+  in
+  let naive =
+    Session.create ~use_cache:false ~hierarchy:VL.hierarchy ~constraints:VL.constraints
+      ~cores:VL.cores ()
+  in
+  ignore (lockstep ~name:"video" steps (VL.session (), naive))
+
+(* The IDCT hierarchies declare no eliminate constraints: the survivor
+   cache and the issue filter still have to agree with the naive path. *)
+let test_idct_walk () =
+  let generic_walk name make_cached make_naive =
+    let cached = ref (make_cached ()) and naive = ref (make_naive ()) in
+    let continue = ref true in
+    while !continue do
+      (match
+         List.find_opt
+           (fun (p, _) -> Option.is_some (Domain.options p.Property.domain))
+           (Session.open_issues !cached)
+       with
+      | None -> continue := false
+      | Some (p, _) ->
+        let opt = List.hd (Option.get (Domain.options p.Property.domain)) in
+        let ctx = Printf.sprintf "%s/%s" name p.Property.name in
+        let apply s =
+          match Session.set s p.Property.name (Value.str opt) with
+          | Ok s -> s
+          | Error msg -> Alcotest.failf "%s: %s" ctx msg
+        in
+        cached := apply !cached;
+        naive := apply !naive);
+      Alcotest.(check (list string)) (name ^ ": twins agree") (ids !naive) (ids !cached);
+      check_self name !cached
+    done
+  in
+  generic_walk "idct-gen" IL.session_generalization (fun () ->
+      Session.create ~use_cache:false ~hierarchy:IL.generalization_first ~cores:IL.cores ());
+  generic_walk "idct-abs" IL.session_abstraction (fun () ->
+      Session.create ~use_cache:false ~hierarchy:IL.abstraction_first ~cores:IL.cores ())
+
+(* -------------------------------------------------------------------- *)
+(* Synthetic layer: many eliminate constraints, per-budget invalidation   *)
+
+let syn_spec = { Syn.default_spec with Syn.cores = 300; eliminate_ccs = 4 }
+
+let test_synthetic_walk () =
+  let budget i = Value.real (420.0 +. (55.0 *. float_of_int i)) in
+  let bind_all s =
+    List.fold_left
+      (fun acc i -> Result.bind acc (fun s -> Session.set s (Syn.budget_name i) (budget i)))
+      (Ok s)
+      (List.init syn_spec.Syn.eliminate_ccs Fun.id)
+  in
+  let steps =
+    [
+      ("bind budgets", bind_all);
+      ("tighten B0", fun s -> Result.bind (Session.retract s (Syn.budget_name 0))
+                                (fun s -> Session.set s (Syn.budget_name 0) (Value.real 200.0)));
+      ("relax B2", fun s -> Result.bind (Session.retract s (Syn.budget_name 2))
+                              (fun s -> Session.set s (Syn.budget_name 2) (Value.real 5000.0)));
+      ("drop B1", fun s -> Session.retract s (Syn.budget_name 1));
+    ]
+  in
+  let cached, _ =
+    lockstep ~name:"synthetic" steps (Syn.session syn_spec, Syn.session ~use_cache:false syn_spec)
+  in
+  let stats = Session.cache_stats cached in
+  Alcotest.(check bool) "cache effective" true (Compliance.hit_rate stats > 0.0)
+
+(* -------------------------------------------------------------------- *)
+(* Fault injection: deterministic always-faulting modes, so both paths
+   see the identical fault-and-quarantine timeline per query.            *)
+
+let test_injected_crypto mode () =
+  let cores = crypto_cores () in
+  let constraints = Faultsim.wrap_plan ~plan:[ ("CC6", mode) ] CL.constraints in
+  let mk use_cache = Session.create ~use_cache ~hierarchy:CL.hierarchy ~constraints ~cores () in
+  let walk = [ List.nth crypto_steps 0; List.nth crypto_steps 1; List.nth crypto_steps 2 ] in
+  let cached, naive = lockstep ~name:"inject-crypto" walk (mk true, mk false) in
+  (* keep querying until the strike policy quarantines CC6 in both *)
+  for round = 1 to 3 do
+    ignore (Session.candidates cached);
+    ignore (Session.candidates naive);
+    let ctx = Printf.sprintf "inject round %d" round in
+    Alcotest.(check (list string)) (ctx ^ ": twins agree") (ids naive) (ids cached);
+    check_self ctx cached
+  done;
+  match List.assoc "CC6" (Session.health cached) with
+  | Guard.Quarantined _ -> check_self "post-quarantine" cached
+  | status ->
+    Alcotest.failf "CC6 not quarantined on cached path: %s" (Guard.status_label status)
+
+let test_injected_synthetic () =
+  let constraints = Faultsim.wrap_plan ~plan:[ ("EL0", Faultsim.Raise) ] (Syn.constraints syn_spec) in
+  let mk use_cache =
+    Session.create ~use_cache ~hierarchy:(Syn.hierarchy syn_spec) ~constraints
+      ~cores:(Syn.cores syn_spec) ()
+  in
+  let bind s i = Result.bind s (fun s -> Session.set s (Syn.budget_name i) (Value.real 400.0)) in
+  let drive s = List.fold_left bind (Ok s) (List.init syn_spec.Syn.eliminate_ccs Fun.id) in
+  match (drive (mk true), drive (mk false)) with
+  | Ok cached, Ok naive ->
+    for round = 1 to 3 do
+      ignore (Session.candidates cached);
+      ignore (Session.candidates naive);
+      let ctx = Printf.sprintf "syn inject round %d" round in
+      Alcotest.(check (list string)) (ctx ^ ": twins agree") (ids naive) (ids cached);
+      check_self ctx cached
+    done;
+    (* conservative semantics both sides: the faulty EL0 eliminated
+       nothing, so the un-injected constraints alone shaped the set *)
+    Alcotest.(check bool) "EL0 quarantined" true
+      (match List.assoc "EL0" (Session.health cached) with
+      | Guard.Quarantined _ -> true
+      | _ -> false)
+  | Error msg, _ | _, Error msg -> Alcotest.failf "drive failed: %s" msg
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ( "case studies",
+        [
+          Alcotest.test_case "crypto walk" `Quick test_crypto_walk;
+          Alcotest.test_case "crypto branches" `Quick test_crypto_branches;
+          Alcotest.test_case "video walk" `Quick test_video_walk;
+          Alcotest.test_case "idct walks" `Quick test_idct_walk;
+          Alcotest.test_case "synthetic walk" `Quick test_synthetic_walk;
+        ] );
+      ( "cache behaviour",
+        [ Alcotest.test_case "use_cache:false bypasses" `Quick test_naive_flag_bypasses ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "crypto CC6 raise" `Quick (test_injected_crypto Faultsim.Raise);
+          Alcotest.test_case "crypto CC6 nan" `Quick (test_injected_crypto Faultsim.Return_nan);
+          Alcotest.test_case "crypto CC6 diverge" `Quick (test_injected_crypto Faultsim.Diverge);
+          Alcotest.test_case "synthetic EL0 raise" `Quick test_injected_synthetic;
+        ] );
+    ]
