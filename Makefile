@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test check bench bench-json doc examples clean
+.PHONY: all test check bench bench-json serve-smoke bench-serve doc examples clean
 
 all:
 	dune build @all
@@ -15,6 +15,16 @@ check:
 	dune build @doc
 	$(MAKE) examples
 	dune exec bench/main.exe -- micro --json --smoke
+	$(MAKE) serve-smoke
+
+# End-to-end exploration service check: socket round trip, SIGTERM
+# shutdown, journal resume after restart.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Concurrent-client service throughput/latency (writes BENCH_PR3.json).
+bench-serve:
+	dune exec bench/main.exe -- serve --json
 
 bench:
 	dune exec bench/main.exe

@@ -8,6 +8,10 @@
      dune exec bench/main.exe micro --json [--smoke]
                                          -- incremental-pruning baseline
                                             -> BENCH_PR2.json
+     dune exec bench/main.exe serve --json [--smoke]
+                                         -- exploration-service bench
+                                            (socket server, 8 concurrent
+                                            clients) -> BENCH_PR3.json
 
    Experiments: table1 fig3 fig6 fig7 fig8 fig9 fig10 fig12 fig13
                 casestudy ablation power micro *)
@@ -991,6 +995,158 @@ let micro_json ?(smoke = false) () =
     (fst headline)
 
 (* ------------------------------------------------------------------ *)
+(* Exploration-service bench (BENCH_PR3.json)                           *)
+
+(* Measures the service end to end: a real Unix-socket server over the
+   10^4-core synthetic layer, N concurrent clients each running the
+   interactive requery loop over the wire (set a budget, read the
+   candidates and ranges, retract).  Client-side wall-clock per request
+   is the figure a designer at a front end would feel; the server's own
+   per-op metrics ride along via the [stats] op. *)
+
+let serve_bench_clients = 8
+
+let serve_latency_stats samples =
+  let sorted = Array.of_list samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pct p =
+    if n = 0 then 0.0 else sorted.(Stdlib.min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let total = Array.fold_left ( +. ) 0.0 sorted in
+  ( n,
+    (if n = 0 then 0.0 else total /. float_of_int n),
+    pct 0.50,
+    pct 0.95,
+    if n = 0 then 0.0 else sorted.(n - 1) )
+
+let serve_json ?(smoke = false) () =
+  header
+    (if smoke then "Exploration-service bench (smoke) -> BENCH_PR3.json"
+     else "Exploration-service bench -> BENCH_PR3.json");
+  let reps = if smoke then 25 else 250 in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dse_bench_%d.sock" (Unix.getpid ()))
+  in
+  let svc =
+    Ds_serve.Service.create
+      (Ds_serve.Service.config ~default_merits:[ "delay"; "cost" ]
+         ~layers:Ds_domains.Catalog.factories ())
+  in
+  let server = Ds_serve.Server.create ~socket ~pool:serve_bench_clients svc in
+  let server_thread = Thread.create Ds_serve.Server.serve server in
+  let errors = Atomic.make 0 in
+  let results = Array.make serve_bench_clients [] in
+  let run_client i =
+    match Ds_serve.Client.connect_retry ~socket () with
+    | Error msg ->
+      Atomic.incr errors;
+      Printf.eprintf "client %d: %s\n" i msg
+    | Ok c ->
+      let lat = ref [] in
+      let timed op line =
+        let t0 = Unix.gettimeofday () in
+        match Ds_serve.Client.request_line c line with
+        | Ok reply when String.length reply >= 10 && String.equal (String.sub reply 0 10) "{\"ok\":true" ->
+          lat := (op, (Unix.gettimeofday () -. t0) *. 1.0e6) :: !lat
+        | Ok reply ->
+          Atomic.incr errors;
+          Printf.eprintf "client %d: %s -> %s\n" i op reply
+        | Error msg ->
+          Atomic.incr errors;
+          Printf.eprintf "client %d: %s -> %s\n" i op msg
+      in
+      let sid = Printf.sprintf "bench%d" i in
+      let budget = Syn.budget_name 0 in
+      timed "open"
+        (Printf.sprintf "{\"op\":\"open\",\"session\":\"%s\",\"layer\":\"synthetic10k\"}" sid);
+      for r = 1 to reps do
+        let v = bench_budget 0 +. if r mod 2 = 0 then 25.0 else -25.0 in
+        timed "set"
+          (Printf.sprintf "{\"op\":\"set\",\"session\":\"%s\",\"name\":\"%s\",\"value\":%.1f}"
+             sid budget v);
+        timed "candidates"
+          (Printf.sprintf "{\"op\":\"candidates\",\"session\":\"%s\"}" sid);
+        timed "ranges" (Printf.sprintf "{\"op\":\"ranges\",\"session\":\"%s\"}" sid);
+        timed "retract"
+          (Printf.sprintf "{\"op\":\"retract\",\"session\":\"%s\",\"name\":\"%s\"}" sid budget)
+      done;
+      timed "close" (Printf.sprintf "{\"op\":\"close\",\"session\":\"%s\"}" sid);
+      results.(i) <- !lat;
+      Ds_serve.Client.close c
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init serve_bench_clients (fun i -> Thread.create run_client i) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  (* server-side view of the same run, straight off the wire *)
+  let server_stats =
+    match Ds_serve.Client.connect ~socket with
+    | Error _ -> "null"
+    | Ok c ->
+      let reply =
+        match Ds_serve.Client.request_line c "{\"op\":\"stats\"}" with
+        | Ok reply -> reply
+        | Error _ -> "null"
+      in
+      Ds_serve.Client.close c;
+      reply
+  in
+  Ds_serve.Server.shutdown server;
+  Thread.join server_thread;
+  let all = Array.to_list results |> List.concat in
+  let total = List.length all in
+  let ops =
+    List.sort_uniq String.compare (List.map fst all)
+    |> List.map (fun op -> (op, List.filter_map (fun (o, us) -> if String.equal o op then Some us else None) all))
+  in
+  let _, mean, p50, p95, max_us = serve_latency_stats (List.map snd all) in
+  printf "%d clients x (1 open + %d x 4 ops + 1 close) = %d requests in %.2f s  (%.0f req/s)\n"
+    serve_bench_clients reps total wall
+    (float_of_int total /. wall);
+  printf "latency us: mean %.0f  p50 %.0f  p95 %.0f  max %.0f  errors %d\n" mean p50 p95 max_us
+    (Atomic.get errors);
+  List.iter
+    (fun (op, samples) ->
+      let n, mean, p50, p95, max_us = serve_latency_stats samples in
+      printf "  %-12s n %5d  mean %8.0f  p50 %8.0f  p95 %8.0f  max %8.0f us\n" op n mean p50
+        p95 max_us)
+    ops;
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"exploration-service\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"layer\": \"synthetic10k\",\n";
+  add "  \"cores\": %d,\n" Ds_domains.Catalog.synthetic10k_spec.Syn.cores;
+  add "  \"clients\": %d,\n" serve_bench_clients;
+  add "  \"iterations_per_client\": %d,\n" reps;
+  add "  \"requests\": %d,\n" total;
+  add "  \"errors\": %d,\n" (Atomic.get errors);
+  add "  \"wall_s\": %.3f,\n" wall;
+  add "  \"requests_per_second\": %.1f,\n" (float_of_int total /. wall);
+  add "  \"latency_us\": { \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"max\": %.1f },\n" mean
+    p50 p95 max_us;
+  add "  \"per_op_latency_us\": {\n";
+  List.iteri
+    (fun i (op, samples) ->
+      let n, mean, p50, p95, max_us = serve_latency_stats samples in
+      add "    \"%s\": { \"count\": %d, \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"max\": %.1f }%s\n"
+        op n mean p50 p95 max_us
+        (if i < List.length ops - 1 then "," else ""))
+    ops;
+  add "  },\n";
+  add "  \"server_stats\": %s\n" server_stats;
+  add "}\n";
+  let oc = open_out "BENCH_PR3.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  printf "\nwrote BENCH_PR3.json (%.0f req/s over %d concurrent clients)\n"
+    (float_of_int total /. wall)
+    serve_bench_clients
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
 
 let micro () =
@@ -1112,6 +1268,10 @@ let () =
      to BENCH_PR2.json (--smoke: small sizes, for CI) *)
   | _ :: "micro" :: rest when List.mem "--json" rest ->
     micro_json ~smoke:(List.mem "--smoke" rest) ()
+  (* [serve --json [--smoke]]: the exploration-service bench, written
+     to BENCH_PR3.json (--smoke: fewer iterations, for CI) *)
+  | _ :: "serve" :: rest when List.mem "--json" rest ->
+    serve_json ~smoke:(List.mem "--smoke" rest) ()
   | [] | [ _ ] -> List.iter (fun (_, run) -> run ()) experiments
   | _ :: picks ->
     List.iter

@@ -8,6 +8,8 @@
      dse explore     [--eol N] [--latency US] [--set "Name=value"]...
      dse export      [--eol N] DIR
      dse check       FILE            (validate a reuse-library file)
+     dse serve       [--socket PATH] [--journal-dir DIR] [--pool N]
+     dse client      [--socket PATH] [REQUEST...]
 
    Examples:
      dse explore --set "Implementation Style=hardware" --set "Algorithm=Montgomery"
@@ -18,6 +20,18 @@ open Cmdliner
 open Ds_layer
 module CL = Ds_domains.Crypto_layer
 module N = Ds_domains.Names
+module SV = Ds_serve.Service
+module SP = Ds_serve.Protocol
+module SJ = Ds_serve.Jsonx
+
+(* One service configuration for every front end (shell, serve, client
+   tests): the full layer catalogue, the four crypto figures of merit,
+   and the latency/area Pareto axes the reports use. *)
+let service_config ?journal_dir ?(journal_sync = false) ?(capacity = 64) ~eol () =
+  SV.config ?journal_dir ~journal_sync ~capacity ~default_eol:eol
+    ~default_merits:[ N.m_latency_ns; N.m_area_um2; N.m_power_mw; N.m_energy_nj ]
+    ~report_pareto:(N.m_latency_ns, N.m_area_um2)
+    ~layers:Ds_domains.Catalog.factories ()
 
 let printf = Printf.printf
 
@@ -531,132 +545,343 @@ let lint_cmd =
 
 (* ----- shell ------------------------------------------------------------- *)
 
+(* The shell is a thin text veneer over the same protocol handler the
+   socket server runs: every command becomes a Protocol.request, every
+   display is rendered from the reply payload.  A behaviour seen here
+   is the wire behaviour, verbatim. *)
 let shell_cmd =
-  let run eol =
-    let registry = Ds_domains.Populate.standard_registry ~eol () in
-    let session = ref (CL.session ~cores:(Ds_reuse.Registry.all_cores registry)) in
+  let layer_name = function
+    | `Crypto -> "crypto"
+    | `Idct -> "idct"
+    | `Idct_abs -> "idct-abs"
+    | `Video -> "video"
+  in
+  let run eol layer =
+    let svc = SV.create (service_config ~eol ()) in
+    let sid = "shell" in
+    let call req = SV.handle svc req in
+    let str k payload =
+      Option.value ~default:"" (Option.bind (List.assoc_opt k payload) SJ.to_str)
+    in
+    let int k payload =
+      Option.value ~default:0 (Option.bind (List.assoc_opt k payload) SJ.to_int)
+    in
+    let items k payload =
+      Option.value ~default:[] (Option.bind (List.assoc_opt k payload) SJ.to_list)
+    in
+    let query req k =
+      match call req with
+      | SP.Failed (_, msg) -> printf "error: %s\n" msg
+      | SP.Reply payload -> k payload
+    in
+    let apply label response =
+      match response with
+      | SP.Reply payload ->
+        printf "%s -> focus %s, %d candidates\n" label (str "focus" payload)
+          (int "candidates" payload)
+      | SP.Failed (_, msg) -> printf "error: %s\n" msg
+    in
     let parse_value raw =
       match int_of_string_opt raw with
       | Some n -> Value.int n
       | None -> (
         match float_of_string_opt raw with Some f -> Value.real f | None -> Value.str raw)
     in
-    let apply label = function
-      | Ok s ->
-        session := s;
-        printf "%s -> focus %s, %d candidates\n" label
-          (String.concat "." (Session.focus s))
-          (Session.candidate_count s)
-      | Error msg -> printf "error: %s\n" msg
-    in
     let help () =
       print_string
-        "commands:\n\
+        "commands (each is one protocol request -- see DESIGN.md section 11):\n\
         \  set NAME=VALUE    bind a requirement or decide an issue\n\
         \  default NAME      bind a property to its declared default\n\
         \  retract NAME      undo a decision (dependents re-assessed)\n\
+        \  annotate TEXT     append a note to the decision trail\n\
         \  preview ISSUE     what each option would leave\n\
         \  issues            unbound design issues at the focus\n\
         \  candidates        surviving cores\n\
         \  ranges            figure-of-merit ranges\n\
+        \  signature         digest of the visible exploration state\n\
         \  trace             the session log\n\
         \  health            per-constraint health and guard diagnostics\n\
         \  script            the replayable decision script\n\
         \  report FILE       write a markdown exploration report\n\
         \  quit              leave\n"
     in
-    printf "design space layer shell (eol %d, %d cores); 'help' lists commands\n" eol
-      (Session.candidate_count !session);
-    let running = ref true in
-    while !running do
-      printf "dse> %!";
-      match In_channel.input_line stdin with
-      | None -> running := false
-      | Some line -> (
-        let line = String.trim line in
-        match String.index_opt line ' ' with
-        | _ when String.equal line "" -> ()
-        | _ when String.equal line "quit" || String.equal line "exit" -> running := false
-        | _ when String.equal line "help" -> help ()
-        | _ when String.equal line "issues" ->
-          List.iter
-            (fun (prop, eligible) ->
-              printf "  %-28s %s%s\n" prop.Property.name
-                (Domain.describe prop.Property.domain)
-                (if eligible then "" else "  [blocked by constraint ordering]"))
-            (Session.open_issues !session)
-        | _ when String.equal line "candidates" ->
-          List.iter (fun (qid, _) -> printf "  %s\n" qid) (Session.candidates !session)
-        | _ when String.equal line "ranges" ->
-          List.iter
-            (fun merit ->
-              match Session.merit_range !session ~merit with
-              | Some (lo, hi) -> printf "  %-12s %10.1f .. %10.1f\n" merit lo hi
-              | None -> ())
-            [ N.m_latency_ns; N.m_area_um2; N.m_power_mw; N.m_energy_nj ]
-        | _ when String.equal line "trace" -> Format.printf "%a@." Session.pp_trace !session
-        | _ when String.equal line "health" ->
-          List.iter
-            (fun (name, status) ->
-              printf "  %-6s %s%s\n" name (Guard.status_label status)
-                (match status with
-                | Guard.Quarantined { reason; _ } -> ": " ^ reason
-                | Guard.Healthy | Guard.Degraded -> ""))
-            (Session.health !session);
-          List.iter
-            (fun d -> printf "  # %s\n" (Guard.describe_diag d))
-            (Session.diagnostics !session)
-        | _ when String.equal line "script" ->
-          List.iter
-            (fun (name, v) -> printf "  set %s=%s\n" name (Value.to_string v))
-            (Session.script !session)
-        | None -> printf "unknown command %S; try 'help'\n" line
-        | Some i -> (
-          let cmd = String.sub line 0 i in
-          let arg = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
-          match cmd with
-          | "set" -> (
-            match String.index_opt arg '=' with
-            | None -> printf "usage: set NAME=VALUE\n"
-            | Some j ->
-              let name = String.sub arg 0 j in
-              let raw = String.sub arg (j + 1) (String.length arg - j - 1) in
-              apply ("set " ^ name) (Session.set !session name (parse_value raw)))
-          | "default" -> apply ("default " ^ arg) (Session.set_default !session arg)
-          | "retract" -> apply ("retract " ^ arg) (Session.retract !session arg)
-          | "preview" -> (
-            match Session.preview_options !session ~issue:arg ~merit:N.m_latency_ns with
-            | Error msg -> printf "error: %s\n" msg
-            | Ok previews ->
-              List.iter
-                (fun pv ->
-                  match pv.Session.outcome with
-                  | `Explored (n, Some (lo, hi)) ->
-                    printf "  %-16s %3d candidates, latency %.0f..%.0f ns\n"
-                      pv.Session.option_value n lo hi
-                  | `Explored (n, None) -> printf "  %-16s %3d candidates\n" pv.Session.option_value n
-                  | `Rejected reason -> printf "  %-16s rejected: %s\n" pv.Session.option_value reason)
-                previews)
-          | "report" -> (
-            match
-              Report.save !session ~path:arg ~merits:[ N.m_latency_ns; N.m_area_um2 ]
-                ~pareto:(N.m_latency_ns, N.m_area_um2)
-            with
-            | Ok () -> printf "wrote %s\n" arg
-            | Error msg -> printf "error: %s\n" msg)
-          | _ -> printf "unknown command %S; try 'help'\n" cmd))
-    done;
-    0
+    match
+      call
+        (SP.Open
+           { session = Some sid; layer = layer_name layer; eol = Some eol; resume = false })
+    with
+    | SP.Failed (_, msg) ->
+      Printf.eprintf "cannot start shell: %s\n" msg;
+      1
+    | SP.Reply opened ->
+      printf "design space layer shell (eol %d, %d cores); 'help' lists commands\n" eol
+        (int "candidates" opened);
+      let running = ref true in
+      let quit_requested = ref false in
+      (* Unknown commands go to stderr and make an EOF-terminated run
+         exit non-zero, so a scripted `dse shell < script` cannot
+         silently misspell its way to success; an explicit quit still
+         exits 0 (the designer saw the message). *)
+      let had_error = ref false in
+      let unknown what =
+        had_error := true;
+        Printf.eprintf "unknown command %S; try 'help'\n" what
+      in
+      while !running do
+        printf "dse> %!";
+        match In_channel.input_line stdin with
+        | None -> running := false
+        | Some line -> (
+          let line = String.trim line in
+          match String.index_opt line ' ' with
+          | _ when String.equal line "" -> ()
+          | _ when String.equal line "quit" || String.equal line "exit" ->
+            quit_requested := true;
+            running := false
+          | _ when String.equal line "help" -> help ()
+          | _ when String.equal line "issues" ->
+            query (SP.Issues { session = sid }) (fun payload ->
+                List.iter
+                  (fun item ->
+                    let eligible =
+                      Option.value ~default:true
+                        (Option.bind (SJ.member "eligible" item) SJ.to_bool)
+                    in
+                    printf "  %-28s %s%s\n"
+                      (Option.value ~default:"?" (SJ.str_member "name" item))
+                      (Option.value ~default:"" (SJ.str_member "domain" item))
+                      (if eligible then "" else "  [blocked by constraint ordering]"))
+                  (items "issues" payload))
+          | _ when String.equal line "candidates" ->
+            query (SP.Candidates { session = sid }) (fun payload ->
+                List.iter
+                  (fun qid -> Option.iter (printf "  %s\n") (SJ.to_str qid))
+                  (items "candidates" payload))
+          | _ when String.equal line "ranges" ->
+            query (SP.Ranges { session = sid; merits = None }) (fun payload ->
+                match List.assoc_opt "ranges" payload with
+                | Some (SJ.Obj fields) ->
+                  List.iter
+                    (fun (merit, v) ->
+                      match v with
+                      | SJ.List [ lo; hi ] -> (
+                        match (SJ.to_float lo, SJ.to_float hi) with
+                        | Some lo, Some hi -> printf "  %-12s %10.1f .. %10.1f\n" merit lo hi
+                        | _ -> ())
+                      | _ -> ())
+                    fields
+                | _ -> ())
+          | _ when String.equal line "signature" ->
+            query (SP.Signature { session = sid }) (fun payload ->
+                printf "  %s\n" (str "signature" payload))
+          | _ when String.equal line "trace" ->
+            query (SP.Trace { session = sid }) (fun payload ->
+                let trace = str "trace" payload in
+                print_string trace;
+                if String.length trace = 0 || trace.[String.length trace - 1] <> '\n' then
+                  print_newline ())
+          | _ when String.equal line "health" ->
+            query (SP.Health { session = sid }) (fun payload ->
+                List.iter
+                  (fun item ->
+                    printf "  %-6s %s%s\n"
+                      (Option.value ~default:"?" (SJ.str_member "constraint" item))
+                      (Option.value ~default:"?" (SJ.str_member "status" item))
+                      (match SJ.str_member "reason" item with
+                      | Some reason -> ": " ^ reason
+                      | None -> ""))
+                  (items "health" payload);
+                List.iter
+                  (fun d -> Option.iter (printf "  # %s\n") (SJ.to_str d))
+                  (items "diagnostics" payload))
+          | _ when String.equal line "script" ->
+            query (SP.Script { session = sid }) (fun payload ->
+                List.iter
+                  (fun item ->
+                    match
+                      ( SJ.str_member "name" item,
+                        Option.map SP.value_of_json (SJ.member "value" item) )
+                    with
+                    | Some name, Some (Ok v) -> printf "  set %s=%s\n" name (Value.to_string v)
+                    | _ -> ())
+                  (items "script" payload))
+          | None -> unknown line
+          | Some i -> (
+            let cmd = String.sub line 0 i in
+            let arg = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            match cmd with
+            | "set" | "decide" -> (
+              match String.index_opt arg '=' with
+              | None -> printf "usage: %s NAME=VALUE\n" cmd
+              | Some j ->
+                let name = String.sub arg 0 j in
+                let raw = String.sub arg (j + 1) (String.length arg - j - 1) in
+                apply ("set " ^ name)
+                  (call
+                     (SP.Set
+                        {
+                          session = sid;
+                          name;
+                          value = parse_value raw;
+                          decide = String.equal cmd "decide";
+                        })))
+            | "default" ->
+              apply ("default " ^ arg) (call (SP.Default { session = sid; name = arg }))
+            | "retract" ->
+              apply ("retract " ^ arg) (call (SP.Retract { session = sid; name = arg }))
+            | "annotate" -> apply "annotate" (call (SP.Annotate { session = sid; text = arg }))
+            | "preview" ->
+              query (SP.Preview { session = sid; issue = arg; merit = None }) (fun payload ->
+                  List.iter
+                    (fun item ->
+                      let value = Option.value ~default:"?" (SJ.str_member "value" item) in
+                      match SJ.str_member "outcome" item with
+                      | Some "explored" -> (
+                        let n =
+                          Option.value ~default:0
+                            (Option.bind (SJ.member "candidates" item) SJ.to_int)
+                        in
+                        match SJ.member "range" item with
+                        | Some (SJ.List [ lo; hi ]) -> (
+                          match (SJ.to_float lo, SJ.to_float hi) with
+                          | Some lo, Some hi ->
+                            printf "  %-16s %3d candidates, latency %.0f..%.0f ns\n" value n
+                              lo hi
+                          | _ -> printf "  %-16s %3d candidates\n" value n)
+                        | _ -> printf "  %-16s %3d candidates\n" value n)
+                      | _ ->
+                        printf "  %-16s rejected: %s\n" value
+                          (Option.value ~default:"?" (SJ.str_member "reason" item)))
+                    (items "options" payload))
+            | "report" ->
+              query (SP.Report { session = sid; title = None }) (fun payload ->
+                  match
+                    Out_channel.with_open_text arg (fun oc ->
+                        output_string oc (str "markdown" payload))
+                  with
+                  | () -> printf "wrote %s\n" arg
+                  | exception Sys_error msg -> printf "error: %s\n" msg)
+            | _ -> unknown cmd))
+      done;
+      if !quit_requested || not !had_error then 0 else 1
   in
   Cmd.v
-    (Cmd.info "shell" ~doc:"Interactive exploration (reads commands from stdin).")
-    Term.(const run $ eol_arg)
+    (Cmd.info "shell"
+       ~doc:
+         "Interactive exploration (reads commands from stdin; drives the same protocol \
+          handler as the socket server).")
+    Term.(const run $ eol_arg $ layer_arg)
+
+(* ----- serve / client ---------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/dse.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Journal every accepted mutation under \\$(docv) (one file per session) and \
+             allow clients to resume sessions with {\"op\":\"open\",\"resume\":true}.")
+  in
+  let sync =
+    Arg.(
+      value & flag
+      & info [ "sync" ]
+          ~doc:"fsync every journal append (survives power loss, not just process death).")
+  in
+  let pool =
+    Arg.(
+      value & opt int 8
+      & info [ "pool" ] ~docv:"N" ~doc:"Worker threads serving connections.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Most sessions held in memory at once (least-recently-used sessions are \
+             evicted; with a journal they stay resumable).")
+  in
+  let run eol socket journal_dir sync pool capacity =
+    let svc =
+      SV.create (service_config ?journal_dir ~journal_sync:sync ~capacity ~eol ())
+    in
+    match Ds_serve.Server.create ~socket ~pool svc with
+    | exception Unix.Unix_error (err, _, arg) ->
+      Printf.eprintf "cannot listen on %s: %s %s\n" socket (Unix.error_message err) arg;
+      1
+    | server ->
+      Ds_serve.Server.install_signal_handlers server;
+      printf "dse service listening on %s (layers: %s)%s\n%!" socket
+        (String.concat ", " Ds_domains.Catalog.names)
+        (match journal_dir with
+        | Some dir -> Printf.sprintf ", journaling to %s" dir
+        | None -> ", journaling disabled");
+      Ds_serve.Server.serve server;
+      printf "dse service stopped after %d connections\n"
+        (Ds_serve.Server.connections_served server);
+      0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the exploration service on a Unix-domain socket (line-delimited JSON; see \
+          DESIGN.md section 11).")
+    Term.(const run $ eol_arg $ socket_arg $ journal_dir $ sync $ pool $ capacity)
+
+let client_cmd =
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:"JSON request lines; when omitted, lines are read from stdin until EOF.")
+  in
+  let run socket requests =
+    match Ds_serve.Client.connect ~socket with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+    | Ok client ->
+      let send ok line =
+        match Ds_serve.Client.request_line client line with
+        | Ok reply ->
+          printf "%s\n%!" reply;
+          ok
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          false
+      in
+      let ok =
+        if requests <> [] then List.fold_left send true requests
+        else
+          let rec go ok =
+            match In_channel.input_line stdin with
+            | None -> ok
+            | Some line when String.equal (String.trim line) "" -> go ok
+            | Some line -> go (send ok line)
+          in
+          go true
+      in
+      Ds_serve.Client.close client;
+      if ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send protocol request lines to a running dse service and print the replies.")
+    Term.(const run $ socket_arg $ requests)
 
 (* ----- main ------------------------------------------------------------- *)
 
 let () =
   let doc = "early design space exploration for core-based designs (DATE 1999 reproduction)" in
-  let info = Cmd.info "dse" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "dse" ~version:Version.version ~doc in
   (* [~catch:false] so an escaped exception (malformed input, a layer
      that fails to construct) becomes one error line and a non-zero exit
      instead of cmdliner's backtrace dump. *)
@@ -666,6 +891,7 @@ let () =
          [
            tree_cmd; properties_cmd; constraints_cmd; cores_cmd; explore_cmd; preview_cmd;
            coproc_cmd; document_cmd; netlist_cmd; lint_cmd; shell_cmd; export_cmd; check_cmd;
+           serve_cmd; client_cmd;
          ])
   with
   | code -> exit code

@@ -626,6 +626,35 @@ let estimates t =
       | Consistency.Inconsistent _ | Consistency.Derive _ | Consistency.Eliminate _ -> None)
     t.constraints
 
+(* The designer-visible state, digested.  Unlike [state_signature]
+   (cache-keying, includes verdict generations that differ between
+   lineages), this covers exactly what a client of the exploration
+   service can observe: focus, all bindings with their sources, and the
+   candidate ids.  Replaying a journal into a fresh lineage must
+   reproduce it bit for bit. *)
+let candidate_signature t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (focus_key t);
+  t.bindings
+  |> List.map (fun b ->
+         let src =
+           match b.source with
+           | Designer -> "!"
+           | Default_value -> "d"
+           | Derived cc -> "<" ^ cc
+         in
+         b.prop.Property.name ^ "=" ^ value_signature b.value ^ src)
+  |> List.sort String.compare
+  |> List.iter (fun entry ->
+         Buffer.add_char buf '|';
+         Buffer.add_string buf entry);
+  List.iter
+    (fun (qid, _) ->
+      Buffer.add_char buf '#';
+      Buffer.add_string buf qid)
+    (candidates t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let script t =
   (* Walk the event log: set events append; a retraction removes the
      latest entry for its property and every entry whose binding it

@@ -184,6 +184,18 @@ val estimates : t -> (string * (string * float) list) list
     [(tool name, metric values)] — the paper's "estimation replaces
     retrieval" path (CC3). *)
 
+val candidate_signature : t -> string
+(** A stable hex digest of the session's designer-visible state: the
+    focus path, every binding (name, value and source, sorted), and the
+    surviving candidate ids in index order.  Two sessions over the same
+    hierarchy, constraints and population have equal signatures exactly
+    when a designer could not tell them apart by querying focus,
+    bindings or candidates — the check the exploration service's
+    journal replay is verified against (see {!Ds_serve.Journal}).
+    Cache internals (verdict generations, hit counters) never enter the
+    digest, so a cached and an uncached lineage that agree on the
+    visible state sign identically. *)
+
 val script : t -> (string * Value.t) list
 (** The designer-made bindings in the order they were entered —
     a replayable script of the exploration (derived bindings are

@@ -1,0 +1,30 @@
+let synthetic10k_spec =
+  {
+    Synthetic.default_spec with
+    Synthetic.cores = 10_000;
+    (* ten analytic elimination constraints, as in the incremental-
+       pruning bench: per-core work comparable to the case studies *)
+    eliminate_ccs = 10;
+  }
+
+let factories : (string * (eol:int -> Ds_layer.Session.t)) list =
+  [
+    ( "crypto",
+      fun ~eol ->
+        let registry = Populate.standard_registry ~eol () in
+        Crypto_layer.session ~cores:(Ds_reuse.Registry.all_cores registry) );
+    ("idct", fun ~eol:_ -> Idct_layer.session_generalization ());
+    ("idct-abs", fun ~eol:_ -> Idct_layer.session_abstraction ());
+    ("video", fun ~eol:_ -> Video_layer.session ());
+    ("synthetic", fun ~eol:_ -> Synthetic.session Synthetic.default_spec);
+    ("synthetic10k", fun ~eol:_ -> Synthetic.session synthetic10k_spec);
+  ]
+
+let names = List.map fst factories
+
+let session name ~eol =
+  match List.assoc_opt name factories with
+  | Some make -> Ok (make ~eol)
+  | None ->
+    Error
+      (Printf.sprintf "unknown layer %S (known: %s)" name (String.concat ", " names))

@@ -1,0 +1,39 @@
+(** The layer catalogue: every shipped design space layer behind one
+    name -> session-factory map.
+
+    The exploration service ({!Ds_serve.Service}) is domain-agnostic: a
+    client's [open] request names a layer and the service instantiates
+    it through a factory injected at startup.  This module is the
+    factory set the [dse] CLI and the bench harness inject — the same
+    names work in [dse serve], [dse shell] and the protocol itself.
+
+    Factories are eol-parameterized because the cryptography libraries
+    are generated per effective operand length; layers without that
+    knob ignore it. *)
+
+val factories : (string * (eol:int -> Ds_layer.Session.t)) list
+(** The name -> factory pairs themselves, in the shape
+    {!Ds_serve.Service.config} wants for its [layers] field. *)
+
+val names : string list
+(** Every layer name this catalogue can instantiate, in a stable order:
+    ["crypto"; "idct"; "idct-abs"; "video"; "synthetic"; "synthetic10k"]. *)
+
+val session : string -> eol:int -> (Ds_layer.Session.t, string) result
+(** A fresh session of the named layer, focused at its hierarchy root.
+
+    - ["crypto"]: the cryptography hierarchy over the standard registry
+      generated at [eol];
+    - ["idct"] / ["idct-abs"]: the generalization-first /
+      abstraction-first IDCT organisations;
+    - ["video"]: the MPEG IDCT-subsystem layer;
+    - ["synthetic"]: {!Synthetic.default_spec} (1000 cores);
+    - ["synthetic10k"]: the 10^4-core stress population with ten
+      elimination constraints — the service-bench workload.
+
+    Errors (rather than raises) on an unknown name, listing the valid
+    ones. *)
+
+val synthetic10k_spec : Synthetic.spec
+(** The ["synthetic10k"] generator spec, exposed so benches and tests
+    can derive reduced (smoke) variants of the same population. *)

@@ -1,0 +1,56 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~socket =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Ok fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  with
+  | Ok fd -> Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | Error _ as e -> e
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err))
+
+let connect_retry ?(attempts = 50) ?(delay_s = 0.1) ~socket () =
+  let rec go n =
+    match connect ~socket with
+    | Ok _ as ok -> ok
+    | Error _ when n > 1 ->
+      Thread.delay delay_s;
+      go (n - 1)
+    | Error _ as e -> e
+  in
+  go (Stdlib.max 1 attempts)
+
+let request_line t line =
+  try
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    match In_channel.input_line t.ic with
+    | Some reply -> Ok reply
+    | None -> Error "connection closed by server"
+  with
+  | Sys_error msg -> Error msg
+  | Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let request t req =
+  match request_line t (Jsonx.to_string (Protocol.json_of_request req)) with
+  | Error _ as e -> e
+  | Ok reply -> Protocol.response_of_string reply
+
+let close t =
+  close_out_noerr t.oc;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_client ~socket f =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok t ->
+    let result = try Ok (f t) with e -> Error (Printexc.to_string e) in
+    close t;
+    result

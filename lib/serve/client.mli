@@ -1,0 +1,28 @@
+(** A small blocking client for the exploration service.
+
+    One connection, synchronous request/reply — exactly the discipline
+    the protocol guarantees (one reply line per request line, in
+    order).  Used by [dse client], the service tests and the bench
+    harness; a client in any other language is a socket plus a JSON
+    codec. *)
+
+type t
+
+val connect : socket:string -> (t, string) result
+
+val connect_retry : ?attempts:int -> ?delay_s:float -> socket:string -> unit -> (t, string) result
+(** Retry {!connect} while the server is still starting ([attempts]
+    (default 50) probes [delay_s] (default 0.1) apart). *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request, block for its reply.  Errors are transport-level
+    (connection lost, malformed reply line); protocol-level failures
+    come back as [Ok (Failed _)]. *)
+
+val request_line : t -> string -> (string, string) result
+(** Raw variant: one already-encoded request line -> the reply line. *)
+
+val close : t -> unit
+
+val with_client : socket:string -> (t -> 'a) -> ('a, string) result
+(** Connect, run, always close. *)

@@ -1,0 +1,138 @@
+type header = { session : string; layer : string; eol : int }
+
+type entry = { req : Jsonx.t; signature : string }
+
+type t = { fd : Unix.file_descr; oc : out_channel; sync : bool }
+
+let path ~dir ~id = Filename.concat dir (id ^ ".journal")
+let exists ~dir ~id = Sys.file_exists (path ~dir ~id)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let header_json h =
+  Jsonx.Obj
+    [
+      ("journal", Jsonx.Str "dse-session");
+      ("format", Jsonx.Int 1);
+      ("session", Jsonx.Str h.session);
+      ("layer", Jsonx.Str h.layer);
+      ("eol", Jsonx.Int h.eol);
+    ]
+
+let header_of_json json =
+  match
+    ( Jsonx.str_member "journal" json,
+      Jsonx.str_member "session" json,
+      Jsonx.str_member "layer" json,
+      Option.bind (Jsonx.member "eol" json) Jsonx.to_int )
+  with
+  | Some "dse-session", Some session, Some layer, Some eol -> Ok { session; layer; eol }
+  | Some other, _, _, _ when other <> "dse-session" ->
+    Error (Printf.sprintf "not a session journal (kind %S)" other)
+  | _ -> Error "malformed journal header"
+
+let guard_io f =
+  try Ok (f ()) with
+  | Unix.Unix_error (err, _, arg) ->
+    Error (Printf.sprintf "journal: %s: %s" arg (Unix.error_message err))
+  | Sys_error msg -> Error ("journal: " ^ msg)
+
+let write_line t line =
+  guard_io (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      if t.sync then Unix.fsync t.fd)
+
+let create ?(sync = false) ~dir header =
+  match
+    guard_io (fun () ->
+        mkdir_p dir;
+        Unix.openfile (path ~dir ~id:header.session)
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+          0o644)
+  with
+  | Error _ as e -> e
+  | Ok fd -> (
+    let t = { fd; oc = Unix.out_channel_of_descr fd; sync } in
+    match write_line t (Jsonx.to_string (header_json header)) with
+    | Ok () -> Ok t
+    | Error _ as e ->
+      close_out_noerr t.oc;
+      e)
+
+let append t ~req ~signature =
+  write_line t
+    (Jsonx.to_string (Jsonx.Obj [ ("req", req); ("sig", Jsonx.Str signature) ]))
+
+let close t = close_out_noerr t.oc
+
+let open_append ?(sync = false) ~dir ~id () =
+  if not (exists ~dir ~id) then Error (Printf.sprintf "journal: no journal for %S" id)
+  else
+    match
+      guard_io (fun () -> Unix.openfile (path ~dir ~id) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644)
+    with
+    | Error _ as e -> e
+    | Ok fd -> Ok { fd; oc = Unix.out_channel_of_descr fd; sync }
+
+(* Complete lines only: a crash can leave a final unterminated
+   fragment, which is by construction an entry no client was ever told
+   about — drop it.  Anything malformed before that is corruption and
+   errors out. *)
+let complete_lines content =
+  let lines = String.split_on_char '\n' content in
+  match List.rev lines with
+  | last :: rest when not (String.equal last "") ->
+    (* no trailing newline: [last] is the partial fragment *)
+    List.rev rest
+  | _ :: rest -> List.rev rest
+  | [] -> []
+
+let load ~dir ~id =
+  let file = path ~dir ~id in
+  if not (Sys.file_exists file) then Error (Printf.sprintf "journal: no journal for %S" id)
+  else
+    match guard_io (fun () -> In_channel.with_open_bin file In_channel.input_all) with
+    | Error _ as e -> e
+    | Ok content -> (
+      match complete_lines content with
+      | [] -> Error "journal: empty journal (missing header)"
+      | header_line :: entry_lines -> (
+        let ( let* ) = Result.bind in
+        let* header =
+          match Jsonx.of_string header_line with
+          | Error msg -> Error ("journal: header: " ^ msg)
+          | Ok json -> header_of_json json
+        in
+        let* entries =
+          let rec go n acc = function
+            | [] -> Ok (List.rev acc)
+            | "" :: rest -> go (n + 1) acc rest
+            | line :: rest -> (
+              match Jsonx.of_string line with
+              | Error msg -> Error (Printf.sprintf "journal: line %d: %s" n msg)
+              | Ok json -> (
+                match (Jsonx.member "req" json, Jsonx.str_member "sig" json) with
+                | Some req, Some signature -> go (n + 1) ({ req; signature } :: acc) rest
+                | _ -> Error (Printf.sprintf "journal: line %d: not an entry" n)))
+          in
+          go 2 [] entry_lines
+        in
+        Ok (header, entries)))
+
+let branch ?(sync = false) ~dir ~from_id ~to_id () =
+  let ( let* ) = Result.bind in
+  let* header, entries = load ~dir ~id:from_id in
+  let* t = create ~sync ~dir { header with session = to_id } in
+  let result =
+    List.fold_left
+      (fun acc e -> Result.bind acc (fun () -> append t ~req:e.req ~signature:e.signature))
+      (Ok ()) entries
+  in
+  close t;
+  result

@@ -1,0 +1,66 @@
+(** Per-session write-ahead journal.
+
+    Every mutating protocol request a session accepts is appended, as
+    its wire-format JSON, to an append-only file named after the
+    session id.  Re-applying the journaled requests, in order, to a
+    fresh session of the same layer deterministically reconstructs the
+    session — that is how [open --resume] works, and how a crashed or
+    SIGKILLed server recovers its sessions: each append is flushed to
+    the operating system (and optionally fsynced) {e before} the reply
+    leaves the server, so the journal of a dead server is never behind
+    what its clients were told.
+
+    {2 File format}
+
+    Line 1 — the header:
+    [{"journal":"dse-session","format":1,"session":ID,"layer":L,"eol":N}]
+
+    Each further line — one applied mutation and the candidate
+    signature the session had {e after} applying it:
+    [{"req":{...request...},"sig":"<hex digest>"}]
+
+    The signature ({!Ds_layer.Session.candidate_signature}) lets replay
+    verify, entry by entry, that it reproduced the visible state the
+    live session actually had; a mismatch (e.g. the layer definition
+    changed since the journal was written) fails the resume instead of
+    silently handing the designer a different design space. *)
+
+type header = { session : string; layer : string; eol : int }
+
+type entry = { req : Jsonx.t; signature : string }
+
+type t
+(** An open journal, positioned for appending. *)
+
+val path : dir:string -> id:string -> string
+(** [dir/<id>.journal]. *)
+
+val exists : dir:string -> id:string -> bool
+
+val create : ?sync:bool -> dir:string -> header -> (t, string) result
+(** Truncate/create the file and write the header.  [sync] (default
+    [false]) additionally fsyncs every append — full crash-safety
+    against power loss, at a per-request cost; the default survives
+    process death (the flush reaches the kernel) which is the failure
+    mode the service defends against.  Creates [dir] if missing. *)
+
+val append : t -> req:Jsonx.t -> signature:string -> (unit, string) result
+(** One entry line, flushed before returning. *)
+
+val close : t -> unit
+
+val load : dir:string -> id:string -> (header * entry list, string) result
+(** Parse the whole journal.  Errors on a missing file, a bad header,
+    or a malformed entry line (the line number is reported); a trailing
+    {e partial} line — the one a crash can leave behind — is ignored
+    with the entries before it intact, because an entry is only
+    acknowledged to clients after its flush. *)
+
+val open_append : ?sync:bool -> dir:string -> id:string -> unit -> (t, string) result
+(** Reopen an existing journal for appending (after {!load}). *)
+
+val branch :
+  ?sync:bool -> dir:string -> from_id:string -> to_id:string -> unit -> (unit, string) result
+(** Copy [from_id]'s journal as the starting history of [to_id],
+    rewriting the header to the new session id — a branched session
+    resumes independently of its parent. *)

@@ -1,0 +1,48 @@
+(** A minimal line-oriented JSON codec.
+
+    The exploration service speaks line-delimited JSON; the repo takes
+    no external JSON dependency, so this module implements the small
+    slice of RFC 8259 the protocol needs: objects, arrays, strings
+    (with escape handling, including [\uXXXX] for the BMP), numbers
+    (kept as [Int] when they are syntactically integral, matching the
+    layer's [Value.Int]/[Value.Real] distinction), booleans and null.
+
+    {!to_string} always emits a single physical line — embedded
+    newlines in strings are escaped — so one value maps to exactly one
+    protocol/journal line. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  Non-finite floats render as [null]
+    (JSON has no spelling for them). *)
+
+val of_string : string -> (t, string) result
+(** Parse one value; trailing non-whitespace is an error.  Error
+    messages carry a character offset. *)
+
+(** {2 Accessors} — total, option-returning *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] for missing fields and non-objects. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Widens [Int] (a JSON reader cannot distinguish [8] from [8.0]
+    when the producer meant a real). *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val str_member : string -> t -> string option
+(** [str_member k o] = [member k o |> Option.bind to_str] — the common
+    protocol access path. *)

@@ -1,0 +1,321 @@
+module Value = Ds_layer.Value
+
+type request =
+  | Open of { session : string option; layer : string; eol : int option; resume : bool }
+  | Set of { session : string; name : string; value : Value.t; decide : bool }
+  | Default of { session : string; name : string }
+  | Retract of { session : string; name : string }
+  | Annotate of { session : string; text : string }
+  | Candidates of { session : string }
+  | Ranges of { session : string; merits : string list option }
+  | Issues of { session : string }
+  | Preview of { session : string; issue : string; merit : string option }
+  | Script of { session : string }
+  | Trace of { session : string }
+  | Health of { session : string }
+  | Signature of { session : string }
+  | Report of { session : string; title : string option }
+  | Branch of { session : string; as_id : string option }
+  | Close of { session : string }
+  | Stats
+
+type error_code =
+  | Parse_error
+  | Bad_request
+  | Unknown_op
+  | Unknown_layer
+  | Unknown_session
+  | Session_exists
+  | Rejected
+  | Journal_error
+  | Shutting_down
+  | Server_error
+
+type response = Reply of (string * Jsonx.t) list | Failed of error_code * string
+
+let error_code_label = function
+  | Parse_error -> "parse_error"
+  | Bad_request -> "bad_request"
+  | Unknown_op -> "unknown_op"
+  | Unknown_layer -> "unknown_layer"
+  | Unknown_session -> "unknown_session"
+  | Session_exists -> "session_exists"
+  | Rejected -> "rejected"
+  | Journal_error -> "journal_error"
+  | Shutting_down -> "shutting_down"
+  | Server_error -> "server_error"
+
+let error_code_of_label = function
+  | "parse_error" -> Some Parse_error
+  | "bad_request" -> Some Bad_request
+  | "unknown_op" -> Some Unknown_op
+  | "unknown_layer" -> Some Unknown_layer
+  | "unknown_session" -> Some Unknown_session
+  | "session_exists" -> Some Session_exists
+  | "rejected" -> Some Rejected
+  | "journal_error" -> Some Journal_error
+  | "shutting_down" -> Some Shutting_down
+  | "server_error" -> Some Server_error
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+
+let json_of_value = function
+  | Value.Str s -> Jsonx.Str s
+  | Value.Int i -> Jsonx.Int i
+  | Value.Real f -> Jsonx.Float f
+  | Value.Flag b -> Jsonx.Bool b
+
+let value_of_json = function
+  | Jsonx.Str s -> Ok (Value.Str s)
+  | Jsonx.Int i -> Ok (Value.Int i)
+  | Jsonx.Float f -> Ok (Value.Real f)
+  | Jsonx.Bool b -> Ok (Value.Flag b)
+  | Jsonx.Null | Jsonx.List _ | Jsonx.Obj _ ->
+    Error "value must be a string, number or boolean"
+
+(* ------------------------------------------------------------------ *)
+(* Request decoding                                                    *)
+
+let field name json = Jsonx.member name json
+
+let str_field name json =
+  match Jsonx.str_member name json with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string field %S" name)
+
+let session_field json = str_field "session" json
+
+let ( let* ) = Result.bind
+
+let request_of_json json =
+  let* op = str_field "op" json in
+  match op with
+  | "open" ->
+    let resume =
+      match Option.bind (field "resume" json) Jsonx.to_bool with
+      | Some b -> b
+      | None -> false
+    in
+    (* on resume the journal header is authoritative, so the layer may
+       be omitted (encoded as "") *)
+    let* layer =
+      match Jsonx.str_member "layer" json with
+      | Some l -> Ok l
+      | None when resume -> Ok ""
+      | None -> Error "missing or non-string field \"layer\""
+    in
+    let eol = Option.bind (field "eol" json) Jsonx.to_int in
+    Ok (Open { session = Jsonx.str_member "session" json; layer; eol; resume })
+  | "set" | "decide" ->
+    let* session = session_field json in
+    let* name = str_field "name" json in
+    let* value =
+      match field "value" json with
+      | None -> Error "missing field \"value\""
+      | Some v -> value_of_json v
+    in
+    Ok (Set { session; name; value; decide = String.equal op "decide" })
+  | "default" ->
+    let* session = session_field json in
+    let* name = str_field "name" json in
+    Ok (Default { session; name })
+  | "retract" ->
+    let* session = session_field json in
+    let* name = str_field "name" json in
+    Ok (Retract { session; name })
+  | "annotate" ->
+    let* session = session_field json in
+    let* text = str_field "text" json in
+    Ok (Annotate { session; text })
+  | "candidates" ->
+    let* session = session_field json in
+    Ok (Candidates { session })
+  | "ranges" ->
+    let* session = session_field json in
+    let merits =
+      match Option.bind (field "merits" json) Jsonx.to_list with
+      | Some items -> Some (List.filter_map Jsonx.to_str items)
+      | None -> None
+    in
+    Ok (Ranges { session; merits })
+  | "issues" ->
+    let* session = session_field json in
+    Ok (Issues { session })
+  | "preview" ->
+    let* session = session_field json in
+    let* issue = str_field "issue" json in
+    Ok (Preview { session; issue; merit = Jsonx.str_member "merit" json })
+  | "script" ->
+    let* session = session_field json in
+    Ok (Script { session })
+  | "trace" ->
+    let* session = session_field json in
+    Ok (Trace { session })
+  | "health" ->
+    let* session = session_field json in
+    Ok (Health { session })
+  | "signature" ->
+    let* session = session_field json in
+    Ok (Signature { session })
+  | "report" ->
+    let* session = session_field json in
+    Ok (Report { session; title = Jsonx.str_member "title" json })
+  | "branch" ->
+    let* session = session_field json in
+    Ok (Branch { session; as_id = Jsonx.str_member "as" json })
+  | "close" ->
+    let* session = session_field json in
+    Ok (Close { session })
+  | "stats" -> Ok Stats
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* ------------------------------------------------------------------ *)
+(* Request encoding (the journal's storage form)                       *)
+
+let json_of_request r =
+  let obj fields = Jsonx.Obj (List.filter_map Fun.id fields) in
+  let some k v = Some (k, v) in
+  let opt k = Option.map (fun s -> (k, Jsonx.Str s)) in
+  match r with
+  | Open { session; layer; eol; resume } ->
+    obj
+      [
+        some "op" (Jsonx.Str "open");
+        opt "session" session;
+        (if String.equal layer "" then None else some "layer" (Jsonx.Str layer));
+        Option.map (fun e -> ("eol", Jsonx.Int e)) eol;
+        (if resume then some "resume" (Jsonx.Bool true) else None);
+      ]
+  | Set { session; name; value; decide } ->
+    obj
+      [
+        some "op" (Jsonx.Str (if decide then "decide" else "set"));
+        some "session" (Jsonx.Str session);
+        some "name" (Jsonx.Str name);
+        some "value" (json_of_value value);
+      ]
+  | Default { session; name } ->
+    obj
+      [
+        some "op" (Jsonx.Str "default");
+        some "session" (Jsonx.Str session);
+        some "name" (Jsonx.Str name);
+      ]
+  | Retract { session; name } ->
+    obj
+      [
+        some "op" (Jsonx.Str "retract");
+        some "session" (Jsonx.Str session);
+        some "name" (Jsonx.Str name);
+      ]
+  | Annotate { session; text } ->
+    obj
+      [
+        some "op" (Jsonx.Str "annotate");
+        some "session" (Jsonx.Str session);
+        some "text" (Jsonx.Str text);
+      ]
+  | Candidates { session } ->
+    obj [ some "op" (Jsonx.Str "candidates"); some "session" (Jsonx.Str session) ]
+  | Ranges { session; merits } ->
+    obj
+      [
+        some "op" (Jsonx.Str "ranges");
+        some "session" (Jsonx.Str session);
+        Option.map
+          (fun ms -> ("merits", Jsonx.List (List.map (fun m -> Jsonx.Str m) ms)))
+          merits;
+      ]
+  | Issues { session } ->
+    obj [ some "op" (Jsonx.Str "issues"); some "session" (Jsonx.Str session) ]
+  | Preview { session; issue; merit } ->
+    obj
+      [
+        some "op" (Jsonx.Str "preview");
+        some "session" (Jsonx.Str session);
+        some "issue" (Jsonx.Str issue);
+        opt "merit" merit;
+      ]
+  | Script { session } ->
+    obj [ some "op" (Jsonx.Str "script"); some "session" (Jsonx.Str session) ]
+  | Trace { session } ->
+    obj [ some "op" (Jsonx.Str "trace"); some "session" (Jsonx.Str session) ]
+  | Health { session } ->
+    obj [ some "op" (Jsonx.Str "health"); some "session" (Jsonx.Str session) ]
+  | Signature { session } ->
+    obj [ some "op" (Jsonx.Str "signature"); some "session" (Jsonx.Str session) ]
+  | Report { session; title } ->
+    obj
+      [
+        some "op" (Jsonx.Str "report");
+        some "session" (Jsonx.Str session);
+        opt "title" title;
+      ]
+  | Branch { session; as_id } ->
+    obj
+      [
+        some "op" (Jsonx.Str "branch");
+        some "session" (Jsonx.Str session);
+        opt "as" as_id;
+      ]
+  | Close { session } ->
+    obj [ some "op" (Jsonx.Str "close"); some "session" (Jsonx.Str session) ]
+  | Stats -> obj [ some "op" (Jsonx.Str "stats") ]
+
+let parse_request line =
+  match Jsonx.of_string line with
+  | Error msg -> Error (Parse_error, msg)
+  | Ok json -> (
+    match request_of_json json with
+    | Ok r -> Ok r
+    | Error msg ->
+      let code =
+        if String.length msg >= 10 && String.equal (String.sub msg 0 10) "unknown op" then
+          Unknown_op
+        else Bad_request
+      in
+      Error (code, msg))
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let print_response = function
+  | Reply payload -> Jsonx.to_string (Jsonx.Obj (("ok", Jsonx.Bool true) :: payload))
+  | Failed (code, message) ->
+    Jsonx.to_string
+      (Jsonx.Obj
+         [
+           ("ok", Jsonx.Bool false);
+           ( "error",
+             Jsonx.Obj
+               [
+                 ("code", Jsonx.Str (error_code_label code)); ("message", Jsonx.Str message);
+               ] );
+         ])
+
+let response_of_string line =
+  let* json = Jsonx.of_string line in
+  match Option.bind (Jsonx.member "ok" json) Jsonx.to_bool with
+  | Some true -> (
+    match json with
+    | Jsonx.Obj fields ->
+      Ok (Reply (List.filter (fun (k, _) -> not (String.equal k "ok")) fields))
+    | _ -> Error "reply is not an object")
+  | Some false -> (
+    match Jsonx.member "error" json with
+    | None -> Error "error reply without \"error\" field"
+    | Some err ->
+      let code =
+        match Option.bind (Jsonx.str_member "code" err) error_code_of_label with
+        | Some c -> c
+        | None -> Bad_request
+      in
+      let message = Option.value ~default:"" (Jsonx.str_member "message" err) in
+      Ok (Failed (code, message)))
+  | None -> Error "reply has no boolean \"ok\" field"
+
+let ok_payload = function
+  | Reply payload -> Ok payload
+  | Failed (code, message) -> Error (Printf.sprintf "%s: %s" (error_code_label code) message)

@@ -1,0 +1,105 @@
+(** The exploration-service wire protocol.
+
+    Line-delimited JSON: every request is one JSON object on one line,
+    every reply one JSON object on one line, strictly one reply per
+    request, in order.  The same requests drive the networked server,
+    the local [dse shell], and the session journal — there is exactly
+    one grammar for "things a designer can ask the design space layer".
+
+    {2 Request grammar}
+
+    Every request object carries an ["op"] field; session-scoped ops
+    carry ["session"].  See DESIGN.md section 11 for the full field
+    tables.  The ops:
+
+    - [open]: instantiate a layer (["layer"], optional ["eol"],
+      optional ["session"] to pick the id, ["resume":true] to rebuild
+      the session from its journal);
+    - [set] / [decide]: bind a requirement or decide an issue
+      (["name"], ["value"]) — [decide] is an alias kept so transcripts
+      read like the paper's dialogue;
+    - [default]: bind a property to its declared default (["name"]);
+    - [retract]: undo a designer binding (["name"]);
+    - [annotate]: append a note to the trail (["text"]);
+    - [candidates], [ranges] (optional ["merits"] array), [issues],
+      [script], [trace], [health], [signature]: read-only queries;
+    - [preview]: per-option what-if (["issue"], optional ["merit"]);
+    - [report]: render the markdown exploration report (optional
+      ["title"]);
+    - [branch]: fork the session into a new id (optional ["as"]) —
+      O(1), sessions are immutable values;
+    - [close]: drop the session from the store;
+    - [stats]: server-wide request counters and latency figures.
+
+    {2 Reply grammar}
+
+    [{"ok":true, ...payload}] or
+    [{"ok":false,"error":{"code":C,"message":M}}] with [C] one of
+    [parse_error], [bad_request], [unknown_op], [unknown_layer],
+    [unknown_session], [session_exists], [rejected] (the layer refused
+    a binding: constraint violation, unknown property, ...),
+    [journal_error], [shutting_down], [server_error]. *)
+
+type request =
+  | Open of { session : string option; layer : string; eol : int option; resume : bool }
+  | Set of { session : string; name : string; value : Ds_layer.Value.t; decide : bool }
+      (** [decide] records which verb the client used; semantics are
+          identical ({!Ds_layer.Session.set} handles both). *)
+  | Default of { session : string; name : string }
+  | Retract of { session : string; name : string }
+  | Annotate of { session : string; text : string }
+  | Candidates of { session : string }
+  | Ranges of { session : string; merits : string list option }
+  | Issues of { session : string }
+  | Preview of { session : string; issue : string; merit : string option }
+  | Script of { session : string }
+  | Trace of { session : string }
+  | Health of { session : string }
+  | Signature of { session : string }
+  | Report of { session : string; title : string option }
+  | Branch of { session : string; as_id : string option }
+  | Close of { session : string }
+  | Stats
+
+type error_code =
+  | Parse_error
+  | Bad_request
+  | Unknown_op
+  | Unknown_layer
+  | Unknown_session
+  | Session_exists
+  | Rejected
+  | Journal_error
+  | Shutting_down
+  | Server_error
+
+type response = Reply of (string * Jsonx.t) list | Failed of error_code * string
+
+val error_code_label : error_code -> string
+
+val request_of_json : Jsonx.t -> (request, string) result
+val json_of_request : request -> Jsonx.t
+(** Total inverses: [request_of_json (json_of_request r) = Ok r] up to
+    field order — the journal depends on this round-trip. *)
+
+val parse_request : string -> (request, error_code * string) result
+(** One wire line -> request ([Parse_error] or [Bad_request]/
+    [Unknown_op] on failure). *)
+
+val print_response : response -> string
+(** One reply -> one wire line (no trailing newline). *)
+
+val response_of_string : string -> (response, string) result
+(** Client-side decoding of a reply line. *)
+
+val ok_payload : response -> ((string * Jsonx.t) list, string) result
+(** Collapse a reply into its payload, or a ["code: message"] error —
+    the shape client code almost always wants. *)
+
+val json_of_value : Ds_layer.Value.t -> Jsonx.t
+
+val value_of_json : Jsonx.t -> (Ds_layer.Value.t, string) result
+(** JSON integral numbers become [Value.Int], other numbers
+    [Value.Real], strings [Str], booleans [Flag] — the same coercions
+    the CLI applies to NAME=VALUE text (and {!Ds_layer.Domain.contains}
+    widens [Int] where a real is expected). *)

@@ -1,0 +1,137 @@
+type t = {
+  service : Service.t;
+  socket : string;
+  listen_fd : Unix.file_descr;
+  pool : int;
+  queue : Unix.file_descr option Queue.t;  (* None = worker stop sentinel *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  stop : bool Atomic.t;
+  active : (Unix.file_descr, unit) Hashtbl.t;  (* connections being served *)
+  mutable served : int;
+}
+
+let create ~socket ?(pool = 8) service =
+  (* replace a stale socket file from a previous (crashed) server *)
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 64;
+  {
+    service;
+    socket;
+    listen_fd;
+    pool = Stdlib.max 1 pool;
+    queue = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    stop = Atomic.make false;
+    active = Hashtbl.create 16;
+    served = 0;
+  }
+
+(* Callable from a signal handler: must not take locks (the signalled
+   thread may already hold them).  [serve]'s accept loop polls the flag
+   and performs the actual teardown. *)
+let shutdown t = Atomic.set t.stop true
+
+let install_signal_handlers t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop_on _ = shutdown t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on)
+
+let connections_served t =
+  Mutex.lock t.lock;
+  let n = t.served in
+  Mutex.unlock t.lock;
+  n
+
+let try_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One connection: request line in, reply line out, until EOF (or the
+   connection is closed under us at shutdown). *)
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       match In_channel.input_line ic with
+       | None -> ()
+       | Some line ->
+         let line = String.trim line in
+         if not (String.equal line "") then begin
+           let reply =
+             if Atomic.get t.stop then
+               Protocol.print_response
+                 (Protocol.Failed (Protocol.Shutting_down, "server is shutting down"))
+             else Service.handle_line t.service line
+           in
+           output_string oc reply;
+           output_char oc '\n';
+           flush oc
+         end;
+         if not (Atomic.get t.stop) then loop ()
+     in
+     loop ()
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.lock t.lock;
+  Hashtbl.remove t.active fd;
+  t.served <- t.served + 1;
+  Mutex.unlock t.lock;
+  try_close fd
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue do
+      Condition.wait t.nonempty t.lock
+    done;
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    match job with
+    | None -> ()
+    | Some fd ->
+      serve_connection t fd;
+      loop ()
+  in
+  loop ()
+
+let push t job =
+  Mutex.lock t.lock;
+  Queue.push job t.queue;
+  (match job with
+  | Some fd -> Hashtbl.replace t.active fd ()
+  | None -> ());
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let serve t =
+  let workers = List.init t.pool (fun _ -> Thread.create (worker t) ()) in
+  (* accept loop: select with a timeout so the stop flag (set by
+     [shutdown] or a signal handler) is noticed promptly *)
+  let rec accept_loop () =
+    if Atomic.get t.stop then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [ _ ], _, _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ -> push t (Some fd)
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* graceful teardown: stop accepting, wake every worker, unblock the
+     ones parked on an idle connection's read, join, clean up the file *)
+  try_close t.listen_fd;
+  List.iter (fun _ -> push t None) workers;
+  Mutex.lock t.lock;
+  let in_flight = Hashtbl.fold (fun fd () acc -> fd :: acc) t.active [] in
+  Mutex.unlock t.lock;
+  List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    in_flight;
+  List.iter Thread.join workers;
+  try Unix.unlink t.socket with Unix.Unix_error _ -> ()

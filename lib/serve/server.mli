@@ -1,0 +1,35 @@
+(** The Unix-domain-socket front end of the exploration service.
+
+    Connection model: one listener thread accepts and enqueues
+    connections; a bounded pool of worker threads serves them, one
+    connection per worker at a time (thread-per-connection over a
+    bounded pool).  A connection is a sequence of request lines, each
+    answered with exactly one reply line; request {e processing} is
+    serialized inside {!Service}, but I/O happens on the worker
+    threads, so a slow or stalled client only occupies its worker.
+
+    Shutdown is graceful: {!shutdown} (typically called from a SIGTERM
+    handler — see {!install_signal_handlers}) stops accepting, wakes
+    the workers, lets in-flight requests finish, closes the
+    connections, joins the pool and unlinks the socket file.  Journals
+    are flushed per request, so even a SIGKILL loses at most the reply
+    in flight — never an acknowledged mutation. *)
+
+type t
+
+val create : socket:string -> ?pool:int -> Service.t -> t
+(** Bind and listen on [socket] (an existing stale socket file is
+    replaced).  [pool] (default 8, minimum 1) is the worker count.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val serve : t -> unit
+(** Run until {!shutdown}; joins all workers before returning. *)
+
+val shutdown : t -> unit
+(** Idempotent, callable from any thread or from a signal handler. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT -> {!shutdown}; SIGPIPE -> ignored (a client
+    hanging up mid-reply must not kill the server). *)
+
+val connections_served : t -> int

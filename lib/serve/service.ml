@@ -1,0 +1,484 @@
+module Session = Ds_layer.Session
+module Value = Ds_layer.Value
+module P = Protocol
+
+type config = {
+  layers : (string * (eol:int -> Session.t)) list;
+  journal_dir : string option;
+  journal_sync : bool;
+  default_eol : int;
+  default_merits : string list;
+  report_pareto : (string * string) option;
+  capacity : int;
+}
+
+let config ?journal_dir ?(journal_sync = false) ?(default_eol = 768) ?(default_merits = [])
+    ?report_pareto ?(capacity = 64) ~layers () =
+  { layers; journal_dir; journal_sync; default_eol; default_merits; report_pareto; capacity }
+
+type op_stat = { mutable count : int; mutable total_us : float; mutable max_us : float }
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  lock : Mutex.t;
+  metrics : (string, op_stat) Hashtbl.t;
+  started : float;
+}
+
+let create cfg =
+  {
+    cfg;
+    store = Store.create ~capacity:cfg.capacity ();
+    lock = Mutex.create ();
+    metrics = Hashtbl.create 24;
+    started = Unix.gettimeofday ();
+  }
+
+let session_count t = Store.count t.store
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let valid_id id =
+  let n = String.length id in
+  n >= 1 && n <= 64
+  && id.[0] <> '.'
+  && String.for_all
+       (fun c ->
+         match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
+       id
+
+let focus_str s = String.concat "." (Session.focus s)
+
+let session_summary id s =
+  [
+    ("session", Jsonx.Str id);
+    ("focus", Jsonx.Str (focus_str s));
+    ("candidates", Jsonx.Int (Session.candidate_count s));
+  ]
+
+let range_json = function
+  | Some (lo, hi) -> Jsonx.List [ Jsonx.Float lo; Jsonx.Float hi ]
+  | None -> Jsonx.Null
+
+(* The replay engine: load, instantiate, re-apply, verify.  Pure with
+   respect to the service (used by [open --resume] and directly by
+   tests and recovery tooling). *)
+
+let apply_mutation s = function
+  | P.Set { name; value; _ } -> Some (Session.set s name value)
+  | P.Default { name; _ } -> Some (Session.set_default s name)
+  | P.Retract { name; _ } -> Some (Session.retract s name)
+  | P.Annotate { text; _ } -> Some (Ok (Session.annotate s text))
+  | P.Open _ | P.Candidates _ | P.Ranges _ | P.Issues _ | P.Preview _ | P.Script _
+  | P.Trace _ | P.Health _ | P.Signature _ | P.Report _ | P.Branch _ | P.Close _ | P.Stats ->
+    None
+
+let resume ~layers ~dir ~id =
+  let ( let* ) = Result.bind in
+  let* header, entries = Journal.load ~dir ~id in
+  let* make =
+    match List.assoc_opt header.Journal.layer layers with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (Printf.sprintf "journal %S was recorded against unknown layer %S" id
+           header.Journal.layer)
+  in
+  let* fresh =
+    match make ~eol:header.Journal.eol with
+    | s -> Ok s
+    | exception e -> Error ("layer factory failed: " ^ Printexc.to_string e)
+  in
+  let* final, n =
+    List.fold_left
+      (fun acc (entry : Journal.entry) ->
+        let* s, n = acc in
+        let at = n + 1 in
+        let* req =
+          match P.request_of_json entry.Journal.req with
+          | Ok r -> Ok r
+          | Error msg -> Error (Printf.sprintf "journal entry %d: %s" at msg)
+        in
+        let* s' =
+          match apply_mutation s req with
+          | Some (Ok s') -> Ok s'
+          | Some (Error msg) ->
+            Error (Printf.sprintf "journal entry %d no longer applies: %s" at msg)
+          | None -> Error (Printf.sprintf "journal entry %d is not a mutation" at)
+        in
+        let got = Session.candidate_signature s' in
+        if String.equal got entry.Journal.signature then Ok (s', at)
+        else
+          Error
+            (Printf.sprintf
+               "replay diverged at entry %d: candidate signature %s, journal recorded %s \
+                (layer definition changed since the journal was written?)"
+               at got entry.Journal.signature))
+      (Ok (fresh, 0)) entries
+  in
+  Ok (final, header, n)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let with_session t sid k =
+  match Store.find t.store sid with
+  | None -> P.Failed (P.Unknown_session, Printf.sprintf "no session %S (open one first)" sid)
+  | Some entry -> k entry
+
+(* Write-ahead: the journal line is durable before the new state is
+   committed to the store (and thus before any reply reaches the
+   client); a failed append fails the request with the state
+   unchanged. *)
+let commit t sid (entry : Store.entry) req s' =
+  let signature = Session.candidate_signature s' in
+  let journaled =
+    match entry.Store.journal with
+    | None -> Ok ()
+    | Some j -> Journal.append j ~req:(P.json_of_request req) ~signature
+  in
+  match journaled with
+  | Error msg -> P.Failed (P.Journal_error, msg)
+  | Ok () ->
+    Store.put t.store sid { entry with Store.session = s' };
+    P.Reply (session_summary sid s' @ [ ("signature", Jsonx.Str signature) ])
+
+let mutate t sid req apply =
+  with_session t sid (fun entry ->
+      match apply entry.Store.session with
+      | Error msg -> P.Failed (P.Rejected, msg)
+      | Ok s' -> commit t sid entry req s')
+
+let handle_open t ~session ~layer ~eol ~resume:resume_flag =
+  let id_result =
+    match session with
+    | Some id when not (valid_id id) ->
+      Error
+        (P.Bad_request,
+         Printf.sprintf "bad session id %S (want [A-Za-z0-9._-]{1,64}, no leading dot)" id)
+    | Some id -> Ok id
+    | None -> Ok (Store.fresh_id t.store)
+  in
+  match id_result with
+  | Error (code, msg) -> P.Failed (code, msg)
+  | Ok id when Store.mem t.store id ->
+    P.Failed (P.Session_exists, Printf.sprintf "session %S is already open" id)
+  | Ok id when resume_flag -> (
+    match t.cfg.journal_dir with
+    | None -> P.Failed (P.Journal_error, "cannot resume: journaling is disabled")
+    | Some dir -> (
+      match resume ~layers:t.cfg.layers ~dir ~id with
+      | Error msg -> P.Failed (P.Journal_error, msg)
+      | Ok (s, header, replayed) ->
+        if (not (String.equal layer "")) && not (String.equal layer header.Journal.layer) then
+          P.Failed
+            (P.Bad_request,
+             Printf.sprintf "journal %S belongs to layer %S, not %S" id header.Journal.layer
+               layer)
+        else (
+          match Journal.open_append ~sync:t.cfg.journal_sync ~dir ~id () with
+          | Error msg -> P.Failed (P.Journal_error, msg)
+          | Ok j ->
+            Store.put t.store id
+              {
+                Store.session = s;
+                layer = header.Journal.layer;
+                eol = header.Journal.eol;
+                journal = Some j;
+              };
+            P.Reply
+              (session_summary id s
+              @ [
+                  ("layer", Jsonx.Str header.Journal.layer);
+                  ("eol", Jsonx.Int header.Journal.eol);
+                  ("resumed", Jsonx.Bool true);
+                  ("replayed", Jsonx.Int replayed);
+                  ("signature", Jsonx.Str (Session.candidate_signature s));
+                ]))))
+  | Ok id -> (
+    match List.assoc_opt layer t.cfg.layers with
+    | None ->
+      P.Failed
+        (P.Unknown_layer,
+         Printf.sprintf "unknown layer %S (known: %s)" layer
+           (String.concat ", " (List.map fst t.cfg.layers)))
+    | Some make -> (
+      let eol = Option.value ~default:t.cfg.default_eol eol in
+      let s = make ~eol in
+      let journal =
+        match t.cfg.journal_dir with
+        | None -> Ok None
+        | Some dir ->
+          Result.map Option.some
+            (Journal.create ~sync:t.cfg.journal_sync ~dir { Journal.session = id; layer; eol })
+      in
+      match journal with
+      | Error msg -> P.Failed (P.Journal_error, msg)
+      | Ok journal ->
+        Store.put t.store id { Store.session = s; layer; eol; journal };
+        P.Reply
+          (session_summary id s @ [ ("layer", Jsonx.Str layer); ("eol", Jsonx.Int eol) ])))
+
+let handle_branch t sid as_id =
+  with_session t sid (fun entry ->
+      let id_result =
+        match as_id with
+        | Some id when not (valid_id id) ->
+          Error (P.Bad_request, Printf.sprintf "bad session id %S" id)
+        | Some id -> Ok id
+        | None -> Ok (Store.fresh_id t.store)
+      in
+      match id_result with
+      | Error (code, msg) -> P.Failed (code, msg)
+      | Ok nid when Store.mem t.store nid ->
+        P.Failed (P.Session_exists, Printf.sprintf "session %S is already open" nid)
+      | Ok nid -> (
+        let journal =
+          match t.cfg.journal_dir with
+          | None -> Ok None
+          | Some dir -> (
+            match Journal.branch ~sync:t.cfg.journal_sync ~dir ~from_id:sid ~to_id:nid () with
+            | Error msg -> Error msg
+            | Ok () ->
+              Result.map Option.some (Journal.open_append ~sync:t.cfg.journal_sync ~dir ~id:nid ()))
+        in
+        match journal with
+        | Error msg -> P.Failed (P.Journal_error, msg)
+        | Ok journal ->
+          (* sessions are immutable: the branch shares the value, O(1) *)
+          Store.put t.store nid { entry with Store.journal = journal };
+          P.Reply (session_summary nid entry.Store.session @ [ ("from", Jsonx.Str sid) ])))
+
+let merits_or_default t = function
+  | Some (_ :: _ as ms) -> ms
+  | Some [] | None -> t.cfg.default_merits
+
+let dispatch t req =
+  match req with
+  | P.Open { session; layer; eol; resume } -> handle_open t ~session ~layer ~eol ~resume
+  | P.Set { session; name; value; _ } ->
+    mutate t session req (fun s -> Session.set s name value)
+  | P.Default { session; name } -> mutate t session req (fun s -> Session.set_default s name)
+  | P.Retract { session; name } -> mutate t session req (fun s -> Session.retract s name)
+  | P.Annotate { session; text } -> mutate t session req (fun s -> Ok (Session.annotate s text))
+  | P.Candidates { session } ->
+    with_session t session (fun entry ->
+        let cands = Session.candidates entry.Store.session in
+        P.Reply
+          [
+            ("session", Jsonx.Str session);
+            ("count", Jsonx.Int (List.length cands));
+            ("candidates", Jsonx.List (List.map (fun (qid, _) -> Jsonx.Str qid) cands));
+          ])
+  | P.Ranges { session; merits } ->
+    with_session t session (fun entry ->
+        let merits = merits_or_default t merits in
+        P.Reply
+          [
+            ("session", Jsonx.Str session);
+            ( "ranges",
+              Jsonx.Obj
+                (List.map
+                   (fun merit ->
+                     (merit, range_json (Session.merit_range entry.Store.session ~merit)))
+                   merits) );
+          ])
+  | P.Issues { session } ->
+    with_session t session (fun entry ->
+        P.Reply
+          [
+            ("session", Jsonx.Str session);
+            ( "issues",
+              Jsonx.List
+                (List.map
+                   (fun (prop, eligible) ->
+                     Jsonx.Obj
+                       [
+                         ("name", Jsonx.Str prop.Ds_layer.Property.name);
+                         ( "domain",
+                           Jsonx.Str
+                             (Ds_layer.Domain.describe prop.Ds_layer.Property.domain) );
+                         ("eligible", Jsonx.Bool eligible);
+                       ])
+                   (Session.open_issues entry.Store.session)) );
+          ])
+  | P.Preview { session; issue; merit } ->
+    with_session t session (fun entry ->
+        let merit =
+          match merit with
+          | Some m -> m
+          | None -> ( match t.cfg.default_merits with m :: _ -> m | [] -> "")
+        in
+        match Session.preview_options entry.Store.session ~issue ~merit with
+        | Error msg -> P.Failed (P.Rejected, msg)
+        | Ok previews ->
+          P.Reply
+            [
+              ("session", Jsonx.Str session);
+              ("issue", Jsonx.Str issue);
+              ("merit", Jsonx.Str merit);
+              ( "options",
+                Jsonx.List
+                  (List.map
+                     (fun pv ->
+                       match pv.Session.outcome with
+                       | `Explored (n, range) ->
+                         Jsonx.Obj
+                           [
+                             ("value", Jsonx.Str pv.Session.option_value);
+                             ("outcome", Jsonx.Str "explored");
+                             ("candidates", Jsonx.Int n);
+                             ("range", range_json range);
+                           ]
+                       | `Rejected reason ->
+                         Jsonx.Obj
+                           [
+                             ("value", Jsonx.Str pv.Session.option_value);
+                             ("outcome", Jsonx.Str "rejected");
+                             ("reason", Jsonx.Str reason);
+                           ])
+                     previews) );
+            ])
+  | P.Script { session } ->
+    with_session t session (fun entry ->
+        P.Reply
+          [
+            ("session", Jsonx.Str session);
+            ( "script",
+              Jsonx.List
+                (List.map
+                   (fun (name, value) ->
+                     Jsonx.Obj
+                       [ ("name", Jsonx.Str name); ("value", P.json_of_value value) ])
+                   (Session.script entry.Store.session)) );
+          ])
+  | P.Trace { session } ->
+    with_session t session (fun entry ->
+        P.Reply
+          [
+            ("session", Jsonx.Str session);
+            ("trace", Jsonx.Str (Format.asprintf "%a" Session.pp_trace entry.Store.session));
+          ])
+  | P.Health { session } ->
+    with_session t session (fun entry ->
+        P.Reply
+          [
+            ("session", Jsonx.Str session);
+            ( "health",
+              Jsonx.List
+                (List.map
+                   (fun (name, status) ->
+                     Jsonx.Obj
+                       (( "constraint", Jsonx.Str name )
+                       :: ("status", Jsonx.Str (Ds_layer.Guard.status_label status))
+                       ::
+                       (match status with
+                       | Ds_layer.Guard.Quarantined { reason; _ } ->
+                         [ ("reason", Jsonx.Str reason) ]
+                       | Ds_layer.Guard.Healthy | Ds_layer.Guard.Degraded -> [])))
+                   (Session.health entry.Store.session)) );
+            ( "diagnostics",
+              Jsonx.List
+                (List.map
+                   (fun d -> Jsonx.Str (Ds_layer.Guard.describe_diag d))
+                   (Session.diagnostics entry.Store.session)) );
+          ])
+  | P.Signature { session } ->
+    with_session t session (fun entry ->
+        P.Reply
+          [
+            ("session", Jsonx.Str session);
+            ("signature", Jsonx.Str (Session.candidate_signature entry.Store.session));
+          ])
+  | P.Report { session; title } ->
+    with_session t session (fun entry ->
+        let markdown =
+          Ds_layer.Report.render ?title ~merits:t.cfg.default_merits
+            ?pareto:t.cfg.report_pareto entry.Store.session
+        in
+        P.Reply [ ("session", Jsonx.Str session); ("markdown", Jsonx.Str markdown) ])
+  | P.Branch { session; as_id } -> handle_branch t session as_id
+  | P.Close { session } ->
+    with_session t session (fun _ ->
+        Store.remove t.store session;
+        P.Reply [ ("closed", Jsonx.Str session) ])
+  | P.Stats ->
+    let ops =
+      Hashtbl.fold
+        (fun op stat acc ->
+          ( op,
+            Jsonx.Obj
+              [
+                ("count", Jsonx.Int stat.count);
+                ( "mean_us",
+                  Jsonx.Float
+                    (if stat.count = 0 then 0.0 else stat.total_us /. float_of_int stat.count)
+                );
+                ("max_us", Jsonx.Float stat.max_us);
+              ] )
+          :: acc)
+        t.metrics []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    P.Reply
+      [
+        ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started));
+        ("sessions", Jsonx.Int (Store.count t.store));
+        ("capacity", Jsonx.Int (Store.capacity t.store));
+        ("evictions", Jsonx.Int (Store.evictions t.store));
+        ("requests", Jsonx.Obj ops);
+      ]
+
+let op_name = function
+  | P.Open _ -> "open"
+  | P.Set { decide = true; _ } -> "decide"
+  | P.Set _ -> "set"
+  | P.Default _ -> "default"
+  | P.Retract _ -> "retract"
+  | P.Annotate _ -> "annotate"
+  | P.Candidates _ -> "candidates"
+  | P.Ranges _ -> "ranges"
+  | P.Issues _ -> "issues"
+  | P.Preview _ -> "preview"
+  | P.Script _ -> "script"
+  | P.Trace _ -> "trace"
+  | P.Health _ -> "health"
+  | P.Signature _ -> "signature"
+  | P.Report _ -> "report"
+  | P.Branch _ -> "branch"
+  | P.Close _ -> "close"
+  | P.Stats -> "stats"
+
+let record t op us =
+  let stat =
+    match Hashtbl.find_opt t.metrics op with
+    | Some s -> s
+    | None ->
+      let s = { count = 0; total_us = 0.0; max_us = 0.0 } in
+      Hashtbl.add t.metrics op s;
+      s
+  in
+  stat.count <- stat.count + 1;
+  stat.total_us <- stat.total_us +. us;
+  if us > stat.max_us then stat.max_us <- us
+
+let handle t req =
+  Mutex.lock t.lock;
+  let t0 = Unix.gettimeofday () in
+  let response =
+    try dispatch t req
+    with e -> P.Failed (P.Server_error, Printexc.to_string e)
+  in
+  record t (op_name req) ((Unix.gettimeofday () -. t0) *. 1.0e6);
+  Mutex.unlock t.lock;
+  response
+
+let handle_line t line =
+  let response =
+    match P.parse_request line with
+    | Error (code, msg) -> P.Failed (code, msg)
+    | Ok req -> handle t req
+  in
+  P.print_response response

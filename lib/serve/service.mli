@@ -1,0 +1,74 @@
+(** The protocol handler: one value that turns {!Protocol.request}s
+    into {!Protocol.response}s over a {!Store} of sessions.
+
+    This is the single code path behind every front end — the
+    Unix-socket {!Server}, the interactive [dse shell], and the bench
+    harness all drive the same [handle] function, so a behaviour
+    observed over the wire is the behaviour of the local shell and vice
+    versa.
+
+    All request handling is serialized by an internal mutex: sessions
+    of one lineage share mutable caches ({!Ds_layer.Compliance},
+    {!Ds_layer.Guard}) that are not thread-safe, and OCaml systhreads
+    cannot run layer code in parallel anyway, so one lock costs no
+    parallelism while keeping every cache sound.  Socket I/O happens
+    outside the lock (in {!Server}), so a slow client never blocks the
+    others' requests.
+
+    {2 Journaling}
+
+    With a [journal_dir], every accepted mutating request ([open],
+    [set]/[decide], [default], [retract], [annotate], [branch]) is
+    appended to the session's {!Journal} before the reply is produced.
+    [open] with ["resume":true] rebuilds the session by replaying its
+    journal into a fresh instance of the layer, verifying the candidate
+    signature recorded with every entry — the crash-recovery path. *)
+
+type config = {
+  layers : (string * (eol:int -> Ds_layer.Session.t)) list;
+      (** layer name -> session factory (see {!Ds_domains.Catalog}) *)
+  journal_dir : string option;  (** [None] disables journaling *)
+  journal_sync : bool;  (** fsync every append (default false) *)
+  default_eol : int;  (** when [open] gives no ["eol"] *)
+  default_merits : string list;  (** for [ranges]/[preview]/[report] without merits *)
+  report_pareto : (string * string) option;  (** Pareto axes of [report] *)
+  capacity : int;  (** LRU bound of the session table *)
+}
+
+val config :
+  ?journal_dir:string ->
+  ?journal_sync:bool ->
+  ?default_eol:int ->
+  ?default_merits:string list ->
+  ?report_pareto:string * string ->
+  ?capacity:int ->
+  layers:(string * (eol:int -> Ds_layer.Session.t)) list ->
+  unit ->
+  config
+(** Defaults: no journaling, no fsync, eol 768, no merits, no Pareto,
+    capacity 64. *)
+
+type t
+
+val create : config -> t
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Dispatch one request.  Never raises: layer rejections come back as
+    [rejected] replies, unexpected exceptions as [server_error]. *)
+
+val handle_line : t -> string -> string
+(** Wire-format convenience: parse one request line, dispatch, print
+    the reply line (without trailing newline).  Never raises. *)
+
+val session_count : t -> int
+
+val resume :
+  layers:(string * (eol:int -> Ds_layer.Session.t)) list ->
+  dir:string ->
+  id:string ->
+  (Ds_layer.Session.t * Journal.header * int, string) result
+(** The bare replay engine behind [open --resume], usable without a
+    service: load the journal, instantiate the layer, re-apply every
+    entry and verify each recorded candidate signature.  Returns the
+    reconstructed session, the header, and the number of entries
+    replayed. *)

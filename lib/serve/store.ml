@@ -1,0 +1,97 @@
+type entry = {
+  session : Ds_layer.Session.t;
+  layer : string;
+  eol : int;
+  journal : Journal.t option;
+}
+
+type slot = { entry : entry; mutable last_used : int }
+
+type t = {
+  table : (string, slot) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;
+  mutable next_id : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 64) () =
+  {
+    table = Hashtbl.create 32;
+    capacity = Stdlib.max 1 capacity;
+    clock = 0;
+    next_id = 1;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let fresh_id t =
+  let rec go () =
+    let id = Printf.sprintf "s%d" t.next_id in
+    t.next_id <- t.next_id + 1;
+    if Hashtbl.mem t.table id then go () else id
+  in
+  go ()
+
+let mem t id = Hashtbl.mem t.table id
+
+let find t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> None
+  | Some slot ->
+    slot.last_used <- tick t;
+    Some slot.entry
+
+let close_journal entry =
+  match entry.journal with Some j -> Journal.close j | None -> ()
+
+let evict_lru t ~keep =
+  let victim =
+    Hashtbl.fold
+      (fun id slot best ->
+        if String.equal id keep then best
+        else
+          match best with
+          | Some (_, used) when used <= slot.last_used -> best
+          | _ -> Some (id, slot.last_used))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (id, _) -> (
+    match Hashtbl.find_opt t.table id with
+    | None -> ()
+    | Some slot ->
+      close_journal slot.entry;
+      Hashtbl.remove t.table id;
+      t.evictions <- t.evictions + 1)
+
+let put t id entry =
+  (match Hashtbl.find_opt t.table id with
+  | Some old when old.entry.journal != entry.journal -> close_journal old.entry
+  | _ -> ());
+  Hashtbl.replace t.table id { entry; last_used = tick t };
+  while Hashtbl.length t.table > t.capacity do
+    evict_lru t ~keep:id
+  done
+
+let remove t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> ()
+  | Some slot ->
+    close_journal slot.entry;
+    Hashtbl.remove t.table id
+
+let count t = Hashtbl.length t.table
+
+let ids t =
+  Hashtbl.fold (fun id slot acc -> (id, slot.last_used) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
+  |> List.map fst
+
+let evictions t = t.evictions

@@ -1,0 +1,52 @@
+(** The in-memory session table of the exploration service.
+
+    Maps client-visible session ids to the current {!Ds_layer.Session.t}
+    value plus bookkeeping (layer name, eol, the open journal handle).
+    Because sessions are immutable values, "updating" a session is a
+    pointer swap and branching is O(1) — two ids simply share structure.
+
+    The table is bounded: inserting beyond [capacity] evicts the least
+    recently used session (its journal handle is closed; the session
+    stays fully recoverable from its journal via [open --resume], so
+    eviction costs a replay, never data).  Every lookup counts as a
+    use.
+
+    Not thread-safe on its own — {!Service} serializes all access
+    (OCaml systhreads cannot run layer code in parallel anyway; one
+    lock keeps the shared compliance caches sound). *)
+
+type entry = {
+  session : Ds_layer.Session.t;
+  layer : string;  (** catalogue name the session was opened as *)
+  eol : int;
+  journal : Journal.t option;  (** open append handle, when journaling *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 64, minimum 1) bounds the resident sessions. *)
+
+val capacity : t -> int
+
+val fresh_id : t -> string
+(** ["s1"], ["s2"], ... — skipping ids currently in the table. *)
+
+val mem : t -> string -> bool
+
+val find : t -> string -> entry option
+(** Marks the entry most-recently-used. *)
+
+val put : t -> string -> entry -> unit
+(** Insert or replace; may evict the least recently used other entry
+    (closing its journal handle) to stay within capacity. *)
+
+val remove : t -> string -> unit
+(** Drop the entry and close its journal handle; no-op when absent. *)
+
+val count : t -> int
+val ids : t -> string list
+(** Resident ids, most recently used first. *)
+
+val evictions : t -> int
+(** Total LRU evictions since {!create} (a service health metric). *)

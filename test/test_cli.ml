@@ -49,6 +49,37 @@ let test_shell () =
   Alcotest.(check bool) "budget pruned" true (contains content "40 candidates");
   Alcotest.(check bool) "issues listed" true (contains content "Implementation Style")
 
+let run_shell input =
+  (* drive the interactive shell through a pipe, stderr kept separate *)
+  let script = Filename.temp_file "dse_shell" ".txt" in
+  Out_channel.with_open_text script (fun oc -> output_string oc input);
+  let out = Filename.temp_file "dse_out" ".txt" in
+  let err = Filename.temp_file "dse_err" ".txt" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s shell < %s > %s 2> %s" dse (Filename.quote script)
+         (Filename.quote out) (Filename.quote err))
+  in
+  let stdout = In_channel.with_open_text out In_channel.input_all in
+  let stderr = In_channel.with_open_text err In_channel.input_all in
+  List.iter Sys.remove [ script; out; err ];
+  (code, stdout, stderr)
+
+let test_shell_errors () =
+  (* an unknown command is reported on stderr, not stdout *)
+  let code, stdout, stderr = run_shell "frobnicate the space\nquit\n" in
+  Alcotest.(check bool) "unknown command on stderr" true (contains stderr "unknown command");
+  Alcotest.(check bool) "stdout stays clean" false (contains stdout "unknown command");
+  (* an explicit quit forgives earlier mistakes... *)
+  Alcotest.(check int) "quit exits zero" 0 code;
+  (* ...but EOF after an unresolved error exits nonzero *)
+  let code, _, stderr = run_shell "frobnicate the space\n" in
+  Alcotest.(check bool) "error still reported" true (contains stderr "unknown command");
+  Alcotest.(check int) "EOF after error exits 1" 1 code;
+  (* a clean EOF (no error) still exits zero *)
+  let code, _, _ = run_shell "candidates\n" in
+  Alcotest.(check int) "clean EOF exits 0" 0 code
+
 let test_export_check_roundtrip () =
   let dir = Filename.temp_file "dse_libs" "" in
   Sys.remove dir;
@@ -108,7 +139,10 @@ let () =
             (check_cmd ~expect_code:1 "netlist nonsense" []);
           Alcotest.test_case "cores filtered" `Quick
             (check_cmd "cores --library sw-lib --eol 96" [ "CIOS-ASM"; "embedded-dsp" ]);
+          Alcotest.test_case "version" `Quick
+            (check_cmd "--version" [ "1.1.0" ]);
           Alcotest.test_case "shell" `Quick test_shell;
+          Alcotest.test_case "shell error paths" `Quick test_shell_errors;
           Alcotest.test_case "export/check" `Quick test_export_check_roundtrip;
         ] );
     ]

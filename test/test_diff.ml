@@ -1,0 +1,84 @@
+(* Branch comparison: two branches of one exploration, what differs. *)
+
+module Session = Ds_layer.Session
+module Value = Ds_layer.Value
+module Diff = Ds_layer.Diff
+module Syn = Ds_domains.Synthetic
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let base () = Syn.session Syn.default_spec
+
+let test_self_compare () =
+  let s = base () in
+  let d = Diff.compare s s in
+  Alcotest.(check (list string)) "same focus" d.Diff.focus_left d.Diff.focus_right;
+  Alcotest.(check int) "no binding diffs" 0 (List.length d.Diff.binding_diffs);
+  Alcotest.(check (list string)) "nothing only-left" [] d.Diff.only_left;
+  Alcotest.(check (list string)) "nothing only-right" [] d.Diff.only_right;
+  Alcotest.(check int) "everything shared" (Session.candidate_count s) d.Diff.shared
+
+let test_diverged_branches () =
+  let s = base () in
+  (* two branches: opposite decisions on the top generalized issue, and
+     one extra binding only the right branch makes *)
+  let left = ok (Session.set s "L1" (Value.str "l1-o0")) in
+  let right = ok (Session.set s "L1" (Value.str "l1-o1")) in
+  let right = ok (Session.set right "P2-0" (Value.str "p0")) in
+  let d = Diff.compare ~merits:[ "delay"; "cost" ] left right in
+  Alcotest.(check bool) "focus diverged" false (d.Diff.focus_left = d.Diff.focus_right);
+  let diff_of name =
+    match List.find_opt (fun b -> String.equal b.Diff.name name) d.Diff.binding_diffs with
+    | Some b -> b
+    | None -> Alcotest.failf "no binding diff for %s" name
+  in
+  let l1 = diff_of "L1" in
+  Alcotest.(check bool) "L1 bound on both sides" true
+    (Option.is_some l1.Diff.left && Option.is_some l1.Diff.right);
+  let p = diff_of "P2-0" in
+  Alcotest.(check bool) "P2-0 unbound on the left" true (Option.is_none p.Diff.left);
+  (* opposite specializations keep disjoint core sets *)
+  Alcotest.(check int) "no shared candidates" 0 d.Diff.shared;
+  Alcotest.(check bool) "left keeps cores of its own" true (d.Diff.only_left <> []);
+  Alcotest.(check bool) "right keeps cores of its own" true (d.Diff.only_right <> []);
+  List.iter
+    (fun qid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is exclusive" qid)
+        false
+        (List.mem qid d.Diff.only_right))
+    d.Diff.only_left;
+  (* the requested merits are tabulated, with live ranges on both sides *)
+  Alcotest.(check (list string)) "merit table" [ "delay"; "cost" ]
+    (List.map (fun m -> m.Diff.merit) d.Diff.merit_diffs);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has ranges" m.Diff.merit)
+        true
+        (Option.is_some m.Diff.left_range && Option.is_some m.Diff.right_range))
+    d.Diff.merit_diffs
+
+let test_pp () =
+  let s = base () in
+  let left = ok (Session.set s "L1" (Value.str "l1-o0")) in
+  let right = ok (Session.set s "L1" (Value.str "l1-o2")) in
+  let text =
+    Format.asprintf "%a" Diff.pp (Diff.compare ~merits:[ "delay" ] left right)
+  in
+  Alcotest.(check bool) "mentions the diverging issue" true
+    (let nh = String.length text and needle = "L1" in
+     let nn = String.length needle in
+     let rec scan i = i + nn <= nh && (String.sub text i nn = needle || scan (i + 1)) in
+     scan 0)
+
+let () =
+  Alcotest.run "diff"
+    [
+      ( "compare",
+        [
+          Alcotest.test_case "self" `Quick test_self_compare;
+          Alcotest.test_case "diverged branches" `Quick test_diverged_branches;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+(* Self-documentation: the layer regenerates its own specification. *)
+
+module Syn = Ds_domains.Synthetic
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+let check_contains doc what fragment =
+  Alcotest.(check bool) (Printf.sprintf "mentions %s (%S)" what fragment) true
+    (contains doc fragment)
+
+let spec = { Syn.default_spec with Syn.cores = 50; eliminate_ccs = 2 }
+
+let test_render () =
+  let doc =
+    Ds_layer.Document.render ~title:"Synthetic layer" ~constraints:(Syn.constraints spec)
+      (Syn.hierarchy spec)
+  in
+  check_contains doc "the title" "# Synthetic layer";
+  (* one section per CDO, with its issues and domains *)
+  check_contains doc "the root issue" "L1";
+  check_contains doc "a specialization option" "l1-o0";
+  check_contains doc "a plain issue" "P1-0";
+  check_contains doc "domains" "SetOfValues";
+  (* the budget requirements the elimination constraints read *)
+  check_contains doc "a budget requirement" "B0";
+  check_contains doc "the second budget requirement" "B1";
+  (* the constraint catalogue *)
+  check_contains doc "the constraint section" "## Consistency constraints";
+  check_contains doc "a constraint" "EL0";
+  (* leaving constraints out drops the catalogue *)
+  let bare = Ds_layer.Document.render (Syn.hierarchy spec) in
+  check_contains bare "the default title" "# Design Space Layer";
+  Alcotest.(check bool) "no constraint section without constraints" false
+    (contains bare "## Consistency constraints")
+
+let test_render_deterministic () =
+  let render () = Ds_layer.Document.render ~title:"T" (Syn.hierarchy spec) in
+  Alcotest.(check string) "stable across renders" (render ()) (render ())
+
+let test_save_roundtrip () =
+  let path = Filename.temp_file "dse_doc" ".md" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let constraints = Syn.constraints spec in
+  (match Ds_layer.Document.save ~title:"T" ~constraints (Syn.hierarchy spec) ~path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save failed: %s" e);
+  let on_disk = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check string) "file equals render"
+    (Ds_layer.Document.render ~title:"T" ~constraints (Syn.hierarchy spec))
+    on_disk
+
+let test_save_bad_path () =
+  match
+    Ds_layer.Document.save (Syn.hierarchy spec) ~path:"/nonexistent-dir/doc.md"
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "saving into a missing directory should fail"
+
+let () =
+  Alcotest.run "document"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "sections" `Quick test_render;
+          Alcotest.test_case "deterministic" `Quick test_render_deterministic;
+        ] );
+      ( "save",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_save_roundtrip;
+          Alcotest.test_case "bad path" `Quick test_save_bad_path;
+        ] );
+    ]

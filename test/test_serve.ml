@@ -1,0 +1,617 @@
+(* The exploration service: JSON codec, protocol round-trips, session
+   store, journal replay (including the crash-recovery acceptance
+   path), and a live socket end-to-end. *)
+
+module J = Ds_serve.Jsonx
+module P = Ds_serve.Protocol
+module Store = Ds_serve.Store
+module Journal = Ds_serve.Journal
+module Service = Ds_serve.Service
+module Session = Ds_layer.Session
+module Value = Ds_layer.Value
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+let reply = function
+  | P.Reply payload -> payload
+  | P.Failed (code, msg) ->
+    Alcotest.failf "request failed: %s: %s" (P.error_code_label code) msg
+
+let failed code = function
+  | P.Failed (got, _) ->
+    Alcotest.(check string) "error code" (P.error_code_label code) (P.error_code_label got)
+  | P.Reply _ -> Alcotest.fail "expected a failure reply"
+
+let jstr k payload =
+  match Option.bind (List.assoc_opt k payload) J.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "reply missing string field %S" k
+
+let jint k payload =
+  match Option.bind (List.assoc_opt k payload) J.to_int with
+  | Some n -> n
+  | None -> Alcotest.failf "reply missing int field %S" k
+
+let jmember k payload =
+  match List.assoc_opt k payload with
+  | Some v -> v
+  | None -> Alcotest.failf "reply missing field %S" k
+
+let tmpdir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx                                                               *)
+
+let test_jsonx_roundtrip () =
+  let cases =
+    [
+      J.Null;
+      J.Bool true;
+      J.Bool false;
+      J.Int 0;
+      J.Int (-42);
+      J.Float 3.5;
+      J.Str "";
+      J.Str "plain";
+      J.Str "quote \" slash \\ newline \n tab \t";
+      J.List [];
+      J.List [ J.Int 1; J.Str "two"; J.Null ];
+      J.Obj [];
+      J.Obj [ ("a", J.Int 1); ("nested", J.Obj [ ("b", J.List [ J.Bool false ]) ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = J.to_string v in
+      Alcotest.(check bool)
+        (Printf.sprintf "single line: %s" s)
+        false (String.contains s '\n');
+      match J.of_string s with
+      | Ok v' -> Alcotest.(check string) "roundtrip" s (J.to_string v')
+      | Error e -> Alcotest.failf "reparse of %s failed: %s" s e)
+    cases
+
+let test_jsonx_numbers () =
+  (match J.of_string "8" with
+  | Ok (J.Int 8) -> ()
+  | other -> Alcotest.failf "integral parses as Int, got %s"
+               (match other with Ok v -> J.to_string v | Error e -> e));
+  (match J.of_string "8.0" with
+  | Ok (J.Float f) -> Alcotest.(check (float 1e-9)) "8.0" 8.0 f
+  | _ -> Alcotest.fail "8.0 parses as Float");
+  (match J.of_string "-1.5e3" with
+  | Ok (J.Float f) -> Alcotest.(check (float 1e-6)) "-1.5e3" (-1500.0) f
+  | _ -> Alcotest.fail "exponent parses as Float");
+  (* floats always re-render with a decimal marker, so they stay floats *)
+  match J.of_string (J.to_string (J.Float 7.0)) with
+  | Ok (J.Float _) -> ()
+  | _ -> Alcotest.fail "Float 7.0 survives a print/parse cycle as Float"
+
+let test_jsonx_strings () =
+  (match J.of_string "\"\\u0041\\u00e9\"" with
+  | Ok (J.Str s) -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "unicode escape parse");
+  (* surrogate pair: U+1F600 *)
+  (match J.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (J.Str s) -> Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair parse");
+  let control = J.to_string (J.Str "\x01") in
+  match J.of_string control with
+  | Ok (J.Str s) -> Alcotest.(check string) "control char" "\x01" s
+  | _ -> Alcotest.fail "control char roundtrip"
+
+let test_jsonx_errors () =
+  let bad = [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\":1}x" ] in
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok v -> Alcotest.failf "%S should not parse (got %s)" s (J.to_string v)
+      | Error _ -> ())
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+
+let test_protocol_roundtrip () =
+  let requests =
+    [
+      P.Open { session = None; layer = "crypto"; eol = None; resume = false };
+      P.Open { session = Some "a"; layer = "synthetic"; eol = Some 96; resume = false };
+      P.Open { session = Some "a"; layer = ""; eol = None; resume = true };
+      P.Set { session = "a"; name = "Radix"; value = Value.int 4; decide = false };
+      P.Set { session = "a"; name = "Algorithm"; value = Value.str "Montgomery"; decide = true };
+      P.Set { session = "a"; name = "Latency"; value = Value.real 8.5; decide = false };
+      P.Default { session = "a"; name = "Behavioral Description" };
+      P.Retract { session = "a"; name = "Radix" };
+      P.Annotate { session = "a"; text = "checking the \"fast\" branch" };
+      P.Candidates { session = "a" };
+      P.Ranges { session = "a"; merits = None };
+      P.Ranges { session = "a"; merits = Some [ "latency-ns"; "area-um2" ] };
+      P.Issues { session = "a" };
+      P.Preview { session = "a"; issue = "Algorithm"; merit = Some "latency-ns" };
+      P.Preview { session = "a"; issue = "Algorithm"; merit = None };
+      P.Script { session = "a" };
+      P.Trace { session = "a" };
+      P.Health { session = "a" };
+      P.Signature { session = "a" };
+      P.Report { session = "a"; title = Some "T" };
+      P.Report { session = "a"; title = None };
+      P.Branch { session = "a"; as_id = Some "b" };
+      P.Branch { session = "a"; as_id = None };
+      P.Close { session = "a" };
+      P.Stats;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let json = P.json_of_request req in
+      match P.request_of_json json with
+      | Ok req' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip %s" (J.to_string json))
+          true (req = req')
+      | Error e -> Alcotest.failf "decode of %s failed: %s" (J.to_string json) e)
+    requests
+
+let test_protocol_errors () =
+  (match P.parse_request "not json" with
+  | Error (P.Parse_error, _) -> ()
+  | _ -> Alcotest.fail "bad JSON -> Parse_error");
+  (match P.parse_request "{\"op\":\"frobnicate\"}" with
+  | Error (P.Unknown_op, _) -> ()
+  | _ -> Alcotest.fail "unknown op -> Unknown_op");
+  (match P.parse_request "{\"op\":\"set\",\"session\":\"a\"}" with
+  | Error (P.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "missing fields -> Bad_request");
+  match P.parse_request "{\"session\":\"a\"}" with
+  | Error ((P.Bad_request | P.Unknown_op), _) -> ()
+  | _ -> Alcotest.fail "missing op rejected"
+
+let test_response_roundtrip () =
+  let responses =
+    [
+      P.Reply [ ("session", J.Str "a"); ("candidates", J.Int 40) ];
+      P.Reply [];
+      P.Failed (P.Rejected, "constraint CC1 violated");
+      P.Failed (P.Unknown_session, "no session \"x\"");
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = P.print_response r in
+      match P.response_of_string line with
+      | Ok r' -> Alcotest.(check string) "response roundtrip" line (P.print_response r')
+      | Error e -> Alcotest.failf "decode of %s failed: %s" line e)
+    responses
+
+let test_value_coercions () =
+  (match P.value_of_json (J.Int 8) with
+  | Ok (Value.Int 8) -> ()
+  | _ -> Alcotest.fail "Int 8");
+  (match P.value_of_json (J.Float 8.5) with
+  | Ok (Value.Real r) -> Alcotest.(check (float 1e-9)) "real" 8.5 r
+  | _ -> Alcotest.fail "Float -> Real");
+  (match P.value_of_json (J.Str "hardware") with
+  | Ok (Value.Str "hardware") -> ()
+  | _ -> Alcotest.fail "Str");
+  match P.value_of_json (J.List []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "arrays are not values"
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+
+let entry_for s = { Store.session = s; layer = "synthetic"; eol = 768; journal = None }
+
+let syn_session () = Ds_domains.Synthetic.session Ds_domains.Synthetic.default_spec
+
+let test_store_lru () =
+  let s = syn_session () in
+  let store = Store.create ~capacity:3 () in
+  List.iter (fun id -> Store.put store id (entry_for s)) [ "a"; "b"; "c" ];
+  Alcotest.(check int) "full" 3 (Store.count store);
+  (* touch "a" so "b" becomes the LRU victim *)
+  ignore (Store.find store "a");
+  Store.put store "d" (entry_for s);
+  Alcotest.(check int) "still bounded" 3 (Store.count store);
+  Alcotest.(check bool) "b evicted" false (Store.mem store "b");
+  Alcotest.(check bool) "a kept" true (Store.mem store "a");
+  Alcotest.(check int) "one eviction" 1 (Store.evictions store);
+  (* replacing an existing id is not an insertion: no eviction *)
+  Store.put store "a" (entry_for s);
+  Alcotest.(check int) "replace keeps count" 3 (Store.count store);
+  Alcotest.(check int) "replace evicts nothing" 1 (Store.evictions store);
+  Store.remove store "a";
+  Alcotest.(check bool) "removed" false (Store.mem store "a");
+  Store.remove store "a" (* no-op *)
+
+let test_store_fresh_ids () =
+  let s = syn_session () in
+  let store = Store.create ~capacity:8 () in
+  let id1 = Store.fresh_id store in
+  Store.put store id1 (entry_for s);
+  let id2 = Store.fresh_id store in
+  Alcotest.(check bool) "fresh ids distinct" false (String.equal id1 id2);
+  (* most-recently-used first *)
+  Store.put store id2 (entry_for s);
+  ignore (Store.find store id1);
+  Alcotest.(check (list string)) "MRU order" [ id1; id2 ] (Store.ids store)
+
+(* ------------------------------------------------------------------ *)
+(* Service basics                                                      *)
+
+let service ?journal_dir ?capacity () =
+  Service.create
+    (Service.config ?journal_dir ?capacity
+       ~default_merits:[ "delay"; "cost" ]
+       ~layers:Ds_domains.Catalog.factories ())
+
+let open_req ?session ?(layer = "synthetic") ?eol ?(resume = false) () =
+  P.Open { session; layer; eol; resume }
+
+(* the synthetic layer's top generalized issue: deciding it narrows the
+   focus and prunes the population, retracting it restores *)
+let issue = "L1"
+let pick = Value.str "l1-o0"
+
+let test_service_basics () =
+  let svc = service () in
+  let payload = reply (Service.handle svc (open_req ~session:"t" ())) in
+  let n0 = jint "candidates" payload in
+  Alcotest.(check bool) "population present" true (n0 > 0);
+  failed P.Session_exists (Service.handle svc (open_req ~session:"t" ()));
+  failed P.Unknown_layer (Service.handle svc (open_req ~session:"u" ~layer:"nope" ()));
+  failed P.Unknown_session
+    (Service.handle svc (P.Candidates { session = "ghost" }));
+  failed P.Bad_request (Service.handle svc (open_req ~session:".bad" ()));
+  (* a binding change prunes, retract restores *)
+  let set =
+    reply
+      (Service.handle svc
+         (P.Set { session = "t"; name = issue; value = pick; decide = false }))
+  in
+  let n1 = jint "candidates" set in
+  Alcotest.(check bool) "decision pruned" true (n1 < n0);
+  failed P.Rejected
+    (Service.handle svc
+       (P.Set { session = "t"; name = "No Such Property"; value = Value.int 1; decide = false }));
+  let back = reply (Service.handle svc (P.Retract { session = "t"; name = issue })) in
+  Alcotest.(check int) "retract restores" n0 (jint "candidates" back);
+  (* ranges use the configured default merits *)
+  let ranges = reply (Service.handle svc (P.Ranges { session = "t"; merits = None })) in
+  (match jmember "ranges" ranges with
+  | J.Obj fields ->
+    Alcotest.(check (list string)) "default merits" [ "delay"; "cost" ] (List.map fst fields)
+  | _ -> Alcotest.fail "ranges is an object");
+  (* stats counts what we did *)
+  let stats = reply (Service.handle svc P.Stats) in
+  (match jmember "requests" stats with
+  | J.Obj ops -> Alcotest.(check bool) "open counted" true (List.mem_assoc "open" ops)
+  | _ -> Alcotest.fail "stats.requests is an object");
+  let closed = reply (Service.handle svc (P.Close { session = "t" })) in
+  Alcotest.(check string) "closed" "t" (jstr "closed" closed);
+  failed P.Unknown_session (Service.handle svc (P.Close { session = "t" }))
+
+let test_service_branch () =
+  let svc = service () in
+  ignore (reply (Service.handle svc (open_req ~session:"a" ())));
+  ignore
+    (reply
+       (Service.handle svc
+          (P.Set { session = "a"; name = issue; value = pick; decide = true })));
+  let br = reply (Service.handle svc (P.Branch { session = "a"; as_id = Some "b" })) in
+  Alcotest.(check string) "branch id" "b" (jstr "session" br);
+  (* the branch then diverges without touching the parent *)
+  ignore (reply (Service.handle svc (P.Retract { session = "b"; name = issue })));
+  let sig_of id =
+    jstr "signature" (reply (Service.handle svc (P.Signature { session = id })))
+  in
+  Alcotest.(check bool) "branches diverged" false (String.equal (sig_of "a") (sig_of "b"))
+
+let test_handle_line_never_raises () =
+  let svc = service () in
+  List.iter
+    (fun line ->
+      let out = Service.handle_line svc line in
+      match J.of_string out with
+      | Ok json -> (
+        match J.member "ok" json with
+        | Some (J.Bool _) -> ()
+        | _ -> Alcotest.failf "reply has no ok field: %s" out)
+      | Error e -> Alcotest.failf "reply is not JSON (%s): %s" e out)
+    [
+      "";
+      "garbage";
+      "{\"op\":\"nope\"}";
+      "{\"op\":\"open\",\"layer\":\"synthetic\",\"session\":\"x\"}";
+      "{\"op\":\"candidates\",\"session\":\"x\"}";
+    ]
+
+let test_lru_eviction_keeps_journal_resumable () =
+  let dir = tmpdir "dse_lru" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = service ~journal_dir:dir ~capacity:2 () in
+  ignore (reply (Service.handle svc (open_req ~session:"a" ())));
+  ignore
+    (reply
+       (Service.handle svc
+          (P.Set { session = "a"; name = issue; value = pick; decide = false })));
+  let sig_a = jstr "signature" (reply (Service.handle svc (P.Signature { session = "a" }))) in
+  (* push "a" out of the bounded table *)
+  ignore (reply (Service.handle svc (open_req ~session:"b" ())));
+  ignore (reply (Service.handle svc (open_req ~session:"c" ())));
+  failed P.Unknown_session (Service.handle svc (P.Candidates { session = "a" }));
+  (* ...but its journal brings it back, state intact *)
+  let resumed =
+    reply (Service.handle svc (open_req ~session:"a" ~layer:"" ~resume:true ()))
+  in
+  Alcotest.(check string) "signature preserved across eviction" sig_a (jstr "signature" resumed)
+
+(* ------------------------------------------------------------------ *)
+(* Journal replay: the crash-recovery acceptance test                   *)
+
+(* A scripted crypto exploration journaled by one service must replay,
+   in a *fresh* service over the same directory, to the identical
+   candidate set and merit ranges — byte-identical replies. *)
+let crypto_script sid =
+  [
+    P.Set { session = sid; name = "Operator Family"; value = Value.str "modular"; decide = true };
+    P.Set { session = sid; name = "Modular Operator"; value = Value.str "multiplier"; decide = true };
+    P.Set { session = sid; name = "Effective Operand Length"; value = Value.int 768; decide = false };
+    P.Set
+      { session = sid; name = "Latency Single Operation"; value = Value.int 8; decide = false };
+    P.Annotate { session = sid; text = "after the paper's four requirements" };
+  ]
+
+let crypto_service dir =
+  Service.create
+    (Service.config ~journal_dir:dir
+       ~default_merits:[ "latency-ns"; "area-um2" ]
+       ~layers:Ds_domains.Catalog.factories ())
+
+let test_replay_reconstructs_session () =
+  let dir = tmpdir "dse_replay" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  let before_candidates = reply (Service.handle svc (P.Candidates { session = "cs" })) in
+  let before_ranges = reply (Service.handle svc (P.Ranges { session = "cs"; merits = None })) in
+  Alcotest.(check int) "script pruned to the paper's 40" 40 (jint "count" before_candidates);
+  (* the first service is simply abandoned — as after a crash, nothing
+     is closed cleanly; journal appends were flushed per request *)
+  let svc2 = crypto_service dir in
+  let resumed =
+    reply (Service.handle svc2 (open_req ~session:"cs" ~layer:"crypto" ~resume:true ()))
+  in
+  Alcotest.(check int) "replayed every journaled mutation" 5 (jint "replayed" resumed);
+  let after_candidates = reply (Service.handle svc2 (P.Candidates { session = "cs" })) in
+  let after_ranges = reply (Service.handle svc2 (P.Ranges { session = "cs"; merits = None })) in
+  Alcotest.(check string) "identical candidate set"
+    (P.print_response (P.Reply before_candidates))
+    (P.print_response (P.Reply after_candidates));
+  Alcotest.(check string) "identical merit ranges"
+    (P.print_response (P.Reply before_ranges))
+    (P.print_response (P.Reply after_ranges))
+
+let test_replay_ignores_torn_tail () =
+  let dir = tmpdir "dse_torn" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  let sig_before =
+    jstr "signature" (reply (Service.handle svc (P.Signature { session = "cs" })))
+  in
+  (* simulate a crash mid-append: a trailing unterminated fragment *)
+  let path = Journal.path ~dir ~id:"cs" in
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"req\":{\"op\":\"set\",\"session\":\"cs\",\"na";
+  close_out oc;
+  let svc2 = crypto_service dir in
+  let resumed =
+    reply (Service.handle svc2 (open_req ~session:"cs" ~layer:"" ~resume:true ()))
+  in
+  Alcotest.(check int) "torn line dropped, entries kept" 5 (jint "replayed" resumed);
+  Alcotest.(check string) "state matches the acknowledged prefix" sig_before
+    (jstr "signature" resumed)
+
+let test_replay_detects_divergence () =
+  let dir = tmpdir "dse_tamper" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  (* corrupt one recorded signature: replay must refuse, not hand the
+     designer a silently different space *)
+  let path = Journal.path ~dir ~id:"cs" in
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.length l > 0)
+  in
+  let tampered =
+    List.mapi
+      (fun i line ->
+        if i <> 2 then line
+        else
+          match J.of_string line with
+          | Ok (J.Obj fields) ->
+            J.to_string
+              (J.Obj
+                 (List.map
+                    (function
+                      | "sig", _ -> ("sig", J.Str "00000000000000000000000000000000")
+                      | kv -> kv)
+                    fields))
+          | _ -> Alcotest.fail "journal entry line is a JSON object")
+      lines
+  in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> output_string oc (l ^ "\n")) tampered);
+  let svc2 = crypto_service dir in
+  match Service.handle svc2 (open_req ~session:"cs" ~layer:"" ~resume:true ()) with
+  | P.Failed (P.Journal_error, msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "names the diverging entry: %s" msg)
+      true
+      (contains msg "diverged at entry 2")
+  | P.Failed (code, msg) ->
+    Alcotest.failf "wrong failure %s: %s" (P.error_code_label code) msg
+  | P.Reply _ -> Alcotest.fail "tampered journal replayed successfully"
+
+let test_branch_journals_independently () =
+  let dir = tmpdir "dse_branchj" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"a" ~layer:"crypto" ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "a");
+  ignore (reply (Service.handle svc (P.Branch { session = "a"; as_id = Some "b" })));
+  ignore
+    (reply
+       (Service.handle svc
+          (P.Set
+             { session = "b"; name = "Implementation Style"; value = Value.str "hardware";
+               decide = true })));
+  let sig_a = jstr "signature" (reply (Service.handle svc (P.Signature { session = "a" }))) in
+  let sig_b = jstr "signature" (reply (Service.handle svc (P.Signature { session = "b" }))) in
+  (* both resume independently in a fresh service *)
+  let svc2 = crypto_service dir in
+  let ra = reply (Service.handle svc2 (open_req ~session:"a" ~layer:"" ~resume:true ())) in
+  let rb = reply (Service.handle svc2 (open_req ~session:"b" ~layer:"" ~resume:true ())) in
+  Alcotest.(check string) "parent resumed" sig_a (jstr "signature" ra);
+  Alcotest.(check string) "branch resumed" sig_b (jstr "signature" rb);
+  Alcotest.(check int) "branch replayed parent history + its own" 6 (jint "replayed" rb)
+
+let test_resume_guards () =
+  let dir = tmpdir "dse_guards" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  failed P.Journal_error
+    (Service.handle svc (open_req ~session:"nothere" ~layer:"" ~resume:true ()));
+  ignore (reply (Service.handle svc (open_req ~session:"a" ~layer:"crypto" ())));
+  (* resuming under the wrong layer name is refused *)
+  let svc2 = crypto_service dir in
+  failed P.Bad_request
+    (Service.handle svc2 (open_req ~session:"a" ~layer:"synthetic" ~resume:true ()));
+  (* resume with journaling disabled is refused *)
+  let svc3 = service () in
+  failed P.Journal_error
+    (Service.handle svc3 (open_req ~session:"a" ~layer:"" ~resume:true ()))
+
+let test_candidate_signature () =
+  let s0 = syn_session () in
+  Alcotest.(check string) "deterministic" (Session.candidate_signature s0)
+    (Session.candidate_signature (syn_session ()));
+  let s1 = ok (Session.set s0 issue pick) in
+  Alcotest.(check bool) "binding changes the signature" false
+    (String.equal (Session.candidate_signature s0) (Session.candidate_signature s1));
+  let s2 = ok (Session.retract s1 issue) in
+  Alcotest.(check string) "retract restores the signature" (Session.candidate_signature s0)
+    (Session.candidate_signature s2)
+
+(* ------------------------------------------------------------------ *)
+(* Socket end-to-end                                                    *)
+
+let test_socket_end_to_end () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dse_test_%d.sock" (Unix.getpid ()))
+  in
+  let svc = service () in
+  let server = Ds_serve.Server.create ~socket ~pool:2 svc in
+  let server_thread = Thread.create Ds_serve.Server.serve server in
+  Fun.protect ~finally:(fun () ->
+      Ds_serve.Server.shutdown server;
+      Thread.join server_thread)
+  @@ fun () ->
+  let client = ok (Ds_serve.Client.connect_retry ~socket ()) in
+  let request req = reply (ok (Ds_serve.Client.request client req)) in
+  let opened = request (open_req ~session:"e2e" ()) in
+  let n0 = jint "candidates" opened in
+  let set =
+    request (P.Set { session = "e2e"; name = issue; value = pick; decide = true })
+  in
+  Alcotest.(check bool) "pruned over the wire" true (jint "candidates" set < n0);
+  let cands = request (P.Candidates { session = "e2e" }) in
+  Alcotest.(check int) "count matches list" (jint "count" cands)
+    (match jmember "candidates" cands with J.List l -> List.length l | _ -> -1);
+  (* protocol-level failure crosses the wire as a failure reply *)
+  (match ok (Ds_serve.Client.request client (P.Candidates { session = "ghost" })) with
+  | P.Failed (P.Unknown_session, _) -> ()
+  | _ -> Alcotest.fail "unknown session over the wire");
+  let closed = request (P.Close { session = "e2e" }) in
+  Alcotest.(check string) "closed" "e2e" (jstr "closed" closed);
+  (* a second concurrent client is served by the pool *)
+  let client2 = ok (Ds_serve.Client.connect ~socket) in
+  let s2 = reply (ok (Ds_serve.Client.request client2 (open_req ()))) in
+  Alcotest.(check bool) "second client opened" true (jint "candidates" s2 > 0);
+  Ds_serve.Client.close client2;
+  Ds_serve.Client.close client;
+  Alcotest.(check bool) "socket gone after shutdown" true
+    (Ds_serve.Server.shutdown server;
+     Thread.join server_thread;
+     not (Sys.file_exists socket))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_jsonx_numbers;
+          Alcotest.test_case "strings" `Quick test_jsonx_strings;
+          Alcotest.test_case "errors" `Quick test_jsonx_errors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "request errors" `Quick test_protocol_errors;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "value coercions" `Quick test_value_coercions;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_store_lru;
+          Alcotest.test_case "fresh ids and order" `Quick test_store_fresh_ids;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "basics" `Quick test_service_basics;
+          Alcotest.test_case "branch" `Quick test_service_branch;
+          Alcotest.test_case "handle_line total" `Quick test_handle_line_never_raises;
+          Alcotest.test_case "eviction keeps sessions resumable" `Quick
+            test_lru_eviction_keeps_journal_resumable;
+          Alcotest.test_case "candidate signature" `Quick test_candidate_signature;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "crash replay reconstructs the session" `Quick
+            test_replay_reconstructs_session;
+          Alcotest.test_case "torn tail ignored" `Quick test_replay_ignores_torn_tail;
+          Alcotest.test_case "tampering detected" `Quick test_replay_detects_divergence;
+          Alcotest.test_case "branch journals independently" `Quick
+            test_branch_journals_independently;
+          Alcotest.test_case "resume guards" `Quick test_resume_guards;
+        ] );
+      ( "socket",
+        [ Alcotest.test_case "end to end" `Quick test_socket_end_to_end ] );
+    ]
