@@ -74,8 +74,22 @@ let close t = close_out_noerr t.oc
 let open_append ?(sync = false) ~dir ~id () =
   if not (exists ~dir ~id) then Error (Printf.sprintf "journal: no journal for %S" id)
   else
+    let file = path ~dir ~id in
     match
-      guard_io (fun () -> Unix.openfile (path ~dir ~id) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644)
+      guard_io (fun () ->
+          (* a crash can leave a torn (unterminated) final line, which
+             [load] drops; appending as-is would glue the next entry
+             onto that fragment and corrupt the file mid-line, so cut
+             back to the end of the last complete line first *)
+          let keep =
+            let content = In_channel.with_open_bin file In_channel.input_all in
+            let len = String.length content in
+            if len = 0 || content.[len - 1] = '\n' then len
+            else match String.rindex_opt content '\n' with Some i -> i + 1 | None -> 0
+          in
+          let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+          if (Unix.fstat fd).Unix.st_size <> keep then Unix.ftruncate fd keep;
+          fd)
     with
     | Error _ as e -> e
     | Ok fd -> Ok { fd; oc = Unix.out_channel_of_descr fd; sync }

@@ -57,7 +57,10 @@ val load : dir:string -> id:string -> (header * entry list, string) result
     acknowledged to clients after its flush. *)
 
 val open_append : ?sync:bool -> dir:string -> id:string -> unit -> (t, string) result
-(** Reopen an existing journal for appending (after {!load}). *)
+(** Reopen an existing journal for appending (after {!load}).  If a
+    crash left a torn final line, the file is first truncated back to
+    the end of the last complete line — matching what {!load} replays —
+    so subsequent appends never glue onto the fragment. *)
 
 val branch :
   ?sync:bool -> dir:string -> from_id:string -> to_id:string -> unit -> (unit, string) result

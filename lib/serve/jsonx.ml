@@ -122,9 +122,16 @@ let of_string s =
     if !pos + 4 > n then fail "truncated \\u escape";
     let h = String.sub s !pos 4 in
     pos := !pos + 4;
-    match int_of_string_opt ("0x" ^ h) with
-    | Some v -> v
-    | None -> fail (Printf.sprintf "bad \\u escape %S" h)
+    (* exactly four hex digits — int_of_string would also admit OCaml
+       literal syntax such as underscores *)
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail (Printf.sprintf "bad \\u escape %S" h)
+    in
+    (digit h.[0] lsl 12) lor (digit h.[1] lsl 8) lor (digit h.[2] lsl 4) lor digit h.[3]
   in
   let parse_string () =
     expect '"';
@@ -191,7 +198,12 @@ let of_string s =
         | None -> fail (Printf.sprintf "bad number %S" tok))
     else
       match float_of_string_opt tok with
-      | Some f -> Float f
+      | Some f when Float.is_finite f -> Float f
+      | Some _ ->
+        (* e.g. "1e999": OCaml overflows to infinity, which has no JSON
+           form (we print non-finite as null) — reject so that parse and
+           print stay inverses *)
+        fail (Printf.sprintf "number out of range %S" tok)
       | None -> fail (Printf.sprintf "bad number %S" tok)
   in
   let rec parse_value () =

@@ -70,7 +70,11 @@ let json_of_value = function
 let value_of_json = function
   | Jsonx.Str s -> Ok (Value.Str s)
   | Jsonx.Int i -> Ok (Value.Int i)
-  | Jsonx.Float f -> Ok (Value.Real f)
+  | Jsonx.Float f when Float.is_finite f -> Ok (Value.Real f)
+  | Jsonx.Float _ ->
+    (* non-finite reals have no JSON form, so journaling one would
+       break the encode/decode inverse that replay relies on *)
+    Error "value must be a finite number"
   | Jsonx.Bool b -> Ok (Value.Flag b)
   | Jsonx.Null | Jsonx.List _ | Jsonx.Obj _ ->
     Error "value must be a string, number or boolean"

@@ -78,8 +78,11 @@ let serve_connection t fd =
   Mutex.lock t.lock;
   Hashtbl.remove t.active fd;
   t.served <- t.served + 1;
-  Mutex.unlock t.lock;
-  try_close fd
+  (* close while holding the lock: teardown shuts down in-flight fds
+     under the same lock, so it can never race this close and hit a
+     descriptor number the kernel has already recycled *)
+  try_close fd;
+  Mutex.unlock t.lock
 
 let worker t () =
   let rec loop () =
@@ -129,9 +132,9 @@ let serve t =
   try_close t.listen_fd;
   List.iter (fun _ -> push t None) workers;
   Mutex.lock t.lock;
-  let in_flight = Hashtbl.fold (fun fd () acc -> fd :: acc) t.active [] in
+  Hashtbl.iter
+    (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    t.active;
   Mutex.unlock t.lock;
-  List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-    in_flight;
   List.iter Thread.join workers;
   try Unix.unlink t.socket with Unix.Unix_error _ -> ()

@@ -49,6 +49,14 @@ let valid_id id =
          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
        id
 
+let journal_exists t id =
+  match t.cfg.journal_dir with None -> false | Some dir -> Journal.exists ~dir ~id
+
+(* Never hand out an auto id whose journal a previous server life still
+   owns: [Journal.create] truncates, so colliding with one would destroy
+   resumable history. *)
+let fresh_id t = Store.fresh_id ~skip:(journal_exists t) t.store
+
 let focus_str s = String.concat "." (Session.focus s)
 
 let session_summary id s =
@@ -159,7 +167,7 @@ let handle_open t ~session ~layer ~eol ~resume:resume_flag =
         (P.Bad_request,
          Printf.sprintf "bad session id %S (want [A-Za-z0-9._-]{1,64}, no leading dot)" id)
     | Some id -> Ok id
-    | None -> Ok (Store.fresh_id t.store)
+    | None -> Ok (fresh_id t)
   in
   match id_result with
   | Error (code, msg) -> P.Failed (code, msg)
@@ -197,6 +205,13 @@ let handle_open t ~session ~layer ~eol ~resume:resume_flag =
                   ("replayed", Jsonx.Int replayed);
                   ("signature", Jsonx.Str (Session.candidate_signature s));
                 ]))))
+  | Ok id when journal_exists t id ->
+    (* a plain open would truncate the resumable history on disk *)
+    P.Failed
+      (P.Session_exists,
+       Printf.sprintf
+         "session %S has a journal on disk; resume it with open --resume or pick another id"
+         id)
   | Ok id -> (
     match List.assoc_opt layer t.cfg.layers with
     | None ->
@@ -228,12 +243,17 @@ let handle_branch t sid as_id =
         | Some id when not (valid_id id) ->
           Error (P.Bad_request, Printf.sprintf "bad session id %S" id)
         | Some id -> Ok id
-        | None -> Ok (Store.fresh_id t.store)
+        | None -> Ok (fresh_id t)
       in
       match id_result with
       | Error (code, msg) -> P.Failed (code, msg)
       | Ok nid when Store.mem t.store nid ->
         P.Failed (P.Session_exists, Printf.sprintf "session %S is already open" nid)
+      | Ok nid when journal_exists t nid ->
+        P.Failed
+          (P.Session_exists,
+           Printf.sprintf
+             "session %S has a journal on disk; resume it or pick another branch id" nid)
       | Ok nid -> (
         let journal =
           match t.cfg.journal_dir with
@@ -258,8 +278,14 @@ let merits_or_default t = function
 let dispatch t req =
   match req with
   | P.Open { session; layer; eol; resume } -> handle_open t ~session ~layer ~eol ~resume
-  | P.Set { session; name; value; _ } ->
-    mutate t session req (fun s -> Session.set s name value)
+  | P.Set { session; name; value; _ } -> (
+    match value with
+    | Value.Real f when not (Float.is_finite f) ->
+      (* requests arriving off the wire are already screened, but the
+         shell builds requests directly; a non-finite real would journal
+         as null and poison every later resume *)
+      P.Failed (P.Bad_request, Printf.sprintf "non-finite value for %S is not accepted" name)
+    | _ -> mutate t session req (fun s -> Session.set s name value))
   | P.Default { session; name } -> mutate t session req (fun s -> Session.set_default s name)
   | P.Retract { session; name } -> mutate t session req (fun s -> Session.retract s name)
   | P.Annotate { session; text } -> mutate t session req (fun s -> Ok (Session.annotate s text))

@@ -30,11 +30,11 @@ let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
-let fresh_id t =
+let fresh_id ?(skip = fun _ -> false) t =
   let rec go () =
     let id = Printf.sprintf "s%d" t.next_id in
     t.next_id <- t.next_id + 1;
-    if Hashtbl.mem t.table id then go () else id
+    if Hashtbl.mem t.table id || skip id then go () else id
   in
   go ()
 

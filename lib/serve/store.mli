@@ -29,8 +29,11 @@ val create : ?capacity:int -> unit -> t
 
 val capacity : t -> int
 
-val fresh_id : t -> string
-(** ["s1"], ["s2"], ... — skipping ids currently in the table. *)
+val fresh_id : ?skip:(string -> bool) -> t -> string
+(** ["s1"], ["s2"], ... — skipping ids currently in the table and any
+    for which [skip] is true (the service passes a predicate that skips
+    ids with a journal on disk, so a restarted server never hands out
+    an id whose history a previous life still owns). *)
 
 val mem : t -> string -> bool
 

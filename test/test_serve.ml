@@ -117,7 +117,15 @@ let test_jsonx_strings () =
   | _ -> Alcotest.fail "control char roundtrip"
 
 let test_jsonx_errors () =
-  let bad = [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\":1}x" ] in
+  let bad =
+    [
+      ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\":1}x";
+      (* int_of_string-isms that are not JSON *)
+      "\"\\u00_a\""; "\"\\u0x41\"";
+      (* overflows to infinity, which has no JSON form *)
+      "1e999"; "-1e999";
+    ]
+  in
   List.iter
     (fun s ->
       match J.of_string s with
@@ -210,9 +218,16 @@ let test_value_coercions () =
   (match P.value_of_json (J.Str "hardware") with
   | Ok (Value.Str "hardware") -> ()
   | _ -> Alcotest.fail "Str");
-  match P.value_of_json (J.List []) with
+  (match P.value_of_json (J.List []) with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "arrays are not values"
+  | Ok _ -> Alcotest.fail "arrays are not values");
+  (* non-finite reals would journal as null and break replay *)
+  List.iter
+    (fun f ->
+      match P.value_of_json (J.Float f) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "non-finite %f accepted as a value" f)
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
 
 (* ------------------------------------------------------------------ *)
 (* Store                                                               *)
@@ -251,7 +266,11 @@ let test_store_fresh_ids () =
   (* most-recently-used first *)
   Store.put store id2 (entry_for s);
   ignore (Store.find store id1);
-  Alcotest.(check (list string)) "MRU order" [ id1; id2 ] (Store.ids store)
+  Alcotest.(check (list string)) "MRU order" [ id1; id2 ] (Store.ids store);
+  (* the skip predicate vetoes ids the table doesn't know about (the
+     service uses it to avoid ids with a journal on disk) *)
+  let skipped = Store.fresh_id ~skip:(fun id -> String.equal id "s3") store in
+  Alcotest.(check string) "skip predicate honoured" "s4" skipped
 
 (* ------------------------------------------------------------------ *)
 (* Service basics                                                      *)
@@ -323,6 +342,18 @@ let test_service_branch () =
     jstr "signature" (reply (Service.handle svc (P.Signature { session = id })))
   in
   Alcotest.(check bool) "branches diverged" false (String.equal (sig_of "a") (sig_of "b"))
+
+(* The shell constructs requests directly (no wire screening), so the
+   service itself must refuse values the journal cannot represent. *)
+let test_non_finite_values_refused () =
+  let svc = service () in
+  ignore (reply (Service.handle svc (open_req ~session:"t" ())));
+  List.iter
+    (fun f ->
+      failed P.Bad_request
+        (Service.handle svc
+           (P.Set { session = "t"; name = issue; value = Value.real f; decide = false })))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
 
 let test_handle_line_never_raises () =
   let svc = service () in
@@ -431,6 +462,64 @@ let test_replay_ignores_torn_tail () =
   Alcotest.(check int) "torn line dropped, entries kept" 5 (jint "replayed" resumed);
   Alcotest.(check string) "state matches the acknowledged prefix" sig_before
     (jstr "signature" resumed)
+
+(* The dangerous half of the torn-tail story: resuming must also
+   *repair* the file, because the next append would otherwise glue onto
+   the fragment and corrupt the journal for every later load. *)
+let test_append_after_torn_resume () =
+  let dir = tmpdir "dse_torn_append" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  let path = Journal.path ~dir ~id:"cs" in
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"req\":{\"op\":\"set\",\"session\":\"cs\",\"na";
+  close_out oc;
+  (* resume, then keep working: this append lands where the fragment was *)
+  let svc2 = crypto_service dir in
+  ignore (reply (Service.handle svc2 (open_req ~session:"cs" ~layer:"" ~resume:true ())));
+  ignore
+    (reply
+       (Service.handle svc2
+          (P.Set
+             { session = "cs"; name = "Implementation Style"; value = Value.str "hardware";
+               decide = true })));
+  let sig_live = jstr "signature" (reply (Service.handle svc2 (P.Signature { session = "cs" }))) in
+  (* a third service must replay the repaired journal cleanly *)
+  let svc3 = crypto_service dir in
+  let resumed =
+    reply (Service.handle svc3 (open_req ~session:"cs" ~layer:"" ~resume:true ()))
+  in
+  Alcotest.(check int) "history plus the post-resume append" 6 (jint "replayed" resumed);
+  Alcotest.(check string) "journal stayed well-formed" sig_live (jstr "signature" resumed)
+
+(* A restarted server must not hand out (or plainly re-open) an id whose
+   journal a previous life left on disk — Journal.create truncates. *)
+let test_restart_never_truncates_journals () =
+  let dir = tmpdir "dse_restart" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  (* auto-generated id: "s1" *)
+  let opened = reply (Service.handle svc (open_req ~layer:"crypto" ())) in
+  let id = jstr "session" opened in
+  Alcotest.(check string) "first auto id" "s1" id;
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script id);
+  let sig_before = jstr "signature" (reply (Service.handle svc (P.Signature { session = id }))) in
+  (* fresh service over the same journal dir, as after a restart *)
+  let svc2 = crypto_service dir in
+  failed P.Session_exists (Service.handle svc2 (open_req ~session:id ~layer:"crypto" ()));
+  let auto = reply (Service.handle svc2 (open_req ~layer:"crypto" ())) in
+  Alcotest.(check bool)
+    (Printf.sprintf "auto id skips journalled %S (got %S)" id (jstr "session" auto))
+    false
+    (String.equal id (jstr "session" auto));
+  (* branching onto the journalled id is refused too *)
+  failed P.Session_exists
+    (Service.handle svc2 (P.Branch { session = jstr "session" auto; as_id = Some id }));
+  (* ...and through it all the original session stayed resumable *)
+  let resumed = reply (Service.handle svc2 (open_req ~session:id ~layer:"" ~resume:true ())) in
+  Alcotest.(check string) "history intact" sig_before (jstr "signature" resumed)
 
 let test_replay_detects_divergence () =
   let dir = tmpdir "dse_tamper" in
@@ -598,6 +687,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_service_basics;
           Alcotest.test_case "branch" `Quick test_service_branch;
           Alcotest.test_case "handle_line total" `Quick test_handle_line_never_raises;
+          Alcotest.test_case "non-finite values refused" `Quick test_non_finite_values_refused;
           Alcotest.test_case "eviction keeps sessions resumable" `Quick
             test_lru_eviction_keeps_journal_resumable;
           Alcotest.test_case "candidate signature" `Quick test_candidate_signature;
@@ -607,6 +697,10 @@ let () =
           Alcotest.test_case "crash replay reconstructs the session" `Quick
             test_replay_reconstructs_session;
           Alcotest.test_case "torn tail ignored" `Quick test_replay_ignores_torn_tail;
+          Alcotest.test_case "torn tail repaired before appending" `Quick
+            test_append_after_torn_resume;
+          Alcotest.test_case "restart never truncates journals" `Quick
+            test_restart_never_truncates_journals;
           Alcotest.test_case "tampering detected" `Quick test_replay_detects_divergence;
           Alcotest.test_case "branch journals independently" `Quick
             test_branch_journals_independently;
