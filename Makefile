@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test check bench bench-json serve-smoke bench-serve doc examples clean
+.PHONY: all test check bench bench-json serve-smoke bench-serve bench-compare doc examples clean
 
 all:
 	dune build @all
@@ -22,9 +22,16 @@ check:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-# Concurrent-client service throughput/latency (writes BENCH_PR3.json).
+# Concurrent-client service throughput/latency (writes BENCH_PR4.json,
+# including the worker pool scaling sweep).
 bench-serve:
 	dune exec bench/main.exe -- serve --json
+
+# Regression gate: fresh serve bench vs the committed BENCH_PR3.json
+# baseline; fails on a >20% throughput drop.
+bench-compare:
+	dune exec bench/main.exe -- serve --json --smoke
+	sh scripts/bench_compare.sh
 
 bench:
 	dune exec bench/main.exe

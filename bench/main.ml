@@ -11,7 +11,8 @@
      dune exec bench/main.exe serve --json [--smoke]
                                          -- exploration-service bench
                                             (socket server, 8 concurrent
-                                            clients) -> BENCH_PR3.json
+                                            clients, worker-pool sweep)
+                                            -> BENCH_PR4.json
 
    Experiments: table1 fig3 fig6 fig7 fig8 fig9 fig10 fig12 fig13
                 casestudy ablation power micro *)
@@ -995,16 +996,20 @@ let micro_json ?(smoke = false) () =
     (fst headline)
 
 (* ------------------------------------------------------------------ *)
-(* Exploration-service bench (BENCH_PR3.json)                           *)
+(* Exploration-service bench (BENCH_PR4.json)                           *)
 
 (* Measures the service end to end: a real Unix-socket server over the
    10^4-core synthetic layer, N concurrent clients each running the
    interactive requery loop over the wire (set a budget, read the
    candidates and ranges, retract).  Client-side wall-clock per request
    is the figure a designer at a front end would feel; the server's own
-   per-op metrics ride along via the [stats] op. *)
+   per-op metrics (including the accept-to-dispatch queue wait) ride
+   along via the [stats] op.  A worker-scaling sweep re-runs the same
+   load at pool sizes 1/2/4/8 so the effect of per-session locking and
+   worker parallelism is visible in one file. *)
 
 let serve_bench_clients = 8
+let serve_pool_sweep = [ 1; 2; 4; 8 ]
 
 let serve_latency_stats samples =
   let sorted = Array.of_list samples in
@@ -1018,23 +1023,35 @@ let serve_latency_stats samples =
     (if n = 0 then 0.0 else total /. float_of_int n),
     pct 0.50,
     pct 0.95,
+    pct 0.99,
     if n = 0 then 0.0 else sorted.(n - 1) )
 
-let serve_json ?(smoke = false) () =
-  header
-    (if smoke then "Exploration-service bench (smoke) -> BENCH_PR3.json"
-     else "Exploration-service bench -> BENCH_PR3.json");
-  let reps = if smoke then 25 else 250 in
+type serve_round = {
+  sr_pool : int;
+  sr_reps : int;
+  sr_requests : int;
+  sr_errors : int;
+  sr_wall : float;
+  sr_samples : (string * float) list;
+  sr_queue_wait : (int * float * float) option; (* count, mean us, max us *)
+  sr_server_stats : string;
+}
+
+let sr_rps r = if r.sr_wall > 0.0 then float_of_int r.sr_requests /. r.sr_wall else 0.0
+
+(* One complete round at a given worker-pool size: fresh server and
+   service, [serve_bench_clients] concurrent clients. *)
+let serve_round ~pool ~reps ~tag =
   let socket =
     Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "dse_bench_%d.sock" (Unix.getpid ()))
+      (Printf.sprintf "dse_bench_%d_%s.sock" (Unix.getpid ()) tag)
   in
   let svc =
     Ds_serve.Service.create
       (Ds_serve.Service.config ~default_merits:[ "delay"; "cost" ]
          ~layers:Ds_domains.Catalog.factories ())
   in
-  let server = Ds_serve.Server.create ~socket ~pool:serve_bench_clients svc in
+  let server = Ds_serve.Server.create ~socket ~pool svc in
   let server_thread = Thread.create Ds_serve.Server.serve server in
   let errors = Atomic.make 0 in
   let results = Array.make serve_bench_clients [] in
@@ -1095,25 +1112,83 @@ let serve_json ?(smoke = false) () =
   in
   Ds_serve.Server.shutdown server;
   Thread.join server_thread;
+  let queue_wait =
+    match Ds_serve.Jsonx.of_string server_stats with
+    | Error _ -> None
+    | Ok json ->
+      Option.bind (Ds_serve.Jsonx.member "queue_wait" json) (fun q ->
+          match
+            ( Option.bind (Ds_serve.Jsonx.member "count" q) Ds_serve.Jsonx.to_int,
+              Option.bind (Ds_serve.Jsonx.member "mean_us" q) Ds_serve.Jsonx.to_float,
+              Option.bind (Ds_serve.Jsonx.member "max_us" q) Ds_serve.Jsonx.to_float )
+          with
+          | Some c, Some m, Some x -> Some (c, m, x)
+          | _ -> None)
+  in
   let all = Array.to_list results |> List.concat in
-  let total = List.length all in
+  {
+    sr_pool = pool;
+    sr_reps = reps;
+    sr_requests = List.length all;
+    sr_errors = Atomic.get errors;
+    sr_wall = wall;
+    sr_samples = all;
+    sr_queue_wait = queue_wait;
+    sr_server_stats = server_stats;
+  }
+
+let serve_json ?(smoke = false) () =
+  header
+    (if smoke then "Exploration-service bench (smoke) -> BENCH_PR4.json"
+     else "Exploration-service bench -> BENCH_PR4.json");
+  let reps = if smoke then 25 else 250 in
+  let sweep_reps = if smoke then 10 else 100 in
+  printf "worker-scaling sweep, %d clients (pool %s):\n" serve_bench_clients
+    (String.concat "/" (List.map string_of_int serve_pool_sweep));
+  let sweep =
+    List.map
+      (fun pool ->
+        (* the headline pool gets the full rep count; the sweep points
+           a lighter one (same shape, enough to place the knee) *)
+        let r =
+          serve_round ~pool
+            ~reps:(if pool = serve_bench_clients then reps else sweep_reps)
+            ~tag:(Printf.sprintf "p%d" pool)
+        in
+        let qw = match r.sr_queue_wait with Some (_, m, _) -> m | None -> 0.0 in
+        printf "  pool %d: %5d req in %6.2f s  %7.0f req/s  queue-wait mean %6.0f us  errors %d\n"
+          pool r.sr_requests r.sr_wall (sr_rps r) qw r.sr_errors;
+        r)
+      serve_pool_sweep
+  in
+  let headline =
+    match List.find_opt (fun r -> r.sr_pool = serve_bench_clients) sweep with
+    | Some r -> r
+    | None -> List.nth sweep (List.length sweep - 1)
+  in
+  let all = headline.sr_samples in
+  let total = headline.sr_requests in
+  let wall = headline.sr_wall in
   let ops =
     List.sort_uniq String.compare (List.map fst all)
     |> List.map (fun op -> (op, List.filter_map (fun (o, us) -> if String.equal o op then Some us else None) all))
   in
-  let _, mean, p50, p95, max_us = serve_latency_stats (List.map snd all) in
-  printf "%d clients x (1 open + %d x 4 ops + 1 close) = %d requests in %.2f s  (%.0f req/s)\n"
-    serve_bench_clients reps total wall
-    (float_of_int total /. wall);
-  printf "latency us: mean %.0f  p50 %.0f  p95 %.0f  max %.0f  errors %d\n" mean p50 p95 max_us
-    (Atomic.get errors);
+  let _, mean, p50, p95, p99, max_us = serve_latency_stats (List.map snd all) in
+  printf "\nheadline (pool %d): %d clients x (1 open + %d x 4 ops + 1 close) = %d requests in %.2f s  (%.0f req/s)\n"
+    headline.sr_pool serve_bench_clients reps total wall (sr_rps headline);
+  printf "latency us: mean %.0f  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f  errors %d\n" mean p50
+    p95 p99 max_us headline.sr_errors;
   List.iter
     (fun (op, samples) ->
-      let n, mean, p50, p95, max_us = serve_latency_stats samples in
-      printf "  %-12s n %5d  mean %8.0f  p50 %8.0f  p95 %8.0f  max %8.0f us\n" op n mean p50
-        p95 max_us)
+      let n, mean, p50, p95, p99, max_us = serve_latency_stats samples in
+      printf "  %-12s n %5d  mean %8.0f  p50 %8.0f  p95 %8.0f  p99 %8.0f  max %8.0f us\n" op n
+        mean p50 p95 p99 max_us)
     ops;
-  let buf = Buffer.create 2048 in
+  (match headline.sr_queue_wait with
+  | Some (n, qmean, qmax) ->
+    printf "server queue wait (accept -> dispatch): n %d  mean %.0f us  max %.0f us\n" n qmean qmax
+  | None -> ());
+  let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
   add "  \"bench\": \"exploration-service\",\n";
@@ -1121,30 +1196,50 @@ let serve_json ?(smoke = false) () =
   add "  \"layer\": \"synthetic10k\",\n";
   add "  \"cores\": %d,\n" Ds_domains.Catalog.synthetic10k_spec.Syn.cores;
   add "  \"clients\": %d,\n" serve_bench_clients;
+  add "  \"pool\": %d,\n" headline.sr_pool;
   add "  \"iterations_per_client\": %d,\n" reps;
   add "  \"requests\": %d,\n" total;
-  add "  \"errors\": %d,\n" (Atomic.get errors);
+  add "  \"errors\": %d,\n" headline.sr_errors;
   add "  \"wall_s\": %.3f,\n" wall;
-  add "  \"requests_per_second\": %.1f,\n" (float_of_int total /. wall);
-  add "  \"latency_us\": { \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"max\": %.1f },\n" mean
-    p50 p95 max_us;
+  add "  \"requests_per_second\": %.1f,\n" (sr_rps headline);
+  add "  \"latency_us\": { \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \"max\": %.1f },\n"
+    mean p50 p95 p99 max_us;
+  (match headline.sr_queue_wait with
+  | Some (n, qmean, qmax) ->
+    add "  \"queue_wait_us\": { \"count\": %d, \"mean\": %.1f, \"max\": %.1f },\n" n qmean qmax
+  | None -> add "  \"queue_wait_us\": null,\n");
+  add "  \"pool_sweep\": [\n";
+  List.iteri
+    (fun i r ->
+      let qw =
+        match r.sr_queue_wait with
+        | Some (_, m, _) -> Printf.sprintf "%.1f" m
+        | None -> "null"
+      in
+      add
+        "    { \"pool\": %d, \"iterations_per_client\": %d, \"requests\": %d, \"errors\": %d, \
+         \"wall_s\": %.3f, \"requests_per_second\": %.1f, \"queue_wait_mean_us\": %s }%s\n"
+        r.sr_pool r.sr_reps r.sr_requests r.sr_errors r.sr_wall (sr_rps r) qw
+        (if i < List.length sweep - 1 then "," else ""))
+    sweep;
+  add "  ],\n";
   add "  \"per_op_latency_us\": {\n";
   List.iteri
     (fun i (op, samples) ->
-      let n, mean, p50, p95, max_us = serve_latency_stats samples in
-      add "    \"%s\": { \"count\": %d, \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"max\": %.1f }%s\n"
-        op n mean p50 p95 max_us
+      let n, mean, p50, p95, p99, max_us = serve_latency_stats samples in
+      add
+        "    \"%s\": { \"count\": %d, \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \"max\": %.1f }%s\n"
+        op n mean p50 p95 p99 max_us
         (if i < List.length ops - 1 then "," else ""))
     ops;
   add "  },\n";
-  add "  \"server_stats\": %s\n" server_stats;
+  add "  \"server_stats\": %s\n" headline.sr_server_stats;
   add "}\n";
-  let oc = open_out "BENCH_PR3.json" in
+  let oc = open_out "BENCH_PR4.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  printf "\nwrote BENCH_PR3.json (%.0f req/s over %d concurrent clients)\n"
-    (float_of_int total /. wall)
-    serve_bench_clients
+  printf "\nwrote BENCH_PR4.json (%.0f req/s over %d concurrent clients at pool %d)\n"
+    (sr_rps headline) serve_bench_clients headline.sr_pool
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)

@@ -799,7 +799,7 @@ let serve_cmd =
   let pool =
     Arg.(
       value & opt int 8
-      & info [ "pool" ] ~docv:"N" ~doc:"Worker threads serving connections.")
+      & info [ "pool" ] ~docv:"N" ~doc:"Worker domains serving connections (requests execute in parallel).")
   in
   let capacity =
     Arg.(

@@ -7,7 +7,20 @@
    Verdicts live in a byte array indexed by interned core id (0 =
    unknown, 1 = inferior, 2 = kept): the hot path of a warm query is
    one array read per (constraint, core), with the single string-hash
-   probe per core paid once in {!core_id}, not per constraint. *)
+   probe per core paid once in {!core_ids}, not per constraint.
+
+   Concurrency: one table serves a session lineage, and since the
+   exploration service stopped serializing requests globally, several
+   domains can query (and thus populate) the same lineage at once.  All
+   table mutation happens under [lock].  The per-core sweep itself runs
+   lockless against a {!Slot.view}: [slot] pre-grows the byte array to
+   cover every interned id while holding the lock, so the buffer a
+   query reads is never reallocated under it, and new verdicts are
+   buffered by the sweep and written back in one {!Slot.merge} — which
+   re-checks the stamp, so a sweep that overlapped an invalidation
+   discards its write-back instead of poisoning the new generation.
+   Racing sweeps at the same stamp compute identical verdicts
+   (closures are deterministic), so their merges are idempotent. *)
 type slot = {
   mutable gen : int;
   mutable focus : string;
@@ -15,12 +28,30 @@ type slot = {
 }
 
 type t = {
+  lock : Mutex.t;
   slots : (string, slot) Hashtbl.t; (* constraint name -> verdicts *)
   survivors : (string, (string * Ds_reuse.Core.t) list) Hashtbl.t;
       (* full state signature -> candidate list *)
+  gens : (string, int) Hashtbl.t;
+      (* constraint-state key (constraint name + the values of every
+         property it mentions) -> the generation minted for that state.
+         Re-entering a state reuses its generation, so the state
+         signature — and with it the survivor table — recognises
+         revisited states instead of treating each visit as new. *)
+  summaries : (string, Evaluation.merit_summary) Hashtbl.t;
+      (* state signature + merit name -> that state's merit summary.
+         Merit values are immutable per core and the candidate set is a
+         function of the signature, so the summary is too; this spares
+         a revisited state the full fold over the surviving pool. *)
+  signatures : (string, string) Hashtbl.t;
+      (* observable-state key -> candidate signature digest.  The
+         digest folds every surviving core id into a hash; memoizing it
+         spares a revisited state that whole-pool walk.  The stored
+         value is exactly what the full computation produced, so
+         journal signatures stay bit-identical. *)
   ids : (string, int) Hashtbl.t; (* core qualified-id -> dense id *)
   mutable next_id : int;
-  next_gen : int ref;
+  mutable next_gen : int;
   mutable verdict_hits : int;
   mutable verdict_misses : int;
   mutable survivor_hits : int;
@@ -33,24 +64,56 @@ type t = {
    of a recompute, are unaffected). *)
 let max_survivor_entries = 128
 
+(* Same pressure-release valve for the generation memo: past this many
+   distinct constraint states the memo restarts, and revisited states
+   simply mint fresh generations again (a cache miss, never a wrong
+   answer — distinct states can never share a generation because the
+   key embeds the constraint's relevant binding values). *)
+let max_gen_entries = 1024
+
 let create () =
   {
+    lock = Mutex.create ();
     slots = Hashtbl.create 16;
     survivors = Hashtbl.create 32;
+    gens = Hashtbl.create 32;
+    summaries = Hashtbl.create 32;
+    signatures = Hashtbl.create 32;
     ids = Hashtbl.create 256;
     next_id = 0;
-    next_gen = ref 0;
+    next_gen = 0;
     verdict_hits = 0;
     verdict_misses = 0;
     survivor_hits = 0;
     survivor_misses = 0;
   }
 
-let fresh_generation t =
-  incr t.next_gen;
-  !(t.next_gen)
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
-let core_id t qid =
+let fresh_generation t =
+  locked t (fun () ->
+      t.next_gen <- t.next_gen + 1;
+      t.next_gen)
+
+let generation_for t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gens key with
+      | Some gen -> gen
+      | None ->
+        if Hashtbl.length t.gens >= max_gen_entries then Hashtbl.reset t.gens;
+        t.next_gen <- t.next_gen + 1;
+        Hashtbl.add t.gens key t.next_gen;
+        t.next_gen)
+
+let intern t qid =
   match Hashtbl.find_opt t.ids qid with
   | Some id -> id
   | None ->
@@ -59,72 +122,102 @@ let core_id t qid =
     Hashtbl.add t.ids qid id;
     id
 
+let core_id t qid = locked t (fun () -> intern t qid)
+
+let core_ids t qids = locked t (fun () -> Array.map (intern t) qids)
+
 module Slot = struct
-  type nonrec t = { cache : t; slot : slot }
+  type nonrec t = {
+    cache : t;
+    slot : slot;
+    gen : int; (* the stamp this handle was resolved at *)
+    focus : string;
+  }
 
   let unknown = '\000'
   let inferior = '\001'
   let kept = '\002'
 
-  let find s ~id =
-    let v = s.slot.verdicts in
-    let b = if id < Bytes.length v then Bytes.unsafe_get v id else unknown in
-    if b = unknown then begin
-      s.cache.verdict_misses <- s.cache.verdict_misses + 1;
-      None
-    end
-    else begin
-      s.cache.verdict_hits <- s.cache.verdict_hits + 1;
-      Some (b = inferior)
-    end
+  let view s = s.slot.verdicts
 
-  let store s ~id verdict =
-    let v = s.slot.verdicts in
-    let v =
-      if id < Bytes.length v then v
-      else begin
-        (* amortized doubling, sized to the session's interned cores *)
-        let cap = max (2 * Bytes.length v) (max 64 s.cache.next_id) in
-        let v' = Bytes.make cap unknown in
-        Bytes.blit v 0 v' 0 (Bytes.length v);
-        s.slot.verdicts <- v';
-        v'
-      end
-    in
-    Bytes.unsafe_set v id (if verdict then inferior else kept)
+  let peek view ~id =
+    let b = if id < Bytes.length view then Bytes.unsafe_get view id else unknown in
+    if b = unknown then None else Some (b = inferior)
+
+  let merge s writes ~hits ~misses =
+    locked s.cache (fun () ->
+        s.cache.verdict_hits <- s.cache.verdict_hits + hits;
+        s.cache.verdict_misses <- s.cache.verdict_misses + misses;
+        (* an invalidation (fresh generation or focus move) between this
+           sweep's [view] and now makes its verdicts stale: drop them *)
+        if s.slot.gen = s.gen && String.equal s.slot.focus s.focus then begin
+          let v = s.slot.verdicts in
+          List.iter
+            (fun (id, verdict) ->
+              if id < Bytes.length v then
+                Bytes.unsafe_set v id (if verdict then inferior else kept))
+            writes
+        end)
 end
 
 let slot t ~cc ~gen ~focus =
-  let s =
-    match Hashtbl.find_opt t.slots cc with
-    | Some s ->
-      if s.gen <> gen || not (String.equal s.focus focus) then begin
-        (* the old stamp's verdicts are unreachable under
-           latest-generation-wins; drop them now *)
-        Bytes.fill s.verdicts 0 (Bytes.length s.verdicts) Slot.unknown;
-        s.gen <- gen;
-        s.focus <- focus
+  locked t (fun () ->
+      let s =
+        match Hashtbl.find_opt t.slots cc with
+        | Some s ->
+          if s.gen <> gen || not (String.equal s.focus focus) then begin
+            (* the old stamp's verdicts are unreachable under
+               latest-generation-wins; drop them now.  A fresh buffer
+               (not a fill) so a sweep still reading the old one keeps a
+               consistent view of the stamp it resolved. *)
+            s.verdicts <- Bytes.make (Stdlib.max 64 t.next_id) Slot.unknown;
+            s.gen <- gen;
+            s.focus <- focus
+          end;
+          s
+        | None ->
+          let s = { gen; focus; verdicts = Bytes.empty } in
+          Hashtbl.add t.slots cc s;
+          s
+      in
+      (* grow to cover every id interned so far, so the sweep can read
+         and the merge can write without the buffer moving mid-query *)
+      if Bytes.length s.verdicts < t.next_id then begin
+        let cap = Stdlib.max (2 * Bytes.length s.verdicts) (Stdlib.max 64 t.next_id) in
+        let v' = Bytes.make cap Slot.unknown in
+        Bytes.blit s.verdicts 0 v' 0 (Bytes.length s.verdicts);
+        s.verdicts <- v'
       end;
-      s
-    | None ->
-      let s = { gen; focus; verdicts = Bytes.empty } in
-      Hashtbl.add t.slots cc s;
-      s
-  in
-  { Slot.cache = t; slot = s }
+      { Slot.cache = t; slot = s; gen; focus })
 
 let find_survivors t ~key =
-  match Hashtbl.find_opt t.survivors key with
-  | Some _ as r ->
-    t.survivor_hits <- t.survivor_hits + 1;
-    r
-  | None ->
-    t.survivor_misses <- t.survivor_misses + 1;
-    None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.survivors key with
+      | Some _ as r ->
+        t.survivor_hits <- t.survivor_hits + 1;
+        r
+      | None ->
+        t.survivor_misses <- t.survivor_misses + 1;
+        None)
 
 let store_survivors t ~key cores =
-  if Hashtbl.length t.survivors >= max_survivor_entries then Hashtbl.reset t.survivors;
-  Hashtbl.replace t.survivors key cores
+  locked t (fun () ->
+      if Hashtbl.length t.survivors >= max_survivor_entries then Hashtbl.reset t.survivors;
+      Hashtbl.replace t.survivors key cores)
+
+let find_summary t ~key = locked t (fun () -> Hashtbl.find_opt t.summaries key)
+
+let store_summary t ~key summary =
+  locked t (fun () ->
+      if Hashtbl.length t.summaries >= max_survivor_entries then Hashtbl.reset t.summaries;
+      Hashtbl.replace t.summaries key summary)
+
+let find_signature t ~key = locked t (fun () -> Hashtbl.find_opt t.signatures key)
+
+let store_signature t ~key digest =
+  locked t (fun () ->
+      if Hashtbl.length t.signatures >= max_survivor_entries then Hashtbl.reset t.signatures;
+      Hashtbl.replace t.signatures key digest)
 
 type stats = {
   verdict_hits : int;
@@ -135,13 +228,14 @@ type stats = {
 }
 
 let stats (t : t) =
-  {
-    verdict_hits = t.verdict_hits;
-    verdict_misses = t.verdict_misses;
-    survivor_hits = t.survivor_hits;
-    survivor_misses = t.survivor_misses;
-    generations = !(t.next_gen);
-  }
+  locked t (fun () ->
+      {
+        verdict_hits = t.verdict_hits;
+        verdict_misses = t.verdict_misses;
+        survivor_hits = t.survivor_hits;
+        survivor_misses = t.survivor_misses;
+        generations = t.next_gen;
+      })
 
 let hit_rate s =
   let lookups = s.verdict_hits + s.verdict_misses in

@@ -35,7 +35,20 @@
     [Session.create], shared by every derived session), like the guard
     registry.  Memory is bounded: each constraint keeps verdicts for a
     single (generation, focus) stamp — a store under a newer stamp
-    drops the older verdicts — and the survivor-set table is capped. *)
+    drops the older verdicts — and the survivor-set table is capped.
+
+    {2 Concurrency}
+
+    The table is internally synchronized: since the exploration service
+    stopped serializing requests globally, concurrent requests (on
+    separate domains) can query the same lineage at once.  The sweep
+    protocol is snapshot-and-merge: {!core_ids} interns the whole pool
+    and {!slot} pre-grows the verdict buffer under one lock, the sweep
+    itself reads a {!Slot.view} locklessly (and in parallel chunks, see
+    {!Parallel}), and buffered new verdicts are written back in one
+    {!Slot.merge}, which drops them if the stamp moved mid-sweep.  Two
+    sweeps racing at the same stamp write identical (deterministic)
+    verdicts, so the merge is idempotent. *)
 
 type t
 
@@ -45,34 +58,81 @@ val fresh_generation : t -> int
 (** A generation number never handed out before (> 0; every constraint
     starts at generation 0). *)
 
+val generation_for : t -> key:string -> int
+(** The generation memoized for [key] — a constraint-state key built
+    from the constraint's name and the values of every property it
+    mentions — minting (and recording) a fresh one on first sight.
+    Re-entering a previously-visited binding state therefore reproduces
+    the generation minted there, which lets state signatures (and the
+    survivor cache keyed by them) recognise revisited states.  Distinct
+    states never share a generation: the key embeds the values.  The
+    memo is bounded; past the cap it restarts and revisited states cost
+    one fresh sweep again. *)
+
 val core_id : t -> string -> int
 (** Dense id interned for a core's qualified id — the index verdict
     slots are addressed by.  Ids are stable for the lifetime of the
     table, so a query pays one string-hash probe per core and a plain
     array read per constraint after that. *)
 
+val core_ids : t -> string array -> int array
+(** {!core_id} for a whole candidate pool under a single lock
+    acquisition — how a query opens its sweep. *)
+
 (** One constraint's verdict table, resolved (and restamped) once per
     query so the per-core cost is an array read by interned id. *)
 module Slot : sig
   type t
 
-  val find : t -> id:int -> bool option
-  (** The memoized verdict on core [id] (from {!core_id}), if any. *)
+  val view : t -> Bytes.t
+  (** The verdict buffer as of slot resolution.  Stable for the query:
+      {!slot} grows it to cover every id interned so far, so concurrent
+      interning never reallocates it mid-sweep.  Bytes written by a
+      concurrent merge at the same stamp are identical to what this
+      sweep would compute; a concurrent invalidation only resets the
+      handle's buffer to unknowns (forcing recomputes, never wrong
+      verdicts). *)
 
-  val store : t -> id:int -> bool -> unit
-  (** Memoize a successful evaluation (faults must not be stored). *)
+  val peek : Bytes.t -> id:int -> bool option
+  (** The memoized verdict on core [id] (from {!core_ids}) in a view;
+      pure, lock-free.  Out-of-range ids read as unknown. *)
+
+  val merge : t -> (int * bool) list -> hits:int -> misses:int -> unit
+  (** Write a sweep's buffered verdicts back (faults must not be
+      among them) and add its lookup counters to the stats.  If the
+      slot was restamped since the handle was resolved, the verdicts
+      are dropped — they describe a dead generation — but the counters
+      still count. *)
 end
 
 val slot : t -> cc:string -> gen:int -> focus:string -> Slot.t
 (** The verdict table of constraint [cc] stamped (generation, focus).
     A stamp different from the stored one drops the constraint's
     previous verdicts first (latest-generation-wins: interactive
-    exploration revisits the current state, not past ones). *)
+    exploration revisits the current state, not past ones).  Call after
+    {!core_ids} so the returned view covers the whole pool. *)
 
 val find_survivors : t -> key:string -> (string * Ds_reuse.Core.t) list option
 (** The cached candidate list for a full session state signature. *)
 
 val store_survivors : t -> key:string -> (string * Ds_reuse.Core.t) list -> unit
+
+val find_summary : t -> key:string -> Evaluation.merit_summary option
+(** The cached merit summary for a (state signature, merit) key —
+    merits are immutable per core and the candidate set is a function
+    of the signature, so a revisited state's summary is served without
+    re-folding the surviving pool.  Bounded like the survivor table. *)
+
+val store_summary : t -> key:string -> Evaluation.merit_summary -> unit
+
+val find_signature : t -> key:string -> string option
+(** The cached candidate-signature digest for an observable-state key.
+    The digest hashes every surviving core id; the memo spares a
+    revisited state that whole-pool walk while returning exactly the
+    bytes the full computation produced (journal replay stays
+    bit-identical).  Bounded like the survivor table. *)
+
+val store_signature : t -> key:string -> string -> unit
 
 (** Cache effectiveness counters (reported by the bench baseline). *)
 type stats = {

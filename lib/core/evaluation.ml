@@ -4,8 +4,23 @@ type point = { label : string; x : float; y : float }
 
 let point ~label ~x ~y = { label; x; y }
 
+(* Per-element passes over the candidate list run chunked on the
+   {!Parallel} pool when the population is large enough; chunk results
+   concatenate in index order, so the output is the sequential one
+   regardless of the pool size. *)
+let chunked_filter_map f cores =
+  let arr = Array.of_list cores in
+  let n = Array.length arr in
+  Parallel.map_chunks ~n (fun lo hi ->
+      let acc = ref [] in
+      for i = hi - 1 downto lo do
+        match f arr.(i) with Some v -> acc := v :: !acc | None -> ()
+      done;
+      !acc)
+  |> List.concat
+
 let of_cores ~x ~y cores =
-  List.filter_map
+  chunked_filter_map
     (fun (_, core) ->
       match (Core.merit core x, Core.merit core y) with
       | Some vx, Some vy -> Some { label = core.Core.name; x = vx; y = vy }
@@ -52,7 +67,13 @@ let pareto_front points =
   in
   List.sort by_xy (nan_points @ List.rev (sweep None [] sorted))
 
-let dominated points = List.filter (fun p -> List.exists (fun q -> dominates q p) points) points
+(* Quadratic pairwise probe (diagnostic view, not the front itself);
+   each point's scan is independent, so the outer loop chunks over the
+   pool. *)
+let dominated points =
+  chunked_filter_map
+    (fun p -> if List.exists (fun q -> dominates q p) points then Some p else None)
+    points
 
 let range = function
   | [] -> None
@@ -66,18 +87,43 @@ type merit_summary = {
 }
 
 (* NaN propagates through Float.min/Float.max and would poison the whole
-   range; non-finite merits are counted out instead of folded in. *)
+   range; non-finite merits are counted out instead of folded in.  The
+   range folds directly over the cores (no intermediate value list —
+   this is the hot path behind the service's [ranges] op), in pool
+   chunks whose (lo, hi, counts) partial summaries combine
+   associatively. *)
 let merit_summary cores ~merit =
-  let values, skipped_non_finite, missing =
-    List.fold_left
-      (fun (values, skipped, missing) (_, core) ->
-        match Core.merit core merit with
-        | None -> (values, skipped, missing + 1)
-        | Some v when not (Float.is_finite v) -> (values, skipped + 1, missing)
-        | Some v -> (v :: values, skipped, missing))
-      ([], 0, 0) cores
+  let arr = Array.of_list cores in
+  let n = Array.length arr in
+  let partials =
+    Parallel.map_chunks ~n (fun lo hi ->
+        let rlo = ref infinity and rhi = ref neg_infinity in
+        let seen = ref false and skipped = ref 0 and missing = ref 0 in
+        for i = lo to hi - 1 do
+          match Core.merit (snd arr.(i)) merit with
+          | None -> incr missing
+          | Some v when not (Float.is_finite v) -> incr skipped
+          | Some v ->
+            seen := true;
+            if v < !rlo then rlo := v;
+            if v > !rhi then rhi := v
+        done;
+        (!rlo, !rhi, !seen, !skipped, !missing))
   in
-  { merit_range = range (List.rev values); skipped_non_finite; missing }
+  let merit_range, skipped_non_finite, missing =
+    List.fold_left
+      (fun (r, sk, mi) (clo, chi, cseen, csk, cmi) ->
+        let r =
+          if not cseen then r
+          else
+            match r with
+            | None -> Some (clo, chi)
+            | Some (lo, hi) -> Some (Float.min lo clo, Float.max hi chi)
+        in
+        (r, sk + csk, mi + cmi))
+      (None, 0, 0) partials
+  in
+  { merit_range; skipped_non_finite; missing }
 
 let merit_range cores ~merit = (merit_summary cores ~merit).merit_range
 

@@ -16,11 +16,14 @@ exception Out_of_fuel
 
 (* Stack of fuel counters: the innermost [run] owns the head.  Nested
    runs (a guarded closure calling back into guarded library code) each
-   burn their own budget. *)
-let fuel : int ref list ref = ref []
+   burn their own budget.  The stack is domain-local: parallel sweeps
+   ({!Parallel}) evaluate closures on worker domains concurrently, and
+   each domain's budgets must be its own. *)
+let fuel : int ref list Stdlib.Domain.DLS.key =
+  Stdlib.Domain.DLS.new_key (fun () -> [])
 
 let tick () =
-  match !fuel with
+  match Stdlib.Domain.DLS.get fuel with
   | [] -> ()
   | r :: _ ->
     decr r;
@@ -28,8 +31,14 @@ let tick () =
 
 let run ?(budget = default_budget) f =
   let r = ref budget in
-  fuel := r :: !fuel;
-  let pop () = match !fuel with _ :: rest -> fuel := rest | [] -> () in
+  Stdlib.Domain.DLS.set fuel (r :: Stdlib.Domain.DLS.get fuel);
+  (* pop by identity, not by position: robust even if systhreads of one
+     domain interleave their runs (worst case a budget goes unenforced
+     for a bit; never a spurious Out_of_fuel) *)
+  let pop () =
+    Stdlib.Domain.DLS.set fuel
+      (List.filter (fun x -> x != r) (Stdlib.Domain.DLS.get fuel))
+  in
   match f () with
   | v ->
     pop ();
@@ -79,14 +88,39 @@ let describe_diag d =
 
 type entry = { mutable status : status; mutable strikes : int }
 
+(* The registry is shared by a whole session lineage and, since the
+   service stopped serializing requests globally, by concurrent
+   requests on different domains: all mutation and every compound read
+   happen under [lock].  [next_seq] doubles as the published diagnostic
+   count; it is an atomic so the hot-path staleness probe
+   ({!diag_count}, one call per core in the candidate sweep) stays
+   lock-free. *)
 type registry = {
+  lock : Mutex.t;
   states : (string, entry) Hashtbl.t;
   mutable order : string list; (* first-fault order, newest first *)
   mutable trail : diag list; (* newest first *)
-  mutable next_seq : int;
+  next_seq : int Atomic.t;
 }
 
-let registry () = { states = Hashtbl.create 8; order = []; trail = []; next_seq = 0 }
+let registry () =
+  {
+    lock = Mutex.create ();
+    states = Hashtbl.create 8;
+    order = [];
+    trail = [];
+    next_seq = Atomic.make 0;
+  }
+
+let locked reg f =
+  Mutex.lock reg.lock;
+  match f () with
+  | v ->
+    Mutex.unlock reg.lock;
+    v
+  | exception e ->
+    Mutex.unlock reg.lock;
+    raise e
 
 let strikes_to_quarantine = 3
 
@@ -101,42 +135,47 @@ let entry_of reg cc =
 
 let push reg diag =
   reg.trail <- diag :: reg.trail;
-  reg.next_seq <- reg.next_seq + 1;
+  Atomic.incr reg.next_seq;
   diag
 
 let record reg ~cc ~op fault =
-  let e = entry_of reg cc in
-  let seq = reg.next_seq in
-  let quarantines =
-    match e.status with
-    | Quarantined _ -> false
-    | Healthy | Degraded -> (
-      e.strikes <- e.strikes + 1;
-      match fault with
-      | Budget_exhausted _ | Diverged _ -> true
-      | Raised _ | Non_finite _ -> e.strikes >= strikes_to_quarantine)
-  in
-  if quarantines then e.status <- Quarantined { reason = describe_fault fault; at_event = seq }
-  else if e.status = Healthy then e.status <- Degraded;
-  push reg { cc; op; fault; quarantines; seq }
+  locked reg (fun () ->
+      let e = entry_of reg cc in
+      let seq = Atomic.get reg.next_seq in
+      let quarantines =
+        match e.status with
+        | Quarantined _ -> false
+        | Healthy | Degraded -> (
+          e.strikes <- e.strikes + 1;
+          match fault with
+          | Budget_exhausted _ | Diverged _ -> true
+          | Raised _ | Non_finite _ -> e.strikes >= strikes_to_quarantine)
+      in
+      if quarantines then
+        e.status <- Quarantined { reason = describe_fault fault; at_event = seq }
+      else if e.status = Healthy then e.status <- Degraded;
+      push reg { cc; op; fault; quarantines; seq })
 
 let force_quarantine reg ~cc ~op fault =
-  let e = entry_of reg cc in
-  match e.status with
-  | Quarantined _ -> None
-  | Healthy | Degraded ->
-    let seq = reg.next_seq in
-    e.status <- Quarantined { reason = describe_fault fault; at_event = seq };
-    Some (push reg { cc; op; fault; quarantines = true; seq })
+  locked reg (fun () ->
+      let e = entry_of reg cc in
+      match e.status with
+      | Quarantined _ -> None
+      | Healthy | Degraded ->
+        let seq = Atomic.get reg.next_seq in
+        e.status <- Quarantined { reason = describe_fault fault; at_event = seq };
+        Some (push reg { cc; op; fault; quarantines = true; seq }))
 
 let status_of reg cc =
-  match Hashtbl.find_opt reg.states cc with Some e -> e.status | None -> Healthy
+  locked reg (fun () ->
+      match Hashtbl.find_opt reg.states cc with Some e -> e.status | None -> Healthy)
 
 let quarantined reg cc =
   match status_of reg cc with Quarantined _ -> true | Healthy | Degraded -> false
 
-let diags reg = List.rev reg.trail
-let diag_count reg = reg.next_seq
+let diags reg = locked reg (fun () -> List.rev reg.trail)
+let diag_count reg = Atomic.get reg.next_seq
 
 let faulty reg =
-  List.rev_map (fun cc -> (cc, (Hashtbl.find reg.states cc).status)) reg.order
+  locked reg (fun () ->
+      List.rev_map (fun cc -> (cc, (Hashtbl.find reg.states cc).status)) reg.order)

@@ -1,0 +1,147 @@
+(* The runtime's domain module is [Stdlib.Domain] throughout: this
+   library defines a [Domain] module of its own (the value domains of
+   properties). *)
+
+type task = unit -> unit
+
+type pool = {
+  lock : Mutex.t;
+  work : Condition.t;
+  queue : task Queue.t;
+  mutable want : int; (* target worker count = domain_count - 1 *)
+  mutable live : int; (* workers currently running *)
+  mutable handles : unit Stdlib.Domain.t list;
+}
+
+let clamp_domains n = Stdlib.max 1 (Stdlib.min 64 n)
+
+let initial_domains () =
+  let default = Stdlib.min 8 (Stdlib.Domain.recommended_domain_count ()) in
+  match Option.bind (Sys.getenv_opt "DSE_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 -> clamp_domains n
+  | Some _ | None -> clamp_domains default
+
+let pool =
+  {
+    lock = Mutex.create ();
+    work = Condition.create ();
+    queue = Queue.create ();
+    want = initial_domains () - 1;
+    live = 0;
+    handles = [];
+  }
+
+let threshold = Atomic.make 512
+
+let chunk_threshold () = Atomic.get threshold
+let set_chunk_threshold n = Atomic.set threshold (Stdlib.max 1 n)
+
+let domain_count () =
+  Mutex.lock pool.lock;
+  let n = pool.want + 1 in
+  Mutex.unlock pool.lock;
+  n
+
+let set_domain_count n =
+  Mutex.lock pool.lock;
+  pool.want <- clamp_domains n - 1;
+  (* surplus workers notice [live > want] and exit; missing ones are
+     spawned by the next parallel sweep *)
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.lock
+
+let use_pool n = n >= Atomic.get threshold && domain_count () > 1
+
+(* A worker loops on the queue until the pool shrinks below it.  Tasks
+   own their error handling (map_chunks wraps every chunk); the catch
+   here only shields the loop from a task violating that. *)
+let rec worker () =
+  Mutex.lock pool.lock;
+  let rec next () =
+    if pool.live > pool.want then begin
+      pool.live <- pool.live - 1;
+      Mutex.unlock pool.lock;
+      None
+    end
+    else if Queue.is_empty pool.queue then begin
+      Condition.wait pool.work pool.lock;
+      next ()
+    end
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.lock;
+      Some task
+    end
+  in
+  match next () with
+  | None -> ()
+  | Some task ->
+    (try task () with _ -> ());
+    worker ()
+
+(* Call with [pool.lock] held. *)
+let ensure_workers () =
+  while pool.live < pool.want do
+    pool.live <- pool.live + 1;
+    pool.handles <- Stdlib.Domain.spawn worker :: pool.handles
+  done
+
+(* Idle workers park in [Condition.wait]; a process exiting while
+   domains block there can hang the runtime's shutdown, so retire the
+   pool explicitly. *)
+let () =
+  at_exit (fun () ->
+      Mutex.lock pool.lock;
+      pool.want <- 0;
+      let handles = pool.handles in
+      pool.handles <- [];
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.lock;
+      List.iter (fun d -> try Stdlib.Domain.join d with _ -> ()) handles)
+
+let map_chunks ~n f =
+  if n <= 0 then []
+  else begin
+    let d = domain_count () in
+    (* chunks of at least 64 items: finer grains cost more in fork
+       bookkeeping than the closure work they carry *)
+    let nchunks = Stdlib.min d (Stdlib.max 1 (n / 64)) in
+    if d <= 1 || n < Atomic.get threshold || nchunks <= 1 then [ f 0 n ]
+    else begin
+      let bounds c = (c * n / nchunks, (c + 1) * n / nchunks) in
+      let results = Array.make nchunks None in
+      let pending = ref (nchunks - 1) in
+      let jlock = Mutex.create () in
+      let jdone = Condition.create () in
+      Mutex.lock pool.lock;
+      ensure_workers ();
+      for c = 1 to nchunks - 1 do
+        let lo, hi = bounds c in
+        Queue.push
+          (fun () ->
+            let r = try Ok (f lo hi) with e -> Error e in
+            Mutex.lock jlock;
+            results.(c) <- Some r;
+            decr pending;
+            if !pending = 0 then Condition.broadcast jdone;
+            Mutex.unlock jlock)
+          pool.queue
+      done;
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.lock;
+      (* the caller is a compute context too: chunk 0 runs here while
+         the pool works the tail *)
+      let r0 = try Ok (f 0 (n / nchunks)) with e -> Error e in
+      Mutex.lock jlock;
+      while !pending > 0 do
+        Condition.wait jdone jlock
+      done;
+      Mutex.unlock jlock;
+      results.(0) <- Some r0;
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+    end
+  end

@@ -1,0 +1,55 @@
+(** A fixed pool of worker domains for chunked fork-join sweeps.
+
+    The hot loops of the layer — the Eliminate verdict sweep behind
+    {!Session.candidates} and the {!Evaluation} merit passes — are
+    embarrassingly parallel over the core table.  This module gives them
+    one shared pool of OCaml 5 domains (no external dependency): a sweep
+    splits its index range into chunks, the pool computes the tail
+    chunks while the caller computes chunk 0, and the per-chunk results
+    come back in index order, so concatenating them preserves the
+    sequential result exactly.
+
+    Sizing: the pool holds [domain_count () - 1] workers (the caller is
+    the remaining compute context).  The default is
+    [min 8 (Stdlib.Domain.recommended_domain_count ())] — on a
+    single-core host that is 1 and every sweep runs sequentially with no
+    pool interaction at all.  The [DSE_DOMAINS] environment variable
+    overrides the default at startup; {!set_domain_count} overrides it
+    at runtime (the differential test suite pins it to force or forbid
+    the pool).  Workers are spawned lazily on first use and joined at
+    process exit.
+
+    Inputs below {!chunk_threshold} elements stay sequential: a fork
+    costs two condition-variable round trips per chunk, which only pays
+    for itself on sweeps that run closures over thousands of cores.
+
+    Do not call {!map_chunks} from inside a chunk function: tasks never
+    nest (a worker waiting on sub-chunks could deadlock the pool).  The
+    layer's sweeps are leaf computations, so this never arises in
+    ds_layer itself. *)
+
+val domain_count : unit -> int
+(** Compute contexts a sweep may use, caller included (>= 1). *)
+
+val set_domain_count : int -> unit
+(** Resize the pool (clamped to [1, 64]).  [1] disables the pool:
+    every subsequent sweep runs sequentially on the caller.  Surplus
+    workers exit; missing ones spawn on the next parallel sweep. *)
+
+val chunk_threshold : unit -> int
+
+val set_chunk_threshold : int -> unit
+(** Minimum input size before a sweep is split (default 512, minimum 1).
+    Tests lower it to drive the parallel path on small fixtures. *)
+
+val use_pool : int -> bool
+(** Whether a sweep over [n] items would be split across the pool
+    ([domain_count () > 1] and [n >= chunk_threshold ()]).  Callers
+    that keep a dedicated sequential code path branch on this. *)
+
+val map_chunks : n:int -> (int -> int -> 'a) -> 'a list
+(** [map_chunks ~n f] partitions [0, n) into contiguous chunks and
+    returns [f lo hi] per chunk, in index order.  Sequential inputs
+    (below the threshold, or a pool of 1) yield the single chunk
+    [[f 0 n]] — same code path, no pool traffic.  An exception escaping
+    any chunk is re-raised in the caller after all chunks finish. *)

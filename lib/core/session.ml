@@ -77,6 +77,23 @@ let create ~hierarchy ?(constraints = []) ?(use_cache = true) ~cores () =
     gens = [];
   }
 
+(* A fresh session over an already-built layer: shares the immutable
+   structure (hierarchy, constraints, candidate index) but none of the
+   mutable lineage state (guard registry, verdict cache, trail,
+   bindings, generations).  Observably identical to [create] over the
+   same inputs, minus the index build — what makes caching parsed
+   layers across service sessions safe. *)
+let pristine t =
+  {
+    t with
+    focus = [ (Hierarchy.root t.hierarchy).Cdo.name ];
+    bindings = [];
+    trail = Trail.empty ();
+    guard = Guard.registry ();
+    cache = Compliance.create ();
+    gens = [];
+  }
+
 let hierarchy t = t.hierarchy
 let focus t = t.focus
 
@@ -130,6 +147,38 @@ let cc_mentions cc name =
   let refs_name = List.exists (fun p -> String.equal p.Propref.property name) in
   refs_name cc.Consistency.indep || refs_name cc.Consistency.dep
 
+let value_signature = function
+  (* kind-tagged so e.g. [Str "8."] and [Real 8.] cannot collide *)
+  | Value.Str s -> "s" ^ s
+  | Value.Int i -> "i" ^ string_of_int i
+  | Value.Real f -> "r" ^ string_of_float f
+  | Value.Flag b -> if b then "f1" else "f0"
+
+(* The state key a constraint's generation is memoized on: its name
+   plus the current value (or absence) of every property it mentions.
+   Generations exist to invalidate memoized verdicts when a relevant
+   binding changes; keying them on the relevant values themselves means
+   re-entering a previously-visited state (undo/redo, A/B comparison
+   loops) reuses the generation minted there instead of minting a fresh
+   one — so the state signature recurs and the survivor cache serves
+   the revisit without a sweep.  Distinct value states still get
+   distinct generations (the key embeds the values), which preserves
+   the invariant that one generation = one assessment context. *)
+let cc_state_key t cc =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf cc.Consistency.name;
+  let add p =
+    Buffer.add_char buf '|';
+    Buffer.add_string buf p.Propref.property;
+    Buffer.add_char buf '=';
+    match binding t p.Propref.property with
+    | Some b -> Buffer.add_string buf (value_signature b.value)
+    | None -> Buffer.add_char buf '?'
+  in
+  List.iter add cc.Consistency.indep;
+  List.iter add cc.Consistency.dep;
+  Buffer.contents buf
+
 let bump_generations t name =
   if not t.use_cache then t
   else begin
@@ -137,7 +186,7 @@ let bump_generations t name =
       List.fold_left
         (fun gens cc ->
           if cc_mentions cc name then
-            (cc.Consistency.name, Compliance.fresh_generation t.cache)
+            (cc.Consistency.name, Compliance.generation_for t.cache ~key:(cc_state_key t cc))
             :: List.remove_assoc cc.Consistency.name gens
           else gens)
         t.gens t.constraints
@@ -313,13 +362,6 @@ let candidates_naive t =
 
 let focus_key t = String.concat "." t.focus
 
-let value_signature = function
-  (* kind-tagged so e.g. [Str "8."] and [Real 8.] cannot collide *)
-  | Value.Str s -> "s" ^ s
-  | Value.Int i -> "i" ^ string_of_int i
-  | Value.Real f -> "r" ^ string_of_float f
-  | Value.Flag b -> if b then "f1" else "f0"
-
 (* Everything the candidate set depends on: the focus, the design-issue
    bindings (compliance filter), and per elimination constraint its
    verdict generation (covers binding changes to declared properties)
@@ -349,63 +391,114 @@ let state_signature t =
     t.constraints;
   Buffer.contents buf
 
-(* As [candidates_naive], with each (constraint, core) verdict memoized
-   under the constraint's current generation.  Readiness is hoisted (it
-   depends only on bindings and focus, both fixed within a query).
-   Quarantine flags are snapshot per query and refreshed whenever the
-   guard registry records anything new — quarantine can only change
-   when a fault is recorded, so one integer compare per core replaces a
-   registry probe per (constraint, core) while a constraint quarantined
-   by a cache miss mid-query still stops evaluating immediately, exactly
-   as on the naive path.  A quarantined constraint's memoized verdicts
-   are skipped, never served.  Faulted evaluations are never stored. *)
-let candidates_memo t =
-  let fkey = focus_key t in
-  let environment = env t in
-  let bound = bound_fn t in
-  let elims =
-    List.filter_map
-      (fun cc ->
-        match cc.Consistency.relation with
-        | Consistency.Eliminate { inferior } when Consistency.ready cc ~bound ->
-          let slot =
-            Compliance.slot t.cache ~cc:cc.Consistency.name
-              ~gen:(generation_of t cc.Consistency.name)
-              ~focus:fkey
-          in
-          Some (cc, slot, inferior, ref (quarantined_cc t cc))
-        | Consistency.Eliminate _ | Consistency.Inconsistent _ | Consistency.Derive _
-        | Consistency.Estimator_context _ ->
-          None)
-      t.constraints
-  in
+(* One resolved elimination constraint of a sweep: its verdict view
+   (see {!Compliance.Slot}), its closure, and its quarantine flag as of
+   the last refresh. *)
+type elim = {
+  e_cc : Consistency.t;
+  e_slot : Compliance.Slot.t;
+  e_view : Bytes.t;
+  e_inferior : Consistency.env -> Core.t -> bool;
+  mutable e_quarantined : bool;
+}
+
+exception Sweep_fault
+
+(* The memoized sweep: chunked over the {!Parallel} pool when the pool
+   is worth it, sequential otherwise — the same code either way, so the
+   single-domain result is by construction what the chunked one
+   concatenates to.
+
+   The optimistic chunk evaluates misses without recording faults: a
+   fault aborts the whole sweep (all chunks' private verdicts are
+   discarded, nothing was stored) and the query re-runs on
+   [sweep_recording], the pre-parallel path that records faults,
+   strikes and quarantines in exact sequential encounter order.  This
+   keeps fault semantics bit-identical to the sequential path: faulted
+   evaluations were never cached, successful verdicts are
+   deterministic, so re-running them is free of side effects. *)
+let sweep_optimistic environment ids arr elims lo hi =
+  let keep = Array.make (hi - lo) true in
+  let stores = Array.make (Array.length elims) [] in
+  let hits = ref 0 and misses = ref 0 in
+  let faulted = ref false in
+  (try
+     for i = lo to hi - 1 do
+       let id = ids.(i) and core = snd arr.(i) in
+       let eliminated = ref false in
+       let j = ref 0 in
+       let n_elims = Array.length elims in
+       while (not !eliminated) && !j < n_elims do
+         let e = elims.(!j) in
+         (if not e.e_quarantined then
+            match Compliance.Slot.peek e.e_view ~id with
+            | Some verdict ->
+              incr hits;
+              if verdict then eliminated := true
+            | None -> (
+              incr misses;
+              match Guard.run (fun () -> e.e_inferior environment core) with
+              | Ok verdict ->
+                stores.(!j) <- (id, verdict) :: stores.(!j);
+                if verdict then eliminated := true
+              | Error _ -> raise_notrace Sweep_fault));
+         incr j
+       done;
+       keep.(i - lo) <- not !eliminated
+     done
+   with Sweep_fault -> faulted := true);
+  (lo, keep, stores, !hits, !misses, !faulted)
+
+(* The recording sweep (also the fault-fallback path of the optimistic
+   one).  Readiness is hoisted (it depends only on bindings and focus,
+   both fixed within a query).  Quarantine flags are snapshot per query
+   and refreshed whenever the guard registry records anything new —
+   quarantine can only change when a fault is recorded, so one integer
+   compare per core replaces a registry probe per (constraint, core)
+   while a constraint quarantined by a cache miss mid-query still stops
+   evaluating immediately, exactly as on the naive path.  A quarantined
+   constraint's memoized verdicts are skipped, never served.  Faulted
+   evaluations are never stored. *)
+let sweep_recording t environment ids arr elims =
+  let n = Array.length arr in
+  let keep = Array.make (Stdlib.max 1 n) true in
+  let stores = Array.make (Array.length elims) [] in
+  let hits = ref 0 and misses = ref 0 in
+  Array.iter (fun e -> e.e_quarantined <- quarantined_cc t e.e_cc) elims;
   let diag_mark = ref (Guard.diag_count t.guard) in
   let refresh_quarantine () =
     let now = Guard.diag_count t.guard in
     if now <> !diag_mark then begin
       diag_mark := now;
-      List.iter (fun (cc, _, _, q) -> q := quarantined_cc t cc) elims
+      Array.iter (fun e -> e.e_quarantined <- quarantined_cc t e.e_cc) elims
     end
   in
-  let eliminated (qid, core) =
+  for i = 0 to n - 1 do
     refresh_quarantine ();
-    let id = Compliance.core_id t.cache qid in
-    List.exists
-      (fun (cc, slot, inferior, quarantined) ->
-        (not !quarantined)
-        &&
-        match Compliance.Slot.find slot ~id with
-        | Some verdict -> verdict
-        | None -> (
-          match Guard.run (fun () -> inferior environment core) with
-          | Ok verdict ->
-            Compliance.Slot.store slot ~id verdict;
-            verdict
-          | Error fault ->
-            record_fault t cc ~op:"eliminate" fault;
-            false))
+    let id = ids.(i) and core = snd arr.(i) in
+    let eliminated = ref false in
+    Array.iteri
+      (fun j e ->
+        if (not !eliminated) && not e.e_quarantined then
+          match Compliance.Slot.peek e.e_view ~id with
+          | Some verdict ->
+            incr hits;
+            if verdict then eliminated := true
+          | None -> (
+            incr misses;
+            match Guard.run (fun () -> e.e_inferior environment core) with
+            | Ok verdict ->
+              stores.(j) <- (id, verdict) :: stores.(j);
+              if verdict then eliminated := true
+            | Error fault -> record_fault t e.e_cc ~op:"eliminate" fault))
       elims
-  in
+  done;
+  (keep, stores, !hits, !misses)
+
+let candidates_memo t =
+  let fkey = focus_key t in
+  let environment = env t in
+  let bound = bound_fn t in
   let pool = Index.under t.index t.focus in
   let pool =
     (* every binding is checked by [issue_filter], but an all-requirement
@@ -414,7 +507,79 @@ let candidates_memo t =
       List.filter (issue_filter t) pool
     else pool
   in
-  List.filter (fun entry -> not (eliminated entry)) pool
+  let elim_ccs =
+    List.filter_map
+      (fun cc ->
+        match cc.Consistency.relation with
+        | Consistency.Eliminate { inferior } when Consistency.ready cc ~bound ->
+          Some (cc, inferior)
+        | Consistency.Eliminate _ | Consistency.Inconsistent _ | Consistency.Derive _
+        | Consistency.Estimator_context _ ->
+          None)
+      t.constraints
+  in
+  if elim_ccs = [] then pool
+  else begin
+    let arr = Array.of_list pool in
+    let n = Array.length arr in
+    let ids = Compliance.core_ids t.cache (Array.map fst arr) in
+    let elims =
+      Array.of_list
+        (List.map
+           (fun (cc, inferior) ->
+             let slot =
+               Compliance.slot t.cache ~cc:cc.Consistency.name
+                 ~gen:(generation_of t cc.Consistency.name)
+                 ~focus:fkey
+             in
+             {
+               e_cc = cc;
+               e_slot = slot;
+               e_view = Compliance.Slot.view slot;
+               e_inferior = inferior;
+               e_quarantined = quarantined_cc t cc;
+             })
+           elim_ccs)
+    in
+    (* counters ride the first constraint's merge only, so a sweep's
+       lookups are counted once, not per constraint *)
+    let merge_stores stores ~hits ~misses =
+      Array.iteri
+        (fun j writes ->
+          Compliance.Slot.merge elims.(j).e_slot writes
+            ~hits:(if j = 0 then hits else 0)
+            ~misses:(if j = 0 then misses else 0))
+        stores
+    in
+    let chunks = Parallel.map_chunks ~n (sweep_optimistic environment ids arr elims) in
+    if List.exists (fun (_, _, _, _, _, faulted) -> faulted) chunks then begin
+      (* a closure faulted: discard every chunk's private verdicts and
+         counters and replay sequentially, recording faults in exact
+         sequential encounter order — bit-identical to the pre-parallel
+         path (successful verdicts are deterministic and were never
+         published, so re-evaluating them has no side effects) *)
+      let keep, stores, hits, misses = sweep_recording t environment ids arr elims in
+      merge_stores stores ~hits ~misses;
+      let acc = ref [] in
+      for k = n - 1 downto 0 do
+        if keep.(k) then acc := arr.(k) :: !acc
+      done;
+      !acc
+    end
+    else begin
+      List.iter
+        (fun (_, _, stores, hits, misses, _) -> merge_stores stores ~hits ~misses)
+        chunks;
+      List.concat_map
+        (fun (lo, keep, _, _, _, _) ->
+          let acc = ref [] in
+          for k = Array.length keep - 1 downto 0 do
+            if keep.(k) then acc := arr.(lo + k) :: !acc
+          done;
+          !acc)
+        chunks
+    end
+  end
 
 let candidates t =
   if not t.use_cache then candidates_naive t
@@ -435,8 +600,22 @@ let cache_stats t = Compliance.stats t.cache
 let population t = Index.all t.index
 
 let candidate_count t = List.length (candidates t)
-let merit_range t ~merit = Evaluation.merit_range (candidates t) ~merit
-let merit_summary t ~merit = Evaluation.merit_summary (candidates t) ~merit
+
+(* Memoized like the survivor list itself (and on the same key): a
+   revisited state serves its ranges without re-folding the pool. *)
+let merit_summary t ~merit =
+  if not t.use_cache then Evaluation.merit_summary (candidates t) ~merit
+  else begin
+    let key = state_signature t ^ "#" ^ merit in
+    match Compliance.find_summary t.cache ~key with
+    | Some summary -> summary
+    | None ->
+      let summary = Evaluation.merit_summary (candidates t) ~merit in
+      Compliance.store_summary t.cache ~key summary;
+      summary
+  end
+
+let merit_range t ~merit = (merit_summary t ~merit).Evaluation.merit_range
 
 let eligible t name =
   List.for_all (fun cc -> Consistency.ready cc ~bound:(bound_fn t)) (governing t name)
@@ -648,12 +827,29 @@ let candidate_signature t =
   |> List.iter (fun entry ->
          Buffer.add_char buf '|';
          Buffer.add_string buf entry);
-  List.iter
-    (fun (qid, _) ->
-      Buffer.add_char buf '#';
-      Buffer.add_string buf qid)
-    (candidates t);
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+  let prefix = Buffer.contents buf in
+  let compute () =
+    List.iter
+      (fun (qid, _) ->
+        Buffer.add_char buf '#';
+        Buffer.add_string buf qid)
+      (candidates t);
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  if not t.use_cache then compute ()
+  else begin
+    (* The candidate list is a function of the state signature (that is
+       the survivor cache's contract), so (observable prefix, state
+       signature) determines the digest; a memo hit returns exactly the
+       bytes the full walk over the pool would have produced. *)
+    let key = prefix ^ "\x01" ^ state_signature t in
+    match Compliance.find_signature t.cache ~key with
+    | Some digest -> digest
+    | None ->
+      let digest = compute () in
+      Compliance.store_signature t.cache ~key digest;
+      digest
+  end
 
 let script t =
   (* Walk the event log: set events append; a retraction removes the

@@ -78,6 +78,16 @@ val create :
     recomputes everything from scratch on every query — the reference
     path the equivalence suite checks the cache against. *)
 
+val pristine : t -> t
+(** A fresh session over an existing session's layer: shares the
+    immutable structure (hierarchy, constraints and the built candidate
+    index — the expensive part of {!create}) and nothing else.  Focus
+    returns to the root; bindings, trail, guard registry, compliance
+    cache and generations start empty, so the result is observably
+    identical to a new {!create} over the same inputs.  The exploration
+    service uses this to hand each session a private lineage from one
+    cached parsed layer. *)
+
 val hierarchy : t -> Hierarchy.t
 val focus : t -> string list
 val focus_cdo : t -> Cdo.t

@@ -34,32 +34,44 @@ let blocks_per_second ~structure ~mults_1d ~parallelism ~clock_ns =
 let mac_clock_ns process = Ds_tech.Process.gate_delay_ns process ~levels:14.0
 
 (* The fixed-point measurements are the expensive part; memoise per
-   fraction width. *)
+   fraction width.  Closures of this layer run on parallel sweep
+   domains, so the memo tables are guarded by one lock; the computations
+   are deterministic, so holding it across a fill (rare: a handful of
+   widths ever occur) just makes racing fills wait instead of both
+   measuring. *)
+let cache_lock = Mutex.create ()
 let precision_cache : (int, int) Hashtbl.t = Hashtbl.create 8
 
-let precision_bits ~frac_bits =
-  match Hashtbl.find_opt precision_cache frac_bits with
-  | Some v -> v
-  | None ->
-    let v = Ds_media.Idct_fixed.achieved_precision_bits ~frac_bits in
-    Hashtbl.add precision_cache frac_bits v;
+let memoised cache key compute =
+  Mutex.lock cache_lock;
+  match
+    match Hashtbl.find_opt cache key with
+    | Some v -> v
+    | None ->
+      let v = compute () in
+      Hashtbl.add cache key v;
+      v
+  with
+  | v ->
+    Mutex.unlock cache_lock;
     v
+  | exception e ->
+    Mutex.unlock cache_lock;
+    raise e
+
+let precision_bits ~frac_bits =
+  memoised precision_cache frac_bits (fun () ->
+      Ds_media.Idct_fixed.achieved_precision_bits ~frac_bits)
 
 let conformance_cache : (int, bool) Hashtbl.t = Hashtbl.create 8
 
 (* IEEE 1180-style compliance of the row-column fixed-point datapath at
    this width (200-block series per range; deterministic). *)
 let ieee1180_compliant ~frac_bits =
-  match Hashtbl.find_opt conformance_cache frac_bits with
-  | Some v -> v
-  | None ->
-    let v =
+  memoised conformance_cache frac_bits (fun () ->
       (Ds_media.Conformance.test ~trials:200
          (Ds_media.Conformance.fixed_point_idct ~frac_bits))
-        .Ds_media.Conformance.compliant
-    in
-    Hashtbl.add conformance_cache frac_bits v;
-    v
+        .Ds_media.Conformance.compliant)
 
 (* ---------------------------------------------------------------- *)
 (* Core generation                                                    *)

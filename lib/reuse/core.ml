@@ -16,21 +16,40 @@ let kind_of_name n = List.find_opt (fun k -> String.equal (kind_name k) n) all_k
    binary search over a handful of ints, instead of walking an assoc
    list of string comparisons per core per query. *)
 module Key = struct
-  let table : (string, int) Hashtbl.t = Hashtbl.create 256
+  (* Copy-on-write snapshot: lookups (the hot path — one per property
+     probe) read the published table without locking; interning a new
+     key (rare after warm-up: the vocabulary is small and fixed per
+     layer) copies, extends and republishes under the lock.  A stale
+     reader at worst misses a key another domain is interning right now
+     and takes the slow path, where the re-check under the lock settles
+     the id. *)
+  let published : (string, int) Hashtbl.t Atomic.t = Atomic.make (Hashtbl.create 256)
+  let lock = Mutex.create ()
   let next = ref 0
 
   let intern key =
-    match Hashtbl.find_opt table key with
+    match Hashtbl.find_opt (Atomic.get published) key with
     | Some id -> id
     | None ->
-      let id = !next in
-      incr next;
-      Hashtbl.add table key id;
+      Mutex.lock lock;
+      let snapshot = Atomic.get published in
+      let id =
+        match Hashtbl.find_opt snapshot key with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          let next_table = Hashtbl.copy snapshot in
+          Hashtbl.add next_table key id;
+          Atomic.set published next_table;
+          id
+      in
+      Mutex.unlock lock;
       id
 
   (* Read-only probe: a key never interned by any core cannot be present
      in any lookup table, so unknown queries stay out of the table. *)
-  let find = Hashtbl.find_opt table
+  let find key = Hashtbl.find_opt (Atomic.get published) key
 end
 
 module Lookup = struct

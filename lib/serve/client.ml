@@ -15,16 +15,32 @@ let connect ~socket =
   | exception Unix.Unix_error (err, _, _) ->
     Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err))
 
-let connect_retry ?(attempts = 50) ?(delay_s = 0.1) ~socket () =
-  let rec go n =
-    match connect ~socket with
-    | Ok _ as ok -> ok
-    | Error _ when n > 1 ->
-      Thread.delay delay_s;
-      go (n - 1)
-    | Error _ as e -> e
+(* Deterministic jitter: the fractional part of (i+1) * the golden
+   ratio is a low-discrepancy sequence in [0, 1) — successive attempts
+   get well-spread factors without any random state, so the schedule is
+   reproducible (unit-testable) yet two clients started together do not
+   re-collide on every attempt the way a bare exponential would. *)
+let jitter i =
+  let x = float_of_int (i + 1) *. 0.6180339887498949 in
+  x -. floor x
+
+let backoff_schedule ?(base = 0.02) ?(cap = 0.5) ~attempts () =
+  List.init (Stdlib.max 0 attempts) (fun i ->
+      let d = base *. (2.0 ** float_of_int i) *. (0.75 +. (0.5 *. jitter i)) in
+      Float.min cap d)
+
+let connect_retry ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ~socket () =
+  let rec go = function
+    | [] -> connect ~socket
+    | delay :: rest -> (
+      match connect ~socket with
+      | Ok _ as ok -> ok
+      | Error _ ->
+        Thread.delay delay;
+        go rest)
   in
-  go (Stdlib.max 1 attempts)
+  (* the schedule has attempts-1 gaps: no sleep after the last probe *)
+  go (backoff_schedule ~base ~cap ~attempts:(Stdlib.max 1 attempts - 1) ())
 
 let request_line t line =
   try

@@ -10,9 +10,20 @@ type t
 
 val connect : socket:string -> (t, string) result
 
-val connect_retry : ?attempts:int -> ?delay_s:float -> socket:string -> unit -> (t, string) result
-(** Retry {!connect} while the server is still starting ([attempts]
-    (default 50) probes [delay_s] (default 0.1) apart). *)
+val backoff_schedule : ?base:float -> ?cap:float -> attempts:int -> unit -> float list
+(** The retry delays {!connect_retry} sleeps between probes: a jittered
+    exponential — [base * 2^i] (default base 20ms) scaled by a
+    deterministic per-attempt factor in [0.75, 1.25), capped at [cap]
+    (default 0.5s).  Deterministic, so the schedule is unit-testable;
+    the jitter keeps clients started together from re-colliding on
+    every probe. *)
+
+val connect_retry :
+  ?attempts:int -> ?base:float -> ?cap:float -> socket:string -> unit -> (t, string) result
+(** Retry {!connect} while the server is still starting: up to
+    [attempts] (default 50) probes separated by {!backoff_schedule}
+    delays.  Worst-case total wait with the defaults is ~23s (the
+    schedule caps at 0.5s per gap). *)
 
 val request : t -> Protocol.request -> (Protocol.response, string) result
 (** Send one request, block for its reply.  Errors are transport-level

@@ -2,7 +2,41 @@ type header = { session : string; layer : string; eol : int }
 
 type entry = { req : Jsonx.t; signature : string }
 
-type t = { fd : Unix.file_descr; oc : out_channel; sync : bool }
+(* Appends are serialized by [lock]; in sync mode the fsync itself is
+   group-committed: an appender needing durability calls [sync_to] with
+   its entry's sequence number, and whichever caller finds no fsync in
+   flight becomes the leader, fsyncing once for every entry appended so
+   far — concurrent mutations ride one disk flush instead of queueing
+   one each.  The lock is never held across the fsync, so appends keep
+   flowing while the disk works. *)
+type t = {
+  fd : Unix.file_descr;
+  oc : out_channel;
+  sync : bool;
+  lock : Mutex.t;
+  synced_cond : Condition.t;
+  mutable seq : int; (* entries appended (and flushed to the kernel) *)
+  mutable synced : int; (* entries covered by a completed fsync *)
+  mutable syncing : bool; (* a leader's fsync is in flight *)
+  mutable syncs : int;
+  mutable batched : int; (* sync_to calls satisfied by another's fsync *)
+  mutable closed : bool;
+}
+
+let make_t ~fd ~sync =
+  {
+    fd;
+    oc = Unix.out_channel_of_descr fd;
+    sync;
+    lock = Mutex.create ();
+    synced_cond = Condition.create ();
+    seq = 0;
+    synced = 0;
+    syncing = false;
+    syncs = 0;
+    batched = 0;
+    closed = false;
+  }
 
 let path ~dir ~id = Filename.concat dir (id ^ ".journal")
 let exists ~dir ~id = Sys.file_exists (path ~dir ~id)
@@ -41,12 +75,20 @@ let guard_io f =
     Error (Printf.sprintf "journal: %s: %s" arg (Unix.error_message err))
   | Sys_error msg -> Error ("journal: " ^ msg)
 
+(* Write + flush to the kernel, under the journal lock.  Durability
+   (fsync) is [sync_to]'s job, taken outside any session lock. *)
 let write_line t line =
-  guard_io (fun () ->
-      output_string t.oc line;
-      output_char t.oc '\n';
-      flush t.oc;
-      if t.sync then Unix.fsync t.fd)
+  Mutex.lock t.lock;
+  let r =
+    guard_io (fun () ->
+        output_string t.oc line;
+        output_char t.oc '\n';
+        flush t.oc;
+        t.seq <- t.seq + 1;
+        t.seq)
+  in
+  Mutex.unlock t.lock;
+  r
 
 let create ?(sync = false) ~dir header =
   match
@@ -58,9 +100,18 @@ let create ?(sync = false) ~dir header =
   with
   | Error _ as e -> e
   | Ok fd -> (
-    let t = { fd; oc = Unix.out_channel_of_descr fd; sync } in
+    let t = make_t ~fd ~sync in
     match write_line t (Jsonx.to_string (header_json header)) with
-    | Ok () -> Ok t
+    | Ok _ -> (
+      if not sync then Ok t
+      else
+        match guard_io (fun () -> Unix.fsync fd) with
+        | Ok () ->
+          t.synced <- t.seq;
+          Ok t
+        | Error _ as e ->
+          close_out_noerr t.oc;
+          e)
     | Error _ as e ->
       close_out_noerr t.oc;
       e)
@@ -69,7 +120,68 @@ let append t ~req ~signature =
   write_line t
     (Jsonx.to_string (Jsonx.Obj [ ("req", req); ("sig", Jsonx.Str signature) ]))
 
-let close t = close_out_noerr t.oc
+let rec sync_to t seq =
+  if not t.sync then Ok ()
+  else begin
+    Mutex.lock t.lock;
+    if t.synced >= seq then begin
+      (* a leader's fsync already covered this entry *)
+      t.batched <- t.batched + 1;
+      Mutex.unlock t.lock;
+      Ok ()
+    end
+    else if t.syncing then begin
+      (* an fsync is in flight; it may not cover this entry (it could
+         have started before our append) — wait and re-check *)
+      Condition.wait t.synced_cond t.lock;
+      Mutex.unlock t.lock;
+      sync_to t seq
+    end
+    else begin
+      (* become the leader: fsync once for everything appended so far *)
+      t.syncing <- true;
+      let target = t.seq in
+      Mutex.unlock t.lock;
+      let r = guard_io (fun () -> Unix.fsync t.fd) in
+      Mutex.lock t.lock;
+      t.syncing <- false;
+      (match r with
+      | Ok () ->
+        t.synced <- Stdlib.max t.synced target;
+        t.syncs <- t.syncs + 1
+      | Error _ -> ());
+      Condition.broadcast t.synced_cond;
+      Mutex.unlock t.lock;
+      match r with
+      | Error _ as e -> e
+      | Ok () -> if target >= seq then Ok () else sync_to t seq
+    end
+  end
+
+type sync_stats = { syncs : int; batched : int }
+
+let sync_stats t =
+  Mutex.lock t.lock;
+  let s = { syncs = t.syncs; batched = t.batched } in
+  Mutex.unlock t.lock;
+  s
+
+(* Close fsyncs first (in sync mode), so a [sync_to] racing the close
+   — the store evicting a session between a mutation's reply path
+   releasing the slot lock and its durability step — finds its entries
+   already covered instead of erroring on a dead descriptor. *)
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    (try flush t.oc with _ -> ());
+    if t.sync then (try Unix.fsync t.fd with _ -> ());
+    t.closed <- true;
+    t.synced <- t.seq;
+    Condition.broadcast t.synced_cond;
+    Mutex.unlock t.lock;
+    close_out_noerr t.oc
+  end
+  else Mutex.unlock t.lock
 
 let open_append ?(sync = false) ~dir ~id () =
   if not (exists ~dir ~id) then Error (Printf.sprintf "journal: no journal for %S" id)
@@ -92,7 +204,7 @@ let open_append ?(sync = false) ~dir ~id () =
           fd)
     with
     | Error _ as e -> e
-    | Ok fd -> Ok { fd; oc = Unix.out_channel_of_descr fd; sync }
+    | Ok fd -> Ok (make_t ~fd ~sync)
 
 (* Complete lines only: a crash can leave a final unterminated
    fragment, which is by construction an entry no client was ever told
@@ -145,7 +257,9 @@ let branch ?(sync = false) ~dir ~from_id ~to_id () =
   let* t = create ~sync ~dir { header with session = to_id } in
   let result =
     List.fold_left
-      (fun acc e -> Result.bind acc (fun () -> append t ~req:e.req ~signature:e.signature))
+      (fun acc e ->
+        Result.bind acc (fun _ ->
+            Result.map ignore (append t ~req:e.req ~signature:e.signature)))
       (Ok ()) entries
   in
   close t;

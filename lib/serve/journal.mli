@@ -23,7 +23,22 @@
     verify, entry by entry, that it reproduced the visible state the
     live session actually had; a mismatch (e.g. the layer definition
     changed since the journal was written) fails the resume instead of
-    silently handing the designer a different design space. *)
+    silently handing the designer a different design space.
+
+    {2 Concurrency and group commit}
+
+    A journal may be appended to by several worker domains at once (the
+    service serializes mutations {e per session}, but the same journal
+    is also the target of concurrent appends during [branch] copies,
+    and nothing above guarantees exclusivity).  {!append} is atomic
+    under an internal lock and returns the entry's sequence number.  In
+    [sync] mode, durability is a separate step: {!sync_to} fsyncs up to
+    a sequence number with a leader/follower group commit — the first
+    caller to need an fsync performs one covering {e every} entry
+    appended so far, and concurrent callers whose entries it covered
+    return without touching the disk.  The service calls [sync_to]
+    outside its session locks, so mutations on other sessions (and
+    later mutations on the same one) overlap the disk flush. *)
 
 type header = { session : string; layer : string; eol : int }
 
@@ -39,13 +54,30 @@ val exists : dir:string -> id:string -> bool
 
 val create : ?sync:bool -> dir:string -> header -> (t, string) result
 (** Truncate/create the file and write the header.  [sync] (default
-    [false]) additionally fsyncs every append — full crash-safety
-    against power loss, at a per-request cost; the default survives
-    process death (the flush reaches the kernel) which is the failure
-    mode the service defends against.  Creates [dir] if missing. *)
+    [false]) makes acknowledged entries fsync-durable (via {!sync_to})
+    — full crash-safety against power loss, at a per-request cost; the
+    default survives process death (the flush reaches the kernel) which
+    is the failure mode the service defends against.  Creates [dir] if
+    missing.  In sync mode the header itself is fsynced before
+    returning. *)
 
-val append : t -> req:Jsonx.t -> signature:string -> (unit, string) result
-(** One entry line, flushed before returning. *)
+val append : t -> req:Jsonx.t -> signature:string -> (int, string) result
+(** One entry line, written and flushed to the kernel before returning;
+    returns the entry's sequence number (the header counts as entry 1).
+    In sync mode, follow with {!sync_to} before acknowledging the
+    mutation to a client. *)
+
+val sync_to : t -> int -> (unit, string) result
+(** Make every entry up to the given sequence number fsync-durable.
+    No-op unless the journal was opened with [sync].  Group-committed:
+    see the module docs.  Safe (and intended) to call without holding
+    any session lock. *)
+
+(** Group-commit effectiveness: [syncs] fsyncs actually issued,
+    [batched] {!sync_to} calls satisfied by another caller's fsync. *)
+type sync_stats = { syncs : int; batched : int }
+
+val sync_stats : t -> sync_stats
 
 val close : t -> unit
 

@@ -3,7 +3,10 @@ type t = {
   socket : string;
   listen_fd : Unix.file_descr;
   pool : int;
-  queue : Unix.file_descr option Queue.t;  (* None = worker stop sentinel *)
+  queue : (Unix.file_descr * float) option Queue.t;
+      (* (connection, accept timestamp) — the wait from accept to a
+         worker picking it up is the server-side queueing delay
+         reported under [stats].  None = worker stop sentinel. *)
   lock : Mutex.t;
   nonempty : Condition.t;
   stop : bool Atomic.t;
@@ -94,7 +97,8 @@ let worker t () =
     Mutex.unlock t.lock;
     match job with
     | None -> ()
-    | Some fd ->
+    | Some (fd, accepted) ->
+      Service.record_queue_wait t.service ((Unix.gettimeofday () -. accepted) *. 1.0e6);
       serve_connection t fd;
       loop ()
   in
@@ -104,13 +108,34 @@ let push t job =
   Mutex.lock t.lock;
   Queue.push job t.queue;
   (match job with
-  | Some fd -> Hashtbl.replace t.active fd ()
+  | Some (fd, _) -> Hashtbl.replace t.active fd ()
   | None -> ());
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
+type worker_handle = W_domain of unit Stdlib.Domain.t | W_thread of Thread.t
+
+let join_worker = function
+  | W_domain d -> Stdlib.Domain.join d
+  | W_thread th -> Thread.join th
+
 let serve t =
-  let workers = List.init t.pool (fun _ -> Thread.create (worker t) ()) in
+  (* Workers up to the core count are domains: request handling
+     (candidate sweeps, report rendering) is compute, {!Service.handle}
+     no longer serializes requests, and separate domains execute them
+     in parallel.  Workers beyond the core count are systhreads of the
+     main domain: they still overlap blocking I/O (the runtime lock
+     drops during reads) but add no domains — every domain beyond the
+     core count joins each GC's stop-the-world handshake from a
+     timeshared CPU, which costs more than the parallelism it could
+     ever add.  (On a single-core host this makes all workers
+     systhreads, which is optimal there.) *)
+  let max_domains = Stdlib.Domain.recommended_domain_count () - 1 in
+  let workers =
+    List.init t.pool (fun i ->
+        if i < max_domains then W_domain (Stdlib.Domain.spawn (worker t))
+        else W_thread (Thread.create (worker t) ()))
+  in
   (* accept loop: select with a timeout so the stop flag (set by
      [shutdown] or a signal handler) is noticed promptly *)
   let rec accept_loop () =
@@ -119,7 +144,7 @@ let serve t =
       (match Unix.select [ t.listen_fd ] [] [] 0.2 with
       | [ _ ], _, _ -> (
         match Unix.accept t.listen_fd with
-        | fd, _ -> push t (Some fd)
+        | fd, _ -> push t (Some (fd, Unix.gettimeofday ()))
         | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
       | _ -> ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -136,5 +161,5 @@ let serve t =
     (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
     t.active;
   Mutex.unlock t.lock;
-  List.iter Thread.join workers;
+  List.iter join_worker workers;
   try Unix.unlink t.socket with Unix.Unix_error _ -> ()

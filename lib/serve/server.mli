@@ -1,12 +1,15 @@
 (** The Unix-domain-socket front end of the exploration service.
 
     Connection model: one listener thread accepts and enqueues
-    connections; a bounded pool of worker threads serves them, one
-    connection per worker at a time (thread-per-connection over a
+    connections; a bounded pool of {e worker domains} serves them, one
+    connection per worker at a time (connection-per-worker over a
     bounded pool).  A connection is a sequence of request lines, each
-    answered with exactly one reply line; request {e processing} is
-    serialized inside {!Service}, but I/O happens on the worker
-    threads, so a slow or stalled client only occupies its worker.
+    answered with exactly one reply line.  {!Service.handle} is safe
+    for concurrent domains and serializes only per session id, so
+    workers execute requests — including the compute-heavy candidate
+    sweeps — in parallel, and a slow or stalled client only occupies
+    its worker.  The wait from accept to worker pickup is recorded as
+    the server-side queueing delay ([queue_wait] under [stats]).
 
     Shutdown is graceful: {!shutdown} (typically called from a SIGTERM
     handler — see {!install_signal_handlers}) stops accepting, wakes
@@ -19,7 +22,8 @@ type t
 
 val create : socket:string -> ?pool:int -> Service.t -> t
 (** Bind and listen on [socket] (an existing stale socket file is
-    replaced).  [pool] (default 8, minimum 1) is the worker count.
+    replaced).  [pool] (default 8, minimum 1) is the worker domain
+    count.
     @raise Unix.Unix_error when the socket cannot be bound. *)
 
 val serve : t -> unit

@@ -16,22 +16,79 @@ let config ?journal_dir ?(journal_sync = false) ?(default_eol = 768) ?(default_m
     ?report_pareto ?(capacity = 64) ~layers () =
   { layers; journal_dir; journal_sync; default_eol; default_merits; report_pareto; capacity }
 
-type op_stat = { mutable count : int; mutable total_us : float; mutable max_us : float }
+(* One striped counter per operation: each op has its own lock, so two
+   domains recording different ops never contend, and two recording the
+   same op contend only on that op's stripe. *)
+type op_stat = {
+  slock : Mutex.t;
+  mutable count : int;
+  mutable total_us : float;
+  mutable max_us : float;
+}
+
+let op_names =
+  [
+    "open"; "set"; "decide"; "default"; "retract"; "annotate"; "candidates"; "ranges";
+    "issues"; "preview"; "script"; "trace"; "health"; "signature"; "report"; "branch";
+    "close"; "stats";
+  ]
 
 type t = {
   cfg : config;
   store : Store.t;
-  lock : Mutex.t;
+  admission : Mutex.t;
+      (* serializes session creation (open/branch/resume): the
+         check-then-create of a new id must be atomic against another
+         request creating the same id *)
   metrics : (string, op_stat) Hashtbl.t;
+      (* pre-populated with every op name at [create] and never resized
+         after, so concurrent [Hashtbl.find_opt]s are safe without a
+         table lock *)
+  queue_stat : op_stat;
   started : float;
 }
 
+let fresh_stat () = { slock = Mutex.create (); count = 0; total_us = 0.0; max_us = 0.0 }
+
+(* Parsing and indexing a layer is the dominant cost of [open] (~150ms
+   for the shipped catalogues); sessions of one layer share the
+   immutable structure, so build each (layer, eol) once and hand every
+   session a [Session.pristine] copy — a fresh lineage (own guard
+   registry, own compliance cache) over the shared hierarchy and
+   index.  The lock is held across a build: two racing first-opens of
+   one layer wait rather than both building. *)
+let wrap_layers layers =
+  let cache : (string * int, Session.t) Hashtbl.t = Hashtbl.create 8 in
+  let lock = Mutex.create () in
+  List.map
+    (fun (name, make) ->
+      ( name,
+        fun ~eol ->
+          Mutex.lock lock;
+          match Hashtbl.find_opt cache (name, eol) with
+          | Some master ->
+            Mutex.unlock lock;
+            Session.pristine master
+          | None -> (
+            match make ~eol with
+            | master ->
+              Hashtbl.add cache (name, eol) master;
+              Mutex.unlock lock;
+              Session.pristine master
+            | exception e ->
+              Mutex.unlock lock;
+              raise e) ))
+    layers
+
 let create cfg =
+  let metrics = Hashtbl.create 32 in
+  List.iter (fun op -> Hashtbl.add metrics op (fresh_stat ())) op_names;
   {
-    cfg;
+    cfg = { cfg with layers = wrap_layers cfg.layers };
     store = Store.create ~capacity:cfg.capacity ();
-    lock = Mutex.create ();
-    metrics = Hashtbl.create 24;
+    admission = Mutex.create ();
+    metrics;
+    queue_stat = fresh_stat ();
     started = Unix.gettimeofday ();
   }
 
@@ -131,35 +188,78 @@ let resume ~layers ~dir ~id =
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 
+let unknown_session sid =
+  P.Failed (P.Unknown_session, Printf.sprintf "no session %S (open one first)" sid)
+
+(* Read-only ops: a plain lookup, no lock held while the reply is
+   computed — the session value is immutable, so a concurrent mutation
+   of the same id swaps the slot's pointer without disturbing us. *)
 let with_session t sid k =
-  match Store.find t.store sid with
-  | None -> P.Failed (P.Unknown_session, Printf.sprintf "no session %S (open one first)" sid)
-  | Some entry -> k entry
+  match Store.find t.store sid with None -> unknown_session sid | Some entry -> k entry
 
-(* Write-ahead: the journal line is durable before the new state is
-   committed to the store (and thus before any reply reaches the
-   client); a failed append fails the request with the state
-   unchanged. *)
-let commit t sid (entry : Store.entry) req s' =
-  let signature = Session.candidate_signature s' in
-  let journaled =
-    match entry.Store.journal with
-    | None -> Ok ()
-    | Some j -> Journal.append j ~req:(P.json_of_request req) ~signature
-  in
-  match journaled with
-  | Error msg -> P.Failed (P.Journal_error, msg)
-  | Ok () ->
-    Store.put t.store sid { entry with Store.session = s' };
-    P.Reply (session_summary sid s' @ [ ("signature", Jsonx.Str signature) ])
-
+(* Mutations serialize per session id (the store's slot lock), not
+   globally.  Write-ahead order: the journal line is appended (and
+   flushed to the kernel) before the new state is committed and before
+   any reply leaves; a failed append fails the request with the state
+   unchanged.  In sync mode the fsync happens {e after} the slot lock
+   is released — the reply still waits for durability, but the next
+   mutation of the same session (and every other session) overlaps the
+   disk flush, group-committed by {!Journal.sync_to}. *)
 let mutate t sid req apply =
-  with_session t sid (fun entry ->
-      match apply entry.Store.session with
-      | Error msg -> P.Failed (P.Rejected, msg)
-      | Ok s' -> commit t sid entry req s')
+  match Store.begin_mutation t.store sid with
+  | None -> unknown_session sid
+  | Some (m, entry) ->
+    let sync_after = ref None in
+    let response =
+      match
+        match apply entry.Store.session with
+        | Error msg -> P.Failed (P.Rejected, msg)
+        | Ok s' -> (
+          let signature = Session.candidate_signature s' in
+          let journaled =
+            match entry.Store.journal with
+            | None -> Ok None
+            | Some j ->
+              Result.map
+                (fun seq -> Some (j, seq))
+                (Journal.append j ~req:(P.json_of_request req) ~signature)
+          in
+          match journaled with
+          | Error msg -> P.Failed (P.Journal_error, msg)
+          | Ok jseq ->
+            Store.commit_mutation m { entry with Store.session = s' };
+            sync_after := jseq;
+            P.Reply (session_summary sid s' @ [ ("signature", Jsonx.Str signature) ]))
+      with
+      | r -> r
+      | exception e ->
+        Store.end_mutation m;
+        raise e
+    in
+    Store.end_mutation m;
+    (match !sync_after with
+    | None -> response
+    | Some (j, seq) -> (
+      match Journal.sync_to j seq with
+      | Ok () -> response
+      | Error msg -> P.Failed (P.Journal_error, msg)))
+
+(* Session creation (open / resume / branch targets) runs under the
+   admission lock: the existence checks and the insert must be atomic
+   against a concurrent request creating the same id.  Mutations and
+   reads of existing sessions never take it. *)
+let admitted t f =
+  Mutex.lock t.admission;
+  match f () with
+  | v ->
+    Mutex.unlock t.admission;
+    v
+  | exception e ->
+    Mutex.unlock t.admission;
+    raise e
 
 let handle_open t ~session ~layer ~eol ~resume:resume_flag =
+  admitted t @@ fun () ->
   let id_result =
     match session with
     | Some id when not (valid_id id) ->
@@ -237,6 +337,7 @@ let handle_open t ~session ~layer ~eol ~resume:resume_flag =
           (session_summary id s @ [ ("layer", Jsonx.Str layer); ("eol", Jsonx.Int eol) ])))
 
 let handle_branch t sid as_id =
+  admitted t @@ fun () ->
   with_session t sid (fun entry ->
       let id_result =
         match as_id with
@@ -426,26 +527,30 @@ let dispatch t req =
         in
         P.Reply [ ("session", Jsonx.Str session); ("markdown", Jsonx.Str markdown) ])
   | P.Branch { session; as_id } -> handle_branch t session as_id
-  | P.Close { session } ->
-    with_session t session (fun _ ->
-        Store.remove t.store session;
-        P.Reply [ ("closed", Jsonx.Str session) ])
+  | P.Close { session } -> (
+    (* through the mutation protocol, so a close waits for an in-flight
+       mutation of the session instead of closing its journal under it *)
+    match Store.begin_mutation t.store session with
+    | None -> unknown_session session
+    | Some (m, _) ->
+      Store.remove_locked m;
+      Store.end_mutation m;
+      P.Reply [ ("closed", Jsonx.Str session) ])
   | P.Stats ->
+    let stat_json stat =
+      Mutex.lock stat.slock;
+      let count = stat.count and total_us = stat.total_us and max_us = stat.max_us in
+      Mutex.unlock stat.slock;
+      Jsonx.Obj
+        [
+          ("count", Jsonx.Int count);
+          ( "mean_us",
+            Jsonx.Float (if count = 0 then 0.0 else total_us /. float_of_int count) );
+          ("max_us", Jsonx.Float max_us);
+        ]
+    in
     let ops =
-      Hashtbl.fold
-        (fun op stat acc ->
-          ( op,
-            Jsonx.Obj
-              [
-                ("count", Jsonx.Int stat.count);
-                ( "mean_us",
-                  Jsonx.Float
-                    (if stat.count = 0 then 0.0 else stat.total_us /. float_of_int stat.count)
-                );
-                ("max_us", Jsonx.Float stat.max_us);
-              ] )
-          :: acc)
-        t.metrics []
+      Hashtbl.fold (fun op stat acc -> (op, stat_json stat) :: acc) t.metrics []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
     P.Reply
@@ -454,6 +559,7 @@ let dispatch t req =
         ("sessions", Jsonx.Int (Store.count t.store));
         ("capacity", Jsonx.Int (Store.capacity t.store));
         ("evictions", Jsonx.Int (Store.evictions t.store));
+        ("queue_wait", stat_json t.queue_stat);
         ("requests", Jsonx.Obj ops);
       ]
 
@@ -477,28 +583,28 @@ let op_name = function
   | P.Close _ -> "close"
   | P.Stats -> "stats"
 
-let record t op us =
-  let stat =
-    match Hashtbl.find_opt t.metrics op with
-    | Some s -> s
-    | None ->
-      let s = { count = 0; total_us = 0.0; max_us = 0.0 } in
-      Hashtbl.add t.metrics op s;
-      s
-  in
+let bump stat us =
+  Mutex.lock stat.slock;
   stat.count <- stat.count + 1;
   stat.total_us <- stat.total_us +. us;
-  if us > stat.max_us then stat.max_us <- us
+  if us > stat.max_us then stat.max_us <- us;
+  Mutex.unlock stat.slock
+
+(* [t.metrics] is read-only after [create] (every op pre-populated), so
+   the lookup itself needs no lock; updates go through the op's own
+   stripe. *)
+let record t op us =
+  match Hashtbl.find_opt t.metrics op with Some stat -> bump stat us | None -> ()
+
+let record_queue_wait t us = bump t.queue_stat us
 
 let handle t req =
-  Mutex.lock t.lock;
   let t0 = Unix.gettimeofday () in
   let response =
     try dispatch t req
     with e -> P.Failed (P.Server_error, Printexc.to_string e)
   in
   record t (op_name req) ((Unix.gettimeofday () -. t0) *. 1.0e6);
-  Mutex.unlock t.lock;
   response
 
 let handle_line t line =

@@ -7,13 +7,22 @@
     observed over the wire is the behaviour of the local shell and vice
     versa.
 
-    All request handling is serialized by an internal mutex: sessions
-    of one lineage share mutable caches ({!Ds_layer.Compliance},
-    {!Ds_layer.Guard}) that are not thread-safe, and OCaml systhreads
-    cannot run layer code in parallel anyway, so one lock costs no
-    parallelism while keeping every cache sound.  Socket I/O happens
-    outside the lock (in {!Server}), so a slow client never blocks the
-    others' requests.
+    {2 Concurrency}
+
+    [handle] is safe to call from any number of domains at once; there
+    is no global lock.  Read-only requests ([candidates], [ranges],
+    [issues], [preview], [script], [trace], [health], [signature],
+    [report], [stats]) take no exclusive lock at all — sessions are
+    immutable values and the lineage caches ({!Ds_layer.Compliance},
+    {!Ds_layer.Guard}) are internally synchronized.  Mutations ([set],
+    [decide], [default], [retract], [annotate]) serialize {e per
+    session id} via the store's slot locks; session creation ([open],
+    [branch]) serializes on a single admission lock (creation is rare
+    and must be atomic against duplicate ids).  Parsed layers are
+    cached per (layer, eol): after the first open, opening a session
+    costs a {!Ds_layer.Session.pristine} copy, not a re-parse.
+    Per-op latency metrics are striped (one lock per op name).  See
+    DESIGN.md section 12 for the full lock hierarchy.
 
     {2 Journaling}
 
@@ -22,7 +31,12 @@
     appended to the session's {!Journal} before the reply is produced.
     [open] with ["resume":true] rebuilds the session by replaying its
     journal into a fresh instance of the layer, verifying the candidate
-    signature recorded with every entry — the crash-recovery path. *)
+    signature recorded with every entry — the crash-recovery path.
+
+    With [journal_sync], the fsync that makes an acknowledged mutation
+    durable is group-committed ({!Journal.sync_to}) and taken after the
+    session's slot lock is released: the reply still waits for
+    durability, but concurrent mutations share disk flushes. *)
 
 type config = {
   layers : (string * (eol:int -> Ds_layer.Session.t)) list;
@@ -54,7 +68,13 @@ val create : config -> t
 
 val handle : t -> Protocol.request -> Protocol.response
 (** Dispatch one request.  Never raises: layer rejections come back as
-    [rejected] replies, unexpected exceptions as [server_error]. *)
+    [rejected] replies, unexpected exceptions as [server_error].
+    Safe to call concurrently from multiple domains. *)
+
+val record_queue_wait : t -> float -> unit
+(** Record one request's accept-to-dispatch wait (µs) in the [stats]
+    op's [queue_wait] counters — called by {!Server} when a worker
+    dequeues a connection. *)
 
 val handle_line : t -> string -> string
 (** Wire-format convenience: parse one request line, dispatch, print

@@ -5,9 +5,21 @@ type entry = {
   journal : Journal.t option;
 }
 
-type slot = { entry : entry; mutable last_used : int }
+(* [slock] serializes mutations of this session id and is held for the
+   whole mutation (journal append included).  [dead] marks a slot that
+   was evicted/removed/replaced while a would-be mutator waited on its
+   lock: the holder must re-resolve the id instead of writing to an
+   unreachable slot.  [entry] and [last_used] are read and written only
+   under the table lock. *)
+type slot = {
+  mutable entry : entry;
+  mutable last_used : int;
+  slock : Mutex.t;
+  mutable dead : bool;
+}
 
 type t = {
+  lock : Mutex.t;
   table : (string, slot) Hashtbl.t;
   capacity : int;
   mutable clock : int;
@@ -15,8 +27,11 @@ type t = {
   mutable evictions : int;
 }
 
+type mutation = { m_store : t; m_id : string; m_slot : slot }
+
 let create ?(capacity = 64) () =
   {
+    lock = Mutex.create ();
     table = Hashtbl.create 32;
     capacity = Stdlib.max 1 capacity;
     clock = 0;
@@ -24,74 +39,147 @@ let create ?(capacity = 64) () =
     evictions = 0;
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
 let capacity t = t.capacity
 
+(* Call with [t.lock] held. *)
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
 let fresh_id ?(skip = fun _ -> false) t =
-  let rec go () =
-    let id = Printf.sprintf "s%d" t.next_id in
-    t.next_id <- t.next_id + 1;
-    if Hashtbl.mem t.table id || skip id then go () else id
-  in
-  go ()
+  locked t (fun () ->
+      let rec go () =
+        let id = Printf.sprintf "s%d" t.next_id in
+        t.next_id <- t.next_id + 1;
+        if Hashtbl.mem t.table id || skip id then go () else id
+      in
+      go ())
 
-let mem t id = Hashtbl.mem t.table id
+let mem t id = locked t (fun () -> Hashtbl.mem t.table id)
 
 let find t id =
-  match Hashtbl.find_opt t.table id with
-  | None -> None
-  | Some slot ->
-    slot.last_used <- tick t;
-    Some slot.entry
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table id with
+      | None -> None
+      | Some slot ->
+        slot.last_used <- tick t;
+        Some slot.entry)
 
 let close_journal entry =
   match entry.journal with Some j -> Journal.close j | None -> ()
 
+(* Lock order: a mutator takes its slot lock first, the table lock
+   second (and [commit_mutation] re-takes the table lock under the slot
+   lock).  Eviction runs under the table lock and only [try_lock]s slot
+   locks — non-blocking in the reverse order, so no deadlock — and
+   skips victims whose lock is busy: an in-flight mutation is never
+   evicted under its holder (its journal handle stays open until
+   [end_mutation]), at the price of a transient capacity overshoot. *)
+let rec begin_mutation t id =
+  let resolved = locked t (fun () -> Hashtbl.find_opt t.table id) in
+  match resolved with
+  | None -> None
+  | Some slot -> (
+    Mutex.lock slot.slock;
+    (* while we waited, the id may have been removed, evicted, or
+       rebound to a different slot — re-check against the table *)
+    let state =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table id with
+          | Some s when s == slot && not slot.dead ->
+            slot.last_used <- tick t;
+            `Current slot.entry
+          | Some _ -> `Rebound
+          | None -> `Gone)
+    in
+    match state with
+    | `Current entry -> Some ({ m_store = t; m_id = id; m_slot = slot }, entry)
+    | `Rebound ->
+      Mutex.unlock slot.slock;
+      begin_mutation t id
+    | `Gone ->
+      Mutex.unlock slot.slock;
+      None)
+
+let commit_mutation m entry =
+  locked m.m_store (fun () ->
+      m.m_slot.entry <- entry;
+      m.m_slot.last_used <- tick m.m_store)
+
+let end_mutation m = Mutex.unlock m.m_slot.slock
+
+let remove_locked m =
+  locked m.m_store (fun () ->
+      if not m.m_slot.dead then begin
+        close_journal m.m_slot.entry;
+        m.m_slot.dead <- true;
+        (* only remove the binding if it still points at our slot *)
+        match Hashtbl.find_opt m.m_store.table m.m_id with
+        | Some s when s == m.m_slot -> Hashtbl.remove m.m_store.table m.m_id
+        | Some _ | None -> ()
+      end)
+
+(* Call with [t.lock] held.  Victims whose slot lock is busy (an
+   in-flight mutation) are skipped. *)
 let evict_lru t ~keep =
-  let victim =
+  let candidates =
     Hashtbl.fold
-      (fun id slot best ->
-        if String.equal id keep then best
-        else
-          match best with
-          | Some (_, used) when used <= slot.last_used -> best
-          | _ -> Some (id, slot.last_used))
-      t.table None
+      (fun id slot acc -> if String.equal id keep then acc else (id, slot) :: acc)
+      t.table []
+    |> List.sort (fun (_, a) (_, b) -> Stdlib.compare a.last_used b.last_used)
   in
-  match victim with
-  | None -> ()
-  | Some (id, _) -> (
-    match Hashtbl.find_opt t.table id with
-    | None -> ()
-    | Some slot ->
-      close_journal slot.entry;
-      Hashtbl.remove t.table id;
-      t.evictions <- t.evictions + 1)
+  let rec try_victims = function
+    | [] -> false
+    | (id, slot) :: rest ->
+      if Mutex.try_lock slot.slock then begin
+        close_journal slot.entry;
+        slot.dead <- true;
+        Hashtbl.remove t.table id;
+        t.evictions <- t.evictions + 1;
+        Mutex.unlock slot.slock;
+        true
+      end
+      else try_victims rest
+  in
+  try_victims candidates
 
 let put t id entry =
-  (match Hashtbl.find_opt t.table id with
-  | Some old when old.entry.journal != entry.journal -> close_journal old.entry
-  | _ -> ());
-  Hashtbl.replace t.table id { entry; last_used = tick t };
-  while Hashtbl.length t.table > t.capacity do
-    evict_lru t ~keep:id
-  done
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table id with
+      | Some old ->
+        if old.entry.journal != entry.journal then close_journal old.entry;
+        old.dead <- true
+      | None -> ());
+      Hashtbl.replace t.table id
+        { entry; last_used = tick t; slock = Mutex.create (); dead = false };
+      let continue = ref true in
+      while Hashtbl.length t.table > t.capacity && !continue do
+        continue := evict_lru t ~keep:id
+      done)
 
 let remove t id =
-  match Hashtbl.find_opt t.table id with
+  match begin_mutation t id with
   | None -> ()
-  | Some slot ->
-    close_journal slot.entry;
-    Hashtbl.remove t.table id
+  | Some (m, _) ->
+    remove_locked m;
+    end_mutation m
 
-let count t = Hashtbl.length t.table
+let count t = locked t (fun () -> Hashtbl.length t.table)
 
 let ids t =
-  Hashtbl.fold (fun id slot acc -> (id, slot.last_used) :: acc) t.table []
+  locked t (fun () ->
+      Hashtbl.fold (fun id slot acc -> (id, slot.last_used) :: acc) t.table [])
   |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
   |> List.map fst
 
-let evictions t = t.evictions
+let evictions t = locked t (fun () -> t.evictions)

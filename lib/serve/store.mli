@@ -11,9 +11,22 @@
     eviction costs a replay, never data).  Every lookup counts as a
     use.
 
-    Not thread-safe on its own — {!Service} serializes all access
-    (OCaml systhreads cannot run layer code in parallel anyway; one
-    lock keeps the shared compliance caches sound). *)
+    {2 Concurrency}
+
+    The table is internally synchronized and mutations are serialized
+    {e per session id}: {!begin_mutation} takes the id's slot lock
+    (blocking while another mutation of the same id is in flight) and
+    hands back the current entry; the caller appends to the journal and
+    computes the new session, publishes it with {!commit_mutation}, and
+    releases the slot with {!end_mutation}.  Reads ({!find}) and
+    mutations of {e other} ids proceed concurrently throughout.
+
+    Eviction never closes a journal out from under an in-flight
+    mutation: it only claims victims whose slot lock it can take
+    without blocking, skipping busy ones (a transient capacity
+    overshoot, resolved by the next insert).  A mutator that blocked on
+    a slot which was meanwhile evicted or rebound re-resolves the id,
+    so it never writes to an unreachable slot. *)
 
 type entry = {
   session : Ds_layer.Session.t;
@@ -23,6 +36,10 @@ type entry = {
 }
 
 type t
+
+type mutation
+(** An exclusive in-flight mutation of one session id (the held slot
+    lock).  Must be released with {!end_mutation} on every path. *)
 
 val create : ?capacity:int -> unit -> t
 (** [capacity] (default 64, minimum 1) bounds the resident sessions. *)
@@ -38,14 +55,34 @@ val fresh_id : ?skip:(string -> bool) -> t -> string
 val mem : t -> string -> bool
 
 val find : t -> string -> entry option
-(** Marks the entry most-recently-used. *)
+(** Marks the entry most-recently-used.  The returned entry is a
+    consistent snapshot; the session value inside is immutable. *)
 
 val put : t -> string -> entry -> unit
-(** Insert or replace; may evict the least recently used other entry
-    (closing its journal handle) to stay within capacity. *)
+(** Insert or replace; may evict least-recently-used other entries
+    (closing their journal handles) to stay within capacity, skipping
+    any entry with a mutation in flight. *)
+
+val begin_mutation : t -> string -> (mutation * entry) option
+(** Take the id's slot lock (blocking on a concurrent mutation of the
+    same id) and return the entry as of acquisition; [None] when the id
+    is not resident.  Pair with {!end_mutation}. *)
+
+val commit_mutation : mutation -> entry -> unit
+(** Publish the mutated entry (pointer swap; marks it recently used).
+    The slot stays locked until {!end_mutation}. *)
+
+val end_mutation : mutation -> unit
+(** Release the slot lock. *)
+
+val remove_locked : mutation -> unit
+(** Drop the entry (closing its journal handle) while still holding its
+    mutation — how [close] avoids racing other would-be mutators.
+    Follow with {!end_mutation}. *)
 
 val remove : t -> string -> unit
-(** Drop the entry and close its journal handle; no-op when absent. *)
+(** Drop the entry and close its journal handle; no-op when absent.
+    Waits for any in-flight mutation of the id to finish. *)
 
 val count : t -> int
 val ids : t -> string list

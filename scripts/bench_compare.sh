@@ -1,0 +1,48 @@
+#!/bin/sh
+# Throughput regression gate for the exploration service: compare the
+# freshly-written BENCH_PR4.json headline (requests per second over 8
+# concurrent clients) against the committed BENCH_PR3.json baseline and
+# fail on a regression of more than the allowed fraction (20% by
+# default — generous because CI machines vary, tight enough to catch a
+# reintroduced global lock, which costs ~3-8x).
+#
+# Usage: sh scripts/bench_compare.sh [baseline.json] [current.json]
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+
+baseline=${1:-BENCH_PR3.json}
+current=${2:-BENCH_PR4.json}
+allowed_drop=${BENCH_ALLOWED_DROP:-0.20}
+
+if [ ! -f "$current" ]; then
+  echo "bench-compare: $current not found; run 'dune exec bench/main.exe -- serve --json --smoke' first" >&2
+  exit 2
+fi
+
+python3 - "$baseline" "$current" "$allowed_drop" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path, allowed_drop = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def rps(path):
+    with open(path) as f:
+        data = json.load(f)
+    value = data.get("requests_per_second")
+    if not isinstance(value, (int, float)) or value <= 0:
+        sys.exit(f"bench-compare: no usable requests_per_second in {path}")
+    return float(value)
+
+old = rps(baseline_path)
+new = rps(current_path)
+floor = old * (1.0 - allowed_drop)
+change = (new - old) / old * 100.0
+print(f"bench-compare: baseline {old:.1f} req/s ({baseline_path}), "
+      f"current {new:.1f} req/s ({current_path}), change {change:+.1f}%")
+if new < floor:
+    sys.exit(f"bench-compare: FAIL — current throughput {new:.1f} req/s is below "
+             f"the allowed floor {floor:.1f} req/s ({allowed_drop:.0%} drop from baseline)")
+print("bench-compare: OK")
+EOF

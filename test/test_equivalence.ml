@@ -236,6 +236,119 @@ let test_injected_synthetic () =
       | _ -> false)
   | Error msg, _ | _, Error msg -> Alcotest.failf "drive failed: %s" msg
 
+(* -------------------------------------------------------------------- *)
+(* Parallel vs sequential: the chunked sweep (PR 4) must be bit-identical
+   to the single-chunk path — same candidates, same signatures, same
+   merit summaries, same fault-and-quarantine timeline.  The pool size
+   and chunk threshold are process-global, so each side of the
+   differential re-runs the whole walk from a fresh session under its
+   own setting.                                                          *)
+
+let with_parallel ~domains ~threshold f =
+  let d0 = Parallel.domain_count () and t0 = Parallel.chunk_threshold () in
+  Parallel.set_domain_count domains;
+  Parallel.set_chunk_threshold threshold;
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.set_domain_count d0;
+      Parallel.set_chunk_threshold t0)
+    f
+
+(* One full observation of a session: everything a service client could
+   see that the sweep feeds into. *)
+let observe s =
+  ( ids s,
+    Session.candidate_signature s,
+    List.map
+      (fun merit ->
+        let summary = Session.merit_summary s ~merit in
+        ( summary.Evaluation.merit_range,
+          summary.Evaluation.skipped_non_finite,
+          summary.Evaluation.missing ))
+      [ "delay"; "cost" ],
+    List.map (fun (cc, st) -> (cc, Guard.status_label st)) (Session.health s) )
+
+let run_walk mk steps =
+  List.fold_left
+    (fun (s, seen) (label, f) ->
+      match f s with
+      | Error msg -> Alcotest.failf "%s: %s" label msg
+      | Ok s -> (s, (label, observe s) :: seen))
+    (mk (), [])
+    steps
+  |> snd |> List.rev
+
+let check_walks_agree ~name sequential parallel =
+  List.iter2
+    (fun (label, (ids_s, sig_s, sum_s, health_s)) (label', (ids_p, sig_p, sum_p, health_p)) ->
+      let ctx = Printf.sprintf "%s/%s" name label in
+      Alcotest.(check string) (ctx ^ ": same step") label label';
+      Alcotest.(check (list string)) (ctx ^ ": candidates") ids_s ids_p;
+      Alcotest.(check string) (ctx ^ ": signature") sig_s sig_p;
+      Alcotest.(check bool) (ctx ^ ": merit summaries") true (sum_s = sum_p);
+      Alcotest.(check (list (pair string string))) (ctx ^ ": health") health_s health_p)
+    sequential parallel
+
+let syn_walk_steps =
+  let rebind name v s = Result.bind (Session.retract s name) (fun s -> Session.set s name v) in
+  [
+    ("bind B0", fun s -> Session.set s (Syn.budget_name 0) (Value.real 430.0));
+    ("bind B1", fun s -> Session.set s (Syn.budget_name 1) (Value.real 480.0));
+    ("bind B3", fun s -> Session.set s (Syn.budget_name 3) (Value.real 600.0));
+    ("tighten B0", rebind (Syn.budget_name 0) (Value.real 210.0));
+    ("relax B1", rebind (Syn.budget_name 1) (Value.real 4200.0));
+    ("revisit B0", rebind (Syn.budget_name 0) (Value.real 430.0));
+    ("drop B3", fun s -> Session.retract s (Syn.budget_name 3));
+  ]
+
+let test_parallel_differential () =
+  let walk () = run_walk (fun () -> Syn.session syn_spec) syn_walk_steps in
+  let sequential = with_parallel ~domains:1 ~threshold:1 walk in
+  let parallel = with_parallel ~domains:4 ~threshold:1 walk in
+  check_walks_agree ~name:"par-vs-seq" sequential parallel
+
+let test_parallel_differential_crypto () =
+  let walk () =
+    run_walk (fun () -> CL.session ~cores:(crypto_cores ())) crypto_steps
+  in
+  let sequential = with_parallel ~domains:1 ~threshold:1 walk in
+  let parallel = with_parallel ~domains:4 ~threshold:1 walk in
+  check_walks_agree ~name:"par-vs-seq-crypto" sequential parallel
+
+(* Under injected faults the parallel sweep abandons its optimistic
+   chunks and replays sequentially, so the recorded fault order — and
+   with it the strike/quarantine timeline — must match the sequential
+   path exactly. *)
+let test_parallel_differential_faults () =
+  let walk () =
+    let constraints =
+      Faultsim.wrap_plan ~plan:[ ("EL0", Faultsim.Raise) ] (Syn.constraints syn_spec)
+    in
+    let mk () =
+      Session.create ~hierarchy:(Syn.hierarchy syn_spec) ~constraints
+        ~cores:(Syn.cores syn_spec) ()
+    in
+    let steps =
+      syn_walk_steps
+      @ List.init 3 (fun i ->
+            ( Printf.sprintf "requery %d" i,
+              fun s ->
+                ignore (Session.candidates s);
+                Ok s ))
+    in
+    run_walk mk steps
+  in
+  let sequential = with_parallel ~domains:1 ~threshold:1 walk in
+  let parallel = with_parallel ~domains:4 ~threshold:1 walk in
+  check_walks_agree ~name:"par-vs-seq-faults" sequential parallel;
+  (* the injected constraint must actually have been driven into
+     quarantine, or the timeline comparison proved nothing *)
+  match List.rev parallel with
+  | (_, (_, _, _, health)) :: _ ->
+    Alcotest.(check string) "EL0 quarantined under parallel sweep" "quarantined"
+      (List.assoc "EL0" health)
+  | [] -> Alcotest.fail "empty walk"
+
 let () =
   Alcotest.run "equivalence"
     [
@@ -255,5 +368,11 @@ let () =
           Alcotest.test_case "crypto CC6 nan" `Quick (test_injected_crypto Faultsim.Return_nan);
           Alcotest.test_case "crypto CC6 diverge" `Quick (test_injected_crypto Faultsim.Diverge);
           Alcotest.test_case "synthetic EL0 raise" `Quick test_injected_synthetic;
+        ] );
+      ( "parallel vs sequential",
+        [
+          Alcotest.test_case "synthetic walk" `Quick test_parallel_differential;
+          Alcotest.test_case "crypto walk" `Quick test_parallel_differential_crypto;
+          Alcotest.test_case "fault timeline" `Quick test_parallel_differential_faults;
         ] );
     ]

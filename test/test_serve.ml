@@ -659,6 +659,251 @@ let test_socket_end_to_end () =
      not (Sys.file_exists socket))
 
 (* ------------------------------------------------------------------ *)
+(* Concurrency: per-session locking, striped stats, group commit        *)
+
+(* Alcotest failures raised on a worker thread would just kill that
+   thread; workers record findings here and the main thread asserts
+   after the join. *)
+let collector () =
+  let lock = Mutex.create () and errs = ref [] in
+  let record msg =
+    Mutex.lock lock;
+    errs := msg :: !errs;
+    Mutex.unlock lock
+  in
+  (record, fun () -> List.rev !errs)
+
+let check_collected errs =
+  match errs () with
+  | [] -> ()
+  | e :: rest -> Alcotest.failf "%d worker failure(s), first: %s" (List.length rest + 1) e
+
+let count_occurrences hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then scan (i + nn) (acc + 1)
+    else scan (i + 1) acc
+  in
+  if nn = 0 then 0 else scan 0 0
+
+(* Mixed read/mutate soak: four driver threads each own a session and
+   loop the oracle's script, four readers hammer those same sessions,
+   and everybody annotates one shared session.  Every observable must
+   match what one thread alone produced. *)
+let test_concurrent_soak () =
+  let svc = service () in
+  let set_req sid = P.Set { session = sid; name = issue; value = pick; decide = false } in
+  let retract_req sid = P.Retract { session = sid; name = issue } in
+  (* sequential oracle for one loop iteration *)
+  let n_open = jint "candidates" (reply (Service.handle svc (open_req ~session:"oracle" ()))) in
+  let oracle_set = reply (Service.handle svc (set_req "oracle")) in
+  let n_set = jint "candidates" oracle_set in
+  let sig_set = jstr "signature" oracle_set in
+  let oracle_back = reply (Service.handle svc (retract_req "oracle")) in
+  let sig_open = jstr "signature" oracle_back in
+  Alcotest.(check int) "oracle retract restores" n_open (jint "candidates" oracle_back);
+  Alcotest.(check bool) "oracle set prunes" true (n_set < n_open);
+  let sessions = List.init 4 (Printf.sprintf "soak-%d") in
+  List.iter
+    (fun sid -> ignore (reply (Service.handle svc (open_req ~session:sid ()))))
+    ("shared" :: sessions);
+  let record, errs = collector () in
+  let expect ctx want req =
+    match Service.handle svc req with
+    | P.Failed (code, msg) ->
+      record (Printf.sprintf "%s failed: %s: %s" ctx (P.error_code_label code) msg)
+    | P.Reply payload -> (
+      match Option.bind (List.assoc_opt "candidates" payload) J.to_int with
+      | Some n when not (List.mem n want) ->
+        record (Printf.sprintf "%s: candidates %d not in oracle states" ctx n)
+      | _ -> (
+        match (Option.bind (List.assoc_opt "signature" payload) J.to_str, want) with
+        | Some got, [ n ] ->
+          let expected = if n = n_set then sig_set else sig_open in
+          if not (String.equal got expected) then
+            record (ctx ^ ": signature diverges from the sequential oracle")
+        | _ -> ()))
+  in
+  let iterations = 15 in
+  let running = Atomic.make true in
+  let driver sid () =
+    for i = 1 to iterations do
+      let ctx = Printf.sprintf "%s#%d" sid i in
+      expect (ctx ^ "/set") [ n_set ] (set_req sid);
+      expect (ctx ^ "/candidates") [ n_set ] (P.Candidates { session = sid });
+      expect (ctx ^ "/retract") [ n_open ] (retract_req sid);
+      ignore (Service.handle svc (P.Annotate { session = "shared"; text = "n@" ^ ctx }))
+    done
+  in
+  let reader k () =
+    let i = ref 0 in
+    while Atomic.get running do
+      incr i;
+      let sid = List.nth sessions ((k + !i) mod 4) in
+      (* a reader races the owning driver: either committed state is
+         legal, a torn or failed read is not *)
+      expect (Printf.sprintf "reader-%d" k) [ n_open; n_set ] (P.Candidates { session = sid });
+      ignore (Service.handle svc (P.Annotate { session = "shared"; text = "n@r" }))
+    done
+  in
+  let drivers = List.map (fun sid -> Thread.create (driver sid) ()) sessions in
+  let readers = List.init 4 (fun k -> Thread.create (reader k) ()) in
+  List.iter Thread.join drivers;
+  Atomic.set running false;
+  List.iter Thread.join readers;
+  check_collected errs;
+  (* concurrent annotates of the shared session all landed *)
+  let driver_notes = 4 * iterations in
+  let trace = jstr "trace" (reply (Service.handle svc (P.Trace { session = "shared" }))) in
+  Alcotest.(check bool) "no shared annotate lost" true
+    (count_occurrences trace "n@" >= driver_notes)
+
+(* Striped per-op stats: concurrent counters must not lose increments
+   (the PR 3 single-mutex service counted under the global lock; the
+   striped counters have to add up exactly without it). *)
+let test_stats_race () =
+  let svc = service () in
+  ignore (reply (Service.handle svc (open_req ~session:"stats" ())));
+  let workers = 6 and per_worker = 50 in
+  let record, errs = collector () in
+  let hammer _ () =
+    for _ = 1 to per_worker do
+      match Service.handle svc (P.Candidates { session = "stats" }) with
+      | P.Reply _ -> ()
+      | P.Failed (_, msg) -> record ("candidates failed: " ^ msg)
+    done
+  in
+  let threads = List.init workers (fun k -> Thread.create (hammer k) ()) in
+  List.iter Thread.join threads;
+  check_collected errs;
+  let stats = reply (Service.handle svc P.Stats) in
+  match jmember "requests" stats with
+  | J.Obj ops -> (
+    match List.assoc_opt "candidates" ops with
+    | Some (J.Obj fields) ->
+      Alcotest.(check (option int)) "no increment lost"
+        (Some (workers * per_worker))
+        (Option.bind (List.assoc_opt "count" fields) J.to_int)
+    | _ -> Alcotest.fail "stats.requests.candidates is an object")
+  | _ -> Alcotest.fail "stats.requests is an object"
+
+(* Eviction racing in-flight requests: a tiny store hammered by opens
+   and mutations must only ever answer with structured replies — a
+   session yanked mid-flight is an [Unknown_session], never a crash —
+   and the service must stay fully functional afterwards. *)
+let test_eviction_race () =
+  let dir = tmpdir "dse_evict" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = service ~journal_dir:dir ~capacity:3 () in
+  let record, errs = collector () in
+  let structured ctx req =
+    match Service.handle svc req with
+    | P.Reply _ | P.Failed ((P.Unknown_session | P.Session_exists), _) -> ()
+    | P.Failed (code, msg) ->
+      record (Printf.sprintf "%s: unexpected %s: %s" ctx (P.error_code_label code) msg)
+    | exception e -> record (Printf.sprintf "%s: raised %s" ctx (Printexc.to_string e))
+  in
+  let churn t () =
+    for i = 1 to 12 do
+      let sid = Printf.sprintf "ev-%d-%d" t i in
+      let ctx = sid in
+      structured (ctx ^ "/open") (open_req ~session:sid ());
+      structured (ctx ^ "/set")
+        (P.Set { session = sid; name = issue; value = pick; decide = false });
+      structured (ctx ^ "/candidates") (P.Candidates { session = sid });
+      structured (ctx ^ "/retract") (P.Retract { session = sid; name = issue })
+    done
+  in
+  let threads = List.init 8 (fun t -> Thread.create (churn t) ()) in
+  List.iter Thread.join threads;
+  check_collected errs;
+  let stats = reply (Service.handle svc P.Stats) in
+  Alcotest.(check bool) "evictions happened" true (jint "evictions" stats > 0);
+  (* the survivor of the churn still serves a full session lifecycle *)
+  let n = jint "candidates" (reply (Service.handle svc (open_req ~session:"after" ()))) in
+  let set =
+    reply (Service.handle svc (P.Set { session = "after"; name = issue; value = pick; decide = false }))
+  in
+  Alcotest.(check bool) "functional after churn" true (jint "candidates" set < n);
+  ignore (reply (Service.handle svc (P.Close { session = "after" })))
+
+(* The client's reconnect backoff: deterministic, exponential, jittered
+   within [0.75, 1.25) of the nominal delay, and capped. *)
+let test_backoff_schedule () =
+  let base = 0.02 and cap = 0.5 in
+  let sched = Ds_serve.Client.backoff_schedule ~base ~cap ~attempts:10 () in
+  Alcotest.(check int) "length" 10 (List.length sched);
+  Alcotest.(check bool) "deterministic" true
+    (sched = Ds_serve.Client.backoff_schedule ~base ~cap ~attempts:10 ());
+  List.iteri
+    (fun i d ->
+      let nominal = base *. (2.0 ** float_of_int i) in
+      let lo = Float.min cap (0.75 *. nominal) and hi = Float.min cap (1.25 *. nominal) in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d within the jitter envelope" i)
+        true
+        (d >= lo -. 1e-12 && d <= hi +. 1e-12))
+    sched;
+  (* the tail is capped: by attempt 7 the nominal exponential (1.28s)
+     is far past the cap even after maximum downward jitter *)
+  List.iteri (fun i d -> if i >= 7 then Alcotest.(check (float 0.0)) "capped" cap d) sched;
+  Alcotest.(check int) "empty schedule" 0
+    (List.length (Ds_serve.Client.backoff_schedule ~attempts:0 ()))
+
+(* Group commit: concurrent appends all become durable, a sync_to for
+   an already-covered sequence rides a past flush (batched), and the
+   journal replays completely. *)
+let test_group_commit () =
+  let dir = tmpdir "dse_gc" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let j =
+    ok (Journal.create ~sync:true ~dir { Journal.session = "gc"; layer = "synthetic"; eol = 768 })
+  in
+  let record, errs = collector () in
+  let workers = 6 and per_worker = 10 in
+  let appender t () =
+    for i = 1 to per_worker do
+      let signature = Printf.sprintf "sig-%d-%d" t i in
+      match Journal.append j ~req:(J.Obj [ ("op", J.Str "annotate") ]) ~signature with
+      | Error msg -> record ("append failed: " ^ msg)
+      | Ok seq -> (
+        match Journal.sync_to j seq with
+        | Ok () -> ()
+        | Error msg -> record ("sync_to failed: " ^ msg))
+    done
+  in
+  let threads = List.init workers (fun t -> Thread.create (appender t) ()) in
+  List.iter Thread.join threads;
+  check_collected errs;
+  (* deterministic batching: sync a late sequence, then ask for an
+     earlier one — it is already covered and must not fsync again *)
+  let seq_a = ok (Journal.append j ~req:(J.Obj []) ~signature:"sig-tail-a") in
+  let seq_b = ok (Journal.append j ~req:(J.Obj []) ~signature:"sig-tail-b") in
+  ok (Journal.sync_to j seq_b);
+  let stats_before = Journal.sync_stats j in
+  ok (Journal.sync_to j seq_a);
+  let stats_after = Journal.sync_stats j in
+  Alcotest.(check int) "covered sync batched" (stats_before.Journal.batched + 1)
+    stats_after.Journal.batched;
+  Alcotest.(check int) "no extra fsync" stats_before.Journal.syncs stats_after.Journal.syncs;
+  Alcotest.(check bool) "leader fsyncs happened" true (stats_after.Journal.syncs > 0);
+  Journal.close j;
+  let header, entries = ok (Journal.load ~dir ~id:"gc") in
+  Alcotest.(check string) "header survives" "gc" header.Journal.session;
+  Alcotest.(check int) "every concurrent append persisted"
+    ((workers * per_worker) + 2)
+    (List.length entries);
+  let signatures = List.map (fun e -> e.Journal.signature) entries in
+  List.iter
+    (fun t ->
+      for i = 1 to per_worker do
+        let s = Printf.sprintf "sig-%d-%d" t i in
+        Alcotest.(check bool) (s ^ " present") true (List.mem s signatures)
+      done)
+    (List.init workers Fun.id)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serve"
@@ -708,4 +953,12 @@ let () =
         ] );
       ( "socket",
         [ Alcotest.test_case "end to end" `Quick test_socket_end_to_end ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "mixed read/mutate soak" `Quick test_concurrent_soak;
+          Alcotest.test_case "striped stats add up" `Quick test_stats_race;
+          Alcotest.test_case "eviction races in-flight requests" `Quick test_eviction_race;
+          Alcotest.test_case "client backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "journal group commit" `Quick test_group_commit;
+        ] );
     ]
