@@ -54,23 +54,26 @@ let use_pool n = n >= Atomic.get threshold && domain_count () > 1
 
 (* A worker loops on the queue until the pool shrinks below it.  Tasks
    own their error handling (map_chunks wraps every chunk); the catch
-   here only shields the loop from a task violating that. *)
+   here only shields the loop from a task violating that.  Queued work
+   is drained before a surplus worker retires: a [set_domain_count]
+   shrink racing an in-flight sweep must not strand chunks that
+   [map_chunks] is blocked waiting on. *)
 let rec worker () =
   Mutex.lock pool.lock;
   let rec next () =
-    if pool.live > pool.want then begin
+    if not (Queue.is_empty pool.queue) then begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.lock;
+      Some task
+    end
+    else if pool.live > pool.want then begin
       pool.live <- pool.live - 1;
       Mutex.unlock pool.lock;
       None
     end
-    else if Queue.is_empty pool.queue then begin
+    else begin
       Condition.wait pool.work pool.lock;
       next ()
-    end
-    else begin
-      let task = Queue.pop pool.queue in
-      Mutex.unlock pool.lock;
-      Some task
     end
   in
   match next () with

@@ -491,7 +491,8 @@ let sweep_recording t environment ids arr elims =
               stores.(j) <- (id, verdict) :: stores.(j);
               if verdict then eliminated := true
             | Error fault -> record_fault t e.e_cc ~op:"eliminate" fault))
-      elims
+      elims;
+    keep.(i) <- not !eliminated
   done;
   (keep, stores, !hits, !misses)
 

@@ -204,7 +204,14 @@ let with_session t sid k =
    unchanged.  In sync mode the fsync happens {e after} the slot lock
    is released — the reply still waits for durability, but the next
    mutation of the same session (and every other session) overlaps the
-   disk flush, group-committed by {!Journal.sync_to}. *)
+   disk flush, group-committed by {!Journal.sync_to}.
+
+   A {e failed} fsync is the one case where "failed request, state
+   unchanged" cannot hold: the mutation is already committed and
+   visible.  Rather than acknowledge in-memory state whose durability
+   is unknown (a retry would double-apply the mutation), the session is
+   evicted from the store: the error reply tells the client to re-open
+   with resume, which replays exactly what actually reached disk. *)
 let mutate t sid req apply =
   match Store.begin_mutation t.store sid with
   | None -> unknown_session sid
@@ -242,7 +249,14 @@ let mutate t sid req apply =
     | Some (j, seq) -> (
       match Journal.sync_to j seq with
       | Ok () -> response
-      | Error msg -> P.Failed (P.Journal_error, msg)))
+      | Error msg ->
+        Store.remove t.store sid;
+        P.Failed
+          (P.Journal_error,
+           Printf.sprintf
+             "%s; durability unknown — session %S closed, re-open with resume (do not retry \
+              the mutation blindly: it may already be journaled)"
+             msg sid)))
 
 (* Session creation (open / resume / branch targets) runs under the
    admission lock: the existence checks and the insert must be atomic

@@ -36,7 +36,14 @@
     With [journal_sync], the fsync that makes an acknowledged mutation
     durable is group-committed ({!Journal.sync_to}) and taken after the
     session's slot lock is released: the reply still waits for
-    durability, but concurrent mutations share disk flushes. *)
+    durability, but concurrent mutations share disk flushes.
+
+    A failed journal {e append} fails the request with the session
+    unchanged.  A failed {e fsync} cannot: the mutation is already
+    committed and visible, so the service evicts the session and the
+    [journal_error] reply directs the client to re-open with resume —
+    replay of what actually reached disk — rather than acknowledge
+    state of unknown durability or invite a double-applying retry. *)
 
 type config = {
   layers : (string * (eol:int -> Ds_layer.Session.t)) list;

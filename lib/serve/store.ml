@@ -157,8 +157,19 @@ let put t id entry =
   locked t (fun () ->
       (match Hashtbl.find_opt t.table id with
       | Some old ->
+        (* Replacing a resident id: the caller guarantees no mutation of
+           [id] can be in flight (the service only calls [put] for ids
+           verified absent under its admission lock), so the old slot's
+           lock must be free.  Take it non-blocking — blocking here
+           would invert the slot-before-table lock order — and fail
+           loudly if the guarantee is violated, rather than close a
+           journal descriptor out from under a mutator. *)
+        if not (Mutex.try_lock old.slock) then
+          invalid_arg
+            (Printf.sprintf "Store.put: session %S has a mutation in flight" id);
         if old.entry.journal != entry.journal then close_journal old.entry;
-        old.dead <- true
+        old.dead <- true;
+        Mutex.unlock old.slock
       | None -> ());
       Hashtbl.replace t.table id
         { entry; last_used = tick t; slock = Mutex.create (); dead = false };

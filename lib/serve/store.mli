@@ -61,7 +61,13 @@ val find : t -> string -> entry option
 val put : t -> string -> entry -> unit
 (** Insert or replace; may evict least-recently-used other entries
     (closing their journal handles) to stay within capacity, skipping
-    any entry with a mutation in flight. *)
+    any entry with a mutation in flight.
+
+    Replacing a {e resident} id requires that no mutation of that id is
+    (or can be) in flight — the service guarantees this by only calling
+    [put] for ids verified absent under its admission lock.  A violation
+    raises [Invalid_argument] rather than closing the old entry's
+    journal handle out from under its mutator. *)
 
 val begin_mutation : t -> string -> (mutation * entry) option
 (** Take the id's slot lock (blocking on a concurrent mutation of the

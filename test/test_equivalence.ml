@@ -318,18 +318,37 @@ let test_parallel_differential_crypto () =
 (* Under injected faults the parallel sweep abandons its optimistic
    chunks and replays sequentially, so the recorded fault order — and
    with it the strike/quarantine timeline — must match the sequential
-   path exactly. *)
+   path exactly.  A parallel-vs-sequential comparison alone can't catch
+   a bug shared by both sides' fallback, so the same walk also runs
+   with [~use_cache:false] — the naive recompute never enters the sweep
+   at all and is the independent oracle.
+
+   Step order matters for coverage: the un-injected budgets bind (and
+   eliminate) {e before} B0 arms the faulting EL0, so the fallback's
+   faulting queries run while other constraints are actively pruning —
+   a fallback that mishandles the survivor mask diverges from the
+   oracle instead of accidentally agreeing on "keep everything". *)
 let test_parallel_differential_faults () =
-  let walk () =
+  let walk use_cache () =
     let constraints =
       Faultsim.wrap_plan ~plan:[ ("EL0", Faultsim.Raise) ] (Syn.constraints syn_spec)
     in
     let mk () =
-      Session.create ~hierarchy:(Syn.hierarchy syn_spec) ~constraints
+      Session.create ~use_cache ~hierarchy:(Syn.hierarchy syn_spec) ~constraints
         ~cores:(Syn.cores syn_spec) ()
     in
+    let rebind name v s =
+      Result.bind (Session.retract s name) (fun s -> Session.set s name v)
+    in
     let steps =
-      syn_walk_steps
+      [
+        ("bind B1", fun s -> Session.set s (Syn.budget_name 1) (Value.real 480.0));
+        ("bind B3", fun s -> Session.set s (Syn.budget_name 3) (Value.real 600.0));
+        ("bind B0", fun s -> Session.set s (Syn.budget_name 0) (Value.real 430.0));
+        ("tighten B1", rebind (Syn.budget_name 1) (Value.real 210.0));
+        ("relax B1", rebind (Syn.budget_name 1) (Value.real 4200.0));
+        ("drop B3", fun s -> Session.retract s (Syn.budget_name 3));
+      ]
       @ List.init 3 (fun i ->
             ( Printf.sprintf "requery %d" i,
               fun s ->
@@ -338,9 +357,11 @@ let test_parallel_differential_faults () =
     in
     run_walk mk steps
   in
-  let sequential = with_parallel ~domains:1 ~threshold:1 walk in
-  let parallel = with_parallel ~domains:4 ~threshold:1 walk in
+  let sequential = with_parallel ~domains:1 ~threshold:1 (walk true) in
+  let parallel = with_parallel ~domains:4 ~threshold:1 (walk true) in
+  let naive = with_parallel ~domains:4 ~threshold:1 (walk false) in
   check_walks_agree ~name:"par-vs-seq-faults" sequential parallel;
+  check_walks_agree ~name:"naive-vs-par-faults" naive parallel;
   (* the injected constraint must actually have been driven into
      quarantine, or the timeline comparison proved nothing *)
   match List.rev parallel with
