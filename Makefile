@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test check bench bench-json serve-smoke bench-serve bench-compare doc examples clean
+.PHONY: all test check bench bench-json serve-smoke bench-serve bench-obs bench-compare obs-lint doc examples clean
 
 all:
 	dune build @all
@@ -13,9 +13,16 @@ check:
 	dune build
 	dune runtest --force
 	dune build @doc
+	$(MAKE) obs-lint
 	$(MAKE) examples
 	dune exec bench/main.exe -- micro --json --smoke
+	dune exec bench/main.exe -- obs --json --smoke
 	$(MAKE) serve-smoke
+
+# Span hygiene: every Obs.span_begin must be Fun.protect-closed or
+# carry an explicit waiver (scripts/obs_lint.sh).
+obs-lint:
+	sh scripts/obs_lint.sh
 
 # End-to-end exploration service check: socket round trip, SIGTERM
 # shutdown, journal resume after restart.
@@ -36,9 +43,16 @@ bench-compare:
 bench:
 	dune exec bench/main.exe
 
-# The incremental-pruning baseline at full population sizes (slow).
+# Telemetry-overhead bench: serve throughput with tracing off vs on
+# (writes BENCH_PR5.json; <=3% overhead budget, DESIGN.md 13).
+bench-obs:
+	dune exec bench/main.exe -- obs --json
+
+# The incremental-pruning baseline at full population sizes (slow),
+# plus the telemetry-overhead run (BENCH_PR5.json).
 bench-json:
 	dune exec bench/main.exe -- micro --json
+	dune exec bench/main.exe -- obs --json
 
 doc:
 	dune build @doc

@@ -23,6 +23,7 @@ module N = Ds_domains.Names
 module SV = Ds_serve.Service
 module SP = Ds_serve.Protocol
 module SJ = Ds_serve.Jsonx
+module Obs = Ds_obs.Obs
 
 (* One service configuration for every front end (shell, serve, client
    tests): the full layer catalogue, the four crypto figures of merit,
@@ -675,7 +676,9 @@ let shell_cmd =
             query (SP.Signature { session = sid }) (fun payload ->
                 printf "  %s\n" (str "signature" payload))
           | _ when String.equal line "trace" ->
-            query (SP.Trace { session = sid }) (fun payload ->
+            query
+              (SP.Trace { session = sid; spans = false; since = None; max_spans = None })
+              (fun payload ->
                 let trace = str "trace" payload in
                 print_string trace;
                 if String.length trace = 0 || trace.[String.length trace - 1] <> '\n' then
@@ -877,6 +880,327 @@ let client_cmd =
        ~doc:"Send protocol request lines to a running dse service and print the replies.")
     Term.(const run $ socket_arg $ requests)
 
+(* ----- top: live service telemetry --------------------------------------- *)
+
+(* One polled [metrics] snapshot, flattened: registry tags are dropped
+   because the catalog keeps service and engine names disjoint. *)
+type metrics_sample = {
+  ms_uptime : float;
+  ms_sessions : int;
+  ms_counters : (string * int) list;
+  ms_gauges : (string * float) list;
+  ms_hists : (string * (int * float * int array)) list;  (* count, max, buckets *)
+}
+
+let parse_metrics payload =
+  let reg_objects =
+    match List.assoc_opt "registries" payload with
+    | Some (SJ.Obj regs) -> List.map snd regs
+    | _ -> []
+  in
+  let fold_members key json_of =
+    List.concat_map
+      (fun reg ->
+        match SJ.member key reg with
+        | Some (SJ.Obj fields) ->
+          List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) (json_of v)) fields
+        | _ -> [])
+      reg_objects
+  in
+  let hist_of v =
+    match (SJ.member "count" v, SJ.member "max" v, SJ.member "buckets" v) with
+    | Some c, Some m, Some (SJ.List bs) ->
+      let buckets = Array.of_list (List.filter_map SJ.to_int bs) in
+      Option.bind (SJ.to_int c) (fun c ->
+          Option.map (fun m -> (c, m, buckets)) (SJ.to_float m))
+    | _ -> None
+  in
+  {
+    ms_uptime =
+      Option.value ~default:0.0
+        (Option.bind (List.assoc_opt "uptime_s" payload) SJ.to_float);
+    ms_sessions =
+      Option.value ~default:0 (Option.bind (List.assoc_opt "sessions" payload) SJ.to_int);
+    ms_counters = fold_members "counters" SJ.to_int;
+    ms_gauges = fold_members "gauges" SJ.to_float;
+    ms_hists = fold_members "histograms" hist_of;
+  }
+
+(* Window a histogram between two cumulative snapshots by differencing
+   the bucket counts, then reuse the registry's own quantile estimator
+   over the delta.  The max is cumulative (the wire format carries no
+   windowed max); quantiles are windowed. *)
+let windowed_hist ?prev (count, max_us, buckets) =
+  let pcount, pbuckets =
+    match prev with Some (c, _, b) -> (c, b) | None -> (0, [||])
+  in
+  let counts =
+    Array.mapi
+      (fun i c -> c - if i < Array.length pbuckets then pbuckets.(i) else 0)
+      buckets
+  in
+  (count - pcount, fun p -> Obs.quantile_of ~counts ~count:(count - pcount) ~max:max_us p)
+
+let print_metrics_screen ~elapsed ~sample:s ~prev =
+  let window_label =
+    match prev with
+    | None -> "cumulative since server start"
+    | Some _ -> Printf.sprintf "last %.1fs window" elapsed
+  in
+  printf "dse top  uptime %.1fs  sessions %d  (%s)\n" s.ms_uptime s.ms_sessions window_label;
+  let prev_counters = match prev with Some p -> p.ms_counters | None -> [] in
+  let prev_hists = match prev with Some p -> p.ms_hists | None -> [] in
+  let dt = if elapsed > 0.0 then elapsed else 1.0 in
+  printf "  %-34s %9s %9s %9s %9s %9s\n" "latency (us)" "n" "p50" "p90" "p99" "max";
+  List.iter
+    (fun (name, h) ->
+      let n, q = windowed_hist ?prev:(List.assoc_opt name prev_hists) h in
+      if n > 0 then
+        let _, max_us, _ = h in
+        printf "  %-34s %9d %9.0f %9.0f %9.0f %9.0f\n" name n (q 0.5) (q 0.9) (q 0.99)
+          max_us)
+    s.ms_hists;
+  printf "  %-34s %11s\n" "counters" "rate/s";
+  List.iter
+    (fun (name, v) ->
+      match prev with
+      | None -> printf "  %-34s %11s  (total %d)\n" name "-" v
+      | Some _ ->
+        let dv = v - Option.value ~default:0 (List.assoc_opt name prev_counters) in
+        if dv > 0 then printf "  %-34s %11.1f  (total %d)\n" name (float_of_int dv /. dt) v)
+    s.ms_counters;
+  List.iter (fun (name, v) -> printf "  %-34s %11.1f\n" name v) s.ms_gauges;
+  print_newline ();
+  flush stdout
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval"; "i" ] ~docv:"SECS" ~doc:"Seconds between samples.")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "samples"; "n" ] ~docv:"N"
+          ~doc:"Stop after $(docv) samples (0 = run until interrupted).")
+  in
+  let run socket interval iterations =
+    let fetch () =
+      match
+        Ds_serve.Client.with_client ~socket (fun c ->
+            Ds_serve.Client.request c (SP.Metrics { format = None }))
+      with
+      | Ok (Ok (SP.Reply payload)) -> Ok (parse_metrics payload)
+      | Ok (Ok (SP.Failed (_, msg))) | Ok (Error msg) | Error msg -> Error msg
+    in
+    let rec loop n prev t_prev =
+      match fetch () with
+      | Error msg ->
+        Printf.eprintf "dse top: %s\n" msg;
+        1
+      | Ok sample ->
+        let now = Unix.gettimeofday () in
+        print_metrics_screen ~elapsed:(now -. t_prev) ~sample ~prev;
+        if iterations > 0 && n + 1 >= iterations then 0
+        else begin
+          Unix.sleepf interval;
+          loop (n + 1) (Some sample) now
+        end
+    in
+    loop 0 None (Unix.gettimeofday ())
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a running dse service's [metrics] op and show windowed request rates and \
+          latency quantiles (quantiles are bucket estimates; see DESIGN.md section 13).")
+    Term.(const run $ socket_arg $ interval $ iterations)
+
+(* ----- trace: exploration story from exported spans ----------------------- *)
+
+(* A recorded span as shipped by the [trace] op's spans mode. *)
+type wire_span = {
+  ws_seq : int;
+  ws_id : int;
+  ws_parent : int;
+  ws_name : string;
+  ws_attrs : (string * string) list;
+}
+
+let wire_span_of_json json =
+  match (SJ.member "seq" json, SJ.member "id" json, SJ.str_member "name" json) with
+  | Some seq, Some id, Some name ->
+    Option.bind (SJ.to_int seq) (fun ws_seq ->
+        Option.map
+          (fun ws_id ->
+            {
+              ws_seq;
+              ws_id;
+              ws_parent =
+                Option.value ~default:(-1)
+                  (Option.bind (SJ.member "parent" json) SJ.to_int);
+              ws_name = name;
+              ws_attrs =
+                (match SJ.member "attrs" json with
+                | Some (SJ.Obj fields) ->
+                  List.filter_map
+                    (fun (k, v) -> Option.map (fun v -> (k, v)) (SJ.to_str v))
+                    fields
+                | _ -> []);
+            })
+          (SJ.to_int id))
+  | _ -> None
+
+(* Drain the span ring through the since-cursor, one page at a time.
+   Stops on the first partial page: a full page means more may be
+   buffered, while a partial one is the current tail — polling again on
+   an idle ring would never drain, because each [trace] request records
+   its own [op.trace] span. *)
+let fetch_all_spans client =
+  let page_size = 512 in
+  let rec go since acc dropped raw =
+    match
+      Ds_serve.Client.request client
+        (SP.Trace { session = ""; spans = true; since; max_spans = Some page_size })
+    with
+    | Error msg | Ok (SP.Failed (_, msg)) -> Error msg
+    | Ok (SP.Reply payload) ->
+      let page =
+        Option.value ~default:[] (Option.bind (List.assoc_opt "spans" payload) SJ.to_list)
+      in
+      let d =
+        Option.value ~default:0 (Option.bind (List.assoc_opt "dropped" payload) SJ.to_int)
+      in
+      let parsed = List.filter_map wire_span_of_json page in
+      let acc = List.rev_append parsed acc
+      and raw = List.rev_append page raw
+      and dropped = dropped + d in
+      if List.length page < page_size then Ok (List.rev acc, dropped, List.rev raw)
+      else
+        let next =
+          Option.value ~default:0 (Option.bind (List.assoc_opt "next" payload) SJ.to_int)
+        in
+        go (Some next) acc dropped raw
+  in
+  go None [] 0 []
+
+(* Retell a session's exploration from span data alone: the [op.*]
+   roots carry the request, the nested [session.set] / [engine.sweep] /
+   [cc.eliminate] / [cc.derive] / [guard.fault] spans carry what the
+   engine did with it.  This is the [pp_trace] pruning story, but
+   reconstructed client-side from the wire format — no pretty-printer
+   involved. *)
+let print_trace_story session spans =
+  let attr k sp = List.assoc_opt k sp.ws_attrs in
+  let children = Hashtbl.create 256 in
+  List.iter
+    (fun sp ->
+      if sp.ws_parent >= 0 then
+        Hashtbl.replace children sp.ws_parent
+          (sp :: Option.value ~default:[] (Hashtbl.find_opt children sp.ws_parent)))
+    spans;
+  let rec descendants sp =
+    let kids =
+      List.sort
+        (fun a b -> compare a.ws_seq b.ws_seq)
+        (Option.value ~default:[] (Hashtbl.find_opt children sp.ws_id))
+    in
+    List.concat_map (fun k -> k :: descendants k) kids
+  in
+  let roots =
+    List.filter
+      (fun sp ->
+        String.length sp.ws_name > 3
+        && String.equal (String.sub sp.ws_name 0 3) "op."
+        && attr "session" sp = Some session)
+      spans
+    |> List.sort (fun a b -> compare a.ws_seq b.ws_seq)
+  in
+  let a ?(def = "?") k sp = Option.value ~default:def (attr k sp) in
+  let candidates sp =
+    match attr "candidates" sp with Some c -> Printf.sprintf "  candidates %s" c | None -> ""
+  in
+  List.iter
+    (fun root ->
+      let deep = descendants root in
+      let by_name n = List.filter (fun sp -> String.equal sp.ws_name n) deep in
+      (match a "op" root with
+      | "open" -> printf "open layer=%s%s\n" (a "layer" root) (candidates root)
+      | "set" | "decide" | "default" ->
+        let verb = if a "op" root = "decide" then "decision" else "requirement" in
+        List.iter
+          (fun s ->
+            match attr "source" s with
+            | Some "default" -> printf "default %s := %s\n" (a "name" s) (a "value" s)
+            | _ -> printf "%s %s := %s\n" verb (a "name" s) (a "value" s))
+          (List.filter (fun s -> attr "source" s <> None) (by_name "session.set"));
+        List.iter
+          (fun sweep ->
+            printf "  sweep: pool %s -> %s survivors%s\n" (a "pool" sweep)
+              (a ~def:"?" "survivors" sweep)
+              (if attr "fallback" sweep = Some "true" then "  (serial fallback)" else ""))
+          (by_name "engine.sweep");
+        List.iter
+          (fun e -> printf "    pruned by %s  (-%s)\n" (a "cc" e) (a "eliminated" e))
+          (by_name "cc.eliminate");
+        List.iter
+          (fun d -> printf "  derived %s := %s (by %s)\n" (a "name" d) (a "value" d) (a "cc" d))
+          (by_name "cc.derive");
+        List.iter
+          (fun f ->
+            printf "  constraint %s faulted during %s: %s\n" (a "cc" f) (a "op" f)
+              (a "fault" f))
+          (by_name "guard.fault")
+      | "retract" ->
+        List.iter
+          (fun s -> printf "retracted %s%s\n" (a "name" s) (candidates root))
+          (by_name "session.retract")
+      | "annotate" -> printf "note (annotate)%s\n" (candidates root)
+      | "branch" -> printf "branch -> %s%s\n" (a ~def:"?" "as" root) (candidates root)
+      | op -> printf "%s%s\n" op (candidates root));
+      if attr "ok" root = Some "false" then
+        printf "  !! rejected (%s)\n" (a ~def:"?" "code" root))
+    roots;
+  if roots = [] then
+    printf "no spans recorded for session %S (is telemetry enabled on the server?)\n" session
+
+let trace_cmd =
+  let session_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SESSION" ~doc:"Session id to reconstruct.")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Dump the raw span pages as JSON lines instead of the reconstructed story.")
+  in
+  let run socket session raw =
+    match
+      Ds_serve.Client.with_client ~socket (fun c -> fetch_all_spans c)
+    with
+    | Error msg | Ok (Error msg) ->
+      Printf.eprintf "dse trace: %s\n" msg;
+      1
+    | Ok (Ok (spans, dropped, raw_pages)) ->
+      if raw then List.iter (fun j -> printf "%s\n" (SJ.to_string j)) raw_pages
+      else begin
+        if dropped > 0 then
+          printf "(ring dropped %d spans before this read; story may be partial)\n" dropped;
+        print_trace_story session spans
+      end;
+      0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Reconstruct a session's exploration story (decisions, pruning, derivations, \
+          faults) from the service's exported telemetry spans.")
+    Term.(const run $ socket_arg $ session_arg $ raw)
+
 (* ----- main ------------------------------------------------------------- *)
 
 let () =
@@ -891,10 +1215,14 @@ let () =
          [
            tree_cmd; properties_cmd; constraints_cmd; cores_cmd; explore_cmd; preview_cmd;
            coproc_cmd; document_cmd; netlist_cmd; lint_cmd; shell_cmd; export_cmd; check_cmd;
-           serve_cmd; client_cmd;
+           serve_cmd; client_cmd; top_cmd; trace_cmd;
          ])
   with
   | code -> exit code
   | exception e ->
+    (* fatal trap: keep the event trail — whatever the telemetry ring
+       buffered (sweeps, eliminations, derivations) goes to stderr as
+       JSON lines before the process dies *)
     Printf.eprintf "dse: fatal error: %s\n" (Printexc.to_string e);
+    Obs.dump_ring_to stderr;
     exit 125

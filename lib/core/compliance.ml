@@ -21,6 +21,16 @@
    discards its write-back instead of poisoning the new generation.
    Racing sweeps at the same stamp compute identical verdicts
    (closures are deterministic), so their merges are idempotent. *)
+module Obs = Ds_obs.Obs
+
+(* Process-wide cache traffic, aggregated across every lineage's cache
+   into the global telemetry registry (DESIGN.md 13).  The per-cache
+   [stats] record below stays the per-lineage view. *)
+let m_verdict_hits = Obs.counter Obs.default "dse_engine_verdict_cache_hits_total"
+let m_verdict_misses = Obs.counter Obs.default "dse_engine_verdict_cache_misses_total"
+let m_survivor_hits = Obs.counter Obs.default "dse_engine_survivor_cache_hits_total"
+let m_survivor_misses = Obs.counter Obs.default "dse_engine_survivor_cache_misses_total"
+
 type slot = {
   mutable gen : int;
   mutable focus : string;
@@ -145,6 +155,8 @@ module Slot = struct
     if b = unknown then None else Some (b = inferior)
 
   let merge s writes ~hits ~misses =
+    if hits > 0 then Obs.add m_verdict_hits hits;
+    if misses > 0 then Obs.add m_verdict_misses misses;
     locked s.cache (fun () ->
         s.cache.verdict_hits <- s.cache.verdict_hits + hits;
         s.cache.verdict_misses <- s.cache.verdict_misses + misses;
@@ -195,9 +207,11 @@ let find_survivors t ~key =
       match Hashtbl.find_opt t.survivors key with
       | Some _ as r ->
         t.survivor_hits <- t.survivor_hits + 1;
+        Obs.incr m_survivor_hits;
         r
       | None ->
         t.survivor_misses <- t.survivor_misses + 1;
+        Obs.incr m_survivor_misses;
         None)
 
 let store_survivors t ~key cores =

@@ -1,3 +1,5 @@
+module Obs = Ds_obs.Obs
+
 type fault =
   | Raised of string
   | Non_finite of string
@@ -124,6 +126,25 @@ let locked reg f =
 
 let strikes_to_quarantine = 3
 
+(* Telemetry (DESIGN.md 13): faults and quarantines are global-registry
+   counters plus instant spans, so a pruning trace shows exactly when a
+   constraint dropped out. *)
+let m_faults = Obs.counter Obs.default "dse_engine_guard_faults_total"
+let m_quarantines = Obs.counter Obs.default "dse_engine_guard_quarantines_total"
+
+let observe_diag d =
+  Obs.incr m_faults;
+  if d.quarantines then Obs.incr m_quarantines;
+  if Obs.enabled () then
+    Obs.instant "guard.fault"
+      ~attrs:
+        [
+          ("cc", d.cc);
+          ("op", d.op);
+          ("fault", describe_fault d.fault);
+          ("quarantines", if d.quarantines then "true" else "false");
+        ]
+
 let entry_of reg cc =
   match Hashtbl.find_opt reg.states cc with
   | Some e -> e
@@ -154,7 +175,9 @@ let record reg ~cc ~op fault =
       if quarantines then
         e.status <- Quarantined { reason = describe_fault fault; at_event = seq }
       else if e.status = Healthy then e.status <- Degraded;
-      push reg { cc; op; fault; quarantines; seq })
+      let d = push reg { cc; op; fault; quarantines; seq } in
+      observe_diag d;
+      d)
 
 let force_quarantine reg ~cc ~op fault =
   locked reg (fun () ->
@@ -164,7 +187,9 @@ let force_quarantine reg ~cc ~op fault =
       | Healthy | Degraded ->
         let seq = Atomic.get reg.next_seq in
         e.status <- Quarantined { reason = describe_fault fault; at_event = seq };
-        Some (push reg { cc; op; fault; quarantines = true; seq }))
+        let d = push reg { cc; op; fault; quarantines = true; seq } in
+        observe_diag d;
+        Some d)
 
 let status_of reg cc =
   locked reg (fun () ->

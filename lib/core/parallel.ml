@@ -2,6 +2,8 @@
    library defines a [Domain] module of its own (the value domains of
    properties). *)
 
+module Obs = Ds_obs.Obs
+
 type task = unit -> unit
 
 type pool = {
@@ -42,9 +44,12 @@ let domain_count () =
   Mutex.unlock pool.lock;
   n
 
+let domains_gauge = Obs.gauge Obs.default "dse_engine_parallel_domains"
+
 let set_domain_count n =
   Mutex.lock pool.lock;
   pool.want <- clamp_domains n - 1;
+  Obs.set_gauge domains_gauge (float_of_int (pool.want + 1));
   (* surplus workers notice [live > want] and exit; missing ones are
      spawned by the next parallel sweep *)
   Condition.broadcast pool.work;
@@ -102,6 +107,12 @@ let () =
       Mutex.unlock pool.lock;
       List.iter (fun d -> try Stdlib.Domain.join d with _ -> ()) handles)
 
+(* one count per chunk actually forked to the pool (chunk 0, run on
+   the caller, included) *)
+let m_chunks = Obs.counter Obs.default "dse_engine_parallel_chunks_total"
+
+let () = Obs.set_gauge domains_gauge (float_of_int (initial_domains ()))
+
 let map_chunks ~n f =
   if n <= 0 then []
   else begin
@@ -111,6 +122,20 @@ let map_chunks ~n f =
     let nchunks = Stdlib.min d (Stdlib.max 1 (n / 64)) in
     if d <= 1 || n < Atomic.get threshold || nchunks <= 1 then [ f 0 n ]
     else begin
+      Obs.add m_chunks nchunks;
+      (* chunks run on pool domains, where the caller's span stack is
+         invisible: parent them explicitly on the span open here *)
+      let parent = Obs.current_span_id () in
+      let f =
+        if not (Obs.enabled ()) then f
+        else fun lo hi ->
+          let sp =
+            Obs.span_begin ?parent
+              ~attrs:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+              "parallel.chunk"
+          in
+          Fun.protect ~finally:(fun () -> Obs.span_end sp) (fun () -> f lo hi)
+      in
       let bounds c = (c * n / nchunks, (c + 1) * n / nchunks) in
       let results = Array.make nchunks None in
       let pending = ref (nchunks - 1) in

@@ -1,4 +1,15 @@
 module Core = Ds_reuse.Core
+module Obs = Ds_obs.Obs
+
+(* Engine telemetry (DESIGN.md 13): counters/histograms always record;
+   spans ([engine.sweep], [cc.eliminate], [engine.derive_fixpoint],
+   [cc.derive], [session.set], [session.retract]) record when tracing
+   is enabled and carry the pruning story — which constraint eliminated
+   how many cores — as structured data. *)
+let m_sweeps = Obs.counter Obs.default "dse_engine_sweeps_total"
+let m_sweep_us = Obs.histogram Obs.default "dse_engine_sweep_us"
+let m_eliminated = Obs.counter Obs.default "dse_engine_eliminated_total"
+let m_derive_rounds = Obs.counter Obs.default "dse_engine_derive_rounds_total"
 
 type source = Designer | Default_value | Derived of string
 
@@ -266,7 +277,9 @@ let violations = active_violations
    the constraints that fed the final round are quarantined with a
    divergence diagnostic. *)
 let derive_fixpoint t =
+  let rounds = ref 0 and derived = ref 0 in
   let rec step t budget =
+    incr rounds;
     let added_by = ref [] in
     let t' =
       List.fold_left
@@ -289,6 +302,15 @@ let derive_fixpoint t =
                     | Some (defined_at, prop) ->
                       if Property.accepts prop value then begin
                         added_by := cc.Consistency.name :: !added_by;
+                        incr derived;
+                        if Obs.enabled () then
+                          Obs.instant "cc.derive"
+                            ~attrs:
+                              [
+                                ("cc", cc.Consistency.name);
+                                ("name", name);
+                                ("value", Value.to_string value);
+                              ];
                         bump_generations
                           {
                             t with
@@ -321,7 +343,13 @@ let derive_fixpoint t =
     end
     else step t' (budget - 1)
   in
-  step t (List.length t.constraints + 8)
+  let sp = Obs.span_begin "engine.derive_fixpoint" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.add m_derive_rounds !rounds;
+      Obs.span_end sp
+        ~attrs:[ ("rounds", string_of_int !rounds); ("derived", string_of_int !derived) ])
+    (fun () -> step t (List.length t.constraints + 8))
 
 (* Candidate cores: under the focus, complying with every bound design
    issue, surviving the elimination constraints. *)
@@ -420,6 +448,7 @@ exception Sweep_fault
 let sweep_optimistic environment ids arr elims lo hi =
   let keep = Array.make (hi - lo) true in
   let stores = Array.make (Array.length elims) [] in
+  let elimc = Array.make (Array.length elims) 0 in
   let hits = ref 0 and misses = ref 0 in
   let faulted = ref false in
   (try
@@ -434,20 +463,26 @@ let sweep_optimistic environment ids arr elims lo hi =
             match Compliance.Slot.peek e.e_view ~id with
             | Some verdict ->
               incr hits;
-              if verdict then eliminated := true
+              if verdict then begin
+                eliminated := true;
+                elimc.(!j) <- elimc.(!j) + 1
+              end
             | None -> (
               incr misses;
               match Guard.run (fun () -> e.e_inferior environment core) with
               | Ok verdict ->
                 stores.(!j) <- (id, verdict) :: stores.(!j);
-                if verdict then eliminated := true
+                if verdict then begin
+                  eliminated := true;
+                  elimc.(!j) <- elimc.(!j) + 1
+                end
               | Error _ -> raise_notrace Sweep_fault));
          incr j
        done;
        keep.(i - lo) <- not !eliminated
      done
    with Sweep_fault -> faulted := true);
-  (lo, keep, stores, !hits, !misses, !faulted)
+  (lo, keep, stores, elimc, !hits, !misses, !faulted)
 
 (* The recording sweep (also the fault-fallback path of the optimistic
    one).  Readiness is hoisted (it depends only on bindings and focus,
@@ -463,6 +498,7 @@ let sweep_recording t environment ids arr elims =
   let n = Array.length arr in
   let keep = Array.make (Stdlib.max 1 n) true in
   let stores = Array.make (Array.length elims) [] in
+  let elimc = Array.make (Array.length elims) 0 in
   let hits = ref 0 and misses = ref 0 in
   Array.iter (fun e -> e.e_quarantined <- quarantined_cc t e.e_cc) elims;
   let diag_mark = ref (Guard.diag_count t.guard) in
@@ -483,18 +519,24 @@ let sweep_recording t environment ids arr elims =
           match Compliance.Slot.peek e.e_view ~id with
           | Some verdict ->
             incr hits;
-            if verdict then eliminated := true
+            if verdict then begin
+              eliminated := true;
+              elimc.(j) <- elimc.(j) + 1
+            end
           | None -> (
             incr misses;
             match Guard.run (fun () -> e.e_inferior environment core) with
             | Ok verdict ->
               stores.(j) <- (id, verdict) :: stores.(j);
-              if verdict then eliminated := true
+              if verdict then begin
+                eliminated := true;
+                elimc.(j) <- elimc.(j) + 1
+              end
             | Error fault -> record_fault t e.e_cc ~op:"eliminate" fault))
       elims;
     keep.(i) <- not !eliminated
   done;
-  (keep, stores, !hits, !misses)
+  (keep, stores, elimc, !hits, !misses)
 
 let candidates_memo t =
   let fkey = focus_key t in
@@ -552,34 +594,86 @@ let candidates_memo t =
             ~misses:(if j = 0 then misses else 0))
         stores
     in
-    let chunks = Parallel.map_chunks ~n (sweep_optimistic environment ids arr elims) in
-    if List.exists (fun (_, _, _, _, _, faulted) -> faulted) chunks then begin
-      (* a closure faulted: discard every chunk's private verdicts and
-         counters and replay sequentially, recording faults in exact
-         sequential encounter order — bit-identical to the pre-parallel
-         path (successful verdicts are deterministic and were never
-         published, so re-evaluating them has no side effects) *)
-      let keep, stores, hits, misses = sweep_recording t environment ids arr elims in
-      merge_stores stores ~hits ~misses;
-      let acc = ref [] in
-      for k = n - 1 downto 0 do
-        if keep.(k) then acc := arr.(k) :: !acc
-      done;
-      !acc
-    end
-    else begin
-      List.iter
-        (fun (_, _, stores, hits, misses, _) -> merge_stores stores ~hits ~misses)
-        chunks;
-      List.concat_map
-        (fun (lo, keep, _, _, _, _) ->
+    (* per-constraint elimination totals, cache traffic and the
+       fallback flag, accumulated for the sweep span and the registry *)
+    let elim_total = Array.make (Array.length elims) 0 in
+    let hits_total = ref 0 and misses_total = ref 0 in
+    let was_fallback = ref false in
+    let sp =
+      Obs.span_begin "engine.sweep"
+        ~attrs:
+          [
+            ("focus", fkey);
+            ("pool", string_of_int n);
+            ("constraints", string_of_int (Array.length elims));
+          ]
+    in
+    let t0 = Obs.now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.incr m_sweeps;
+        Obs.observe m_sweep_us (Obs.now_us () -. t0);
+        let eliminated = Array.fold_left ( + ) 0 elim_total in
+        Obs.add m_eliminated eliminated;
+        (* only constraints that did something: a span per no-op
+           constraint per sweep would bury the pruning story *)
+        if Obs.enabled () then
+          Array.iteri
+            (fun j e ->
+              if elim_total.(j) > 0 || e.e_quarantined then
+                Obs.instant "cc.eliminate"
+                  ~attrs:
+                    [
+                      ("cc", e.e_cc.Consistency.name);
+                      ("eliminated", string_of_int elim_total.(j));
+                      ("quarantined", if e.e_quarantined then "true" else "false");
+                    ])
+            elims;
+        Obs.span_end sp
+          ~attrs:
+            [
+              ("survivors", string_of_int (n - eliminated));
+              ("hits", string_of_int !hits_total);
+              ("misses", string_of_int !misses_total);
+              ("fallback", if !was_fallback then "true" else "false");
+            ])
+      (fun () ->
+        let chunks = Parallel.map_chunks ~n (sweep_optimistic environment ids arr elims) in
+        if List.exists (fun (_, _, _, _, _, _, faulted) -> faulted) chunks then begin
+          (* a closure faulted: discard every chunk's private verdicts and
+             counters and replay sequentially, recording faults in exact
+             sequential encounter order — bit-identical to the pre-parallel
+             path (successful verdicts are deterministic and were never
+             published, so re-evaluating them has no side effects) *)
+          was_fallback := true;
+          let keep, stores, elimc, hits, misses = sweep_recording t environment ids arr elims in
+          merge_stores stores ~hits ~misses;
+          Array.blit elimc 0 elim_total 0 (Array.length elimc);
+          hits_total := hits;
+          misses_total := misses;
           let acc = ref [] in
-          for k = Array.length keep - 1 downto 0 do
-            if keep.(k) then acc := arr.(lo + k) :: !acc
+          for k = n - 1 downto 0 do
+            if keep.(k) then acc := arr.(k) :: !acc
           done;
-          !acc)
-        chunks
-    end
+          !acc
+        end
+        else begin
+          List.iter
+            (fun (_, _, stores, elimc, hits, misses, _) ->
+              merge_stores stores ~hits ~misses;
+              Array.iteri (fun j c -> elim_total.(j) <- elim_total.(j) + c) elimc;
+              hits_total := !hits_total + hits;
+              misses_total := !misses_total + misses)
+            chunks;
+          List.concat_map
+            (fun (lo, keep, _, _, _, _, _) ->
+              let acc = ref [] in
+              for k = Array.length keep - 1 downto 0 do
+                if keep.(k) then acc := arr.(lo + k) :: !acc
+              done;
+              !acc)
+            chunks
+        end)
   end
 
 let candidates t =
@@ -609,9 +703,16 @@ let merit_summary t ~merit =
   else begin
     let key = state_signature t ^ "#" ^ merit in
     match Compliance.find_summary t.cache ~key with
-    | Some summary -> summary
+    | Some summary ->
+      if Obs.enabled () then
+        Obs.instant "eval.merit_summary" ~attrs:[ ("merit", merit); ("cached", "true") ];
+      summary
     | None ->
-      let summary = Evaluation.merit_summary (candidates t) ~merit in
+      let summary =
+        Obs.with_span "eval.merit_summary"
+          ~attrs:[ ("merit", merit); ("cached", "false") ]
+          (fun () -> Evaluation.merit_summary (candidates t) ~merit)
+      in
       Compliance.store_summary t.cache ~key summary;
       summary
   end
@@ -628,7 +729,12 @@ let open_issues t =
            Some (prop, eligible t prop.Property.name)
          else None)
 
-let set_with_source t name value source =
+let source_label = function
+  | Designer -> "designer"
+  | Default_value -> "default"
+  | Derived by -> "derived:" ^ by
+
+let set_with_source_unspanned t name value source =
   match Hierarchy.find_property t.hierarchy t.focus name with
   | None -> Error (Printf.sprintf "property %S is not visible at %s" name (String.concat "." t.focus))
   | Some (defined_at, prop) ->
@@ -694,6 +800,26 @@ let set_with_source t name value source =
               Ok (derive_fixpoint t''))))
     end
 
+let set_with_source t name value source =
+  if not (Obs.enabled ()) then set_with_source_unspanned t name value source
+  else begin
+    let sp =
+      Obs.span_begin "session.set"
+        ~attrs:
+          [ ("name", name); ("value", Value.to_string value); ("source", source_label source) ]
+    in
+    Fun.protect
+      ~finally:(fun () -> Obs.span_end sp)
+      (fun () ->
+        match set_with_source_unspanned t name value source with
+        | Ok _ as r ->
+          Obs.span_add sp [ ("ok", "true") ];
+          r
+        | Error e as r ->
+          Obs.span_add sp [ ("ok", "false"); ("error", e) ];
+          r)
+  end
+
 let set t name value = set_with_source t name value Designer
 let annotate t note = { t with trail = Trail.push t.trail (Note note) }
 
@@ -737,7 +863,7 @@ let set_default t name =
 
 (* Retract: drop the binding, recompute every derived binding from the
    survivors, and pop the focus when a generalized decision goes away. *)
-let retract t name =
+let retract_unspanned t name =
   match binding t name with
   | None -> Error (Printf.sprintf "property %S is not bound" name)
   | Some b -> (
@@ -790,6 +916,22 @@ let retract t name =
       (* every dropped binding re-opens the constraints that mention it *)
       let t' = List.fold_left bump_generations t' (name :: invalidated) in
       Ok (derive_fixpoint t'))
+
+let retract t name =
+  if not (Obs.enabled ()) then retract_unspanned t name
+  else begin
+    let sp = Obs.span_begin "session.retract" ~attrs:[ ("name", name) ] in
+    Fun.protect
+      ~finally:(fun () -> Obs.span_end sp)
+      (fun () ->
+        match retract_unspanned t name with
+        | Ok _ as r ->
+          Obs.span_add sp [ ("ok", "true") ];
+          r
+        | Error e as r ->
+          Obs.span_add sp [ ("ok", "false"); ("error", e) ];
+          r)
+  end
 
 let estimates t =
   List.filter_map

@@ -1,0 +1,563 @@
+(* Telemetry: metrics registry + structured tracer.  See obs.mli for
+   the contract; DESIGN.md section 13 for the taxonomy and overhead
+   budget. *)
+
+let now () = Unix.gettimeofday ()
+let now_us () = now () *. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* Striping.
+
+   Counters and histograms keep one cell per stripe and pick the
+   stripe from the calling domain's id, so concurrent recorders from
+   different domains touch different cache lines (counters) or
+   different locks (histograms).  Systhreads sharing a domain share a
+   stripe, which is correct (atomics / a mutex) just not contention-
+   free — the hot recorders (parallel sweep chunks) are domains. *)
+
+let stripes = 16 (* power of two *)
+let stripe_mask = stripes - 1
+let stripe_id () = (Stdlib.Domain.self () :> int) land stripe_mask
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+type counter = int Atomic.t array
+
+let make_counter () : counter = Array.init stripes (fun _ -> Atomic.make 0)
+
+let add (c : counter) n =
+  let cell = Array.unsafe_get c (stripe_id ()) in
+  ignore (Atomic.fetch_and_add cell n)
+
+let incr c = add c 1
+let counter_value (c : counter) = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+(* ------------------------------------------------------------------ *)
+(* Gauges *)
+
+type gauge = float Atomic.t
+
+let make_gauge () : gauge = Atomic.make 0.0
+let set_gauge (g : gauge) v = Atomic.set g v
+let gauge_value (g : gauge) = Atomic.get g
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+(* Geometric buckets, ratio 1.25, upper bounds 1µs .. ~4.4e7µs (~44s).
+   One bucket of relative resolution bounds the quantile estimate:
+   at worst the true value is anywhere inside the chosen bucket, so
+   the estimate is within +25%/-20% of the truth; with the midpoint
+   interpolation below the expected error is ~±12%. *)
+
+let bucket_count = 80
+let bucket_ratio = 1.25
+
+let bucket_bounds =
+  Array.init bucket_count (fun i -> bucket_ratio ** float_of_int i)
+
+(* index of the bucket holding [v]: smallest i with v <= bounds.(i),
+   or [bucket_count] (overflow) when v exceeds the last bound *)
+let bucket_index v =
+  if v <= bucket_bounds.(0) then 0
+  else if v > bucket_bounds.(bucket_count - 1) then bucket_count
+  else begin
+    let lo = ref 0 and hi = ref (bucket_count - 1) in
+    (* invariant: bounds.(lo) < v <= bounds.(hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bucket_bounds.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+type hstripe = {
+  hs_lock : Mutex.t;
+  hs_counts : int array; (* bucket_count + 1, last = overflow *)
+  mutable hs_count : int;
+  mutable hs_sum : float;
+  mutable hs_min : float;
+  mutable hs_max : float;
+}
+
+type histogram = hstripe array
+
+let make_histogram () : histogram =
+  Array.init stripes (fun _ ->
+      {
+        hs_lock = Mutex.create ();
+        hs_counts = Array.make (bucket_count + 1) 0;
+        hs_count = 0;
+        hs_sum = 0.0;
+        hs_min = infinity;
+        hs_max = neg_infinity;
+      })
+
+let observe (h : histogram) v =
+  let v = if Float.is_nan v then 0.0 else Float.max v 0.0 in
+  let s = Array.unsafe_get h (stripe_id ()) in
+  let i = bucket_index v in
+  Mutex.lock s.hs_lock;
+  s.hs_counts.(i) <- s.hs_counts.(i) + 1;
+  s.hs_count <- s.hs_count + 1;
+  s.hs_sum <- s.hs_sum +. v;
+  if v < s.hs_min then s.hs_min <- v;
+  if v > s.hs_max then s.hs_max <- v;
+  Mutex.unlock s.hs_lock
+
+type hsnapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_counts : int array;
+}
+
+let h_snapshot (h : histogram) =
+  let counts = Array.make (bucket_count + 1) 0 in
+  let count = ref 0 and sum = ref 0.0 in
+  let mn = ref infinity and mx = ref neg_infinity in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.hs_lock;
+      Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) s.hs_counts;
+      count := !count + s.hs_count;
+      sum := !sum +. s.hs_sum;
+      if s.hs_min < !mn then mn := s.hs_min;
+      if s.hs_max > !mx then mx := s.hs_max;
+      Mutex.unlock s.hs_lock)
+    h;
+  { h_count = !count; h_sum = !sum; h_min = !mn; h_max = !mx; h_counts = counts }
+
+let quantile_of ~counts ~count ~max p =
+  if count <= 0 then nan
+  else begin
+    let p = Float.min 1.0 (Float.max 0.0 p) in
+    let rank = p *. float_of_int count in
+    let i = ref 0 and cum = ref 0 in
+    let n = Array.length counts in
+    while !i < n - 1 && float_of_int (!cum + counts.(!i)) < rank do
+      cum := !cum + counts.(!i);
+      Stdlib.incr i
+    done;
+    let i = !i in
+    let lower = if i = 0 then 0.0 else bucket_bounds.(i - 1) in
+    let upper =
+      if i >= bucket_count then (if Float.is_finite max then Float.max max lower else lower *. bucket_ratio)
+      else bucket_bounds.(i)
+    in
+    let in_bucket = counts.(i) in
+    let frac =
+      if in_bucket <= 0 then 1.0
+      else Float.min 1.0 ((rank -. float_of_int !cum) /. float_of_int in_bucket)
+    in
+    let est = lower +. (frac *. (upper -. lower)) in
+    if Float.is_finite max && est > max then max else est
+  end
+
+let quantile (s : hsnapshot) p =
+  if s.h_count = 0 then nan
+  else begin
+    let est = quantile_of ~counts:s.h_counts ~count:s.h_count ~max:s.h_max p in
+    if Float.is_finite s.h_min && est < s.h_min then s.h_min else est
+  end
+
+let h_mean s = if s.h_count = 0 then nan else s.h_sum /. float_of_int s.h_count
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+type registry = {
+  r_lock : Mutex.t;
+  r_counters : (string, counter) Hashtbl.t;
+  r_gauges : (string, gauge) Hashtbl.t;
+  r_histograms : (string, histogram) Hashtbl.t;
+}
+
+let create_registry () =
+  {
+    r_lock = Mutex.create ();
+    r_counters = Hashtbl.create 32;
+    r_gauges = Hashtbl.create 8;
+    r_histograms = Hashtbl.create 32;
+  }
+
+let default = create_registry ()
+
+let find_or_create r tbl name make =
+  Mutex.lock r.r_lock;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+      let v = make () in
+      Hashtbl.add tbl name v;
+      v
+  in
+  Mutex.unlock r.r_lock;
+  v
+
+let counter r name = find_or_create r r.r_counters name make_counter
+let gauge r name = find_or_create r r.r_gauges name make_gauge
+let histogram r name = find_or_create r r.r_histograms name make_histogram
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let metric_names r =
+  Mutex.lock r.r_lock;
+  let names = sorted_keys r.r_counters @ sorted_keys r.r_gauges @ sorted_keys r.r_histograms in
+  Mutex.unlock r.r_lock;
+  List.sort String.compare names
+
+let items_of r tbl =
+  Mutex.lock r.r_lock;
+  let items = sorted_keys tbl |> List.map (fun k -> (k, Hashtbl.find tbl k)) in
+  Mutex.unlock r.r_lock;
+  items
+
+let counters r = items_of r r.r_counters |> List.map (fun (k, c) -> (k, counter_value c))
+let gauges r = items_of r r.r_gauges |> List.map (fun (k, g) -> (k, gauge_value g))
+let histograms r = items_of r r.r_histograms |> List.map (fun (k, h) -> (k, h_snapshot h))
+
+(* ------------------------------------------------------------------ *)
+(* Tracing: enable flag *)
+
+let env_disabled =
+  match Sys.getenv_opt "DSE_TELEMETRY" with
+  | Some ("0" | "off" | "false" | "no") -> true
+  | _ -> false
+
+let enabled_flag = Atomic.make (not env_disabled)
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* ------------------------------------------------------------------ *)
+(* Tracing: spans *)
+
+type rec_span = {
+  sr_seq : int;
+  sr_id : int;
+  sr_parent : int;
+  sr_name : string;
+  sr_t0 : float;
+  sr_dur_us : float;
+  sr_attrs : (string * string) list;
+}
+
+let dummy_span =
+  { sr_seq = -1; sr_id = -1; sr_parent = -1; sr_name = ""; sr_t0 = 0.0; sr_dur_us = 0.0; sr_attrs = [] }
+
+(* the ring of completed spans *)
+type ring = {
+  rg_lock : Mutex.t;
+  mutable rg_buf : rec_span array;
+  mutable rg_stored : int; (* valid entries ending at rg_next - 1 *)
+  mutable rg_next : int; (* next sequence number *)
+}
+
+let default_cap =
+  match Option.bind (Sys.getenv_opt "DSE_TRACE_CAP") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 4096
+
+let ring =
+  { rg_lock = Mutex.create (); rg_buf = Array.make default_cap dummy_span; rg_stored = 0; rg_next = 0 }
+
+let set_trace_cap n =
+  let n = Stdlib.max 1 n in
+  Mutex.lock ring.rg_lock;
+  ring.rg_buf <- Array.make n dummy_span;
+  ring.rg_stored <- 0;
+  Mutex.unlock ring.rg_lock
+
+let trace_clear () =
+  Mutex.lock ring.rg_lock;
+  ring.rg_stored <- 0;
+  Mutex.unlock ring.rg_lock
+
+let ring_record ~id ~parent ~name ~t0 ~dur_us ~attrs =
+  Mutex.lock ring.rg_lock;
+  let seq = ring.rg_next in
+  let cap = Array.length ring.rg_buf in
+  ring.rg_buf.(seq mod cap) <-
+    { sr_seq = seq; sr_id = id; sr_parent = parent; sr_name = name; sr_t0 = t0; sr_dur_us = dur_us; sr_attrs = attrs };
+  ring.rg_next <- seq + 1;
+  if ring.rg_stored < cap then ring.rg_stored <- ring.rg_stored + 1;
+  Mutex.unlock ring.rg_lock
+
+let trace_read ?(since = 0) ?max_spans () =
+  Mutex.lock ring.rg_lock;
+  let cap = Array.length ring.rg_buf in
+  let first_avail = ring.rg_next - ring.rg_stored in
+  let since = Stdlib.max 0 since in
+  let start = Stdlib.max since first_avail in
+  let stop = ring.rg_next in
+  let dropped = Stdlib.max 0 (Stdlib.min stop start - since) in
+  let avail = Stdlib.max 0 (stop - start) in
+  let take = match max_spans with Some m -> Stdlib.max 0 (Stdlib.min m avail) | None -> avail in
+  let spans = List.init take (fun k -> ring.rg_buf.((start + k) mod cap)) in
+  let next = if take < avail then start + take else stop in
+  Mutex.unlock ring.rg_lock;
+  (spans, next, dropped)
+
+(* per-(domain, thread) stacks of open span ids, for implicit
+   parenting.  Sharded by domain id so recorders on different domains
+   do not contend. *)
+
+type stack_shard = { st_lock : Mutex.t; st_tbl : (int * int, int list) Hashtbl.t }
+
+let stack_shards =
+  Array.init stripes (fun _ -> { st_lock = Mutex.create (); st_tbl = Hashtbl.create 8 })
+
+let stack_key () =
+  let d = (Stdlib.Domain.self () :> int) in
+  (d, Thread.id (Thread.self ()))
+
+let shard_of d = stack_shards.(d land stripe_mask)
+
+let stack_push id =
+  let ((d, _) as key) = stack_key () in
+  let sh = shard_of d in
+  Mutex.lock sh.st_lock;
+  let prev = Option.value ~default:[] (Hashtbl.find_opt sh.st_tbl key) in
+  Hashtbl.replace sh.st_tbl key (id :: prev);
+  Mutex.unlock sh.st_lock
+
+let stack_remove key id =
+  let d, _ = key in
+  let sh = shard_of d in
+  Mutex.lock sh.st_lock;
+  (match Hashtbl.find_opt sh.st_tbl key with
+  | None -> ()
+  | Some ids -> (
+    (* usually the head; tolerate out-of-order closes *)
+    match List.filter (fun i -> i <> id) ids with
+    | [] -> Hashtbl.remove sh.st_tbl key
+    | rest -> Hashtbl.replace sh.st_tbl key rest));
+  Mutex.unlock sh.st_lock
+
+let stack_top () =
+  let ((d, _) as key) = stack_key () in
+  let sh = shard_of d in
+  Mutex.lock sh.st_lock;
+  let top = match Hashtbl.find_opt sh.st_tbl key with Some (id :: _) -> Some id | _ -> None in
+  Mutex.unlock sh.st_lock;
+  top
+
+let stack_depth () =
+  let ((d, _) as key) = stack_key () in
+  let sh = shard_of d in
+  Mutex.lock sh.st_lock;
+  let n = match Hashtbl.find_opt sh.st_tbl key with Some ids -> List.length ids | None -> 0 in
+  Mutex.unlock sh.st_lock;
+  n
+
+let current_span_id () = stack_top ()
+
+let next_id = Atomic.make 1
+
+type span = {
+  sp_live : bool;
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_t0 : float;
+  sp_key : int * int; (* the stack the id was pushed on *)
+  mutable sp_attrs : (string * string) list;
+  mutable sp_closed : bool;
+}
+
+let dead_span =
+  { sp_live = false; sp_id = -1; sp_parent = -1; sp_name = ""; sp_t0 = 0.0; sp_key = (0, 0); sp_attrs = []; sp_closed = true }
+
+let span_begin ?parent ?(attrs = []) name =
+  if not (enabled ()) then dead_span
+  else begin
+    let parent =
+      match parent with
+      | Some p -> p
+      | None -> ( match stack_top () with Some p -> p | None -> -1)
+    in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let key = stack_key () in
+    stack_push id;
+    { sp_live = true; sp_id = id; sp_parent = parent; sp_name = name; sp_t0 = now (); sp_key = key; sp_attrs = attrs; sp_closed = false }
+  end
+
+let span_add sp attrs = if sp.sp_live && not sp.sp_closed then sp.sp_attrs <- sp.sp_attrs @ attrs
+
+(* begin- and end-attrs may repeat a key (e.g. [session] echoed back
+   in a reply): keep the last occurrence *)
+let dedup_attrs attrs =
+  let seen = Hashtbl.create 8 in
+  List.rev
+    (List.filter
+       (fun (k, _) ->
+         if Hashtbl.mem seen k then false
+         else begin
+           Hashtbl.add seen k ();
+           true
+         end)
+       (List.rev attrs))
+
+let span_end ?(attrs = []) sp =
+  if sp.sp_live && not sp.sp_closed then begin
+    sp.sp_closed <- true;
+    stack_remove sp.sp_key sp.sp_id;
+    let dur_us = (now () -. sp.sp_t0) *. 1e6 in
+    ring_record ~id:sp.sp_id ~parent:sp.sp_parent ~name:sp.sp_name ~t0:sp.sp_t0
+      ~dur_us:(Float.max 0.0 dur_us)
+      ~attrs:(dedup_attrs (sp.sp_attrs @ attrs))
+  end
+
+let with_span ?(attrs = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let sp = span_begin ~attrs name in
+    Fun.protect
+      ~finally:(fun () -> span_end sp)
+      (fun () ->
+        try f ()
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          span_add sp [ ("error", Printexc.to_string e) ];
+          Printexc.raise_with_backtrace e bt)
+  end
+
+let instant ?(attrs = []) name =
+  if enabled () then begin
+    let parent = match stack_top () with Some p -> p | None -> -1 in
+    let id = Atomic.fetch_and_add next_id 1 in
+    ring_record ~id ~parent ~name ~t0:(now ()) ~dur_us:0.0 ~attrs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let span_to_json sp =
+  let b = Buffer.create 160 in
+  Buffer.add_string b (Printf.sprintf "{\"seq\":%d,\"id\":%d" sp.sr_seq sp.sr_id);
+  if sp.sr_parent >= 0 then Buffer.add_string b (Printf.sprintf ",\"parent\":%d" sp.sr_parent);
+  Buffer.add_string b ",\"name\":\"";
+  json_escape b sp.sr_name;
+  Buffer.add_string b (Printf.sprintf "\",\"t0\":%.6f,\"dur_us\":%.3f" sp.sr_t0 sp.sr_dur_us);
+  if sp.sr_attrs <> [] then begin
+    Buffer.add_string b ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        json_escape b k;
+        Buffer.add_string b "\":\"";
+        json_escape b v;
+        Buffer.add_char b '"')
+      sp.sr_attrs;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let trace_json_lines ?since () =
+  let spans, _, _ = trace_read ?since () in
+  List.map span_to_json spans
+
+let dump_ring_to oc =
+  let spans, _, dropped = trace_read () in
+  if dropped > 0 then Printf.fprintf oc "{\"dropped\":%d}\n" dropped;
+  List.iter (fun sp -> output_string oc (span_to_json sp); output_char oc '\n') spans;
+  flush oc
+
+(* a metric name may carry a {label="value",...} suffix; the
+   Prometheus exporter splits it so histogram [le] labels merge in *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, "")
+  | Some i when String.length name > 0 && name.[String.length name - 1] = '}' ->
+    (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 2))
+  | Some _ -> (name, "")
+
+let with_labels base labels extra =
+  let all = List.filter (fun s -> s <> "") [ labels; extra ] in
+  match all with [] -> base | l -> Printf.sprintf "%s{%s}" base (String.concat "," l)
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prometheus regs =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (tag, r) ->
+      if tag <> "" then Buffer.add_string b (Printf.sprintf "# registry: %s\n" tag);
+      Mutex.lock r.r_lock;
+      let counters = sorted_keys r.r_counters |> List.map (fun k -> (k, Hashtbl.find r.r_counters k)) in
+      let gauges = sorted_keys r.r_gauges |> List.map (fun k -> (k, Hashtbl.find r.r_gauges k)) in
+      let hists = sorted_keys r.r_histograms |> List.map (fun k -> (k, Hashtbl.find r.r_histograms k)) in
+      Mutex.unlock r.r_lock;
+      List.iter
+        (fun (name, c) ->
+          let base, labels = split_labels name in
+          Buffer.add_string b (Printf.sprintf "%s %d\n" (with_labels base labels "") (counter_value c)))
+        counters;
+      List.iter
+        (fun (name, g) ->
+          let base, labels = split_labels name in
+          Buffer.add_string b (Printf.sprintf "%s %s\n" (with_labels base labels "") (fmt_float (gauge_value g))))
+        gauges;
+      List.iter
+        (fun (name, h) ->
+          let s = h_snapshot h in
+          let base, labels = split_labels name in
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              if i < bucket_count then
+                Buffer.add_string b
+                  (Printf.sprintf "%s %d\n"
+                     (with_labels (base ^ "_bucket") labels (Printf.sprintf "le=\"%g\"" bucket_bounds.(i)))
+                     !cum))
+            s.h_counts;
+          Buffer.add_string b
+            (Printf.sprintf "%s %d\n" (with_labels (base ^ "_bucket") labels "le=\"+Inf\"") s.h_count);
+          Buffer.add_string b (Printf.sprintf "%s %s\n" (with_labels (base ^ "_sum") labels "") (fmt_float s.h_sum));
+          Buffer.add_string b (Printf.sprintf "%s %d\n" (with_labels (base ^ "_count") labels "") s.h_count))
+        hists)
+    regs;
+  Buffer.contents b
+
+let pp_summary fmt regs =
+  List.iter
+    (fun (tag, r) ->
+      if tag <> "" then Format.fprintf fmt "[%s]@." tag;
+      Mutex.lock r.r_lock;
+      let counters = sorted_keys r.r_counters |> List.map (fun k -> (k, Hashtbl.find r.r_counters k)) in
+      let gauges = sorted_keys r.r_gauges |> List.map (fun k -> (k, Hashtbl.find r.r_gauges k)) in
+      let hists = sorted_keys r.r_histograms |> List.map (fun k -> (k, Hashtbl.find r.r_histograms k)) in
+      Mutex.unlock r.r_lock;
+      List.iter (fun (name, c) -> Format.fprintf fmt "  %s = %d@." name (counter_value c)) counters;
+      List.iter (fun (name, g) -> Format.fprintf fmt "  %s = %s@." name (fmt_float (gauge_value g))) gauges;
+      List.iter
+        (fun (name, h) ->
+          let s = h_snapshot h in
+          if s.h_count = 0 then Format.fprintf fmt "  %s: empty@." name
+          else
+            Format.fprintf fmt "  %s: count=%d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus@."
+              name s.h_count (h_mean s) (quantile s 0.5) (quantile s 0.9) (quantile s 0.99) s.h_max)
+        hists)
+    regs

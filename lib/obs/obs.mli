@@ -1,0 +1,225 @@
+(** Telemetry: a zero-dependency metrics registry and structured
+    tracer shared by the exploration engine, the service, the bench
+    harness and the CLI.
+
+    The subsystem has three parts:
+
+    - a {b metrics registry} of named counters, gauges and fixed-bucket
+      latency histograms.  Counters and histograms are striped per
+      domain so that instrumenting the parallel sweep does not
+      serialize it: increments touch one [Atomic.t] (counters) or one
+      per-stripe mutex (histograms) selected by the calling domain's
+      id, and readers merge the stripes.
+    - a {b structured tracer}: spans with parent ids and key/value
+      attributes, recorded on completion into a bounded global ring
+      buffer.  Each recorded span carries a monotonically increasing
+      sequence number, which gives exporters a since-cursor: readers
+      poll [trace_read ~since] and are told exactly how many spans the
+      ring dropped between polls.
+    - {b exporters}: JSON-lines trace dump, Prometheus-style text
+      exposition, and a human [pp] summary.
+
+    Clocks: span timestamps and durations come from
+    {!Unix.gettimeofday}.  OCaml's stdlib exposes no monotonic wall
+    clock without C stubs; [gettimeofday] is what the rest of this
+    repo already times with, and durations are short enough that the
+    distinction is immaterial for profiling.  Durations are reported
+    in microseconds throughout.
+
+    Everything is safe to call from any domain or thread.  Recording
+    is gated on {!set_enabled}: when disabled, [span_begin] returns a
+    dead span without reading the clock and metric updates are still
+    applied (metrics are cheap and the service's [stats] op depends on
+    them); only tracing is switched off. *)
+
+val now_us : unit -> float
+(** The subsystem's clock, in microseconds — for callers that time a
+    region for a histogram without opening a span. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Registry} *)
+
+type registry
+(** A namespace of metrics.  The engine and journal record into
+    {!default}; a {!Service.t} creates its own registry so that per-op
+    request metrics are per-instance (tests assert exact counts). *)
+
+val create_registry : unit -> registry
+
+val default : registry
+(** The process-global registry: engine (sweep, caches, guard,
+    parallel) and journal metrics. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Counters} *)
+
+type counter
+
+val counter : registry -> string -> counter
+(** Find or create the named counter.  Metric names follow the
+    catalog in DESIGN.md section 13: [dse_<area>_<what>_total], with
+    an optional [{label="value"}] suffix that the Prometheus exporter
+    splits out. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+(** Sum over all stripes — exact, not sampled. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : registry -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(* ------------------------------------------------------------------ *)
+(** {1 Histograms} *)
+
+type histogram
+(** Fixed geometric buckets: {!bucket_bounds} spans 1µs .. ~44s with
+    ratio 1.25, so a quantile estimate is off by at most one bucket
+    (+25% / -0%% at the edges, ~±12% with midpoint interpolation —
+    bounds documented in DESIGN.md 13).  Count, sum, min and max are
+    tracked exactly, which is what keeps the service's legacy [stats]
+    shapes bit-compatible. *)
+
+val bucket_bounds : float array
+(** Upper bounds (inclusive, µs) of the finite buckets.  Values above
+    the last bound land in an overflow bucket whose quantile estimate
+    is the exact observed max. *)
+
+val histogram : registry -> string -> histogram
+val observe : histogram -> float -> unit
+(** Record one value in microseconds.  Negative values clamp to 0. *)
+
+type hsnapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [infinity] when empty *)
+  h_max : float;  (** [neg_infinity] when empty *)
+  h_counts : int array;  (** per-bucket counts; length [Array.length bucket_bounds + 1], last = overflow *)
+}
+
+val h_snapshot : histogram -> hsnapshot
+(** Merge all stripes into one consistent-enough view (stripes are
+    read under their own locks; cross-stripe skew is bounded by
+    in-flight observations). *)
+
+val quantile : hsnapshot -> float -> float
+(** [quantile s 0.99] estimates p99 in µs by walking the cumulative
+    bucket counts and interpolating inside the target bucket.  Returns
+    [nan] on an empty snapshot; the overflow bucket reports the exact
+    max. *)
+
+val quantile_of : counts:int array -> count:int -> max:float -> float -> float
+(** The same estimator over raw bucket counts (as shipped by the
+    [metrics] protocol op), for clients like [dse top] that window
+    quantiles by differencing two snapshots. *)
+
+val h_mean : hsnapshot -> float
+(** [h_sum /. h_count], or [nan] when empty. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Tracing} *)
+
+val set_enabled : bool -> unit
+(** Master switch for span recording (metrics are unaffected).
+    Default: enabled, unless the [DSE_TELEMETRY] environment variable
+    is ["0"], ["off"] or ["false"] at startup. *)
+
+val enabled : unit -> bool
+
+type span
+(** A live (unfinished) span.  Dead spans (created while disabled) are
+    recorded nowhere and cost two words. *)
+
+val span_begin : ?parent:int -> ?attrs:(string * string) list -> string -> span
+(** Open a span.  The parent defaults to the innermost open span of
+    the calling (domain, thread) — explicit [?parent] is for work that
+    hops domains, e.g. parallel sweep chunks.  Every [span_begin] must
+    reach {!span_end} on all paths; use {!with_span} (which is
+    [Fun.protect]-based) unless the begin/end straddle a structure the
+    lint script ([scripts/obs_lint.sh]) can check. *)
+
+val span_end : ?attrs:(string * string) list -> span -> unit
+(** Close the span, append [attrs] to those given at begin, and record
+    it in the ring.  Idempotent: closing twice records once. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span; the span is closed via
+    [Fun.protect] even when [f] raises (the exception is re-raised,
+    and the span gains an [error] attribute). *)
+
+val span_add : span -> (string * string) list -> unit
+(** Attach attributes to a still-open span. *)
+
+val instant : ?attrs:(string * string) list -> string -> unit
+(** A zero-duration span — an event.  Parented like {!span_begin}. *)
+
+val current_span_id : unit -> int option
+(** Id of the innermost open span on this (domain, thread), for
+    explicit cross-domain parenting. *)
+
+val stack_depth : unit -> int
+(** Open-span nesting depth of the calling (domain, thread) — test
+    hook for nesting well-formedness. *)
+
+type rec_span = {
+  sr_seq : int;  (** global, monotonically increasing *)
+  sr_id : int;
+  sr_parent : int;  (** -1 for roots *)
+  sr_name : string;
+  sr_t0 : float;  (** start, seconds since epoch *)
+  sr_dur_us : float;
+  sr_attrs : (string * string) list;
+}
+
+val trace_read : ?since:int -> ?max_spans:int -> unit -> rec_span list * int * int
+(** [trace_read ~since ()] returns [(spans, next, dropped)]: the
+    recorded spans with [sr_seq >= since] (oldest first, at most
+    [max_spans]), the cursor to pass as [since] next time, and how
+    many spans in the requested range the bounded ring had already
+    evicted.  [since] defaults to 0 — i.e. "everything still
+    buffered, and tell me what I lost". *)
+
+val set_trace_cap : int -> unit
+(** Resize the ring (default 4096, or [DSE_TRACE_CAP]).  Clears
+    buffered spans; sequence numbers keep counting. *)
+
+val trace_clear : unit -> unit
+(** Drop buffered spans (sequence numbers keep counting) — test hook. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Exporters} *)
+
+val span_to_json : rec_span -> string
+(** One span as a single JSON line (no trailing newline). *)
+
+val trace_json_lines : ?since:int -> unit -> string list
+(** The buffered trace as JSON lines, oldest first. *)
+
+val dump_ring_to : out_channel -> unit
+(** Flush the buffered trace as JSON lines — the [dse explore] fatal
+    trap calls this on stderr so a crash keeps its event trail. *)
+
+val metric_names : registry -> string list
+(** All registered metric names, sorted. *)
+
+val counters : registry -> (string * int) list
+val gauges : registry -> (string * float) list
+val histograms : registry -> (string * hsnapshot) list
+(** Sorted snapshots of a registry's contents — the raw material of
+    the protocol's [metrics] op. *)
+
+val prometheus : (string * registry) list -> string
+(** Prometheus-style text exposition of the given registries (label =
+    a prefix comment per registry).  Histograms emit cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count]; names carrying
+    a [{...}] suffix get [le] merged into their label set. *)
+
+val pp_summary : Format.formatter -> (string * registry) list -> unit
+(** Human-readable registry summary: counters, gauges, and histogram
+    count/mean/p50/p90/p99/max lines. *)

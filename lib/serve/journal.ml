@@ -75,6 +75,16 @@ let guard_io f =
     Error (Printf.sprintf "journal: %s: %s" arg (Unix.error_message err))
   | Sys_error msg -> Error ("journal: " ^ msg)
 
+(* Journal traffic aggregates into the global telemetry registry under
+   the unified catalog (DESIGN.md 13): [dse_journal_fsync_batched_total]
+   is what the per-journal {!sync_stats} shim spells [batched]. *)
+module Obs = Ds_obs.Obs
+
+let m_appends = Obs.counter Obs.default "dse_journal_appends_total"
+let m_fsyncs = Obs.counter Obs.default "dse_journal_fsyncs_total"
+let m_batched = Obs.counter Obs.default "dse_journal_fsync_batched_total"
+let m_fsync_us = Obs.histogram Obs.default "dse_journal_fsync_us"
+
 (* Write + flush to the kernel, under the journal lock.  Durability
    (fsync) is [sync_to]'s job, taken outside any session lock. *)
 let write_line t line =
@@ -117,8 +127,12 @@ let create ?(sync = false) ~dir header =
       e)
 
 let append t ~req ~signature =
-  write_line t
-    (Jsonx.to_string (Jsonx.Obj [ ("req", req); ("sig", Jsonx.Str signature) ]))
+  let r =
+    write_line t
+      (Jsonx.to_string (Jsonx.Obj [ ("req", req); ("sig", Jsonx.Str signature) ]))
+  in
+  if Result.is_ok r then Obs.incr m_appends;
+  r
 
 let rec sync_to t seq =
   if not t.sync then Ok ()
@@ -127,6 +141,7 @@ let rec sync_to t seq =
     if t.synced >= seq then begin
       (* a leader's fsync already covered this entry *)
       t.batched <- t.batched + 1;
+      Obs.incr m_batched;
       Mutex.unlock t.lock;
       Ok ()
     end
@@ -142,13 +157,21 @@ let rec sync_to t seq =
       t.syncing <- true;
       let target = t.seq in
       Mutex.unlock t.lock;
+      let sp = Obs.span_begin "journal.fsync" in
+      let t0 = Obs.now_us () in
       let r = guard_io (fun () -> Unix.fsync t.fd) in
+      Obs.observe m_fsync_us (Obs.now_us () -. t0);
+      Obs.span_end sp
+        ~attrs:
+          [ ("ok", match r with Ok () -> "true" | Error _ -> "false") ]
+        (* obs-lint: guard_io never raises, the span always closes *);
       Mutex.lock t.lock;
       t.syncing <- false;
       (match r with
       | Ok () ->
         t.synced <- Stdlib.max t.synced target;
-        t.syncs <- t.syncs + 1
+        t.syncs <- t.syncs + 1;
+        Obs.incr m_fsyncs
       | Error _ -> ());
       Condition.broadcast t.synced_cond;
       Mutex.unlock t.lock;

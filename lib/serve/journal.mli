@@ -74,7 +74,15 @@ val sync_to : t -> int -> (unit, string) result
     any session lock. *)
 
 (** Group-commit effectiveness: [syncs] fsyncs actually issued,
-    [batched] {!sync_to} calls satisfied by another caller's fsync. *)
+    [batched] {!sync_to} calls satisfied by another caller's fsync.
+
+    Deprecation shim: this per-journal record predates the telemetry
+    registry; the process-wide equivalents live in
+    {!Ds_obs.Obs.default} under the unified names
+    [dse_journal_fsyncs_total] / [dse_journal_fsync_batched_total]
+    (plus [dse_journal_appends_total] and the [dse_journal_fsync_us]
+    histogram).  Kept so existing assertions about one journal's
+    batching stay meaningful. *)
 type sync_stats = { syncs : int; batched : int }
 
 val sync_stats : t -> sync_stats

@@ -11,13 +11,14 @@ type request =
   | Issues of { session : string }
   | Preview of { session : string; issue : string; merit : string option }
   | Script of { session : string }
-  | Trace of { session : string }
+  | Trace of { session : string; spans : bool; since : int option; max_spans : int option }
   | Health of { session : string }
   | Signature of { session : string }
   | Report of { session : string; title : string option }
   | Branch of { session : string; as_id : string option }
   | Close of { session : string }
   | Stats
+  | Metrics of { format : string option }
 
 type error_code =
   | Parse_error
@@ -155,8 +156,22 @@ let request_of_json json =
     let* session = session_field json in
     Ok (Script { session })
   | "trace" ->
-    let* session = session_field json in
-    Ok (Trace { session })
+    let spans =
+      match Option.bind (field "spans" json) Jsonx.to_bool with
+      | Some b -> b
+      | None -> false
+    in
+    (* the span page is a view of the server-global ring, so a spans
+       query needs no session; the text trace renders one session *)
+    let* session =
+      match Jsonx.str_member "session" json with
+      | Some s -> Ok s
+      | None when spans -> Ok ""
+      | None -> Error "missing or non-string field \"session\""
+    in
+    let since = Option.bind (field "since" json) Jsonx.to_int in
+    let max_spans = Option.bind (field "max" json) Jsonx.to_int in
+    Ok (Trace { session; spans; since; max_spans })
   | "health" ->
     let* session = session_field json in
     Ok (Health { session })
@@ -173,6 +188,7 @@ let request_of_json json =
     let* session = session_field json in
     Ok (Close { session })
   | "stats" -> Ok Stats
+  | "metrics" -> Ok (Metrics { format = Jsonx.str_member "format" json })
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
 (* ------------------------------------------------------------------ *)
@@ -244,8 +260,15 @@ let json_of_request r =
       ]
   | Script { session } ->
     obj [ some "op" (Jsonx.Str "script"); some "session" (Jsonx.Str session) ]
-  | Trace { session } ->
-    obj [ some "op" (Jsonx.Str "trace"); some "session" (Jsonx.Str session) ]
+  | Trace { session; spans; since; max_spans } ->
+    obj
+      [
+        some "op" (Jsonx.Str "trace");
+        (if String.equal session "" && spans then None else some "session" (Jsonx.Str session));
+        (if spans then some "spans" (Jsonx.Bool true) else None);
+        Option.map (fun s -> ("since", Jsonx.Int s)) since;
+        Option.map (fun m -> ("max", Jsonx.Int m)) max_spans;
+      ]
   | Health { session } ->
     obj [ some "op" (Jsonx.Str "health"); some "session" (Jsonx.Str session) ]
   | Signature { session } ->
@@ -267,6 +290,7 @@ let json_of_request r =
   | Close { session } ->
     obj [ some "op" (Jsonx.Str "close"); some "session" (Jsonx.Str session) ]
   | Stats -> obj [ some "op" (Jsonx.Str "stats") ]
+  | Metrics { format } -> obj [ some "op" (Jsonx.Str "metrics"); opt "format" format ]
 
 let parse_request line =
   match Jsonx.of_string line with

@@ -29,7 +29,19 @@
     - [branch]: fork the session into a new id (optional ["as"]) —
       O(1), sessions are immutable values;
     - [close]: drop the session from the store;
-    - [stats]: server-wide request counters and latency figures.
+    - [stats]: server-wide request counters and latency figures
+      (legacy shape, kept for existing tooling — the registry-backed
+      [metrics] op is the superset);
+    - [metrics]: the telemetry registries (optional ["format"]:
+      ["json"] (default) or ["prometheus"]) — every counter, gauge and
+      latency histogram with raw bucket counts, so clients compute
+      windowed rates and quantiles by differencing snapshots;
+    - [trace] with ["spans":true]: one page of the server's span ring
+      buffer (optional ["since"] cursor and ["max"] page size); the
+      reply carries ["next"] — the cursor for the following page — and
+      ["dropped"], how many spans of the requested range the bounded
+      ring had already evicted.  Without ["spans"] it remains the
+      rendered per-session text trace.
 
     {2 Reply grammar}
 
@@ -53,13 +65,18 @@ type request =
   | Issues of { session : string }
   | Preview of { session : string; issue : string; merit : string option }
   | Script of { session : string }
-  | Trace of { session : string }
+  | Trace of { session : string; spans : bool; since : int option; max_spans : int option }
+      (** [spans = false]: the rendered text trace of [session].
+          [spans = true]: a page of the global span ring ([session]
+          may be [""] — spans are filtered client-side by their
+          [session] attribute). *)
   | Health of { session : string }
   | Signature of { session : string }
   | Report of { session : string; title : string option }
   | Branch of { session : string; as_id : string option }
   | Close of { session : string }
   | Stats
+  | Metrics of { format : string option }
 
 type error_code =
   | Parse_error

@@ -1,3 +1,5 @@
+module Obs = Ds_obs.Obs
+
 type t = {
   service : Service.t;
   socket : string;
@@ -53,39 +55,51 @@ let connections_served t =
 let try_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* One connection: request line in, reply line out, until EOF (or the
-   connection is closed under us at shutdown). *)
-let serve_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     let rec loop () =
-       match In_channel.input_line ic with
-       | None -> ()
-       | Some line ->
-         let line = String.trim line in
-         if not (String.equal line "") then begin
-           let reply =
-             if Atomic.get t.stop then
-               Protocol.print_response
-                 (Protocol.Failed (Protocol.Shutting_down, "server is shutting down"))
-             else Service.handle_line t.service line
-           in
-           output_string oc reply;
-           output_char oc '\n';
-           flush oc
-         end;
-         if not (Atomic.get t.stop) then loop ()
-     in
-     loop ()
-   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
-  Mutex.lock t.lock;
-  Hashtbl.remove t.active fd;
-  t.served <- t.served + 1;
-  (* close while holding the lock: teardown shuts down in-flight fds
-     under the same lock, so it can never race this close and hit a
-     descriptor number the kernel has already recycled *)
-  try_close fd;
-  Mutex.unlock t.lock
+   connection is closed under us at shutdown).  The whole accept→
+   dispatch→reply life of the connection is one [server.connection]
+   span; the per-request [op.*] spans {!Service.handle} opens nest
+   under it (same worker domain/thread). *)
+let serve_connection t ~queue_wait_us fd =
+  let sp =
+    Obs.span_begin "server.connection"
+      ~attrs:[ ("queue_wait_us", Printf.sprintf "%.1f" queue_wait_us) ]
+  in
+  let requests = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Obs.span_end sp ~attrs:[ ("requests", string_of_int !requests) ])
+    (fun () ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (try
+         let rec loop () =
+           match In_channel.input_line ic with
+           | None -> ()
+           | Some line ->
+             let line = String.trim line in
+             if not (String.equal line "") then begin
+               incr requests;
+               let reply =
+                 if Atomic.get t.stop then
+                   Protocol.print_response
+                     (Protocol.Failed (Protocol.Shutting_down, "server is shutting down"))
+                 else Service.handle_line t.service line
+               in
+               output_string oc reply;
+               output_char oc '\n';
+               flush oc
+             end;
+             if not (Atomic.get t.stop) then loop ()
+         in
+         loop ()
+       with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+      Mutex.lock t.lock;
+      Hashtbl.remove t.active fd;
+      t.served <- t.served + 1;
+      (* close while holding the lock: teardown shuts down in-flight fds
+         under the same lock, so it can never race this close and hit a
+         descriptor number the kernel has already recycled *)
+      try_close fd;
+      Mutex.unlock t.lock)
 
 let worker t () =
   let rec loop () =
@@ -98,8 +112,9 @@ let worker t () =
     match job with
     | None -> ()
     | Some (fd, accepted) ->
-      Service.record_queue_wait t.service ((Unix.gettimeofday () -. accepted) *. 1.0e6);
-      serve_connection t fd;
+      let queue_wait_us = (Unix.gettimeofday () -. accepted) *. 1.0e6 in
+      Service.record_queue_wait t.service queue_wait_us;
+      serve_connection t ~queue_wait_us fd;
       loop ()
   in
   loop ()

@@ -1,6 +1,7 @@
 module Session = Ds_layer.Session
 module Value = Ds_layer.Value
 module P = Protocol
+module Obs = Ds_obs.Obs
 
 type config = {
   layers : (string * (eol:int -> Session.t)) list;
@@ -16,22 +17,28 @@ let config ?journal_dir ?(journal_sync = false) ?(default_eol = 768) ?(default_m
     ?report_pareto ?(capacity = 64) ~layers () =
   { layers; journal_dir; journal_sync; default_eol; default_merits; report_pareto; capacity }
 
-(* One striped counter per operation: each op has its own lock, so two
-   domains recording different ops never contend, and two recording the
-   same op contend only on that op's stripe. *)
-type op_stat = {
-  slock : Mutex.t;
-  mutable count : int;
-  mutable total_us : float;
-  mutable max_us : float;
-}
+(* Per-op request latency lives in the service's own telemetry
+   registry ({!Ds_obs.Obs}) as one histogram per op — striped per
+   domain inside Obs, so two domains recording the same op rarely
+   contend and different ops never do.  The registry is per service
+   instance (not {!Obs.default}): tests assert exact per-instance
+   counts, and several services can coexist in one process.  The
+   legacy [stats] reply shape survives as a shim over histogram
+   snapshots — count, mean and max are tracked exactly by the
+   histogram, so the old figures are bit-compatible. *)
 
 let op_names =
   [
     "open"; "set"; "decide"; "default"; "retract"; "annotate"; "candidates"; "ranges";
     "issues"; "preview"; "script"; "trace"; "health"; "signature"; "report"; "branch";
-    "close"; "stats";
+    "close"; "stats"; "metrics";
   ]
+
+(* the unified metric-name catalog (DESIGN.md 13): request latency is
+   [dse_request_us{op="..."}], accept-to-dispatch wait is
+   [dse_queue_wait_us] — the [stats] shim still spells the latter
+   [queue_wait] for old clients *)
+let op_metric op = Printf.sprintf "dse_request_us{op=%S}" op
 
 type t = {
   cfg : config;
@@ -40,15 +47,14 @@ type t = {
       (* serializes session creation (open/branch/resume): the
          check-then-create of a new id must be atomic against another
          request creating the same id *)
-  metrics : (string, op_stat) Hashtbl.t;
-      (* pre-populated with every op name at [create] and never resized
-         after, so concurrent [Hashtbl.find_opt]s are safe without a
-         table lock *)
-  queue_stat : op_stat;
+  registry : Obs.registry;
+  op_hists : (string, Obs.histogram) Hashtbl.t;
+      (* op name -> its latency histogram; pre-populated with every op
+         name at [create] and never resized after, so concurrent
+         [Hashtbl.find_opt]s are safe without a table lock *)
+  queue_hist : Obs.histogram;
   started : float;
 }
-
-let fresh_stat () = { slock = Mutex.create (); count = 0; total_us = 0.0; max_us = 0.0 }
 
 (* Parsing and indexing a layer is the dominant cost of [open] (~150ms
    for the shipped catalogues); sessions of one layer share the
@@ -81,16 +87,20 @@ let wrap_layers layers =
     layers
 
 let create cfg =
-  let metrics = Hashtbl.create 32 in
-  List.iter (fun op -> Hashtbl.add metrics op (fresh_stat ())) op_names;
+  let registry = Obs.create_registry () in
+  let op_hists = Hashtbl.create 32 in
+  List.iter (fun op -> Hashtbl.add op_hists op (Obs.histogram registry (op_metric op))) op_names;
   {
     cfg = { cfg with layers = wrap_layers cfg.layers };
     store = Store.create ~capacity:cfg.capacity ();
     admission = Mutex.create ();
-    metrics;
-    queue_stat = fresh_stat ();
+    registry;
+    op_hists;
+    queue_hist = Obs.histogram registry "dse_queue_wait_us";
     started = Unix.gettimeofday ();
   }
+
+let registry t = t.registry
 
 let session_count t = Store.count t.store
 
@@ -137,7 +147,8 @@ let apply_mutation s = function
   | P.Retract { name; _ } -> Some (Session.retract s name)
   | P.Annotate { text; _ } -> Some (Ok (Session.annotate s text))
   | P.Open _ | P.Candidates _ | P.Ranges _ | P.Issues _ | P.Preview _ | P.Script _
-  | P.Trace _ | P.Health _ | P.Signature _ | P.Report _ | P.Branch _ | P.Close _ | P.Stats ->
+  | P.Trace _ | P.Health _ | P.Signature _ | P.Report _ | P.Branch _ | P.Close _ | P.Stats
+  | P.Metrics _ ->
     None
 
 let resume ~layers ~dir ~id =
@@ -495,13 +506,38 @@ let dispatch t req =
                        [ ("name", Jsonx.Str name); ("value", P.json_of_value value) ])
                    (Session.script entry.Store.session)) );
           ])
-  | P.Trace { session } ->
+  | P.Trace { session; spans = false; _ } ->
     with_session t session (fun entry ->
         P.Reply
           [
             ("session", Jsonx.Str session);
             ("trace", Jsonx.Str (Format.asprintf "%a" Session.pp_trace entry.Store.session));
           ])
+  | P.Trace { spans = true; since; max_spans; _ } ->
+    (* one page of the global span ring; [next] is the cursor of the
+       following page, [dropped] what the bounded ring already evicted
+       from the requested range *)
+    let spans, next, dropped = Obs.trace_read ?since ?max_spans () in
+    let span_json (sp : Obs.rec_span) =
+      Jsonx.Obj
+        (("seq", Jsonx.Int sp.Obs.sr_seq)
+        :: ("id", Jsonx.Int sp.Obs.sr_id)
+        :: (if sp.Obs.sr_parent >= 0 then [ ("parent", Jsonx.Int sp.Obs.sr_parent) ] else [])
+        @ [
+            ("name", Jsonx.Str sp.Obs.sr_name);
+            ("t0", Jsonx.Float sp.Obs.sr_t0);
+            ("dur_us", Jsonx.Float sp.Obs.sr_dur_us);
+            ( "attrs",
+              Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Str v)) sp.Obs.sr_attrs) );
+          ])
+    in
+    P.Reply
+      [
+        ("spans", Jsonx.List (List.map span_json spans));
+        ("next", Jsonx.Int next);
+        ("dropped", Jsonx.Int dropped);
+        ("enabled", Jsonx.Bool (Obs.enabled ()));
+      ]
   | P.Health { session } ->
     with_session t session (fun entry ->
         P.Reply
@@ -551,20 +587,23 @@ let dispatch t req =
       Store.end_mutation m;
       P.Reply [ ("closed", Jsonx.Str session) ])
   | P.Stats ->
-    let stat_json stat =
-      Mutex.lock stat.slock;
-      let count = stat.count and total_us = stat.total_us and max_us = stat.max_us in
-      Mutex.unlock stat.slock;
+    (* deprecation shim: the pre-registry reply shape, reconstructed
+       from histogram snapshots (count/sum/max are exact, so the
+       figures match the old striped counters bit for bit).  New
+       clients should prefer [metrics]. *)
+    let stat_json h =
+      let s = Obs.h_snapshot h in
+      let count = s.Obs.h_count in
       Jsonx.Obj
         [
           ("count", Jsonx.Int count);
           ( "mean_us",
-            Jsonx.Float (if count = 0 then 0.0 else total_us /. float_of_int count) );
-          ("max_us", Jsonx.Float max_us);
+            Jsonx.Float (if count = 0 then 0.0 else s.Obs.h_sum /. float_of_int count) );
+          ("max_us", Jsonx.Float (if count = 0 then 0.0 else s.Obs.h_max));
         ]
     in
     let ops =
-      Hashtbl.fold (fun op stat acc -> (op, stat_json stat) :: acc) t.metrics []
+      Hashtbl.fold (fun op h acc -> (op, stat_json h) :: acc) t.op_hists []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
     P.Reply
@@ -573,9 +612,46 @@ let dispatch t req =
         ("sessions", Jsonx.Int (Store.count t.store));
         ("capacity", Jsonx.Int (Store.capacity t.store));
         ("evictions", Jsonx.Int (Store.evictions t.store));
-        ("queue_wait", stat_json t.queue_stat);
+        ("queue_wait", stat_json t.queue_hist);
         ("requests", Jsonx.Obj ops);
       ]
+  | P.Metrics { format } -> (
+    let regs = [ ("service", t.registry); ("engine", Obs.default) ] in
+    match format with
+    | Some "prometheus" ->
+      P.Reply [ ("format", Jsonx.Str "prometheus"); ("text", Jsonx.Str (Obs.prometheus regs)) ]
+    | None | Some "json" ->
+      let finite f = Jsonx.Float (if Float.is_finite f then f else 0.0) in
+      let hist_json (s : Obs.hsnapshot) =
+        Jsonx.Obj
+          [
+            ("count", Jsonx.Int s.Obs.h_count);
+            ("sum", finite s.Obs.h_sum);
+            ("min", finite s.Obs.h_min);
+            ("max", finite s.Obs.h_max);
+            ("buckets", Jsonx.List (Array.to_list (Array.map (fun c -> Jsonx.Int c) s.Obs.h_counts)));
+          ]
+      in
+      let reg_json r =
+        Jsonx.Obj
+          [
+            ( "counters",
+              Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Int v)) (Obs.counters r)) );
+            ("gauges", Jsonx.Obj (List.map (fun (k, v) -> (k, finite v)) (Obs.gauges r)));
+            ( "histograms",
+              Jsonx.Obj (List.map (fun (k, s) -> (k, hist_json s)) (Obs.histograms r)) );
+          ]
+      in
+      P.Reply
+        [
+          ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started));
+          ("sessions", Jsonx.Int (Store.count t.store));
+          ( "bounds",
+            Jsonx.List (Array.to_list (Array.map (fun b -> Jsonx.Float b) Obs.bucket_bounds)) );
+          ("registries", Jsonx.Obj (List.map (fun (tag, r) -> (tag, reg_json r)) regs));
+        ]
+    | Some other ->
+      P.Failed (P.Bad_request, Printf.sprintf "unknown metrics format %S (json|prometheus)" other))
 
 let op_name = function
   | P.Open _ -> "open"
@@ -596,30 +672,81 @@ let op_name = function
   | P.Branch _ -> "branch"
   | P.Close _ -> "close"
   | P.Stats -> "stats"
+  | P.Metrics _ -> "metrics"
 
-let bump stat us =
-  Mutex.lock stat.slock;
-  stat.count <- stat.count + 1;
-  stat.total_us <- stat.total_us +. us;
-  if us > stat.max_us then stat.max_us <- us;
-  Mutex.unlock stat.slock
-
-(* [t.metrics] is read-only after [create] (every op pre-populated), so
-   the lookup itself needs no lock; updates go through the op's own
-   stripe. *)
+(* [t.op_hists] is read-only after [create] (every op pre-populated),
+   so the lookup itself needs no lock; observations go through the
+   histogram's per-domain stripes. *)
 let record t op us =
-  match Hashtbl.find_opt t.metrics op with Some stat -> bump stat us | None -> ()
+  match Hashtbl.find_opt t.op_hists op with Some h -> Obs.observe h us | None -> ()
 
-let record_queue_wait t us = bump t.queue_stat us
+let record_queue_wait t us = Obs.observe t.queue_hist us
+
+(* attributes that let a span page retell the exploration: which
+   session, and for mutations which property went to which value *)
+let req_attrs req =
+  let op = op_name req in
+  let base = [ ("op", op) ] in
+  match req with
+  | P.Open { session; layer; _ } ->
+    base
+    @ (match session with Some s -> [ ("session", s) ] | None -> [])
+    @ [ ("layer", layer) ]
+  | P.Set { session; name; value; _ } ->
+    base @ [ ("session", session); ("name", name); ("value", Value.to_string value) ]
+  | P.Default { session; name } | P.Retract { session; name } ->
+    base @ [ ("session", session); ("name", name) ]
+  | P.Annotate { session; _ }
+  | P.Candidates { session }
+  | P.Ranges { session; _ }
+  | P.Issues { session }
+  | P.Script { session }
+  | P.Trace { session; _ }
+  | P.Health { session }
+  | P.Signature { session }
+  | P.Report { session; _ } ->
+    base @ [ ("session", session) ]
+  | P.Preview { session; issue; _ } -> base @ [ ("session", session); ("issue", issue) ]
+  | P.Branch { session; as_id } ->
+    base
+    @ [ ("session", session) ]
+    @ (match as_id with Some id -> [ ("as", id) ] | None -> [])
+  | P.Close { session } -> base @ [ ("session", session) ]
+  | P.Stats | P.Metrics _ -> base
+
+let response_attrs = function
+  | P.Reply payload ->
+    ("ok", "true")
+    :: List.filter_map
+         (fun (k, v) ->
+           match (k, v) with
+           | "candidates", Jsonx.Int n | "count", Jsonx.Int n ->
+             Some ("candidates", string_of_int n)
+           | "session", Jsonx.Str s -> Some ("session", s)
+           | _ -> None)
+         payload
+  | P.Failed (code, _) -> [ ("ok", "false"); ("code", P.error_code_label code) ]
 
 let handle t req =
-  let t0 = Unix.gettimeofday () in
-  let response =
-    try dispatch t req
-    with e -> P.Failed (P.Server_error, Printexc.to_string e)
-  in
-  record t (op_name req) ((Unix.gettimeofday () -. t0) *. 1.0e6);
-  response
+  let sp = Obs.span_begin ("op." ^ op_name req) ~attrs:(req_attrs req) in
+  let t0 = Obs.now_us () in
+  let response = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      record t (op_name req) (Obs.now_us () -. t0);
+      let attrs =
+        match !response with
+        | Some r -> response_attrs r
+        | None -> [ ("ok", "false"); ("code", "server_error") ]
+      in
+      Obs.span_end sp ~attrs)
+    (fun () ->
+      let r =
+        try dispatch t req
+        with e -> P.Failed (P.Server_error, Printexc.to_string e)
+      in
+      response := Some r;
+      r)
 
 let handle_line t line =
   let response =

@@ -21,8 +21,10 @@
     and must be atomic against duplicate ids).  Parsed layers are
     cached per (layer, eol): after the first open, opening a session
     costs a {!Ds_layer.Session.pristine} copy, not a re-parse.
-    Per-op latency metrics are striped (one lock per op name).  See
-    DESIGN.md section 12 for the full lock hierarchy.
+    Per-op latency lives in a per-instance {!Ds_obs.Obs} registry
+    (domain-striped histograms, [dse_request_us{op="..."}]); every
+    [handle] also opens an [op.<name>] telemetry span.  See DESIGN.md
+    sections 12 (locks) and 13 (observability).
 
     {2 Journaling}
 
@@ -78,10 +80,16 @@ val handle : t -> Protocol.request -> Protocol.response
     [rejected] replies, unexpected exceptions as [server_error].
     Safe to call concurrently from multiple domains. *)
 
+val registry : t -> Ds_obs.Obs.registry
+(** The service's metrics registry ([dse_request_us{op="..."}]
+    histograms and [dse_queue_wait_us]); the [metrics] protocol op
+    exports it together with the engine's {!Ds_obs.Obs.default}. *)
+
 val record_queue_wait : t -> float -> unit
-(** Record one request's accept-to-dispatch wait (µs) in the [stats]
-    op's [queue_wait] counters — called by {!Server} when a worker
-    dequeues a connection. *)
+(** Record one request's accept-to-dispatch wait (µs) in the
+    [dse_queue_wait_us] histogram (surfaced by [stats] as [queue_wait]
+    — the deprecation shim keeps the old spelling) — called by
+    {!Server} when a worker dequeues a connection. *)
 
 val handle_line : t -> string -> string
 (** Wire-format convenience: parse one request line, dispatch, print

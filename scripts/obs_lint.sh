@@ -1,0 +1,41 @@
+#!/bin/sh
+# Structural lint for telemetry spans (DESIGN.md 13): every
+# [Obs.span_begin] call site must reach [Obs.span_end] on all paths,
+# or the span stack leaks and parentage goes wrong for everything
+# recorded after an exception.  We accept either
+#
+#   - a [Fun.protect] within the next $WINDOW lines (the idiom used
+#     everywhere: close the span in ~finally), or
+#   - an explicit `(* obs-lint: ... *)` waiver within the same window,
+#     stating why the region between begin and end cannot raise
+#     (e.g. journal.ml's fsync leader, where guard_io catches).
+#
+# lib/obs itself is excluded: it defines the primitive.  test/ is
+# excluded: tests deliberately exercise unclosed and double-closed
+# spans.
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+
+WINDOW=12
+status=0
+
+for f in $(find lib bin -name '*.ml' ! -path 'lib/obs/*' | sort); do
+    bad=$(awk -v w="$WINDOW" '
+        /Obs\.span_begin/ { open[NR] = 1 }
+        /Fun\.protect/ || /obs-lint:/ {
+            for (l in open) if (NR >= l && NR - l <= w) delete open[l]
+        }
+        END { for (l in open) print l }
+    ' "$f" | sort -n)
+    for line in $bad; do
+        echo "obs-lint: $f:$line: Obs.span_begin without Fun.protect or an (* obs-lint: ... *) waiver within $WINDOW lines" >&2
+        status=1
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "obs lint OK (span_begin sites all protected or waived)"
+fi
+exit $status

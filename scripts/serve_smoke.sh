@@ -70,10 +70,41 @@ start_server
     '{"op":"open","session":"smoke","layer":"crypto"}' \
     '{"op":"decide","session":"smoke","name":"Operator Family","value":"modular"}' \
     '{"op":"decide","session":"smoke","name":"Modular Operator","value":"multiplier"}' \
+    '{"op":"set","session":"smoke","name":"Effective Operand Length","value":512}' \
+    '{"op":"set","session":"smoke","name":"Latency Single Operation","value":8}' \
     '{"op":"candidates","session":"smoke"}' \
     > "$work/round1.log"
 expect "$work/round1.log" '"session":"smoke"' '"count":'
 sig_before=$(grep -o '"signature":"[0-9a-f]*"' "$work/round1.log" | tail -1)
+
+# Telemetry: `dse trace` must reconstruct the session's pruning story
+# from span data alone (DESIGN.md 13), and the raw span dump is the CI
+# trace artifact.  `dse top` must render the metrics registries.
+"$dse" trace smoke --socket "$sock" > "$work/trace.txt"
+for fragment in 'open layer=crypto' 'decision Operator Family := modular' 'sweep:'; do
+    if ! grep -q -- "$fragment" "$work/trace.txt"; then
+        echo "FAIL: expected '$fragment' in dse trace output:" >&2
+        cat "$work/trace.txt" >&2
+        exit 1
+    fi
+done
+"$dse" trace smoke --json --socket "$sock" > "$work/trace_spans.jsonl"
+for fragment in '"name":"op.open"' '"name":"session.set"' '"name":"engine.sweep"'; do
+    if ! grep -q -- "$fragment" "$work/trace_spans.jsonl"; then
+        echo "FAIL: expected $fragment span in trace dump:" >&2
+        head -40 "$work/trace_spans.jsonl" >&2
+        exit 1
+    fi
+done
+artifact=${SMOKE_TRACE_ARTIFACT:-_build/serve_smoke_trace.jsonl}
+mkdir -p "$(dirname "$artifact")"
+cp "$work/trace_spans.jsonl" "$artifact"
+"$dse" top --socket "$sock" -n 1 > "$work/top.txt"
+if ! grep -q 'dse_request_us' "$work/top.txt"; then
+    echo "FAIL: dse top did not render request latency histograms:" >&2
+    cat "$work/top.txt" >&2
+    exit 1
+fi
 stop_server
 
 # Round 2: a fresh server over the same journal dir resumes the
@@ -84,7 +115,7 @@ start_server
     '{"op":"candidates","session":"smoke"}' \
     '{"op":"close","session":"smoke"}' \
     > "$work/round2.log"
-expect "$work/round2.log" '"resumed":true' '"replayed":2' '"closed":"smoke"'
+expect "$work/round2.log" '"resumed":true' '"replayed":4' '"closed":"smoke"'
 sig_after=$(grep -o '"signature":"[0-9a-f]*"' "$work/round2.log" | tail -1)
 if [ "$sig_before" != "$sig_after" ]; then
     echo "FAIL: replay diverged: $sig_before vs $sig_after" >&2
@@ -92,4 +123,4 @@ if [ "$sig_before" != "$sig_after" ]; then
 fi
 stop_server
 
-echo "serve smoke OK (resume verified, $sig_after)"
+echo "serve smoke OK (resume verified, $sig_after; trace artifact at $artifact)"

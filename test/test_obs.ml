@@ -1,0 +1,294 @@
+(* Tests for the telemetry subsystem (lib/obs): histogram quantile
+   accuracy against an exact-sort oracle, trace-ring wraparound and
+   since-cursor pagination, counter exactness under concurrent domains,
+   and span-nesting well-formedness under fault injection. *)
+
+module Obs = Ds_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Histogram vs exact-sort oracle                                      *)
+
+(* The histogram's geometric buckets (ratio 1.25) bound the quantile
+   estimate to one bucket: against the exact sorted-array quantile the
+   estimate must be within +25%/-20% (DESIGN.md 13).  Count, sum, min
+   and max are tracked exactly. *)
+let test_histogram_oracle () =
+  let rng = Random.State.make [| 42 |] in
+  let distributions =
+    [
+      ("uniform", fun () -> Random.State.float rng 10_000.0);
+      ("exponentialish", fun () -> -1_000.0 *. log (1.0 -. Random.State.float rng 0.999));
+      ("bimodal",
+       fun () ->
+         if Random.State.bool rng then 50.0 +. Random.State.float rng 10.0
+         else 50_000.0 +. Random.State.float rng 5_000.0);
+    ]
+  in
+  List.iter
+    (fun (name, draw) ->
+      let n = 5_000 in
+      let samples = Array.init n (fun _ -> draw ()) in
+      let h = Obs.histogram (Obs.create_registry ()) "oracle_us" in
+      Array.iter (Obs.observe h) samples;
+      let s = Obs.h_snapshot h in
+      Alcotest.(check int) (name ^ " count exact") n s.Obs.h_count;
+      let sorted = Array.copy samples in
+      Array.sort compare sorted;
+      Alcotest.(check (float 1e-6)) (name ^ " min exact") sorted.(0) s.Obs.h_min;
+      Alcotest.(check (float 1e-6)) (name ^ " max exact") sorted.(n - 1) s.Obs.h_max;
+      let sum = Array.fold_left ( +. ) 0.0 samples in
+      if abs_float (s.Obs.h_sum -. sum) > 1e-6 *. abs_float sum then
+        Alcotest.failf "%s sum drift: %f vs %f" name s.Obs.h_sum sum;
+      List.iter
+        (fun p ->
+          let exact = sorted.(Stdlib.min (n - 1) (int_of_float (p *. float_of_int n))) in
+          let est = Obs.quantile s p in
+          let rel = (est -. exact) /. exact in
+          if rel > 0.25 +. 1e-9 || rel < -0.20 -. 1e-9 then
+            Alcotest.failf "%s p%.0f: estimate %.1f vs exact %.1f (rel %.3f)" name
+              (100.0 *. p) est exact rel)
+        [ 0.5; 0.9; 0.95; 0.99 ])
+    distributions
+
+let test_histogram_edge_cases () =
+  let reg = Obs.create_registry () in
+  let h = Obs.histogram reg "edges_us" in
+  (* empty: quantile is nan, mean is nan *)
+  let s0 = Obs.h_snapshot h in
+  Alcotest.(check bool) "empty quantile nan" true (Float.is_nan (Obs.quantile s0 0.5));
+  Alcotest.(check bool) "empty mean nan" true (Float.is_nan (Obs.h_mean s0));
+  (* negative clamps to zero, overflow reports the exact max *)
+  Obs.observe h (-5.0);
+  let huge = 1.0e9 in
+  Obs.observe h huge;
+  let s = Obs.h_snapshot h in
+  Alcotest.(check int) "count" 2 s.Obs.h_count;
+  Alcotest.(check (float 1e-6)) "clamped min" 0.0 s.Obs.h_min;
+  Alcotest.(check (float 1e-6)) "overflow p100 = exact max" huge (Obs.quantile s 1.0);
+  let p99 = Obs.quantile s 0.99 in
+  Alcotest.(check bool) "overflow interpolates toward max" true
+    (p99 > Obs.bucket_bounds.(Array.length Obs.bucket_bounds - 1) && p99 <= huge);
+  (* the same estimator over raw wire-format bucket counts *)
+  Alcotest.(check (float 1e-6)) "quantile_of matches"
+    (Obs.quantile s 0.99)
+    (Obs.quantile_of ~counts:s.Obs.h_counts ~count:s.Obs.h_count ~max:s.Obs.h_max 0.99);
+  (* same-name lookup returns the same histogram *)
+  Obs.observe (Obs.histogram reg "edges_us") 3.0;
+  Alcotest.(check int) "find-or-create" 3 (Obs.h_snapshot h).Obs.h_count
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring: wraparound + since-cursor pagination                    *)
+
+let head_cursor () =
+  let _, next, _ = Obs.trace_read ~since:max_int () in
+  next
+
+let test_ring_wraparound () =
+  Obs.set_enabled true;
+  Obs.set_trace_cap 64;
+  let base = head_cursor () in
+  for i = 0 to 199 do
+    Obs.instant "wrap.test" ~attrs:[ ("i", string_of_int i) ]
+  done;
+  let spans, next, dropped = Obs.trace_read ~since:base () in
+  Alcotest.(check int) "ring keeps cap spans" 64 (List.length spans);
+  Alcotest.(check int) "dropped = overflow" (200 - 64) dropped;
+  Alcotest.(check int) "next = head" (base + 200) next;
+  (* the survivors are the newest, in order, with contiguous seqs *)
+  List.iteri
+    (fun k sp ->
+      Alcotest.(check int) "seq contiguous" (base + 136 + k) sp.Obs.sr_seq;
+      Alcotest.(check string) "payload matches seq"
+        (string_of_int (136 + k))
+        (List.assoc "i" sp.Obs.sr_attrs))
+    spans;
+  (* a cursor inside the retained window drops nothing *)
+  let spans2, _, dropped2 = Obs.trace_read ~since:(base + 150) () in
+  Alcotest.(check int) "tail read" 50 (List.length spans2);
+  Alcotest.(check int) "tail read drops nothing" 0 dropped2
+
+let test_ring_pagination () =
+  Obs.set_enabled true;
+  Obs.set_trace_cap 128;
+  let base = head_cursor () in
+  for i = 0 to 99 do
+    Obs.instant "page.test" ~attrs:[ ("i", string_of_int i) ]
+  done;
+  (* page through with a small page size; no span seen twice or missed *)
+  let rec drain since acc pages =
+    let spans, next, dropped = Obs.trace_read ~since ~max_spans:17 () in
+    Alcotest.(check int) "pagination never drops" 0 dropped;
+    match spans with
+    | [] -> (List.rev acc, pages)
+    | _ ->
+      Alcotest.(check bool) "page size respected" true (List.length spans <= 17);
+      drain next (List.rev_append spans acc) (pages + 1)
+  in
+  let all, pages = drain base [] 0 in
+  Alcotest.(check int) "all spans paged" 100 (List.length all);
+  Alcotest.(check int) "page count" ((100 + 16) / 17) pages;
+  List.iteri
+    (fun k sp -> Alcotest.(check int) "in order" (base + k) sp.Obs.sr_seq)
+    all;
+  (* cap resize clears the buffer but sequence numbers keep counting *)
+  Obs.set_trace_cap 4096;
+  let spans, next, _ = Obs.trace_read ~since:base () in
+  Alcotest.(check int) "resize clears" 0 (List.length spans);
+  Alcotest.(check bool) "seq keeps counting" true (next >= base + 100)
+
+(* ------------------------------------------------------------------ *)
+(* Counter exactness across concurrent domains                         *)
+
+let test_concurrent_counters () =
+  let reg = Obs.create_registry () in
+  let c = Obs.counter reg "race_total" in
+  let h = Obs.histogram reg "race_us" in
+  let domains = 4 and per_domain = 50_000 in
+  let body () =
+    for i = 1 to per_domain do
+      Obs.incr c;
+      if i mod 100 = 0 then Obs.observe h (float_of_int (i mod 1000))
+    done
+  in
+  let spawned = List.init domains (fun _ -> Stdlib.Domain.spawn body) in
+  body ();
+  List.iter Stdlib.Domain.join spawned;
+  Alcotest.(check int) "counter exact under domains"
+    ((domains + 1) * per_domain)
+    (Obs.counter_value c);
+  Alcotest.(check int) "histogram count exact under domains"
+    ((domains + 1) * (per_domain / 100))
+    (Obs.h_snapshot h).Obs.h_count;
+  (* bucket totals agree with the exact count *)
+  let s = Obs.h_snapshot h in
+  Alcotest.(check int) "bucket sum = count" s.Obs.h_count
+    (Array.fold_left ( + ) 0 s.Obs.h_counts)
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting under fault injection                                  *)
+
+exception Boom
+
+let find_span ~since name =
+  let spans, _, _ = Obs.trace_read ~since () in
+  List.filter (fun sp -> String.equal sp.Obs.sr_name name) spans
+
+let test_span_nesting_faults () =
+  Obs.set_enabled true;
+  Obs.set_trace_cap 4096;
+  let base = head_cursor () in
+  Alcotest.(check int) "depth 0 at rest" 0 (Obs.stack_depth ());
+  (* three levels, the innermost raising: every level must still close
+     (with_span is Fun.protect-based), parents must chain, and the
+     stack must unwind to zero *)
+  (try
+     Obs.with_span "outer" (fun () ->
+         Obs.with_span "middle" (fun () ->
+             Alcotest.(check int) "depth inside" 2 (Obs.stack_depth ());
+             Obs.with_span "inner" (fun () -> raise Boom)))
+   with Boom -> ());
+  Alcotest.(check int) "depth unwinds to 0 after raise" 0 (Obs.stack_depth ());
+  let outer = find_span ~since:base "outer"
+  and middle = find_span ~since:base "middle"
+  and inner = find_span ~since:base "inner" in
+  Alcotest.(check int) "outer recorded once" 1 (List.length outer);
+  Alcotest.(check int) "middle recorded once" 1 (List.length middle);
+  Alcotest.(check int) "inner recorded once" 1 (List.length inner);
+  let outer = List.hd outer and middle = List.hd middle and inner = List.hd inner in
+  Alcotest.(check int) "middle parented to outer" outer.Obs.sr_id middle.Obs.sr_parent;
+  Alcotest.(check int) "inner parented to middle" middle.Obs.sr_id inner.Obs.sr_parent;
+  Alcotest.(check int) "outer is a root" (-1) outer.Obs.sr_parent;
+  (* the faulting span carries the error attribute *)
+  Alcotest.(check bool) "inner has error attr" true
+    (List.mem_assoc "error" inner.Obs.sr_attrs);
+  (* children record before parents (completion order) *)
+  Alcotest.(check bool) "inner sealed before outer" true (inner.Obs.sr_seq < outer.Obs.sr_seq)
+
+let test_span_end_idempotent_and_parenting () =
+  Obs.set_enabled true;
+  let base = head_cursor () in
+  let sp = Obs.span_begin "idem" ~attrs:[ ("k", "begin") ] in
+  Obs.span_end sp ~attrs:[ ("k", "end") ];
+  Obs.span_end sp ~attrs:[ ("k", "again") ];
+  let recs = find_span ~since:base "idem" in
+  Alcotest.(check int) "double close records once" 1 (List.length recs);
+  (* duplicate keys: the last write wins *)
+  Alcotest.(check string) "attr dedup, last wins" "end"
+    (List.assoc "k" (List.hd recs).Obs.sr_attrs);
+  (* explicit cross-domain parenting *)
+  let parent = Obs.span_begin "xdom.parent" in
+  let pid = Option.get (Obs.current_span_id ()) in
+  let d =
+    Stdlib.Domain.spawn (fun () ->
+        let child = Obs.span_begin ~parent:pid "xdom.child" in
+        Obs.span_end child)
+  in
+  Stdlib.Domain.join d;
+  Obs.span_end parent;
+  let child = List.hd (find_span ~since:base "xdom.child") in
+  Alcotest.(check int) "cross-domain parent id" pid child.Obs.sr_parent;
+  (* disabled tracing: dead spans record nothing and cost no depth *)
+  Obs.set_enabled false;
+  let head = head_cursor () in
+  Obs.with_span "dead" (fun () ->
+      Alcotest.(check int) "dead span adds no depth" 0 (Obs.stack_depth ()));
+  Alcotest.(check int) "dead span not recorded" head (head_cursor ());
+  Obs.set_enabled true
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let test_exporters () =
+  let reg = Obs.create_registry () in
+  Obs.add (Obs.counter reg "exp_total{kind=\"a\"}") 3;
+  Obs.set_gauge (Obs.gauge reg "exp_gauge") 2.5;
+  Obs.observe (Obs.histogram reg "exp_us") 100.0;
+  let text = Obs.prometheus [ ("t", reg) ] in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.equal (String.sub text i nl) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true (has "exp_total{kind=\"a\"} 3");
+  Alcotest.(check bool) "gauge line" true (has "exp_gauge 2.5");
+  Alcotest.(check bool) "histogram count line" true (has "exp_us_count 1");
+  Alcotest.(check bool) "le label" true (has "exp_us_bucket{le=");
+  (* span JSON is one line and carries the attrs *)
+  Obs.set_enabled true;
+  let base = head_cursor () in
+  Obs.instant "export.json" ~attrs:[ ("quote", "a\"b") ];
+  let sp = List.hd (find_span ~since:base "export.json") in
+  let line = Obs.span_to_json sp in
+  Alcotest.(check bool) "single line" true (not (String.contains line '\n'));
+  Alcotest.(check bool) "escaped attr" true
+    (let nl = String.length "a\\\"b" and tl = String.length line in
+     let rec go i =
+       i + nl <= tl && (String.equal (String.sub line i nl) "a\\\"b" || go (i + 1))
+     in
+     go 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles vs exact-sort oracle" `Quick test_histogram_oracle;
+          Alcotest.test_case "edge cases" `Quick test_histogram_edge_cases;
+        ] );
+      ( "trace-ring",
+        [
+          Alcotest.test_case "wraparound drops oldest" `Quick test_ring_wraparound;
+          Alcotest.test_case "since-cursor pagination" `Quick test_ring_pagination;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "counter exactness across domains" `Quick test_concurrent_counters ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting under fault injection" `Quick test_span_nesting_faults;
+          Alcotest.test_case "idempotent close, cross-domain parent" `Quick
+            test_span_end_idempotent_and_parenting;
+        ] );
+      ("exporters", [ Alcotest.test_case "prometheus + span json" `Quick test_exporters ]);
+    ]

@@ -155,7 +155,11 @@ let test_protocol_roundtrip () =
       P.Preview { session = "a"; issue = "Algorithm"; merit = Some "latency-ns" };
       P.Preview { session = "a"; issue = "Algorithm"; merit = None };
       P.Script { session = "a" };
-      P.Trace { session = "a" };
+      P.Trace { session = "a"; spans = false; since = None; max_spans = None };
+      P.Trace { session = ""; spans = true; since = None; max_spans = None };
+      P.Trace { session = "a"; spans = true; since = Some 7; max_spans = Some 100 };
+      P.Metrics { format = None };
+      P.Metrics { format = Some "prometheus" };
       P.Health { session = "a" };
       P.Signature { session = "a" };
       P.Report { session = "a"; title = Some "T" };
@@ -755,7 +759,7 @@ let test_concurrent_soak () =
   check_collected errs;
   (* concurrent annotates of the shared session all landed *)
   let driver_notes = 4 * iterations in
-  let trace = jstr "trace" (reply (Service.handle svc (P.Trace { session = "shared" }))) in
+  let trace = jstr "trace" (reply (Service.handle svc (P.Trace { session = "shared"; spans = false; since = None; max_spans = None }))) in
   Alcotest.(check bool) "no shared annotate lost" true
     (count_occurrences trace "n@" >= driver_notes)
 
@@ -787,6 +791,93 @@ let test_stats_race () =
         (Option.bind (List.assoc_opt "count" fields) J.to_int)
     | _ -> Alcotest.fail "stats.requests.candidates is an object")
   | _ -> Alcotest.fail "stats.requests is an object"
+
+(* The metrics op exposes the telemetry registries over the wire: the
+   service registry must carry per-op request histograms whose counts
+   match what we actually did, and the prometheus format must render
+   the same data as text. *)
+let test_metrics_op () =
+  let module Obs = Ds_obs.Obs in
+  let svc = service () in
+  ignore (reply (Service.handle svc (open_req ~session:"m" ())));
+  ignore (reply (Service.handle svc (P.Candidates { session = "m" })));
+  ignore (reply (Service.handle svc (P.Candidates { session = "m" })));
+  let m = reply (Service.handle svc (P.Metrics { format = None })) in
+  Alcotest.(check int) "sessions" 1 (jint "sessions" m);
+  (match jmember "bounds" m with
+  | J.List bs ->
+    Alcotest.(check int) "bucket bounds shipped" (Array.length Obs.bucket_bounds)
+      (List.length bs)
+  | _ -> Alcotest.fail "bounds is a list");
+  (match jmember "registries" m with
+  | J.Obj regs -> (
+    Alcotest.(check bool) "engine registry present" true (List.mem_assoc "engine" regs);
+    match List.assoc_opt "service" regs with
+    | Some (J.Obj svc_reg) -> (
+      match List.assoc_opt "histograms" svc_reg with
+      | Some (J.Obj hists) -> (
+        match List.assoc_opt "dse_request_us{op=\"candidates\"}" hists with
+        | Some (J.Obj fields) ->
+          Alcotest.(check (option int)) "per-op request count"
+            (Some 2)
+            (Option.bind (List.assoc_opt "count" fields) J.to_int)
+        | _ -> Alcotest.fail "candidates histogram present")
+      | _ -> Alcotest.fail "service histograms is an object")
+    | _ -> Alcotest.fail "service registry is an object")
+  | _ -> Alcotest.fail "registries is an object");
+  (* prometheus text exposition of the same registries *)
+  let p = reply (Service.handle svc (P.Metrics { format = Some "prometheus" })) in
+  Alcotest.(check string) "format echoed" "prometheus" (jstr "format" p);
+  let text = jstr "text" p in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.equal (String.sub text i nl) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "request histogram exported" true
+    (has "dse_request_us_count{op=\"candidates\"} 2");
+  Alcotest.(check bool) "engine metrics exported" true (has "dse_engine_sweeps_total");
+  failed P.Bad_request (Service.handle svc (P.Metrics { format = Some "xml" }))
+
+(* The trace op's spans mode pages the telemetry ring with a
+   since-cursor; session-tagged op spans must be retrievable. *)
+let test_trace_spans_op () =
+  let module Obs = Ds_obs.Obs in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      let svc = service () in
+      let probe =
+        reply
+          (Service.handle svc
+             (P.Trace { session = ""; spans = true; since = Some max_int; max_spans = None }))
+      in
+      let base = jint "next" probe in
+      ignore (reply (Service.handle svc (open_req ~session:"tr" ())));
+      ignore (reply (Service.handle svc (P.Candidates { session = "tr" })));
+      let page =
+        reply
+          (Service.handle svc
+             (P.Trace { session = ""; spans = true; since = Some base; max_spans = Some 512 }))
+      in
+      Alcotest.(check bool) "enabled reported" true
+        (match jmember "enabled" page with J.Bool b -> b | _ -> false);
+      Alcotest.(check bool) "cursor advanced" true (jint "next" page > base);
+      match jmember "spans" page with
+      | J.List spans ->
+        let names =
+          List.filter_map
+            (function
+              | J.Obj fields -> Option.bind (List.assoc_opt "name" fields) J.to_str
+              | _ -> None)
+            spans
+        in
+        Alcotest.(check bool) "op.open span present" true (List.mem "op.open" names);
+        Alcotest.(check bool) "op.candidates span present" true
+          (List.mem "op.candidates" names)
+      | _ -> Alcotest.fail "spans is a list")
 
 (* Eviction racing in-flight requests: a tiny store hammered by opens
    and mutations must only ever answer with structured replies — a
@@ -957,6 +1048,8 @@ let () =
         [
           Alcotest.test_case "mixed read/mutate soak" `Quick test_concurrent_soak;
           Alcotest.test_case "striped stats add up" `Quick test_stats_race;
+          Alcotest.test_case "metrics op" `Quick test_metrics_op;
+          Alcotest.test_case "trace spans op" `Quick test_trace_spans_op;
           Alcotest.test_case "eviction races in-flight requests" `Quick test_eviction_race;
           Alcotest.test_case "client backoff schedule" `Quick test_backoff_schedule;
           Alcotest.test_case "journal group commit" `Quick test_group_commit;
