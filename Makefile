@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test check bench bench-json serve-smoke bench-serve bench-obs bench-compare obs-lint doc examples clean
+.PHONY: all test check bench bench-json serve-smoke bench-serve bench-obs bench-compare obs-lint soak soak-smoke doc examples clean
 
 all:
 	dune build @all
@@ -18,6 +18,7 @@ check:
 	dune exec bench/main.exe -- micro --json --smoke
 	dune exec bench/main.exe -- obs --json --smoke
 	$(MAKE) serve-smoke
+	$(MAKE) soak-smoke
 
 # Span hygiene: every Obs.span_begin must be Fun.protect-closed or
 # carry an explicit waiver (scripts/obs_lint.sh).
@@ -28,6 +29,17 @@ obs-lint:
 # shutdown, journal resume after restart.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Crash-recovery soak (DESIGN.md 14): seeded traffic with I/O fault
+# injection, a mid-traffic SIGKILL/restart, then offline verification
+# that the snapshot fast path, the full-history oracle, and the live
+# server's settled signatures are bit-identical.
+soak:
+	sh scripts/chaos_soak.sh
+
+# One short round of the same gate, at PR speed.
+soak-smoke:
+	sh scripts/chaos_soak.sh --smoke
 
 # Concurrent-client service throughput/latency (writes BENCH_PR4.json,
 # including the worker pool scaling sweep).

@@ -1434,6 +1434,259 @@ let micro () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 (* ------------------------------------------------------------------ *)
+(* soak: the crash-recovery chaos gate (driven by scripts/chaos_soak.sh)
+
+   Three phases, one executable:
+     --drive   seeded mixed traffic against a live server, reconnecting
+               through SIGKILL/restart chaos — transport errors retry,
+               structured degradation replies (failed-fsync eviction,
+               shutdown drain) are tolerated;
+     --settle  after the chaos, ask a clean server for every soak
+               session's candidate signature -> settle.json;
+     --verify  offline gate over the journal dir: the production resume
+               (snapshot fast path) and the sequential no-fault oracle
+               (full-history replay, prefer_snapshot:false) must agree
+               with each other and with settle.json — identical
+               signatures, candidate sets and merit ranges — within a
+               resume-latency budget -> chaos_report.json, nonzero exit
+               on any divergence. *)
+
+module SC = Ds_serve.Client
+module SP = Ds_serve.Protocol
+module SJx = Ds_serve.Jsonx
+module SVc = Ds_serve.Service
+
+let soak_arg rest key default =
+  let rec go = function
+    | k :: v :: _ when String.equal k key -> v
+    | _ :: tl -> go tl
+    | [] -> default
+  in
+  go rest
+
+let soak_session_id i = Printf.sprintf "soak-%d" i
+let soak_merits = [ "delay"; "cost" ]
+
+let soak_drive ~socket ~sessions ~iters ~seed ~pace_ms =
+  let issue = "L1" and pick = "l1-o0" in
+  let rng = Ds_bignum.Prng.create (seed lxor 0x50AC) in
+  let connect () =
+    match SC.connect_retry ~deadline:30.0 ~socket () with
+    | Ok c -> c
+    | Error msg -> failwith msg
+  in
+  let client = ref (connect ()) in
+  let reconnects = ref 0 in
+  let rec send retries req =
+    match SC.request !client req with
+    | Ok resp -> resp
+    | Error _ when retries > 0 ->
+      (* the chaos harness SIGKILLs the server under us: reconnect and
+         re-ask — the journal on disk decides what actually happened,
+         and a double-applied set/retract comes back as a tolerated
+         structured rejection *)
+      SC.close !client;
+      incr reconnects;
+      client := connect ();
+      send (retries - 1) req
+    | Error msg -> failwith msg
+  in
+  let send req = send 100 req in
+  let adopted = ref 0 in
+  (* opens retry through injected journal faults: the fault plan is
+     probabilistic, so a failed create/rehydrate succeeds on re-ask *)
+  let rec setup attempts sid =
+    let retry () =
+      if attempts = 0 then failwith (sid ^ ": could not open through injected faults")
+      else setup (attempts - 1) sid
+    in
+    match send (SP.Open { session = Some sid; layer = "synthetic"; eol = None; resume = false })
+    with
+    | SP.Reply _ -> ()
+    | SP.Failed (SP.Session_exists, _) -> (
+      incr adopted;
+      (* journal from a previous incarnation: the first touch rehydrates *)
+      match send (SP.Signature { session = sid }) with
+      | SP.Reply _ -> ()
+      | SP.Failed ((SP.Journal_error | SP.Unknown_session), _) -> retry ()
+      | SP.Failed (code, msg) ->
+        failwith (Printf.sprintf "cannot adopt %s: %s: %s" sid (SP.error_code_label code) msg))
+    | SP.Failed (SP.Journal_error, _) -> retry ()
+    | SP.Failed (code, msg) ->
+      failwith (Printf.sprintf "cannot open %s: %s: %s" sid (SP.error_code_label code) msg)
+  in
+  for i = 0 to sessions - 1 do
+    setup 25 (soak_session_id i)
+  done;
+  let applied = ref 0 and tolerated = ref 0 in
+  for it = 1 to iters do
+    for i = 0 to sessions - 1 do
+      let sid = soak_session_id i in
+      let req =
+        match Ds_bignum.Prng.int rng 5 with
+        | 0 -> SP.Set { session = sid; name = issue; value = Value.str pick; decide = false }
+        | 1 -> SP.Retract { session = sid; name = issue }
+        | 2 -> SP.Annotate { session = sid; text = Printf.sprintf "soak %d.%d" it i }
+        | 3 -> SP.Candidates { session = sid }
+        | _ -> SP.Ranges { session = sid; merits = Some soak_merits }
+      in
+      if pace_ms > 0.0 then Thread.delay (pace_ms /. 1000.0);
+      match send req with
+      | SP.Reply _ -> incr applied
+      | SP.Failed ((SP.Rejected | SP.Unknown_session | SP.Journal_error | SP.Shutting_down), _)
+        ->
+        (* structured degradation, all by design: an unbound retract, a
+           mid-eviction miss, a failed-fsync eviction, a draining
+           server — the journal stays the truth *)
+        incr tolerated
+      | SP.Failed (code, msg) ->
+        failwith (Printf.sprintf "%s: unexpected %s: %s" sid (SP.error_code_label code) msg)
+    done
+  done;
+  SC.close !client;
+  printf "soak drive: %d ops applied, %d tolerated, %d reconnects, %d adopted\n%!" !applied
+    !tolerated !reconnects !adopted
+
+let soak_settle ~socket ~sessions ~out =
+  match SC.connect_retry ~deadline:30.0 ~socket () with
+  | Error msg -> failwith msg
+  | Ok client ->
+    let sigs =
+      List.init sessions (fun i ->
+          let sid = soak_session_id i in
+          (* the clean server holds nothing resident: the signature
+             request transparently rehydrates from the journal *)
+          match SC.request client (SP.Signature { session = sid }) with
+          | Ok (SP.Reply payload) -> (
+            match Option.bind (List.assoc_opt "signature" payload) SJx.to_str with
+            | Some s -> (sid, SJx.Str s)
+            | None -> failwith (sid ^ ": signature reply missing the field"))
+          | Ok (SP.Failed (code, msg)) ->
+            failwith (Printf.sprintf "%s: %s: %s" sid (SP.error_code_label code) msg)
+          | Error msg -> failwith msg)
+    in
+    SC.close client;
+    let doc = SJx.Obj [ ("sessions", SJx.Obj sigs) ] in
+    Out_channel.with_open_text out (fun oc ->
+        Out_channel.output_string oc (SJx.to_string doc ^ "\n"));
+    printf "soak settle: %d signatures -> %s\n%!" (List.length sigs) out
+
+let soak_verify ~dir ~settle_file ~out ~max_resume_ms =
+  if String.equal dir "" then failwith "soak --verify needs --dir JOURNAL_DIR";
+  let layers = Ds_domains.Catalog.factories in
+  let settle =
+    if String.equal settle_file "" then []
+    else
+      let text = In_channel.with_open_text settle_file In_channel.input_all in
+      match SJx.of_string text with
+      | Ok json -> (
+        match SJx.member "sessions" json with
+        | Some (SJx.Obj kvs) ->
+          List.filter_map (fun (k, v) -> Option.map (fun s -> (k, s)) (SJx.to_str v)) kvs
+        | _ -> failwith "settle file has no sessions object")
+      | Error msg -> failwith ("bad settle file: " ^ msg)
+  in
+  let ids =
+    if settle <> [] then List.map fst settle
+    else
+      Sys.readdir dir |> Array.to_list
+      |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".journal" f)
+      |> List.sort String.compare
+  in
+  let rows, divergences, max_resume_us =
+    List.fold_left
+      (fun (rows, bad, worst) id ->
+        let t0 = Unix.gettimeofday () in
+        let production = SVc.resume ~layers ~dir ~id () in
+        let resume_us = (Unix.gettimeofday () -. t0) *. 1.0e6 in
+        let oracle = SVc.resume ~prefer_snapshot:false ~layers ~dir ~id () in
+        let verdict =
+          match (production, oracle) with
+          | Error msg, _ -> Error ("production resume failed: " ^ msg)
+          | _, Error msg -> Error ("oracle resume failed: " ^ msg)
+          | Ok p, Ok o ->
+            let sig_p = Session.candidate_signature p.SVc.r_session in
+            let sig_o = Session.candidate_signature o.SVc.r_session in
+            let cands s = List.map fst (Session.candidates s) in
+            let ranges s = List.map (fun m -> Session.merit_range s ~merit:m) soak_merits in
+            if not (String.equal sig_p sig_o) then
+              Error
+                (Printf.sprintf "signature divergence: production %s, oracle %s" sig_p sig_o)
+            else if cands p.SVc.r_session <> cands o.SVc.r_session then
+              Error "candidate sets diverge between production and oracle resume"
+            else if ranges p.SVc.r_session <> ranges o.SVc.r_session then
+              Error "merit ranges diverge between production and oracle resume"
+            else (
+              match List.assoc_opt id settle with
+              | Some s when not (String.equal s sig_p) ->
+                Error
+                  (Printf.sprintf "diverges from settled state: resumed %s, settled %s" sig_p s)
+              | _ -> Ok (sig_p, p))
+        in
+        let row =
+          SJx.Obj
+            (("session", SJx.Str id)
+            :: ("resume_us", SJx.Float resume_us)
+            ::
+            (match verdict with
+            | Ok (signature, p) ->
+              [
+                ("ok", SJx.Bool true);
+                ("signature", SJx.Str signature);
+                ("replayed", SJx.Int p.SVc.r_replayed);
+                ("tail_replayed", SJx.Int p.SVc.r_tail_replayed);
+                ("from_snapshot", SJx.Bool p.SVc.r_from_snapshot);
+                ("fallback", SJx.Bool p.SVc.r_fallback);
+              ]
+            | Error msg -> [ ("ok", SJx.Bool false); ("error", SJx.Str msg) ]))
+        in
+        ( row :: rows,
+          (match verdict with Ok _ -> bad | Error _ -> bad + 1),
+          Float.max worst resume_us ))
+      ([], 0, 0.0) ids
+  in
+  let latency_ok = max_resume_us <= max_resume_ms *. 1000.0 in
+  let report =
+    SJx.Obj
+      [
+        ("sessions", SJx.Int (List.length ids));
+        ("divergences", SJx.Int divergences);
+        ("max_resume_us", SJx.Float max_resume_us);
+        ("max_resume_budget_ms", SJx.Float max_resume_ms);
+        ("latency_ok", SJx.Bool latency_ok);
+        ("results", SJx.List (List.rev rows));
+      ]
+  in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (SJx.to_string report ^ "\n"));
+  printf "soak verify: %d sessions, %d divergences, max resume %.1f ms -> %s\n%!"
+    (List.length ids) divergences (max_resume_us /. 1000.0) out;
+  if divergences > 0 || not latency_ok then exit 1
+
+let soak rest =
+  (* a SIGKILLed server must surface as a request error the driver can
+     retry, not a silent SIGPIPE death mid-write *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let get k d = soak_arg rest k d in
+  let socket = get "--socket" "/tmp/dse_soak.sock" in
+  let sessions = int_of_string (get "--sessions" "4") in
+  if List.mem "--drive" rest then
+    soak_drive ~socket ~sessions
+      ~iters:(int_of_string (get "--iters" "50"))
+      ~seed:(int_of_string (get "--seed" "1"))
+      ~pace_ms:(float_of_string (get "--pace" "0"))
+  else if List.mem "--settle" rest then
+    soak_settle ~socket ~sessions ~out:(get "--out" "settle.json")
+  else if List.mem "--verify" rest then
+    soak_verify ~dir:(get "--dir" "") ~settle_file:(get "--settle-file" "")
+      ~out:(get "--out" "chaos_report.json")
+      ~max_resume_ms:(float_of_string (get "--max-resume-ms" "2000"))
+  else begin
+    Printf.eprintf "soak: one of --drive | --settle | --verify is required\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1474,6 +1727,9 @@ let () =
      vs off over the serve bench), written to BENCH_PR5.json *)
   | _ :: "obs" :: rest when List.mem "--json" rest ->
     obs_json ~smoke:(List.mem "--smoke" rest) ()
+  (* [soak --drive|--settle|--verify ...]: the crash-recovery chaos
+     gate; see scripts/chaos_soak.sh for the full orchestration *)
+  | _ :: "soak" :: rest -> soak rest
   | [] | [ _ ] -> List.iter (fun (_, run) -> run ()) experiments
   | _ :: picks ->
     List.iter

@@ -28,8 +28,8 @@ module Obs = Ds_obs.Obs
 (* One service configuration for every front end (shell, serve, client
    tests): the full layer catalogue, the four crypto figures of merit,
    and the latency/area Pareto axes the reports use. *)
-let service_config ?journal_dir ?(journal_sync = false) ?(capacity = 64) ~eol () =
-  SV.config ?journal_dir ~journal_sync ~capacity ~default_eol:eol
+let service_config ?journal_dir ?(journal_sync = false) ?(capacity = 64) ?compact_after ~eol () =
+  SV.config ?journal_dir ~journal_sync ~capacity ?compact_after ~default_eol:eol
     ~default_merits:[ N.m_latency_ns; N.m_area_um2; N.m_power_mw; N.m_energy_nj ]
     ~report_pareto:(N.m_latency_ns, N.m_area_um2)
     ~layers:Ds_domains.Catalog.factories ()
@@ -812,9 +812,27 @@ let serve_cmd =
             "Most sessions held in memory at once (least-recently-used sessions are \
              evicted; with a journal they stay resumable).")
   in
-  let run eol socket journal_dir sync pool capacity =
+  let compact_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "compact-after" ] ~docv:"N"
+          ~doc:
+            "Auto-compact a session's journal to a checkpoint once its tail exceeds \\$(docv) \
+             entries (resume then replays the short checkpoint script plus the tail, not the \
+             whole history).  Without it, compaction happens only on eviction or via the \
+             explicit {\"op\":\"compact\"} request.")
+  in
+  let run eol socket journal_dir sync pool capacity compact_after =
+    (match Ds_serve.Iofault.arm_from_env () with
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    | false -> ()
+    | true ->
+      printf "I/O FAULT INJECTION ARMED from DSE_IO_FAULTS — chaos testing only\n%!");
     let svc =
-      SV.create (service_config ?journal_dir ~journal_sync:sync ~capacity ~eol ())
+      SV.create (service_config ?journal_dir ~journal_sync:sync ~capacity ?compact_after ~eol ())
     in
     match Ds_serve.Server.create ~socket ~pool svc with
     | exception Unix.Unix_error (err, _, arg) ->
@@ -837,7 +855,8 @@ let serve_cmd =
        ~doc:
          "Run the exploration service on a Unix-domain socket (line-delimited JSON; see \
           DESIGN.md section 11).")
-    Term.(const run $ eol_arg $ socket_arg $ journal_dir $ sync $ pool $ capacity)
+    Term.(
+      const run $ eol_arg $ socket_arg $ journal_dir $ sync $ pool $ capacity $ compact_after)
 
 let client_cmd =
   let requests =
@@ -846,8 +865,26 @@ let client_cmd =
       & info [] ~docv:"REQUEST"
           ~doc:"JSON request lines; when omitted, lines are read from stdin until EOF.")
   in
-  let run socket requests =
-    match Ds_serve.Client.connect ~socket with
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Total wall-clock budget for connecting (retries with backoff while the server \
+             is starting, then fails fast with a distinct deadline_exceeded error).  \
+             Without it, a single connection attempt is made.")
+  in
+  let run socket deadline requests =
+    (* a server dying mid-request should report an error, not kill the
+       client with an unhandled SIGPIPE *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let connection =
+      match deadline with
+      | None -> Ds_serve.Client.connect ~socket
+      | Some d -> Ds_serve.Client.connect_retry ~deadline:d ~socket ()
+    in
+    match connection with
     | Error msg ->
       Printf.eprintf "%s\n" msg;
       1
@@ -878,7 +915,7 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send protocol request lines to a running dse service and print the replies.")
-    Term.(const run $ socket_arg $ requests)
+    Term.(const run $ socket_arg $ deadline $ requests)
 
 (* ----- top: live service telemetry --------------------------------------- *)
 

@@ -29,15 +29,43 @@ let backoff_schedule ?(base = 0.02) ?(cap = 0.5) ~attempts () =
       let d = base *. (2.0 ** float_of_int i) *. (0.75 +. (0.5 *. jitter i)) in
       Float.min cap d)
 
-let connect_retry ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ~socket () =
+let deadline_prefix = "deadline_exceeded: "
+
+let deadline_exceeded msg =
+  let n = String.length deadline_prefix in
+  String.length msg >= n && String.equal (String.sub msg 0 n) deadline_prefix
+
+let connect_retry ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ?deadline ~socket () =
+  let t0 = Unix.gettimeofday () in
+  let budget_left () =
+    match deadline with
+    | None -> infinity
+    | Some d -> d -. (Unix.gettimeofday () -. t0)
+  in
+  let give_up last_err =
+    Error
+      (Printf.sprintf "%stotal retry budget of %.3fs exhausted (%s)" deadline_prefix
+         (Option.value ~default:0.0 deadline) last_err)
+  in
   let rec go = function
-    | [] -> connect ~socket
+    | [] -> (
+      match connect ~socket with
+      | Ok _ as ok -> ok
+      | Error msg when budget_left () < 0.0 -> give_up msg
+      | Error _ as e -> e)
     | delay :: rest -> (
       match connect ~socket with
       | Ok _ as ok -> ok
-      | Error _ ->
-        Thread.delay delay;
-        go rest)
+      | Error msg ->
+        (* the deadline is a total wall budget: never sleep past it,
+           and fail with a distinct, recognizable error — a dead server
+           should fail fast, not burn the whole exponential schedule *)
+        let left = budget_left () in
+        if left <= 0.0 then give_up msg
+        else begin
+          Thread.delay (Float.min delay left);
+          go rest
+        end)
   in
   (* the schedule has attempts-1 gaps: no sleep after the last probe *)
   go (backoff_schedule ~base ~cap ~attempts:(Stdlib.max 1 attempts - 1) ())

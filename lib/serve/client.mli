@@ -19,11 +19,27 @@ val backoff_schedule : ?base:float -> ?cap:float -> attempts:int -> unit -> floa
     every probe. *)
 
 val connect_retry :
-  ?attempts:int -> ?base:float -> ?cap:float -> socket:string -> unit -> (t, string) result
+  ?attempts:int ->
+  ?base:float ->
+  ?cap:float ->
+  ?deadline:float ->
+  socket:string ->
+  unit ->
+  (t, string) result
 (** Retry {!connect} while the server is still starting: up to
     [attempts] (default 50) probes separated by {!backoff_schedule}
     delays.  Worst-case total wait with the defaults is ~23s (the
-    schedule caps at 0.5s per gap). *)
+    schedule caps at 0.5s per gap).
+
+    [deadline] caps the {e total} wall-clock budget in seconds: no
+    sleep extends past it, and once it is spent the next failure
+    returns immediately with a distinct error ({!deadline_exceeded}
+    recognizes it) — the fail-fast path for a server that is dead
+    rather than starting. *)
+
+val deadline_exceeded : string -> bool
+(** [true] exactly for errors produced by an exhausted
+    [connect_retry ~deadline] budget. *)
 
 val request : t -> Protocol.request -> (Protocol.response, string) result
 (** Send one request, block for its reply.  Errors are transport-level

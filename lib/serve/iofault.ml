@@ -1,0 +1,221 @@
+type op = Write | Fsync | Rename | Truncate
+type mode = Eio | Enospc | Short_write | Torn_rename
+
+let op_name = function
+  | Write -> "write"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+  | Truncate -> "truncate"
+
+let mode_name = function
+  | Eio -> "eio"
+  | Enospc -> "enospc"
+  | Short_write -> "short"
+  | Torn_rename -> "torn"
+
+type plan = (op * mode * float) list
+
+let op_of_name = function
+  | "write" -> Some Write
+  | "fsync" -> Some Fsync
+  | "rename" -> Some Rename
+  | "truncate" -> Some Truncate
+  | _ -> None
+
+let mode_of_name = function
+  | "eio" -> Some Eio
+  | "enospc" -> Some Enospc
+  | "short" -> Some Short_write
+  | "torn" -> Some Torn_rename
+  | _ -> None
+
+(* Short writes only make sense where there are bytes to tear; torn
+   renames only where there is a rename. *)
+let compatible op mode =
+  match (op, mode) with
+  | _, Eio | _, Enospc -> true
+  | Write, Short_write -> true
+  | (Fsync | Rename | Truncate), Short_write -> false
+  | Rename, Torn_rename -> true
+  | (Write | Fsync | Truncate), Torn_rename -> false
+
+let parse_item item =
+  match String.index_opt item '=' with
+  | None -> Error (Printf.sprintf "bad fault spec %S (want op=mode[:probability])" item)
+  | Some i -> (
+    let opn = String.sub item 0 i in
+    let rest = String.sub item (i + 1) (String.length item - i - 1) in
+    let moden, prob =
+      match String.index_opt rest ':' with
+      | None -> (rest, Ok 1.0)
+      | Some j -> (
+        let p = String.sub rest (j + 1) (String.length rest - j - 1) in
+        ( String.sub rest 0 j,
+          match float_of_string_opt p with
+          | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+          | Some _ | None -> Error (Printf.sprintf "bad probability %S in %S" p item) ))
+    in
+    match (op_of_name opn, mode_of_name moden, prob) with
+    | None, _, _ -> Error (Printf.sprintf "unknown I/O op %S (write|fsync|rename|truncate)" opn)
+    | _, None, _ -> Error (Printf.sprintf "unknown fault mode %S (eio|enospc|short|torn)" moden)
+    | _, _, Error e -> Error e
+    | Some op, Some mode, Ok p ->
+      if compatible op mode then Ok (op, mode, p)
+      else Error (Printf.sprintf "mode %S does not apply to op %S" moden opn))
+
+let parse_plan spec =
+  let items =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> not (String.equal s ""))
+  in
+  if items = [] then Error "empty fault plan"
+  else
+    List.fold_left
+      (fun acc item ->
+        Result.bind acc (fun plan -> Result.map (fun e -> e :: plan) (parse_item item)))
+      (Ok []) items
+    |> Result.map List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic draws                                                  *)
+
+(* One global armed state: the journal's shim points are free functions
+   (threaded through no handle), matching how a real disk fails — per
+   machine, not per file.  All state changes and draws are under one
+   lock; the draw sequence is a function of (seed, call index), so a
+   fixed seed replays the identical fault schedule regardless of what
+   wall-clock interleaving produced the calls. *)
+type state = {
+  plan : plan;
+  prng : Ds_bignum.Prng.t;
+  mutable injected : int;
+  by_op : (op * int ref) list;
+}
+
+let lock = Mutex.create ()
+let state : state option ref = ref None
+let is_armed = ref false (* mirrors [state]; read without the lock *)
+
+module Obs = Ds_obs.Obs
+
+let m_injected op =
+  Obs.counter Obs.default (Printf.sprintf "dse_io_fault_injected_total{op=%S}" (op_name op))
+
+let arm ?(seed = 0) plan =
+  Mutex.lock lock;
+  state :=
+    Some
+      {
+        plan;
+        prng = Ds_bignum.Prng.create (seed lxor 0x1057_FA17);
+        injected = 0;
+        by_op = List.map (fun op -> (op, ref 0)) [ Write; Fsync; Rename; Truncate ];
+      };
+  is_armed := true;
+  Mutex.unlock lock
+
+let disarm () =
+  Mutex.lock lock;
+  state := None;
+  is_armed := false;
+  Mutex.unlock lock
+
+let armed () = !is_armed
+
+let arm_from_env () =
+  match Sys.getenv_opt "DSE_IO_FAULTS" with
+  | None | Some "" -> false
+  | Some spec -> (
+    let seed =
+      match Option.bind (Sys.getenv_opt "DSE_IO_FAULT_SEED") int_of_string_opt with
+      | Some s -> s
+      | None -> 0
+    in
+    match parse_plan spec with
+    | Ok plan ->
+      arm ~seed plan;
+      true
+    | Error msg -> invalid_arg ("DSE_IO_FAULTS: " ^ msg))
+
+let injected () =
+  Mutex.lock lock;
+  let n = match !state with Some s -> s.injected | None -> 0 in
+  Mutex.unlock lock;
+  n
+
+let injected_for op =
+  Mutex.lock lock;
+  let n =
+    match !state with
+    | Some s -> ( match List.assq_opt op s.by_op with Some r -> !r | None -> 0)
+    | None -> 0
+  in
+  Mutex.unlock lock;
+  n
+
+(* Decide whether this call faults, and how.  The PRNG is advanced once
+   per armed call whether or not the draw fires, keeping the sequence a
+   pure function of the call index. *)
+let draw op =
+  if not !is_armed then None
+  else begin
+    Mutex.lock lock;
+    let r =
+      match !state with
+      | None -> None
+      | Some s -> (
+        let u = Ds_bignum.Prng.float s.prng in
+        match List.find_opt (fun (o, _, _) -> o = op) s.plan with
+        | Some (_, mode, p) when u < p ->
+          s.injected <- s.injected + 1;
+          (match List.assq_opt op s.by_op with Some r -> incr r | None -> ());
+          Some mode
+        | Some _ | None -> None)
+    in
+    Mutex.unlock lock;
+    (match r with Some _ -> Obs.incr (m_injected op) | None -> ());
+    r
+  end
+
+let fail op err arg = raise (Unix.Unix_error (err, "inject:" ^ op_name op, arg))
+
+(* ------------------------------------------------------------------ *)
+(* Shim points                                                          *)
+
+let rec write_all fd buf pos len =
+  if len <= 0 then ()
+  else
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+
+let write fd buf pos len =
+  match draw Write with
+  | None -> Unix.write fd buf pos len
+  | Some Short_write ->
+    (* half the bytes really reach the file — the torn-line shape *)
+    write_all fd buf pos (len / 2);
+    fail Write Unix.EIO "short write"
+  | Some Enospc -> fail Write Unix.ENOSPC "write"
+  | Some (Eio | Torn_rename) -> fail Write Unix.EIO "write"
+
+let fsync fd =
+  match draw Fsync with
+  | None -> Unix.fsync fd
+  | Some Enospc -> fail Fsync Unix.ENOSPC "fsync"
+  | Some (Eio | Short_write | Torn_rename) -> fail Fsync Unix.EIO "fsync"
+
+let rename src dst =
+  match draw Rename with
+  | None -> Unix.rename src dst
+  | Some Torn_rename ->
+    (* the publish never happens: temp file left behind, target intact *)
+    fail Rename Unix.EIO "torn rename"
+  | Some Enospc -> fail Rename Unix.ENOSPC "rename"
+  | Some (Eio | Short_write) -> fail Rename Unix.EIO "rename"
+
+let ftruncate fd len =
+  match draw Truncate with
+  | None -> Unix.ftruncate fd len
+  | Some Enospc -> fail Truncate Unix.ENOSPC "ftruncate"
+  | Some (Eio | Short_write | Torn_rename) -> fail Truncate Unix.EIO "ftruncate"

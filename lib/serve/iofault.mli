@@ -1,0 +1,80 @@
+(** Deterministic I/O fault injection under the durability layer.
+
+    The disk-facing counterpart of {!Ds_layer.Faultsim}: where Faultsim
+    breaks constraint formulas above the engine, this shim breaks the
+    primitive file operations {e below} the {!Journal} — short writes,
+    [EIO] on fsync, torn renames, [ENOSPC] — so the whole degradation
+    contract ("every injected fault leaves one valid journal lineage;
+    the client resumes and replays what reached disk") can be exercised
+    end to end, in-process by the test suite and across real processes
+    by [scripts/chaos_soak.sh] (armed from the environment).
+
+    Every journal/snapshot byte goes through {!write}, {!fsync},
+    {!rename} and {!ftruncate}.  Unarmed (the default) they are the
+    Unix primitives with zero overhead beyond one atomic load.  Armed,
+    each call draws from a splitmix-style PRNG seeded from [seed] and a
+    global call counter, so a given seed reproduces the exact same
+    fault sequence — flaky disks you can re-run.
+
+    Injected faults raise [Unix.Unix_error] with the function field
+    ["inject:<op>"], which the journal's error guard converts into the
+    same structured [Error _] a real disk failure produces — callers
+    cannot tell injection from hardware, which is the point.
+
+    {2 Fault taxonomy}
+
+    - [Short_write]: half the buffer really reaches the file, then the
+      write errors — the torn-line shape a crash mid-write leaves;
+    - [Eio]: the operation fails without touching the file (an fsync
+      that errors has durability {e unknown}, the case the service's
+      evict-and-resume path exists for);
+    - [Enospc]: the disk is full — nothing written;
+    - [Torn_rename]: the atomic publish step of a snapshot/compaction
+      never happens (the temp file stays, the target is untouched) —
+      the crash-before-rename half of the compaction story.  The
+      crash-{e after}-rename half is indistinguishable from success. *)
+
+type op = Write | Fsync | Rename | Truncate
+type mode = Eio | Enospc | Short_write | Torn_rename
+
+val op_name : op -> string
+(** ["write"] | ["fsync"] | ["rename"] | ["truncate"]. *)
+
+val mode_name : mode -> string
+(** ["eio"] | ["enospc"] | ["short"] | ["torn"]. *)
+
+type plan = (op * mode * float) list
+(** Which operations fail, how, and with what per-call probability. *)
+
+val parse_plan : string -> (plan, string) result
+(** Parse a spec like ["fsync=eio,write=short:0.05"] — comma-separated
+    [op=mode[:probability]] items, probability defaulting to 1.  Mode
+    must make sense for the op ([short] only on writes, [torn] only on
+    renames). *)
+
+val arm : ?seed:int -> plan -> unit
+(** Start injecting.  Replaces any previous plan; resets the injected
+    counters and the deterministic draw sequence. *)
+
+val disarm : unit -> unit
+(** Stop injecting (the shim reverts to the bare Unix primitives). *)
+
+val armed : unit -> bool
+
+val arm_from_env : unit -> bool
+(** Arm from [DSE_IO_FAULTS] (a {!parse_plan} spec) and
+    [DSE_IO_FAULT_SEED] (int, default 0); returns whether a plan was
+    armed.  Malformed specs fail fast with [Invalid_argument] rather
+    than silently running a chaos soak without faults. *)
+
+val injected : unit -> int
+(** Total faults injected since the last {!arm}. *)
+
+val injected_for : op -> int
+
+(* The shim points: drop-in signatures for the Unix primitives. *)
+
+val write : Unix.file_descr -> bytes -> int -> int -> int
+val fsync : Unix.file_descr -> unit
+val rename : string -> string -> unit
+val ftruncate : Unix.file_descr -> int -> unit

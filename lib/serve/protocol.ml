@@ -16,6 +16,7 @@ type request =
   | Signature of { session : string }
   | Report of { session : string; title : string option }
   | Branch of { session : string; as_id : string option }
+  | Compact of { session : string }
   | Close of { session : string }
   | Stats
   | Metrics of { format : string option }
@@ -29,6 +30,7 @@ type error_code =
   | Session_exists
   | Rejected
   | Journal_error
+  | Request_too_large
   | Shutting_down
   | Server_error
 
@@ -43,6 +45,7 @@ let error_code_label = function
   | Session_exists -> "session_exists"
   | Rejected -> "rejected"
   | Journal_error -> "journal_error"
+  | Request_too_large -> "request_too_large"
   | Shutting_down -> "shutting_down"
   | Server_error -> "server_error"
 
@@ -55,6 +58,7 @@ let error_code_of_label = function
   | "session_exists" -> Some Session_exists
   | "rejected" -> Some Rejected
   | "journal_error" -> Some Journal_error
+  | "request_too_large" -> Some Request_too_large
   | "shutting_down" -> Some Shutting_down
   | "server_error" -> Some Server_error
   | _ -> None
@@ -184,6 +188,9 @@ let request_of_json json =
   | "branch" ->
     let* session = session_field json in
     Ok (Branch { session; as_id = Jsonx.str_member "as" json })
+  | "compact" ->
+    let* session = session_field json in
+    Ok (Compact { session })
   | "close" ->
     let* session = session_field json in
     Ok (Close { session })
@@ -287,6 +294,8 @@ let json_of_request r =
         some "session" (Jsonx.Str session);
         opt "as" as_id;
       ]
+  | Compact { session } ->
+    obj [ some "op" (Jsonx.Str "compact"); some "session" (Jsonx.Str session) ]
   | Close { session } ->
     obj [ some "op" (Jsonx.Str "close"); some "session" (Jsonx.Str session) ]
   | Stats -> obj [ some "op" (Jsonx.Str "stats") ]

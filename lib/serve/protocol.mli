@@ -28,7 +28,13 @@
       ["title"]);
     - [branch]: fork the session into a new id (optional ["as"]) —
       O(1), sessions are immutable values;
-    - [close]: drop the session from the store;
+    - [compact]: snapshot the session and truncate its journal tail,
+      so the next resume replays checkpoint + tail instead of full
+      history; the reply carries ["entries"] (total journalled
+      mutations) and ["base"] (how many of them the snapshot subsumes);
+    - [close]: drop the session from the resident store (its journal —
+      and snapshot, if compacted — stay on disk, so a later touch
+      rehydrates it);
     - [stats]: server-wide request counters and latency figures
       (legacy shape, kept for existing tooling — the registry-backed
       [metrics] op is the superset);
@@ -50,7 +56,9 @@
     [parse_error], [bad_request], [unknown_op], [unknown_layer],
     [unknown_session], [session_exists], [rejected] (the layer refused
     a binding: constraint violation, unknown property, ...),
-    [journal_error], [shutting_down], [server_error]. *)
+    [journal_error], [request_too_large] (the request line exceeded
+    the server's bound; the connection stays open), [shutting_down],
+    [server_error]. *)
 
 type request =
   | Open of { session : string option; layer : string; eol : int option; resume : bool }
@@ -74,6 +82,7 @@ type request =
   | Signature of { session : string }
   | Report of { session : string; title : string option }
   | Branch of { session : string; as_id : string option }
+  | Compact of { session : string }
   | Close of { session : string }
   | Stats
   | Metrics of { format : string option }
@@ -87,6 +96,7 @@ type error_code =
   | Session_exists
   | Rejected
   | Journal_error
+  | Request_too_large
   | Shutting_down
   | Server_error
 

@@ -5,6 +5,7 @@ type t = {
   socket : string;
   listen_fd : Unix.file_descr;
   pool : int;
+  max_request : int;
   queue : (Unix.file_descr * float) option Queue.t;
       (* (connection, accept timestamp) — the wait from accept to a
          worker picking it up is the server-side queueing delay
@@ -16,7 +17,7 @@ type t = {
   mutable served : int;
 }
 
-let create ~socket ?(pool = 8) service =
+let create ~socket ?(pool = 8) ?(max_request = 1024 * 1024) service =
   (* replace a stale socket file from a previous (crashed) server *)
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -27,6 +28,7 @@ let create ~socket ?(pool = 8) service =
     socket;
     listen_fd;
     pool = Stdlib.max 1 pool;
+    max_request = Stdlib.max 1024 max_request;
     queue = Queue.create ();
     lock = Mutex.create ();
     nonempty = Condition.create ();
@@ -54,6 +56,36 @@ let connections_served t =
 
 let try_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+type read_result = Line of string | Overflow | Eof
+
+(* Bounded request-line reader: a client (malformed or malicious)
+   streaming an endless line must not grow an unbounded buffer
+   server-side.  Past the limit the rest of the line is drained and
+   discarded — the connection survives, the request gets a structured
+   [request_too_large] error. *)
+let read_request_line ic limit =
+  let buf = Buffer.create 256 in
+  let rec go n =
+    match In_channel.input_char ic with
+    | None -> if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
+    | Some '\n' -> Line (Buffer.contents buf)
+    | Some c ->
+      if n >= limit then begin
+        let rec drain () =
+          match In_channel.input_char ic with
+          | None | Some '\n' -> ()
+          | Some _ -> drain ()
+        in
+        drain ();
+        Overflow
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (n + 1)
+      end
+  in
+  go 0
+
 (* One connection: request line in, reply line out, until EOF (or the
    connection is closed under us at shutdown).  The whole accept→
    dispatch→reply life of the connection is one [server.connection]
@@ -71,10 +103,23 @@ let serve_connection t ~queue_wait_us fd =
       let ic = Unix.in_channel_of_descr fd in
       let oc = Unix.out_channel_of_descr fd in
       (try
+         let reply_line reply =
+           output_string oc reply;
+           output_char oc '\n';
+           flush oc
+         in
          let rec loop () =
-           match In_channel.input_line ic with
-           | None -> ()
-           | Some line ->
+           match read_request_line ic t.max_request with
+           | Eof -> ()
+           | Overflow ->
+             incr requests;
+             reply_line
+               (Protocol.print_response
+                  (Protocol.Failed
+                     ( Protocol.Request_too_large,
+                       Printf.sprintf "request line exceeds %d bytes" t.max_request )));
+             if not (Atomic.get t.stop) then loop ()
+           | Line line ->
              let line = String.trim line in
              if not (String.equal line "") then begin
                incr requests;
@@ -84,9 +129,7 @@ let serve_connection t ~queue_wait_us fd =
                      (Protocol.Failed (Protocol.Shutting_down, "server is shutting down"))
                  else Service.handle_line t.service line
                in
-               output_string oc reply;
-               output_char oc '\n';
-               flush oc
+               reply_line reply
              end;
              if not (Atomic.get t.stop) then loop ()
          in

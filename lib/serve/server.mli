@@ -20,10 +20,14 @@
 
 type t
 
-val create : socket:string -> ?pool:int -> Service.t -> t
+val create : socket:string -> ?pool:int -> ?max_request:int -> Service.t -> t
 (** Bind and listen on [socket] (an existing stale socket file is
     replaced).  [pool] (default 8, minimum 1) is the worker domain
-    count.
+    count.  [max_request] (default 1 MiB, minimum 1 KiB) bounds the
+    request line a connection may send: past it the rest of the line is
+    drained and answered with a structured [request_too_large] error,
+    the connection staying alive — a malformed client cannot grow an
+    unbounded server-side buffer.
     @raise Unix.Unix_error when the socket cannot be bound. *)
 
 val serve : t -> unit

@@ -11,11 +11,21 @@ type config = {
   default_merits : string list;
   report_pareto : (string * string) option;
   capacity : int;
+  compact_after : int option;
 }
 
 let config ?journal_dir ?(journal_sync = false) ?(default_eol = 768) ?(default_merits = [])
-    ?report_pareto ?(capacity = 64) ~layers () =
-  { layers; journal_dir; journal_sync; default_eol; default_merits; report_pareto; capacity }
+    ?report_pareto ?(capacity = 64) ?compact_after ~layers () =
+  {
+    layers;
+    journal_dir;
+    journal_sync;
+    default_eol;
+    default_merits;
+    report_pareto;
+    capacity;
+    compact_after;
+  }
 
 (* Per-op request latency lives in the service's own telemetry
    registry ({!Ds_obs.Obs}) as one histogram per op — striped per
@@ -31,7 +41,7 @@ let op_names =
   [
     "open"; "set"; "decide"; "default"; "retract"; "annotate"; "candidates"; "ranges";
     "issues"; "preview"; "script"; "trace"; "health"; "signature"; "report"; "branch";
-    "close"; "stats"; "metrics";
+    "compact"; "close"; "stats"; "metrics";
   ]
 
 (* the unified metric-name catalog (DESIGN.md 13): request latency is
@@ -53,6 +63,16 @@ type t = {
          name at [create] and never resized after, so concurrent
          [Hashtbl.find_opt]s are safe without a table lock *)
   queue_hist : Obs.histogram;
+  (* the durability story in numbers: how often sessions come back from
+     disk, how (snapshot fast path vs full-history fallback), how long
+     it takes, and how often compaction runs or fails *)
+  resume_hist : Obs.histogram;
+  c_resumes : Obs.counter;
+  c_resume_snapshot : Obs.counter;
+  c_resume_fallback : Obs.counter;
+  c_compactions : Obs.counter;
+  c_compaction_failures : Obs.counter;
+  c_rehydrations : Obs.counter;
   started : float;
 }
 
@@ -97,6 +117,13 @@ let create cfg =
     registry;
     op_hists;
     queue_hist = Obs.histogram registry "dse_queue_wait_us";
+    resume_hist = Obs.histogram registry "dse_resume_us";
+    c_resumes = Obs.counter registry "dse_resume_total";
+    c_resume_snapshot = Obs.counter registry "dse_resume_from_snapshot_total";
+    c_resume_fallback = Obs.counter registry "dse_resume_fallback_total";
+    c_compactions = Obs.counter registry "dse_compactions_total";
+    c_compaction_failures = Obs.counter registry "dse_compaction_failures_total";
+    c_rehydrations = Obs.counter registry "dse_rehydrations_total";
     started = Unix.gettimeofday ();
   }
 
@@ -147,54 +174,328 @@ let apply_mutation s = function
   | P.Retract { name; _ } -> Some (Session.retract s name)
   | P.Annotate { text; _ } -> Some (Ok (Session.annotate s text))
   | P.Open _ | P.Candidates _ | P.Ranges _ | P.Issues _ | P.Preview _ | P.Script _
-  | P.Trace _ | P.Health _ | P.Signature _ | P.Report _ | P.Branch _ | P.Close _ | P.Stats
-  | P.Metrics _ ->
+  | P.Trace _ | P.Health _ | P.Signature _ | P.Report _ | P.Branch _ | P.Compact _
+  | P.Close _ | P.Stats | P.Metrics _ ->
     None
 
-let resume ~layers ~dir ~id =
-  let ( let* ) = Result.bind in
-  let* header, entries = Journal.load ~dir ~id in
-  let* make =
-    match List.assoc_opt header.Journal.layer layers with
-    | Some f -> Ok f
-    | None ->
+let ( let* ) = Result.bind
+
+(* Re-apply journal/snapshot entries to [fresh], verifying the recorded
+   candidate signature after every one. *)
+let replay_entries fresh entries =
+  List.fold_left
+    (fun acc (entry : Journal.entry) ->
+      let* s, n = acc in
+      let at = n + 1 in
+      let* req =
+        match P.request_of_json entry.Journal.req with
+        | Ok r -> Ok r
+        | Error msg -> Error (Printf.sprintf "journal entry %d: %s" at msg)
+      in
+      let* s' =
+        match apply_mutation s req with
+        | Some (Ok s') -> Ok s'
+        | Some (Error msg) ->
+          Error (Printf.sprintf "journal entry %d no longer applies: %s" at msg)
+        | None -> Error (Printf.sprintf "journal entry %d is not a mutation" at)
+      in
+      let got = Session.candidate_signature s' in
+      if String.equal got entry.Journal.signature then Ok (s', at)
+      else
+        Error
+          (Printf.sprintf
+             "replay diverged at entry %d: candidate signature %s, journal recorded %s \
+              (layer definition changed since the journal was written?)"
+             at got entry.Journal.signature))
+    (Ok (fresh, 0)) entries
+
+let rec drop_entries n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: rest -> drop_entries (n - 1) rest
+
+type resume_info = {
+  r_session : Session.t;
+  r_layer : string;
+  r_eol : int;
+  r_replayed : int; (* total entries applied (snapshot script + tail) *)
+  r_tail_replayed : int; (* of which, journal tail entries *)
+  r_from_snapshot : bool;
+  r_fallback : bool; (* a snapshot existed but full history was used *)
+}
+
+let layer_factory ~layers ~id header =
+  match List.assoc_opt header.Journal.layer layers with
+  | Some make -> (
+    fun () ->
+      match make ~eol:header.Journal.eol with
+      | s -> Ok s
+      | exception e -> Error ("layer factory failed: " ^ Printexc.to_string e))
+  | None ->
+    fun () ->
       Error
         (Printf.sprintf "journal %S was recorded against unknown layer %S" id
            header.Journal.layer)
+
+let resume ?(prefer_snapshot = true) ~layers ~dir ~id () =
+  let* header, tail = Journal.load ~dir ~id in
+  let make_fresh = layer_factory ~layers ~id header in
+  let tail_len = List.length tail in
+  let total = header.Journal.base + tail_len in
+  let finish ~from_snapshot ~fallback ~snap_applied (s, n) =
+    Ok
+      {
+        r_session = s;
+        r_layer = header.Journal.layer;
+        r_eol = header.Journal.eol;
+        r_replayed = snap_applied + n;
+        r_tail_replayed = n;
+        r_from_snapshot = from_snapshot;
+        r_fallback = fallback;
+      }
   in
-  let* fresh =
-    match make ~eol:header.Journal.eol with
-    | s -> Ok s
-    | exception e -> Error ("layer factory failed: " ^ Printexc.to_string e)
+  let full_history ~fallback =
+    let* fresh = make_fresh () in
+    let* sn = replay_entries fresh tail in
+    finish ~from_snapshot:false ~fallback ~snap_applied:0 sn
   in
-  let* final, n =
+  (* [prefer_snapshot:false] is the oracle mode of the soak harness: it
+     ignores the snapshot whenever the full history is still on disk
+     (base 0).  Once the journal is compacted the snapshot IS part of
+     the lineage and is used regardless. *)
+  let snap_result =
+    if Journal.snapshot_exists ~dir ~id then Some (Journal.load_snapshot ~dir ~id) else None
+  in
+  let usable =
+    match snap_result with
+    | Some (Ok snap)
+      when snap.Journal.snap_base >= header.Journal.base
+           && snap.Journal.snap_base <= total
+           && String.equal snap.Journal.snap_layer header.Journal.layer
+           && snap.Journal.snap_eol = header.Journal.eol
+           && (prefer_snapshot || header.Journal.base > 0) ->
+      Some snap
+    | _ -> None
+  in
+  match usable with
+  | Some snap -> (
+    let from_snapshot () =
+      let* fresh = make_fresh () in
+      let* s, applied = replay_entries fresh snap.Journal.snap_entries in
+      let got = Session.candidate_signature s in
+      if not (String.equal got snap.Journal.snap_signature) then
+        Error
+          (Printf.sprintf
+             "snapshot replay diverged: candidate signature %s, snapshot recorded %s" got
+             snap.Journal.snap_signature)
+      else
+        let after = drop_entries (snap.Journal.snap_base - header.Journal.base) tail in
+        let* sn = replay_entries s after in
+        finish ~from_snapshot:true ~fallback:false ~snap_applied:applied sn
+    in
+    match from_snapshot () with
+    | Ok _ as ok -> ok
+    | Error msg ->
+      (* a snapshot that fails mid-replay gets the same treatment as
+         one that fails its checksum: full-history fallback while the
+         history is whole, a loud error once it is truncated *)
+      if header.Journal.base = 0 then full_history ~fallback:true else Error msg)
+  | None ->
+    if header.Journal.base = 0 then
+      full_history ~fallback:(prefer_snapshot && snap_result <> None)
+    else
+      Error
+        (match snap_result with
+        | Some (Error msg) ->
+          Printf.sprintf
+            "session %S: journal is compacted (%d entries truncated) and its snapshot is \
+             unusable: %s"
+            id header.Journal.base msg
+        | Some (Ok _) ->
+          Printf.sprintf
+            "session %S: journal is compacted (%d entries truncated) and its snapshot does \
+             not cover it"
+            id header.Journal.base
+        | None ->
+          Printf.sprintf "session %S: journal is compacted (%d entries truncated) but has no \
+                          snapshot"
+            id header.Journal.base)
+
+(* The service-side resume: same engine, plus telemetry. *)
+let resume_recorded t ~dir ~id =
+  let t0 = Obs.now_us () in
+  let r = resume ~layers:t.cfg.layers ~dir ~id () in
+  Obs.observe t.resume_hist (Obs.now_us () -. t0);
+  Obs.incr t.c_resumes;
+  (match r with
+  | Ok info ->
+    if info.r_from_snapshot then Obs.incr t.c_resume_snapshot;
+    if info.r_fallback then Obs.incr t.c_resume_fallback
+  | Error _ -> ());
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+
+(* The compacted script: the session's current designer bindings (in
+   the order they were entered, defaults replayed as defaults so the
+   binding source — part of the signature — survives) prefixed by the
+   history's annotations, so the exploration trail's notes are not
+   lost.  Retracted and re-entered decisions collapse; this is why the
+   checkpoint is short where the raw history is long. *)
+let compacted_script ~id live ~history =
+  let annotations =
+    List.filter_map
+      (fun (e : Journal.entry) ->
+        match P.request_of_json e.Journal.req with Ok (P.Annotate _ as r) -> Some r | _ -> None)
+      history
+  in
+  let sources =
+    List.map
+      (fun (b : Session.binding) ->
+        (b.Session.prop.Ds_layer.Property.name, b.Session.source))
+      (Session.bindings live)
+  in
+  let scripted = Session.script live in
+  let sets =
+    List.map
+      (fun (name, value) ->
+        match List.assoc_opt name sources with
+        | Some Session.Default_value -> P.Default { session = id; name }
+        | _ -> P.Set { session = id; name; value; decide = false })
+      scripted
+  in
+  (* defaults the script may not carry (no derived bindings: they
+     re-derive on replay) *)
+  let extra_defaults =
+    List.filter_map
+      (fun (name, source) ->
+        match source with
+        | Session.Default_value when not (List.mem_assoc name scripted) ->
+          Some (P.Default { session = id; name })
+        | _ -> None)
+      sources
+  in
+  annotations @ sets @ extra_defaults
+
+(* Build a verified checkpoint for [live]: replay the compacted script
+   against a pristine session, recording per-entry signatures, and
+   require the final signature to equal the live one.  A compacted
+   script can legitimately diverge from history replay (guard
+   quarantine state may depend on retracted bindings that faulted a
+   constraint), and this verification — not the writer's good
+   intentions — is what makes truncating the history safe: on any
+   mismatch compaction is refused and the full journal stays. *)
+let build_snapshot t ~id ~layer ~eol ~base ~live ~history =
+  let make_fresh =
+    layer_factory ~layers:t.cfg.layers ~id { Journal.session = id; layer; eol; base = 0 }
+  in
+  let* fresh = make_fresh () in
+  let reqs = compacted_script ~id live ~history in
+  let* entries_rev, final =
     List.fold_left
-      (fun acc (entry : Journal.entry) ->
-        let* s, n = acc in
-        let at = n + 1 in
-        let* req =
-          match P.request_of_json entry.Journal.req with
-          | Ok r -> Ok r
-          | Error msg -> Error (Printf.sprintf "journal entry %d: %s" at msg)
-        in
+      (fun acc req ->
+        let* entries, s = acc in
         let* s' =
           match apply_mutation s req with
           | Some (Ok s') -> Ok s'
           | Some (Error msg) ->
-            Error (Printf.sprintf "journal entry %d no longer applies: %s" at msg)
-          | None -> Error (Printf.sprintf "journal entry %d is not a mutation" at)
+            Error (Printf.sprintf "compacted script does not replay: %s" msg)
+          | None -> Error "compacted script contains a non-mutation"
         in
-        let got = Session.candidate_signature s' in
-        if String.equal got entry.Journal.signature then Ok (s', at)
-        else
-          Error
-            (Printf.sprintf
-               "replay diverged at entry %d: candidate signature %s, journal recorded %s \
-                (layer definition changed since the journal was written?)"
-               at got entry.Journal.signature))
-      (Ok (fresh, 0)) entries
+        let signature = Session.candidate_signature s' in
+        Ok ({ Journal.req = P.json_of_request req; signature } :: entries, s'))
+      (Ok ([], fresh)) reqs
   in
-  Ok (final, header, n)
+  let live_sig = Session.candidate_signature live in
+  let final_sig = Session.candidate_signature final in
+  if not (String.equal final_sig live_sig) then
+    Error
+      (Printf.sprintf
+         "compaction verification failed: compacted script signs %s, live session signs %s \
+          — keeping the full journal"
+         final_sig live_sig)
+  else
+    Ok
+      {
+        Journal.snap_session = id;
+        snap_layer = layer;
+        snap_eol = eol;
+        snap_base = base;
+        snap_signature = live_sig;
+        snap_entries = List.rev entries_rev;
+      }
+
+(* Compact a session whose journal handle is closed (evicted, or never
+   resident): snapshot first, then — only once the snapshot is durable
+   — truncate the journal.  A crash or injected fault between the two
+   leaves a valid snapshot AND the full journal: both lineages replay
+   to the same state. *)
+let compact_files t ~dir ~id ~live =
+  let* header, tail = Journal.load ~dir ~id in
+  let total = header.Journal.base + List.length tail in
+  if List.length tail = 0 then Ok total (* tail already empty: nothing to gain *)
+  else
+    let* _, history = Journal.load_effective ~dir ~id in
+    let* snap =
+      build_snapshot t ~id ~layer:header.Journal.layer ~eol:header.Journal.eol ~base:total
+        ~live ~history
+    in
+    let* () = Journal.write_snapshot ~dir snap in
+    let* j =
+      Journal.rewrite ~sync:t.cfg.journal_sync ~dir { header with Journal.base = total } []
+    in
+    Journal.close j;
+    Ok total
+
+(* Compact a resident session under its held mutation: swap the live
+   journal handle for the rewritten one.  On rewrite failure the old
+   file is intact — reopen it; if even the reopen fails, evict the
+   session (degrade to resume: the files on disk are complete). *)
+let compact_live t ~dir m (entry : Store.entry) ~id j =
+  let* () = Journal.sync_all j in
+  let* header, tail = Journal.load ~dir ~id in
+  let total = header.Journal.base + List.length tail in
+  if List.length tail = 0 then Ok (total, entry)
+  else
+    let* _, history = Journal.load_effective ~dir ~id in
+    let* snap =
+      build_snapshot t ~id ~layer:header.Journal.layer ~eol:header.Journal.eol ~base:total
+        ~live:entry.Store.session ~history
+    in
+    let* () = Journal.write_snapshot ~dir snap in
+    Journal.close j;
+    match Journal.rewrite ~sync:t.cfg.journal_sync ~dir { header with Journal.base = total } [] with
+    | Ok j' ->
+      let entry' = { entry with Store.journal = Some j' } in
+      Store.commit_mutation m entry';
+      Ok (total, entry')
+    | Error msg -> (
+      match Journal.open_append ~sync:t.cfg.journal_sync ~dir ~id () with
+      | Ok j'' ->
+        Store.commit_mutation m { entry with Store.journal = Some j'' };
+        Error msg
+      | Error msg2 ->
+        Store.remove_locked m;
+        Error
+          (Printf.sprintf "%s; %s; session %S closed, re-open with resume" msg msg2 id))
+
+(* Evicted sessions leave resident memory but not the service: their
+   journal (handle already closed by the store) is compacted to a
+   checkpoint so the inevitable rehydration replays a short script, not
+   the whole history.  Failure is harmless — the journal is untouched
+   and rehydration falls back to replaying it. *)
+let compact_evicted t evicted =
+  match t.cfg.journal_dir with
+  | None -> ()
+  | Some dir ->
+    List.iter
+      (fun (id, (e : Store.entry)) ->
+        match e.Store.journal with
+        | None -> ()
+        | Some _ -> (
+          match compact_files t ~dir ~id ~live:e.Store.session with
+          | Ok _ -> Obs.incr t.c_compactions
+          | Error _ -> Obs.incr t.c_compaction_failures))
+      evicted
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -202,11 +503,82 @@ let resume ~layers ~dir ~id =
 let unknown_session sid =
   P.Failed (P.Unknown_session, Printf.sprintf "no session %S (open one first)" sid)
 
+(* Session creation (open / resume / branch targets / rehydration) runs
+   under the admission lock: the existence checks and the insert must
+   be atomic against a concurrent request creating the same id.
+   Mutations and reads of existing sessions never take it. *)
+let admitted t f =
+  Mutex.lock t.admission;
+  match f () with
+  | v ->
+    Mutex.unlock t.admission;
+    v
+  | exception e ->
+    Mutex.unlock t.admission;
+    raise e
+
+(* Transparent rehydration: a session that is not resident but has a
+   journal on disk (evicted, or left over from a previous server life)
+   is resumed and re-admitted on first touch — the store is a cache
+   over the durable session universe, and eviction is invisible to
+   clients.  Must NOT be called with the admission lock held. *)
+let rehydrate t sid =
+  match t.cfg.journal_dir with
+  | None -> `Absent
+  | Some dir ->
+    if not (Journal.exists ~dir ~id:sid) then `Absent
+    else
+      admitted t (fun () ->
+          if Store.mem t.store sid then `Ok (* someone else rehydrated while we waited *)
+          else
+            match resume_recorded t ~dir ~id:sid with
+            | Error msg -> `Failed msg
+            | Ok info -> (
+              match Journal.open_append ~sync:t.cfg.journal_sync ~dir ~id:sid () with
+              | Error msg -> `Failed msg
+              | Ok j ->
+                let evicted =
+                  Store.put t.store sid
+                    {
+                      Store.session = info.r_session;
+                      layer = info.r_layer;
+                      eol = info.r_eol;
+                      journal = Some j;
+                    }
+                in
+                Obs.incr t.c_rehydrations;
+                compact_evicted t evicted;
+                `Ok))
+
 (* Read-only ops: a plain lookup, no lock held while the reply is
    computed — the session value is immutable, so a concurrent mutation
-   of the same id swaps the slot's pointer without disturbing us. *)
-let with_session t sid k =
+   of the same id swaps the slot's pointer without disturbing us.
+   [with_resident] is the store-only variant for callers already under
+   the admission lock (rehydration would self-deadlock there). *)
+let with_resident t sid k =
   match Store.find t.store sid with None -> unknown_session sid | Some entry -> k entry
+
+let with_session t sid k =
+  match Store.find t.store sid with
+  | Some entry -> k entry
+  | None -> (
+    match rehydrate t sid with
+    | `Absent -> unknown_session sid
+    | `Failed msg -> P.Failed (P.Journal_error, msg)
+    | `Ok -> (
+      match Store.find t.store sid with
+      | Some entry -> k entry
+      | None -> unknown_session sid (* evicted again before we could look *)))
+
+let begin_mutation_rehydrating t sid =
+  match Store.begin_mutation t.store sid with
+  | Some me -> `Begun me
+  | None -> (
+    match rehydrate t sid with
+    | `Absent -> `Missing
+    | `Failed msg -> `Error msg
+    | `Ok -> (
+      match Store.begin_mutation t.store sid with Some me -> `Begun me | None -> `Missing))
 
 (* Mutations serialize per session id (the store's slot lock), not
    globally.  Write-ahead order: the journal line is appended (and
@@ -222,11 +594,20 @@ let with_session t sid k =
    visible.  Rather than acknowledge in-memory state whose durability
    is unknown (a retry would double-apply the mutation), the session is
    evicted from the store: the error reply tells the client to re-open
-   with resume, which replays exactly what actually reached disk. *)
+   (or simply touch the session again — rehydration), which replays
+   exactly what actually reached disk.
+
+   When [compact_after] is configured and the journal tail has grown
+   past it, the mutation also triggers compaction while the slot is
+   still held (after [sync_all], so acknowledged durability is never
+   weakened by the handle swap).  Compaction failure never fails the
+   mutation — the reply reports the applied state; the journal simply
+   stays long. *)
 let mutate t sid req apply =
-  match Store.begin_mutation t.store sid with
-  | None -> unknown_session sid
-  | Some (m, entry) ->
+  match begin_mutation_rehydrating t sid with
+  | `Missing -> unknown_session sid
+  | `Error msg -> P.Failed (P.Journal_error, msg)
+  | `Begun (m, entry) ->
     let sync_after = ref None in
     let response =
       match
@@ -245,8 +626,19 @@ let mutate t sid req apply =
           match journaled with
           | Error msg -> P.Failed (P.Journal_error, msg)
           | Ok jseq ->
-            Store.commit_mutation m { entry with Store.session = s' };
+            let entry' = { entry with Store.session = s' } in
+            Store.commit_mutation m entry';
             sync_after := jseq;
+            (match (t.cfg.journal_dir, t.cfg.compact_after, jseq) with
+            | Some dir, Some threshold, Some (j, _) when Journal.entry_count j >= threshold -> (
+              match compact_live t ~dir m entry' ~id:sid j with
+              | Ok _ ->
+                Obs.incr t.c_compactions;
+                (* the handle [sync_to] would target is gone; the
+                   snapshot + rewritten journal are already durable *)
+                sync_after := None
+              | Error _ -> Obs.incr t.c_compaction_failures)
+            | _ -> ());
             P.Reply (session_summary sid s' @ [ ("signature", Jsonx.Str signature) ]))
       with
       | r -> r
@@ -269,19 +661,37 @@ let mutate t sid req apply =
               the mutation blindly: it may already be journaled)"
              msg sid)))
 
-(* Session creation (open / resume / branch targets) runs under the
-   admission lock: the existence checks and the insert must be atomic
-   against a concurrent request creating the same id.  Mutations and
-   reads of existing sessions never take it. *)
-let admitted t f =
-  Mutex.lock t.admission;
-  match f () with
-  | v ->
-    Mutex.unlock t.admission;
-    v
-  | exception e ->
-    Mutex.unlock t.admission;
-    raise e
+let handle_compact t sid =
+  match t.cfg.journal_dir with
+  | None -> P.Failed (P.Journal_error, "cannot compact: journaling is disabled")
+  | Some dir -> (
+    match begin_mutation_rehydrating t sid with
+    | `Missing -> unknown_session sid
+    | `Error msg -> P.Failed (P.Journal_error, msg)
+    | `Begun (m, entry) ->
+      let response =
+        match entry.Store.journal with
+        | None -> P.Failed (P.Journal_error, "session has no journal")
+        | Some j -> (
+          match compact_live t ~dir m entry ~id:sid j with
+          | Ok (total, entry') ->
+            Obs.incr t.c_compactions;
+            let tail =
+              match entry'.Store.journal with Some j' -> Journal.entry_count j' | None -> 0
+            in
+            P.Reply
+              [
+                ("session", Jsonx.Str sid);
+                ("entries", Jsonx.Int total);
+                ("base", Jsonx.Int total);
+                ("tail", Jsonx.Int tail);
+              ]
+          | Error msg ->
+            Obs.incr t.c_compaction_failures;
+            P.Failed (P.Journal_error, msg))
+      in
+      Store.end_mutation m;
+      response)
 
 let handle_open t ~session ~layer ~eol ~resume:resume_flag =
   admitted t @@ fun () ->
@@ -302,33 +712,37 @@ let handle_open t ~session ~layer ~eol ~resume:resume_flag =
     match t.cfg.journal_dir with
     | None -> P.Failed (P.Journal_error, "cannot resume: journaling is disabled")
     | Some dir -> (
-      match resume ~layers:t.cfg.layers ~dir ~id with
+      match resume_recorded t ~dir ~id with
       | Error msg -> P.Failed (P.Journal_error, msg)
-      | Ok (s, header, replayed) ->
-        if (not (String.equal layer "")) && not (String.equal layer header.Journal.layer) then
+      | Ok info ->
+        if (not (String.equal layer "")) && not (String.equal layer info.r_layer) then
           P.Failed
             (P.Bad_request,
-             Printf.sprintf "journal %S belongs to layer %S, not %S" id header.Journal.layer
-               layer)
+             Printf.sprintf "journal %S belongs to layer %S, not %S" id info.r_layer layer)
         else (
           match Journal.open_append ~sync:t.cfg.journal_sync ~dir ~id () with
           | Error msg -> P.Failed (P.Journal_error, msg)
           | Ok j ->
-            Store.put t.store id
-              {
-                Store.session = s;
-                layer = header.Journal.layer;
-                eol = header.Journal.eol;
-                journal = Some j;
-              };
+            let evicted =
+              Store.put t.store id
+                {
+                  Store.session = info.r_session;
+                  layer = info.r_layer;
+                  eol = info.r_eol;
+                  journal = Some j;
+                }
+            in
+            compact_evicted t evicted;
             P.Reply
-              (session_summary id s
+              (session_summary id info.r_session
               @ [
-                  ("layer", Jsonx.Str header.Journal.layer);
-                  ("eol", Jsonx.Int header.Journal.eol);
+                  ("layer", Jsonx.Str info.r_layer);
+                  ("eol", Jsonx.Int info.r_eol);
                   ("resumed", Jsonx.Bool true);
-                  ("replayed", Jsonx.Int replayed);
-                  ("signature", Jsonx.Str (Session.candidate_signature s));
+                  ("replayed", Jsonx.Int info.r_replayed);
+                  ("tail_replayed", Jsonx.Int info.r_tail_replayed);
+                  ("snapshot", Jsonx.Bool info.r_from_snapshot);
+                  ("signature", Jsonx.Str (Session.candidate_signature info.r_session));
                 ]))))
   | Ok id when journal_exists t id ->
     (* a plain open would truncate the resumable history on disk *)
@@ -352,18 +766,26 @@ let handle_open t ~session ~layer ~eol ~resume:resume_flag =
         | None -> Ok None
         | Some dir ->
           Result.map Option.some
-            (Journal.create ~sync:t.cfg.journal_sync ~dir { Journal.session = id; layer; eol })
+            (Journal.create ~sync:t.cfg.journal_sync ~dir
+               { Journal.session = id; layer; eol; base = 0 })
       in
       match journal with
       | Error msg -> P.Failed (P.Journal_error, msg)
       | Ok journal ->
-        Store.put t.store id { Store.session = s; layer; eol; journal };
+        let evicted = Store.put t.store id { Store.session = s; layer; eol; journal } in
+        compact_evicted t evicted;
         P.Reply
           (session_summary id s @ [ ("layer", Jsonx.Str layer); ("eol", Jsonx.Int eol) ])))
 
 let handle_branch t sid as_id =
+  (* rehydrate the source before taking the admission lock (rehydration
+     takes it itself); a source evicted in the window between this and
+     the lookup below simply reports unknown_session *)
+  (match Store.find t.store sid with
+  | Some _ -> ()
+  | None -> ignore (rehydrate t sid));
   admitted t @@ fun () ->
-  with_session t sid (fun entry ->
+  with_resident t sid (fun entry ->
       let id_result =
         match as_id with
         | Some id when not (valid_id id) ->
@@ -394,7 +816,8 @@ let handle_branch t sid as_id =
         | Error msg -> P.Failed (P.Journal_error, msg)
         | Ok journal ->
           (* sessions are immutable: the branch shares the value, O(1) *)
-          Store.put t.store nid { entry with Store.journal = journal };
+          let evicted = Store.put t.store nid { entry with Store.journal = journal } in
+          compact_evicted t evicted;
           P.Reply (session_summary nid entry.Store.session @ [ ("from", Jsonx.Str sid) ])))
 
 let merits_or_default t = function
@@ -577,6 +1000,7 @@ let dispatch t req =
         in
         P.Reply [ ("session", Jsonx.Str session); ("markdown", Jsonx.Str markdown) ])
   | P.Branch { session; as_id } -> handle_branch t session as_id
+  | P.Compact { session } -> handle_compact t session
   | P.Close { session } -> (
     (* through the mutation protocol, so a close waits for an in-flight
        mutation of the session instead of closing its journal under it *)
@@ -670,6 +1094,7 @@ let op_name = function
   | P.Signature _ -> "signature"
   | P.Report _ -> "report"
   | P.Branch _ -> "branch"
+  | P.Compact _ -> "compact"
   | P.Close _ -> "close"
   | P.Stats -> "stats"
   | P.Metrics _ -> "metrics"
@@ -711,7 +1136,7 @@ let req_attrs req =
     base
     @ [ ("session", session) ]
     @ (match as_id with Some id -> [ ("as", id) ] | None -> [])
-  | P.Close { session } -> base @ [ ("session", session) ]
+  | P.Compact { session } | P.Close { session } -> base @ [ ("session", session) ]
   | P.Stats | P.Metrics _ -> base
 
 let response_attrs = function

@@ -56,6 +56,10 @@ type config = {
   default_merits : string list;  (** for [ranges]/[preview]/[report] without merits *)
   report_pareto : (string * string) option;  (** Pareto axes of [report] *)
   capacity : int;  (** LRU bound of the session table *)
+  compact_after : int option;
+      (** auto-compact a session's journal once its tail exceeds this
+          many entries ([None] = only the explicit [compact] op and
+          eviction compact) *)
 }
 
 val config :
@@ -65,11 +69,12 @@ val config :
   ?default_merits:string list ->
   ?report_pareto:string * string ->
   ?capacity:int ->
+  ?compact_after:int ->
   layers:(string * (eol:int -> Ds_layer.Session.t)) list ->
   unit ->
   config
 (** Defaults: no journaling, no fsync, eol 768, no merits, no Pareto,
-    capacity 64. *)
+    capacity 64, no auto-compaction threshold. *)
 
 type t
 
@@ -97,13 +102,37 @@ val handle_line : t -> string -> string
 
 val session_count : t -> int
 
+(** What a resume did: the reconstructed session, where it came from
+    ([r_from_snapshot] — the checkpoint fast path; [r_fallback] — a
+    snapshot existed but full history was replayed instead), and how
+    much work it was ([r_replayed] total entries applied, of which
+    [r_tail_replayed] came from the journal tail — the figure the
+    compaction acceptance bound is asserted against). *)
+type resume_info = {
+  r_session : Ds_layer.Session.t;
+  r_layer : string;
+  r_eol : int;
+  r_replayed : int;
+  r_tail_replayed : int;
+  r_from_snapshot : bool;
+  r_fallback : bool;
+}
+
 val resume :
+  ?prefer_snapshot:bool ->
   layers:(string * (eol:int -> Ds_layer.Session.t)) list ->
   dir:string ->
   id:string ->
-  (Ds_layer.Session.t * Journal.header * int, string) result
+  unit ->
+  (resume_info, string) result
 (** The bare replay engine behind [open --resume], usable without a
-    service: load the journal, instantiate the layer, re-apply every
-    entry and verify each recorded candidate signature.  Returns the
-    reconstructed session, the header, and the number of entries
-    replayed. *)
+    service: load journal (and snapshot), instantiate the layer,
+    re-apply and verify each recorded candidate signature.
+
+    Recovery matrix: with a usable snapshot, replay is checkpoint
+    script + tail; a snapshot that fails its checksum or replay falls
+    back to full history while the journal still holds it (header base
+    0), and is a hard error once the history has been truncated — a
+    lineage that cannot be reconstructed fails loudly, never silently
+    differently.  [prefer_snapshot:false] (the soak oracle) ignores the
+    snapshot whenever full history is available. *)

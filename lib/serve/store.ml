@@ -130,7 +130,10 @@ let remove_locked m =
       end)
 
 (* Call with [t.lock] held.  Victims whose slot lock is busy (an
-   in-flight mutation) are skipped. *)
+   in-flight mutation) are skipped.  The victim's journal handle is
+   closed (fsyncing in sync mode) before the entry is returned, so the
+   caller sees files on disk that are complete up to the last
+   acknowledged mutation — the state a snapshot writer may read. *)
 let evict_lru t ~keep =
   let candidates =
     Hashtbl.fold
@@ -139,7 +142,7 @@ let evict_lru t ~keep =
     |> List.sort (fun (_, a) (_, b) -> Stdlib.compare a.last_used b.last_used)
   in
   let rec try_victims = function
-    | [] -> false
+    | [] -> None
     | (id, slot) :: rest ->
       if Mutex.try_lock slot.slock then begin
         close_journal slot.entry;
@@ -147,7 +150,7 @@ let evict_lru t ~keep =
         Hashtbl.remove t.table id;
         t.evictions <- t.evictions + 1;
         Mutex.unlock slot.slock;
-        true
+        Some (id, slot.entry)
       end
       else try_victims rest
   in
@@ -173,10 +176,14 @@ let put t id entry =
       | None -> ());
       Hashtbl.replace t.table id
         { entry; last_used = tick t; slock = Mutex.create (); dead = false };
+      let evicted = ref [] in
       let continue = ref true in
       while Hashtbl.length t.table > t.capacity && !continue do
-        continue := evict_lru t ~keep:id
-      done)
+        match evict_lru t ~keep:id with
+        | Some victim -> evicted := victim :: !evicted
+        | None -> continue := false
+      done;
+      List.rev !evicted)
 
 let remove t id =
   match begin_mutation t id with

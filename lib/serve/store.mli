@@ -7,9 +7,10 @@
 
     The table is bounded: inserting beyond [capacity] evicts the least
     recently used session (its journal handle is closed; the session
-    stays fully recoverable from its journal via [open --resume], so
-    eviction costs a replay, never data).  Every lookup counts as a
-    use.
+    stays fully recoverable from its journal + snapshot, and the
+    service transparently rehydrates it on the next touch, so eviction
+    costs a replay, never data — the table is a cache over the durable
+    session universe on disk).  Every lookup counts as a use.
 
     {2 Concurrency}
 
@@ -58,10 +59,15 @@ val find : t -> string -> entry option
 (** Marks the entry most-recently-used.  The returned entry is a
     consistent snapshot; the session value inside is immutable. *)
 
-val put : t -> string -> entry -> unit
+val put : t -> string -> entry -> (string * entry) list
 (** Insert or replace; may evict least-recently-used other entries
     (closing their journal handles) to stay within capacity, skipping
-    any entry with a mutation in flight.
+    any entry with a mutation in flight.  Returns the evicted
+    [(id, entry)] pairs — their journal handles are already closed, so
+    the caller can snapshot/compact the on-disk files before anyone
+    rehydrates the id.  An evicted session is not lost: its journal
+    (and snapshot) stay on disk and the service transparently
+    rehydrates it on the next touch.
 
     Replacing a {e resident} id requires that no mutation of that id is
     (or can be) in flight — the service guarantees this by only calling

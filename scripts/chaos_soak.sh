@@ -1,0 +1,127 @@
+#!/bin/sh
+# Chaos soak: the crash-recovery gate for the durability layer.
+#
+# Rounds of seeded mixed traffic against a live server with I/O fault
+# injection armed (DSE_IO_FAULTS: fsync EIO, short writes, torn
+# renames), a small session table (forced eviction/rehydration), and
+# auto-compaction — while the server is SIGKILLed mid-traffic and
+# restarted under the driver, which reconnects and keeps going.
+#
+# After the chaos: a clean no-fault server settles every session's
+# candidate signature (settle.json), then the offline verifier resumes
+# every journal twice — the production path (snapshot fast path) and
+# the sequential no-fault oracle (full-history replay) — and requires
+# bit-identical state between both paths and the settled signatures,
+# within a resume-latency budget.  Nonzero exit on any divergence.
+#
+# Usage: scripts/chaos_soak.sh [--smoke] [--seed N]
+#   --smoke   1 short round (PR-gate speed); default is 3 full rounds
+#   --seed N  base PRNG seed for traffic + fault injection (default 1)
+#
+# Artifacts (chaos_report.json, settle.json, server logs) land in
+# $CHAOS_ARTIFACT_DIR (default _build/chaos).
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+
+smoke=0
+seed=1
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --smoke) smoke=1 ;;
+        --seed) shift; seed=$1 ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+if [ "$smoke" -eq 1 ]; then
+    rounds=1; iters=25; kill_gap=0.1; pace=5
+    faults='fsync=eio:0.02,write=short:0.01,rename=torn:0.05'
+else
+    rounds=3; iters=50; kill_gap=1.0; pace=10
+    faults='fsync=eio:0.03,write=short:0.02,rename=torn:0.10'
+fi
+sessions=4
+
+dune build bin/dse.exe bench/main.exe
+dse=_build/default/bin/dse.exe
+bench=_build/default/bench/main.exe
+
+work=$(mktemp -d)
+sock="$work/dse.sock"
+journal="$work/journal"
+artifacts=${CHAOS_ARTIFACT_DIR:-_build/chaos}
+mkdir -p "$artifacts"
+trap 'kill -9 "$server" 2>/dev/null || true; cp "$work"/server_*.log "$work"/drive_*.log "$artifacts"/ 2>/dev/null || true; rm -rf "$work"' EXIT
+
+server=
+start_server() {
+    # $1: fault spec ('' = clean), $2: fault seed, $3: log tag
+    if [ -n "$1" ]; then
+        DSE_IO_FAULTS=$1 DSE_IO_FAULT_SEED=$2 \
+            "$dse" serve --socket "$sock" --journal-dir "$journal" \
+            --sync --capacity 2 --compact-after 8 \
+            >> "$work/server_$3.log" 2>&1 &
+    else
+        "$dse" serve --socket "$sock" --journal-dir "$journal" \
+            --compact-after 8 \
+            >> "$work/server_$3.log" 2>&1 &
+    fi
+    server=$!
+    i=0
+    while [ ! -S "$sock" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "FAIL: server did not come up" >&2
+            cat "$work/server_$3.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+round=0
+while [ "$round" -lt "$rounds" ]; do
+    round=$((round + 1))
+    echo "chaos round $round/$rounds (seed $((seed + round)), faults $faults)"
+    start_server "$faults" "$((seed + round))" "round$round"
+
+    "$bench" soak --drive --socket "$sock" --pace "$pace" \
+        --sessions "$sessions" --iters "$iters" --seed "$((seed + round))" \
+        > "$work/drive_round$round.log" 2>&1 &
+    drive=$!
+
+    # SIGKILL the server under live traffic, then bring it back while
+    # the driver is still retrying — the crash it must not notice
+    sleep "$kill_gap"
+    kill -9 "$server" 2>/dev/null || true
+    wait "$server" 2>/dev/null || true
+    start_server "$faults" "$((seed + round + 1000))" "round$round"
+
+    if ! wait "$drive"; then
+        echo "FAIL: soak driver died in round $round" >&2
+        cat "$work/drive_round$round.log" >&2
+        cat "$work/server_round$round.log" >&2
+        exit 1
+    fi
+    cat "$work/drive_round$round.log"
+
+    # end the round the hard way: no clean shutdown, journals as-is
+    kill -9 "$server" 2>/dev/null || true
+    wait "$server" 2>/dev/null || true
+done
+
+# settle: a clean, fault-free server answers for every session's state
+start_server '' 0 settle
+"$bench" soak --settle --socket "$sock" --sessions "$sessions" --out "$work/settle.json"
+kill -TERM "$server"
+wait "$server" || { echo "FAIL: clean server did not exit on SIGTERM" >&2; exit 1; }
+
+# verify: offline, production resume vs no-fault oracle vs settled state
+"$bench" soak --verify --dir "$journal" --settle-file "$work/settle.json" \
+    --out "$work/chaos_report.json"
+
+cp "$work/settle.json" "$work/chaos_report.json" "$artifacts"/
+echo "chaos soak OK ($rounds rounds, report at $artifacts/chaos_report.json)"

@@ -24,8 +24,10 @@ status=0
 for f in $(find lib bin -name '*.ml' ! -path 'lib/obs/*' | sort); do
     bad=$(awk -v w="$WINDOW" '
         /Obs\.span_begin/ { open[NR] = 1 }
+        # l is an array key, i.e. a string: force numeric comparison
+        # (+0) or "100" >= "96" is decided lexically and fails
         /Fun\.protect/ || /obs-lint:/ {
-            for (l in open) if (NR >= l && NR - l <= w) delete open[l]
+            for (l in open) if (NR >= l + 0 && NR - l <= w) delete open[l]
         }
         END { for (l in open) print l }
     ' "$f" | sort -n)

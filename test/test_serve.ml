@@ -7,6 +7,7 @@ module P = Ds_serve.Protocol
 module Store = Ds_serve.Store
 module Journal = Ds_serve.Journal
 module Service = Ds_serve.Service
+module Iofault = Ds_serve.Iofault
 module Session = Ds_layer.Session
 module Value = Ds_layer.Value
 
@@ -166,6 +167,7 @@ let test_protocol_roundtrip () =
       P.Report { session = "a"; title = None };
       P.Branch { session = "a"; as_id = Some "b" };
       P.Branch { session = "a"; as_id = None };
+      P.Compact { session = "a" };
       P.Close { session = "a" };
       P.Stats;
     ]
@@ -243,17 +245,18 @@ let syn_session () = Ds_domains.Synthetic.session Ds_domains.Synthetic.default_s
 let test_store_lru () =
   let s = syn_session () in
   let store = Store.create ~capacity:3 () in
-  List.iter (fun id -> Store.put store id (entry_for s)) [ "a"; "b"; "c" ];
+  List.iter (fun id -> ignore (Store.put store id (entry_for s))) [ "a"; "b"; "c" ];
   Alcotest.(check int) "full" 3 (Store.count store);
   (* touch "a" so "b" becomes the LRU victim *)
   ignore (Store.find store "a");
-  Store.put store "d" (entry_for s);
+  let evicted = Store.put store "d" (entry_for s) in
+  Alcotest.(check (list string)) "victim handed back" [ "b" ] (List.map fst evicted);
   Alcotest.(check int) "still bounded" 3 (Store.count store);
   Alcotest.(check bool) "b evicted" false (Store.mem store "b");
   Alcotest.(check bool) "a kept" true (Store.mem store "a");
   Alcotest.(check int) "one eviction" 1 (Store.evictions store);
   (* replacing an existing id is not an insertion: no eviction *)
-  Store.put store "a" (entry_for s);
+  Alcotest.(check int) "replace evicts nobody" 0 (List.length (Store.put store "a" (entry_for s)));
   Alcotest.(check int) "replace keeps count" 3 (Store.count store);
   Alcotest.(check int) "replace evicts nothing" 1 (Store.evictions store);
   Store.remove store "a";
@@ -264,11 +267,11 @@ let test_store_fresh_ids () =
   let s = syn_session () in
   let store = Store.create ~capacity:8 () in
   let id1 = Store.fresh_id store in
-  Store.put store id1 (entry_for s);
+  ignore (Store.put store id1 (entry_for s));
   let id2 = Store.fresh_id store in
   Alcotest.(check bool) "fresh ids distinct" false (String.equal id1 id2);
   (* most-recently-used first *)
-  Store.put store id2 (entry_for s);
+  ignore (Store.put store id2 (entry_for s));
   ignore (Store.find store id1);
   Alcotest.(check (list string)) "MRU order" [ id1; id2 ] (Store.ids store);
   (* the skip predicate vetoes ids the table doesn't know about (the
@@ -391,12 +394,14 @@ let test_lru_eviction_keeps_journal_resumable () =
   (* push "a" out of the bounded table *)
   ignore (reply (Service.handle svc (open_req ~session:"b" ())));
   ignore (reply (Service.handle svc (open_req ~session:"c" ())));
-  failed P.Unknown_session (Service.handle svc (P.Candidates { session = "a" }));
-  (* ...but its journal brings it back, state intact *)
-  let resumed =
-    reply (Service.handle svc (open_req ~session:"a" ~layer:"" ~resume:true ()))
-  in
-  Alcotest.(check string) "signature preserved across eviction" sig_a (jstr "signature" resumed)
+  let stats = reply (Service.handle svc P.Stats) in
+  Alcotest.(check bool) "an eviction happened" true (jint "evictions" stats > 0);
+  (* eviction is invisible: the first touch rehydrates from the journal *)
+  let back = reply (Service.handle svc (P.Signature { session = "a" })) in
+  Alcotest.(check string) "signature preserved across eviction" sig_a (jstr "signature" back);
+  (* the session is resident again, so an explicit re-open is refused *)
+  failed P.Session_exists
+    (Service.handle svc (open_req ~session:"a" ~layer:"" ~resume:true ()))
 
 (* ------------------------------------------------------------------ *)
 (* Journal replay: the crash-recovery acceptance test                   *)
@@ -949,7 +954,9 @@ let test_group_commit () =
   let dir = tmpdir "dse_gc" in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let j =
-    ok (Journal.create ~sync:true ~dir { Journal.session = "gc"; layer = "synthetic"; eol = 768 })
+    ok
+      (Journal.create ~sync:true ~dir
+         { Journal.session = "gc"; layer = "synthetic"; eol = 768; base = 0 })
   in
   let record, errs = collector () in
   let workers = 6 and per_worker = 10 in
@@ -993,6 +1000,387 @@ let test_group_commit () =
         Alcotest.(check bool) (s ^ " present") true (List.mem s signatures)
       done)
     (List.init workers Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Durability: snapshots, compaction, rehydration, fault injection      *)
+
+let jbool k payload =
+  match List.assoc_opt k payload with
+  | Some (J.Bool b) -> b
+  | _ -> Alcotest.failf "reply missing bool field %S" k
+
+let crypto_service_ext ?journal_sync ?capacity ?compact_after dir =
+  Service.create
+    (Service.config ~journal_dir:dir ?journal_sync ?capacity ?compact_after
+       ~default_merits:[ "latency-ns"; "area-um2" ]
+       ~layers:Ds_domains.Catalog.factories ())
+
+let crypto_plain () =
+  Service.create
+    (Service.config ~default_merits:[ "latency-ns"; "area-um2" ]
+       ~layers:Ds_domains.Catalog.factories ())
+
+let service_counter svc name =
+  let m = reply (Service.handle svc (P.Metrics { format = None })) in
+  match jmember "registries" m with
+  | J.Obj regs -> (
+    match List.assoc_opt "service" regs with
+    | Some (J.Obj r) -> (
+      match List.assoc_opt "counters" r with
+      | Some (J.Obj cs) ->
+        Option.value ~default:0 (Option.bind (List.assoc_opt name cs) J.to_int)
+      | _ -> 0)
+    | _ -> 0)
+  | _ -> 0
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* Tamper with the snapshot's payload so its recorded checksum no
+   longer matches — the shape silent on-disk corruption takes. *)
+let corrupt_snapshot ~dir ~id =
+  let path = Journal.snapshot_path ~dir ~id in
+  write_file path (read_file path ^ "corrupted\n")
+
+(* The compaction acceptance bound: after [compact], a resume replays
+   the checkpoint script plus at most the entries appended {e after}
+   the checkpoint — never the full history — and reconstructs replies
+   byte for byte. *)
+let test_compact_bounds_replay () =
+  let dir = tmpdir "dse_compact" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  let before = reply (Service.handle svc (P.Candidates { session = "cs" })) in
+  let compacted = reply (Service.handle svc (P.Compact { session = "cs" })) in
+  Alcotest.(check int) "five entries subsumed" 5 (jint "base" compacted);
+  Alcotest.(check int) "tail emptied" 0 (jint "tail" compacted);
+  Alcotest.(check bool) "snapshot published" true (Journal.snapshot_exists ~dir ~id:"cs");
+  (* compaction must not change any observable *)
+  let mid = reply (Service.handle svc (P.Candidates { session = "cs" })) in
+  Alcotest.(check string) "compaction is invisible"
+    (P.print_response (P.Reply before))
+    (P.print_response (P.Reply mid));
+  (* a second compact with an empty tail is a no-op, not an error *)
+  let again = reply (Service.handle svc (P.Compact { session = "cs" })) in
+  Alcotest.(check int) "idempotent base" 5 (jint "base" again);
+  (* keep exploring past the checkpoint: exactly two tail entries *)
+  ignore
+    (reply
+       (Service.handle svc
+          (P.Set
+             { session = "cs"; name = "Implementation Style"; value = Value.str "hardware";
+               decide = true })));
+  ignore (reply (Service.handle svc (P.Annotate { session = "cs"; text = "post-checkpoint" })));
+  let live_candidates = reply (Service.handle svc (P.Candidates { session = "cs" })) in
+  let live_ranges = reply (Service.handle svc (P.Ranges { session = "cs"; merits = None })) in
+  (* crash; the fresh service resumes from the checkpoint + tail *)
+  let svc2 = crypto_service dir in
+  let resumed = reply (Service.handle svc2 (open_req ~session:"cs" ~layer:"" ~resume:true ())) in
+  Alcotest.(check bool) "resumed from the snapshot" true (jbool "snapshot" resumed);
+  Alcotest.(check int) "replay bounded by the tail length" 2 (jint "tail_replayed" resumed);
+  Alcotest.(check bool) "tail is part of the total" true
+    (jint "tail_replayed" resumed <= jint "replayed" resumed);
+  let after_candidates = reply (Service.handle svc2 (P.Candidates { session = "cs" })) in
+  let after_ranges = reply (Service.handle svc2 (P.Ranges { session = "cs"; merits = None })) in
+  Alcotest.(check string) "identical candidate set"
+    (P.print_response (P.Reply live_candidates))
+    (P.print_response (P.Reply after_candidates));
+  Alcotest.(check string) "identical merit ranges"
+    (P.print_response (P.Reply live_ranges))
+    (P.print_response (P.Reply after_ranges))
+
+let test_auto_compaction () =
+  let dir = tmpdir "dse_autocompact" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service_ext ~compact_after:4 dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  (* the threshold fired inside mutation #4; entry #5 started a new tail *)
+  Alcotest.(check bool) "auto-compaction happened" true
+    (service_counter svc "dse_compactions_total" >= 1);
+  Alcotest.(check bool) "snapshot on disk" true (Journal.snapshot_exists ~dir ~id:"cs");
+  let sig_live = jstr "signature" (reply (Service.handle svc (P.Signature { session = "cs" }))) in
+  let svc2 = crypto_service dir in
+  let resumed = reply (Service.handle svc2 (open_req ~session:"cs" ~layer:"" ~resume:true ())) in
+  Alcotest.(check bool) "snapshot fast path" true (jbool "snapshot" resumed);
+  Alcotest.(check int) "only the post-threshold tail replayed" 1 (jint "tail_replayed" resumed);
+  Alcotest.(check string) "state preserved" sig_live (jstr "signature" resumed)
+
+(* Crash between publishing the snapshot and truncating the journal:
+   both lineages are on disk (full history AND a checkpoint subsuming
+   it).  Either path must reconstruct the same session. *)
+let test_crash_between_snapshot_and_truncate () =
+  let dir = tmpdir "dse_snapcrash" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  let sig_live = jstr "signature" (reply (Service.handle svc (P.Signature { session = "cs" }))) in
+  let journal_path = Journal.path ~dir ~id:"cs" in
+  let pre_compact = read_file journal_path in
+  ignore (reply (Service.handle svc (P.Compact { session = "cs" })));
+  (* simulate the crash: the snapshot rename completed, the journal
+     rewrite did not — restore the full-history journal file *)
+  write_file journal_path pre_compact;
+  let svc2 = crypto_service dir in
+  let resumed = reply (Service.handle svc2 (open_req ~session:"cs" ~layer:"" ~resume:true ())) in
+  Alcotest.(check bool) "snapshot still usable" true (jbool "snapshot" resumed);
+  Alcotest.(check int) "nothing past the checkpoint to replay" 0 (jint "tail_replayed" resumed);
+  Alcotest.(check string) "state preserved" sig_live (jstr "signature" resumed);
+  (* the soak oracle ignores the snapshot whenever full history is
+     available — and must land on the same state *)
+  let info =
+    ok
+      (Service.resume ~prefer_snapshot:false ~layers:Ds_domains.Catalog.factories ~dir
+         ~id:"cs" ())
+  in
+  Alcotest.(check bool) "oracle replayed history" false info.Service.r_from_snapshot;
+  Alcotest.(check int) "oracle replayed everything" 5 info.Service.r_replayed;
+  Alcotest.(check string) "oracle agrees" sig_live
+    (Session.candidate_signature info.Service.r_session)
+
+(* A snapshot that fails its checksum while the journal still holds the
+   full history (base 0) falls back to full replay; once the history
+   has been truncated (base > 0) the same corruption is a hard error —
+   loud, never silently different. *)
+let test_checksum_mismatch_falls_back () =
+  let dir = tmpdir "dse_cksum" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  let sig_live = jstr "signature" (reply (Service.handle svc (P.Signature { session = "cs" }))) in
+  let journal_path = Journal.path ~dir ~id:"cs" in
+  let pre_compact = read_file journal_path in
+  ignore (reply (Service.handle svc (P.Compact { session = "cs" })));
+  write_file journal_path pre_compact;
+  corrupt_snapshot ~dir ~id:"cs";
+  let svc2 = crypto_service dir in
+  let resumed = reply (Service.handle svc2 (open_req ~session:"cs" ~layer:"" ~resume:true ())) in
+  Alcotest.(check bool) "snapshot rejected" false (jbool "snapshot" resumed);
+  Alcotest.(check int) "full history replayed" 5 (jint "replayed" resumed);
+  Alcotest.(check string) "state preserved" sig_live (jstr "signature" resumed);
+  Alcotest.(check bool) "fallback counted" true
+    (service_counter svc2 "dse_resume_fallback_total" >= 1)
+
+let test_checksum_mismatch_after_truncation_is_fatal () =
+  let dir = tmpdir "dse_cksum_fatal" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  ignore (reply (Service.handle svc (P.Compact { session = "cs" })));
+  corrupt_snapshot ~dir ~id:"cs";
+  let svc2 = crypto_service dir in
+  failed P.Journal_error
+    (Service.handle svc2 (open_req ~session:"cs" ~layer:"" ~resume:true ()))
+
+(* Evict, then touch: the rehydrated session must answer candidates and
+   ranges byte-identically to what it answered while resident. *)
+let test_rehydration_bit_identical () =
+  let dir = tmpdir "dse_rehydrate" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = service ~journal_dir:dir ~capacity:2 () in
+  ignore (reply (Service.handle svc (open_req ~session:"a" ())));
+  ignore
+    (reply
+       (Service.handle svc (P.Set { session = "a"; name = issue; value = pick; decide = false })));
+  let live_candidates = reply (Service.handle svc (P.Candidates { session = "a" })) in
+  let live_ranges = reply (Service.handle svc (P.Ranges { session = "a"; merits = None })) in
+  (* push "a" out; eviction also compacts its journal to a checkpoint *)
+  ignore (reply (Service.handle svc (open_req ~session:"b" ())));
+  ignore (reply (Service.handle svc (open_req ~session:"c" ())));
+  Alcotest.(check bool) "eviction compacted the journal" true
+    (Journal.snapshot_exists ~dir ~id:"a");
+  let back_candidates = reply (Service.handle svc (P.Candidates { session = "a" })) in
+  let back_ranges = reply (Service.handle svc (P.Ranges { session = "a"; merits = None })) in
+  Alcotest.(check string) "candidates bit-identical after rehydration"
+    (P.print_response (P.Reply live_candidates))
+    (P.print_response (P.Reply back_candidates));
+  Alcotest.(check string) "ranges bit-identical after rehydration"
+    (P.print_response (P.Reply live_ranges))
+    (P.print_response (P.Reply back_ranges));
+  Alcotest.(check bool) "rehydration counted" true
+    (service_counter svc "dse_rehydrations_total" >= 1)
+
+let test_iofault_plans () =
+  (match Iofault.parse_plan "fsync=eio,write=short:0.25" with
+  | Ok plan -> Alcotest.(check int) "two items" 2 (List.length plan)
+  | Error e -> Alcotest.failf "plan should parse: %s" e);
+  List.iter
+    (fun spec ->
+      match Iofault.parse_plan spec with
+      | Ok _ -> Alcotest.failf "%S should not parse" spec
+      | Error _ -> ())
+    [ "write=torn"; "fsync=short"; "write=eio:1.5"; "write=eio:-0.1"; "bogus"; "=eio"; "write=" ];
+  Alcotest.(check bool) "disarmed by default" false (Iofault.armed ());
+  let dir = tmpdir "dse_iofault" in
+  Fun.protect
+    ~finally:(fun () ->
+      Iofault.disarm ();
+      rm_rf dir)
+  @@ fun () ->
+  let fd = Unix.openfile (Filename.concat dir "probe") [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) @@ fun () ->
+  Iofault.arm ~seed:1 [ (Iofault.Write, Iofault.Enospc, 1.0) ];
+  Alcotest.(check bool) "armed" true (Iofault.armed ());
+  (match Iofault.write fd (Bytes.of_string "x") 0 1 with
+  | _ -> Alcotest.fail "armed write must fail"
+  | exception Unix.Unix_error (Unix.ENOSPC, fn, _) ->
+    Alcotest.(check string) "function names the injection" "inject:write" fn);
+  Alcotest.(check int) "counted" 1 (Iofault.injected_for Iofault.Write);
+  Alcotest.(check int) "total counted" 1 (Iofault.injected ());
+  Iofault.disarm ();
+  Alcotest.(check int) "clean write after disarm" 1 (Iofault.write fd (Bytes.of_string "x") 0 1)
+
+(* A short write tears the entry mid-line; the append must fail, repair
+   the file back to the last complete line, and leave the journal fully
+   usable for both later appends and replay. *)
+let test_fault_short_write_repaired () =
+  let dir = tmpdir "dse_short" in
+  Fun.protect
+    ~finally:(fun () ->
+      Iofault.disarm ();
+      rm_rf dir)
+  @@ fun () ->
+  let j =
+    ok (Journal.create ~dir { Journal.session = "sw"; layer = "synthetic"; eol = 768; base = 0 })
+  in
+  ignore (ok (Journal.append j ~req:(J.Obj [ ("op", J.Str "annotate") ]) ~signature:"sig-1"));
+  Iofault.arm ~seed:3 [ (Iofault.Write, Iofault.Short_write, 1.0) ];
+  (match Journal.append j ~req:(J.Obj [ ("op", J.Str "annotate") ]) ~signature:"sig-torn" with
+  | Ok _ -> Alcotest.fail "short write must fail the append"
+  | Error _ -> ());
+  Iofault.disarm ();
+  ignore (ok (Journal.append j ~req:(J.Obj [ ("op", J.Str "annotate") ]) ~signature:"sig-2"));
+  Journal.close j;
+  let _, entries = ok (Journal.load ~dir ~id:"sw") in
+  Alcotest.(check (list string)) "torn entry repaired away" [ "sig-1"; "sig-2" ]
+    (List.map (fun e -> e.Journal.signature) entries)
+
+(* The PR 4 contract end to end with an injected fault: a failed fsync
+   evicts the session (durability unknown), and the next touch
+   rehydrates exactly what reached disk — which includes the mutation
+   whose fsync failed, because the append preceded it. *)
+let test_fault_fsync_evicts_then_recovers () =
+  let dir = tmpdir "dse_fsync" in
+  Fun.protect
+    ~finally:(fun () ->
+      Iofault.disarm ();
+      rm_rf dir)
+  @@ fun () ->
+  let set1 =
+    P.Set { session = "cs"; name = "Operator Family"; value = Value.str "modular"; decide = true }
+  in
+  let set2 =
+    P.Set
+      { session = "cs"; name = "Modular Operator"; value = Value.str "multiplier"; decide = true }
+  in
+  (* sequential no-fault oracle for the expected final state *)
+  let oracle = crypto_plain () in
+  ignore (reply (Service.handle oracle (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  ignore (reply (Service.handle oracle set1));
+  ignore (reply (Service.handle oracle set2));
+  let sig_oracle =
+    jstr "signature" (reply (Service.handle oracle (P.Signature { session = "cs" })))
+  in
+  let svc = crypto_service_ext ~journal_sync:true dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  ignore (reply (Service.handle svc set1));
+  Iofault.arm ~seed:11 [ (Iofault.Fsync, Iofault.Eio, 1.0) ];
+  (match Service.handle svc set2 with
+  | P.Failed (P.Journal_error, msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "explains the durability gap: %s" msg)
+      true
+      (contains msg "durability unknown")
+  | P.Failed (code, msg) -> Alcotest.failf "wrong failure %s: %s" (P.error_code_label code) msg
+  | P.Reply _ -> Alcotest.fail "fsync fault must fail the mutation");
+  Alcotest.(check bool) "fault was injected" true (Iofault.injected_for Iofault.Fsync >= 1);
+  Iofault.disarm ();
+  (* the session was evicted; the next touch rehydrates from the journal *)
+  let back = reply (Service.handle svc (P.Signature { session = "cs" })) in
+  Alcotest.(check string) "recovered state includes the journaled mutation" sig_oracle
+    (jstr "signature" back)
+
+(* A torn rename kills the snapshot publish: compaction reports the
+   failure, the journal is untouched, and the session remains fully
+   usable live and resumable after a crash. *)
+let test_fault_torn_rename_aborts_compaction () =
+  let dir = tmpdir "dse_torn_rename" in
+  Fun.protect
+    ~finally:(fun () ->
+      Iofault.disarm ();
+      rm_rf dir)
+  @@ fun () ->
+  let svc = crypto_service dir in
+  ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
+  let sig_live = jstr "signature" (reply (Service.handle svc (P.Signature { session = "cs" }))) in
+  Iofault.arm ~seed:5 [ (Iofault.Rename, Iofault.Torn_rename, 1.0) ];
+  failed P.Journal_error (Service.handle svc (P.Compact { session = "cs" }));
+  Iofault.disarm ();
+  Alcotest.(check bool) "no snapshot published" false (Journal.snapshot_exists ~dir ~id:"cs");
+  (* still fully usable live... *)
+  Alcotest.(check string) "session unharmed" sig_live
+    (jstr "signature" (reply (Service.handle svc (P.Signature { session = "cs" }))));
+  (* ...and the untouched journal still resumes *)
+  let svc2 = crypto_service dir in
+  let resumed = reply (Service.handle svc2 (open_req ~session:"cs" ~layer:"" ~resume:true ())) in
+  Alcotest.(check int) "full history intact" 5 (jint "replayed" resumed);
+  Alcotest.(check string) "state preserved" sig_live (jstr "signature" resumed)
+
+(* ------------------------------------------------------------------ *)
+(* Satellites: bounded request lines, client retry deadline             *)
+
+let test_request_too_large () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dse_big_%d.sock" (Unix.getpid ()))
+  in
+  let svc = service () in
+  let server = Ds_serve.Server.create ~socket ~pool:1 ~max_request:1024 svc in
+  let server_thread = Thread.create Ds_serve.Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Ds_serve.Server.shutdown server;
+      Thread.join server_thread)
+  @@ fun () ->
+  let client = ok (Ds_serve.Client.connect_retry ~socket ()) in
+  Fun.protect ~finally:(fun () -> Ds_serve.Client.close client) @@ fun () ->
+  let line = ok (Ds_serve.Client.request_line client (String.make 5000 'x')) in
+  (match P.response_of_string line with
+  | Ok (P.Failed (P.Request_too_large, msg)) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "names the limit: %s" msg)
+      true (contains msg "1024")
+  | Ok _ -> Alcotest.fail "oversized line must get request_too_large"
+  | Error e -> Alcotest.failf "reply unparseable: %s" e);
+  (* the connection survived: a normal request still works on it *)
+  let opened = reply (ok (Ds_serve.Client.request client (open_req ~session:"ok" ()))) in
+  Alcotest.(check bool) "connection still alive" true (jint "candidates" opened > 0)
+
+let test_client_deadline_fails_fast () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dse_nosrv_%d.sock" (Unix.getpid ()))
+  in
+  let t0 = Unix.gettimeofday () in
+  (match Ds_serve.Client.connect_retry ~deadline:0.05 ~base:0.01 ~socket () with
+  | Ok _ -> Alcotest.fail "no server: connect must fail"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "distinct fail-fast error: %s" msg)
+      true
+      (Ds_serve.Client.deadline_exceeded msg));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "budget respected (%.3fs)" elapsed)
+    true (elapsed < 2.0);
+  Alcotest.(check bool) "other errors are not deadline errors" false
+    (Ds_serve.Client.deadline_exceeded "connection refused")
 
 (* ------------------------------------------------------------------ *)
 
@@ -1043,7 +1431,32 @@ let () =
           Alcotest.test_case "resume guards" `Quick test_resume_guards;
         ] );
       ( "socket",
-        [ Alcotest.test_case "end to end" `Quick test_socket_end_to_end ] );
+        [
+          Alcotest.test_case "end to end" `Quick test_socket_end_to_end;
+          Alcotest.test_case "oversized request line" `Quick test_request_too_large;
+          Alcotest.test_case "client deadline fails fast" `Quick
+            test_client_deadline_fails_fast;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "compaction bounds resume replay" `Quick
+            test_compact_bounds_replay;
+          Alcotest.test_case "auto-compaction past the threshold" `Quick test_auto_compaction;
+          Alcotest.test_case "crash between snapshot and truncation" `Quick
+            test_crash_between_snapshot_and_truncate;
+          Alcotest.test_case "checksum mismatch falls back to history" `Quick
+            test_checksum_mismatch_falls_back;
+          Alcotest.test_case "checksum mismatch after truncation is fatal" `Quick
+            test_checksum_mismatch_after_truncation_is_fatal;
+          Alcotest.test_case "rehydration is bit-identical" `Quick
+            test_rehydration_bit_identical;
+          Alcotest.test_case "iofault plans" `Quick test_iofault_plans;
+          Alcotest.test_case "short write repaired" `Quick test_fault_short_write_repaired;
+          Alcotest.test_case "failed fsync evicts, rehydration recovers" `Quick
+            test_fault_fsync_evicts_then_recovers;
+          Alcotest.test_case "torn rename aborts compaction safely" `Quick
+            test_fault_torn_rename_aborts_compaction;
+        ] );
       ( "concurrency",
         [
           Alcotest.test_case "mixed read/mutate soak" `Quick test_concurrent_soak;
