@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test check bench bench-json serve-smoke bench-serve bench-obs bench-compare obs-lint soak soak-smoke doc examples clean
+.PHONY: all test check bench bench-json serve-smoke bench-serve bench-obs bench-sweep bench-compare obs-lint soak soak-smoke doc examples clean
 
 all:
 	dune build @all
@@ -17,6 +17,7 @@ check:
 	$(MAKE) examples
 	dune exec bench/main.exe -- micro --json --smoke
 	dune exec bench/main.exe -- obs --json --smoke
+	dune exec bench/main.exe -- sweep --json --smoke
 	$(MAKE) serve-smoke
 	$(MAKE) soak-smoke
 
@@ -47,10 +48,21 @@ bench-serve:
 	dune exec bench/main.exe -- serve --json
 
 # Regression gate: fresh serve bench vs the committed BENCH_PR3.json
-# baseline; fails on a >20% throughput drop.
+# baseline, then the columnar-sweep bench's serve leg vs the fresh PR4
+# headline (plus the >=5x cold-sweep speedup floor); fails on a >20%
+# throughput drop either way.
 bench-compare:
 	dune exec bench/main.exe -- serve --json --smoke
 	sh scripts/bench_compare.sh
+	dune exec bench/main.exe -- sweep --json --smoke
+	sh scripts/bench_compare.sh BENCH_PR4.json BENCH_PR7.json
+
+# Columnar-sweep bench over generated 10^5- and 10^6-core layers
+# (writes BENCH_PR7.json: build/cold-sweep/warm-requery times, GC
+# deltas, columnar-vs-classic speedup, serve throughput leg).
+# DSE_BENCH_REPS overrides the per-phase repetition counts.
+bench-sweep:
+	dune exec bench/main.exe -- sweep --json
 
 bench:
 	dune exec bench/main.exe

@@ -17,6 +17,15 @@
                                          -- telemetry overhead: the
                                             serve bench with tracing
                                             off vs on -> BENCH_PR5.json
+     dune exec bench/main.exe sweep --json [--smoke]
+                                         -- columnar Eliminate sweep on
+                                            generated 10^5/10^6-core
+                                            layers, columnar vs classic
+                                            -> BENCH_PR7.json
+
+   Every JSON bench honours DSE_BENCH_REPS=n (override per-phase
+   repetition counts) and writes a gitignored BENCH_PR*-latest.json
+   twin next to the pinned file.
 
    Experiments: table1 fig3 fig6 fig7 fig8 fig9 fig10 fig12 fig13
                 casestudy ablation power micro *)
@@ -880,6 +889,58 @@ let time_ms f =
   f ();
   (Sys.time () -. t0) *. 1000.0
 
+(* [DSE_BENCH_REPS=n] overrides every per-phase repetition count of the
+   JSON benches — quick local iterations (n=1..3) or extra-stable
+   figures (large n) without editing the harness. *)
+let env_reps () =
+  match Sys.getenv_opt "DSE_BENCH_REPS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Some n
+    | Some _ | None -> None)
+  | None -> None
+
+(* Allocator/collector work of one measured phase, from [Gc.quick_stat]
+   deltas (words are floats upstream; collections are counts). *)
+type gc_delta = {
+  gd_minor_words : float;
+  gd_major_words : float;
+  gd_promoted_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+}
+
+let with_gc f =
+  let a = Gc.quick_stat () in
+  let r = f () in
+  let b = Gc.quick_stat () in
+  ( r,
+    {
+      gd_minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+      gd_major_words = b.Gc.major_words -. a.Gc.major_words;
+      gd_promoted_words = b.Gc.promoted_words -. a.Gc.promoted_words;
+      gd_minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+      gd_major_collections = b.Gc.major_collections - a.Gc.major_collections;
+    } )
+
+let gc_json d =
+  Printf.sprintf
+    "{ \"minor_words\": %.0f, \"major_words\": %.0f, \"promoted_words\": %.0f, \
+     \"minor_collections\": %d, \"major_collections\": %d }"
+    d.gd_minor_words d.gd_major_words d.gd_promoted_words d.gd_minor_collections
+    d.gd_major_collections
+
+(* Every JSON bench writes its pinned file (committed, the regression
+   baseline) and a [-latest] twin (gitignored) so a local rerun can be
+   diffed against the pinned figures without touching them. *)
+let write_bench name buf =
+  List.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc (Buffer.contents buf);
+      close_out oc)
+    [ name ^ ".json"; name ^ "-latest.json" ]
+
 let requery_loop s reps =
   (* alternate the revised bound so every step is a real change *)
   let s = ref s in
@@ -893,7 +954,11 @@ let micro_json ?(smoke = false) () =
     (if smoke then "Incremental-pruning bench (smoke) -> BENCH_PR2.json"
      else "Incremental-pruning bench -> BENCH_PR2.json");
   let sizes = if smoke then [ 100; 500 ] else [ 100; 1_000; 10_000 ] in
-  let reps_for n = Stdlib.max 5 (if smoke then 20_000 / n else 100_000 / n) in
+  let reps_for n =
+    match env_reps () with
+    | Some r -> r
+    | None -> Stdlib.max 5 (if smoke then 20_000 / n else 100_000 / n)
+  in
   let rows =
     List.map
       (fun n ->
@@ -906,8 +971,14 @@ let micro_json ?(smoke = false) () =
         (* warm both once so the measured loop is steady-state *)
         render cached;
         render naive;
-        let naive_ms = time_ms (fun () -> requery_loop naive reps) /. float_of_int reps in
-        let cached_ms = time_ms (fun () -> requery_loop cached reps) /. float_of_int reps in
+        let naive_ms, naive_gc =
+          with_gc (fun () -> time_ms (fun () -> requery_loop naive reps))
+        in
+        let naive_ms = naive_ms /. float_of_int reps in
+        let cached_ms, cached_gc =
+          with_gc (fun () -> time_ms (fun () -> requery_loop cached reps))
+        in
+        let cached_ms = cached_ms /. float_of_int reps in
         (* single uncached candidate query vs a warm cached one *)
         let naive_query_ms =
           time_ms (fun () ->
@@ -916,13 +987,14 @@ let micro_json ?(smoke = false) () =
               done)
           /. float_of_int reps
         in
-        let warm_query_ms =
-          time_ms (fun () ->
-              for _ = 1 to reps do
-                ignore (Session.candidates cached)
-              done)
-          /. float_of_int reps
+        let warm_query_ms, warm_gc =
+          with_gc (fun () ->
+              time_ms (fun () ->
+                  for _ = 1 to reps do
+                    ignore (Session.candidates cached)
+                  done))
         in
+        let warm_query_ms = warm_query_ms /. float_of_int reps in
         let points = Evaluation.of_cores ~x:"delay" ~y:"cost" (Session.population cached) in
         let pareto_reps = Stdlib.max reps 20 in
         let pareto_ms =
@@ -945,7 +1017,8 @@ let micro_json ?(smoke = false) () =
           warm_query_ms,
           (List.length points, front, pareto_ms),
           stats,
-          equivalent ))
+          equivalent,
+          (reps, naive_gc, cached_gc, warm_gc) ))
       sizes
   in
   let buf = Buffer.create 2048 in
@@ -965,9 +1038,11 @@ let micro_json ?(smoke = false) () =
            warm_query_ms,
            (points, front, pareto_ms),
            stats,
-           eq ) ->
+           eq,
+           (reps, naive_gc, cached_gc, warm_gc) ) ->
       add "    {\n";
       add "      \"cores\": %d,\n" n;
+      add "      \"reps\": %d,\n" reps;
       add "      \"equivalent_to_naive\": %b,\n" eq;
       add "      \"requery_after_binding_change\": {\n";
       add "        \"naive_ms\": %.4f, \"cached_ms\": %.4f, \"speedup\": %.2f\n" naive_ms cached_ms
@@ -979,23 +1054,24 @@ let micro_json ?(smoke = false) () =
         pareto_ms;
       add "      \"cache\": { \"verdict_hits\": %d, \"verdict_misses\": %d, \"hit_rate\": %.4f,\n"
         stats.Compliance.verdict_hits stats.Compliance.verdict_misses (Compliance.hit_rate stats);
-      add "                 \"survivor_hits\": %d, \"survivor_misses\": %d, \"generations\": %d }\n"
+      add "                 \"survivor_hits\": %d, \"survivor_misses\": %d, \"generations\": %d },\n"
         stats.Compliance.survivor_hits stats.Compliance.survivor_misses
         stats.Compliance.generations;
+      add "      \"gc\": { \"requery_naive\": %s,\n" (gc_json naive_gc);
+      add "              \"requery_cached\": %s,\n" (gc_json cached_gc);
+      add "              \"warm_query\": %s }\n" (gc_json warm_gc);
       add "    }%s\n" (if i < List.length rows - 1 then "," else ""))
     rows;
   add "  ],\n";
   let headline =
     match List.rev rows with
-    | (n, naive_ms, cached_ms, _, _, _, _, _) :: _ -> (n, naive_ms /. cached_ms)
+    | (n, naive_ms, cached_ms, _, _, _, _, _, _) :: _ -> (n, naive_ms /. cached_ms)
     | [] -> (0, 0.0)
   in
   add "  \"headline\": { \"cores\": %d, \"requery_speedup\": %.2f }\n" (fst headline)
     (snd headline);
   add "}\n";
-  let oc = open_out "BENCH_PR2.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  write_bench "BENCH_PR2" buf;
   printf "\nwrote BENCH_PR2.json (headline: %.2fx requery speedup at %d cores)\n" (snd headline)
     (fst headline)
 
@@ -1151,8 +1227,10 @@ let serve_json ?(smoke = false) () =
   header
     (if smoke then "Exploration-service bench (smoke) -> BENCH_PR4.json"
      else "Exploration-service bench -> BENCH_PR4.json");
-  let reps = if smoke then 25 else 250 in
-  let sweep_reps = if smoke then 10 else 100 in
+  let reps = match env_reps () with Some r -> r | None -> if smoke then 25 else 250 in
+  let sweep_reps =
+    match env_reps () with Some r -> r | None -> if smoke then 10 else 100
+  in
   printf "worker-scaling sweep, %d clients (pool %s):\n" serve_bench_clients
     (String.concat "/" (List.map string_of_int serve_pool_sweep));
   let sweep =
@@ -1245,9 +1323,7 @@ let serve_json ?(smoke = false) () =
   add "  },\n";
   add "  \"server_stats\": %s\n" headline.sr_server_stats;
   add "}\n";
-  let oc = open_out "BENCH_PR4.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  write_bench "BENCH_PR4" buf;
   printf "\nwrote BENCH_PR4.json (%.0f req/s over %d concurrent clients at pool %d)\n"
     (sr_rps headline) serve_bench_clients headline.sr_pool
 
@@ -1343,6 +1419,203 @@ let obs_json ?(smoke = false) () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   printf "\nwrote BENCH_PR5.json (%.2f%% overhead at pool %d)\n" overhead_pct pool
+
+(* ------------------------------------------------------------------ *)
+(* Columnar-sweep bench (BENCH_PR7.json)                                *)
+
+(* Measures the columnar Eliminate sweep on generated large-population
+   layers (10^5 and 10^6 cores): layer build cost, the cold
+   sweep-everything query under both engines — the columnar default and
+   the retained classic per-core-closure path, same run, same machine —
+   the warm requery step, and allocator pressure per phase.  A
+   PR4-shaped serve round rides along so scripts/bench_compare.sh can
+   gate end-to-end serve throughput against the pinned BENCH_PR4
+   figures. *)
+
+module Gen = Ds_domains.Generator
+
+let sweep_budget i = 180.0 +. (15.0 *. float_of_int i)
+
+let gen_bind_budgets spec s =
+  let rec go s i =
+    if i >= spec.Gen.ccs then s
+    else begin
+      match Session.set s (Gen.budget_name i) (Value.real (sweep_budget i)) with
+      | Ok s -> go s (i + 1)
+      | Error e -> failwith ("bench: binding " ^ Gen.budget_name i ^ ": " ^ e)
+    end
+  in
+  go s 0
+
+(* Wall clock, not [Sys.time]: the sweep fans out over the domain pool,
+   and CPU time would add the workers' time together. *)
+let wall_ms f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1000.0
+
+let sweep_json ?(smoke = false) () =
+  header
+    (if smoke then "Columnar-sweep bench (smoke) -> BENCH_PR7.json"
+     else "Columnar-sweep bench -> BENCH_PR7.json");
+  let sizes = if smoke then [ 100_000 ] else [ 100_000; 1_000_000 ] in
+  let reps_for n =
+    match env_reps () with
+    | Some r -> r
+    | None -> if n >= 1_000_000 then 2 else if smoke then 3 else 5
+  in
+  (* the serve leg: BENCH_PR4's headline shape (8 clients, pool 8,
+     synthetic10k, same rep count) for the throughput gate.  It runs
+     FIRST, before the large-layer builds: a 10^6-core layer leaves a
+     multi-GB major heap behind, and GC pressure from that heap would
+     depress the measured request throughput by ~2x, skewing the
+     PR4-vs-PR7 comparison. *)
+  let serve_reps = match env_reps () with Some r -> r | None -> if smoke then 25 else 250 in
+  let sr = serve_round ~pool:serve_bench_clients ~reps:serve_reps ~tag:"sweep" in
+  printf "serve leg: %d req in %.2f s  %.0f req/s  errors %d\n" sr.sr_requests sr.sr_wall
+    (sr_rps sr) sr.sr_errors;
+  let rows =
+    List.map
+      (fun n ->
+        let spec = { Gen.default_spec with Gen.cores = n } in
+        let reps = reps_for n in
+        let master = ref None in
+        let build_ms, build_gc =
+          with_gc (fun () -> wall_ms (fun () -> master := Some (Gen.session spec)))
+        in
+        let master = Option.get !master in
+        let classic_master = Gen.session ~sweep_mode:Session.Classic spec in
+        (* cold sweep: fresh lineage (own compliance cache) per rep, so
+           every rep pays the full sweep over all [ccs] constraints *)
+        let cold mst =
+          let survivors = ref 0 in
+          let ms, gc =
+            with_gc (fun () ->
+                wall_ms (fun () ->
+                    for _ = 1 to reps do
+                      let s = gen_bind_budgets spec (Session.pristine mst) in
+                      survivors := Session.candidate_count s
+                    done))
+          in
+          (ms /. float_of_int reps, gc, !survivors)
+        in
+        let columnar_ms, columnar_gc, survivors = cold master in
+        let classic_ms, classic_gc, classic_survivors = cold classic_master in
+        let speedup = if columnar_ms > 0.0 then classic_ms /. columnar_ms else 0.0 in
+        (* warm requery: revise one budget, re-read count and a range —
+           only the revised constraint re-sweeps *)
+        let warm = gen_bind_budgets spec (Session.pristine master) in
+        ignore (Session.candidate_count warm);
+        let warm = ref warm in
+        let warm_ms, warm_gc =
+          with_gc (fun () ->
+              wall_ms (fun () ->
+                  for rep = 1 to reps do
+                    let delta = if rep mod 2 = 0 then 10.0 else -10.0 in
+                    let s = ok (Session.retract !warm (Gen.budget_name 0)) in
+                    let s =
+                      ok (Session.set s (Gen.budget_name 0) (Value.real (sweep_budget 0 +. delta)))
+                    in
+                    ignore (Session.candidate_count s);
+                    ignore (Session.merit_summary s ~merit:(Gen.merit_name 0));
+                    warm := s
+                  done))
+        in
+        let warm_ms = warm_ms /. float_of_int reps in
+        (* differential: columnar, classic and uncached-naive candidate
+           ids must be identical (checked at the gate size; the
+           equivalence suite covers more seeds and shapes) *)
+        let equivalent =
+          if n > 100_000 then None
+          else begin
+            let ids s = List.map fst (Session.candidates s) in
+            let col = gen_bind_budgets spec (Session.pristine master) in
+            let cls = gen_bind_budgets spec (Session.pristine classic_master) in
+            let naive = gen_bind_budgets spec (Gen.session ~use_cache:false spec) in
+            let ci = ids col in
+            let ni = List.map fst (Session.candidates_naive naive) in
+            Some (ci = ids cls && ci = ni)
+          end
+        in
+        printf
+          "%8d cores | build %8.0f ms | cold sweep columnar %8.2f ms  classic %8.2f ms  speedup %6.2fx | warm %6.3f ms | survivors %d%s\n"
+          n build_ms columnar_ms classic_ms speedup warm_ms survivors
+          (match equivalent with
+          | Some true | None -> if classic_survivors = survivors then "" else "  [MISMATCH]"
+          | Some false -> "  [MISMATCH]");
+        ( n,
+          reps,
+          (build_ms, build_gc),
+          (columnar_ms, columnar_gc),
+          (classic_ms, classic_gc, speedup),
+          (warm_ms, warm_gc),
+          survivors,
+          equivalent ))
+      sizes
+  in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"columnar-sweep\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add
+    "  \"config\": { \"branching\": %d, \"plain_issues\": %d, \"cardinality\": %d, \
+     \"merits\": %d, \"fanin\": %d, \"ccs\": %d, \"seed\": %d },\n"
+    Gen.default_spec.Gen.branching Gen.default_spec.Gen.plain_issues
+    Gen.default_spec.Gen.cardinality Gen.default_spec.Gen.merits Gen.default_spec.Gen.fanin
+    Gen.default_spec.Gen.ccs Gen.default_spec.Gen.seed;
+  add "  \"sizes\": [\n";
+  List.iteri
+    (fun i
+         ( n,
+           reps,
+           (build_ms, build_gc),
+           (columnar_ms, columnar_gc),
+           (classic_ms, classic_gc, speedup),
+           (warm_ms, warm_gc),
+           survivors,
+           equivalent ) ->
+      add "    {\n";
+      add "      \"cores\": %d,\n" n;
+      add "      \"reps\": %d,\n" reps;
+      add "      \"survivors\": %d,\n" survivors;
+      (match equivalent with
+      | Some eq -> add "      \"equivalent_to_naive\": %b,\n" eq
+      | None -> add "      \"equivalent_to_naive\": null,\n");
+      add "      \"build\": { \"ms\": %.1f, \"gc\": %s },\n" build_ms (gc_json build_gc);
+      add "      \"cold_sweep\": {\n";
+      add "        \"columnar_ms\": %.3f, \"classic_ms\": %.3f, \"speedup\": %.2f,\n"
+        columnar_ms classic_ms speedup;
+      add "        \"columnar_gc\": %s,\n" (gc_json columnar_gc);
+      add "        \"classic_gc\": %s\n" (gc_json classic_gc);
+      add "      },\n";
+      add "      \"warm_requery\": { \"ms\": %.4f, \"gc\": %s }\n" warm_ms (gc_json warm_gc);
+      add "    }%s\n" (if i < List.length rows - 1 then "," else ""))
+    rows;
+  add "  ],\n";
+  let speedup_at_gate =
+    List.fold_left
+      (fun acc (n, _, _, _, (_, _, sp), _, _, _) -> if n = 100_000 then sp else acc)
+      0.0 rows
+  in
+  let largest, largest_ms =
+    match List.rev rows with
+    | (n, _, _, (cms, _), _, _, _, _) :: _ -> (n, cms)
+    | [] -> (0, 0.0)
+  in
+  add "  \"headline\": { \"cores\": %d, \"cold_sweep_ms\": %.3f, \"speedup_at_100k\": %.2f },\n"
+    largest largest_ms speedup_at_gate;
+  add
+    "  \"serve\": { \"layer\": \"synthetic10k\", \"clients\": %d, \"pool\": %d, \
+     \"iterations_per_client\": %d, \"requests\": %d, \"errors\": %d, \"wall_s\": %.3f, \
+     \"requests_per_second\": %.1f }\n"
+    serve_bench_clients serve_bench_clients serve_reps sr.sr_requests sr.sr_errors sr.sr_wall
+    (sr_rps sr);
+  add "}\n";
+  write_bench "BENCH_PR7" buf;
+  printf
+    "\nwrote BENCH_PR7.json (cold sweep %.1f ms over %d cores; columnar %.2fx classic at 10^5)\n"
+    largest_ms largest speedup_at_gate
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
@@ -1727,6 +2000,11 @@ let () =
      vs off over the serve bench), written to BENCH_PR5.json *)
   | _ :: "obs" :: rest when List.mem "--json" rest ->
     obs_json ~smoke:(List.mem "--smoke" rest) ()
+  (* [sweep --json [--smoke]]: the columnar-sweep bench on generated
+     10^5/10^6-core layers, written to BENCH_PR7.json (--smoke: 10^5
+     only, for CI) *)
+  | _ :: "sweep" :: rest when List.mem "--json" rest ->
+    sweep_json ~smoke:(List.mem "--smoke" rest) ()
   (* [soak --drive|--settle|--verify ...]: the crash-recovery chaos
      gate; see scripts/chaos_soak.sh for the full orchestration *)
   | _ :: "soak" :: rest -> soak rest

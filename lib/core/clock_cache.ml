@@ -1,0 +1,83 @@
+(* Second-chance (clock) eviction over a fixed slot ring + key table.
+   Replaces the whole-table [Hashtbl.reset] pressure valves the
+   compliance caches used: at capacity, one cold entry is evicted per
+   insert instead of dropping every live entry at once, and each
+   eviction is observable (callback + counter).
+
+   A hit sets the entry's reference bit; the clock hand sweeps the
+   ring, clearing reference bits until it finds one already clear —
+   recently-used entries get a second chance, cold ones leave.  The
+   scan is bounded by one full revolution (every bit cleared) plus one
+   step, so [store] is O(capacity) worst case and O(1) amortized.
+
+   Not internally synchronized: {!Compliance} calls it under its table
+   lock. *)
+
+type 'a entry = { key : string; mutable value : 'a; mutable referenced : bool }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry * int) Hashtbl.t; (* key -> entry, slot index *)
+  slots : 'a entry option array;
+  mutable hand : int;
+  mutable evictions : int;
+  on_evict : unit -> unit;
+}
+
+let create ?(on_evict = fun () -> ()) ~capacity () =
+  if capacity < 1 then invalid_arg "Clock_cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create capacity;
+    slots = Array.make capacity None;
+    hand = 0;
+    evictions = 0;
+    on_evict;
+  }
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some (e, _) ->
+    e.referenced <- true;
+    Some e.value
+  | None -> None
+
+let mem t key = Hashtbl.mem t.table key
+
+(* The next free-or-victim slot.  At most one full revolution clears
+   every reference bit, so the scan terminates within 2 * capacity
+   steps. *)
+let claim_slot t =
+  let rec go steps =
+    let i = t.hand in
+    t.hand <- (t.hand + 1) mod t.capacity;
+    match t.slots.(i) with
+    | None -> i
+    | Some e ->
+      if e.referenced && steps < 2 * t.capacity then begin
+        e.referenced <- false;
+        go (steps + 1)
+      end
+      else begin
+        Hashtbl.remove t.table e.key;
+        t.evictions <- t.evictions + 1;
+        t.on_evict ();
+        i
+      end
+  in
+  go 0
+
+let store t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some (e, _) ->
+    e.value <- value;
+    e.referenced <- true
+  | None ->
+    let i = claim_slot t in
+    let e = { key; value; referenced = true } in
+    t.slots.(i) <- Some e;
+    Hashtbl.replace t.table key (e, i)
+
+let length t = Hashtbl.length t.table
+let evictions t = t.evictions
+let capacity t = t.capacity

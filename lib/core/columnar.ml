@@ -1,0 +1,95 @@
+module Core = Ds_reuse.Core
+
+(* The columnar view of an indexed core population: one flat array per
+   merit and per property, indexed by the dense ids {!Index} assigns at
+   build time (entry insertion order).  The row-oriented [Core.t]
+   values stay authoritative — columns are a projection built once per
+   layer and shared by every session lineage over it (the service's
+   parsed-layer cache hands them out via [Session.pristine] for free).
+
+   Merit columns are [float array] + a presence bitset: a merit value
+   may legitimately be NaN, so absence cannot be encoded in the float
+   itself.  Property columns intern each distinct value string into a
+   small per-column lexicon and store one code per core (0 = the core
+   does not declare the property), which turns the compliance filter
+   into an integer compare per core. *)
+
+type merit_column = { values : float array; present : Bitset.t }
+
+type prop_column = {
+  codes : int array; (* 0 = property absent, k+1 = lexicon entry k *)
+  lexicon : (string, int) Hashtbl.t; (* value string -> code *)
+}
+
+type t = {
+  qids : string array;
+  cores : Core.t array;
+  merits : (string, merit_column) Hashtbl.t;
+  props : (string, prop_column) Hashtbl.t;
+}
+
+let length t = Array.length t.qids
+let qid t i = t.qids.(i)
+let core t i = t.cores.(i)
+
+let merit_column t name =
+  match Hashtbl.find_opt t.merits name with
+  | Some c -> Some (c.values, c.present)
+  | None -> None
+
+(* The compliance predicate of one (design issue, chosen value) pair,
+   matching [Core.matches_property] exactly: a core that does not
+   declare the property is not discriminated by it.  [None] when no
+   indexed core declares the property at all — every core matches. *)
+let property_matches t ~key ~value =
+  match Hashtbl.find_opt t.props key with
+  | None -> None
+  | Some col ->
+    let code = match Hashtbl.find_opt col.lexicon value with Some c -> c | None -> -1 in
+    let codes = col.codes in
+    Some (fun i ->
+        let c = Array.unsafe_get codes i in
+        c = 0 || c = code)
+
+let build ~qids ~cores =
+  let n = Array.length cores in
+  if Array.length qids <> n then invalid_arg "Columnar.build: array length mismatch";
+  let merits = Hashtbl.create 16 in
+  let props = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let c = cores.(i) in
+    List.iter
+      (fun (name, v) ->
+        let col =
+          match Hashtbl.find_opt merits name with
+          | Some col -> col
+          | None ->
+            let col = { values = Array.make n 0.0; present = Bitset.create n } in
+            Hashtbl.add merits name col;
+            col
+        in
+        col.values.(i) <- v;
+        Bitset.set col.present i)
+      c.Core.merits;
+    List.iter
+      (fun (name, v) ->
+        let col =
+          match Hashtbl.find_opt props name with
+          | Some col -> col
+          | None ->
+            let col = { codes = Array.make n 0; lexicon = Hashtbl.create 8 } in
+            Hashtbl.add props name col;
+            col
+        in
+        let code =
+          match Hashtbl.find_opt col.lexicon v with
+          | Some code -> code
+          | None ->
+            let code = Hashtbl.length col.lexicon + 1 in
+            Hashtbl.add col.lexicon v code;
+            code
+        in
+        col.codes.(i) <- code)
+      c.Core.properties
+  done;
+  { qids; cores; merits; props }

@@ -1,0 +1,35 @@
+(** Columnar projection of an indexed core population — the data layout
+    behind the tight-loop Eliminate sweep.
+
+    One flat array per merit and per property, indexed by the dense
+    core ids {!Index} assigns (entry insertion order).  Built once per
+    layer by [Index.build] and shared immutably by every session
+    lineage; vectorized elimination kernels
+    ({!Consistency.eliminate_kernel}) read merit columns directly
+    instead of probing each core's interned-key lookup per call. *)
+
+type t
+
+val build : qids:string array -> cores:Ds_reuse.Core.t array -> t
+(** Arrays must be parallel (same length, same order). *)
+
+val length : t -> int
+
+val qid : t -> int -> string
+(** Qualified id of the core at a dense id. *)
+
+val core : t -> int -> Ds_reuse.Core.t
+(** The row view of a dense id (what per-core closures receive). *)
+
+val merit_column : t -> string -> (float array * Bitset.t) option
+(** [(values, present)] for a merit name; absent bits mean the core
+    does not carry the merit (its [values] slot is meaningless).  NaN
+    values are stored as-is — presence is a separate bit precisely so
+    NaN merits keep their "skipped, not missing" semantics.  [None]
+    when no indexed core carries the merit. *)
+
+val property_matches : t -> key:string -> value:string -> (int -> bool) option
+(** A per-id predicate equivalent to
+    [Core.matches_property (core t i) ~key ~value] — one integer
+    compare per core.  [None] when no indexed core declares [key]
+    (every core matches; callers skip the filter). *)

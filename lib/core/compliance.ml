@@ -4,23 +4,38 @@
    most one generation's verdicts (latest wins — interactive queries
    revisit the current state, not past ones).
 
-   Verdicts live in a byte array indexed by interned core id (0 =
-   unknown, 1 = inferior, 2 = kept): the hot path of a warm query is
-   one array read per (constraint, core), with the single string-hash
-   probe per core paid once in {!core_ids}, not per constraint.
+   Verdicts are packed two bits per core (0 = unknown, 1 = inferior,
+   2 = kept), sixteen cores per [int array] word, indexed by dense core
+   id.  The hot path of a warm query is one array read per (constraint,
+   32-core word): {!Slot.peek_word} unpacks a whole word into
+   known/inferior masks that combine with the sweep's keep bitset
+   branchlessly.  The classic (per-core closure) path still reads one
+   verdict at a time through {!Slot.peek}.
 
    Concurrency: one table serves a session lineage, and since the
    exploration service stopped serializing requests globally, several
    domains can query (and thus populate) the same lineage at once.  All
    table mutation happens under [lock].  The per-core sweep itself runs
-   lockless against a {!Slot.view}: [slot] pre-grows the byte array to
-   cover every interned id while holding the lock, so the buffer a
-   query reads is never reallocated under it, and new verdicts are
-   buffered by the sweep and written back in one {!Slot.merge} — which
-   re-checks the stamp, so a sweep that overlapped an invalidation
-   discards its write-back instead of poisoning the new generation.
-   Racing sweeps at the same stamp compute identical verdicts
-   (closures are deterministic), so their merges are idempotent. *)
+   lockless against a {!Slot.view}: [slot] pre-grows the word array to
+   cover every core id while holding the lock, so the buffer a query
+   reads is never reallocated under it, and new verdicts are buffered
+   by the sweep and written back in one {!Slot.merge} /
+   {!Slot.merge_bits} — which re-checks the stamp, so a sweep that
+   overlapped an invalidation discards its write-back instead of
+   poisoning the new generation.  A lockless reader sees each word
+   atomically (OCaml array elements never tear), and every word a
+   racing merge can publish holds only codes that sweep would itself
+   compute (closures are deterministic), so racing merges at one stamp
+   are idempotent.
+
+   The memo tables (survivor sets, merit summaries, signature digests,
+   generation numbers) are bounded by second-chance {!Clock_cache}s:
+   past capacity each insert evicts one cold entry — observable through
+   the [dse_engine_*_evictions_total] counters — instead of the
+   whole-table reset the first version used.  Eviction is always safe:
+   every entry is a memo whose key determines its value, so a lost
+   entry costs a recompute (or a fresh generation), never a wrong
+   answer. *)
 module Obs = Ds_obs.Obs
 
 (* Process-wide cache traffic, aggregated across every lineage's cache
@@ -30,30 +45,47 @@ let m_verdict_hits = Obs.counter Obs.default "dse_engine_verdict_cache_hits_tota
 let m_verdict_misses = Obs.counter Obs.default "dse_engine_verdict_cache_misses_total"
 let m_survivor_hits = Obs.counter Obs.default "dse_engine_survivor_cache_hits_total"
 let m_survivor_misses = Obs.counter Obs.default "dse_engine_survivor_cache_misses_total"
+let m_survivor_evictions = Obs.counter Obs.default "dse_engine_survivor_evictions_total"
+let m_summary_evictions = Obs.counter Obs.default "dse_engine_summary_evictions_total"
+let m_signature_evictions = Obs.counter Obs.default "dse_engine_signature_evictions_total"
+let m_gen_evictions = Obs.counter Obs.default "dse_engine_gen_evictions_total"
 
 type slot = {
   mutable gen : int;
   mutable focus : string;
-  mutable verdicts : Bytes.t; (* interned core id -> verdict byte *)
+  mutable verdicts : int array; (* 16 two-bit codes per word, by core id *)
 }
+
+type survivors = {
+  sv_bits : Bitset.t; (* over the index's dense-id universe *)
+  mutable sv_count : int; (* memoized popcount; -1 until first asked *)
+  mutable sv_list : (string * Ds_reuse.Core.t) list option;
+      (* memoized materialization in ascending-id (= index insertion)
+         order; filled lazily, so count/range queries on large layers
+         never build the list at all *)
+}
+
+type survivor_set =
+  | S_list of (string * Ds_reuse.Core.t) list (* classic sweep *)
+  | S_bits of survivors (* columnar sweep *)
 
 type t = {
   lock : Mutex.t;
   slots : (string, slot) Hashtbl.t; (* constraint name -> verdicts *)
-  survivors : (string, (string * Ds_reuse.Core.t) list) Hashtbl.t;
-      (* full state signature -> candidate list *)
-  gens : (string, int) Hashtbl.t;
+  survivors : survivor_set Clock_cache.t;
+      (* full state signature -> surviving candidates *)
+  gens : int Clock_cache.t;
       (* constraint-state key (constraint name + the values of every
          property it mentions) -> the generation minted for that state.
          Re-entering a state reuses its generation, so the state
          signature — and with it the survivor table — recognises
          revisited states instead of treating each visit as new. *)
-  summaries : (string, Evaluation.merit_summary) Hashtbl.t;
+  summaries : Evaluation.merit_summary Clock_cache.t;
       (* state signature + merit name -> that state's merit summary.
          Merit values are immutable per core and the candidate set is a
          function of the signature, so the summary is too; this spares
          a revisited state the full fold over the surviving pool. *)
-  signatures : (string, string) Hashtbl.t;
+  signatures : string Clock_cache.t;
       (* observable-state key -> candidate signature digest.  The
          digest folds every surviving core id into a hash; memoizing it
          spares a revisited state that whole-pool walk.  The stored
@@ -70,13 +102,13 @@ type t = {
 
 (* The survivor table is keyed by full state signatures, which an
    unbounded exploration could mint without limit; past this many
-   distinct states the table restarts (verdict slots, the expensive part
-   of a recompute, are unaffected). *)
+   distinct states the clock hand starts evicting cold entries
+   (verdict slots, the expensive part of a recompute, are
+   unaffected). *)
 let max_survivor_entries = 128
 
-(* Same pressure-release valve for the generation memo: past this many
-   distinct constraint states the memo restarts, and revisited states
-   simply mint fresh generations again (a cache miss, never a wrong
+(* Same pressure bound for the generation memo: an evicted state simply
+   mints a fresh generation on revisit (a cache miss, never a wrong
    answer — distinct states can never share a generation because the
    key embeds the constraint's relevant binding values). *)
 let max_gen_entries = 1024
@@ -85,10 +117,22 @@ let create () =
   {
     lock = Mutex.create ();
     slots = Hashtbl.create 16;
-    survivors = Hashtbl.create 32;
-    gens = Hashtbl.create 32;
-    summaries = Hashtbl.create 32;
-    signatures = Hashtbl.create 32;
+    survivors =
+      Clock_cache.create ~capacity:max_survivor_entries
+        ~on_evict:(fun () -> Obs.incr m_survivor_evictions)
+        ();
+    gens =
+      Clock_cache.create ~capacity:max_gen_entries
+        ~on_evict:(fun () -> Obs.incr m_gen_evictions)
+        ();
+    summaries =
+      Clock_cache.create ~capacity:max_survivor_entries
+        ~on_evict:(fun () -> Obs.incr m_summary_evictions)
+        ();
+    signatures =
+      Clock_cache.create ~capacity:max_survivor_entries
+        ~on_evict:(fun () -> Obs.incr m_signature_evictions)
+        ();
     ids = Hashtbl.create 256;
     next_id = 0;
     next_gen = 0;
@@ -115,12 +159,11 @@ let fresh_generation t =
 
 let generation_for t ~key =
   locked t (fun () ->
-      match Hashtbl.find_opt t.gens key with
+      match Clock_cache.find t.gens key with
       | Some gen -> gen
       | None ->
-        if Hashtbl.length t.gens >= max_gen_entries then Hashtbl.reset t.gens;
         t.next_gen <- t.next_gen + 1;
-        Hashtbl.add t.gens key t.next_gen;
+        Clock_cache.store t.gens key t.next_gen;
         t.next_gen)
 
 let intern t qid =
@@ -144,36 +187,108 @@ module Slot = struct
     focus : string;
   }
 
-  let unknown = '\000'
-  let inferior = '\001'
-  let kept = '\002'
+  let codes_per_word = 16
+  let unknown = 0
+  let inferior = 1
+  let kept = 2
 
   let view s = s.slot.verdicts
 
   let peek view ~id =
-    let b = if id < Bytes.length view then Bytes.unsafe_get view id else unknown in
-    if b = unknown then None else Some (b = inferior)
+    let w = id lsr 4 in
+    if w >= Array.length view then None
+    else begin
+      let c = (Array.unsafe_get view w lsr ((id land 15) * 2)) land 3 in
+      if c = unknown then None else Some (c = inferior)
+    end
 
-  let merge s writes ~hits ~misses =
+  (* The verdicts of the 32 cores [32w, 32w+32) as (known, inferior)
+     masks, pure and lock-free like {!peek}.  A bitset keep-word spans
+     exactly two verdict words; pairs fold to single bits through the
+     even-position spread (code 1 = 0b01 carries inferior on the even
+     bit, code 2 = 0b10 doesn't, code 0 sets neither). *)
+  let peek_word view ~w =
+    let nv = Array.length view in
+    let v0 = if 2 * w < nv then Array.unsafe_get view (2 * w) else 0 in
+    let v1 = if (2 * w) + 1 < nv then Array.unsafe_get view ((2 * w) + 1) else 0 in
+    let known v = Bitset.unspread16 ((v lor (v lsr 1)) land 0x55555555) in
+    let inf v = Bitset.unspread16 (v land 0x55555555) in
+    (known v0 lor (known v1 lsl 16), inf v0 lor (inf v1 lsl 16))
+
+  (* Call under the cache lock. *)
+  let write_code v id code =
+    let w = id lsr 4 in
+    let sh = (id land 15) * 2 in
+    v.(w) <- (v.(w) land lnot (3 lsl sh)) lor (code lsl sh)
+
+  let record_counters s ~hits ~misses =
     if hits > 0 then Obs.add m_verdict_hits hits;
     if misses > 0 then Obs.add m_verdict_misses misses;
+    s.cache.verdict_hits <- s.cache.verdict_hits + hits;
+    s.cache.verdict_misses <- s.cache.verdict_misses + misses
+
+  let stamp_live s = s.slot.gen = s.gen && String.equal s.slot.focus s.focus
+
+  let merge s writes ~hits ~misses =
     locked s.cache (fun () ->
-        s.cache.verdict_hits <- s.cache.verdict_hits + hits;
-        s.cache.verdict_misses <- s.cache.verdict_misses + misses;
+        record_counters s ~hits ~misses;
         (* an invalidation (fresh generation or focus move) between this
            sweep's [view] and now makes its verdicts stale: drop them *)
-        if s.slot.gen = s.gen && String.equal s.slot.focus s.focus then begin
+        if stamp_live s then begin
           let v = s.slot.verdicts in
+          let nw = Array.length v in
           List.iter
             (fun (id, verdict) ->
-              if id < Bytes.length v then
-                Bytes.unsafe_set v id (if verdict then inferior else kept))
+              if id lsr 4 < nw then write_code v id (if verdict then inferior else kept))
             writes
+        end)
+
+  (* The columnar write-back: [touched]/[inferior_bits] are position
+     bitsets over the sweep's pool; [ids] maps positions to core ids
+     ([None] = the pool is the whole universe, positions are ids).  On
+     the identity pool each 32-position word updates its two verdict
+     words with five logical ops — no per-core loop. *)
+  let merge_bits s ~touched ~inferior_bits ~ids ~hits ~misses =
+    locked s.cache (fun () ->
+        record_counters s ~hits ~misses;
+        if stamp_live s then begin
+          let v = s.slot.verdicts in
+          let nv = Array.length v in
+          match ids with
+          | None ->
+            let half vi t16 i16 =
+              if t16 <> 0 && vi < nv then begin
+                let tm = Bitset.spread16 t16 in
+                let im = Bitset.spread16 i16 in
+                let pairmask = tm lor (tm lsl 1) in
+                (* inferior code (1) contributes the even bit, kept
+                   code (2) the odd bit *)
+                v.(vi) <- v.(vi) land lnot pairmask lor im lor ((tm land lnot im) lsl 1)
+              end
+            in
+            for w = 0 to Bitset.word_count touched - 1 do
+              let t32 = Bitset.word touched w in
+              if t32 <> 0 then begin
+                let i32 = Bitset.word inferior_bits w in
+                half (2 * w) (t32 land 0xFFFF) (i32 land 0xFFFF);
+                half ((2 * w) + 1) (t32 lsr 16) (i32 lsr 16)
+              end
+            done
+          | Some ids ->
+            Bitset.iter_true
+              (fun k ->
+                let id = ids.(k) in
+                if id lsr 4 < nv then
+                  write_code v id (if Bitset.mem inferior_bits k then inferior else kept))
+              touched
         end)
 end
 
-let slot t ~cc ~gen ~focus =
+let words_for n = (n + Slot.codes_per_word - 1) / Slot.codes_per_word
+
+let slot ?(universe = 0) t ~cc ~gen ~focus =
   locked t (fun () ->
+      let need = words_for (Stdlib.max t.next_id universe) in
       let s =
         match Hashtbl.find_opt t.slots cc with
         | Some s ->
@@ -182,29 +297,30 @@ let slot t ~cc ~gen ~focus =
                latest-generation-wins; drop them now.  A fresh buffer
                (not a fill) so a sweep still reading the old one keeps a
                consistent view of the stamp it resolved. *)
-            s.verdicts <- Bytes.make (Stdlib.max 64 t.next_id) Slot.unknown;
+            s.verdicts <- Array.make (Stdlib.max 4 need) Slot.unknown;
             s.gen <- gen;
             s.focus <- focus
           end;
           s
         | None ->
-          let s = { gen; focus; verdicts = Bytes.empty } in
+          let s = { gen; focus; verdicts = [||] } in
           Hashtbl.add t.slots cc s;
           s
       in
-      (* grow to cover every id interned so far, so the sweep can read
-         and the merge can write without the buffer moving mid-query *)
-      if Bytes.length s.verdicts < t.next_id then begin
-        let cap = Stdlib.max (2 * Bytes.length s.verdicts) (Stdlib.max 64 t.next_id) in
-        let v' = Bytes.make cap Slot.unknown in
-        Bytes.blit s.verdicts 0 v' 0 (Bytes.length s.verdicts);
+      (* grow to cover every core id the sweep can touch, so the sweep
+         can read and the merge can write without the buffer moving
+         mid-query *)
+      if Array.length s.verdicts < need then begin
+        let cap = Stdlib.max (2 * Array.length s.verdicts) (Stdlib.max 4 need) in
+        let v' = Array.make cap Slot.unknown in
+        Array.blit s.verdicts 0 v' 0 (Array.length s.verdicts);
         s.verdicts <- v'
       end;
       { Slot.cache = t; slot = s; gen; focus })
 
-let find_survivors t ~key =
+let find_survivor_set t ~key =
   locked t (fun () ->
-      match Hashtbl.find_opt t.survivors key with
+      match Clock_cache.find t.survivors key with
       | Some _ as r ->
         t.survivor_hits <- t.survivor_hits + 1;
         Obs.incr m_survivor_hits;
@@ -214,24 +330,37 @@ let find_survivors t ~key =
         Obs.incr m_survivor_misses;
         None)
 
-let store_survivors t ~key cores =
-  locked t (fun () ->
-      if Hashtbl.length t.survivors >= max_survivor_entries then Hashtbl.reset t.survivors;
-      Hashtbl.replace t.survivors key cores)
+let store_survivor_list t ~key cores =
+  locked t (fun () -> Clock_cache.store t.survivors key (S_list cores))
 
-let find_summary t ~key = locked t (fun () -> Hashtbl.find_opt t.summaries key)
+let store_survivor_bits t ~key bits =
+  let sv = { sv_bits = bits; sv_count = -1; sv_list = None } in
+  locked t (fun () -> Clock_cache.store t.survivors key (S_bits sv));
+  sv
 
-let store_summary t ~key summary =
-  locked t (fun () ->
-      if Hashtbl.length t.summaries >= max_survivor_entries then Hashtbl.reset t.summaries;
-      Hashtbl.replace t.summaries key summary)
+(* The memo writes below are idempotent (deterministic value per
+   immutable bitset), so the unsynchronized mutation is benign even
+   when two domains race on one entry. *)
+let survivor_count sv =
+  if sv.sv_count >= 0 then sv.sv_count
+  else begin
+    let c = Bitset.count sv.sv_bits in
+    sv.sv_count <- c;
+    c
+  end
 
-let find_signature t ~key = locked t (fun () -> Hashtbl.find_opt t.signatures key)
+let survivor_list sv ~entry_at =
+  match sv.sv_list with
+  | Some l -> l
+  | None ->
+    let l = List.rev (Bitset.fold_true (fun acc i -> entry_at i :: acc) [] sv.sv_bits) in
+    sv.sv_list <- Some l;
+    l
 
-let store_signature t ~key digest =
-  locked t (fun () ->
-      if Hashtbl.length t.signatures >= max_survivor_entries then Hashtbl.reset t.signatures;
-      Hashtbl.replace t.signatures key digest)
+let find_summary t ~key = locked t (fun () -> Clock_cache.find t.summaries key)
+let store_summary t ~key summary = locked t (fun () -> Clock_cache.store t.summaries key summary)
+let find_signature t ~key = locked t (fun () -> Clock_cache.find t.signatures key)
+let store_signature t ~key digest = locked t (fun () -> Clock_cache.store t.signatures key digest)
 
 type stats = {
   verdict_hits : int;
@@ -239,6 +368,7 @@ type stats = {
   survivor_hits : int;
   survivor_misses : int;
   generations : int;
+  evictions : int;
 }
 
 let stats (t : t) =
@@ -249,6 +379,11 @@ let stats (t : t) =
         survivor_hits = t.survivor_hits;
         survivor_misses = t.survivor_misses;
         generations = t.next_gen;
+        evictions =
+          Clock_cache.evictions t.survivors
+          + Clock_cache.evictions t.gens
+          + Clock_cache.evictions t.summaries
+          + Clock_cache.evictions t.signatures;
       })
 
 let hit_rate s =

@@ -11,6 +11,16 @@
     the constraints it re-opens, so verdicts of untouched constraints
     survive across decisions, retractions and exploration branches.
 
+    Verdicts are stored {e columnar}: two bits per core (unknown /
+    inferior / kept), sixteen cores per word of a flat [int array]
+    indexed by dense core id.  A warm columnar sweep therefore reads
+    one word per (constraint, 32 cores) via {!Slot.peek_word} and
+    combines it with the survivor bitset branchlessly; the classic
+    per-core path reads single verdicts through {!Slot.peek}.  Survivor
+    sets are cached either as explicit lists (classic sweeps) or as
+    {!Bitset} words over the index's dense-id universe (columnar
+    sweeps) — see {!type:survivor_set}.
+
     Correctness contract: a constraint closure must only read properties
     it declares in its independent or dependent set.  (This is the same
     contract {!Consistency} documents for the partial order; a closure
@@ -35,7 +45,13 @@
     [Session.create], shared by every derived session), like the guard
     registry.  Memory is bounded: each constraint keeps verdicts for a
     single (generation, focus) stamp — a store under a newer stamp
-    drops the older verdicts — and the survivor-set table is capped.
+    drops the older verdicts — and the memo tables (survivors,
+    summaries, signatures, generations) are second-chance clock caches
+    that evict one cold entry per insert past capacity (counted by the
+    [dse_engine_*_evictions_total] telemetry) instead of resetting
+    wholesale.  Eviction is always safe: each entry is a memo whose key
+    determines its value, so a lost entry costs a recompute, never a
+    wrong answer.
 
     {2 Concurrency}
 
@@ -46,9 +62,11 @@
     and {!slot} pre-grows the verdict buffer under one lock, the sweep
     itself reads a {!Slot.view} locklessly (and in parallel chunks, see
     {!Parallel}), and buffered new verdicts are written back in one
-    {!Slot.merge}, which drops them if the stamp moved mid-sweep.  Two
-    sweeps racing at the same stamp write identical (deterministic)
-    verdicts, so the merge is idempotent. *)
+    {!Slot.merge} / {!Slot.merge_bits}, which drops them if the stamp
+    moved mid-sweep.  Two sweeps racing at the same stamp write
+    identical (deterministic) verdicts, so the merge is idempotent;
+    lockless readers see each word atomically (array elements never
+    tear). *)
 
 type t
 
@@ -66,56 +84,111 @@ val generation_for : t -> key:string -> int
     the generation minted there, which lets state signatures (and the
     survivor cache keyed by them) recognise revisited states.  Distinct
     states never share a generation: the key embeds the values.  The
-    memo is bounded; past the cap it restarts and revisited states cost
-    one fresh sweep again. *)
+    memo is bounded by clock eviction; an evicted state costs one fresh
+    sweep on revisit. *)
 
 val core_id : t -> string -> int
 (** Dense id interned for a core's qualified id — the index verdict
     slots are addressed by.  Ids are stable for the lifetime of the
     table, so a query pays one string-hash probe per core and a plain
-    array read per constraint after that. *)
+    array read per constraint after that.  (Columnar sessions use the
+    index's dense ids directly and never intern.) *)
 
 val core_ids : t -> string array -> int array
 (** {!core_id} for a whole candidate pool under a single lock
-    acquisition — how a query opens its sweep. *)
+    acquisition — how a classic query opens its sweep. *)
 
 (** One constraint's verdict table, resolved (and restamped) once per
     query so the per-core cost is an array read by interned id. *)
 module Slot : sig
   type t
 
-  val view : t -> Bytes.t
-  (** The verdict buffer as of slot resolution.  Stable for the query:
-      {!slot} grows it to cover every id interned so far, so concurrent
-      interning never reallocates it mid-sweep.  Bytes written by a
-      concurrent merge at the same stamp are identical to what this
-      sweep would compute; a concurrent invalidation only resets the
-      handle's buffer to unknowns (forcing recomputes, never wrong
-      verdicts). *)
+  val codes_per_word : int
+  (** Sixteen two-bit verdicts per word; a 32-bit {!Bitset} word spans
+      exactly two verdict words. *)
 
-  val peek : Bytes.t -> id:int -> bool option
-  (** The memoized verdict on core [id] (from {!core_ids}) in a view;
-      pure, lock-free.  Out-of-range ids read as unknown. *)
+  val view : t -> int array
+  (** The verdict buffer as of slot resolution.  Stable for the query:
+      {!slot} grows it to cover every id interned so far (and the
+      declared [universe]), so concurrent interning never reallocates
+      it mid-sweep.  Words written by a concurrent merge at the same
+      stamp are identical to what this sweep would compute; a
+      concurrent invalidation only resets the handle's buffer to
+      unknowns (forcing recomputes, never wrong verdicts). *)
+
+  val peek : int array -> id:int -> bool option
+  (** The memoized verdict on core [id] in a view ([Some true] =
+      inferior); pure, lock-free.  Out-of-range ids read as unknown. *)
+
+  val peek_word : int array -> w:int -> int * int
+  (** [(known, inferior)] 32-bit masks for cores [32w, 32w + 32): bit
+      [b] of [known] is set iff core [32w + b] has a memoized verdict,
+      and of [inferior] iff that verdict is "inferior".  Pure,
+      lock-free; out-of-range words read as all-unknown. *)
 
   val merge : t -> (int * bool) list -> hits:int -> misses:int -> unit
-  (** Write a sweep's buffered verdicts back (faults must not be
-      among them) and add its lookup counters to the stats.  If the
-      slot was restamped since the handle was resolved, the verdicts
-      are dropped — they describe a dead generation — but the counters
-      still count. *)
+  (** Write a sweep's buffered verdicts back ([(id, inferior)]; faults
+      must not be among them) and add its lookup counters to the stats.
+      If the slot was restamped since the handle was resolved, the
+      verdicts are dropped — they describe a dead generation — but the
+      counters still count. *)
+
+  val merge_bits :
+    t ->
+    touched:Bitset.t ->
+    inferior_bits:Bitset.t ->
+    ids:int array option ->
+    hits:int ->
+    misses:int ->
+    unit
+  (** Columnar write-back.  [touched] and [inferior_bits] are position
+      bitsets over the sweep's pool; [ids] maps positions to core ids,
+      [None] meaning the pool {e is} the dense-id universe (position =
+      id), in which case each 32-position word updates its two verdict
+      words with a constant number of logical ops.  Same stamp-recheck
+      contract as {!merge}. *)
 end
 
-val slot : t -> cc:string -> gen:int -> focus:string -> Slot.t
+val slot : ?universe:int -> t -> cc:string -> gen:int -> focus:string -> Slot.t
 (** The verdict table of constraint [cc] stamped (generation, focus).
     A stamp different from the stored one drops the constraint's
     previous verdicts first (latest-generation-wins: interactive
-    exploration revisits the current state, not past ones).  Call after
-    {!core_ids} so the returned view covers the whole pool. *)
+    exploration revisits the current state, not past ones).  The
+    returned view covers every id below [max interned universe] —
+    columnar sessions pass the index size as [universe]; classic
+    sessions call {!core_ids} first. *)
 
-val find_survivors : t -> key:string -> (string * Ds_reuse.Core.t) list option
-(** The cached candidate list for a full session state signature. *)
+(** {2 Survivor sets} *)
 
-val store_survivors : t -> key:string -> (string * Ds_reuse.Core.t) list -> unit
+(** A columnar survivor set: the bitset is authoritative (bit = dense
+    id survives); count and list are lazily memoized projections. *)
+type survivors = {
+  sv_bits : Bitset.t;
+  mutable sv_count : int;  (** -1 until first computed *)
+  mutable sv_list : (string * Ds_reuse.Core.t) list option;
+}
+
+type survivor_set =
+  | S_list of (string * Ds_reuse.Core.t) list  (** classic sweeps *)
+  | S_bits of survivors  (** columnar sweeps *)
+
+val find_survivor_set : t -> key:string -> survivor_set option
+(** The cached candidate set for a full session state signature. *)
+
+val store_survivor_list : t -> key:string -> (string * Ds_reuse.Core.t) list -> unit
+
+val store_survivor_bits : t -> key:string -> Bitset.t -> survivors
+(** Wraps [bits] (over the dense-id universe) with unevaluated memos
+    and caches it; returns the wrapper so the storing query can reuse
+    the memos it fills. *)
+
+val survivor_count : survivors -> int
+(** Popcount, memoized (idempotent under racing writers). *)
+
+val survivor_list : survivors -> entry_at:(int -> string * Ds_reuse.Core.t) -> (string * Ds_reuse.Core.t) list
+(** Materialization in ascending dense-id order — exactly the index's
+    insertion order, so it is byte-for-byte the list a classic sweep
+    caches.  Memoized on first call. *)
 
 val find_summary : t -> key:string -> Evaluation.merit_summary option
 (** The cached merit summary for a (state signature, merit) key —
@@ -141,6 +214,7 @@ type stats = {
   survivor_hits : int;
   survivor_misses : int;
   generations : int;  (** fresh generations allocated (invalidations) *)
+  evictions : int;  (** clock-cache evictions across all four memos *)
 }
 
 val stats : t -> stats

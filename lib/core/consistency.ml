@@ -4,11 +4,18 @@ type env = {
   focus : string list;
 }
 
+type eliminate_kernel = env -> Columnar.t -> (int -> bool) option
+
 type relation =
   | Inconsistent of { violated : env -> bool }
   | Derive of { compute : env -> (string * Value.t) list }
   | Estimator_context of { tool : string; estimate : env -> (string * float) list }
-  | Eliminate of { inferior : env -> Ds_reuse.Core.t -> bool }
+  | Eliminate of {
+      inferior : env -> Ds_reuse.Core.t -> bool;
+      vectorized : eliminate_kernel option;
+    }
+
+let eliminate ?vectorized inferior = Eliminate { inferior; vectorized }
 
 type t = {
   name : string;

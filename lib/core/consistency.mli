@@ -26,6 +26,20 @@ type env = {
   focus : string list;  (** the session's current node path *)
 }
 
+type eliminate_kernel = env -> Columnar.t -> (int -> bool) option
+(** Optional vectorized form of an elimination predicate: resolved once
+    per sweep against the layer's columnar store, it returns a per-core
+    verdict function over dense ids (or [None] when the current
+    bindings don't allow a columnar evaluation — the sweep falls back
+    to the per-core closure).  Contract: the returned function must
+    agree with [inferior] on every core — same verdicts, and the same
+    floating-point operations in the same order, so cached verdicts and
+    candidate signatures stay bit-identical whichever path computed
+    them.  Kernels must be total, straight-line column math: they run
+    outside {!Guard}'s step budget (an exception still only aborts the
+    sweep to the recording fallback, but a non-terminating kernel
+    hangs). *)
+
 type relation =
   | Inconsistent of { violated : env -> bool }
       (** true = the current bindings hit a forbidden combination *)
@@ -34,9 +48,19 @@ type relation =
           (empty when inputs are missing) *)
   | Estimator_context of { tool : string; estimate : env -> (string * float) list }
       (** the tool and the metric values it produces in this context *)
-  | Eliminate of { inferior : env -> Ds_reuse.Core.t -> bool }
-      (** true = this core is an inferior solution under the current
-          bindings and must be dropped *)
+  | Eliminate of {
+      inferior : env -> Ds_reuse.Core.t -> bool;
+      vectorized : eliminate_kernel option;
+    }
+      (** [inferior]: true = this core is an inferior solution under the
+          current bindings and must be dropped.  [vectorized]: the
+          optional column-sweep fast path (see
+          {!type:eliminate_kernel}). *)
+
+val eliminate :
+  ?vectorized:eliminate_kernel -> (env -> Ds_reuse.Core.t -> bool) -> relation
+(** [Eliminate { inferior; vectorized }] without spelling the record
+    out — what layer modules construct. *)
 
 type t = private {
   name : string;  (** "CC1", "CC2", ... *)

@@ -125,6 +125,36 @@ let merit_summary cores ~merit =
   in
   { merit_range; skipped_non_finite; missing }
 
+(* The same summary off a survivor bitset and the index's flat merit
+   column: no list is materialized and no per-core assoc walk happens —
+   one array read (plus a presence-bit test) per surviving core.  An
+   absent column means no core carries the merit, i.e. every survivor
+   counts as missing, exactly as the list fold would find. *)
+let merit_summary_columnar store bits ~merit =
+  match Columnar.merit_column store merit with
+  | None -> { merit_range = None; skipped_non_finite = 0; missing = Bitset.count bits }
+  | Some (values, present) ->
+    let rlo = ref infinity and rhi = ref neg_infinity in
+    let seen = ref false and skipped = ref 0 and missing = ref 0 in
+    Bitset.iter_true
+      (fun i ->
+        if not (Bitset.mem present i) then incr missing
+        else begin
+          let v = Array.unsafe_get values i in
+          if not (Float.is_finite v) then incr skipped
+          else begin
+            seen := true;
+            if v < !rlo then rlo := v;
+            if v > !rhi then rhi := v
+          end
+        end)
+      bits;
+    {
+      merit_range = (if !seen then Some (!rlo, !rhi) else None);
+      skipped_non_finite = !skipped;
+      missing = !missing;
+    }
+
 let merit_range cores ~merit = (merit_summary cores ~merit).merit_range
 
 let normalize points =

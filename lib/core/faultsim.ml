@@ -67,9 +67,16 @@ let wrap ?(seed = 0) ?(probability = 1.0) ~mode cc =
     | Consistency.Inconsistent { violated } ->
       Consistency.Inconsistent
         { violated = (fun env -> inject_predicate (fun () -> violated env)) }
-    | Consistency.Eliminate { inferior } ->
+    | Consistency.Eliminate { inferior; vectorized = _ } ->
+      (* The vectorized kernel is dropped, not wrapped: the injected
+         fault must surface through the per-core closure so the guard's
+         strike/quarantine machinery sees it in sequential encounter
+         order, exactly as on the naive path. *)
       Consistency.Eliminate
-        { inferior = (fun env core -> inject_predicate (fun () -> inferior env core)) }
+        {
+          inferior = (fun env core -> inject_predicate (fun () -> inferior env core));
+          vectorized = None;
+        }
     | Consistency.Derive { compute } ->
       Consistency.Derive { compute = (fun env -> inject_values (fun () -> compute env)) }
     | Consistency.Estimator_context { tool; estimate } ->

@@ -16,6 +16,7 @@ type node = {
   here : (string * Core.t) list;  (* indexed exactly at this node, insertion order *)
   children : (string, node) Hashtbl.t;
   subtree : (string * Core.t) list;  (* at or below, insertion order *)
+  subtree_ids : int array;  (* dense ids of [subtree], ascending *)
   count : int;  (* List.length subtree *)
 }
 
@@ -25,6 +26,8 @@ type t = {
   orphans : (string * Core.t) list;
   all : (string * Core.t) list;  (* every indexed entry, insertion order *)
   paths : (string, string list) Hashtbl.t;  (* qualified id -> node path *)
+  all_ids : int array;  (* [|0; ...; n-1|]; the identity pool *)
+  store : Columnar.t;  (* flat per-property/per-merit columns, by dense id *)
 }
 
 (* Descend from the root as far as the core's property values allow:
@@ -92,6 +95,7 @@ let rec freeze builder =
       here = strip (List.rev builder.here_rev);
       children;
       subtree = strip in_order;
+      subtree_ids = Array.of_list (List.map (fun e -> e.seq) in_order);
       count = List.length in_order;
     }
   in
@@ -120,12 +124,25 @@ let build hierarchy cores =
       ([], []) cores
   in
   let root, _ = freeze builder in
+  let all = List.rev entries_rev in
+  (* The columnar projection is built eagerly with the trie: layers are
+     built once and shared across session lineages ([Session.pristine],
+     the service's parsed-layer cache), so the column pass amortizes
+     like the index itself.  Dense ids are the insertion-order [seq]
+     numbers, so [all], every [subtree] and every bitset materialize in
+     the same order. *)
+  let qids = Array.of_list (List.map fst all) in
+  let cores_arr = Array.of_list (List.map snd all) in
+  let n = !seq in
+  assert (Array.length qids = n);
   {
     root = Some root;
     root_name;
     orphans = List.rev orphans_rev;
-    all = List.rev entries_rev;
+    all;
     paths;
+    all_ids = Array.init n Fun.id;
+    store = Columnar.build ~qids ~cores:cores_arr;
   }
 
 let path_of t ~qualified_id = Hashtbl.find_opt t.paths qualified_id
@@ -160,3 +177,13 @@ let count_under t path =
 
 let all t = t.all
 let unindexed t = t.orphans
+
+(* {2 Columnar access} — the dense-id view of the same entries. *)
+
+let size t = Array.length t.all_ids
+let columnar t = t.store
+let entry_at t i = (Columnar.qid t.store i, Columnar.core t.store i)
+
+let under_ids t path =
+  if path = [] then t.all_ids
+  else match resolve t path with Some node -> node.subtree_ids | None -> [||]

@@ -32,3 +32,26 @@ val unindexed : t -> (string * Ds_reuse.Core.t) list
 (** Cores whose root-level generalized option did not match any child —
     they fall outside the modelled design space (e.g. a DSP core in a
     multiplier layer).  Not returned by {!under}. *)
+
+(** {2 Dense-id (columnar) view}
+
+    Every indexed entry carries a dense id in [0, size) — its insertion
+    order — which is the index into the {!Columnar} store and the id
+    space of the columnar sweep's verdict slots and survivor bitsets.
+    [under] and the id arrays present the same entries in the same
+    (ascending-id) order, so a bitset materialized in ascending-id
+    order reproduces [under]'s list order exactly. *)
+
+val size : t -> int
+(** Number of indexed entries (orphans excluded). *)
+
+val under_ids : t -> string list -> int array
+(** The dense ids of [under t path], ascending.  For the empty path and
+    for the root node this is the full [0, size) range. *)
+
+val entry_at : t -> int -> string * Ds_reuse.Core.t
+(** The (qualified id, core) entry of a dense id. *)
+
+val columnar : t -> Columnar.t
+(** The flat per-property/per-merit columns over the indexed entries,
+    built once with the trie and shared by every session lineage. *)

@@ -113,7 +113,7 @@ let m_chunks = Obs.counter Obs.default "dse_engine_parallel_chunks_total"
 
 let () = Obs.set_gauge domains_gauge (float_of_int (initial_domains ()))
 
-let map_chunks ~n f =
+let map_chunks ?(quantum = 1) ~n f =
   if n <= 0 then []
   else begin
     let d = domain_count () in
@@ -136,7 +136,13 @@ let map_chunks ~n f =
           in
           Fun.protect ~finally:(fun () -> Obs.span_end sp) (fun () -> f lo hi)
       in
-      let bounds c = (c * n / nchunks, (c + 1) * n / nchunks) in
+      (* interior boundaries snap to quantum multiples so chunks own
+         disjoint quantum-sized blocks (bitset sweeps pass the word
+         width and get word-disjoint chunks — no shared-word writes);
+         trailing chunks may come out empty, which f must tolerate *)
+      let nq = (n + quantum - 1) / quantum in
+      let cut c = Stdlib.min n (c * nq / nchunks * quantum) in
+      let bounds c = (cut c, if c = nchunks - 1 then n else cut (c + 1)) in
       let results = Array.make nchunks None in
       let pending = ref (nchunks - 1) in
       let jlock = Mutex.create () in
@@ -159,7 +165,10 @@ let map_chunks ~n f =
       Mutex.unlock pool.lock;
       (* the caller is a compute context too: chunk 0 runs here while
          the pool works the tail *)
-      let r0 = try Ok (f 0 (n / nchunks)) with e -> Error e in
+      let r0 =
+        let lo, hi = bounds 0 in
+        try Ok (f lo hi) with e -> Error e
+      in
       Mutex.lock jlock;
       while !pending > 0 do
         Condition.wait jdone jlock

@@ -47,9 +47,16 @@ val use_pool : int -> bool
     ([domain_count () > 1] and [n >= chunk_threshold ()]).  Callers
     that keep a dedicated sequential code path branch on this. *)
 
-val map_chunks : n:int -> (int -> int -> 'a) -> 'a list
+val map_chunks : ?quantum:int -> n:int -> (int -> int -> 'a) -> 'a list
 (** [map_chunks ~n f] partitions [0, n) into contiguous chunks and
     returns [f lo hi] per chunk, in index order.  Sequential inputs
     (below the threshold, or a pool of 1) yield the single chunk
     [[f 0 n]] — same code path, no pool traffic.  An exception escaping
-    any chunk is re-raised in the caller after all chunks finish. *)
+    any chunk is re-raised in the caller after all chunks finish.
+
+    [quantum] (default 1) snaps interior chunk boundaries down to
+    multiples of that size, so every quantum-sized block belongs to
+    exactly one chunk — the columnar sweep passes the bitset word width
+    (32) and chunks then own disjoint mask words, making their lockless
+    word writes race-free.  Chunks may come out empty ([lo = hi]); [f]
+    must tolerate that. *)

@@ -11,6 +11,15 @@ let m_sweep_us = Obs.histogram Obs.default "dse_engine_sweep_us"
 let m_eliminated = Obs.counter Obs.default "dse_engine_eliminated_total"
 let m_derive_rounds = Obs.counter Obs.default "dse_engine_derive_rounds_total"
 
+type sweep_mode = Columnar | Classic
+
+(* Columnar is the default; DSE_SWEEP=classic flips a whole process to
+   the retained pre-columnar path (the bench's same-run reference). *)
+let default_sweep_mode () =
+  match Sys.getenv_opt "DSE_SWEEP" with
+  | Some "classic" -> Classic
+  | Some _ | None -> Columnar
+
 type source = Designer | Default_value | Derived of string
 
 type binding = {
@@ -68,13 +77,17 @@ type t = {
       (* shared like [guard]; per-branch generations keep entries
          disjoint where branches diverge *)
   use_cache : bool;
+  mode : sweep_mode;
+      (* fixed per lineage: Columnar sweeps address verdict slots by the
+         index's dense ids, Classic by the compliance table's interned
+         ids — the two id spaces must never mix in one cache *)
   gens : (string * int) list;
       (* constraint name -> verdict generation on this branch; absent =
          0.  Bumped (to a globally fresh number) when a binding of a
          property the constraint declares changes. *)
 }
 
-let create ~hierarchy ?(constraints = []) ?(use_cache = true) ~cores () =
+let create ~hierarchy ?(constraints = []) ?(use_cache = true) ?sweep_mode ~cores () =
   {
     hierarchy;
     constraints;
@@ -85,6 +98,7 @@ let create ~hierarchy ?(constraints = []) ?(use_cache = true) ~cores () =
     guard = Guard.registry ();
     cache = Compliance.create ();
     use_cache;
+    mode = (match sweep_mode with Some m -> m | None -> default_sweep_mode ());
     gens = [];
   }
 
@@ -106,6 +120,7 @@ let pristine t =
   }
 
 let hierarchy t = t.hierarchy
+let sweep_mode t = t.mode
 let focus t = t.focus
 
 let focus_cdo t =
@@ -372,7 +387,7 @@ let candidates_naive t =
     List.exists
       (fun cc ->
         match cc.Consistency.relation with
-        | Consistency.Eliminate { inferior } ->
+        | Consistency.Eliminate { inferior; _ } ->
           (not (quarantined_cc t cc))
           && Consistency.ready cc ~bound:(bound_fn t)
           && (match Guard.run (fun () -> inferior (env t) core) with
@@ -420,13 +435,16 @@ let state_signature t =
   Buffer.contents buf
 
 (* One resolved elimination constraint of a sweep: its verdict view
-   (see {!Compliance.Slot}), its closure, and its quarantine flag as of
-   the last refresh. *)
+   (see {!Compliance.Slot}), its closure, its resolved columnar kernel
+   (columnar sweeps only; [None] on the classic path or when the
+   constraint offers none), and its quarantine flag as of the last
+   refresh. *)
 type elim = {
   e_cc : Consistency.t;
   e_slot : Compliance.Slot.t;
-  e_view : Bytes.t;
+  e_view : int array;
   e_inferior : Consistency.env -> Core.t -> bool;
+  e_kernel : (int -> bool) option;
   mutable e_quarantined : bool;
 }
 
@@ -494,8 +512,8 @@ let sweep_optimistic environment ids arr elims lo hi =
    evaluating immediately, exactly as on the naive path.  A quarantined
    constraint's memoized verdicts are skipped, never served.  Faulted
    evaluations are never stored. *)
-let sweep_recording t environment ids arr elims =
-  let n = Array.length arr in
+let sweep_recording t environment ids core_at elims =
+  let n = Array.length ids in
   let keep = Array.make (Stdlib.max 1 n) true in
   let stores = Array.make (Array.length elims) [] in
   let elimc = Array.make (Array.length elims) 0 in
@@ -511,7 +529,7 @@ let sweep_recording t environment ids arr elims =
   in
   for i = 0 to n - 1 do
     refresh_quarantine ();
-    let id = ids.(i) and core = snd arr.(i) in
+    let id = ids.(i) and core = core_at i in
     let eliminated = ref false in
     Array.iteri
       (fun j e ->
@@ -554,7 +572,7 @@ let candidates_memo t =
     List.filter_map
       (fun cc ->
         match cc.Consistency.relation with
-        | Consistency.Eliminate { inferior } when Consistency.ready cc ~bound ->
+        | Consistency.Eliminate { inferior; _ } when Consistency.ready cc ~bound ->
           Some (cc, inferior)
         | Consistency.Eliminate _ | Consistency.Inconsistent _ | Consistency.Derive _
         | Consistency.Estimator_context _ ->
@@ -580,6 +598,7 @@ let candidates_memo t =
                e_slot = slot;
                e_view = Compliance.Slot.view slot;
                e_inferior = inferior;
+               e_kernel = None;
                e_quarantined = quarantined_cc t cc;
              })
            elim_ccs)
@@ -646,7 +665,9 @@ let candidates_memo t =
              path (successful verdicts are deterministic and were never
              published, so re-evaluating them has no side effects) *)
           was_fallback := true;
-          let keep, stores, elimc, hits, misses = sweep_recording t environment ids arr elims in
+          let keep, stores, elimc, hits, misses =
+            sweep_recording t environment ids (fun i -> snd arr.(i)) elims
+          in
           merge_stores stores ~hits ~misses;
           Array.blit elimc 0 elim_total 0 (Array.length elimc);
           hits_total := hits;
@@ -676,25 +697,339 @@ let candidates_memo t =
         end)
   end
 
+(* The columnar sweep: the same query as [candidates_memo], computed
+   over the index's flat columns and answered as a survivor {!Bitset}
+   over the dense-id universe instead of a core list.
+
+   The pool is an ascending dense-id array ([Index.under_ids], then the
+   design-issue compliance filter over property columns).  The keep
+   mask and the per-constraint touched/inferior masks are position
+   bitsets over that pool; when the pool {e is} the whole universe
+   (root focus, no issue filter — the million-core bench shape),
+   positions coincide with ids and each (constraint, 32-core word) of a
+   warm query costs one {!Compliance.Slot.peek_word} plus a handful of
+   mask ops, with no per-core control flow at all.
+
+   Evaluation-set parity with the classic core-major/early-exit sweep:
+   the word loop applies constraints in declaration order and strips
+   eliminated cores from the keep word after each one, so a core is
+   evaluated by constraint [j] exactly when it survived constraints
+   [0..j-1] — the same (core, constraint) pairs, in a different
+   iteration order, which is invisible because successful verdicts are
+   deterministic and faults abort to the sequential recording path
+   before anything is published. *)
+let candidates_bits_memo t =
+  let fkey = focus_key t in
+  let environment = env t in
+  let bound = bound_fn t in
+  let store = Index.columnar t.index in
+  let universe = Index.size t.index in
+  let pool = Index.under_ids t.index t.focus in
+  let pool =
+    if not (List.exists (fun b -> Property.is_design_issue b.prop) t.bindings) then pool
+    else begin
+      (* [Columnar.property_matches] is [Core.matches_property] over the
+         interned column: [None] means no core declares the key, which
+         the per-core filter treats as all-match *)
+      let preds =
+        List.filter_map
+          (fun b ->
+            if Property.is_design_issue b.prop then
+              Columnar.property_matches store ~key:b.prop.Property.name
+                ~value:(Value.to_string b.value)
+            else None)
+          t.bindings
+      in
+      if preds = [] then pool
+      else begin
+        let matches i = List.for_all (fun p -> p i) preds in
+        let cnt = ref 0 in
+        Array.iter (fun i -> if matches i then incr cnt) pool;
+        if !cnt = Array.length pool then pool
+        else begin
+          let out = Array.make !cnt 0 in
+          let k = ref 0 in
+          Array.iter
+            (fun i ->
+              if matches i then begin
+                out.(!k) <- i;
+                incr k
+              end)
+            pool;
+          out
+        end
+      end
+    end
+  in
+  let m = Array.length pool in
+  (* the pool is strictly ascending within [0, universe), so full
+     length means it is the identity — positions are dense ids and the
+     verdict words line up with the mask words *)
+  let identity = m = universe in
+  let elim_ccs =
+    List.filter_map
+      (fun cc ->
+        match cc.Consistency.relation with
+        | Consistency.Eliminate { inferior; vectorized } when Consistency.ready cc ~bound ->
+          Some (cc, inferior, vectorized)
+        | Consistency.Eliminate _ | Consistency.Inconsistent _ | Consistency.Derive _
+        | Consistency.Estimator_context _ ->
+          None)
+      t.constraints
+  in
+  if elim_ccs = [] then Bitset.of_ids ~length:universe pool
+  else begin
+    let elims =
+      Array.of_list
+        (List.map
+           (fun (cc, inferior, vectorized) ->
+             let slot =
+               Compliance.slot ~universe t.cache ~cc:cc.Consistency.name
+                 ~gen:(generation_of t cc.Consistency.name)
+                 ~focus:fkey
+             in
+             let kernel =
+               (* kernel resolution is layer code too: a throw here just
+                  means no fast path for this query *)
+               match vectorized with
+               | None -> None
+               | Some resolve -> ( try resolve environment store with _ -> None)
+             in
+             {
+               e_cc = cc;
+               e_slot = slot;
+               e_view = Compliance.Slot.view slot;
+               e_inferior = inferior;
+               e_kernel = kernel;
+               e_quarantined = quarantined_cc t cc;
+             })
+           elim_ccs)
+    in
+    let n_elims = Array.length elims in
+    let keep = Bitset.create_full m in
+    let touched = Array.init n_elims (fun _ -> Bitset.create m) in
+    let inferior_bits = Array.init n_elims (fun _ -> Bitset.create m) in
+    (* one chunk sweeps positions [lo, hi); quantum 32 makes chunks own
+       disjoint words of [keep]/[touched]/[inferior_bits], so their
+       lockless word writes cannot race *)
+    let sweep_chunk lo hi =
+      let elimc = Array.make n_elims 0 in
+      let hits = ref 0 and misses = ref 0 in
+      let faulted = ref false in
+      (try
+         for w = lo lsr 5 to ((hi + 31) lsr 5) - 1 do
+           let kw = ref (Bitset.word keep w) in
+           if !kw <> 0 then begin
+             for j = 0 to n_elims - 1 do
+               let e = elims.(j) in
+               if !kw <> 0 && not e.e_quarantined then begin
+                 let known, inf =
+                   if identity then Compliance.Slot.peek_word e.e_view ~w
+                   else begin
+                     (* scattered pool: gather the alive positions'
+                        verdicts one id at a time *)
+                     let known = ref 0 and inf = ref 0 in
+                     let bits = ref !kw in
+                     while !bits <> 0 do
+                       let b = !bits land - !bits in
+                       let k = (w lsl 5) + Bitset.popcount32 (b - 1) in
+                       (match
+                          Compliance.Slot.peek e.e_view ~id:(Array.unsafe_get pool k)
+                        with
+                       | Some v ->
+                         known := !known lor b;
+                         if v then inf := !inf lor b
+                       | None -> ());
+                       bits := !bits land (!bits - 1)
+                     done;
+                     (!known, !inf)
+                   end
+                 in
+                 let cached_known = !kw land known in
+                 let unknown = !kw land lnot known in
+                 hits := !hits + Bitset.popcount32 cached_known;
+                 misses := !misses + Bitset.popcount32 unknown;
+                 let new_elim = ref 0 in
+                 if unknown <> 0 then begin
+                   let tw = ref (Bitset.word touched.(j) w) in
+                   let iw = ref (Bitset.word inferior_bits.(j) w) in
+                   let eval =
+                     match e.e_kernel with
+                     | Some kernel -> fun id -> kernel id
+                     | None ->
+                       fun id -> (
+                         match
+                           Guard.run (fun () -> e.e_inferior environment (Columnar.core store id))
+                         with
+                         | Ok v -> v
+                         | Error _ -> raise_notrace Sweep_fault)
+                   in
+                   let bits = ref unknown in
+                   while !bits <> 0 do
+                     let b = !bits land - !bits in
+                     let k = (w lsl 5) + Bitset.popcount32 (b - 1) in
+                     let id = if identity then k else Array.unsafe_get pool k in
+                     tw := !tw lor b;
+                     if eval id then begin
+                       iw := !iw lor b;
+                       new_elim := !new_elim lor b
+                     end;
+                     bits := !bits land (!bits - 1)
+                   done;
+                   Bitset.set_word touched.(j) w !tw;
+                   Bitset.set_word inferior_bits.(j) w !iw
+                 end;
+                 let elim_w = (cached_known land inf) lor !new_elim in
+                 if elim_w <> 0 then begin
+                   elimc.(j) <- elimc.(j) + Bitset.popcount32 elim_w;
+                   kw := !kw land lnot elim_w
+                 end
+               end
+             done;
+             Bitset.set_word keep w !kw
+           end
+         done
+       with
+      | Sweep_fault -> faulted := true
+      | _ ->
+        (* a kernel (layer code running outside Guard) threw: degrade
+           to the recording fallback, where every evaluation runs a
+           guarded closure *)
+        faulted := true);
+      (elimc, !hits, !misses, !faulted)
+    in
+    let merge_all ~hits ~misses =
+      Array.iteri
+        (fun j e ->
+          Compliance.Slot.merge_bits e.e_slot ~touched:touched.(j)
+            ~inferior_bits:inferior_bits.(j)
+            ~ids:(if identity then None else Some pool)
+            ~hits:(if j = 0 then hits else 0)
+            ~misses:(if j = 0 then misses else 0))
+        elims
+    in
+    let elim_total = Array.make n_elims 0 in
+    let hits_total = ref 0 and misses_total = ref 0 in
+    let was_fallback = ref false in
+    let sp =
+      Obs.span_begin "engine.sweep"
+        ~attrs:
+          [
+            ("focus", fkey);
+            ("pool", string_of_int m);
+            ("constraints", string_of_int n_elims);
+          ]
+    in
+    let t0 = Obs.now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.incr m_sweeps;
+        Obs.observe m_sweep_us (Obs.now_us () -. t0);
+        let eliminated = Array.fold_left ( + ) 0 elim_total in
+        Obs.add m_eliminated eliminated;
+        if Obs.enabled () then
+          Array.iteri
+            (fun j e ->
+              if elim_total.(j) > 0 || e.e_quarantined then
+                Obs.instant "cc.eliminate"
+                  ~attrs:
+                    [
+                      ("cc", e.e_cc.Consistency.name);
+                      ("eliminated", string_of_int elim_total.(j));
+                      ("quarantined", if e.e_quarantined then "true" else "false");
+                    ])
+            elims;
+        Obs.span_end sp
+          ~attrs:
+            [
+              ("survivors", string_of_int (m - eliminated));
+              ("hits", string_of_int !hits_total);
+              ("misses", string_of_int !misses_total);
+              ("fallback", if !was_fallback then "true" else "false");
+            ])
+      (fun () ->
+        let chunks =
+          Parallel.map_chunks ~quantum:Bitset.bits_per_word ~n:m sweep_chunk
+        in
+        if List.exists (fun (_, _, _, faulted) -> faulted) chunks then begin
+          (* same fault protocol as the classic sweep: discard every
+             chunk's masks and replay sequentially with the guarded
+             closures, recording faults/strikes/quarantines in exact
+             sequential encounter order *)
+          was_fallback := true;
+          let keep_arr, stores, elimc, hits, misses =
+            sweep_recording t environment pool
+              (fun k -> Columnar.core store pool.(k))
+              elims
+          in
+          Array.iteri
+            (fun j writes ->
+              Compliance.Slot.merge elims.(j).e_slot writes
+                ~hits:(if j = 0 then hits else 0)
+                ~misses:(if j = 0 then misses else 0))
+            stores;
+          Array.blit elimc 0 elim_total 0 n_elims;
+          hits_total := hits;
+          misses_total := misses;
+          let bits = Bitset.create universe in
+          for k = 0 to m - 1 do
+            if keep_arr.(k) then Bitset.set bits pool.(k)
+          done;
+          bits
+        end
+        else begin
+          List.iter
+            (fun (elimc, hits, misses, _) ->
+              Array.iteri (fun j c -> elim_total.(j) <- elim_total.(j) + c) elimc;
+              hits_total := !hits_total + hits;
+              misses_total := !misses_total + misses)
+            chunks;
+          merge_all ~hits:!hits_total ~misses:!misses_total;
+          if identity then keep
+          else begin
+            let bits = Bitset.create universe in
+            Bitset.iter_true (fun k -> Bitset.set bits (Array.unsafe_get pool k)) keep;
+            bits
+          end
+        end)
+  end
+
+(* The survivor set of the current state, served from the lineage cache
+   or computed by the mode's sweep.  Quarantine may advance while
+   computing, but it is monotone: the pre-computation key can never
+   recur, so storing under it is safe (the entry just goes dead). *)
+let survivor_set t =
+  let key = state_signature t in
+  match Compliance.find_survivor_set t.cache ~key with
+  | Some s -> s
+  | None -> (
+    match t.mode with
+    | Classic ->
+      let survivors = candidates_memo t in
+      Compliance.store_survivor_list t.cache ~key survivors;
+      Compliance.S_list survivors
+    | Columnar ->
+      let bits = candidates_bits_memo t in
+      Compliance.S_bits (Compliance.store_survivor_bits t.cache ~key bits))
+
 let candidates t =
   if not t.use_cache then candidates_naive t
-  else begin
-    let key = state_signature t in
-    match Compliance.find_survivors t.cache ~key with
-    | Some survivors -> survivors
-    | None ->
-      let survivors = candidates_memo t in
-      (* quarantine may have advanced while computing, but it is
-         monotone: the pre-computation key can never recur, so storing
-         under it is safe (the entry just goes dead) *)
-      Compliance.store_survivors t.cache ~key survivors;
-      survivors
-  end
+  else
+    match survivor_set t with
+    | Compliance.S_list survivors -> survivors
+    | Compliance.S_bits sv -> Compliance.survivor_list sv ~entry_at:(Index.entry_at t.index)
 
 let cache_stats t = Compliance.stats t.cache
 let population t = Index.all t.index
 
-let candidate_count t = List.length (candidates t)
+let candidate_count t =
+  if not t.use_cache then List.length (candidates_naive t)
+  else
+    (* bitset sets answer by popcount — no million-cons list just to
+       take its length *)
+    match survivor_set t with
+    | Compliance.S_list survivors -> List.length survivors
+    | Compliance.S_bits sv -> Compliance.survivor_count sv
 
 (* Memoized like the survivor list itself (and on the same key): a
    revisited state serves its ranges without re-folding the pool. *)
@@ -711,7 +1046,13 @@ let merit_summary t ~merit =
       let summary =
         Obs.with_span "eval.merit_summary"
           ~attrs:[ ("merit", merit); ("cached", "false") ]
-          (fun () -> Evaluation.merit_summary (candidates t) ~merit)
+          (fun () ->
+            match survivor_set t with
+            | Compliance.S_list survivors -> Evaluation.merit_summary survivors ~merit
+            | Compliance.S_bits sv ->
+              (* straight off the merit column — no candidate list *)
+              Evaluation.merit_summary_columnar (Index.columnar t.index)
+                sv.Compliance.sv_bits ~merit)
       in
       Compliance.store_summary t.cache ~key summary;
       summary
@@ -972,11 +1313,29 @@ let candidate_signature t =
          Buffer.add_string buf entry);
   let prefix = Buffer.contents buf in
   let compute () =
-    List.iter
-      (fun (qid, _) ->
-        Buffer.add_char buf '#';
-        Buffer.add_string buf qid)
-      (candidates t);
+    (* ascending dense ids are index insertion order, so the bitset
+       walk appends exactly the bytes the candidate-list walk would *)
+    (if not t.use_cache then
+       List.iter
+         (fun (qid, _) ->
+           Buffer.add_char buf '#';
+           Buffer.add_string buf qid)
+         (candidates t)
+     else
+       match survivor_set t with
+       | Compliance.S_list survivors ->
+         List.iter
+           (fun (qid, _) ->
+             Buffer.add_char buf '#';
+             Buffer.add_string buf qid)
+           survivors
+       | Compliance.S_bits sv ->
+         let store = Index.columnar t.index in
+         Bitset.iter_true
+           (fun i ->
+             Buffer.add_char buf '#';
+             Buffer.add_string buf (Columnar.qid store i))
+           sv.Compliance.sv_bits);
     Digest.to_hex (Digest.string (Buffer.contents buf))
   in
   if not t.use_cache then compute ()

@@ -31,6 +31,19 @@
     are skipped — the designer keeps working with a sound-but-wider
     space.  Fault-free sessions behave exactly as before guarding. *)
 
+type sweep_mode =
+  | Columnar
+      (** the default: the eliminate sweep runs over the index's flat
+          property/merit columns with bitset survivor sets and packed
+          word-at-a-time verdict reads; constraints may contribute
+          vectorized kernels (see {!Consistency.eliminate}) *)
+  | Classic
+      (** the retained pre-columnar path: per-core closures over a
+          candidate list, list survivor sets.  Same observable results
+          (the equivalence suite checks them bit for bit); kept as the
+          bench's same-run reference and an escape hatch
+          ([DSE_SWEEP=classic]). *)
+
 type source = Designer | Default_value | Derived of string
 
 type binding = private {
@@ -64,6 +77,7 @@ val create :
   hierarchy:Hierarchy.t ->
   ?constraints:Consistency.t list ->
   ?use_cache:bool ->
+  ?sweep_mode:sweep_mode ->
   cores:(string * Ds_reuse.Core.t) list ->
   unit ->
   t
@@ -76,7 +90,15 @@ val create :
     per constraint when a binding of a property it declares changes (see
     the "Performance model" section of DESIGN.md).  [~use_cache:false]
     recomputes everything from scratch on every query — the reference
-    path the equivalence suite checks the cache against. *)
+    path the equivalence suite checks the cache against.
+
+    [sweep_mode] (default {!Columnar}, or {!Classic} when the
+    [DSE_SWEEP=classic] environment variable is set) picks the sweep
+    engine for the whole lineage; the two must not be mixed within one
+    lineage because they address verdict slots through different id
+    spaces.  It only matters when [use_cache] is true. *)
+
+val sweep_mode : t -> sweep_mode
 
 val pristine : t -> t
 (** A fresh session over an existing session's layer: shares the

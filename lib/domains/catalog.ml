@@ -18,6 +18,11 @@ let factories : (string * (eol:int -> Ds_layer.Session.t)) list =
     ("video", fun ~eol:_ -> Video_layer.session ());
     ("synthetic", fun ~eol:_ -> Synthetic.session Synthetic.default_spec);
     ("synthetic10k", fun ~eol:_ -> Synthetic.session synthetic10k_spec);
+    (* generated large-population layers for the columnar sweep bench;
+       build cost is dominated by core generation, so they are meant to
+       be opened through the service's layer cache *)
+    ("gen100k", fun ~eol:_ -> Generator.session Generator.gen100k_spec);
+    ("gen1m", fun ~eol:_ -> Generator.session Generator.gen1m_spec);
   ]
 
 let names = List.map fst factories

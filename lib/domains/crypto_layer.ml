@@ -345,42 +345,33 @@ let cc4 =
     ~indep:
       [ r (N.effective_operand_length ^ "@OMM"); r (N.algorithm ^ "@*.modular.multiplier.hardware") ]
     ~dep:[ r (N.behavioral_description ^ "@OMM-HM") ]
-    (Consistency.Eliminate
-       {
-         inferior =
-           (fun env core ->
-             match
-               ( env.Consistency.value_of N.effective_operand_length,
-                 env.Consistency.value_of N.algorithm )
-             with
-             | Some (Value.Int eol), Some (Value.Str alg)
-               when eol >= 32 && String.equal alg N.montgomery && core_is_montgomery core -> (
-               match Ds_reuse.Core.property core N.adder_implementation with
-               | Some adder -> not (String.equal adder (Ds_rtl.Adder.name Ds_rtl.Adder.Carry_save))
-               | None -> false)
-             | _ -> false);
-       })
+    (Consistency.eliminate (fun env core ->
+         match
+           ( env.Consistency.value_of N.effective_operand_length,
+             env.Consistency.value_of N.algorithm )
+         with
+         | Some (Value.Int eol), Some (Value.Str alg)
+           when eol >= 32 && String.equal alg N.montgomery && core_is_montgomery core -> (
+           match Ds_reuse.Core.property core N.adder_implementation with
+           | Some adder -> not (String.equal adder (Ds_rtl.Adder.name Ds_rtl.Adder.Carry_save))
+           | None -> false)
+         | _ -> false))
 
 let cc5 =
   Consistency.make_exn ~name:"CC5"
     ~doc:"Mux-based multipliers enforced for the Montgomery loop (any EOL)"
     ~indep:[ r (N.algorithm ^ "@*.modular.multiplier.hardware") ]
     ~dep:[ r (N.behavioral_description ^ "@OMM-HM") ]
-    (Consistency.Eliminate
-       {
-         inferior =
-           (fun env core ->
-             match env.Consistency.value_of N.algorithm with
-             | Some (Value.Str alg) when String.equal alg N.montgomery && core_is_montgomery core
-               -> (
-               match Ds_reuse.Core.property core N.multiplier_implementation with
-               | Some m ->
-                 not
-                   (String.equal m (Ds_rtl.Multiplier.name Ds_rtl.Multiplier.Mux_select)
-                   || String.equal m N.and_row)
-               | None -> false)
-             | _ -> false);
-       })
+    (Consistency.eliminate (fun env core ->
+         match env.Consistency.value_of N.algorithm with
+         | Some (Value.Str alg) when String.equal alg N.montgomery && core_is_montgomery core -> (
+           match Ds_reuse.Core.property core N.multiplier_implementation with
+           | Some m ->
+             not
+               (String.equal m (Ds_rtl.Multiplier.name Ds_rtl.Multiplier.Mux_select)
+               || String.equal m N.and_row)
+           | None -> false)
+         | _ -> false))
 
 let cc6 =
   Consistency.make_exn ~name:"CC6"
@@ -388,27 +379,22 @@ let cc6 =
     ~indep:
       [ r (N.latency_single_operation ^ "@OMM"); r (N.effective_operand_length ^ "@OMM") ]
     ~dep:[ r (N.implementation_style ^ "@OMM") ]
-    (Consistency.Eliminate
-       {
-         inferior =
-           (fun env core ->
-             match
-               ( env.Consistency.value_of N.latency_single_operation,
-                 env.Consistency.value_of N.effective_operand_length )
-             with
-             | Some bound, Some (Value.Int eol) -> (
-               match (Value.as_real bound, Ds_reuse.Core.merit core N.m_latency_ns) with
-               | Some bound_us, Some latency_ns -> (
-                 (* Only applicable when the core was characterised at
-                    the required operand length. *)
-                 match Ds_reuse.Core.merit core N.m_eol with
-                 | Some core_eol when int_of_float core_eol = eol ->
-                   latency_ns > bound_us *. 1000.0
-                 | Some _ -> true (* characterised for a different EOL *)
-                 | None -> false)
-               | _ -> false)
-             | _ -> false);
-       })
+    (Consistency.eliminate (fun env core ->
+         match
+           ( env.Consistency.value_of N.latency_single_operation,
+             env.Consistency.value_of N.effective_operand_length )
+         with
+         | Some bound, Some (Value.Int eol) -> (
+           match (Value.as_real bound, Ds_reuse.Core.merit core N.m_latency_ns) with
+           | Some bound_us, Some latency_ns -> (
+             (* Only applicable when the core was characterised at
+                the required operand length. *)
+             match Ds_reuse.Core.merit core N.m_eol with
+             | Some core_eol when int_of_float core_eol = eol -> latency_ns > bound_us *. 1000.0
+             | Some _ -> true (* characterised for a different EOL *)
+             | None -> false)
+           | _ -> false)
+         | _ -> false))
 
 let cc7 =
   Consistency.make_exn ~name:"CC7"

@@ -92,19 +92,31 @@ let constraints spec =
         ~doc:"synthetic elimination: the core's merit score must stay within the budget"
         ~indep:[ Propref.parse_exn (budget ^ "@Root") ]
         ~dep:[ Propref.parse_exn (level_issue_name 1 ^ "@Root") ]
-        (Consistency.Eliminate
-           {
-             inferior =
-               (fun env core ->
-                 match env.Consistency.value_of budget with
-                 | Some (Value.Real bound) -> (
-                   match
-                     (Ds_reuse.Core.merit core "delay", Ds_reuse.Core.merit core "cost")
-                   with
-                   | Some delay, Some cost -> score ~weight ~delay ~cost > bound
-                   | None, _ | _, None -> false)
-                 | Some _ | None -> false);
-           }))
+        (Consistency.eliminate
+           ~vectorized:(fun env store ->
+             (* Same [score] call on the same column values as the
+                closure below — bit-identical verdicts either way. *)
+             match env.Consistency.value_of budget with
+             | Some (Value.Real bound) -> (
+               match
+                 (Columnar.merit_column store "delay", Columnar.merit_column store "cost")
+               with
+               | Some (delays, dpresent), Some (costs, cpresent) ->
+                 Some
+                   (fun i ->
+                     Bitset.mem dpresent i && Bitset.mem cpresent i
+                     && score ~weight ~delay:delays.(i) ~cost:costs.(i) > bound)
+               | None, _ | _, None -> Some (fun _ -> false))
+             | Some _ | None -> Some (fun _ -> false))
+           (fun env core ->
+             match env.Consistency.value_of budget with
+             | Some (Value.Real bound) -> (
+               match
+                 (Ds_reuse.Core.merit core "delay", Ds_reuse.Core.merit core "cost")
+               with
+               | Some delay, Some cost -> score ~weight ~delay ~cost > bound
+               | None, _ | _, None -> false)
+             | Some _ | None -> false)))
 
 let cores spec =
   validate spec;
@@ -143,9 +155,9 @@ let cores spec =
       in
       ("syn/" ^ core.Ds_reuse.Core.id, core))
 
-let session ?use_cache spec =
+let session ?use_cache ?sweep_mode spec =
   Session.create ~hierarchy:(hierarchy spec) ~constraints:(constraints spec) ?use_cache
-    ~cores:(cores spec) ()
+    ?sweep_mode ~cores:(cores spec) ()
 
 let random_walk spec ~steps =
   validate spec;

@@ -206,33 +206,23 @@ let ccv1 =
     ~doc:"Cores below the required block rate are eliminated"
     ~indep:[ r (req_block_rate ^ "@I2D") ]
     ~dep:[ r (di_structure ^ "@I2D") ]
-    (Consistency.Eliminate
-       {
-         inferior =
-           (fun env core ->
-             match
-               ( Option.bind (env.Consistency.value_of req_block_rate) Value.as_real,
-                 Core.merit core m_blocks_per_second )
-             with
-             | Some need, Some have -> have < need
-             | _ -> false);
-       })
+    (Consistency.eliminate (fun env core ->
+         match
+           ( Option.bind (env.Consistency.value_of req_block_rate) Value.as_real,
+             Core.merit core m_blocks_per_second )
+         with
+         | Some need, Some have -> have < need
+         | _ -> false))
 
 let ccv2 =
   Consistency.make_exn ~name:"CCV2"
     ~doc:"Cores whose fixed-point precision misses the requirement are eliminated"
     ~indep:[ r (req_precision ^ "@I2D") ]
     ~dep:[ r (di_fraction_bits ^ "@*.row-column") ]
-    (Consistency.Eliminate
-       {
-         inferior =
-           (fun env core ->
-             match
-               (env.Consistency.value_of req_precision, Core.merit core m_precision_bits)
-             with
-             | Some (Value.Int need), Some have -> have < float_of_int need
-             | _ -> false);
-       })
+    (Consistency.eliminate (fun env core ->
+         match (env.Consistency.value_of req_precision, Core.merit core m_precision_bits) with
+         | Some (Value.Int need), Some have -> have < float_of_int need
+         | _ -> false))
 
 let ccv3 =
   Consistency.make_exn ~name:"CCV3"

@@ -83,9 +83,11 @@ type t = {
    registry, own compliance cache) over the shared hierarchy and
    index.  The lock is held across a build: two racing first-opens of
    one layer wait rather than both building. *)
-let wrap_layers layers =
+let wrap_layers registry layers =
   let cache : (string * int, Session.t) Hashtbl.t = Hashtbl.create 8 in
   let lock = Mutex.create () in
+  let c_hits = Obs.counter registry "dse_serve_layer_cache_hits_total" in
+  let c_misses = Obs.counter registry "dse_serve_layer_cache_misses_total" in
   List.map
     (fun (name, make) ->
       ( name,
@@ -93,15 +95,18 @@ let wrap_layers layers =
           Mutex.lock lock;
           match Hashtbl.find_opt cache (name, eol) with
           | Some master ->
+            Obs.incr c_hits;
             Mutex.unlock lock;
             Session.pristine master
           | None -> (
             match make ~eol with
             | master ->
               Hashtbl.add cache (name, eol) master;
+              Obs.incr c_misses;
               Mutex.unlock lock;
               Session.pristine master
             | exception e ->
+              Obs.incr c_misses;
               Mutex.unlock lock;
               raise e) ))
     layers
@@ -111,7 +116,7 @@ let create cfg =
   let op_hists = Hashtbl.create 32 in
   List.iter (fun op -> Hashtbl.add op_hists op (Obs.histogram registry (op_metric op))) op_names;
   {
-    cfg = { cfg with layers = wrap_layers cfg.layers };
+    cfg = { cfg with layers = wrap_layers registry cfg.layers };
     store = Store.create ~capacity:cfg.capacity ();
     admission = Mutex.create ();
     registry;

@@ -6,6 +6,12 @@
 # default — generous because CI machines vary, tight enough to catch a
 # reintroduced global lock, which costs ~3-8x).
 #
+# Also understands the BENCH_PR7.json shape (columnar-sweep bench): the
+# serve throughput lives under "serve".requests_per_second there, and
+# when the current file carries a "headline".speedup_at_100k figure the
+# gate additionally requires it to stay at or above SWEEP_MIN_SPEEDUP
+# (default 5 — the columnar-vs-classic cold-sweep acceptance floor).
+#
 # Usage: sh scripts/bench_compare.sh [baseline.json] [current.json]
 set -eu
 
@@ -15,28 +21,36 @@ cd "$root"
 baseline=${1:-BENCH_PR3.json}
 current=${2:-BENCH_PR4.json}
 allowed_drop=${BENCH_ALLOWED_DROP:-0.20}
+min_speedup=${SWEEP_MIN_SPEEDUP:-5}
 
 if [ ! -f "$current" ]; then
   echo "bench-compare: $current not found; run 'dune exec bench/main.exe -- serve --json --smoke' first" >&2
   exit 2
 fi
 
-python3 - "$baseline" "$current" "$allowed_drop" <<'EOF'
+python3 - "$baseline" "$current" "$allowed_drop" "$min_speedup" <<'EOF'
 import json
 import sys
 
-baseline_path, current_path, allowed_drop = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline_path, current_path = sys.argv[1], sys.argv[2]
+allowed_drop, min_speedup = float(sys.argv[3]), float(sys.argv[4])
 
-def rps(path):
+def load(path):
     with open(path) as f:
-        data = json.load(f)
+        return json.load(f)
+
+def rps(data, path):
     value = data.get("requests_per_second")
+    if value is None:
+        # BENCH_PR7 shape: the serve leg is nested under "serve"
+        value = data.get("serve", {}).get("requests_per_second")
     if not isinstance(value, (int, float)) or value <= 0:
         sys.exit(f"bench-compare: no usable requests_per_second in {path}")
     return float(value)
 
-old = rps(baseline_path)
-new = rps(current_path)
+current_data = load(current_path)
+old = rps(load(baseline_path), baseline_path)
+new = rps(current_data, current_path)
 floor = old * (1.0 - allowed_drop)
 change = (new - old) / old * 100.0
 print(f"bench-compare: baseline {old:.1f} req/s ({baseline_path}), "
@@ -44,5 +58,13 @@ print(f"bench-compare: baseline {old:.1f} req/s ({baseline_path}), "
 if new < floor:
     sys.exit(f"bench-compare: FAIL — current throughput {new:.1f} req/s is below "
              f"the allowed floor {floor:.1f} req/s ({allowed_drop:.0%} drop from baseline)")
+
+speedup = current_data.get("headline", {}).get("speedup_at_100k")
+if isinstance(speedup, (int, float)):
+    print(f"bench-compare: columnar cold-sweep speedup at 10^5 cores: {speedup:.2f}x "
+          f"(floor {min_speedup:g}x)")
+    if speedup < min_speedup:
+        sys.exit(f"bench-compare: FAIL — columnar sweep speedup {speedup:.2f}x is below "
+                 f"the {min_speedup:g}x floor")
 print("bench-compare: OK")
 EOF

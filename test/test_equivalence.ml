@@ -12,6 +12,7 @@ module N = Ds_domains.Names
 module VL = Ds_domains.Video_layer
 module IL = Ds_domains.Idct_layer
 module Syn = Ds_domains.Synthetic
+module Gn = Ds_domains.Generator
 
 let crypto_cores () =
   Ds_reuse.Registry.all_cores (Ds_domains.Populate.standard_registry ~eol:768 ())
@@ -256,7 +257,7 @@ let with_parallel ~domains ~threshold f =
 
 (* One full observation of a session: everything a service client could
    see that the sweep feeds into. *)
-let observe s =
+let observe ?(merits = [ "delay"; "cost" ]) s =
   ( ids s,
     Session.candidate_signature s,
     List.map
@@ -265,15 +266,15 @@ let observe s =
         ( summary.Evaluation.merit_range,
           summary.Evaluation.skipped_non_finite,
           summary.Evaluation.missing ))
-      [ "delay"; "cost" ],
+      merits,
     List.map (fun (cc, st) -> (cc, Guard.status_label st)) (Session.health s) )
 
-let run_walk mk steps =
+let run_walk ?merits mk steps =
   List.fold_left
     (fun (s, seen) (label, f) ->
       match f s with
       | Error msg -> Alcotest.failf "%s: %s" label msg
-      | Ok s -> (s, (label, observe s) :: seen))
+      | Ok s -> (s, (label, observe ?merits s) :: seen))
     (mk (), [])
     steps
   |> snd |> List.rev
@@ -370,6 +371,151 @@ let test_parallel_differential_faults () =
       (List.assoc "EL0" health)
   | [] -> Alcotest.fail "empty walk"
 
+(* -------------------------------------------------------------------- *)
+(* Generated layers: the columnar sweep (bitset survivors, vectorized
+   kernels) against the retained classic engine and the naive recompute,
+   across seeds and population sizes — including sizes that do not fall
+   on bitset word boundaries.  Signatures must match byte for byte: the
+   journal replay check of PR 6 depends on both engines signing
+   identical states identically.                                         *)
+
+let gen_steps =
+  let rebind name v s = Result.bind (Session.retract s name) (fun s -> Session.set s name v) in
+  [
+    ("bind GB0", fun s -> Session.set s (Gn.budget_name 0) (Value.real 170.0));
+    ("bind GB1", fun s -> Session.set s (Gn.budget_name 1) (Value.real 200.0));
+    ("bind GB2", fun s -> Session.set s (Gn.budget_name 2) (Value.real 230.0));
+    ("bind GB3", fun s -> Session.set s (Gn.budget_name 3) (Value.real 260.0));
+    ("tighten GB0", rebind (Gn.budget_name 0) (Value.real 120.0));
+    ("relax GB1", rebind (Gn.budget_name 1) (Value.real 2000.0));
+    ("revisit GB0", rebind (Gn.budget_name 0) (Value.real 170.0));
+    ("drop GB2", fun s -> Session.retract s (Gn.budget_name 2));
+  ]
+
+let test_generated_differential () =
+  List.iter
+    (fun (seed, cores) ->
+      let spec = { Gn.default_spec with Gn.seed; Gn.cores } in
+      let col = ref (Gn.session spec) in
+      let cls = ref (Gn.session ~sweep_mode:Session.Classic spec) in
+      let naive = ref (Gn.session ~use_cache:false spec) in
+      Alcotest.(check bool)
+        (Printf.sprintf "s%d n%d: modes differ" seed cores)
+        true
+        (Session.sweep_mode !col = Session.Columnar
+        && Session.sweep_mode !cls = Session.Classic);
+      List.iter
+        (fun (label, f) ->
+          let ctx = Printf.sprintf "gen s%d n%d/%s" seed cores label in
+          let apply r =
+            match f !r with Ok s -> r := s | Error msg -> Alcotest.failf "%s: %s" ctx msg
+          in
+          apply col;
+          apply cls;
+          apply naive;
+          (* twice: cold, then served from each engine's own cache *)
+          for _ = 1 to 2 do
+            Alcotest.(check (list string)) (ctx ^ ": columnar = naive") (ids !naive) (ids !col);
+            Alcotest.(check (list string)) (ctx ^ ": classic = naive") (ids !naive) (ids !cls)
+          done;
+          Alcotest.(check string) (ctx ^ ": signatures")
+            (Session.candidate_signature !cls)
+            (Session.candidate_signature !col);
+          Alcotest.(check int) (ctx ^ ": counts")
+            (Session.candidate_count !cls)
+            (Session.candidate_count !col);
+          check_self ctx !col)
+        gen_steps)
+    [ (11, 500); (23, 800); (97, 1200); (5, 37); (42, 64) ]
+
+(* The generated kernels must actually exercise the vectorized fast
+   path: a columnar walk must report verdict activity in the cache. *)
+let test_generated_cache_effective () =
+  let spec = { Gn.default_spec with Gn.cores = 600 } in
+  let s =
+    List.fold_left
+      (fun s (label, f) ->
+        match f s with
+        | Ok s ->
+          ignore (Session.candidate_count s);
+          s
+        | Error msg -> Alcotest.failf "%s: %s" label msg)
+      (Gn.session spec) gen_steps
+  in
+  let stats = Session.cache_stats s in
+  Alcotest.(check bool) "verdicts recorded" true (stats.Compliance.verdict_misses > 0);
+  Alcotest.(check bool) "cache served requeries" true (stats.Compliance.verdict_hits > 0)
+
+(* Fault injection drops the kernels (Faultsim wraps only the closure),
+   so the columnar sweep must abandon its optimistic pass and replay the
+   faulting closure sequentially — same candidate sets, same
+   quarantine timeline as classic and naive. *)
+let test_generated_faults () =
+  let spec = { Gn.default_spec with Gn.cores = 400 } in
+  let constraints =
+    Faultsim.wrap_plan ~plan:[ ("GEL0", Faultsim.Raise) ] (Gn.constraints spec)
+  in
+  let mk ?sweep_mode use_cache =
+    Session.create ~use_cache ?sweep_mode ~hierarchy:(Gn.hierarchy spec) ~constraints
+      ~cores:(Gn.cores spec) ()
+  in
+  let bind s i =
+    Result.bind s (fun s ->
+        Session.set s (Gn.budget_name i) (Value.real (170.0 +. (30.0 *. float_of_int i))))
+  in
+  let drive s = List.fold_left bind (Ok s) (List.init spec.Gn.ccs Fun.id) in
+  match (drive (mk true), drive (mk ~sweep_mode:Session.Classic true), drive (mk false)) with
+  | Ok col, Ok cls, Ok naive ->
+    for round = 1 to 3 do
+      ignore (Session.candidates col);
+      ignore (Session.candidates cls);
+      ignore (Session.candidates naive);
+      let ctx = Printf.sprintf "gen inject round %d" round in
+      Alcotest.(check (list string)) (ctx ^ ": columnar = naive") (ids naive) (ids col);
+      Alcotest.(check (list string)) (ctx ^ ": classic = naive") (ids naive) (ids cls);
+      check_self ctx col
+    done;
+    List.iter
+      (fun (label, s) ->
+        Alcotest.(check bool) (label ^ ": GEL0 quarantined") true
+          (match List.assoc "GEL0" (Session.health s) with
+          | Guard.Quarantined _ -> true
+          | _ -> false))
+      [ ("columnar", col); ("classic", cls) ]
+  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg -> Alcotest.failf "drive failed: %s" msg
+
+(* Parallel-vs-sequential on a generated layer: chunked columnar sweeps
+   with kernels under both pool settings, plus the naive oracle. *)
+let test_generated_parallel_differential () =
+  let spec = { Gn.default_spec with Gn.cores = 900; Gn.seed = 29 } in
+  let merits = [ Gn.merit_name 0; Gn.merit_name 1 ] in
+  let walk use_cache () = run_walk ~merits (fun () -> Gn.session ~use_cache spec) gen_steps in
+  let sequential = with_parallel ~domains:1 ~threshold:1 (walk true) in
+  let parallel = with_parallel ~domains:4 ~threshold:1 (walk true) in
+  let naive = with_parallel ~domains:4 ~threshold:1 (walk false) in
+  check_walks_agree ~name:"gen-par-vs-seq" sequential parallel;
+  check_walks_agree ~name:"gen-naive-vs-par" naive parallel
+
+let test_generator_determinism () =
+  let lines spec =
+    List.map (fun (qid, c) -> qid ^ "\t" ^ Ds_reuse.Core.to_line c) (Gn.cores spec)
+  in
+  let spec = { Gn.default_spec with Gn.cores = 300; Gn.seed = 42 } in
+  Alcotest.(check (list string)) "same seed, same layer" (lines spec) (lines spec);
+  Alcotest.(check bool) "different seed, different layer" true
+    (lines spec <> lines { spec with Gn.seed = 43 });
+  (* equal specs must also sign identically after the same walk *)
+  let sign () =
+    let s =
+      List.fold_left
+        (fun s (label, f) ->
+          match f s with Ok s -> s | Error msg -> Alcotest.failf "%s: %s" label msg)
+        (Gn.session spec) gen_steps
+    in
+    Session.candidate_signature s
+  in
+  Alcotest.(check string) "reproducible signatures" (sign ()) (sign ())
+
 let () =
   Alcotest.run "equivalence"
     [
@@ -395,5 +541,14 @@ let () =
           Alcotest.test_case "synthetic walk" `Quick test_parallel_differential;
           Alcotest.test_case "crypto walk" `Quick test_parallel_differential_crypto;
           Alcotest.test_case "fault timeline" `Quick test_parallel_differential_faults;
+        ] );
+      ( "generated layers",
+        [
+          Alcotest.test_case "columnar vs classic vs naive" `Quick test_generated_differential;
+          Alcotest.test_case "cache effective" `Quick test_generated_cache_effective;
+          Alcotest.test_case "fault fallback" `Quick test_generated_faults;
+          Alcotest.test_case "parallel differential" `Quick
+            test_generated_parallel_differential;
+          Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
         ] );
     ]

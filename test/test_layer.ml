@@ -474,15 +474,11 @@ let test_session_eliminate_cc () =
     Consistency.make_exn ~name:"CCE" ~doc:"drop slow cores once Size known"
       ~indep:[ Propref.parse_exn "Size@Thing" ]
       ~dep:[ Propref.parse_exn "Style@Thing" ]
-      (Consistency.Eliminate
-         {
-           inferior =
-             (fun env core ->
-               match env.Consistency.value_of "Size" with
-               | Some (Value.Int _) -> (
-                 match Core.merit core "delay" with Some d -> d > 100.0 | None -> false)
-               | _ -> false);
-         })
+      (Consistency.eliminate (fun env core ->
+           match env.Consistency.value_of "Size" with
+           | Some (Value.Int _) -> (
+             match Core.merit core "delay" with Some d -> d > 100.0 | None -> false)
+           | _ -> false))
   in
   let s = fresh ~constraints:[ cc ] () in
   Alcotest.(check int) "before" 6 (Session.candidate_count s);
