@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test check bench bench-json serve-smoke bench-serve bench-obs bench-sweep bench-compare obs-lint soak soak-smoke doc examples clean
+.PHONY: all test check bench bench-json serve-smoke fleet-smoke bench-serve bench-obs bench-sweep bench-fleet bench-compare obs-lint soak soak-smoke doc examples clean
 
 all:
 	dune build @all
@@ -18,7 +18,9 @@ check:
 	dune exec bench/main.exe -- micro --json --smoke
 	dune exec bench/main.exe -- obs --json --smoke
 	dune exec bench/main.exe -- sweep --json --smoke
+	dune exec bench/main.exe -- fleet --json --smoke
 	$(MAKE) serve-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) soak-smoke
 
 # Span hygiene: every Obs.span_begin must be Fun.protect-closed or
@@ -30,6 +32,13 @@ obs-lint:
 # shutdown, journal resume after restart.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Sharded-fleet check (DESIGN.md 16): router over 4 supervised worker
+# processes, mixed traffic with a mid-round worker SIGKILL, structured
+# retryable errors only, restart-in-place, bit-identical signatures
+# after journal resume.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 # Crash-recovery soak (DESIGN.md 14): seeded traffic with I/O fault
 # injection, a mid-traffic SIGKILL/restart, then offline verification
@@ -50,12 +59,15 @@ bench-serve:
 # Regression gate: fresh serve bench vs the committed BENCH_PR3.json
 # baseline, then the columnar-sweep bench's serve leg vs the fresh PR4
 # headline (plus the >=5x cold-sweep speedup floor); fails on a >20%
-# throughput drop either way.
+# throughput drop either way.  The fleet leg compares the committed
+# 20k-session fleet aggregate against the PR7 serve baseline and
+# requires the >=2x sharding win (FLEET_MIN_SPEEDUP overrides).
 bench-compare:
 	dune exec bench/main.exe -- serve --json --smoke
 	sh scripts/bench_compare.sh
 	dune exec bench/main.exe -- sweep --json --smoke
 	sh scripts/bench_compare.sh BENCH_PR4.json BENCH_PR7.json
+	sh scripts/bench_compare.sh BENCH_PR7.json BENCH_PR8.json
 
 # Columnar-sweep bench over generated 10^5- and 10^6-core layers
 # (writes BENCH_PR7.json: build/cold-sweep/warm-requery times, GC
@@ -63,6 +75,13 @@ bench-compare:
 # DSE_BENCH_REPS overrides the per-phase repetition counts.
 bench-sweep:
 	dune exec bench/main.exe -- sweep --json
+
+# The 20k-session fleet bench: 256 concurrent clients over 8 driver
+# processes against 4 sharded worker processes, with a mid-bench worker
+# SIGKILL and a before/after signature audit (writes BENCH_PR8.json;
+# DSE_BENCH_REPS overrides the per-session drive rounds).
+bench-fleet:
+	dune exec bench/main.exe -- fleet --json
 
 bench:
 	dune exec bench/main.exe

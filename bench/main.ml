@@ -22,6 +22,12 @@
                                             generated 10^5/10^6-core
                                             layers, columnar vs classic
                                             -> BENCH_PR7.json
+     dune exec bench/main.exe fleet --json [--smoke]
+                                         -- sharded fleet: router + 4
+                                            worker processes, 256
+                                            clients over 20k sessions,
+                                            SIGKILL + journal-resume
+                                            leg -> BENCH_PR8.json
 
    Every JSON bench honours DSE_BENCH_REPS=n (override per-phase
    repetition counts) and writes a gitignored BENCH_PR*-latest.json
@@ -1618,6 +1624,640 @@ let sweep_json ?(smoke = false) () =
     largest_ms largest speedup_at_gate
 
 (* ------------------------------------------------------------------ *)
+(* Fleet bench (BENCH_PR8.json)                                        *)
+
+(* A sharded fleet (4 workers, consistent-hash router) under a
+   20k-session, 256-client load — the multi-process counterpart of the
+   serve bench.  Workers are fresh execs of this bench binary (the
+   hidden [fleet-worker] argv mode below); the router runs in-process
+   so its queueing is part of every measured latency, exactly as a
+   front-end client would see it.  Three legs:
+
+   - open: every session opened and given one acknowledged binding;
+   - drive: the clients hammer a bounded-candidates poll mix (set, a
+     16-id candidates page, signature) over their sessions while one
+     worker is SIGKILLed mid-leg.  Clients run Durable connections
+     with [retry_failures], so the crash window must surface only as
+     retried requests — any client-visible failure fails the bench;
+   - verify: once the supervisor has restarted the shard, a held-out
+     sample of the victim's sessions (untouched by the drive leg) must
+     reproduce their pre-kill signatures bit-identically — journal
+     resume checked end to end, through the router.
+
+   Shard attribution is computed bench-side with the same {!Ring} the
+   router uses: placement is pure arithmetic over the worker-name set,
+   so per-shard latency needs no per-request cooperation from the
+   fleet. *)
+
+module Fleet = Ds_fleet
+module FP = Ds_serve.Protocol
+module Dur = Ds_serve.Client.Durable
+
+(* Hidden argv mode: run one fleet worker in this process.  The
+   supervisor spawns workers as fresh execs of [Sys.executable_name];
+   in the bench that binary is this one, so the bench carries its own
+   worker entry point — the serve bench's service config plus the
+   per-worker journal directory that makes restart-in-place work. *)
+let fleet_worker rest =
+  let socket = ref "" and journal = ref "" in
+  let capacity = ref 8192 and pool = ref 4 in
+  let rec parse = function
+    | "--socket" :: v :: tl ->
+      socket := v;
+      parse tl
+    | "--journal-dir" :: v :: tl ->
+      journal := v;
+      parse tl
+    | "--capacity" :: v :: tl ->
+      capacity := int_of_string v;
+      parse tl
+    | "--pool" :: v :: tl ->
+      pool := int_of_string v;
+      parse tl
+    | [] -> ()
+    | a :: _ -> failwith ("fleet-worker: unknown argument " ^ a)
+  in
+  parse rest;
+  if String.equal !socket "" || String.equal !journal "" then
+    failwith "fleet-worker: --socket and --journal-dir are required";
+  (try Unix.mkdir !journal 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fleet.Worker.run ~socket:!socket ~pool:!pool
+    (Ds_serve.Service.config ~journal_dir:!journal ~capacity:!capacity
+       ~default_merits:[ "delay"; "cost" ] ~layers:Ds_domains.Catalog.factories ())
+
+let fleet_n_workers = 4
+let fleet_victim = "w0"
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+module FJ = Ds_serve.Jsonx
+module FO = Ds_obs.Obs
+
+(* Hidden argv mode: the fleet's front door in its own process.  On a
+   one-core box the router's per-connection threads must not share an
+   OCaml runtime lock with the client threads — co-hosting the two
+   tiers convoys every reply wake-up behind the lock and collapses
+   throughput ~15x, so the bench deploys the router exactly like
+   [dse fleet serve] does: as a separate process. *)
+let fleet_router rest =
+  let socket = ref "" and workers = ref [] and slots = ref 8 in
+  let rec parse = function
+    | "--socket" :: v :: tl ->
+      socket := v;
+      parse tl
+    | "--workers" :: v :: tl ->
+      workers :=
+        List.map
+          (fun kv ->
+            match String.index_opt kv '=' with
+            | Some i -> (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+            | None -> failwith "fleet-router: --workers wants name=socket[,name=socket...]")
+          (String.split_on_char ',' v);
+      parse tl
+    | "--slots" :: v :: tl ->
+      slots := int_of_string v;
+      parse tl
+    | [] -> ()
+    | a :: _ -> failwith ("fleet-router: unknown argument " ^ a)
+  in
+  parse rest;
+  if String.equal !socket "" || !workers = [] then
+    failwith "fleet-router: --socket and --workers are required";
+  let router = Ds_fleet.Router.create ~socket:!socket ~workers:!workers ~slots:!slots () in
+  Ds_fleet.Router.install_signal_handlers router;
+  Ds_fleet.Router.serve router
+
+(* Placement arithmetic shared by the bench and its driver processes:
+   rendezvous placement is a pure function of the worker-name set, so
+   every process computes identical shard maps and the same held-out
+   sample without any coordination. *)
+let fleet_ids sessions = Array.init sessions (fun i -> Printf.sprintf "f%05d" i)
+
+let fleet_shards ring ids =
+  let tbl = Hashtbl.create (2 * Array.length ids) in
+  Array.iter
+    (fun id -> Hashtbl.replace tbl id (Option.value (Fleet.Ring.route ring id) ~default:"?"))
+    ids;
+  tbl
+
+let fleet_sample ~shard ~victim ~target ids =
+  Array.to_list ids
+  |> List.filter (fun id -> String.equal (Hashtbl.find shard id) victim)
+  |> List.filteri (fun i _ -> i < target)
+
+(* Hidden argv mode: one shard of the client load.  256 concurrent
+   clients cannot live in one OCaml process on one core (same convoy
+   as the router), so the bench spawns several of these, each running
+   its slice of the client threads over its own Durable connections.
+   The driver buckets every request latency into a per-shard histogram
+   (global geometric bounds) and prints one JSON line; the bench
+   merges driver histograms bucket-wise — the same
+   {!Ds_obs.Obs.merge_hsnapshots} the router uses for metrics fan-out. *)
+let fleet_drive rest =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let socket = ref "" and names = ref [] and victim = ref "w0" and phase = ref "drive" in
+  let sample_n = ref 0 and nclients = ref 16 and offset = ref 0 and total = ref 16 in
+  let sessions = ref 0 and reps = ref 1 in
+  let rec parse = function
+    | "--socket" :: v :: tl ->
+      socket := v;
+      parse tl
+    | "--workers" :: v :: tl ->
+      names := String.split_on_char ',' v;
+      parse tl
+    | "--victim" :: v :: tl ->
+      victim := v;
+      parse tl
+    | "--sample" :: v :: tl ->
+      sample_n := int_of_string v;
+      parse tl
+    | "--clients" :: v :: tl ->
+      nclients := int_of_string v;
+      parse tl
+    | "--client-offset" :: v :: tl ->
+      offset := int_of_string v;
+      parse tl
+    | "--client-total" :: v :: tl ->
+      total := int_of_string v;
+      parse tl
+    | "--sessions" :: v :: tl ->
+      sessions := int_of_string v;
+      parse tl
+    | "--reps" :: v :: tl ->
+      reps := int_of_string v;
+      parse tl
+    | "--phase" :: v :: tl ->
+      phase := v;
+      parse tl
+    | [] -> ()
+    | a :: _ -> failwith ("fleet-drive: unknown argument " ^ a)
+  in
+  parse rest;
+  let ring = Fleet.Ring.create !names in
+  let ids = fleet_ids !sessions in
+  let shard = fleet_shards ring ids in
+  let sampled = Hashtbl.create 97 in
+  List.iter
+    (fun id -> Hashtbl.replace sampled id ())
+    (fleet_sample ~shard ~victim:!victim ~target:!sample_n ids);
+  (* the paper's IDCT design space: per-session state is the size a
+     real exploration session has, so 20k of them fit one host and the
+     bench measures fleet dispatch, not sweep compute (PR 7 owns that) *)
+  let fleet_layer = "idct" in
+  let bound_prop = "Word Size" and drive_prop = "Precision" in
+  let errors = Atomic.make 0 in
+  let registry = FO.create_registry () in
+  let hists =
+    List.map (fun w -> (w, FO.histogram registry ("shard_" ^ w))) (Fleet.Ring.nodes ring)
+  in
+  let conns = Array.init !nclients (fun _ -> Dur.create ~socket:!socket ()) in
+  let requests = Array.make !nclients 0 in
+  let owned k =
+    let rec go i acc = if i >= !sessions then List.rev acc else go (i + !total) (ids.(i) :: acc) in
+    go (!offset + k) []
+  in
+  let fail_err k ctx msg =
+    Atomic.incr errors;
+    Printf.eprintf "fleet driver client %d: %s: %s\n%!" (!offset + k) ctx msg
+  in
+  let run_open k =
+    let c = conns.(k) in
+    let send ctx req =
+      match Dur.request ~retry_failures:true c req with
+      | Ok (FP.Reply _) -> requests.(k) <- requests.(k) + 1
+      | Ok (FP.Failed (code, msg)) -> fail_err k ctx (FP.error_code_label code ^ ": " ^ msg)
+      | Error msg -> fail_err k ctx msg
+    in
+    List.iter
+      (fun id ->
+        send ("open " ^ id)
+          (FP.Open { session = Some id; layer = fleet_layer; eol = None; resume = false });
+        send ("set " ^ id)
+          (FP.Set { session = id; name = bound_prop; value = Value.int 16; decide = false }))
+      (owned k)
+  in
+  let run_drive k =
+    let c = conns.(k) in
+    let timed id hist op req =
+      let r0 = Dur.retried c in
+      let t = Unix.gettimeofday () in
+      match Dur.request ~retry_failures:true c req with
+      | Ok (FP.Reply _) ->
+        requests.(k) <- requests.(k) + 1;
+        FO.observe hist ((Unix.gettimeofday () -. t) *. 1.0e6)
+      | Ok (FP.Failed (FP.Rejected, _)) when Dur.retried c > r0 ->
+        (* an at-least-once artifact of the crash window: the first
+           send applied but its ack was lost, so the resend was
+           legitimately rejected (set: already bound; retract: not
+           bound).  The mutation IS applied — count the request, but
+           keep its mostly-backoff duration out of the histogram. *)
+        requests.(k) <- requests.(k) + 1
+      | Ok (FP.Failed (code, msg)) ->
+        fail_err k (op ^ " " ^ id) (FP.error_code_label code ^ ": " ^ msg)
+      | Error msg -> fail_err k (op ^ " " ^ id) msg
+    in
+    let mine = List.filter (fun id -> not (Hashtbl.mem sampled id)) (owned k) in
+    for r = 1 to !reps do
+      List.iter
+        (fun id ->
+          let hist = List.assoc (Hashtbl.find shard id) hists in
+          let v = if r mod 2 = 0 then 12 else 14 in
+          timed id hist "set"
+            (FP.Set { session = id; name = drive_prop; value = Value.int v; decide = false });
+          timed id hist "candidates" (FP.Candidates { session = id; max = Some 16 });
+          timed id hist "signature" (FP.Signature { session = id });
+          timed id hist "retract" (FP.Retract { session = id; name = drive_prop }))
+        mine
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init !nclients
+      (fun k -> Thread.create (if String.equal !phase "open" then run_open else run_drive) k)
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let reconnects = Array.fold_left (fun a c -> a + Dur.reconnects c) 0 conns in
+  let retried = Array.fold_left (fun a c -> a + Dur.retried c) 0 conns in
+  Array.iter Dur.close conns;
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "{ \"requests\": %d, \"errors\": %d, \"wall_s\": %.3f, \"reconnects\": %d, \"retried\": %d, \
+     \"per_shard\": {"
+    (Array.fold_left ( + ) 0 requests)
+    (Atomic.get errors) wall reconnects retried;
+  List.iteri
+    (fun i (w, h) ->
+      let s = FO.h_snapshot h in
+      add "%s \"%s\": { \"count\": %d, \"sum\": %.1f, \"min\": %.1f, \"max\": %.1f, \"counts\": [%s] }"
+        (if i = 0 then "" else ",")
+        w s.FO.h_count s.FO.h_sum
+        (if s.FO.h_count = 0 then 0.0 else s.FO.h_min)
+        (if s.FO.h_count = 0 then 0.0 else s.FO.h_max)
+        (String.concat "," (Array.to_list (Array.map string_of_int s.FO.h_counts))))
+    hists;
+  add " } }\n";
+  print_string (Buffer.contents buf)
+
+let fleet_snap_of_json j =
+  let count = Option.value (Option.bind (FJ.member "count" j) FJ.to_int) ~default:0 in
+  let getf k d = Option.value (Option.bind (FJ.member k j) FJ.to_float) ~default:d in
+  let counts =
+    match Option.bind (FJ.member "counts" j) FJ.to_list with
+    | Some l -> Array.of_list (List.map (fun x -> Option.value (FJ.to_int x) ~default:0) l)
+    | None -> Array.make (Array.length FO.bucket_bounds + 1) 0
+  in
+  {
+    FO.h_count = count;
+    h_sum = getf "sum" 0.0;
+    h_min = (if count = 0 then infinity else getf "min" 0.0);
+    h_max = (if count = 0 then neg_infinity else getf "max" 0.0);
+    h_counts = counts;
+  }
+
+let fleet_snap_stats s =
+  let n = s.FO.h_count in
+  let q p = if n = 0 then 0.0 else FO.quantile s p in
+  ( n,
+    (if n = 0 then 0.0 else s.FO.h_sum /. float_of_int n),
+    q 0.50,
+    q 0.95,
+    q 0.99,
+    if n = 0 then 0.0 else s.FO.h_max )
+
+(* Spawn every driver, then drain each stdout to EOF and reap.  The
+   drivers run concurrently (all spawned before any drain); a driver's
+   whole report is one short line, far below the pipe buffer, so the
+   sequential drain cannot deadlock. *)
+let fleet_run_drivers argvs =
+  let procs =
+    List.map
+      (fun argv ->
+        let r, w = Unix.pipe () in
+        let pid = Unix.create_process argv.(0) argv Unix.stdin w Unix.stderr in
+        Unix.close w;
+        (pid, r))
+      argvs
+  in
+  List.map
+    (fun (pid, r) ->
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 65536 in
+      let rec drain () =
+        match Unix.read r chunk 0 65536 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Unix.close r;
+      let _, status = Unix.waitpid [] pid in
+      (status, Buffer.contents buf))
+    procs
+
+let fleet_json ?(smoke = false) () =
+  header
+    (if smoke then "Fleet bench (smoke) -> BENCH_PR8.json"
+     else "Fleet bench -> BENCH_PR8.json");
+  (* the kill leg makes EPIPE a working-as-intended event — it must
+     come back as an error, not a process death *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let clients = if smoke then 32 else 256 in
+  let drivers = if smoke then 2 else 8 in
+  let per_driver = clients / drivers in
+  let sessions = if smoke then 1_024 else 20_000 in
+  let reps = match env_reps () with Some r -> r | None -> if smoke then 1 else 4 in
+  let dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dse_bench_fleet_%d" (Unix.getpid ()))
+    in
+    rm_rf d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  let specs =
+    List.init fleet_n_workers (fun i ->
+        let name = Printf.sprintf "w%d" i in
+        let sock = Filename.concat dir (name ^ ".sock") in
+        {
+          Fleet.Supervisor.w_name = name;
+          w_socket = sock;
+          w_argv =
+            (* pool = slots + 2: a worker thread owns a connection for
+               its lifetime, so the pool must exceed the router's
+               persistent slots or routed connections starve in the
+               accept queue (the spares answer health probes) *)
+            [|
+              Sys.executable_name; "fleet-worker"; "--socket"; sock; "--journal-dir";
+              Filename.concat dir (name ^ ".journal"); "--capacity"; "8192"; "--pool"; "10";
+            |];
+          w_log = Some (Filename.concat dir (name ^ ".log"));
+        })
+  in
+  let sup = Fleet.Supervisor.start specs in
+  (match Fleet.Supervisor.await_ready sup with
+  | Ok () -> ()
+  | Error msg ->
+    Fleet.Supervisor.stop sup;
+    failwith ("fleet bench: workers not ready: " ^ msg));
+  let worker_list = Fleet.Supervisor.workers sup in
+  let names = List.map fst worker_list in
+  let router_sock = Filename.concat dir "router.sock" in
+  let router_pid =
+    let log =
+      Unix.openfile (Filename.concat dir "router.log")
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+        0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close log)
+      (fun () ->
+        Unix.create_process Sys.executable_name
+          [|
+            Sys.executable_name; "fleet-router"; "--socket"; router_sock; "--workers";
+            String.concat "," (List.map (fun (n, s) -> n ^ "=" ^ s) worker_list); "--slots"; "8";
+          |]
+          Unix.stdin log log)
+  in
+  let probe = Dur.create ~socket:router_sock () in
+  let healthz_ok () =
+    match Dur.request probe FP.Healthz with
+    | Ok (FP.Reply fields) -> (
+      match Option.bind (List.assoc_opt "status" fields) FJ.to_str with
+      | Some "ok" -> true
+      | _ -> false)
+    | _ -> false
+  in
+  let await_healthy what timeout =
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      if healthz_ok () then ()
+      else if Unix.gettimeofday () > deadline then failwith ("fleet bench: " ^ what)
+      else begin
+        Thread.delay 0.2;
+        go ()
+      end
+    in
+    go ()
+  in
+  await_healthy "router did not come up" 30.0;
+  let ring = Fleet.Ring.create names in
+  let ids = fleet_ids sessions in
+  let shard = fleet_shards ring ids in
+  let sample_target = if smoke then 16 else 64 in
+  let sample = fleet_sample ~shard ~victim:fleet_victim ~target:sample_target ids in
+  printf "fleet: %d workers + router up, %d clients in %d driver processes, %d sessions\n%!"
+    fleet_n_workers clients drivers sessions;
+  let driver_argvs phase =
+    List.init drivers (fun d ->
+        [|
+          Sys.executable_name; "fleet-drive"; "--socket"; router_sock; "--workers";
+          String.concat "," names; "--victim"; fleet_victim; "--sample";
+          string_of_int sample_target; "--clients"; string_of_int per_driver; "--client-offset";
+          string_of_int (d * per_driver); "--client-total"; string_of_int clients; "--sessions";
+          string_of_int sessions; "--reps"; string_of_int reps; "--phase"; phase;
+        |])
+  in
+  let parse_driver (status, out) =
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | _ -> failwith "fleet bench: a driver process died");
+    match FJ.of_string (String.trim out) with
+    | Ok j -> j
+    | Error e -> failwith ("fleet bench: unparseable driver report: " ^ e)
+  in
+  let dint k j = Option.value (Option.bind (FJ.member k j) FJ.to_int) ~default:0 in
+  let sum k reports = List.fold_left (fun acc j -> acc + dint k j) 0 reports in
+  (* leg 1: open every session, bind one acknowledged budget *)
+  let t0 = Unix.gettimeofday () in
+  let open_reports = List.map parse_driver (fleet_run_drivers (driver_argvs "open")) in
+  let open_wall = Unix.gettimeofday () -. t0 in
+  let open_requests = sum "requests" open_reports in
+  let open_errors = sum "errors" open_reports in
+  printf "open: %d req in %.2f s  (%.0f req/s)  errors %d\n%!" open_requests open_wall
+    (float_of_int open_requests /. open_wall)
+    open_errors;
+  let read_sig id =
+    match Dur.request ~retry_failures:true probe (FP.Signature { session = id }) with
+    | Ok (FP.Reply fields) -> Option.bind (List.assoc_opt "signature" fields) FJ.to_str
+    | _ -> None
+  in
+  let before = List.map (fun id -> (id, read_sig id)) sample in
+  (* leg 2: the drive mix, with a SIGKILL of one worker mid-leg *)
+  let kill_after = if smoke then 0.5 else 10.0 in
+  let t1 = Unix.gettimeofday () in
+  let killed_pid = ref 0 in
+  let killer =
+    Thread.create
+      (fun () ->
+        Thread.delay kill_after;
+        match Fleet.Supervisor.pid sup fleet_victim with
+        | Some pid -> (
+          killed_pid := pid;
+          try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+        | None -> ())
+      ()
+  in
+  let drive_reports = List.map parse_driver (fleet_run_drivers (driver_argvs "drive")) in
+  let drive_wall = Unix.gettimeofday () -. t1 in
+  Thread.join killer;
+  let drive_requests = sum "requests" drive_reports in
+  let drive_errors = sum "errors" drive_reports in
+  let reconnects = sum "reconnects" (open_reports @ drive_reports) in
+  let retried = sum "retried" (open_reports @ drive_reports) in
+  let drive_rps = if drive_wall > 0.0 then float_of_int drive_requests /. drive_wall else 0.0 in
+  printf "drive: %d req in %.2f s  (%.0f req/s)  victim pid %d killed at t+%.1fs  errors %d\n%!"
+    drive_requests drive_wall drive_rps !killed_pid kill_after drive_errors;
+  (* leg 3: wait for the fleet to report healthy, then verify the
+     held-out signatures against their pre-kill values *)
+  await_healthy "fleet did not recover after the kill" 60.0;
+  let after = List.map (fun id -> (id, read_sig id)) sample in
+  let mismatches =
+    List.fold_left2
+      (fun acc (id, b) (_, a) ->
+        match (b, a) with
+        | Some b, Some a when String.equal b a -> acc
+        | b, a ->
+          Printf.eprintf "fleet: signature mismatch for %s: %s -> %s\n%!" id
+            (Option.value b ~default:"<none>")
+            (Option.value a ~default:"<none>");
+          acc + 1)
+      0 before after
+  in
+  let restarts = Fleet.Supervisor.restarts sup in
+  let victim_restarts =
+    match List.assoc_opt fleet_victim restarts with Some n -> n | None -> 0
+  in
+  printf "verify: %d sample sessions, %d mismatches; restarts %s\n%!" (List.length sample)
+    mismatches
+    (String.concat " " (List.map (fun (w, n) -> Printf.sprintf "%s=%d" w n) restarts));
+  let fleet_stats =
+    match Dur.request_line probe "{\"op\":\"stats\"}" with Ok s -> s | Error _ -> "null"
+  in
+  (* per-shard latency: driver histograms merged bucket-wise *)
+  let shard_snap w =
+    List.fold_left
+      (fun acc j ->
+        match Option.bind (FJ.member "per_shard" j) (FJ.member w) with
+        | Some sj -> FO.merge_hsnapshots acc (fleet_snap_of_json sj)
+        | None -> acc)
+      (FO.empty_hsnapshot ()) drive_reports
+  in
+  let shard_rows =
+    List.map
+      (fun w ->
+        let routed =
+          Array.fold_left
+            (fun acc id -> if String.equal (Hashtbl.find shard id) w then acc + 1 else acc)
+            0 ids
+        in
+        (w, routed, shard_snap w))
+      names
+  in
+  let agg =
+    List.fold_left (fun acc (_, _, s) -> FO.merge_hsnapshots acc s) (FO.empty_hsnapshot ())
+      shard_rows
+  in
+  let _, mean, p50, p95, p99, max_us = fleet_snap_stats agg in
+  printf "latency us: mean %.0f  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f\n%!" mean p50 p95 p99
+    max_us;
+  List.iter
+    (fun (w, routed, s) ->
+      let n, mean, p50, _, p99, max_us = fleet_snap_stats s in
+      printf "  %-4s %5d sessions  n %6d  mean %7.0f  p50 %7.0f  p99 %7.0f  max %8.0f us\n" w
+        routed n mean p50 p99 max_us)
+    shard_rows;
+  printf "client: %d reconnects, %d retried\n%!" reconnects retried;
+  (* teardown before writing the report: the numbers above are final *)
+  Dur.close probe;
+  (try Unix.kill router_pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let rec reap_router tries =
+    match Unix.waitpid [ Unix.WNOHANG ] router_pid with
+    | 0, _ when tries > 0 ->
+      Thread.delay 0.1;
+      reap_router (tries - 1)
+    | 0, _ ->
+      (try Unix.kill router_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] router_pid)
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  reap_router 50;
+  Fleet.Supervisor.stop sup;
+  let errors = open_errors + drive_errors in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"fleet\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"layer\": \"idct\",\n";
+  add "  \"workers\": %d,\n" fleet_n_workers;
+  add "  \"clients\": %d,\n" clients;
+  add "  \"driver_processes\": %d,\n" drivers;
+  add "  \"sessions\": %d,\n" sessions;
+  add "  \"reps\": %d,\n" reps;
+  add "  \"requests\": %d,\n" (open_requests + drive_requests);
+  add "  \"errors\": %d,\n" errors;
+  add "  \"wall_s\": %.3f,\n" drive_wall;
+  add "  \"requests_per_second\": %.1f,\n" drive_rps;
+  add "  \"open\": { \"requests\": %d, \"wall_s\": %.3f, \"requests_per_second\": %.1f },\n"
+    open_requests open_wall
+    (if open_wall > 0.0 then float_of_int open_requests /. open_wall else 0.0);
+  add
+    "  \"drive\": { \"requests\": %d, \"wall_s\": %.3f, \"requests_per_second\": %.1f, \
+     \"mix\": [\"set\", \"candidates max=16\", \"signature\", \"retract\"] },\n"
+    drive_requests drive_wall drive_rps;
+  add
+    "  \"latency_us\": { \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \"max\": %.1f },\n"
+    mean p50 p95 p99 max_us;
+  add "  \"per_shard\": {\n";
+  List.iteri
+    (fun i (w, routed, s) ->
+      let n, mean, p50, p95, p99, max_us = fleet_snap_stats s in
+      add
+        "    \"%s\": { \"sessions\": %d, \"requests\": %d, \"mean_us\": %.1f, \"p50_us\": %.1f, \
+         \"p95_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f }%s\n"
+        w routed n mean p50 p95 p99 max_us
+        (if i < List.length shard_rows - 1 then "," else ""))
+    shard_rows;
+  add "  },\n";
+  add "  \"client\": { \"reconnects\": %d, \"retried\": %d },\n" reconnects retried;
+  add
+    "  \"kill\": { \"victim\": \"%s\", \"after_s\": %.1f, \"victim_restarts\": %d, \
+     \"sample_sessions\": %d, \"signature_mismatches\": %d },\n"
+    fleet_victim kill_after victim_restarts (List.length sample) mismatches;
+  add "  \"restarts\": { %s },\n"
+    (String.concat ", " (List.map (fun (w, n) -> Printf.sprintf "\"%s\": %d" w n) restarts));
+  add "  \"fleet_stats\": %s\n" fleet_stats;
+  add "}\n";
+  write_bench "BENCH_PR8" buf;
+  printf "\nwrote BENCH_PR8.json (%.0f req/s over %d clients, %d sessions, %d shards)\n" drive_rps
+    clients sessions fleet_n_workers;
+  rm_rf dir;
+  if errors > 0 then begin
+    Printf.eprintf "fleet bench: %d client-visible failures (want structured retryable only)\n"
+      errors;
+    exit 1
+  end;
+  if mismatches > 0 then begin
+    Printf.eprintf "fleet bench: %d signature mismatches after worker restart\n" mismatches;
+    exit 1
+  end;
+  if victim_restarts < 1 then begin
+    Printf.eprintf "fleet bench: victim %s was never restarted (kill leg did not run?)\n"
+      fleet_victim;
+    exit 1
+  end
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
 
 let micro () =
@@ -1800,7 +2440,7 @@ let soak_drive ~socket ~sessions ~iters ~seed ~pace_ms =
         | 0 -> SP.Set { session = sid; name = issue; value = Value.str pick; decide = false }
         | 1 -> SP.Retract { session = sid; name = issue }
         | 2 -> SP.Annotate { session = sid; text = Printf.sprintf "soak %d.%d" it i }
-        | 3 -> SP.Candidates { session = sid }
+        | 3 -> SP.Candidates { session = sid; max = None }
         | _ -> SP.Ranges { session = sid; merits = Some soak_merits }
       in
       if pace_ms > 0.0 then Thread.delay (pace_ms /. 1000.0);
@@ -2005,6 +2645,18 @@ let () =
      only, for CI) *)
   | _ :: "sweep" :: rest when List.mem "--json" rest ->
     sweep_json ~smoke:(List.mem "--smoke" rest) ()
+  (* [fleet --json [--smoke]]: the sharded-fleet bench (router + 4
+     worker processes, SIGKILL mid-drive), written to BENCH_PR8.json *)
+  | _ :: "fleet" :: rest when List.mem "--json" rest ->
+    fleet_json ~smoke:(List.mem "--smoke" rest) ()
+  (* hidden: one fleet worker process (execed by the bench's own
+     supervisor — not a user entry point) *)
+  | _ :: "fleet-worker" :: rest -> fleet_worker rest
+  (* hidden: the fleet router in its own process (avoids sharing a
+     runtime lock with the driver threads on small boxes) *)
+  | _ :: "fleet-router" :: rest -> fleet_router rest
+  (* hidden: one shard of the fleet bench's client load *)
+  | _ :: "fleet-drive" :: rest -> fleet_drive rest
   (* [soak --drive|--settle|--verify ...]: the crash-recovery chaos
      gate; see scripts/chaos_soak.sh for the full orchestration *)
   | _ :: "soak" :: rest -> soak rest

@@ -654,7 +654,7 @@ let shell_cmd =
                       (if eligible then "" else "  [blocked by constraint ordering]"))
                   (items "issues" payload))
           | _ when String.equal line "candidates" ->
-            query (SP.Candidates { session = sid }) (fun payload ->
+            query (SP.Candidates { session = sid; max = None }) (fun payload ->
                 List.iter
                   (fun qid -> Option.iter (printf "  %s\n") (SJ.to_str qid))
                   (items "candidates" payload))
@@ -1010,6 +1010,75 @@ let print_metrics_screen ~elapsed ~sample:s ~prev =
   print_newline ();
   flush stdout
 
+(* Per-shard payloads riding under ["shards"] in a fleet router's
+   merged [metrics] reply — each one a full single-worker metrics
+   payload (or an error marker for a shard that did not answer). *)
+let parse_shards payload =
+  match List.assoc_opt "shards" payload with
+  | Some (SJ.Obj shards) ->
+    List.map
+      (fun (name, v) ->
+        match v with
+        | SJ.Obj fields -> (
+          match List.assoc_opt "error" fields with
+          | Some (SJ.Str e) -> (name, Error e)
+          | _ -> (name, Ok (parse_metrics fields)))
+        | _ -> (name, Error "malformed shard payload"))
+      shards
+  | _ -> []
+
+(* One line per shard: sessions, windowed request throughput and
+   latency quantiles over the shard's [dse_request_us{...}] histograms
+   merged bucket-wise (exact: one shared bound table). *)
+let print_shard_lines ~elapsed ~shards ~prev_shards =
+  if shards <> [] then begin
+    printf "  %-10s %9s %9s %9s %9s %9s\n" "shard" "sessions" "req/s" "p50" "p99" "max";
+    List.iter
+      (fun (name, r) ->
+        match r with
+        | Error msg -> printf "  %-10s %s\n" name msg
+        | Ok (s : metrics_sample) ->
+          let request_hists =
+            List.filter
+              (fun (n, _) -> String.length n >= 14 && String.equal (String.sub n 0 14) "dse_request_us")
+              s.ms_hists
+          in
+          let prev_hists =
+            match Option.bind prev_shards (List.assoc_opt name) with
+            | Some (Ok (p : metrics_sample)) -> p.ms_hists
+            | _ -> []
+          in
+          let merge (ca, ma, ba) (cb, mb, bb) =
+            let n = Stdlib.max (Array.length ba) (Array.length bb) in
+            ( ca + cb,
+              Float.max ma mb,
+              Array.init n (fun i ->
+                  (if i < Array.length ba then ba.(i) else 0)
+                  + if i < Array.length bb then bb.(i) else 0) )
+          in
+          let total hists =
+            List.fold_left
+              (fun acc (_, h) ->
+                match acc with None -> Some h | Some a -> Some (merge a h))
+              None hists
+          in
+          let merged = total request_hists in
+          let prev_merged =
+            total
+              (List.filter (fun (n, _) -> List.mem_assoc n request_hists) prev_hists)
+          in
+          (match merged with
+          | None -> printf "  %-10s %9d %9s\n" name s.ms_sessions "-"
+          | Some h ->
+            let n, q = windowed_hist ?prev:prev_merged h in
+            let _, max_us, _ = h in
+            let dt = if elapsed > 0.0 then elapsed else 1.0 in
+            printf "  %-10s %9d %9.1f %9.0f %9.0f %9.0f\n" name s.ms_sessions
+              (float_of_int n /. dt) (q 0.5) (q 0.99) max_us))
+      shards;
+    print_newline ()
+  end
+
 let top_cmd =
   let interval =
     Arg.(
@@ -1022,37 +1091,49 @@ let top_cmd =
       & info [ "samples"; "n" ] ~docv:"N"
           ~doc:"Stop after $(docv) samples (0 = run until interrupted).")
   in
-  let run socket interval iterations =
+  let fleet =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "The socket is a fleet router: besides the merged aggregate view, show one \
+             line per shard (sessions, windowed req/s, p50/p99).")
+  in
+  let run socket interval iterations fleet =
     let fetch () =
       match
         Ds_serve.Client.with_client ~socket (fun c ->
             Ds_serve.Client.request c (SP.Metrics { format = None }))
       with
-      | Ok (Ok (SP.Reply payload)) -> Ok (parse_metrics payload)
+      | Ok (Ok (SP.Reply payload)) ->
+        Ok (parse_metrics payload, if fleet then parse_shards payload else [])
       | Ok (Ok (SP.Failed (_, msg))) | Ok (Error msg) | Error msg -> Error msg
     in
-    let rec loop n prev t_prev =
+    let rec loop n prev prev_shards t_prev =
       match fetch () with
       | Error msg ->
         Printf.eprintf "dse top: %s\n" msg;
         1
-      | Ok sample ->
+      | Ok (sample, shards) ->
         let now = Unix.gettimeofday () in
-        print_metrics_screen ~elapsed:(now -. t_prev) ~sample ~prev;
+        let elapsed = now -. t_prev in
+        print_metrics_screen ~elapsed ~sample ~prev;
+        if fleet then print_shard_lines ~elapsed ~shards ~prev_shards;
         if iterations > 0 && n + 1 >= iterations then 0
         else begin
           Unix.sleepf interval;
-          loop (n + 1) (Some sample) now
+          loop (n + 1) (Some sample) (Some shards) now
         end
     in
-    loop 0 None (Unix.gettimeofday ())
+    loop 0 None None (Unix.gettimeofday ())
   in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Poll a running dse service's [metrics] op and show windowed request rates and \
-          latency quantiles (quantiles are bucket estimates; see DESIGN.md section 13).")
-    Term.(const run $ socket_arg $ interval $ iterations)
+          latency quantiles (quantiles are bucket estimates; see DESIGN.md section 13).  \
+          With --fleet, also per-shard views from a fleet router's merged reply.")
+    Term.(const run $ socket_arg $ interval $ iterations $ fleet)
 
 (* ----- trace: exploration story from exported spans ----------------------- *)
 
@@ -1238,6 +1319,175 @@ let trace_cmd =
           faults) from the service's exported telemetry spans.")
     Term.(const run $ socket_arg $ session_arg $ raw)
 
+(* ----- fleet: sharded multi-process service ------------------------------ *)
+
+module Fleet = Ds_fleet
+
+(* Worker processes are fresh execs of this binary ([dse fleet worker])
+   — never forks: the parent runs a threaded OCaml runtime, and fork
+   without exec in a threaded process is a deadlock lottery. *)
+
+let fleet_worker_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket this worker listens on.")
+  in
+  let journal_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "This worker's private journal directory (restart-in-place resumes sessions \
+             from it; two workers must never share one).")
+  in
+  let pool =
+    Arg.(value & opt int 4 & info [ "pool" ] ~docv:"N" ~doc:"Worker threads serving connections.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 8192
+      & info [ "capacity" ] ~docv:"N" ~doc:"Resident-session bound of this shard's store.")
+  in
+  let compact_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "compact-after" ] ~docv:"N" ~doc:"Auto-compact journals past this tail length.")
+  in
+  let sync =
+    Arg.(value & flag & info [ "sync" ] ~doc:"fsync every journal append.")
+  in
+  let run eol socket journal_dir pool capacity compact_after sync =
+    (try Unix.mkdir journal_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let cfg =
+      service_config ~journal_dir ~journal_sync:sync ~capacity ?compact_after ~eol ()
+    in
+    match Fleet.Worker.run ~socket ~pool cfg with
+    | () -> 0
+    | exception Unix.Unix_error (err, _, arg) ->
+      Printf.eprintf "fleet worker: cannot serve on %s: %s %s\n" socket
+        (Unix.error_message err) arg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run one fleet shard: the single-process service on a private socket and journal \
+          directory (spawned by `dse fleet serve`, restartable in place by the supervisor).")
+    Term.(const run $ eol_arg $ socket $ journal_dir $ pool $ capacity $ compact_after $ sync)
+
+let fleet_serve_cmd =
+  let nworkers =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "workers" ] ~docv:"N" ~doc:"Worker processes (shards) to run.")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt string "/tmp/dse-fleet"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Fleet state root: per-worker sockets, journal directories and logs.")
+  in
+  let pool =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pool" ] ~docv:"N"
+          ~doc:
+            "Threads per worker process.  Default: slots + 2 — a worker thread owns a \
+             connection for its lifetime, so the pool must exceed the router's persistent \
+             slots or routed connections starve in the accept queue; the two spares keep \
+             health probes and direct admin clients answerable under full routed load.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 8192
+      & info [ "capacity" ] ~docv:"N" ~doc:"Resident-session bound per shard.")
+  in
+  let slots =
+    Arg.(
+      value & opt int 8
+      & info [ "slots" ] ~docv:"N"
+          ~doc:"Router-side persistent connections per worker (bounds in-flight requests per shard).")
+  in
+  let sync =
+    Arg.(value & flag & info [ "sync" ] ~doc:"Workers fsync every journal append.")
+  in
+  let run eol socket nworkers dir pool capacity slots sync =
+    let n = Stdlib.max 1 nworkers in
+    let pool = match pool with Some p -> p | None -> slots + 2 in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let specs =
+      List.init n (fun i ->
+          let name = Printf.sprintf "w%d" i in
+          let args =
+            [
+              Sys.executable_name; "fleet"; "worker";
+              "--socket"; Filename.concat dir (name ^ ".sock");
+              "--journal-dir"; Filename.concat dir (name ^ ".journal");
+              "--pool"; string_of_int pool;
+              "--capacity"; string_of_int capacity;
+              "--eol"; string_of_int eol;
+            ]
+            @ (if sync then [ "--sync" ] else [])
+          in
+          {
+            Fleet.Supervisor.w_name = name;
+            w_socket = Filename.concat dir (name ^ ".sock");
+            w_argv = Array.of_list args;
+            w_log = Some (Filename.concat dir (name ^ ".log"));
+          })
+    in
+    let sup =
+      Fleet.Supervisor.start
+        ~on_restart:(fun name -> Printf.eprintf "fleet: restarted worker %s\n%!" name)
+        specs
+    in
+    match Fleet.Supervisor.await_ready sup with
+    | Error msg ->
+      Printf.eprintf "fleet: %s\n" msg;
+      Fleet.Supervisor.stop sup;
+      1
+    | Ok () -> (
+      match
+        Fleet.Router.create ~socket ~workers:(Fleet.Supervisor.workers sup) ~slots ()
+      with
+      | exception Unix.Unix_error (err, _, arg) ->
+        Printf.eprintf "fleet: cannot listen on %s: %s %s\n" socket (Unix.error_message err)
+          arg;
+        Fleet.Supervisor.stop sup;
+        1
+      | router ->
+        Fleet.Router.install_signal_handlers router;
+        printf "dse fleet listening on %s (%d workers under %s)\n%!" socket n dir;
+        Fleet.Router.serve router;
+        Fleet.Supervisor.stop sup;
+        printf "dse fleet stopped after %d connections; worker restarts:%s\n"
+          (Fleet.Router.connections_served router)
+          (String.concat ""
+             (List.map
+                (fun (w, r) -> Printf.sprintf " %s=%d" w r)
+                (Fleet.Supervisor.restarts sup)));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a sharded fleet: N supervised worker processes behind a consistent-hash \
+          router on one socket (DESIGN.md section 16).")
+    Term.(
+      const run $ eol_arg $ socket_arg $ nworkers $ dir $ pool $ capacity $ slots $ sync)
+
+let fleet_cmd =
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:"Sharded multi-process service: router, supervised workers, merged telemetry.")
+    [ fleet_serve_cmd; fleet_worker_cmd ]
+
 (* ----- main ------------------------------------------------------------- *)
 
 let () =
@@ -1252,7 +1502,7 @@ let () =
          [
            tree_cmd; properties_cmd; constraints_cmd; cores_cmd; explore_cmd; preview_cmd;
            coproc_cmd; document_cmd; netlist_cmd; lint_cmd; shell_cmd; export_cmd; check_cmd;
-           serve_cmd; client_cmd; top_cmd; trace_cmd;
+           serve_cmd; client_cmd; top_cmd; trace_cmd; fleet_cmd;
          ])
   with
   | code -> exit code

@@ -1,0 +1,129 @@
+module Obs = Ds_obs.Obs
+module Client = Ds_serve.Client
+
+type t = {
+  name : string;
+  socket : string;
+  slots : int;
+  lock : Mutex.t;
+  free : Condition.t;
+  mutable idle : Client.t list;  (* open connections not in flight *)
+  mutable in_flight : int;  (* slots handed out (connected or not) *)
+  mutable closed : bool;
+}
+
+let create ?(slots = 8) ~name ~socket () =
+  {
+    name;
+    socket;
+    slots = Stdlib.max 1 slots;
+    lock = Mutex.create ();
+    free = Condition.create ();
+    idle = [];
+    in_flight = 0;
+    closed = false;
+  }
+
+let name t = t.name
+let socket t = t.socket
+
+(* A slot is a right to one in-flight request, carrying a cached
+   connection when a previous request left one behind. *)
+let acquire t =
+  Mutex.lock t.lock;
+  while t.in_flight >= t.slots && not t.closed do
+    Condition.wait t.free t.lock
+  done;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    None
+  end
+  else begin
+    t.in_flight <- t.in_flight + 1;
+    let conn =
+      match t.idle with
+      | c :: rest ->
+        t.idle <- rest;
+        Some c
+      | [] -> None
+    in
+    Mutex.unlock t.lock;
+    Some conn
+  end
+
+let release t conn =
+  Mutex.lock t.lock;
+  t.in_flight <- t.in_flight - 1;
+  (match conn with
+  | Some c when not t.closed -> t.idle <- c :: t.idle
+  | Some c ->
+    Mutex.unlock t.lock;
+    Client.close c;
+    Mutex.lock t.lock
+  | None -> ());
+  Condition.signal t.free;
+  Mutex.unlock t.lock
+
+type outcome = Reply of string | Down of string
+
+let round_trip ?wait_hist t line =
+  let t0 = Obs.now_us () in
+  match acquire t with
+  | None -> Down "backend closed"
+  | Some cached ->
+    (match wait_hist with Some h -> Obs.observe h (Obs.now_us () -. t0) | None -> ());
+    let connect () = Client.connect ~socket:t.socket in
+    let attempt conn =
+      match Client.request_line conn line with
+      | Ok reply -> Ok (conn, reply)
+      | Error msg ->
+        Client.close conn;
+        Error msg
+    in
+    let outcome =
+      match cached with
+      | Some conn -> (
+        match attempt conn with
+        | Ok _ as ok -> ok
+        | Error _ -> (
+          (* the cached connection may just be stale (worker restarted
+             since it was pooled) — one fresh connection decides
+             whether the worker is actually down *)
+          match connect () with
+          | Error msg -> Error msg
+          | Ok conn -> attempt conn))
+      | None -> (
+        match connect () with
+        | Error msg -> Error msg
+        | Ok conn -> attempt conn)
+    in
+    (match outcome with
+    | Ok (conn, reply) ->
+      release t (Some conn);
+      Reply reply
+    | Error msg ->
+      release t None;
+      Down msg)
+
+let healthz_line =
+  Ds_serve.Jsonx.to_string (Ds_serve.Protocol.json_of_request Ds_serve.Protocol.Healthz)
+
+let probe ?(timeout = 1.0) t =
+  match Client.connect ~socket:t.socket with
+  | Error msg -> Error msg
+  | Ok conn ->
+    let fd = Client.fd conn in
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+     with Unix.Unix_error _ -> ());
+    let r = Client.request_line conn healthz_line in
+    Client.close conn;
+    r
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  let idle = t.idle in
+  t.idle <- [];
+  Condition.broadcast t.free;
+  Mutex.unlock t.lock;
+  List.iter Client.close idle

@@ -1,0 +1,51 @@
+(** The router's side of one worker: a small pool of persistent
+    upstream connections.
+
+    A worker serves one connection per pool worker, so the router must
+    not open a connection per client — hundreds of clients would
+    starve a worker's accept queue.  Instead each backend keeps up to
+    [slots] connections open and multiplexes every client request for
+    that shard over them; the protocol's strict one-reply-per-line
+    discipline makes a slot safe to hand from request to request.
+    The flip side is an invariant the deployment must hold: the
+    worker's pool must {e exceed} [slots], because a pool thread owns a
+    persistent connection for its whole lifetime — with [slots >= pool]
+    the surplus connections are accepted but never served, and every
+    request multiplexed onto one wedges.  [dse fleet serve] sizes
+    worker pools as [slots + 2]; the spares keep health probes and
+    direct admin connections answerable under full routed load.  The
+    wait for a free slot is the router-side queueing delay, recorded in
+    the router registry as [dse_router_upstream_wait_us].
+
+    A transport failure mid-request (the worker crashed) closes the
+    slot and retries once on a fresh connection — that heals a reaped
+    or restarted-in-the-meantime connection transparently.  If the
+    reconnect or the resend also fails the request is reported
+    {!outcome.Down}, which the router translates into the structured
+    retryable [session_unavailable] error. *)
+
+type t
+
+val create : ?slots:int -> name:string -> socket:string -> unit -> t
+(** [slots] (default 8) bounds concurrent in-flight requests to this
+    worker.  No I/O happens until the first {!round_trip}. *)
+
+val name : t -> string
+val socket : t -> string
+
+type outcome = Reply of string | Down of string
+
+val round_trip : ?wait_hist:Ds_obs.Obs.histogram -> t -> string -> outcome
+(** Send one request line, block for the reply line.  Blocks first for
+    a free slot ([wait_hist], µs, observes that wait).  [Down] means
+    the request may or may not have been applied — exactly the
+    at-most-once ambiguity the protocol's [session_unavailable] code
+    communicates to clients. *)
+
+val probe : ?timeout:float -> t -> (string, string) result
+(** Health probe outside the slot pool: its own throwaway connection,
+    a [healthz] line, and a kernel-side receive timeout (default 1s) —
+    a wedged worker fails the probe instead of eating a slot. *)
+
+val close : t -> unit
+(** Close every pooled connection (in-flight requests fail). *)

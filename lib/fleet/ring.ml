@@ -1,0 +1,42 @@
+type t = string list  (* sorted, deduplicated *)
+
+let create names = List.sort_uniq String.compare names
+let nodes t = t
+let size = List.length
+let add t name = List.sort_uniq String.compare (name :: t)
+let remove t name = List.filter (fun n -> not (String.equal n name)) t
+
+(* FNV-1a 64-bit, then a splitmix64-style finalizer: FNV alone is fast
+   but its low bits correlate for short similar keys (s1, s2, s3 ...),
+   which would skew the spread; the mixer avalanches them. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 seed s =
+  let h = ref seed in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let mix h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+  let h = Int64.mul h 0xbf58476d1ce4e5b9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+  let h = Int64.mul h 0x94d049bb133111ebL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+let score ~node ~key =
+  (* NUL separator: ("ab","c") and ("a","bc") must not collide *)
+  mix (fnv1a64 (fnv1a64 (fnv1a64 fnv_offset node) "\x00") key)
+
+let route t key =
+  List.fold_left
+    (fun best node ->
+      let s = score ~node ~key in
+      match best with
+      | Some (_, bs) when Int64.unsigned_compare s bs <= 0 -> best
+      | _ -> Some (node, s))
+    None t
+  |> Option.map fst

@@ -1,0 +1,45 @@
+(** Rendezvous (highest-random-weight) hashing: which worker owns a
+    session id.
+
+    Every placement question is answered by pure arithmetic over the
+    (worker, session) pair — no shared table, so the router, the bench
+    harness and the tests all compute identical placements from just
+    the worker-name list.  Rendezvous hashing gives the two properties
+    sharding durable sessions needs:
+
+    - {b determinism}: the same worker set and session id always map to
+      the same worker, across processes and runs — a restarted router
+      finds every session exactly where the journal directories say it
+      is;
+    - {b minimal movement}: removing a worker reassigns only the keys
+      it owned (~1/N of the space), and adding one steals only the keys
+      it now wins — no wholesale reshuffle, so a fleet resize strands
+      the fewest journals.
+
+    Scores are FNV-1a 64-bit over worker and key, finalized with a
+    splitmix64-style mixer, compared unsigned; ties (astronomically
+    rare) break on worker-name order so placement stays total and
+    deterministic. *)
+
+type t
+
+val create : string list -> t
+(** Duplicate names are dropped; order does not matter (placement
+    depends only on the member {e set}). *)
+
+val nodes : t -> string list
+(** Members, sorted. *)
+
+val size : t -> int
+
+val add : t -> string -> t
+val remove : t -> string -> t
+(** Pure: the argument ring is unchanged. *)
+
+val route : t -> string -> string option
+(** The member with the highest score for this key; [None] only on an
+    empty ring. *)
+
+val score : node:string -> key:string -> int64
+(** The raw rendezvous weight (compare with {!Int64.unsigned_compare})
+    — exposed for the placement tests. *)

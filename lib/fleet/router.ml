@@ -1,0 +1,601 @@
+module Obs = Ds_obs.Obs
+module P = Ds_serve.Protocol
+module Jsonx = Ds_serve.Jsonx
+module Lineio = Ds_serve.Lineio
+
+type t = {
+  socket : string;
+  listen_fd : Unix.file_descr;
+  ring : Ring.t;
+  backends : (string * Backend.t) list;  (* ring name -> its slot pool *)
+  registry : Obs.registry;
+  max_request : int;
+  idle_timeout : float option;
+  stop : bool Atomic.t;
+  lock : Mutex.t;
+  active : (Unix.file_descr, unit) Hashtbl.t;
+  mutable threads : Thread.t list;
+  mutable served : int;
+  counter : int Atomic.t;  (* minted-session-id sequence *)
+  pid : int;
+  started : float;
+  upstream_wait : Obs.histogram;
+  request_hist : Obs.histogram;
+  c_requests : Obs.counter;
+  c_unavailable : Obs.counter;
+  c_fanouts : Obs.counter;
+  c_minted : Obs.counter;
+  c_idle_reaped : Obs.counter;
+}
+
+let env_idle_timeout () =
+  match Sys.getenv_opt "DSE_IDLE_TIMEOUT" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f when f > 0.0 -> Some f
+    | _ -> None)
+  | None -> None
+
+let create ~socket ~workers ?(slots = 8) ?(max_request = 1024 * 1024) ?idle_timeout () =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 128;
+  let registry = Obs.create_registry () in
+  let idle_timeout =
+    match idle_timeout with Some _ as t -> t | None -> env_idle_timeout ()
+  in
+  {
+    socket;
+    listen_fd;
+    ring = Ring.create (List.map fst workers);
+    backends =
+      List.map (fun (name, sock) -> (name, Backend.create ~slots ~name ~socket:sock ())) workers;
+    registry;
+    max_request = Stdlib.max 1024 max_request;
+    idle_timeout;
+    stop = Atomic.make false;
+    lock = Mutex.create ();
+    active = Hashtbl.create 64;
+    threads = [];
+    served = 0;
+    counter = Atomic.make 0;
+    pid = Unix.getpid ();
+    started = Unix.gettimeofday ();
+    upstream_wait = Obs.histogram registry "dse_router_upstream_wait_us";
+    request_hist = Obs.histogram registry "dse_request_us{op=\"route\"}";
+    c_requests = Obs.counter registry "dse_router_requests_total";
+    c_unavailable = Obs.counter registry "dse_router_unavailable_total";
+    c_fanouts = Obs.counter registry "dse_router_fanouts_total";
+    c_minted = Obs.counter registry "dse_router_sessions_minted_total";
+    c_idle_reaped = Obs.counter registry "dse_serve_idle_reaped_total";
+  }
+
+let registry t = t.registry
+
+let shutdown t = Atomic.set t.stop true
+
+let install_signal_handlers t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop_on _ = shutdown t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on)
+
+let connections_served t =
+  Mutex.lock t.lock;
+  let n = t.served in
+  Mutex.unlock t.lock;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding                                                          *)
+
+let fail code msg = P.print_response (P.Failed (code, msg))
+
+let forward t key line =
+  match Ring.route t.ring key with
+  | None -> fail P.Server_error "fleet has no workers"
+  | Some name -> (
+    let backend = List.assoc name t.backends in
+    match Backend.round_trip ~wait_hist:t.upstream_wait backend line with
+    | Backend.Reply reply -> reply
+    | Backend.Down why ->
+      Obs.incr t.c_unavailable;
+      fail P.Session_unavailable
+        (Printf.sprintf
+           "worker %s is unavailable (%s); the supervisor is restarting it — retry" name why))
+
+(* Which single worker must see this request; [None] = not session-
+   addressed (fan-out or router-answered). *)
+let session_key = function
+  | P.Open { session = Some s; _ } -> Some s
+  | P.Set { session; _ }
+  | P.Default { session; _ }
+  | P.Retract { session; _ }
+  | P.Annotate { session; _ }
+  | P.Candidates { session; _ }
+  | P.Ranges { session; _ }
+  | P.Issues { session; _ }
+  | P.Preview { session; _ }
+  | P.Script { session; _ }
+  | P.Trace { session; spans = false; _ }
+  | P.Health { session }
+  | P.Signature { session }
+  | P.Report { session; _ }
+  | P.Branch { session; _ }
+  | P.Compact { session }
+  | P.Close { session } ->
+    Some session
+  | P.Open { session = None; _ } | P.Trace { spans = true; _ } | P.Stats | P.Metrics _
+  | P.Healthz ->
+    None
+
+let mint_id t =
+  Obs.incr t.c_minted;
+  Printf.sprintf "g%d-%d" t.pid (Atomic.fetch_and_add t.counter 1)
+
+(* A branch journal is created in its parent's journal directory
+   ({!Ds_serve.Journal.branch}), so the branched id must hash to the
+   parent's worker or no one would ever find it.  Mint candidate ids
+   until the ring agrees — expected N tries for N workers. *)
+let mint_colocated t ~session =
+  match Ring.route t.ring session with
+  | None -> None
+  | Some target ->
+    let base = if String.length session > 48 then String.sub session 0 48 else session in
+    let rec go k =
+      if k > 4096 then None
+      else
+        let id =
+          Printf.sprintf "%s.b%d-%d" base (Atomic.fetch_and_add t.counter 1) k
+        in
+        match Ring.route t.ring id with
+        | Some w when String.equal w target -> Some id
+        | _ -> go (k + 1)
+    in
+    go 0
+
+(* ------------------------------------------------------------------ *)
+(* Fan-out merges                                                      *)
+
+let geti k j = match Option.bind (Jsonx.member k j) Jsonx.to_int with Some v -> v | None -> 0
+
+let getf k j =
+  match Jsonx.member k j with
+  | Some (Jsonx.Float f) -> f
+  | Some (Jsonx.Int i) -> float_of_int i
+  | _ -> 0.0
+
+let num_add a b =
+  match (a, b) with
+  | Jsonx.Int x, Jsonx.Int y -> Jsonx.Int (x + y)
+  | (Jsonx.Int _ | Jsonx.Float _), (Jsonx.Int _ | Jsonx.Float _) ->
+    let f = function Jsonx.Int i -> float_of_int i | Jsonx.Float f -> f | _ -> 0.0 in
+    Jsonx.Float (f a +. f b)
+  | _ -> a
+
+(* Field-wise union of two JSON objects: shared keys merge with
+   [leaf], keys of one side pass through. *)
+let merge_obj leaf a b =
+  match (a, b) with
+  | Jsonx.Obj fa, Jsonx.Obj fb ->
+    let merged =
+      List.map
+        (fun (k, va) ->
+          match List.assoc_opt k fb with Some vb -> (k, leaf va vb) | None -> (k, va))
+        fa
+    in
+    let extra = List.filter (fun (k, _) -> not (List.mem_assoc k fa)) fb in
+    Jsonx.Obj (merged @ extra)
+  | _ -> a
+
+(* The wire form of Obs.merge_hsnapshots: counts add per bucket (every
+   histogram shares the one bound table), count/sum add, min/max
+   extremize — with empty-side care because the exporter flattens an
+   empty min/max to 0.0. *)
+let merge_hist a b =
+  let ca = geti "count" a and cb = geti "count" b in
+  let buckets j =
+    match Option.bind (Jsonx.member "buckets" j) Jsonx.to_list with
+    | Some l -> List.map (fun v -> match Jsonx.to_int v with Some i -> i | None -> 0) l
+    | None -> []
+  in
+  let rec zip xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys -> (x + y) :: zip xs ys
+  in
+  let min_merged =
+    if ca = 0 then getf "min" b
+    else if cb = 0 then getf "min" a
+    else Float.min (getf "min" a) (getf "min" b)
+  in
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int (ca + cb));
+      ("sum", Jsonx.Float (getf "sum" a +. getf "sum" b));
+      ("min", Jsonx.Float min_merged);
+      ("max", Jsonx.Float (Float.max (getf "max" a) (getf "max" b)));
+      ("buckets", Jsonx.List (List.map (fun c -> Jsonx.Int c) (zip (buckets a) (buckets b))));
+    ]
+
+let merge_registries a b =
+  merge_obj
+    (fun section_a section_b ->
+      (* each registry value is {counters,gauges,histograms} *)
+      match (section_a, section_b) with
+      | Jsonx.Obj _, Jsonx.Obj _ ->
+        Jsonx.Obj
+          [
+            ( "counters",
+              merge_obj num_add
+                (Option.value ~default:(Jsonx.Obj []) (Jsonx.member "counters" section_a))
+                (Option.value ~default:(Jsonx.Obj []) (Jsonx.member "counters" section_b)) );
+            ( "gauges",
+              merge_obj num_add
+                (Option.value ~default:(Jsonx.Obj []) (Jsonx.member "gauges" section_a))
+                (Option.value ~default:(Jsonx.Obj []) (Jsonx.member "gauges" section_b)) );
+            ( "histograms",
+              merge_obj merge_hist
+                (Option.value ~default:(Jsonx.Obj []) (Jsonx.member "histograms" section_a))
+                (Option.value ~default:(Jsonx.Obj []) (Jsonx.member "histograms" section_b)) );
+          ]
+      | _ -> section_a)
+    a b
+
+(* {count,mean_us,max_us} — the legacy stats shape; the mean re-weights
+   by count so the merge is the figure one big server would report. *)
+let merge_stat a b =
+  let ca = geti "count" a and cb = geti "count" b in
+  let mean =
+    if ca + cb = 0 then 0.0
+    else
+      ((float_of_int ca *. getf "mean_us" a) +. (float_of_int cb *. getf "mean_us" b))
+      /. float_of_int (ca + cb)
+  in
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int (ca + cb));
+      ("mean_us", Jsonx.Float mean);
+      ("max_us", Jsonx.Float (Float.max (getf "max_us" a) (getf "max_us" b)));
+    ]
+
+let registry_json reg =
+  let finite f = Jsonx.Float (if Float.is_finite f then f else 0.0) in
+  let hist_json (s : Obs.hsnapshot) =
+    Jsonx.Obj
+      [
+        ("count", Jsonx.Int s.Obs.h_count);
+        ("sum", finite s.Obs.h_sum);
+        ("min", finite s.Obs.h_min);
+        ("max", finite s.Obs.h_max);
+        ("buckets", Jsonx.List (Array.to_list (Array.map (fun c -> Jsonx.Int c) s.Obs.h_counts)));
+      ]
+  in
+  Jsonx.Obj
+    [
+      ("counters", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Int v)) (Obs.counters reg)));
+      ("gauges", Jsonx.Obj (List.map (fun (k, v) -> (k, finite v)) (Obs.gauges reg)));
+      ( "histograms",
+        Jsonx.Obj (List.map (fun (k, s) -> (k, hist_json s)) (Obs.histograms reg)) );
+    ]
+
+(* Ask every worker, decode, split successes from failures. *)
+let fan_out t line =
+  Obs.incr t.c_fanouts;
+  List.map
+    (fun (name, backend) ->
+      let r =
+        match Backend.round_trip ~wait_hist:t.upstream_wait backend line with
+        | Backend.Reply reply -> (
+          match P.response_of_string reply with
+          | Ok (P.Reply payload) -> Ok payload
+          | Ok (P.Failed (code, msg)) ->
+            Error (Printf.sprintf "%s: %s" (P.error_code_label code) msg)
+          | Error msg -> Error msg)
+        | Backend.Down why -> Error (Printf.sprintf "unavailable: %s" why)
+      in
+      (name, r))
+    t.backends
+
+let shards_field results =
+  ( "shards",
+    Jsonx.Obj
+      (List.map
+         (fun (name, r) ->
+           ( name,
+             match r with
+             | Ok payload -> Jsonx.Obj payload
+             | Error msg -> Jsonx.Obj [ ("error", Jsonx.Str msg) ] ))
+         results) )
+
+let merged_metrics t results =
+  let oks = List.filter_map (fun (_, r) -> Result.to_option r) results in
+  match oks with
+  | [] -> P.print_response (P.Failed (P.Session_unavailable, "no worker answered metrics"))
+  | first :: rest ->
+    let get k payload = Jsonx.member k (Jsonx.Obj payload) in
+    let uptime =
+      List.fold_left
+        (fun acc p -> Float.max acc (getf "uptime_s" (Jsonx.Obj p)))
+        0.0 oks
+    in
+    let sessions = List.fold_left (fun acc p -> acc + geti "sessions" (Jsonx.Obj p)) 0 oks in
+    let registries =
+      List.fold_left
+        (fun acc p ->
+          merge_registries acc (Option.value ~default:(Jsonx.Obj []) (get "registries" p)))
+        (Option.value ~default:(Jsonx.Obj []) (get "registries" first))
+        rest
+    in
+    let registries =
+      match registries with
+      | Jsonx.Obj fields -> Jsonx.Obj (fields @ [ ("router", registry_json t.registry) ])
+      | other -> other
+    in
+    P.print_response
+      (P.Reply
+         [
+           ("uptime_s", Jsonx.Float uptime);
+           ("sessions", Jsonx.Int sessions);
+           ( "bounds",
+             Option.value
+               ~default:
+                 (Jsonx.List
+                    (Array.to_list (Array.map (fun b -> Jsonx.Float b) Obs.bucket_bounds)))
+               (get "bounds" first) );
+           ("workers", Jsonx.Int (List.length results));
+           ("registries", registries);
+           shards_field results;
+         ])
+
+let merged_stats results =
+  let oks = List.filter_map (fun (_, r) -> Result.to_option r) results in
+  match oks with
+  | [] -> P.print_response (P.Failed (P.Session_unavailable, "no worker answered stats"))
+  | oks ->
+    let payloads = List.map (fun p -> Jsonx.Obj p) oks in
+    let sum k = List.fold_left (fun acc p -> acc + geti k p) 0 payloads in
+    let fmax k = List.fold_left (fun acc p -> Float.max acc (getf k p)) 0.0 payloads in
+    let merge_field k leaf =
+      List.fold_left
+        (fun acc p ->
+          match (acc, Jsonx.member k p) with
+          | None, v -> v
+          | Some a, Some b -> Some (leaf a b)
+          | acc, None -> acc)
+        None payloads
+      |> Option.value ~default:(Jsonx.Obj [])
+    in
+    P.print_response
+      (P.Reply
+         [
+           ("uptime_s", Jsonx.Float (fmax "uptime_s"));
+           ("sessions", Jsonx.Int (sum "sessions"));
+           ("capacity", Jsonx.Int (sum "capacity"));
+           ("evictions", Jsonx.Int (sum "evictions"));
+           ("queue_wait", merge_field "queue_wait" merge_stat);
+           ("requests", merge_field "requests" (merge_obj merge_stat));
+           ("workers", Jsonx.Int (List.length results));
+           shards_field results;
+         ])
+
+(* Per-shard span rings do not share a sequence space, so the merged
+   [next] cursor is per-shard (under ["shards"]) and the top-level view
+   is the union sorted by wall-clock start — good enough to retell a
+   cross-shard story, and exact within each shard. *)
+let merged_trace results =
+  let oks = List.filter_map (fun (name, r) -> Option.map (fun p -> (name, p)) (Result.to_option r)) results in
+  match oks with
+  | [] -> P.print_response (P.Failed (P.Session_unavailable, "no worker answered trace"))
+  | oks ->
+    let spans =
+      List.concat_map
+        (fun (name, p) ->
+          match Option.bind (Jsonx.member "spans" (Jsonx.Obj p)) Jsonx.to_list with
+          | Some l ->
+            List.map
+              (fun s ->
+                match s with
+                | Jsonx.Obj fields -> Jsonx.Obj (("shard", Jsonx.Str name) :: fields)
+                | other -> other)
+              l
+          | None -> [])
+        oks
+    in
+    let spans =
+      List.sort
+        (fun a b -> Float.compare (getf "t0" a) (getf "t0" b))
+        spans
+    in
+    let dropped = List.fold_left (fun acc (_, p) -> acc + geti "dropped" (Jsonx.Obj p)) 0 oks in
+    let shards =
+      ( "shards",
+        Jsonx.Obj
+          (List.map
+             (fun (name, r) ->
+               ( name,
+                 match r with
+                 | Ok p ->
+                   Jsonx.Obj
+                     [
+                       ("next", Jsonx.Int (geti "next" (Jsonx.Obj p)));
+                       ("dropped", Jsonx.Int (geti "dropped" (Jsonx.Obj p)));
+                     ]
+                 | Error msg -> Jsonx.Obj [ ("error", Jsonx.Str msg) ] ))
+             results) )
+    in
+    P.print_response
+      (P.Reply
+         [
+           ("spans", Jsonx.List spans);
+           ("dropped", Jsonx.Int dropped);
+           ("workers", Jsonx.Int (List.length results));
+           shards;
+         ])
+
+let healthz_reply t =
+  let statuses =
+    List.map
+      (fun (name, backend) ->
+        match Backend.probe ~timeout:1.0 backend with
+        | Ok _ -> (name, Jsonx.Str "ok")
+        | Error msg -> (name, Jsonx.Str (Printf.sprintf "down: %s" msg)))
+      t.backends
+  in
+  let all_ok = List.for_all (fun (_, s) -> match s with Jsonx.Str "ok" -> true | _ -> false) statuses in
+  P.print_response
+    (P.Reply
+       [
+         ("status", Jsonx.Str (if all_ok then "ok" else "degraded"));
+         ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started));
+         ("workers", Jsonx.Obj statuses);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let encode req = Jsonx.to_string (P.json_of_request req)
+
+let handle_line t line =
+  Obs.incr t.c_requests;
+  let t0 = Obs.now_us () in
+  let reply =
+    match P.parse_request line with
+    | Error (code, msg) -> fail code msg
+    | Ok req -> (
+      match session_key req with
+      | Some session -> (
+        match req with
+        | P.Branch { session; as_id = Some id } -> (
+          (* an explicit branch target that hashes elsewhere would
+             strand the new journal on a worker that will never be
+             asked for it — refuse, structured *)
+          match (Ring.route t.ring session, Ring.route t.ring id) with
+          | Some a, Some b when not (String.equal a b) ->
+            fail P.Bad_request
+              (Printf.sprintf
+                 "branch target %S would live on worker %s while %S lives on %s; omit \
+                  \"as\" to let the router pick a colocated id"
+                 id b session a)
+          | _ -> forward t session line)
+        | P.Branch { session; as_id = None } -> (
+          match mint_colocated t ~session with
+          | None -> fail P.Server_error "cannot mint a colocated branch id"
+          | Some id -> forward t session (encode (P.Branch { session; as_id = Some id })))
+        | _ -> forward t session line)
+      | None -> (
+        match req with
+        | P.Open { session = None; layer; eol; resume } ->
+          let id = mint_id t in
+          forward t id (encode (P.Open { session = Some id; layer; eol; resume }))
+        | P.Healthz -> healthz_reply t
+        | P.Stats -> merged_stats (fan_out t line)
+        | P.Metrics { format = Some "prometheus" } ->
+          (* concatenate per-shard expositions under per-shard prefix
+             comments; quantiles over merged buckets live in the json
+             form *)
+          let results = fan_out t line in
+          let texts =
+            List.filter_map
+              (fun (name, r) ->
+                match r with
+                | Ok payload ->
+                  Option.map
+                    (fun text -> Printf.sprintf "# shard %s\n%s" name text)
+                    (Jsonx.str_member "text" (Jsonx.Obj payload))
+                | Error _ -> None)
+              results
+          in
+          let own = Obs.prometheus [ ("router", t.registry) ] in
+          P.print_response
+            (P.Reply
+               [
+                 ("format", Jsonx.Str "prometheus");
+                 ("text", Jsonx.Str (String.concat "\n" (texts @ [ "# router"; own ])));
+               ])
+        | P.Metrics _ -> merged_metrics t (fan_out t line)
+        | P.Trace { spans = true; _ } -> merged_trace (fan_out t line)
+        | _ -> fail P.Server_error "unroutable request"))
+  in
+  Obs.observe t.request_hist (Obs.now_us () -. t0);
+  reply
+
+(* ------------------------------------------------------------------ *)
+(* The accept loop                                                     *)
+
+let try_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_connection t fd =
+  let reader = Lineio.create ?idle_timeout:t.idle_timeout fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       match Lineio.read_line ~limit:t.max_request reader with
+       | Lineio.Eof -> ()
+       | Lineio.Idle -> Obs.incr t.c_idle_reaped
+       | Lineio.Overflow ->
+         output_string oc
+           (fail P.Request_too_large
+              (Printf.sprintf "request line exceeds %d bytes" t.max_request));
+         output_char oc '\n';
+         flush oc;
+         if not (Atomic.get t.stop) then loop ()
+       | Lineio.Line line ->
+         let line = String.trim line in
+         if not (String.equal line "") then begin
+           let reply =
+             if Atomic.get t.stop then
+               fail P.Shutting_down "router is shutting down"
+             else handle_line t line
+           in
+           output_string oc reply;
+           output_char oc '\n';
+           flush oc
+         end;
+         if not (Atomic.get t.stop) then loop ()
+     in
+     loop ()
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.lock t.lock;
+  Hashtbl.remove t.active fd;
+  t.served <- t.served + 1;
+  try_close fd;
+  Mutex.unlock t.lock
+
+let serve t =
+  (* a worker SIGKILLed mid-forward must surface as EPIPE on the
+     upstream write (-> Down -> session_unavailable), not kill the
+     router process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let rec accept_loop () =
+    if Atomic.get t.stop then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [ _ ], _, _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+          Mutex.lock t.lock;
+          Hashtbl.replace t.active fd ();
+          (* thread per connection: the router's work per request is a
+             parse and two line copies, so connections are I/O-bound
+             and hundreds of systhreads overlap fine *)
+          t.threads <- Thread.create (fun () -> serve_connection t fd) () :: t.threads;
+          Mutex.unlock t.lock
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  try_close t.listen_fd;
+  Mutex.lock t.lock;
+  Hashtbl.iter
+    (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    t.active;
+  let threads = t.threads in
+  Mutex.unlock t.lock;
+  List.iter (fun th -> try Thread.join th with _ -> ()) threads;
+  List.iter (fun (_, b) -> Backend.close b) t.backends;
+  try Unix.unlink t.socket with Unix.Unix_error _ -> ()

@@ -1,0 +1,70 @@
+(** The fleet's front door: one socket, N shards behind it.
+
+    The router accepts client connections (thread per connection — it
+    only shuffles lines, so hundreds of mostly-idle connections cost
+    file descriptors, not CPU), reads each request line, extracts the
+    session id, and forwards the line verbatim to the worker the
+    {!Ring} assigns that id — over the worker's {!Backend} slot pool.
+    Replies stream back on the same connection, one line per line.
+
+    What the router owns (vs. what workers own):
+
+    - {b placement}: session id -> worker is pure ring arithmetic; the
+      router never stores a session and has no state to lose — restart
+      it freely;
+    - {b id generation}: an [open] without a session id gets one minted
+      here (workers can't mint — they don't know the ring); a [branch]
+      without ["as"] gets a {e colocated} id, one that hashes to the
+      same worker as its parent, because a branch journal lives in the
+      parent's journal directory.  An explicit cross-shard ["as"] is
+      refused with [bad_request] rather than stranding a journal where
+      its worker would never look;
+    - {b fan-out}: [stats], [metrics] and [trace spans] go to every
+      worker and merge — counters and session counts sum, histograms
+      merge bucket-wise ({!Ds_obs.Obs.merge_hsnapshots}' invariant:
+      every histogram shares one bound table), uptime is the oldest
+      worker's, and the unmerged per-shard payloads ride along under
+      ["shards"].  [healthz] is answered by the router itself with a
+      live probe of every worker;
+    - {b failure translation}: a dead backend (crashed worker, mid-
+      flight connection loss) answers [session_unavailable] — a
+      structured, retryable error — while the supervisor restarts the
+      shard.  Workers own everything else: stores, journals, layers,
+      per-request semantics.
+
+    The router records its own registry (request latency, upstream
+    slot wait, unavailable counts) and injects it into merged [metrics]
+    replies as the ["router"] registry. *)
+
+type t
+
+val create :
+  socket:string ->
+  workers:(string * string) list ->
+  ?slots:int ->
+  ?max_request:int ->
+  ?idle_timeout:float ->
+  unit ->
+  t
+(** [workers]: (ring name, socket path) per shard.  [slots] (default
+    8) bounds in-flight requests per worker.  [max_request] and
+    [idle_timeout] mirror {!Ds_serve.Server.create} (the idle default
+    also honours [DSE_IDLE_TIMEOUT]).
+    @raise Unix.Unix_error when [socket] cannot be bound. *)
+
+val handle_line : t -> string -> string
+(** Route one request line to one reply line — the testable core;
+    [serve] is this in a per-connection loop. *)
+
+val registry : t -> Ds_obs.Obs.registry
+
+val serve : t -> unit
+(** Accept until {!shutdown}; joins connection threads, closes
+    backends, unlinks the socket. *)
+
+val shutdown : t -> unit
+(** Idempotent, signal-handler safe. *)
+
+val install_signal_handlers : t -> unit
+
+val connections_served : t -> int

@@ -1,0 +1,68 @@
+(** Worker process lifecycle: spawn, health-check, restart in place.
+
+    The supervisor owns N worker processes, each a fresh [exec] of this
+    (or any) binary's worker entry point — never a bare [fork], which
+    is unsafe in a threaded OCaml runtime.  A monitor thread watches
+    two signals per worker:
+
+    - {b exit}: [waitpid WNOHANG] notices a dead child (crash, OOM
+      kill, SIGKILL) on the next tick and respawns it immediately;
+    - {b health}: a [healthz] probe over the worker's socket with a
+      receive timeout; {!consecutive_failures_before_kill} consecutive
+      probe failures mean the process is alive but wedged, so it is
+      SIGKILLed and respawned.
+
+    Restart-in-place is what makes a crash cheap: the replacement
+    worker gets the same socket path and the same journal directory,
+    and PR 6's transparent rehydration rebuilds each session from its
+    journal on first touch — a SIGKILL costs only the requests that
+    were in flight, which the router answers with the retryable
+    [session_unavailable] error.  Nothing acknowledged is lost.
+
+    Restart counts are exposed per worker (the fleet bench asserts the
+    kill leg restarted exactly the killed shard). *)
+
+type spec = {
+  w_name : string;  (** shard name — the ring member *)
+  w_socket : string;  (** the socket the worker must listen on *)
+  w_argv : string array;  (** command to exec (argv.(0) = program) *)
+  w_log : string option;  (** worker stdout+stderr destination *)
+}
+
+type t
+
+val start :
+  ?health_interval:float ->
+  ?health_timeout:float ->
+  ?max_probe_failures:int ->
+  ?boot_grace:float ->
+  ?on_restart:(string -> unit) ->
+  spec list ->
+  t
+(** Spawn every worker and the monitor thread.  [health_interval]
+    (default 0.5s) is the tick; [health_timeout] (default 1s) the probe
+    receive timeout; [max_probe_failures] (default 3) the wedged
+    threshold; [boot_grace] (default 5s) is how long after a (re)spawn
+    probe failures are forgiven while the worker binds its socket and
+    resumes journals — without it a slow boot under load reads as
+    wedged and the supervisor kills its own replacement in a loop;
+    [on_restart] fires after a replacement worker has been spawned (the
+    router uses it to log). *)
+
+val await_ready : ?timeout:float -> t -> (unit, string) result
+(** Block until every worker answers a probe (default timeout 30s) —
+    the "fleet is up" barrier [dse fleet serve] waits on before
+    accepting clients. *)
+
+val pid : t -> string -> int option
+(** Current pid of the named worker ([None]: unknown name). *)
+
+val restarts : t -> (string * int) list
+(** (worker, restart count), sorted by name. *)
+
+val workers : t -> (string * string) list
+(** (name, socket), sorted by name. *)
+
+val stop : t -> unit
+(** Stop monitoring, SIGTERM every worker, wait up to 5s each, SIGKILL
+    stragglers, reap. *)

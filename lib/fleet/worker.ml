@@ -1,0 +1,7 @@
+module Serve = Ds_serve
+
+let run ~socket ?pool ?max_request ?idle_timeout cfg =
+  let service = Serve.Service.create cfg in
+  let server = Serve.Server.create ~socket ?pool ?max_request ?idle_timeout service in
+  Serve.Server.install_signal_handlers server;
+  Serve.Server.serve server

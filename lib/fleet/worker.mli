@@ -1,0 +1,21 @@
+(** The worker entry point: one shard of the fleet.
+
+    A worker {e is} the single-process service — the same
+    {!Ds_serve.Service} over the same {!Ds_serve.Server}, with its own
+    store, its own journal directory and its own metrics registry.
+    The fleet adds nothing inside the shard; everything fleet-specific
+    (placement, fan-out, failure translation) lives in the router.
+    That is the point: a behaviour observed on a one-process deployment
+    is the behaviour of every shard. *)
+
+val run :
+  socket:string ->
+  ?pool:int ->
+  ?max_request:int ->
+  ?idle_timeout:float ->
+  Ds_serve.Service.config ->
+  unit
+(** Create the service, bind [socket], install SIGTERM/SIGINT handlers
+    and serve until shutdown.  Does not return until the server has
+    drained.  The config's [journal_dir] should be per-worker — two
+    shards must never share one. *)

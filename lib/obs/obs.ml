@@ -165,6 +165,36 @@ let quantile (s : hsnapshot) p =
 
 let h_mean s = if s.h_count = 0 then nan else s.h_sum /. float_of_int s.h_count
 
+(* Bucket-wise merge: because every histogram in the system shares the
+   one global bound table, two snapshots merge exactly — counts add per
+   bucket, count/sum add, min/max extremize.  This is what lets a fleet
+   router combine per-shard registries into one aggregate view whose
+   quantile estimates carry the same error bounds as a single shard's. *)
+let merge_hsnapshots a b =
+  let n = Stdlib.max (Array.length a.h_counts) (Array.length b.h_counts) in
+  let counts = Array.make n 0 in
+  let addc (arr : int array) =
+    Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) arr
+  in
+  addc a.h_counts;
+  addc b.h_counts;
+  {
+    h_count = a.h_count + b.h_count;
+    h_sum = a.h_sum +. b.h_sum;
+    h_min = Float.min a.h_min b.h_min;
+    h_max = Float.max a.h_max b.h_max;
+    h_counts = counts;
+  }
+
+let empty_hsnapshot () =
+  {
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = infinity;
+    h_max = neg_infinity;
+    h_counts = Array.make (bucket_count + 1) 0;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Registry *)
 

@@ -122,6 +122,17 @@ val quantile_of : counts:int array -> count:int -> max:float -> float -> float
 val h_mean : hsnapshot -> float
 (** [h_sum /. h_count], or [nan] when empty. *)
 
+val merge_hsnapshots : hsnapshot -> hsnapshot -> hsnapshot
+(** Bucket-wise merge of two snapshots (exact: every histogram shares
+    {!bucket_bounds}, so counts add per bucket; count and sum add, min
+    and max extremize).  The fleet router uses this to aggregate
+    per-shard registries into one view whose quantile estimates carry
+    the same error bounds as a single shard's. *)
+
+val empty_hsnapshot : unit -> hsnapshot
+(** The merge identity: zero counts, [infinity]/[neg_infinity]
+    min/max. *)
+
 (* ------------------------------------------------------------------ *)
 (** {1 Tracing} *)
 

@@ -20,6 +20,8 @@ let connect ~socket =
    get well-spread factors without any random state, so the schedule is
    reproducible (unit-testable) yet two clients started together do not
    re-collide on every attempt the way a bare exponential would. *)
+let fd t = t.fd
+
 let jitter i =
   let x = float_of_int (i + 1) *. 0.6180339887498949 in
   x -. floor x
@@ -98,3 +100,145 @@ let with_client ~socket f =
     let result = try Ok (f t) with e -> Error (Printexc.to_string e) in
     close t;
     result
+
+(* ------------------------------------------------------------------ *)
+(* Durable client                                                      *)
+
+module Durable = struct
+  type stats = { mutable requests : int; mutable reconnects : int; mutable retried : int }
+
+  type nonrec t = {
+    socket : string;
+    attempts : int;
+    base : float;
+    cap : float;
+    deadline : float option;
+    mutable conn : t option;
+    mutable ever_connected : bool;
+    st : stats;
+  }
+
+  let create ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ?deadline ~socket () =
+    {
+      socket;
+      attempts;
+      base;
+      cap;
+      deadline;
+      conn = None;
+      ever_connected = false;
+      st = { requests = 0; reconnects = 0; retried = 0 };
+    }
+
+  let drop d =
+    match d.conn with
+    | Some c ->
+      close c;
+      d.conn <- None
+    | None -> ()
+
+  let ensure_conn ?deadline d =
+    match d.conn with
+    | Some c -> Ok c
+    | None -> (
+      match
+        connect_retry ~attempts:d.attempts ~base:d.base ~cap:d.cap ?deadline ~socket:d.socket
+          ()
+      with
+      | Ok c ->
+        if d.ever_connected then d.st.reconnects <- d.st.reconnects + 1;
+        d.ever_connected <- true;
+        d.conn <- Some c;
+        Ok c
+      | Error _ as e -> e)
+
+  let exhausted = deadline_prefix ^ "request retry budget exhausted"
+
+  (* One request over the persistent connection.  A transport failure
+     (EPIPE, ECONNRESET, reply stream closed — the shapes a worker
+     restart produces) drops the connection and re-sends the line on a
+     fresh one, sleeping the jittered exponential schedule between
+     tries, all under the one [deadline] wall budget.  The protocol
+     guarantees one reply per request, so a re-send after a lost reply
+     re-executes the request — callers retrying mutations get the
+     layer's idempotent semantics (set to the same value is a no-op). *)
+  let request_line d line =
+    let t0 = Unix.gettimeofday () in
+    let budget_left () =
+      match d.deadline with
+      | None -> infinity
+      | Some dl -> dl -. (Unix.gettimeofday () -. t0)
+    in
+    d.st.requests <- d.st.requests + 1;
+    let rec go delays =
+      let remaining = budget_left () in
+      let deadline =
+        match d.deadline with None -> None | Some _ -> Some (Float.max 0.0 remaining)
+      in
+      match ensure_conn ?deadline d with
+      | Error _ as e -> e
+      | Ok c -> (
+        match request_line c line with
+        | Ok _ as ok -> ok
+        | Error msg -> (
+          drop d;
+          match delays with
+          | [] -> Error msg
+          | delay :: rest ->
+            let left = budget_left () in
+            if left <= 0.0 then Error exhausted
+            else begin
+              Thread.delay (Float.min delay left);
+              d.st.retried <- d.st.retried + 1;
+              go rest
+            end))
+    in
+    go (backoff_schedule ~base:d.base ~cap:d.cap ~attempts:d.attempts ())
+
+  (* [retry_failures] additionally re-sends on a structured retryable
+     failure ([session_unavailable], [shutting_down]): the fleet's
+     worker-crash window, where the supervisor needs a moment to
+     restart the shard before the session answers again. *)
+  let request ?(retry_failures = false) d req =
+    let line = Jsonx.to_string (Protocol.json_of_request req) in
+    let t0 = Unix.gettimeofday () in
+    let budget_left () =
+      match d.deadline with
+      | None -> infinity
+      | Some dl -> dl -. (Unix.gettimeofday () -. t0)
+    in
+    let rec go delays =
+      match request_line d line with
+      | Error _ as e -> e
+      | Ok reply -> (
+        match Protocol.response_of_string reply with
+        | Ok (Protocol.Failed (code, _)) as r when retry_failures && Protocol.retryable code
+          -> (
+          match delays with
+          | [] -> r
+          | delay :: rest ->
+            let left = budget_left () in
+            if left <= 0.0 then r
+            else begin
+              Thread.delay (Float.min delay left);
+              d.st.retried <- d.st.retried + 1;
+              go rest
+            end)
+        | r -> r)
+    in
+    go (backoff_schedule ~base:d.base ~cap:d.cap ~attempts:d.attempts ())
+
+  let requests d = d.st.requests
+  let reconnects d = d.st.reconnects
+  let retried d = d.st.retried
+
+  let stats_json d =
+    Jsonx.Obj
+      [
+        ("requests", Jsonx.Int d.st.requests);
+        ("reconnects", Jsonx.Int d.st.reconnects);
+        ("retried", Jsonx.Int d.st.retried);
+      ]
+
+  let close = drop
+end

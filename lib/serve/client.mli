@@ -10,6 +10,10 @@ type t
 
 val connect : socket:string -> (t, string) result
 
+val fd : t -> Unix.file_descr
+(** The underlying descriptor — for callers that tune socket options
+    (the fleet's health probe sets a receive timeout on it). *)
+
 val backoff_schedule : ?base:float -> ?cap:float -> attempts:int -> unit -> float list
 (** The retry delays {!connect_retry} sleeps between probes: a jittered
     exponential — [base * 2^i] (default base 20ms) scaled by a
@@ -53,3 +57,56 @@ val close : t -> unit
 
 val with_client : socket:string -> (t -> 'a) -> ('a, string) result
 (** Connect, run, always close. *)
+
+(** A persistent connection that survives server restarts.
+
+    {!t} dies with its socket: an EPIPE or ECONNRESET (a worker
+    restarting, an idle-reaped connection) surfaces as an error and the
+    caller reopens.  [Durable] keeps {e one} connection alive across
+    requests and, when the transport fails, transparently reconnects
+    (under the {!backoff_schedule} delays and the [?deadline] total
+    wall budget given at {!Durable.create}) and re-sends the request.
+    The price of transparency is at-least-once delivery: a request
+    whose reply was lost may execute twice, which the layer's
+    idempotent mutations absorb.  Reconnect and re-send counts are
+    exposed — the fleet bench reports them as client-side evidence of
+    how disruptive a worker kill was. *)
+module Durable : sig
+  type t
+
+  val create :
+    ?attempts:int ->
+    ?base:float ->
+    ?cap:float ->
+    ?deadline:float ->
+    socket:string ->
+    unit ->
+    t
+  (** No I/O happens here; the first {!request} connects.  [attempts]/
+      [base]/[cap] shape the per-request retry schedule, [deadline]
+      caps each request's total wall time (connect + sleeps + sends). *)
+
+  val request :
+    ?retry_failures:bool -> t -> Protocol.request -> (Protocol.response, string) result
+  (** Like {!Client.request}, plus transparent reconnect-and-resend on
+      transport failure.  [retry_failures] (default false) also
+      re-sends when the reply is a structured {e retryable} failure
+      ({!Protocol.retryable}) — the fleet worker-crash window. *)
+
+  val request_line : t -> string -> (string, string) result
+  (** Raw variant of {!request} (no [retry_failures] — the caller owns
+      reply decoding). *)
+
+  val requests : t -> int
+  val reconnects : t -> int
+  (** Times the connection had to be re-established after the first. *)
+
+  val retried : t -> int
+  (** Requests re-sent (after a reconnect or a retryable failure). *)
+
+  val stats_json : t -> Jsonx.t
+  (** [{"requests":..,"reconnects":..,"retried":..}] for bench
+      reports. *)
+
+  val close : t -> unit
+end

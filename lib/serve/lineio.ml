@@ -1,0 +1,84 @@
+type t = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable start : int;  (* unconsumed region of [chunk] *)
+  mutable stop : int;
+  line : Buffer.t;  (* partial line carried across reads *)
+  mutable dropping : bool;  (* current line already exceeded the limit *)
+  mutable seen_eof : bool;
+}
+
+let create ?idle_timeout fd =
+  (match idle_timeout with
+  | Some s when s > 0.0 -> (
+    (* kernel-side receive timeout: a blocked read returns EAGAIN after
+       [s] seconds, which read_line reports as Idle.  Unix sockets
+       support it everywhere we run; if a platform refuses, the reader
+       degrades to the old block-forever behaviour. *)
+    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with Unix.Unix_error _ -> ())
+  | _ -> ());
+  {
+    fd;
+    chunk = Bytes.create 8192;
+    start = 0;
+    stop = 0;
+    line = Buffer.create 256;
+    dropping = false;
+    seen_eof = false;
+  }
+
+type result = Line of string | Overflow | Eof | Idle
+
+let rec find_nl b i stop =
+  if i >= stop then None
+  else if Char.equal (Bytes.get b i) '\n' then Some i
+  else find_nl b (i + 1) stop
+
+let read_line ~limit t =
+  let take_line () =
+    let s = Buffer.contents t.line in
+    Buffer.clear t.line;
+    Line s
+  in
+  let rec go () =
+    if t.start < t.stop then begin
+      match find_nl t.chunk t.start t.stop with
+      | Some i ->
+        if not t.dropping then Buffer.add_subbytes t.line t.chunk t.start (i - t.start);
+        t.start <- i + 1;
+        if t.dropping || Buffer.length t.line > limit then begin
+          t.dropping <- false;
+          Buffer.clear t.line;
+          Overflow
+        end
+        else take_line ()
+      | None ->
+        if not t.dropping then Buffer.add_subbytes t.line t.chunk t.start (t.stop - t.start);
+        t.start <- t.stop;
+        if Buffer.length t.line > limit then begin
+          t.dropping <- true;
+          Buffer.clear t.line
+        end;
+        go ()
+    end
+    else if t.seen_eof then
+      (* peer closed mid-line: hand the final unterminated line over
+         once, then report Eof — same contract as the channel reader *)
+      if Buffer.length t.line > 0 && not t.dropping then take_line () else Eof
+    else begin
+      match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+      | 0 ->
+        t.seen_eof <- true;
+        go ()
+      | n ->
+        t.start <- 0;
+        t.stop <- n;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Idle
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception (Unix.Unix_error _ | Sys_error _ | End_of_file) ->
+        t.seen_eof <- true;
+        go ()
+    end
+  in
+  go ()

@@ -1,0 +1,29 @@
+(** Bounded line reading over a raw [Unix] descriptor.
+
+    The server's original reader was built on [In_channel], which can
+    only block forever: a leaked client pins a worker and an fd until
+    the process dies.  This reader works on the descriptor directly so
+    an idle timeout can be pushed down to the kernel ([SO_RCVTIMEO]) —
+    a read that times out surfaces as {!Idle} instead of wedging the
+    worker.  Both the single-process server and the fleet router read
+    requests through it. *)
+
+type t
+
+val create : ?idle_timeout:float -> Unix.file_descr -> t
+(** Wrap [fd].  With [idle_timeout] (seconds, > 0) the descriptor's
+    receive timeout is set once, so every subsequent blocking read
+    gives up after that long with {!Idle}.  Without it reads block
+    indefinitely, as before. *)
+
+type result =
+  | Line of string  (** one request line, newline stripped *)
+  | Overflow  (** the line exceeded [limit]; its bytes were drained *)
+  | Eof  (** peer closed (a final unterminated line is returned as {!Line} first) *)
+  | Idle  (** no byte arrived within [idle_timeout] *)
+
+val read_line : limit:int -> t -> result
+(** Next line from the stream.  A line longer than [limit] bytes is
+    discarded through its terminating newline and reported as
+    {!Overflow} — the connection stays usable, matching the server's
+    historical [request_too_large] behaviour. *)

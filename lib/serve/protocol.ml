@@ -6,7 +6,7 @@ type request =
   | Default of { session : string; name : string }
   | Retract of { session : string; name : string }
   | Annotate of { session : string; text : string }
-  | Candidates of { session : string }
+  | Candidates of { session : string; max : int option }
   | Ranges of { session : string; merits : string list option }
   | Issues of { session : string }
   | Preview of { session : string; issue : string; merit : string option }
@@ -20,6 +20,7 @@ type request =
   | Close of { session : string }
   | Stats
   | Metrics of { format : string option }
+  | Healthz
 
 type error_code =
   | Parse_error
@@ -32,6 +33,7 @@ type error_code =
   | Journal_error
   | Request_too_large
   | Shutting_down
+  | Session_unavailable
   | Server_error
 
 type response = Reply of (string * Jsonx.t) list | Failed of error_code * string
@@ -47,6 +49,7 @@ let error_code_label = function
   | Journal_error -> "journal_error"
   | Request_too_large -> "request_too_large"
   | Shutting_down -> "shutting_down"
+  | Session_unavailable -> "session_unavailable"
   | Server_error -> "server_error"
 
 let error_code_of_label = function
@@ -60,8 +63,20 @@ let error_code_of_label = function
   | "journal_error" -> Some Journal_error
   | "request_too_large" -> Some Request_too_large
   | "shutting_down" -> Some Shutting_down
+  | "session_unavailable" -> Some Session_unavailable
   | "server_error" -> Some Server_error
   | _ -> None
+
+(* A retryable failure is one where the request may not have been
+   applied and re-sending it (possibly after a backoff) is the right
+   client move: the server is draining, or the fleet router lost the
+   worker owning the session mid-flight and a restarted worker will
+   resume it from its journal. *)
+let retryable = function
+  | Shutting_down | Session_unavailable -> true
+  | Parse_error | Bad_request | Unknown_op | Unknown_layer | Unknown_session
+  | Session_exists | Rejected | Journal_error | Request_too_large | Server_error ->
+    false
 
 (* ------------------------------------------------------------------ *)
 (* Values                                                              *)
@@ -140,7 +155,8 @@ let request_of_json json =
     Ok (Annotate { session; text })
   | "candidates" ->
     let* session = session_field json in
-    Ok (Candidates { session })
+    let max = Option.bind (field "max" json) Jsonx.to_int in
+    Ok (Candidates { session; max })
   | "ranges" ->
     let* session = session_field json in
     let merits =
@@ -196,6 +212,7 @@ let request_of_json json =
     Ok (Close { session })
   | "stats" -> Ok Stats
   | "metrics" -> Ok (Metrics { format = Jsonx.str_member "format" json })
+  | "healthz" -> Ok Healthz
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
 (* ------------------------------------------------------------------ *)
@@ -244,8 +261,13 @@ let json_of_request r =
         some "session" (Jsonx.Str session);
         some "text" (Jsonx.Str text);
       ]
-  | Candidates { session } ->
-    obj [ some "op" (Jsonx.Str "candidates"); some "session" (Jsonx.Str session) ]
+  | Candidates { session; max } ->
+    obj
+      [
+        some "op" (Jsonx.Str "candidates");
+        some "session" (Jsonx.Str session);
+        Option.map (fun m -> ("max", Jsonx.Int m)) max;
+      ]
   | Ranges { session; merits } ->
     obj
       [
@@ -300,6 +322,7 @@ let json_of_request r =
     obj [ some "op" (Jsonx.Str "close"); some "session" (Jsonx.Str session) ]
   | Stats -> obj [ some "op" (Jsonx.Str "stats") ]
   | Metrics { format } -> obj [ some "op" (Jsonx.Str "metrics"); opt "format" format ]
+  | Healthz -> obj [ some "op" (Jsonx.Str "healthz") ]
 
 let parse_request line =
   match Jsonx.of_string line with

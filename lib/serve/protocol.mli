@@ -68,7 +68,10 @@ type request =
   | Default of { session : string; name : string }
   | Retract of { session : string; name : string }
   | Annotate of { session : string; text : string }
-  | Candidates of { session : string }
+  | Candidates of { session : string; max : int option }
+      (** [max] caps how many survivor ids the reply ships (the exact
+          ["count"] is always included) — at fleet scale a poll wants
+          "how many are left, show me a few", not a 100KB id dump. *)
   | Ranges of { session : string; merits : string list option }
   | Issues of { session : string }
   | Preview of { session : string; issue : string; merit : string option }
@@ -86,6 +89,10 @@ type request =
   | Close of { session : string }
   | Stats
   | Metrics of { format : string option }
+  | Healthz
+      (** Liveness ping — no session, no store access: the fleet
+          supervisor uses it to health-check workers, and the router
+          answers it itself with per-worker status. *)
 
 type error_code =
   | Parse_error
@@ -98,11 +105,23 @@ type error_code =
   | Journal_error
   | Request_too_large
   | Shutting_down
+  | Session_unavailable
+      (** The worker owning this session is down or restarting; the
+          request was not applied (or its reply was lost).  Retry after
+          a backoff — the supervisor restarts the worker and journal
+          resume rebuilds the session. *)
   | Server_error
 
 type response = Reply of (string * Jsonx.t) list | Failed of error_code * string
 
 val error_code_label : error_code -> string
+
+val error_code_of_label : string -> error_code option
+
+val retryable : error_code -> bool
+(** [true] for the codes a client should re-send after ([Shutting_down],
+    [Session_unavailable]): the failure is about server availability,
+    not about the request, and the request is safe to repeat. *)
 
 val request_of_json : Jsonx.t -> (request, string) result
 val json_of_request : request -> Jsonx.t

@@ -15,14 +15,32 @@ type t = {
   stop : bool Atomic.t;
   active : (Unix.file_descr, unit) Hashtbl.t;  (* connections being served *)
   mutable served : int;
+  idle_timeout : float option;
+      (* close connections idle longer than this (seconds); None = keep
+         the historical block-forever behaviour *)
+  idle_reaped : Obs.counter;
 }
 
-let create ~socket ?(pool = 8) ?(max_request = 1024 * 1024) service =
+(* DSE_IDLE_TIMEOUT: seconds of client silence before the server closes
+   the connection (default off) — leaked clients must not pin fleet
+   router/worker fds forever. *)
+let env_idle_timeout () =
+  match Sys.getenv_opt "DSE_IDLE_TIMEOUT" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f when f > 0.0 -> Some f
+    | _ -> None)
+  | None -> None
+
+let create ~socket ?(pool = 8) ?(max_request = 1024 * 1024) ?idle_timeout service =
   (* replace a stale socket file from a previous (crashed) server *)
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
   Unix.listen listen_fd 64;
+  let idle_timeout =
+    match idle_timeout with Some _ as t -> t | None -> env_idle_timeout ()
+  in
   {
     service;
     socket;
@@ -35,6 +53,8 @@ let create ~socket ?(pool = 8) ?(max_request = 1024 * 1024) service =
     stop = Atomic.make false;
     active = Hashtbl.create 16;
     served = 0;
+    idle_timeout;
+    idle_reaped = Obs.counter (Service.registry service) "dse_serve_idle_reaped_total";
   }
 
 (* Callable from a signal handler: must not take locks (the signalled
@@ -56,36 +76,6 @@ let connections_served t =
 
 let try_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-type read_result = Line of string | Overflow | Eof
-
-(* Bounded request-line reader: a client (malformed or malicious)
-   streaming an endless line must not grow an unbounded buffer
-   server-side.  Past the limit the rest of the line is drained and
-   discarded — the connection survives, the request gets a structured
-   [request_too_large] error. *)
-let read_request_line ic limit =
-  let buf = Buffer.create 256 in
-  let rec go n =
-    match In_channel.input_char ic with
-    | None -> if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
-    | Some '\n' -> Line (Buffer.contents buf)
-    | Some c ->
-      if n >= limit then begin
-        let rec drain () =
-          match In_channel.input_char ic with
-          | None | Some '\n' -> ()
-          | Some _ -> drain ()
-        in
-        drain ();
-        Overflow
-      end
-      else begin
-        Buffer.add_char buf c;
-        go (n + 1)
-      end
-  in
-  go 0
-
 (* One connection: request line in, reply line out, until EOF (or the
    connection is closed under us at shutdown).  The whole accept→
    dispatch→reply life of the connection is one [server.connection]
@@ -100,7 +90,7 @@ let serve_connection t ~queue_wait_us fd =
   Fun.protect
     ~finally:(fun () -> Obs.span_end sp ~attrs:[ ("requests", string_of_int !requests) ])
     (fun () ->
-      let ic = Unix.in_channel_of_descr fd in
+      let reader = Lineio.create ?idle_timeout:t.idle_timeout fd in
       let oc = Unix.out_channel_of_descr fd in
       (try
          let reply_line reply =
@@ -109,9 +99,14 @@ let serve_connection t ~queue_wait_us fd =
            flush oc
          in
          let rec loop () =
-           match read_request_line ic t.max_request with
-           | Eof -> ()
-           | Overflow ->
+           match Lineio.read_line ~limit:t.max_request reader with
+           | Lineio.Eof -> ()
+           | Lineio.Idle ->
+             (* reap: the client has been silent past DSE_IDLE_TIMEOUT;
+                dropping the connection frees the fd and the worker (a
+                live client reconnects transparently) *)
+             Obs.incr t.idle_reaped
+           | Lineio.Overflow ->
              incr requests;
              reply_line
                (Protocol.print_response
@@ -119,7 +114,7 @@ let serve_connection t ~queue_wait_us fd =
                      ( Protocol.Request_too_large,
                        Printf.sprintf "request line exceeds %d bytes" t.max_request )));
              if not (Atomic.get t.stop) then loop ()
-           | Line line ->
+           | Lineio.Line line ->
              let line = String.trim line in
              if not (String.equal line "") then begin
                incr requests;

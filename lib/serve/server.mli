@@ -20,14 +20,19 @@
 
 type t
 
-val create : socket:string -> ?pool:int -> ?max_request:int -> Service.t -> t
+val create :
+  socket:string -> ?pool:int -> ?max_request:int -> ?idle_timeout:float -> Service.t -> t
 (** Bind and listen on [socket] (an existing stale socket file is
     replaced).  [pool] (default 8, minimum 1) is the worker domain
     count.  [max_request] (default 1 MiB, minimum 1 KiB) bounds the
     request line a connection may send: past it the rest of the line is
     drained and answered with a structured [request_too_large] error,
     the connection staying alive — a malformed client cannot grow an
-    unbounded server-side buffer.
+    unbounded server-side buffer.  [idle_timeout] (seconds; default:
+    the [DSE_IDLE_TIMEOUT] environment variable, else off) closes
+    connections that send nothing for that long, counting each under
+    [dse_serve_idle_reaped_total] in the service registry — leaked
+    clients cannot pin worker fds.
     @raise Unix.Unix_error when the socket cannot be bound. *)
 
 val serve : t -> unit

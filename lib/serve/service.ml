@@ -41,7 +41,7 @@ let op_names =
   [
     "open"; "set"; "decide"; "default"; "retract"; "annotate"; "candidates"; "ranges";
     "issues"; "preview"; "script"; "trace"; "health"; "signature"; "report"; "branch";
-    "compact"; "close"; "stats"; "metrics";
+    "compact"; "close"; "stats"; "metrics"; "healthz";
   ]
 
 (* the unified metric-name catalog (DESIGN.md 13): request latency is
@@ -180,7 +180,7 @@ let apply_mutation s = function
   | P.Annotate { text; _ } -> Some (Ok (Session.annotate s text))
   | P.Open _ | P.Candidates _ | P.Ranges _ | P.Issues _ | P.Preview _ | P.Script _
   | P.Trace _ | P.Health _ | P.Signature _ | P.Report _ | P.Branch _ | P.Compact _
-  | P.Close _ | P.Stats | P.Metrics _ ->
+  | P.Close _ | P.Stats | P.Metrics _ | P.Healthz ->
     None
 
 let ( let* ) = Result.bind
@@ -843,14 +843,23 @@ let dispatch t req =
   | P.Default { session; name } -> mutate t session req (fun s -> Session.set_default s name)
   | P.Retract { session; name } -> mutate t session req (fun s -> Session.retract s name)
   | P.Annotate { session; text } -> mutate t session req (fun s -> Ok (Session.annotate s text))
-  | P.Candidates { session } ->
+  | P.Candidates { session; max } ->
     with_session t session (fun entry ->
         let cands = Session.candidates entry.Store.session in
+        let count = List.length cands in
+        (* [max] bounds the id page, never the count: a fleet-scale
+           poll asks "how many survive?" thousands of times a second,
+           and shipping every id would make the reply O(survivors) *)
+        let page =
+          match max with
+          | Some m when m >= 0 && m < count -> List.filteri (fun i _ -> i < m) cands
+          | _ -> cands
+        in
         P.Reply
           [
             ("session", Jsonx.Str session);
-            ("count", Jsonx.Int (List.length cands));
-            ("candidates", Jsonx.List (List.map (fun (qid, _) -> Jsonx.Str qid) cands));
+            ("count", Jsonx.Int count);
+            ("candidates", Jsonx.List (List.map (fun (qid, _) -> Jsonx.Str qid) page));
           ])
   | P.Ranges { session; merits } ->
     with_session t session (fun entry ->
@@ -1081,6 +1090,15 @@ let dispatch t req =
         ]
     | Some other ->
       P.Failed (P.Bad_request, Printf.sprintf "unknown metrics format %S (json|prometheus)" other))
+  | P.Healthz ->
+    (* liveness only — no store access, so it answers even when every
+       session slot is wedged behind a slow mutation *)
+    P.Reply
+      [
+        ("status", Jsonx.Str "ok");
+        ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started));
+        ("sessions", Jsonx.Int (Store.count t.store));
+      ]
 
 let op_name = function
   | P.Open _ -> "open"
@@ -1103,6 +1121,7 @@ let op_name = function
   | P.Close _ -> "close"
   | P.Stats -> "stats"
   | P.Metrics _ -> "metrics"
+  | P.Healthz -> "healthz"
 
 (* [t.op_hists] is read-only after [create] (every op pre-populated),
    so the lookup itself needs no lock; observations go through the
@@ -1127,7 +1146,7 @@ let req_attrs req =
   | P.Default { session; name } | P.Retract { session; name } ->
     base @ [ ("session", session); ("name", name) ]
   | P.Annotate { session; _ }
-  | P.Candidates { session }
+  | P.Candidates { session; _ }
   | P.Ranges { session; _ }
   | P.Issues { session }
   | P.Script { session }
@@ -1142,7 +1161,7 @@ let req_attrs req =
     @ [ ("session", session) ]
     @ (match as_id with Some id -> [ ("as", id) ] | None -> [])
   | P.Compact { session } | P.Close { session } -> base @ [ ("session", session) ]
-  | P.Stats | P.Metrics _ -> base
+  | P.Stats | P.Metrics _ | P.Healthz -> base
 
 let response_attrs = function
   | P.Reply payload ->

