@@ -59,15 +59,18 @@ bench-serve:
 # Regression gate: fresh serve bench vs the committed BENCH_PR3.json
 # baseline, then the columnar-sweep bench's serve leg vs the fresh PR4
 # headline (plus the >=5x cold-sweep speedup floor); fails on a >20%
-# throughput drop either way.  The fleet leg compares the committed
-# 20k-session fleet aggregate against the PR7 serve baseline and
-# requires the >=2x sharding win (FLEET_MIN_SPEEDUP overrides).
+# throughput drop either way.  The fleet legs compare the committed
+# 20k-session fleet aggregate against the PR7 serve baseline (>=2x
+# sharding win, FLEET_MIN_SPEEDUP overrides) and the committed PR9
+# pipelined aggregate against the PR8 lockstep fleet baseline (>=2.5x
+# data-plane win, PIPELINE_MIN_SPEEDUP overrides).
 bench-compare:
 	dune exec bench/main.exe -- serve --json --smoke
 	sh scripts/bench_compare.sh
 	dune exec bench/main.exe -- sweep --json --smoke
 	sh scripts/bench_compare.sh BENCH_PR4.json BENCH_PR7.json
-	sh scripts/bench_compare.sh BENCH_PR7.json BENCH_PR8.json
+	sh scripts/bench_compare.sh BENCH_PR7.json BENCH_PR9.json
+	sh scripts/bench_compare.sh BENCH_PR8.json BENCH_PR9.json
 
 # Columnar-sweep bench over generated 10^5- and 10^6-core layers
 # (writes BENCH_PR7.json: build/cold-sweep/warm-requery times, GC
@@ -78,7 +81,8 @@ bench-sweep:
 
 # The 20k-session fleet bench: 256 concurrent clients over 8 driver
 # processes against 4 sharded worker processes, with a mid-bench worker
-# SIGKILL and a before/after signature audit (writes BENCH_PR8.json;
+# SIGKILL, a before/after signature audit, and a pipeline depth sweep
+# (1/4/16) over the pass-through data plane (writes BENCH_PR9.json;
 # DSE_BENCH_REPS overrides the per-session drive rounds).
 bench-fleet:
 	dune exec bench/main.exe -- fleet --json

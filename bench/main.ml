@@ -27,7 +27,7 @@
                                             worker processes, 256
                                             clients over 20k sessions,
                                             SIGKILL + journal-resume
-                                            leg -> BENCH_PR8.json
+                                            leg -> BENCH_PR9.json
 
    Every JSON bench honours DSE_BENCH_REPS=n (override per-phase
    repetition counts) and writes a gitignored BENCH_PR*-latest.json
@@ -1096,6 +1096,18 @@ let micro_json ?(smoke = false) () =
 
 let serve_bench_clients = 8
 let serve_pool_sweep = [ 1; 2; 4; 8 ]
+let pipeline_depth_sweep = [ 1; 4; 16 ]
+
+(* Split [l] into consecutive groups of at most [n] — the unit a
+   pipelined client keeps in flight. *)
+let chunk_list n l =
+  let rec go acc cur cnt = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+      if cnt + 1 >= n then go (List.rev (x :: cur) :: acc) [] 0 tl
+      else go acc (x :: cur) (cnt + 1) tl
+  in
+  go [] [] 0 l
 
 (* Latency digest over the shared telemetry histogram type instead of a
    fully sorted sample array: count, mean and max are exact; the
@@ -1191,7 +1203,7 @@ let serve_round ~pool ~reps ~tag =
   let wall = Unix.gettimeofday () -. t0 in
   (* server-side view of the same run, straight off the wire *)
   let server_stats =
-    match Ds_serve.Client.connect ~socket with
+    match Ds_serve.Client.connect ~socket () with
     | Error _ -> "null"
     | Ok c ->
       let reply =
@@ -1228,6 +1240,87 @@ let serve_round ~pool ~reps ~tag =
     sr_queue_wait = queue_wait;
     sr_server_stats = server_stats;
   }
+
+(* One pipelined round: same mix and client count as [serve_round],
+   but each client keeps [depth] requests in flight via
+   {!Ds_serve.Client.pipeline} — one coalesced write per group, the
+   replies read back in order.  Depth 1 is the lockstep baseline the
+   sweep is normalized against. *)
+let serve_pipeline_round ~depth ~reps ~tag =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dse_bench_%d_%s.sock" (Unix.getpid ()) tag)
+  in
+  let svc =
+    Ds_serve.Service.create
+      (Ds_serve.Service.config ~default_merits:[ "delay"; "cost" ]
+         ~layers:Ds_domains.Catalog.factories ())
+  in
+  let server = Ds_serve.Server.create ~socket ~pool:serve_bench_clients svc in
+  let server_thread = Thread.create Ds_serve.Server.serve server in
+  let errors = Atomic.make 0 in
+  let counts = Array.make serve_bench_clients 0 in
+  let run_client i =
+    match Ds_serve.Client.connect_retry ~socket () with
+    | Error msg ->
+      Atomic.incr errors;
+      Printf.eprintf "pipeline client %d: %s\n" i msg
+    | Ok c ->
+      let sid = Printf.sprintf "bench%d" i in
+      let budget = Syn.budget_name 0 in
+      let one line =
+        match Ds_serve.Client.request_line c line with
+        | Ok reply
+          when String.length reply >= 10 && String.equal (String.sub reply 0 10) "{\"ok\":true"
+          ->
+          counts.(i) <- counts.(i) + 1
+        | Ok reply ->
+          Atomic.incr errors;
+          Printf.eprintf "pipeline client %d: %s\n" i reply
+        | Error msg ->
+          Atomic.incr errors;
+          Printf.eprintf "pipeline client %d: %s\n" i msg
+      in
+      one
+        (Printf.sprintf "{\"op\":\"open\",\"session\":\"%s\",\"layer\":\"synthetic10k\"}" sid);
+      let mix r =
+        let v = bench_budget 0 +. if r mod 2 = 0 then 25.0 else -25.0 in
+        [
+          Printf.sprintf "{\"op\":\"set\",\"session\":\"%s\",\"name\":\"%s\",\"value\":%.1f}"
+            sid budget v;
+          Printf.sprintf "{\"op\":\"candidates\",\"session\":\"%s\"}" sid;
+          Printf.sprintf "{\"op\":\"ranges\",\"session\":\"%s\"}" sid;
+          Printf.sprintf "{\"op\":\"retract\",\"session\":\"%s\",\"name\":\"%s\"}" sid budget;
+        ]
+      in
+      let all = List.concat_map mix (List.init reps (fun r -> r + 1)) in
+      List.iter
+        (fun group ->
+          List.iter
+            (fun res ->
+              match res with
+              | Ok reply
+                when String.length reply >= 10
+                     && String.equal (String.sub reply 0 10) "{\"ok\":true" ->
+                counts.(i) <- counts.(i) + 1
+              | Ok reply ->
+                Atomic.incr errors;
+                Printf.eprintf "pipeline client %d: %s\n" i reply
+              | Error msg ->
+                Atomic.incr errors;
+                Printf.eprintf "pipeline client %d: %s\n" i msg)
+            (Ds_serve.Client.pipeline c group))
+        (chunk_list depth all);
+      one (Printf.sprintf "{\"op\":\"close\",\"session\":\"%s\"}" sid);
+      Ds_serve.Client.close c
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init serve_bench_clients (fun i -> Thread.create run_client i) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Ds_serve.Server.shutdown server;
+  Thread.join server_thread;
+  (Array.fold_left ( + ) 0 counts, Atomic.get errors, wall)
 
 let serve_json ?(smoke = false) () =
   header
@@ -1282,6 +1375,22 @@ let serve_json ?(smoke = false) () =
   | Some (n, qmean, qmax) ->
     printf "server queue wait (accept -> dispatch): n %d  mean %.0f us  max %.0f us\n" n qmean qmax
   | None -> ());
+  (* pipelining sweep: same mix, [depth] requests in flight per client *)
+  let pipeline_reps = match env_reps () with Some r -> r | None -> if smoke then 10 else 100 in
+  printf "\npipeline sweep, %d clients, depth %s:\n" serve_bench_clients
+    (String.concat "/" (List.map string_of_int pipeline_depth_sweep));
+  let pipeline_rows =
+    List.map
+      (fun depth ->
+        let requests, errs, wall =
+          serve_pipeline_round ~depth ~reps:pipeline_reps ~tag:(Printf.sprintf "pd%d" depth)
+        in
+        let rps = if wall > 0.0 then float_of_int requests /. wall else 0.0 in
+        printf "  depth %2d: %5d req in %6.2f s  %7.0f req/s  errors %d\n%!" depth requests wall
+          rps errs;
+        (depth, requests, errs, wall, rps))
+      pipeline_depth_sweep
+  in
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
@@ -1327,6 +1436,16 @@ let serve_json ?(smoke = false) () =
         (if i < List.length ops - 1 then "," else ""))
     ops;
   add "  },\n";
+  add "  \"pipeline\": [\n";
+  List.iteri
+    (fun i (depth, requests, errs, wall, rps) ->
+      add
+        "    { \"depth\": %d, \"iterations_per_client\": %d, \"requests\": %d, \"errors\": %d, \
+         \"wall_s\": %.3f, \"requests_per_second\": %.1f }%s\n"
+        depth pipeline_reps requests errs wall rps
+        (if i < List.length pipeline_rows - 1 then "," else ""))
+    pipeline_rows;
+  add "  ],\n";
   add "  \"server_stats\": %s\n" headline.sr_server_stats;
   add "}\n";
   write_bench "BENCH_PR4" buf;
@@ -1624,7 +1743,7 @@ let sweep_json ?(smoke = false) () =
     largest_ms largest speedup_at_gate
 
 (* ------------------------------------------------------------------ *)
-(* Fleet bench (BENCH_PR8.json)                                        *)
+(* Fleet bench (BENCH_PR9.json)                                        *)
 
 (* A sharded fleet (4 workers, consistent-hash router) under a
    20k-session, 256-client load — the multi-process counterpart of the
@@ -1763,7 +1882,7 @@ let fleet_drive rest =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let socket = ref "" and names = ref [] and victim = ref "w0" and phase = ref "drive" in
   let sample_n = ref 0 and nclients = ref 16 and offset = ref 0 and total = ref 16 in
-  let sessions = ref 0 and reps = ref 1 in
+  let sessions = ref 0 and reps = ref 1 and depth = ref 1 in
   let rec parse = function
     | "--socket" :: v :: tl ->
       socket := v;
@@ -1791,6 +1910,9 @@ let fleet_drive rest =
       parse tl
     | "--reps" :: v :: tl ->
       reps := int_of_string v;
+      parse tl
+    | "--depth" :: v :: tl ->
+      depth := int_of_string v;
       parse tl
     | "--phase" :: v :: tl ->
       phase := v;
@@ -1876,11 +1998,51 @@ let fleet_drive rest =
         mine
     done
   in
-  let t0 = Unix.gettimeofday () in
-  let threads =
-    List.init !nclients
-      (fun k -> Thread.create (if String.equal !phase "open" then run_open else run_drive) k)
+  (* the drive mix, [depth] requests in flight through
+     Durable.request_many — one coalesced write per group, replies read
+     back in order (suffix-only resend on transport loss) *)
+  let run_pipeline k =
+    let c = conns.(k) in
+    let mine = List.filter (fun id -> not (Hashtbl.mem sampled id)) (owned k) in
+    for r = 1 to !reps do
+      let reqs =
+        List.concat_map
+          (fun id ->
+            let v = if r mod 2 = 0 then 12 else 14 in
+            [
+              FP.Set { session = id; name = drive_prop; value = Value.int v; decide = false };
+              FP.Candidates { session = id; max = Some 16 };
+              FP.Signature { session = id };
+              FP.Retract { session = id; name = drive_prop };
+            ])
+          mine
+      in
+      List.iter
+        (fun group ->
+          let r0 = Dur.retried c in
+          let results = Dur.request_many ~retry_failures:true c group in
+          List.iter
+            (fun res ->
+              match res with
+              | Ok (FP.Reply _) -> requests.(k) <- requests.(k) + 1
+              | Ok (FP.Failed (FP.Rejected, _)) when Dur.retried c > r0 ->
+                (* same at-least-once artifact as [run_drive] *)
+                requests.(k) <- requests.(k) + 1
+              | Ok (FP.Failed (code, msg)) ->
+                fail_err k "pipeline" (FP.error_code_label code ^ ": " ^ msg)
+              | Error msg -> fail_err k "pipeline" msg)
+            results)
+        (chunk_list !depth reqs)
+    done
   in
+  let t0 = Unix.gettimeofday () in
+  let body =
+    match !phase with
+    | "open" -> run_open
+    | "pipeline" -> run_pipeline
+    | _ -> run_drive
+  in
+  let threads = List.init !nclients (fun k -> Thread.create body k) in
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. t0 in
   let reconnects = Array.fold_left (fun a c -> a + Dur.reconnects c) 0 conns in
@@ -1966,8 +2128,8 @@ let fleet_run_drivers argvs =
 
 let fleet_json ?(smoke = false) () =
   header
-    (if smoke then "Fleet bench (smoke) -> BENCH_PR8.json"
-     else "Fleet bench -> BENCH_PR8.json");
+    (if smoke then "Fleet bench (smoke) -> BENCH_PR9.json"
+     else "Fleet bench -> BENCH_PR9.json");
   (* the kill leg makes EPIPE a working-as-intended event — it must
      come back as an error, not a process death *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -2058,14 +2220,15 @@ let fleet_json ?(smoke = false) () =
   let sample = fleet_sample ~shard ~victim:fleet_victim ~target:sample_target ids in
   printf "fleet: %d workers + router up, %d clients in %d driver processes, %d sessions\n%!"
     fleet_n_workers clients drivers sessions;
-  let driver_argvs phase =
+  let driver_argvs ?(depth = 1) phase =
     List.init drivers (fun d ->
         [|
           Sys.executable_name; "fleet-drive"; "--socket"; router_sock; "--workers";
           String.concat "," names; "--victim"; fleet_victim; "--sample";
           string_of_int sample_target; "--clients"; string_of_int per_driver; "--client-offset";
           string_of_int (d * per_driver); "--client-total"; string_of_int clients; "--sessions";
-          string_of_int sessions; "--reps"; string_of_int reps; "--phase"; phase;
+          string_of_int sessions; "--reps"; string_of_int reps; "--depth"; string_of_int depth;
+          "--phase"; phase;
         |])
   in
   let parse_driver (status, out) =
@@ -2141,6 +2304,36 @@ let fleet_json ?(smoke = false) () =
   printf "verify: %d sample sessions, %d mismatches; restarts %s\n%!" (List.length sample)
     mismatches
     (String.concat " " (List.map (fun (w, n) -> Printf.sprintf "%s=%d" w n) restarts));
+  (* leg 4: the pipelining sweep — the same drive mix with [depth]
+     requests in flight per client, run after recovery so no kill
+     window perturbs the depth comparison.  Depth 1 is lockstep; the
+     deepest point is the PR 9 headline the compare script gates. *)
+  let pipeline_rows =
+    List.map
+      (fun depth ->
+        let t = Unix.gettimeofday () in
+        let reports =
+          List.map parse_driver (fleet_run_drivers (driver_argvs ~depth "pipeline"))
+        in
+        let wall = Unix.gettimeofday () -. t in
+        let requests = sum "requests" reports in
+        let errs = sum "errors" reports in
+        let rps = if wall > 0.0 then float_of_int requests /. wall else 0.0 in
+        printf "pipeline depth %2d: %d req in %.2f s  (%.0f req/s)  errors %d\n%!" depth
+          requests wall rps errs;
+        (depth, requests, wall, rps, errs))
+      pipeline_depth_sweep
+  in
+  let best_depth, _, _, best_rps, _ =
+    List.fold_left
+      (fun ((_, _, _, best, _) as acc) ((_, _, _, rps, _) as row) ->
+        if rps > best then row else acc)
+      (List.hd pipeline_rows) pipeline_rows
+  in
+  let pipeline_errors = List.fold_left (fun acc (_, _, _, _, e) -> acc + e) 0 pipeline_rows in
+  printf "pipeline best: depth %d at %.0f req/s (%.2fx the lockstep drive leg)\n%!" best_depth
+    best_rps
+    (if drive_rps > 0.0 then best_rps /. drive_rps else 0.0);
   let fleet_stats =
     match Dur.request_line probe "{\"op\":\"stats\"}" with Ok s -> s | Error _ -> "null"
   in
@@ -2194,7 +2387,7 @@ let fleet_json ?(smoke = false) () =
   in
   reap_router 50;
   Fleet.Supervisor.stop sup;
-  let errors = open_errors + drive_errors in
+  let errors = open_errors + drive_errors + pipeline_errors in
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
@@ -2231,6 +2424,20 @@ let fleet_json ?(smoke = false) () =
         (if i < List.length shard_rows - 1 then "," else ""))
     shard_rows;
   add "  },\n";
+  add "  \"pipeline\": {\n";
+  add "    \"depths\": [\n";
+  List.iteri
+    (fun i (depth, requests, wall, rps, errs) ->
+      add
+        "      { \"depth\": %d, \"requests\": %d, \"errors\": %d, \"wall_s\": %.3f, \
+         \"requests_per_second\": %.1f }%s\n"
+        depth requests errs wall rps
+        (if i < List.length pipeline_rows - 1 then "," else ""))
+    pipeline_rows;
+  add "    ],\n";
+  add "    \"best\": { \"depth\": %d, \"requests_per_second\": %.1f },\n" best_depth best_rps;
+  add "    \"mix\": [\"set\", \"candidates max=16\", \"signature\", \"retract\"]\n";
+  add "  },\n";
   add "  \"client\": { \"reconnects\": %d, \"retried\": %d },\n" reconnects retried;
   add
     "  \"kill\": { \"victim\": \"%s\", \"after_s\": %.1f, \"victim_restarts\": %d, \
@@ -2240,9 +2447,11 @@ let fleet_json ?(smoke = false) () =
     (String.concat ", " (List.map (fun (w, n) -> Printf.sprintf "\"%s\": %d" w n) restarts));
   add "  \"fleet_stats\": %s\n" fleet_stats;
   add "}\n";
-  write_bench "BENCH_PR8" buf;
-  printf "\nwrote BENCH_PR8.json (%.0f req/s over %d clients, %d sessions, %d shards)\n" drive_rps
-    clients sessions fleet_n_workers;
+  write_bench "BENCH_PR9" buf;
+  printf
+    "\nwrote BENCH_PR9.json (%.0f req/s lockstep, %.0f req/s at depth %d, over %d clients, %d \
+     sessions, %d shards)\n"
+    drive_rps best_rps best_depth clients sessions fleet_n_workers;
   rm_rf dir;
   if errors > 0 then begin
     Printf.eprintf "fleet bench: %d client-visible failures (want structured retryable only)\n"
@@ -2646,7 +2855,8 @@ let () =
   | _ :: "sweep" :: rest when List.mem "--json" rest ->
     sweep_json ~smoke:(List.mem "--smoke" rest) ()
   (* [fleet --json [--smoke]]: the sharded-fleet bench (router + 4
-     worker processes, SIGKILL mid-drive), written to BENCH_PR8.json *)
+     worker processes, SIGKILL mid-drive, pipeline depth sweep),
+     written to BENCH_PR9.json *)
   | _ :: "fleet" :: rest when List.mem "--json" rest ->
     fleet_json ~smoke:(List.mem "--smoke" rest) ()
   (* hidden: one fleet worker process (execed by the bench's own

@@ -875,13 +875,24 @@ let client_cmd =
              is starting, then fails fast with a distinct deadline_exceeded error).  \
              Without it, a single connection attempt is made.")
   in
-  let run socket deadline requests =
+  let batch =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Assemble every request line into one batch op against their common session \
+             and send it as a single request: the server executes the array under one \
+             session-lock hold and one journal group-commit, and the reply carries the \
+             ordered per-request results.  All lines must be session-scoped ops against \
+             the same session.")
+  in
+  let run socket deadline batch requests =
     (* a server dying mid-request should report an error, not kill the
        client with an unhandled SIGPIPE *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let connection =
       match deadline with
-      | None -> Ds_serve.Client.connect ~socket
+      | None -> Ds_serve.Client.connect ~socket ()
       | Some d -> Ds_serve.Client.connect_retry ~deadline:d ~socket ()
     in
     match connection with
@@ -898,24 +909,57 @@ let client_cmd =
           Printf.eprintf "error: %s\n" msg;
           false
       in
-      let ok =
-        if requests <> [] then List.fold_left send true requests
+      let lines =
+        if requests <> [] then requests
         else
-          let rec go ok =
+          let rec go acc =
             match In_channel.input_line stdin with
-            | None -> ok
-            | Some line when String.equal (String.trim line) "" -> go ok
-            | Some line -> go (send ok line)
+            | None -> List.rev acc
+            | Some line when String.equal (String.trim line) "" -> go acc
+            | Some line -> go (line :: acc)
           in
-          go true
+          go []
+      in
+      let ok =
+        if batch then begin
+          let parsed =
+            List.fold_left
+              (fun acc line ->
+                match acc with
+                | Error _ as e -> e
+                | Ok reqs -> (
+                  match Ds_serve.Protocol.parse_request line with
+                  | Ok req -> Ok (req :: reqs)
+                  | Error (code, msg) ->
+                    Error
+                      (Printf.sprintf "%s: %s"
+                         (Ds_serve.Protocol.error_code_label code)
+                         msg)))
+              (Ok []) lines
+          in
+          match
+            Result.bind parsed (fun reqs ->
+                Ds_serve.Protocol.batch_of_requests (List.rev reqs))
+          with
+          | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            false
+          | Ok batch_req ->
+            send true
+              (Ds_serve.Jsonx.to_string (Ds_serve.Protocol.json_of_request batch_req))
+        end
+        else List.fold_left send true lines
       in
       Ds_serve.Client.close client;
       if ok then 0 else 1
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Send protocol request lines to a running dse service and print the replies.")
-    Term.(const run $ socket_arg $ deadline $ requests)
+       ~doc:
+         "Send protocol request lines to a running dse service and print the replies.  \
+          With $(b,--batch), the lines are sent as one atomic batch op (one \
+          session-lock hold, one journal group-commit on the server).")
+    Term.(const run $ socket_arg $ deadline $ batch $ requests)
 
 (* ----- top: live service telemetry --------------------------------------- *)
 

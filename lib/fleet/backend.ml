@@ -72,10 +72,18 @@ let round_trip ?wait_hist t line =
   | None -> Down "backend closed"
   | Some cached ->
     (match wait_hist with Some h -> Obs.observe h (Obs.now_us () -. t0) | None -> ());
-    let connect () = Client.connect ~socket:t.socket in
+    let connect () = Client.connect ~socket:t.socket () in
     let attempt conn =
       match Client.request_line conn line with
       | Ok reply -> Ok (conn, reply)
+      | Error msg when Client.response_too_large msg ->
+        (* the oversized reply was drained in order, so the connection
+           is still usable — answer for the worker with the structured
+           error instead of burning the slot's connection *)
+        Ok
+          ( conn,
+            Ds_serve.Protocol.print_response
+              (Ds_serve.Protocol.Failed (Ds_serve.Protocol.Response_too_large, msg)) )
       | Error msg ->
         Client.close conn;
         Error msg
@@ -105,11 +113,70 @@ let round_trip ?wait_hist t line =
       release t None;
       Down msg)
 
+(* Coalesced group send: k lines over one slot's connection in a
+   single flush, k replies read back in order.  The retry-once
+   discipline mirrors [round_trip]: a whole-group loss on the cached
+   connection (zero replies arrived — the stale-pooled-connection
+   shape) is retried on one fresh connection; once any reply has been
+   read the group is partially executed upstream, so the failed tail
+   maps to [Down] rather than being blindly re-sent. *)
+let round_trip_many ?wait_hist t lines =
+  match lines with
+  | [] -> []
+  | _ -> (
+    let t0 = Obs.now_us () in
+    match acquire t with
+    | None -> List.map (fun _ -> Down "backend closed") lines
+    | Some cached ->
+      (match wait_hist with Some h -> Obs.observe h (Obs.now_us () -. t0) | None -> ());
+      let connect () = Client.connect ~socket:t.socket () in
+      let answered = function
+        | Ok _ -> true
+        | Error msg -> Client.response_too_large msg
+      in
+      let to_outcome = function
+        | Ok reply -> Reply reply
+        | Error msg when Client.response_too_large msg ->
+          Reply
+            (Ds_serve.Protocol.print_response
+               (Ds_serve.Protocol.Failed (Ds_serve.Protocol.Response_too_large, msg)))
+        | Error msg -> Down msg
+      in
+      let attempt conn =
+        let rs = Client.pipeline conn lines in
+        if List.for_all answered rs then `Done (conn, rs)
+        else begin
+          Client.close conn;
+          if List.exists answered rs then `Partial rs else `Lost rs
+        end
+      in
+      let finish conn_opt rs =
+        release t conn_opt;
+        List.map to_outcome rs
+      in
+      let fresh () =
+        match connect () with
+        | Error msg ->
+          release t None;
+          List.map (fun _ -> Down msg) lines
+        | Ok conn -> (
+          match attempt conn with
+          | `Done (conn, rs) -> finish (Some conn) rs
+          | `Partial rs | `Lost rs -> finish None rs)
+      in
+      (match cached with
+      | Some conn -> (
+        match attempt conn with
+        | `Done (conn, rs) -> finish (Some conn) rs
+        | `Partial rs -> finish None rs
+        | `Lost _ -> fresh ())
+      | None -> fresh ()))
+
 let healthz_line =
   Ds_serve.Jsonx.to_string (Ds_serve.Protocol.json_of_request Ds_serve.Protocol.Healthz)
 
 let probe ?(timeout = 1.0) t =
-  match Client.connect ~socket:t.socket with
+  match Client.connect ~socket:t.socket () with
   | Error msg -> Error msg
   | Ok conn ->
     let fd = Client.fd conn in

@@ -42,6 +42,15 @@ val round_trip : ?wait_hist:Ds_obs.Obs.histogram -> t -> string -> outcome
     at-most-once ambiguity the protocol's [session_unavailable] code
     communicates to clients. *)
 
+val round_trip_many : ?wait_hist:Ds_obs.Obs.histogram -> t -> string list -> outcome list
+(** Coalesced group send over {e one} slot: every line goes out in a
+    single flush, and the replies come back in request order — result
+    [k] answers line [k].  A whole-group transport loss on a cached
+    connection (zero replies read) is retried once on a fresh
+    connection, exactly as {!round_trip}; once any reply has arrived
+    the group has partially executed upstream and the unanswered tail
+    is reported {!outcome.Down} instead of being re-sent. *)
+
 val probe : ?timeout:float -> t -> (string, string) result
 (** Health probe outside the slot pool: its own throwaway connection,
     a [healthz] line, and a kernel-side receive timeout (default 1s) —

@@ -10,6 +10,8 @@ type t = {
   backends : (string * Backend.t) list;  (* ring name -> its slot pool *)
   registry : Obs.registry;
   max_request : int;
+  pipeline_depth : int;
+  thin_parse : bool;
   idle_timeout : float option;
   stop : bool Atomic.t;
   lock : Mutex.t;
@@ -26,6 +28,7 @@ type t = {
   c_fanouts : Obs.counter;
   c_minted : Obs.counter;
   c_idle_reaped : Obs.counter;
+  c_passthrough : Obs.counter;
 }
 
 let env_idle_timeout () =
@@ -36,7 +39,16 @@ let env_idle_timeout () =
     | _ -> None)
   | None -> None
 
-let create ~socket ~workers ?(slots = 8) ?(max_request = 1024 * 1024) ?idle_timeout () =
+let env_pipeline_depth () =
+  match Sys.getenv_opt "DSE_PIPELINE_DEPTH" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d -> Some (Stdlib.min 1024 (Stdlib.max 1 d))
+    | None -> None)
+  | None -> None
+
+let create ~socket ~workers ?(slots = 8) ?(max_request = 1024 * 1024) ?pipeline_depth
+    ?(thin_parse = true) ?idle_timeout () =
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
@@ -44,6 +56,11 @@ let create ~socket ~workers ?(slots = 8) ?(max_request = 1024 * 1024) ?idle_time
   let registry = Obs.create_registry () in
   let idle_timeout =
     match idle_timeout with Some _ as t -> t | None -> env_idle_timeout ()
+  in
+  let pipeline_depth =
+    match pipeline_depth with
+    | Some d -> Stdlib.min 1024 (Stdlib.max 1 d)
+    | None -> ( match env_pipeline_depth () with Some d -> d | None -> 16)
   in
   {
     socket;
@@ -53,6 +70,8 @@ let create ~socket ~workers ?(slots = 8) ?(max_request = 1024 * 1024) ?idle_time
       List.map (fun (name, sock) -> (name, Backend.create ~slots ~name ~socket:sock ())) workers;
     registry;
     max_request = Stdlib.max 1024 max_request;
+    pipeline_depth;
+    thin_parse;
     idle_timeout;
     stop = Atomic.make false;
     lock = Mutex.create ();
@@ -69,6 +88,7 @@ let create ~socket ~workers ?(slots = 8) ?(max_request = 1024 * 1024) ?idle_time
     c_fanouts = Obs.counter registry "dse_router_fanouts_total";
     c_minted = Obs.counter registry "dse_router_sessions_minted_total";
     c_idle_reaped = Obs.counter registry "dse_serve_idle_reaped_total";
+    c_passthrough = Obs.counter registry "dse_router_passthrough_total";
   }
 
 let registry t = t.registry
@@ -92,18 +112,120 @@ let connections_served t =
 
 let fail code msg = P.print_response (P.Failed (code, msg))
 
+let no_workers_reply = "fleet has no workers"
+
+(* one formatter for both the full-parse and pass-through paths, so a
+   thin-routed request fails with byte-identical structure *)
+let unavailable t name why =
+  Obs.incr t.c_unavailable;
+  fail P.Session_unavailable
+    (Printf.sprintf
+       "worker %s is unavailable (%s); the supervisor is restarting it — retry" name why)
+
 let forward t key line =
   match Ring.route t.ring key with
-  | None -> fail P.Server_error "fleet has no workers"
+  | None -> fail P.Server_error no_workers_reply
   | Some name -> (
     let backend = List.assoc name t.backends in
     match Backend.round_trip ~wait_hist:t.upstream_wait backend line with
     | Backend.Reply reply -> reply
-    | Backend.Down why ->
-      Obs.incr t.c_unavailable;
-      fail P.Session_unavailable
-        (Printf.sprintf
-           "worker %s is unavailable (%s); the supervisor is restarting it — retry" name why))
+    | Backend.Down why -> unavailable t name why)
+
+(* ------------------------------------------------------------------ *)
+(* Thin parse: the pass-through hot path.
+
+   Most routed traffic is a session-scoped op whose handling is
+   "forward the bytes verbatim to the session's shard" — building a
+   full JSON tree just to read two string fields is the router's
+   single biggest per-request cost.  [thin_route] scans the raw line
+   for the top-level ["op"] and ["session"] string members (depth-1
+   brace/bracket tracking, escape-free strings only) and answers
+   [Fast session] when the op is one the full dispatch would forward
+   verbatim anyway.  Anything unusual — escapes, duplicate keys,
+   non-string op/session, trailing garbage, ops with router-side
+   semantics (open-mint, branch, trace, fan-outs) — answers [Slow],
+   and the full parse takes over.  [Slow] is always correct: the fast
+   path is an optimization, never a semantic fork. *)
+
+type thin = Fast of string | Slow
+
+(* ops whose full-dispatch handling is exactly [forward t session line] *)
+let fast_op = function
+  | "set" | "decide" | "default" | "retract" | "annotate" | "candidates" | "ranges"
+  | "issues" | "preview" | "script" | "health" | "signature" | "report" | "compact"
+  | "close" | "batch" | "open" ->
+    (* "open" with an explicit session forwards verbatim too; without
+       one it never reaches Fast (no session field -> Slow -> mint) *)
+    true
+  | _ -> false
+
+exception Bail
+
+let thin_route line =
+  let n = String.length line in
+  let op = ref None and session = ref None in
+  (* contents + index past the closing quote; Bail on any escape *)
+  let read_string i =
+    let j = ref (i + 1) in
+    let continue = ref true in
+    while !continue do
+      if !j >= n then raise Bail;
+      (match String.unsafe_get line !j with
+      | '"' -> continue := false
+      | '\\' -> raise Bail
+      | _ -> incr j)
+    done;
+    (String.sub line (i + 1) (!j - i - 1), !j + 1)
+  in
+  let rec skip_ws i =
+    if i < n && (match String.unsafe_get line i with ' ' | '\t' | '\r' -> true | _ -> false)
+    then skip_ws (i + 1)
+    else i
+  in
+  try
+    let start = skip_ws 0 in
+    if start >= n || line.[start] <> '{' then Slow
+    else begin
+      let depth = ref 1 in
+      let i = ref (start + 1) in
+      while !depth > 0 do
+        if !i >= n then raise Bail;
+        match String.unsafe_get line !i with
+        | '{' | '[' ->
+          incr depth;
+          incr i
+        | '}' | ']' ->
+          decr depth;
+          incr i
+        | '"' ->
+          let s, j = read_string !i in
+          let j' = skip_ws j in
+          if !depth = 1 && j' < n && line.[j'] = ':' then begin
+            let k = skip_ws (j' + 1) in
+            if k < n && line.[k] = '"' then begin
+              let v, m = read_string k in
+              (match s with
+              | "op" -> if !op = None then op := Some v else raise Bail
+              | "session" -> if !session = None then session := Some v else raise Bail
+              | _ -> ());
+              i := m
+            end
+            else begin
+              (* non-string value; op/session must be strings *)
+              if String.equal s "op" || String.equal s "session" then raise Bail;
+              i := k
+            end
+          end
+          else i := j
+        | _ -> incr i
+      done;
+      if skip_ws !i <> n then Slow
+      else
+        match (!op, !session) with
+        | Some op, Some s when fast_op op -> Fast s
+        | _ -> Slow
+    end
+  with Bail -> Slow
 
 (* Which single worker must see this request; [None] = not session-
    addressed (fan-out or router-answered). *)
@@ -124,7 +246,8 @@ let session_key = function
   | P.Report { session; _ }
   | P.Branch { session; _ }
   | P.Compact { session }
-  | P.Close { session } ->
+  | P.Close { session }
+  | P.Batch { session; _ } ->
     Some session
   | P.Open { session = None; _ } | P.Trace { spans = true; _ } | P.Stats | P.Metrics _
   | P.Healthz ->
@@ -526,34 +649,112 @@ let handle_line t line =
 
 let try_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* One connection, pipelined: block for the first request line, then
+   drain whatever else has already arrived (up to [pipeline_depth]
+   lines) without blocking, answer the whole group, and emit every
+   reply in arrival order through one coalesced flush.  Thin-routed
+   lines bound for the same shard ride a single
+   [Backend.round_trip_many] — one slot, one upstream flush — so a
+   deep client pipeline costs one syscall round per shard per drain
+   instead of one per request. *)
 let serve_connection t fd =
   let reader = Lineio.create ?idle_timeout:t.idle_timeout fd in
-  let oc = Unix.out_channel_of_descr fd in
+  let out = Buffer.create 4096 in
+  let overflow_reply () =
+    fail P.Request_too_large (Printf.sprintf "request line exceeds %d bytes" t.max_request)
+  in
+  (* answer one drained group; items arrive oldest-first *)
+  let handle_group items =
+    let items = Array.of_list items in
+    let n = Array.length items in
+    let replies = Array.make n None in
+    (* [handle_line] times the full-parse path itself; thin-routed
+       lines are timed here, over the whole drained group *)
+    let thin_timed = Array.make n false in
+    let t0 = Obs.now_us () in
+    (* per-shard coalescing buckets, each kept in arrival order *)
+    let buckets : (string, (int * string) list ref) Hashtbl.t = Hashtbl.create 4 in
+    let bucket_order = ref [] in
+    Array.iteri
+      (fun idx item ->
+        match item with
+        | `Over -> replies.(idx) <- Some (overflow_reply ())
+        | `Line raw -> (
+          let line = String.trim raw in
+          if String.equal line "" then ()
+          else if Atomic.get t.stop then
+            replies.(idx) <- Some (fail P.Shutting_down "router is shutting down")
+          else
+            match if t.thin_parse then thin_route line else Slow with
+            | Slow -> replies.(idx) <- Some (handle_line t line)
+            | Fast session -> (
+              Obs.incr t.c_requests;
+              Obs.incr t.c_passthrough;
+              thin_timed.(idx) <- true;
+              match Ring.route t.ring session with
+              | None -> replies.(idx) <- Some (fail P.Server_error no_workers_reply)
+              | Some name ->
+                (match Hashtbl.find_opt buckets name with
+                | Some cell -> cell := (idx, line) :: !cell
+                | None ->
+                  Hashtbl.add buckets name (ref [ (idx, line) ]);
+                  bucket_order := name :: !bucket_order))))
+      items;
+    List.iter
+      (fun name ->
+        let entries = List.rev !(Hashtbl.find buckets name) in
+        let backend = List.assoc name t.backends in
+        let outcomes =
+          Backend.round_trip_many ~wait_hist:t.upstream_wait backend (List.map snd entries)
+        in
+        List.iter2
+          (fun (idx, _) outcome ->
+            replies.(idx) <-
+              Some
+                (match outcome with
+                | Backend.Reply reply -> reply
+                | Backend.Down why -> unavailable t name why))
+          entries outcomes)
+      (List.rev !bucket_order);
+    let dt = Obs.now_us () -. t0 in
+    Array.iteri
+      (fun idx r ->
+        match r with
+        | Some reply ->
+          if thin_timed.(idx) then Obs.observe t.request_hist dt;
+          Buffer.add_string out reply;
+          Buffer.add_char out '\n'
+        | None -> ())
+      replies;
+    if Buffer.length out > 0 then Lineio.flush_buffer fd out
+  in
   (try
      let rec loop () =
        match Lineio.read_line ~limit:t.max_request reader with
        | Lineio.Eof -> ()
        | Lineio.Idle -> Obs.incr t.c_idle_reaped
-       | Lineio.Overflow ->
-         output_string oc
-           (fail P.Request_too_large
-              (Printf.sprintf "request line exceeds %d bytes" t.max_request));
-         output_char oc '\n';
-         flush oc;
-         if not (Atomic.get t.stop) then loop ()
-       | Lineio.Line line ->
-         let line = String.trim line in
-         if not (String.equal line "") then begin
-           let reply =
-             if Atomic.get t.stop then
-               fail P.Shutting_down "router is shutting down"
-             else handle_line t line
-           in
-           output_string oc reply;
-           output_char oc '\n';
-           flush oc
-         end;
-         if not (Atomic.get t.stop) then loop ()
+       | (Lineio.Overflow | Lineio.Line _) as first ->
+         let to_item = function
+           | Lineio.Line l -> `Line l
+           | _ -> `Over
+         in
+         let items = ref [ to_item first ] in
+         let count = ref 1 in
+         let after = ref `More in
+         while !after = `More && !count < t.pipeline_depth do
+           match Lineio.read_line_ready ~limit:t.max_request reader with
+           | None -> after := `Drained
+           | Some Lineio.Eof -> after := `Eof
+           | Some Lineio.Idle -> after := `Idle
+           | Some ((Lineio.Overflow | Lineio.Line _) as r) ->
+             items := to_item r :: !items;
+             incr count
+         done;
+         handle_group (List.rev !items);
+         (match !after with
+         | `Eof -> ()
+         | `Idle -> Obs.incr t.c_idle_reaped
+         | `More | `Drained -> if not (Atomic.get t.stop) then loop ())
      in
      loop ()
    with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());

@@ -32,6 +32,19 @@
       shard.  Workers own everything else: stores, journals, layers,
       per-request semantics.
 
+    The hot path is {e pass-through}: a thin parse scans the raw line
+    for the top-level ["op"]/["session"] string fields and, when the op
+    is one the full dispatch would forward verbatim anyway, skips the
+    JSON tree entirely — the bytes go to the shard untouched.  Anything
+    unusual (escapes, missing fields, ops with router-side semantics)
+    falls back to the full parse, so the fast path is an optimization,
+    never a semantic fork ([dse_router_passthrough_total] counts the
+    hits).  Each connection is pipelined: after blocking for the first
+    request line the router drains whatever else has arrived (up to the
+    pipeline depth), coalesces same-shard forwards into one upstream
+    flush ({!Backend.round_trip_many}), and writes every reply — in
+    arrival order — through a single downstream flush.
+
     The router records its own registry (request latency, upstream
     slot wait, unavailable counts) and injects it into merged [metrics]
     replies as the ["router"] registry. *)
@@ -43,18 +56,25 @@ val create :
   workers:(string * string) list ->
   ?slots:int ->
   ?max_request:int ->
+  ?pipeline_depth:int ->
+  ?thin_parse:bool ->
   ?idle_timeout:float ->
   unit ->
   t
 (** [workers]: (ring name, socket path) per shard.  [slots] (default
     8) bounds in-flight requests per worker.  [max_request] and
     [idle_timeout] mirror {!Ds_serve.Server.create} (the idle default
-    also honours [DSE_IDLE_TIMEOUT]).
+    also honours [DSE_IDLE_TIMEOUT]).  [pipeline_depth] (default 16,
+    clamped to 1..1024, env [DSE_PIPELINE_DEPTH]) bounds how many
+    already-arrived request lines one drain answers together;
+    [thin_parse] (default [true]) enables the pass-through fast path —
+    the differential test turns it off to compare both paths.
     @raise Unix.Unix_error when [socket] cannot be bound. *)
 
 val handle_line : t -> string -> string
-(** Route one request line to one reply line — the testable core;
-    [serve] is this in a per-connection loop. *)
+(** Route one request line to one reply line — the testable core (and
+    the full-parse slow path); [serve] wraps it in the pipelined
+    per-connection loop. *)
 
 val registry : t -> Ds_obs.Obs.registry
 

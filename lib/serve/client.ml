@@ -1,6 +1,15 @@
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+(* One connection: a bounded line reader over the raw fd (the
+   symmetric twin of the server's [max_request] bound — a misbehaving
+   peer cannot feed the client an unbounded reply line) and a reusable
+   output buffer so pipelined sends coalesce into one write. *)
+type t = { fd : Unix.file_descr; reader : Lineio.t; out : Buffer.t; max_response : int }
 
-let connect ~socket =
+(* Replies are legitimately bigger than requests (candidate pages,
+   rendered reports, merged fleet metrics), so the symmetric bound
+   defaults wider than the server's 1 MiB request bound. *)
+let default_max_response = 8 * 1024 * 1024
+
+let connect ?(max_response = default_max_response) ~socket () =
   match
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     try
@@ -10,7 +19,14 @@ let connect ~socket =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
   with
-  | Ok fd -> Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | Ok fd ->
+    Ok
+      {
+        fd;
+        reader = Lineio.create fd;
+        out = Buffer.create 256;
+        max_response = Stdlib.max 1024 max_response;
+      }
   | Error _ as e -> e
   | exception Unix.Unix_error (err, _, _) ->
     Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err))
@@ -37,7 +53,14 @@ let deadline_exceeded msg =
   let n = String.length deadline_prefix in
   String.length msg >= n && String.equal (String.sub msg 0 n) deadline_prefix
 
-let connect_retry ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ?deadline ~socket () =
+let too_large_prefix = "response_too_large: "
+
+let response_too_large msg =
+  let n = String.length too_large_prefix in
+  String.length msg >= n && String.equal (String.sub msg 0 n) too_large_prefix
+
+let connect_retry ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ?deadline ?max_response
+    ~socket () =
   let t0 = Unix.gettimeofday () in
   let budget_left () =
     match deadline with
@@ -51,12 +74,12 @@ let connect_retry ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ?deadline ~socket
   in
   let rec go = function
     | [] -> (
-      match connect ~socket with
+      match connect ?max_response ~socket () with
       | Ok _ as ok -> ok
       | Error msg when budget_left () < 0.0 -> give_up msg
       | Error _ as e -> e)
     | delay :: rest -> (
-      match connect ~socket with
+      match connect ?max_response ~socket () with
       | Ok _ as ok -> ok
       | Error msg ->
         (* the deadline is a total wall budget: never sleep past it,
@@ -72,29 +95,77 @@ let connect_retry ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ?deadline ~socket
   (* the schedule has attempts-1 gaps: no sleep after the last probe *)
   go (backoff_schedule ~base ~cap ~attempts:(Stdlib.max 1 attempts - 1) ())
 
+(* One bounded reply line.  An oversized line is drained through its
+   newline by the reader, so the connection stays ordered and usable —
+   the error is deterministic and final, never a reason to resend. *)
+let read_reply t =
+  match Lineio.read_line ~limit:t.max_response t.reader with
+  | Lineio.Line reply -> Ok reply
+  | Lineio.Overflow ->
+    Error (Printf.sprintf "%sreply line exceeds %d bytes" too_large_prefix t.max_response)
+  | Lineio.Eof -> Error "connection closed by server"
+  | Lineio.Idle -> Error "timed out waiting for a reply"
+
+let send_lines t lines =
+  Buffer.clear t.out;
+  List.iter
+    (fun line ->
+      Buffer.add_string t.out line;
+      Buffer.add_char t.out '\n')
+    lines;
+  Lineio.flush_buffer t.fd t.out
+
 let request_line t line =
   try
-    output_string t.oc line;
-    output_char t.oc '\n';
-    flush t.oc;
-    match In_channel.input_line t.ic with
-    | Some reply -> Ok reply
-    | None -> Error "connection closed by server"
+    send_lines t [ line ];
+    read_reply t
   with
   | Sys_error msg -> Error msg
   | Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
 
+(* N requests in flight on one connection: one coalesced write (a
+   single flush carries every line), then the N replies in request
+   order — the FIFO guarantee the server's pipelined reader preserves.
+   A [response_too_large] entry is {e answered} (its bytes were
+   drained), so reading continues; a transport failure at reply [k]
+   marks [k..] failed and stops. *)
+let pipeline t lines =
+  let n = List.length lines in
+  match
+    try
+      send_lines t lines;
+      Ok ()
+    with
+    | Sys_error msg -> Error msg
+    | Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  with
+  | Error msg -> List.init n (fun _ -> Error msg)
+  | Ok () ->
+    let rec read acc k =
+      if k >= n then List.rev acc
+      else
+        match try read_reply t with
+          | Sys_error msg -> Error msg
+          | Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+        with
+        | Ok _ as ok -> read (ok :: acc) (k + 1)
+        | Error msg when response_too_large msg -> read (Error msg :: acc) (k + 1)
+        | Error msg ->
+          (* transport loss: every later reply is gone too *)
+          List.rev_append acc (List.init (n - k) (fun _ -> Error msg))
+    in
+    read [] 0
+
 let request t req =
   match request_line t (Jsonx.to_string (Protocol.json_of_request req)) with
-  | Error _ as e -> e
   | Ok reply -> Protocol.response_of_string reply
+  | Error msg when response_too_large msg -> Ok (Protocol.Failed (Protocol.Response_too_large, msg))
+  | Error _ as e -> e
 
-let close t =
-  close_out_noerr t.oc;
-  try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let with_client ~socket f =
-  match connect ~socket with
+  match connect ~socket () with
   | Error _ as e -> e
   | Ok t ->
     let result = try Ok (f t) with e -> Error (Printexc.to_string e) in
@@ -113,18 +184,20 @@ module Durable = struct
     base : float;
     cap : float;
     deadline : float option;
+    max_response : int option;
     mutable conn : t option;
     mutable ever_connected : bool;
     st : stats;
   }
 
-  let create ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ?deadline ~socket () =
+  let create ?(attempts = 50) ?(base = 0.02) ?(cap = 0.5) ?deadline ?max_response ~socket () =
     {
       socket;
       attempts;
       base;
       cap;
       deadline;
+      max_response;
       conn = None;
       ever_connected = false;
       st = { requests = 0; reconnects = 0; retried = 0 };
@@ -142,8 +215,8 @@ module Durable = struct
     | Some c -> Ok c
     | None -> (
       match
-        connect_retry ~attempts:d.attempts ~base:d.base ~cap:d.cap ?deadline ~socket:d.socket
-          ()
+        connect_retry ~attempts:d.attempts ~base:d.base ~cap:d.cap ?deadline
+          ?max_response:d.max_response ~socket:d.socket ()
       with
       | Ok c ->
         if d.ever_connected then d.st.reconnects <- d.st.reconnects + 1;
@@ -161,7 +234,8 @@ module Durable = struct
      tries, all under the one [deadline] wall budget.  The protocol
      guarantees one reply per request, so a re-send after a lost reply
      re-executes the request — callers retrying mutations get the
-     layer's idempotent semantics (set to the same value is a no-op). *)
+     layer's idempotent semantics (set to the same value is a no-op).
+     A [response_too_large] reply is deterministic — never resent. *)
   let request_line d line =
     let t0 = Unix.gettimeofday () in
     let budget_left () =
@@ -180,6 +254,7 @@ module Durable = struct
       | Ok c -> (
         match request_line c line with
         | Ok _ as ok -> ok
+        | Error msg when response_too_large msg -> Error msg
         | Error msg -> (
           drop d;
           match delays with
@@ -209,6 +284,8 @@ module Durable = struct
     in
     let rec go delays =
       match request_line d line with
+      | Error msg when response_too_large msg ->
+        Ok (Protocol.Failed (Protocol.Response_too_large, msg))
       | Error _ as e -> e
       | Ok reply -> (
         match Protocol.response_of_string reply with
@@ -227,6 +304,106 @@ module Durable = struct
         | r -> r)
     in
     go (backoff_schedule ~base:d.base ~cap:d.cap ~attempts:d.attempts ())
+
+  (* Pipelined group send with suffix-only resend.  FIFO ordering means
+     a transport failure after [k] replies proves requests [0..k-1]
+     executed and answered — only the unanswered suffix is re-sent on
+     the fresh connection, so a mid-group worker restart costs one
+     reconnect, not a full-group replay.  (The first unanswered request
+     itself may have executed before the crash — the same at-least-once
+     caveat as single-request resend.) *)
+  let pipeline_lines d lines =
+    let lines = Array.of_list lines in
+    let n = Array.length lines in
+    let results = Array.make n (Error "never sent") in
+    let answered = ref 0 in
+    d.st.requests <- d.st.requests + n;
+    let t0 = Unix.gettimeofday () in
+    let budget_left () =
+      match d.deadline with
+      | None -> infinity
+      | Some dl -> dl -. (Unix.gettimeofday () -. t0)
+    in
+    let rec go delays =
+      if !answered >= n then ()
+      else begin
+        let remaining = budget_left () in
+        let deadline =
+          match d.deadline with None -> None | Some _ -> Some (Float.max 0.0 remaining)
+        in
+        match ensure_conn ?deadline d with
+        | Error msg ->
+          for i = !answered to n - 1 do
+            results.(i) <- Error msg
+          done;
+          answered := n
+        | Ok c ->
+          let suffix = Array.to_list (Array.sub lines !answered (n - !answered)) in
+          let rs = pipeline c suffix in
+          let lost = ref false in
+          List.iter
+            (fun r ->
+              if not !lost then
+                match r with
+                | Ok _ ->
+                  results.(!answered) <- r;
+                  incr answered
+                | Error msg when response_too_large msg ->
+                  (* answered: the oversized reply was drained in order *)
+                  results.(!answered) <- r;
+                  incr answered
+                | Error _ -> lost := true)
+            rs;
+          if !answered < n then begin
+            drop d;
+            match delays with
+            | [] ->
+              let msg =
+                match List.find_opt Result.is_error rs with
+                | Some (Error m) -> m
+                | _ -> "connection lost"
+              in
+              for i = !answered to n - 1 do
+                results.(i) <- Error msg
+              done;
+              answered := n
+            | delay :: rest ->
+              let left = budget_left () in
+              if left <= 0.0 then begin
+                for i = !answered to n - 1 do
+                  results.(i) <- Error exhausted
+                done;
+                answered := n
+              end
+              else begin
+                Thread.delay (Float.min delay left);
+                d.st.retried <- d.st.retried + 1;
+                go rest
+              end
+          end
+      end
+    in
+    go (backoff_schedule ~base:d.base ~cap:d.cap ~attempts:d.attempts ());
+    Array.to_list results
+
+  let request_many ?(retry_failures = false) d reqs =
+    let lines = List.map (fun r -> Jsonx.to_string (Protocol.json_of_request r)) reqs in
+    let raw = pipeline_lines d lines in
+    List.map2
+      (fun req r ->
+        match r with
+        | Error msg when response_too_large msg ->
+          Ok (Protocol.Failed (Protocol.Response_too_large, msg))
+        | Error _ as e -> e
+        | Ok reply -> (
+          match Protocol.response_of_string reply with
+          | Ok (Protocol.Failed (code, _)) when retry_failures && Protocol.retryable code ->
+            (* a retryable failure inside a pipelined group: settle it
+               individually (the group's FIFO slot is already consumed,
+               so a lone re-send preserves every other result) *)
+            request ~retry_failures d req
+          | r -> r))
+      reqs raw
 
   let requests d = d.st.requests
   let reconnects d = d.st.reconnects

@@ -2,13 +2,25 @@
 
     One connection, synchronous request/reply — exactly the discipline
     the protocol guarantees (one reply line per request line, in
-    order).  Used by [dse client], the service tests and the bench
-    harness; a client in any other language is a socket plus a JSON
-    codec. *)
+    order).  {!pipeline} exploits the same discipline the other way:
+    N requests written in one flush, N replies read back in order.
+    Used by [dse client], the service tests and the bench harness; a
+    client in any other language is a socket plus a JSON codec.
+
+    Reply reads are {e bounded} ([max_response], the symmetric twin of
+    the server's [max_request]): a misbehaving peer feeding the client
+    an endless line produces a structured [response_too_large] error —
+    the oversized line is drained through its newline, so the
+    connection stays ordered and usable — instead of unbounded
+    allocation. *)
 
 type t
 
-val connect : socket:string -> (t, string) result
+val connect : ?max_response:int -> socket:string -> unit -> (t, string) result
+(** [max_response] bounds each reply line (default 8 MiB — wider than
+    the server's request bound because candidate pages, reports and
+    merged fleet metrics are legitimately bigger than any request;
+    floor 1024). *)
 
 val fd : t -> Unix.file_descr
 (** The underlying descriptor — for callers that tune socket options
@@ -27,6 +39,7 @@ val connect_retry :
   ?base:float ->
   ?cap:float ->
   ?deadline:float ->
+  ?max_response:int ->
   socket:string ->
   unit ->
   (t, string) result
@@ -45,13 +58,30 @@ val deadline_exceeded : string -> bool
 (** [true] exactly for errors produced by an exhausted
     [connect_retry ~deadline] budget. *)
 
+val response_too_large : string -> bool
+(** [true] exactly for errors produced by a reply line exceeding the
+    client's [max_response] bound.  Deterministic — re-sending the
+    request would produce the same oversized reply, so {!Durable}
+    never retries it. *)
+
 val request : t -> Protocol.request -> (Protocol.response, string) result
 (** Send one request, block for its reply.  Errors are transport-level
     (connection lost, malformed reply line); protocol-level failures
-    come back as [Ok (Failed _)]. *)
+    come back as [Ok (Failed _)] — including a locally-minted
+    [Response_too_large] when the reply exceeded [max_response]. *)
 
 val request_line : t -> string -> (string, string) result
-(** Raw variant: one already-encoded request line -> the reply line. *)
+(** Raw variant: one already-encoded request line -> the reply line.
+    An oversized reply is [Error] with a {!response_too_large}
+    message. *)
+
+val pipeline : t -> string list -> (string, string) result list
+(** N already-encoded request lines, one coalesced write (a single
+    flush carries all of them), then the N reply lines in request
+    order.  Result [k] corresponds to line [k].  A
+    [response_too_large] reply is consumed in order (later results are
+    unaffected); a transport failure at reply [k] fails results
+    [k..N-1]. *)
 
 val close : t -> unit
 
@@ -79,23 +109,37 @@ module Durable : sig
     ?base:float ->
     ?cap:float ->
     ?deadline:float ->
+    ?max_response:int ->
     socket:string ->
     unit ->
     t
   (** No I/O happens here; the first {!request} connects.  [attempts]/
       [base]/[cap] shape the per-request retry schedule, [deadline]
-      caps each request's total wall time (connect + sleeps + sends). *)
+      caps each request's total wall time (connect + sleeps + sends),
+      [max_response] bounds reply lines as in {!Client.connect}. *)
 
   val request :
     ?retry_failures:bool -> t -> Protocol.request -> (Protocol.response, string) result
   (** Like {!Client.request}, plus transparent reconnect-and-resend on
       transport failure.  [retry_failures] (default false) also
       re-sends when the reply is a structured {e retryable} failure
-      ({!Protocol.retryable}) — the fleet worker-crash window. *)
+      ({!Protocol.retryable}) — the fleet worker-crash window.  An
+      oversized reply comes back as [Ok (Failed (Response_too_large,
+      _))] and is never retried. *)
 
   val request_line : t -> string -> (string, string) result
   (** Raw variant of {!request} (no [retry_failures] — the caller owns
       reply decoding). *)
+
+  val request_many :
+    ?retry_failures:bool -> t -> Protocol.request list -> (Protocol.response, string) result list
+  (** Pipelined group send with {e suffix-only} resend: all requests go
+      out in one flush; on a mid-group transport failure, FIFO ordering
+      proves which prefix was answered, so only the unanswered suffix
+      is re-sent after reconnecting.  Result [k] corresponds to request
+      [k].  With [retry_failures], retryable structured failures inside
+      the group are settled by individual re-sends (preserving every
+      other slot's result). *)
 
   val requests : t -> int
   val reconnects : t -> int

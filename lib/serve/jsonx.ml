@@ -10,32 +10,50 @@ type t =
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 
+(* Escape table: one precomputed string per byte that needs escaping,
+   "" for bytes that pass through verbatim.  Indexing a flat array beats
+   a per-character match cascade and removes the [Printf.sprintf] from
+   the control-character path entirely. *)
+let escape_table =
+  Array.init 256 (fun i ->
+      match Char.chr i with
+      | '"' -> "\\\""
+      | '\\' -> "\\\\"
+      | '\n' -> "\\n"
+      | '\r' -> "\\r"
+      | '\t' -> "\\t"
+      | '\b' -> "\\b"
+      | '\012' -> "\\f"
+      | _ when i < 0x20 -> Printf.sprintf "\\u%04x" i
+      | _ -> "")
+
 let add_escaped buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\b' -> Buffer.add_string buf "\\b"
-      | '\012' -> Buffer.add_string buf "\\f"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  (* blit unescaped runs whole instead of char-by-char: most protocol
+     strings (session ids, property names, signatures) contain no
+     escapes at all, so this is one [add_substring] for the run *)
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    let esc = Array.unsafe_get escape_table (Char.code (String.unsafe_get s i)) in
+    if String.length esc > 0 then begin
+      if i > !start then Buffer.add_substring buf s !start (i - !start);
+      Buffer.add_string buf esc;
+      start := i + 1
+    end
+  done;
+  if n > !start then Buffer.add_substring buf s !start (n - !start);
   Buffer.add_char buf '"'
 
 let float_literal f =
   if not (Float.is_finite f) then "null"
   else
     (* shortest representation that survives a round-trip and is valid
-       JSON (a bare "12" would re-read as Int, so force a marker) *)
-    let s = Printf.sprintf "%.17g" f in
-    let shorter = Printf.sprintf "%g" f in
-    let s = if float_of_string shorter = f then shorter else s in
+       JSON (a bare "12" would re-read as Int, so force a marker);
+       format the short form first and only pay for %.17g when the
+       round-trip fails *)
+    let s = Printf.sprintf "%g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
     if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
 
 let rec add buf = function

@@ -24,6 +24,11 @@ val to_string : t -> string
 (** Compact single-line rendering.  Non-finite floats render as [null]
     (JSON has no spelling for them). *)
 
+val add : Buffer.t -> t -> unit
+(** [to_string] into a caller-owned buffer — the hot-path form: a
+    connection can reuse one buffer across responses instead of
+    allocating a fresh one per line. *)
+
 val of_string : string -> (t, string) result
 (** Parse one value; trailing non-whitespace is an error.  Error
     messages carry a character offset. *)

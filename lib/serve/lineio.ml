@@ -34,11 +34,22 @@ let rec find_nl b i stop =
   else if Char.equal (Bytes.get b i) '\n' then Some i
   else find_nl b (i + 1) stop
 
-let read_line ~limit t =
+(* [block:false] turns the reader into a drain probe: it consumes
+   whatever is already buffered plus whatever a zero-timeout poll says
+   the kernel holds, and answers [None] the moment another byte would
+   require waiting.  The pipelined server/router use it to coalesce the
+   burst a client wrote in one flush without stalling on the next. *)
+let read_line_gen ~block ~limit t =
   let take_line () =
     let s = Buffer.contents t.line in
     Buffer.clear t.line;
-    Line s
+    Some (Line s)
+  in
+  let readable_now () =
+    match Unix.select [ t.fd ] [] [] 0.0 with
+    | [], _, _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
   in
   let rec go () =
     if t.start < t.stop then begin
@@ -49,7 +60,7 @@ let read_line ~limit t =
         if t.dropping || Buffer.length t.line > limit then begin
           t.dropping <- false;
           Buffer.clear t.line;
-          Overflow
+          Some Overflow
         end
         else take_line ()
       | None ->
@@ -64,7 +75,8 @@ let read_line ~limit t =
     else if t.seen_eof then
       (* peer closed mid-line: hand the final unterminated line over
          once, then report Eof — same contract as the channel reader *)
-      if Buffer.length t.line > 0 && not t.dropping then take_line () else Eof
+      if Buffer.length t.line > 0 && not t.dropping then take_line () else Some Eof
+    else if (not block) && not (readable_now ()) then None
     else begin
       match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
       | 0 ->
@@ -74,7 +86,8 @@ let read_line ~limit t =
         t.start <- 0;
         t.stop <- n;
         go ()
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Idle
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if block then Some Idle else None
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
       | exception (Unix.Unix_error _ | Sys_error _ | End_of_file) ->
         t.seen_eof <- true;
@@ -82,3 +95,28 @@ let read_line ~limit t =
     end
   in
   go ()
+
+let read_line ~limit t =
+  match read_line_gen ~block:true ~limit t with
+  | Some r -> r
+  | None -> assert false (* blocking mode never answers None *)
+
+let read_line_ready ~limit t = read_line_gen ~block:false ~limit t
+
+(* Shared by every pipelined writer: one [Unix.write] loop over the
+   coalesced response buffer, then clear it for reuse.  Raises on a
+   dead peer (EPIPE and friends) like any write would. *)
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    match Unix.write fd b pos len with
+    | n -> write_all fd b (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b pos len
+  end
+
+let flush_buffer fd buf =
+  let len = Buffer.length buf in
+  if len > 0 then begin
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    write_all fd (Bytes.unsafe_of_string s) 0 len
+  end

@@ -27,3 +27,16 @@ val read_line : limit:int -> t -> result
     discarded through its terminating newline and reported as
     {!Overflow} — the connection stays usable, matching the server's
     historical [request_too_large] behaviour. *)
+
+val read_line_ready : limit:int -> t -> result option
+(** Like {!read_line} but never waits: consumes only bytes already
+    buffered or reported readable by a zero-timeout poll, answering
+    [None] the moment more would require blocking.  The pipelined
+    router drains a client's burst with this — one blocking read for
+    the first line, ready-reads for the rest of the flush. *)
+
+val flush_buffer : Unix.file_descr -> Buffer.t -> unit
+(** Write the buffer's whole contents to [fd] (looping over short
+    writes) and clear it — the coalesced "one flush per drain" write
+    every pipelined peer uses.  Raises [Unix.Unix_error] on a dead
+    peer. *)

@@ -21,6 +21,7 @@ type request =
   | Stats
   | Metrics of { format : string option }
   | Healthz
+  | Batch of { session : string; reqs : request list }
 
 type error_code =
   | Parse_error
@@ -32,6 +33,7 @@ type error_code =
   | Rejected
   | Journal_error
   | Request_too_large
+  | Response_too_large
   | Shutting_down
   | Session_unavailable
   | Server_error
@@ -48,6 +50,7 @@ let error_code_label = function
   | Rejected -> "rejected"
   | Journal_error -> "journal_error"
   | Request_too_large -> "request_too_large"
+  | Response_too_large -> "response_too_large"
   | Shutting_down -> "shutting_down"
   | Session_unavailable -> "session_unavailable"
   | Server_error -> "server_error"
@@ -62,6 +65,7 @@ let error_code_of_label = function
   | "rejected" -> Some Rejected
   | "journal_error" -> Some Journal_error
   | "request_too_large" -> Some Request_too_large
+  | "response_too_large" -> Some Response_too_large
   | "shutting_down" -> Some Shutting_down
   | "session_unavailable" -> Some Session_unavailable
   | "server_error" -> Some Server_error
@@ -75,7 +79,8 @@ let error_code_of_label = function
 let retryable = function
   | Shutting_down | Session_unavailable -> true
   | Parse_error | Bad_request | Unknown_op | Unknown_layer | Unknown_session
-  | Session_exists | Rejected | Journal_error | Request_too_large | Server_error ->
+  | Session_exists | Rejected | Journal_error | Request_too_large | Response_too_large
+  | Server_error ->
     false
 
 (* ------------------------------------------------------------------ *)
@@ -113,7 +118,60 @@ let session_field json = str_field "session" json
 
 let ( let* ) = Result.bind
 
-let request_of_json json =
+(* Which ops may ride inside a batch: the session-scoped mutations and
+   reads.  Lifecycle ops (open/branch/compact/close), server-global ops
+   (stats/metrics/healthz/trace) and nested batches are excluded — a
+   batch is "one session, one slot-lock hold, one group-commit", and
+   those ops all acquire something else. *)
+let batchable = function
+  | Set _ | Default _ | Retract _ | Annotate _ | Candidates _ | Ranges _ | Issues _
+  | Preview _ | Script _ | Health _ | Signature _ | Report _ ->
+    true
+  | Open _ | Trace _ | Branch _ | Compact _ | Close _ | Stats | Metrics _ | Healthz
+  | Batch _ ->
+    false
+
+let request_session = function
+  | Set { session; _ }
+  | Default { session; _ }
+  | Retract { session; _ }
+  | Annotate { session; _ }
+  | Candidates { session; _ }
+  | Ranges { session; _ }
+  | Issues { session }
+  | Preview { session; _ }
+  | Script { session }
+  | Health { session }
+  | Signature { session }
+  | Report { session; _ }
+  | Branch { session; _ }
+  | Compact { session }
+  | Close { session }
+  | Batch { session; _ } ->
+    Some session
+  | Trace { session; spans; _ } -> if spans && String.equal session "" then None else Some session
+  | Open { session; _ } -> session
+  | Stats | Metrics _ | Healthz -> None
+
+let batch_of_requests reqs =
+  match reqs with
+  | [] -> Error "batch requires a non-empty \"reqs\" array"
+  | first :: _ -> (
+    match request_session first with
+    | None -> Error "batch sub-requests must be session-scoped"
+    | Some session ->
+      let rec check = function
+        | [] -> Ok (Batch { session; reqs })
+        | r :: rest ->
+          if not (batchable r) then
+            Error "batch sub-requests must be session-scoped mutations or reads"
+          else if not (Option.equal String.equal (request_session r) (Some session)) then
+            Error "batch sub-requests must all target the batch session"
+          else check rest
+      in
+      check reqs)
+
+let rec request_of_json json =
   let* op = str_field "op" json in
   match op with
   | "open" ->
@@ -213,12 +271,44 @@ let request_of_json json =
   | "stats" -> Ok Stats
   | "metrics" -> Ok (Metrics { format = Jsonx.str_member "format" json })
   | "healthz" -> Ok Healthz
+  | "batch" ->
+    let* session = session_field json in
+    let* items =
+      match Option.bind (field "reqs" json) Jsonx.to_list with
+      | Some [] | None -> Error "batch requires a non-empty \"reqs\" array"
+      | Some items -> Ok items
+    in
+    let rec decode acc i = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        (* a sub-request may omit its session (inherited from the batch
+           envelope); an explicit one must match *)
+        let item =
+          match item with
+          | Jsonx.Obj fields when not (List.mem_assoc "session" fields) ->
+            Jsonx.Obj (fields @ [ ("session", Jsonx.Str session) ])
+          | other -> other
+        in
+        let* r =
+          match request_of_json item with
+          | Ok r -> Ok r
+          | Error msg -> Error (Printf.sprintf "batch req %d: %s" i msg)
+        in
+        if not (batchable r) then
+          Error
+            (Printf.sprintf "batch req %d: op is not batchable (session-scoped mutations and reads only)" i)
+        else if not (Option.equal String.equal (request_session r) (Some session)) then
+          Error (Printf.sprintf "batch req %d: session does not match the batch session" i)
+        else decode (r :: acc) (i + 1) rest
+    in
+    let* reqs = decode [] 0 items in
+    Ok (Batch { session; reqs })
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
 (* ------------------------------------------------------------------ *)
 (* Request encoding (the journal's storage form)                       *)
 
-let json_of_request r =
+let rec json_of_request r =
   let obj fields = Jsonx.Obj (List.filter_map Fun.id fields) in
   let some k v = Some (k, v) in
   let opt k = Option.map (fun s -> (k, Jsonx.Str s)) in
@@ -323,6 +413,13 @@ let json_of_request r =
   | Stats -> obj [ some "op" (Jsonx.Str "stats") ]
   | Metrics { format } -> obj [ some "op" (Jsonx.Str "metrics"); opt "format" format ]
   | Healthz -> obj [ some "op" (Jsonx.Str "healthz") ]
+  | Batch { session; reqs } ->
+    obj
+      [
+        some "op" (Jsonx.Str "batch");
+        some "session" (Jsonx.Str session);
+        some "reqs" (Jsonx.List (List.map json_of_request reqs));
+      ]
 
 let parse_request line =
   match Jsonx.of_string line with
@@ -341,22 +438,27 @@ let parse_request line =
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
 
-let print_response = function
-  | Reply payload -> Jsonx.to_string (Jsonx.Obj (("ok", Jsonx.Bool true) :: payload))
-  | Failed (code, message) ->
-    Jsonx.to_string
-      (Jsonx.Obj
-         [
-           ("ok", Jsonx.Bool false);
-           ( "error",
-             Jsonx.Obj
-               [
-                 ("code", Jsonx.Str (error_code_label code)); ("message", Jsonx.Str message);
-               ] );
-         ])
+(* Interned response fragments: the ["ok"] header cell and error-code
+   strings are shared across every response instead of re-consed per
+   reply — the response hot path allocates only the payload. *)
+let ok_true = ("ok", Jsonx.Bool true)
+let ok_false = ("ok", Jsonx.Bool false)
 
-let response_of_string line =
-  let* json = Jsonx.of_string line in
+let json_of_response = function
+  | Reply payload -> Jsonx.Obj (ok_true :: payload)
+  | Failed (code, message) ->
+    Jsonx.Obj
+      [
+        ok_false;
+        ( "error",
+          Jsonx.Obj
+            [ ("code", Jsonx.Str (error_code_label code)); ("message", Jsonx.Str message) ] );
+      ]
+
+let print_response_into buf r = Jsonx.add buf (json_of_response r)
+let print_response r = Jsonx.to_string (json_of_response r)
+
+let response_of_json json =
   match Option.bind (Jsonx.member "ok" json) Jsonx.to_bool with
   | Some true -> (
     match json with
@@ -375,6 +477,10 @@ let response_of_string line =
       let message = Option.value ~default:"" (Jsonx.str_member "message" err) in
       Ok (Failed (code, message)))
   | None -> Error "reply has no boolean \"ok\" field"
+
+let response_of_string line =
+  let* json = Jsonx.of_string line in
+  response_of_json json
 
 let ok_payload = function
   | Reply payload -> Ok payload

@@ -47,7 +47,21 @@
       reply carries ["next"] — the cursor for the following page — and
       ["dropped"], how many spans of the requested range the bounded
       ring had already evicted.  Without ["spans"] it remains the
-      rendered per-session text trace.
+      rendered per-session text trace;
+    - [batch]: an ordered array of sub-requests (["reqs"]) against one
+      session (["session"]) — session-scoped mutations and reads only.
+      A sub-request may omit its own ["session"] (inherited from the
+      envelope); an explicit one must match.  The worker executes the
+      array under a single session-slot acquisition and a single
+      journal group-commit; the reply carries ["results"], an ordered
+      array of full per-sub-request response objects.  The first
+      {e mutation} failure aborts the remaining sub-requests and the
+      reply adds ["batch_aborted_at"], the index of the failed
+      sub-request (entries after it are not executed and not present in
+      ["results"]).  Failing {e reads} never abort the batch.
+      Journalled batch entries are the individual mutation records —
+      replay is byte-identical to the equivalent sequential op
+      sequence.
 
     {2 Reply grammar}
 
@@ -57,8 +71,9 @@
     [unknown_session], [session_exists], [rejected] (the layer refused
     a binding: constraint violation, unknown property, ...),
     [journal_error], [request_too_large] (the request line exceeded
-    the server's bound; the connection stays open), [shutting_down],
-    [server_error]. *)
+    the server's bound; the connection stays open),
+    [response_too_large] (client-side: a reply line exceeded the
+    client's symmetric read bound), [shutting_down], [server_error]. *)
 
 type request =
   | Open of { session : string option; layer : string; eol : int option; resume : bool }
@@ -93,6 +108,11 @@ type request =
       (** Liveness ping — no session, no store access: the fleet
           supervisor uses it to health-check workers, and the router
           answers it itself with per-worker status. *)
+  | Batch of { session : string; reqs : request list }
+      (** Ordered sub-requests against one session, executed under a
+          single slot-lock hold with one journal group-commit.  Every
+          [reqs] element satisfies {!batchable} and targets [session]
+          (the decoder enforces both). *)
 
 type error_code =
   | Parse_error
@@ -104,6 +124,11 @@ type error_code =
   | Rejected
   | Journal_error
   | Request_too_large
+  | Response_too_large
+      (** Minted by the {e client} when a reply line exceeds its read
+          bound (the symmetric twin of [request_too_large]); the
+          oversized line is drained, so the connection stays ordered
+          and usable.  Deterministic — never retried. *)
   | Shutting_down
   | Session_unavailable
       (** The worker owning this session is down or restarting; the
@@ -123,6 +148,21 @@ val retryable : error_code -> bool
     [Session_unavailable]): the failure is about server availability,
     not about the request, and the request is safe to repeat. *)
 
+val batchable : request -> bool
+(** Whether a request may appear inside a {!Batch}: the session-scoped
+    mutations and reads.  Lifecycle, server-global and nested-batch ops
+    are refused. *)
+
+val request_session : request -> string option
+(** The session a request targets, when it is session-scoped.  [Open]
+    yields its optional explicit id; [Trace {spans = true}] with the
+    empty session, [Stats], [Metrics] and [Healthz] yield [None]. *)
+
+val batch_of_requests : request list -> (request, string) result
+(** Assemble already-parsed requests into a {!Batch} against their
+    common session, with the same validation the wire decoder applies
+    — the [dse client --batch] path. *)
+
 val request_of_json : Jsonx.t -> (request, string) result
 val json_of_request : request -> Jsonx.t
 (** Total inverses: [request_of_json (json_of_request r) = Ok r] up to
@@ -135,8 +175,20 @@ val parse_request : string -> (request, error_code * string) result
 val print_response : response -> string
 (** One reply -> one wire line (no trailing newline). *)
 
+val print_response_into : Buffer.t -> response -> unit
+(** {!print_response} into a caller-owned (reusable) buffer — the
+    pipelined server's coalescing write path. *)
+
+val json_of_response : response -> Jsonx.t
+(** The reply object itself (including the ["ok"] header) — batch
+    replies embed one per sub-request under ["results"]. *)
+
 val response_of_string : string -> (response, string) result
 (** Client-side decoding of a reply line. *)
+
+val response_of_json : Jsonx.t -> (response, string) result
+(** {!response_of_string} after the JSON parse — decodes the embedded
+    per-sub-request objects of a batch reply. *)
 
 val ok_payload : response -> ((string * Jsonx.t) list, string) result
 (** Collapse a reply into its payload, or a ["code: message"] error —

@@ -18,6 +18,9 @@ type t = {
   idle_timeout : float option;
       (* close connections idle longer than this (seconds); None = keep
          the historical block-forever behaviour *)
+  pipeline_depth : int;
+      (* per-connection decode-ahead bound: how many requests the
+         reader thread may hold undispatched *)
   idle_reaped : Obs.counter;
 }
 
@@ -32,7 +35,20 @@ let env_idle_timeout () =
     | _ -> None)
   | None -> None
 
-let create ~socket ?(pool = 8) ?(max_request = 1024 * 1024) ?idle_timeout service =
+(* DSE_PIPELINE_DEPTH: how many requests one connection may have in
+   flight (decoded ahead of dispatch) before the reader stops reading;
+   default 16, clamped to 1..1024.  Depth 1 is the historical strict
+   request/reply lockstep. *)
+let env_pipeline_depth () =
+  match Sys.getenv_opt "DSE_PIPELINE_DEPTH" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d -> Some (Stdlib.min 1024 (Stdlib.max 1 d))
+    | None -> None)
+  | None -> None
+
+let create ~socket ?(pool = 8) ?(max_request = 1024 * 1024) ?pipeline_depth ?idle_timeout
+    service =
   (* replace a stale socket file from a previous (crashed) server *)
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -40,6 +56,11 @@ let create ~socket ?(pool = 8) ?(max_request = 1024 * 1024) ?idle_timeout servic
   Unix.listen listen_fd 64;
   let idle_timeout =
     match idle_timeout with Some _ as t -> t | None -> env_idle_timeout ()
+  in
+  let pipeline_depth =
+    match pipeline_depth with
+    | Some d -> Stdlib.min 1024 (Stdlib.max 1 d)
+    | None -> ( match env_pipeline_depth () with Some d -> d | None -> 16)
   in
   {
     service;
@@ -54,6 +75,7 @@ let create ~socket ?(pool = 8) ?(max_request = 1024 * 1024) ?idle_timeout servic
     active = Hashtbl.create 16;
     served = 0;
     idle_timeout;
+    pipeline_depth;
     idle_reaped = Obs.counter (Service.registry service) "dse_serve_idle_reaped_total";
   }
 
@@ -76,11 +98,19 @@ let connections_served t =
 
 let try_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-(* One connection: request line in, reply line out, until EOF (or the
-   connection is closed under us at shutdown).  The whole accept→
-   dispatch→reply life of the connection is one [server.connection]
-   span; the per-request [op.*] spans {!Service.handle} opens nest
-   under it (same worker domain/thread). *)
+(* One connection, pipelined: a reader systhread decodes request lines
+   ahead of dispatch into a bounded queue (at most [pipeline_depth]
+   undispatched), while the owning worker pops, handles, and appends
+   each reply to a per-connection coalescing buffer.  The buffer is
+   flushed exactly when the queue runs momentarily dry — so a client
+   sending one request at a time gets one write per reply (the
+   historical behaviour), while a pipelining client gets its whole
+   burst answered in a single flush.  Replies are appended in pop
+   order, which is read order: FIFO holds by construction.
+
+   The whole accept→dispatch→reply life of the connection is one
+   [server.connection] span; the per-request [op.*] spans
+   {!Service.handle} opens nest under it (same worker domain/thread). *)
 let serve_connection t ~queue_wait_us fd =
   let sp =
     Obs.span_begin "server.connection"
@@ -91,45 +121,99 @@ let serve_connection t ~queue_wait_us fd =
     ~finally:(fun () -> Obs.span_end sp ~attrs:[ ("requests", string_of_int !requests) ])
     (fun () ->
       let reader = Lineio.create ?idle_timeout:t.idle_timeout fd in
-      let oc = Unix.out_channel_of_descr fd in
+      let out = Buffer.create 4096 in
+      let qlock = Mutex.create () in
+      let qcond = Condition.create () in
+      let q : Lineio.result Queue.t = Queue.create () in
+      let reader_done = ref false in
+      let closing = ref false in
+      let push item =
+        Mutex.lock qlock;
+        while Queue.length q >= t.pipeline_depth && not !closing do
+          Condition.wait qcond qlock
+        done;
+        if not !closing then Queue.push item q;
+        Condition.broadcast qcond;
+        Mutex.unlock qlock
+      in
+      let reader_thread =
+        Thread.create
+          (fun () ->
+            let continue = ref true in
+            while !continue do
+              let item =
+                try Lineio.read_line ~limit:t.max_request reader
+                with End_of_file | Sys_error _ | Unix.Unix_error _ -> Lineio.Eof
+              in
+              (match item with Lineio.Eof | Lineio.Idle -> continue := false | _ -> ());
+              push item;
+              if !closing then continue := false
+            done;
+            Mutex.lock qlock;
+            reader_done := true;
+            Condition.broadcast qcond;
+            Mutex.unlock qlock)
+          ()
+      in
+      let flush_out () = if Buffer.length out > 0 then Lineio.flush_buffer fd out in
+      let pop () =
+        Mutex.lock qlock;
+        if Queue.is_empty q && not !reader_done then begin
+          (* the queue ran dry: everything answered so far must reach
+             the client before we block for more input *)
+          Mutex.unlock qlock;
+          flush_out ();
+          Mutex.lock qlock
+        end;
+        while Queue.is_empty q && not !reader_done do
+          Condition.wait qcond qlock
+        done;
+        let item = if Queue.is_empty q then None else Some (Queue.pop q) in
+        Condition.broadcast qcond;
+        Mutex.unlock qlock;
+        item
+      in
       (try
-         let reply_line reply =
-           output_string oc reply;
-           output_char oc '\n';
-           flush oc
-         in
          let rec loop () =
-           match Lineio.read_line ~limit:t.max_request reader with
-           | Lineio.Eof -> ()
-           | Lineio.Idle ->
+           match pop () with
+           | None | Some Lineio.Eof -> ()
+           | Some Lineio.Idle ->
              (* reap: the client has been silent past DSE_IDLE_TIMEOUT;
                 dropping the connection frees the fd and the worker (a
                 live client reconnects transparently) *)
              Obs.incr t.idle_reaped
-           | Lineio.Overflow ->
+           | Some Lineio.Overflow ->
              incr requests;
-             reply_line
-               (Protocol.print_response
-                  (Protocol.Failed
-                     ( Protocol.Request_too_large,
-                       Printf.sprintf "request line exceeds %d bytes" t.max_request )));
+             Protocol.print_response_into out
+               (Protocol.Failed
+                  ( Protocol.Request_too_large,
+                    Printf.sprintf "request line exceeds %d bytes" t.max_request ));
+             Buffer.add_char out '\n';
              if not (Atomic.get t.stop) then loop ()
-           | Lineio.Line line ->
+           | Some (Lineio.Line line) ->
              let line = String.trim line in
              if not (String.equal line "") then begin
                incr requests;
-               let reply =
-                 if Atomic.get t.stop then
-                   Protocol.print_response
-                     (Protocol.Failed (Protocol.Shutting_down, "server is shutting down"))
-                 else Service.handle_line t.service line
-               in
-               reply_line reply
+               if Atomic.get t.stop then
+                 Protocol.print_response_into out
+                   (Protocol.Failed (Protocol.Shutting_down, "server is shutting down"))
+               else Service.handle_line_into t.service out line;
+               Buffer.add_char out '\n'
              end;
              if not (Atomic.get t.stop) then loop ()
          in
-         loop ()
+         loop ();
+         flush_out ()
        with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+      (* retire the reader before closing the fd: wake it whether it is
+         blocked on the socket (SHUTDOWN_RECEIVE -> Eof) or on a full
+         queue ([closing] broadcast) *)
+      Mutex.lock qlock;
+      closing := true;
+      Condition.broadcast qcond;
+      Mutex.unlock qlock;
+      (try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+      (try Thread.join reader_thread with _ -> ());
       Mutex.lock t.lock;
       Hashtbl.remove t.active fd;
       t.served <- t.served + 1;

@@ -11,6 +11,15 @@
     its worker.  The wait from accept to worker pickup is recorded as
     the server-side queueing delay ([queue_wait] under [stats]).
 
+    Each connection is {e pipelined}: a reader systhread decodes
+    request lines ahead of dispatch into a bounded queue (up to the
+    pipeline depth undispatched), and replies accumulate in a
+    per-connection buffer that is flushed whenever the queue runs
+    momentarily dry — a client keeping N requests in flight gets its
+    burst answered through one coalesced write, while a strict
+    request/reply client keeps the historical one-write-per-reply
+    behaviour.  Replies always leave in request order (FIFO).
+
     Shutdown is graceful: {!shutdown} (typically called from a SIGTERM
     handler — see {!install_signal_handlers}) stops accepting, wakes
     the workers, lets in-flight requests finish, closes the
@@ -21,14 +30,24 @@
 type t
 
 val create :
-  socket:string -> ?pool:int -> ?max_request:int -> ?idle_timeout:float -> Service.t -> t
+  socket:string ->
+  ?pool:int ->
+  ?max_request:int ->
+  ?pipeline_depth:int ->
+  ?idle_timeout:float ->
+  Service.t ->
+  t
 (** Bind and listen on [socket] (an existing stale socket file is
     replaced).  [pool] (default 8, minimum 1) is the worker domain
     count.  [max_request] (default 1 MiB, minimum 1 KiB) bounds the
     request line a connection may send: past it the rest of the line is
     drained and answered with a structured [request_too_large] error,
     the connection staying alive — a malformed client cannot grow an
-    unbounded server-side buffer.  [idle_timeout] (seconds; default:
+    unbounded server-side buffer.  [pipeline_depth] (default 16,
+    clamped to 1..1024; env [DSE_PIPELINE_DEPTH]) bounds how many
+    requests one connection may have decoded ahead of dispatch — depth
+    1 restores strict request/reply lockstep.  [idle_timeout]
+    (seconds; default:
     the [DSE_IDLE_TIMEOUT] environment variable, else off) closes
     connections that send nothing for that long, counting each under
     [dse_serve_idle_reaped_total] in the service registry — leaked

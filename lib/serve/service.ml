@@ -41,7 +41,7 @@ let op_names =
   [
     "open"; "set"; "decide"; "default"; "retract"; "annotate"; "candidates"; "ranges";
     "issues"; "preview"; "script"; "trace"; "health"; "signature"; "report"; "branch";
-    "compact"; "close"; "stats"; "metrics"; "healthz";
+    "compact"; "close"; "stats"; "metrics"; "healthz"; "batch";
   ]
 
 (* the unified metric-name catalog (DESIGN.md 13): request latency is
@@ -180,7 +180,7 @@ let apply_mutation s = function
   | P.Annotate { text; _ } -> Some (Ok (Session.annotate s text))
   | P.Open _ | P.Candidates _ | P.Ranges _ | P.Issues _ | P.Preview _ | P.Script _
   | P.Trace _ | P.Health _ | P.Signature _ | P.Report _ | P.Branch _ | P.Compact _
-  | P.Close _ | P.Stats | P.Metrics _ | P.Healthz ->
+  | P.Close _ | P.Stats | P.Metrics _ | P.Healthz | P.Batch _ ->
     None
 
 let ( let* ) = Result.bind
@@ -829,6 +829,292 @@ let merits_or_default t = function
   | Some (_ :: _ as ms) -> ms
   | Some [] | None -> t.cfg.default_merits
 
+let op_name = function
+  | P.Open _ -> "open"
+  | P.Set { decide = true; _ } -> "decide"
+  | P.Set _ -> "set"
+  | P.Default _ -> "default"
+  | P.Retract _ -> "retract"
+  | P.Annotate _ -> "annotate"
+  | P.Candidates _ -> "candidates"
+  | P.Ranges _ -> "ranges"
+  | P.Issues _ -> "issues"
+  | P.Preview _ -> "preview"
+  | P.Script _ -> "script"
+  | P.Trace _ -> "trace"
+  | P.Health _ -> "health"
+  | P.Signature _ -> "signature"
+  | P.Report _ -> "report"
+  | P.Branch _ -> "branch"
+  | P.Compact _ -> "compact"
+  | P.Close _ -> "close"
+  | P.Stats -> "stats"
+  | P.Metrics _ -> "metrics"
+  | P.Healthz -> "healthz"
+  | P.Batch _ -> "batch"
+
+(* [t.op_hists] is read-only after [create] (every op pre-populated),
+   so the lookup itself needs no lock; observations go through the
+   histogram's per-domain stripes. *)
+let record t op us =
+  match Hashtbl.find_opt t.op_hists op with Some h -> Obs.observe h us | None -> ()
+
+(* The session-scoped read-only queries, factored over an explicit
+   session value: [dispatch] evaluates them against the store entry,
+   [handle_batch] against the in-progress value mid-batch (so a read
+   between two batched mutations observes the first one applied). *)
+let read_reply t sid s (req : P.request) =
+  match req with
+  | P.Candidates { max; _ } ->
+    let cands = Session.candidates s in
+    let count = List.length cands in
+    (* [max] bounds the id page, never the count: a fleet-scale
+       poll asks "how many survive?" thousands of times a second,
+       and shipping every id would make the reply O(survivors) *)
+    let page =
+      match max with
+      | Some m when m >= 0 && m < count -> List.filteri (fun i _ -> i < m) cands
+      | _ -> cands
+    in
+    P.Reply
+      [
+        ("session", Jsonx.Str sid);
+        ("count", Jsonx.Int count);
+        ("candidates", Jsonx.List (List.map (fun (qid, _) -> Jsonx.Str qid) page));
+      ]
+  | P.Ranges { merits; _ } ->
+    let merits = merits_or_default t merits in
+    P.Reply
+      [
+        ("session", Jsonx.Str sid);
+        ( "ranges",
+          Jsonx.Obj
+            (List.map (fun merit -> (merit, range_json (Session.merit_range s ~merit))) merits)
+        );
+      ]
+  | P.Issues _ ->
+    P.Reply
+      [
+        ("session", Jsonx.Str sid);
+        ( "issues",
+          Jsonx.List
+            (List.map
+               (fun (prop, eligible) ->
+                 Jsonx.Obj
+                   [
+                     ("name", Jsonx.Str prop.Ds_layer.Property.name);
+                     ( "domain",
+                       Jsonx.Str (Ds_layer.Domain.describe prop.Ds_layer.Property.domain) );
+                     ("eligible", Jsonx.Bool eligible);
+                   ])
+               (Session.open_issues s)) );
+      ]
+  | P.Preview { issue; merit; _ } -> (
+    let merit =
+      match merit with
+      | Some m -> m
+      | None -> ( match t.cfg.default_merits with m :: _ -> m | [] -> "")
+    in
+    match Session.preview_options s ~issue ~merit with
+    | Error msg -> P.Failed (P.Rejected, msg)
+    | Ok previews ->
+      P.Reply
+        [
+          ("session", Jsonx.Str sid);
+          ("issue", Jsonx.Str issue);
+          ("merit", Jsonx.Str merit);
+          ( "options",
+            Jsonx.List
+              (List.map
+                 (fun pv ->
+                   match pv.Session.outcome with
+                   | `Explored (n, range) ->
+                     Jsonx.Obj
+                       [
+                         ("value", Jsonx.Str pv.Session.option_value);
+                         ("outcome", Jsonx.Str "explored");
+                         ("candidates", Jsonx.Int n);
+                         ("range", range_json range);
+                       ]
+                   | `Rejected reason ->
+                     Jsonx.Obj
+                       [
+                         ("value", Jsonx.Str pv.Session.option_value);
+                         ("outcome", Jsonx.Str "rejected");
+                         ("reason", Jsonx.Str reason);
+                       ])
+                 previews) );
+        ])
+  | P.Script _ ->
+    P.Reply
+      [
+        ("session", Jsonx.Str sid);
+        ( "script",
+          Jsonx.List
+            (List.map
+               (fun (name, value) ->
+                 Jsonx.Obj [ ("name", Jsonx.Str name); ("value", P.json_of_value value) ])
+               (Session.script s)) );
+      ]
+  | P.Trace { spans = false; _ } ->
+    P.Reply
+      [
+        ("session", Jsonx.Str sid);
+        ("trace", Jsonx.Str (Format.asprintf "%a" Session.pp_trace s));
+      ]
+  | P.Health _ ->
+    P.Reply
+      [
+        ("session", Jsonx.Str sid);
+        ( "health",
+          Jsonx.List
+            (List.map
+               (fun (name, status) ->
+                 Jsonx.Obj
+                   (( "constraint", Jsonx.Str name )
+                   :: ("status", Jsonx.Str (Ds_layer.Guard.status_label status))
+                   ::
+                   (match status with
+                   | Ds_layer.Guard.Quarantined { reason; _ } ->
+                     [ ("reason", Jsonx.Str reason) ]
+                   | Ds_layer.Guard.Healthy | Ds_layer.Guard.Degraded -> [])))
+               (Session.health s)) );
+        ( "diagnostics",
+          Jsonx.List
+            (List.map (fun d -> Jsonx.Str (Ds_layer.Guard.describe_diag d)) (Session.diagnostics s))
+        );
+      ]
+  | P.Signature _ ->
+    P.Reply
+      [
+        ("session", Jsonx.Str sid);
+        ("signature", Jsonx.Str (Session.candidate_signature s));
+      ]
+  | P.Report { title; _ } ->
+    let markdown =
+      Ds_layer.Report.render ?title ~merits:t.cfg.default_merits ?pareto:t.cfg.report_pareto s
+    in
+    P.Reply [ ("session", Jsonx.Str sid); ("markdown", Jsonx.Str markdown) ]
+  | P.Open _ | P.Set _ | P.Default _ | P.Retract _ | P.Annotate _
+  | P.Trace { spans = true; _ }
+  | P.Branch _ | P.Compact _ | P.Close _ | P.Stats | P.Metrics _ | P.Healthz | P.Batch _ ->
+    P.Failed (P.Server_error, "not a session read")
+
+(* A batch holds the session slot once, applies each sub-request against
+   the in-progress value, journals every successful mutation as its own
+   ordinary entry (replay is byte-identical to the equivalent sequential
+   op sequence), and fsyncs once at the end ({!Journal.sync_to} to the
+   last appended seq — one group-commit for the whole batch).
+
+   Abort discipline: the first {e mutation} failure (layer rejection or
+   journal append error) stops execution — its failure reply is the last
+   element of [results] and its index is reported as [batch_aborted_at];
+   the remaining sub-requests are not executed.  Read failures never
+   abort.  A failed group fsync follows {!mutate}'s evict-and-resume
+   path for the whole batch, since which appended entries reached disk
+   is unknown. *)
+let handle_batch t sid reqs =
+  match begin_mutation_rehydrating t sid with
+  | `Missing -> unknown_session sid
+  | `Error msg -> P.Failed (P.Journal_error, msg)
+  | `Begun (m, entry0) ->
+    let sync_after = ref None in
+    let response =
+      match
+        let cur = ref entry0 in
+        let mutated = ref false in
+        let results = ref [] in
+        let aborted = ref None in
+        let idx = ref 0 in
+        let rec run = function
+          | [] -> ()
+          | req :: rest -> (
+            let t0 = Obs.now_us () in
+            let sub =
+              match req with
+              | P.Set { name; value = Value.Real f; _ } when not (Float.is_finite f) ->
+                (* same screen as [dispatch]: a non-finite real would
+                   journal as null and poison every later resume *)
+                `Abort
+                  (P.Failed
+                     (P.Bad_request,
+                      Printf.sprintf "non-finite value for %S is not accepted" name))
+              | _ -> (
+                match apply_mutation !cur.Store.session req with
+                | Some (Error msg) -> `Abort (P.Failed (P.Rejected, msg))
+                | Some (Ok s') -> (
+                  let signature = Session.candidate_signature s' in
+                  let journaled =
+                    match !cur.Store.journal with
+                    | None -> Ok None
+                    | Some j ->
+                      Result.map
+                        (fun seq -> Some (j, seq))
+                        (Journal.append j ~req:(P.json_of_request req) ~signature)
+                  in
+                  match journaled with
+                  | Error msg -> `Abort (P.Failed (P.Journal_error, msg))
+                  | Ok jseq ->
+                    cur := { !cur with Store.session = s' };
+                    mutated := true;
+                    (match jseq with Some _ -> sync_after := jseq | None -> ());
+                    `Ok
+                      (P.Reply
+                         (session_summary sid s' @ [ ("signature", Jsonx.Str signature) ])))
+                | None -> (
+                  try `Ok (read_reply t sid !cur.Store.session req)
+                  with e -> `Ok (P.Failed (P.Server_error, Printexc.to_string e))))
+            in
+            record t (op_name req) (Obs.now_us () -. t0);
+            match sub with
+            | `Ok r ->
+              results := r :: !results;
+              incr idx;
+              run rest
+            | `Abort r ->
+              results := r :: !results;
+              aborted := Some !idx)
+        in
+        run reqs;
+        if !mutated then Store.commit_mutation m !cur;
+        (match (t.cfg.journal_dir, t.cfg.compact_after, !sync_after) with
+        | Some dir, Some threshold, Some (j, _) when Journal.entry_count j >= threshold -> (
+          match compact_live t ~dir m !cur ~id:sid j with
+          | Ok _ ->
+            Obs.incr t.c_compactions;
+            (* the handle [sync_to] would target is gone; the snapshot +
+               rewritten journal are already durable *)
+            sync_after := None
+          | Error _ -> Obs.incr t.c_compaction_failures)
+        | _ -> ());
+        P.Reply
+          (( "session", Jsonx.Str sid )
+          :: ("results", Jsonx.List (List.rev_map P.json_of_response !results))
+          ::
+          (match !aborted with
+          | Some i -> [ ("batch_aborted_at", Jsonx.Int i) ]
+          | None -> []))
+      with
+      | r -> r
+      | exception e ->
+        Store.end_mutation m;
+        raise e
+    in
+    Store.end_mutation m;
+    (match !sync_after with
+    | None -> response
+    | Some (j, seq) -> (
+      match Journal.sync_to j seq with
+      | Ok () -> response
+      | Error msg ->
+        Store.remove t.store sid;
+        P.Failed
+          (P.Journal_error,
+           Printf.sprintf
+             "%s; durability unknown — session %S closed, re-open with resume (do not retry \
+              the batch blindly: its mutations may already be journaled)"
+             msg sid)))
+
 let dispatch t req =
   match req with
   | P.Open { session; layer; eol; resume } -> handle_open t ~session ~layer ~eol ~resume
@@ -843,113 +1129,13 @@ let dispatch t req =
   | P.Default { session; name } -> mutate t session req (fun s -> Session.set_default s name)
   | P.Retract { session; name } -> mutate t session req (fun s -> Session.retract s name)
   | P.Annotate { session; text } -> mutate t session req (fun s -> Ok (Session.annotate s text))
-  | P.Candidates { session; max } ->
-    with_session t session (fun entry ->
-        let cands = Session.candidates entry.Store.session in
-        let count = List.length cands in
-        (* [max] bounds the id page, never the count: a fleet-scale
-           poll asks "how many survive?" thousands of times a second,
-           and shipping every id would make the reply O(survivors) *)
-        let page =
-          match max with
-          | Some m when m >= 0 && m < count -> List.filteri (fun i _ -> i < m) cands
-          | _ -> cands
-        in
-        P.Reply
-          [
-            ("session", Jsonx.Str session);
-            ("count", Jsonx.Int count);
-            ("candidates", Jsonx.List (List.map (fun (qid, _) -> Jsonx.Str qid) page));
-          ])
-  | P.Ranges { session; merits } ->
-    with_session t session (fun entry ->
-        let merits = merits_or_default t merits in
-        P.Reply
-          [
-            ("session", Jsonx.Str session);
-            ( "ranges",
-              Jsonx.Obj
-                (List.map
-                   (fun merit ->
-                     (merit, range_json (Session.merit_range entry.Store.session ~merit)))
-                   merits) );
-          ])
-  | P.Issues { session } ->
-    with_session t session (fun entry ->
-        P.Reply
-          [
-            ("session", Jsonx.Str session);
-            ( "issues",
-              Jsonx.List
-                (List.map
-                   (fun (prop, eligible) ->
-                     Jsonx.Obj
-                       [
-                         ("name", Jsonx.Str prop.Ds_layer.Property.name);
-                         ( "domain",
-                           Jsonx.Str
-                             (Ds_layer.Domain.describe prop.Ds_layer.Property.domain) );
-                         ("eligible", Jsonx.Bool eligible);
-                       ])
-                   (Session.open_issues entry.Store.session)) );
-          ])
-  | P.Preview { session; issue; merit } ->
-    with_session t session (fun entry ->
-        let merit =
-          match merit with
-          | Some m -> m
-          | None -> ( match t.cfg.default_merits with m :: _ -> m | [] -> "")
-        in
-        match Session.preview_options entry.Store.session ~issue ~merit with
-        | Error msg -> P.Failed (P.Rejected, msg)
-        | Ok previews ->
-          P.Reply
-            [
-              ("session", Jsonx.Str session);
-              ("issue", Jsonx.Str issue);
-              ("merit", Jsonx.Str merit);
-              ( "options",
-                Jsonx.List
-                  (List.map
-                     (fun pv ->
-                       match pv.Session.outcome with
-                       | `Explored (n, range) ->
-                         Jsonx.Obj
-                           [
-                             ("value", Jsonx.Str pv.Session.option_value);
-                             ("outcome", Jsonx.Str "explored");
-                             ("candidates", Jsonx.Int n);
-                             ("range", range_json range);
-                           ]
-                       | `Rejected reason ->
-                         Jsonx.Obj
-                           [
-                             ("value", Jsonx.Str pv.Session.option_value);
-                             ("outcome", Jsonx.Str "rejected");
-                             ("reason", Jsonx.Str reason);
-                           ])
-                     previews) );
-            ])
-  | P.Script { session } ->
-    with_session t session (fun entry ->
-        P.Reply
-          [
-            ("session", Jsonx.Str session);
-            ( "script",
-              Jsonx.List
-                (List.map
-                   (fun (name, value) ->
-                     Jsonx.Obj
-                       [ ("name", Jsonx.Str name); ("value", P.json_of_value value) ])
-                   (Session.script entry.Store.session)) );
-          ])
+  | P.Candidates { session; _ }
+  | P.Ranges { session; _ }
+  | P.Issues { session }
+  | P.Preview { session; _ }
+  | P.Script { session }
   | P.Trace { session; spans = false; _ } ->
-    with_session t session (fun entry ->
-        P.Reply
-          [
-            ("session", Jsonx.Str session);
-            ("trace", Jsonx.Str (Format.asprintf "%a" Session.pp_trace entry.Store.session));
-          ])
+    with_session t session (fun entry -> read_reply t session entry.Store.session req)
   | P.Trace { spans = true; since; max_spans; _ } ->
     (* one page of the global span ring; [next] is the cursor of the
        following page, [dropped] what the bounded ring already evicted
@@ -975,44 +1161,8 @@ let dispatch t req =
         ("dropped", Jsonx.Int dropped);
         ("enabled", Jsonx.Bool (Obs.enabled ()));
       ]
-  | P.Health { session } ->
-    with_session t session (fun entry ->
-        P.Reply
-          [
-            ("session", Jsonx.Str session);
-            ( "health",
-              Jsonx.List
-                (List.map
-                   (fun (name, status) ->
-                     Jsonx.Obj
-                       (( "constraint", Jsonx.Str name )
-                       :: ("status", Jsonx.Str (Ds_layer.Guard.status_label status))
-                       ::
-                       (match status with
-                       | Ds_layer.Guard.Quarantined { reason; _ } ->
-                         [ ("reason", Jsonx.Str reason) ]
-                       | Ds_layer.Guard.Healthy | Ds_layer.Guard.Degraded -> [])))
-                   (Session.health entry.Store.session)) );
-            ( "diagnostics",
-              Jsonx.List
-                (List.map
-                   (fun d -> Jsonx.Str (Ds_layer.Guard.describe_diag d))
-                   (Session.diagnostics entry.Store.session)) );
-          ])
-  | P.Signature { session } ->
-    with_session t session (fun entry ->
-        P.Reply
-          [
-            ("session", Jsonx.Str session);
-            ("signature", Jsonx.Str (Session.candidate_signature entry.Store.session));
-          ])
-  | P.Report { session; title } ->
-    with_session t session (fun entry ->
-        let markdown =
-          Ds_layer.Report.render ?title ~merits:t.cfg.default_merits
-            ?pareto:t.cfg.report_pareto entry.Store.session
-        in
-        P.Reply [ ("session", Jsonx.Str session); ("markdown", Jsonx.Str markdown) ])
+  | P.Health { session } | P.Signature { session } | P.Report { session; _ } ->
+    with_session t session (fun entry -> read_reply t session entry.Store.session req)
   | P.Branch { session; as_id } -> handle_branch t session as_id
   | P.Compact { session } -> handle_compact t session
   | P.Close { session } -> (
@@ -1099,35 +1249,7 @@ let dispatch t req =
         ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started));
         ("sessions", Jsonx.Int (Store.count t.store));
       ]
-
-let op_name = function
-  | P.Open _ -> "open"
-  | P.Set { decide = true; _ } -> "decide"
-  | P.Set _ -> "set"
-  | P.Default _ -> "default"
-  | P.Retract _ -> "retract"
-  | P.Annotate _ -> "annotate"
-  | P.Candidates _ -> "candidates"
-  | P.Ranges _ -> "ranges"
-  | P.Issues _ -> "issues"
-  | P.Preview _ -> "preview"
-  | P.Script _ -> "script"
-  | P.Trace _ -> "trace"
-  | P.Health _ -> "health"
-  | P.Signature _ -> "signature"
-  | P.Report _ -> "report"
-  | P.Branch _ -> "branch"
-  | P.Compact _ -> "compact"
-  | P.Close _ -> "close"
-  | P.Stats -> "stats"
-  | P.Metrics _ -> "metrics"
-  | P.Healthz -> "healthz"
-
-(* [t.op_hists] is read-only after [create] (every op pre-populated),
-   so the lookup itself needs no lock; observations go through the
-   histogram's per-domain stripes. *)
-let record t op us =
-  match Hashtbl.find_opt t.op_hists op with Some h -> Obs.observe h us | None -> ()
+  | P.Batch { session; reqs } -> handle_batch t session reqs
 
 let record_queue_wait t us = Obs.observe t.queue_hist us
 
@@ -1161,6 +1283,8 @@ let req_attrs req =
     @ [ ("session", session) ]
     @ (match as_id with Some id -> [ ("as", id) ] | None -> [])
   | P.Compact { session } | P.Close { session } -> base @ [ ("session", session) ]
+  | P.Batch { session; reqs } ->
+    base @ [ ("session", session); ("reqs", string_of_int (List.length reqs)) ]
   | P.Stats | P.Metrics _ | P.Healthz -> base
 
 let response_attrs = function
@@ -1197,10 +1321,15 @@ let handle t req =
       response := Some r;
       r)
 
-let handle_line t line =
+let handle_line_into t buf line =
   let response =
     match P.parse_request line with
     | Error (code, msg) -> P.Failed (code, msg)
     | Ok req -> handle t req
   in
-  P.print_response response
+  P.print_response_into buf response
+
+let handle_line t line =
+  let buf = Buffer.create 256 in
+  handle_line_into t buf line;
+  Buffer.contents buf

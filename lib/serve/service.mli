@@ -100,6 +100,11 @@ val handle_line : t -> string -> string
 (** Wire-format convenience: parse one request line, dispatch, print
     the reply line (without trailing newline).  Never raises. *)
 
+val handle_line_into : t -> Buffer.t -> string -> unit
+(** {!handle_line} printed into a caller-owned buffer — the pipelined
+    server appends each reply to its per-connection coalescing buffer
+    without an intermediate string. *)
+
 val session_count : t -> int
 
 (** What a resume did: the reconstructed session, where it came from

@@ -6,6 +6,8 @@
 #   - BENCH_PR7.json:  the serve leg nested under "serve"
 #   - BENCH_PR8.json:  the fleet bench ("bench":"fleet") — its top-level
 #     requests_per_second is the aggregate across every shard
+#   - BENCH_PR9.json:  the fleet bench plus a "pipeline" depth sweep;
+#     "pipeline".best.requests_per_second is the deepest-point headline
 #
 # Gates:
 #   - serve vs serve: fail on a drop of more than BENCH_ALLOWED_DROP
@@ -16,7 +18,12 @@
 #   - fleet vs serve: the sharded aggregate must reach at least
 #     FLEET_MIN_SPEEDUP (default 2) times the single-server baseline.
 #     A --smoke fleet run reports the ratio but does not gate — smoke
-#     sizes are too small to saturate the shards.
+#     sizes are too small to saturate the shards;
+#   - fleet vs fleet (baseline is itself a fleet bench and the current
+#     file carries "pipeline"): the best pipelined throughput must reach
+#     at least PIPELINE_MIN_SPEEDUP (default 2.5) times the baseline
+#     lockstep aggregate — the PR 9 data-plane gate.  Smoke runs report
+#     the ratio without gating.
 #
 # Usage: sh scripts/bench_compare.sh [baseline.json] [current.json]
 set -eu
@@ -29,6 +36,7 @@ current=${2:-BENCH_PR4.json}
 allowed_drop=${BENCH_ALLOWED_DROP:-0.20}
 min_speedup=${SWEEP_MIN_SPEEDUP:-5}
 fleet_min_speedup=${FLEET_MIN_SPEEDUP:-2}
+pipeline_min_speedup=${PIPELINE_MIN_SPEEDUP:-2.5}
 
 if [ ! -f "$baseline" ]; then
   echo "bench-compare: baseline $baseline not found; pass the committed baseline JSON as the first argument" >&2
@@ -39,13 +47,14 @@ if [ ! -f "$current" ]; then
   exit 2
 fi
 
-python3 - "$baseline" "$current" "$allowed_drop" "$min_speedup" "$fleet_min_speedup" <<'EOF'
+python3 - "$baseline" "$current" "$allowed_drop" "$min_speedup" "$fleet_min_speedup" "$pipeline_min_speedup" <<'EOF'
 import json
 import sys
 
 baseline_path, current_path = sys.argv[1], sys.argv[2]
 allowed_drop, min_speedup = float(sys.argv[3]), float(sys.argv[4])
 fleet_min_speedup = float(sys.argv[5])
+pipeline_min_speedup = float(sys.argv[6])
 
 def load(path):
     try:
@@ -67,8 +76,33 @@ def rps(data, path):
     return float(value)
 
 current_data = load(current_path)
-old = rps(load(baseline_path), baseline_path)
+baseline_data = load(baseline_path)
+old = rps(baseline_data, baseline_path)
 new = rps(current_data, current_path)
+
+if (current_data.get("bench") == "fleet" and baseline_data.get("bench") == "fleet"
+        and isinstance(current_data.get("pipeline"), dict)):
+    # data-plane gate: the best pipelined aggregate vs the baseline
+    # fleet's lockstep aggregate
+    best = current_data["pipeline"].get("best", {})
+    best_rps = best.get("requests_per_second")
+    best_depth = best.get("depth")
+    if not isinstance(best_rps, (int, float)) or best_rps <= 0:
+        sys.exit(f"bench-compare: no usable pipeline.best.requests_per_second in {current_path}")
+    ratio = best_rps / old
+    smoke = bool(current_data.get("smoke"))
+    print(f"bench-compare: pipelined fleet {best_rps:.1f} req/s at depth {best_depth} "
+          f"({current_path}) vs fleet baseline {old:.1f} req/s ({baseline_path}): "
+          f"{ratio:.2f}x (floor {pipeline_min_speedup:g}x)")
+    if smoke:
+        print("bench-compare: OK (smoke fleet run — ratio is informational, not gated)")
+    elif ratio < pipeline_min_speedup:
+        sys.exit(f"bench-compare: FAIL — pipelined aggregate {best_rps:.1f} req/s is below "
+                 f"{pipeline_min_speedup:g}x the fleet baseline "
+                 f"({old * pipeline_min_speedup:.1f} req/s)")
+    else:
+        print("bench-compare: OK")
+    sys.exit(0)
 
 if current_data.get("bench") == "fleet":
     # sharding gate: the fleet aggregate vs the single-server baseline

@@ -76,9 +76,11 @@ if grep -q MISSING "$work/sig_before.txt"; then
 fi
 
 # Mid-round SIGKILL: find the w0 worker process by its socket argv,
-# kill it, and keep a round of mixed traffic running across the kill
-# window.  Every reply must be either ok or a structured retryable
-# error — anything else (torn line, hang, unstructured text) fails.
+# kill it, and keep a round of mixed traffic — alternating one-shot
+# requests and whole batches — running across the kill window.  Every
+# reply must be either ok or a structured retryable error — anything
+# else (torn line, hang, a half-executed batch surfacing as an
+# unstructured failure) fails.
 victim_pid=$(pgrep -f "fleet worker --socket $fleet_dir/w0.sock" | head -1)
 if [ -z "$victim_pid" ]; then
     echo "FAIL: cannot find the w0 worker process" >&2
@@ -87,6 +89,7 @@ fi
 kill -KILL "$victim_pid"
 
 : > "$work/round.log"
+: > "$work/batch.log"
 for pass in 1 2 3; do
     for s in $sessions; do
         "$dse" client --socket "$sock" \
@@ -94,14 +97,30 @@ for pass in 1 2 3; do
             "{\"op\":\"candidates\",\"session\":\"$s\",\"max\":8}" \
             "{\"op\":\"retract\",\"session\":\"$s\",\"name\":\"Precision\"}" \
             >> "$work/round.log" || true
+        # The same mix as one batch: executed under a single slot-lock
+        # and a single group commit on the owning shard, so the kill
+        # lands while whole batches are in flight.
+        "$dse" client --socket "$sock" --batch \
+            "{\"op\":\"set\",\"session\":\"$s\",\"name\":\"Precision\",\"value\":12}" \
+            "{\"op\":\"candidates\",\"session\":\"$s\",\"max\":8}" \
+            "{\"op\":\"retract\",\"session\":\"$s\",\"name\":\"Precision\"}" \
+            >> "$work/batch.log" || true
     done
 done
-bad=$(grep '"ok":false' "$work/round.log" \
+bad=$(grep '"ok":false' "$work/round.log" "$work/batch.log" \
     | grep -v -e '"code":"session_unavailable"' -e '"code":"shutting_down"' \
               -e '"code":"rejected"' || true)
 if [ -n "$bad" ]; then
     echo "FAIL: kill window produced non-retryable client-visible errors:" >&2
     echo "$bad" >&2
+    exit 1
+fi
+# Batches either fail whole with a retryable code (checked above) or
+# come back as one ordered results array — at least the control shards
+# must have answered some, and no reply may be a torn prefix.
+if ! grep -q '"results":\[' "$work/batch.log"; then
+    echo "FAIL: no batch reply carried a results array:" >&2
+    tail -5 "$work/batch.log" >&2
     exit 1
 fi
 
@@ -144,4 +163,4 @@ done
 kill -TERM "$fleet"
 wait "$fleet" || true
 
-echo "fleet smoke OK (32 sessions over 4 shards, w0 SIGKILL + resume verified)"
+echo "fleet smoke OK (32 sessions over 4 shards, w0 SIGKILL with batches in flight + resume verified)"

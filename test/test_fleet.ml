@@ -374,6 +374,140 @@ let test_fleet_kill_restart_resume () =
       Alcotest.(check int) "w1 untouched" 0
         (Option.value (List.assoc_opt "w1" restarts) ~default:(-1)))
 
+(* ------------------------------------------------------------------ *)
+(* Pass-through differential: a thin-parse router and a full-parse
+   router over the same workers must answer every op with the same
+   bytes (modulo the session id), including every error shape — the
+   fast path is an optimization, never a semantic fork. *)
+
+module Client = Ds_serve.Client
+
+let ok_or = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* replace every occurrence of [needle] (a session id) with [sub] *)
+let replace hay needle sub =
+  let nn = String.length needle in
+  let buf = Buffer.create (String.length hay) in
+  let i = ref 0 in
+  while !i < String.length hay do
+    if
+      !i + nn <= String.length hay
+      && String.equal (String.sub hay !i nn) needle
+    then begin
+      Buffer.add_string buf sub;
+      i := !i + nn
+    end
+    else begin
+      Buffer.add_char buf hay.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let test_router_thin_vs_full () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let dir = tmpdir "dse_test_diff" in
+  let sup = Supervisor.start ~health_interval:0.1 (fleet_specs dir 2) in
+  (match Supervisor.await_ready sup with
+  | Ok () -> ()
+  | Error msg ->
+    Supervisor.stop sup;
+    rm_rf dir;
+    Alcotest.failf "fleet not ready: %s" msg);
+  let workers = Supervisor.workers sup in
+  let mk name thin =
+    let sock = Filename.concat dir (name ^ ".sock") in
+    let r = Router.create ~socket:sock ~workers ~slots:4 ~thin_parse:thin () in
+    (sock, r, Thread.create Router.serve r)
+  in
+  let sock_t, r_t, th_t = mk "thin" true in
+  let sock_f, r_f, th_f = mk "full" false in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.shutdown r_t;
+      Router.shutdown r_f;
+      Thread.join th_t;
+      Thread.join th_f;
+      Supervisor.stop sup;
+      rm_rf dir)
+  @@ fun () ->
+  let ct = ok_or (Client.connect_retry ~socket:sock_t ()) in
+  let cf = ok_or (Client.connect_retry ~socket:sock_f ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close ct;
+      Client.close cf)
+  @@ fun () ->
+  (* two sessions with identical histories, one driven through each
+     router; ids share a length so reply bytes align after renaming *)
+  let sid_t = "diffa" and sid_f = "diffb" in
+  let differential ctx template =
+    let reply_t = ok_or (Client.request_line ct (replace template "%s" sid_t)) in
+    let reply_f = ok_or (Client.request_line cf (replace template "%s" sid_f)) in
+    Alcotest.(check string) ctx reply_t (replace reply_f sid_f sid_t)
+  in
+  List.iter
+    (fun (ctx, template) -> differential ctx template)
+    [
+      ("open", {|{"op":"open","session":"%s","layer":"idct"}|});
+      ("set", {|{"op":"set","session":"%s","name":"Word Size","value":16}|});
+      ("default", {|{"op":"default","session":"%s","name":"Precision"}|});
+      ("retract", {|{"op":"retract","session":"%s","name":"Precision"}|});
+      ("annotate", {|{"op":"annotate","session":"%s","text":"same note"}|});
+      ("candidates", {|{"op":"candidates","session":"%s","max":4}|});
+      ("ranges", {|{"op":"ranges","session":"%s"}|});
+      ("issues", {|{"op":"issues","session":"%s"}|});
+      ("preview", {|{"op":"preview","session":"%s","issue":"Precision"}|});
+      ("script", {|{"op":"script","session":"%s"}|});
+      ("health", {|{"op":"health","session":"%s"}|});
+      ("signature", {|{"op":"signature","session":"%s"}|});
+      ("report", {|{"op":"report","session":"%s"}|});
+      ( "batch",
+        {|{"op":"batch","session":"%s","reqs":[{"op":"set","name":"Precision","value":12},{"op":"candidates","max":2},{"op":"retract","name":"Precision"}]}|}
+      );
+      ("compact", {|{"op":"compact","session":"%s"}|});
+      ("close", {|{"op":"close","session":"%s"}|});
+      (* close keeps the journal: the next touch rehydrates *)
+      ("rehydrate", {|{"op":"signature","session":"%s"}|});
+      (* error shapes must match too *)
+      ("unknown property", {|{"op":"set","session":"%s","name":"No Such","value":1}|});
+      ( "non-batchable sub-op",
+        {|{"op":"batch","session":"%s","reqs":[{"op":"stats"}]}|} );
+    ];
+  (* a \u-escaped session id bails the thin scanner to the full parse;
+     the raw line is still forwarded verbatim, so the reply must equal
+     the plain-id reply *)
+  let esc_t =
+    ok_or (Client.request_line ct {|{"op":"signature","session":"diff\u0061"}|})
+  in
+  let esc_f =
+    ok_or (Client.request_line cf {|{"op":"signature","session":"diff\u0062"}|})
+  in
+  Alcotest.(check string) "escaped id routes identically" esc_t
+    (replace esc_f sid_f sid_t);
+  Alcotest.(check string) "escaped id answers like the plain id" esc_t
+    (ok_or (Client.request_line ct {|{"op":"signature","session":"diffa"}|}));
+  (* lines the thin scanner must hand to the full parse unchanged *)
+  let same_error ctx line =
+    let reply_t = ok_or (Client.request_line ct line) in
+    let reply_f = ok_or (Client.request_line cf line) in
+    Alcotest.(check string) ctx reply_t reply_f
+  in
+  same_error "malformed json" "{\"op\":\"signature\",";
+  same_error "unknown op" {|{"op":"frobnicate","session":"x"}|};
+  same_error "unknown session" {|{"op":"signature","session":"ghost"}|};
+  same_error "duplicate op keys" {|{"op":"signature","op":"candidates","session":"diffa"}|};
+  (* the fast path was actually exercised on the thin router and never
+     on the full-parse one *)
+  let passthrough r =
+    Option.value ~default:0
+      (List.assoc_opt "dse_router_passthrough_total" (Ds_obs.Obs.counters (Router.registry r)))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "thin router forwarded verbatim (%d)" (passthrough r_t))
+    true (passthrough r_t >= 10);
+  Alcotest.(check int) "full-parse router never did" 0 (passthrough r_f)
+
 let () =
   Alcotest.run "fleet"
     [
@@ -394,5 +528,7 @@ let () =
           Alcotest.test_case "healthz probes every worker" `Quick test_fleet_healthz;
           Alcotest.test_case "SIGKILL -> retryable error -> journal resume" `Quick
             test_fleet_kill_restart_resume;
+          Alcotest.test_case "thin-parse vs full-parse differential" `Quick
+            test_router_thin_vs_full;
         ] );
     ]

@@ -657,7 +657,7 @@ let test_socket_end_to_end () =
   let closed = request (P.Close { session = "e2e" }) in
   Alcotest.(check string) "closed" "e2e" (jstr "closed" closed);
   (* a second concurrent client is served by the pool *)
-  let client2 = ok (Ds_serve.Client.connect ~socket) in
+  let client2 = ok (Ds_serve.Client.connect ~socket ()) in
   let s2 = reply (ok (Ds_serve.Client.request client2 (open_req ()))) in
   Alcotest.(check bool) "second client opened" true (jint "candidates" s2 > 0);
   Ds_serve.Client.close client2;
@@ -1478,7 +1478,7 @@ let test_idle_reap () =
   | Ok _ -> Alcotest.fail "request on a reaped connection should fail");
   Ds_serve.Client.close client;
   (* the service itself is unharmed: a fresh client still works *)
-  let c2 = ok (Ds_serve.Client.connect ~socket) in
+  let c2 = ok (Ds_serve.Client.connect ~socket ()) in
   ignore (reply (ok (Ds_serve.Client.request c2 (P.Signature { session = "idle" }))));
   Ds_serve.Client.close c2
 
@@ -1522,6 +1522,334 @@ let test_durable_reconnect_across_restart () =
         if List.assoc_opt k fields = None then Alcotest.failf "stats_json missing %S" k)
       [ "requests"; "reconnects"; "retried" ]
   | _ -> Alcotest.fail "stats_json is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Batched ops, pipelined connections, bounded reply reads              *)
+
+let test_batch_codec () =
+  let sub =
+    [
+      P.Set { session = "b"; name = issue; value = pick; decide = false };
+      P.Candidates { session = "b"; max = Some 4 };
+      P.Retract { session = "b"; name = issue };
+    ]
+  in
+  let batch = ok (P.batch_of_requests sub) in
+  (match P.parse_request (J.to_string (P.json_of_request batch)) with
+  | Ok r -> Alcotest.(check bool) "batch survives the codec" true (r = batch)
+  | Error (_, msg) -> Alcotest.failf "batch roundtrip failed: %s" msg);
+  (* a sub-request may omit its session: inherited from the envelope *)
+  (match
+     P.parse_request
+       {|{"op":"batch","session":"b","reqs":[{"op":"candidates"},{"op":"signature"}]}|}
+   with
+  | Ok
+      (P.Batch
+        {
+          session = "b";
+          reqs = [ P.Candidates { session = "b"; max = None }; P.Signature { session = "b" } ];
+        }) ->
+    ()
+  | Ok _ -> Alcotest.fail "inherited session decoded to something else"
+  | Error (_, msg) -> Alcotest.failf "inherited session refused: %s" msg);
+  (* assembly validation: empty, mixed sessions, lifecycle ops, nesting *)
+  let refused = function Error _ -> () | Ok _ -> Alcotest.fail "invalid batch accepted" in
+  refused (P.batch_of_requests []);
+  refused
+    (P.batch_of_requests
+       [ P.Candidates { session = "a"; max = None }; P.Candidates { session = "b"; max = None } ]);
+  refused (P.batch_of_requests [ open_req ~session:"a" () ]);
+  refused (P.batch_of_requests [ P.Close { session = "a" } ]);
+  refused (P.batch_of_requests [ batch ]);
+  (* and the wire decoder enforces the same rules *)
+  List.iter
+    (fun line ->
+      match P.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "invalid batch line accepted: %s" line)
+    [
+      {|{"op":"batch","session":"a","reqs":[]}|};
+      {|{"op":"batch","session":"a","reqs":[{"op":"stats"}]}|};
+      {|{"op":"batch","session":"a","reqs":[{"op":"candidates","session":"zzz"}]}|};
+      {|{"op":"batch","session":"a","reqs":[{"op":"batch","reqs":[{"op":"candidates"}]}]}|};
+    ]
+
+(* The batch differential: the same mix as one batch and as a sequential
+   op run must produce byte-identical sub-replies, identical live state,
+   byte-identical journals, and identical resume-from-journal results. *)
+let test_batch_vs_sequential () =
+  let dir_seq = tmpdir "dse_bseq" and dir_bat = tmpdir "dse_bbat" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir_seq;
+      rm_rf dir_bat)
+  @@ fun () ->
+  let mix =
+    crypto_script "cs"
+    @ [ P.Candidates { session = "cs"; max = Some 4 }; P.Signature { session = "cs" } ]
+  in
+  let svc_seq = crypto_service dir_seq in
+  ignore (reply (Service.handle svc_seq (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  let seq_replies = List.map (Service.handle svc_seq) mix in
+  let svc_bat = crypto_service dir_bat in
+  ignore (reply (Service.handle svc_bat (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  let batch_reply = reply (Service.handle svc_bat (ok (P.batch_of_requests mix))) in
+  (match jmember "results" batch_reply with
+  | J.List results ->
+    Alcotest.(check int) "one result per sub-request" (List.length mix) (List.length results);
+    List.iteri
+      (fun i (want, got) ->
+        Alcotest.(check string)
+          (Printf.sprintf "result %d matches the sequential reply" i)
+          (J.to_string (P.json_of_response want))
+          (J.to_string got))
+      (List.combine seq_replies results)
+  | _ -> Alcotest.fail "batch reply without a results list");
+  if List.mem_assoc "batch_aborted_at" batch_reply then
+    Alcotest.fail "a fully successful batch must not carry an abort index";
+  let sig_of svc = jstr "signature" (reply (Service.handle svc (P.Signature { session = "cs" }))) in
+  Alcotest.(check string) "identical live state" (sig_of svc_seq) (sig_of svc_bat);
+  (* batch journals the individual mutation records: same bytes on disk *)
+  Alcotest.(check string) "byte-identical journals"
+    (read_file (Journal.path ~dir:dir_seq ~id:"cs"))
+    (read_file (Journal.path ~dir:dir_bat ~id:"cs"));
+  (* and replay reconstructs the same state from either journal *)
+  let resume dir =
+    let svc = crypto_service dir in
+    reply (Service.handle svc (open_req ~session:"cs" ~layer:"" ~resume:true ()))
+  in
+  let r_seq = resume dir_seq and r_bat = resume dir_bat in
+  Alcotest.(check int) "same replay depth" (jint "replayed" r_seq) (jint "replayed" r_bat);
+  Alcotest.(check string) "resumed signatures agree" (jstr "signature" r_seq)
+    (jstr "signature" r_bat)
+
+(* Same differential under an injected fsync fault: both paths fail the
+   group commit with the same structured error, evict, and rehydrate to
+   the same (journaled) state. *)
+let test_batch_fault_parity () =
+  let dir_seq = tmpdir "dse_bfseq" and dir_bat = tmpdir "dse_bfbat" in
+  Fun.protect
+    ~finally:(fun () ->
+      Iofault.disarm ();
+      rm_rf dir_seq;
+      rm_rf dir_bat)
+  @@ fun () ->
+  let set1 =
+    P.Set { session = "cs"; name = "Operator Family"; value = Value.str "modular"; decide = true }
+  in
+  let set2 =
+    P.Set
+      { session = "cs"; name = "Modular Operator"; value = Value.str "multiplier"; decide = true }
+  in
+  let run_mutations svc =
+    Iofault.arm ~seed:11 [ (Iofault.Fsync, Iofault.Eio, 1.0) ];
+    let r =
+      match svc with
+      | `Seq svc ->
+        ignore (Service.handle svc set1);
+        Service.handle svc set2
+      | `Bat svc -> Service.handle svc (ok (P.batch_of_requests [ set1; set2 ]))
+    in
+    Iofault.disarm ();
+    r
+  in
+  let svc_seq = crypto_service_ext ~journal_sync:true dir_seq in
+  ignore (reply (Service.handle svc_seq (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  let svc_bat = crypto_service_ext ~journal_sync:true dir_bat in
+  ignore (reply (Service.handle svc_bat (open_req ~session:"cs" ~layer:"crypto" ~eol:768 ())));
+  let code_of = function
+    | P.Failed (code, _) -> P.error_code_label code
+    | P.Reply _ -> "ok"
+  in
+  let r_seq = run_mutations (`Seq svc_seq) and r_bat = run_mutations (`Bat svc_bat) in
+  Alcotest.(check string) "sequential path fails the fsync" "journal_error" (code_of r_seq);
+  Alcotest.(check string) "batch group commit fails the same way" "journal_error" (code_of r_bat);
+  (* both evicted; both rehydrate everything that reached the journal *)
+  let sig_seq = jstr "signature" (reply (Service.handle svc_seq (P.Signature { session = "cs" }))) in
+  let sig_bat = jstr "signature" (reply (Service.handle svc_bat (P.Signature { session = "cs" }))) in
+  Alcotest.(check string) "identical recovered state" sig_seq sig_bat
+
+let test_batch_abort_semantics () =
+  let svc = service () in
+  ignore (reply (Service.handle svc (open_req ~session:"ab" ())));
+  let signature () =
+    jstr "signature" (reply (Service.handle svc (P.Signature { session = "ab" })))
+  in
+  let sig0 = signature () in
+  (* a failing read records its failure and the batch continues *)
+  let read_fail =
+    reply
+      (Service.handle svc
+         (ok
+            (P.batch_of_requests
+               [
+                 P.Preview { session = "ab"; issue = "no-such-issue"; merit = None };
+                 P.Set { session = "ab"; name = issue; value = pick; decide = false };
+               ])))
+  in
+  (match jmember "results" read_fail with
+  | J.List [ first; second ] ->
+    (match P.response_of_json first with
+    | Ok (P.Failed _) -> ()
+    | _ -> Alcotest.fail "failing preview must surface as a failed result");
+    (match P.response_of_json second with
+    | Ok (P.Reply _) -> ()
+    | _ -> Alcotest.fail "the set after the failing read must still execute")
+  | _ -> Alcotest.fail "expected two results");
+  if List.mem_assoc "batch_aborted_at" read_fail then
+    Alcotest.fail "a read failure must not abort the batch";
+  Alcotest.(check bool) "the set landed" false (String.equal sig0 (signature ()));
+  ignore (reply (Service.handle svc (P.Retract { session = "ab"; name = issue })));
+  (* the first mutation failure aborts: its reply is the last result and
+     nothing after it executes *)
+  let aborted =
+    reply
+      (Service.handle svc
+         (ok
+            (P.batch_of_requests
+               [
+                 P.Candidates { session = "ab"; max = Some 0 };
+                 P.Set { session = "ab"; name = "no-such-property"; value = pick; decide = false };
+                 P.Set { session = "ab"; name = issue; value = pick; decide = false };
+               ])))
+  in
+  Alcotest.(check int) "abort index" 1 (jint "batch_aborted_at" aborted);
+  (match jmember "results" aborted with
+  | J.List l ->
+    Alcotest.(check int) "failed reply is the last result" 2 (List.length l);
+    (match P.response_of_json (List.nth l 1) with
+    | Ok (P.Failed (P.Rejected, _)) -> ()
+    | _ -> Alcotest.fail "the aborting result must be the rejection")
+  | _ -> Alcotest.fail "results missing");
+  Alcotest.(check string) "nothing after the abort executed" sig0 (signature ());
+  (* the non-finite screen aborts before anything is journaled *)
+  let nf =
+    reply
+      (Service.handle svc
+         (ok
+            (P.batch_of_requests
+               [
+                 P.Set
+                   { session = "ab"; name = issue; value = Value.real Float.nan; decide = false };
+               ])))
+  in
+  Alcotest.(check int) "non-finite aborts at 0" 0 (jint "batch_aborted_at" nf);
+  match jmember "results" nf with
+  | J.List [ only ] -> (
+    match P.response_of_json only with
+    | Ok (P.Failed (P.Bad_request, _)) -> ()
+    | _ -> Alcotest.fail "a non-finite set must fail bad_request")
+  | _ -> Alcotest.fail "expected exactly one result"
+
+(* FIFO under pipelining: each reply must answer the request at its own
+   index.  Page sizes k mod 4 make any reordering visible, and four
+   concurrent clients keep several connections in flight at once. *)
+let test_pipeline_fifo () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dse_fifo_%d.sock" (Unix.getpid ()))
+  in
+  let svc = service () in
+  let server = Ds_serve.Server.create ~socket ~pool:4 svc in
+  let server_thread = Thread.create Ds_serve.Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Ds_serve.Server.shutdown server;
+      Thread.join server_thread)
+  @@ fun () ->
+  let record, errs = collector () in
+  let client_run tid () =
+    match Ds_serve.Client.connect_retry ~socket () with
+    | Error e -> record ("connect: " ^ e)
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Ds_serve.Client.close c) @@ fun () ->
+      let sid = Printf.sprintf "fifo-%d" tid in
+      (match Ds_serve.Client.request c (open_req ~session:sid ()) with
+      | Ok (P.Reply _) -> ()
+      | Ok (P.Failed (_, msg)) -> record (sid ^ ": open failed: " ^ msg)
+      | Error e -> record (sid ^ ": open failed: " ^ e));
+      let n = 48 in
+      let lines =
+        List.init n (fun k ->
+            J.to_string
+              (P.json_of_request (P.Candidates { session = sid; max = Some (k mod 4) })))
+      in
+      let results = Ds_serve.Client.pipeline c lines in
+      if List.length results <> n then record (sid ^ ": result count mismatch");
+      List.iteri
+        (fun k r ->
+          match r with
+          | Error e -> record (Printf.sprintf "%s[%d]: %s" sid k e)
+          | Ok line -> (
+            match P.response_of_string line with
+            | Ok (P.Reply payload) ->
+              let page =
+                match List.assoc_opt "candidates" payload with
+                | Some (J.List l) -> List.length l
+                | _ -> -1
+              in
+              if page <> k mod 4 then
+                record
+                  (Printf.sprintf "%s[%d]: page %d proves out-of-order delivery (want %d)" sid
+                     k page (k mod 4))
+            | Ok (P.Failed (code, msg)) ->
+              record (Printf.sprintf "%s[%d]: %s: %s" sid k (P.error_code_label code) msg)
+            | Error e -> record (Printf.sprintf "%s[%d]: unparseable: %s" sid k e)))
+        results
+  in
+  let threads = List.init 4 (fun tid -> Thread.create (client_run tid) ()) in
+  List.iter Thread.join threads;
+  check_collected errs
+
+let test_response_too_large () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dse_toolarge_%d.sock" (Unix.getpid ()))
+  in
+  let svc = service () in
+  let server = Ds_serve.Server.create ~socket ~pool:2 svc in
+  let server_thread = Thread.create Ds_serve.Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Ds_serve.Server.shutdown server;
+      Thread.join server_thread)
+  @@ fun () ->
+  (* seed a session whose trace is guaranteed past the client's bound *)
+  (let c = ok (Ds_serve.Client.connect_retry ~socket ()) in
+   ignore (reply (ok (Ds_serve.Client.request c (open_req ~session:"big" ()))));
+   ignore
+     (reply
+        (ok (Ds_serve.Client.request c (P.Annotate { session = "big"; text = String.make 4096 'n' }))));
+   Ds_serve.Client.close c);
+  let trace = P.Trace { session = "big"; spans = false; since = None; max_spans = None } in
+  let c = ok (Ds_serve.Client.connect ~max_response:1024 ~socket ()) in
+  Fun.protect ~finally:(fun () -> Ds_serve.Client.close c) @@ fun () ->
+  (match ok (Ds_serve.Client.request c trace) with
+  | P.Failed (P.Response_too_large, msg) ->
+    Alcotest.(check bool) (Printf.sprintf "names the bound: %s" msg) true (contains msg "1024")
+  | P.Failed (code, msg) -> Alcotest.failf "wrong failure %s: %s" (P.error_code_label code) msg
+  | P.Reply _ -> Alcotest.fail "an oversized reply must fail structurally");
+  (* the oversized line was drained through its newline: the connection
+     stays ordered and usable *)
+  let after = reply (ok (Ds_serve.Client.request c (P.Signature { session = "big" }))) in
+  Alcotest.(check string) "connection usable after the drain" "big" (jstr "session" after);
+  (* the raw variant surfaces a recognizable error *)
+  (match Ds_serve.Client.request_line c (J.to_string (P.json_of_request trace)) with
+  | Error msg ->
+    Alcotest.(check bool) "recognizer accepts it" true (Ds_serve.Client.response_too_large msg)
+  | Ok _ -> Alcotest.fail "request_line must report the bound");
+  ignore (reply (ok (Ds_serve.Client.request c (P.Signature { session = "big" }))));
+  (* deterministic, so Durable never retries it — even when asked to
+     retry failures *)
+  let d = Ds_serve.Client.Durable.create ~max_response:1024 ~socket () in
+  Fun.protect ~finally:(fun () -> Ds_serve.Client.Durable.close d) @@ fun () ->
+  (match ok (Ds_serve.Client.Durable.request ~retry_failures:true d trace) with
+  | P.Failed (P.Response_too_large, _) -> ()
+  | P.Failed (code, msg) -> Alcotest.failf "wrong durable failure %s: %s" (P.error_code_label code) msg
+  | P.Reply _ -> Alcotest.fail "durable must surface response_too_large");
+  Alcotest.(check int) "never retried" 0 (Ds_serve.Client.Durable.retried d)
 
 let () =
   Alcotest.run "serve"
@@ -1615,5 +1943,16 @@ let () =
           Alcotest.test_case "idle connections reaped and counted" `Quick test_idle_reap;
           Alcotest.test_case "durable client reconnects across restart" `Quick
             test_durable_reconnect_across_restart;
+        ] );
+      ( "batch-pipeline",
+        [
+          Alcotest.test_case "batch codec + validation" `Quick test_batch_codec;
+          Alcotest.test_case "batch vs sequential differential" `Quick
+            test_batch_vs_sequential;
+          Alcotest.test_case "batch fault parity" `Quick test_batch_fault_parity;
+          Alcotest.test_case "batch abort semantics" `Quick test_batch_abort_semantics;
+          Alcotest.test_case "pipelined replies stay FIFO" `Quick test_pipeline_fifo;
+          Alcotest.test_case "oversized reply bounded client-side" `Quick
+            test_response_too_large;
         ] );
     ]
