@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test check bench bench-json serve-smoke fleet-smoke bench-serve bench-obs bench-sweep bench-fleet bench-compare obs-lint soak soak-smoke doc examples clean
+.PHONY: all test check bench bench-json serve-smoke fleet-smoke bench-serve bench-obs bench-obs-fleet bench-sweep bench-fleet bench-compare obs-lint soak soak-smoke doc examples clean
 
 all:
 	dune build @all
@@ -19,6 +19,7 @@ check:
 	dune exec bench/main.exe -- obs --json --smoke
 	dune exec bench/main.exe -- sweep --json --smoke
 	dune exec bench/main.exe -- fleet --json --smoke
+	dune exec bench/main.exe -- obs-fleet --json --smoke
 	$(MAKE) serve-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) soak-smoke
@@ -63,7 +64,9 @@ bench-serve:
 # 20k-session fleet aggregate against the PR7 serve baseline (>=2x
 # sharding win, FLEET_MIN_SPEEDUP overrides) and the committed PR9
 # pipelined aggregate against the PR8 lockstep fleet baseline (>=2.5x
-# data-plane win, PIPELINE_MIN_SPEEDUP overrides).
+# data-plane win, PIPELINE_MIN_SPEEDUP overrides).  The PR10 leg
+# checks the committed fleet tracing-overhead figure against its <=3%
+# budget (OBS_FLEET_MAX_OVERHEAD overrides).
 bench-compare:
 	dune exec bench/main.exe -- serve --json --smoke
 	sh scripts/bench_compare.sh
@@ -71,6 +74,7 @@ bench-compare:
 	sh scripts/bench_compare.sh BENCH_PR4.json BENCH_PR7.json
 	sh scripts/bench_compare.sh BENCH_PR7.json BENCH_PR9.json
 	sh scripts/bench_compare.sh BENCH_PR8.json BENCH_PR9.json
+	sh scripts/bench_compare.sh BENCH_PR10.json BENCH_PR10.json
 
 # Columnar-sweep bench over generated 10^5- and 10^6-core layers
 # (writes BENCH_PR7.json: build/cold-sweep/warm-requery times, GC
@@ -94,6 +98,13 @@ bench:
 # (writes BENCH_PR5.json; <=3% overhead budget, DESIGN.md 13).
 bench-obs:
 	dune exec bench/main.exe -- obs --json
+
+# Fleet tracing-overhead bench: depth-16 pipelined traffic through the
+# router with telemetry off vs on at the default head-sampling rate,
+# adjacent alternating pairs, gated on the median pair overhead
+# (writes BENCH_PR10.json; <=3% budget, DESIGN.md 18).
+bench-obs-fleet:
+	dune exec bench/main.exe -- obs-fleet --json
 
 # The incremental-pruning baseline at full population sizes (slow),
 # plus the telemetry-overhead run (BENCH_PR5.json).

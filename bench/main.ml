@@ -28,6 +28,12 @@
                                             clients over 20k sessions,
                                             SIGKILL + journal-resume
                                             leg -> BENCH_PR9.json
+     dune exec bench/main.exe obs-fleet --json [--smoke]
+                                         -- distributed-tracing
+                                            overhead: the depth-16
+                                            pipelined fleet with
+                                            DSE_TELEMETRY off vs on
+                                            -> BENCH_PR10.json
 
    Every JSON bench honours DSE_BENCH_REPS=n (override per-phase
    repetition counts) and writes a gitignored BENCH_PR*-latest.json
@@ -2467,6 +2473,288 @@ let fleet_json ?(smoke = false) () =
       fleet_victim;
     exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* Fleet tracing-overhead bench (BENCH_PR10.json)                      *)
+
+(* The PR 9 pipelined data plane (depth-16 groups through the router's
+   pass-through path) run with DSE_TELEMETRY=0 and =1, each over a
+   freshly spawned fleet so the setting reaches every process — the
+   drivers mint a trace context per sampled request when telemetry is
+   on, the router and workers record remote-parented spans under it,
+   so the "on" side pays the distributed-tracing path end to end
+   (DESIGN.md 18).
+
+   The gated leg runs at the operational head-sampling rate below:
+   the sampling decision is taken once at the minting client
+   (Obs.mint_trace_sampled), so unsampled requests carry zero tracing
+   bytes through the fleet and the overhead scales with the rate —
+   which is exactly the knob DSE_TRACE_SAMPLE exists to turn.  The
+   compare script gates that leg at <= 3%, the same budget the
+   single-process telemetry bench (BENCH_PR5) enforces; full runs also
+   measure sample-everything tracing as an uncapped informational
+   figure. *)
+
+let obs_fleet_depth = 16
+let obs_fleet_sample = 0.02
+
+let obs_fleet_round ~smoke ~telemetry ~sample =
+  Unix.putenv "DSE_TELEMETRY" (if telemetry then "1" else "0");
+  Unix.putenv "DSE_TRACE_SAMPLE" (Printf.sprintf "%g" sample);
+  let clients = if smoke then 8 else 64 in
+  let drivers = if smoke then 2 else 4 in
+  let per_driver = clients / drivers in
+  let sessions = if smoke then 256 else 4_000 in
+  let reps = match env_reps () with Some r -> r | None -> if smoke then 1 else 12 in
+  let dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dse_bench_obsfleet_%d_%b" (Unix.getpid ()) telemetry)
+    in
+    rm_rf d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  let specs =
+    List.init fleet_n_workers (fun i ->
+        let name = Printf.sprintf "w%d" i in
+        let sock = Filename.concat dir (name ^ ".sock") in
+        {
+          Fleet.Supervisor.w_name = name;
+          w_socket = sock;
+          w_argv =
+            [|
+              Sys.executable_name; "fleet-worker"; "--socket"; sock; "--journal-dir";
+              Filename.concat dir (name ^ ".journal"); "--capacity"; "8192"; "--pool"; "10";
+            |];
+          w_log = Some (Filename.concat dir (name ^ ".log"));
+        })
+  in
+  let sup = Fleet.Supervisor.start specs in
+  (match Fleet.Supervisor.await_ready sup with
+  | Ok () -> ()
+  | Error msg ->
+    Fleet.Supervisor.stop sup;
+    failwith ("obs-fleet bench: workers not ready: " ^ msg));
+  let worker_list = Fleet.Supervisor.workers sup in
+  let names = List.map fst worker_list in
+  let router_sock = Filename.concat dir "router.sock" in
+  let router_pid =
+    let log =
+      Unix.openfile (Filename.concat dir "router.log")
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+        0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close log)
+      (fun () ->
+        Unix.create_process Sys.executable_name
+          [|
+            Sys.executable_name; "fleet-router"; "--socket"; router_sock; "--workers";
+            String.concat "," (List.map (fun (n, s) -> n ^ "=" ^ s) worker_list); "--slots"; "8";
+          |]
+          Unix.stdin log log)
+  in
+  let probe = Dur.create ~socket:router_sock () in
+  let healthz_ok () =
+    match Dur.request probe FP.Healthz with
+    | Ok (FP.Reply fields) -> (
+      match Option.bind (List.assoc_opt "status" fields) FJ.to_str with
+      | Some "ok" -> true
+      | _ -> false)
+    | _ -> false
+  in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec wait_up () =
+    if healthz_ok () then ()
+    else if Unix.gettimeofday () > deadline then failwith "obs-fleet bench: router did not come up"
+    else begin
+      Thread.delay 0.2;
+      wait_up ()
+    end
+  in
+  wait_up ();
+  let driver_argvs phase =
+    List.init drivers (fun d ->
+        [|
+          Sys.executable_name; "fleet-drive"; "--socket"; router_sock; "--workers";
+          String.concat "," names; "--victim"; fleet_victim; "--sample"; "0"; "--clients";
+          string_of_int per_driver; "--client-offset";
+          string_of_int (d * per_driver); "--client-total"; string_of_int clients; "--sessions";
+          string_of_int sessions; "--reps"; string_of_int reps; "--depth";
+          string_of_int obs_fleet_depth; "--phase"; phase;
+        |])
+  in
+  let parse_driver (status, out) =
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | _ -> failwith "obs-fleet bench: a driver process died");
+    match FJ.of_string (String.trim out) with
+    | Ok j -> j
+    | Error e -> failwith ("obs-fleet bench: unparseable driver report: " ^ e)
+  in
+  let dint k j = Option.value (Option.bind (FJ.member k j) FJ.to_int) ~default:0 in
+  let sum k reports = List.fold_left (fun acc j -> acc + dint k j) 0 reports in
+  (* unmeasured: open every session *)
+  let open_reports = List.map parse_driver (fleet_run_drivers (driver_argvs "open")) in
+  if sum "errors" open_reports > 0 then failwith "obs-fleet bench: open leg saw errors";
+  (* measured: the depth-16 pipelined drive mix *)
+  let t0 = Unix.gettimeofday () in
+  let reports = List.map parse_driver (fleet_run_drivers (driver_argvs "pipeline")) in
+  let wall = Unix.gettimeofday () -. t0 in
+  let requests = sum "requests" reports in
+  let errors = sum "errors" reports in
+  let rps = if wall > 0.0 then float_of_int requests /. wall else 0.0 in
+  (* proof the traced side actually traced: the merged fleet span
+     stream must carry remote-parented spans (and none when off) *)
+  let spans =
+    match Dur.request_line probe {|{"op":"trace","spans":true}|} with
+    | Ok line -> (
+      match FJ.of_string line with
+      | Ok j -> (
+        match Option.bind (FJ.member "spans" j) FJ.to_list with
+        | Some l ->
+          List.length
+            (List.filter
+               (fun s -> Option.bind (FJ.member "attrs" s) (FJ.str_member "trace") <> None)
+               l)
+        | None -> 0)
+      | Error _ -> 0)
+    | Error _ -> 0
+  in
+  Dur.close probe;
+  (try Unix.kill router_pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let rec reap tries =
+    match Unix.waitpid [ Unix.WNOHANG ] router_pid with
+    | 0, _ when tries > 0 ->
+      Thread.delay 0.1;
+      reap (tries - 1)
+    | 0, _ ->
+      (try Unix.kill router_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] router_pid)
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  reap 50;
+  Fleet.Supervisor.stop sup;
+  rm_rf dir;
+  printf "tracing %-11s: %d req in %.2f s  (%.0f req/s)  traced spans %d  errors %d\n%!"
+    (if telemetry then Printf.sprintf "on @ %g" sample else "off")
+    requests wall rps spans errors;
+  (requests, wall, rps, errors, spans)
+
+let obs_fleet_json ?(smoke = false) () =
+  header
+    (if smoke then "Fleet tracing-overhead bench (smoke) -> BENCH_PR10.json"
+     else "Fleet tracing-overhead bench -> BENCH_PR10.json");
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let saved_tel = Sys.getenv_opt "DSE_TELEMETRY" in
+  let saved_sample = Sys.getenv_opt "DSE_TRACE_SAMPLE" in
+  let pairs = if smoke then 1 else 7 in
+  (* adjacent off/on pairs, order alternating between pairs, gated on
+     the TRIMMED MEAN of per-pair overheads (lowest and highest pair
+     dropped): a fresh fleet per round on a shared box makes single
+     rounds swing +/-15%, and a per-side best-of turns one lucky
+     baseline round into phantom overhead.  Pairing adjacent rounds
+     cancels slow drift, and because the noise is one-sided (a load
+     burst only ever slows a round down) the median is the right
+     robust estimate — a trimmed mean still leans into the skewed
+     tail. *)
+  let rounds =
+    List.init pairs (fun i ->
+        if i mod 2 = 0 then begin
+          let off = obs_fleet_round ~smoke ~telemetry:false ~sample:obs_fleet_sample in
+          let on = obs_fleet_round ~smoke ~telemetry:true ~sample:obs_fleet_sample in
+          (off, on)
+        end
+        else begin
+          let on = obs_fleet_round ~smoke ~telemetry:true ~sample:obs_fleet_sample in
+          let off = obs_fleet_round ~smoke ~telemetry:false ~sample:obs_fleet_sample in
+          (off, on)
+        end)
+  in
+  (* one sample-everything round, reported but not gated: the cost of
+     tracing literally every request through every hop *)
+  let full_rate =
+    if smoke then None else Some (obs_fleet_round ~smoke ~telemetry:true ~sample:1.0)
+  in
+  Unix.putenv "DSE_TELEMETRY" (Option.value saved_tel ~default:"1");
+  Unix.putenv "DSE_TRACE_SAMPLE" (Option.value saved_sample ~default:"1.0");
+  let rps_of (_, _, rps, _, _) = rps in
+  let pair_overhead ((off, on) : (int * float * float * int * int) * (int * float * float * int * int)) =
+    if rps_of off > 0.0 then 100.0 *. (1.0 -. (rps_of on /. rps_of off)) else 0.0
+  in
+  let overheads = List.sort compare (List.map pair_overhead rounds) in
+  let median_overhead = List.nth overheads (List.length overheads / 2) in
+  (* the pair closest to the estimate, for the reported absolute figures *)
+  let median_pair =
+    List.fold_left
+      (fun best p ->
+        if Float.abs (pair_overhead p -. median_overhead)
+           < Float.abs (pair_overhead best -. median_overhead)
+        then p
+        else best)
+      (List.hd rounds) rounds
+  in
+  let (off_req, off_wall, off_rps, _, _) = fst median_pair in
+  let (on_req, on_wall, on_rps, _, on_spans) = snd median_pair in
+  let errors =
+    List.fold_left
+      (fun acc ((_, _, _, e1, _), (_, _, _, e2, _)) -> acc + e1 + e2)
+      0 rounds
+  in
+  if errors > 0 then begin
+    Printf.eprintf "obs-fleet bench: %d client-visible failures\n" errors;
+    exit 1
+  end;
+  if on_spans = 0 then begin
+    Printf.eprintf "obs-fleet bench: tracing-on round recorded no propagated spans\n";
+    exit 1
+  end;
+  let overhead_pct = median_overhead in
+  let within = overhead_pct <= 3.0 in
+  printf "fleet tracing overhead at depth %d, sampling %g: %.2f%% median of [%s] (target <= 3%%)%s\n"
+    obs_fleet_depth obs_fleet_sample overhead_pct
+    (String.concat "; " (List.map (Printf.sprintf "%.2f") overheads))
+    (if within then "" else "  [OVER BUDGET]");
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"fleet-tracing-overhead\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"layer\": \"idct\",\n";
+  add "  \"workers\": %d,\n" fleet_n_workers;
+  add "  \"depth\": %d,\n" obs_fleet_depth;
+  add "  \"rounds_per_setting\": %d,\n" pairs;
+  add "  \"pair_overheads_pct\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "%.2f") overheads));
+  add "  \"trace_sample\": %g,\n" obs_fleet_sample;
+  add "  \"requests_per_second\": %.1f,\n" on_rps;
+  add
+    "  \"tracing_off\": { \"requests\": %d, \"wall_s\": %.3f, \"requests_per_second\": %.1f },\n"
+    off_req off_wall off_rps;
+  add
+    "  \"tracing_on\": { \"requests\": %d, \"wall_s\": %.3f, \"requests_per_second\": %.1f, \
+     \"propagated_spans\": %d },\n"
+    on_req on_wall on_rps on_spans;
+  (match full_rate with
+  | Some (fr_req, fr_wall, fr_rps, _, fr_spans) ->
+    let fr_overhead = if off_rps > 0.0 then 100.0 *. (1.0 -. (fr_rps /. off_rps)) else 0.0 in
+    printf "sample-everything tracing overhead (informational): %.2f%%\n" fr_overhead;
+    add
+      "  \"full_sampling\": { \"trace_sample\": 1.0, \"requests\": %d, \"wall_s\": %.3f, \
+       \"requests_per_second\": %.1f, \"propagated_spans\": %d, \"overhead_pct\": %.2f },\n"
+      fr_req fr_wall fr_rps fr_spans fr_overhead
+  | None -> ());
+  add "  \"overhead_pct\": %.2f,\n" overhead_pct;
+  add "  \"target_pct\": 3.0,\n";
+  add "  \"within_target\": %b\n" within;
+  add "}\n";
+  write_bench "BENCH_PR10" buf;
+  printf "\nwrote BENCH_PR10.json (%.2f%% tracing overhead at depth %d, sampling %g)\n"
+    overhead_pct obs_fleet_depth obs_fleet_sample
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
 
 let micro () =
@@ -2859,6 +3147,11 @@ let () =
      written to BENCH_PR9.json *)
   | _ :: "fleet" :: rest when List.mem "--json" rest ->
     fleet_json ~smoke:(List.mem "--smoke" rest) ()
+  (* [obs-fleet --json [--smoke]]: distributed-tracing overhead over
+     the depth-16 pipelined fleet (DSE_TELEMETRY off vs on), written
+     to BENCH_PR10.json *)
+  | _ :: "obs-fleet" :: rest when List.mem "--json" rest ->
+    obs_fleet_json ~smoke:(List.mem "--smoke" rest) ()
   (* hidden: one fleet worker process (execed by the bench's own
      supervisor — not a user entry point) *)
   | _ :: "fleet-worker" :: rest -> fleet_worker rest

@@ -840,12 +840,37 @@ let serve_cmd =
       1
     | server ->
       Ds_serve.Server.install_signal_handlers server;
+      (* the HTTP observability plane (DSE_METRICS_ADDR; DESIGN.md 18) *)
+      let http =
+        Ds_serve.Httpd.start_from_env
+          ~routes:(fun path ->
+            match path with
+            | "/metrics" ->
+              Some
+                (Ds_serve.Httpd.ok ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+                   (Obs.prometheus [ ("service", SV.registry svc); ("engine", Obs.default) ]
+                   ^ "\n"))
+            | "/healthz" ->
+              Some
+                (Ds_serve.Httpd.ok ~content_type:"application/json"
+                   (SP.print_response (SV.handle svc SP.Healthz) ^ "\n"))
+            | "/tracez" ->
+              Some
+                (Ds_serve.Httpd.ok ~content_type:"application/json"
+                   ("[" ^ String.concat "," (Obs.trace_json_lines ()) ^ "]\n"))
+            | _ -> None)
+          ()
+      in
       printf "dse service listening on %s (layers: %s)%s\n%!" socket
         (String.concat ", " Ds_domains.Catalog.names)
         (match journal_dir with
         | Some dir -> Printf.sprintf ", journaling to %s" dir
         | None -> ", journaling disabled");
+      (match http with
+      | Some h -> printf "observability plane on http port %d\n%!" (Ds_serve.Httpd.port h)
+      | None -> ());
       Ds_serve.Server.serve server;
+      Option.iter Ds_serve.Httpd.stop http;
       printf "dse service stopped after %d connections\n"
         (Ds_serve.Server.connections_served server);
       0
@@ -971,6 +996,7 @@ type metrics_sample = {
   ms_counters : (string * int) list;
   ms_gauges : (string * float) list;
   ms_hists : (string * (int * float * int array)) list;  (* count, max, buckets *)
+  ms_slow : string list;  (* slow-request log lines (JSON span trees) *)
 }
 
 let parse_metrics payload =
@@ -1005,22 +1031,26 @@ let parse_metrics payload =
     ms_counters = fold_members "counters" SJ.to_int;
     ms_gauges = fold_members "gauges" SJ.to_float;
     ms_hists = fold_members "histograms" hist_of;
+    ms_slow =
+      (match List.assoc_opt "slow" payload with
+      | Some (SJ.List l) -> List.filter_map SJ.to_str l
+      | _ -> []);
   }
 
 (* Window a histogram between two cumulative snapshots by differencing
    the bucket counts, then reuse the registry's own quantile estimator
    over the delta.  The max is cumulative (the wire format carries no
-   windowed max); quantiles are windowed. *)
+   windowed max); quantiles are windowed.  Deltas clamp at zero
+   ({!Obs.window_delta}): a worker restarted in place resets its
+   cumulative counters, and a reset must read as "no traffic this
+   window", never as a negative rate. *)
 let windowed_hist ?prev (count, max_us, buckets) =
   let pcount, pbuckets =
     match prev with Some (c, _, b) -> (c, b) | None -> (0, [||])
   in
-  let counts =
-    Array.mapi
-      (fun i c -> c - if i < Array.length pbuckets then pbuckets.(i) else 0)
-      buckets
-  in
-  (count - pcount, fun p -> Obs.quantile_of ~counts ~count:(count - pcount) ~max:max_us p)
+  let counts = Obs.window_counts ~prev:pbuckets ~cur:buckets in
+  let n = Obs.window_delta ~prev:pcount ~cur:count in
+  (n, fun p -> Obs.quantile_of ~counts ~count:n ~max:max_us p)
 
 let print_metrics_screen ~elapsed ~sample:s ~prev =
   let window_label =
@@ -1047,10 +1077,19 @@ let print_metrics_screen ~elapsed ~sample:s ~prev =
       match prev with
       | None -> printf "  %-34s %11s  (total %d)\n" name "-" v
       | Some _ ->
-        let dv = v - Option.value ~default:0 (List.assoc_opt name prev_counters) in
-        if dv > 0 then printf "  %-34s %11.1f  (total %d)\n" name (float_of_int dv /. dt) v)
+        let prev_v = Option.value ~default:0 (List.assoc_opt name prev_counters) in
+        (* clamped: a restart-in-place counter reset shows as silence,
+           not a negative rate *)
+        if Obs.window_delta ~prev:prev_v ~cur:v > 0 then
+          printf "  %-34s %11.1f  (total %d)\n" name
+            (Obs.window_rate ~prev:prev_v ~cur:v ~dt)
+            v)
     s.ms_counters;
   List.iter (fun (name, v) -> printf "  %-34s %11.1f\n" name v) s.ms_gauges;
+  if s.ms_slow <> [] then begin
+    printf "  slow requests (over DSE_SLOW_MS; span trees as JSON):\n";
+    List.iter (fun line -> printf "    %s\n" line) s.ms_slow
+  end;
   print_newline ();
   flush stdout
 
@@ -1181,12 +1220,17 @@ let top_cmd =
 
 (* ----- trace: exploration story from exported spans ----------------------- *)
 
-(* A recorded span as shipped by the [trace] op's spans mode. *)
+(* A recorded span as shipped by the [trace] op's spans mode.  A fleet
+   router's merged stream tags each span with its shard of origin at
+   the top level; that tag folds into [ws_attrs] so one parser serves
+   both the single-process and the fleet views. *)
 type wire_span = {
   ws_seq : int;
   ws_id : int;
   ws_parent : int;
   ws_name : string;
+  ws_t0 : float;
+  ws_dur_us : float;
   ws_attrs : (string * string) list;
 }
 
@@ -1203,13 +1247,21 @@ let wire_span_of_json json =
                 Option.value ~default:(-1)
                   (Option.bind (SJ.member "parent" json) SJ.to_int);
               ws_name = name;
+              ws_t0 =
+                Option.value ~default:0.0 (Option.bind (SJ.member "t0" json) SJ.to_float);
+              ws_dur_us =
+                Option.value ~default:0.0
+                  (Option.bind (SJ.member "dur_us" json) SJ.to_float);
               ws_attrs =
-                (match SJ.member "attrs" json with
-                | Some (SJ.Obj fields) ->
-                  List.filter_map
-                    (fun (k, v) -> Option.map (fun v -> (k, v)) (SJ.to_str v))
-                    fields
-                | _ -> []);
+                (match SJ.str_member "shard" json with
+                | Some shard -> [ ("shard", shard) ]
+                | None -> [])
+                @ (match SJ.member "attrs" json with
+                  | Some (SJ.Obj fields) ->
+                    List.filter_map
+                      (fun (k, v) -> Option.map (fun v -> (k, v)) (SJ.to_str v))
+                      fields
+                  | _ -> []);
             })
           (SJ.to_int id))
   | _ -> None
@@ -1327,12 +1379,96 @@ let print_trace_story session spans =
   if roots = [] then
     printf "no spans recorded for session %S (is telemetry enabled on the server?)\n" session
 
+(* One unpaginated fetch of the whole merged fleet span stream: the
+   router fans a [trace spans] request to every worker and appends its
+   own ring, so pagination cursors are per-shard and a single full
+   fetch is the simple correct read. *)
+let fetch_fleet_spans client =
+  match
+    Ds_serve.Client.request client
+      (SP.Trace { session = ""; spans = true; since = None; max_spans = None })
+  with
+  | Error msg | Ok (SP.Failed (_, msg)) -> Error msg
+  | Ok (SP.Reply payload) ->
+    let page =
+      Option.value ~default:[] (Option.bind (List.assoc_opt "spans" payload) SJ.to_list)
+    in
+    Ok (List.filter_map wire_span_of_json page, page)
+
+(* Reassemble one distributed request tree from span data alone
+   (DESIGN.md 18).  Every process that saw the trace recorded a
+   remote-parented local root carrying ["trace"]/["span"]/
+   ["parent_span"] attrs; local children hang off integer parent ids
+   within their own (shard, process) ring.  The client-minted root span
+   id was recorded by no process, so the tree's apex is virtual: roots
+   whose [parent_span] names no recorded span sit directly under it,
+   while any root whose [parent_span] is another recorded root's
+   ["span"] nests beneath that root. *)
+let print_fleet_trace tid spans =
+  let attr k sp = List.assoc_opt k sp.ws_attrs in
+  let shard_of sp = Option.value ~default:"?" (attr "shard" sp) in
+  let children : (string * int, wire_span list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun sp ->
+      if sp.ws_parent >= 0 then begin
+        let key = (shard_of sp, sp.ws_parent) in
+        Hashtbl.replace children key
+          (sp :: Option.value ~default:[] (Hashtbl.find_opt children key))
+      end)
+    spans;
+  let roots =
+    List.filter (fun sp -> attr "trace" sp = Some tid) spans
+    |> List.sort (fun a b -> Float.compare a.ws_t0 b.ws_t0)
+  in
+  let hex_of sp = attr "span" sp in
+  let known_hex = List.filter_map hex_of roots in
+  let under root =
+    List.filter
+      (fun sp -> hex_of root <> None && attr "parent_span" sp = hex_of root)
+      roots
+  in
+  let hidden = [ "trace"; "span"; "parent_span"; "shard" ] in
+  let attr_line sp =
+    String.concat ""
+      (List.filter_map
+         (fun (k, v) ->
+           if List.mem k hidden then None else Some (Printf.sprintf "  %s=%s" k v))
+         sp.ws_attrs)
+  in
+  let rec print_local indent sp =
+    printf "%s%s [%s]  %.1fus%s\n" indent sp.ws_name (shard_of sp) sp.ws_dur_us
+      (attr_line sp);
+    List.iter
+      (print_local (indent ^ "  "))
+      (List.sort
+         (fun a b -> compare a.ws_seq b.ws_seq)
+         (Option.value ~default:[] (Hashtbl.find_opt children (shard_of sp, sp.ws_id))))
+  in
+  let rec print_root indent root =
+    print_local indent root;
+    List.iter (fun sub -> print_root (indent ^ "  ") sub) (under root)
+  in
+  match roots with
+  | [] ->
+    printf
+      "no spans for trace %s (is DSE_TELEMETRY=1 on the fleet, and the trace id sampled?)\n"
+      tid
+  | roots ->
+    printf "trace %s  (%d process-local roots)\n" tid (List.length roots);
+    List.iter
+      (fun root ->
+        match attr "parent_span" root with
+        | Some p when List.mem p known_hex -> ()  (* printed beneath its parent *)
+        | _ -> print_root "  " root)
+      roots
+
 let trace_cmd =
   let session_arg =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"SESSION" ~doc:"Session id to reconstruct.")
+      & info [] ~docv:"SESSION"
+          ~doc:"Session id to reconstruct (or, with $(b,--fleet), a 32-hex trace id).")
   in
   let raw =
     Arg.(
@@ -1340,28 +1476,49 @@ let trace_cmd =
       & info [ "json" ]
           ~doc:"Dump the raw span pages as JSON lines instead of the reconstructed story.")
   in
-  let run socket session raw =
-    match
-      Ds_serve.Client.with_client ~socket (fun c -> fetch_all_spans c)
-    with
-    | Error msg | Ok (Error msg) ->
-      Printf.eprintf "dse trace: %s\n" msg;
-      1
-    | Ok (Ok (spans, dropped, raw_pages)) ->
-      if raw then List.iter (fun j -> printf "%s\n" (SJ.to_string j)) raw_pages
-      else begin
-        if dropped > 0 then
-          printf "(ring dropped %d spans before this read; story may be partial)\n" dropped;
-        print_trace_story session spans
-      end;
-      0
+  let fleet =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Treat the argument as a propagated trace id and reassemble the distributed \
+             request tree (router hop, worker op, sweep/journal/fsync phases) from the \
+             merged fleet span stream (DESIGN.md section 18).")
+  in
+  let run socket session raw fleet =
+    if fleet then begin
+      match Ds_serve.Client.with_client ~socket (fun c -> fetch_fleet_spans c) with
+      | Error msg | Ok (Error msg) ->
+        Printf.eprintf "dse trace: %s\n" msg;
+        1
+      | Ok (Ok (spans, raw_page)) ->
+        if raw then List.iter (fun j -> printf "%s\n" (SJ.to_string j)) raw_page
+        else print_fleet_trace session spans;
+        0
+    end
+    else
+      match
+        Ds_serve.Client.with_client ~socket (fun c -> fetch_all_spans c)
+      with
+      | Error msg | Ok (Error msg) ->
+        Printf.eprintf "dse trace: %s\n" msg;
+        1
+      | Ok (Ok (spans, dropped, raw_pages)) ->
+        if raw then List.iter (fun j -> printf "%s\n" (SJ.to_string j)) raw_pages
+        else begin
+          if dropped > 0 then
+            printf "(ring dropped %d spans before this read; story may be partial)\n" dropped;
+          print_trace_story session spans
+        end;
+        0
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Reconstruct a session's exploration story (decisions, pruning, derivations, \
-          faults) from the service's exported telemetry spans.")
-    Term.(const run $ socket_arg $ session_arg $ raw)
+          faults) from the service's exported telemetry spans; with $(b,--fleet), \
+          reassemble one distributed trace across router and worker processes.")
+    Term.(const run $ socket_arg $ session_arg $ raw $ fleet)
 
 (* ----- fleet: sharded multi-process service ------------------------------ *)
 
@@ -1507,8 +1664,18 @@ let fleet_serve_cmd =
         1
       | router ->
         Fleet.Router.install_signal_handlers router;
+        (* only the router mounts the HTTP plane: workers inherit this
+           environment, and N processes racing to bind DSE_METRICS_ADDR
+           is exactly the failure mode to avoid *)
+        let http =
+          Ds_serve.Httpd.start_from_env ~routes:(Fleet.Router.http_routes router) ()
+        in
         printf "dse fleet listening on %s (%d workers under %s)\n%!" socket n dir;
+        (match http with
+        | Some h -> printf "observability plane on http port %d\n%!" (Ds_serve.Httpd.port h)
+        | None -> ());
         Fleet.Router.serve router;
+        Option.iter Ds_serve.Httpd.stop http;
         Fleet.Supervisor.stop sup;
         printf "dse fleet stopped after %d connections; worker restarts:%s\n"
           (Fleet.Router.connections_served router)
@@ -1537,6 +1704,9 @@ let fleet_cmd =
 let () =
   let doc = "early design space exploration for core-based designs (DATE 1999 reproduction)" in
   let info = Cmd.info "dse" ~version:Version.version ~doc in
+  (* stamp the Prometheus [dse_build_info] gauge before any exporter
+     can run *)
+  Obs.set_build_info ~version:Version.version;
   (* [~catch:false] so an escaped exception (malformed input, a layer
      that fails to construct) becomes one error line and a non-zero exit
      instead of cmdliner's backtrace dump. *)

@@ -135,7 +135,7 @@ let m_quarantines = Obs.counter Obs.default "dse_engine_guard_quarantines_total"
 let observe_diag d =
   Obs.incr m_faults;
   if d.quarantines then Obs.incr m_quarantines;
-  if Obs.enabled () then
+  if Obs.recording () then
     Obs.instant "guard.fault"
       ~attrs:
         [

@@ -127,7 +127,7 @@ let map_chunks ?(quantum = 1) ~n f =
          invisible: parent them explicitly on the span open here *)
       let parent = Obs.current_span_id () in
       let f =
-        if not (Obs.enabled ()) then f
+        if not (Obs.recording ()) then f
         else fun lo hi ->
           let sp =
             Obs.span_begin ?parent

@@ -318,7 +318,7 @@ let derive_fixpoint t =
                       if Property.accepts prop value then begin
                         added_by := cc.Consistency.name :: !added_by;
                         incr derived;
-                        if Obs.enabled () then
+                        if Obs.recording () then
                           Obs.instant "cc.derive"
                             ~attrs:
                               [
@@ -636,7 +636,7 @@ let candidates_memo t =
         Obs.add m_eliminated eliminated;
         (* only constraints that did something: a span per no-op
            constraint per sweep would bury the pruning story *)
-        if Obs.enabled () then
+        if Obs.recording () then
           Array.iteri
             (fun j e ->
               if elim_total.(j) > 0 || e.e_quarantined then
@@ -927,7 +927,7 @@ let candidates_bits_memo t =
         Obs.observe m_sweep_us (Obs.now_us () -. t0);
         let eliminated = Array.fold_left ( + ) 0 elim_total in
         Obs.add m_eliminated eliminated;
-        if Obs.enabled () then
+        if Obs.recording () then
           Array.iteri
             (fun j e ->
               if elim_total.(j) > 0 || e.e_quarantined then
@@ -1039,7 +1039,7 @@ let merit_summary t ~merit =
     let key = state_signature t ^ "#" ^ merit in
     match Compliance.find_summary t.cache ~key with
     | Some summary ->
-      if Obs.enabled () then
+      if Obs.recording () then
         Obs.instant "eval.merit_summary" ~attrs:[ ("merit", merit); ("cached", "true") ];
       summary
     | None ->
@@ -1142,7 +1142,7 @@ let set_with_source_unspanned t name value source =
     end
 
 let set_with_source t name value source =
-  if not (Obs.enabled ()) then set_with_source_unspanned t name value source
+  if not (Obs.recording ()) then set_with_source_unspanned t name value source
   else begin
     let sp =
       Obs.span_begin "session.set"
@@ -1259,7 +1259,7 @@ let retract_unspanned t name =
       Ok (derive_fixpoint t'))
 
 let retract t name =
-  if not (Obs.enabled ()) then retract_unspanned t name
+  if not (Obs.recording ()) then retract_unspanned t name
   else begin
     let sp = Obs.span_begin "session.retract" ~attrs:[ ("name", name) ] in
     Fun.protect

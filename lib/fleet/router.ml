@@ -147,7 +147,11 @@ let forward t key line =
    and the full parse takes over.  [Slow] is always correct: the fast
    path is an optimization, never a semantic fork. *)
 
-type thin = Fast of string | Slow
+(* [Fast (session, trace)] carries the parsed trace context (if the
+   line had a well-formed ["trace"] member) so the pass-through path
+   can open its [router.route] span under the propagated parent while
+   still forwarding the raw bytes untouched. *)
+type thin = Fast of string * (string * string) option | Slow
 
 (* ops whose full-dispatch handling is exactly [forward t session line] *)
 let fast_op = function
@@ -163,7 +167,7 @@ exception Bail
 
 let thin_route line =
   let n = String.length line in
-  let op = ref None and session = ref None in
+  let op = ref None and session = ref None and trace = ref None in
   (* contents + index past the closing quote; Bail on any escape *)
   let read_string i =
     let j = ref (i + 1) in
@@ -207,12 +211,18 @@ let thin_route line =
               (match s with
               | "op" -> if !op = None then op := Some v else raise Bail
               | "session" -> if !session = None then session := Some v else raise Bail
+              | "trace" ->
+                (* a duplicate (or, via [read_string], escaped) trace
+                   member bails to the full parse — the differential
+                   test pins this *)
+                if !trace = None then trace := Some v else raise Bail
               | _ -> ());
               i := m
             end
             else begin
-              (* non-string value; op/session must be strings *)
-              if String.equal s "op" || String.equal s "session" then raise Bail;
+              (* non-string value; op/session/trace must be strings *)
+              if String.equal s "op" || String.equal s "session" || String.equal s "trace"
+              then raise Bail;
               i := k
             end
           end
@@ -222,7 +232,10 @@ let thin_route line =
       if skip_ws !i <> n then Slow
       else
         match (!op, !session) with
-        | Some op, Some s when fast_op op -> Fast s
+        | Some op, Some s when fast_op op ->
+          (* an ill-formed trace value is ignored, matching the full
+             parse ({!Ds_serve.Protocol.trace_member}) exactly *)
+          Fast (s, Option.bind !trace Obs.parse_trace)
         | _ -> Slow
     end
   with Bail -> Slow
@@ -456,6 +469,24 @@ let merged_metrics t results =
       | Jsonx.Obj fields -> Jsonx.Obj (fields @ [ ("router", registry_json t.registry) ])
       | other -> other
     in
+    (* The slow log rides the same payload: router-local lines first,
+       then each shard's, re-bounded to one ring's worth so a fleet
+       answer can't grow with worker count.  Truncated lines count as
+       dropped — the reader sees the loss, not a silently shorter log. *)
+    let slow_lines_of p =
+      match get "slow" p with
+      | Some (Jsonx.List l) ->
+        List.filter_map (function Jsonx.Str s -> Some s | _ -> None) l
+      | _ -> []
+    in
+    let router_slow, router_dropped = Obs.slow_read () in
+    let slow = router_slow @ List.concat_map slow_lines_of oks in
+    let dropped =
+      List.fold_left (fun acc p -> acc + geti "slow_dropped" (Jsonx.Obj p)) router_dropped oks
+    in
+    let cap = 64 in
+    let kept = List.filteri (fun i _ -> i < cap) slow in
+    let dropped = dropped + (List.length slow - List.length kept) in
     P.print_response
       (P.Reply
          [
@@ -469,6 +500,8 @@ let merged_metrics t results =
                (get "bounds" first) );
            ("workers", Jsonx.Int (List.length results));
            ("registries", registries);
+           ("slow", Jsonx.List (List.map (fun l -> Jsonx.Str l) kept));
+           ("slow_dropped", Jsonx.Int dropped);
            shards_field results;
          ])
 
@@ -503,14 +536,27 @@ let merged_stats results =
            shards_field results;
          ])
 
+(* The router's own ring spans ([router.route], backend waits), tagged
+   like a shard so the fleet assembler ([dse trace --fleet]) sees the
+   router hop in the same stream as worker spans. *)
+let own_trace_spans () =
+  List.filter_map
+    (fun line ->
+      match Jsonx.of_string line with
+      | Ok (Jsonx.Obj fields) -> Some (Jsonx.Obj (("shard", Jsonx.Str "router") :: fields))
+      | _ -> None)
+    (Obs.trace_json_lines ())
+
 (* Per-shard span rings do not share a sequence space, so the merged
    [next] cursor is per-shard (under ["shards"]) and the top-level view
-   is the union sorted by wall-clock start — good enough to retell a
-   cross-shard story, and exact within each shard. *)
-let merged_trace results =
+   is the union — workers plus the router's own ring — sorted by
+   wall-clock start: good enough to retell a cross-shard story, and
+   exact within each shard.  Cross-process trees hang together by the
+   ["trace"]/["span"]/["parent_span"] attrs, not by local ids. *)
+let merged_trace_fields results =
   let oks = List.filter_map (fun (name, r) -> Option.map (fun p -> (name, p)) (Result.to_option r)) results in
   match oks with
-  | [] -> P.print_response (P.Failed (P.Session_unavailable, "no worker answered trace"))
+  | [] -> Error "no worker answered trace"
   | oks ->
     let spans =
       List.concat_map
@@ -525,6 +571,7 @@ let merged_trace results =
               l
           | None -> [])
         oks
+      @ own_trace_spans ()
     in
     let spans =
       List.sort
@@ -548,16 +595,20 @@ let merged_trace results =
                  | Error msg -> Jsonx.Obj [ ("error", Jsonx.Str msg) ] ))
              results) )
     in
-    P.print_response
-      (P.Reply
-         [
-           ("spans", Jsonx.List spans);
-           ("dropped", Jsonx.Int dropped);
-           ("workers", Jsonx.Int (List.length results));
-           shards;
-         ])
+    Ok
+      [
+        ("spans", Jsonx.List spans);
+        ("dropped", Jsonx.Int dropped);
+        ("workers", Jsonx.Int (List.length results));
+        shards;
+      ]
 
-let healthz_reply t =
+let merged_trace results =
+  match merged_trace_fields results with
+  | Error msg -> P.print_response (P.Failed (P.Session_unavailable, msg))
+  | Ok fields -> P.print_response (P.Reply fields)
+
+let healthz_fields t =
   let statuses =
     List.map
       (fun (name, backend) ->
@@ -567,26 +618,57 @@ let healthz_reply t =
       t.backends
   in
   let all_ok = List.for_all (fun (_, s) -> match s with Jsonx.Str "ok" -> true | _ -> false) statuses in
-  P.print_response
-    (P.Reply
-       [
-         ("status", Jsonx.Str (if all_ok then "ok" else "degraded"));
-         ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started));
-         ("workers", Jsonx.Obj statuses);
-       ])
+  [
+    ("status", Jsonx.Str (if all_ok then "ok" else "degraded"));
+    ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started));
+    ("workers", Jsonx.Obj statuses);
+  ]
+
+let healthz_reply t = P.print_response (P.Reply (healthz_fields t))
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 
 let encode req = Jsonx.to_string (P.json_of_request req)
 
+(* concatenate per-shard expositions under per-shard prefix comments;
+   quantiles over merged buckets live in the json form *)
+let prometheus_text t line =
+  let results = fan_out t line in
+  let texts =
+    List.filter_map
+      (fun (name, r) ->
+        match r with
+        | Ok payload ->
+          Option.map
+            (fun text -> Printf.sprintf "# shard %s\n%s" name text)
+            (Jsonx.str_member "text" (Jsonx.Obj payload))
+        | Error _ -> None)
+      results
+  in
+  let own = Obs.prometheus [ ("router", t.registry) ] in
+  String.concat "\n" (texts @ [ "# router"; own ])
+
 let handle_line t line =
   Obs.incr t.c_requests;
   let t0 = Obs.now_us () in
+  let parsed = P.parse_request_traced line in
+  (* the router hop of the fleet trace: remote-parented under the
+     client's propagated context when present, an explicit local root
+     otherwise (the router has no enclosing request span) *)
+  let sp =
+    match parsed with
+    | Ok (_, Some (tid, parent_span)) ->
+      Obs.span_begin_remote ~trace:tid ~parent_span ~attrs:[ ("path", "full") ] "router.route"
+    | _ -> Obs.span_begin ~parent:(-1) ~attrs:[ ("path", "full") ] "router.route"
+  in
   let reply =
-    match P.parse_request line with
-    | Error (code, msg) -> fail code msg
-    | Ok req -> (
+    Fun.protect
+      ~finally:(fun () -> Obs.span_end sp)
+      (fun () ->
+        match Result.map fst parsed with
+        | Error (code, msg) -> fail code msg
+        | Ok req -> (
       match session_key req with
       | Some session -> (
         match req with
@@ -615,34 +697,53 @@ let handle_line t line =
         | P.Healthz -> healthz_reply t
         | P.Stats -> merged_stats (fan_out t line)
         | P.Metrics { format = Some "prometheus" } ->
-          (* concatenate per-shard expositions under per-shard prefix
-             comments; quantiles over merged buckets live in the json
-             form *)
-          let results = fan_out t line in
-          let texts =
-            List.filter_map
-              (fun (name, r) ->
-                match r with
-                | Ok payload ->
-                  Option.map
-                    (fun text -> Printf.sprintf "# shard %s\n%s" name text)
-                    (Jsonx.str_member "text" (Jsonx.Obj payload))
-                | Error _ -> None)
-              results
-          in
-          let own = Obs.prometheus [ ("router", t.registry) ] in
           P.print_response
             (P.Reply
                [
                  ("format", Jsonx.Str "prometheus");
-                 ("text", Jsonx.Str (String.concat "\n" (texts @ [ "# router"; own ])));
+                 ("text", Jsonx.Str (prometheus_text t line));
                ])
         | P.Metrics _ -> merged_metrics t (fan_out t line)
         | P.Trace { spans = true; _ } -> merged_trace (fan_out t line)
-        | _ -> fail P.Server_error "unroutable request"))
+        | _ -> fail P.Server_error "unroutable request")))
   in
   Obs.observe t.request_hist (Obs.now_us () -. t0);
   reply
+
+(* ------------------------------------------------------------------ *)
+(* The HTTP observability plane (DESIGN.md 18): the same three views
+   the line protocol serves, shaped for curl and scrapers.  Mounted by
+   [dse fleet serve] via {!Ds_serve.Httpd.start_from_env}. *)
+
+let http_routes t path =
+  match path with
+  | "/metrics" ->
+    Some
+      (Ds_serve.Httpd.ok
+         ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+         (prometheus_text t (encode (P.Metrics { format = Some "prometheus" })) ^ "\n"))
+  | "/healthz" ->
+    (* orchestration probes key on the status code, not the body: a
+       degraded fleet (any worker down/wedged) answers 503 *)
+    let fields = healthz_fields t in
+    let all_ok =
+      match List.assoc_opt "status" fields with Some (Jsonx.Str "ok") -> true | _ -> false
+    in
+    Some
+      {
+        Ds_serve.Httpd.status = (if all_ok then 200 else 503);
+        content_type = "application/json";
+        body = Jsonx.to_string (Jsonx.Obj fields) ^ "\n";
+      }
+  | "/tracez" ->
+    let line = encode (P.Trace { session = ""; spans = true; since = None; max_spans = None }) in
+    let body =
+      match merged_trace_fields (fan_out t line) with
+      | Ok fields -> Jsonx.to_string (Jsonx.Obj fields)
+      | Error msg -> Jsonx.to_string (Jsonx.Obj [ ("error", Jsonx.Str msg) ])
+    in
+    Some (Ds_serve.Httpd.ok ~content_type:"application/json" (body ^ "\n"))
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* The accept loop                                                     *)
@@ -668,6 +769,10 @@ let serve_connection t fd =
     let items = Array.of_list items in
     let n = Array.length items in
     let replies = Array.make n None in
+    (* per-line [router.route] spans for trace-carrying thin-routed
+       lines: remote roots, so several may be open on this thread at
+       once (the stack tolerates out-of-LIFO closes) *)
+    let spans = Array.make n None in
     (* [handle_line] times the full-parse path itself; thin-routed
        lines are timed here, over the whole drained group *)
     let thin_timed = Array.make n false in
@@ -687,13 +792,25 @@ let serve_connection t fd =
           else
             match if t.thin_parse then thin_route line else Slow with
             | Slow -> replies.(idx) <- Some (handle_line t line)
-            | Fast session -> (
+            | Fast (session, ctx) -> (
               Obs.incr t.c_requests;
               Obs.incr t.c_passthrough;
               thin_timed.(idx) <- true;
               match Ring.route t.ring session with
               | None -> replies.(idx) <- Some (fail P.Server_error no_workers_reply)
               | Some name ->
+                (match ctx with
+                | Some (tid, parent_span) ->
+                  (* detached: the hop span only brackets the forward —
+                     nothing ever nests under it on this thread *)
+                  spans.(idx) <-
+                    Some
+                      (Obs.span_begin_remote ~trace:tid ~parent_span ~detached:true
+                         ~attrs:[ ("path", "thin"); ("shard", name) ] "router.route")
+                  (* obs-lint: closed unconditionally in the reply loop
+                     below; a detached span sits on no stack, so even an
+                     abandoned one cannot corrupt parentage *)
+                | None -> ());
                 (match Hashtbl.find_opt buckets name with
                 | Some cell -> cell := (idx, line) :: !cell
                 | None ->
@@ -719,6 +836,7 @@ let serve_connection t fd =
     let dt = Obs.now_us () -. t0 in
     Array.iteri
       (fun idx r ->
+        (match spans.(idx) with Some sp -> Obs.span_end sp | None -> ());
         match r with
         | Some reply ->
           if thin_timed.(idx) then Obs.observe t.request_hist dt;

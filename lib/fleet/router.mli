@@ -74,7 +74,22 @@ val create :
 val handle_line : t -> string -> string
 (** Route one request line to one reply line — the testable core (and
     the full-parse slow path); [serve] wraps it in the pipelined
-    per-connection loop. *)
+    per-connection loop.
+
+    Trace propagation (DESIGN.md 18): a top-level ["trace"] member
+    rides the forwarded bytes verbatim on both paths; the router opens
+    a [router.route] span under the propagated context (remote-parented
+    via {!Ds_obs.Obs.span_begin_remote}, head-sampled) so the fleet
+    trace shows the router hop.  The thin parse bails to the full parse
+    on an escaped or duplicated ["trace"] member — never a semantic
+    fork. *)
+
+val http_routes : t -> string -> Ds_serve.Httpd.reply option
+(** The router's HTTP observability plane: [/metrics] (concatenated
+    per-shard Prometheus expositions plus the router's own),
+    [/healthz] (the live worker probe roll-up, JSON), [/tracez] (the
+    merged fleet span stream, JSON).  Mount with
+    {!Ds_serve.Httpd.start_from_env}. *)
 
 val registry : t -> Ds_obs.Obs.registry
 

@@ -307,6 +307,25 @@ let trace_clear () =
   ring.rg_stored <- 0;
   Mutex.unlock ring.rg_lock
 
+(* begin- and end-attrs may repeat a key (e.g. [session] echoed back
+   in a reply): keep the last occurrence.  Attr lists are a dozen
+   entries at most, so a quadratic scan over small lists beats paying
+   a Hashtbl allocation on every span close.  Dedup runs on the read
+   path, not the write path: span close is per-request hot, while the
+   ring is only read by renderers, the slow log and the fleet
+   assembler. *)
+let dedup_attrs attrs =
+  match attrs with
+  | [] | [ _ ] -> attrs
+  | _ ->
+    let rec go seen acc = function
+      | [] -> acc
+      | ((k, _) as kv) :: rest ->
+        if List.exists (String.equal k) seen then go seen acc rest
+        else go (k :: seen) (kv :: acc) rest
+    in
+    go [] [] (List.rev attrs)
+
 let ring_record ~id ~parent ~name ~t0 ~dur_us ~attrs =
   Mutex.lock ring.rg_lock;
   let seq = ring.rg_next in
@@ -330,59 +349,70 @@ let trace_read ?(since = 0) ?max_spans () =
   let spans = List.init take (fun k -> ring.rg_buf.((start + k) mod cap)) in
   let next = if take < avail then start + take else stop in
   Mutex.unlock ring.rg_lock;
+  let spans =
+    List.map (fun sr -> { sr with sr_attrs = dedup_attrs sr.sr_attrs }) spans
+  in
   (spans, next, dropped)
 
-(* per-(domain, thread) stacks of open span ids, for implicit
-   parenting.  Sharded by domain id so recorders on different domains
-   do not contend. *)
+(* per-thread stacks of open span ids, for implicit parenting.
 
-type stack_shard = { st_lock : Mutex.t; st_tbl : (int * int, int list) Hashtbl.t }
+   [Thread.id] is a dense process-wide counter, so the stacks live in
+   a two-level direct-indexed table instead of a locked hashtable: a
+   thread only ever reads and writes its own slot, which makes slot
+   access lock-free (the lock below only guards chunk creation, and
+   chunks are never copied or replaced, so a concurrent slot write
+   can never be lost to a resize).  A span closed on a thread other
+   than its opener writes the opener's slot unsynchronized — the
+   worst case is a leaked stack entry, an observability blemish, and
+   every closer in this codebase is the opening thread. *)
 
-let stack_shards =
-  Array.init stripes (fun _ -> { st_lock = Mutex.create (); st_tbl = Hashtbl.create 8 })
+let stack_chunk_bits = 10
+let stack_chunk_size = 1 lsl stack_chunk_bits
+let stack_chunk_count = 256
 
-let stack_key () =
-  let d = (Stdlib.Domain.self () :> int) in
-  (d, Thread.id (Thread.self ()))
+let stack_chunks : int list array Atomic.t array =
+  Array.init stack_chunk_count (fun _ -> Atomic.make [||])
 
-let shard_of d = stack_shards.(d land stripe_mask)
+let stack_chunks_lock = Mutex.create ()
+let stack_tid () = Thread.id (Thread.self ())
 
-let stack_push id =
-  let ((d, _) as key) = stack_key () in
-  let sh = shard_of d in
-  Mutex.lock sh.st_lock;
-  let prev = Option.value ~default:[] (Hashtbl.find_opt sh.st_tbl key) in
-  Hashtbl.replace sh.st_tbl key (id :: prev);
-  Mutex.unlock sh.st_lock
+let stack_chunk tid =
+  (* thread ids beyond count*size wrap: two live threads 2^18 ids
+     apart sharing a slot is the accepted failure mode *)
+  let cell =
+    Array.unsafe_get stack_chunks ((tid lsr stack_chunk_bits) land (stack_chunk_count - 1))
+  in
+  let chunk = Atomic.get cell in
+  if Array.length chunk > 0 then chunk
+  else begin
+    Mutex.lock stack_chunks_lock;
+    let chunk =
+      let c = Atomic.get cell in
+      if Array.length c > 0 then c
+      else begin
+        let fresh = Array.make stack_chunk_size [] in
+        Atomic.set cell fresh;
+        fresh
+      end
+    in
+    Mutex.unlock stack_chunks_lock;
+    chunk
+  end
 
-let stack_remove key id =
-  let d, _ = key in
-  let sh = shard_of d in
-  Mutex.lock sh.st_lock;
-  (match Hashtbl.find_opt sh.st_tbl key with
-  | None -> ()
-  | Some ids -> (
-    (* usually the head; tolerate out-of-order closes *)
-    match List.filter (fun i -> i <> id) ids with
-    | [] -> Hashtbl.remove sh.st_tbl key
-    | rest -> Hashtbl.replace sh.st_tbl key rest));
-  Mutex.unlock sh.st_lock
+let stack_get tid = (stack_chunk tid).(tid land (stack_chunk_size - 1))
+let stack_set tid v = (stack_chunk tid).(tid land (stack_chunk_size - 1)) <- v
+let stack_push tid id = stack_set tid (id :: stack_get tid)
+
+let stack_remove tid id =
+  match stack_get tid with
+  (* usually the head; tolerate out-of-order closes *)
+  | top :: rest when top = id -> stack_set tid rest
+  | ids -> stack_set tid (List.filter (fun i -> i <> id) ids)
 
 let stack_top () =
-  let ((d, _) as key) = stack_key () in
-  let sh = shard_of d in
-  Mutex.lock sh.st_lock;
-  let top = match Hashtbl.find_opt sh.st_tbl key with Some (id :: _) -> Some id | _ -> None in
-  Mutex.unlock sh.st_lock;
-  top
+  match stack_get (stack_tid ()) with id :: _ -> Some id | [] -> None
 
-let stack_depth () =
-  let ((d, _) as key) = stack_key () in
-  let sh = shard_of d in
-  Mutex.lock sh.st_lock;
-  let n = match Hashtbl.find_opt sh.st_tbl key with Some ids -> List.length ids | None -> 0 in
-  Mutex.unlock sh.st_lock;
-  n
+let stack_depth () = List.length (stack_get (stack_tid ()))
 
 let current_span_id () = stack_top ()
 
@@ -394,13 +424,28 @@ type span = {
   sp_parent : int;
   sp_name : string;
   sp_t0 : float;
-  sp_key : int * int; (* the stack the id was pushed on *)
+  sp_key : int; (* the thread stack the id was pushed on; -1 = none *)
   mutable sp_attrs : (string * string) list;
   mutable sp_closed : bool;
 }
 
 let dead_span =
-  { sp_live = false; sp_id = -1; sp_parent = -1; sp_name = ""; sp_t0 = 0.0; sp_key = (0, 0); sp_attrs = []; sp_closed = true }
+  { sp_live = false; sp_id = -1; sp_parent = -1; sp_name = ""; sp_t0 = 0.0; sp_key = -1; sp_attrs = []; sp_closed = true }
+
+(* the implicit-parent marker an unsampled root leaves on its stack:
+   children looking up their parent find it and record nothing, so a
+   suppressed root's whole subtree vanishes with it *)
+let suppress_id = -2
+
+(* Would a span or instant opened right here record anything?  The
+   cheap pre-flight for instrumentation sites whose {e argument
+   construction} is the expensive part (stringifying values, building
+   attr lists): guard on [recording ()] instead of [enabled ()] so a
+   suppressed (unsampled) subtree skips the work entirely rather than
+   building attrs for a dead span to discard. *)
+let recording () =
+  enabled ()
+  && (match stack_get (stack_tid ()) with id :: _ -> id <> suppress_id | [] -> true)
 
 let span_begin ?parent ?(attrs = []) name =
   if not (enabled ()) then dead_span
@@ -410,36 +455,32 @@ let span_begin ?parent ?(attrs = []) name =
       | Some p -> p
       | None -> ( match stack_top () with Some p -> p | None -> -1)
     in
-    let id = Atomic.fetch_and_add next_id 1 in
-    let key = stack_key () in
-    stack_push id;
-    { sp_live = true; sp_id = id; sp_parent = parent; sp_name = name; sp_t0 = now (); sp_key = key; sp_attrs = attrs; sp_closed = false }
+    if parent = suppress_id then dead_span
+    else begin
+      let id = Atomic.fetch_and_add next_id 1 in
+      let key = stack_tid () in
+      stack_push key id;
+      { sp_live = true; sp_id = id; sp_parent = parent; sp_name = name; sp_t0 = now (); sp_key = key; sp_attrs = attrs; sp_closed = false }
+    end
   end
 
-let span_add sp attrs = if sp.sp_live && not sp.sp_closed then sp.sp_attrs <- sp.sp_attrs @ attrs
 
-(* begin- and end-attrs may repeat a key (e.g. [session] echoed back
-   in a reply): keep the last occurrence *)
-let dedup_attrs attrs =
-  let seen = Hashtbl.create 8 in
-  List.rev
-    (List.filter
-       (fun (k, _) ->
-         if Hashtbl.mem seen k then false
-         else begin
-           Hashtbl.add seen k ();
-           true
-         end)
-       (List.rev attrs))
+let span_add sp attrs = if sp.sp_live && not sp.sp_closed then sp.sp_attrs <- sp.sp_attrs @ attrs
+let span_live sp = sp.sp_live
 
 let span_end ?(attrs = []) sp =
   if sp.sp_live && not sp.sp_closed then begin
     sp.sp_closed <- true;
-    stack_remove sp.sp_key sp.sp_id;
+    if sp.sp_key >= 0 then stack_remove sp.sp_key sp.sp_id;
     let dur_us = (now () -. sp.sp_t0) *. 1e6 in
     ring_record ~id:sp.sp_id ~parent:sp.sp_parent ~name:sp.sp_name ~t0:sp.sp_t0
       ~dur_us:(Float.max 0.0 dur_us)
-      ~attrs:(dedup_attrs (sp.sp_attrs @ attrs))
+      ~attrs:(sp.sp_attrs @ attrs)
+  end
+  else if sp.sp_id = suppress_id && not sp.sp_closed then begin
+    (* an unsampled root: pop its suppression marker *)
+    sp.sp_closed <- true;
+    stack_remove sp.sp_key suppress_id
   end
 
 let with_span ?(attrs = []) name f =
@@ -459,9 +500,237 @@ let with_span ?(attrs = []) name f =
 let instant ?(attrs = []) name =
   if enabled () then begin
     let parent = match stack_top () with Some p -> p | None -> -1 in
-    let id = Atomic.fetch_and_add next_id 1 in
-    ring_record ~id ~parent ~name ~t0:(now ()) ~dur_us:0.0 ~attrs
+    if parent <> suppress_id then begin
+      let id = Atomic.fetch_and_add next_id 1 in
+      ring_record ~id ~parent ~name ~t0:(now ()) ~dur_us:0.0 ~attrs
+    end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Tracing: propagated trace context (DESIGN.md 18)
+
+   A context is the string "<32 hex>-<16 hex>": a 128-bit trace id and
+   the 64-bit id of the span that caused this request, W3C-traceparent
+   shaped minus the version/flags fields (the sampling decision is
+   re-derivable from the trace id, so flags carry no information).
+   Local span ids stay small ints; when one has to leave the process it
+   is widened by a random 32-bit per-process prefix, which is what
+   makes ids from different fleet members collision-free in a merged
+   trace. *)
+
+let rand_lock = Mutex.create ()
+let rand_state = lazy (Random.State.make_self_init ())
+
+let rand_hex n =
+  Mutex.lock rand_lock;
+  let st = Lazy.force rand_state in
+  let s = String.init n (fun _ -> "0123456789abcdef".[Random.State.int st 16]) in
+  Mutex.unlock rand_lock;
+  s
+
+let hex_digits = "0123456789abcdef"
+
+(* low [digits] nibbles of [v], most significant first *)
+let hex_into b pos v digits =
+  for i = 0 to digits - 1 do
+    Bytes.unsafe_set b (pos + i)
+      (String.unsafe_get hex_digits ((v lsr ((digits - 1 - i) * 4)) land 0xf))
+  done
+
+let process_hex = lazy (rand_hex 8)
+
+let span_hex id =
+  let prefix = Lazy.force process_hex in
+  let b = Bytes.create 16 in
+  Bytes.blit_string prefix 0 b 0 8;
+  hex_into b 8 (id land 0xFFFFFFFF) 8;
+  Bytes.unsafe_to_string b
+
+(* Context minting is on the client's per-request hot path, so it must
+   not funnel every requester thread through [rand_lock] 48 times: ids
+   are splitmix streams over a lock-free atomic counter, seeded once
+   from the system RNG.  The mixer is splitmix64's finalizer truncated
+   to OCaml's native 63-bit int — native int arithmetic stays unboxed,
+   where Int64 would heap-allocate every intermediate on this path.
+   Uniqueness needs a good bit mixer, not cryptographic randomness;
+   each 63-bit word renders as 16 hex digits whose top nibble is 0-7,
+   which downstream parsers treat as ordinary hex. *)
+let sm_gamma = 0x1E3779B97F4A7C15
+
+let sm x =
+  let z = (x lxor (x lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let mint_seed =
+  lazy
+    (Mutex.lock rand_lock;
+     let st = Lazy.force rand_state in
+     let s = Int64.to_int (Random.State.bits64 st) in
+     Mutex.unlock rand_lock;
+     s)
+
+let mint_ctr = Atomic.make 0
+let mint_word seed n k = sm (seed + (((3 * n) + k) * sm_gamma))
+
+let mint_trace_of seed n =
+  let b = Bytes.create 49 in
+  hex_into b 0 (mint_word seed n 0) 16;
+  hex_into b 16 (mint_word seed n 1) 16;
+  Bytes.unsafe_set b 32 '-';
+  hex_into b 33 (mint_word seed n 2) 16;
+  Bytes.unsafe_to_string b
+
+let mint_trace () =
+  mint_trace_of (Lazy.force mint_seed) (Atomic.fetch_and_add mint_ctr 1)
+
+let is_hex = String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+
+let parse_trace s =
+  if String.length s = 49 && s.[32] = '-' then begin
+    let tid = String.sub s 0 32 and psid = String.sub s 33 16 in
+    if is_hex tid && is_hex psid then Some (tid, psid) else None
+  end
+  else None
+
+(* Head sampling: the keep/drop decision is a pure hash of the trace
+   id, so the client, the router and every worker agree on it
+   independently — no sampled-flag has to travel with the request. *)
+
+let env_sample =
+  match Option.bind (Sys.getenv_opt "DSE_TRACE_SAMPLE") float_of_string_opt with
+  | Some r when Float.is_finite r -> Float.min 1.0 (Float.max 0.0 r)
+  | _ -> 1.0
+
+let sample_rate = Atomic.make env_sample
+let set_trace_sample r = Atomic.set sample_rate (Float.min 1.0 (Float.max 0.0 r))
+let trace_sample () = Atomic.get sample_rate
+
+(* 32-bit FNV-1a of the first [len] chars of [s] (the trace id part),
+   folded onto the unit interval *)
+let trace_unit_prefix s len =
+  let len = Stdlib.min len (String.length s) in
+  let h = ref 0x811c9dc5 in
+  for i = 0 to len - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  float_of_int !h /. 4294967296.0
+
+let trace_sampled tid =
+  let r = trace_sample () in
+  if r >= 1.0 then true
+  else if r <= 0.0 then false
+  else trace_unit_prefix tid 32 < r
+
+(* FNV-1a folded over the 16 hex digits of one minted word, most
+   significant nibble first — by construction this matches what
+   [trace_unit_prefix] computes over the rendered hex string, so the
+   sampling decision can be taken from the raw words without
+   materializing the string at all. *)
+let fnv_hex_word h w =
+  let h = ref h in
+  for i = 0 to 15 do
+    let c = Char.code (String.unsafe_get hex_digits ((w lsr ((15 - i) * 4)) land 0xf)) in
+    h := (!h lxor c) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+let mint_trace_sampled () =
+  if not (enabled ()) then None
+  else begin
+    let r = trace_sample () in
+    if r <= 0.0 then None
+    else begin
+      (* the same FNV decision every downstream hop would make on the
+         embedded trace id, taken once here at the root: an unsampled
+         trace never even leaves the client, so requests below the
+         sampling rate carry zero tracing cost through the fleet — not
+         even the context string is built for them *)
+      let seed = Lazy.force mint_seed in
+      let n = Atomic.fetch_and_add mint_ctr 1 in
+      let sampled =
+        r >= 1.0
+        || (let h =
+              fnv_hex_word (fnv_hex_word 0x811c9dc5 (mint_word seed n 0)) (mint_word seed n 1)
+            in
+            float_of_int h /. 4294967296.0 < r)
+      in
+      if sampled then Some (mint_trace_of seed n) else None
+    end
+  end
+
+(* an unbiased coin at the sampling rate for local roots, which have
+   no trace id to hash: a splitmix stream over a lock-free counter *)
+let coin_ctr = Atomic.make 0
+
+let root_sampled () =
+  let r = trace_sample () in
+  if r >= 1.0 then true
+  else if r <= 0.0 then false
+  else begin
+    let n = Atomic.fetch_and_add coin_ctr 1 in
+    let z = sm (Lazy.force mint_seed + (n * 0x51342543DE82EF95)) in
+    float_of_int ((z lsr 10) land 0x1F_FFFF_FFFF_FFFF) *. (1.0 /. 9007199254740992.0) < r
+  end
+
+let span_begin_root ?(attrs = []) name =
+  if not (enabled ()) then dead_span
+  else if root_sampled () then span_begin ~attrs name
+  else begin
+    (* leave the suppression marker in place of the span: children
+       opened while it is open die at birth instead of reparenting
+       onto whatever encloses this root (e.g. the connection span) *)
+    let key = stack_tid () in
+    stack_push key suppress_id;
+    {
+      sp_live = false;
+      sp_id = suppress_id;
+      sp_parent = -1;
+      sp_name = name;
+      sp_t0 = 0.0;
+      sp_key = key;
+      sp_attrs = [];
+      sp_closed = false;
+    }
+  end
+
+(* A remote-parented span: a local root (sp_parent = -1 — the real
+   parent lives in another process) that records the propagated
+   context as attrs.  [trace] keys the fleet-wide merge, [span] is
+   this span's own fleet-unique hex id, [parent_span] the propagated
+   one; children opened on this (domain, thread) nest under it through
+   the ordinary implicit stack. *)
+(* [detached] spans skip the implicit-parent stack entirely: for a
+   span that provably never has same-thread children (the router's
+   forward-only hop), the two stack-table updates are pure overhead
+   on the per-request path. *)
+let detached_key = -1
+
+let span_begin_remote ~trace ~parent_span ?(detached = false) ?(attrs = []) name =
+  if (not (enabled ())) || not (trace_sampled trace) then dead_span
+  else begin
+    let id = Atomic.fetch_and_add next_id 1 in
+    let key = if detached then detached_key else stack_tid () in
+    if not detached then stack_push key id;
+    let attrs =
+      ("trace", trace) :: ("span", span_hex id) :: ("parent_span", parent_span) :: attrs
+    in
+    {
+      sp_live = true;
+      sp_id = id;
+      sp_parent = -1;
+      sp_name = name;
+      sp_t0 = now ();
+      sp_key = key;
+      sp_attrs = attrs;
+      sp_closed = false;
+    }
+  end
+
+(* a single mutable-int read: racy by design (the cursor is a lower
+   bound, exactness buys nothing), so the per-request hot path skips
+   the ring lock *)
+let trace_cursor () = ring.rg_next
 
 (* ------------------------------------------------------------------ *)
 (* Exporters *)
@@ -512,6 +781,117 @@ let dump_ring_to oc =
   List.iter (fun sp -> output_string oc (span_to_json sp); output_char oc '\n') spans;
   flush oc
 
+(* ------------------------------------------------------------------ *)
+(* Slow-request log: requests whose root span exceeds DSE_SLOW_MS keep
+   their whole span tree as one JSON line in a small bounded ring.
+   Off by default — assembling a tree walks one ring page, which is
+   too much work to spend on every fast request. *)
+
+let env_slow_us =
+  match Option.bind (Sys.getenv_opt "DSE_SLOW_MS") float_of_string_opt with
+  | Some ms when Float.is_finite ms && ms >= 0.0 -> Some (ms *. 1000.0)
+  | _ -> None
+
+let slow_lock = Mutex.create ()
+let slow_thr_us = ref env_slow_us
+let slow_cap = 64
+let slow_buf : string Queue.t = Queue.create ()
+let slow_dropped = ref 0
+
+let set_slow_ms ms =
+  Mutex.lock slow_lock;
+  slow_thr_us := Option.map (fun m -> Float.max 0.0 m *. 1000.0) ms;
+  Mutex.unlock slow_lock
+
+(* read without the lock: the ref holds an immutable option, so a racy
+   read is safe, and this sits on every request's span-close path *)
+let slow_threshold_us () = !slow_thr_us
+
+let slow_read () =
+  Mutex.lock slow_lock;
+  let lines = List.of_seq (Queue.to_seq slow_buf) in
+  let dropped = !slow_dropped in
+  Mutex.unlock slow_lock;
+  (lines, dropped)
+
+let slow_clear () =
+  Mutex.lock slow_lock;
+  Queue.clear slow_buf;
+  slow_dropped := 0;
+  Mutex.unlock slow_lock
+
+let slow_push line =
+  Mutex.lock slow_lock;
+  if Queue.length slow_buf >= slow_cap then begin
+    ignore (Queue.pop slow_buf);
+    Stdlib.incr slow_dropped
+  end;
+  Queue.push line slow_buf;
+  Mutex.unlock slow_lock
+
+(* [slow_check ~since ~dur_us sp]: called right after [span_end sp] by
+   request roots that measured their own duration.  When over the
+   threshold, the spans recorded since [since] (the caller's cursor
+   from just before the request) are filtered to the tree under [sp]
+   and logged.  Children recorded on other domains are included as
+   long as they carry a parent chain into [sp] (parallel chunks pass
+   explicit parents for exactly this reason). *)
+let slow_check ~since ~dur_us sp =
+  if sp.sp_live then
+    match slow_threshold_us () with
+    | Some thr when dur_us >= thr ->
+      let spans, _, _ = trace_read ~since () in
+      let parents = Hashtbl.create 32 in
+      List.iter
+        (fun r -> if not (Hashtbl.mem parents r.sr_id) then Hashtbl.add parents r.sr_id r.sr_parent)
+        spans;
+      let rec reaches id =
+        id = sp.sp_id
+        || (match Hashtbl.find_opt parents id with Some p when p >= 0 -> reaches p | _ -> false)
+      in
+      let tree = List.filter (fun r -> reaches r.sr_id) spans in
+      let b = Buffer.create 512 in
+      Buffer.add_string b "{\"name\":\"";
+      json_escape b sp.sp_name;
+      Buffer.add_string b (Printf.sprintf "\",\"dur_ms\":%.3f" (dur_us /. 1000.0));
+      (match List.assoc_opt "trace" sp.sp_attrs with
+      | Some t ->
+        Buffer.add_string b ",\"trace\":\"";
+        json_escape b t;
+        Buffer.add_char b '"'
+      | None -> ());
+      Buffer.add_string b ",\"spans\":[";
+      List.iteri
+        (fun i r ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (span_to_json r))
+        tree;
+      Buffer.add_string b "]}";
+      slow_push (Buffer.contents b)
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Counter windows: [dse top] rates are differences of successive
+   snapshots.  A worker restarted in place resets its counters to
+   zero, so a naive difference goes negative for one refresh; a reset
+   window reads 0 instead (the next window is exact again). *)
+
+let window_delta ~prev ~cur = if cur >= prev then cur - prev else 0
+
+let window_rate ~prev ~cur ~dt =
+  if dt <= 0.0 then 0.0 else float_of_int (window_delta ~prev ~cur) /. dt
+
+let window_counts ~prev ~cur =
+  Array.init (Array.length cur) (fun i ->
+      let p = if i < Array.length prev then prev.(i) else 0 in
+      window_delta ~prev:p ~cur:cur.(i))
+
+(* ------------------------------------------------------------------ *)
+(* Build identity, exported as dse_build_info{version="..."} 1 *)
+
+let build_version = ref "dev"
+let set_build_info ~version = build_version := version
+
 (* a metric name may carry a {label="value",...} suffix; the
    Prometheus exporter splits it so histogram [le] labels merge in *)
 let split_labels name =
@@ -531,6 +911,7 @@ let fmt_float f =
 
 let prometheus regs =
   let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "dse_build_info{version=%S} 1\n" !build_version);
   List.iter
     (fun (tag, r) ->
       if tag <> "" then Buffer.add_string b (Printf.sprintf "# registry: %s\n" tag);

@@ -143,6 +143,15 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
+val recording : unit -> bool
+(** Would a span or instant opened right now record anything?  [false]
+    when telemetry is disabled {e or} the calling thread sits inside a
+    suppressed (unsampled-root) subtree.  Instrumentation sites whose
+    argument construction is the expensive part — stringifying values,
+    assembling attr lists — should guard on this rather than
+    {!enabled}, so below-rate requests skip the work entirely instead
+    of building attrs for a dead span to discard. *)
+
 type span
 (** A live (unfinished) span.  Dead spans (created while disabled) are
     recorded nowhere and cost two words. *)
@@ -167,12 +176,136 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 val span_add : span -> (string * string) list -> unit
 (** Attach attributes to a still-open span. *)
 
+val span_live : span -> bool
+(** [true] when the span will actually be recorded at {!span_end} —
+    [false] for dead spans (telemetry disabled, or the trace was not
+    head-sampled).  Callers assembling expensive end-attributes should
+    skip the work when this is [false]. *)
+
 val instant : ?attrs:(string * string) list -> string -> unit
 (** A zero-duration span — an event.  Parented like {!span_begin}. *)
 
 val current_span_id : unit -> int option
 (** Id of the innermost open span on this (domain, thread), for
     explicit cross-domain parenting. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Propagated trace context}
+
+    A trace context is the string ["<32 hex>-<16 hex>"]: a 128-bit
+    trace id plus the 64-bit id of the requesting span, W3C-traceparent
+    shaped minus version/flags (the sampling decision is a pure
+    function of the trace id, so no flag needs to travel).  Clients
+    mint one per request; the router and workers parent their local
+    spans under it with {!span_begin_remote}, and a fleet-wide [trace]
+    collection reassembles the tree by the [trace] attr.  DESIGN.md
+    section 18. *)
+
+val mint_trace : unit -> string
+(** A fresh context: random trace id, random requesting-span id. *)
+
+val mint_trace_sampled : unit -> string option
+(** {!mint_trace}, with the head-sampling decision taken at the root:
+    [None] when telemetry is off or the minted trace id does not
+    sample ({!trace_sampled}).  Clients attach the context only when
+    this is [Some] — an unsampled trace never travels, so below-rate
+    requests carry zero tracing cost through the fleet. *)
+
+val span_begin_root : ?attrs:(string * string) list -> string -> span
+(** {!span_begin} for a local request root (no propagated context),
+    subject to the head-sampling rate via a fair coin (local roots
+    have no trace id to hash).  An unsampled root returns a dead span
+    that {e suppresses}: spans opened under it on the same (domain,
+    thread) before its {!span_end} die at birth, so the subtree's
+    recording cost vanishes with the root.  The returned span must
+    reach {!span_end} on all paths even when dead, or the suppression
+    sticks to the thread. *)
+
+val parse_trace : string -> (string * string) option
+(** [parse_trace s] is [Some (trace_id, parent_span_id)] when [s] is a
+    well-formed context, [None] otherwise (malformed contexts are
+    dropped, never propagated). *)
+
+val span_hex : int -> string
+(** The fleet-unique 16-hex form of a local span id: a random 32-bit
+    per-process prefix widens the local id so ids from different fleet
+    members cannot collide in a merged trace. *)
+
+val span_begin_remote :
+  trace:string ->
+  parent_span:string ->
+  ?detached:bool ->
+  ?attrs:(string * string) list ->
+  string ->
+  span
+(** Open a span whose parent lives in another process: a local root
+    ([parent = -1]) carrying [trace], [span] (its own {!span_hex} id)
+    and [parent_span] attrs.  Spans opened on the same (domain,
+    thread) while it is open nest under it as usual.  Returns a dead
+    span when tracing is disabled {e or} the trace id is not sampled
+    ({!trace_sampled}).  [~detached:true] skips the implicit-parent
+    stack — for hot-path spans that provably never have same-thread
+    children (the router's forward-only hop); nothing can nest under
+    a detached span. *)
+
+val trace_sampled : string -> bool
+(** Head-sampling decision for a trace id: deterministic hash of the
+    id against {!trace_sample}, so every process in a fleet keeps or
+    drops the same traces without coordination. *)
+
+val trace_sample : unit -> float
+val set_trace_sample : float -> unit
+(** Sampled fraction in [0, 1].  Default 1.0, or [DSE_TRACE_SAMPLE] at
+    startup; clamped. *)
+
+val trace_cursor : unit -> int
+(** The ring's next sequence number — record it before starting a
+    request to later read back exactly that request's spans. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Slow-request log} *)
+
+val set_slow_ms : float option -> unit
+(** Threshold above which a request root logs its whole span tree as
+    one JSON line ([None] = off).  Default off, or [DSE_SLOW_MS] at
+    startup. *)
+
+val slow_threshold_us : unit -> float option
+
+val slow_check : since:int -> dur_us:float -> span -> unit
+(** Called by a request root right after its [span_end]: when [dur_us]
+    exceeds the threshold, the spans recorded since [since] (the
+    {!trace_cursor} taken before the request) are filtered to the tree
+    under the root and appended to the bounded slow log. *)
+
+val slow_read : unit -> string list * int
+(** [(lines, dropped)]: the buffered slow-request JSON lines (oldest
+    first, at most 64) and how many the bounded log has evicted. *)
+
+val slow_clear : unit -> unit
+(** Drop buffered slow-log lines — test hook. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Counter windows} *)
+
+val window_delta : prev:int -> cur:int -> int
+(** [cur - prev], except a counter reset ([cur < prev] — e.g. a worker
+    restarted in place) reads 0 rather than a negative delta. *)
+
+val window_rate : prev:int -> cur:int -> dt:float -> float
+(** {!window_delta} per second; 0 when [dt <= 0]. *)
+
+val window_counts : prev:int array -> cur:int array -> int array
+(** Element-wise {!window_delta} over histogram bucket counts (missing
+    [prev] entries read 0). *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Build identity} *)
+
+val set_build_info : version:string -> unit
+(** Version label of the [dse_build_info] gauge the Prometheus
+    exposition leads with.  Default ["dev"]; the CLI sets the real
+    version at startup. *)
 
 val stack_depth : unit -> int
 (** Open-span nesting depth of the calling (domain, thread) — test

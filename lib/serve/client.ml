@@ -115,13 +115,39 @@ let send_lines t lines =
     lines;
   Lineio.flush_buffer t.fd t.out
 
-let request_line t line =
+let send_request_line t line =
   try
     send_lines t [ line ];
     read_reply t
   with
   | Sys_error msg -> Error msg
   | Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+(* Splice a minted trace context into a raw request line that lacks
+   one (telemetry on only).  Textual splice, not re-encode: the
+   caller's bytes survive verbatim as a prefix, so raw-line callers
+   ([dse client], the differential tests) stay byte-stable modulo the
+   appended member.  Lines that are not single JSON objects pass
+   through untouched — the server will reject them itself. *)
+let trace_line line =
+  if not (Ds_obs.Obs.enabled ()) then line
+  else
+    match Ds_obs.Obs.mint_trace_sampled () with
+    | None -> line
+    | Some trace -> (
+      let s = String.trim line in
+      let n = String.length s in
+      if n >= 2 && s.[0] = '{' && s.[n - 1] = '}' then
+        match Jsonx.of_string s with
+        | Ok (Jsonx.Obj fields) when not (List.mem_assoc "trace" fields) ->
+          Printf.sprintf "%s%s\"trace\":\"%s\"}"
+            (String.sub s 0 (n - 1))
+            (if fields = [] then "" else ",")
+            trace
+        | _ -> line
+      else line)
+
+let request_line t line = send_request_line t (trace_line line)
 
 (* N requests in flight on one connection: one coalesced write (a
    single flush carries every line), then the N replies in request
@@ -156,8 +182,21 @@ let pipeline t lines =
     in
     read [] 0
 
+(* Every sampled request leaves the client with a trace context
+   (minted here when the caller did not supply a line of its own): the
+   id seeds the fleet-wide span tree, and downstream hops re-derive
+   the same head-sampling decision from it.  The decision itself is
+   taken at mint time ({!Ds_obs.Obs.mint_trace_sampled}) — telemetry
+   off or an unsampled id sends exactly the pre-trace encoding, so
+   below-rate requests cost the fleet nothing. *)
+let encode_traced req =
+  let json = Protocol.json_of_request req in
+  match Ds_obs.Obs.mint_trace_sampled () with
+  | Some trace -> Jsonx.to_string (Protocol.attach_trace ~trace json)
+  | None -> Jsonx.to_string json
+
 let request t req =
-  match request_line t (Jsonx.to_string (Protocol.json_of_request req)) with
+  match send_request_line t (encode_traced req) with
   | Ok reply -> Protocol.response_of_string reply
   | Error msg when response_too_large msg -> Ok (Protocol.Failed (Protocol.Response_too_large, msg))
   | Error _ as e -> e
@@ -275,7 +314,9 @@ module Durable = struct
      worker-crash window, where the supervisor needs a moment to
      restart the shard before the session answers again. *)
   let request ?(retry_failures = false) d req =
-    let line = Jsonx.to_string (Protocol.json_of_request req) in
+    (* minted once: a re-send after a lost reply is the same logical
+       request, so it keeps its trace id *)
+    let line = encode_traced req in
     let t0 = Unix.gettimeofday () in
     let budget_left () =
       match d.deadline with
@@ -387,7 +428,7 @@ module Durable = struct
     Array.to_list results
 
   let request_many ?(retry_failures = false) d reqs =
-    let lines = List.map (fun r -> Jsonx.to_string (Protocol.json_of_request r)) reqs in
+    let lines = List.map encode_traced reqs in
     let raw = pipeline_lines d lines in
     List.map2
       (fun req r ->

@@ -421,12 +421,32 @@ let rec json_of_request r =
         some "reqs" (Jsonx.List (List.map json_of_request reqs));
       ]
 
-let parse_request line =
+(* ------------------------------------------------------------------ *)
+(* Trace-context side channel (DESIGN.md 18)
+
+   The propagated context rides as an optional top-level ["trace"]
+   member of the request object — deliberately NOT a field of the
+   request variant: [json_of_request] is the journal's storage form
+   and must stay byte-stable, and [request_of_json] already ignores
+   unknown members, so old servers interoperate for free.  A malformed
+   context is dropped (never an error): tracing must not be able to
+   fail a request. *)
+
+let trace_member json =
+  Option.bind (Jsonx.str_member "trace" json) Ds_obs.Obs.parse_trace
+
+let attach_trace ~trace json =
+  match json with
+  | Jsonx.Obj fields when not (List.mem_assoc "trace" fields) ->
+    Jsonx.Obj (fields @ [ ("trace", Jsonx.Str trace) ])
+  | other -> other
+
+let parse_request_traced line =
   match Jsonx.of_string line with
   | Error msg -> Error (Parse_error, msg)
   | Ok json -> (
     match request_of_json json with
-    | Ok r -> Ok r
+    | Ok r -> Ok (r, trace_member json)
     | Error msg ->
       let code =
         if String.length msg >= 10 && String.equal (String.sub msg 0 10) "unknown op" then
@@ -434,6 +454,8 @@ let parse_request line =
         else Bad_request
       in
       Error (code, msg))
+
+let parse_request line = Result.map fst (parse_request_traced line)
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)

@@ -172,6 +172,26 @@ val parse_request : string -> (request, error_code * string) result
 (** One wire line -> request ([Parse_error] or [Bad_request]/
     [Unknown_op] on failure). *)
 
+val parse_request_traced :
+  string -> (request * (string * string) option, error_code * string) result
+(** {!parse_request} plus the request's propagated trace context, when
+    the line carries a well-formed top-level ["trace"] member
+    ([(trace_id, parent_span_id)] as split by
+    {!Ds_obs.Obs.parse_trace}).  A malformed context is silently
+    [None]: tracing can never fail a request. *)
+
+val trace_member : Jsonx.t -> (string * string) option
+(** The validated ["trace"] member of a request object, if any.  The
+    context is a side channel, not a request field: {!json_of_request}
+    (the journal's storage form) never emits it, and
+    {!request_of_json} ignores it — journals stay byte-stable and
+    trace-free. *)
+
+val attach_trace : trace:string -> Jsonx.t -> Jsonx.t
+(** Append a ["trace"] member to an encoded request object (no-op if
+    one is already present, or on non-objects) — the client-side mint
+    hook. *)
+
 val print_response : response -> string
 (** One reply -> one wire line (no trailing newline). *)
 

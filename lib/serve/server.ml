@@ -124,7 +124,10 @@ let serve_connection t ~queue_wait_us fd =
       let out = Buffer.create 4096 in
       let qlock = Mutex.create () in
       let qcond = Condition.create () in
-      let q : Lineio.result Queue.t = Queue.create () in
+      (* each queued line carries its decode timestamp: the time from
+         here to the worker's pop is the request's pipelined queue
+         wait, attributed as the op span's [queue_us] phase *)
+      let q : (Lineio.result * float) Queue.t = Queue.create () in
       let reader_done = ref false in
       let closing = ref false in
       let push item =
@@ -132,7 +135,7 @@ let serve_connection t ~queue_wait_us fd =
         while Queue.length q >= t.pipeline_depth && not !closing do
           Condition.wait qcond qlock
         done;
-        if not !closing then Queue.push item q;
+        if not !closing then Queue.push (item, Unix.gettimeofday ()) q;
         Condition.broadcast qcond;
         Mutex.unlock qlock
       in
@@ -176,13 +179,13 @@ let serve_connection t ~queue_wait_us fd =
       (try
          let rec loop () =
            match pop () with
-           | None | Some Lineio.Eof -> ()
-           | Some Lineio.Idle ->
+           | None | Some (Lineio.Eof, _) -> ()
+           | Some (Lineio.Idle, _) ->
              (* reap: the client has been silent past DSE_IDLE_TIMEOUT;
                 dropping the connection frees the fd and the worker (a
                 live client reconnects transparently) *)
              Obs.incr t.idle_reaped
-           | Some Lineio.Overflow ->
+           | Some (Lineio.Overflow, _) ->
              incr requests;
              Protocol.print_response_into out
                (Protocol.Failed
@@ -190,14 +193,17 @@ let serve_connection t ~queue_wait_us fd =
                     Printf.sprintf "request line exceeds %d bytes" t.max_request ));
              Buffer.add_char out '\n';
              if not (Atomic.get t.stop) then loop ()
-           | Some (Lineio.Line line) ->
+           | Some (Lineio.Line line, pushed_at) ->
              let line = String.trim line in
              if not (String.equal line "") then begin
                incr requests;
                if Atomic.get t.stop then
                  Protocol.print_response_into out
                    (Protocol.Failed (Protocol.Shutting_down, "server is shutting down"))
-               else Service.handle_line_into t.service out line;
+               else begin
+                 let queue_us = (Unix.gettimeofday () -. pushed_at) *. 1.0e6 in
+                 Service.handle_line_into ~queue_us t.service out line
+               end;
                Buffer.add_char out '\n'
              end;
              if not (Atomic.get t.stop) then loop ()

@@ -585,6 +585,27 @@ let begin_mutation_rehydrating t sid =
     | `Ok -> (
       match Store.begin_mutation t.store sid with Some me -> `Begun me | None -> `Missing))
 
+(* Per-request latency attribution (DESIGN.md 18): the op span's phase
+   attrs answer "where did this request's time go" — slot-lock acquire
+   (including any rehydration behind it), layer work, journal append,
+   group-commit fsync wait.  Queue wait and reply flush are measured
+   by the callers that own those phases ([Server] / [handle_line_into])
+   and merged into the same attr set at span close. *)
+type phases = {
+  mutable ph_lock : float;
+  mutable ph_sweep : float;
+  mutable ph_journal : float;
+  mutable ph_fsync : float;
+}
+
+let no_phases () = { ph_lock = 0.0; ph_sweep = 0.0; ph_journal = 0.0; ph_fsync = 0.0 }
+
+let timed add f =
+  let t0 = Obs.now_us () in
+  let r = f () in
+  add (Obs.now_us () -. t0);
+  r
+
 (* Mutations serialize per session id (the store's slot lock), not
    globally.  Write-ahead order: the journal line is appended (and
    flushed to the kernel) before the new state is committed and before
@@ -608,15 +629,21 @@ let begin_mutation_rehydrating t sid =
    weakened by the handle swap).  Compaction failure never fails the
    mutation — the reply reports the applied state; the journal simply
    stays long. *)
-let mutate t sid req apply =
-  match begin_mutation_rehydrating t sid with
+let mutate t ph sid req apply =
+  match
+    timed (fun d -> ph.ph_lock <- ph.ph_lock +. d) (fun () -> begin_mutation_rehydrating t sid)
+  with
   | `Missing -> unknown_session sid
   | `Error msg -> P.Failed (P.Journal_error, msg)
   | `Begun (m, entry) ->
     let sync_after = ref None in
     let response =
       match
-        match apply entry.Store.session with
+        match
+          timed
+            (fun d -> ph.ph_sweep <- ph.ph_sweep +. d)
+            (fun () -> apply entry.Store.session)
+        with
         | Error msg -> P.Failed (P.Rejected, msg)
         | Ok s' -> (
           let signature = Session.candidate_signature s' in
@@ -624,9 +651,12 @@ let mutate t sid req apply =
             match entry.Store.journal with
             | None -> Ok None
             | Some j ->
-              Result.map
-                (fun seq -> Some (j, seq))
-                (Journal.append j ~req:(P.json_of_request req) ~signature)
+              timed
+                (fun d -> ph.ph_journal <- ph.ph_journal +. d)
+                (fun () ->
+                  Result.map
+                    (fun seq -> Some (j, seq))
+                    (Journal.append j ~req:(P.json_of_request req) ~signature))
           in
           match journaled with
           | Error msg -> P.Failed (P.Journal_error, msg)
@@ -655,7 +685,9 @@ let mutate t sid req apply =
     (match !sync_after with
     | None -> response
     | Some (j, seq) -> (
-      match Journal.sync_to j seq with
+      match
+        timed (fun d -> ph.ph_fsync <- ph.ph_fsync +. d) (fun () -> Journal.sync_to j seq)
+      with
       | Ok () -> response
       | Error msg ->
         Store.remove t.store sid;
@@ -859,6 +891,53 @@ let op_name = function
 let record t op us =
   match Hashtbl.find_opt t.op_hists op with Some h -> Obs.observe h us | None -> ()
 
+(* attributes that let a span page retell the exploration: which
+   session, and for mutations which property went to which value *)
+let req_attrs req =
+  let op = op_name req in
+  let base = [ ("op", op) ] in
+  match req with
+  | P.Open { session; layer; _ } ->
+    base
+    @ (match session with Some s -> [ ("session", s) ] | None -> [])
+    @ [ ("layer", layer) ]
+  | P.Set { session; name; value; _ } ->
+    base @ [ ("session", session); ("name", name); ("value", Value.to_string value) ]
+  | P.Default { session; name } | P.Retract { session; name } ->
+    base @ [ ("session", session); ("name", name) ]
+  | P.Annotate { session; _ }
+  | P.Candidates { session; _ }
+  | P.Ranges { session; _ }
+  | P.Issues { session }
+  | P.Script { session }
+  | P.Trace { session; _ }
+  | P.Health { session }
+  | P.Signature { session }
+  | P.Report { session; _ } ->
+    base @ [ ("session", session) ]
+  | P.Preview { session; issue; _ } -> base @ [ ("session", session); ("issue", issue) ]
+  | P.Branch { session; as_id } ->
+    base
+    @ [ ("session", session) ]
+    @ (match as_id with Some id -> [ ("as", id) ] | None -> [])
+  | P.Compact { session } | P.Close { session } -> base @ [ ("session", session) ]
+  | P.Batch { session; reqs } ->
+    base @ [ ("session", session); ("reqs", string_of_int (List.length reqs)) ]
+  | P.Stats | P.Metrics _ | P.Healthz -> base
+
+let response_attrs = function
+  | P.Reply payload ->
+    ("ok", "true")
+    :: List.filter_map
+         (fun (k, v) ->
+           match (k, v) with
+           | "candidates", Jsonx.Int n | "count", Jsonx.Int n ->
+             Some ("candidates", string_of_int n)
+           | "session", Jsonx.Str s -> Some ("session", s)
+           | _ -> None)
+         payload
+  | P.Failed (code, _) -> [ ("ok", "false"); ("code", P.error_code_label code) ]
+
 (* The session-scoped read-only queries, factored over an explicit
    session value: [dispatch] evaluates them against the store entry,
    [handle_batch] against the in-progress value mid-batch (so a read
@@ -1013,8 +1092,10 @@ let read_reply t sid s (req : P.request) =
    abort.  A failed group fsync follows {!mutate}'s evict-and-resume
    path for the whole batch, since which appended entries reached disk
    is unknown. *)
-let handle_batch t sid reqs =
-  match begin_mutation_rehydrating t sid with
+let handle_batch t ph sid reqs =
+  match
+    timed (fun d -> ph.ph_lock <- ph.ph_lock +. d) (fun () -> begin_mutation_rehydrating t sid)
+  with
   | `Missing -> unknown_session sid
   | `Error msg -> P.Failed (P.Journal_error, msg)
   | `Begun (m, entry0) ->
@@ -1030,40 +1111,64 @@ let handle_batch t sid reqs =
           | [] -> ()
           | req :: rest -> (
             let t0 = Obs.now_us () in
+            (* each sub-request is its own span, an implicit child of
+               the batch's op span — which carries the propagated trace
+               context, so batched mutations show up individually in a
+               fleet-assembled tree *)
+            let sub_sp = Obs.span_begin ("op." ^ op_name req) ~attrs:(req_attrs req) in
             let sub =
-              match req with
-              | P.Set { name; value = Value.Real f; _ } when not (Float.is_finite f) ->
-                (* same screen as [dispatch]: a non-finite real would
-                   journal as null and poison every later resume *)
-                `Abort
-                  (P.Failed
-                     (P.Bad_request,
-                      Printf.sprintf "non-finite value for %S is not accepted" name))
-              | _ -> (
-                match apply_mutation !cur.Store.session req with
-                | Some (Error msg) -> `Abort (P.Failed (P.Rejected, msg))
-                | Some (Ok s') -> (
-                  let signature = Session.candidate_signature s' in
-                  let journaled =
-                    match !cur.Store.journal with
-                    | None -> Ok None
-                    | Some j ->
-                      Result.map
-                        (fun seq -> Some (j, seq))
-                        (Journal.append j ~req:(P.json_of_request req) ~signature)
+              Fun.protect
+                ~finally:(fun () -> Obs.span_end sub_sp)
+                (fun () ->
+                  let sub =
+                    match req with
+                    | P.Set { name; value = Value.Real f; _ } when not (Float.is_finite f) ->
+                      (* same screen as [dispatch]: a non-finite real would
+                         journal as null and poison every later resume *)
+                      `Abort
+                        (P.Failed
+                           (P.Bad_request,
+                            Printf.sprintf "non-finite value for %S is not accepted" name))
+                    | _ -> (
+                      match
+                        timed
+                          (fun d -> ph.ph_sweep <- ph.ph_sweep +. d)
+                          (fun () -> apply_mutation !cur.Store.session req)
+                      with
+                      | Some (Error msg) -> `Abort (P.Failed (P.Rejected, msg))
+                      | Some (Ok s') -> (
+                        let signature = Session.candidate_signature s' in
+                        let journaled =
+                          match !cur.Store.journal with
+                          | None -> Ok None
+                          | Some j ->
+                            timed
+                              (fun d -> ph.ph_journal <- ph.ph_journal +. d)
+                              (fun () ->
+                                Result.map
+                                  (fun seq -> Some (j, seq))
+                                  (Journal.append j ~req:(P.json_of_request req) ~signature))
+                        in
+                        match journaled with
+                        | Error msg -> `Abort (P.Failed (P.Journal_error, msg))
+                        | Ok jseq ->
+                          cur := { !cur with Store.session = s' };
+                          mutated := true;
+                          (match jseq with Some _ -> sync_after := jseq | None -> ());
+                          `Ok
+                            (P.Reply
+                               (session_summary sid s' @ [ ("signature", Jsonx.Str signature) ])))
+                      | None -> (
+                        try
+                          `Ok
+                            (timed
+                               (fun d -> ph.ph_sweep <- ph.ph_sweep +. d)
+                               (fun () -> read_reply t sid !cur.Store.session req))
+                        with e -> `Ok (P.Failed (P.Server_error, Printexc.to_string e))))
                   in
-                  match journaled with
-                  | Error msg -> `Abort (P.Failed (P.Journal_error, msg))
-                  | Ok jseq ->
-                    cur := { !cur with Store.session = s' };
-                    mutated := true;
-                    (match jseq with Some _ -> sync_after := jseq | None -> ());
-                    `Ok
-                      (P.Reply
-                         (session_summary sid s' @ [ ("signature", Jsonx.Str signature) ])))
-                | None -> (
-                  try `Ok (read_reply t sid !cur.Store.session req)
-                  with e -> `Ok (P.Failed (P.Server_error, Printexc.to_string e))))
+                  (match sub with
+                  | `Ok r | `Abort r -> Obs.span_add sub_sp (response_attrs r));
+                  sub)
             in
             record t (op_name req) (Obs.now_us () -. t0);
             match sub with
@@ -1104,7 +1209,9 @@ let handle_batch t sid reqs =
     (match !sync_after with
     | None -> response
     | Some (j, seq) -> (
-      match Journal.sync_to j seq with
+      match
+        timed (fun d -> ph.ph_fsync <- ph.ph_fsync +. d) (fun () -> Journal.sync_to j seq)
+      with
       | Ok () -> response
       | Error msg ->
         Store.remove t.store sid;
@@ -1115,7 +1222,12 @@ let handle_batch t sid reqs =
               the batch blindly: its mutations may already be journaled)"
              msg sid)))
 
-let dispatch t req =
+let dispatch t ph req =
+  let timed_read session entry =
+    timed
+      (fun d -> ph.ph_sweep <- ph.ph_sweep +. d)
+      (fun () -> read_reply t session entry.Store.session req)
+  in
   match req with
   | P.Open { session; layer; eol; resume } -> handle_open t ~session ~layer ~eol ~resume
   | P.Set { session; name; value; _ } -> (
@@ -1125,17 +1237,18 @@ let dispatch t req =
          shell builds requests directly; a non-finite real would journal
          as null and poison every later resume *)
       P.Failed (P.Bad_request, Printf.sprintf "non-finite value for %S is not accepted" name)
-    | _ -> mutate t session req (fun s -> Session.set s name value))
-  | P.Default { session; name } -> mutate t session req (fun s -> Session.set_default s name)
-  | P.Retract { session; name } -> mutate t session req (fun s -> Session.retract s name)
-  | P.Annotate { session; text } -> mutate t session req (fun s -> Ok (Session.annotate s text))
+    | _ -> mutate t ph session req (fun s -> Session.set s name value))
+  | P.Default { session; name } -> mutate t ph session req (fun s -> Session.set_default s name)
+  | P.Retract { session; name } -> mutate t ph session req (fun s -> Session.retract s name)
+  | P.Annotate { session; text } ->
+    mutate t ph session req (fun s -> Ok (Session.annotate s text))
   | P.Candidates { session; _ }
   | P.Ranges { session; _ }
   | P.Issues { session }
   | P.Preview { session; _ }
   | P.Script { session }
   | P.Trace { session; spans = false; _ } ->
-    with_session t session (fun entry -> read_reply t session entry.Store.session req)
+    with_session t session (fun entry -> timed_read session entry)
   | P.Trace { spans = true; since; max_spans; _ } ->
     (* one page of the global span ring; [next] is the cursor of the
        following page, [dropped] what the bounded ring already evicted
@@ -1162,7 +1275,7 @@ let dispatch t req =
         ("enabled", Jsonx.Bool (Obs.enabled ()));
       ]
   | P.Health { session } | P.Signature { session } | P.Report { session; _ } ->
-    with_session t session (fun entry -> read_reply t session entry.Store.session req)
+    with_session t session (fun entry -> timed_read session entry)
   | P.Branch { session; as_id } -> handle_branch t session as_id
   | P.Compact { session } -> handle_compact t session
   | P.Close { session } -> (
@@ -1230,6 +1343,7 @@ let dispatch t req =
               Jsonx.Obj (List.map (fun (k, s) -> (k, hist_json s)) (Obs.histograms r)) );
           ]
       in
+      let slow_lines, slow_dropped = Obs.slow_read () in
       P.Reply
         [
           ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started));
@@ -1237,6 +1351,8 @@ let dispatch t req =
           ( "bounds",
             Jsonx.List (Array.to_list (Array.map (fun b -> Jsonx.Float b) Obs.bucket_bounds)) );
           ("registries", Jsonx.Obj (List.map (fun (tag, r) -> (tag, reg_json r)) regs));
+          ("slow", Jsonx.List (List.map (fun l -> Jsonx.Str l) slow_lines));
+          ("slow_dropped", Jsonx.Int slow_dropped);
         ]
     | Some other ->
       P.Failed (P.Bad_request, Printf.sprintf "unknown metrics format %S (json|prometheus)" other))
@@ -1249,85 +1365,95 @@ let dispatch t req =
         ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started));
         ("sessions", Jsonx.Int (Store.count t.store));
       ]
-  | P.Batch { session; reqs } -> handle_batch t session reqs
+  | P.Batch { session; reqs } -> handle_batch t ph session reqs
 
 let record_queue_wait t us = Obs.observe t.queue_hist us
 
-(* attributes that let a span page retell the exploration: which
-   session, and for mutations which property went to which value *)
-let req_attrs req =
-  let op = op_name req in
-  let base = [ ("op", op) ] in
-  match req with
-  | P.Open { session; layer; _ } ->
-    base
-    @ (match session with Some s -> [ ("session", s) ] | None -> [])
-    @ [ ("layer", layer) ]
-  | P.Set { session; name; value; _ } ->
-    base @ [ ("session", session); ("name", name); ("value", Value.to_string value) ]
-  | P.Default { session; name } | P.Retract { session; name } ->
-    base @ [ ("session", session); ("name", name) ]
-  | P.Annotate { session; _ }
-  | P.Candidates { session; _ }
-  | P.Ranges { session; _ }
-  | P.Issues { session }
-  | P.Script { session }
-  | P.Trace { session; _ }
-  | P.Health { session }
-  | P.Signature { session }
-  | P.Report { session; _ } ->
-    base @ [ ("session", session) ]
-  | P.Preview { session; issue; _ } -> base @ [ ("session", session); ("issue", issue) ]
-  | P.Branch { session; as_id } ->
-    base
-    @ [ ("session", session) ]
-    @ (match as_id with Some id -> [ ("as", id) ] | None -> [])
-  | P.Compact { session } | P.Close { session } -> base @ [ ("session", session) ]
-  | P.Batch { session; reqs } ->
-    base @ [ ("session", session); ("reqs", string_of_int (List.length reqs)) ]
-  | P.Stats | P.Metrics _ | P.Healthz -> base
+(* one-decimal microseconds without the Printf machinery: six of
+   these run on every sampled request (the phase attrs), and a format
+   interpreter per phase is measurable at fleet throughput *)
+let fmt_us v =
+  if Float.is_finite v && v >= 0.0 && v < 1e15 then begin
+    let t = int_of_float ((v *. 10.0) +. 0.5) in
+    string_of_int (t / 10) ^ "." ^ string_of_int (t mod 10)
+  end
+  else Printf.sprintf "%.1f" v
 
-let response_attrs = function
-  | P.Reply payload ->
-    ("ok", "true")
-    :: List.filter_map
-         (fun (k, v) ->
-           match (k, v) with
-           | "candidates", Jsonx.Int n | "count", Jsonx.Int n ->
-             Some ("candidates", string_of_int n)
-           | "session", Jsonx.Str s -> Some ("session", s)
-           | _ -> None)
-         payload
-  | P.Failed (code, _) -> [ ("ok", "false"); ("code", P.error_code_label code) ]
-
-let handle t req =
-  let sp = Obs.span_begin ("op." ^ op_name req) ~attrs:(req_attrs req) in
+(* The request root.  With a propagated trace context the op span is a
+   remote-parented local root (so the fleet assembler can hang it under
+   the client's requesting span); without one it parents as before.
+   [render] runs {e inside} the span — the reply-flush phase — so the
+   phase attrs cover the request end to end, and a request over
+   [DSE_SLOW_MS] logs its whole tree to the slow log. *)
+let handle_gen ?trace ?(queue_us = 0.0) ?render t req =
+  let name = "op." ^ op_name req in
+  let sp =
+    match trace with
+    | Some (tid, parent_span) ->
+      Obs.span_begin_remote ~trace:tid ~parent_span ~attrs:(req_attrs req) name
+    | None ->
+      (* attrs only when the root sampled: the common below-rate case
+         should not even build the list *)
+      let sp = Obs.span_begin_root name in
+      if Obs.span_live sp then Obs.span_add sp (req_attrs req);
+      sp
+  in
+  (* obs-lint: every branch of [sp] reaches [Obs.span_end] in the
+     [Fun.protect ~finally] below *)
+  let live = Obs.span_live sp in
+  let since = if live then Obs.trace_cursor () else 0 in
+  let ph = no_phases () in
+  let flush_us = ref 0.0 in
   let t0 = Obs.now_us () in
   let response = ref None in
   Fun.protect
     ~finally:(fun () ->
-      record t (op_name req) (Obs.now_us () -. t0);
-      let attrs =
-        match !response with
-        | Some r -> response_attrs r
-        | None -> [ ("ok", "false"); ("code", "server_error") ]
-      in
-      Obs.span_end sp ~attrs)
+      let dur_us = Obs.now_us () -. t0 in
+      record t (op_name req) dur_us;
+      (* a dead span (telemetry off, or not head-sampled) records
+         nothing — skip assembling the attrs it would discard *)
+      if live then begin
+        let attrs =
+          (match !response with
+          | Some r -> response_attrs r
+          | None -> [ ("ok", "false"); ("code", "server_error") ])
+          @ [
+              ("queue_us", fmt_us queue_us);
+              ("lock_us", fmt_us ph.ph_lock);
+              ("sweep_us", fmt_us ph.ph_sweep);
+              ("journal_us", fmt_us ph.ph_journal);
+              ("fsync_us", fmt_us ph.ph_fsync);
+              ("flush_us", fmt_us !flush_us);
+            ]
+        in
+        Obs.span_end sp ~attrs;
+        Obs.slow_check ~since ~dur_us sp
+      end
+      else
+        (* a dead root may still hold the suppression marker: closing
+           it is what releases the thread's stack *)
+        Obs.span_end sp)
     (fun () ->
       let r =
-        try dispatch t req
+        try dispatch t ph req
         with e -> P.Failed (P.Server_error, Printexc.to_string e)
       in
       response := Some r;
+      (match render with
+      | None -> ()
+      | Some f ->
+        let tf = Obs.now_us () in
+        f r;
+        flush_us := Obs.now_us () -. tf);
       r)
 
-let handle_line_into t buf line =
-  let response =
-    match P.parse_request line with
-    | Error (code, msg) -> P.Failed (code, msg)
-    | Ok req -> handle t req
-  in
-  P.print_response_into buf response
+let handle ?trace ?queue_us t req = handle_gen ?trace ?queue_us t req
+
+let handle_line_into ?queue_us t buf line =
+  match P.parse_request_traced line with
+  | Error (code, msg) -> P.print_response_into buf (P.Failed (code, msg))
+  | Ok (req, trace) ->
+    ignore (handle_gen ?trace ?queue_us ~render:(fun r -> P.print_response_into buf r) t req)
 
 let handle_line t line =
   let buf = Buffer.create 256 in

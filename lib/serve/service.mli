@@ -80,10 +80,20 @@ type t
 
 val create : config -> t
 
-val handle : t -> Protocol.request -> Protocol.response
+val handle :
+  ?trace:string * string -> ?queue_us:float -> t -> Protocol.request -> Protocol.response
 (** Dispatch one request.  Never raises: layer rejections come back as
     [rejected] replies, unexpected exceptions as [server_error].
-    Safe to call concurrently from multiple domains. *)
+    Safe to call concurrently from multiple domains.
+
+    [trace] is the request's propagated [(trace_id, parent_span_id)]
+    context (DESIGN.md 18): the [op.<name>] span becomes a
+    remote-parented root ({!Ds_obs.Obs.span_begin_remote}), subject to
+    head sampling.  [queue_us] is the accept-to-dispatch wait the
+    transport measured; both it and the per-phase latency breakdown
+    (slot lock, layer sweep, journal append, group-commit fsync, reply
+    flush) are recorded as span attrs, and a request slower than
+    [DSE_SLOW_MS] logs its span tree to the bounded slow log. *)
 
 val registry : t -> Ds_obs.Obs.registry
 (** The service's metrics registry ([dse_request_us{op="..."}]
@@ -100,10 +110,13 @@ val handle_line : t -> string -> string
 (** Wire-format convenience: parse one request line, dispatch, print
     the reply line (without trailing newline).  Never raises. *)
 
-val handle_line_into : t -> Buffer.t -> string -> unit
+val handle_line_into : ?queue_us:float -> t -> Buffer.t -> string -> unit
 (** {!handle_line} printed into a caller-owned buffer — the pipelined
     server appends each reply to its per-connection coalescing buffer
-    without an intermediate string. *)
+    without an intermediate string.  Extracts the line's ["trace"]
+    member (if any) and times the reply print as the request's flush
+    phase; [queue_us] is the per-line queue wait measured by the
+    server's reader/worker handoff. *)
 
 val session_count : t -> int
 

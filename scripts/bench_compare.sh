@@ -8,6 +8,9 @@
 #     requests_per_second is the aggregate across every shard
 #   - BENCH_PR9.json:  the fleet bench plus a "pipeline" depth sweep;
 #     "pipeline".best.requests_per_second is the deepest-point headline
+#   - BENCH_PR10.json: the fleet tracing-overhead bench
+#     ("bench":"fleet-tracing-overhead") — gated on its own recorded
+#     overhead_pct, not on throughput
 #
 # Gates:
 #   - serve vs serve: fail on a drop of more than BENCH_ALLOWED_DROP
@@ -24,6 +27,10 @@
 #     at least PIPELINE_MIN_SPEEDUP (default 2.5) times the baseline
 #     lockstep aggregate — the PR 9 data-plane gate.  Smoke runs report
 #     the ratio without gating.
+#   - tracing overhead: when the current file is the tracing-overhead
+#     bench, its overhead_pct (median of adjacent off/on pair
+#     overheads) must stay at or below OBS_FLEET_MAX_OVERHEAD (default
+#     3%).  Smoke runs (one pair, tiny load) report without gating.
 #
 # Usage: sh scripts/bench_compare.sh [baseline.json] [current.json]
 set -eu
@@ -37,6 +44,7 @@ allowed_drop=${BENCH_ALLOWED_DROP:-0.20}
 min_speedup=${SWEEP_MIN_SPEEDUP:-5}
 fleet_min_speedup=${FLEET_MIN_SPEEDUP:-2}
 pipeline_min_speedup=${PIPELINE_MIN_SPEEDUP:-2.5}
+obs_fleet_max_overhead=${OBS_FLEET_MAX_OVERHEAD:-3.0}
 
 if [ ! -f "$baseline" ]; then
   echo "bench-compare: baseline $baseline not found; pass the committed baseline JSON as the first argument" >&2
@@ -47,7 +55,7 @@ if [ ! -f "$current" ]; then
   exit 2
 fi
 
-python3 - "$baseline" "$current" "$allowed_drop" "$min_speedup" "$fleet_min_speedup" "$pipeline_min_speedup" <<'EOF'
+python3 - "$baseline" "$current" "$allowed_drop" "$min_speedup" "$fleet_min_speedup" "$pipeline_min_speedup" "$obs_fleet_max_overhead" <<'EOF'
 import json
 import sys
 
@@ -55,6 +63,7 @@ baseline_path, current_path = sys.argv[1], sys.argv[2]
 allowed_drop, min_speedup = float(sys.argv[3]), float(sys.argv[4])
 fleet_min_speedup = float(sys.argv[5])
 pipeline_min_speedup = float(sys.argv[6])
+obs_fleet_max_overhead = float(sys.argv[7])
 
 def load(path):
     try:
@@ -77,6 +86,27 @@ def rps(data, path):
 
 current_data = load(current_path)
 baseline_data = load(baseline_path)
+
+if current_data.get("bench") == "fleet-tracing-overhead":
+    # tracing-overhead gate: self-contained — the bench records the
+    # median per-pair overhead of telemetry-on vs telemetry-off fleets
+    overhead = current_data.get("overhead_pct")
+    if not isinstance(overhead, (int, float)):
+        sys.exit(f"bench-compare: no usable overhead_pct in {current_path}")
+    rate = current_data.get("trace_sample")
+    depth = current_data.get("depth")
+    smoke = bool(current_data.get("smoke"))
+    print(f"bench-compare: fleet tracing overhead {overhead:+.2f}% at depth {depth}, "
+          f"sampling {rate} ({current_path}); budget {obs_fleet_max_overhead:g}%")
+    if smoke:
+        print("bench-compare: OK (smoke tracing run — one pair, informational, not gated)")
+    elif overhead > obs_fleet_max_overhead:
+        sys.exit(f"bench-compare: FAIL — tracing overhead {overhead:.2f}% exceeds "
+                 f"the {obs_fleet_max_overhead:g}% budget")
+    else:
+        print("bench-compare: OK")
+    sys.exit(0)
+
 old = rps(baseline_data, baseline_path)
 new = rps(current_data, current_path)
 

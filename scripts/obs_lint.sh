@@ -37,7 +37,24 @@ for f in $(find lib bin -name '*.ml' ! -path 'lib/obs/*' | sort); do
     done
 done
 
+# Rule 2 (fleet code only): a span opened in router/fleet code runs on
+# threads whose stack may hold a *suppressed* or unrelated span from a
+# different request — implicit parenting there silently grafts hop
+# spans onto whatever happens to be open.  Every [Obs.span_begin] in
+# lib/fleet must either be the remote-parent constructor
+# ([span_begin_remote]) or pass an explicit [~parent].
+for f in $(find lib/fleet -name '*.ml' | sort); do
+    bad=$(grep -n 'Obs\.span_begin' "$f" \
+        | grep -v 'span_begin_remote' \
+        | grep -v '~parent' \
+        | cut -d: -f1 || true)
+    for line in $bad; do
+        echo "obs-lint: $f:$line: Obs.span_begin in fleet code without an explicit ~parent (use span_begin_remote or ~parent)" >&2
+        status=1
+    done
+done
+
 if [ "$status" -eq 0 ]; then
-    echo "obs lint OK (span_begin sites all protected or waived)"
+    echo "obs lint OK (span_begin sites all protected or waived; fleet spans explicitly parented)"
 fi
 exit $status

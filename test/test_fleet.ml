@@ -506,7 +506,236 @@ let test_router_thin_vs_full () =
   Alcotest.(check bool)
     (Printf.sprintf "thin router forwarded verbatim (%d)" (passthrough r_t))
     true (passthrough r_t >= 10);
-  Alcotest.(check int) "full-parse router never did" 0 (passthrough r_f)
+  Alcotest.(check int) "full-parse router never did" 0 (passthrough r_f);
+  (* trace propagation: a well-formed top-level "trace" member rides
+     the fast path (and both paths answer the same bytes); an escaped
+     or duplicated trace member bails the thin scanner to the full
+     parse — never a semantic fork *)
+  let traced ctx ~fast line =
+    let before = passthrough r_t in
+    let reply_t = ok_or (Client.request_line ct line) in
+    let reply_f = ok_or (Client.request_line cf line) in
+    Alcotest.(check string) ctx reply_t reply_f;
+    Alcotest.(check int) (ctx ^ ": thin fast-path delta") (if fast then 1 else 0)
+      (passthrough r_t - before)
+  in
+  let ctx = "00112233445566778899aabbccddeeff-0123456789abcdef" in
+  traced "well-formed trace stays fast" ~fast:true
+    (Printf.sprintf {|{"op":"signature","session":"diffa","trace":"%s"}|} ctx);
+  traced "unparseable trace value stays fast (just no context)" ~fast:true
+    {|{"op":"signature","session":"diffa","trace":"bogus"}|};
+  traced "escaped trace bails to the full parse" ~fast:false
+    {|{"op":"signature","session":"diffa","trace":"00112233445566778899aabbccddeeff-0123456789abcde\u0066"}|};
+  traced "duplicate trace bails to the full parse" ~fast:false
+    (Printf.sprintf {|{"op":"signature","session":"diffa","trace":"%s","trace":"%s"}|} ctx ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process trace assembly: a traced batch through the router
+   leaves spans in two real processes (the router's ring lives in this
+   process; the op spans in the worker), and the fleet-wide trace
+   collection reassembles one tree — siblings under the client's
+   minted (virtual-root) span, children nested by local ids within
+   each shard.  DESIGN.md 18. *)
+
+module Obs = Ds_obs.Obs
+
+let test_fleet_trace_assembly () =
+  with_fleet (fun _sup router ->
+      Obs.set_enabled true;
+      Obs.set_trace_sample 1.0;
+      open_session router "tra";
+      let trace = Obs.mint_trace () in
+      let tid, psid = Option.get (Obs.parse_trace trace) in
+      let batch_line =
+        Printf.sprintf
+          {|{"op":"batch","session":"tra","reqs":[{"op":"set","name":"Word Size","value":16},{"op":"candidates","max":2}],"trace":"%s"}|}
+          trace
+      in
+      let t0 = Unix.gettimeofday () in
+      let reply = reply_fields (Router.handle_line router batch_line) in
+      let wall_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+      (match Option.bind (J.member "ok" reply) J.to_bool with
+      | Some true -> ()
+      | _ -> Alcotest.failf "traced batch failed: %s" (J.to_string reply));
+      let tr = expect_ok router (P.Trace { session = ""; spans = true; since = None; max_spans = None }) in
+      let spans =
+        match Option.bind (J.member "spans" tr) J.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "merged trace without spans"
+      in
+      let attr k sp = Option.bind (J.member "attrs" sp) (J.str_member k) in
+      let shard sp = Option.value ~default:"?" (J.str_member "shard" sp) in
+      let ours = List.filter (fun sp -> attr "trace" sp = Some tid) spans in
+      let one name =
+        match List.filter (fun sp -> J.str_member "name" sp = Some name) ours with
+        | [ sp ] -> sp
+        | l -> Alcotest.failf "expected exactly one %s span in the trace, got %d" name (List.length l)
+      in
+      (* the router hop and the worker's request root are siblings
+         under the client's span — an id recorded by NO process *)
+      let hop = one "router.route" and batch = one "op.batch" in
+      Alcotest.(check string) "router hop tagged as the router" "router" (shard hop);
+      Alcotest.(check (option string)) "router hop parents under the client span"
+        (Some psid) (attr "parent_span" hop);
+      Alcotest.(check (option string)) "worker root parents under the client span"
+        (Some psid) (attr "parent_span" batch);
+      Alcotest.(check bool) "worker root lives on a worker shard" true
+        (match shard batch with "w0" | "w1" -> true | _ -> false);
+      Alcotest.(check bool) "fleet span ids are distinct across processes" true
+        (attr "span" hop <> attr "span" batch && attr "span" hop <> None);
+      (* sub-requests nest as local children of the worker root *)
+      let bid =
+        match Option.bind (J.member "id" batch) J.to_int with
+        | Some i -> i
+        | None -> Alcotest.fail "worker root without a local id"
+      in
+      let kids =
+        List.filter
+          (fun sp ->
+            String.equal (shard sp) (shard batch)
+            && Option.bind (J.member "parent" sp) J.to_int = Some bid)
+          spans
+      in
+      Alcotest.(check bool) "batch sub-requests nest under the root" true (kids <> []);
+      (* phase attribution: every phase present, non-negative, and the
+         sum bounded by the observed wall time (loose: the phases are a
+         decomposition of the worker-side handle, wall includes IPC) *)
+      let phases = [ "queue_us"; "lock_us"; "sweep_us"; "journal_us"; "fsync_us"; "flush_us" ] in
+      let total =
+        List.fold_left
+          (fun acc k ->
+            match attr k batch with
+            | None -> Alcotest.failf "worker root missing phase %s" k
+            | Some v -> (
+              match float_of_string_opt v with
+              | Some f when f >= 0.0 -> acc +. f
+              | _ -> Alcotest.failf "phase %s is not a non-negative float: %s" k v))
+          0.0 phases
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "phase sum %.1fus within wall %.1fus" total wall_us)
+        true
+        (total <= (wall_us *. 1.5) +. 1_000.0))
+
+(* ------------------------------------------------------------------ *)
+(* The HTTP observability plane: Router.http_routes behind a real
+   listener on an ephemeral port.  /metrics is a Prometheus text
+   exposition covering every shard plus the router; /healthz is the
+   live probe roll-up and flips to "degraded" while a worker is down. *)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n" path in
+  let _ = Unix.write_substring fd req 0 (String.length req) in
+  let buf = Buffer.create 1024 and chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+  in
+  drain ();
+  let resp = Buffer.contents buf in
+  let status =
+    match String.index_opt resp ' ' with
+    | Some i -> ( try int_of_string (String.sub resp (i + 1) 3) with _ -> -1)
+    | None -> -1
+  in
+  let body =
+    let rec find i =
+      if i + 4 > String.length resp then String.length resp
+      else if String.equal (String.sub resp i 4) "\r\n\r\n" then i + 4
+      else find (i + 1)
+    in
+    let start = find 0 in
+    String.sub resp start (String.length resp - start)
+  in
+  (status, body)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+  go 0
+
+let test_fleet_http_plane () =
+  with_fleet (fun sup router ->
+      let h =
+        match Ds_serve.Httpd.start ~addr:("127.0.0.1", 0) ~routes:(Router.http_routes router) () with
+        | Ok h -> h
+        | Error msg -> Alcotest.failf "httpd did not start: %s" msg
+      in
+      Fun.protect ~finally:(fun () -> Ds_serve.Httpd.stop h)
+      @@ fun () ->
+      let port = Ds_serve.Httpd.port h in
+      (* /metrics: one exposition per shard plus the router's own *)
+      let status, body = http_get port "/metrics" in
+      Alcotest.(check int) "/metrics status" 200 status;
+      Alcotest.(check bool) "/metrics leads with build info" true
+        (contains body "dse_build_info{version=");
+      List.iter
+        (fun (w, _) ->
+          Alcotest.(check bool) ("/metrics covers " ^ w) true
+            (contains body (Printf.sprintf "# shard %s" w)))
+        (Supervisor.workers sup);
+      Alcotest.(check bool) "/metrics covers the router" true (contains body "# router");
+      (* /healthz: all workers up *)
+      let status, body = http_get port "/healthz" in
+      Alcotest.(check int) "/healthz status" 200 status;
+      let health = reply_fields (String.trim body) in
+      Alcotest.(check string) "/healthz ok" "ok" (jstr "status" health);
+      (* /tracez parses as JSON with a spans member *)
+      let status, body = http_get port "/tracez" in
+      Alcotest.(check int) "/tracez status" 200 status;
+      (match Option.bind (J.member "spans" (reply_fields (String.trim body))) J.to_list with
+      | Some _ -> ()
+      | None -> Alcotest.failf "/tracez without spans: %s" body);
+      (* unknown path *)
+      let status, _ = http_get port "/nope" in
+      Alcotest.(check int) "unknown path is 404" 404 status;
+      (* kill a worker: /healthz flips to degraded during the crash
+         window, then back to ok once the supervisor restarts it *)
+      let pid =
+        match Supervisor.pid sup "w0" with
+        | Some p -> p
+        | None -> Alcotest.fail "no pid for w0"
+      in
+      Unix.kill pid Sys.sigkill;
+      let deadline = Unix.gettimeofday () +. 15.0 in
+      let rec wait_degraded () =
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "/healthz never reported the dead worker"
+        else begin
+          let _, body = http_get port "/healthz" in
+          let health = reply_fields (String.trim body) in
+          if String.equal (jstr "status" health) "degraded" then begin
+            match Option.bind (J.member "workers" health) (J.str_member "w0") with
+            | Some s when not (String.equal s "ok") -> ()
+            | _ -> Alcotest.failf "degraded without naming w0: %s" body
+          end
+          else begin
+            Thread.delay 0.02;
+            wait_degraded ()
+          end
+        end
+      in
+      wait_degraded ();
+      let rec wait_recovered () =
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "/healthz did not recover after restart"
+        else begin
+          let _, body = http_get port "/healthz" in
+          if String.equal (jstr "status" (reply_fields (String.trim body))) "ok" then ()
+          else begin
+            Thread.delay 0.1;
+            wait_recovered ()
+          end
+        end
+      in
+      wait_recovered ())
 
 let () =
   Alcotest.run "fleet"
@@ -530,5 +759,7 @@ let () =
             test_fleet_kill_restart_resume;
           Alcotest.test_case "thin-parse vs full-parse differential" `Quick
             test_router_thin_vs_full;
+          Alcotest.test_case "cross-process trace assembly" `Quick test_fleet_trace_assembly;
+          Alcotest.test_case "http observability plane" `Quick test_fleet_http_plane;
         ] );
     ]

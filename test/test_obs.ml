@@ -236,6 +236,208 @@ let test_span_end_idempotent_and_parenting () =
   Obs.set_enabled true
 
 (* ------------------------------------------------------------------ *)
+(* Trace context: mint/parse, deterministic head sampling, remote
+   parents (DESIGN.md 18)                                              *)
+
+let test_trace_context () =
+  let trace = Obs.mint_trace () in
+  Alcotest.(check int) "mint shape: 32hex-16hex" 49 (String.length trace);
+  Alcotest.(check bool) "mint parses" true (Obs.parse_trace trace <> None);
+  let tid, psid = Option.get (Obs.parse_trace trace) in
+  Alcotest.(check int) "trace id half" 32 (String.length tid);
+  Alcotest.(check int) "parent span half" 16 (String.length psid);
+  Alcotest.(check string) "parse splits at the dash" trace (tid ^ "-" ^ psid);
+  (* two mints differ (128-bit collision is not a test flake) *)
+  Alcotest.(check bool) "mints are unique" true (not (String.equal trace (Obs.mint_trace ())));
+  (* rejections: wrong lengths, non-hex, missing dash *)
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" bad) true (Obs.parse_trace bad = None))
+    [
+      ""; "nope"; tid; tid ^ psid;
+      String.make 32 'g' ^ "-" ^ psid;
+      tid ^ "-" ^ String.make 16 'z';
+      tid ^ "_" ^ psid;
+      tid ^ "-" ^ psid ^ "0";
+    ];
+  (* span_hex: process prefix + 8 hex digits of the local id *)
+  let h1 = Obs.span_hex 1 and h2 = Obs.span_hex 2 in
+  Alcotest.(check int) "span hex length" 16 (String.length h1);
+  Alcotest.(check string) "span hex shares the process prefix"
+    (String.sub h1 0 8) (String.sub h2 0 8);
+  Alcotest.(check bool) "span hex distinct per id" true (not (String.equal h1 h2))
+
+let test_head_sampling () =
+  Obs.set_enabled true;
+  Obs.set_trace_cap 4096;
+  let tid () = fst (Option.get (Obs.parse_trace (Obs.mint_trace ()))) in
+  (* rate 1.0: everything sampled; rate 0.0: nothing *)
+  Obs.set_trace_sample 1.0;
+  Alcotest.(check (float 1e-9)) "rate clamps/reads back" 1.0 (Obs.trace_sample ());
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "rate 1.0 samples all" true (Obs.trace_sampled (tid ()))
+  done;
+  Obs.set_trace_sample 0.0;
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "rate 0.0 samples none" false (Obs.trace_sampled (tid ()))
+  done;
+  (* determinism: the decision is a pure function of the id, so every
+     process in the fleet agrees without propagating any flag *)
+  Obs.set_trace_sample 0.5;
+  let ids = List.init 200 (fun _ -> tid ()) in
+  let first = List.map Obs.trace_sampled ids in
+  let second = List.map Obs.trace_sampled ids in
+  Alcotest.(check (list bool)) "decision is deterministic per id" first second;
+  let hits = List.length (List.filter Fun.id first) in
+  (* 200 fair-ish coin flips: [40, 160] is > 8 sigma of slack *)
+  Alcotest.(check bool) "rate 0.5 samples roughly half" true (hits > 40 && hits < 160);
+  (* an unsampled trace records nothing, a sampled one records a
+     remote-parented root with the propagation attrs *)
+  let base = head_cursor () in
+  let sampled = List.hd (List.filter Obs.trace_sampled ids) in
+  let unsampled = List.hd (List.filter (fun t -> not (Obs.trace_sampled t)) ids) in
+  let dead = Obs.span_begin_remote ~trace:unsampled ~parent_span:"00000000000000ff" "op.x" in
+  Obs.span_end dead;
+  Alcotest.(check int) "unsampled trace records nothing" base (head_cursor ());
+  Alcotest.(check int) "unsampled span adds no depth" 0 (Obs.stack_depth ());
+  let sp = Obs.span_begin_remote ~trace:sampled ~parent_span:"00000000000000ff" "op.x" in
+  let child = Obs.span_begin "child.work" in
+  Obs.span_end child;
+  Obs.span_end sp;
+  let root = List.hd (find_span ~since:base "op.x") in
+  Alcotest.(check int) "remote root has no local parent" (-1) root.Obs.sr_parent;
+  Alcotest.(check string) "trace attr" sampled (List.assoc "trace" root.Obs.sr_attrs);
+  Alcotest.(check string) "parent_span attr" "00000000000000ff"
+    (List.assoc "parent_span" root.Obs.sr_attrs);
+  Alcotest.(check string) "span attr is this span's fleet id"
+    (Obs.span_hex root.Obs.sr_id)
+    (List.assoc "span" root.Obs.sr_attrs);
+  let c = List.hd (find_span ~since:base "child.work") in
+  Alcotest.(check int) "local child parents under the remote root"
+    root.Obs.sr_id c.Obs.sr_parent;
+  (* the root-side mint takes the same decision from the raw minted
+     words, without ever building the context string: every context it
+     does emit must pass the downstream string-level re-check *)
+  Obs.set_trace_sample 0.5;
+  let emitted = ref 0 in
+  for _ = 1 to 200 do
+    match Obs.mint_trace_sampled () with
+    | Some t ->
+      Stdlib.incr emitted;
+      Alcotest.(check bool) "emitted context passes downstream check" true
+        (Obs.trace_sampled (fst (Option.get (Obs.parse_trace t))))
+    | None -> ()
+  done;
+  Alcotest.(check bool) "root mint suppresses roughly half" true
+    (!emitted > 40 && !emitted < 160);
+  Obs.set_trace_sample 1.0
+
+(* Ring wraparound under sampling: only sampled traces consume ring
+   slots, and the survivors are still the newest sampled spans in
+   order. *)
+let test_ring_wraparound_under_sampling () =
+  Obs.set_enabled true;
+  Obs.set_trace_cap 64;
+  Obs.set_trace_sample 0.5;
+  let base = head_cursor () in
+  let recorded = ref 0 in
+  for i = 0 to 399 do
+    let trace = Obs.mint_trace () in
+    let tid, psid = Option.get (Obs.parse_trace trace) in
+    let sp =
+      Obs.span_begin_remote ~trace:tid ~parent_span:psid
+        ~attrs:[ ("i", string_of_int i) ] "wrap.sampled"
+    in
+    if Obs.trace_sampled tid then Stdlib.incr recorded;
+    Obs.span_end sp
+  done;
+  Alcotest.(check int) "unsampled spans consumed no ring slots"
+    (base + !recorded) (head_cursor ());
+  let spans, _, dropped = Obs.trace_read ~since:base () in
+  Alcotest.(check int) "ring keeps cap spans" 64 (List.length spans);
+  Alcotest.(check int) "dropped = sampled overflow" (!recorded - 64) dropped;
+  (* every survivor is sampled, sequenced, and attr-consistent *)
+  List.iter
+    (fun sp ->
+      Alcotest.(check bool) "survivor is a sampled trace" true
+        (Obs.trace_sampled (List.assoc "trace" sp.Obs.sr_attrs)))
+    spans;
+  Obs.set_trace_sample 1.0;
+  Obs.set_trace_cap 4096
+
+(* Counter windows: a worker restart-in-place resets cumulative
+   counters; the windowed view must clamp to zero, never show a
+   negative rate. *)
+let test_counter_windows () =
+  Alcotest.(check int) "monotonic delta" 7 (Obs.window_delta ~prev:3 ~cur:10);
+  Alcotest.(check int) "reset clamps to zero" 0 (Obs.window_delta ~prev:1000 ~cur:4);
+  Alcotest.(check (float 1e-9)) "rate" 3.5 (Obs.window_rate ~prev:3 ~cur:10 ~dt:2.0);
+  Alcotest.(check (float 1e-9)) "reset rate clamps" 0.0
+    (Obs.window_rate ~prev:1000 ~cur:4 ~dt:2.0);
+  Alcotest.(check (float 1e-9)) "zero dt guards" 0.0 (Obs.window_rate ~prev:0 ~cur:5 ~dt:0.0);
+  Alcotest.(check (array int)) "bucket windows clamp element-wise"
+    [| 2; 0; 5 |]
+    (Obs.window_counts ~prev:[| 1; 9 |] ~cur:[| 3; 4; 5 |]);
+  Alcotest.(check (array int)) "full reset reads as silence"
+    [| 0; 0 |]
+    (Obs.window_counts ~prev:[| 50; 50 |] ~cur:[| 2; 1 |])
+
+(* Slow-request log: over-threshold roots log their whole span tree as
+   one JSON line in a bounded buffer. *)
+let test_slow_log () =
+  Obs.set_enabled true;
+  Obs.set_trace_cap 4096;
+  Obs.slow_clear ();
+  Obs.set_slow_ms (Some 0.5);
+  Alcotest.(check (option (float 1e-9))) "threshold reads back in us" (Some 500.0)
+    (Obs.slow_threshold_us ());
+  (* under threshold: nothing logged *)
+  let since = Obs.trace_cursor () in
+  let fast = Obs.span_begin "op.fast" in
+  Obs.span_end fast;
+  Obs.slow_check ~since ~dur_us:10.0 fast;
+  Alcotest.(check int) "fast request not logged" 0 (List.length (fst (Obs.slow_read ())));
+  (* over threshold: the tree (root + descendants, not bystanders) *)
+  let since = Obs.trace_cursor () in
+  let bystander = Obs.span_begin ~parent:(-1) "op.bystander" in
+  Obs.span_end bystander;
+  let root = Obs.span_begin ~parent:(-1) "op.slow" in
+  let child = Obs.span_begin "slow.child" in
+  let grandchild = Obs.span_begin "slow.grandchild" in
+  Obs.span_end grandchild;
+  Obs.span_end child;
+  Obs.span_end root;
+  Obs.slow_check ~since ~dur_us:900.0 root;
+  let lines, dropped = Obs.slow_read () in
+  Alcotest.(check int) "one slow line" 1 (List.length lines);
+  Alcotest.(check int) "nothing dropped yet" 0 dropped;
+  let line = List.hd lines in
+  let has needle =
+    let nl = String.length needle and tl = String.length line in
+    let rec go i = i + nl <= tl && (String.equal (String.sub line i nl) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "line carries the root name" true (has "\"name\":\"op.slow\"");
+  Alcotest.(check bool) "line carries the duration" true (has "\"dur_ms\":0.900");
+  Alcotest.(check bool) "tree includes the child" true (has "slow.child");
+  Alcotest.(check bool) "tree includes the grandchild" true (has "slow.grandchild");
+  Alcotest.(check bool) "tree excludes bystanders" true (not (has "op.bystander"));
+  (* bounded: the buffer drops oldest past its cap and counts drops *)
+  for i = 0 to 99 do
+    let since = Obs.trace_cursor () in
+    let sp = Obs.span_begin ~parent:(-1) (Printf.sprintf "op.slow%d" i) in
+    Obs.span_end sp;
+    Obs.slow_check ~since ~dur_us:1e6 sp
+  done;
+  let lines, dropped = Obs.slow_read () in
+  Alcotest.(check int) "buffer bounded at 64" 64 (List.length lines);
+  Alcotest.(check int) "drops counted" 37 dropped;
+  (* disabled again: no threshold, no logging *)
+  Obs.set_slow_ms None;
+  Alcotest.(check (option (float 1e-9))) "threshold off" None (Obs.slow_threshold_us ());
+  Obs.slow_clear ()
+
+(* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
 
 let test_exporters () =
@@ -252,7 +454,17 @@ let test_exporters () =
   Alcotest.(check bool) "counter line" true (has "exp_total{kind=\"a\"} 3");
   Alcotest.(check bool) "gauge line" true (has "exp_gauge 2.5");
   Alcotest.(check bool) "histogram count line" true (has "exp_us_count 1");
+  Alcotest.(check bool) "histogram sum line" true (has "exp_us_sum 100");
   Alcotest.(check bool) "le label" true (has "exp_us_bucket{le=");
+  Obs.set_build_info ~version:"9.9.9-test";
+  let text2 = Obs.prometheus [ ("t", reg) ] in
+  let has2 needle =
+    let nl = String.length needle and tl = String.length text2 in
+    let rec go i = i + nl <= tl && (String.equal (String.sub text2 i nl) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "build info gauge" true (has2 "dse_build_info{version=\"9.9.9-test\"} 1");
+  Obs.set_build_info ~version:"dev";
   (* span JSON is one line and carries the attrs *)
   Obs.set_enabled true;
   let base = head_cursor () in
@@ -337,4 +549,14 @@ let () =
             test_span_end_idempotent_and_parenting;
         ] );
       ("exporters", [ Alcotest.test_case "prometheus + span json" `Quick test_exporters ]);
+      ( "trace-context",
+        [
+          Alcotest.test_case "mint/parse/span_hex" `Quick test_trace_context;
+          Alcotest.test_case "deterministic head sampling" `Quick test_head_sampling;
+          Alcotest.test_case "ring wraparound under sampling" `Quick
+            test_ring_wraparound_under_sampling;
+        ] );
+      ( "windows",
+        [ Alcotest.test_case "counter-reset clamping" `Quick test_counter_windows ] );
+      ("slow-log", [ Alcotest.test_case "threshold, tree, bound" `Quick test_slow_log ]);
     ]
